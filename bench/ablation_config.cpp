@@ -1,0 +1,176 @@
+// Ablation — the paper's configurable defaults.
+//
+// §5.2 fixes two tunables by measurement: the out-of-order reassembly
+// buffer (default 500 packets, "adjustable based on available memory
+// and expected packet loss") and the probe budget for protocol
+// identification. This bench sweeps both on reorder-heavy traffic and
+// shows the trade-offs the defaults balance:
+//
+//  * ooo_capacity: too small and reordered flows lose handshake bytes
+//    (sessions are missed); big buffers cost memory per tracked flow
+//    but the common case (94% in-order) never uses them.
+//  * max_probe_pdus: too small and slow-starting protocols go
+//    unidentified (missed sessions); larger budgets keep unknown flows
+//    in the Probe state longer.
+#include "common.hpp"
+#include "traffic/workloads.hpp"
+
+using namespace retina;
+
+namespace {
+
+struct SweepResult {
+  std::uint64_t sessions = 0;
+  std::uint64_t flows = 0;
+  std::uint64_t busy_mcycles = 0;
+};
+
+/// TLS 1.2 flows with the certificate burst segmented small and one
+/// mid-handshake segment displaced `displace` positions later — the
+/// reassembler must buffer that many PDUs to complete the handshake.
+std::vector<packet::Mbuf> reordered_tls_flow(std::uint64_t start_ts,
+                                             util::Xoshiro256& rng,
+                                             std::size_t displace) {
+  traffic::FlowEndpoints ep;
+  ep.client_port = static_cast<std::uint16_t>(rng.range(32768, 60999));
+  ep.client_ip = packet::IpAddr::v4(
+      0xab400000u | static_cast<std::uint32_t>(rng.below(1u << 18)));
+  traffic::TcpFlowCrafter crafter(ep, start_ts,
+                                  static_cast<std::uint32_t>(rng.next()),
+                                  static_cast<std::uint32_t>(rng.next()));
+  crafter.set_auto_ack(0);
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = "sweep.example.com";
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.next());
+  crafter.client_send(traffic::build_tls_client_hello(hello));
+
+  crafter.set_mss(300);  // the server burst spans ~8 segments
+  traffic::TlsServerHelloSpec server;
+  server.cipher = 0xc02f;
+  auto bytes = traffic::build_tls_server_hello(server);
+  const auto chain = traffic::build_tls_certificate_chain(
+      hello.sni, "Sweep CA", 1);
+  bytes.insert(bytes.end(), chain.begin(), chain.end());
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  bytes.insert(bytes.end(), ccs.begin(), ccs.end());
+  crafter.server_send(bytes);
+  crafter.close();
+
+  auto packets = crafter.take();
+  // Displace the second server data segment `displace` positions later,
+  // keeping per-position timestamps.
+  const std::size_t victim = 5;  // SYN,SYNACK,ACK,CH,SH-seg0,SH-seg1...
+  if (displace > 0 && victim + displace < packets.size()) {
+    std::vector<std::uint64_t> ts;
+    for (const auto& mbuf : packets) ts.push_back(mbuf.timestamp_ns());
+    auto moved = packets[victim];
+    packets.erase(packets.begin() + victim);
+    packets.insert(packets.begin() + static_cast<std::ptrdiff_t>(victim + displace),
+                   std::move(moved));
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      packets[i].set_timestamp_ns(ts[i]);
+    }
+  }
+  return packets;
+}
+
+/// Flows whose ClientHello arrives with a 2-byte first segment: probing
+/// needs at least two payload PDUs to identify TLS.
+std::vector<packet::Mbuf> slow_signature_flow(std::uint64_t start_ts,
+                                              util::Xoshiro256& rng) {
+  traffic::FlowEndpoints ep;
+  ep.client_port = static_cast<std::uint16_t>(rng.range(32768, 60999));
+  ep.client_ip = packet::IpAddr::v4(
+      0xab400000u | static_cast<std::uint32_t>(rng.below(1u << 18)));
+  traffic::TcpFlowCrafter crafter(ep, start_ts,
+                                  static_cast<std::uint32_t>(rng.next()),
+                                  static_cast<std::uint32_t>(rng.next()));
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = "slow.example.com";
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.next());
+  const auto ch = traffic::build_tls_client_hello(hello);
+  crafter.client_send(std::span<const std::uint8_t>(ch.data(), 2));
+  crafter.client_send(
+      std::span<const std::uint8_t>(ch.data() + 2, ch.size() - 2));
+  traffic::TlsServerHelloSpec server;
+  auto sh = traffic::build_tls_server_hello(server);
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  sh.insert(sh.end(), ccs.begin(), ccs.end());
+  crafter.server_send(sh);
+  crafter.close();
+  return crafter.take();
+}
+
+SweepResult run_sweep(traffic::FlowFactory factory, std::size_t flows,
+                      std::size_t ooo_capacity, std::size_t probe_pdus,
+                      bool require_full_chain = false) {
+  std::uint64_t sessions = 0;
+  auto sub = core::Subscription::tls_handshakes(
+      "tls", [&sessions, require_full_chain](
+                 const core::SessionRecord&,
+                 const protocols::TlsHandshake& hs) {
+        // Partial transcripts are still delivered on termination; for
+        // the completeness sweep only fully reassembled chains count.
+        if (!require_full_chain || hs.certificate_count >= 2) ++sessions;
+      });
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.ooo_capacity = ooo_capacity;
+  config.max_probe_pdus = probe_pdus;
+  core::Runtime runtime(config, std::move(sub));
+
+  traffic::InterleavedFlowGen gen(std::move(factory), flows, 2000.0, 64,
+                                  9001);
+  const auto stats = bench::run_stream(runtime, gen);
+  return {sessions, flows, stats.total.busy_cycles / 1'000'000};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: reassembly buffer and probe-budget defaults",
+      "SIGCOMM'22 Retina, sec 5.2 configuration choices");
+
+  std::printf(
+      "out-of-order buffer sweep (every flow's handshake has a segment\n"
+      "displaced 3 positions; the buffer must hold the gap):\n");
+  std::printf("%-14s %12s %10s\n", "ooo_capacity", "handshakes",
+              "Mcycles");
+  for (const std::size_t capacity : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{2}, std::size_t{4},
+                                     std::size_t{64}, std::size_t{500}}) {
+    const auto result = run_sweep(
+        [](std::uint64_t ts, util::Xoshiro256& rng) {
+          return reordered_tls_flow(ts, rng, 3);
+        },
+        800, capacity, 4, /*require_full_chain=*/true);
+    std::printf("%-14zu %7llu/%-4llu %10llu\n", capacity,
+                static_cast<unsigned long long>(result.sessions),
+                static_cast<unsigned long long>(result.flows),
+                static_cast<unsigned long long>(result.busy_mcycles));
+  }
+
+  std::printf(
+      "\nprobe budget sweep (every ClientHello arrives with a 2-byte\n"
+      "first segment; identification needs two payload PDUs):\n");
+  std::printf("%-14s %12s %10s\n", "max_probe_pdus", "handshakes",
+              "Mcycles");
+  for (const std::size_t budget : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    const auto result = run_sweep(slow_signature_flow, 800, 500, budget);
+    std::printf("%-14zu %7llu/%-4llu %10llu\n", budget,
+                static_cast<unsigned long long>(result.sessions),
+                static_cast<unsigned long long>(result.flows),
+                static_cast<unsigned long long>(result.busy_mcycles));
+  }
+
+  std::printf(
+      "\nexpected shape: handshakes recovered jump once ooo_capacity\n"
+      "covers the displacement (>=3) and saturate far below the paper's\n"
+      "500 default; the probe budget saturates at 2 PDUs for these\n"
+      "flows (and 1 suffices for ordinary traffic).\n");
+  return 0;
+}

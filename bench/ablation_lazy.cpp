@@ -1,0 +1,119 @@
+// Ablation — where does Retina's performance come from?
+//
+// The paper attributes its advantage to (1) multi-layer filter
+// decomposition with early discard, (2) hardware pre-filtering, and
+// (3) lazy data reconstruction. This bench runs one analysis task —
+// log TLS handshakes for Netflix video domains — under progressively
+// weakened designs and reports both CPU cycles (best of 5 runs) and the
+// deterministic per-stage work counts that explain them:
+//
+//   full         tcp.port=443 + sni predicates decomposed, HW filter on
+//   no_hw        same filter, hardware rules disabled
+//   no_pkt_pred  filter `tls.sni ~ ...` only: without the port
+//                predicate every TCP flow is tracked and probed
+//   filter_in_cb framework filter is just `tls`; SNI regex moves into
+//                the user callback (no session-layer discard)
+//   parse_all    empty filter: every connection tracked and probed,
+//                every TLS handshake parsed and delivered
+//
+// Expected: work counts grow monotonically down the list; cycles follow.
+#include <regex>
+
+#include "common.hpp"
+#include "traffic/workloads.hpp"
+
+using namespace retina;
+
+namespace {
+
+struct Result {
+  std::uint64_t busy_cycles = ~0ull;
+  std::uint64_t matches = 0;
+  std::uint64_t tracked_pkts = 0;  // packets entering the conn tracker
+  std::uint64_t parse_pdus = 0;    // PDUs probed/parsed
+  std::uint64_t conns = 0;
+  std::uint64_t hw_dropped = 0;
+};
+
+Result run_variant(const std::string& filter, bool hw, bool regex_in_cb) {
+  static const std::regex sni_re("(.+?\\.)?nflxvideo\\.net");
+  Result result;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::uint64_t matches = 0;
+    auto sub = core::Subscription::tls_handshakes(
+        filter, [&matches, regex_in_cb](const core::SessionRecord&,
+                                        const protocols::TlsHandshake& hs) {
+          if (!regex_in_cb || std::regex_search(hs.sni, sni_re)) {
+            ++matches;
+          }
+        });
+    core::RuntimeConfig config;
+    config.cores = 1;
+    config.hardware_filter = hw;
+    config.instrument_stages = true;
+    core::Runtime runtime(config, std::move(sub));
+
+    traffic::VideoWorkloadConfig workload;
+    workload.sessions = 40;
+    workload.background_flows = 8'000;
+    workload.byte_scale = 1.0 / 512;
+    workload.seed = 202;
+    auto gen = traffic::make_video_workload(workload);
+    const auto stats = bench::run_stream(runtime, gen);
+
+    result.busy_cycles = std::min(result.busy_cycles,
+                                  stats.total.busy_cycles);
+    result.matches = matches;
+    result.tracked_pkts =
+        stats.total.stages.count(core::Stage::kConnTracking);
+    result.parse_pdus = stats.total.stages.count(core::Stage::kParsing);
+    result.conns = stats.total.conns_created;
+    result.hw_dropped = stats.nic_hw_dropped;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: early discard, hardware filtering, lazy reconstruction",
+      "SIGCOMM'22 Retina, secs 4-5 design claims");
+
+  const std::string sni_only = "tls.sni ~ '(.+?\\.)?nflxvideo\\.net'";
+
+  struct Variant {
+    const char* name;
+    Result result;
+  };
+  Variant variants[] = {
+      {"full", run_variant(traffic::kNetflixFilter, true, false)},
+      {"no_hw", run_variant(traffic::kNetflixFilter, false, false)},
+      {"no_pkt_pred", run_variant(sni_only, false, false)},
+      {"filter_in_cb", run_variant("tls", false, true)},
+      {"parse_all", run_variant("", false, true)},
+  };
+
+  std::printf("%-13s %11s %11s %11s %8s %9s %8s %8s\n", "variant",
+              "Mcycles", "trackedPkt", "parsePDUs", "conns", "hw_drop",
+              "matches", "vs_full");
+  const double base = static_cast<double>(variants[0].result.busy_cycles);
+  for (const auto& variant : variants) {
+    const auto& r = variant.result;
+    std::printf("%-13s %11.1f %11llu %11llu %8llu %9llu %8llu %7.2fx\n",
+                variant.name, static_cast<double>(r.busy_cycles) / 1e6,
+                static_cast<unsigned long long>(r.tracked_pkts),
+                static_cast<unsigned long long>(r.parse_pdus),
+                static_cast<unsigned long long>(r.conns),
+                static_cast<unsigned long long>(r.hw_dropped),
+                static_cast<unsigned long long>(r.matches),
+                static_cast<double>(r.busy_cycles) / base);
+  }
+  std::printf(
+      "\nall variants find the same matches. Expected: tracked packets,\n"
+      "probed PDUs, and tracked connections grow as design pieces are\n"
+      "removed (the port predicate confines stateful work to 443; the\n"
+      "HW filter removes non-TCP-443 packets before the CPU sees them);\n"
+      "CPU cycles follow the work counts.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Methodology note ("capacity mode"): the paper measures the maximum
+// ingress rate each configuration sustains with zero packet loss on a
+// live tap. Our substrate is an in-memory simulator, so we instead
+// measure how fast each configuration *processes* a recorded workload —
+// total ingress bytes divided by the busiest core's CPU time — which is
+// exactly the zero-loss saturation throughput of that pipeline. Absolute
+// numbers depend on the host CPU; the paper's claims live in the
+// *relationships* (scaling across cores, ordering across systems,
+// factors between configurations), which this metric preserves.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/trace.hpp"
+#include "util/cycles.hpp"
+
+namespace retina::bench {
+
+/// Stream a generator through a runtime (bounded memory) and finish.
+inline core::RunStats run_stream(core::Runtime& runtime,
+                                 traffic::InterleavedFlowGen& gen) {
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  return runtime.finish();
+}
+
+/// Run a pre-materialized trace.
+inline core::RunStats run_trace(core::Runtime& runtime,
+                                const traffic::Trace& trace) {
+  return runtime.run(trace.packets());
+}
+
+/// Sustained processing throughput in Gbit/s: ingress bytes over the
+/// busiest core's busy time.
+inline double gbps(const core::RunStats& stats) {
+  return stats.processed_gbps();
+}
+
+/// Packets per second (millions) at that rate.
+inline double mpps(const core::RunStats& stats) {
+  if (stats.max_core_seconds <= 0) return 0.0;
+  return static_cast<double>(stats.nic_rx_packets) / 1e6 /
+         stats.max_core_seconds;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace retina::bench

@@ -1,0 +1,99 @@
+// Figure 12 (Appendix B) — Speedup of statically compiled filter code
+// over runtime-interpreted filters, across four "normal user" traces
+// and filters of increasing complexity, while logging TLS handshakes in
+// offline mode on one core.
+//
+// Paper result: compiled filters are always faster; the speedup ranges
+// from 5.4% (trivial filters like `ipv4`, where filtering is a tiny
+// share of total work) to 300.4% (the 32-predicate Netflix filter,
+// where per-packet filter evaluation dominates).
+//
+// Our two engines share exact semantics (a property test enforces it);
+// the interpreted engine resolves protocols/fields by name through the
+// registry on every evaluation, like any engine without code
+// generation. Speedup = interpreted CPU time / compiled CPU time on the
+// same trace.
+#include "common.hpp"
+#include "traffic/workloads.hpp"
+
+using namespace retina;
+
+namespace {
+
+const char* kNetflixBronzino =
+    "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or "
+    "ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or "
+    "ipv4.addr in 66.197.128.0/17 or ipv4.addr in 108.175.32.0/20 or "
+    "ipv4.addr in 185.2.220.0/22 or ipv4.addr in 185.9.188.0/22 or "
+    "ipv4.addr in 192.173.64.0/18 or ipv4.addr in 198.38.96.0/19 or "
+    "ipv4.addr in 198.45.48.0/20 or ipv4.addr in 208.75.79.0/24 or "
+    "ipv6.addr in 2620:10c:7000::/44 or ipv6.addr in 2a00:86c0::/32 or "
+    "tls.sni ~ 'netflix.com' or tls.sni ~ 'nflxvideo.net' or "
+    "tls.sni ~ 'nflximg.net' or tls.sni ~ 'nflxext.com' or "
+    "tls.sni ~ 'nflximg.com' or tls.sni ~ 'nflxso.net'";
+
+std::uint64_t run_once(const traffic::Trace& trace, const std::string& filter,
+                       bool interpreted) {
+  std::size_t handshakes = 0;
+  auto sub = core::Subscription::tls_handshakes(
+      filter, [&handshakes](const core::SessionRecord&,
+                            const protocols::TlsHandshake&) { ++handshakes; });
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.hardware_filter = false;  // offline mode: pure software
+  config.interpreted_filters = interpreted;
+  core::Runtime runtime(config, std::move(sub));
+  const auto stats = bench::run_trace(runtime, trace);
+  return stats.total.busy_cycles;
+}
+
+/// Best-of-N to suppress scheduling noise (cells are only a few ms).
+std::uint64_t run_best(const traffic::Trace& trace, const std::string& filter,
+                       bool interpreted, int repetitions = 5) {
+  std::uint64_t best = ~0ull;
+  for (int i = 0; i < repetitions; ++i) {
+    best = std::min(best, run_once(trace, filter, interpreted));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 12 (Appendix B): compiled vs interpreted filter execution",
+      "SIGCOMM'22 Retina, Fig. 12");
+
+  struct NamedFilter {
+    const char* label;
+    std::string filter;
+  };
+  const NamedFilter filters[] = {
+      {"none", ""},
+      {"ipv4", "ipv4"},
+      {"tcp.port=443", "tcp.port = 443"},
+      {"tls.cipher~AES_128_GCM", "tls.cipher ~ 'AES_128_GCM'"},
+      {"netflix_32pred", kNetflixBronzino},
+  };
+
+  std::printf("%-10s %-24s %12s %12s %9s\n", "trace", "filter",
+              "interp_Mcyc", "compiled_Mcyc", "speedup");
+  for (std::size_t variant = 0; variant < 4; ++variant) {
+    const auto trace = traffic::make_normal_user_trace(variant, 1200);
+    for (const auto& [label, filter] : filters) {
+      const auto compiled = run_best(trace, filter, /*interpreted=*/false);
+      const auto interp = run_best(trace, filter, /*interpreted=*/true);
+      std::printf("norm-%zu     %-24s %12.1f %12.1f %8.2fx\n", variant,
+                  label, static_cast<double>(interp) / 1e6,
+                  static_cast<double>(compiled) / 1e6,
+                  static_cast<double>(interp) /
+                      static_cast<double>(compiled));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: speedup > 1 everywhere; small for trivial filters\n"
+      "(paper: +5.4%%), largest for the 32-predicate Netflix filter\n"
+      "(paper: up to +300.4%%).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 7 — Effect of filter decomposition: the fraction of ingress
+// packets that trigger each processing stage, and the average CPU
+// cycles each stage consumes when it runs.
+//
+// Paper result, for the video-feature filter
+//   tcp.port = 443 and tls.sni ~ '(.+?\.)?nflxvideo\.net'
+// on live campus traffic with hardware filtering enabled:
+//   hardware filter 100% (0 cyc) -> sw packet filter 35.4% (103 cyc) ->
+//   conn tracking 35.4% (42) -> reassembly 1.54% (354) -> parsing
+//   0.415% (2123) -> session filter 0.07% (702) -> callback 0.000188%
+//   (53673). Each stage runs on a hierarchically smaller share.
+//
+// The same subscription runs here over the campus mix with embedded
+// Netflix video flows. Exact fractions depend on the traffic mix; the
+// reproduction target is the strictly decreasing hierarchy with a
+// multiple-orders-of-magnitude drop from ingress to callback.
+#include "common.hpp"
+#include "traffic/workloads.hpp"
+#include "util/histogram.hpp"
+
+using namespace retina;
+
+int main() {
+  bench::print_header("Figure 7: per-stage packet fractions and cycle costs",
+                      "SIGCOMM'22 Retina, Fig. 7");
+
+  auto sub = core::Subscription::connections(
+      traffic::kNetflixFilter,
+      [](const core::ConnRecord&) { util::spin_cycles(20'000); });
+
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.hardware_filter = true;
+  config.instrument_stages = true;
+  core::Runtime runtime(config, std::move(sub));
+
+  traffic::VideoWorkloadConfig workload;
+  workload.sessions = 30;
+  workload.background_flows = 6'000;
+  workload.frac_netflix = 0.5;
+  workload.byte_scale = 1.0 / 512;
+  auto gen = traffic::make_video_workload(workload);
+  const auto stats = bench::run_stream(runtime, gen);
+
+  const double ingress = static_cast<double>(stats.nic_rx_packets);
+  std::printf("filter: %s\n", traffic::kNetflixFilter);
+  std::printf("ingress packets: %.0f\n\n", ingress);
+  std::printf("%-22s %14s %12s %12s\n", "stage", "invocations",
+              "fraction", "avg_cycles");
+
+  for (int i = 0; i < static_cast<int>(core::Stage::kCount); ++i) {
+    const auto stage = static_cast<core::Stage>(i);
+    const auto count = stats.total.stages.count(stage);
+    const double fraction = static_cast<double>(count) / ingress;
+    std::printf("%-22s %14llu %11.5f%% %12.1f   |%s\n",
+                core::stage_name(stage),
+                static_cast<unsigned long long>(count), fraction * 100.0,
+                stage == core::Stage::kHardwareFilter
+                    ? 0.0
+                    : stats.total.stages.avg_cycles(stage),
+                util::ascii_bar(fraction, 30).c_str());
+  }
+
+  std::printf(
+      "\nexpected shape: each stage triggers on a (weakly) smaller share\n"
+      "than the previous; callback runs orders of magnitude less often\n"
+      "than ingress (paper: 100%% -> 35.4%% -> 35.4%% -> 1.54%% -> 0.415%%\n"
+      "-> 0.07%% -> 0.000188%%).\n");
+  return 0;
+}

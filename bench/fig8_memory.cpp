@@ -1,0 +1,109 @@
+// Figure 8 — Memory usage over time under three expiry schemes, while
+// subscribed to all TCP connection records on campus-profile traffic.
+//
+// Paper result (30-minute live runs, 16 cores):
+//   * default (5s establishment + 5min inactivity): steady state at
+//     ~28.6 GB, 6.4x less memory and 7.7x fewer concurrent connections
+//     than inactivity-only;
+//   * 5min inactivity only: ~181.9 GB steady state (single-SYN floods
+//     linger for the full 5 minutes);
+//   * no timeouts: memory grows without bound; OOM at ~11 min / 340 GB.
+//
+// We run the same three schemes with all timeouts and the observation
+// window scaled down 5x (1 s establishment / 60 s inactivity over a
+// ~150 s virtual window — the dynamics are invariant under joint
+// scaling) and print connection counts / estimated state bytes over
+// virtual time. The targets: default plateaus lowest; inactivity-only
+// plateaus several times higher once the inactivity timeout starts
+// firing; no-timeouts grows monotonically (the paper's OOM curve).
+#include "common.hpp"
+
+using namespace retina;
+
+namespace {
+
+struct Scheme {
+  const char* name;
+  conntrack::TimeoutConfig timeouts;
+};
+
+std::vector<core::MemorySample> run_scheme(
+    const conntrack::TimeoutConfig& timeouts) {
+  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.timeouts = timeouts;
+  config.memory_sample_interval_ns = 2'000'000'000;  // 2s virtual
+  core::Runtime runtime(config, std::move(sub));
+
+  traffic::CampusMixConfig mix;
+  mix.seed = 77;
+  mix.flows_per_second = 2'000.0;
+  mix.total_flows = 300'000;  // ~150s of virtual time
+  mix.max_active = 256;
+  mix.resp_max_bytes = 200'000;  // keep packet volume manageable
+  auto gen = traffic::make_campus_gen(mix);
+  const auto stats = bench::run_stream(runtime, gen);
+  return stats.total.memory_samples;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 8: connection state in memory over time, by timeout scheme",
+      "SIGCOMM'22 Retina, Fig. 8");
+
+  // Timeouts scaled 5x down (1 s establishment, 60 s inactivity).
+  Scheme schemes[3] = {
+      {"default_estab+inact", {1'000'000'000ull, 60'000'000'000ull}},
+      {"inactive_only", {0, 60'000'000'000ull}},
+      {"no_timeouts", {0, 0}},
+  };
+
+  std::vector<std::vector<core::MemorySample>> series;
+  for (const auto& scheme : schemes) {
+    series.push_back(run_scheme(scheme.timeouts));
+  }
+
+  std::printf("%-8s", "t(s)");
+  for (const auto& scheme : schemes) {
+    std::printf(" %18s_conns %14s_MB", scheme.name, "state");
+  }
+  std::printf("\n");
+  const std::size_t rows =
+      std::min({series[0].size(), series[1].size(), series[2].size()});
+  for (std::size_t row = 0; row < rows; row += 2) {
+    std::printf("%-8.0f",
+                static_cast<double>(series[0][row].ts_ns) / 1e9);
+    for (const auto& samples : series) {
+      std::printf(" %24llu %16.1f",
+                  static_cast<unsigned long long>(samples[row].connections),
+                  static_cast<double>(samples[row].bytes) / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  // Steady-state comparison over the last quarter of the window.
+  auto tail_avg_conns = [](const std::vector<core::MemorySample>& samples) {
+    if (samples.empty()) return 0.0;
+    double sum = 0;
+    const std::size_t from = samples.size() * 3 / 4;
+    for (std::size_t i = from; i < samples.size(); ++i) {
+      sum += static_cast<double>(samples[i].connections);
+    }
+    return sum / static_cast<double>(samples.size() - from);
+  };
+  const double def = tail_avg_conns(series[0]);
+  const double five_min = tail_avg_conns(series[1]);
+  const double none = tail_avg_conns(series[2]);
+  std::printf(
+      "\nsteady-state concurrent connections: default=%.0f, "
+      "5m-only=%.0f (%.1fx default), none=%.0f (growing)\n",
+      def, five_min, five_min / def, none);
+  std::printf(
+      "expected shape: default plateaus lowest (establishment timeout\n"
+      "reaps single SYNs); 5m-only is several times higher (paper: 7.7x\n"
+      "connections, 6.4x memory); no-timeouts grows until OOM.\n");
+  return 0;
+}

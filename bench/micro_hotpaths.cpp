@@ -1,0 +1,205 @@
+// Micro-benchmarks of the hot paths: packet parsing, filter execution
+// (compiled vs interpreted), RSS hashing, connection-table operations,
+// stream reassembly, and TLS handshake parsing.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "conntrack/conn_table.hpp"
+#include "conntrack/flat_index.hpp"
+#include "filter/interpreter.hpp"
+#include "filter/program.hpp"
+#include "nic/rss.hpp"
+#include "protocols/tls/tls_parser.hpp"
+#include "stream/reassembly.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/flowgen.hpp"
+
+namespace {
+
+using namespace retina;
+
+packet::Mbuf sample_tcp_packet() {
+  traffic::FlowEndpoints ep;
+  const std::vector<std::uint8_t> payload(900, 0x42);
+  return traffic::make_tcp_packet(ep, true, 1000, 2000,
+                                  packet::kTcpAck | packet::kTcpPsh, payload,
+                                  0);
+}
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto mbuf = sample_tcp_packet();
+  for (auto _ : state) {
+    auto view = packet::PacketView::parse(mbuf);
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_PacketFilterCompiled(benchmark::State& state) {
+  const auto filter = filter::CompiledFilter::compile(
+      "ipv4 and tcp.port = 443 and tls.sni ~ 'netflix'",
+      filter::FieldRegistry::builtin());
+  const auto mbuf = sample_tcp_packet();
+  const auto view = *packet::PacketView::parse(mbuf);
+  for (auto _ : state) {
+    auto result = filter.packet_filter(view);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketFilterCompiled);
+
+void BM_PacketFilterInterpreted(benchmark::State& state) {
+  auto decomposed = filter::decompose(
+      "ipv4 and tcp.port = 443 and tls.sni ~ 'netflix'",
+      filter::FieldRegistry::builtin());
+  const filter::InterpretedFilter filter(std::move(decomposed),
+                                         filter::FieldRegistry::builtin());
+  const auto mbuf = sample_tcp_packet();
+  const auto view = *packet::PacketView::parse(mbuf);
+  for (auto _ : state) {
+    auto result = filter.packet_filter(view);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketFilterInterpreted);
+
+void BM_RssHash(benchmark::State& state) {
+  const auto key = nic::symmetric_rss_key();
+  packet::FiveTuple tuple;
+  tuple.src = packet::IpAddr::v4(0x0a000001);
+  tuple.dst = packet::IpAddr::v4(0xc0a80101);
+  tuple.src_port = 12345;
+  tuple.dst_port = 443;
+  tuple.proto = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nic::rss_hash(tuple, key));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RssHash);
+
+void BM_ConnTableLookupHit(benchmark::State& state) {
+  conntrack::ConnTable<int> table;
+  std::vector<packet::FiveTuple> tuples;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    packet::FiveTuple t;
+    t.src = packet::IpAddr::v4(0x0a000000 + i);
+    t.dst = packet::IpAddr::v4(0xc0a80101);
+    t.src_port = 1000;
+    t.dst_port = 443;
+    t.proto = 6;
+    tuples.push_back(t.canonical().key);
+    table.insert(tuples.back(), 0, 0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(tuples[i++ % tuples.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConnTableLookupHit);
+
+void BM_ReassemblyInOrder(benchmark::State& state) {
+  std::vector<std::uint8_t> payload(1400, 0x11);
+  packet::Mbuf mbuf(std::vector<std::uint8_t>(payload), 0);
+  stream::StreamReassembler reasm;
+  std::vector<stream::L4Pdu> ready;
+  std::uint32_t seq = 0;
+  for (auto _ : state) {
+    stream::L4Pdu pdu;
+    pdu.mbuf = mbuf;
+    pdu.payload = mbuf.bytes();
+    pdu.seq = seq;
+    seq += static_cast<std::uint32_t>(pdu.payload.size());
+    reasm.push(std::move(pdu), ready);
+    ready.clear();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1400);
+}
+BENCHMARK(BM_ReassemblyInOrder);
+
+void BM_TlsClientHelloParse(benchmark::State& state) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "cdn.video.example.com";
+  spec.alpn = {"h2", "http/1.1"};
+  spec.supported_versions = {0x0304};
+  const auto bytes = traffic::build_tls_client_hello(spec);
+  packet::Mbuf mbuf(std::vector<std::uint8_t>(bytes), 0);
+  for (auto _ : state) {
+    protocols::TlsParser parser;
+    stream::L4Pdu pdu;
+    pdu.mbuf = mbuf;
+    pdu.payload = mbuf.bytes();
+    pdu.from_originator = true;
+    parser.parse(pdu);
+    benchmark::DoNotOptimize(parser);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlsClientHelloParse);
+
+
+void BM_FlatIndexLookupHit(benchmark::State& state) {
+  conntrack::FlatIndex index;
+  std::vector<packet::FiveTuple> tuples;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    packet::FiveTuple t;
+    t.src = packet::IpAddr::v4(0x0a000000 + i * 2654435761u);
+    t.dst = packet::IpAddr::v4(0xc0a80101);
+    t.src_port = static_cast<std::uint16_t>(1000 + i);
+    t.dst_port = 443;
+    t.proto = 6;
+    tuples.push_back(t.canonical().key);
+    index.insert(tuples.back(), i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.find(tuples[i++ % tuples.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatIndexLookupHit);
+
+void BM_StdUnorderedMapLookupHit(benchmark::State& state) {
+  // The node-based baseline FlatIndex replaces.
+  std::unordered_map<packet::FiveTuple, std::uint32_t> map;
+  std::vector<packet::FiveTuple> tuples;
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    packet::FiveTuple t;
+    t.src = packet::IpAddr::v4(0x0a000000 + i * 2654435761u);
+    t.dst = packet::IpAddr::v4(0xc0a80101);
+    t.src_port = static_cast<std::uint16_t>(1000 + i);
+    t.dst_port = 443;
+    t.proto = 6;
+    tuples.push_back(t.canonical().key);
+    map.emplace(tuples.back(), i);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(tuples[i++ % tuples.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdUnorderedMapLookupHit);
+
+void BM_TimerWheelScheduleAdvance(benchmark::State& state) {
+  conntrack::TimerWheel wheel;
+  std::uint64_t now = 0;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    wheel.schedule(id++, now + 5'000'000'000ull);
+    now += 100'000;  // 100us per "packet"
+    wheel.advance(now, [](std::uint64_t) {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimerWheelScheduleAdvance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

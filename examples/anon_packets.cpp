@@ -1,0 +1,73 @@
+// Anonymized packet analysis (paper §7.2).
+//
+// Subscribes to the raw packets of HTTP connections and anonymizes
+// their source/destination IPv4 addresses with format-preserving
+// (prefix-preserving) encryption — the same approach as the paper's
+// 11-line Rust application built on the ipcrypt crate — producing
+// shareable packet metadata without exposing real endpoints.
+//
+//   $ ./anon_packets [num_flows]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "core/runtime.hpp"
+#include "packet/packet_view.hpp"
+#include "traffic/flowgen.hpp"
+#include "util/ipcrypt.hpp"
+
+using namespace retina;
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 2000;
+
+  const util::IpCrypt crypt(util::IpCrypt::Key{
+      0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+      0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c});
+
+  std::uint64_t anonymized = 0;
+  std::set<std::uint32_t> real_subnets, anon_subnets;
+  std::size_t printed = 0;
+
+  auto subscription = core::Subscription::packets(
+      "http", [&](const packet::Mbuf& mbuf) {
+        const auto view = packet::PacketView::parse(mbuf);
+        if (!view || !view->ipv4()) return;
+        const auto src = view->ipv4()->src_addr();
+        const auto dst = view->ipv4()->dst_addr();
+        const auto anon_src = crypt.encrypt_prefix_preserving(src);
+        const auto anon_dst = crypt.encrypt_prefix_preserving(dst);
+        ++anonymized;
+        real_subnets.insert(src >> 8);
+        anon_subnets.insert(anon_src >> 8);
+        if (printed < 10) {
+          std::printf("  %-15s -> %-15s   (real hidden)\n",
+                      packet::IpAddr::v4(anon_src).to_string().c_str(),
+                      packet::IpAddr::v4(anon_dst).to_string().c_str());
+          ++printed;
+        }
+      });
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  core::Runtime runtime(config, std::move(subscription));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  std::printf("sample anonymized HTTP packet pairs:\n");
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  runtime.finish();
+
+  std::printf(
+      "\nanonymized %llu HTTP packets; %zu distinct real /24s mapped to "
+      "%zu anonymized /24s (subnet structure preserved)\n",
+      static_cast<unsigned long long>(anonymized), real_subnets.size(),
+      anon_subnets.size());
+  return 0;
+}

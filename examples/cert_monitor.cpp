@@ -1,0 +1,83 @@
+// Certificate monitoring — a security application in the spirit of the
+// paper's §7.1 empirical-measurement case study: inspect every visible
+// TLS certificate chain on the network (no sampling) and flag
+// handshakes whose leaf-certificate subject does not cover the SNI the
+// client asked for — a signal for interception, misconfiguration, or
+// malware C2.
+//
+//   $ ./cert_monitor [num_flows]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+
+using namespace retina;
+
+namespace {
+
+/// Does certificate name `cn` cover `sni`? (exact match or single-label
+/// wildcard)
+bool covers(const std::string& cn, const std::string& sni) {
+  if (cn == sni) return true;
+  if (cn.rfind("*.", 0) == 0) {
+    const auto dot = sni.find('.');
+    return dot != std::string::npos && sni.substr(dot + 1) == cn.substr(2);
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 4000;
+
+  std::uint64_t with_certs = 0, mismatches = 0;
+  std::map<std::string, std::uint64_t> issuers;
+
+  auto subscription = core::Subscription::tls_handshakes(
+      "tls", [&](const core::SessionRecord& rec,
+                 const protocols::TlsHandshake& hs) {
+        if (hs.certificate_count == 0) return;  // TLS 1.3: encrypted chain
+        ++with_certs;
+        ++issuers[hs.issuer_cn.empty() ? "(unknown)" : hs.issuer_cn];
+        if (!hs.sni.empty() && !covers(hs.subject_cn, hs.sni)) {
+          ++mismatches;
+          if (mismatches <= 10) {
+            std::printf("  MISMATCH %s: sni=%s subject=%s issuer=%s\n",
+                        rec.tuple.to_string().c_str(), hs.sni.c_str(),
+                        hs.subject_cn.c_str(), hs.issuer_cn.c_str());
+          }
+        }
+      });
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  core::Runtime runtime(config, std::move(subscription));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  mix.frac_cert_mismatch = 0.05;  // the population we want to find
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  runtime.finish();
+
+  std::printf(
+      "\ninspected %llu handshakes with visible certificate chains: "
+      "%llu subject/SNI mismatches\n",
+      static_cast<unsigned long long>(with_certs),
+      static_cast<unsigned long long>(mismatches));
+  std::printf("issuers observed:\n");
+  for (const auto& [issuer, count] : issuers) {
+    std::printf("  %-30s %llu\n", issuer.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Cryptographic anomaly detection (paper §7.1).
+//
+// TLS client randoms must never repeat; repeated values indicate broken
+// entropy sources or non-compliant implementations. This application
+// subscribes to all TLS handshakes (no sampling) and counts the
+// frequency of each client random, reporting the most repeated values —
+// the paper found one value repeated 8,340 times in 10 minutes.
+//
+//   $ ./crypto_anomalies [num_flows]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+
+using namespace retina;
+
+namespace {
+
+std::string hex_prefix(const std::array<std::uint8_t, 32>& random) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x%02x%02x%02x...%02x%02x%02x%02x",
+                random[0], random[1], random[2], random[3], random[28],
+                random[29], random[30], random[31]);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 8000;
+
+  std::map<std::array<std::uint8_t, 32>, std::uint64_t> nonce_counts;
+  std::uint64_t handshakes = 0;
+
+  auto subscription = core::Subscription::tls_handshakes(
+      "tls", [&](const core::SessionRecord&,
+                 const protocols::TlsHandshake& hs) {
+        ++handshakes;
+        ++nonce_counts[hs.client_random];
+      });
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  core::Runtime runtime(config, std::move(subscription));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  mix.nonce_anomalies = true;  // the broken-client population
+  mix.frac_repeated_nonce = 0.004;
+  mix.frac_zero_nonce = 0.001;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  runtime.finish();
+
+  std::vector<std::pair<std::uint64_t, std::string>> repeated;
+  for (const auto& [nonce, count] : nonce_counts) {
+    if (count > 1) repeated.emplace_back(count, hex_prefix(nonce));
+  }
+  std::sort(repeated.rbegin(), repeated.rend());
+
+  std::printf("observed %llu TLS handshakes, %zu distinct client randoms\n",
+              static_cast<unsigned long long>(handshakes),
+              nonce_counts.size());
+  std::printf("most frequent repeated client randoms:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(repeated.size(), 5);
+       ++i) {
+    std::printf("  %s  x%llu\n", repeated[i].second.c_str(),
+                static_cast<unsigned long long>(repeated[i].first));
+  }
+  if (repeated.empty()) {
+    std::printf("  (none — all nonces unique)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Unencrypted-traffic auditing — the paper's introduction motivates
+// Retina with questions like "How much traffic is sent unencrypted and
+// why?". This application answers it for email: subscribe to all SMTP
+// sessions (the §2 example) and report how many envelopes upgraded to
+// TLS via STARTTLS versus transmitted mail in the clear, including
+// which peers account for the cleartext.
+//
+//   $ ./unencrypted_mail [num_flows]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+
+using namespace retina;
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20'000;
+
+  std::uint64_t starttls = 0, cleartext = 0;
+  std::map<std::string, std::uint64_t> cleartext_helos;
+
+  auto subscription = core::Subscription::sessions(
+      "smtp", [&](const core::SessionRecord& rec) {
+        const auto* env = rec.session.get<protocols::SmtpEnvelope>();
+        if (!env) return;
+        if (env->starttls) {
+          ++starttls;
+        } else if (!env->mail_from.empty()) {
+          ++cleartext;
+          ++cleartext_helos[env->helo.empty() ? "(no helo)" : env->helo];
+          if (cleartext <= 8) {
+            std::printf("  CLEARTEXT %s: %s -> %s\n",
+                        rec.tuple.to_string().c_str(),
+                        env->mail_from.c_str(),
+                        env->rcpt_to.empty() ? "?"
+                                             : env->rcpt_to[0].c_str());
+          }
+        }
+      });
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  core::Runtime runtime(config, std::move(subscription));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  const auto stats = runtime.finish();
+
+  const auto total = starttls + cleartext;
+  std::printf(
+      "\n%llu SMTP sessions observed: %llu upgraded via STARTTLS "
+      "(%.1f%%), %llu sent mail in cleartext\n",
+      static_cast<unsigned long long>(total),
+      static_cast<unsigned long long>(starttls),
+      total ? 100.0 * static_cast<double>(starttls) /
+                  static_cast<double>(total)
+            : 0.0,
+      static_cast<unsigned long long>(cleartext));
+  std::printf("top cleartext senders (by HELO):\n");
+  std::size_t shown = 0;
+  for (const auto& [helo, count] : cleartext_helos) {
+    if (++shown > 5) break;
+    std::printf("  %-40s %llu\n", helo.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("(processed %llu packets on %zu cores)\n",
+              static_cast<unsigned long long>(stats.nic_rx_packets),
+              runtime.cores());
+  return 0;
+}

@@ -1,0 +1,234 @@
+#include "baseline/eager_monitor.hpp"
+
+#include <algorithm>
+
+#include "packet/packet_view.hpp"
+#include "util/cycles.hpp"
+
+namespace retina::baseline {
+
+namespace {
+
+using packet::PacketView;
+
+constexpr const char* kEventNames[] = {"new_packet", "tcp_packet",
+                                       "connection_state", "stream_data"};
+
+}  // namespace
+
+const char* monitor_kind_name(MonitorKind kind) {
+  switch (kind) {
+    case MonitorKind::kZeekLike: return "zeek-like";
+    case MonitorKind::kSnortLike: return "snort-like";
+    case MonitorKind::kSuricataLike: return "suricata-like";
+  }
+  return "?";
+}
+
+double BaselineStats::busy_seconds() const {
+  return util::cycles_to_seconds(busy_cycles);
+}
+
+EagerMonitor::EagerMonitor(BaselineConfig config)
+    : config_(std::move(config)),
+      sni_regex_(config_.sni_pattern),
+      payload_regex_(config_.sni_pattern) {
+  // Zeek-style event registry: a realistic handful of handlers per
+  // event, dispatched by name for every packet.
+  for (const char* name : kEventNames) {
+    auto& handlers = event_handlers_[name];
+    for (int i = 0; i < 2; ++i) {
+      handlers.emplace_back([this] { ++stats_.events_dispatched; });
+    }
+  }
+}
+
+void EagerMonitor::log_line(const std::string& line) {
+  ++stats_.log_lines;
+  // Retained in a bounded sink to model the cost of producing log
+  // records without unbounded memory.
+  if (log_sink_.size() < 4096) {
+    log_sink_.push_back(line);
+  } else {
+    log_sink_[stats_.log_lines % log_sink_.size()] = line;
+  }
+}
+
+void EagerMonitor::dispatch_events(const PacketView& view) {
+  // The event-engine cost full-visibility monitors pay on every packet:
+  // event names materialized as strings, map lookups, handler vectors
+  // invoked indirectly, and event metadata (timestamps, connection ids)
+  // marshalled for the scripting layer.
+  auto raise = [this, &view](std::string name) {
+    const auto it = event_handlers_.find(name);
+    if (it == event_handlers_.end()) return;
+    // Each raised event carries a heap-allocated argument record
+    // (timestamp, lengths, connection id) into the queue.
+    auto args = std::make_unique<std::vector<std::uint64_t>>();
+    args->push_back(view.mbuf().timestamp_ns());
+    args->push_back(view.mbuf().length());
+    args->push_back(view.l4_payload().size());
+    event_queue_.push_back(QueuedEvent{&it->second, std::move(args)});
+  };
+  raise(std::string("new_packet"));
+  if (view.tcp()) {
+    raise(std::string("tcp_packet"));
+    raise(std::string("connection_state"));
+    if (!view.l4_payload().empty()) raise(std::string("stream_data"));
+  }
+  // Drain the queue: handlers observe the marshalled arguments.
+  for (auto& event : event_queue_) {
+    for (const auto& handler : *event.handlers) handler();
+    benchmark_sink_ += event.args->size();
+  }
+  event_queue_.clear();
+}
+
+void EagerMonitor::scan_payload(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return;
+  ++stats_.pattern_scans;
+  // The single rule's content pattern, run over the raw payload of
+  // every packet (Snort cannot scope it to ClientHello packets).
+  const char* begin = reinterpret_cast<const char*>(payload.data());
+  std::cmatch match;
+  if (std::regex_search(begin, begin + payload.size(), match,
+                        payload_regex_)) {
+    ++stats_.matches;
+  }
+}
+
+void EagerMonitor::on_handshake(Conn& conn,
+                                const protocols::TlsHandshake& handshake) {
+  conn.handshake_done = true;
+  ++stats_.tls_handshakes;
+  if (std::regex_search(handshake.sni, sni_regex_)) {
+    ++stats_.matches;
+    log_line("ssl " + handshake.sni + " " + handshake.cipher_name());
+  }
+}
+
+void EagerMonitor::feed_stream(Conn& conn, const PacketView& view,
+                               bool from_orig, std::uint64_t ts) {
+  auto& reasm = from_orig ? conn.reasm_up : conn.reasm_down;
+  auto& stream = from_orig ? conn.stream_up : conn.stream_down;
+  if (!reasm) reasm = std::make_unique<stream::StreamReassembler>(500);
+
+  stream::L4Pdu pdu;
+  pdu.mbuf = view.mbuf();
+  pdu.payload = view.l4_payload();
+  pdu.seq = view.tcp()->seq();
+  pdu.tcp_flags = view.tcp()->flags();
+  pdu.from_originator = from_orig;
+  pdu.ts_ns = ts;
+
+  std::vector<stream::L4Pdu> ready;
+  reasm->push(std::move(pdu), ready);
+
+  for (auto& in_order : ready) {
+    if (in_order.payload.empty()) continue;
+    // The traditional design: copy every in-order payload into the
+    // connection's stream buffer, whether or not anyone needs it.
+    if (stream.size() < config_.stream_depth) {
+      const auto take = std::min<std::size_t>(
+          in_order.payload.size(), config_.stream_depth - stream.size());
+      stream.insert(stream.end(), in_order.payload.begin(),
+                    in_order.payload.begin() +
+                        static_cast<std::ptrdiff_t>(take));
+      stats_.reassembled_bytes += take;
+    }
+    // All analyzers run over the stream (Zeek) / protocol detection
+    // then the TLS analyzer (Suricata, Snort's SSL preprocessor).
+    if (conn.tls_possible && !conn.handshake_done) {
+      if (!conn.tls) conn.tls = std::make_unique<protocols::TlsParser>();
+      const auto verdict = conn.tls->probe(in_order);
+      if (verdict == protocols::ProbeResult::kNo) {
+        conn.tls_possible = false;
+        continue;
+      }
+      const auto result = conn.tls->parse(in_order);
+      for (auto& session : conn.tls->take_sessions()) {
+        if (const auto* hs = session.get<protocols::TlsHandshake>()) {
+          on_handshake(conn, *hs);
+        }
+      }
+      if (result == protocols::ParseResult::kError) {
+        conn.tls_possible = false;
+      }
+      // Note: unlike Retina, parsing completion does NOT stop stream
+      // reassembly or tracking — full visibility keeps paying.
+    }
+  }
+}
+
+void EagerMonitor::process(const packet::Mbuf& mbuf) {
+  const auto t0 = util::rdtsc();
+  ++stats_.packets;
+  stats_.bytes += mbuf.length();
+  last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
+
+  table_.advance(last_ts_, [this](Table::ConnId, Conn& conn) {
+    if (config_.kind == MonitorKind::kZeekLike) {
+      log_line("conn " + std::to_string(conn.pkts) + " pkts " +
+               std::to_string(conn.bytes) + " bytes");
+    }
+  });
+
+  const auto view = PacketView::parse(mbuf);
+  if (!view) {
+    stats_.busy_cycles += util::rdtsc() - t0;
+    return;
+  }
+
+  if (config_.kind == MonitorKind::kZeekLike) {
+    dispatch_events(*view);
+  }
+  if (config_.kind == MonitorKind::kSnortLike) {
+    scan_payload(view->l4_payload());
+  }
+
+  if (view->five_tuple()) {
+    const auto canon = view->five_tuple()->canonical();
+    auto id = table_.find(canon.key);
+    if (id == Table::kInvalid) {
+      Conn conn;
+      conn.from_first_is_orig = canon.originator_is_first;
+      id = table_.insert(canon.key, std::move(conn), last_ts_);
+      ++stats_.conns;
+    } else {
+      table_.touch(id, last_ts_);
+    }
+    auto& conn = table_.get(id);
+    ++conn.pkts;
+    conn.bytes += mbuf.length();
+    const bool from_orig =
+        canon.originator_is_first == conn.from_first_is_orig;
+    if (view->tcp()) {
+      feed_stream(conn, *view, from_orig, last_ts_);
+    }
+    if (conn.pkts == 1 && view->tcp() && view->tcp()->syn()) {
+      table_.mark_established(id, last_ts_);
+    }
+  }
+
+  stats_.busy_cycles += util::rdtsc() - t0;
+}
+
+void EagerMonitor::finish() {
+  const auto t0 = util::rdtsc();
+  table_.for_each([this](Table::ConnId, Conn& conn) {
+    if (conn.tls) {
+      for (auto& session : conn.tls->drain_sessions()) {
+        if (const auto* hs = session.get<protocols::TlsHandshake>()) {
+          on_handshake(conn, *hs);
+        }
+      }
+    }
+    if (config_.kind == MonitorKind::kZeekLike) {
+      log_line("conn " + std::to_string(conn.pkts) + " pkts " +
+               std::to_string(conn.bytes) + " bytes");
+    }
+  });
+  stats_.busy_cycles += util::rdtsc() - t0;
+}
+
+}  // namespace retina::baseline

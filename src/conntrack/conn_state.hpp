@@ -1,0 +1,35 @@
+// Connection lifecycle states (paper §5.2, Fig. 4). Every tracked
+// connection is in exactly one state, which dictates how much work the
+// pipeline performs on its packets:
+//   kProbe  — protocol not yet identified; buffer/inspect payloads to
+//             probe for application-layer protocol messages.
+//   kParse  — protocol identified and the filter still live; reassemble
+//             and run the application-layer parser.
+//   kTrack  — subscription satisfied or parsing no longer needed; keep
+//             connection state (deliver packets / accumulate the record)
+//             without parsing or reordering.
+//   kDelete — connection failed a filter or terminated; remove it.
+// The connection and session filters act as choice pseudostates between
+// these (the framework derives the transitions from the subscription).
+#pragma once
+
+namespace retina::conntrack {
+
+enum class ConnState {
+  kProbe,
+  kParse,
+  kTrack,
+  kDelete,
+};
+
+inline const char* conn_state_name(ConnState s) {
+  switch (s) {
+    case ConnState::kProbe: return "probe";
+    case ConnState::kParse: return "parse";
+    case ConnState::kTrack: return "track";
+    case ConnState::kDelete: return "delete";
+  }
+  return "?";
+}
+
+}  // namespace retina::conntrack

@@ -1,0 +1,183 @@
+// Per-core connection table (paper §5.2). Each worker core owns one
+// table — symmetric RSS guarantees both directions of a connection land
+// on the same core, so tables need no cross-core synchronization and
+// scale independently of offered load (Girondi et al.).
+//
+// Storage is slot-based: connections live in a stable-index vector with
+// a free list, the five-tuple index maps canonical tuples to slots, and
+// the timer wheel holds slot ids (made unique across reuse by a
+// generation counter). Expiry is driven by the hierarchical timer wheel
+// with lazy rescheduling: packet arrivals just bump `deadline_ns`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "conntrack/flat_index.hpp"
+#include "conntrack/timer_wheel.hpp"
+#include "packet/five_tuple.hpp"
+
+namespace retina::conntrack {
+
+struct TimeoutConfig {
+  /// Connections that have not seen traffic in both directions are
+  /// reaped after this long (default 5 s; reaps unanswered SYNs).
+  std::uint64_t establish_ns = 5ull * 1'000'000'000;
+  /// Established connections are reaped after this long without a
+  /// packet (default 5 min).
+  std::uint64_t inactivity_ns = 300ull * 1'000'000'000;
+  /// Disable a timeout by setting it to 0 (used by the Fig. 8 ablation).
+  bool establish_enabled() const noexcept { return establish_ns != 0; }
+  bool inactivity_enabled() const noexcept { return inactivity_ns != 0; }
+};
+
+template <typename Conn>
+class ConnTable {
+ public:
+  using ConnId = std::uint32_t;
+  static constexpr ConnId kInvalid = 0xffffffffu;
+
+  explicit ConnTable(TimeoutConfig timeouts = {},
+                     TimerWheel::Config wheel_config = {})
+      : timeouts_(timeouts), wheel_(wheel_config) {}
+
+  std::size_t size() const noexcept { return index_.size(); }
+  const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
+
+  /// Find an existing connection slot for a canonical tuple.
+  ConnId find(const packet::FiveTuple& canonical_key) {
+    const auto value = index_.find(canonical_key);
+    return value == FlatIndex::kNotFound ? kInvalid : value;
+  }
+
+  /// Insert a new connection (caller checked find() first). Schedules
+  /// the establishment timeout.
+  ConnId insert(const packet::FiveTuple& canonical_key, Conn conn,
+                std::uint64_t now_ns) {
+    ConnId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      slots_[id].conn = std::move(conn);
+      slots_[id].live = true;
+      ++slots_[id].generation;
+    } else {
+      id = static_cast<ConnId>(slots_.size());
+      slots_.push_back(Slot{std::move(conn), canonical_key, 0, 0, false, true});
+    }
+    auto& slot = slots_[id];
+    slot.key = canonical_key;
+    slot.established = false;
+    slot.deadline_ns = now_ns + first_timeout();
+    index_.insert(canonical_key, id);
+    wheel_.schedule(wheel_token(id), slot.deadline_ns);
+    return id;
+  }
+
+  Conn& get(ConnId id) { return slots_[id].conn; }
+  const Conn& get(ConnId id) const { return slots_[id].conn; }
+  const packet::FiveTuple& key_of(ConnId id) const { return slots_[id].key; }
+  bool is_established(ConnId id) const { return slots_[id].established; }
+
+  /// Record packet activity: pushes the expiry deadline forward (lazy —
+  /// no wheel operation).
+  void touch(ConnId id, std::uint64_t now_ns) {
+    auto& slot = slots_[id];
+    slot.deadline_ns = now_ns + (slot.established
+                                     ? inactivity_timeout()
+                                     : first_timeout());
+  }
+
+  /// Mark the connection established (traffic seen in both directions);
+  /// switches it to the inactivity timeout.
+  void mark_established(ConnId id, std::uint64_t now_ns) {
+    auto& slot = slots_[id];
+    if (!slot.established) {
+      slot.established = true;
+      slot.deadline_ns = now_ns + inactivity_timeout();
+    }
+  }
+
+  /// Remove a connection immediately (filter mismatch, natural
+  /// termination, or subscription satisfied). The stale wheel entry is
+  /// ignored via the generation check when it fires.
+  void remove(ConnId id) {
+    auto& slot = slots_[id];
+    if (!slot.live) return;
+    slot.live = false;
+    index_.erase(slot.key);
+    slot.conn = Conn{};
+    free_list_.push_back(id);
+  }
+
+  /// Advance virtual time; `on_expire(id, conn&)` is called for every
+  /// connection whose deadline passed (the owner delivers/terminates it;
+  /// the table removes it afterwards).
+  template <typename F>
+  void advance(std::uint64_t now_ns, F&& on_expire) {
+    wheel_.advance(now_ns, [&](std::uint64_t token) {
+      const ConnId id = static_cast<ConnId>(token & 0xffffffffu);
+      const std::uint32_t generation =
+          static_cast<std::uint32_t>(token >> 32);
+      if (id >= slots_.size()) return;
+      auto& slot = slots_[id];
+      if (!slot.live || slot.generation != generation) return;  // stale
+      if (slot.deadline_ns > now_ns) {
+        // Activity moved the deadline; lazily re-schedule.
+        wheel_.schedule(wheel_token(id), slot.deadline_ns);
+        return;
+      }
+      on_expire(id, slot.conn);
+      remove(id);
+    });
+  }
+
+  /// Visit all live connections (diagnostics / drain at shutdown).
+  template <typename F>
+  void for_each(F&& fn) {
+    for (ConnId id = 0; id < slots_.size(); ++id) {
+      if (slots_[id].live) fn(id, slots_[id].conn);
+    }
+  }
+
+  /// Approximate bytes used by table structures (Fig. 8 accounting);
+  /// excludes per-connection dynamic allocations, which the owner
+  /// reports separately.
+  std::size_t approx_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           index_.capacity() *
+               (sizeof(packet::FiveTuple) + sizeof(ConnId) + 16);
+  }
+
+ private:
+  struct Slot {
+    Conn conn{};
+    packet::FiveTuple key{};
+    std::uint64_t deadline_ns = 0;
+    std::uint32_t generation = 0;
+    bool established = false;
+    bool live = false;
+  };
+
+  std::uint64_t wheel_token(ConnId id) const {
+    return (static_cast<std::uint64_t>(slots_[id].generation) << 32) | id;
+  }
+
+  std::uint64_t first_timeout() const {
+    if (timeouts_.establish_enabled()) return timeouts_.establish_ns;
+    return inactivity_timeout();
+  }
+  std::uint64_t inactivity_timeout() const {
+    if (timeouts_.inactivity_enabled()) return timeouts_.inactivity_ns;
+    return ~0ull / 2;  // effectively never
+  }
+
+  TimeoutConfig timeouts_;
+  TimerWheel wheel_;
+  std::vector<Slot> slots_;
+  std::vector<ConnId> free_list_;
+  FlatIndex index_;
+};
+
+}  // namespace retina::conntrack

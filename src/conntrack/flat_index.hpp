@@ -1,0 +1,124 @@
+// FlatIndex: an open-addressing hash index from canonical five-tuples
+// to connection slot ids. The paper's connection tracker builds on
+// Girondi et al.'s observation that per-core tables with cheap
+// insert/lookup and timer-wheel deletion scale independently of load;
+// a flat, cache-friendly probe sequence beats a node-based
+// unordered_map on exactly the lookup-heavy access pattern the
+// per-packet path has (see bench/micro_hotpaths BM_ConnTable*).
+//
+// Design: power-of-two capacity, linear probing, backward-shift
+// deletion (no tombstones), cached 64-bit hashes so most probe
+// comparisons never touch the 40-byte tuple. Single-threaded by
+// design — one table per core.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/five_tuple.hpp"
+
+namespace retina::conntrack {
+
+class FlatIndex {
+ public:
+  static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+  explicit FlatIndex(std::size_t initial_capacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Value for `key`, or kNotFound.
+  std::uint32_t find(const packet::FiveTuple& key) const noexcept {
+    const std::uint64_t hash = mix(key.hash());
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash & mask;
+    while (true) {
+      const Slot& slot = slots_[i];
+      if (!slot.occupied) return kNotFound;
+      if (slot.hash == hash && slot.key == key) return slot.value;
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Insert a new key (caller guarantees it is absent).
+  void insert(const packet::FiveTuple& key, std::uint32_t value) {
+    if ((size_ + 1) * 8 > slots_.size() * 7) grow();  // 87.5% max load
+    insert_raw(mix(key.hash()), key, value);
+    ++size_;
+  }
+
+  /// Remove a key; returns false if absent. Backward-shift deletion
+  /// keeps probe sequences tombstone-free.
+  bool erase(const packet::FiveTuple& key) noexcept {
+    const std::uint64_t hash = mix(key.hash());
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash & mask;
+    while (true) {
+      Slot& slot = slots_[i];
+      if (!slot.occupied) return false;
+      if (slot.hash == hash && slot.key == key) break;
+      i = (i + 1) & mask;
+    }
+    // Backward shift: close the hole by moving displaced entries up.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask;
+    while (slots_[j].occupied) {
+      const std::size_t home = slots_[j].hash & mask;
+      // Can slot j legally move into the hole? Only if the hole lies
+      // within its probe path (home..j in circular order).
+      const bool movable =
+          ((j - home) & mask) >= ((j - hole) & mask);
+      if (movable) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    slots_[hole] = Slot{};
+    --size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t hash = 0;
+    packet::FiveTuple key{};
+    std::uint32_t value = 0;
+    bool occupied = false;
+  };
+
+  /// Finalizing mix so low bits are well distributed for masking.
+  static std::uint64_t mix(std::uint64_t h) noexcept {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  void insert_raw(std::uint64_t hash, const packet::FiveTuple& key,
+                  std::uint32_t value) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash & mask;
+    while (slots_[i].occupied) i = (i + 1) & mask;
+    slots_[i] = Slot{hash, key, value, true};
+  }
+
+  void grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    for (const auto& slot : old) {
+      if (slot.occupied) insert_raw(slot.hash, slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace retina::conntrack

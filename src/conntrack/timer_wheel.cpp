@@ -1,0 +1,89 @@
+#include "conntrack/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace retina::conntrack {
+
+TimerWheel::TimerWheel(const Config& config) : config_(config) {
+  wheels_.resize(config_.levels);
+  for (auto& level : wheels_) {
+    level.resize(config_.slots_per_level);
+  }
+}
+
+std::size_t TimerWheel::level_span_ticks(std::size_t level) const {
+  // Span of one slot at `level`: S^level ticks.
+  std::size_t span = 1;
+  for (std::size_t i = 0; i < level; ++i) span *= config_.slots_per_level;
+  return span;
+}
+
+void TimerWheel::schedule(std::uint64_t id, std::uint64_t deadline_ns) {
+  insert(Entry{id, deadline_ns});
+  ++pending_;
+}
+
+void TimerWheel::insert(Entry entry) {
+  const std::uint64_t deadline_tick = entry.deadline_ns / config_.tick_ns;
+  // Past deadlines fire on the next tick; never slot behind the cursor.
+  const std::uint64_t effective_tick =
+      std::max(deadline_tick, current_tick_ + 1);
+  const std::uint64_t delta = effective_tick - current_tick_;
+
+  const std::size_t S = config_.slots_per_level;
+  std::uint64_t span = 1;
+  for (std::size_t level = 0; level < config_.levels; ++level) {
+    span *= S;  // S^(level+1)
+    if (delta < span) {
+      const std::size_t slot_div = level_span_ticks(level);
+      const std::size_t slot = (effective_tick / slot_div) % S;
+      wheels_[level][slot].push_back(entry);
+      return;
+    }
+  }
+  overflow_.push_back(entry);
+}
+
+void TimerWheel::advance(std::uint64_t now_ns,
+                         const std::function<void(std::uint64_t)>& expire) {
+  if (now_ns < now_ns_) return;  // time is monotonic
+  now_ns_ = now_ns;
+  const std::uint64_t target_tick = now_ns / config_.tick_ns;
+  const std::size_t S = config_.slots_per_level;
+
+  std::vector<Entry> scratch;
+  while (current_tick_ < target_tick) {
+    ++current_tick_;
+
+    // Cascade higher levels downward on wrap boundaries, innermost
+    // first so entries settle into the correct lower-level slots before
+    // this tick's level-0 slot fires.
+    std::uint64_t div = S;
+    for (std::size_t level = 1; level < config_.levels; ++level) {
+      if (current_tick_ % div != 0) break;
+      const std::size_t slot = (current_tick_ / div) % S;
+      scratch.swap(wheels_[level][slot]);
+      for (const auto& entry : scratch) insert(entry);
+      scratch.clear();
+      div *= S;
+    }
+    // Top-level wrap: re-examine the overflow list.
+    if (current_tick_ % level_span_ticks(config_.levels - 1) == 0 &&
+        !overflow_.empty()) {
+      scratch.swap(overflow_);
+      for (const auto& entry : scratch) insert(entry);
+      scratch.clear();
+    }
+
+    auto& slot = wheels_[0][current_tick_ % S];
+    if (slot.empty()) continue;
+    scratch.swap(slot);
+    for (const auto& entry : scratch) {
+      --pending_;
+      expire(entry.id);  // may re-schedule()
+    }
+    scratch.clear();
+  }
+}
+
+}  // namespace retina::conntrack

@@ -1,0 +1,59 @@
+// Runtime configuration (the `load_config()` surface in paper Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "conntrack/conn_table.hpp"
+#include "nic/flow_rule.hpp"
+
+namespace retina::core {
+
+struct RuntimeConfig {
+  /// Worker cores; one NIC receive queue per core (paper §5.1).
+  std::size_t cores = 1;
+
+  /// Receive descriptor ring size per queue. Overflow = packet loss,
+  /// the signal the zero-loss throughput methodology watches (§6.1).
+  std::size_t rx_ring_size = 4096;
+
+  /// Hardware filtering on/off and the device capability model. The
+  /// paper's Fig. 5 runs with hardware filtering disabled (flow
+  /// sampling is incompatible with flow rules); Fig. 7 runs with it on.
+  bool hardware_filter = true;
+  nic::NicCapabilities nic_capabilities = nic::NicCapabilities::connectx5();
+
+  /// Fraction of RETA buckets steered to the sink (connection-aware
+  /// sampling, §6.1). 0 = analyze everything.
+  double sink_fraction = 0.0;
+
+  /// Connection expiry (paper defaults: 5 s establishment, 5 min
+  /// inactivity; §5.2).
+  conntrack::TimeoutConfig timeouts;
+
+  /// Out-of-order reassembly capacity in packets, per direction
+  /// (paper default 500).
+  std::size_t ooo_capacity = 500;
+
+  /// Maximum packets buffered per connection while a non-terminal
+  /// filter match awaits resolution (Fig. 4a's packet buffering).
+  std::size_t conn_packet_buffer = 2048;
+
+  /// Give up probing for the application protocol after this many
+  /// payload-bearing segments.
+  std::size_t max_probe_pdus = 4;
+
+  /// Use the runtime-interpreted filter engine instead of the compiled
+  /// one (Appendix B's baseline).
+  bool interpreted_filters = false;
+
+  /// Record per-stage packet counts and CPU cycles (Fig. 7). Small
+  /// overhead; off by default.
+  bool instrument_stages = false;
+
+  /// Emit (virtual-time, connection-count, bytes) memory samples every
+  /// this many nanoseconds (Fig. 8). 0 = off.
+  std::uint64_t memory_sample_interval_ns = 0;
+};
+
+}  // namespace retina::core

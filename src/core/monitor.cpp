@@ -1,0 +1,60 @@
+#include "core/monitor.hpp"
+
+#include <cstdio>
+
+namespace retina::core {
+
+const MonitorSnapshot& RuntimeMonitor::poll(std::uint64_t now_ns) {
+  MonitorSnapshot snap;
+  snap.ts_ns = now_ns;
+
+  const auto& port_stats = runtime_->nic().stats();
+  snap.dropped = port_stats.ring_dropped;
+  for (std::size_t core = 0; core < runtime_->cores(); ++core) {
+    const auto& pipeline = runtime_->pipeline(core);
+    snap.packets += pipeline.stats().packets;
+    snap.bytes += pipeline.stats().bytes;
+    snap.connections += pipeline.live_connections();
+    snap.state_bytes += pipeline.approx_state_bytes();
+  }
+
+  if (!history_.empty()) {
+    const auto& prev = history_.back();
+    if (now_ns > prev.ts_ns) {
+      snap.interval_s = static_cast<double>(now_ns - prev.ts_ns) / 1e9;
+      snap.gbps = static_cast<double>(snap.bytes - prev.bytes) * 8 / 1e9 /
+                  snap.interval_s;
+      const auto interval_packets = snap.packets - prev.packets;
+      const auto interval_drops = snap.dropped - prev.dropped;
+      const auto offered = interval_packets + interval_drops;
+      snap.drop_rate = offered == 0 ? 0.0
+                                    : static_cast<double>(interval_drops) /
+                                          static_cast<double>(offered);
+    }
+  }
+  history_.push_back(snap);
+  return history_.back();
+}
+
+bool RuntimeMonitor::sustained_loss(std::size_t window) const {
+  if (history_.size() < window) return false;
+  for (std::size_t i = history_.size() - window; i < history_.size(); ++i) {
+    if (history_[i].drop_rate <= 0.0) return false;
+  }
+  return true;
+}
+
+std::string RuntimeMonitor::status_line() const {
+  if (history_.empty()) return "(no samples)";
+  const auto& snap = history_.back();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "t=%.1fs rate=%.2fGbps loss=%.4f%% conns=%llu mem=%.1fMB",
+                static_cast<double>(snap.ts_ns) / 1e9, snap.gbps,
+                snap.drop_rate * 100,
+                static_cast<unsigned long long>(snap.connections),
+                static_cast<double>(snap.state_bytes) / 1e6);
+  return buf;
+}
+
+}  // namespace retina::core

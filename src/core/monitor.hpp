@@ -1,0 +1,55 @@
+// Real-time operational monitoring (paper §5.3): Retina reports packet
+// loss, throughput, and memory usage so users can tell when a callback
+// is too slow or a filter too broad, and react (buffer writes, add
+// cores, narrow the filter). RuntimeMonitor polls a Runtime and keeps a
+// rolling history of snapshots; `advise()` turns the latest window into
+// the kind of feedback the paper describes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace retina::core {
+
+struct MonitorSnapshot {
+  std::uint64_t ts_ns = 0;           // virtual time of the snapshot
+  std::uint64_t packets = 0;         // cumulative packets processed
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped = 0;         // cumulative rx-ring drops (loss)
+  std::uint64_t connections = 0;     // currently tracked
+  std::uint64_t state_bytes = 0;     // approximate connection state
+
+  // Deltas relative to the previous snapshot.
+  double interval_s = 0;
+  double gbps = 0;
+  double drop_rate = 0;  // fraction of packets lost in the interval
+};
+
+class RuntimeMonitor {
+ public:
+  explicit RuntimeMonitor(Runtime& runtime) : runtime_(&runtime) {}
+
+  /// Take a snapshot at virtual time `now_ns`. Returns the snapshot and
+  /// appends it to the history.
+  const MonitorSnapshot& poll(std::uint64_t now_ns);
+
+  const std::vector<MonitorSnapshot>& history() const noexcept {
+    return history_;
+  }
+
+  /// Sustained non-zero loss over the recent window? (The condition the
+  /// paper flags as "consider a buffered writer / more cores / a
+  /// narrower filter".)
+  bool sustained_loss(std::size_t window = 3) const;
+
+  /// One-line operator-facing status from the latest snapshot.
+  std::string status_line() const;
+
+ private:
+  Runtime* runtime_;
+  std::vector<MonitorSnapshot> history_;
+};
+
+}  // namespace retina::core

@@ -1,0 +1,785 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "packet/packet_view.hpp"
+#include "util/cycles.hpp"
+
+namespace retina::core {
+
+namespace {
+
+using conntrack::ConnState;
+using filter::FilterResult;
+using filter::MatchKind;
+
+/// Scoped cycle accounting for one stage; no-op when instrumentation is
+/// off (the branch is well-predicted).
+class StageScope {
+ public:
+  StageScope(PipelineStats& stats, Stage stage, bool enabled)
+      : stats_(stats), stage_(stage), enabled_(enabled) {
+    if (enabled_) {
+      stats_.stages.add(stage_);
+      start_ = util::rdtsc();
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  ~StageScope() {
+    if (enabled_) {
+      stats_.stages.add_cycles(stage_, util::rdtsc() - start_);
+    }
+  }
+
+ private:
+  PipelineStats& stats_;
+  Stage stage_;
+  bool enabled_;
+  std::uint64_t start_ = 0;
+};
+
+packet::FiveTuple oriented(const packet::FiveTuple& key, bool orig_first) {
+  if (orig_first) return key;
+  return packet::FiveTuple{key.dst, key.src, key.dst_port, key.src_port,
+                           key.proto};
+}
+
+// Rough per-object heap estimates for the Fig. 8 memory accounting.
+constexpr std::uint64_t kParserEstimateBytes = 1024;
+constexpr std::uint64_t kOooPduEstimateBytes = 1024;  // held mbuf + handle
+constexpr std::uint64_t kReassemblerBytes = sizeof(stream::StreamReassembler);
+
+}  // namespace
+
+Pipeline::Pipeline(const RuntimeConfig& config,
+                   const Subscription& subscription,
+                   const FilterEngine& filter,
+                   const filter::FieldRegistry& field_registry,
+                   const protocols::ParserRegistry& parser_registry)
+    : config_(config),
+      subscription_(subscription),
+      filter_(filter),
+      parser_registry_(parser_registry),
+      table_(config.timeouts) {
+  // Which protocol parsers does this subscription need? Those named by
+  // the filter, plus any the data type implies. A session-level
+  // subscription with no protocol constraints probes everything.
+  std::set<std::size_t> wanted = filter_.app_protos();
+  for (const auto& name : subscription_.extra_parsers()) {
+    wanted.insert(field_registry.require(name).app_proto_id);
+  }
+  if (subscription_.level() == Level::kSession && wanted.empty()) {
+    for (const auto& name : parser_registry_.names()) {
+      if (const auto* proto = field_registry.find(name)) {
+        wanted.insert(proto->app_proto_id);
+      }
+    }
+  }
+  for (const auto app_id : wanted) {
+    const auto& name = field_registry.app_proto_name(app_id);
+    if (name.empty() || !parser_registry_.has(name)) continue;
+    const auto* proto = field_registry.find(name);
+    ProtoCandidate candidate;
+    candidate.app_proto_id = app_id;
+    candidate.name = name;
+    candidate.over_tcp = proto->transport == "tcp";
+    candidate.prototype = parser_registry_.create(name);
+    const auto bit = 1u << candidates_.size();
+    (candidate.over_tcp ? tcp_candidate_mask_ : udp_candidate_mask_) |= bit;
+    candidates_.push_back(std::move(candidate));
+  }
+  if (config_.memory_sample_interval_ns > 0) {
+    next_sample_ts_ = 0;  // first packet triggers the first sample
+  }
+}
+
+std::uint64_t Pipeline::approx_state_bytes() const {
+  const auto heap = heap_bytes_ > 0 ? heap_bytes_ : 0;
+  return table_.approx_bytes() + static_cast<std::uint64_t>(heap);
+}
+
+void Pipeline::maybe_sample_memory(std::uint64_t ts_ns) {
+  if (config_.memory_sample_interval_ns == 0) return;
+  if (ts_ns < next_sample_ts_) return;
+  stats_.memory_samples.push_back(
+      MemorySample{ts_ns, table_.size(), approx_state_bytes()});
+  next_sample_ts_ = ts_ns + config_.memory_sample_interval_ns;
+}
+
+void Pipeline::process(packet::Mbuf mbuf) {
+  const std::uint64_t t0 = util::rdtsc();
+  ++stats_.packets;
+  stats_.bytes += mbuf.length();
+  last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
+
+  // Expire connections whose deadline passed (hierarchical timer wheel,
+  // lazy rescheduling).
+  table_.advance(last_ts_, [this](ConnId id, ConnEntry& entry) {
+    ++stats_.conns_expired;
+    terminate_conn(id, entry, TerminateReason::kExpired,
+                   /*remove_from_table=*/false);
+  });
+  maybe_sample_memory(last_ts_);
+
+  const auto view = packet::PacketView::parse(mbuf);
+
+  FilterResult pf_result = FilterResult::no_match();
+  {
+    StageScope scope(stats_, Stage::kPacketFilter, config_.instrument_stages);
+    if (view) pf_result = filter_.packet_filter(*view);
+  }
+  if (!pf_result.matched()) {
+    stats_.busy_cycles += util::rdtsc() - t0;
+    return;
+  }
+
+  // Packet-level subscription satisfied outright: invoke the callback
+  // immediately and bypass all stateful processing (paper §5.1).
+  if (pf_result.terminal() && subscription_.level() == Level::kPacket) {
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    subscription_.deliver_packet(mbuf);
+    ++stats_.delivered_packets;
+    stats_.busy_cycles += util::rdtsc() - t0;
+    return;
+  }
+
+  if (view && view->five_tuple()) {
+    handle_stateful(mbuf, *view, pf_result);
+  }
+  stats_.busy_cycles += util::rdtsc() - t0;
+}
+
+void Pipeline::handle_stateful(packet::Mbuf& mbuf,
+                               const packet::PacketView& view,
+                               const FilterResult& pf_result) {
+  const auto ts = mbuf.timestamp_ns();
+  const auto canon = view.five_tuple()->canonical();
+
+  ConnId id;
+  {
+    StageScope scope(stats_, Stage::kConnTracking, config_.instrument_stages);
+    id = table_.find(canon.key);
+    if (id == Table::kInvalid) {
+      id = create_conn(canon.key, canon.originator_is_first, pf_result,
+                       view.tcp().has_value(), ts);
+    } else {
+      table_.touch(id, ts);
+    }
+  }
+
+  ConnEntry& entry = table_.get(id);
+  const bool from_orig =
+      canon.originator_is_first == entry.from_first_is_orig;
+  update_record(entry, view, from_orig, ts);
+  if (entry.record.pkts_up > 0 && entry.record.pkts_down > 0 &&
+      !entry.record.established) {
+    entry.record.established = true;
+    table_.mark_established(id, ts);
+  }
+
+  if (!entry.dropped) {
+    switch (entry.state) {
+      case ConnState::kTrack:
+        if (subscription_.level() == Level::kPacket) {
+          StageScope scope(stats_, Stage::kCallback,
+                           config_.instrument_stages);
+          subscription_.deliver_packet(mbuf);
+          ++stats_.delivered_packets;
+        } else if (subscription_.level() == Level::kStream) {
+          // Streams keep reassembling in Track: in-order delivery is
+          // the subscription's data product.
+          feed_pdus(id, entry, mbuf, view, from_orig);
+        }
+        break;
+      case ConnState::kProbe:
+      case ConnState::kParse:
+        if (subscription_.level() == Level::kPacket) {
+          // Hold packets until the filter resolves (Fig. 4a).
+          if (entry.buffered.size() >= config_.conn_packet_buffer) {
+            heap_bytes_ -= entry.buffered.front().length();
+            entry.buffered.erase(entry.buffered.begin());
+          }
+          heap_bytes_ += mbuf.length();
+          entry.buffered_bytes += mbuf.length();
+          entry.buffered.push_back(mbuf);
+        }
+        feed_pdus(id, entry, mbuf, view, from_orig);
+        break;
+      case ConnState::kDelete:
+        break;  // unreachable: kDelete is applied, never stored
+    }
+  }
+
+  // Natural termination: RST, or the bare ACK completing a FIN/FIN
+  // close (removing on the second FIN would let the final ACK recreate
+  // a ghost connection).
+  const bool pure_ack = view.tcp() && view.tcp()->ack_flag() &&
+                        !view.tcp()->syn() && !view.tcp()->fin() &&
+                        !view.tcp()->rst() && view.l4_payload().empty();
+  if (entry.record.saw_rst || (entry.fin_up && entry.fin_down && pure_ack)) {
+    ++stats_.conns_terminated;
+    terminate_conn(id, entry, TerminateReason::kNatural,
+                   /*remove_from_table=*/true);
+  }
+}
+
+Pipeline::ConnId Pipeline::create_conn(const packet::FiveTuple& canonical_key,
+                                       bool originator_is_first,
+                                       const FilterResult& pf_result,
+                                       bool is_tcp, std::uint64_t ts_ns) {
+  ConnEntry entry;
+  entry.from_first_is_orig = originator_is_first;
+  entry.is_tcp = is_tcp;
+  entry.resume_node = pf_result.node_id;
+  entry.probe_alive = is_tcp ? tcp_candidate_mask_ : udp_candidate_mask_;
+  entry.record.tuple = oriented(canonical_key, originator_is_first);
+  entry.record.first_ts_ns = ts_ns;
+  entry.record.last_ts_ns = ts_ns;
+
+  if (pf_result.terminal()) {
+    entry.filter_matched = true;
+    entry.early_matched = true;
+    entry.conn_filter_ran = true;
+    // Fully matched connection- and stream-level subscriptions need no
+    // parsing at all — track (and, for streams, keep reassembling)
+    // without ever probing (lazy principle, §5.2).
+    entry.state = (subscription_.level() == Level::kConnection ||
+                   subscription_.level() == Level::kStream)
+                      ? ConnState::kTrack
+                      : ConnState::kProbe;
+  } else {
+    entry.state = ConnState::kProbe;
+  }
+
+  ++stats_.conns_created;
+  return table_.insert(canonical_key, std::move(entry), ts_ns);
+}
+
+void Pipeline::update_record(ConnEntry& entry, const packet::PacketView& view,
+                             bool from_orig, std::uint64_t ts_ns) {
+  auto& rec = entry.record;
+  rec.last_ts_ns = std::max(rec.last_ts_ns, ts_ns);
+  const auto wire_bytes = view.mbuf().length();
+  const auto payload_bytes = view.l4_payload().size();
+  if (from_orig) {
+    ++rec.pkts_up;
+    rec.bytes_up += wire_bytes;
+    rec.payload_up += payload_bytes;
+  } else {
+    ++rec.pkts_down;
+    rec.bytes_down += wire_bytes;
+    rec.payload_down += payload_bytes;
+  }
+  if (view.tcp()) {
+    const auto& tcp = *view.tcp();
+    if (tcp.syn() && !tcp.ack_flag()) rec.saw_syn = true;
+    if (tcp.syn() && tcp.ack_flag()) rec.saw_synack = true;
+    if (tcp.rst()) rec.saw_rst = true;
+    if (tcp.fin()) {
+      rec.saw_fin = true;
+      (from_orig ? entry.fin_up : entry.fin_down) = true;
+    }
+    // Wire-order reordering/retransmission accounting: a segment whose
+    // sequence starts before the direction's high-water mark arrived
+    // out of order; if it also ends at or before the mark, it is a
+    // pure retransmission.
+    if (payload_bytes > 0 || tcp.syn() || tcp.fin()) {
+      const int dir = from_orig ? 0 : 1;
+      const std::uint32_t seq = tcp.seq();
+      std::uint32_t span = static_cast<std::uint32_t>(payload_bytes);
+      if (tcp.syn()) ++span;
+      if (tcp.fin()) ++span;
+      const std::uint32_t end = seq + span;
+      if (entry.seq_seen[dir] &&
+          static_cast<std::int32_t>(seq - entry.max_seq_end[dir]) < 0) {
+        // Regression below the high-water mark: a repeat of the same
+        // starting sequence is (heuristically) a retransmission, any
+        // other regression is reordering.
+        if (seq == entry.last_seq[dir]) {
+          ++(from_orig ? rec.dup_up : rec.dup_down);
+        } else {
+          ++(from_orig ? rec.ooo_up : rec.ooo_down);
+        }
+      }
+      if (!entry.seq_seen[dir] ||
+          static_cast<std::int32_t>(end - entry.max_seq_end[dir]) > 0) {
+        entry.max_seq_end[dir] = end;
+      }
+      entry.last_seq[dir] = seq;
+      entry.seq_seen[dir] = true;
+    }
+  }
+}
+
+void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
+                         const packet::PacketView& view, bool from_orig) {
+  if (!entry.is_tcp) {
+    // UDP: each datagram is already an in-order PDU.
+    if (view.l4_payload().empty()) return;
+    stream::L4Pdu pdu;
+    pdu.mbuf = mbuf;
+    pdu.payload = view.l4_payload();
+    pdu.from_originator = from_orig;
+    pdu.ts_ns = mbuf.timestamp_ns();
+    if (subscription_.level() == Level::kStream) {
+      stream_pdu(entry, pdu);
+    }
+    handle_pdu(id, entry, std::move(pdu));
+    return;
+  }
+
+  const auto& tcp = *view.tcp();
+  stream::L4Pdu pdu;
+  pdu.mbuf = mbuf;
+  pdu.payload = view.l4_payload();
+  pdu.seq = tcp.seq();
+  pdu.tcp_flags = tcp.flags();
+  pdu.from_originator = from_orig;
+  pdu.ts_ns = mbuf.timestamp_ns();
+
+  auto& reasm = from_orig ? entry.reasm_up : entry.reasm_down;
+  if (!reasm) {
+    reasm = std::make_unique<stream::StreamReassembler>(config_.ooo_capacity);
+    heap_bytes_ += kReassemblerBytes;
+  }
+
+  std::vector<stream::L4Pdu> ready;
+  {
+    StageScope scope(stats_, Stage::kReassembly, config_.instrument_stages);
+    const auto pending_before = reasm->pending();
+    reasm->push(std::move(pdu), ready);
+    const auto pending_after = reasm->pending();
+    heap_bytes_ += (static_cast<std::int64_t>(pending_after) -
+                    static_cast<std::int64_t>(pending_before)) *
+                   static_cast<std::int64_t>(kOooPduEstimateBytes);
+  }
+
+  for (auto& ready_pdu : ready) {
+    if (entry.dropped) break;
+    if (ready_pdu.len() == 0) continue;  // bare SYN/FIN/ACK
+    if (subscription_.level() == Level::kStream) {
+      stream_pdu(entry, ready_pdu);  // buffer or deliver the chunk
+      if (entry.dropped) break;
+    }
+    if (entry.state == ConnState::kProbe ||
+        entry.state == ConnState::kParse) {
+      handle_pdu(id, entry, std::move(ready_pdu));
+    }
+  }
+}
+
+void Pipeline::deliver_stream_chunk(const ConnEntry& entry,
+                                    const stream::L4Pdu& pdu) {
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+  StreamChunk chunk;
+  chunk.tuple = entry.record.tuple;
+  chunk.ts_ns = pdu.ts_ns;
+  chunk.from_originator = pdu.from_originator;
+  chunk.data = pdu.payload;
+  subscription_.deliver_stream(chunk);
+  ++stats_.delivered_packets;
+}
+
+void Pipeline::stream_pdu(ConnEntry& entry, const stream::L4Pdu& pdu) {
+  if (entry.filter_matched) {
+    deliver_stream_chunk(entry, pdu);
+    return;
+  }
+  // Filter unresolved: hold the in-order PDU by reference (Fig. 4a's
+  // buffering, applied to stream chunks).
+  if (entry.pdu_buffer.size() >= config_.conn_packet_buffer) {
+    heap_bytes_ -= static_cast<std::int64_t>(
+        entry.pdu_buffer.front().payload.size());
+    entry.pdu_buffer_bytes -= entry.pdu_buffer.front().payload.size();
+    entry.pdu_buffer.erase(entry.pdu_buffer.begin());
+  }
+  heap_bytes_ += static_cast<std::int64_t>(pdu.payload.size());
+  entry.pdu_buffer_bytes += pdu.payload.size();
+  entry.pdu_buffer.push_back(pdu);
+}
+
+void Pipeline::flush_pdu_buffer(ConnEntry& entry) {
+  for (const auto& pdu : entry.pdu_buffer) {
+    deliver_stream_chunk(entry, pdu);
+  }
+  heap_bytes_ -= static_cast<std::int64_t>(entry.pdu_buffer_bytes);
+  entry.pdu_buffer_bytes = 0;
+  entry.pdu_buffer.clear();
+  entry.pdu_buffer.shrink_to_fit();
+}
+
+void Pipeline::flush_on_match(ConnEntry& entry) {
+  if (subscription_.level() == Level::kPacket) {
+    flush_buffered(entry);
+  } else if (subscription_.level() == Level::kStream) {
+    flush_pdu_buffer(entry);
+  }
+}
+
+void Pipeline::handle_pdu(ConnId id, ConnEntry& entry, stream::L4Pdu pdu) {
+  if (entry.dropped) return;
+  if (entry.state == ConnState::kProbe) {
+    probe_pdu(id, entry, pdu);
+  } else if (entry.state == ConnState::kParse) {
+    parse_pdu(id, entry, pdu);
+  }
+}
+
+void Pipeline::probe_pdu(ConnId id, ConnEntry& entry,
+                         const stream::L4Pdu& pdu) {
+  ++entry.probe_attempts;
+
+  // The PDU the candidates vote on: UDP datagrams are self-contained,
+  // but TCP signatures may span segments, so TCP probing runs over the
+  // accumulated per-direction prefix and keeps the consumed PDUs for
+  // replay into the parser.
+  stream::L4Pdu probe_view = pdu;
+  constexpr std::size_t kPrefixCap = 256;
+  if (entry.is_tcp) {
+    auto& prefix = entry.probe_prefix[pdu.from_originator ? 0 : 1];
+    const std::size_t take =
+        std::min(pdu.payload.size(),
+                 kPrefixCap > prefix.size() ? kPrefixCap - prefix.size() : 0);
+    prefix.insert(prefix.end(), pdu.payload.begin(),
+                  pdu.payload.begin() + static_cast<std::ptrdiff_t>(take));
+    heap_bytes_ += static_cast<std::int64_t>(pdu.payload.size());
+    entry.probe_pdus.push_back(pdu);
+    probe_view.payload = {prefix.data(), prefix.size()};
+  }
+
+  std::size_t identified = candidates_.size();
+  {
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const auto bit = 1u << i;
+      if (!(entry.probe_alive & bit)) continue;
+      switch (candidates_[i].prototype->probe(probe_view)) {
+        case protocols::ProbeResult::kYes:
+          identified = i;
+          break;
+        case protocols::ProbeResult::kNo:
+          entry.probe_alive &= ~bit;
+          break;
+        case protocols::ProbeResult::kUnsure:
+          break;
+      }
+      if (identified != candidates_.size()) break;
+    }
+  }
+
+  if (identified != candidates_.size()) {
+    const auto& candidate = candidates_[identified];
+    entry.app_proto = candidate.app_proto_id;
+    entry.record.app_proto = candidate.name;
+    entry.parser = parser_registry_.create(candidate.name);
+    heap_bytes_ += kParserEstimateBytes;
+    entry.state = ConnState::kParse;
+    run_conn_filter(id, entry);
+    if (!entry.dropped && entry.state == ConnState::kParse && entry.parser) {
+      if (entry.is_tcp) {
+        // Replay everything consumed while probing, in arrival order.
+        auto held = std::move(entry.probe_pdus);
+        clear_probe_state(entry);
+        for (auto& replay : held) {
+          if (entry.dropped || entry.state != ConnState::kParse) break;
+          parse_pdu(id, entry, replay);
+        }
+      } else {
+        parse_pdu(id, entry, pdu);
+      }
+    } else {
+      clear_probe_state(entry);
+    }
+    return;
+  }
+
+  if (entry.probe_alive == 0 ||
+      entry.probe_attempts >= config_.max_probe_pdus) {
+    // Protocol unknown: resolve the filter with app_proto = 0.
+    ++stats_.probe_failures;
+    entry.app_proto = 0;
+    clear_probe_state(entry);
+    run_conn_filter(id, entry);
+    if (!entry.dropped && entry.state == ConnState::kProbe) {
+      // Filter satisfied without a parser (or packet-terminal match):
+      // nothing to parse, so settle the connection.
+      if (subscription_.level() == Level::kSession) {
+        to_dropped(entry);  // no parser => no sessions, ever
+      } else {
+        flush_on_match(entry);
+        to_track(entry);
+      }
+    }
+  }
+}
+
+void Pipeline::clear_probe_state(ConnEntry& entry) {
+  for (const auto& held : entry.probe_pdus) {
+    heap_bytes_ -= static_cast<std::int64_t>(held.payload.size());
+  }
+  entry.probe_pdus.clear();
+  entry.probe_pdus.shrink_to_fit();
+  for (auto& prefix : entry.probe_prefix) {
+    prefix.clear();
+    prefix.shrink_to_fit();
+  }
+}
+
+void Pipeline::run_conn_filter(ConnId id, ConnEntry& entry) {
+  (void)id;
+  if (entry.filter_matched) {
+    // Already fully matched at the packet layer; the connection filter
+    // has nothing to decide. Session-level subscriptions keep parsing
+    // (session filter auto-matches); others were settled at creation.
+    if (subscription_.level() == Level::kSession && !entry.parser) {
+      to_dropped(entry);
+    }
+    return;
+  }
+
+  const auto result = filter_.conn_filter(entry.resume_node, entry.app_proto);
+  entry.conn_filter_ran = true;
+  switch (result.kind) {
+    case MatchKind::kNoMatch:
+      // No pattern can match this connection anymore: discard all its
+      // state (and any held packets) immediately.
+      to_dropped(entry);
+      return;
+    case MatchKind::kTerminal:
+      entry.filter_matched = true;
+      entry.early_matched = true;
+      entry.resume_node = result.node_id;
+      switch (subscription_.level()) {
+        case Level::kPacket:
+        case Level::kStream:
+          flush_on_match(entry);
+          to_track(entry);  // future data delivered straight through
+          break;
+        case Level::kConnection:
+          to_track(entry);  // record accumulates; parsing stops
+          break;
+        case Level::kSession:
+          if (!entry.parser) to_dropped(entry);
+          break;  // stay in Parse to collect sessions
+      }
+      return;
+    case MatchKind::kNonTerminal:
+      // Session predicates pending: must parse to decide.
+      entry.resume_node = result.node_id;
+      if (!entry.parser) {
+        to_dropped(entry);  // cannot parse => can never match
+      }
+      return;
+  }
+}
+
+void Pipeline::parse_pdu(ConnId id, ConnEntry& entry,
+                         const stream::L4Pdu& pdu) {
+  protocols::ParseResult result;
+  {
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages);
+    result = entry.parser->parse(pdu);
+  }
+
+  auto sessions = entry.parser->take_sessions();
+  if (!sessions.empty()) {
+    handle_sessions(id, entry, std::move(sessions));
+  }
+  if (entry.dropped || entry.state != ConnState::kParse) return;
+
+  if (result == protocols::ParseResult::kDone ||
+      result == protocols::ParseResult::kError) {
+    // The parser will produce no further sessions.
+    if (subscription_.level() == Level::kSession) {
+      to_dropped(entry, /*count_filter_drop=*/!entry.filter_matched);
+    } else if (entry.filter_matched) {
+      flush_on_match(entry);
+      to_track(entry);
+    } else {
+      to_dropped(entry);
+    }
+  }
+}
+
+void Pipeline::handle_sessions(ConnId id, ConnEntry& entry,
+                               std::vector<protocols::Session> sessions) {
+  for (auto& session : sessions) {
+    ++stats_.sessions_parsed;
+
+    bool matched;
+    {
+      StageScope scope(stats_, Stage::kSessionFilter,
+                       config_.instrument_stages);
+      // A packet/connection-layer terminal match covers every session;
+      // a previous session-layer match does not — each session is
+      // evaluated on its own.
+      matched = entry.early_matched ||
+                filter_.session_filter(entry.resume_node, session);
+    }
+
+    const auto hint = matched ? entry.parser->session_match_state()
+                              : entry.parser->session_nomatch_state();
+
+    if (matched) {
+      entry.filter_matched = true;
+      if (subscription_.level() == Level::kSession) {
+        StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+        SessionRecord record;
+        record.tuple = entry.record.tuple;
+        record.ts_ns = entry.record.last_ts_ns;
+        record.session = std::move(session);
+        subscription_.deliver_session(record);
+        ++stats_.delivered_sessions;
+      } else {
+        flush_on_match(entry);  // buffered packets / stream chunks
+      }
+    }
+
+    apply_post_session_state(id, entry, hint, matched);
+    if (entry.dropped || entry.state != ConnState::kParse) break;
+  }
+}
+
+void Pipeline::apply_post_session_state(ConnId id, ConnEntry& entry,
+                                        conntrack::ConnState hint,
+                                        bool matched) {
+  (void)id;
+  if (subscription_.level() == Level::kSession) {
+    // The parser knows whether more sessions can follow (TLS: no;
+    // HTTP/DNS: yes).
+    switch (hint) {
+      case ConnState::kDelete:
+        to_dropped(entry, /*count_filter_drop=*/!matched);
+        break;
+      case ConnState::kTrack:
+        to_track(entry);
+        break;
+      case ConnState::kParse:
+      case ConnState::kProbe:
+        break;  // keep parsing
+    }
+    return;
+  }
+
+  // Packet- and connection-level subscriptions: a match means the filter
+  // is settled — stop parsing and just deliver/accumulate. A miss
+  // defers to the parser: TLS misses are final (Delete), HTTP may match
+  // a later transaction (keep parsing).
+  if (matched) {
+    to_track(entry);
+    return;
+  }
+  if (hint == ConnState::kDelete) {
+    to_dropped(entry);
+  }
+}
+
+void Pipeline::to_track(ConnEntry& entry) {
+  entry.state = ConnState::kTrack;
+  clear_probe_state(entry);
+  // Parsing stops: release the parser (paper: "stop reordering flows
+  // after identifying the protocol"). Reassembly state is also released
+  // unless reconstructed byte-streams ARE the subscription data.
+  if (entry.parser) {
+    entry.parser.reset();
+    heap_bytes_ -= kParserEstimateBytes;
+  }
+  if (subscription_.level() != Level::kStream) {
+    for (auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+      if (*reasm) {
+        heap_bytes_ -= (*reasm)->pending() * kOooPduEstimateBytes;
+        heap_bytes_ -= kReassemblerBytes;
+        reasm->reset();
+      }
+    }
+  }
+}
+
+void Pipeline::to_dropped(ConnEntry& entry, bool count_filter_drop) {
+  if (entry.dropped) return;
+  entry.dropped = true;
+  if (count_filter_drop) ++stats_.conns_dropped_filter;
+  clear_probe_state(entry);
+  if (entry.parser) {
+    entry.parser.reset();
+    heap_bytes_ -= kParserEstimateBytes;
+  }
+  for (auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+    if (*reasm) {
+      heap_bytes_ -= (*reasm)->pending() * kOooPduEstimateBytes;
+      heap_bytes_ -= kReassemblerBytes;
+      reasm->reset();
+    }
+  }
+  heap_bytes_ -= entry.buffered_bytes;
+  entry.buffered_bytes = 0;
+  entry.buffered.clear();
+  entry.buffered.shrink_to_fit();
+  heap_bytes_ -= static_cast<std::int64_t>(entry.pdu_buffer_bytes);
+  entry.pdu_buffer_bytes = 0;
+  entry.pdu_buffer.clear();
+  entry.pdu_buffer.shrink_to_fit();
+}
+
+void Pipeline::flush_buffered(ConnEntry& entry) {
+  if (entry.buffered.empty()) return;
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+  for (const auto& mbuf : entry.buffered) {
+    subscription_.deliver_packet(mbuf);
+    ++stats_.delivered_packets;
+  }
+  heap_bytes_ -= entry.buffered_bytes;
+  entry.buffered_bytes = 0;
+  entry.buffered.clear();
+  entry.buffered.shrink_to_fit();
+}
+
+void Pipeline::terminate_conn(ConnId id, ConnEntry& entry,
+                              TerminateReason reason,
+                              bool remove_from_table) {
+  (void)reason;
+  // Flush any partially parsed session (e.g. a ClientHello whose
+  // handshake never completed) through the session filter.
+  if (!entry.dropped && entry.parser &&
+      (entry.state == ConnState::kProbe ||
+       entry.state == ConnState::kParse)) {
+    auto sessions = entry.parser->drain_sessions();
+    if (!sessions.empty()) {
+      handle_sessions(id, entry, std::move(sessions));
+    }
+  }
+
+  if (subscription_.level() == Level::kConnection && !entry.dropped &&
+      entry.filter_matched) {
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    subscription_.deliver_connection(entry.record);
+    ++stats_.delivered_conns;
+  }
+  if (subscription_.level() == Level::kStream && !entry.dropped &&
+      entry.filter_matched) {
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    StreamChunk chunk;
+    chunk.tuple = entry.record.tuple;
+    chunk.ts_ns = entry.record.last_ts_ns;
+    chunk.end_of_stream = true;
+    subscription_.deliver_stream(chunk);
+  }
+
+  // Release all per-connection heap state.
+  to_dropped(entry, /*count_filter_drop=*/false);
+  if (remove_from_table) {
+    table_.remove(id);
+  }
+}
+
+void Pipeline::finish() {
+  std::vector<ConnId> live;
+  table_.for_each([&](ConnId id, ConnEntry&) { live.push_back(id); });
+  for (const auto id : live) {
+    terminate_conn(id, table_.get(id), TerminateReason::kShutdown,
+                   /*remove_from_table=*/true);
+  }
+}
+
+}  // namespace retina::core

@@ -1,0 +1,158 @@
+// Per-core processing pipeline (paper §5, right half of Fig. 2). One
+// Pipeline instance runs on each worker core, consuming the packets its
+// NIC receive queue delivers. The pipeline is "subscription-aware": at
+// every stage it consults the decomposed filter and the subscription's
+// data level to decide whether a packet/connection deserves more work —
+// eagerly discarding out-of-scope traffic and lazily reconstructing the
+// rest:
+//
+//   packet filter → (callback | connection tracking) → reassembly →
+//   probe → connection filter → parse → session filter → callback
+//
+// Connections move through the Probe/Parse/Track/Delete states of
+// Fig. 4; the transitions are derived from (filter terminality ×
+// subscription level × parser hints) exactly as §5.2 describes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "conntrack/conn_state.hpp"
+#include "conntrack/conn_table.hpp"
+#include "core/config.hpp"
+#include "core/filter_engine.hpp"
+#include "core/stats.hpp"
+#include "core/subscription.hpp"
+#include "protocols/registry.hpp"
+#include "stream/reassembly.hpp"
+
+namespace retina::core {
+
+/// Why a connection is being terminated (delivery still depends on the
+/// filter state).
+enum class TerminateReason { kNatural, kExpired, kShutdown };
+
+class Pipeline {
+ public:
+  Pipeline(const RuntimeConfig& config, const Subscription& subscription,
+           const FilterEngine& filter,
+           const filter::FieldRegistry& field_registry,
+           const protocols::ParserRegistry& parser_registry);
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Process one packet from this core's receive queue.
+  void process(packet::Mbuf mbuf);
+
+  /// Terminate and deliver everything still tracked (end of run).
+  void finish();
+
+  const PipelineStats& stats() const noexcept { return stats_; }
+  std::size_t live_connections() const noexcept { return table_.size(); }
+  /// Approximate bytes of connection state held right now (Fig. 8).
+  std::uint64_t approx_state_bytes() const;
+
+ private:
+  struct ConnEntry {
+    conntrack::ConnState state = conntrack::ConnState::kProbe;
+    bool from_first_is_orig = true;  // direction bit of the first packet
+    bool is_tcp = false;
+    bool dropped = false;          // tombstone: filter said no
+    bool filter_matched = false;   // a terminal predicate matched
+    // True when the match happened at the packet or connection layer:
+    // every session of the connection is then in scope. A match that
+    // came from the *session* filter applies to that session only —
+    // later sessions are evaluated individually.
+    bool early_matched = false;
+    std::uint32_t resume_node = 0; // packet-filter, then conn-filter node
+    bool conn_filter_ran = false;
+
+    std::size_t probe_attempts = 0;
+    std::uint32_t probe_alive = ~0u;  // candidate bitmask
+    std::size_t app_proto = 0;        // 0 = unknown
+    // TCP probing state: protocol signatures may span segments (split
+    // banners/hellos), so probing runs over the accumulated per-
+    // direction prefix, and the PDUs consumed while probing are kept
+    // for replay into the parser once the protocol is identified.
+    std::array<std::vector<std::uint8_t>, 2> probe_prefix;
+    std::vector<stream::L4Pdu> probe_pdus;
+    std::unique_ptr<protocols::ConnParser> parser;
+
+    std::unique_ptr<stream::StreamReassembler> reasm_up;
+    std::unique_ptr<stream::StreamReassembler> reasm_down;
+
+    ConnRecord record;
+    // Wire-order tracking for the record's ooo/dup counters (cheap:
+    // no buffering, works in every state including Track).
+    std::uint32_t max_seq_end[2] = {0, 0};
+    std::uint32_t last_seq[2] = {0, 0};
+    bool seq_seen[2] = {false, false};
+    std::vector<packet::Mbuf> buffered;  // packet-level subs, Fig. 4a
+    std::uint64_t buffered_bytes = 0;
+    // Stream-level subs: in-order PDUs held until the filter resolves.
+    std::vector<stream::L4Pdu> pdu_buffer;
+    std::uint64_t pdu_buffer_bytes = 0;
+    bool fin_up = false;
+    bool fin_down = false;
+  };
+
+  using Table = conntrack::ConnTable<ConnEntry>;
+  using ConnId = Table::ConnId;
+
+  struct ProtoCandidate {
+    std::size_t app_proto_id;
+    std::string name;
+    bool over_tcp;
+    std::unique_ptr<protocols::ConnParser> prototype;  // used for probing
+  };
+
+  void handle_stateful(packet::Mbuf& mbuf, const packet::PacketView& view,
+                       const filter::FilterResult& pf_result);
+  ConnId create_conn(const packet::FiveTuple& canonical_key,
+                     bool originator_is_first,
+                     const filter::FilterResult& pf_result, bool is_tcp,
+                     std::uint64_t ts_ns);
+  void update_record(ConnEntry& entry, const packet::PacketView& view,
+                     bool from_orig, std::uint64_t ts_ns);
+  void feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
+                 const packet::PacketView& view, bool from_orig);
+  void handle_pdu(ConnId id, ConnEntry& entry, stream::L4Pdu pdu);
+  void probe_pdu(ConnId id, ConnEntry& entry, const stream::L4Pdu& pdu);
+  void run_conn_filter(ConnId id, ConnEntry& entry);
+  void parse_pdu(ConnId id, ConnEntry& entry, const stream::L4Pdu& pdu);
+  void handle_sessions(ConnId id, ConnEntry& entry,
+                       std::vector<protocols::Session> sessions);
+  void apply_post_session_state(ConnId id, ConnEntry& entry,
+                                conntrack::ConnState hint, bool matched);
+
+  void clear_probe_state(ConnEntry& entry);
+  void stream_pdu(ConnEntry& entry, const stream::L4Pdu& pdu);
+  void deliver_stream_chunk(const ConnEntry& entry,
+                            const stream::L4Pdu& pdu);
+  void flush_pdu_buffer(ConnEntry& entry);
+  void flush_on_match(ConnEntry& entry);
+  void to_track(ConnEntry& entry);
+  void to_dropped(ConnEntry& entry, bool count_filter_drop = true);
+  void flush_buffered(ConnEntry& entry);
+  void terminate_conn(ConnId id, ConnEntry& entry, TerminateReason reason,
+                      bool remove_from_table);
+  void maybe_sample_memory(std::uint64_t ts_ns);
+
+  const RuntimeConfig& config_;
+  const Subscription& subscription_;
+  const FilterEngine& filter_;
+  const protocols::ParserRegistry& parser_registry_;
+
+  std::vector<ProtoCandidate> candidates_;  // probe order
+  std::uint32_t tcp_candidate_mask_ = 0;
+  std::uint32_t udp_candidate_mask_ = 0;
+
+  Table table_;
+  PipelineStats stats_;
+  std::int64_t heap_bytes_ = 0;  // buffered packets + parser estimates
+  std::uint64_t next_sample_ts_ = 0;
+  std::uint64_t last_ts_ = 0;
+};
+
+}  // namespace retina::core

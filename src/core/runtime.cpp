@@ -1,0 +1,187 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "filter/decompose.hpp"
+#include "util/cycles.hpp"
+#include "util/logging.hpp"
+
+namespace retina::core {
+
+Runtime::Runtime(RuntimeConfig config, Subscription subscription,
+                 const filter::FieldRegistry& field_registry,
+                 const protocols::ParserRegistry& parser_registry)
+    : config_(std::move(config)), subscription_(std::move(subscription)) {
+  // Decompose + build the requested filter engine.
+  auto decomposed = filter::decompose(subscription_.filter(), field_registry,
+                                      config_.nic_capabilities);
+  if (config_.interpreted_filters) {
+    filter_ = std::make_unique<InterpretedFilterEngine>(
+        filter::InterpretedFilter(std::move(decomposed), field_registry));
+  } else {
+    filter_ = std::make_unique<CompiledFilterEngine>(
+        filter::CompiledFilter::compile(decomposed, field_registry));
+  }
+
+  // Program the NIC: one receive queue per core, hardware rules from
+  // the decomposed filter (if enabled), sink buckets for sampling.
+  nic::PortConfig port;
+  port.num_queues = config_.cores ? config_.cores : 1;
+  port.ring_capacity = config_.rx_ring_size;
+  port.capabilities = config_.nic_capabilities;
+  nic_ = std::make_unique<nic::SimNic>(port);
+  if (config_.hardware_filter) {
+    nic_->install_rules(filter_->hw_rules());
+  }
+  if (config_.sink_fraction > 0) {
+    nic_->reta().set_sink_fraction(config_.sink_fraction);
+  }
+
+  pipelines_.reserve(port.num_queues);
+  for (std::size_t core = 0; core < port.num_queues; ++core) {
+    pipelines_.push_back(
+        std::make_unique<Pipeline>(config_, subscription_, *filter_,
+                                   field_registry, parser_registry));
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::dispatch(const packet::Mbuf& mbuf) {
+  if (first_ts_ == 0) first_ts_ = mbuf.timestamp_ns();
+  last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
+  nic_->dispatch(mbuf);
+}
+
+void Runtime::drain() {
+  packet::Mbuf mbuf;
+  for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+    while (nic_->poll(queue, mbuf)) {
+      pipelines_[queue]->process(std::move(mbuf));
+    }
+  }
+}
+
+RunStats Runtime::finish() {
+  if (!finished_) {
+    drain();
+    for (auto& pipeline : pipelines_) pipeline->finish();
+    finished_ = true;
+  }
+  return collect_stats();
+}
+
+RunStats Runtime::run(std::span<const packet::Mbuf> packets) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (const auto& mbuf : packets) {
+    dispatch(mbuf);
+    // Offline mode keeps rings nearly empty: drain after each dispatch
+    // so ring capacity never causes loss and ordering is deterministic.
+    drain();
+  }
+  auto stats = finish();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return stats;
+}
+
+RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
+                               double time_scale) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<bool> done{false};
+  std::vector<std::thread> workers;
+  std::vector<double> core_seconds(pipelines_.size(), 0.0);
+
+  workers.reserve(pipelines_.size());
+  for (std::size_t core = 0; core < pipelines_.size(); ++core) {
+    workers.emplace_back([this, core, &done, &core_seconds] {
+      auto& pipeline = *pipelines_[core];
+      packet::Mbuf mbuf;
+      const auto start = std::chrono::steady_clock::now();
+      while (true) {
+        bool any = false;
+        while (nic_->poll(core, mbuf)) {
+          pipeline.process(std::move(mbuf));
+          any = true;
+        }
+        if (!any) {
+          if (done.load(std::memory_order_acquire)) break;
+          std::this_thread::yield();
+        }
+      }
+      core_seconds[core] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    });
+  }
+
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  const std::uint64_t base_ts =
+      packets.empty() ? 0 : packets.front().timestamp_ns();
+  for (const auto& mbuf : packets) {
+    if (time_scale > 0) {
+      // Pace to the trace's virtual clock, compressed by time_scale.
+      const double target_s =
+          static_cast<double>(mbuf.timestamp_ns() - base_ts) / 1e9 /
+          time_scale;
+      const auto target =
+          dispatch_start + std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(target_s));
+      while (std::chrono::steady_clock::now() < target) {
+        std::this_thread::yield();
+      }
+    }
+    dispatch(mbuf);
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& worker : workers) worker.join();
+
+  for (auto& pipeline : pipelines_) pipeline->finish();
+  finished_ = true;
+
+  auto stats = collect_stats();
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  for (const auto secs : core_seconds) {
+    stats.max_core_seconds = std::max(stats.max_core_seconds, secs);
+  }
+  return stats;
+}
+
+RunStats Runtime::collect_stats() const {
+  RunStats stats;
+  double max_core_cycles = 0.0;
+  for (const auto& pipeline : pipelines_) {
+    stats.per_core.push_back(pipeline->stats());
+    stats.total.merge(pipeline->stats());
+    max_core_cycles = std::max(
+        max_core_cycles, static_cast<double>(pipeline->stats().busy_cycles));
+  }
+  const auto& port_stats = nic_->stats();
+  stats.nic_rx_packets = port_stats.rx_packets;
+  stats.nic_rx_bytes = port_stats.rx_bytes;
+  stats.nic_hw_dropped = port_stats.hw_dropped;
+  stats.nic_sunk = port_stats.sunk;
+  stats.nic_ring_dropped = port_stats.ring_dropped;
+  stats.trace_duration_ns = last_ts_ > first_ts_ ? last_ts_ - first_ts_ : 0;
+  // Hardware-filter stage accounting (Fig. 7): every ingress packet
+  // triggers it, at zero CPU cost.
+  stats.total.stages.invocations[static_cast<int>(Stage::kHardwareFilter)] =
+      port_stats.rx_packets;
+  if (stats.max_core_seconds == 0.0) {
+    stats.max_core_seconds = util::cycles_to_seconds(
+        static_cast<std::uint64_t>(max_core_cycles));
+  }
+  return stats;
+}
+
+}  // namespace retina::core

@@ -1,0 +1,74 @@
+// Runtime: the top-level object users construct from a config and a
+// subscription (paper Fig. 1). It compiles the filter, programs the
+// simulated NIC (hardware rules + RSS redirection table), builds one
+// Pipeline per core, and drives packets through.
+//
+// Two execution modes:
+//  * run()          — offline/serial: packets flow through the NIC and
+//    pipelines on the calling thread in trace order. Deterministic;
+//    used by tests, examples, and capacity-style benchmarks (per-core
+//    busy cycles measure what each core could sustain).
+//  * run_threaded() — one worker thread per core polling its receive
+//    ring while the caller dispatches; ring overflow counts as packet
+//    loss, reproducing the paper's zero-loss methodology.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "core/stats.hpp"
+#include "nic/port.hpp"
+
+namespace retina::core {
+
+class Runtime {
+ public:
+  Runtime(RuntimeConfig config, Subscription subscription,
+          const filter::FieldRegistry& field_registry =
+              filter::FieldRegistry::builtin(),
+          const protocols::ParserRegistry& parser_registry =
+              protocols::ParserRegistry::builtin());
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Process a trace serially (offline mode). Calls finish() at the end,
+  /// delivering everything still tracked.
+  RunStats run(std::span<const packet::Mbuf> packets);
+
+  /// Process a trace with one thread per core. The caller's thread
+  /// dispatches into the NIC as fast as it can; worker threads poll.
+  /// With `time_scale` > 0, dispatch is paced to the packets' virtual
+  /// timestamps compressed by that factor (time_scale = 1 replays in
+  /// real time; 100 replays 100x faster), which makes queue depths and
+  /// loss behave as they would on a live link.
+  RunStats run_threaded(std::span<const packet::Mbuf> packets,
+                        double time_scale = 0.0);
+
+  /// Incremental API for custom drivers: dispatch packets, then finish.
+  void dispatch(const packet::Mbuf& mbuf);
+  void drain();    // serially drain all queues into their pipelines
+  RunStats finish();
+
+  const FilterEngine& filter() const noexcept { return *filter_; }
+  nic::SimNic& nic() noexcept { return *nic_; }
+  std::size_t cores() const noexcept { return pipelines_.size(); }
+  Pipeline& pipeline(std::size_t core) { return *pipelines_[core]; }
+
+ private:
+  RunStats collect_stats() const;
+
+  RuntimeConfig config_;
+  Subscription subscription_;
+  std::unique_ptr<FilterEngine> filter_;
+  std::unique_ptr<nic::SimNic> nic_;
+  std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  std::uint64_t first_ts_ = 0;
+  std::uint64_t last_ts_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace retina::core

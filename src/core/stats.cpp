@@ -1,0 +1,59 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+namespace retina::core {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kHardwareFilter: return "hardware_filter";
+    case Stage::kPacketFilter: return "sw_packet_filter";
+    case Stage::kConnTracking: return "connection_tracking";
+    case Stage::kReassembly: return "stream_reassembly";
+    case Stage::kParsing: return "app_layer_parsing";
+    case Stage::kSessionFilter: return "session_filter";
+    case Stage::kCallback: return "run_callback";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+void StageCounters::merge(const StageCounters& other) {
+  for (int i = 0; i < static_cast<int>(Stage::kCount); ++i) {
+    invocations[i] += other.invocations[i];
+    cycles[i] += other.cycles[i];
+  }
+}
+
+void PipelineStats::merge(const PipelineStats& other) {
+  packets += other.packets;
+  bytes += other.bytes;
+  delivered_packets += other.delivered_packets;
+  delivered_conns += other.delivered_conns;
+  delivered_sessions += other.delivered_sessions;
+  conns_created += other.conns_created;
+  conns_dropped_filter += other.conns_dropped_filter;
+  conns_expired += other.conns_expired;
+  conns_terminated += other.conns_terminated;
+  sessions_parsed += other.sessions_parsed;
+  probe_failures += other.probe_failures;
+  busy_cycles += other.busy_cycles;
+  stages.merge(other.stages);
+  memory_samples.insert(memory_samples.end(), other.memory_samples.begin(),
+                        other.memory_samples.end());
+}
+
+std::string RunStats::to_string() const {
+  std::ostringstream os;
+  os << "packets=" << total.packets << " bytes=" << total.bytes
+     << " conns=" << total.conns_created
+     << " sessions=" << total.sessions_parsed
+     << " cb_pkt=" << total.delivered_packets
+     << " cb_conn=" << total.delivered_conns
+     << " cb_sess=" << total.delivered_sessions
+     << " hw_drop=" << nic_hw_dropped << " sunk=" << nic_sunk
+     << " loss=" << nic_ring_dropped;
+  return os.str();
+}
+
+}  // namespace retina::core

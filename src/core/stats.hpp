@@ -1,0 +1,105 @@
+// Per-stage instrumentation (paper §6.3, Fig. 7) and end-to-end run
+// statistics. Each pipeline counts how many packets (or PDUs/sessions)
+// trigger each processing stage and how many CPU cycles the stage
+// consumes, demonstrating how filter decomposition hierarchically
+// reduces downstream work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retina::core {
+
+/// The processing stages of Fig. 7, in pipeline order.
+enum class Stage {
+  kHardwareFilter = 0,  // counted by the NIC (zero CPU cost)
+  kPacketFilter,
+  kConnTracking,
+  kReassembly,
+  kParsing,             // probe + parse
+  kSessionFilter,
+  kCallback,
+  kCount,
+};
+
+const char* stage_name(Stage stage);
+
+struct StageCounters {
+  std::uint64_t invocations[static_cast<int>(Stage::kCount)] = {};
+  std::uint64_t cycles[static_cast<int>(Stage::kCount)] = {};
+
+  void add(Stage stage, std::uint64_t n = 1) {
+    invocations[static_cast<int>(stage)] += n;
+  }
+  void add_cycles(Stage stage, std::uint64_t c) {
+    cycles[static_cast<int>(stage)] += c;
+  }
+  std::uint64_t count(Stage stage) const {
+    return invocations[static_cast<int>(stage)];
+  }
+  std::uint64_t cycle_total(Stage stage) const {
+    return cycles[static_cast<int>(stage)];
+  }
+  double avg_cycles(Stage stage) const {
+    const auto n = count(stage);
+    return n == 0 ? 0.0
+                  : static_cast<double>(cycle_total(stage)) /
+                        static_cast<double>(n);
+  }
+  void merge(const StageCounters& other);
+};
+
+/// One (virtual-time, state) memory sample (Fig. 8).
+struct MemorySample {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Statistics for one pipeline (core) over one run.
+struct PipelineStats {
+  std::uint64_t packets = 0;         // packets polled from the queue
+  std::uint64_t bytes = 0;
+  std::uint64_t delivered_packets = 0;  // packet-level callback runs
+  std::uint64_t delivered_conns = 0;    // connection records delivered
+  std::uint64_t delivered_sessions = 0; // session callback runs
+  std::uint64_t conns_created = 0;
+  std::uint64_t conns_dropped_filter = 0;  // removed by filter decision
+  std::uint64_t conns_expired = 0;         // removed by timeout
+  std::uint64_t conns_terminated = 0;      // natural FIN/RST completion
+  std::uint64_t sessions_parsed = 0;
+  std::uint64_t probe_failures = 0;  // connections with unknown protocol
+  std::uint64_t busy_cycles = 0;     // total cycles spent processing
+
+  StageCounters stages;
+  std::vector<MemorySample> memory_samples;
+
+  void merge(const PipelineStats& other);
+};
+
+/// Whole-run aggregate (all cores + NIC).
+struct RunStats {
+  PipelineStats total;                    // merged across cores
+  std::vector<PipelineStats> per_core;
+  std::uint64_t nic_rx_packets = 0;
+  std::uint64_t nic_rx_bytes = 0;
+  std::uint64_t nic_hw_dropped = 0;
+  std::uint64_t nic_sunk = 0;
+  std::uint64_t nic_ring_dropped = 0;     // packet loss
+  std::uint64_t trace_duration_ns = 0;    // virtual time span
+  double wall_seconds = 0.0;              // host processing time
+  double max_core_seconds = 0.0;          // slowest core's busy time
+
+  bool zero_loss() const noexcept { return nic_ring_dropped == 0; }
+  /// Offered throughput the run *kept up with*, in Gbit/s of ingress
+  /// traffic per second of the busiest core (capacity-mode metric).
+  double processed_gbps() const noexcept {
+    if (max_core_seconds <= 0) return 0.0;
+    return static_cast<double>(nic_rx_bytes) * 8.0 / 1e9 / max_core_seconds;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace retina::core

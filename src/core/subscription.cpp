@@ -1,0 +1,93 @@
+#include "core/subscription.hpp"
+
+namespace retina::core {
+
+Subscription Subscription::packets(std::string filter,
+                                   PacketCallback callback) {
+  Subscription s;
+  s.level_ = Level::kPacket;
+  s.filter_ = std::move(filter);
+  s.on_packet_ = std::move(callback);
+  return s;
+}
+
+Subscription Subscription::connections(std::string filter,
+                                       ConnCallback callback) {
+  Subscription s;
+  s.level_ = Level::kConnection;
+  s.filter_ = std::move(filter);
+  s.on_connection_ = std::move(callback);
+  return s;
+}
+
+Subscription Subscription::sessions(std::string filter,
+                                    SessionCallback callback) {
+  Subscription s;
+  s.level_ = Level::kSession;
+  s.filter_ = std::move(filter);
+  s.on_session_ = std::move(callback);
+  return s;
+}
+
+Subscription Subscription::byte_streams(std::string filter,
+                                        StreamCallback callback) {
+  Subscription s;
+  s.level_ = Level::kStream;
+  s.filter_ = std::move(filter);
+  s.on_stream_ = std::move(callback);
+  return s;
+}
+
+Subscription Subscription::tls_handshakes(
+    std::string filter,
+    std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
+        callback) {
+  auto s = sessions(std::move(filter),
+                    [cb = std::move(callback)](const SessionRecord& rec) {
+                      if (const auto* hs =
+                              rec.session.get<protocols::TlsHandshake>()) {
+                        cb(rec, *hs);
+                      }
+                    });
+  s.extra_parsers_.push_back("tls");
+  return s;
+}
+
+Subscription Subscription::http_transactions(
+    std::string filter,
+    std::function<void(const SessionRecord&,
+                       const protocols::HttpTransaction&)> callback) {
+  auto s = sessions(std::move(filter),
+                    [cb = std::move(callback)](const SessionRecord& rec) {
+                      if (const auto* tx =
+                              rec.session.get<protocols::HttpTransaction>()) {
+                        cb(rec, *tx);
+                      }
+                    });
+  s.extra_parsers_.push_back("http");
+  return s;
+}
+
+Subscription&& Subscription::with_parsers(
+    std::vector<std::string> parsers) && {
+  for (auto& p : parsers) extra_parsers_.push_back(std::move(p));
+  return std::move(*this);
+}
+
+void Subscription::deliver_packet(const packet::Mbuf& mbuf) const {
+  if (on_packet_) on_packet_(mbuf);
+}
+
+void Subscription::deliver_connection(const ConnRecord& record) const {
+  if (on_connection_) on_connection_(record);
+}
+
+void Subscription::deliver_session(const SessionRecord& record) const {
+  if (on_session_) on_session_(record);
+}
+
+void Subscription::deliver_stream(const StreamChunk& chunk) const {
+  if (on_stream_) on_stream_(chunk);
+}
+
+}  // namespace retina::core

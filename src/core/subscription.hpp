@@ -1,0 +1,143 @@
+// The subscription programming model (paper §3.2): users subscribe to
+// traffic with a *filter* and a *callback*, choosing one of three data
+// abstraction levels:
+//   - raw packets (L2–3), delivered in the order received;
+//   - reassembled connection records (L4);
+//   - parsed application-layer sessions (L5–7).
+// Filter and data type are independent: one can receive the raw packets
+// of connections whose TLS SNI matches a regex, or connection records of
+// HTTP flows, etc. Typed convenience constructors mirror Retina's
+// subscribable types (TlsHandshake, HttpTransaction, ...).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "packet/five_tuple.hpp"
+#include "packet/mbuf.hpp"
+#include "protocols/session.hpp"
+
+namespace retina::core {
+
+enum class Level { kPacket, kConnection, kSession, kStream };
+
+/// A reassembled-connection record (the L4 data type). Accumulated for
+/// every tracked connection and delivered when the connection ends
+/// (FIN/RST, timeout, or end of trace).
+struct ConnRecord {
+  packet::FiveTuple tuple;       // originator first
+  std::uint64_t first_ts_ns = 0;
+  std::uint64_t last_ts_ns = 0;
+
+  std::uint64_t pkts_up = 0;     // originator -> responder
+  std::uint64_t pkts_down = 0;
+  std::uint64_t bytes_up = 0;    // wire bytes
+  std::uint64_t bytes_down = 0;
+  std::uint64_t payload_up = 0;  // L4 payload bytes
+  std::uint64_t payload_down = 0;
+
+  std::uint32_t ooo_up = 0;      // out-of-order segments observed
+  std::uint32_t ooo_down = 0;
+  std::uint32_t dup_up = 0;      // retransmitted/duplicate segments
+  std::uint32_t dup_down = 0;
+
+  bool saw_syn = false;
+  bool saw_synack = false;
+  bool saw_fin = false;
+  bool saw_rst = false;
+  bool established = false;      // traffic in both directions
+
+  std::string app_proto;         // identified protocol ("" if unknown)
+
+  std::uint64_t duration_ns() const noexcept {
+    return last_ts_ns - first_ts_ns;
+  }
+  std::uint64_t total_bytes() const noexcept { return bytes_up + bytes_down; }
+  /// Single unanswered SYN (the 65% case on the paper's network).
+  bool single_syn() const noexcept {
+    return saw_syn && !established && pkts_down == 0;
+  }
+};
+
+/// A parsed session plus its connection context (the L5–7 data type).
+struct SessionRecord {
+  packet::FiveTuple tuple;
+  std::uint64_t ts_ns = 0;
+  protocols::Session session;
+};
+
+/// One in-order segment of a reconstructed byte-stream (the
+/// "fully reconstructed byte-stream" subscribable type of §3.3).
+/// Chunks of one direction arrive in sequence order with no gaps or
+/// duplicates; `end_of_stream` marks connection termination.
+struct StreamChunk {
+  packet::FiveTuple tuple;  // originator first
+  std::uint64_t ts_ns = 0;
+  bool from_originator = true;
+  bool end_of_stream = false;
+  std::span<const std::uint8_t> data{};
+};
+
+using PacketCallback = std::function<void(const packet::Mbuf&)>;
+using ConnCallback = std::function<void(const ConnRecord&)>;
+using SessionCallback = std::function<void(const SessionRecord&)>;
+using StreamCallback = std::function<void(const StreamChunk&)>;
+
+class Subscription {
+ public:
+  /// Raw packets matching `filter` (tagged packets of matching
+  /// connections when the filter has connection/session predicates).
+  static Subscription packets(std::string filter, PacketCallback callback);
+
+  /// Connection records for connections matching `filter`.
+  static Subscription connections(std::string filter, ConnCallback callback);
+
+  /// All parsed application-layer sessions matching `filter`. Which
+  /// parsers run is inferred from the filter; add more with
+  /// `with_parsers` when the filter names none.
+  static Subscription sessions(std::string filter, SessionCallback callback);
+
+  /// Reassembled, in-order byte-streams of connections matching
+  /// `filter`. Chunks before the filter resolves are buffered and
+  /// flushed on match (like packet buffering, Fig. 4a).
+  static Subscription byte_streams(std::string filter,
+                                   StreamCallback callback);
+
+  /// Typed conveniences (Retina's subscribable types).
+  static Subscription tls_handshakes(
+      std::string filter,
+      std::function<void(const SessionRecord&,
+                         const protocols::TlsHandshake&)> callback);
+  static Subscription http_transactions(
+      std::string filter,
+      std::function<void(const SessionRecord&,
+                         const protocols::HttpTransaction&)> callback);
+
+  /// Require additional protocol parsers beyond those the filter names.
+  Subscription&& with_parsers(std::vector<std::string> parsers) &&;
+
+  Level level() const noexcept { return level_; }
+  const std::string& filter() const noexcept { return filter_; }
+  const std::vector<std::string>& extra_parsers() const noexcept {
+    return extra_parsers_;
+  }
+
+  void deliver_packet(const packet::Mbuf& mbuf) const;
+  void deliver_connection(const ConnRecord& record) const;
+  void deliver_session(const SessionRecord& record) const;
+  void deliver_stream(const StreamChunk& chunk) const;
+
+ private:
+  Subscription() = default;
+
+  Level level_ = Level::kPacket;
+  std::string filter_;
+  std::vector<std::string> extra_parsers_;
+  PacketCallback on_packet_;
+  ConnCallback on_connection_;
+  SessionCallback on_session_;
+  StreamCallback on_stream_;
+};
+
+}  // namespace retina::core

@@ -1,0 +1,73 @@
+#include "filter/ast.hpp"
+
+namespace retina::filter {
+
+const char* cmp_op_name(CmpOp op) {
+  switch (op) {
+    case CmpOp::kUnary: return "";
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kIn: return "in";
+    case CmpOp::kMatches: return "matches";
+    case CmpOp::kContains: return "contains";
+  }
+  return "?";
+}
+
+std::string Predicate::to_string() const {
+  std::string s = proto;
+  if (!field.empty()) s += "." + field;
+  if (!is_unary()) {
+    s += " ";
+    s += cmp_op_name(op);
+    s += " ";
+    s += value_to_string(value);
+  }
+  return s;
+}
+
+ExprPtr Expr::make_pred(Predicate p) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kPredicate;
+  e->pred = std::move(p);
+  return e;
+}
+
+ExprPtr Expr::make_and(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kAnd;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::make_or(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kOr;
+  e->children = std::move(children);
+  return e;
+}
+
+std::string Expr::to_string() const {
+  switch (kind) {
+    case Kind::kPredicate:
+      return pred.to_string();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string joiner = kind == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (i) out += joiner;
+        out += children[i]->to_string();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace retina::filter

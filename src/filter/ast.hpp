@@ -1,0 +1,69 @@
+// Filter expression AST (paper Table 1). A filter is a logical
+// expression over predicates; each predicate is either unary (protocol
+// presence, e.g. `tls`) or binary (field comparison, e.g.
+// `tcp.port >= 100`, `tls.sni matches '...'`).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "filter/value.hpp"
+
+namespace retina::filter {
+
+/// Raised on any syntax or semantic error while building a filter.
+class FilterError : public std::runtime_error {
+ public:
+  explicit FilterError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class CmpOp {
+  kUnary,    // protocol presence, no RHS
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kIn,       // range or prefix containment
+  kMatches,  // regular expression ('matches' or '~')
+  kContains, // substring
+};
+
+const char* cmp_op_name(CmpOp op);
+
+struct Predicate {
+  std::string proto;  // e.g. "ipv4", "tcp", "tls"
+  std::string field;  // empty for unary predicates
+  CmpOp op = CmpOp::kUnary;
+  Value value{std::uint64_t{0}};
+
+  bool is_unary() const noexcept { return op == CmpOp::kUnary; }
+  bool operator==(const Predicate&) const = default;
+  std::string to_string() const;
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kPredicate, kAnd, kOr };
+
+  Kind kind = Kind::kPredicate;
+  Predicate pred;                 // valid when kind == kPredicate
+  std::vector<ExprPtr> children;  // valid for kAnd / kOr
+
+  static ExprPtr make_pred(Predicate p);
+  static ExprPtr make_and(std::vector<ExprPtr> children);
+  static ExprPtr make_or(std::vector<ExprPtr> children);
+
+  std::string to_string() const;
+};
+
+/// One DNF conjunction: the filter matches if all predicates of at least
+/// one pattern hold.
+using Pattern = std::vector<Predicate>;
+
+}  // namespace retina::filter

@@ -1,0 +1,404 @@
+#include "filter/decompose.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "packet/headers.hpp"
+
+namespace retina::filter {
+
+namespace {
+
+/// Semantic validation of a single predicate against the registry:
+/// protocol exists, field exists, operator and value fit the field type.
+void validate_predicate(const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  if (pred.is_unary()) return;
+
+  const auto* field = proto.find_field(pred.field);
+  if (!field) {
+    throw FilterError("protocol '" + pred.proto + "' has no field '" +
+                      pred.field + "'");
+  }
+
+  auto fail = [&](const char* why) {
+    throw FilterError("predicate '" + pred.to_string() + "': " + why);
+  };
+
+  switch (field->type) {
+    case FieldType::kInt:
+      switch (pred.op) {
+        case CmpOp::kEq:
+        case CmpOp::kNe:
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+        case CmpOp::kGt:
+        case CmpOp::kGe:
+          if (!std::holds_alternative<std::uint64_t>(pred.value)) {
+            fail("integer field requires an integer value");
+          }
+          break;
+        case CmpOp::kIn:
+          if (!std::holds_alternative<IntRange>(pred.value)) {
+            fail("'in' on an integer field requires a lo..hi range");
+          }
+          break;
+        default:
+          fail("operator not valid for an integer field");
+      }
+      break;
+    case FieldType::kString:
+      switch (pred.op) {
+        case CmpOp::kEq:
+        case CmpOp::kNe:
+        case CmpOp::kMatches:
+        case CmpOp::kContains:
+          if (!std::holds_alternative<std::string>(pred.value)) {
+            fail("string field requires a quoted string value");
+          }
+          break;
+        default:
+          fail("operator not valid for a string field");
+      }
+      break;
+    case FieldType::kIpAddr:
+      switch (pred.op) {
+        case CmpOp::kEq:
+        case CmpOp::kNe:
+        case CmpOp::kIn: {
+          const auto* prefix = std::get_if<IpPrefix>(&pred.value);
+          if (!prefix) fail("address field requires an IP or prefix value");
+          const bool want_v6 = pred.proto == "ipv6";
+          if (want_v6 != (prefix->addr.version == 6)) {
+            fail("address family does not match the protocol");
+          }
+          break;
+        }
+        default:
+          fail("operator not valid for an address field");
+      }
+      break;
+  }
+}
+
+FilterLayer layer_of(const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  if (proto.layer == FilterLayer::kPacket) return FilterLayer::kPacket;
+  return pred.is_unary() ? FilterLayer::kConnection : FilterLayer::kSession;
+}
+
+Predicate unary(const std::string& proto) {
+  Predicate p;
+  p.proto = proto;
+  p.op = CmpOp::kUnary;
+  return p;
+}
+
+/// Canonical ordering for field predicates within one layer group so
+/// shared constraints land on shared trie prefixes.
+void sort_canonical(std::vector<Predicate>& preds) {
+  std::sort(preds.begin(), preds.end(),
+            [](const Predicate& a, const Predicate& b) {
+              return a.to_string() < b.to_string();
+            });
+}
+
+struct PatternPieces {
+  std::vector<Predicate> eth_fields;
+  std::string l3;  // "", "ipv4", "ipv6" ("" = both variants)
+  std::vector<Predicate> l3_fields;
+  std::string l4;  // "", "tcp", "udp"
+  std::vector<Predicate> l4_fields;
+  std::string app;  // "", or the single app-layer protocol
+  std::vector<Predicate> session_fields;
+};
+
+PatternPieces split_pattern(const Pattern& pattern,
+                            const FieldRegistry& registry) {
+  PatternPieces pieces;
+  for (const auto& pred : pattern) {
+    validate_predicate(pred, registry);
+    const auto& proto = registry.require(pred.proto);
+
+    if (proto.layer == FilterLayer::kConnection) {
+      if (!pieces.app.empty() && pieces.app != pred.proto) {
+        throw FilterError(
+            "conjunction over two application protocols ('" + pieces.app +
+            "' and '" + pred.proto + "') can never match a connection");
+      }
+      pieces.app = pred.proto;
+      if (!pred.is_unary()) pieces.session_fields.push_back(pred);
+
+      // The app protocol pins the transport.
+      const auto& transport = proto.transport;
+      if (!pieces.l4.empty() && pieces.l4 != transport) {
+        throw FilterError("'" + pred.proto + "' runs over " + transport +
+                          " but the pattern also requires " + pieces.l4);
+      }
+      pieces.l4 = transport;
+      continue;
+    }
+
+    // Packet-layer protocols.
+    if (pred.proto == "eth") {
+      if (!pred.is_unary()) pieces.eth_fields.push_back(pred);
+    } else if (pred.proto == "ipv4" || pred.proto == "ipv6") {
+      if (!pieces.l3.empty() && pieces.l3 != pred.proto) {
+        throw FilterError("a packet cannot be both ipv4 and ipv6");
+      }
+      pieces.l3 = pred.proto;
+      if (!pred.is_unary()) pieces.l3_fields.push_back(pred);
+    } else if (pred.proto == "tcp" || pred.proto == "udp") {
+      if (!pieces.l4.empty() && pieces.l4 != pred.proto) {
+        throw FilterError("a packet cannot be both " + pieces.l4 + " and " +
+                          pred.proto);
+      }
+      pieces.l4 = pred.proto;
+      if (!pred.is_unary()) pieces.l4_fields.push_back(pred);
+    } else {
+      // An extension packet-layer protocol: treat like an L4 protocol
+      // hanging off IP. Supported for extensibility; no HW mapping.
+      if (!pieces.l4.empty() && pieces.l4 != pred.proto) {
+        throw FilterError("conflicting transport protocols in pattern");
+      }
+      pieces.l4 = pred.proto;
+      if (!pred.is_unary()) pieces.l4_fields.push_back(pred);
+    }
+  }
+
+  sort_canonical(pieces.eth_fields);
+  sort_canonical(pieces.l3_fields);
+  sort_canonical(pieces.l4_fields);
+  sort_canonical(pieces.session_fields);
+  return pieces;
+}
+
+/// Expand one DNF pattern into one or two (ipv4/ipv6 variants) expanded
+/// patterns with full parse chains and canonical ordering.
+std::vector<ExpandedPattern> expand_pattern(const Pattern& pattern,
+                                            const FieldRegistry& registry) {
+  const auto pieces = split_pattern(pattern, registry);
+
+  std::vector<std::string> l3_variants;
+  if (!pieces.l3.empty()) {
+    l3_variants.push_back(pieces.l3);
+  } else if (!pieces.l4.empty() || !pieces.app.empty()) {
+    // IP version unspecified: expand into both families (paper Fig. 3).
+    l3_variants = {"ipv4", "ipv6"};
+  }
+
+  std::vector<ExpandedPattern> out;
+  auto build = [&](const std::string& l3) {
+    ExpandedPattern ep;
+    auto push = [&](Predicate pred) {
+      const auto layer = layer_of(pred, registry);
+      ep.push_back(LayeredPredicate{std::move(pred), layer});
+    };
+
+    push(unary("eth"));
+    for (const auto& f : pieces.eth_fields) push(f);
+    if (!l3.empty()) {
+      push(unary(l3));
+      for (const auto& f : pieces.l3_fields) push(f);
+      if (!pieces.l4.empty()) {
+        push(unary(pieces.l4));
+        for (const auto& f : pieces.l4_fields) push(f);
+        if (!pieces.app.empty()) {
+          push(unary(pieces.app));
+          for (const auto& f : pieces.session_fields) push(f);
+        }
+      }
+    }
+    out.push_back(std::move(ep));
+  };
+
+  if (l3_variants.empty()) {
+    build("");
+  } else {
+    for (const auto& l3 : l3_variants) build(l3);
+  }
+  return out;
+}
+
+/// Map one expanded pattern's packet-layer constraints to a hardware
+/// flow rule, skipping anything the rule model cannot express (the
+/// software packet filter re-checks everything anyway).
+nic::FlowRule pattern_to_rule(const ExpandedPattern& pattern) {
+  nic::FlowRule rule;
+  for (const auto& lp : pattern) {
+    if (lp.layer != FilterLayer::kPacket) break;
+    const auto& pred = lp.pred;
+
+    if (pred.is_unary()) {
+      if (pred.proto == "ipv4") {
+        rule.ether_type = packet::kEtherTypeIpv4;
+      } else if (pred.proto == "ipv6") {
+        rule.ether_type = packet::kEtherTypeIpv6;
+      } else if (pred.proto == "tcp") {
+        rule.ip_proto = packet::kIpProtoTcp;
+      } else if (pred.proto == "udp") {
+        rule.ip_proto = packet::kIpProtoUdp;
+      }
+      continue;
+    }
+
+    // Field constraints: exact ports, port ranges (range-capable
+    // devices only), and IP prefixes map to rules.
+    const bool is_port_proto = pred.proto == "tcp" || pred.proto == "udp";
+    const bool is_port_field = pred.field == "port" ||
+                               pred.field == "src_port" ||
+                               pred.field == "dst_port";
+    nic::Direction port_dir = nic::Direction::kEither;
+    if (pred.field == "src_port") port_dir = nic::Direction::kSrc;
+    else if (pred.field == "dst_port") port_dir = nic::Direction::kDst;
+
+    if (is_port_proto && is_port_field && pred.op == CmpOp::kEq &&
+        !rule.port) {
+      const auto* v = std::get_if<std::uint64_t>(&pred.value);
+      if (v && *v <= 0xffff) {
+        rule.port = nic::PortMatch{static_cast<std::uint16_t>(*v), port_dir};
+      }
+      continue;
+    }
+    if (is_port_proto && is_port_field && !rule.port_range) {
+      // Ordered comparisons become ranges; capability validation later
+      // decides whether the device keeps or widens them.
+      const auto* v = std::get_if<std::uint64_t>(&pred.value);
+      const auto* range = std::get_if<IntRange>(&pred.value);
+      auto clamp16 = [](std::uint64_t x) {
+        return static_cast<std::uint16_t>(x > 0xffff ? 0xffff : x);
+      };
+      if (pred.op == CmpOp::kIn && range) {
+        rule.port_range =
+            nic::PortRangeMatch{clamp16(range->lo), clamp16(range->hi),
+                                port_dir};
+      } else if (v) {
+        switch (pred.op) {
+          case CmpOp::kGe:
+            rule.port_range = nic::PortRangeMatch{clamp16(*v), 0xffff,
+                                                  port_dir};
+            break;
+          case CmpOp::kGt:
+            if (*v < 0xffff) {
+              rule.port_range = nic::PortRangeMatch{clamp16(*v + 1), 0xffff,
+                                                    port_dir};
+            }
+            break;
+          case CmpOp::kLe:
+            rule.port_range = nic::PortRangeMatch{0, clamp16(*v), port_dir};
+            break;
+          case CmpOp::kLt:
+            if (*v > 0) {
+              rule.port_range = nic::PortRangeMatch{0, clamp16(*v - 1),
+                                                    port_dir};
+            }
+            break;
+          default:
+            break;
+        }
+      }
+      continue;
+    }
+    if (pred.proto == "ipv4" &&
+        (pred.op == CmpOp::kEq || pred.op == CmpOp::kIn) && !rule.v4_prefix) {
+      const auto* prefix = std::get_if<IpPrefix>(&pred.value);
+      if (prefix && prefix->addr.version == 4) {
+        nic::Direction dir = nic::Direction::kEither;
+        if (pred.field == "src_addr") dir = nic::Direction::kSrc;
+        else if (pred.field == "dst_addr") dir = nic::Direction::kDst;
+        else if (pred.field != "addr") continue;  // ttl/total_len/...
+        rule.v4_prefix = nic::PrefixMatchV4{prefix->addr.as_v4(),
+                                            prefix->prefix_len, dir};
+      }
+      continue;
+    }
+    if (pred.proto == "ipv6" &&
+        (pred.op == CmpOp::kEq || pred.op == CmpOp::kIn) && !rule.v6_prefix) {
+      const auto* prefix = std::get_if<IpPrefix>(&pred.value);
+      if (prefix && prefix->addr.version == 6) {
+        nic::Direction dir = nic::Direction::kEither;
+        if (pred.field == "src_addr") dir = nic::Direction::kSrc;
+        else if (pred.field == "dst_addr") dir = nic::Direction::kDst;
+        else if (pred.field != "addr") continue;
+        rule.v6_prefix = nic::PrefixMatchV6{prefix->addr.bytes,
+                                            prefix->prefix_len, dir};
+      }
+      continue;
+    }
+    // Everything else (ttl, regex, app-layer fields, ...) is not
+    // expressible in hardware; the rule stays broader than the pattern.
+  }
+  return rule;
+}
+
+}  // namespace
+
+DecomposedFilter decompose(const ExprPtr& expr, const FieldRegistry& registry,
+                           const nic::NicCapabilities& caps) {
+  DecomposedFilter out;
+  out.source = expr ? expr->to_string() : "";
+
+  const auto dnf = to_dnf(expr);
+  for (const auto& pattern : dnf) {
+    auto expanded = expand_pattern(pattern, registry);
+    for (auto& ep : expanded) {
+      out.trie.insert(ep);
+      out.patterns.push_back(std::move(ep));
+    }
+  }
+
+  // Collect the app-layer parsers the filter needs.
+  for (const auto& pattern : out.patterns) {
+    for (const auto& lp : pattern) {
+      if (lp.layer != FilterLayer::kPacket) {
+        out.app_protos.insert(registry.require(lp.pred.proto).app_proto_id);
+      }
+    }
+  }
+
+  // Hardware rules: one per pattern, validated and widened per device.
+  std::vector<nic::FlowRule> rules;
+  for (const auto& pattern : out.patterns) {
+    auto rule = pattern_to_rule(pattern);
+    if (!validate_rule(rule, caps)) {
+      rule = widen_rule(rule, caps);
+    }
+    const bool duplicate =
+        std::any_of(rules.begin(), rules.end(), [&](const nic::FlowRule& r) {
+          return r.ether_type == rule.ether_type &&
+                 r.ip_proto == rule.ip_proto &&
+                 r.port.has_value() == rule.port.has_value() &&
+                 (!r.port || (r.port->port == rule.port->port &&
+                              r.port->dir == rule.port->dir)) &&
+                 r.port_range.has_value() == rule.port_range.has_value() &&
+                 (!r.port_range ||
+                  (r.port_range->lo == rule.port_range->lo &&
+                   r.port_range->hi == rule.port_range->hi &&
+                   r.port_range->dir == rule.port_range->dir)) &&
+                 r.v4_prefix.has_value() == rule.v4_prefix.has_value() &&
+                 (!r.v4_prefix ||
+                  (r.v4_prefix->addr == rule.v4_prefix->addr &&
+                   r.v4_prefix->prefix_len == rule.v4_prefix->prefix_len &&
+                   r.v4_prefix->dir == rule.v4_prefix->dir)) &&
+                 r.v6_prefix.has_value() == rule.v6_prefix.has_value() &&
+                 (!r.v6_prefix ||
+                  (r.v6_prefix->addr == rule.v6_prefix->addr &&
+                   r.v6_prefix->prefix_len == rule.v6_prefix->prefix_len &&
+                   r.v6_prefix->dir == rule.v6_prefix->dir));
+        });
+    if (!duplicate) rules.push_back(rule);
+  }
+  for (auto& rule : rules) out.hw_rules.add(std::move(rule));
+
+  return out;
+}
+
+DecomposedFilter decompose(const std::string& filter,
+                           const FieldRegistry& registry,
+                           const nic::NicCapabilities& caps) {
+  auto result = decompose(parse_filter(filter), registry, caps);
+  result.source = filter;
+  return result;
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,51 @@
+// Filter decomposition (paper §4): a user filter expression becomes
+//   (1) a NIC-compatible hardware rule set (validated against the
+//       device's capability model and widened where unsupported, so the
+//       hardware always delivers a superset of the subscription),
+//   (2..4) a predicate trie whose nodes are tagged packet / connection /
+//       session, from which the three software sub-filters execute.
+//
+// Expansion details (paper §4.1): each DNF pattern is expanded with the
+// registry's encapsulation metadata so headers parse in sequence — an
+// `http` pattern becomes eth→ipv4→tcp→http and eth→ipv6→tcp→http — and
+// predicates are canonically ordered within each layer so patterns share
+// trie prefixes.
+#pragma once
+
+#include <set>
+
+#include "filter/dnf.hpp"
+#include "filter/parser.hpp"
+#include "filter/trie.hpp"
+#include "nic/flow_rule.hpp"
+
+namespace retina::filter {
+
+struct DecomposedFilter {
+  std::string source;                      // original filter text
+  PredicateTrie trie;
+  nic::FlowRuleSet hw_rules;               // validated/widened for device
+  std::vector<ExpandedPattern> patterns;   // post-expansion, for diagnostics
+  std::set<std::size_t> app_protos;        // parser ids the filter needs
+
+  bool needs_conn_stage() const {
+    return trie.has_layer(FilterLayer::kConnection);
+  }
+  bool needs_session_stage() const {
+    return trie.has_layer(FilterLayer::kSession);
+  }
+};
+
+/// Decompose a parsed expression. Throws FilterError on semantic errors
+/// (unknown protocol/field, operator/type mismatch, unsatisfiable
+/// conjunctions like `tcp and udp` or `tls and http`).
+DecomposedFilter decompose(
+    const ExprPtr& expr, const FieldRegistry& registry,
+    const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
+
+/// Convenience: parse + decompose.
+DecomposedFilter decompose(
+    const std::string& filter, const FieldRegistry& registry,
+    const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
+
+}  // namespace retina::filter

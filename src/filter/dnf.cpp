@@ -1,0 +1,73 @@
+#include "filter/dnf.hpp"
+
+namespace retina::filter {
+
+namespace {
+
+std::vector<Pattern> expand(const Expr& expr, std::size_t max_patterns) {
+  switch (expr.kind) {
+    case Expr::Kind::kPredicate:
+      return {Pattern{expr.pred}};
+
+    case Expr::Kind::kOr: {
+      std::vector<Pattern> out;
+      for (const auto& child : expr.children) {
+        auto sub = expand(*child, max_patterns);
+        out.insert(out.end(), std::make_move_iterator(sub.begin()),
+                   std::make_move_iterator(sub.end()));
+        if (out.size() > max_patterns) {
+          throw FilterError("filter expands to too many patterns");
+        }
+      }
+      return out;
+    }
+
+    case Expr::Kind::kAnd: {
+      std::vector<Pattern> out{Pattern{}};
+      for (const auto& child : expr.children) {
+        const auto sub = expand(*child, max_patterns);
+        std::vector<Pattern> next;
+        next.reserve(out.size() * sub.size());
+        for (const auto& left : out) {
+          for (const auto& right : sub) {
+            Pattern merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+            if (next.size() > max_patterns) {
+              throw FilterError("filter expands to too many patterns");
+            }
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Pattern> to_dnf(const ExprPtr& expr, std::size_t max_patterns) {
+  if (!expr) throw FilterError("empty filter expression");
+  auto patterns = expand(*expr, max_patterns);
+
+  // Drop duplicate predicates within each pattern (a and a == a).
+  for (auto& pattern : patterns) {
+    Pattern dedup;
+    for (auto& pred : pattern) {
+      bool seen = false;
+      for (const auto& existing : dedup) {
+        if (existing == pred) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) dedup.push_back(std::move(pred));
+    }
+    pattern = std::move(dedup);
+  }
+  return patterns;
+}
+
+}  // namespace retina::filter

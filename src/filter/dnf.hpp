@@ -1,0 +1,18 @@
+// Disjunctive-normal-form conversion (paper §4.1): the filter expression
+// becomes a set of patterns, each a conjunction of atomic predicates;
+// input traffic satisfies the filter if it matches at least one pattern.
+#pragma once
+
+#include <vector>
+
+#include "filter/ast.hpp"
+
+namespace retina::filter {
+
+/// Convert an expression to DNF. Throws FilterError if expansion exceeds
+/// `max_patterns` (guards against adversarial (a or b) and (c or d) ...
+/// blowup).
+std::vector<Pattern> to_dnf(const ExprPtr& expr,
+                            std::size_t max_patterns = 4096);
+
+}  // namespace retina::filter

@@ -1,0 +1,79 @@
+// Shared predicate comparison semantics used by both filter execution
+// engines (compiled and interpreted), so Appendix B's speedup comparison
+// measures dispatch strategy, not semantic differences.
+//
+// Multi-valued fields (tcp.port, ipv4.addr) match if ANY yielded value
+// satisfies the comparison — the Wireshark convention the filter
+// language borrows (note the usual `!=` caveat: `tcp.port != 443` is
+// true if either endpoint port differs).
+#pragma once
+
+#include <regex>
+
+#include "filter/ast.hpp"
+#include "filter/field_registry.hpp"
+
+namespace retina::filter {
+
+inline bool compare_int(CmpOp op, std::uint64_t actual, const Value& value) {
+  if (const auto* range = std::get_if<IntRange>(&value)) {
+    return op == CmpOp::kIn && range->contains(actual);
+  }
+  const auto* rhs = std::get_if<std::uint64_t>(&value);
+  if (!rhs) return false;
+  switch (op) {
+    case CmpOp::kEq: return actual == *rhs;
+    case CmpOp::kNe: return actual != *rhs;
+    case CmpOp::kLt: return actual < *rhs;
+    case CmpOp::kLe: return actual <= *rhs;
+    case CmpOp::kGt: return actual > *rhs;
+    case CmpOp::kGe: return actual >= *rhs;
+    default: return false;
+  }
+}
+
+/// `re` must be the precompiled regex when op == kMatches (both engines
+/// compile each regex exactly once, paper §4.1 "lazily evaluated static
+/// variables").
+inline bool compare_string(CmpOp op, const std::string& actual,
+                           const Value& value, const std::regex* re) {
+  const auto* rhs = std::get_if<std::string>(&value);
+  if (!rhs) return false;
+  switch (op) {
+    case CmpOp::kEq: return actual == *rhs;
+    case CmpOp::kNe: return actual != *rhs;
+    case CmpOp::kContains: return actual.find(*rhs) != std::string::npos;
+    case CmpOp::kMatches:
+      return re != nullptr && std::regex_search(actual, *re);
+    default: return false;
+  }
+}
+
+inline bool compare_ip(CmpOp op, const packet::IpAddr& actual,
+                       const Value& value) {
+  const auto* prefix = std::get_if<IpPrefix>(&value);
+  if (!prefix) return false;
+  switch (op) {
+    case CmpOp::kEq:
+    case CmpOp::kIn: return prefix->contains(actual);
+    case CmpOp::kNe: return !prefix->contains(actual);
+    default: return false;
+  }
+}
+
+/// Generic comparison over a FieldValue (used by the interpreter).
+inline bool compare_value(CmpOp op, const FieldValue& actual,
+                          const Value& value, const std::regex* re) {
+  if (const auto* n = std::get_if<std::uint64_t>(&actual)) {
+    return compare_int(op, *n, value);
+  }
+  if (const auto* s = std::get_if<std::string>(&actual)) {
+    return compare_string(op, *s, value, re);
+  }
+  if (const auto* ip = std::get_if<packet::IpAddr>(&actual)) {
+    return compare_ip(op, *ip, value);
+  }
+  return false;
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,450 @@
+#include "filter/field_registry.hpp"
+
+#include <algorithm>
+
+#include "filter/ast.hpp"
+
+namespace retina::filter {
+
+namespace {
+
+using packet::IpAddr;
+using packet::PacketView;
+using protocols::DnsMessage;
+using protocols::HttpTransaction;
+using protocols::Session;
+using protocols::SshHandshake;
+using protocols::TlsHandshake;
+
+FieldDef int_field(std::string name, PacketFieldFn get) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.type = FieldType::kInt;
+  f.packet_get = std::move(get);
+  return f;
+}
+
+FieldDef ip_field(std::string name, PacketFieldFn get) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.type = FieldType::kIpAddr;
+  f.packet_get = std::move(get);
+  return f;
+}
+
+FieldDef session_str_field(std::string name, SessionFieldFn get) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.type = FieldType::kString;
+  f.session_get = std::move(get);
+  return f;
+}
+
+FieldDef session_int_field(std::string name, SessionFieldFn get) {
+  FieldDef f;
+  f.name = std::move(name);
+  f.type = FieldType::kInt;
+  f.session_get = std::move(get);
+  return f;
+}
+
+void add_field(ProtoDef& proto, FieldDef field) {
+  auto name = field.name;
+  proto.fields.emplace(std::move(name), std::move(field));
+}
+
+ProtoDef make_eth() {
+  ProtoDef p;
+  p.name = "eth";
+  p.layer = FilterLayer::kPacket;
+  p.encapsulates = {"ipv4", "ipv6"};
+  p.present = [](const PacketView& pkt) { return pkt.eth().has_value(); };
+  add_field(p, int_field("ether_type",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.eth())
+                             out.emplace_back(std::uint64_t{
+                                 pkt.eth()->ether_type()});
+                         }));
+  return p;
+}
+
+ProtoDef make_ipv4() {
+  ProtoDef p;
+  p.name = "ipv4";
+  p.layer = FilterLayer::kPacket;
+  p.encapsulates = {"tcp", "udp"};
+  p.present = [](const PacketView& pkt) { return pkt.ipv4().has_value(); };
+  add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.ipv4()) {
+                out.emplace_back(IpAddr::v4(pkt.ipv4()->src_addr()));
+                out.emplace_back(IpAddr::v4(pkt.ipv4()->dst_addr()));
+              }
+            }));
+  add_field(p, ip_field("src_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.ipv4())
+                            out.emplace_back(
+                                IpAddr::v4(pkt.ipv4()->src_addr()));
+                        }));
+  add_field(p, ip_field("dst_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.ipv4())
+                            out.emplace_back(
+                                IpAddr::v4(pkt.ipv4()->dst_addr()));
+                        }));
+  add_field(p, int_field("ttl", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.ipv4())
+                out.emplace_back(std::uint64_t{pkt.ipv4()->ttl()});
+            }));
+  add_field(p, int_field("total_len",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.ipv4())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.ipv4()->total_len()});
+                         }));
+  return p;
+}
+
+ProtoDef make_ipv6() {
+  ProtoDef p;
+  p.name = "ipv6";
+  p.layer = FilterLayer::kPacket;
+  p.encapsulates = {"tcp", "udp"};
+  p.present = [](const PacketView& pkt) { return pkt.ipv6().has_value(); };
+  add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.ipv6()) {
+                out.emplace_back(IpAddr::v6(pkt.ipv6()->src_addr()));
+                out.emplace_back(IpAddr::v6(pkt.ipv6()->dst_addr()));
+              }
+            }));
+  add_field(p, ip_field("src_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.ipv6())
+                            out.emplace_back(
+                                IpAddr::v6(pkt.ipv6()->src_addr()));
+                        }));
+  add_field(p, ip_field("dst_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.ipv6())
+                            out.emplace_back(
+                                IpAddr::v6(pkt.ipv6()->dst_addr()));
+                        }));
+  add_field(p, int_field("hop_limit",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.ipv6())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.ipv6()->hop_limit()});
+                         }));
+  return p;
+}
+
+ProtoDef make_tcp() {
+  ProtoDef p;
+  p.name = "tcp";
+  p.layer = FilterLayer::kPacket;
+  p.encapsulates = {"tls", "http", "ssh"};
+  p.present = [](const PacketView& pkt) { return pkt.tcp().has_value(); };
+  add_field(p, int_field("port", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.tcp()) {
+                out.emplace_back(std::uint64_t{pkt.tcp()->src_port()});
+                out.emplace_back(std::uint64_t{pkt.tcp()->dst_port()});
+              }
+            }));
+  add_field(p, int_field("src_port",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.tcp())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.tcp()->src_port()});
+                         }));
+  add_field(p, int_field("dst_port",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.tcp())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.tcp()->dst_port()});
+                         }));
+  add_field(p, int_field("flags", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.tcp())
+                out.emplace_back(std::uint64_t{pkt.tcp()->flags()});
+            }));
+  add_field(p, int_field("window",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.tcp())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.tcp()->window()});
+                         }));
+  return p;
+}
+
+ProtoDef make_udp() {
+  ProtoDef p;
+  p.name = "udp";
+  p.layer = FilterLayer::kPacket;
+  p.encapsulates = {"dns"};
+  p.present = [](const PacketView& pkt) { return pkt.udp().has_value(); };
+  add_field(p, int_field("port", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.udp()) {
+                out.emplace_back(std::uint64_t{pkt.udp()->src_port()});
+                out.emplace_back(std::uint64_t{pkt.udp()->dst_port()});
+              }
+            }));
+  add_field(p, int_field("src_port",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.udp())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.udp()->src_port()});
+                         }));
+  add_field(p, int_field("dst_port",
+                         [](const PacketView& pkt, FieldValues& out) {
+                           if (pkt.udp())
+                             out.emplace_back(
+                                 std::uint64_t{pkt.udp()->dst_port()});
+                         }));
+  return p;
+}
+
+ProtoDef make_tls() {
+  ProtoDef p;
+  p.name = "tls";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "tcp";
+  add_field(p, session_str_field(
+                   "sni", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       out.emplace_back(h->sni);
+                   }));
+  add_field(p, session_int_field(
+                   "version", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       out.emplace_back(std::uint64_t{h->version()});
+                   }));
+  add_field(p, session_str_field(
+                   "cipher", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       out.emplace_back(h->cipher_name());
+                   }));
+  add_field(p, session_int_field(
+                   "cipher_id", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       out.emplace_back(std::uint64_t{h->cipher_selected});
+                   }));
+  add_field(p, session_str_field(
+                   "alpn", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       for (const auto& a : h->alpn_offered)
+                         out.emplace_back(a);
+                   }));
+  add_field(p, session_str_field(
+                   "subject", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       if (!h->subject_cn.empty())
+                         out.emplace_back(h->subject_cn);
+                   }));
+  add_field(p, session_str_field(
+                   "issuer", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<TlsHandshake>())
+                       if (!h->issuer_cn.empty())
+                         out.emplace_back(h->issuer_cn);
+                   }));
+  return p;
+}
+
+ProtoDef make_http() {
+  ProtoDef p;
+  p.name = "http";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "tcp";
+  add_field(p, session_str_field(
+                   "method", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<HttpTransaction>())
+                       out.emplace_back(h->method);
+                   }));
+  add_field(p, session_str_field(
+                   "uri", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<HttpTransaction>())
+                       out.emplace_back(h->uri);
+                   }));
+  add_field(p, session_str_field(
+                   "host", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<HttpTransaction>())
+                       out.emplace_back(h->host);
+                   }));
+  add_field(p, session_str_field(
+                   "user_agent", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<HttpTransaction>())
+                       out.emplace_back(h->user_agent);
+                   }));
+  add_field(p, session_int_field(
+                   "status", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<HttpTransaction>())
+                       if (h->has_response)
+                         out.emplace_back(std::uint64_t{h->status_code});
+                   }));
+  return p;
+}
+
+ProtoDef make_ssh() {
+  ProtoDef p;
+  p.name = "ssh";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "tcp";
+  add_field(p, session_str_field(
+                   "client_banner", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<SshHandshake>())
+                       out.emplace_back(h->client_banner);
+                   }));
+  add_field(p, session_str_field(
+                   "server_banner", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<SshHandshake>())
+                       out.emplace_back(h->server_banner);
+                   }));
+  return p;
+}
+
+ProtoDef make_smtp() {
+  ProtoDef p;
+  p.name = "smtp";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "tcp";
+  add_field(p, session_str_field(
+                   "helo", [](const Session& s, FieldValues& out) {
+                     if (const auto* e = s.get<protocols::SmtpEnvelope>())
+                       out.emplace_back(e->helo);
+                   }));
+  add_field(p, session_str_field(
+                   "mail_from", [](const Session& s, FieldValues& out) {
+                     if (const auto* e = s.get<protocols::SmtpEnvelope>())
+                       out.emplace_back(e->mail_from);
+                   }));
+  add_field(p, session_str_field(
+                   "rcpt_to", [](const Session& s, FieldValues& out) {
+                     if (const auto* e = s.get<protocols::SmtpEnvelope>())
+                       for (const auto& rcpt : e->rcpt_to)
+                         out.emplace_back(rcpt);
+                   }));
+  add_field(p, session_int_field(
+                   "starttls", [](const Session& s, FieldValues& out) {
+                     if (const auto* e = s.get<protocols::SmtpEnvelope>())
+                       out.emplace_back(std::uint64_t{e->starttls ? 1u : 0u});
+                   }));
+  return p;
+}
+
+ProtoDef make_quic() {
+  ProtoDef p;
+  p.name = "quic";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "udp";
+  add_field(p, session_int_field(
+                   "version", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<protocols::QuicHandshake>())
+                       out.emplace_back(std::uint64_t{h->version});
+                   }));
+  add_field(p, session_int_field(
+                   "dcid_len", [](const Session& s, FieldValues& out) {
+                     if (const auto* h = s.get<protocols::QuicHandshake>())
+                       out.emplace_back(std::uint64_t{h->dcid.size()});
+                   }));
+  return p;
+}
+
+ProtoDef make_dns() {
+  ProtoDef p;
+  p.name = "dns";
+  p.layer = FilterLayer::kConnection;
+  p.transport = "udp";
+  add_field(p, session_str_field(
+                   "qname", [](const Session& s, FieldValues& out) {
+                     if (const auto* m = s.get<DnsMessage>())
+                       for (const auto& q : m->questions)
+                         out.emplace_back(q.qname);
+                   }));
+  add_field(p, session_int_field(
+                   "qtype", [](const Session& s, FieldValues& out) {
+                     if (const auto* m = s.get<DnsMessage>())
+                       for (const auto& q : m->questions)
+                         out.emplace_back(std::uint64_t{q.qtype});
+                   }));
+  add_field(p, session_int_field(
+                   "answers", [](const Session& s, FieldValues& out) {
+                     if (const auto* m = s.get<DnsMessage>())
+                       out.emplace_back(std::uint64_t{m->answer_count});
+                   }));
+  return p;
+}
+
+}  // namespace
+
+void FieldRegistry::register_proto(ProtoDef def) {
+  if (protos_.count(def.name)) {
+    throw FilterError("protocol '" + def.name + "' is already registered");
+  }
+  if (def.layer == FilterLayer::kConnection) {
+    // App-layer protocols chain beneath their transport; the transport
+    // must exist (it may list the protocol already, or we append it).
+    auto it = protos_.find(def.transport);
+    if (it == protos_.end()) {
+      throw FilterError("protocol '" + def.name + "' declares unknown " +
+                        "transport '" + def.transport + "'");
+    }
+    auto& kids = it->second.encapsulates;
+    if (std::find(kids.begin(), kids.end(), def.name) == kids.end()) {
+      kids.push_back(def.name);
+    }
+    app_names_.push_back(def.name);
+    def.app_proto_id = app_names_.size();  // dense ids starting at 1
+  }
+  auto name = def.name;
+  protos_.emplace(std::move(name), std::move(def));
+}
+
+const ProtoDef* FieldRegistry::find(const std::string& name) const {
+  auto it = protos_.find(name);
+  return it == protos_.end() ? nullptr : &it->second;
+}
+
+const ProtoDef& FieldRegistry::require(const std::string& name) const {
+  const auto* p = find(name);
+  if (!p) {
+    throw FilterError("unknown protocol '" + name +
+                      "' (not registered with the framework)");
+  }
+  return *p;
+}
+
+const std::string& FieldRegistry::app_proto_name(std::size_t id) const {
+  static const std::string empty;
+  if (id == 0 || id > app_names_.size()) return empty;
+  return app_names_[id - 1];
+}
+
+const std::vector<std::string>& FieldRegistry::children_of(
+    const std::string& name) const {
+  static const std::vector<std::string> none;
+  const auto* p = find(name);
+  return p ? p->encapsulates : none;
+}
+
+void register_builtin_protocols(FieldRegistry& registry) {
+  registry.register_proto(make_eth());
+  registry.register_proto(make_ipv4());
+  registry.register_proto(make_ipv6());
+  registry.register_proto(make_tcp());
+  registry.register_proto(make_udp());
+  registry.register_proto(make_tls());
+  registry.register_proto(make_http());
+  registry.register_proto(make_ssh());
+  registry.register_proto(make_dns());
+  registry.register_proto(make_quic());
+  registry.register_proto(make_smtp());
+}
+
+const FieldRegistry& FieldRegistry::builtin() {
+  static const FieldRegistry* instance = [] {
+    auto* r = new FieldRegistry();
+    register_builtin_protocols(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace retina::filter

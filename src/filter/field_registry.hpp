@@ -1,0 +1,109 @@
+// Extensible protocol/field registry (paper §3.3). In contrast to BPF,
+// filterable identifiers are not hard-wired into the engine: each
+// protocol module registers its name, where it sits in the stack
+// (packet vs application layer), what it encapsulates, and a set of
+// named fields with typed accessors. The filter decomposer validates
+// predicates against this registry, the compiled filter resolves
+// accessors through it once at build time, and the interpreted filter
+// (Appendix B baseline) looks identifiers up here on every evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "packet/packet_view.hpp"
+#include "protocols/session.hpp"
+#include "util/small_vector.hpp"
+
+namespace retina::filter {
+
+/// Which decomposed sub-filter a predicate executes in (paper §4).
+enum class FilterLayer { kPacket, kConnection, kSession };
+
+enum class FieldType { kInt, kString, kIpAddr };
+
+using FieldValue =
+    std::variant<std::uint64_t, std::string, packet::IpAddr>;
+
+/// Accessors may yield several values for direction-agnostic fields
+/// (`tcp.port` yields src and dst); a predicate matches if ANY yielded
+/// value satisfies the comparison. Inline storage keeps predicate
+/// evaluation allocation-free on the hot path.
+using FieldValues = util::SmallVector<FieldValue, 2>;
+
+using PacketFieldFn =
+    std::function<void(const packet::PacketView&, FieldValues&)>;
+using SessionFieldFn =
+    std::function<void(const protocols::Session&, FieldValues&)>;
+using PacketPresenceFn = std::function<bool(const packet::PacketView&)>;
+
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kInt;
+  PacketFieldFn packet_get;    // set for packet-layer protocols
+  SessionFieldFn session_get;  // set for application-layer protocols
+};
+
+struct ProtoDef {
+  std::string name;
+  FilterLayer layer = FilterLayer::kPacket;
+  /// Child protocols in encapsulation order (used to expand patterns
+  /// into full parse chains, §4.1).
+  std::vector<std::string> encapsulates;
+  /// For application-layer protocols: the transport they ride on.
+  std::string transport;
+  /// Unary presence check for packet-layer protocols.
+  PacketPresenceFn present;
+  /// Application-protocol id used by the connection filter and parser
+  /// registry; 0 for packet-layer protocols. Ids are dense and start
+  /// at 1.
+  std::size_t app_proto_id = 0;
+
+  std::map<std::string, FieldDef> fields;
+
+  const FieldDef* find_field(const std::string& field) const {
+    auto it = fields.find(field);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class FieldRegistry {
+ public:
+  /// The registry pre-populated with the built-in protocol modules:
+  /// eth, ipv4, ipv6, tcp, udp (packet layer) and tls, http, ssh, dns
+  /// (application layer).
+  static const FieldRegistry& builtin();
+
+  /// An empty registry for tests / custom stacks.
+  FieldRegistry() = default;
+
+  /// Register a protocol module. Throws FilterError on duplicate names
+  /// or (for app-layer protocols) unknown transports.
+  void register_proto(ProtoDef def);
+
+  const ProtoDef* find(const std::string& name) const;
+  /// Like find(), but throws FilterError with a helpful message.
+  const ProtoDef& require(const std::string& name) const;
+
+  /// App-layer protocol name for a given id (empty if unknown).
+  const std::string& app_proto_name(std::size_t id) const;
+  std::size_t num_app_protos() const noexcept { return app_names_.size(); }
+
+  /// All protocols directly encapsulated by `name`.
+  const std::vector<std::string>& children_of(const std::string& name) const;
+
+ private:
+  std::map<std::string, ProtoDef> protos_;
+  std::vector<std::string> app_names_;  // index = app_proto_id - 1
+};
+
+/// Populate a registry with the built-in modules (exposed so tests can
+/// build extended registries on top).
+void register_builtin_protocols(FieldRegistry& registry);
+
+}  // namespace retina::filter

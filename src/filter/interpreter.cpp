@@ -1,0 +1,155 @@
+#include "filter/interpreter.hpp"
+
+#include "filter/eval.hpp"
+
+namespace retina::filter {
+
+InterpretedFilter::InterpretedFilter(DecomposedFilter decomposed,
+                                     const FieldRegistry& registry)
+    : decomposed_(std::move(decomposed)), registry_(&registry) {
+  for (const auto& node : decomposed_.trie.nodes()) {
+    const auto& pred = node.pred.pred;
+    if (pred.op == CmpOp::kMatches) {
+      if (const auto* pattern = std::get_if<std::string>(&pred.value)) {
+        regex_cache_.emplace(*pattern, std::regex(*pattern));
+      }
+    }
+  }
+}
+
+bool InterpretedFilter::eval_packet_pred(
+    const Predicate& pred, const packet::PacketView& pkt) const {
+  // Name-based resolution on every evaluation: this is the interpreted
+  // engine's defining cost.
+  const auto* proto = registry_->find(pred.proto);
+  if (!proto) return false;
+  if (pred.is_unary()) {
+    return proto->present && proto->present(pkt);
+  }
+  const auto* field = proto->find_field(pred.field);
+  if (!field || !field->packet_get) return false;
+
+  const std::regex* re = nullptr;
+  if (pred.op == CmpOp::kMatches) {
+    const auto it =
+        regex_cache_.find(std::get<std::string>(pred.value));
+    if (it != regex_cache_.end()) re = &it->second;
+  }
+
+  FieldValues vals;
+  field->packet_get(pkt, vals);
+  for (const auto& v : vals) {
+    if (compare_value(pred.op, v, pred.value, re)) return true;
+  }
+  return false;
+}
+
+bool InterpretedFilter::eval_session_pred(
+    const Predicate& pred, const protocols::Session& session) const {
+  const auto* proto = registry_->find(pred.proto);
+  if (!proto) return false;
+  const auto* field = proto->find_field(pred.field);
+  if (!field || !field->session_get) return false;
+
+  const std::regex* re = nullptr;
+  if (pred.op == CmpOp::kMatches) {
+    const auto it =
+        regex_cache_.find(std::get<std::string>(pred.value));
+    if (it != regex_cache_.end()) re = &it->second;
+  }
+
+  FieldValues vals;
+  field->session_get(session, vals);
+  for (const auto& v : vals) {
+    if (compare_value(pred.op, v, pred.value, re)) return true;
+  }
+  return false;
+}
+
+bool InterpretedFilter::node_has_conn_child(const TrieNode& node) const {
+  for (const auto child : node.children) {
+    if (decomposed_.trie.node(child).pred.layer != FilterLayer::kPacket) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool InterpretedFilter::packet_dfs(std::uint32_t id,
+                                   const packet::PacketView& pkt,
+                                   FilterResult& best) const {
+  const auto& node = decomposed_.trie.node(id);
+  for (const auto child_id : node.children) {
+    const auto& child = decomposed_.trie.node(child_id);
+    if (child.pred.layer != FilterLayer::kPacket) continue;
+    if (!eval_packet_pred(child.pred.pred, pkt)) continue;
+
+    if (child.terminal) {
+      best = FilterResult::terminal_match(child_id);
+      return true;
+    }
+    if (node_has_conn_child(child)) {
+      if (best.kind == MatchKind::kNoMatch ||
+          decomposed_.trie.path_to(best.node_id).size() <
+              decomposed_.trie.path_to(child_id).size()) {
+        best = FilterResult::non_terminal(child_id);
+      }
+    }
+    if (packet_dfs(child_id, pkt, best)) return true;
+  }
+  return false;
+}
+
+FilterResult InterpretedFilter::packet_filter(
+    const packet::PacketView& pkt) const {
+  FilterResult best = FilterResult::no_match();
+  packet_dfs(0, pkt, best);
+  return best;
+}
+
+FilterResult InterpretedFilter::conn_filter(std::uint32_t pkt_term_node,
+                                            std::size_t app_proto_id) const {
+  if (pkt_term_node >= decomposed_.trie.size()) {
+    return FilterResult::no_match();
+  }
+  FilterResult best = FilterResult::no_match();
+  for (const auto path_id : decomposed_.trie.path_to(pkt_term_node)) {
+    for (const auto child_id : decomposed_.trie.node(path_id).children) {
+      const auto& child = decomposed_.trie.node(child_id);
+      if (child.pred.layer != FilterLayer::kConnection) continue;
+      const auto* proto = registry_->find(child.pred.pred.proto);
+      if (!proto || proto->app_proto_id != app_proto_id) continue;
+      if (child.terminal) return FilterResult::terminal_match(child_id);
+      best = FilterResult::non_terminal(child_id);
+    }
+  }
+  return best;
+}
+
+bool InterpretedFilter::session_dfs(std::uint32_t id,
+                                    const protocols::Session& session) const {
+  const auto& node = decomposed_.trie.node(id);
+  if (!eval_session_pred(node.pred.pred, session)) return false;
+  if (node.terminal) return true;
+  for (const auto child_id : node.children) {
+    if (decomposed_.trie.node(child_id).pred.layer != FilterLayer::kSession)
+      continue;
+    if (session_dfs(child_id, session)) return true;
+  }
+  return false;
+}
+
+bool InterpretedFilter::session_filter(
+    std::uint32_t conn_term_node, const protocols::Session& session) const {
+  if (conn_term_node >= decomposed_.trie.size()) return false;
+  const auto& conn_node = decomposed_.trie.node(conn_term_node);
+  if (conn_node.terminal) return true;
+  for (const auto child_id : conn_node.children) {
+    if (decomposed_.trie.node(child_id).pred.layer != FilterLayer::kSession)
+      continue;
+    if (session_dfs(child_id, session)) return true;
+  }
+  return false;
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,59 @@
+// Runtime-interpreted filter execution — the baseline Appendix B
+// compares compiled filters against. Semantics are identical to
+// CompiledFilter; the difference is dispatch: every predicate evaluation
+// re-resolves its protocol and field by *name* through the registry
+// (two map lookups), fetches values through the generic FieldValue
+// variant, and fetches regexes from a pattern-keyed cache. This is how a
+// filter engine without code generation (e.g. a config-driven monitor)
+// executes, and it is what "interpreting filters at runtime" costs.
+#pragma once
+
+#include <map>
+#include <regex>
+
+#include "filter/decompose.hpp"
+#include "protocols/session.hpp"
+
+namespace retina::filter {
+
+class InterpretedFilter {
+ public:
+  InterpretedFilter(DecomposedFilter decomposed,
+                    const FieldRegistry& registry);
+
+  FilterResult packet_filter(const packet::PacketView& pkt) const;
+  FilterResult conn_filter(std::uint32_t pkt_term_node,
+                           std::size_t app_proto_id) const;
+  bool session_filter(std::uint32_t conn_term_node,
+                      const protocols::Session& session) const;
+
+  bool needs_conn_stage() const { return decomposed_.needs_conn_stage(); }
+  bool needs_session_stage() const {
+    return decomposed_.needs_session_stage();
+  }
+  const std::set<std::size_t>& app_protos() const noexcept {
+    return decomposed_.app_protos;
+  }
+  const nic::FlowRuleSet& hw_rules() const noexcept {
+    return decomposed_.hw_rules;
+  }
+
+ private:
+  bool eval_packet_pred(const Predicate& pred,
+                        const packet::PacketView& pkt) const;
+  bool eval_session_pred(const Predicate& pred,
+                         const protocols::Session& session) const;
+  bool packet_dfs(std::uint32_t id, const packet::PacketView& pkt,
+                  FilterResult& best) const;
+  bool session_dfs(std::uint32_t id,
+                   const protocols::Session& session) const;
+  bool node_has_conn_child(const TrieNode& node) const;
+
+  DecomposedFilter decomposed_;
+  const FieldRegistry* registry_;
+  // Regexes are compiled once (as in the compiled engine) but fetched by
+  // pattern text on each evaluation.
+  std::map<std::string, std::regex> regex_cache_;
+};
+
+}  // namespace retina::filter

@@ -1,0 +1,166 @@
+#include "filter/lexer.hpp"
+
+#include <cctype>
+
+namespace retina::filter {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_atom_char(char c) {
+  // Covers decimal/hex ints, dotted IPv4, IPv6 groups, prefixes, ranges.
+  return std::isxdigit(static_cast<unsigned char>(c)) || c == '.' ||
+         c == ':' || c == '/' || c == 'x' || c == 'X';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto push = [&](TokenKind kind, std::string text, std::size_t pos) {
+    tokens.push_back(Token{kind, std::move(text), pos});
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "(", start); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", start); ++i; continue;
+      case '=': push(TokenKind::kEq, "=", start); ++i; continue;
+      case '~': push(TokenKind::kTilde, "~", start); ++i; continue;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+          continue;
+        }
+        throw FilterError("unexpected '!' at offset " + std::to_string(start));
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        continue;
+      case '\'': {
+        ++i;
+        std::string text;
+        bool closed = false;
+        while (i < n) {
+          const char sc = input[i];
+          if (sc == '\\' && i + 1 < n) {
+            // Preserve regex escapes (\. etc.) except for quote escaping.
+            if (input[i + 1] == '\'') {
+              text += '\'';
+              i += 2;
+              continue;
+            }
+            text += sc;
+            text += input[i + 1];
+            i += 2;
+            continue;
+          }
+          if (sc == '\'') {
+            closed = true;
+            ++i;
+            break;
+          }
+          text += sc;
+          ++i;
+        }
+        if (!closed) {
+          throw FilterError("unterminated string at offset " +
+                            std::to_string(start));
+        }
+        push(TokenKind::kString, std::move(text), start);
+        continue;
+      }
+      default:
+        break;
+    }
+
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      i = j;
+      if (word == "and") push(TokenKind::kAnd, word, start);
+      else if (word == "or") push(TokenKind::kOr, word, start);
+      else if (word == "in") push(TokenKind::kIn, word, start);
+      else if (word == "matches") push(TokenKind::kMatches, word, start);
+      else if (word == "contains") push(TokenKind::kContains, word, start);
+      else push(TokenKind::kIdent, std::move(word), start);
+      // Field access: '.' immediately followed by an identifier.
+      if (i < n && input[i] == '.' && i + 1 < n && is_ident_start(input[i + 1])) {
+        push(TokenKind::kDot, ".", i);
+        ++i;
+      }
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == ':') {
+      std::size_t j = i;
+      while (j < n && is_atom_char(input[j])) ++j;
+      push(TokenKind::kAtom, input.substr(i, j - i), start);
+      i = j;
+      continue;
+    }
+
+    throw FilterError(std::string("unexpected character '") + c +
+                      "' at offset " + std::to_string(start));
+  }
+
+  tokens.push_back(Token{TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kAtom: return "value";
+    case TokenKind::kString: return "string";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kEq: return "=";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kTilde: return "~";
+    case TokenKind::kAnd: return "and";
+    case TokenKind::kOr: return "or";
+    case TokenKind::kIn: return "in";
+    case TokenKind::kMatches: return "matches";
+    case TokenKind::kContains: return "contains";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,49 @@
+// Tokenizer for the Wireshark-inspired filter syntax (paper Table 1).
+// Identifiers start with a letter; raw value atoms (ints, IPv4/IPv6
+// literals, prefixes, ranges) start with a digit or ':' and are handed
+// to the parser as uninterpreted text; strings are single-quoted with
+// backslash escapes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "filter/ast.hpp"
+
+namespace retina::filter {
+
+enum class TokenKind {
+  kIdent,    // tls, ipv4, user_agent
+  kAtom,     // 443, 3::b/125, 10.0.0.0/8, 100..200
+  kString,   // 'Firefox'
+  kDot,      // field access
+  kLParen,
+  kRParen,
+  kEq,       // =
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kTilde,    // ~ (alias of matches)
+  kAnd,
+  kOr,
+  kIn,
+  kMatches,
+  kContains,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t pos = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenize the whole input. Throws FilterError on invalid characters or
+/// unterminated strings.
+std::vector<Token> tokenize(const std::string& input);
+
+const char* token_kind_name(TokenKind kind);
+
+}  // namespace retina::filter

@@ -1,0 +1,166 @@
+#include "filter/parser.hpp"
+
+#include <cctype>
+#include <optional>
+
+#include "filter/lexer.hpp"
+
+namespace retina::filter {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ExprPtr parse() {
+    auto e = parse_or();
+    expect(TokenKind::kEnd);
+    return e;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept(TokenKind kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(TokenKind kind) {
+    if (!accept(kind)) {
+      throw FilterError(std::string("expected ") + token_kind_name(kind) +
+                        " but found " + token_kind_name(peek().kind) +
+                        " at offset " + std::to_string(peek().pos));
+    }
+  }
+
+  ExprPtr parse_or() {
+    std::vector<ExprPtr> terms;
+    terms.push_back(parse_and());
+    while (accept(TokenKind::kOr)) {
+      terms.push_back(parse_and());
+    }
+    if (terms.size() == 1) return terms.front();
+    return Expr::make_or(std::move(terms));
+  }
+
+  ExprPtr parse_and() {
+    std::vector<ExprPtr> factors;
+    factors.push_back(parse_factor());
+    while (accept(TokenKind::kAnd)) {
+      factors.push_back(parse_factor());
+    }
+    if (factors.size() == 1) return factors.front();
+    return Expr::make_and(std::move(factors));
+  }
+
+  ExprPtr parse_factor() {
+    if (accept(TokenKind::kLParen)) {
+      auto e = parse_or();
+      expect(TokenKind::kRParen);
+      return e;
+    }
+    return parse_predicate();
+  }
+
+  ExprPtr parse_predicate() {
+    if (peek().kind != TokenKind::kIdent) {
+      throw FilterError(std::string("expected a protocol name but found ") +
+                        token_kind_name(peek().kind) + " at offset " +
+                        std::to_string(peek().pos));
+    }
+    Predicate pred;
+    pred.proto = advance().text;
+    if (accept(TokenKind::kDot)) {
+      if (peek().kind != TokenKind::kIdent) {
+        throw FilterError("expected a field name after '.' at offset " +
+                          std::to_string(peek().pos));
+      }
+      pred.field = advance().text;
+    }
+
+    const auto op = parse_op();
+    if (!op) {
+      // Unary predicate: protocol (or protocol.field, rejected later).
+      if (!pred.field.empty()) {
+        throw FilterError("field predicate '" + pred.proto + "." + pred.field +
+                          "' requires a comparison operator");
+      }
+      pred.op = CmpOp::kUnary;
+      return Expr::make_pred(std::move(pred));
+    }
+    if (pred.field.empty()) {
+      throw FilterError("comparison on protocol '" + pred.proto +
+                        "' requires a field (e.g. " + pred.proto + ".port)");
+    }
+    pred.op = *op;
+    pred.value = parse_rhs(*op);
+    return Expr::make_pred(std::move(pred));
+  }
+
+  std::optional<CmpOp> parse_op() {
+    switch (peek().kind) {
+      case TokenKind::kEq: ++pos_; return CmpOp::kEq;
+      case TokenKind::kNe: ++pos_; return CmpOp::kNe;
+      case TokenKind::kLt: ++pos_; return CmpOp::kLt;
+      case TokenKind::kLe: ++pos_; return CmpOp::kLe;
+      case TokenKind::kGt: ++pos_; return CmpOp::kGt;
+      case TokenKind::kGe: ++pos_; return CmpOp::kGe;
+      case TokenKind::kIn: ++pos_; return CmpOp::kIn;
+      case TokenKind::kMatches:
+      case TokenKind::kTilde: ++pos_; return CmpOp::kMatches;
+      case TokenKind::kContains: ++pos_; return CmpOp::kContains;
+      default: return std::nullopt;
+    }
+  }
+
+  Value parse_rhs(CmpOp op) {
+    const Token& tok = peek();
+    if (tok.kind == TokenKind::kString) {
+      ++pos_;
+      return Value{tok.text};
+    }
+    if (tok.kind == TokenKind::kAtom) {
+      ++pos_;
+      auto v = parse_value_atom(tok.text);
+      if (!v) {
+        throw FilterError("malformed value '" + tok.text + "' at offset " +
+                          std::to_string(tok.pos));
+      }
+      return *v;
+    }
+    throw FilterError(std::string("expected a value after '") +
+                      cmp_op_name(op) + "' at offset " +
+                      std::to_string(tok.pos));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_filter(const std::string& input) {
+  // An empty filter subscribes to everything (matches all traffic).
+  bool only_space = true;
+  for (char c : input) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      only_space = false;
+      break;
+    }
+  }
+  if (only_space) {
+    Predicate p;
+    p.proto = "eth";
+    p.op = CmpOp::kUnary;
+    return Expr::make_pred(std::move(p));
+  }
+  return Parser(tokenize(input)).parse();
+}
+
+}  // namespace retina::filter

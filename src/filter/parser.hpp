@@ -1,0 +1,23 @@
+// Recursive-descent parser for the filter language:
+//
+//   expr      := term ('or' term)*
+//   term      := factor ('and' factor)*
+//   factor    := '(' expr ')' | predicate
+//   predicate := IDENT ['.' IDENT] [op rhs]
+//   op        := '=' | '!=' | '<' | '<=' | '>' | '>=' | 'in'
+//              | 'matches' | '~' | 'contains'
+//   rhs       := ATOM | STRING
+//
+// The parser is purely syntactic; semantic validation (does the protocol
+// exist, is the field filterable, does the value type fit) happens in
+// the field registry during decomposition.
+#pragma once
+
+#include "filter/ast.hpp"
+
+namespace retina::filter {
+
+/// Parse a filter expression. Throws FilterError on syntax errors.
+ExprPtr parse_filter(const std::string& input);
+
+}  // namespace retina::filter

@@ -1,0 +1,234 @@
+#include "filter/program.hpp"
+
+#include "filter/eval.hpp"
+
+namespace retina::filter {
+
+namespace {
+
+/// Build the packet-layer thunk for one predicate: accessor, operator,
+/// and constant are bound now; evaluation is a direct call.
+std::function<bool(const packet::PacketView&)> compile_packet_pred(
+    const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  if (pred.is_unary()) {
+    return proto.present;
+  }
+  const auto* field = proto.find_field(pred.field);
+  // decompose() validated this; belt-and-braces for direct compile calls.
+  if (!field || !field->packet_get) {
+    throw FilterError("cannot compile packet predicate " + pred.to_string());
+  }
+
+  const auto get = field->packet_get;
+  const auto op = pred.op;
+  const auto value = pred.value;
+
+  switch (field->type) {
+    case FieldType::kInt:
+      return [get, op, value](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* n = std::get_if<std::uint64_t>(&v)) {
+            if (compare_int(op, *n, value)) return true;
+          }
+        }
+        return false;
+      };
+    case FieldType::kIpAddr:
+      return [get, op, value](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* ip = std::get_if<packet::IpAddr>(&v)) {
+            if (compare_ip(op, *ip, value)) return true;
+          }
+        }
+        return false;
+      };
+    case FieldType::kString: {
+      auto re = std::make_shared<const std::regex>(
+          op == CmpOp::kMatches ? std::get<std::string>(value) : "");
+      return [get, op, value, re](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* s = std::get_if<std::string>(&v)) {
+            if (compare_string(op, *s, value,
+                               op == CmpOp::kMatches ? re.get() : nullptr))
+              return true;
+          }
+        }
+        return false;
+      };
+    }
+  }
+  throw FilterError("unreachable field type");
+}
+
+std::function<bool(const protocols::Session&)> compile_session_pred(
+    const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  const auto* field = proto.find_field(pred.field);
+  if (!field || !field->session_get) {
+    throw FilterError("cannot compile session predicate " + pred.to_string());
+  }
+
+  const auto get = field->session_get;
+  const auto op = pred.op;
+  const auto value = pred.value;
+  // Regexes compile exactly once, at filter build time (the analogue of
+  // Retina's lazy_static declarations, §4.1).
+  std::shared_ptr<const std::regex> re;
+  if (op == CmpOp::kMatches) {
+    re = std::make_shared<const std::regex>(std::get<std::string>(value));
+  }
+
+  return [get, op, value, re](const protocols::Session& session) {
+    FieldValues vals;
+    get(session, vals);
+    for (const auto& v : vals) {
+      if (compare_value(op, v, value, re.get())) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace
+
+CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
+                                       const FieldRegistry& registry) {
+  CompiledFilter cf;
+  cf.source_ = decomposed.source;
+  cf.hw_rules_ = decomposed.hw_rules;
+  cf.app_protos_ = decomposed.app_protos;
+  cf.needs_conn_ = decomposed.needs_conn_stage();
+  cf.needs_session_ = decomposed.needs_session_stage();
+
+  const auto& trie_nodes = decomposed.trie.nodes();
+  cf.nodes_.resize(trie_nodes.size());
+  for (std::size_t i = 0; i < trie_nodes.size(); ++i) {
+    const auto& src = trie_nodes[i];
+    auto& dst = cf.nodes_[i];
+    dst.layer = src.pred.layer;
+    dst.terminal = src.terminal;
+    dst.parent = src.parent;
+    dst.children = src.children;
+    dst.path = decomposed.trie.path_to(src.id);
+    if (i == 0) continue;  // root has no predicate
+
+    switch (src.pred.layer) {
+      case FilterLayer::kPacket:
+        dst.packet_eval = compile_packet_pred(src.pred.pred, registry);
+        break;
+      case FilterLayer::kConnection:
+        dst.app_proto = registry.require(src.pred.pred.proto).app_proto_id;
+        break;
+      case FilterLayer::kSession:
+        dst.session_eval = compile_session_pred(src.pred.pred, registry);
+        break;
+    }
+  }
+
+  // Precompute, for each packet node, whether any child continues into
+  // the connection/session layers (a "non-terminal" packet leaf).
+  for (auto& node : cf.nodes_) {
+    for (auto child : node.children) {
+      if (cf.nodes_[child].layer != FilterLayer::kPacket) {
+        node.has_conn_descendant = true;
+        break;
+      }
+    }
+  }
+
+  return cf;
+}
+
+CompiledFilter CompiledFilter::compile(const std::string& filter,
+                                       const FieldRegistry& registry,
+                                       const nic::NicCapabilities& caps) {
+  return compile(decompose(filter, registry, caps), registry);
+}
+
+bool CompiledFilter::packet_dfs(std::uint32_t id,
+                                const packet::PacketView& pkt,
+                                FilterResult& best) const {
+  const auto& node = nodes_[id];
+  for (const auto child_id : node.children) {
+    const auto& child = nodes_[child_id];
+    if (child.layer != FilterLayer::kPacket) continue;
+    if (!child.packet_eval(pkt)) continue;
+
+    if (child.terminal) {
+      best = FilterResult::terminal_match(child_id);
+      return true;  // a satisfied pattern: the whole filter matches
+    }
+    if (child.has_conn_descendant) {
+      // Deeper matches are more specific; keep the deepest.
+      if (best.kind == MatchKind::kNoMatch ||
+          nodes_[best.node_id].path.size() < child.path.size()) {
+        best = FilterResult::non_terminal(child_id);
+      }
+    }
+    if (packet_dfs(child_id, pkt, best)) return true;
+  }
+  return false;
+}
+
+FilterResult CompiledFilter::packet_filter(
+    const packet::PacketView& pkt) const {
+  FilterResult best = FilterResult::no_match();
+  packet_dfs(0, pkt, best);
+  return best;
+}
+
+FilterResult CompiledFilter::conn_filter(std::uint32_t pkt_term_node,
+                                         std::size_t app_proto_id) const {
+  if (pkt_term_node >= nodes_.size()) return FilterResult::no_match();
+
+  // Connection predicates can hang off any node along the matched packet
+  // path: a deeper packet match (e.g. tcp.port >= 100) implies all its
+  // ancestors (tcp), whose other connection children (http under tcp)
+  // remain viable continuations.
+  FilterResult best = FilterResult::no_match();
+  for (const auto path_id : nodes_[pkt_term_node].path) {
+    for (const auto child_id : nodes_[path_id].children) {
+      const auto& child = nodes_[child_id];
+      if (child.layer != FilterLayer::kConnection) continue;
+      if (child.app_proto != app_proto_id) continue;
+      if (child.terminal) {
+        return FilterResult::terminal_match(child_id);
+      }
+      best = FilterResult::non_terminal(child_id);
+    }
+  }
+  return best;
+}
+
+bool CompiledFilter::session_dfs(std::uint32_t id,
+                                 const protocols::Session& session) const {
+  const auto& node = nodes_[id];
+  if (!node.session_eval(session)) return false;
+  if (node.terminal) return true;
+  for (const auto child_id : node.children) {
+    if (nodes_[child_id].layer != FilterLayer::kSession) continue;
+    if (session_dfs(child_id, session)) return true;
+  }
+  return false;
+}
+
+bool CompiledFilter::session_filter(std::uint32_t conn_term_node,
+                                    const protocols::Session& session) const {
+  if (conn_term_node >= nodes_.size()) return false;
+  const auto& conn_node = nodes_[conn_term_node];
+  if (conn_node.terminal) return true;  // already fully matched
+
+  for (const auto child_id : conn_node.children) {
+    if (nodes_[child_id].layer != FilterLayer::kSession) continue;
+    if (session_dfs(child_id, session)) return true;
+  }
+  return false;
+}
+
+}  // namespace retina::filter

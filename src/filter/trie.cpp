@@ -1,0 +1,106 @@
+#include "filter/trie.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace retina::filter {
+
+PredicateTrie::PredicateTrie() {
+  nodes_.push_back(TrieNode{});  // root, id 0
+}
+
+void PredicateTrie::insert(const ExpandedPattern& pattern) {
+  std::uint32_t current = 0;
+  for (const auto& lp : pattern) {
+    // Optimization: a pattern passing through an existing terminal node
+    // is redundant beyond that node — the shorter pattern already
+    // matches everything this one would.
+    if (nodes_[current].terminal) return;
+
+    const auto& kids = nodes_[current].children;
+    const auto it = std::find_if(
+        kids.begin(), kids.end(),
+        [&](std::uint32_t id) { return nodes_[id].pred == lp; });
+    if (it != kids.end()) {
+      current = *it;
+      continue;
+    }
+    TrieNode node;
+    node.id = static_cast<std::uint32_t>(nodes_.size());
+    node.parent = current;
+    node.pred = lp;
+    nodes_[current].children.push_back(node.id);
+    nodes_.push_back(std::move(node));
+    current = nodes_.back().id;
+  }
+  // Optimization: a newly terminal node makes its subtree redundant.
+  nodes_[current].terminal = true;
+  prune_subtree(current);
+}
+
+void PredicateTrie::prune_subtree(std::uint32_t id) {
+  // Nodes are kept in the vector (ids are stable) but detached, so they
+  // are unreachable from the root. `has_layer` and the sub-filter
+  // generators only walk reachable nodes.
+  nodes_[id].children.clear();
+}
+
+bool PredicateTrie::has_layer(FilterLayer layer) const {
+  // Walk reachable nodes only.
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const auto id = stack.back();
+    stack.pop_back();
+    const auto& node = nodes_[id];
+    if (id != 0 && node.pred.layer == layer) return true;
+    for (auto child : node.children) stack.push_back(child);
+  }
+  return false;
+}
+
+std::vector<std::uint32_t> PredicateTrie::path_to(std::uint32_t id) const {
+  std::vector<std::uint32_t> path;
+  std::uint32_t current = id;
+  while (true) {
+    path.push_back(current);
+    if (current == 0) break;
+    current = nodes_[current].parent;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string PredicateTrie::to_string() const {
+  std::ostringstream os;
+  struct Frame {
+    std::uint32_t id;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    const auto& node = nodes_[id];
+    for (std::size_t i = 0; i < depth; ++i) os << "  ";
+    if (id == 0) {
+      os << "(root)";
+    } else {
+      os << "[" << id << "] " << node.pred.pred.to_string();
+      switch (node.pred.layer) {
+        case FilterLayer::kPacket: os << "  {packet"; break;
+        case FilterLayer::kConnection: os << "  {conn"; break;
+        case FilterLayer::kSession: os << "  {session"; break;
+      }
+      if (node.terminal) os << ", terminal";
+      os << "}";
+    }
+    os << "\n";
+    // Push children in reverse so they print in insertion order.
+    for (auto it = node.children.rbegin(); it != node.children.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,93 @@
+// Predicate trie (paper §4.1): the intermediate representation between
+// the DNF pattern set and the generated sub-filters. Every node has a
+// single parent (eliminating ambiguity at compile time), carries the
+// layer its predicate executes in (packet / connection / session), and
+// is flagged terminal when at least one pattern ends there. Input data
+// satisfies the filter iff it matches some root-to-terminal path.
+//
+// The optimization pass from the paper is folded into insertion:
+//  * a pattern extending past an existing terminal node is pruned (the
+//    shorter pattern already matches a superset of its traffic);
+//  * marking a node terminal deletes its now-redundant subtree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "filter/ast.hpp"
+#include "filter/field_registry.hpp"
+
+namespace retina::filter {
+
+/// A predicate annotated with the sub-filter layer it executes in.
+struct LayeredPredicate {
+  Predicate pred;
+  FilterLayer layer = FilterLayer::kPacket;
+
+  bool operator==(const LayeredPredicate&) const = default;
+};
+
+/// One fully expanded, canonically ordered pattern (decompose.cpp builds
+/// these from DNF patterns).
+using ExpandedPattern = std::vector<LayeredPredicate>;
+
+struct TrieNode {
+  std::uint32_t id = 0;
+  std::uint32_t parent = 0;
+  LayeredPredicate pred;  // unset for the root
+  bool terminal = false;
+  std::vector<std::uint32_t> children;
+};
+
+/// Result of the packet and connection sub-filters. kTerminal means a
+/// whole pattern is satisfied; kNonTerminal carries the id of the
+/// deepest matched node so downstream filters resume mid-trie instead of
+/// re-walking it (paper §4.1).
+enum class MatchKind { kNoMatch, kNonTerminal, kTerminal };
+
+struct FilterResult {
+  MatchKind kind = MatchKind::kNoMatch;
+  std::uint32_t node_id = 0;
+
+  bool matched() const noexcept { return kind != MatchKind::kNoMatch; }
+  bool terminal() const noexcept { return kind == MatchKind::kTerminal; }
+
+  static FilterResult no_match() { return {}; }
+  static FilterResult non_terminal(std::uint32_t id) {
+    return {MatchKind::kNonTerminal, id};
+  }
+  static FilterResult terminal_match(std::uint32_t id) {
+    return {MatchKind::kTerminal, id};
+  }
+};
+
+class PredicateTrie {
+ public:
+  PredicateTrie();
+
+  /// Insert one expanded pattern. Shares prefixes with existing paths;
+  /// applies the redundancy optimizations described above.
+  void insert(const ExpandedPattern& pattern);
+
+  const std::vector<TrieNode>& nodes() const noexcept { return nodes_; }
+  const TrieNode& node(std::uint32_t id) const { return nodes_.at(id); }
+  const TrieNode& root() const { return nodes_.front(); }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// True if any live node executes in `layer`.
+  bool has_layer(FilterLayer layer) const;
+
+  /// Ids along the root→node path, inclusive, root first.
+  std::vector<std::uint32_t> path_to(std::uint32_t id) const;
+
+  /// Multi-line dump for debugging/tests.
+  std::string to_string() const;
+
+ private:
+  void prune_subtree(std::uint32_t id);
+
+  std::vector<TrieNode> nodes_;
+};
+
+}  // namespace retina::filter

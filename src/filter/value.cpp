@@ -1,0 +1,174 @@
+#include "filter/value.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace retina::filter {
+
+bool IpPrefix::contains(const packet::IpAddr& ip) const noexcept {
+  if (ip.version != addr.version) return false;
+  // Compare the leading prefix_len bits of the 16-byte representation.
+  // IPv4 lives in the last 4 bytes, so shift the bit offset accordingly.
+  const std::size_t base_bit = addr.version == 4 ? 96 : 0;
+  const std::size_t max_bits = addr.version == 4 ? 32 : 128;
+  const std::size_t bits = std::min<std::size_t>(prefix_len, max_bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const std::size_t bit = base_bit + i;
+    const std::size_t byte = bit / 8;
+    const std::uint8_t mask = static_cast<std::uint8_t>(0x80 >> (bit % 8));
+    if ((addr.bytes[byte] & mask) != (ip.bytes[byte] & mask)) return false;
+  }
+  return true;
+}
+
+std::string IpPrefix::to_string() const {
+  return addr.to_string() + "/" + std::to_string(prefix_len);
+}
+
+namespace {
+
+std::optional<std::uint64_t> parse_uint(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  int base = 10;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    first += 2;
+    base = 16;
+  }
+  auto [ptr, ec] = std::from_chars(first, last, v, base);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint32_t> parse_ipv4(const std::string& s) {
+  unsigned a, b, c, d;
+  char extra;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4)
+    return std::nullopt;
+  if (a > 255 || b > 255 || c > 255 || d > 255) return std::nullopt;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+std::optional<std::array<std::uint8_t, 16>> parse_ipv6(const std::string& s) {
+  // Minimal RFC 4291 text form: hex groups separated by ':' with at most
+  // one '::' elision. No embedded IPv4 form.
+  std::array<std::uint8_t, 16> out{};
+  std::vector<std::uint16_t> head, tail;
+  bool seen_elision = false;
+  std::size_t i = 0;
+
+  auto parse_group = [&](std::vector<std::uint16_t>& dst) -> bool {
+    std::size_t start = i;
+    while (i < s.size() && s[i] != ':') ++i;
+    if (i == start || i - start > 4) return false;
+    std::uint32_t v = 0;
+    for (std::size_t k = start; k < i; ++k) {
+      const char ch = s[k];
+      std::uint32_t digit;
+      if (ch >= '0' && ch <= '9') digit = static_cast<std::uint32_t>(ch - '0');
+      else if (ch >= 'a' && ch <= 'f') digit = static_cast<std::uint32_t>(ch - 'a' + 10);
+      else if (ch >= 'A' && ch <= 'F') digit = static_cast<std::uint32_t>(ch - 'A' + 10);
+      else return false;
+      v = (v << 4) | digit;
+    }
+    dst.push_back(static_cast<std::uint16_t>(v));
+    return true;
+  };
+
+  if (s.rfind("::", 0) == 0) {
+    seen_elision = true;
+    i = 2;
+  }
+  while (i < s.size()) {
+    auto& dst = seen_elision ? tail : head;
+    if (!parse_group(dst)) return std::nullopt;
+    if (i < s.size()) {
+      if (s[i] != ':') return std::nullopt;
+      ++i;
+      if (i < s.size() && s[i] == ':') {
+        if (seen_elision) return std::nullopt;
+        seen_elision = true;
+        ++i;
+      } else if (i == s.size()) {
+        return std::nullopt;  // trailing single ':'
+      }
+    }
+  }
+  const std::size_t groups = head.size() + tail.size();
+  if (groups > 8 || (!seen_elision && groups != 8)) return std::nullopt;
+  for (std::size_t g = 0; g < head.size(); ++g) {
+    out[2 * g] = static_cast<std::uint8_t>(head[g] >> 8);
+    out[2 * g + 1] = static_cast<std::uint8_t>(head[g]);
+  }
+  for (std::size_t g = 0; g < tail.size(); ++g) {
+    const std::size_t pos = 8 - tail.size() + g;
+    out[2 * pos] = static_cast<std::uint8_t>(tail[g] >> 8);
+    out[2 * pos + 1] = static_cast<std::uint8_t>(tail[g]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Value> parse_value_atom(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+
+  // Range: lo..hi
+  if (const auto dots = text.find(".."); dots != std::string::npos &&
+                                         text.find('.', dots + 2) ==
+                                             std::string::npos) {
+    const auto lo = parse_uint(text.substr(0, dots));
+    const auto hi = parse_uint(text.substr(dots + 2));
+    if (lo && hi && *lo <= *hi) return Value{IntRange{*lo, *hi}};
+    return std::nullopt;
+  }
+
+  // Prefix split.
+  std::string addr_part = text;
+  std::optional<std::uint64_t> plen;
+  if (const auto slash = text.find('/'); slash != std::string::npos) {
+    addr_part = text.substr(0, slash);
+    plen = parse_uint(text.substr(slash + 1));
+    if (!plen) return std::nullopt;
+  }
+
+  if (addr_part.find(':') != std::string::npos) {
+    const auto v6 = parse_ipv6(addr_part);
+    if (!v6 || (plen && *plen > 128)) return std::nullopt;
+    IpPrefix p;
+    p.addr = packet::IpAddr::v6(*v6);
+    p.prefix_len = static_cast<std::uint8_t>(plen.value_or(128));
+    return Value{p};
+  }
+  if (addr_part.find('.') != std::string::npos) {
+    const auto v4 = parse_ipv4(addr_part);
+    if (!v4 || (plen && *plen > 32)) return std::nullopt;
+    IpPrefix p;
+    p.addr = packet::IpAddr::v4(*v4);
+    p.prefix_len = static_cast<std::uint8_t>(plen.value_or(32));
+    return Value{p};
+  }
+  if (plen) return std::nullopt;  // "123/8" is not a thing
+
+  const auto n = parse_uint(addr_part);
+  if (!n) return std::nullopt;
+  return Value{*n};
+}
+
+std::string value_to_string(const Value& v) {
+  struct Visitor {
+    std::string operator()(std::uint64_t n) const { return std::to_string(n); }
+    std::string operator()(const std::string& s) const { return "'" + s + "'"; }
+    std::string operator()(const IpPrefix& p) const { return p.to_string(); }
+    std::string operator()(const IntRange& r) const {
+      return std::to_string(r.lo) + ".." + std::to_string(r.hi);
+    }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+}  // namespace retina::filter

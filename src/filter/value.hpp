@@ -1,0 +1,42 @@
+// Right-hand-side values of filter predicates (paper Table 1):
+// int | string | ipv4 | ipv6 | int_range. IP literals are represented as
+// prefixes (a bare address is a full-length prefix) so `=` and `in`
+// share one containment routine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "packet/five_tuple.hpp"
+
+namespace retina::filter {
+
+struct IpPrefix {
+  packet::IpAddr addr;
+  std::uint8_t prefix_len = 32;  // bits; up to 128 for IPv6
+
+  bool contains(const packet::IpAddr& ip) const noexcept;
+  bool operator==(const IpPrefix&) const = default;
+  std::string to_string() const;
+};
+
+struct IntRange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;  // inclusive
+
+  bool contains(std::uint64_t v) const noexcept { return v >= lo && v <= hi; }
+  bool operator==(const IntRange&) const = default;
+};
+
+using Value = std::variant<std::uint64_t, std::string, IpPrefix, IntRange>;
+
+/// Parse a raw value token: decimal/hex integer, `lo..hi` range, dotted
+/// IPv4 (optionally /len), or colon-form IPv6 (optionally /len).
+/// Returns nullopt on malformed input.
+std::optional<Value> parse_value_atom(const std::string& text);
+
+std::string value_to_string(const Value& v);
+
+}  // namespace retina::filter

@@ -1,0 +1,140 @@
+#include "nic/flow_rule.hpp"
+
+#include <sstream>
+
+namespace retina::nic {
+
+bool FlowRule::matches(const packet::PacketView& pkt) const noexcept {
+  if (ether_type) {
+    if (!pkt.eth() || pkt.eth()->ether_type() != *ether_type) return false;
+  }
+  if (ip_proto) {
+    std::uint8_t proto = 0;
+    if (pkt.ipv4()) {
+      proto = pkt.ipv4()->protocol();
+    } else if (pkt.ipv6()) {
+      proto = pkt.ipv6()->next_header();
+    } else {
+      return false;
+    }
+    if (proto != *ip_proto) return false;
+  }
+  if (port) {
+    if (!pkt.five_tuple()) return false;
+    const auto& t = *pkt.five_tuple();
+    const bool src_ok = t.src_port == port->port;
+    const bool dst_ok = t.dst_port == port->port;
+    switch (port->dir) {
+      case Direction::kSrc:
+        if (!src_ok) return false;
+        break;
+      case Direction::kDst:
+        if (!dst_ok) return false;
+        break;
+      case Direction::kEither:
+        if (!src_ok && !dst_ok) return false;
+        break;
+    }
+  }
+  if (port_range) {
+    if (!pkt.five_tuple()) return false;
+    const auto& t = *pkt.five_tuple();
+    const bool src_ok = port_range->contains(t.src_port);
+    const bool dst_ok = port_range->contains(t.dst_port);
+    switch (port_range->dir) {
+      case Direction::kSrc:
+        if (!src_ok) return false;
+        break;
+      case Direction::kDst:
+        if (!dst_ok) return false;
+        break;
+      case Direction::kEither:
+        if (!src_ok && !dst_ok) return false;
+        break;
+    }
+  }
+  if (v6_prefix) {
+    if (!pkt.ipv6()) return false;
+    const auto src = pkt.ipv6()->src_addr();
+    const auto dst = pkt.ipv6()->dst_addr();
+    switch (v6_prefix->dir) {
+      case Direction::kSrc:
+        if (!v6_prefix->contains(src)) return false;
+        break;
+      case Direction::kDst:
+        if (!v6_prefix->contains(dst)) return false;
+        break;
+      case Direction::kEither:
+        if (!v6_prefix->contains(src) && !v6_prefix->contains(dst))
+          return false;
+        break;
+    }
+  }
+  if (v4_prefix) {
+    if (!pkt.ipv4()) return false;
+    const std::uint32_t src = pkt.ipv4()->src_addr();
+    const std::uint32_t dst = pkt.ipv4()->dst_addr();
+    switch (v4_prefix->dir) {
+      case Direction::kSrc:
+        if (!v4_prefix->contains(src)) return false;
+        break;
+      case Direction::kDst:
+        if (!v4_prefix->contains(dst)) return false;
+        break;
+      case Direction::kEither:
+        if (!v4_prefix->contains(src) && !v4_prefix->contains(dst))
+          return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string FlowRule::to_string() const {
+  std::ostringstream os;
+  os << "rule{";
+  if (ether_type) os << " eth=0x" << std::hex << *ether_type << std::dec;
+  if (ip_proto) os << " proto=" << static_cast<int>(*ip_proto);
+  if (port) os << " port=" << port->port;
+  if (port_range)
+    os << " port_range=" << port_range->lo << "-" << port_range->hi;
+  if (v6_prefix)
+    os << " v6=.../" << static_cast<int>(v6_prefix->prefix_len);
+  if (v4_prefix)
+    os << " v4=" << (v4_prefix->addr >> 24) << ".../"
+       << static_cast<int>(v4_prefix->prefix_len);
+  os << " }";
+  return os.str();
+}
+
+std::optional<FlowRule> validate_rule(const FlowRule& rule,
+                                      const NicCapabilities& caps) {
+  if (rule.ether_type && !caps.match_ether_type) return std::nullopt;
+  if (rule.ip_proto && !caps.match_ip_proto) return std::nullopt;
+  if (rule.port && !caps.match_exact_port) return std::nullopt;
+  if (rule.port_range && !caps.match_port_range) return std::nullopt;
+  if (rule.v4_prefix && !caps.match_v4_prefix) return std::nullopt;
+  if (rule.v6_prefix && !caps.match_v6_prefix) return std::nullopt;
+  return rule;
+}
+
+FlowRule widen_rule(const FlowRule& rule, const NicCapabilities& caps) {
+  FlowRule out = rule;
+  if (out.v4_prefix && !caps.match_v4_prefix) out.v4_prefix.reset();
+  if (out.v6_prefix && !caps.match_v6_prefix) out.v6_prefix.reset();
+  if (out.port_range && !caps.match_port_range) out.port_range.reset();
+  if (out.port && !caps.match_exact_port) out.port.reset();
+  if (out.ip_proto && !caps.match_ip_proto) out.ip_proto.reset();
+  if (out.ether_type && !caps.match_ether_type) out.ether_type.reset();
+  return out;
+}
+
+bool FlowRuleSet::permits(const packet::PacketView& pkt) const noexcept {
+  if (rules_.empty()) return true;
+  for (const auto& rule : rules_) {
+    if (rule.matches(pkt)) return true;
+  }
+  return false;
+}
+
+}  // namespace retina::nic

@@ -1,0 +1,160 @@
+// Hardware flow rules for the simulated NIC. Real Retina expands filter
+// predicates into rte_flow rules and *validates* each against the device,
+// widening anything the NIC rejects so that hardware coverage is always a
+// superset of the subscription filter (paper §4.1, Fig. 3). We reproduce
+// that contract: `NicCapabilities` models what a given device can match
+// (the default models a ConnectX-5-class NIC: exact-match EtherType, IP
+// protocol, exact ports, IP prefixes — but no ordered comparisons), and
+// rule validation fails for anything else, forcing the software packet
+// filter to pick up the slack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/packet_view.hpp"
+
+namespace retina::nic {
+
+/// Which half of the five-tuple a constraint applies to. Filters are
+/// direction-agnostic ("tcp.port = 443" means either port), so `kEither`
+/// is the common case.
+enum class Direction { kSrc, kDst, kEither };
+
+struct PortMatch {
+  std::uint16_t port = 0;
+  Direction dir = Direction::kEither;
+};
+
+struct PrefixMatchV4 {
+  std::uint32_t addr = 0;  // host byte order
+  std::uint8_t prefix_len = 32;
+  Direction dir = Direction::kEither;
+
+  bool contains(std::uint32_t ip) const noexcept {
+    if (prefix_len == 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+    return (ip & mask) == (addr & mask);
+  }
+};
+
+struct PrefixMatchV6 {
+  std::array<std::uint8_t, 16> addr{};
+  std::uint8_t prefix_len = 128;
+  Direction dir = Direction::kEither;
+
+  bool contains(const std::array<std::uint8_t, 16>& ip) const noexcept {
+    const std::size_t bits = prefix_len > 128 ? 128 : prefix_len;
+    for (std::size_t i = 0; i < bits; ++i) {
+      const std::uint8_t mask = static_cast<std::uint8_t>(0x80 >> (i % 8));
+      if ((addr[i / 8] & mask) != (ip[i / 8] & mask)) return false;
+    }
+    return true;
+  }
+};
+
+/// Inclusive port range — only expressible on range-capable devices
+/// (the paper's conclusion points at P4-capable filtering layers).
+struct PortRangeMatch {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 0xffff;
+  Direction dir = Direction::kEither;
+
+  bool contains(std::uint16_t port) const noexcept {
+    return port >= lo && port <= hi;
+  }
+};
+
+/// One hardware rule: a conjunction of exact-match constraints. An empty
+/// rule matches everything.
+struct FlowRule {
+  std::optional<std::uint16_t> ether_type;  // kEtherTypeIpv4 / kEtherTypeIpv6
+  std::optional<std::uint8_t> ip_proto;     // TCP / UDP / ...
+  std::optional<PortMatch> port;
+  std::optional<PortRangeMatch> port_range;
+  std::optional<PrefixMatchV4> v4_prefix;
+  std::optional<PrefixMatchV6> v6_prefix;
+
+  bool matches(const packet::PacketView& pkt) const noexcept;
+  std::string to_string() const;
+};
+
+/// Device capability model used during rule validation.
+struct NicCapabilities {
+  bool match_ether_type = true;
+  bool match_ip_proto = true;
+  bool match_exact_port = true;
+  bool match_v4_prefix = true;
+  bool match_v6_prefix = true;
+  /// Ordered port comparisons (ranges). Commodity NICs cannot do this;
+  /// P4-capable devices can (the optimization the paper's conclusion
+  /// proposes).
+  bool match_port_range = false;
+  // No device supports application-layer fields; the decomposer never
+  // attempts those in hardware.
+
+  /// A ConnectX-5-like device (the paper's testbed NIC).
+  static NicCapabilities connectx5() { return NicCapabilities{}; }
+
+  /// A P4-capable filtering layer: everything the NIC does, plus port
+  /// ranges (paper sec 9 future work).
+  static NicCapabilities p4_switch() {
+    NicCapabilities c;
+    c.match_port_range = true;
+    return c;
+  }
+  /// A minimal device that can only steer by EtherType — stresses the
+  /// software-filter fallback path.
+  static NicCapabilities dumb() {
+    NicCapabilities c;
+    c.match_ip_proto = false;
+    c.match_exact_port = false;
+    c.match_v4_prefix = false;
+    c.match_v6_prefix = false;
+    return c;
+  }
+  /// No hardware filtering at all (hardware filter disabled, as in the
+  /// paper's Fig. 5 setup).
+  static NicCapabilities none() {
+    NicCapabilities c;
+    c.match_ether_type = false;
+    c.match_ip_proto = false;
+    c.match_exact_port = false;
+    c.match_v4_prefix = false;
+    c.match_v6_prefix = false;
+    return c;
+  }
+};
+
+/// Validate a rule against device capabilities. On success returns the
+/// rule unchanged; on failure returns nullopt (callers widen by removing
+/// the offending constraint and retrying).
+std::optional<FlowRule> validate_rule(const FlowRule& rule,
+                                      const NicCapabilities& caps);
+
+/// Widen `rule` to the broadest version the device supports (drops
+/// unsupported constraints). An unsupported rule degrades toward the
+/// match-all rule, never toward dropping wanted traffic.
+FlowRule widen_rule(const FlowRule& rule, const NicCapabilities& caps);
+
+/// A rule set with permit semantics: a packet is delivered if any rule
+/// matches; if the set is empty, everything is delivered (filtering off).
+class FlowRuleSet {
+ public:
+  void add(FlowRule rule) { rules_.push_back(std::move(rule)); }
+  void clear() { rules_.clear(); }
+  bool empty() const noexcept { return rules_.empty(); }
+  std::size_t size() const noexcept { return rules_.size(); }
+  const std::vector<FlowRule>& rules() const noexcept { return rules_; }
+
+  bool permits(const packet::PacketView& pkt) const noexcept;
+
+ private:
+  std::vector<FlowRule> rules_;
+};
+
+}  // namespace retina::nic

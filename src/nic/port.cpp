@@ -1,0 +1,64 @@
+#include "nic/port.hpp"
+
+namespace retina::nic {
+
+SimNic::SimNic(const PortConfig& config)
+    : config_(config),
+      reta_(config.num_queues),
+      rss_key_(symmetric_rss_key()) {
+  const std::size_t queues = config.num_queues ? config.num_queues : 1;
+  rings_.reserve(queues);
+  for (std::size_t i = 0; i < queues; ++i) {
+    rings_.push_back(std::make_unique<util::SpscRing<packet::Mbuf>>(
+        config.ring_capacity));
+  }
+}
+
+void SimNic::dispatch(packet::Mbuf mbuf) {
+  ++stats_.rx_packets;
+  stats_.rx_bytes += mbuf.length();
+
+  const auto view = packet::PacketView::parse(mbuf);
+  if (!view) {
+    ++stats_.malformed;
+    return;
+  }
+
+  // Hardware flow rules: zero CPU cost in the real system; in the
+  // simulator they run before any per-core instrumentation.
+  if (!rules_.permits(*view)) {
+    ++stats_.hw_dropped;
+    return;
+  }
+
+  // Symmetric RSS. Non-IP / non-L4 packets hash to 0 and land on queue 0,
+  // matching NIC default-queue behavior.
+  std::uint32_t hash = 0;
+  if (view->five_tuple()) {
+    hash = rss_hash(view->five_tuple()->canonical().key, rss_key_);
+  }
+  mbuf.set_rss_hash(hash);
+
+  const std::uint32_t queue = reta_.lookup(hash);
+  if (queue == RedirectionTable::kSinkQueue) {
+    ++stats_.sunk;
+    return;
+  }
+
+  mbuf.set_rx_queue(queue);
+  if (rings_[queue]->push(std::move(mbuf))) {
+    ++stats_.delivered;
+  } else {
+    ++stats_.ring_dropped;
+  }
+}
+
+bool SimNic::poll(std::size_t queue, packet::Mbuf& out) {
+  return rings_[queue]->pop(out);
+}
+
+std::size_t SimNic::queue_depth(std::size_t queue) const {
+  return rings_[queue]->size();
+}
+
+}  // namespace retina::nic

@@ -1,0 +1,92 @@
+#include "nic/rss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace retina::nic {
+
+std::array<std::uint8_t, 40> symmetric_rss_key() {
+  std::array<std::uint8_t, 40> key{};
+  for (std::size_t i = 0; i < key.size(); i += 2) {
+    key[i] = 0x6d;
+    key[i + 1] = 0x5a;
+  }
+  return key;
+}
+
+std::uint32_t toeplitz_hash(const std::array<std::uint8_t, 40>& key,
+                            const std::uint8_t* input, std::size_t len) {
+  // Standard Toeplitz: for each set bit i of the input, XOR in the
+  // 32-bit window of the key starting at bit i.
+  std::uint32_t result = 0;
+  std::uint32_t window = (static_cast<std::uint32_t>(key[0]) << 24) |
+                         (static_cast<std::uint32_t>(key[1]) << 16) |
+                         (static_cast<std::uint32_t>(key[2]) << 8) |
+                         static_cast<std::uint32_t>(key[3]);
+  std::size_t next_key_byte = 4;
+  for (std::size_t i = 0; i < len; ++i) {
+    std::uint8_t byte = input[i];
+    for (int bit = 7; bit >= 0; --bit) {
+      if (byte & (1u << bit)) result ^= window;
+      // Shift the window left one bit, pulling in the next key bit.
+      std::uint8_t next_bit = 0;
+      if (next_key_byte < key.size()) {
+        next_bit = (key[next_key_byte] >> bit) & 1u;
+      }
+      window = (window << 1) | next_bit;
+    }
+    ++next_key_byte;
+  }
+  return result;
+}
+
+std::uint32_t rss_hash(const packet::FiveTuple& tuple,
+                       const std::array<std::uint8_t, 40>& key) {
+  // RSS input: src addr | dst addr | src port | dst port, wire order.
+  std::uint8_t input[36];
+  std::size_t len = 0;
+  if (tuple.src.version == 4) {
+    for (std::size_t i = 0; i < 4; ++i) input[len++] = tuple.src.bytes[12 + i];
+    for (std::size_t i = 0; i < 4; ++i) input[len++] = tuple.dst.bytes[12 + i];
+  } else {
+    for (std::size_t i = 0; i < 16; ++i) input[len++] = tuple.src.bytes[i];
+    for (std::size_t i = 0; i < 16; ++i) input[len++] = tuple.dst.bytes[i];
+  }
+  input[len++] = static_cast<std::uint8_t>(tuple.src_port >> 8);
+  input[len++] = static_cast<std::uint8_t>(tuple.src_port);
+  input[len++] = static_cast<std::uint8_t>(tuple.dst_port >> 8);
+  input[len++] = static_cast<std::uint8_t>(tuple.dst_port);
+  return toeplitz_hash(key, input, len);
+}
+
+RedirectionTable::RedirectionTable(std::size_t num_queues,
+                                   std::size_t table_size)
+    : num_queues_(std::max<std::size_t>(num_queues, 1)),
+      table_(std::max<std::size_t>(table_size, 1)) {
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    table_[i] = static_cast<std::uint32_t>(i % num_queues_);
+  }
+}
+
+void RedirectionTable::set_sink_fraction(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto sunk = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(table_.size())));
+  for (std::size_t i = 0; i < table_.size(); ++i) {
+    // Spread sunk buckets evenly: every k-th bucket sinks.
+    const bool sink =
+        sunk > 0 && (i * sunk / table_.size()) != ((i + 1) * sunk / table_.size());
+    table_[i] = sink ? kSinkQueue
+                     : static_cast<std::uint32_t>(i % num_queues_);
+  }
+}
+
+double RedirectionTable::sink_fraction() const noexcept {
+  std::size_t sunk = 0;
+  for (auto q : table_) {
+    if (q == kSinkQueue) ++sunk;
+  }
+  return static_cast<double>(sunk) / static_cast<double>(table_.size());
+}
+
+}  // namespace retina::nic

@@ -1,0 +1,62 @@
+// Symmetric Receive Side Scaling (paper §5.1). The NIC hashes the
+// five-tuple with the Toeplitz function and dispatches packets to
+// receive queues through a redirection table (RETA). Retina requires
+// *symmetric* RSS — both directions of a connection must land on the
+// same core — which is achieved with the repeating 0x6d5a key of
+// Woo & Park (2012), the same configuration Retina uses.
+//
+// The redirection table also implements the paper's "sink core" flow
+// sampling (§6.1): a fraction of RETA buckets can be pointed at a
+// drop queue to reduce the effective ingress rate without breaking
+// flow consistency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "packet/five_tuple.hpp"
+
+namespace retina::nic {
+
+/// The symmetric Toeplitz key: 0x6d5a repeated 20 times (40 bytes).
+std::array<std::uint8_t, 40> symmetric_rss_key();
+
+/// Toeplitz hash over the RSS input tuple (addresses + ports drawn from
+/// the packet in wire order). With the symmetric key, hash(a→b) ==
+/// hash(b→a).
+std::uint32_t toeplitz_hash(const std::array<std::uint8_t, 40>& key,
+                            const std::uint8_t* input, std::size_t len);
+
+/// RSS input construction + hash for a five-tuple.
+std::uint32_t rss_hash(const packet::FiveTuple& tuple,
+                       const std::array<std::uint8_t, 40>& key);
+
+/// Redirection table: maps hash → queue. `kSinkQueue` marks buckets
+/// whose packets the NIC drops (flow sampling).
+class RedirectionTable {
+ public:
+  static constexpr std::uint32_t kSinkQueue = 0xffffffffu;
+  static constexpr std::size_t kDefaultSize = 128;
+
+  RedirectionTable(std::size_t num_queues, std::size_t table_size = kDefaultSize);
+
+  std::size_t size() const noexcept { return table_.size(); }
+  std::size_t num_queues() const noexcept { return num_queues_; }
+
+  /// Queue for a hash value, or kSinkQueue if the bucket is sunk.
+  std::uint32_t lookup(std::uint32_t hash) const noexcept {
+    return table_[hash % table_.size()];
+  }
+
+  /// Point approximately `fraction` of buckets at the sink (round-robin
+  /// over buckets so sampling is deterministic). fraction in [0, 1].
+  void set_sink_fraction(double fraction);
+  double sink_fraction() const noexcept;
+
+ private:
+  std::size_t num_queues_;
+  std::vector<std::uint32_t> table_;
+};
+
+}  // namespace retina::nic

@@ -1,0 +1,45 @@
+#include "packet/checksum.hpp"
+
+#include "util/bytes.hpp"
+
+namespace retina::packet {
+
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t seed) noexcept {
+  std::uint32_t sum = seed;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += util::load_be16(data.data() + i);
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+std::uint16_t checksum_finish(std::uint32_t partial) noexcept {
+  while (partial >> 16) {
+    partial = (partial & 0xffff) + (partial >> 16);
+  }
+  return static_cast<std::uint16_t>(~partial);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  return checksum_finish(checksum_partial(data));
+}
+
+std::uint16_t l4_checksum_v4(std::uint32_t src_addr, std::uint32_t dst_addr,
+                             std::uint8_t proto,
+                             std::span<const std::uint8_t> segment) noexcept {
+  std::uint8_t pseudo[12];
+  util::store_be32(pseudo, src_addr);
+  util::store_be32(pseudo + 4, dst_addr);
+  pseudo[8] = 0;
+  pseudo[9] = proto;
+  util::store_be16(pseudo + 10, static_cast<std::uint16_t>(segment.size()));
+  std::uint32_t sum = checksum_partial({pseudo, sizeof(pseudo)});
+  sum = checksum_partial(segment, sum);
+  return checksum_finish(sum);
+}
+
+}  // namespace retina::packet

@@ -1,0 +1,27 @@
+// Internet checksum (RFC 1071) for IPv4 headers and TCP/UDP including
+// the pseudo-header. Used by the packet-crafting substrate so generated
+// traces carry valid checksums, and by tests to validate crafted frames.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace retina::packet {
+
+/// One's-complement sum folded to 16 bits (not yet inverted).
+std::uint32_t checksum_partial(std::span<const std::uint8_t> data,
+                               std::uint32_t seed = 0) noexcept;
+
+/// Finalize: fold carries and invert.
+std::uint16_t checksum_finish(std::uint32_t partial) noexcept;
+
+/// Full internet checksum over a byte range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP/UDP checksum over an IPv4 pseudo-header + segment bytes.
+/// `segment` must have its checksum field zeroed.
+std::uint16_t l4_checksum_v4(std::uint32_t src_addr, std::uint32_t dst_addr,
+                             std::uint8_t proto,
+                             std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace retina::packet

@@ -1,0 +1,64 @@
+#include "packet/five_tuple.hpp"
+
+#include <cstdio>
+#include <tuple>
+
+namespace retina::packet {
+
+std::string IpAddr::to_string() const {
+  char buf[64];
+  if (version == 4) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes[12], bytes[13],
+                  bytes[14], bytes[15]);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%02x%02x:%02x%02x:%02x%02x:%02x%02x:"
+                  "%02x%02x:%02x%02x:%02x%02x:%02x%02x",
+                  bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5],
+                  bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11],
+                  bytes[12], bytes[13], bytes[14], bytes[15]);
+  }
+  return buf;
+}
+
+FiveTuple::Canonical FiveTuple::canonical() const noexcept {
+  const bool src_first =
+      std::tie(src, src_port) <= std::tie(dst, dst_port);
+  Canonical c;
+  if (src_first) {
+    c.key = *this;
+    c.originator_is_first = true;
+  } else {
+    c.key = FiveTuple{dst, src, dst_port, src_port, proto};
+    c.originator_is_first = false;
+  }
+  return c;
+}
+
+std::uint64_t FiveTuple::hash() const noexcept {
+  // FNV-1a over the canonical byte layout; symmetric because callers hash
+  // canonicalized tuples. Good mixing for table indices.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  for (auto b : src.bytes) mix(b);
+  for (auto b : dst.bytes) mix(b);
+  mix(static_cast<std::uint8_t>(src_port >> 8));
+  mix(static_cast<std::uint8_t>(src_port));
+  mix(static_cast<std::uint8_t>(dst_port >> 8));
+  mix(static_cast<std::uint8_t>(dst_port));
+  mix(proto);
+  mix(src.version);
+  mix(dst.version);
+  return h;
+}
+
+std::string FiveTuple::to_string() const {
+  return src.to_string() + ":" + std::to_string(src_port) + " -> " +
+         dst.to_string() + ":" + std::to_string(dst_port) + " proto " +
+         std::to_string(proto);
+}
+
+}  // namespace retina::packet

@@ -1,0 +1,82 @@
+// Connection five-tuples. Retina tracks bidirectional connections, so
+// the tuple used as a table key is *canonicalized*: the (addr, port) pair
+// that sorts lower is always stored first and `originator_is_first`
+// remembers the wire direction of the packet that produced the key. This
+// mirrors symmetric RSS: both directions of a flow hash identically.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace retina::packet {
+
+/// An IP endpoint address: IPv4 stored in the low 4 bytes of a 16-byte
+/// field, with a version discriminator.
+struct IpAddr {
+  std::array<std::uint8_t, 16> bytes{};
+  std::uint8_t version = 4;  // 4 or 6
+
+  static IpAddr v4(std::uint32_t host_order) noexcept {
+    IpAddr a;
+    a.version = 4;
+    a.bytes[12] = static_cast<std::uint8_t>(host_order >> 24);
+    a.bytes[13] = static_cast<std::uint8_t>(host_order >> 16);
+    a.bytes[14] = static_cast<std::uint8_t>(host_order >> 8);
+    a.bytes[15] = static_cast<std::uint8_t>(host_order);
+    return a;
+  }
+
+  static IpAddr v6(const std::array<std::uint8_t, 16>& b) noexcept {
+    IpAddr a;
+    a.version = 6;
+    a.bytes = b;
+    return a;
+  }
+
+  std::uint32_t as_v4() const noexcept {
+    return (static_cast<std::uint32_t>(bytes[12]) << 24) |
+           (static_cast<std::uint32_t>(bytes[13]) << 16) |
+           (static_cast<std::uint32_t>(bytes[14]) << 8) |
+           static_cast<std::uint32_t>(bytes[15]);
+  }
+
+  auto operator<=>(const IpAddr&) const = default;
+
+  /// Dotted-quad or hex-groups rendering for logs.
+  std::string to_string() const;
+};
+
+struct FiveTuple {
+  IpAddr src;
+  IpAddr dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  struct Canonical;
+  /// Direction-independent connection key plus the direction bit for the
+  /// packet that was canonicalized.
+  Canonical canonical() const noexcept;
+
+  std::uint64_t hash() const noexcept;
+  std::string to_string() const;
+};
+
+struct FiveTuple::Canonical {
+  FiveTuple key;
+  bool originator_is_first = true;
+};
+
+}  // namespace retina::packet
+
+template <>
+struct std::hash<retina::packet::FiveTuple> {
+  std::size_t operator()(const retina::packet::FiveTuple& t) const noexcept {
+    return static_cast<std::size_t>(t.hash());
+  }
+};

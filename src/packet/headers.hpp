@@ -1,0 +1,215 @@
+// Zero-copy header views over raw packet bytes. Each view validates its
+// length on construction (factory returns nullopt on truncation) and
+// exposes typed accessors; nothing is copied out of the mbuf. These are
+// the C++ analogue of Retina's PacketParsable protocol modules (paper
+// Appendix A.1): each view knows its header length and the offset/id of
+// the next protocol so parse chains can be walked generically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace retina::packet {
+
+using ByteView = std::span<const std::uint8_t>;
+
+// IANA / IEEE constants used across the stack.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoIcmpv6 = 58;
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+class Ethernet {
+ public:
+  static constexpr std::size_t kHeaderLen = 14;
+
+  static std::optional<Ethernet> parse(ByteView frame) noexcept {
+    if (frame.size() < kHeaderLen) return std::nullopt;
+    return Ethernet(frame);
+  }
+
+  std::array<std::uint8_t, 6> dst_mac() const noexcept { return mac_at(0); }
+  std::array<std::uint8_t, 6> src_mac() const noexcept { return mac_at(6); }
+  std::uint16_t ether_type() const noexcept {
+    return util::load_be16(data_.data() + 12);
+  }
+  std::size_t header_len() const noexcept { return kHeaderLen; }
+  ByteView payload() const noexcept { return data_.subspan(kHeaderLen); }
+
+ private:
+  explicit Ethernet(ByteView d) noexcept : data_(d) {}
+  std::array<std::uint8_t, 6> mac_at(std::size_t off) const noexcept {
+    std::array<std::uint8_t, 6> m{};
+    for (std::size_t i = 0; i < 6; ++i) m[i] = data_[off + i];
+    return m;
+  }
+  ByteView data_;
+};
+
+class Ipv4 {
+ public:
+  static constexpr std::size_t kMinHeaderLen = 20;
+
+  static std::optional<Ipv4> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kMinHeaderLen) return std::nullopt;
+    const std::uint8_t vihl = bytes[0];
+    if ((vihl >> 4) != 4) return std::nullopt;
+    const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0f) * 4;
+    if (ihl < kMinHeaderLen || bytes.size() < ihl) return std::nullopt;
+    return Ipv4(bytes, ihl);
+  }
+
+  std::size_t header_len() const noexcept { return ihl_; }
+  std::uint8_t dscp() const noexcept { return data_[1] >> 2; }
+  std::uint16_t total_len() const noexcept {
+    return util::load_be16(data_.data() + 2);
+  }
+  std::uint16_t identification() const noexcept {
+    return util::load_be16(data_.data() + 4);
+  }
+  std::uint8_t ttl() const noexcept { return data_[8]; }
+  std::uint8_t protocol() const noexcept { return data_[9]; }
+  std::uint16_t checksum() const noexcept {
+    return util::load_be16(data_.data() + 10);
+  }
+  /// Host byte order addresses.
+  std::uint32_t src_addr() const noexcept {
+    return util::load_be32(data_.data() + 12);
+  }
+  std::uint32_t dst_addr() const noexcept {
+    return util::load_be32(data_.data() + 16);
+  }
+  ByteView payload() const noexcept {
+    // Honor total_len (the frame may carry Ethernet padding).
+    const std::size_t total = total_len();
+    const std::size_t end =
+        total >= ihl_ && total <= data_.size() ? total : data_.size();
+    return data_.subspan(ihl_, end - ihl_);
+  }
+
+ private:
+  Ipv4(ByteView d, std::size_t ihl) noexcept : data_(d), ihl_(ihl) {}
+  ByteView data_;
+  std::size_t ihl_;
+};
+
+class Ipv6 {
+ public:
+  static constexpr std::size_t kHeaderLen = 40;
+
+  static std::optional<Ipv6> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kHeaderLen) return std::nullopt;
+    if ((bytes[0] >> 4) != 6) return std::nullopt;
+    return Ipv6(bytes);
+  }
+
+  std::size_t header_len() const noexcept { return kHeaderLen; }
+  std::uint16_t payload_len() const noexcept {
+    return util::load_be16(data_.data() + 4);
+  }
+  std::uint8_t next_header() const noexcept { return data_[6]; }
+  std::uint8_t hop_limit() const noexcept { return data_[7]; }
+  std::array<std::uint8_t, 16> src_addr() const noexcept { return addr(8); }
+  std::array<std::uint8_t, 16> dst_addr() const noexcept { return addr(24); }
+  ByteView payload() const noexcept {
+    const std::size_t want = kHeaderLen + payload_len();
+    const std::size_t end = want <= data_.size() ? want : data_.size();
+    return data_.subspan(kHeaderLen, end - kHeaderLen);
+  }
+
+ private:
+  explicit Ipv6(ByteView d) noexcept : data_(d) {}
+  std::array<std::uint8_t, 16> addr(std::size_t off) const noexcept {
+    std::array<std::uint8_t, 16> a{};
+    for (std::size_t i = 0; i < 16; ++i) a[i] = data_[off + i];
+    return a;
+  }
+  ByteView data_;
+};
+
+class Tcp {
+ public:
+  static constexpr std::size_t kMinHeaderLen = 20;
+
+  static std::optional<Tcp> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kMinHeaderLen) return std::nullopt;
+    const std::size_t doff = static_cast<std::size_t>(bytes[12] >> 4) * 4;
+    if (doff < kMinHeaderLen || bytes.size() < doff) return std::nullopt;
+    return Tcp(bytes, doff);
+  }
+
+  std::uint16_t src_port() const noexcept {
+    return util::load_be16(data_.data());
+  }
+  std::uint16_t dst_port() const noexcept {
+    return util::load_be16(data_.data() + 2);
+  }
+  std::uint32_t seq() const noexcept {
+    return util::load_be32(data_.data() + 4);
+  }
+  std::uint32_t ack() const noexcept {
+    return util::load_be32(data_.data() + 8);
+  }
+  std::uint8_t flags() const noexcept { return data_[13]; }
+  bool syn() const noexcept { return flags() & kTcpSyn; }
+  bool ack_flag() const noexcept { return flags() & kTcpAck; }
+  bool fin() const noexcept { return flags() & kTcpFin; }
+  bool rst() const noexcept { return flags() & kTcpRst; }
+  std::uint16_t window() const noexcept {
+    return util::load_be16(data_.data() + 14);
+  }
+  std::size_t header_len() const noexcept { return doff_; }
+  ByteView payload() const noexcept { return data_.subspan(doff_); }
+
+ private:
+  Tcp(ByteView d, std::size_t doff) noexcept : data_(d), doff_(doff) {}
+  ByteView data_;
+  std::size_t doff_;
+};
+
+class Udp {
+ public:
+  static constexpr std::size_t kHeaderLen = 8;
+
+  static std::optional<Udp> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kHeaderLen) return std::nullopt;
+    return Udp(bytes);
+  }
+
+  std::uint16_t src_port() const noexcept {
+    return util::load_be16(data_.data());
+  }
+  std::uint16_t dst_port() const noexcept {
+    return util::load_be16(data_.data() + 2);
+  }
+  std::uint16_t length() const noexcept {
+    return util::load_be16(data_.data() + 4);
+  }
+  std::size_t header_len() const noexcept { return kHeaderLen; }
+  ByteView payload() const noexcept {
+    const std::size_t want = length();
+    const std::size_t end =
+        want >= kHeaderLen && want <= data_.size() ? want : data_.size();
+    return data_.subspan(kHeaderLen, end - kHeaderLen);
+  }
+
+ private:
+  explicit Udp(ByteView d) noexcept : data_(d) {}
+  ByteView data_;
+};
+
+}  // namespace retina::packet

@@ -1,0 +1,10 @@
+#include "packet/mbuf.hpp"
+
+namespace retina::packet {
+
+Mbuf::Mbuf(std::vector<std::uint8_t> bytes, std::uint64_t timestamp_ns)
+    : data_(std::make_shared<const std::vector<std::uint8_t>>(
+          std::move(bytes))),
+      ts_ns_(timestamp_ns) {}
+
+}  // namespace retina::packet

@@ -1,0 +1,61 @@
+// Mbuf: the framework's packet buffer, modeled on DPDK's rte_mbuf. Real
+// Retina receives mbufs from DPDK rings; our simulated NIC delivers them
+// from in-memory traces. Buffers are immutable after crafting and shared
+// by reference count, so "storing a packet by reference" (the lazy
+// out-of-order buffer, paper §5.2) is a cheap handle copy, exactly like
+// holding an rte_mbuf refcount.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace retina::packet {
+
+class Mbuf {
+ public:
+  Mbuf() = default;
+
+  /// Take ownership of crafted packet bytes.
+  explicit Mbuf(std::vector<std::uint8_t> bytes,
+                std::uint64_t timestamp_ns = 0);
+
+  bool empty() const noexcept { return !data_ || data_->empty(); }
+  std::size_t length() const noexcept { return data_ ? data_->size() : 0; }
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return data_ ? std::span<const std::uint8_t>(*data_)
+                 : std::span<const std::uint8_t>{};
+  }
+
+  /// Virtual receive timestamp in nanoseconds (trace time, not wall time).
+  std::uint64_t timestamp_ns() const noexcept { return ts_ns_; }
+  void set_timestamp_ns(std::uint64_t ts) noexcept { ts_ns_ = ts; }
+
+  /// RSS hash computed by the (simulated) NIC on rx.
+  std::uint32_t rss_hash() const noexcept { return rss_hash_; }
+  void set_rss_hash(std::uint32_t h) noexcept { rss_hash_ = h; }
+
+  /// Receive queue / core the NIC dispatched this packet to.
+  std::uint32_t rx_queue() const noexcept { return rx_queue_; }
+  void set_rx_queue(std::uint32_t q) noexcept { rx_queue_ = q; }
+
+  /// Predicate-trie node id tagged by the software packet filter for a
+  /// non-terminal match, so downstream filters resume mid-trie (§4.1).
+  /// 0 = untagged (node 0 is always the trie root).
+  std::uint32_t filter_mark() const noexcept { return filter_mark_; }
+  void set_filter_mark(std::uint32_t m) noexcept { filter_mark_ = m; }
+
+  /// Number of live handles to the underlying buffer (diagnostics).
+  long use_count() const noexcept { return data_ ? data_.use_count() : 0; }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> data_;
+  std::uint64_t ts_ns_ = 0;
+  std::uint32_t rss_hash_ = 0;
+  std::uint32_t rx_queue_ = 0;
+  std::uint32_t filter_mark_ = 0;
+};
+
+}  // namespace retina::packet

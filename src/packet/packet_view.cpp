@@ -1,0 +1,73 @@
+#include "packet/packet_view.hpp"
+
+namespace retina::packet {
+
+std::optional<PacketView> PacketView::parse(const Mbuf& mbuf) noexcept {
+  auto eth = Ethernet::parse(mbuf.bytes());
+  if (!eth) return std::nullopt;
+
+  PacketView view(mbuf);
+  view.eth_ = eth;
+
+  ByteView l3 = eth->payload();
+  std::uint8_t l4_proto = 0;
+  ByteView l4{};
+
+  switch (eth->ether_type()) {
+    case kEtherTypeIpv4:
+      if (auto ip = Ipv4::parse(l3)) {
+        view.ipv4_ = ip;
+        l4_proto = ip->protocol();
+        l4 = ip->payload();
+      }
+      break;
+    case kEtherTypeIpv6:
+      if (auto ip6 = Ipv6::parse(l3)) {
+        view.ipv6_ = ip6;
+        l4_proto = ip6->next_header();
+        l4 = ip6->payload();
+      }
+      break;
+    default:
+      break;  // Non-IP frames still produce a valid L2-only view.
+  }
+
+  if (!l4.empty() || l4_proto != 0) {
+    if (l4_proto == kIpProtoTcp) {
+      if (auto tcp = Tcp::parse(l4)) {
+        view.tcp_ = tcp;
+        view.payload_ = tcp->payload();
+      }
+    } else if (l4_proto == kIpProtoUdp) {
+      if (auto udp = Udp::parse(l4)) {
+        view.udp_ = udp;
+        view.payload_ = udp->payload();
+      }
+    }
+  }
+
+  if (view.has_l4()) {
+    FiveTuple t;
+    if (view.ipv4_) {
+      t.src = IpAddr::v4(view.ipv4_->src_addr());
+      t.dst = IpAddr::v4(view.ipv4_->dst_addr());
+    } else {
+      t.src = IpAddr::v6(view.ipv6_->src_addr());
+      t.dst = IpAddr::v6(view.ipv6_->dst_addr());
+    }
+    if (view.tcp_) {
+      t.src_port = view.tcp_->src_port();
+      t.dst_port = view.tcp_->dst_port();
+      t.proto = kIpProtoTcp;
+    } else {
+      t.src_port = view.udp_->src_port();
+      t.dst_port = view.udp_->dst_port();
+      t.proto = kIpProtoUdp;
+    }
+    view.tuple_ = t;
+  }
+
+  return view;
+}
+
+}  // namespace retina::packet

@@ -1,0 +1,54 @@
+// PacketView: a single-pass parse chain over an Ethernet frame. Walks
+// L2 → L3 → L4 once, records header offsets, and exposes typed views and
+// the L4 payload. All downstream consumers (filters, connection tracker,
+// reassembly) share this one parse instead of re-walking headers.
+#pragma once
+
+#include <optional>
+
+#include "packet/five_tuple.hpp"
+#include "packet/headers.hpp"
+#include "packet/mbuf.hpp"
+
+namespace retina::packet {
+
+class PacketView {
+ public:
+  /// Parse an Ethernet frame. Returns nullopt only if the frame is too
+  /// short to carry an Ethernet header; deeper truncation leaves the
+  /// corresponding layer views unset.
+  static std::optional<PacketView> parse(const Mbuf& mbuf) noexcept;
+
+  const Mbuf& mbuf() const noexcept { return *mbuf_; }
+
+  const std::optional<Ethernet>& eth() const noexcept { return eth_; }
+  const std::optional<Ipv4>& ipv4() const noexcept { return ipv4_; }
+  const std::optional<Ipv6>& ipv6() const noexcept { return ipv6_; }
+  const std::optional<Tcp>& tcp() const noexcept { return tcp_; }
+  const std::optional<Udp>& udp() const noexcept { return udp_; }
+
+  bool has_ip() const noexcept { return ipv4_ || ipv6_; }
+  bool has_l4() const noexcept { return tcp_ || udp_; }
+
+  /// L4 payload bytes (empty if no L4 or no payload).
+  ByteView l4_payload() const noexcept { return payload_; }
+
+  /// Five-tuple; available when an IP + L4 header parsed.
+  const std::optional<FiveTuple>& five_tuple() const noexcept {
+    return tuple_;
+  }
+
+ private:
+  explicit PacketView(const Mbuf& m) noexcept : mbuf_(&m) {}
+
+  const Mbuf* mbuf_;
+  std::optional<Ethernet> eth_;
+  std::optional<Ipv4> ipv4_;
+  std::optional<Ipv6> ipv6_;
+  std::optional<Tcp> tcp_;
+  std::optional<Udp> udp_;
+  std::optional<FiveTuple> tuple_;
+  ByteView payload_{};
+};
+
+}  // namespace retina::packet

@@ -1,0 +1,97 @@
+#include "protocols/dns/dns_parser.hpp"
+
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace retina::protocols {
+
+namespace {
+const std::string kName = "dns";
+constexpr std::size_t kHeaderLen = 12;
+}  // namespace
+
+std::optional<DnsMessage> parse_dns_message(
+    std::span<const std::uint8_t> datagram) {
+  if (datagram.size() < kHeaderLen) return std::nullopt;
+  util::ByteReader r(datagram);
+
+  DnsMessage msg;
+  msg.id = r.be16();
+  const std::uint16_t flags = r.be16();
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.rcode = static_cast<std::uint8_t>(flags & 0x000f);
+  const std::uint16_t qdcount = r.be16();
+  msg.answer_count = r.be16();
+  r.be16();  // nscount
+  r.be16();  // arcount
+  if (qdcount > 32) return std::nullopt;  // absurd question count
+
+  for (std::uint16_t q = 0; q < qdcount; ++q) {
+    DnsQuestion question;
+    // Parse the QNAME label sequence; follow at most one compression
+    // pointer (questions are rarely compressed, but be robust).
+    std::size_t jumps = 0;
+    bool jumped = false;
+    std::size_t pos = r.offset();
+    while (true) {
+      if (pos >= datagram.size()) return std::nullopt;
+      const std::uint8_t len = datagram[pos];
+      if (len == 0) {
+        if (!jumped) r.skip(pos + 1 - r.offset());
+        break;
+      }
+      if ((len & 0xc0) == 0xc0) {
+        if (pos + 1 >= datagram.size() || ++jumps > 4) return std::nullopt;
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3f) << 8) | datagram[pos + 1];
+        if (!jumped) r.skip(pos + 2 - r.offset());
+        jumped = true;
+        if (target >= datagram.size()) return std::nullopt;
+        pos = target;
+        continue;
+      }
+      if (pos + 1 + len > datagram.size()) return std::nullopt;
+      if (!question.qname.empty()) question.qname += '.';
+      question.qname.append(
+          reinterpret_cast<const char*>(datagram.data() + pos + 1), len);
+      pos += 1 + len;
+    }
+    question.qtype = r.be16();
+    question.qclass = r.be16();
+    if (!r.ok()) return std::nullopt;
+    msg.questions.push_back(std::move(question));
+  }
+  return msg;
+}
+
+const std::string& DnsParser::name() const { return kName; }
+
+ProbeResult DnsParser::probe(const stream::L4Pdu& pdu) const {
+  // UDP: one datagram per PDU. Parse it outright — the most reliable
+  // probe for a datagram protocol.
+  return parse_dns_message(pdu.payload) ? ProbeResult::kYes
+                                        : ProbeResult::kNo;
+}
+
+ParseResult DnsParser::parse(const stream::L4Pdu& pdu) {
+  auto msg = parse_dns_message(pdu.payload);
+  if (!msg) return ParseResult::kError;
+  Session session;
+  session.session_id = next_session_id_++;
+  session.data = std::move(*msg);
+  completed_.push_back(std::move(session));
+  return ParseResult::kContinue;
+}
+
+std::vector<Session> DnsParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> DnsParser::drain_sessions() { return take_sessions(); }
+
+std::unique_ptr<ConnParser> make_dns_parser() {
+  return std::make_unique<DnsParser>();
+}
+
+}  // namespace retina::protocols

@@ -1,0 +1,37 @@
+// DNS-over-UDP parser: one Session per datagram (query or response).
+// Parses the fixed header and question section with label decompression.
+// Included both as a useful module and as the demonstration that the
+// framework's extensibility (paper §3.3) spans non-TCP transports.
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class DnsParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  /// DNS flows keep producing messages; keep parsing either way.
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+
+ private:
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+/// Parse one DNS message; nullopt if malformed. Exposed for tests and
+/// the traffic generator's self-checks.
+std::optional<DnsMessage> parse_dns_message(
+    std::span<const std::uint8_t> datagram);
+
+}  // namespace retina::protocols

@@ -1,0 +1,291 @@
+#include "protocols/http/http_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace retina::protocols {
+
+namespace {
+
+const std::string kName = "http";
+
+const char* kMethods[] = {"GET",    "POST",  "HEAD",    "PUT",
+                          "DELETE", "OPTIONS", "PATCH", "CONNECT",
+                          "TRACE"};
+
+bool starts_with_method(std::span<const std::uint8_t> payload) {
+  for (const char* method : kMethods) {
+    const std::size_t len = std::char_traits<char>::length(method);
+    if (payload.size() < len + 1) continue;
+    if (std::equal(method, method + len, payload.begin()) &&
+        payload[len] == ' ') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  std::uint64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+const std::string& HttpParser::name() const { return kName; }
+
+ProbeResult HttpParser::probe(const stream::L4Pdu& pdu) const {
+  const auto payload = pdu.payload;
+  if (payload.empty()) return ProbeResult::kUnsure;
+  if (payload.size() < 8) {
+    // Could be the start of a method; check the prefix we have.
+    for (const char* method : kMethods) {
+      const std::size_t len = std::min(
+          payload.size(), std::char_traits<char>::length(method));
+      if (std::equal(payload.begin(), payload.begin() + len, method)) {
+        return ProbeResult::kUnsure;
+      }
+    }
+    return ProbeResult::kNo;
+  }
+  // A server-first byte stream ("HTTP/1.1 200 ...") also identifies HTTP.
+  static const char kResponse[] = "HTTP/1.";
+  if (std::equal(kResponse, kResponse + 7, payload.begin())) {
+    return ProbeResult::kYes;
+  }
+  return starts_with_method(payload) ? ProbeResult::kYes : ProbeResult::kNo;
+}
+
+ParseResult HttpParser::parse(const stream::L4Pdu& pdu) {
+  auto& dir = pdu.from_originator ? client_ : server_;
+  dir.buf.insert(dir.buf.end(), pdu.payload.begin(), pdu.payload.end());
+  consume(dir, pdu.from_originator);
+  return ParseResult::kContinue;
+}
+
+bool HttpParser::take_line(DirectionState& dir, std::string& line) {
+  const auto it = std::find(dir.buf.begin(), dir.buf.end(), '\n');
+  if (it == dir.buf.end()) return false;
+  const auto len = static_cast<std::size_t>(it - dir.buf.begin());
+  line.assign(dir.buf.begin(), dir.buf.begin() + static_cast<std::ptrdiff_t>(len));
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  dir.buf.erase(dir.buf.begin(),
+                dir.buf.begin() + static_cast<std::ptrdiff_t>(len) + 1);
+  return true;
+}
+
+void HttpParser::consume(DirectionState& dir, bool from_originator) {
+  std::string line;
+  while (true) {
+    switch (dir.phase) {
+      case Phase::kLine:
+        if (!take_line(dir, line)) return;
+        if (line.empty()) continue;  // tolerate leading blank lines
+        if (from_originator) {
+          handle_request_line(line);
+        } else {
+          handle_response_line(line);
+        }
+        dir.phase = Phase::kHeaders;
+        continue;
+
+      case Phase::kHeaders:
+        if (!take_line(dir, line)) return;
+        if (line.empty()) {
+          headers_complete(dir, from_originator);
+          continue;
+        }
+        handle_header(dir, line, from_originator);
+        continue;
+
+      case Phase::kBody: {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(dir.body_remaining, dir.buf.size());
+        dir.buf.erase(dir.buf.begin(),
+                      dir.buf.begin() + static_cast<std::ptrdiff_t>(take));
+        dir.body_remaining -= take;
+        if (dir.body_until_close) {
+          dir.buf.clear();
+          return;  // body runs until connection close
+        }
+        if (dir.body_remaining > 0) return;  // need more data
+        dir.phase = Phase::kLine;
+        continue;
+      }
+
+      case Phase::kChunkSize: {
+        if (!take_line(dir, line)) return;
+        if (line.empty()) continue;  // CRLF after previous chunk
+        std::uint64_t size = 0;
+        const auto semi = line.find(';');
+        const std::string hex = trim(
+            semi == std::string::npos ? line : line.substr(0, semi));
+        auto [ptr, ec] =
+            std::from_chars(hex.data(), hex.data() + hex.size(), size, 16);
+        if (ec != std::errc() || ptr != hex.data() + hex.size()) {
+          // Malformed chunk framing; give up on body tracking.
+          dir.buf.clear();
+          dir.phase = Phase::kLine;
+          return;
+        }
+        if (size == 0) {
+          dir.phase = Phase::kLine;  // final chunk (trailers treated as line noise)
+          continue;
+        }
+        dir.body_remaining = size;
+        dir.phase = Phase::kChunkData;
+        continue;
+      }
+
+      case Phase::kChunkData: {
+        const std::uint64_t take =
+            std::min<std::uint64_t>(dir.body_remaining, dir.buf.size());
+        dir.buf.erase(dir.buf.begin(),
+                      dir.buf.begin() + static_cast<std::ptrdiff_t>(take));
+        dir.body_remaining -= take;
+        if (dir.body_remaining > 0) return;
+        dir.phase = Phase::kChunkSize;
+        continue;
+      }
+    }
+  }
+}
+
+void HttpParser::handle_request_line(const std::string& line) {
+  // METHOD SP URI SP VERSION
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  // A new request begins a new transaction; flush the previous one if
+  // its response never completed (pipelining is approximated as
+  // sequential transactions).
+  if (request_started_) emit_transaction();
+
+  current_ = HttpTransaction{};
+  request_started_ = true;
+  if (sp1 == std::string::npos) {
+    current_.method = line;
+    return;
+  }
+  current_.method = line.substr(0, sp1);
+  if (sp2 == std::string::npos) {
+    current_.uri = line.substr(sp1 + 1);
+  } else {
+    current_.uri = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    current_.version = line.substr(sp2 + 1);
+  }
+}
+
+void HttpParser::handle_response_line(const std::string& line) {
+  // VERSION SP STATUS SP REASON
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string status = sp2 == std::string::npos
+                                 ? line.substr(sp1 + 1)
+                                 : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  current_.has_response = true;
+  if (const auto code = parse_u64(status)) {
+    current_.status_code = static_cast<std::uint32_t>(*code);
+  }
+  if (sp2 != std::string::npos) current_.reason = line.substr(sp2 + 1);
+}
+
+void HttpParser::handle_header(DirectionState& dir, const std::string& line,
+                               bool from_originator) {
+  const auto colon = line.find(':');
+  if (colon == std::string::npos) return;
+  HttpHeader header;
+  header.name = lower(trim(line.substr(0, colon)));
+  header.value = trim(line.substr(colon + 1));
+
+  if (header.name == "content-length") {
+    if (const auto len = parse_u64(header.value)) {
+      dir.body_remaining = *len;
+      if (!from_originator) current_.response_content_length = *len;
+    }
+  } else if (header.name == "transfer-encoding" &&
+             lower(header.value).find("chunked") != std::string::npos) {
+    dir.chunked = true;
+  } else if (from_originator && header.name == "host") {
+    current_.host = header.value;
+  } else if (from_originator && header.name == "user-agent") {
+    current_.user_agent = header.value;
+  }
+
+  auto& headers =
+      from_originator ? current_.request_headers : current_.response_headers;
+  headers.push_back(std::move(header));
+}
+
+void HttpParser::headers_complete(DirectionState& dir, bool from_originator) {
+  if (!from_originator) {
+    // The response headers complete the transaction metadata.
+    emit_transaction();
+  }
+  if (dir.chunked) {
+    dir.chunked = false;
+    dir.phase = Phase::kChunkSize;
+    return;
+  }
+  if (dir.body_remaining > 0) {
+    dir.phase = Phase::kBody;
+    return;
+  }
+  if (!from_originator && current_.response_content_length == 0 &&
+      current_.status_code >= 200 && current_.method != "HEAD" &&
+      std::none_of(current_.response_headers.begin(),
+                   current_.response_headers.end(), [](const HttpHeader& h) {
+                     return h.name == "content-length" ||
+                            h.name == "transfer-encoding";
+                   })) {
+    // No framing: body runs to connection close.
+    dir.body_until_close = true;
+    dir.phase = Phase::kBody;
+    dir.body_remaining = 0;
+    return;
+  }
+  dir.phase = Phase::kLine;
+}
+
+void HttpParser::emit_transaction() {
+  if (!request_started_ && !current_.has_response) return;
+  Session session;
+  session.session_id = next_session_id_++;
+  session.data = current_;
+  completed_.push_back(std::move(session));
+  // Keep current_ around for body framing fields; a new request line
+  // resets it.
+  request_started_ = false;
+}
+
+std::vector<Session> HttpParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> HttpParser::drain_sessions() {
+  if (request_started_) emit_transaction();
+  return take_sessions();
+}
+
+std::unique_ptr<ConnParser> make_http_parser() {
+  return std::make_unique<HttpParser>();
+}
+
+}  // namespace retina::protocols

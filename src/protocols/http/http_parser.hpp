@@ -1,0 +1,57 @@
+// HTTP/1.x parser: request and response lines, headers, and body
+// framing (Content-Length and chunked) so that keep-alive connections
+// yield one Session per transaction. Bodies are skipped, not stored —
+// the subscription data carries parsed metadata, matching what the
+// paper's applications consume.
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class HttpParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  /// More transactions may follow on a keep-alive connection.
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+
+ private:
+  enum class Phase { kLine, kHeaders, kBody, kChunkSize, kChunkData };
+
+  struct DirectionState {
+    std::vector<std::uint8_t> buf;
+    Phase phase = Phase::kLine;
+    std::uint64_t body_remaining = 0;
+    bool chunked = false;
+    bool body_until_close = false;  // responses without length framing
+  };
+
+  void consume(DirectionState& dir, bool from_originator);
+  /// Extract one CRLF-terminated line from dir.buf; false if incomplete.
+  static bool take_line(DirectionState& dir, std::string& line);
+  void handle_request_line(const std::string& line);
+  void handle_response_line(const std::string& line);
+  void handle_header(DirectionState& dir, const std::string& line,
+                     bool from_originator);
+  void headers_complete(DirectionState& dir, bool from_originator);
+  void emit_transaction();
+
+  DirectionState client_;
+  DirectionState server_;
+  HttpTransaction current_;
+  bool request_started_ = false;
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+}  // namespace retina::protocols

@@ -1,0 +1,66 @@
+// ConnParser: the application-layer protocol module interface (the C++
+// analogue of Retina's ConnParsable trait, paper Appendix A.1 / Fig. 10).
+// A parser instance is attached to one connection once probing
+// identifies its protocol; it consumes in-order L4 PDUs and produces
+// Sessions. Its session_match_state / session_nomatch_state hints tell
+// the pipeline what to do with the connection after the session filter
+// runs (e.g. TLS: nothing interesting follows the handshake → Delete;
+// HTTP: more transactions may follow → keep parsing).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "conntrack/conn_state.hpp"
+#include "protocols/session.hpp"
+#include "stream/l4_pdu.hpp"
+
+namespace retina::protocols {
+
+enum class ProbeResult {
+  kUnsure,  // need more data
+  kYes,     // this is my protocol
+  kNo,      // definitely not my protocol
+};
+
+enum class ParseResult {
+  kContinue,  // keep feeding PDUs
+  kDone,      // parser finished for this connection (no more sessions)
+  kError,     // malformed input; treat protocol state as dead
+};
+
+class ConnParser {
+ public:
+  virtual ~ConnParser() = default;
+
+  /// Protocol module name; must match the name registered with the
+  /// filter field registry ("tls", "http", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Inspect an early PDU and vote on whether this connection speaks
+  /// this protocol. Stateless with respect to parsing.
+  virtual ProbeResult probe(const stream::L4Pdu& pdu) const = 0;
+
+  /// Consume one in-order PDU. Completed sessions become available via
+  /// take_sessions().
+  virtual ParseResult parse(const stream::L4Pdu& pdu) = 0;
+
+  /// Move out all sessions completed so far.
+  virtual std::vector<Session> take_sessions() = 0;
+
+  /// Flush any partially parsed session (connection terminating early;
+  /// e.g. a ClientHello that never got a ServerHello).
+  virtual std::vector<Session> drain_sessions() = 0;
+
+  /// Default connection state after a session passes / fails the
+  /// session filter (the subscription level can override; §5.2).
+  virtual conntrack::ConnState session_match_state() const = 0;
+  virtual conntrack::ConnState session_nomatch_state() const = 0;
+};
+
+using ParserFactory = std::function<std::unique_ptr<ConnParser>()>;
+
+}  // namespace retina::protocols

@@ -1,0 +1,107 @@
+#include "protocols/quic/quic_parser.hpp"
+
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace retina::protocols {
+
+namespace {
+
+const std::string kName = "quic";
+
+bool plausible_version(std::uint32_t v) {
+  // v1 (RFC 9000), v2 (RFC 9369), draft versions 0xff0000xx, and the
+  // version-negotiation value 0.
+  return v == 0x00000001 || v == 0x6b3343cf || (v >> 8) == 0xff0000 ||
+         v == 0;
+}
+
+}  // namespace
+
+std::optional<QuicHandshake> parse_quic_long_header(
+    std::span<const std::uint8_t> datagram) {
+  util::ByteReader r(datagram);
+  const std::uint8_t first = r.u8();
+  // Long header: fixed bit (0x40) and long-header bit (0x80) set.
+  if ((first & 0xc0) != 0xc0) return std::nullopt;
+  QuicHandshake hs;
+  hs.version = r.be32();
+  if (!plausible_version(hs.version)) return std::nullopt;
+  const std::uint8_t dcid_len = r.u8();
+  if (dcid_len > 20) return std::nullopt;
+  const auto dcid = r.bytes(dcid_len);
+  const std::uint8_t scid_len = r.u8();
+  if (scid_len > 20) return std::nullopt;
+  const auto scid = r.bytes(scid_len);
+  if (!r.ok()) return std::nullopt;
+  hs.dcid.assign(dcid.begin(), dcid.end());
+  hs.scid.assign(scid.begin(), scid.end());
+  hs.initial_packets = 1;
+  return hs;
+}
+
+const std::string& QuicParser::name() const { return kName; }
+
+ProbeResult QuicParser::probe(const stream::L4Pdu& pdu) const {
+  if (pdu.payload.empty()) return ProbeResult::kUnsure;
+  // Short-header packets (first bit clear) can't start a connection we
+  // can identify; only long headers are probeable.
+  if ((pdu.payload[0] & 0x80) == 0) return ProbeResult::kNo;
+  return parse_quic_long_header(pdu.payload) ? ProbeResult::kYes
+                                             : ProbeResult::kNo;
+}
+
+ParseResult QuicParser::parse(const stream::L4Pdu& pdu) {
+  if (emitted_) return ParseResult::kDone;
+  auto parsed = parse_quic_long_header(pdu.payload);
+  if (!parsed) {
+    // Short-header (1-RTT) packet: the handshake phase is over.
+    if (handshake_.initial_packets > 0) {
+      emitted_ = true;
+      Session session;
+      session.session_id = next_session_id_++;
+      session.data = handshake_;
+      completed_.push_back(std::move(session));
+      return ParseResult::kDone;
+    }
+    return ParseResult::kError;
+  }
+  if (handshake_.initial_packets == 0) {
+    handshake_ = *parsed;
+  } else {
+    ++handshake_.initial_packets;
+    if (handshake_.scid.empty()) handshake_.scid = parsed->scid;
+  }
+  // After a few long-header packets the handshake metadata is complete.
+  if (handshake_.initial_packets >= 4) {
+    emitted_ = true;
+    Session session;
+    session.session_id = next_session_id_++;
+    session.data = handshake_;
+    completed_.push_back(std::move(session));
+    return ParseResult::kDone;
+  }
+  return ParseResult::kContinue;
+}
+
+std::vector<Session> QuicParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> QuicParser::drain_sessions() {
+  if (!emitted_ && handshake_.initial_packets > 0) {
+    emitted_ = true;
+    Session session;
+    session.session_id = next_session_id_++;
+    session.data = handshake_;
+    completed_.push_back(std::move(session));
+  }
+  return take_sessions();
+}
+
+std::unique_ptr<ConnParser> make_quic_parser() {
+  return std::make_unique<QuicParser>();
+}
+
+}  // namespace retina::protocols

@@ -1,0 +1,44 @@
+// QUIC (RFC 9000) initial-packet parser: long-header recognition,
+// version extraction, and connection-ID metadata. QUIC payloads are
+// encrypted from the first packet, so — like the paper's treatment of
+// TLS — the interesting analyzable surface is the unencrypted header
+// fields of the connection's first packets.
+//
+// This module also serves as the worked example of framework
+// extensibility (paper §3.3 / Appendix A): a new protocol is a
+// ConnParser implementation plus a ProtoDef with filterable fields.
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class QuicParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kDelete;  // everything after is opaque
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kDelete;
+  }
+
+ private:
+  QuicHandshake handshake_;
+  bool emitted_ = false;
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+/// Parse one datagram as a QUIC long-header packet (nullopt otherwise).
+std::optional<QuicHandshake> parse_quic_long_header(
+    std::span<const std::uint8_t> datagram);
+
+std::unique_ptr<ConnParser> make_quic_parser();
+
+}  // namespace retina::protocols

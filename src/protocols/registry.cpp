@@ -1,0 +1,48 @@
+#include "protocols/registry.hpp"
+
+#include "protocols/quic/quic_parser.hpp"
+#include "protocols/smtp/smtp_parser.hpp"
+
+namespace retina::protocols {
+
+void ParserRegistry::register_parser(const std::string& name,
+                                     ParserFactory factory) {
+  factories_[name] = std::move(factory);
+}
+
+bool ParserRegistry::has(const std::string& name) const {
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<ConnParser> ParserRegistry::create(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : it->second();
+}
+
+std::vector<std::string> ParserRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+void register_builtin_parsers(ParserRegistry& registry) {
+  registry.register_parser("tls", make_tls_parser);
+  registry.register_parser("http", make_http_parser);
+  registry.register_parser("ssh", make_ssh_parser);
+  registry.register_parser("dns", make_dns_parser);
+  registry.register_parser("quic", make_quic_parser);
+  registry.register_parser("smtp", make_smtp_parser);
+}
+
+const ParserRegistry& ParserRegistry::builtin() {
+  static const ParserRegistry* instance = [] {
+    auto* r = new ParserRegistry();
+    register_builtin_parsers(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+}  // namespace retina::protocols

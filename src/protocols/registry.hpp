@@ -1,0 +1,48 @@
+// Parser registry (the "Parser Registry" box in paper Fig. 2): maps
+// protocol module names to parser factories. The runtime instantiates
+// one parser per tracked connection for each protocol the subscription's
+// filter or data type requires. Registering a new module here plus a
+// ProtoDef in the filter field registry is all it takes to extend the
+// framework with a new protocol (paper §3.3).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class ParserRegistry {
+ public:
+  /// Registry pre-populated with the built-in parsers (tls, http, ssh,
+  /// dns).
+  static const ParserRegistry& builtin();
+
+  ParserRegistry() = default;
+
+  void register_parser(const std::string& name, ParserFactory factory);
+  bool has(const std::string& name) const;
+  /// Instantiate a parser; returns nullptr for unknown names.
+  std::unique_ptr<ConnParser> create(const std::string& name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, ParserFactory> factories_;
+};
+
+/// Factories for the built-in protocol parsers.
+std::unique_ptr<ConnParser> make_tls_parser();
+std::unique_ptr<ConnParser> make_http_parser();
+std::unique_ptr<ConnParser> make_ssh_parser();
+std::unique_ptr<ConnParser> make_dns_parser();
+std::unique_ptr<ConnParser> make_quic_parser();
+std::unique_ptr<ConnParser> make_smtp_parser();
+
+void register_builtin_parsers(ParserRegistry& registry);
+
+}  // namespace retina::protocols

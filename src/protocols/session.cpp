@@ -1,0 +1,59 @@
+#include "protocols/session.hpp"
+
+#include <cstdio>
+
+namespace retina::protocols {
+
+std::uint16_t TlsHandshake::version() const noexcept {
+  // TLS 1.3 negotiation hides behind the supported_versions extension:
+  // the ServerHello legacy version stays 0x0303.
+  if (has_server_hello && server_version == 0x0303) {
+    for (auto v : supported_versions) {
+      if (v == 0x0304) return 0x0304;
+    }
+  }
+  if (has_server_hello) return server_version;
+  return client_version;
+}
+
+std::string TlsHandshake::cipher_name() const {
+  return tls_cipher_suite_name(cipher_selected);
+}
+
+std::string Session::proto_name() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(const TlsHandshake&) const { return "tls"; }
+    std::string operator()(const HttpTransaction&) const { return "http"; }
+    std::string operator()(const SshHandshake&) const { return "ssh"; }
+    std::string operator()(const DnsMessage&) const { return "dns"; }
+    std::string operator()(const QuicHandshake&) const { return "quic"; }
+    std::string operator()(const SmtpEnvelope&) const { return "smtp"; }
+  };
+  return std::visit(Visitor{}, data);
+}
+
+std::string tls_cipher_suite_name(std::uint16_t code) {
+  switch (code) {
+    case 0x1301: return "TLS_AES_128_GCM_SHA256";
+    case 0x1302: return "TLS_AES_256_GCM_SHA384";
+    case 0x1303: return "TLS_CHACHA20_POLY1305_SHA256";
+    case 0xc02b: return "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256";
+    case 0xc02c: return "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384";
+    case 0xc02f: return "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256";
+    case 0xc030: return "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384";
+    case 0xcca8: return "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256";
+    case 0xcca9: return "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256";
+    case 0x009c: return "TLS_RSA_WITH_AES_128_GCM_SHA256";
+    case 0x009d: return "TLS_RSA_WITH_AES_256_GCM_SHA384";
+    case 0x002f: return "TLS_RSA_WITH_AES_128_CBC_SHA";
+    case 0x0035: return "TLS_RSA_WITH_AES_256_CBC_SHA";
+    default: {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "0x%04x", code);
+      return buf;
+    }
+  }
+}
+
+}  // namespace retina::protocols

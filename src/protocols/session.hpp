@@ -1,0 +1,140 @@
+// Application-layer session data (paper §3.2.2, L5–7 abstraction).
+// A Session is one parsed protocol message exchange — a TLS handshake,
+// an HTTP transaction, an SSH handshake, a DNS query/response — produced
+// by a protocol module and handed to the session filter and then to the
+// user callback. These are plain data structs: parsers own all the
+// complexity, callbacks get value types they can keep.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace retina::protocols {
+
+/// TLS versions as they appear on the wire (legacy record versions plus
+/// the supported_versions extension value for 1.3).
+enum class TlsVersion : std::uint16_t {
+  kSsl30 = 0x0300,
+  kTls10 = 0x0301,
+  kTls11 = 0x0302,
+  kTls12 = 0x0303,
+  kTls13 = 0x0304,
+};
+
+struct TlsHandshake {
+  // ClientHello
+  std::string sni;
+  std::uint16_t client_version = 0;
+  std::array<std::uint8_t, 32> client_random{};
+  std::vector<std::uint16_t> cipher_suites_offered;
+  std::vector<std::string> alpn_offered;
+  std::vector<std::uint16_t> supported_versions;
+
+  // ServerHello (may be absent if the connection died mid-handshake)
+  bool has_server_hello = false;
+  std::uint16_t server_version = 0;
+  std::array<std::uint8_t, 32> server_random{};
+  std::uint16_t cipher_selected = 0;
+
+  // Certificate chain metadata (TLS <= 1.2; encrypted in 1.3)
+  std::size_t certificate_count = 0;
+  std::size_t certificate_bytes = 0;
+  std::string subject_cn;  // leaf certificate subject common name
+  std::string issuer_cn;
+
+  /// Negotiated version accounting for the supported_versions extension.
+  std::uint16_t version() const noexcept;
+  /// IANA name of the selected cipher suite ("TLS_AES_128_GCM_SHA256"...);
+  /// hex string for unknown code points.
+  std::string cipher_name() const;
+};
+
+struct HttpHeader {
+  std::string name;   // lower-cased
+  std::string value;
+};
+
+struct HttpTransaction {
+  // Request
+  std::string method;
+  std::string uri;
+  std::string version;  // "HTTP/1.1"
+  std::string host;
+  std::string user_agent;
+  std::vector<HttpHeader> request_headers;
+
+  // Response (absent for one-sided captures)
+  bool has_response = false;
+  std::uint32_t status_code = 0;
+  std::string reason;
+  std::vector<HttpHeader> response_headers;
+  std::uint64_t response_content_length = 0;
+};
+
+struct SshHandshake {
+  std::string client_banner;  // "SSH-2.0-OpenSSH_8.9"
+  std::string server_banner;
+  std::vector<std::string> kex_algorithms;
+  std::vector<std::string> host_key_algorithms;
+};
+
+struct DnsQuestion {
+  std::string qname;
+  std::uint16_t qtype = 0;
+  std::uint16_t qclass = 0;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t rcode = 0;
+  std::vector<DnsQuestion> questions;
+  std::uint16_t answer_count = 0;
+};
+
+struct SmtpEnvelope {
+  std::string greeting;   // server 220 banner
+  std::string helo;       // HELO/EHLO argument
+  std::string mail_from;
+  std::vector<std::string> rcpt_to;
+  bool starttls = false;  // connection upgraded to TLS
+};
+
+struct QuicHandshake {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> dcid;
+  std::vector<std::uint8_t> scid;
+  std::uint64_t initial_packets = 0;
+};
+
+/// A parsed application-layer session. `proto_id` is the registry id of
+/// the protocol module that produced it (see protocols/registry.hpp).
+struct Session {
+  using Data = std::variant<std::monostate, TlsHandshake, HttpTransaction,
+                            SshHandshake, DnsMessage, QuicHandshake,
+                            SmtpEnvelope>;
+
+  std::size_t session_id = 0;  // per-connection ordinal
+  Data data;
+
+  template <typename T>
+  const T* get() const noexcept {
+    return std::get_if<T>(&data);
+  }
+
+  bool empty() const noexcept {
+    return std::holds_alternative<std::monostate>(data);
+  }
+
+  /// Protocol module name ("tls", "http", ...); empty if monostate.
+  std::string proto_name() const;
+};
+
+/// IANA cipher-suite code point to name, for the common suites seen in
+/// real traffic; falls back to "0x%04x".
+std::string tls_cipher_suite_name(std::uint16_t code);
+
+}  // namespace retina::protocols

@@ -1,0 +1,169 @@
+#include "protocols/smtp/smtp_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace retina::protocols {
+
+namespace {
+
+const std::string kName = "smtp";
+
+/// Case-insensitive prefix test over a line.
+bool starts_with_ci(const std::string& line, const char* prefix) {
+  const std::size_t len = std::char_traits<char>::length(prefix);
+  if (line.size() < len) return false;
+  for (std::size_t i = 0; i < len; ++i) {
+    if (std::toupper(static_cast<unsigned char>(line[i])) != prefix[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Extract the address inside <...>, or the remainder after the colon.
+std::string path_argument(const std::string& line, std::size_t colon) {
+  std::string arg = line.substr(colon + 1);
+  const auto lt = arg.find('<');
+  const auto gt = arg.find('>');
+  if (lt != std::string::npos && gt != std::string::npos && gt > lt) {
+    return arg.substr(lt + 1, gt - lt - 1);
+  }
+  // Trim whitespace.
+  while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.front())))
+    arg.erase(arg.begin());
+  while (!arg.empty() && std::isspace(static_cast<unsigned char>(arg.back())))
+    arg.pop_back();
+  return arg;
+}
+
+/// Pop one CRLF/LF-terminated line; false if incomplete.
+bool take_line(std::vector<std::uint8_t>& buf, std::string& line) {
+  const auto it = std::find(buf.begin(), buf.end(), '\n');
+  if (it == buf.end()) return false;
+  line.assign(buf.begin(), it);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  buf.erase(buf.begin(), it + 1);
+  return true;
+}
+
+}  // namespace
+
+const std::string& SmtpParser::name() const { return kName; }
+
+ProbeResult SmtpParser::probe(const stream::L4Pdu& pdu) const {
+  // SMTP is server-first: "220 <domain> ...". Client-first data that
+  // looks like EHLO also identifies (server greeting may be in flight).
+  const auto payload = pdu.payload;
+  if (payload.empty()) return ProbeResult::kUnsure;
+  const std::string head(payload.begin(),
+                         payload.begin() + std::min<std::size_t>(
+                                               payload.size(), 8));
+  if (!pdu.from_originator) {
+    if (head.size() < 4) {
+      return starts_with_ci(head, "220") ? ProbeResult::kUnsure
+                                         : ProbeResult::kNo;
+    }
+    return (starts_with_ci(head, "220 ") || starts_with_ci(head, "220-"))
+               ? ProbeResult::kYes
+               : ProbeResult::kNo;
+  }
+  if (head.size() < 5) {
+    return (starts_with_ci(head, "EHLO") || starts_with_ci(head, "HELO"))
+               ? ProbeResult::kUnsure
+               : ProbeResult::kNo;
+  }
+  return (starts_with_ci(head, "EHLO ") || starts_with_ci(head, "HELO "))
+             ? ProbeResult::kYes
+             : ProbeResult::kNo;
+}
+
+ParseResult SmtpParser::parse(const stream::L4Pdu& pdu) {
+  auto& buf = pdu.from_originator ? client_buf_ : server_buf_;
+  buf.insert(buf.end(), pdu.payload.begin(), pdu.payload.end());
+  if (pdu.from_originator) {
+    consume_client();
+  } else {
+    consume_server();
+  }
+  // After STARTTLS the stream is ciphertext; stop parsing.
+  return starttls_seen_ ? ParseResult::kDone : ParseResult::kContinue;
+}
+
+void SmtpParser::consume_server() {
+  std::string line;
+  while (take_line(server_buf_, line)) {
+    if (current_.greeting.empty() &&
+        (starts_with_ci(line, "220 ") || starts_with_ci(line, "220-"))) {
+      current_.greeting = line.substr(4);
+    }
+  }
+}
+
+void SmtpParser::consume_client() {
+  std::string line;
+  while (take_line(client_buf_, line)) {
+    if (in_data_) {
+      if (line == ".") {
+        in_data_ = false;
+        emit_envelope();  // message complete
+      }
+      continue;  // skip body lines
+    }
+    if (starts_with_ci(line, "EHLO ") || starts_with_ci(line, "HELO ")) {
+      current_.helo = line.substr(5);
+    } else if (starts_with_ci(line, "MAIL FROM")) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        envelope_started_ = true;
+        current_.mail_from = path_argument(line, colon);
+      }
+    } else if (starts_with_ci(line, "RCPT TO")) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        current_.rcpt_to.push_back(path_argument(line, colon));
+      }
+    } else if (starts_with_ci(line, "DATA")) {
+      in_data_ = true;
+    } else if (starts_with_ci(line, "STARTTLS")) {
+      current_.starttls = true;
+      starttls_seen_ = true;
+      emit_envelope();
+    } else if (starts_with_ci(line, "QUIT")) {
+      if (envelope_started_) emit_envelope();
+    }
+  }
+}
+
+void SmtpParser::emit_envelope() {
+  if (!envelope_started_ && current_.helo.empty() && !current_.starttls) {
+    return;
+  }
+  Session session;
+  session.session_id = next_session_id_++;
+  session.data = current_;
+  completed_.push_back(std::move(session));
+  // Envelope fields reset; the connection-scoped greeting/HELO persist.
+  const auto greeting = current_.greeting;
+  const auto helo = current_.helo;
+  current_ = SmtpEnvelope{};
+  current_.greeting = greeting;
+  current_.helo = helo;
+  envelope_started_ = false;
+}
+
+std::vector<Session> SmtpParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> SmtpParser::drain_sessions() {
+  if (envelope_started_) emit_envelope();
+  return take_sessions();
+}
+
+std::unique_ptr<ConnParser> make_smtp_parser() {
+  return std::make_unique<SmtpParser>();
+}
+
+}  // namespace retina::protocols

@@ -1,0 +1,45 @@
+// SMTP parser (the paper's §2 motivating example: "easily focusing on
+// ... all SMTP sessions"). Parses the server greeting and the command/
+// response envelope exchange — HELO/EHLO, MAIL FROM, RCPT TO, STARTTLS —
+// emitting one Session per message envelope. Message bodies (DATA) are
+// skipped, not stored.
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class SmtpParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  /// Envelopes keep coming on one connection; keep parsing either way.
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kParse;
+  }
+
+ private:
+  void consume_client();
+  void consume_server();
+  void emit_envelope();
+
+  std::vector<std::uint8_t> client_buf_;
+  std::vector<std::uint8_t> server_buf_;
+  bool in_data_ = false;       // between DATA and the dot terminator
+  bool starttls_seen_ = false;
+  SmtpEnvelope current_;
+  bool envelope_started_ = false;
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+std::unique_ptr<ConnParser> make_smtp_parser();
+
+}  // namespace retina::protocols

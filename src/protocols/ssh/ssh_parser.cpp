@@ -1,0 +1,127 @@
+#include "protocols/ssh/ssh_parser.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace retina::protocols {
+
+namespace {
+
+const std::string kName = "ssh";
+constexpr std::uint8_t kMsgKexInit = 20;
+
+std::vector<std::string> split_name_list(std::span<const std::uint8_t> data) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const auto byte : data) {
+    if (byte == ',') {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += static_cast<char>(byte);
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace
+
+const std::string& SshParser::name() const { return kName; }
+
+ProbeResult SshParser::probe(const stream::L4Pdu& pdu) const {
+  static const char kMagic[] = "SSH-";
+  const auto payload = pdu.payload;
+  if (payload.empty()) return ProbeResult::kUnsure;
+  const std::size_t check = std::min<std::size_t>(payload.size(), 4);
+  if (!std::equal(kMagic, kMagic + check, payload.begin())) {
+    return ProbeResult::kNo;
+  }
+  return payload.size() >= 4 ? ProbeResult::kYes : ProbeResult::kUnsure;
+}
+
+ParseResult SshParser::parse(const stream::L4Pdu& pdu) {
+  if (emitted_) return ParseResult::kDone;
+  auto& dir = pdu.from_originator ? client_ : server_;
+  dir.buf.insert(dir.buf.end(), pdu.payload.begin(), pdu.payload.end());
+  consume(dir, pdu.from_originator);
+  try_finish();
+  return emitted_ ? ParseResult::kDone : ParseResult::kContinue;
+}
+
+void SshParser::consume(DirectionState& dir, bool from_originator) {
+  if (!dir.banner_done) {
+    const auto nl = std::find(dir.buf.begin(), dir.buf.end(), '\n');
+    if (nl == dir.buf.end()) return;
+    std::string banner(dir.buf.begin(), nl);
+    if (!banner.empty() && banner.back() == '\r') banner.pop_back();
+    dir.buf.erase(dir.buf.begin(), nl + 1);
+    dir.banner_done = true;
+    if (from_originator) {
+      handshake_.client_banner = std::move(banner);
+    } else {
+      handshake_.server_banner = std::move(banner);
+    }
+  }
+
+  // Binary packet protocol: uint32 length | byte padding_len | payload.
+  while (dir.buf.size() >= 5) {
+    const std::uint32_t packet_len = util::load_be32(dir.buf.data());
+    if (packet_len < 1 || packet_len > (1u << 20)) {
+      dir.buf.clear();  // framing lost (likely encrypted); stop
+      return;
+    }
+    if (dir.buf.size() < 4 + packet_len) return;  // incomplete
+    const std::uint8_t padding_len = dir.buf[4];
+    const std::size_t payload_len =
+        packet_len >= 1u + padding_len ? packet_len - 1 - padding_len : 0;
+    const std::uint8_t* payload = dir.buf.data() + 5;
+
+    if (from_originator && !kexinit_parsed_ && payload_len > 17 &&
+        payload[0] == kMsgKexInit) {
+      // KEXINIT: type(1) cookie(16) then name-lists, each u32-prefixed.
+      util::ByteReader r({payload + 17, payload_len - 17});
+      const std::uint32_t kex_len = r.be32();
+      handshake_.kex_algorithms = split_name_list(r.bytes(kex_len));
+      const std::uint32_t hostkey_len = r.be32();
+      handshake_.host_key_algorithms = split_name_list(r.bytes(hostkey_len));
+      if (r.ok()) kexinit_parsed_ = true;
+    }
+    dir.buf.erase(dir.buf.begin(),
+                  dir.buf.begin() + 4 + static_cast<std::ptrdiff_t>(packet_len));
+  }
+}
+
+void SshParser::try_finish() {
+  if (emitted_) return;
+  if (client_.banner_done && server_.banner_done && kexinit_parsed_) {
+    emitted_ = true;
+    Session session;
+    session.session_id = next_session_id_++;
+    session.data = handshake_;
+    completed_.push_back(std::move(session));
+  }
+}
+
+std::vector<Session> SshParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> SshParser::drain_sessions() {
+  if (!emitted_ && (client_.banner_done || server_.banner_done)) {
+    emitted_ = true;
+    Session session;
+    session.session_id = next_session_id_++;
+    session.data = handshake_;
+    completed_.push_back(std::move(session));
+  }
+  return take_sessions();
+}
+
+std::unique_ptr<ConnParser> make_ssh_parser() {
+  return std::make_unique<SshParser>();
+}
+
+}  // namespace retina::protocols

@@ -1,0 +1,44 @@
+// SSH handshake parser: protocol version banners (RFC 4253 §4.2) from
+// both sides plus the client's KEXINIT algorithm name-lists. Everything
+// after key exchange is encrypted, so — like TLS — the connection stops
+// being interesting once the handshake transcript is complete.
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class SshParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kDelete;
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kDelete;
+  }
+
+ private:
+  struct DirectionState {
+    std::vector<std::uint8_t> buf;
+    bool banner_done = false;
+  };
+
+  void consume(DirectionState& dir, bool from_originator);
+  void try_finish();
+
+  DirectionState client_;
+  DirectionState server_;
+  SshHandshake handshake_;
+  bool kexinit_parsed_ = false;
+  bool emitted_ = false;
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+}  // namespace retina::protocols

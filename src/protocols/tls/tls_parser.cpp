@@ -1,0 +1,286 @@
+#include "protocols/tls/tls_parser.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "protocols/tls/x509.hpp"
+#include "util/bytes.hpp"
+
+namespace retina::protocols {
+
+namespace {
+
+// TLS record content types.
+constexpr std::uint8_t kContentChangeCipherSpec = 20;
+constexpr std::uint8_t kContentAlert = 21;
+constexpr std::uint8_t kContentHandshake = 22;
+constexpr std::uint8_t kContentApplicationData = 23;
+
+// Handshake message types.
+constexpr std::uint8_t kHsClientHello = 1;
+constexpr std::uint8_t kHsServerHello = 2;
+constexpr std::uint8_t kHsCertificate = 11;
+
+// Extension ids.
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+
+constexpr std::size_t kRecordHeaderLen = 5;
+constexpr std::size_t kMaxRecordLen = 1 << 14;
+
+bool plausible_version(std::uint16_t v) {
+  return v >= 0x0300 && v <= 0x0304;
+}
+
+const std::string kName = "tls";
+
+}  // namespace
+
+const std::string& TlsParser::name() const { return kName; }
+
+ProbeResult TlsParser::probe(const stream::L4Pdu& pdu) const {
+  const auto payload = pdu.payload;
+  if (payload.empty()) return ProbeResult::kUnsure;
+  if (payload.size() < kRecordHeaderLen) {
+    // One byte is enough to rule TLS out if it isn't a handshake record.
+    return payload[0] == kContentHandshake ? ProbeResult::kUnsure
+                                           : ProbeResult::kNo;
+  }
+  if (payload[0] != kContentHandshake) return ProbeResult::kNo;
+  const std::uint16_t version = util::load_be16(payload.data() + 1);
+  if (!plausible_version(version)) return ProbeResult::kNo;
+  const std::uint16_t len = util::load_be16(payload.data() + 3);
+  if (len == 0 || len > kMaxRecordLen) return ProbeResult::kNo;
+  if (payload.size() >= 6 && payload[5] != kHsClientHello &&
+      payload[5] != kHsServerHello) {
+    return ProbeResult::kNo;
+  }
+  return ProbeResult::kYes;
+}
+
+ParseResult TlsParser::parse(const stream::L4Pdu& pdu) {
+  if (handshake_emitted_) return ParseResult::kDone;
+  auto& dir = pdu.from_originator ? client_ : server_;
+  dir.record_buf.insert(dir.record_buf.end(), pdu.payload.begin(),
+                        pdu.payload.end());
+  return consume_records(dir, pdu.from_originator);
+}
+
+ParseResult TlsParser::consume_records(DirectionState& dir,
+                                       bool from_originator) {
+  std::size_t offset = 0;
+  ParseResult result = ParseResult::kContinue;
+
+  while (dir.record_buf.size() - offset >= kRecordHeaderLen) {
+    const std::uint8_t* hdr = dir.record_buf.data() + offset;
+    const std::uint8_t content_type = hdr[0];
+    const std::uint16_t version = util::load_be16(hdr + 1);
+    const std::uint16_t len = util::load_be16(hdr + 3);
+    if (!plausible_version(version) || len > kMaxRecordLen) {
+      result = ParseResult::kError;
+      break;
+    }
+    if (dir.record_buf.size() - offset - kRecordHeaderLen < len) {
+      break;  // incomplete record; wait for more data
+    }
+
+    const std::uint8_t* body = hdr + kRecordHeaderLen;
+    switch (content_type) {
+      case kContentHandshake:
+        dir.handshake_buf.insert(dir.handshake_buf.end(), body, body + len);
+        result = consume_handshakes(dir, from_originator);
+        break;
+      case kContentChangeCipherSpec:
+      case kContentApplicationData:
+        // Encrypted data follows: the transcript we can see is complete.
+        if (!from_originator || content_type == kContentApplicationData) {
+          finish_handshake();
+          result = ParseResult::kDone;
+        }
+        break;
+      case kContentAlert:
+        break;  // ignore alerts within the handshake
+      default:
+        result = ParseResult::kError;
+        break;
+    }
+    offset += kRecordHeaderLen + len;
+    if (result != ParseResult::kContinue) break;
+  }
+
+  dir.record_buf.erase(dir.record_buf.begin(),
+                       dir.record_buf.begin() +
+                           static_cast<std::ptrdiff_t>(
+                               std::min(offset, dir.record_buf.size())));
+  return result;
+}
+
+ParseResult TlsParser::consume_handshakes(DirectionState& dir,
+                                          bool from_originator) {
+  std::size_t offset = 0;
+  while (dir.handshake_buf.size() - offset >= 4) {
+    const std::uint8_t* hdr = dir.handshake_buf.data() + offset;
+    const std::uint8_t msg_type = hdr[0];
+    const std::uint32_t len = util::load_be24(hdr + 1);
+    if (dir.handshake_buf.size() - offset - 4 < len) break;  // incomplete
+
+    const std::span<const std::uint8_t> body{hdr + 4, len};
+    if (from_originator && msg_type == kHsClientHello) {
+      parse_client_hello(body);
+    } else if (!from_originator && msg_type == kHsServerHello) {
+      parse_server_hello(body);
+    } else if (!from_originator && msg_type == kHsCertificate) {
+      parse_certificate(body);
+    }
+    // Other messages (ServerKeyExchange, Finished, ...) advance the
+    // transcript but carry nothing we extract.
+    offset += 4 + len;
+  }
+  dir.handshake_buf.erase(dir.handshake_buf.begin(),
+                          dir.handshake_buf.begin() +
+                              static_cast<std::ptrdiff_t>(offset));
+  return ParseResult::kContinue;
+}
+
+void TlsParser::parse_client_hello(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  handshake_.client_version = r.be16();
+  const auto random = r.bytes(32);
+  if (random.size() == 32) {
+    std::copy(random.begin(), random.end(), handshake_.client_random.begin());
+  }
+  const std::uint8_t session_id_len = r.u8();
+  r.skip(session_id_len);
+  const std::uint16_t ciphers_len = r.be16();
+  const auto ciphers = r.bytes(ciphers_len);
+  for (std::size_t i = 0; i + 1 < ciphers.size(); i += 2) {
+    handshake_.cipher_suites_offered.push_back(
+        util::load_be16(ciphers.data() + i));
+  }
+  const std::uint8_t compression_len = r.u8();
+  r.skip(compression_len);
+  if (!r.ok()) return;
+  saw_client_hello_ = true;
+  if (r.remaining() < 2) return;  // no extensions (SSLv3-style hello)
+
+  const std::uint16_t ext_total = r.be16();
+  util::ByteReader exts(r.bytes(ext_total));
+  while (exts.ok() && exts.remaining() >= 4) {
+    const std::uint16_t ext_type = exts.be16();
+    const std::uint16_t ext_len = exts.be16();
+    util::ByteReader ext(exts.bytes(ext_len));
+    if (!exts.ok()) break;
+    switch (ext_type) {
+      case kExtServerName: {
+        const std::uint16_t list_len = ext.be16();
+        util::ByteReader list(ext.bytes(list_len));
+        while (list.ok() && list.remaining() >= 3) {
+          const std::uint8_t name_type = list.u8();
+          const std::uint16_t name_len = list.be16();
+          const auto name = list.bytes(name_len);
+          if (name_type == 0 && !name.empty() && handshake_.sni.empty()) {
+            handshake_.sni.assign(name.begin(), name.end());
+          }
+        }
+        break;
+      }
+      case kExtAlpn: {
+        const std::uint16_t list_len = ext.be16();
+        util::ByteReader list(ext.bytes(list_len));
+        while (list.ok() && list.remaining() >= 1) {
+          const std::uint8_t proto_len = list.u8();
+          const auto proto = list.bytes(proto_len);
+          if (!proto.empty()) {
+            handshake_.alpn_offered.emplace_back(proto.begin(), proto.end());
+          }
+        }
+        break;
+      }
+      case kExtSupportedVersions: {
+        const std::uint8_t list_len = ext.u8();
+        util::ByteReader list(ext.bytes(list_len));
+        while (list.ok() && list.remaining() >= 2) {
+          handshake_.supported_versions.push_back(list.be16());
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+void TlsParser::parse_server_hello(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  handshake_.server_version = r.be16();
+  const auto random = r.bytes(32);
+  if (random.size() == 32) {
+    std::copy(random.begin(), random.end(), handshake_.server_random.begin());
+  }
+  const std::uint8_t session_id_len = r.u8();
+  r.skip(session_id_len);
+  handshake_.cipher_selected = r.be16();
+  r.u8();  // compression method
+  if (!r.ok()) return;
+  handshake_.has_server_hello = true;
+
+  if (r.remaining() >= 2) {
+    const std::uint16_t ext_total = r.be16();
+    util::ByteReader exts(r.bytes(ext_total));
+    while (exts.ok() && exts.remaining() >= 4) {
+      const std::uint16_t ext_type = exts.be16();
+      const std::uint16_t ext_len = exts.be16();
+      util::ByteReader ext(exts.bytes(ext_len));
+      if (ext_type == kExtSupportedVersions && ext_len >= 2) {
+        handshake_.supported_versions.push_back(ext.be16());
+      }
+    }
+  }
+}
+
+void TlsParser::parse_certificate(std::span<const std::uint8_t> body) {
+  util::ByteReader r(body);
+  const std::uint32_t list_len = r.be24();
+  util::ByteReader list(r.bytes(list_len));
+  while (list.ok() && list.remaining() >= 3) {
+    const std::uint32_t cert_len = list.be24();
+    const auto der = list.bytes(cert_len);
+    if (der.size() != cert_len) break;
+    if (handshake_.certificate_count == 0) {
+      // Leaf certificate: extract subject/issuer common names.
+      if (const auto summary = parse_certificate_summary(der)) {
+        handshake_.subject_cn = summary->subject_cn;
+        handshake_.issuer_cn = summary->issuer_cn;
+      }
+    }
+    ++handshake_.certificate_count;
+    handshake_.certificate_bytes += cert_len;
+  }
+}
+
+void TlsParser::finish_handshake() {
+  if (handshake_emitted_ || !saw_client_hello_) return;
+  handshake_emitted_ = true;
+  Session session;
+  session.session_id = next_session_id_++;
+  session.data = handshake_;
+  completed_.push_back(std::move(session));
+}
+
+std::vector<Session> TlsParser::take_sessions() {
+  return std::exchange(completed_, {});
+}
+
+std::vector<Session> TlsParser::drain_sessions() {
+  // Connection terminating: emit a partial transcript if we at least saw
+  // a ClientHello (unanswered handshakes are still analyzable data).
+  finish_handshake();
+  return take_sessions();
+}
+
+std::unique_ptr<ConnParser> make_tls_parser() {
+  return std::make_unique<TlsParser>();
+}
+
+}  // namespace retina::protocols

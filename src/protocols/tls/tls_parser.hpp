@@ -1,0 +1,54 @@
+// TLS handshake parser. Parses real TLS record framing and handshake
+// messages (ClientHello, ServerHello, Certificate) from reassembled
+// byte-streams, handling records split across segments and handshake
+// messages split across records. Parsing stops at the first
+// ChangeCipherSpec / application-data record: Retina never decrypts, and
+// once the handshake transcript is complete there is no reason to keep
+// processing the connection (paper §5.2, Fig. 4b).
+#pragma once
+
+#include "protocols/parser.hpp"
+
+namespace retina::protocols {
+
+class TlsParser final : public ConnParser {
+ public:
+  const std::string& name() const override;
+  ProbeResult probe(const stream::L4Pdu& pdu) const override;
+  ParseResult parse(const stream::L4Pdu& pdu) override;
+  std::vector<Session> take_sessions() override;
+  std::vector<Session> drain_sessions() override;
+
+  /// Nothing of interest follows the handshake: drop the connection
+  /// whether or not the filter matched (Fig. 4b — both edges leave the
+  /// state table; the subscription level may override to Track).
+  conntrack::ConnState session_match_state() const override {
+    return conntrack::ConnState::kDelete;
+  }
+  conntrack::ConnState session_nomatch_state() const override {
+    return conntrack::ConnState::kDelete;
+  }
+
+ private:
+  struct DirectionState {
+    std::vector<std::uint8_t> record_buf;     // unconsumed record bytes
+    std::vector<std::uint8_t> handshake_buf;  // reassembled hs messages
+  };
+
+  ParseResult consume_records(DirectionState& dir, bool from_originator);
+  ParseResult consume_handshakes(DirectionState& dir, bool from_originator);
+  void parse_client_hello(std::span<const std::uint8_t> body);
+  void parse_server_hello(std::span<const std::uint8_t> body);
+  void parse_certificate(std::span<const std::uint8_t> body);
+  void finish_handshake();
+
+  DirectionState client_;
+  DirectionState server_;
+  TlsHandshake handshake_;
+  bool saw_client_hello_ = false;
+  bool handshake_emitted_ = false;
+  std::size_t next_session_id_ = 0;
+  std::vector<Session> completed_;
+};
+
+}  // namespace retina::protocols

@@ -1,0 +1,221 @@
+#include "protocols/tls/x509.hpp"
+
+#include <algorithm>
+
+namespace retina::protocols {
+
+namespace {
+
+// ASN.1 tags used here.
+constexpr std::uint8_t kTagInteger = 0x02;
+constexpr std::uint8_t kTagBitString = 0x03;
+constexpr std::uint8_t kTagOid = 0x06;
+constexpr std::uint8_t kTagUtf8 = 0x0c;
+constexpr std::uint8_t kTagPrintable = 0x13;
+constexpr std::uint8_t kTagIa5 = 0x16;
+constexpr std::uint8_t kTagUtcTime = 0x17;
+constexpr std::uint8_t kTagSequence = 0x30;
+constexpr std::uint8_t kTagSet = 0x31;
+constexpr std::uint8_t kTagContext0 = 0xa0;
+
+// OID 2.5.4.3 (commonName).
+constexpr std::uint8_t kOidCn[] = {0x55, 0x04, 0x03};
+
+struct Tlv {
+  std::uint8_t tag = 0;
+  std::span<const std::uint8_t> body{};
+};
+
+/// Read one TLV at the front of `data`; advances `data` past it.
+std::optional<Tlv> read_tlv(std::span<const std::uint8_t>& data) {
+  if (data.size() < 2) return std::nullopt;
+  Tlv tlv;
+  tlv.tag = data[0];
+  std::size_t length = 0;
+  std::size_t header = 2;
+  const std::uint8_t len0 = data[1];
+  if (len0 < 0x80) {
+    length = len0;
+  } else {
+    const std::size_t len_bytes = len0 & 0x7f;
+    if (len_bytes == 0 || len_bytes > 4 || data.size() < 2 + len_bytes) {
+      return std::nullopt;
+    }
+    for (std::size_t i = 0; i < len_bytes; ++i) {
+      length = (length << 8) | data[2 + i];
+    }
+    header = 2 + len_bytes;
+  }
+  if (data.size() - header < length) return std::nullopt;
+  tlv.body = data.subspan(header, length);
+  data = data.subspan(header + length);
+  return tlv;
+}
+
+/// Extract the CN attribute from an X.501 Name (SEQUENCE OF SET OF
+/// SEQUENCE { OID, value }).
+std::string name_common_name(std::span<const std::uint8_t> name_body) {
+  auto rdns = name_body;
+  for (int guard = 0; guard < 32; ++guard) {
+    if (rdns.empty()) break;
+    const auto set = read_tlv(rdns);
+    if (!set || set->tag != kTagSet) break;
+    auto set_body = set->body;
+    const auto attr = read_tlv(set_body);
+    if (!attr || attr->tag != kTagSequence) continue;
+    auto attr_body = attr->body;
+    const auto oid = read_tlv(attr_body);
+    if (!oid || oid->tag != kTagOid) continue;
+    if (oid->body.size() == sizeof(kOidCn) &&
+        std::equal(oid->body.begin(), oid->body.end(), kOidCn)) {
+      const auto value = read_tlv(attr_body);
+      if (value && (value->tag == kTagUtf8 || value->tag == kTagPrintable ||
+                    value->tag == kTagIa5)) {
+        return std::string(value->body.begin(), value->body.end());
+      }
+    }
+  }
+  return "";
+}
+
+void append_tlv(std::vector<std::uint8_t>& out, std::uint8_t tag,
+                const std::vector<std::uint8_t>& body) {
+  out.push_back(tag);
+  const std::size_t len = body.size();
+  if (len < 0x80) {
+    out.push_back(static_cast<std::uint8_t>(len));
+  } else if (len <= 0xff) {
+    out.push_back(0x81);
+    out.push_back(static_cast<std::uint8_t>(len));
+  } else {
+    out.push_back(0x82);
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(len));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::vector<std::uint8_t> build_name(const std::string& cn) {
+  std::vector<std::uint8_t> attr;
+  append_tlv(attr, kTagOid, {kOidCn, kOidCn + sizeof(kOidCn)});
+  append_tlv(attr, kTagUtf8, {cn.begin(), cn.end()});
+  std::vector<std::uint8_t> seq;
+  append_tlv(seq, kTagSequence, attr);
+  std::vector<std::uint8_t> set;
+  append_tlv(set, kTagSet, seq);
+  std::vector<std::uint8_t> name;
+  append_tlv(name, kTagSequence, set);
+  return name;
+}
+
+}  // namespace
+
+std::optional<CertificateSummary> parse_certificate_summary(
+    std::span<const std::uint8_t> der) {
+  auto outer = der;
+  const auto cert = read_tlv(outer);
+  if (!cert || cert->tag != kTagSequence) return std::nullopt;
+
+  auto cert_body = cert->body;
+  const auto tbs = read_tlv(cert_body);
+  if (!tbs || tbs->tag != kTagSequence) return std::nullopt;
+
+  auto tbs_body = tbs->body;
+  // Optional [0] version.
+  {
+    auto probe = tbs_body;
+    const auto first = read_tlv(probe);
+    if (first && first->tag == kTagContext0) tbs_body = probe;
+  }
+  const auto serial = read_tlv(tbs_body);
+  if (!serial || serial->tag != kTagInteger) return std::nullopt;
+  const auto sig_alg = read_tlv(tbs_body);
+  if (!sig_alg || sig_alg->tag != kTagSequence) return std::nullopt;
+  const auto issuer = read_tlv(tbs_body);
+  if (!issuer || issuer->tag != kTagSequence) return std::nullopt;
+  const auto validity = read_tlv(tbs_body);
+  if (!validity || validity->tag != kTagSequence) return std::nullopt;
+  const auto subject = read_tlv(tbs_body);
+  if (!subject || subject->tag != kTagSequence) return std::nullopt;
+
+  CertificateSummary summary;
+  summary.der_bytes = der.size();
+  summary.issuer_cn = name_common_name(issuer->body);
+  summary.subject_cn = name_common_name(subject->body);
+  return summary;
+}
+
+std::vector<std::uint8_t> build_minimal_certificate(
+    const std::string& subject_cn, const std::string& issuer_cn,
+    std::size_t padding_bytes) {
+  std::vector<std::uint8_t> tbs;
+  // [0] version v3
+  {
+    std::vector<std::uint8_t> v;
+    append_tlv(v, kTagInteger, {0x02});
+    std::vector<std::uint8_t> ctx;
+    append_tlv(ctx, kTagContext0, v);
+    tbs.insert(tbs.end(), ctx.begin(), ctx.end());
+  }
+  append_tlv(tbs, kTagInteger, {0x01, 0x23, 0x45, 0x67});  // serial
+  {
+    // signature algorithm: sha256WithRSAEncryption OID
+    std::vector<std::uint8_t> oid;
+    append_tlv(oid, kTagOid,
+               {0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b});
+    std::vector<std::uint8_t> alg;
+    append_tlv(alg, kTagSequence, oid);
+    tbs.insert(tbs.end(), alg.begin(), alg.end());
+  }
+  {
+    const auto issuer = build_name(issuer_cn);
+    tbs.insert(tbs.end(), issuer.begin(), issuer.end());
+  }
+  {
+    std::vector<std::uint8_t> validity;
+    const std::string not_before = "240101000000Z";
+    const std::string not_after = "341231235959Z";
+    append_tlv(validity, kTagUtcTime, {not_before.begin(), not_before.end()});
+    append_tlv(validity, kTagUtcTime, {not_after.begin(), not_after.end()});
+    std::vector<std::uint8_t> seq;
+    append_tlv(seq, kTagSequence, validity);
+    tbs.insert(tbs.end(), seq.begin(), seq.end());
+  }
+  {
+    const auto subject = build_name(subject_cn);
+    tbs.insert(tbs.end(), subject.begin(), subject.end());
+  }
+  {
+    // subjectPublicKeyInfo stand-in: a BIT STRING of padding (models the
+    // RSA modulus bulk that makes real certificates ~1 KB).
+    std::vector<std::uint8_t> key(padding_bytes + 1, 0x5c);
+    key[0] = 0x00;  // unused-bits count
+    std::vector<std::uint8_t> spki;
+    append_tlv(spki, kTagBitString, key);
+    std::vector<std::uint8_t> seq;
+    append_tlv(seq, kTagSequence, spki);
+    tbs.insert(tbs.end(), seq.begin(), seq.end());
+  }
+
+  std::vector<std::uint8_t> cert_body;
+  append_tlv(cert_body, kTagSequence, tbs);
+  {
+    std::vector<std::uint8_t> oid;
+    append_tlv(oid, kTagOid,
+               {0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x0b});
+    std::vector<std::uint8_t> alg;
+    append_tlv(alg, kTagSequence, oid);
+    cert_body.insert(cert_body.end(), alg.begin(), alg.end());
+  }
+  {
+    std::vector<std::uint8_t> sig(65, 0x77);
+    sig[0] = 0x00;
+    append_tlv(cert_body, kTagBitString, sig);
+  }
+
+  std::vector<std::uint8_t> out;
+  append_tlv(out, kTagSequence, cert_body);
+  return out;
+}
+
+}  // namespace retina::protocols

@@ -1,0 +1,35 @@
+// Minimal X.509/DER certificate inspection: enough ASN.1 traversal to
+// pull the subject and issuer common names out of the leaf certificate
+// of a TLS (<=1.2) handshake. Certificates are hostile input — every
+// step is bounds-checked and depth-limited.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+#include <string>
+
+namespace retina::protocols {
+
+struct CertificateSummary {
+  std::string subject_cn;
+  std::string issuer_cn;
+  std::size_t der_bytes = 0;
+};
+
+/// Parse a DER-encoded X.509 certificate and extract the subject/issuer
+/// common names. Returns nullopt for anything that does not follow the
+/// Certificate ::= SEQUENCE { tbsCertificate ... } skeleton.
+std::optional<CertificateSummary> parse_certificate_summary(
+    std::span<const std::uint8_t> der);
+
+/// Build a minimal, structurally valid DER certificate with the given
+/// subject/issuer CNs (used by the traffic generator; parseable by
+/// parse_certificate_summary and by the same traversal real tooling
+/// applies to these fields).
+std::vector<std::uint8_t> build_minimal_certificate(
+    const std::string& subject_cn, const std::string& issuer_cn,
+    std::size_t padding_bytes = 600);
+
+}  // namespace retina::protocols

@@ -1,0 +1,36 @@
+// L4Pdu: the unit of data flowing from the connection tracker through
+// stream reassembly into the application-layer parsers (the same role
+// as Retina's L4Pdu, paper Appendix A.1). It owns an Mbuf handle so the
+// payload view stays valid for as long as the PDU is buffered — this is
+// what "storing out-of-order packets by reference" costs: one refcount,
+// no payload copy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "packet/mbuf.hpp"
+
+namespace retina::stream {
+
+struct L4Pdu {
+  packet::Mbuf mbuf;                          // keeps the bytes alive
+  std::span<const std::uint8_t> payload{};    // L4 payload within mbuf
+  std::uint32_t seq = 0;                      // TCP sequence of payload[0]
+  std::uint8_t tcp_flags = 0;                 // 0 for UDP
+  bool from_originator = true;                // direction on the wire
+  std::uint64_t ts_ns = 0;
+
+  std::size_t len() const noexcept { return payload.size(); }
+  /// Sequence space consumed: payload bytes plus SYN/FIN flags.
+  std::uint32_t seq_span() const noexcept;
+};
+
+inline std::uint32_t L4Pdu::seq_span() const noexcept {
+  std::uint32_t span = static_cast<std::uint32_t>(payload.size());
+  if (tcp_flags & 0x02) ++span;  // SYN
+  if (tcp_flags & 0x01) ++span;  // FIN
+  return span;
+}
+
+}  // namespace retina::stream

@@ -1,0 +1,109 @@
+#include "stream/reassembly.hpp"
+
+#include <algorithm>
+
+namespace retina::stream {
+
+void StreamReassembler::push(L4Pdu pdu, std::vector<L4Pdu>& ready) {
+  if (!initialized_) {
+    // The first observed segment anchors the expected sequence. A SYN
+    // consumes one sequence number, so data begins at seq+1.
+    initialized_ = true;
+    next_seq_ = pdu.seq;
+  }
+
+  const std::uint32_t span = pdu.seq_span();
+  if (span == 0) {
+    return;  // pure ACK: nothing for the byte stream
+  }
+  const std::uint32_t end = pdu.seq + span;
+
+  // Entirely old data (retransmission).
+  if (!seq_lt(next_seq_, end)) {
+    ++stats_.duplicates;
+    return;
+  }
+
+  // Overlap with already-delivered data: trim the front.
+  if (seq_lt(pdu.seq, next_seq_)) {
+    const std::uint32_t trim = next_seq_ - pdu.seq;
+    const std::uint32_t payload_trim =
+        std::min<std::uint32_t>(trim, static_cast<std::uint32_t>(pdu.len()));
+    pdu.payload = pdu.payload.subspan(payload_trim);
+    pdu.seq = next_seq_;
+    pdu.tcp_flags &= static_cast<std::uint8_t>(~0x02);  // SYN already seen
+    ++stats_.overlaps_trimmed;
+    if (pdu.seq_span() == 0) {
+      ++stats_.duplicates;
+      return;
+    }
+  }
+
+  if (pdu.seq == next_seq_) {
+    // Common case: in sequence. Deliver immediately ("pass through"),
+    // then flush anything this unblocked.
+    if (ooo_.empty()) ++stats_.passed_through;
+    deliver(std::move(pdu), ready);
+    flush_ready(ready);
+    return;
+  }
+
+  // Out of order: hold by reference, sorted by sequence.
+  if (ooo_.size() >= ooo_capacity_) {
+    ++stats_.overflow_dropped;
+    return;
+  }
+  const auto pos = std::lower_bound(
+      ooo_.begin(), ooo_.end(), pdu.seq,
+      [](const L4Pdu& a, std::uint32_t seq) { return seq_lt(a.seq, seq); });
+  // Exact duplicate of a buffered segment?
+  if (pos != ooo_.end() && pos->seq == pdu.seq &&
+      pos->seq_span() >= pdu.seq_span()) {
+    ++stats_.duplicates;
+    return;
+  }
+  ooo_.insert(pos, std::move(pdu));
+  ++stats_.buffered;
+}
+
+void StreamReassembler::deliver(L4Pdu pdu, std::vector<L4Pdu>& ready) {
+  next_seq_ = pdu.seq + pdu.seq_span();
+  ++stats_.delivered;
+  ready.push_back(std::move(pdu));
+}
+
+void StreamReassembler::flush_ready(std::vector<L4Pdu>& ready) {
+  // Deliver buffered segments that are now contiguous. The buffer is
+  // sorted, so eligible segments sit at the front.
+  while (!ooo_.empty()) {
+    L4Pdu& front = ooo_.front();
+    const std::uint32_t end = front.seq + front.seq_span();
+    if (!seq_lt(next_seq_, end)) {
+      // Fully superseded while buffered.
+      ++stats_.duplicates;
+      ooo_.erase(ooo_.begin());
+      continue;
+    }
+    if (seq_lt(next_seq_, front.seq)) {
+      break;  // still a hole
+    }
+    L4Pdu pdu = std::move(front);
+    ooo_.erase(ooo_.begin());
+    if (seq_lt(pdu.seq, next_seq_)) {
+      const std::uint32_t trim = next_seq_ - pdu.seq;
+      const std::uint32_t payload_trim = std::min<std::uint32_t>(
+          trim, static_cast<std::uint32_t>(pdu.len()));
+      pdu.payload = pdu.payload.subspan(payload_trim);
+      pdu.seq = next_seq_;
+      pdu.tcp_flags &= static_cast<std::uint8_t>(~0x02);
+      ++stats_.overlaps_trimmed;
+      if (pdu.seq_span() == 0) {
+        ++stats_.duplicates;
+        continue;
+      }
+    }
+    deliver(std::move(pdu), ready);
+  }
+}
+
+}  // namespace retina::stream

@@ -1,0 +1,70 @@
+// Light-weight stream reassembly (paper §5.2). Traditional reassemblers
+// copy every payload into per-connection stream buffers; Retina observes
+// that 94% of flows arrive fully in order (median 1 packet to fill a
+// hole) and instead only *reorders*: in-sequence packets pass straight
+// through to the parser, out-of-order packets are held by reference in a
+// bounded buffer and flushed when the expected segment arrives. Streams
+// that are never parsed never pay for reassembly at all — the pipeline
+// simply stops calling us once a connection leaves the Parse state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/l4_pdu.hpp"
+
+namespace retina::stream {
+
+struct ReassemblyStats {
+  std::uint64_t delivered = 0;       // PDUs handed downstream in order
+  std::uint64_t passed_through = 0;  // delivered without ever buffering
+  std::uint64_t buffered = 0;        // arrived out of order, held
+  std::uint64_t duplicates = 0;      // fully duplicate/retransmitted data
+  std::uint64_t overlaps_trimmed = 0;
+  std::uint64_t overflow_dropped = 0;  // out-of-order buffer was full
+};
+
+/// One direction of one TCP connection.
+class StreamReassembler {
+ public:
+  /// `ooo_capacity`: maximum out-of-order packets held (paper default
+  /// 500 across the connection; we apply it per direction).
+  explicit StreamReassembler(std::size_t ooo_capacity = 500)
+      : ooo_capacity_(ooo_capacity) {}
+
+  /// Feed one segment; in-order data (including anything it unblocks)
+  /// is appended to `ready` in sequence order.
+  void push(L4Pdu pdu, std::vector<L4Pdu>& ready);
+
+  /// True once the first segment has fixed the expected sequence.
+  bool initialized() const noexcept { return initialized_; }
+  std::uint32_t next_seq() const noexcept { return next_seq_; }
+  std::size_t pending() const noexcept { return ooo_.size(); }
+  const ReassemblyStats& stats() const noexcept { return stats_; }
+
+  /// Drop all buffered segments (connection leaving the Parse state —
+  /// nothing downstream will consume them).
+  void clear() { ooo_.clear(); }
+
+  /// Approximate heap bytes held (buffered mbuf handles).
+  std::size_t approx_bytes() const noexcept {
+    return ooo_.capacity() * sizeof(L4Pdu);
+  }
+
+ private:
+  /// seq_a < seq_b in modular 32-bit arithmetic.
+  static bool seq_lt(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) < 0;
+  }
+
+  void deliver(L4Pdu pdu, std::vector<L4Pdu>& ready);
+  void flush_ready(std::vector<L4Pdu>& ready);
+
+  std::size_t ooo_capacity_;
+  bool initialized_ = false;
+  std::uint32_t next_seq_ = 0;
+  std::vector<L4Pdu> ooo_;  // sorted by seq, bounded by ooo_capacity_
+  ReassemblyStats stats_;
+};
+
+}  // namespace retina::stream

@@ -1,0 +1,573 @@
+#include "traffic/craft.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "packet/checksum.hpp"
+#include "protocols/tls/x509.hpp"
+#include "packet/packet_view.hpp"
+#include "packet/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace retina::traffic {
+
+namespace {
+
+using util::store_be16;
+using util::store_be24;
+using util::store_be32;
+
+void append_be16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be24(Bytes& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be32(Bytes& out, std::uint32_t v) {
+  append_be16(out, static_cast<std::uint16_t>(v >> 16));
+  append_be16(out, static_cast<std::uint16_t>(v));
+}
+
+void append_str(Bytes& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Ethernet header with synthetic locally-administered MACs.
+void append_eth_header(Bytes& out, std::uint16_t ether_type) {
+  static const std::uint8_t dst[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  static const std::uint8_t src[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  out.insert(out.end(), dst, dst + 6);
+  out.insert(out.end(), src, src + 6);
+  append_be16(out, ether_type);
+}
+
+/// Frame = Ethernet + IPv4/IPv6 + `l4` (fully built L4 segment whose
+/// checksum field will be fixed up here for IPv4).
+packet::Mbuf finish_ip_frame(const FlowEndpoints& ep, bool from_client,
+                             std::uint8_t ip_proto, Bytes l4,
+                             std::size_t l4_checksum_offset,
+                             std::uint64_t ts_ns) {
+  const auto& src_ip = from_client ? ep.client_ip : ep.server_ip;
+  const auto& dst_ip = from_client ? ep.server_ip : ep.client_ip;
+
+  Bytes frame;
+  if (!ep.is_v6()) {
+    frame.reserve(packet::Ethernet::kHeaderLen + 20 + l4.size());
+    append_eth_header(frame, packet::kEtherTypeIpv4);
+    const std::size_t ip_off = frame.size();
+    frame.resize(frame.size() + 20);
+    std::uint8_t* ip = frame.data() + ip_off;
+    ip[0] = 0x45;  // v4, IHL 5
+    ip[1] = 0;
+    store_be16(ip + 2, static_cast<std::uint16_t>(20 + l4.size()));
+    store_be16(ip + 4, 0x1234);  // identification
+    store_be16(ip + 6, 0x4000);  // DF
+    ip[8] = 64;                  // TTL
+    ip[9] = ip_proto;
+    store_be16(ip + 10, 0);
+    store_be32(ip + 12, src_ip.as_v4());
+    store_be32(ip + 16, dst_ip.as_v4());
+    // L4 checksum over the pseudo-header.
+    if (l4_checksum_offset + 2 <= l4.size()) {
+      store_be16(l4.data() + l4_checksum_offset, 0);
+      const auto csum = packet::l4_checksum_v4(src_ip.as_v4(), dst_ip.as_v4(),
+                                               ip_proto, l4);
+      store_be16(l4.data() + l4_checksum_offset, csum);
+    }
+    frame.insert(frame.end(), l4.begin(), l4.end());
+    // IPv4 header checksum last.
+    std::uint8_t* ip2 = frame.data() + ip_off;
+    const auto hcsum = packet::internet_checksum({ip2, 20});
+    store_be16(ip2 + 10, hcsum);
+  } else {
+    frame.reserve(packet::Ethernet::kHeaderLen + 40 + l4.size());
+    append_eth_header(frame, packet::kEtherTypeIpv6);
+    const std::size_t ip_off = frame.size();
+    frame.resize(frame.size() + 40);
+    std::uint8_t* ip = frame.data() + ip_off;
+    ip[0] = 0x60;
+    store_be16(ip + 4, static_cast<std::uint16_t>(l4.size()));
+    ip[6] = ip_proto;
+    ip[7] = 64;  // hop limit
+    std::memcpy(ip + 8, src_ip.bytes.data(), 16);
+    std::memcpy(ip + 24, dst_ip.bytes.data(), 16);
+    // (IPv6 L4 checksum uses a different pseudo-header; the parsers do
+    // not validate checksums, so we leave it zero for v6.)
+    frame.insert(frame.end(), l4.begin(), l4.end());
+  }
+  return packet::Mbuf(std::move(frame), ts_ns);
+}
+
+}  // namespace
+
+packet::Mbuf make_tcp_packet(const FlowEndpoints& ep, bool from_client,
+                             std::uint32_t seq, std::uint32_t ack,
+                             std::uint8_t flags,
+                             std::span<const std::uint8_t> payload,
+                             std::uint64_t ts_ns) {
+  Bytes tcp(20);
+  store_be16(tcp.data(), from_client ? ep.client_port : ep.server_port);
+  store_be16(tcp.data() + 2, from_client ? ep.server_port : ep.client_port);
+  store_be32(tcp.data() + 4, seq);
+  store_be32(tcp.data() + 8, ack);
+  tcp[12] = 0x50;  // data offset 5 words
+  tcp[13] = flags;
+  store_be16(tcp.data() + 14, 0xffff);  // window
+  tcp.insert(tcp.end(), payload.begin(), payload.end());
+  return finish_ip_frame(ep, from_client, packet::kIpProtoTcp, std::move(tcp),
+                         16, ts_ns);
+}
+
+packet::Mbuf make_udp_packet(const FlowEndpoints& ep, bool from_client,
+                             std::span<const std::uint8_t> payload,
+                             std::uint64_t ts_ns) {
+  Bytes udp(8);
+  store_be16(udp.data(), from_client ? ep.client_port : ep.server_port);
+  store_be16(udp.data() + 2, from_client ? ep.server_port : ep.client_port);
+  store_be16(udp.data() + 4, static_cast<std::uint16_t>(8 + payload.size()));
+  udp.insert(udp.end(), payload.begin(), payload.end());
+  return finish_ip_frame(ep, from_client, packet::kIpProtoUdp, std::move(udp),
+                         6, ts_ns);
+}
+
+packet::Mbuf make_raw_eth(std::uint16_t ether_type, std::size_t payload_len,
+                          std::uint64_t ts_ns) {
+  Bytes frame;
+  append_eth_header(frame, ether_type);
+  frame.resize(frame.size() + payload_len, 0xab);
+  return packet::Mbuf(std::move(frame), ts_ns);
+}
+
+// ---------------------------------------------------------------------------
+// TLS
+
+namespace {
+
+/// Wrap one handshake message into a TLS record.
+Bytes wrap_handshake_record(std::uint8_t msg_type, const Bytes& body) {
+  Bytes out;
+  out.reserve(body.size() + 9);
+  out.push_back(22);  // handshake
+  append_be16(out, 0x0301);
+  append_be16(out, static_cast<std::uint16_t>(body.size() + 4));
+  out.push_back(msg_type);
+  append_be24(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes build_tls_client_hello(const TlsClientHelloSpec& spec) {
+  Bytes body;
+  append_be16(body, spec.legacy_version);
+  body.insert(body.end(), spec.random.begin(), spec.random.end());
+  body.push_back(0);  // empty session id
+  append_be16(body, static_cast<std::uint16_t>(spec.cipher_suites.size() * 2));
+  for (const auto cs : spec.cipher_suites) append_be16(body, cs);
+  body.push_back(1);  // compression methods
+  body.push_back(0);  // null
+
+  Bytes exts;
+  if (!spec.sni.empty()) {
+    Bytes ext;
+    append_be16(ext, static_cast<std::uint16_t>(spec.sni.size() + 3));
+    ext.push_back(0);  // host_name
+    append_be16(ext, static_cast<std::uint16_t>(spec.sni.size()));
+    append_str(ext, spec.sni);
+    append_be16(exts, 0);  // server_name
+    append_be16(exts, static_cast<std::uint16_t>(ext.size()));
+    exts.insert(exts.end(), ext.begin(), ext.end());
+  }
+  if (!spec.alpn.empty()) {
+    Bytes list;
+    for (const auto& proto : spec.alpn) {
+      list.push_back(static_cast<std::uint8_t>(proto.size()));
+      append_str(list, proto);
+    }
+    append_be16(exts, 16);  // ALPN
+    append_be16(exts, static_cast<std::uint16_t>(list.size() + 2));
+    append_be16(exts, static_cast<std::uint16_t>(list.size()));
+    exts.insert(exts.end(), list.begin(), list.end());
+  }
+  if (!spec.supported_versions.empty()) {
+    append_be16(exts, 43);
+    append_be16(exts,
+                static_cast<std::uint16_t>(spec.supported_versions.size() * 2 +
+                                           1));
+    exts.push_back(
+        static_cast<std::uint8_t>(spec.supported_versions.size() * 2));
+    for (const auto v : spec.supported_versions) append_be16(exts, v);
+  }
+  append_be16(body, static_cast<std::uint16_t>(exts.size()));
+  body.insert(body.end(), exts.begin(), exts.end());
+
+  return wrap_handshake_record(1, body);
+}
+
+Bytes build_tls_server_hello(const TlsServerHelloSpec& spec) {
+  Bytes body;
+  append_be16(body, spec.legacy_version);
+  body.insert(body.end(), spec.random.begin(), spec.random.end());
+  body.push_back(0);  // empty session id
+  append_be16(body, spec.cipher);
+  body.push_back(0);  // null compression
+
+  Bytes exts;
+  if (!spec.supported_versions.empty()) {
+    append_be16(exts, 43);
+    append_be16(exts, 2);
+    append_be16(exts, spec.supported_versions.front());
+  }
+  append_be16(body, static_cast<std::uint16_t>(exts.size()));
+  body.insert(body.end(), exts.begin(), exts.end());
+
+  return wrap_handshake_record(2, body);
+}
+
+Bytes build_tls_certificate(std::size_t count, std::size_t each_len) {
+  Bytes body;
+  const std::uint32_t list_len =
+      static_cast<std::uint32_t>(count * (each_len + 3));
+  append_be24(body, list_len);
+  for (std::size_t i = 0; i < count; ++i) {
+    append_be24(body, static_cast<std::uint32_t>(each_len));
+    body.insert(body.end(), each_len, static_cast<std::uint8_t>(0x30));
+  }
+  return wrap_handshake_record(11, body);
+}
+
+Bytes build_tls_certificate_chain(const std::string& subject_cn,
+                                  const std::string& issuer_cn,
+                                  std::size_t extra_certs) {
+  const auto leaf =
+      protocols::build_minimal_certificate(subject_cn, issuer_cn);
+  const auto intermediate =
+      protocols::build_minimal_certificate(issuer_cn, "Synthetic Root CA");
+
+  Bytes body;
+  std::uint32_t list_len = static_cast<std::uint32_t>(leaf.size() + 3);
+  list_len += static_cast<std::uint32_t>(
+      extra_certs * (intermediate.size() + 3));
+  append_be24(body, list_len);
+  append_be24(body, static_cast<std::uint32_t>(leaf.size()));
+  body.insert(body.end(), leaf.begin(), leaf.end());
+  for (std::size_t i = 0; i < extra_certs; ++i) {
+    append_be24(body, static_cast<std::uint32_t>(intermediate.size()));
+    body.insert(body.end(), intermediate.begin(), intermediate.end());
+  }
+  return wrap_handshake_record(11, body);
+}
+
+Bytes build_tls_change_cipher_spec() {
+  return Bytes{20, 0x03, 0x03, 0x00, 0x01, 0x01};
+}
+
+Bytes build_tls_application_data(std::size_t len) {
+  Bytes out;
+  out.reserve(len + 5);
+  out.push_back(23);
+  append_be16(out, 0x0303);
+  append_be16(out, static_cast<std::uint16_t>(len));
+  out.resize(out.size() + len, 0x5a);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HTTP
+
+Bytes build_http_request(const HttpRequestSpec& spec) {
+  std::string msg = spec.method + " " + spec.uri + " HTTP/1.1\r\n";
+  msg += "Host: " + spec.host + "\r\n";
+  msg += "User-Agent: " + spec.user_agent + "\r\n";
+  for (const auto& [name, value] : spec.extra_headers) {
+    msg += name + ": " + value + "\r\n";
+  }
+  msg += "\r\n";
+  return Bytes(msg.begin(), msg.end());
+}
+
+Bytes build_http_response(const HttpResponseSpec& spec) {
+  std::string head = "HTTP/1.1 " + std::to_string(spec.status) + " " +
+                     spec.reason + "\r\n";
+  head += "Content-Length: " + std::to_string(spec.content_length) + "\r\n";
+  head += "Content-Type: application/octet-stream\r\n";
+  for (const auto& [name, value] : spec.extra_headers) {
+    head += name + ": " + value + "\r\n";
+  }
+  head += "\r\n";
+  Bytes out(head.begin(), head.end());
+  if (spec.include_body) {
+    out.resize(out.size() + spec.content_length, 0x42);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SSH
+
+Bytes build_ssh_banner(const std::string& software) {
+  const std::string banner = "SSH-2.0-" + software + "\r\n";
+  return Bytes(banner.begin(), banner.end());
+}
+
+Bytes build_ssh_kexinit(const std::vector<std::string>& kex_algos,
+                        const std::vector<std::string>& host_key_algos) {
+  Bytes payload;
+  payload.push_back(20);  // SSH_MSG_KEXINIT
+  payload.insert(payload.end(), 16, 0xaa);  // cookie
+
+  auto append_name_list = [&payload](const std::vector<std::string>& names) {
+    std::string joined;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i) joined += ',';
+      joined += names[i];
+    }
+    append_be32(payload, static_cast<std::uint32_t>(joined.size()));
+    append_str(payload, joined);
+  };
+  append_name_list(kex_algos);
+  append_name_list(host_key_algos);
+  // Remaining 8 name-lists (encryption, MAC, compression, languages
+  // both ways) left empty.
+  for (int i = 0; i < 8; ++i) append_be32(payload, 0);
+  payload.push_back(0);      // first_kex_packet_follows
+  append_be32(payload, 0);   // reserved
+
+  // Binary packet framing: length | padding_len | payload | padding.
+  const std::uint8_t padding = 8;
+  Bytes out;
+  append_be32(out,
+              static_cast<std::uint32_t>(payload.size() + 1 + padding));
+  out.push_back(padding);
+  out.insert(out.end(), payload.begin(), payload.end());
+  out.insert(out.end(), padding, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SMTP
+
+Bytes build_smtp_client(const SmtpExchangeSpec& spec) {
+  std::string msg = "EHLO " + spec.helo + "\r\n";
+  if (spec.starttls) {
+    msg += "STARTTLS\r\n";
+  } else {
+    msg += "MAIL FROM:<" + spec.mail_from + ">\r\n";
+    for (const auto& rcpt : spec.rcpt_to) {
+      msg += "RCPT TO:<" + rcpt + ">\r\n";
+    }
+    msg += "DATA\r\n";
+    for (std::size_t i = 0; i < spec.body_lines; ++i) {
+      msg += "This is line " + std::to_string(i) + " of the message body.\r\n";
+    }
+    msg += ".\r\nQUIT\r\n";
+  }
+  return Bytes(msg.begin(), msg.end());
+}
+
+Bytes build_smtp_server(const SmtpExchangeSpec& spec) {
+  std::string msg = "220 " + spec.server_domain + " ESMTP ready\r\n";
+  msg += "250-" + spec.server_domain + "\r\n250 STARTTLS\r\n";
+  if (!spec.starttls) {
+    msg += "250 OK\r\n";  // MAIL FROM
+    for (std::size_t i = 0; i < spec.rcpt_to.size(); ++i) {
+      msg += "250 OK\r\n";
+    }
+    msg += "354 go ahead\r\n250 queued\r\n221 bye\r\n";
+  } else {
+    msg += "220 ready for TLS\r\n";
+  }
+  return Bytes(msg.begin(), msg.end());
+}
+
+// ---------------------------------------------------------------------------
+// DNS
+
+namespace {
+
+void append_qname(Bytes& out, const std::string& qname) {
+  std::size_t start = 0;
+  while (start <= qname.size()) {
+    const auto dot = qname.find('.', start);
+    const auto end = dot == std::string::npos ? qname.size() : dot;
+    const auto len = end - start;
+    out.push_back(static_cast<std::uint8_t>(len));
+    out.insert(out.end(), qname.begin() + static_cast<std::ptrdiff_t>(start),
+               qname.begin() + static_cast<std::ptrdiff_t>(end));
+    if (dot == std::string::npos) break;
+    start = dot + 1;
+  }
+  out.push_back(0);
+}
+
+}  // namespace
+
+Bytes build_dns_query(std::uint16_t id, const std::string& qname,
+                      std::uint16_t qtype) {
+  Bytes out;
+  append_be16(out, id);
+  append_be16(out, 0x0100);  // RD
+  append_be16(out, 1);       // QDCOUNT
+  append_be16(out, 0);
+  append_be16(out, 0);
+  append_be16(out, 0);
+  append_qname(out, qname);
+  append_be16(out, qtype);
+  append_be16(out, 1);  // IN
+  return out;
+}
+
+Bytes build_dns_response(std::uint16_t id, const std::string& qname,
+                         std::uint16_t qtype, std::uint16_t answers,
+                         std::uint8_t rcode) {
+  Bytes out;
+  append_be16(out, id);
+  append_be16(out, static_cast<std::uint16_t>(0x8180 | rcode));
+  append_be16(out, 1);        // QDCOUNT
+  append_be16(out, answers);  // ANCOUNT
+  append_be16(out, 0);
+  append_be16(out, 0);
+  append_qname(out, qname);
+  append_be16(out, qtype);
+  append_be16(out, 1);
+  for (std::uint16_t i = 0; i < answers; ++i) {
+    append_be16(out, 0xc00c);  // pointer to qname
+    append_be16(out, qtype);
+    append_be16(out, 1);
+    append_be32(out, 60);  // TTL
+    append_be16(out, 4);   // RDLENGTH
+    append_be32(out, 0x5db8d822 + i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TcpFlowCrafter
+
+TcpFlowCrafter::TcpFlowCrafter(FlowEndpoints endpoints,
+                               std::uint64_t start_ts_ns,
+                               std::uint32_t client_isn,
+                               std::uint32_t server_isn)
+    : endpoints_(endpoints),
+      ts_ns_(start_ts_ns),
+      client_seq_(client_isn),
+      server_seq_(server_isn) {}
+
+void TcpFlowCrafter::emit(bool from_client, std::uint8_t flags,
+                          std::span<const std::uint8_t> payload) {
+  const std::uint32_t seq = from_client ? client_seq_ : server_seq_;
+  const std::uint32_t ack = from_client ? server_seq_ : client_seq_;
+  packets_.push_back(make_tcp_packet(endpoints_, from_client, seq, ack, flags,
+                                     payload, ts_ns_));
+  ts_ns_ += pkt_gap_ns_;
+
+  std::uint32_t advance = static_cast<std::uint32_t>(payload.size());
+  if (flags & packet::kTcpSyn) ++advance;
+  if (flags & packet::kTcpFin) ++advance;
+  (from_client ? client_seq_ : server_seq_) += advance;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::handshake() {
+  emit(true, packet::kTcpSyn, {});
+  emit(false, packet::kTcpSyn | packet::kTcpAck, {});
+  emit(true, packet::kTcpAck, {});
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::syn_only() {
+  emit(true, packet::kTcpSyn, {});
+  return *this;
+}
+
+void TcpFlowCrafter::send_data(bool from_client,
+                               std::span<const std::uint8_t> payload) {
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    const std::size_t chunk = std::min(mss_, payload.size() - offset);
+    emit(from_client, packet::kTcpAck | packet::kTcpPsh,
+         payload.subspan(offset, chunk));
+    offset += chunk;
+    if (auto_ack_every_ > 0 && ++segs_since_ack_ >= auto_ack_every_) {
+      segs_since_ack_ = 0;
+      emit(!from_client, packet::kTcpAck, {});  // delayed ACK
+    }
+  }
+}
+
+TcpFlowCrafter& TcpFlowCrafter::client_send(
+    std::span<const std::uint8_t> payload) {
+  send_data(true, payload);
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::server_send(
+    std::span<const std::uint8_t> payload) {
+  send_data(false, payload);
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::close() {
+  emit(true, packet::kTcpFin | packet::kTcpAck, {});
+  emit(false, packet::kTcpFin | packet::kTcpAck, {});
+  emit(true, packet::kTcpAck, {});
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::reset(bool from_client) {
+  emit(from_client, packet::kTcpRst, {});
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::swap_last_two() {
+  if (packets_.size() >= 2) {
+    auto& a = packets_[packets_.size() - 2];
+    auto& b = packets_[packets_.size() - 1];
+    // Swap delivery order but keep timestamps monotone.
+    const auto ts_a = a.timestamp_ns();
+    const auto ts_b = b.timestamp_ns();
+    std::swap(a, b);
+    a.set_timestamp_ns(ts_a);
+    b.set_timestamp_ns(ts_b);
+  }
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::swap_last_two_data() {
+  // Find the two most recent data packets.
+  std::size_t found[2];
+  std::size_t count = 0;
+  for (std::size_t i = packets_.size(); i-- > 0 && count < 2;) {
+    const auto view = packet::PacketView::parse(packets_[i]);
+    if (view && !view->l4_payload().empty()) {
+      found[count++] = i;
+    }
+  }
+  if (count == 2) {
+    auto& a = packets_[found[1]];  // earlier
+    auto& b = packets_[found[0]];  // later
+    const auto ts_a = a.timestamp_ns();
+    const auto ts_b = b.timestamp_ns();
+    std::swap(a, b);
+    a.set_timestamp_ns(ts_a);
+    b.set_timestamp_ns(ts_b);
+  }
+  return *this;
+}
+
+TcpFlowCrafter& TcpFlowCrafter::retransmit(std::size_t index) {
+  if (index < packets_.size()) {
+    packet::Mbuf copy = packets_[index];
+    copy.set_timestamp_ns(ts_ns_);
+    ts_ns_ += pkt_gap_ns_;
+    packets_.push_back(std::move(copy));
+  }
+  return *this;
+}
+
+}  // namespace retina::traffic

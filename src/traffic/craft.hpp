@@ -1,0 +1,221 @@
+// Packet crafting: builds byte-accurate Ethernet/IPv4/IPv6/TCP/UDP
+// frames with valid checksums, and real application payloads (TLS
+// handshake records, HTTP messages, SSH banners/KEXINIT, DNS messages).
+// This substitutes for the paper's live 100GbE tap: the parsers upstream
+// consume exactly the same wire formats they would see in production.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "packet/five_tuple.hpp"
+#include "packet/mbuf.hpp"
+
+namespace retina::traffic {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// One endpoint pair; crafts frames in both directions.
+struct FlowEndpoints {
+  packet::IpAddr client_ip = packet::IpAddr::v4(0x0a000001);
+  packet::IpAddr server_ip = packet::IpAddr::v4(0xc0a80001);
+  std::uint16_t client_port = 40000;
+  std::uint16_t server_port = 443;
+
+  bool is_v6() const noexcept { return client_ip.version == 6; }
+};
+
+// ---------------------------------------------------------------------------
+// Raw frame builders.
+
+/// Build an Ethernet+IP+TCP frame. `from_client` selects direction.
+packet::Mbuf make_tcp_packet(const FlowEndpoints& ep, bool from_client,
+                             std::uint32_t seq, std::uint32_t ack,
+                             std::uint8_t flags,
+                             std::span<const std::uint8_t> payload,
+                             std::uint64_t ts_ns);
+
+/// Build an Ethernet+IP+UDP frame.
+packet::Mbuf make_udp_packet(const FlowEndpoints& ep, bool from_client,
+                             std::span<const std::uint8_t> payload,
+                             std::uint64_t ts_ns);
+
+/// An arbitrary non-IP Ethernet frame (filter edge cases).
+packet::Mbuf make_raw_eth(std::uint16_t ether_type, std::size_t payload_len,
+                          std::uint64_t ts_ns);
+
+// ---------------------------------------------------------------------------
+// TLS payloads.
+
+struct TlsClientHelloSpec {
+  std::string sni = "example.com";
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::vector<std::uint16_t> cipher_suites = {0x1301, 0x1302, 0xc02f};
+  std::vector<std::string> alpn = {};           // e.g. {"h2", "http/1.1"}
+  std::vector<std::uint16_t> supported_versions = {};  // e.g. {0x0304}
+};
+
+struct TlsServerHelloSpec {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  std::uint16_t cipher = 0x1301;
+  std::vector<std::uint16_t> supported_versions = {};
+};
+
+/// TLS record(s) carrying a ClientHello handshake message.
+Bytes build_tls_client_hello(const TlsClientHelloSpec& spec);
+Bytes build_tls_server_hello(const TlsServerHelloSpec& spec);
+/// Certificate chain message: `count` certificates of `each_len` bytes.
+Bytes build_tls_certificate(std::size_t count, std::size_t each_len);
+/// Certificate chain whose leaf is a minimal-but-valid DER certificate
+/// with the given subject/issuer common names.
+Bytes build_tls_certificate_chain(const std::string& subject_cn,
+                                  const std::string& issuer_cn,
+                                  std::size_t extra_certs = 1);
+Bytes build_tls_change_cipher_spec();
+/// Opaque application-data record of `len` payload bytes.
+Bytes build_tls_application_data(std::size_t len);
+
+// ---------------------------------------------------------------------------
+// HTTP payloads.
+
+struct HttpRequestSpec {
+  std::string method = "GET";
+  std::string uri = "/";
+  std::string host = "example.com";
+  std::string user_agent = "retina-bench/1.0";
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+struct HttpResponseSpec {
+  std::uint32_t status = 200;
+  std::string reason = "OK";
+  std::size_t content_length = 0;
+  bool include_body = true;  // append content_length filler bytes
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+Bytes build_http_request(const HttpRequestSpec& spec);
+Bytes build_http_response(const HttpResponseSpec& spec);
+
+// ---------------------------------------------------------------------------
+// SSH payloads.
+
+Bytes build_ssh_banner(const std::string& software);  // "SSH-2.0-<software>\r\n"
+Bytes build_ssh_kexinit(const std::vector<std::string>& kex_algos,
+                        const std::vector<std::string>& host_key_algos);
+
+// ---------------------------------------------------------------------------
+// SMTP payloads.
+
+struct SmtpExchangeSpec {
+  std::string server_domain = "mail.example.com";
+  std::string helo = "client.example.org";
+  std::string mail_from = "alice@example.org";
+  std::vector<std::string> rcpt_to = {"bob@example.com"};
+  std::size_t body_lines = 5;
+  bool starttls = false;  // issue STARTTLS instead of sending a message
+};
+
+/// Client-side bytes of a full SMTP envelope exchange.
+Bytes build_smtp_client(const SmtpExchangeSpec& spec);
+/// Server-side bytes (greeting + response codes).
+Bytes build_smtp_server(const SmtpExchangeSpec& spec);
+
+// ---------------------------------------------------------------------------
+// DNS payloads.
+
+Bytes build_dns_query(std::uint16_t id, const std::string& qname,
+                      std::uint16_t qtype);
+Bytes build_dns_response(std::uint16_t id, const std::string& qname,
+                         std::uint16_t qtype, std::uint16_t answers,
+                         std::uint8_t rcode = 0);
+
+// ---------------------------------------------------------------------------
+// Flow crafting: a full TCP conversation with correct seq/ack state,
+// MSS-based segmentation, and hooks for out-of-order/retransmission
+// injection (used to hit the Table 2 out-of-order targets).
+
+class TcpFlowCrafter {
+ public:
+  TcpFlowCrafter(FlowEndpoints endpoints, std::uint64_t start_ts_ns,
+                 std::uint32_t client_isn = 1000,
+                 std::uint32_t server_isn = 9000);
+
+  /// SYN / SYN-ACK / ACK exchange.
+  TcpFlowCrafter& handshake();
+  /// Only the SYN (the paper's 65% single-SYN case).
+  TcpFlowCrafter& syn_only();
+
+  /// Segment and send payload in one direction (with ACKs implied).
+  TcpFlowCrafter& client_send(std::span<const std::uint8_t> payload);
+  TcpFlowCrafter& server_send(std::span<const std::uint8_t> payload);
+
+  /// Graceful close (FIN both ways) or abort.
+  TcpFlowCrafter& close();
+  TcpFlowCrafter& reset(bool from_client = true);
+
+  /// Advance the virtual clock between events.
+  TcpFlowCrafter& gap(std::uint64_t ns) {
+    ts_ns_ += ns;
+    return *this;
+  }
+
+  std::uint64_t now_ns() const noexcept { return ts_ns_; }
+  std::size_t mss() const noexcept { return mss_; }
+  TcpFlowCrafter& set_mss(std::size_t mss) {
+    mss_ = mss;
+    return *this;
+  }
+  /// Nanoseconds the clock advances per emitted packet.
+  TcpFlowCrafter& set_pkt_gap(std::uint64_t ns) {
+    pkt_gap_ns_ = ns;
+    return *this;
+  }
+
+  /// Emit a pure ACK from the receiver after every `n` data segments
+  /// (0 disables). Real stacks ACK every other segment, which is what
+  /// produces the minimum-size mode of the packet-size distribution
+  /// (paper Fig. 13).
+  TcpFlowCrafter& set_auto_ack(std::size_t n) {
+    auto_ack_every_ = n;
+    return *this;
+  }
+
+  /// Swap the last two emitted packets (inject reordering).
+  TcpFlowCrafter& swap_last_two();
+
+  /// Swap the last two *payload-bearing* packets (pure ACKs between
+  /// them are left in place), guaranteeing a visible sequence
+  /// regression on the wire.
+  TcpFlowCrafter& swap_last_two_data();
+
+  /// Re-emit the packet at `index` with a bumped timestamp (inject a
+  /// retransmission).
+  TcpFlowCrafter& retransmit(std::size_t index);
+
+  std::vector<packet::Mbuf>& packets() noexcept { return packets_; }
+  std::vector<packet::Mbuf> take() { return std::move(packets_); }
+
+ private:
+  void emit(bool from_client, std::uint8_t flags,
+            std::span<const std::uint8_t> payload);
+  void send_data(bool from_client, std::span<const std::uint8_t> payload);
+
+  FlowEndpoints endpoints_;
+  std::uint64_t ts_ns_;
+  std::uint64_t pkt_gap_ns_ = 50'000;  // 50us between packets
+  std::size_t mss_ = 1448;
+  std::size_t auto_ack_every_ = 2;
+  std::size_t segs_since_ack_ = 0;
+  std::uint32_t client_seq_;
+  std::uint32_t server_seq_;
+  std::vector<packet::Mbuf> packets_;
+};
+
+}  // namespace retina::traffic

@@ -1,0 +1,476 @@
+#include "traffic/flowgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace retina::traffic {
+
+// ---------------------------------------------------------------------------
+// InterleavedFlowGen
+
+InterleavedFlowGen::InterleavedFlowGen(FlowFactory factory,
+                                       std::size_t total_flows,
+                                       double flows_per_second,
+                                       std::size_t max_active,
+                                       std::uint64_t seed)
+    : factory_(std::move(factory)),
+      total_flows_(total_flows),
+      interarrival_ns_(flows_per_second > 0
+                           ? static_cast<std::uint64_t>(1e9 / flows_per_second)
+                           : 1'000'000),
+      max_active_(std::max<std::size_t>(max_active, 1)),
+      rng_(seed) {
+  spawn_ready();
+}
+
+void InterleavedFlowGen::spawn_ready() {
+  while (flows_started_ < total_flows_ &&
+         heap_.size() < max_active_) {
+    auto packets = factory_(next_start_ts_, rng_);
+    // Jittered Poisson-ish arrivals.
+    next_start_ts_ += interarrival_ns_ / 2 +
+                      rng_.below(interarrival_ns_ + 1);
+    ++flows_started_;
+    if (packets.empty()) continue;
+
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = ActiveFlow{std::move(packets), 0};
+    } else {
+      slot = slots_.size();
+      slots_.push_back(ActiveFlow{std::move(packets), 0});
+    }
+    heap_.push(HeapItem{slots_[slot].packets.front().timestamp_ns(), slot});
+  }
+}
+
+bool InterleavedFlowGen::next(packet::Mbuf& out) {
+  if (heap_.empty()) return false;
+  const auto item = heap_.top();
+  heap_.pop();
+
+  auto& flow = slots_[item.slot];
+  out = std::move(flow.packets[flow.index]);
+  ++flow.index;
+  ++packets_emitted_;
+
+  if (flow.index < flow.packets.size()) {
+    heap_.push(
+        HeapItem{flow.packets[flow.index].timestamp_ns(), item.slot});
+  } else {
+    flow.packets.clear();
+    flow.packets.shrink_to_fit();
+    free_slots_.push_back(item.slot);
+    spawn_ready();
+  }
+  return true;
+}
+
+Trace InterleavedFlowGen::materialize() {
+  Trace trace;
+  packet::Mbuf mbuf;
+  while (next(mbuf)) trace.append(std::move(mbuf));
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Campus profile
+
+const std::array<std::uint8_t, 32>& anomalous_client_random() {
+  // The paper's most frequent anomalous nonce begins 738b712a... and
+  // ends ...dee0dbe1; fill the middle deterministically.
+  static const std::array<std::uint8_t, 32> value = [] {
+    std::array<std::uint8_t, 32> v{};
+    const std::uint8_t head[4] = {0x73, 0x8b, 0x71, 0x2a};
+    const std::uint8_t tail[4] = {0xde, 0xe0, 0xdb, 0xe1};
+    for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i)] = head[i];
+    for (std::size_t i = 4; i < 28; ++i) {
+      v[i] = static_cast<std::uint8_t>(0x40 + i);
+    }
+    for (int i = 0; i < 4; ++i) v[28 + static_cast<std::size_t>(i)] = tail[i];
+    return v;
+  }();
+  return value;
+}
+
+std::vector<std::pair<std::string, double>> default_sni_catalog() {
+  return {
+      {"www.google.com", 9.0},
+      {"fonts.gstatic.com", 4.0},
+      {"www.youtube.com", 3.5},
+      {"rr4---sn-abc.googlevideo.com", 5.0},
+      {"occ-0-1.1.nflxso.net", 1.0},
+      {"ipv4-c001.1.nflxvideo.net", 3.0},
+      {"www.netflix.com", 1.0},
+      {"api.twitter.com", 2.0},
+      {"static.xx.fbcdn.net", 3.0},
+      {"www.facebook.com", 2.5},
+      {"a.espncdn.com", 1.0},
+      {"cdn.jsdelivr.net", 1.5},
+      {"github.com", 1.5},
+      {"codeload.github.com", 0.5},
+      {"www.instagram.com", 2.0},
+      {"i.redd.it", 1.5},
+      {"www.reddit.com", 1.5},
+      {"outlook.office365.com", 2.5},
+      {"login.microsoftonline.com", 2.0},
+      {"www.wikipedia.org", 1.0},
+      {"en.wikipedia.org", 1.5},
+      {"apps.apple.com", 1.0},
+      {"gateway.icloud.com", 2.0},
+      {"www.amazon.com", 2.0},
+      {"images-na.ssl-images-amazon.com", 1.5},
+      {"cdn.cloudflare.net", 1.0},
+      {"zoom.us", 1.5},
+      {"canvas.university.edu", 2.5},
+      {"mail.university.edu", 2.0},
+      {"telemetry.example.org", 0.8},
+      {"updates.example.io", 0.6},
+      {"ads.doubleclick.net", 1.8},
+  };
+}
+
+namespace {
+
+struct CatalogSampler {
+  std::vector<std::pair<std::string, double>> entries;
+  double total_weight = 0;
+
+  explicit CatalogSampler(std::vector<std::pair<std::string, double>> e)
+      : entries(std::move(e)) {
+    for (const auto& [name, weight] : entries) total_weight += weight;
+  }
+
+  const std::string& sample(util::Xoshiro256& rng) const {
+    double target = rng.uniform() * total_weight;
+    for (const auto& [name, weight] : entries) {
+      target -= weight;
+      if (target <= 0) return name;
+    }
+    return entries.back().first;
+  }
+};
+
+packet::IpAddr random_v4(util::Xoshiro256& rng, bool campus_side) {
+  // Campus clients live in 171.64.0.0/14-ish space; servers anywhere.
+  if (campus_side) {
+    return packet::IpAddr::v4(0xab400000u | static_cast<std::uint32_t>(
+                                                rng.below(1u << 18)));
+  }
+  std::uint32_t addr;
+  do {
+    addr = static_cast<std::uint32_t>(rng.next());
+  } while ((addr >> 24) == 0 || (addr >> 24) == 10 || (addr >> 24) >= 224);
+  return packet::IpAddr::v4(addr);
+}
+
+packet::IpAddr random_v6(util::Xoshiro256& rng) {
+  std::array<std::uint8_t, 16> bytes{};
+  bytes[0] = 0x26;
+  bytes[1] = 0x07;
+  for (std::size_t i = 2; i < 16; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(rng.next());
+  }
+  return packet::IpAddr::v6(bytes);
+}
+
+FlowEndpoints random_endpoints(util::Xoshiro256& rng, bool ipv6,
+                               std::uint16_t server_port) {
+  FlowEndpoints ep;
+  if (ipv6) {
+    ep.client_ip = random_v6(rng);
+    ep.server_ip = random_v6(rng);
+  } else {
+    ep.client_ip = random_v4(rng, /*campus_side=*/true);
+    ep.server_ip = random_v4(rng, /*campus_side=*/false);
+  }
+  ep.client_port = static_cast<std::uint16_t>(rng.range(32768, 60999));
+  ep.server_port = server_port;
+  return ep;
+}
+
+std::array<std::uint8_t, 32> random_nonce(util::Xoshiro256& rng) {
+  std::array<std::uint8_t, 32> nonce;
+  for (auto& b : nonce) b = static_cast<std::uint8_t>(rng.next());
+  return nonce;
+}
+
+class CampusFactory {
+ public:
+  explicit CampusFactory(CampusMixConfig config)
+      : config_(std::move(config)),
+        catalog_(config_.sni_catalog.empty() ? default_sni_catalog()
+                                             : config_.sni_catalog) {}
+
+  std::vector<packet::Mbuf> operator()(std::uint64_t start_ts,
+                                       util::Xoshiro256& rng) const {
+    const double roll = rng.uniform();
+    if (roll < config_.frac_other_l3) {
+      return {make_raw_eth(0x0806 /*ARP*/, 46, start_ts)};
+    }
+    if (roll < config_.frac_other_l3 + config_.frac_udp) {
+      return udp_flow(start_ts, rng);
+    }
+    // TCP.
+    if (rng.chance(config_.frac_single_syn)) {
+      auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6),
+                                 common_port(rng));
+      TcpFlowCrafter crafter(ep, start_ts,
+                             static_cast<std::uint32_t>(rng.next()),
+                             static_cast<std::uint32_t>(rng.next()));
+      return crafter.syn_only().take();
+    }
+    const double app = rng.uniform();
+    if (app < config_.frac_tls) return tls_flow(start_ts, rng);
+    if (app < config_.frac_tls + config_.frac_http)
+      return http_flow(start_ts, rng);
+    if (app < config_.frac_tls + config_.frac_http + config_.frac_ssh)
+      return ssh_flow(start_ts, rng);
+    if (app < config_.frac_tls + config_.frac_http + config_.frac_ssh +
+                  config_.frac_smtp)
+      return smtp_flow(start_ts, rng);
+    return opaque_flow(start_ts, rng);
+  }
+
+ private:
+  std::uint16_t common_port(util::Xoshiro256& rng) const {
+    static const std::uint16_t ports[] = {443, 80, 22, 25, 8443, 8080};
+    return ports[rng.below(6)];
+  }
+
+  std::size_t response_size(util::Xoshiro256& rng) const {
+    return static_cast<std::size_t>(rng.pareto(
+        config_.resp_min_bytes, config_.pareto_alpha, config_.resp_max_bytes));
+  }
+
+  void maybe_reorder(TcpFlowCrafter& crafter, util::Xoshiro256& rng) const {
+    if (rng.chance(config_.frac_ooo_flows)) {
+      crafter.swap_last_two_data();
+      if (rng.chance(0.3) && !crafter.packets().empty()) {
+        crafter.retransmit(crafter.packets().size() / 2);
+      }
+    }
+  }
+
+  std::vector<packet::Mbuf> tls_flow(std::uint64_t start_ts,
+                                     util::Xoshiro256& rng) const {
+    auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 443);
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+
+    TlsClientHelloSpec hello;
+    hello.sni = catalog_.sample(rng);
+    hello.random = random_nonce(rng);
+    if (config_.nonce_anomalies) {
+      if (rng.chance(config_.frac_repeated_nonce)) {
+        hello.random = anomalous_client_random();
+      } else if (rng.chance(config_.frac_zero_nonce)) {
+        hello.random.fill(0);
+      }
+    }
+    const bool tls13 = rng.chance(0.6);
+    if (tls13) hello.supported_versions = {0x0304};
+    hello.alpn = {"h2", "http/1.1"};
+    crafter.client_send(build_tls_client_hello(hello));
+
+    TlsServerHelloSpec server;
+    server.random = random_nonce(rng);
+    server.cipher = tls13 ? 0x1301 : 0xc02f;
+    if (tls13) server.supported_versions = {0x0304};
+    auto server_bytes = build_tls_server_hello(server);
+    if (!tls13) {
+      std::string subject = hello.sni;
+      std::string issuer = "Synthetic CA R3";
+      if (rng.chance(config_.frac_cert_mismatch)) {
+        subject = "proxy-" + std::to_string(rng.below(100)) +
+                  ".intercept.example";
+        issuer = "Suspicious Middlebox CA";
+      }
+      auto cert = build_tls_certificate_chain(subject, issuer,
+                                              1 + rng.below(2));
+      server_bytes.insert(server_bytes.end(), cert.begin(), cert.end());
+    }
+    auto ccs = build_tls_change_cipher_spec();
+    server_bytes.insert(server_bytes.end(), ccs.begin(), ccs.end());
+    crafter.server_send(server_bytes);
+
+    // Encrypted application traffic: request up, heavy tail down.
+    crafter.client_send(build_tls_application_data(300 + rng.below(700)));
+    std::size_t remaining = response_size(rng);
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(remaining, 16'000);
+      crafter.server_send(build_tls_application_data(chunk));
+      remaining -= chunk;
+    }
+    maybe_reorder(crafter, rng);
+    if (!rng.chance(config_.frac_no_close)) {
+      rng.chance(0.1) ? crafter.reset(rng.chance(0.5)) : crafter.close();
+    }
+    return crafter.take();
+  }
+
+  std::vector<packet::Mbuf> http_flow(std::uint64_t start_ts,
+                                      util::Xoshiro256& rng) const {
+    auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 80);
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+    const std::size_t transactions = 1 + rng.below(3);
+    static const char* kAgents[] = {
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Firefox/121.0",
+        "Mozilla/5.0 (Macintosh; Intel Mac OS X 13_2) Safari/605.1.15",
+        "curl/8.4.0", "python-requests/2.31",
+        "Mozilla/5.0 (X11; Linux x86_64) Chrome/120.0"};
+    for (std::size_t t = 0; t < transactions; ++t) {
+      HttpRequestSpec req;
+      req.uri = "/asset/" + std::to_string(rng.below(100000));
+      req.host = catalog_.sample(rng);
+      req.user_agent = kAgents[rng.below(5)];
+      crafter.client_send(build_http_request(req));
+      HttpResponseSpec resp;
+      resp.content_length = response_size(rng) / 4;
+      crafter.server_send(build_http_response(resp));
+    }
+    maybe_reorder(crafter, rng);
+    if (!rng.chance(config_.frac_no_close)) crafter.close();
+    return crafter.take();
+  }
+
+  std::vector<packet::Mbuf> ssh_flow(std::uint64_t start_ts,
+                                     util::Xoshiro256& rng) const {
+    auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 22);
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+    crafter.client_send(build_ssh_banner("OpenSSH_9.3"));
+    crafter.server_send(build_ssh_banner("OpenSSH_8.9p1 Ubuntu-3"));
+    crafter.client_send(build_ssh_kexinit(
+        {"curve25519-sha256", "diffie-hellman-group14-sha256"},
+        {"ssh-ed25519", "rsa-sha2-512"}));
+    // Opaque encrypted session afterwards.
+    std::size_t remaining = response_size(rng) / 8;
+    Bytes blob(1024, 0x7f);
+    while (remaining > 1024) {
+      crafter.server_send(blob);
+      remaining -= 1024;
+    }
+    if (!rng.chance(config_.frac_no_close)) crafter.close();
+    return crafter.take();
+  }
+
+  std::vector<packet::Mbuf> smtp_flow(std::uint64_t start_ts,
+                                      util::Xoshiro256& rng) const {
+    auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 25);
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+    SmtpExchangeSpec spec;
+    spec.helo = "host" + std::to_string(rng.below(1000)) + ".example.org";
+    spec.mail_from =
+        "user" + std::to_string(rng.below(5000)) + "@example.org";
+    spec.rcpt_to = {"rcpt" + std::to_string(rng.below(5000)) +
+                    "@example.com"};
+    spec.body_lines = 3 + rng.below(40);
+    spec.starttls = rng.chance(0.3);
+    // Server greets first, then the exchange proceeds.
+    const auto server = build_smtp_server(spec);
+    const auto client = build_smtp_client(spec);
+    crafter.server_send(
+        std::span<const std::uint8_t>(server.data(), 30));  // greeting
+    crafter.client_send(client);
+    crafter.server_send(
+        std::span<const std::uint8_t>(server.data() + 30,
+                                      server.size() - 30));
+    if (!rng.chance(config_.frac_no_close)) crafter.close();
+    return crafter.take();
+  }
+
+  std::vector<packet::Mbuf> opaque_flow(std::uint64_t start_ts,
+                                        util::Xoshiro256& rng) const {
+    auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6),
+                               static_cast<std::uint16_t>(
+                                   rng.range(1024, 65000)));
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+    Bytes blob(200 + rng.below(1200));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(0x80 | rng.below(0x60));
+    crafter.client_send(blob);
+    std::size_t remaining = response_size(rng) / 8;
+    Bytes chunk(1400, 0x9c);
+    while (remaining > chunk.size()) {
+      crafter.server_send(chunk);
+      remaining -= chunk.size();
+    }
+    maybe_reorder(crafter, rng);
+    if (!rng.chance(config_.frac_no_close)) crafter.close();
+    return crafter.take();
+  }
+
+  std::vector<packet::Mbuf> udp_flow(std::uint64_t start_ts,
+                                     util::Xoshiro256& rng) const {
+    std::vector<packet::Mbuf> out;
+    if (rng.chance(0.7)) {
+      // DNS query/response.
+      auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 53);
+      const auto id = static_cast<std::uint16_t>(rng.next());
+      const auto qname = catalog_.sample(rng);
+      out.push_back(make_udp_packet(ep, true,
+                                    build_dns_query(id, qname, 1), start_ts));
+      out.push_back(make_udp_packet(
+          ep, false,
+          build_dns_response(id, qname, 1,
+                             static_cast<std::uint16_t>(1 + rng.below(3))),
+          start_ts + 2'000'000));
+    } else {
+      // QUIC-like opaque UDP on 443. Kept short so TCP carries the bulk
+      // of bytes (Table 2: 72.4% of bytes in TCP streams).
+      auto ep = random_endpoints(rng, rng.chance(config_.frac_ipv6), 443);
+      std::uint64_t ts = start_ts;
+      const std::size_t pkts = 3 + rng.below(10);
+      Bytes blob(1200, 0xee);
+      blob[0] = 0xc3;  // QUIC long header-ish first byte
+      for (std::size_t i = 0; i < pkts; ++i) {
+        out.push_back(make_udp_packet(ep, i % 3 != 0, blob, ts));
+        ts += 80'000;
+      }
+    }
+    return out;
+  }
+
+  CampusMixConfig config_;
+  CatalogSampler catalog_;
+};
+
+}  // namespace
+
+FlowFactory make_campus_factory(const CampusMixConfig& config) {
+  auto factory = std::make_shared<CampusFactory>(config);
+  return [factory](std::uint64_t start_ts, util::Xoshiro256& rng) {
+    return (*factory)(start_ts, rng);
+  };
+}
+
+InterleavedFlowGen make_campus_gen(const CampusMixConfig& config) {
+  return InterleavedFlowGen(make_campus_factory(config), config.total_flows,
+                            config.flows_per_second, config.max_active,
+                            config.seed);
+}
+
+Trace make_campus_trace(const CampusMixConfig& config) {
+  auto gen = make_campus_gen(config);
+  auto trace = gen.materialize();
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace retina::traffic

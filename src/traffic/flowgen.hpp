@@ -1,0 +1,129 @@
+// Workload generation. `InterleavedFlowGen` streams packets from many
+// concurrently active flows (crafted by a pluggable flow factory and
+// merged by timestamp) so arbitrarily long runs use bounded memory.
+// `CampusMixConfig` + `make_campus_factory` reproduce the paper's
+// production-network profile (Appendix C, Table 2 / Fig. 13): 65%
+// single-SYN connections, ~70/30 TCP/UDP, heavy-tailed flow sizes,
+// a realistic SNI catalog, 6% out-of-order flows, bimodal packet sizes.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "packet/mbuf.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/trace.hpp"
+#include "util/rng.hpp"
+
+namespace retina::traffic {
+
+/// Crafts all packets of one flow starting at `start_ts_ns`.
+using FlowFactory = std::function<std::vector<packet::Mbuf>(
+    std::uint64_t start_ts_ns, util::Xoshiro256& rng)>;
+
+class InterleavedFlowGen {
+ public:
+  InterleavedFlowGen(FlowFactory factory, std::size_t total_flows,
+                     double flows_per_second, std::size_t max_active,
+                     std::uint64_t seed);
+
+  /// Produce the next packet (roughly time ordered across flows).
+  /// Returns false when all flows are exhausted.
+  bool next(packet::Mbuf& out);
+
+  std::size_t flows_started() const noexcept { return flows_started_; }
+  std::uint64_t packets_emitted() const noexcept { return packets_emitted_; }
+
+  /// Drain the whole generator into a trace (small workloads/tests).
+  Trace materialize();
+
+ private:
+  void spawn_ready();
+
+  struct ActiveFlow {
+    std::vector<packet::Mbuf> packets;
+    std::size_t index = 0;
+  };
+  struct HeapItem {
+    std::uint64_t ts;
+    std::size_t slot;
+    bool operator>(const HeapItem& other) const { return ts > other.ts; }
+  };
+
+  FlowFactory factory_;
+  std::size_t total_flows_;
+  std::uint64_t interarrival_ns_;
+  std::size_t max_active_;
+  util::Xoshiro256 rng_;
+
+  std::vector<ActiveFlow> slots_;
+  std::vector<std::size_t> free_slots_;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap_;
+  std::uint64_t next_start_ts_ = 1'000'000;  // t=1ms
+  std::size_t flows_started_ = 0;
+  std::uint64_t packets_emitted_ = 0;
+};
+
+/// Campus traffic profile (Appendix C targets).
+struct CampusMixConfig {
+  std::uint64_t seed = 42;
+  std::size_t total_flows = 20'000;
+  double flows_per_second = 5'000.0;
+  std::size_t max_active = 512;
+
+  // Composition (Table 2: 69.7% TCP / 29.8% UDP connections; 65% of
+  // connections are single unanswered SYNs).
+  double frac_udp = 0.298;
+  double frac_other_l3 = 0.005;       // non-IP frames
+  double frac_single_syn = 0.65;      // of TCP flows
+  double frac_ipv6 = 0.10;
+  double frac_ooo_flows = 0.06;       // flows with reordering (Table 2)
+  double frac_no_close = 0.10;        // flows that end without FIN
+
+  // Application mix among full TCP connections.
+  double frac_tls = 0.58;
+  double frac_http = 0.25;
+  double frac_ssh = 0.04;
+  double frac_smtp = 0.03;
+  // remainder: opaque TCP (unknown protocol)
+
+  // Heavy-tailed response sizes.
+  double pareto_alpha = 1.3;
+  double resp_min_bytes = 2'000;
+  double resp_max_bytes = 4'000'000;
+
+  /// Fraction of TLS<=1.2 flows served a certificate whose subject does
+  /// not cover the SNI (interception/misconfiguration population for the
+  /// cert_monitor example).
+  double frac_cert_mismatch = 0.0;
+
+  // §7.1: seed a broken-entropy client population that repeats nonces.
+  bool nonce_anomalies = false;
+  double frac_repeated_nonce = 0.0006;
+  double frac_zero_nonce = 0.00003;
+
+  /// (domain, weight) SNI catalog; a default catalog with a long tail of
+  /// .com domains plus video CDNs is used when empty.
+  std::vector<std::pair<std::string, double>> sni_catalog;
+};
+
+/// Default SNI catalog used by the campus mix.
+std::vector<std::pair<std::string, double>> default_sni_catalog();
+
+/// Build a flow factory implementing the campus profile.
+FlowFactory make_campus_factory(const CampusMixConfig& config);
+
+/// Convenience: a generator over the campus profile.
+InterleavedFlowGen make_campus_gen(const CampusMixConfig& config);
+
+/// Convenience: a fully materialized campus trace (keep total_flows
+/// modest; memory is ~packets × avg size).
+Trace make_campus_trace(const CampusMixConfig& config);
+
+/// The fixed anomalous client-random value seeded by `nonce_anomalies`
+/// (mirrors the value reported in paper §7.1).
+const std::array<std::uint8_t, 32>& anomalous_client_random();
+
+}  // namespace retina::traffic

@@ -1,0 +1,130 @@
+#include "traffic/pcap.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+namespace retina::traffic {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+std::uint32_t swap32(std::uint32_t v) {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
+         (v >> 24);
+}
+void put32(std::FILE* f, std::uint32_t v) {
+  if (std::fwrite(&v, 4, 1, f) != 1) {
+    throw std::runtime_error("pcap: short write");
+  }
+}
+void put16(std::FILE* f, std::uint16_t v) {
+  if (std::fwrite(&v, 2, 1, f) != 1) {
+    throw std::runtime_error("pcap: short write");
+  }
+}
+
+}  // namespace
+
+void write_pcap(const std::string& path, const Trace& trace) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (!file) throw std::runtime_error("pcap: cannot open " + path);
+  std::FILE* f = file.get();
+
+  put32(f, kMagicMicros);
+  put16(f, 2);   // version major
+  put16(f, 4);   // version minor
+  put32(f, 0);   // thiszone
+  put32(f, 0);   // sigfigs
+  put32(f, 1 << 16);  // snaplen
+  put32(f, kLinkTypeEthernet);
+
+  for (const auto& mbuf : trace.packets()) {
+    const auto ts = mbuf.timestamp_ns();
+    put32(f, static_cast<std::uint32_t>(ts / 1'000'000'000));
+    put32(f, static_cast<std::uint32_t>((ts % 1'000'000'000) / 1'000));
+    put32(f, static_cast<std::uint32_t>(mbuf.length()));  // captured
+    put32(f, static_cast<std::uint32_t>(mbuf.length()));  // original
+    const auto bytes = mbuf.bytes();
+    if (!bytes.empty() &&
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      throw std::runtime_error("pcap: short write");
+    }
+  }
+}
+
+Trace read_pcap(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (!file) throw std::runtime_error("pcap: cannot open " + path);
+  std::FILE* f = file.get();
+
+  auto get32 = [f](std::uint32_t& v) {
+    return std::fread(&v, 4, 1, f) == 1;
+  };
+  auto get16 = [f](std::uint16_t& v) {
+    return std::fread(&v, 2, 1, f) == 1;
+  };
+
+  std::uint32_t magic;
+  if (!get32(magic)) throw std::runtime_error("pcap: empty file");
+  bool swapped = false;
+  bool nanos = false;
+  if (magic == kMagicMicros) {
+  } else if (magic == kMagicNanos) {
+    nanos = true;
+  } else if (swap32(magic) == kMagicMicros) {
+    swapped = true;
+  } else if (swap32(magic) == kMagicNanos) {
+    swapped = true;
+    nanos = true;
+  } else {
+    throw std::runtime_error("pcap: bad magic");
+  }
+
+  std::uint16_t major, minor;
+  std::uint32_t zone, sigfigs, snaplen, linktype;
+  if (!get16(major) || !get16(minor) || !get32(zone) || !get32(sigfigs) ||
+      !get32(snaplen) || !get32(linktype)) {
+    throw std::runtime_error("pcap: truncated header");
+  }
+  if (swapped) linktype = swap32(linktype);
+  if (linktype != kLinkTypeEthernet) {
+    throw std::runtime_error("pcap: unsupported link type");
+  }
+
+  Trace trace;
+  while (true) {
+    std::uint32_t sec, frac, caplen, origlen;
+    if (!get32(sec)) break;  // clean EOF
+    if (!get32(frac) || !get32(caplen) || !get32(origlen)) {
+      throw std::runtime_error("pcap: truncated record header");
+    }
+    if (swapped) {
+      sec = swap32(sec);
+      frac = swap32(frac);
+      caplen = swap32(caplen);
+    }
+    if (caplen > (1u << 24)) throw std::runtime_error("pcap: absurd caplen");
+    std::vector<std::uint8_t> bytes(caplen);
+    if (caplen > 0 && std::fread(bytes.data(), 1, caplen, f) != caplen) {
+      throw std::runtime_error("pcap: truncated packet");
+    }
+    const std::uint64_t ts =
+        static_cast<std::uint64_t>(sec) * 1'000'000'000 +
+        static_cast<std::uint64_t>(frac) * (nanos ? 1 : 1'000);
+    trace.append(packet::Mbuf(std::move(bytes), ts));
+  }
+  return trace;
+}
+
+}  // namespace retina::traffic

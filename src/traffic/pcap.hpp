@@ -1,0 +1,24 @@
+// Minimal libpcap-format file I/O (no external dependency): classic
+// pcap magic 0xa1b2c3d4, microsecond timestamps, Ethernet link type.
+// Retina's offline mode (paper Appendix B) ingests pcaps instead of
+// live packets; this module lets the C++ port do the same — write
+// generated workloads to disk, read real captures back in.
+#pragma once
+
+#include <string>
+
+#include "traffic/trace.hpp"
+
+namespace retina::traffic {
+
+/// Write a trace to a pcap file. Throws std::runtime_error on I/O
+/// failure. Packets are written in trace order with their virtual
+/// timestamps.
+void write_pcap(const std::string& path, const Trace& trace);
+
+/// Read a pcap file into a trace. Handles both byte orders and both
+/// microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) magics. Throws
+/// std::runtime_error on malformed input.
+Trace read_pcap(const std::string& path);
+
+}  // namespace retina::traffic

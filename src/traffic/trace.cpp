@@ -1,0 +1,41 @@
+#include "traffic/trace.hpp"
+
+#include <algorithm>
+
+namespace retina::traffic {
+
+void Trace::append(std::vector<packet::Mbuf> packets) {
+  packets_.insert(packets_.end(), std::make_move_iterator(packets.begin()),
+                  std::make_move_iterator(packets.end()));
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(packets_.begin(), packets_.end(),
+                   [](const packet::Mbuf& a, const packet::Mbuf& b) {
+                     return a.timestamp_ns() < b.timestamp_ns();
+                   });
+}
+
+std::uint64_t Trace::total_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& mbuf : packets_) bytes += mbuf.length();
+  return bytes;
+}
+
+std::uint64_t Trace::duration_ns() const {
+  if (packets_.size() < 2) return 0;
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& mbuf : packets_) {
+    lo = std::min(lo, mbuf.timestamp_ns());
+    hi = std::max(hi, mbuf.timestamp_ns());
+  }
+  return hi - lo;
+}
+
+double Trace::avg_packet_bytes() const {
+  if (packets_.empty()) return 0.0;
+  return static_cast<double>(total_bytes()) /
+         static_cast<double>(packets_.size());
+}
+
+}  // namespace retina::traffic

@@ -1,0 +1,39 @@
+// Trace: a fully materialized, time-ordered packet capture held in
+// memory. Small experiments and tests use traces directly; large runs
+// stream packets from a generator instead (see flowgen.hpp) to bound
+// memory.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "packet/mbuf.hpp"
+
+namespace retina::traffic {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<packet::Mbuf> packets)
+      : packets_(std::move(packets)) {}
+
+  void append(packet::Mbuf mbuf) { packets_.push_back(std::move(mbuf)); }
+  void append(std::vector<packet::Mbuf> packets);
+
+  /// Stable sort by timestamp (merging flows crafted independently).
+  void sort_by_time();
+
+  std::span<const packet::Mbuf> packets() const noexcept { return packets_; }
+  std::size_t size() const noexcept { return packets_.size(); }
+  bool empty() const noexcept { return packets_.empty(); }
+
+  std::uint64_t total_bytes() const;
+  /// Last timestamp minus first (0 for traces with < 2 packets).
+  std::uint64_t duration_ns() const;
+  double avg_packet_bytes() const;
+
+ private:
+  std::vector<packet::Mbuf> packets_;
+};
+
+}  // namespace retina::traffic

@@ -1,0 +1,209 @@
+#include "traffic/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace retina::traffic {
+
+InterleavedFlowGen make_https_workload(const HttpsWorkloadConfig& config) {
+  const auto cfg = std::make_shared<HttpsWorkloadConfig>(config);
+  FlowFactory factory = [cfg](std::uint64_t start_ts,
+                              util::Xoshiro256& rng) {
+    FlowEndpoints ep;
+    ep.client_ip = packet::IpAddr::v4(0x0a000000u |
+                                      static_cast<std::uint32_t>(
+                                          rng.below(cfg->parallel) + 2));
+    ep.server_ip = packet::IpAddr::v4(0x0a000001);
+    ep.client_port = static_cast<std::uint16_t>(rng.range(30000, 60000));
+    ep.server_port = 443;
+
+    TcpFlowCrafter crafter(ep, start_ts,
+                           static_cast<std::uint32_t>(rng.next()),
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake();
+
+    TlsClientHelloSpec hello;
+    hello.sni = cfg->sni;
+    for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.next());
+    hello.supported_versions = {0x0304};
+    crafter.client_send(build_tls_client_hello(hello));
+
+    TlsServerHelloSpec server;
+    for (auto& b : server.random) b = static_cast<std::uint8_t>(rng.next());
+    server.supported_versions = {0x0304};
+    auto server_bytes = build_tls_server_hello(server);
+    auto ccs = build_tls_change_cipher_spec();
+    server_bytes.insert(server_bytes.end(), ccs.begin(), ccs.end());
+    crafter.server_send(server_bytes);
+
+    // Encrypted request + fixed-size response (the 256 KB object).
+    crafter.client_send(build_tls_application_data(400));
+    std::size_t remaining = cfg->response_bytes;
+    while (remaining > 0) {
+      const std::size_t chunk = std::min<std::size_t>(remaining, 16'000);
+      crafter.server_send(build_tls_application_data(chunk));
+      remaining -= chunk;
+    }
+    crafter.close();
+    return crafter.take();
+  };
+  return InterleavedFlowGen(std::move(factory), config.total_requests,
+                            config.requests_per_second,
+                            std::max<std::size_t>(config.parallel, 1),
+                            config.seed);
+}
+
+InterleavedFlowGen make_video_workload(const VideoWorkloadConfig& config) {
+  const auto cfg = std::make_shared<VideoWorkloadConfig>(config);
+  // Background campus factory shared across invocations.
+  CampusMixConfig campus;
+  campus.seed = config.seed * 13 + 1;
+  const auto background = std::make_shared<FlowFactory>(
+      make_campus_factory(campus));
+
+  // Every Nth flow is a video session; the rest are background noise.
+  const std::size_t total_flows = config.sessions + config.background_flows;
+  const double video_share =
+      static_cast<double>(config.sessions) /
+      static_cast<double>(std::max<std::size_t>(total_flows, 1));
+
+  // Deterministic-proportional service split so small runs still carry
+  // both services in the configured ratio.
+  const auto session_counter = std::make_shared<std::size_t>(0);
+
+  FlowFactory factory = [cfg, background, video_share, session_counter](
+                            std::uint64_t start_ts, util::Xoshiro256& rng) {
+    if (!rng.chance(video_share)) {
+      return (*background)(start_ts, rng);
+    }
+
+    const auto session_index = (*session_counter)++;
+    const bool netflix =
+        std::fmod(static_cast<double>(session_index) * cfg->frac_netflix,
+                  1.0) +
+            cfg->frac_netflix >
+        1.0 - 1e-9;
+    const std::string sni =
+        netflix ? "ipv4-c" + std::to_string(rng.below(100)) +
+                      ".1.nflxvideo.net"
+                : "rr" + std::to_string(rng.below(10)) +
+                      "---sn-video.googlevideo.com";
+
+    // Log-uniform session volume, scaled down for in-memory runs.
+    const double log_lo = std::log(cfg->min_session_bytes);
+    const double log_hi = std::log(cfg->max_session_bytes);
+    const double session_bytes =
+        std::exp(log_lo + rng.uniform() * (log_hi - log_lo));
+    const auto scaled =
+        static_cast<std::size_t>(session_bytes * cfg->byte_scale);
+
+    // A video session opens several parallel flows (Bronzino et al.
+    // count parallel flows as a feature); we emit them as one crafted
+    // sequence per flow, interleaved by the generator.
+    const std::size_t flows = 1 + rng.below(4);
+    // One client endpoint per session: its parallel flows share it (the
+    // feature-extraction apps aggregate flows into sessions by client).
+    const auto client_ip = packet::IpAddr::v4(
+        0xab400000u | static_cast<std::uint32_t>(rng.below(1u << 18)));
+    std::vector<packet::Mbuf> all;
+    for (std::size_t f = 0; f < flows; ++f) {
+      FlowEndpoints ep;
+      ep.client_ip = client_ip;
+      ep.server_ip = packet::IpAddr::v4(
+          (netflix ? 0x17f60000u : 0xadc20000u) |
+          static_cast<std::uint32_t>(rng.below(1u << 16)));
+      ep.client_port = static_cast<std::uint16_t>(rng.range(32768, 60999));
+      ep.server_port = 443;
+
+      TcpFlowCrafter crafter(ep, start_ts + f * 3'000'000,
+                             static_cast<std::uint32_t>(rng.next()),
+                             static_cast<std::uint32_t>(rng.next()));
+      crafter.set_pkt_gap(120'000);
+      crafter.handshake();
+
+      TlsClientHelloSpec hello;
+      hello.sni = sni;
+      for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.next());
+      hello.supported_versions = {0x0304};
+      crafter.client_send(build_tls_client_hello(hello));
+
+      TlsServerHelloSpec server;
+      for (auto& b : server.random) b = static_cast<std::uint8_t>(rng.next());
+      server.supported_versions = {0x0304};
+      auto sh = build_tls_server_hello(server);
+      auto ccs = build_tls_change_cipher_spec();
+      sh.insert(sh.end(), ccs.begin(), ccs.end());
+      crafter.server_send(sh);
+
+      // Segment-sized bursts downstream; small requests upstream.
+      std::size_t remaining = scaled / flows;
+      while (remaining > 0) {
+        crafter.client_send(build_tls_application_data(200));
+        const std::size_t burst = std::min<std::size_t>(remaining, 64'000);
+        std::size_t sent = 0;
+        while (sent < burst) {
+          const std::size_t chunk = std::min<std::size_t>(burst - sent, 16'000);
+          crafter.server_send(build_tls_application_data(chunk));
+          sent += chunk;
+        }
+        remaining -= burst;
+        crafter.gap(30'000'000);  // inter-burst pacing
+      }
+      if (rng.chance(0.05)) crafter.swap_last_two();
+      crafter.close();
+      auto pkts = crafter.take();
+      all.insert(all.end(), std::make_move_iterator(pkts.begin()),
+                 std::make_move_iterator(pkts.end()));
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [](const packet::Mbuf& a, const packet::Mbuf& b) {
+                       return a.timestamp_ns() < b.timestamp_ns();
+                     });
+    return all;
+  };
+
+  return InterleavedFlowGen(std::move(factory), total_flows,
+                            config.sessions_per_second /
+                                std::max(video_share, 1e-9),
+                            config.max_active, config.seed);
+}
+
+Trace make_normal_user_trace(std::size_t variant, std::size_t flows,
+                             std::uint64_t seed) {
+  CampusMixConfig config;
+  config.seed = seed + variant * 977;
+  config.total_flows = flows;
+  config.flows_per_second = 400.0;
+  config.max_active = 64;
+  config.frac_single_syn = 0.05;  // desktop captures, not scan-heavy
+  config.resp_max_bytes = 400'000;
+
+  switch (variant % 4) {
+    case 0:  // browsing-heavy
+      config.frac_tls = 0.60;
+      config.frac_http = 0.25;
+      config.frac_udp = 0.25;
+      break;
+    case 1:  // heavy DNS + short flows
+      config.frac_udp = 0.45;
+      config.frac_tls = 0.45;
+      config.frac_http = 0.35;
+      config.resp_max_bytes = 120'000;
+      break;
+    case 2:  // bulk downloads
+      config.frac_udp = 0.15;
+      config.frac_tls = 0.50;
+      config.frac_http = 0.40;
+      config.resp_max_bytes = 2'000'000;
+      break;
+    default:  // mixed with ssh
+      config.frac_ssh = 0.10;
+      config.frac_tls = 0.50;
+      config.frac_http = 0.20;
+      break;
+  }
+  return make_campus_trace(config);
+}
+
+}  // namespace retina::traffic

@@ -1,0 +1,63 @@
+// Named workloads matching the paper's experiments:
+//  * HTTPS closed-loop requests (Fig. 6's wrk2+nginx testbed): parallel
+//    connections issuing fixed-size HTTPS requests at a target rate.
+//  * Video streaming sessions (Fig. 9 / §7.3): Netflix- and
+//    YouTube-labeled TLS flows with session-scale byte volumes.
+//  * "Normal user" traces (Appendix B): small desktop-like mixes
+//    standing in for the Stratosphere CTU captures.
+#pragma once
+
+#include "traffic/flowgen.hpp"
+
+namespace retina::traffic {
+
+/// Fig. 6: 128-parallel closed-loop 256 KB HTTPS requests against one
+/// server, mirrored to the monitor. `request_rate` scales how many
+/// request flows the run contains per second of virtual time.
+struct HttpsWorkloadConfig {
+  std::uint64_t seed = 7;
+  double requests_per_second = 1000.0;
+  std::size_t parallel = 128;
+  std::size_t response_bytes = 256 * 1024;
+  std::size_t total_requests = 4'000;
+  std::string sni = "bench.example.com";
+};
+
+InterleavedFlowGen make_https_workload(const HttpsWorkloadConfig& config);
+
+/// §7.3 / Fig. 9: video streaming sessions. Each session opens several
+/// parallel TLS flows to a video CDN domain and transfers a
+/// session-scale (heavy-tailed, up to GBs) volume downstream.
+struct VideoWorkloadConfig {
+  std::uint64_t seed = 11;
+  std::size_t sessions = 60;
+  double sessions_per_second = 2.0;
+  std::size_t max_active = 64;
+  /// Weight of Netflix sessions vs YouTube (rest).
+  double frac_netflix = 0.5;
+  /// Session size distribution (bytes downstream, log-uniform range).
+  double min_session_bytes = 2e6;
+  double max_session_bytes = 2e9;
+  /// Scale factor applied to session bytes so in-memory runs stay small
+  /// while preserving the distribution *shape* (values are re-scaled
+  /// back when reporting).
+  double byte_scale = 1.0 / 256;
+  /// Background campus traffic flows interleaved with the video flows.
+  std::size_t background_flows = 2'000;
+};
+
+/// The SNI filter strings the paper uses for the two services.
+inline constexpr const char* kNetflixFilter =
+    "tcp.port = 443 and tls.sni ~ '(.+?\\.)?nflxvideo\\.net'";
+inline constexpr const char* kYoutubeFilter =
+    "tcp.port = 443 and tls.sni ~ 'googlevideo'";
+
+InterleavedFlowGen make_video_workload(const VideoWorkloadConfig& config);
+
+/// Appendix B: synthetic "normal user" traces with per-trace protocol
+/// mixes loosely matching the four CTU-Normal captures. `variant` in
+/// [0, 4).
+Trace make_normal_user_trace(std::size_t variant, std::size_t flows = 1500,
+                             std::uint64_t seed = 100);
+
+}  // namespace retina::traffic

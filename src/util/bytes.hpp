@@ -1,0 +1,129 @@
+// Endian-safe byte readers and writers used by every header view and
+// packet-crafting routine. All network protocols handled here are
+// big-endian on the wire; the host is assumed little- or big-endian
+// (conversions are explicit byte-shuffles, never casts).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace retina::util {
+
+/// Read a big-endian 16-bit value from `p`.
+inline std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+/// Read a big-endian 32-bit value from `p`.
+inline std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+/// Read a big-endian 64-bit value from `p`.
+inline std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(load_be32(p)) << 32) | load_be32(p + 4);
+}
+
+/// Read a big-endian 24-bit value (e.g. TLS handshake lengths).
+inline std::uint32_t load_be24(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 16) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         static_cast<std::uint32_t>(p[2]);
+}
+
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be24(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 16);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+/// A bounded, non-throwing byte cursor for parsing untrusted payloads.
+/// Every accessor checks remaining length; once an out-of-bounds read is
+/// attempted the cursor is poisoned (`ok() == false`) and all further
+/// reads return zeros. Callers check `ok()` once at the end of a parse
+/// step instead of after every read.
+class ByteReader {
+ public:
+  ByteReader() = default;
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t offset() const noexcept { return off_; }
+  std::size_t remaining() const noexcept {
+    return ok_ ? data_.size() - off_ : 0;
+  }
+
+  std::uint8_t u8() noexcept {
+    if (!ensure(1)) return 0;
+    return data_[off_++];
+  }
+  std::uint16_t be16() noexcept {
+    if (!ensure(2)) return 0;
+    auto v = load_be16(data_.data() + off_);
+    off_ += 2;
+    return v;
+  }
+  std::uint32_t be24() noexcept {
+    if (!ensure(3)) return 0;
+    auto v = load_be24(data_.data() + off_);
+    off_ += 3;
+    return v;
+  }
+  std::uint32_t be32() noexcept {
+    if (!ensure(4)) return 0;
+    auto v = load_be32(data_.data() + off_);
+    off_ += 4;
+    return v;
+  }
+
+  /// Borrow `n` bytes without copying; empty span on underflow.
+  std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (!ensure(n)) return {};
+    auto s = data_.subspan(off_, n);
+    off_ += n;
+    return s;
+  }
+
+  bool skip(std::size_t n) noexcept {
+    if (!ensure(n)) return false;
+    off_ += n;
+    return true;
+  }
+
+ private:
+  bool ensure(std::size_t n) noexcept {
+    if (!ok_ || data_.size() - off_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_{};
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace retina::util

@@ -1,0 +1,64 @@
+#include "util/cycles.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace retina::util {
+
+std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+namespace {
+
+double calibrate_tsc_hz() {
+  using clock = std::chrono::steady_clock;
+  // Two short measurement windows; take the larger to reduce the effect
+  // of descheduling during calibration.
+  double best = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const auto t0 = clock::now();
+    const auto c0 = rdtsc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto c1 = rdtsc();
+    const auto t1 = clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs > 0) best = std::max(best, static_cast<double>(c1 - c0) / secs);
+  }
+  return best > 0 ? best : 1e9;
+}
+
+}  // namespace
+
+double tsc_hz() {
+  static const double hz = calibrate_tsc_hz();
+  return hz;
+}
+
+double cycles_to_seconds(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / tsc_hz();
+}
+
+std::uint64_t seconds_to_cycles(double seconds) {
+  return static_cast<std::uint64_t>(seconds * tsc_hz());
+}
+
+void spin_cycles(std::uint64_t cycles) noexcept {
+  if (cycles == 0) return;
+  const std::uint64_t start = rdtsc();
+  while (rdtsc() - start < cycles) {
+    // Busy-wait: this models a CPU-bound callback body.
+  }
+}
+
+}  // namespace retina::util

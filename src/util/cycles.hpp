@@ -1,0 +1,44 @@
+// CPU-cycle accounting. The paper reports per-stage costs in CPU cycles
+// (Fig. 7) and approximates callback complexity by busy-looping for a
+// cycle count (Fig. 5). We measure with rdtsc where available and fall
+// back to a calibrated steady_clock so "cycles" remain a meaningful,
+// monotonic unit on any host.
+#pragma once
+
+#include <cstdint>
+
+namespace retina::util {
+
+/// Raw timestamp counter read (monotonic, per-package on modern x86).
+std::uint64_t rdtsc() noexcept;
+
+/// Calibrated counter frequency in Hz (cycles per second). Computed once
+/// against steady_clock on first use.
+double tsc_hz();
+
+/// Convert a cycle delta to seconds using the calibrated frequency.
+double cycles_to_seconds(std::uint64_t cycles);
+
+/// Convert seconds to cycles using the calibrated frequency.
+std::uint64_t seconds_to_cycles(double seconds);
+
+/// Busy-loop for approximately `cycles` cycles. Used to emulate callback
+/// workloads of a given complexity (Fig. 5).
+void spin_cycles(std::uint64_t cycles) noexcept;
+
+/// Scoped accumulator: adds the elapsed cycles of its lifetime into a
+/// counter. Used by the pipeline's per-stage instrumentation.
+class CycleTimer {
+ public:
+  explicit CycleTimer(std::uint64_t& sink) noexcept
+      : sink_(sink), start_(rdtsc()) {}
+  CycleTimer(const CycleTimer&) = delete;
+  CycleTimer& operator=(const CycleTimer&) = delete;
+  ~CycleTimer() { sink_ += rdtsc() - start_; }
+
+ private:
+  std::uint64_t& sink_;
+  std::uint64_t start_;
+};
+
+}  // namespace retina::util

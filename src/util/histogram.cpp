@@ -1,0 +1,108 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace retina::util {
+
+void Percentiles::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Percentiles::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<std::size_t>(std::llround(rank));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+double Percentiles::min() const {
+  sort_if_needed();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Percentiles::max() const {
+  sort_if_needed();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("bad histogram");
+}
+
+void LinearHistogram::add(double v, std::uint64_t weight) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((v - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double LinearHistogram::bin_fraction(std::size_t i) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(counts_.at(i)) /
+                           static_cast<double>(total_);
+}
+
+void Cdf::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort_if_needed();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::quantile_points(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort_if_needed();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(samples_.size() - 1));
+    out.emplace_back(q, samples_[idx]);
+  }
+  return out;
+}
+
+std::string ascii_bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  std::string bar(filled, '#');
+  bar.append(width - filled, '.');
+  return bar;
+}
+
+}  // namespace retina::util

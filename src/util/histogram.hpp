@@ -1,0 +1,73 @@
+// Small statistics helpers used by the evaluation harness: an exact
+// percentile accumulator (traffic stats, Table 2) and a log-bucketed
+// histogram (packet-size distribution, Fig. 13; byte-count CDFs, Fig. 9).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace retina::util {
+
+/// Exact-value accumulator: stores samples, answers percentiles/mean.
+/// Fine for experiment-scale sample counts (millions).
+class Percentiles {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const;
+  /// p in [0, 100]. Nearest-rank percentile; 0 for an empty set.
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+/// Fixed-width linear histogram over [lo, hi) with `bins` buckets.
+/// Out-of-range samples clamp to the edge buckets.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double v, std::uint64_t weight = 1);
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  double bin_fraction(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Empirical CDF: add samples, then query fraction <= x or render a
+/// fixed number of (x, F(x)) points for plotting.
+class Cdf {
+ public:
+  void add(double v) { samples_.push_back(v); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  /// Fraction of samples <= x.
+  double at(double x) const;
+  /// `points` evenly spaced quantiles (q, value) with q in (0, 1].
+  std::vector<std::pair<double, double>> quantile_points(
+      std::size_t points) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const;
+};
+
+/// Render a unicode sparkline-ish bar for console tables (benches print
+/// figure shapes textually).
+std::string ascii_bar(double fraction, std::size_t width = 40);
+
+}  // namespace retina::util

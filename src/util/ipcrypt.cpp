@@ -1,0 +1,119 @@
+#include "util/ipcrypt.hpp"
+
+namespace retina::util {
+
+namespace {
+
+struct State {
+  std::uint8_t b0, b1, b2, b3;
+};
+
+std::uint8_t rotl8(std::uint8_t x, int k) noexcept {
+  return static_cast<std::uint8_t>((x << k) | (x >> (8 - k)));
+}
+
+// One ipcrypt permutation round (ARX on 4 bytes).
+void permute_fwd(State& s) noexcept {
+  s.b0 = static_cast<std::uint8_t>(s.b0 + s.b1);
+  s.b2 = static_cast<std::uint8_t>(s.b2 + s.b3);
+  s.b1 = rotl8(s.b1, 2);
+  s.b3 = rotl8(s.b3, 5);
+  s.b1 ^= s.b0;
+  s.b3 ^= s.b2;
+  s.b0 = rotl8(s.b0, 4);
+  s.b0 = static_cast<std::uint8_t>(s.b0 + s.b3);
+  s.b2 = static_cast<std::uint8_t>(s.b2 + s.b1);
+  s.b1 = rotl8(s.b1, 3);
+  s.b3 = rotl8(s.b3, 7);
+  s.b1 ^= s.b2;
+  s.b3 ^= s.b0;
+  s.b2 = rotl8(s.b2, 4);
+}
+
+void permute_bwd(State& s) noexcept {
+  s.b2 = rotl8(s.b2, 4);
+  s.b1 ^= s.b2;
+  s.b3 ^= s.b0;
+  s.b1 = rotl8(s.b1, 5);
+  s.b3 = rotl8(s.b3, 1);
+  s.b0 = static_cast<std::uint8_t>(s.b0 - s.b3);
+  s.b2 = static_cast<std::uint8_t>(s.b2 - s.b1);
+  s.b0 = rotl8(s.b0, 4);
+  s.b1 ^= s.b0;
+  s.b3 ^= s.b2;
+  s.b1 = rotl8(s.b1, 6);
+  s.b3 = rotl8(s.b3, 3);
+  s.b0 = static_cast<std::uint8_t>(s.b0 - s.b1);
+  s.b2 = static_cast<std::uint8_t>(s.b2 - s.b3);
+}
+
+void xor_key(State& s, const IpCrypt::Key& k, int off) noexcept {
+  s.b0 ^= k[static_cast<std::size_t>(off + 0)];
+  s.b1 ^= k[static_cast<std::size_t>(off + 1)];
+  s.b2 ^= k[static_cast<std::size_t>(off + 2)];
+  s.b3 ^= k[static_cast<std::size_t>(off + 3)];
+}
+
+State to_state(std::uint32_t ip) noexcept {
+  return State{static_cast<std::uint8_t>(ip >> 24),
+               static_cast<std::uint8_t>(ip >> 16),
+               static_cast<std::uint8_t>(ip >> 8),
+               static_cast<std::uint8_t>(ip)};
+}
+
+std::uint32_t from_state(const State& s) noexcept {
+  return (static_cast<std::uint32_t>(s.b0) << 24) |
+         (static_cast<std::uint32_t>(s.b1) << 16) |
+         (static_cast<std::uint32_t>(s.b2) << 8) |
+         static_cast<std::uint32_t>(s.b3);
+}
+
+}  // namespace
+
+std::uint32_t IpCrypt::encrypt(std::uint32_t ip) const noexcept {
+  State s = to_state(ip);
+  xor_key(s, key_, 0);
+  permute_fwd(s);
+  xor_key(s, key_, 4);
+  permute_fwd(s);
+  xor_key(s, key_, 8);
+  permute_fwd(s);
+  xor_key(s, key_, 12);
+  return from_state(s);
+}
+
+std::uint32_t IpCrypt::decrypt(std::uint32_t ip) const noexcept {
+  State s = to_state(ip);
+  xor_key(s, key_, 12);
+  permute_bwd(s);
+  xor_key(s, key_, 8);
+  permute_bwd(s);
+  xor_key(s, key_, 4);
+  permute_bwd(s);
+  xor_key(s, key_, 0);
+  return from_state(s);
+}
+
+std::uint32_t IpCrypt::encrypt_prefix_preserving(
+    std::uint32_t ip) const noexcept {
+  // Each output octet is a keyed permutation of the corresponding input
+  // octet, keyed by the preceding (plaintext) prefix. Identical prefixes
+  // therefore map to identical anonymized prefixes.
+  std::uint32_t out = 0;
+  std::uint32_t prefix = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto octet =
+        static_cast<std::uint8_t>(ip >> (24 - 8 * i));
+    // Derive a per-position byte permutation from the full-width cipher
+    // applied to (prefix || position).
+    const std::uint32_t tweak = encrypt(prefix ^ (0x01010101u * (i + 1)));
+    // A fixed odd multiplier plus keyed XOR is a bijection on 8 bits.
+    const auto enc = static_cast<std::uint8_t>(
+        (octet * 0x25u + static_cast<std::uint8_t>(tweak)) & 0xff);
+    out = (out << 8) | enc;
+    prefix = (prefix << 8) | octet;
+  }
+  return out;
+}
+
+}  // namespace retina::util

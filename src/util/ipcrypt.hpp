@@ -1,0 +1,39 @@
+// ipcrypt: format-preserving encryption of IPv4 addresses (J-P Aumasson's
+// public 4-round ARX permutation over 4 bytes with a 16-byte key). Used by
+// the anonymized-packet-analysis application (paper §7.2), which calls the
+// rust-ipcrypt crate; this is the same algorithm.
+//
+// The permutation is a bijection on the 2^32 address space, so distinct
+// addresses stay distinct (joinability is preserved) while the mapping is
+// keyed. `encrypt_prefix_preserving` additionally anonymizes an address
+// one octet at a time so that addresses sharing a /8, /16, or /24 keep a
+// common anonymized prefix, matching the paper's "preserving subnet
+// structures" requirement.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace retina::util {
+
+class IpCrypt {
+ public:
+  using Key = std::array<std::uint8_t, 16>;
+
+  explicit IpCrypt(const Key& key) noexcept : key_(key) {}
+
+  /// Encrypt one IPv4 address (host byte order in, host byte order out).
+  std::uint32_t encrypt(std::uint32_t ip) const noexcept;
+
+  /// Decrypt (inverse permutation).
+  std::uint32_t decrypt(std::uint32_t ip) const noexcept;
+
+  /// Prefix-preserving variant: two addresses that agree on their first k
+  /// octets agree on the first k anonymized octets.
+  std::uint32_t encrypt_prefix_preserving(std::uint32_t ip) const noexcept;
+
+ private:
+  Key key_;
+};
+
+}  // namespace retina::util

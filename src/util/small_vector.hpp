@@ -1,0 +1,119 @@
+// SmallVector: a minimal inline-storage vector for hot paths. Field
+// accessors yield 1–2 values per packet; storing them inline keeps the
+// per-predicate evaluation allocation-free (the compiled filter's match
+// path must not touch the heap).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace retina::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  SmallVector() = default;
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { move_from(std::move(other)); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  ~SmallVector() { clear(); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ < N) {
+      T* slot = new (inline_slot(size_)) T(std::forward<Args>(args)...);
+      ++size_;
+      return *slot;
+    }
+    overflow_.emplace_back(std::forward<Args>(args)...);
+    ++size_;
+    return overflow_.back();
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  const T& operator[](std::size_t i) const {
+    return i < N ? *inline_slot_const(i) : overflow_[i - N];
+  }
+  T& operator[](std::size_t i) {
+    return i < N ? *inline_slot(i) : overflow_[i - N];
+  }
+
+  void clear() {
+    const std::size_t inline_count = size_ < N ? size_ : N;
+    for (std::size_t i = 0; i < inline_count; ++i) {
+      inline_slot(i)->~T();
+    }
+    overflow_.clear();
+    size_ = 0;
+  }
+
+  // Minimal iteration support (indexed; storage is split).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t i = 0; i < size_; ++i) fn((*this)[i]);
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const SmallVector* v, std::size_t i) : v_(v), i_(i) {}
+    const T& operator*() const { return (*v_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& other) const {
+      return i_ != other.i_;
+    }
+
+   private:
+    const SmallVector* v_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, size_}; }
+
+ private:
+  T* inline_slot(std::size_t i) {
+    return std::launder(reinterpret_cast<T*>(storage_ + i * sizeof(T)));
+  }
+  const T* inline_slot_const(std::size_t i) const {
+    return std::launder(
+        reinterpret_cast<const T*>(storage_ + i * sizeof(T)));
+  }
+  void copy_from(const SmallVector& other) {
+    for (std::size_t i = 0; i < other.size_; ++i) emplace_back(other[i]);
+  }
+  void move_from(SmallVector&& other) {
+    for (std::size_t i = 0; i < other.size_; ++i) {
+      emplace_back(std::move(other[i]));
+    }
+    other.clear();
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  std::vector<T> overflow_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace retina::util

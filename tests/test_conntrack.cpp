@@ -1,0 +1,256 @@
+// Connection-tracking substrate tests: hierarchical timer wheel
+// semantics (including lazy rescheduling and level cascades) and the
+// slot-based connection table with the paper's two-timeout scheme.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+#include "conntrack/conn_table.hpp"
+#include "conntrack/flat_index.hpp"
+#include "conntrack/timer_wheel.hpp"
+
+namespace retina::conntrack {
+namespace {
+
+constexpr std::uint64_t kSecond = 1'000'000'000ull;
+
+TEST(TimerWheel, FiresAtDeadline) {
+  TimerWheel wheel;
+  std::vector<std::uint64_t> fired;
+  wheel.schedule(1, 2 * kSecond);
+  wheel.schedule(2, 5 * kSecond);
+  wheel.advance(1 * kSecond, [&](std::uint64_t id) { fired.push_back(id); });
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(3 * kSecond, [&](std::uint64_t id) { fired.push_back(id); });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+  wheel.advance(6 * kSecond, [&](std::uint64_t id) { fired.push_back(id); });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 2u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, PastDeadlineFiresNext) {
+  TimerWheel wheel;
+  wheel.advance(10 * kSecond, [](std::uint64_t) {});
+  bool fired = false;
+  wheel.schedule(7, 1 * kSecond);  // already past
+  wheel.advance(10 * kSecond + 200'000'000, [&](std::uint64_t) {
+    fired = true;
+  });
+  EXPECT_TRUE(fired);
+}
+
+TEST(TimerWheel, LongDeadlinesCascade) {
+  // 5 minutes with 100ms ticks and 256 slots/level crosses level 0.
+  TimerWheel wheel;
+  std::vector<std::uint64_t> fired;
+  wheel.schedule(42, 300 * kSecond);
+  wheel.advance(299 * kSecond, [&](std::uint64_t id) { fired.push_back(id); });
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(301 * kSecond, [&](std::uint64_t id) { fired.push_back(id); });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 42u);
+}
+
+TEST(TimerWheel, ManyTimersAllFire) {
+  TimerWheel wheel;
+  std::size_t fired = 0;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    wheel.schedule(i, (i % 600) * kSecond / 10 + kSecond);
+  }
+  wheel.advance(100 * kSecond, [&](std::uint64_t) { ++fired; });
+  EXPECT_EQ(fired, 5000u);
+}
+
+TEST(TimerWheel, RescheduleFromCallback) {
+  TimerWheel wheel;
+  int fires = 0;
+  wheel.schedule(1, kSecond);
+  wheel.advance(2 * kSecond, [&](std::uint64_t id) {
+    if (++fires == 1) wheel.schedule(id, 10 * kSecond);
+  });
+  EXPECT_EQ(fires, 1);
+  wheel.advance(11 * kSecond, [&](std::uint64_t) { ++fires; });
+  EXPECT_EQ(fires, 2);
+}
+
+
+packet::FiveTuple tuple(std::uint32_t i) {
+  packet::FiveTuple t;
+  t.src = packet::IpAddr::v4(0x0a000000 + i);
+  t.dst = packet::IpAddr::v4(0xc0a80101);
+  t.src_port = 1000;
+  t.dst_port = 443;
+  t.proto = 6;
+  return t.canonical().key;
+}
+
+TEST(FlatIndex, InsertFindErase) {
+  FlatIndex index(16);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(index.find(tuple(i)), FlatIndex::kNotFound);
+    index.insert(tuple(i), i);
+  }
+  EXPECT_EQ(index.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(index.find(tuple(i)), i);
+  }
+  // Erase every third entry; the rest must remain findable despite
+  // backward-shift compaction.
+  for (std::uint32_t i = 0; i < 500; i += 3) {
+    EXPECT_TRUE(index.erase(tuple(i)));
+    EXPECT_FALSE(index.erase(tuple(i)));  // already gone
+  }
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    if (i % 3 == 0) {
+      ASSERT_EQ(index.find(tuple(i)), FlatIndex::kNotFound) << i;
+    } else {
+      ASSERT_EQ(index.find(tuple(i)), i) << i;
+    }
+  }
+}
+
+TEST(FlatIndex, ChurnStress) {
+  // Randomized insert/erase churn cross-checked against a std::map.
+  FlatIndex index;
+  std::map<std::uint32_t, std::uint32_t> reference;
+  util::Xoshiro256 rng(13);
+  for (int op = 0; op < 30'000; ++op) {
+    const auto k = static_cast<std::uint32_t>(rng.below(2'000));
+    const bool present = reference.count(k) != 0;
+    if (rng.chance(0.5)) {
+      if (!present) {
+        index.insert(tuple(k), k);
+        reference[k] = k;
+      }
+    } else if (present) {
+      EXPECT_TRUE(index.erase(tuple(k)));
+      reference.erase(k);
+    }
+    if (op % 997 == 0) {
+      for (const auto& [key, value] : reference) {
+        ASSERT_EQ(index.find(tuple(key)), value);
+      }
+      ASSERT_EQ(index.size(), reference.size());
+    }
+  }
+}
+
+struct TestConn {
+  int value = 0;
+};
+
+TEST(ConnTable, InsertFindRemove) {
+  ConnTable<TestConn> table;
+  EXPECT_EQ(table.find(tuple(1)), ConnTable<TestConn>::kInvalid);
+  const auto id = table.insert(tuple(1), TestConn{7}, 0);
+  EXPECT_EQ(table.find(tuple(1)), id);
+  EXPECT_EQ(table.get(id).value, 7);
+  EXPECT_EQ(table.size(), 1u);
+  table.remove(id);
+  EXPECT_EQ(table.find(tuple(1)), ConnTable<TestConn>::kInvalid);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ConnTable, SlotReuseWithGenerations) {
+  ConnTable<TestConn> table;
+  const auto id1 = table.insert(tuple(1), TestConn{1}, 0);
+  table.remove(id1);
+  const auto id2 = table.insert(tuple(2), TestConn{2}, 0);
+  EXPECT_EQ(id1, id2);  // slot reused
+  // The stale timer from conn 1 must not expire conn 2.
+  std::size_t expired = 0;
+  table.advance(10 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 1u);  // only conn 2's own establishment timeout
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ConnTable, EstablishTimeoutReapsSingleSyn) {
+  TimeoutConfig timeouts;  // defaults: 5s / 5min
+  ConnTable<TestConn> table(timeouts);
+  table.insert(tuple(1), TestConn{}, 0);
+  std::size_t expired = 0;
+  table.advance(4 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 0u);
+  table.advance(6 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(ConnTable, EstablishedUsesInactivityTimeout) {
+  ConnTable<TestConn> table;
+  const auto id = table.insert(tuple(1), TestConn{}, 0);
+  table.mark_established(id, 1 * kSecond);
+  std::size_t expired = 0;
+  table.advance(100 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 0u);  // inactivity is 5 min
+  table.advance(302 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(ConnTable, TouchExtendsLazily) {
+  ConnTable<TestConn> table;
+  const auto id = table.insert(tuple(1), TestConn{}, 0);
+  table.mark_established(id, 0);
+  // Keep touching every 4 minutes; the connection must survive.
+  std::size_t expired = 0;
+  for (int i = 1; i <= 5; ++i) {
+    table.advance(static_cast<std::uint64_t>(i) * 240 * kSecond,
+                  [&](auto, TestConn&) { ++expired; });
+    table.touch(id, static_cast<std::uint64_t>(i) * 240 * kSecond);
+  }
+  EXPECT_EQ(expired, 0u);
+  EXPECT_EQ(table.size(), 1u);
+  // Stop touching: it expires 5 minutes later.
+  table.advance(5 * 240 * kSecond + 301 * kSecond,
+                [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(ConnTable, DisabledEstablishTimeout) {
+  TimeoutConfig timeouts;
+  timeouts.establish_ns = 0;  // Fig. 8 "5m inactive only" scheme
+  ConnTable<TestConn> table(timeouts);
+  table.insert(tuple(1), TestConn{}, 0);
+  std::size_t expired = 0;
+  table.advance(100 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 0u);  // no 5s reap
+  table.advance(301 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 1u);
+}
+
+TEST(ConnTable, NoTimeoutsGrowsUnbounded) {
+  TimeoutConfig timeouts;
+  timeouts.establish_ns = 0;
+  timeouts.inactivity_ns = 0;
+  ConnTable<TestConn> table(timeouts);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    table.insert(tuple(i), TestConn{}, 0);
+  }
+  std::size_t expired = 0;
+  table.advance(3600 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 0u);
+  EXPECT_EQ(table.size(), 1000u);
+}
+
+TEST(ConnTable, ScalesToManyConnections) {
+  ConnTable<TestConn> table;
+  std::map<std::uint32_t, ConnTable<TestConn>::ConnId> ids;
+  for (std::uint32_t i = 0; i < 50'000; ++i) {
+    ids[i] = table.insert(tuple(i), TestConn{static_cast<int>(i)}, 0);
+  }
+  EXPECT_EQ(table.size(), 50'000u);
+  for (std::uint32_t i = 0; i < 50'000; i += 997) {
+    ASSERT_EQ(table.find(tuple(i)), ids[i]);
+    ASSERT_EQ(table.get(ids[i]).value, static_cast<int>(i));
+  }
+  std::size_t expired = 0;
+  table.advance(10 * kSecond, [&](auto, TestConn&) { ++expired; });
+  EXPECT_EQ(expired, 50'000u);
+  EXPECT_GT(table.approx_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace retina::conntrack

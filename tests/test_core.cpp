@@ -1,0 +1,848 @@
+// End-to-end framework tests: subscriptions at all three abstraction
+// levels against crafted traces, lazy-processing invariants (the Fig. 7
+// hierarchy), connection state transitions, timeouts, sampling, and the
+// threaded runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/workloads.hpp"
+
+namespace retina::core {
+namespace {
+
+using traffic::FlowEndpoints;
+using traffic::TcpFlowCrafter;
+
+/// One complete TLS conversation with the given SNI.
+std::vector<packet::Mbuf> tls_flow(const std::string& sni,
+                                   std::uint64_t start_ts = 0,
+                                   std::uint16_t client_port = 51000) {
+  FlowEndpoints ep;
+  ep.client_port = client_port;
+  TcpFlowCrafter crafter(ep, start_ts);
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = sni;
+  hello.supported_versions = {0x0304};
+  crafter.client_send(traffic::build_tls_client_hello(hello));
+  traffic::TlsServerHelloSpec server;
+  server.supported_versions = {0x0304};
+  auto bytes = traffic::build_tls_server_hello(server);
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  bytes.insert(bytes.end(), ccs.begin(), ccs.end());
+  crafter.server_send(bytes);
+  crafter.client_send(traffic::build_tls_application_data(500));
+  crafter.server_send(traffic::build_tls_application_data(2000));
+  crafter.close();
+  return crafter.take();
+}
+
+std::vector<packet::Mbuf> http_flow(const std::string& uri,
+                                    std::uint64_t start_ts = 0,
+                                    std::uint16_t client_port = 52000) {
+  FlowEndpoints ep;
+  ep.client_port = client_port;
+  ep.server_port = 80;
+  TcpFlowCrafter crafter(ep, start_ts);
+  crafter.handshake();
+  traffic::HttpRequestSpec req;
+  req.uri = uri;
+  req.user_agent = "Firefox/121.0";
+  crafter.client_send(traffic::build_http_request(req));
+  traffic::HttpResponseSpec resp;
+  resp.content_length = 1000;
+  crafter.server_send(traffic::build_http_response(resp));
+  crafter.close();
+  return crafter.take();
+}
+
+TEST(EndToEnd, TlsHandshakeSubscription) {
+  std::vector<std::string> snis;
+  auto sub = Subscription::tls_handshakes(
+      "tls.sni ~ '.*\\.com$'",
+      [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
+        snis.push_back(hs.sni);
+      });
+  RuntimeConfig config;
+  Runtime runtime(config, std::move(sub));
+
+  traffic::Trace trace;
+  trace.append(tls_flow("www.example.com", 0, 51000));
+  trace.append(tls_flow("www.example.org", 10'000'000, 51001));
+  trace.append(tls_flow("shop.another.com", 20'000'000, 51002));
+  trace.append(http_flow("/x", 30'000'000, 52000));
+  trace.sort_by_time();
+
+  const auto stats = runtime.run(trace.packets());
+  ASSERT_EQ(snis.size(), 2u);
+  EXPECT_EQ(snis[0], "www.example.com");
+  EXPECT_EQ(snis[1], "shop.another.com");
+  EXPECT_EQ(stats.total.delivered_sessions, 2u);
+  // The .org connection was dropped by the session filter; the HTTP
+  // connection by the connection filter.
+  EXPECT_GE(stats.total.conns_dropped_filter, 2u);
+}
+
+TEST(EndToEnd, ConnectionRecords) {
+  std::vector<ConnRecord> records;
+  auto sub = Subscription::connections(
+      "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
+  RuntimeConfig config;
+  Runtime runtime(config, std::move(sub));
+
+  traffic::Trace trace;
+  trace.append(tls_flow("a.com", 0, 51000));
+  trace.append(http_flow("/y", 5'000'000, 52000));
+  trace.sort_by_time();
+  const auto stats = runtime.run(trace.packets());
+
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.established);
+    EXPECT_TRUE(rec.saw_syn);
+    EXPECT_TRUE(rec.saw_fin);
+    EXPECT_GT(rec.bytes_up, 0u);
+    EXPECT_GT(rec.bytes_down, 0u);
+    EXPECT_GT(rec.pkts_up, 0u);
+    // Terminal packet-filter match => no parsing was ever needed.
+    EXPECT_TRUE(rec.app_proto.empty());
+  }
+  EXPECT_EQ(stats.total.sessions_parsed, 0u);  // lazy: no parsing
+  EXPECT_EQ(stats.total.conns_created, 2u);
+}
+
+TEST(EndToEnd, ConnectionRecordsWithSessionFilter) {
+  std::vector<ConnRecord> records;
+  auto sub = Subscription::connections(
+      "tls.sni ~ 'video'",
+      [&](const ConnRecord& rec) { records.push_back(rec); });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  traffic::Trace trace;
+  trace.append(tls_flow("cdn.video.net", 0, 51000));
+  trace.append(tls_flow("mail.example.com", 10'000'000, 51001));
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].app_proto, "tls");
+  // The record keeps accumulating after the match (Track state): the
+  // application data and FIN exchange count too.
+  EXPECT_GT(records[0].payload_down, 2000u);
+}
+
+TEST(EndToEnd, PacketSubscriptionDirect) {
+  std::size_t packets = 0;
+  auto sub = Subscription::packets(
+      "tcp.port = 80", [&](const packet::Mbuf&) { ++packets; });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+  traffic::Trace trace;
+  trace.append(http_flow("/z", 0, 52000));
+  trace.append(tls_flow("x.com", 1'000'000, 51000));
+  trace.sort_by_time();
+  const auto stats = runtime.run(trace.packets());
+  // Every packet of the HTTP flow (port 80), none of the TLS flow.
+  EXPECT_EQ(packets, http_flow("/z", 0, 52000).size());
+  EXPECT_EQ(stats.total.delivered_packets, packets);
+  // Terminal packet matches bypass connection tracking entirely, and
+  // non-matching flows are never tracked: zero connections.
+  EXPECT_EQ(stats.total.conns_created, 0u);
+}
+
+TEST(EndToEnd, PacketSubscriptionWithSessionPredicate) {
+  // Fig. 4a-style: packets of connections whose session matches.
+  std::size_t packets = 0;
+  auto sub = Subscription::packets(
+      "tls.sni ~ 'wanted'", [&](const packet::Mbuf&) { ++packets; });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+  traffic::Trace trace;
+  const auto wanted = tls_flow("cdn.wanted.com", 0, 51000);
+  trace.append(std::vector<packet::Mbuf>(wanted.begin(), wanted.end()));
+  trace.append(tls_flow("other.com", 5'000'000, 51001));
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+  // All packets of the wanted flow are delivered: those buffered before
+  // the session filter matched plus everything after.
+  EXPECT_EQ(packets, wanted.size());
+}
+
+TEST(EndToEnd, HttpTransactions) {
+  std::vector<std::string> uris;
+  auto sub = Subscription::http_transactions(
+      "http.user_agent matches 'Firefox'",
+      [&](const SessionRecord&, const protocols::HttpTransaction& tx) {
+        uris.push_back(tx.uri);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+  traffic::Trace trace;
+  trace.append(http_flow("/firefox-page", 0, 52000));
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+  ASSERT_EQ(uris.size(), 1u);
+  EXPECT_EQ(uris[0], "/firefox-page");
+}
+
+TEST(EndToEnd, SingleSynDeliveredOnTimeout) {
+  std::vector<ConnRecord> records;
+  auto sub = Subscription::connections(
+      "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.syn_only();
+  traffic::Trace trace(crafter.take());
+  // A later unrelated packet advances virtual time past the 5s
+  // establishment timeout.
+  FlowEndpoints ep2;
+  ep2.client_port = 40001;
+  TcpFlowCrafter late(ep2, 10'000'000'000ull);
+  late.syn_only();
+  trace.append(late.take());
+
+  const auto stats = runtime.run(trace.packets());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_TRUE(records[0].single_syn());
+  EXPECT_EQ(stats.total.conns_expired, 1u);  // first conn timed out
+}
+
+TEST(EndToEnd, StatsHierarchyIsLazy) {
+  // Fig. 7 invariant: each downstream stage runs on a (weakly) smaller
+  // share of traffic.
+  auto sub = Subscription::connections(
+      "tcp.port = 443 and tls.sni ~ 'nflxvideo'", [](const ConnRecord&) {});
+  RuntimeConfig config;
+  config.instrument_stages = true;
+  config.hardware_filter = true;
+  Runtime runtime(config, std::move(sub));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 800;
+  mix.seed = 31;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto stats = runtime.run(trace.packets());
+
+  const auto& stages = stats.total.stages;
+  const auto pf = stages.count(Stage::kPacketFilter);
+  const auto ct = stages.count(Stage::kConnTracking);
+  const auto re = stages.count(Stage::kReassembly);
+  const auto pa = stages.count(Stage::kParsing);
+  const auto cb = stages.count(Stage::kCallback);
+  EXPECT_GT(pf, 0u);
+  EXPECT_LE(ct, pf);
+  EXPECT_LE(re, ct);
+  EXPECT_LE(pa, re);
+  EXPECT_LE(cb, pa + 1);
+  // The hardware filter (tcp+port443 expressible) must have dropped a
+  // large share before software ever saw it.
+  EXPECT_GT(stats.nic_hw_dropped, 0u);
+  EXPECT_LT(pf, stats.nic_rx_packets);
+}
+
+TEST(EndToEnd, InterpretedEngineSameResults) {
+  auto count_matches = [](bool interpreted) {
+    std::size_t sessions = 0;
+    auto sub = Subscription::sessions(
+        "tls.sni ~ '\\.com$'",
+        [&](const SessionRecord&) { ++sessions; });
+    RuntimeConfig config;
+    config.interpreted_filters = interpreted;
+    Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 400;
+    mix.seed = 41;
+    const auto trace = traffic::make_campus_trace(mix);
+    runtime.run(trace.packets());
+    return sessions;
+  };
+  const auto compiled = count_matches(false);
+  const auto interpreted = count_matches(true);
+  EXPECT_EQ(compiled, interpreted);
+  EXPECT_GT(compiled, 0u);
+}
+
+TEST(EndToEnd, MultiCoreFlowConsistency) {
+  // Same workload on 1 core and 4 cores: identical delivery counts,
+  // since RSS keeps each flow on one core.
+  auto run_with_cores = [](std::size_t cores) {
+    std::size_t sessions = 0;
+    auto sub = Subscription::sessions(
+        "tls", [&](const SessionRecord&) { ++sessions; });
+    RuntimeConfig config;
+    config.cores = cores;
+    Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 500;
+    mix.seed = 43;
+    const auto trace = traffic::make_campus_trace(mix);
+    runtime.run(trace.packets());
+    return sessions;
+  };
+  const auto one = run_with_cores(1);
+  const auto four = run_with_cores(4);
+  EXPECT_EQ(one, four);
+  EXPECT_GT(one, 0u);
+}
+
+TEST(EndToEnd, ThreadedRuntimeMatchesSerial) {
+  auto make_sub = [](std::atomic<std::size_t>* counter) {
+    return Subscription::sessions(
+        "tls", [counter](const SessionRecord&) { ++*counter; });
+  };
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 400;
+  mix.seed = 47;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  std::atomic<std::size_t> serial{0}, threaded{0};
+  {
+    Runtime runtime(RuntimeConfig{}, make_sub(&serial));
+    runtime.run(trace.packets());
+  }
+  {
+    RuntimeConfig config;
+    config.cores = 4;
+    config.rx_ring_size = 1 << 16;  // large enough for zero loss
+    Runtime runtime(config, make_sub(&threaded));
+    const auto stats = runtime.run_threaded(trace.packets());
+    EXPECT_TRUE(stats.zero_loss());
+  }
+  EXPECT_EQ(serial.load(), threaded.load());
+}
+
+
+TEST(EndToEnd, ThreadedLossAccountingUnderPressure) {
+  // Tiny receive rings + a fast dispatcher: the rings overflow and the
+  // loss shows up in the stats (the zero-loss methodology's signal),
+  // while everything that WAS delivered processes normally.
+  std::atomic<std::size_t> conns{0};
+  auto sub = Subscription::connections(
+      "tcp", [&conns](const ConnRecord&) { ++conns; });
+  RuntimeConfig config;
+  config.cores = 2;
+  config.rx_ring_size = 32;  // absurdly small on purpose
+  Runtime runtime(config, std::move(sub));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 2000;
+  mix.seed = 101;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto stats = runtime.run_threaded(trace.packets());
+
+  EXPECT_GT(stats.nic_ring_dropped, 0u);
+  EXPECT_FALSE(stats.zero_loss());
+  EXPECT_EQ(stats.total.packets + stats.nic_ring_dropped +
+                stats.nic_hw_dropped + stats.nic_sunk,
+            stats.nic_rx_packets);
+  EXPECT_GT(conns.load(), 0u);
+}
+
+TEST(EndToEnd, SinkSamplingDropsFlows) {
+  std::size_t sessions = 0;
+  auto sub =
+      Subscription::sessions("tls", [&](const SessionRecord&) { ++sessions; });
+  RuntimeConfig config;
+  config.sink_fraction = 0.5;
+  Runtime runtime(config, std::move(sub));
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 400;
+  mix.seed = 53;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto stats = runtime.run(trace.packets());
+  EXPECT_GT(stats.nic_sunk, 0u);
+  EXPECT_LT(stats.total.packets, stats.nic_rx_packets);
+}
+
+TEST(EndToEnd, MemorySamplesRecorded) {
+  auto sub = Subscription::connections("tcp", [](const ConnRecord&) {});
+  RuntimeConfig config;
+  config.memory_sample_interval_ns = 50'000'000;
+  Runtime runtime(config, std::move(sub));
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 300;
+  mix.flows_per_second = 500.0;  // ~600ms of virtual time
+  mix.seed = 59;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto stats = runtime.run(trace.packets());
+  ASSERT_GT(stats.total.memory_samples.size(), 3u);
+  bool some_state = false;
+  for (const auto& sample : stats.total.memory_samples) {
+    if (sample.connections > 0 && sample.bytes > 0) some_state = true;
+  }
+  EXPECT_TRUE(some_state);
+}
+
+TEST(EndToEnd, SshSubscription) {
+  std::vector<std::string> banners;
+  auto sub = Subscription::sessions(
+      "ssh", [&](const SessionRecord& rec) {
+        if (const auto* hs = rec.session.get<protocols::SshHandshake>()) {
+          banners.push_back(hs->client_banner);
+        }
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 22;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  crafter.client_send(traffic::build_ssh_banner("OpenSSH_9.3"));
+  crafter.server_send(traffic::build_ssh_banner("OpenSSH_8.9"));
+  crafter.client_send(
+      traffic::build_ssh_kexinit({"curve25519-sha256"}, {"ssh-ed25519"}));
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(banners.size(), 1u);
+  EXPECT_EQ(banners[0], "SSH-2.0-OpenSSH_9.3");
+}
+
+TEST(EndToEnd, DnsSubscription) {
+  std::vector<std::string> qnames;
+  auto sub = Subscription::sessions(
+      "dns.qname ~ 'example'", [&](const SessionRecord& rec) {
+        if (const auto* msg = rec.session.get<protocols::DnsMessage>()) {
+          if (!msg->questions.empty())
+            qnames.push_back(msg->questions[0].qname);
+        }
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 53;
+  traffic::Trace trace;
+  trace.append(traffic::make_udp_packet(
+      ep, true, traffic::build_dns_query(7, "www.example.com", 1), 0));
+  trace.append(traffic::make_udp_packet(
+      ep, false, traffic::build_dns_response(7, "www.example.com", 1, 1),
+      1'000'000));
+  runtime.run(trace.packets());
+  EXPECT_EQ(qnames.size(), 2u);  // query + response
+}
+
+
+TEST(EndToEnd, QuicSubscription) {
+  // The extension module works end-to-end: subscribe to QUIC handshakes
+  // by version over UDP 443.
+  std::size_t v1_handshakes = 0;
+  auto sub = Subscription::sessions(
+      "quic.version = 1", [&](const SessionRecord& rec) {
+        if (rec.session.get<protocols::QuicHandshake>()) ++v1_handshakes;
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 443;
+  traffic::Trace trace;
+  traffic::Bytes initial = {0xc3, 0x00, 0x00, 0x00, 0x01,
+                            4,    1,    2,    3,    4,
+                            0};
+  initial.resize(1200, 0);
+  trace.append(traffic::make_udp_packet(ep, true, initial, 0));
+  traffic::Bytes short_hdr = {0x43, 9, 9, 9};
+  trace.append(traffic::make_udp_packet(ep, false, short_hdr, 1'000'000));
+  runtime.run(trace.packets());
+  EXPECT_EQ(v1_handshakes, 1u);
+}
+
+TEST(EndToEnd, RstTerminatesImmediately) {
+  std::vector<ConnRecord> records;
+  auto sub = Subscription::connections(
+      "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+  FlowEndpoints ep;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  const std::uint8_t data[] = {1, 2, 3};
+  crafter.client_send(data);
+  crafter.reset(false);  // server aborts
+  traffic::Trace trace(crafter.take());
+  const auto stats = runtime.run(trace.packets());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].saw_rst);
+  EXPECT_EQ(stats.total.conns_terminated, 1u);
+}
+
+TEST(EndToEnd, HardwareFilterReducesSoftwareLoad) {
+  auto run_hw = [](bool hw) {
+    auto sub = Subscription::connections("tcp.port = 443 and tls",
+                                         [](const ConnRecord&) {});
+    RuntimeConfig config;
+    config.hardware_filter = hw;
+    Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 300;
+    mix.seed = 83;
+    const auto trace = traffic::make_campus_trace(mix);
+    return runtime.run(trace.packets());
+  };
+  const auto with_hw = run_hw(true);
+  const auto without_hw = run_hw(false);
+  // Same connections delivered either way; hardware drops reduce what
+  // the software pipeline ever sees.
+  EXPECT_EQ(with_hw.total.delivered_conns, without_hw.total.delivered_conns);
+  EXPECT_GT(with_hw.nic_hw_dropped, 0u);
+  EXPECT_LT(with_hw.total.packets, without_hw.total.packets);
+}
+
+
+TEST(EndToEnd, TlsSubjectFilter) {
+  // Filter on the certificate subject CN (requires TLS<=1.2 so the
+  // chain is visible on the wire).
+  std::vector<std::string> subjects;
+  auto sub = Subscription::tls_handshakes(
+      "tls.subject ~ 'bank'",
+      [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
+        subjects.push_back(hs.subject_cn);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  auto make_tls12_flow = [](const std::string& cn, std::uint16_t port) {
+    FlowEndpoints ep;
+    ep.client_port = port;
+    TcpFlowCrafter crafter(ep, 0);
+    crafter.handshake();
+    traffic::TlsClientHelloSpec hello;
+    hello.sni = cn;
+    crafter.client_send(traffic::build_tls_client_hello(hello));
+    traffic::TlsServerHelloSpec server;
+    server.cipher = 0xc02f;
+    auto bytes = traffic::build_tls_server_hello(server);
+    const auto chain =
+        traffic::build_tls_certificate_chain(cn, "Test CA", 1);
+    bytes.insert(bytes.end(), chain.begin(), chain.end());
+    const auto ccs = traffic::build_tls_change_cipher_spec();
+    bytes.insert(bytes.end(), ccs.begin(), ccs.end());
+    crafter.server_send(bytes);
+    crafter.close();
+    return crafter.take();
+  };
+
+  traffic::Trace trace;
+  trace.append(make_tls12_flow("online.bank.example", 51000));
+  trace.append(make_tls12_flow("cdn.images.example", 51001));
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0], "online.bank.example");
+}
+
+
+TEST(EndToEnd, SplitSignatureProbing) {
+  // Protocol signatures split across segments must still identify:
+  // probing accumulates per-direction prefixes and replays the held
+  // PDUs into the parser.
+  std::vector<std::string> banners;
+  auto sub = Subscription::sessions(
+      "ssh", [&](const SessionRecord& rec) {
+        if (const auto* hs = rec.session.get<protocols::SshHandshake>()) {
+          banners.push_back(hs->client_banner);
+        }
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 22;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.set_mss(2);  // brutal segmentation: 2 bytes per segment
+  crafter.handshake();
+  crafter.client_send(traffic::build_ssh_banner("OpenSSH_9.3"));
+  crafter.set_mss(1448);
+  crafter.server_send(traffic::build_ssh_banner("OpenSSH_8.9"));
+  crafter.client_send(
+      traffic::build_ssh_kexinit({"curve25519-sha256"}, {"ssh-ed25519"}));
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(banners.size(), 1u);
+  EXPECT_EQ(banners[0], "SSH-2.0-OpenSSH_9.3");
+}
+
+TEST(EndToEnd, SplitClientHelloProbing) {
+  std::vector<std::string> snis;
+  auto sub = Subscription::tls_handshakes(
+      "tls", [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
+        snis.push_back(hs.sni);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = "split-probe.example.com";
+  const auto ch = traffic::build_tls_client_hello(hello);
+  // First segment carries only 3 bytes of the record header.
+  crafter.client_send(std::span<const std::uint8_t>(ch.data(), 3));
+  crafter.client_send(
+      std::span<const std::uint8_t>(ch.data() + 3, ch.size() - 3));
+  traffic::TlsServerHelloSpec server;
+  auto sh = traffic::build_tls_server_hello(server);
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  sh.insert(sh.end(), ccs.begin(), ccs.end());
+  crafter.server_send(sh);
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(snis.size(), 1u);
+  EXPECT_EQ(snis[0], "split-probe.example.com");
+}
+
+
+TEST(EndToEnd, SmtpSubscription) {
+  std::vector<std::string> senders;
+  auto sub = Subscription::sessions(
+      "smtp.mail_from ~ 'example.org'", [&](const SessionRecord& rec) {
+        if (const auto* env = rec.session.get<protocols::SmtpEnvelope>()) {
+          senders.push_back(env->mail_from);
+        }
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 25;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::SmtpExchangeSpec spec;
+  spec.mail_from = "alice@example.org";
+  const auto server = traffic::build_smtp_server(spec);
+  const auto client = traffic::build_smtp_client(spec);
+  crafter.server_send(std::span<const std::uint8_t>(server.data(), 30));
+  crafter.client_send(client);
+  crafter.server_send(
+      std::span<const std::uint8_t>(server.data() + 30, server.size() - 30));
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(senders.size(), 1u);
+  EXPECT_EQ(senders[0], "alice@example.org");
+}
+
+
+TEST(EndToEnd, PerSessionFilteringOnKeepAlive) {
+  // A session-layer match covers only that session: on a keep-alive
+  // HTTP connection with three transactions, a URI filter must deliver
+  // exactly the matching one.
+  std::vector<std::string> uris;
+  auto sub = Subscription::http_transactions(
+      "http.uri ~ 'secret'",
+      [&](const SessionRecord&, const protocols::HttpTransaction& tx) {
+        uris.push_back(tx.uri);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 80;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  for (const char* uri : {"/public", "/secret-plans", "/also-public"}) {
+    traffic::HttpRequestSpec req;
+    req.uri = uri;
+    crafter.client_send(traffic::build_http_request(req));
+    traffic::HttpResponseSpec resp;
+    resp.content_length = 50;
+    crafter.server_send(traffic::build_http_response(resp));
+  }
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(uris.size(), 1u);
+  EXPECT_EQ(uris[0], "/secret-plans");
+}
+
+
+TEST(EndToEnd, DroppedConnectionIsTombstoned) {
+  // A filter-dropped connection's remaining packets must not re-create
+  // table entries (tombstone semantics): one connection total.
+  auto sub = Subscription::tls_handshakes(
+      "tls.sni ~ 'wanted'",
+      [](const SessionRecord&, const protocols::TlsHandshake&) {});
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  // An HTTP flow (conn filter rejects it as soon as probing says http),
+  // with plenty of traffic after the rejection point.
+  FlowEndpoints ep;
+  ep.server_port = 80;
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::HttpRequestSpec req;
+  crafter.client_send(traffic::build_http_request(req));
+  traffic::HttpResponseSpec resp;
+  resp.content_length = 20'000;  // many post-rejection packets
+  crafter.server_send(traffic::build_http_response(resp));
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  const auto stats = runtime.run(trace.packets());
+  EXPECT_EQ(stats.total.conns_created, 1u);
+  EXPECT_EQ(stats.total.conns_dropped_filter, 1u);
+  EXPECT_EQ(stats.total.delivered_sessions, 0u);
+}
+
+TEST(EndToEnd, UdpByteStreams) {
+  // Byte-stream subscriptions work over UDP too: each datagram payload
+  // is a chunk, in arrival order.
+  std::vector<std::size_t> chunk_sizes;
+  auto sub = Subscription::byte_streams(
+      "udp.port = 53", [&](const core::StreamChunk& chunk) {
+        if (!chunk.end_of_stream) chunk_sizes.push_back(chunk.data.size());
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  ep.server_port = 53;
+  traffic::Trace trace;
+  const auto query = traffic::build_dns_query(1, "a.example", 1);
+  const auto response = traffic::build_dns_response(1, "a.example", 1, 2);
+  trace.append(traffic::make_udp_packet(ep, true, query, 0));
+  trace.append(traffic::make_udp_packet(ep, false, response, 1'000'000));
+  runtime.run(trace.packets());
+  ASSERT_EQ(chunk_sizes.size(), 2u);
+  EXPECT_EQ(chunk_sizes[0], query.size());
+  EXPECT_EQ(chunk_sizes[1], response.size());
+}
+
+
+TEST(EndToEnd, PacedReplayKeepsZeroLoss) {
+  // Paced dispatch spreads packet arrivals over wall time (2x faster
+  // than the trace's virtual clock here), so even small rings keep up
+  // with zero loss where a full-speed burst would overflow them.
+  std::atomic<std::size_t> sessions{0};
+  auto sub = Subscription::sessions(
+      "tls", [&sessions](const SessionRecord&) { ++sessions; });
+  RuntimeConfig config;
+  config.cores = 2;
+  config.rx_ring_size = 512;
+  Runtime runtime(config, std::move(sub));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 300;
+  mix.flows_per_second = 2000.0;  // ~0.15 s of virtual time
+  mix.seed = 103;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto stats = runtime.run_threaded(trace.packets(), 1.0);
+  EXPECT_TRUE(stats.zero_loss());
+  EXPECT_GT(sessions.load(), 0u);
+}
+
+
+TEST(EndToEnd, EmptyFilterSessionsProbeAllProtocols) {
+  // A session subscription with no protocol constraints probes every
+  // registered parser: one trace containing TLS, HTTP, SSH, DNS, and
+  // SMTP yields sessions of all five kinds.
+  std::map<std::string, std::size_t> kinds;
+  auto sub = Subscription::sessions(
+      "", [&](const SessionRecord& rec) { ++kinds[rec.session.proto_name()]; });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  traffic::Trace trace;
+  trace.append(tls_flow("multi.example.com", 0, 51000));
+  trace.append(http_flow("/multi", 4'000'000, 52000));
+  {
+    FlowEndpoints ep;
+    ep.server_port = 22;
+    ep.client_port = 53000;
+    TcpFlowCrafter crafter(ep, 8'000'000);
+    crafter.handshake();
+    crafter.client_send(traffic::build_ssh_banner("OpenSSH_9.3"));
+    crafter.server_send(traffic::build_ssh_banner("OpenSSH_8.9"));
+    crafter.client_send(
+        traffic::build_ssh_kexinit({"curve25519-sha256"}, {"ssh-ed25519"}));
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  {
+    FlowEndpoints ep;
+    ep.server_port = 53;
+    ep.client_port = 54000;
+    trace.append(traffic::make_udp_packet(
+        ep, true, traffic::build_dns_query(5, "x.example", 1), 12'000'000));
+  }
+  {
+    FlowEndpoints ep;
+    ep.server_port = 25;
+    ep.client_port = 55000;
+    TcpFlowCrafter crafter(ep, 16'000'000);
+    crafter.handshake();
+    traffic::SmtpExchangeSpec spec;
+    const auto server = traffic::build_smtp_server(spec);
+    crafter.server_send(std::span<const std::uint8_t>(server.data(), 30));
+    crafter.client_send(traffic::build_smtp_client(spec));
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+
+  EXPECT_GE(kinds["tls"], 1u);
+  EXPECT_GE(kinds["http"], 1u);
+  EXPECT_GE(kinds["ssh"], 1u);
+  EXPECT_GE(kinds["dns"], 1u);
+  EXPECT_GE(kinds["smtp"], 1u);
+}
+
+TEST(EndToEnd, Ipv6TlsSubscription) {
+  std::vector<std::string> snis;
+  auto sub = Subscription::tls_handshakes(
+      "ipv6 and tls.sni ~ 'six'",
+      [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
+        snis.push_back(hs.sni);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  FlowEndpoints ep;
+  std::array<std::uint8_t, 16> a{}, b{};
+  a[0] = 0x26; a[15] = 1;
+  b[0] = 0x26; b[15] = 2;
+  ep.client_ip = packet::IpAddr::v6(a);
+  ep.server_ip = packet::IpAddr::v6(b);
+  TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = "v6.six.example";
+  crafter.client_send(traffic::build_tls_client_hello(hello));
+  traffic::TlsServerHelloSpec server;
+  auto sh = traffic::build_tls_server_hello(server);
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  sh.insert(sh.end(), ccs.begin(), ccs.end());
+  crafter.server_send(sh);
+  crafter.close();
+
+  // A v4 flow with a matching SNI must NOT match (ipv4 excluded).
+  auto v4_packets = tls_flow("also.six.example", 30'000'000, 51001);
+
+  traffic::Trace trace(crafter.take());
+  trace.append(std::move(v4_packets));
+  trace.sort_by_time();
+  runtime.run(trace.packets());
+  ASSERT_EQ(snis.size(), 1u);
+  EXPECT_EQ(snis[0], "v6.six.example");
+}
+
+TEST(EndToEnd, OutOfOrderFlowStillParses) {
+  std::vector<std::string> snis;
+  auto sub = Subscription::tls_handshakes(
+      "tls", [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
+        snis.push_back(hs.sni);
+      });
+  Runtime runtime(RuntimeConfig{}, std::move(sub));
+
+  auto packets = tls_flow("reordered.example.com");
+  // Swap the ClientHello past the following ACK-of-SYN... swap two data
+  // packets mid-flow (timestamps keep order).
+  ASSERT_GT(packets.size(), 6u);
+  std::swap(packets[4], packets[5]);
+  const auto ts4 = packets[4].timestamp_ns();
+  packets[4].set_timestamp_ns(packets[5].timestamp_ns());
+  packets[5].set_timestamp_ns(ts4);
+  traffic::Trace trace(std::move(packets));
+  runtime.run(trace.packets());
+  ASSERT_EQ(snis.size(), 1u);
+  EXPECT_EQ(snis[0], "reordered.example.com");
+}
+
+}  // namespace
+}  // namespace retina::core

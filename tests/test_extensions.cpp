@@ -1,0 +1,284 @@
+// Tests for the framework extensions beyond the paper's core: pcap
+// offline I/O, the runtime monitor, the byte-stream subscribable type,
+// and the SmallVector hot-path container.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "core/monitor.hpp"
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/pcap.hpp"
+#include "util/small_vector.hpp"
+
+namespace retina {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string("/tmp/retina_test_") + name + "_" +
+         std::to_string(::getpid()) + ".pcap";
+}
+
+TEST(Pcap, RoundTrip) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 100;
+  mix.seed = 61;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  const auto path = temp_path("roundtrip");
+  traffic::write_pcap(path, trace);
+  const auto loaded = traffic::read_pcap(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); i += 17) {
+    const auto a = trace.packets()[i].bytes();
+    const auto b = loaded.packets()[i].bytes();
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+    // Timestamps survive at microsecond resolution.
+    EXPECT_NEAR(static_cast<double>(trace.packets()[i].timestamp_ns()),
+                static_cast<double>(loaded.packets()[i].timestamp_ns()),
+                1000.0);
+  }
+}
+
+TEST(Pcap, RejectsGarbage) {
+  const auto path = temp_path("garbage");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fwrite("notapcap", 1, 8, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(traffic::read_pcap(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(traffic::read_pcap("/nonexistent/nope.pcap"),
+               std::runtime_error);
+}
+
+TEST(Pcap, OfflineAnalysisMatchesLive) {
+  // The Appendix B offline mode: results from a pcap equal results from
+  // the "wire".
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 200;
+  mix.seed = 67;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto path = temp_path("offline");
+  traffic::write_pcap(path, trace);
+  const auto loaded = traffic::read_pcap(path);
+  std::remove(path.c_str());
+
+  auto count_tls = [](const traffic::Trace& t) {
+    std::size_t n = 0;
+    auto sub = core::Subscription::sessions(
+        "tls", [&n](const core::SessionRecord&) { ++n; });
+    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+    runtime.run(t.packets());
+    return n;
+  };
+  EXPECT_EQ(count_tls(trace), count_tls(loaded));
+  EXPECT_GT(count_tls(trace), 0u);
+}
+
+TEST(Monitor, TracksThroughputAndState) {
+  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  core::RuntimeMonitor monitor(runtime);
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 300;
+  mix.flows_per_second = 1000.0;
+  mix.seed = 71;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  std::uint64_t next_poll = 0;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+    if (mbuf.timestamp_ns() >= next_poll) {
+      monitor.poll(mbuf.timestamp_ns());
+      next_poll = mbuf.timestamp_ns() + 50'000'000;
+    }
+  }
+  runtime.finish();
+
+  ASSERT_GT(monitor.history().size(), 3u);
+  bool saw_rate = false, saw_conns = false;
+  for (const auto& snap : monitor.history()) {
+    if (snap.gbps > 0) saw_rate = true;
+    if (snap.connections > 0) saw_conns = true;
+    EXPECT_DOUBLE_EQ(snap.drop_rate, 0.0);  // offline mode: no loss
+  }
+  EXPECT_TRUE(saw_rate);
+  EXPECT_TRUE(saw_conns);
+  EXPECT_FALSE(monitor.sustained_loss());
+  EXPECT_NE(monitor.status_line().find("Gbps"), std::string::npos);
+}
+
+
+TEST(Monitor, DetectsSustainedLoss) {
+  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.rx_ring_size = 16;  // tiny: dispatch-without-drain overflows
+  core::Runtime runtime(config, std::move(sub));
+  core::RuntimeMonitor monitor(runtime);
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 200;
+  mix.seed = 73;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  std::size_t i = 0;
+  std::uint64_t polls = 0;
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);  // no drain: the ring overflows
+    if (++i % 50 == 0) {
+      monitor.poll(mbuf.timestamp_ns());
+      ++polls;
+    }
+  }
+  runtime.finish();
+  ASSERT_GE(polls, 3u);
+  bool saw_loss = false;
+  for (const auto& snap : monitor.history()) {
+    if (snap.drop_rate > 0) saw_loss = true;
+  }
+  EXPECT_TRUE(saw_loss);
+  EXPECT_TRUE(monitor.sustained_loss(2));
+}
+
+TEST(ByteStreams, DeliversInOrderStream) {
+  // Build an HTTP flow and subscribe to its reconstructed byte-stream.
+  traffic::FlowEndpoints ep;
+  ep.server_port = 80;
+  traffic::TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::HttpRequestSpec req;
+  req.uri = "/stream-me";
+  crafter.client_send(traffic::build_http_request(req));
+  traffic::HttpResponseSpec resp;
+  resp.content_length = 5000;
+  crafter.server_send(traffic::build_http_response(resp));
+  crafter.close();
+
+  std::string up_stream;
+  std::uint64_t down_bytes = 0;
+  bool eos = false;
+  auto sub = core::Subscription::byte_streams(
+      "http", [&](const core::StreamChunk& chunk) {
+        if (chunk.end_of_stream) {
+          eos = true;
+          return;
+        }
+        if (chunk.from_originator) {
+          up_stream.append(chunk.data.begin(), chunk.data.end());
+        } else {
+          down_bytes += chunk.data.size();
+        }
+      });
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+
+  // The upstream byte-stream is exactly the HTTP request.
+  const auto request = traffic::build_http_request(req);
+  EXPECT_EQ(up_stream, std::string(request.begin(), request.end()));
+  const auto response = traffic::build_http_response(resp);
+  EXPECT_EQ(down_bytes, response.size());
+  EXPECT_TRUE(eos);
+}
+
+TEST(ByteStreams, ReordersBeforeDelivery) {
+  traffic::FlowEndpoints ep;
+  ep.server_port = 80;
+  traffic::TcpFlowCrafter crafter(ep, 0);
+  crafter.set_mss(200);
+  crafter.handshake();
+  traffic::Bytes payload(1000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i);
+  }
+  std::string prefix = "GET /x HTTP/1.1\r\nHost: h\r\n\r\n";
+  traffic::Bytes request(prefix.begin(), prefix.end());
+  crafter.client_send(request);
+  crafter.server_send(payload);
+  crafter.swap_last_two();  // reorder two response segments
+  crafter.close();
+
+  traffic::Bytes down;
+  auto sub = core::Subscription::byte_streams(
+      "tcp.port = 80", [&](const core::StreamChunk& chunk) {
+        if (!chunk.end_of_stream && !chunk.from_originator) {
+          down.insert(down.end(), chunk.data.begin(), chunk.data.end());
+        }
+      });
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  traffic::Trace trace(crafter.take());
+  runtime.run(trace.packets());
+  ASSERT_EQ(down.size(), payload.size());
+  EXPECT_EQ(down, payload);  // exact in-order reconstruction
+}
+
+TEST(ByteStreams, NonMatchingStreamsDiscarded) {
+  std::uint64_t chunks = 0;
+  auto sub = core::Subscription::byte_streams(
+      "tls.sni ~ 'wanted'",
+      [&](const core::StreamChunk&) { ++chunks; });
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+
+  // A TLS flow to an unwanted domain: no chunks may be delivered.
+  traffic::FlowEndpoints ep;
+  traffic::TcpFlowCrafter crafter(ep, 0);
+  crafter.handshake();
+  traffic::TlsClientHelloSpec hello;
+  hello.sni = "other.example.org";
+  crafter.client_send(traffic::build_tls_client_hello(hello));
+  traffic::TlsServerHelloSpec server;
+  auto sh = traffic::build_tls_server_hello(server);
+  auto ccs = traffic::build_tls_change_cipher_spec();
+  sh.insert(sh.end(), ccs.begin(), ccs.end());
+  crafter.server_send(sh);
+  crafter.close();
+  traffic::Trace trace(crafter.take());
+  const auto stats = runtime.run(trace.packets());
+  EXPECT_EQ(chunks, 0u);
+  EXPECT_EQ(stats.total.conns_dropped_filter, 1u);
+}
+
+TEST(SmallVectorTest, InlineAndOverflow) {
+  util::SmallVector<std::string, 2> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back("a");
+  v.emplace_back("b");
+  v.push_back("c");  // spills to overflow
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+  std::string joined;
+  for (const auto& s : v) joined += s;
+  EXPECT_EQ(joined, "abc");
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVectorTest, CopyAndMove) {
+  util::SmallVector<std::string, 2> v;
+  v.push_back("x");
+  v.push_back("y");
+  v.push_back("z");
+  auto copy = v;
+  ASSERT_EQ(copy.size(), 3u);
+  EXPECT_EQ(copy[2], "z");
+  auto moved = std::move(copy);
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0], "x");
+  moved = v;  // copy-assign over non-empty
+  ASSERT_EQ(moved.size(), 3u);
+}
+
+}  // namespace
+}  // namespace retina

@@ -1,0 +1,271 @@
+// Filter decomposition tests: expansion to full parse chains, layer
+// tagging, trie structure and optimizations, hardware rule generation
+// with capability-based widening (the paper's Fig. 3 example).
+#include <gtest/gtest.h>
+
+#include "filter/decompose.hpp"
+
+namespace retina::filter {
+namespace {
+
+const FieldRegistry& reg() { return FieldRegistry::builtin(); }
+
+TEST(Registry, BuiltinProtocols) {
+  EXPECT_NE(reg().find("eth"), nullptr);
+  EXPECT_NE(reg().find("ipv4"), nullptr);
+  EXPECT_NE(reg().find("tls"), nullptr);
+  EXPECT_EQ(reg().find("nonsense"), nullptr);
+  EXPECT_THROW(reg().require("nonsense"), FilterError);
+  const auto* tls = reg().find("tls");
+  EXPECT_EQ(tls->layer, FilterLayer::kConnection);
+  EXPECT_EQ(tls->transport, "tcp");
+  EXPECT_GT(tls->app_proto_id, 0u);
+  EXPECT_EQ(reg().app_proto_name(tls->app_proto_id), "tls");
+  EXPECT_NE(tls->find_field("sni"), nullptr);
+  EXPECT_EQ(tls->find_field("nope"), nullptr);
+}
+
+TEST(Registry, RegisterCustomProtocol) {
+  FieldRegistry custom;
+  register_builtin_protocols(custom);
+  ProtoDef mqtt;
+  mqtt.name = "mqtt";
+  mqtt.layer = FilterLayer::kConnection;
+  mqtt.transport = "tcp";
+  custom.register_proto(mqtt);
+  EXPECT_NE(custom.find("mqtt"), nullptr);
+  // Now filterable.
+  EXPECT_NO_THROW(decompose("mqtt", custom));
+  // Duplicate registration rejected.
+  ProtoDef dup;
+  dup.name = "mqtt";
+  dup.layer = FilterLayer::kConnection;
+  dup.transport = "tcp";
+  EXPECT_THROW(custom.register_proto(dup), FilterError);
+}
+
+TEST(Decompose, ExpandsChains) {
+  // `http` alone must become eth -> {ipv4, ipv6} -> tcp -> http.
+  const auto result = decompose("http", reg());
+  ASSERT_EQ(result.patterns.size(), 2u);
+  for (const auto& pattern : result.patterns) {
+    ASSERT_EQ(pattern.size(), 4u);
+    EXPECT_EQ(pattern[0].pred.proto, "eth");
+    EXPECT_TRUE(pattern[1].pred.proto == "ipv4" ||
+                pattern[1].pred.proto == "ipv6");
+    EXPECT_EQ(pattern[2].pred.proto, "tcp");
+    EXPECT_EQ(pattern[3].pred.proto, "http");
+    EXPECT_EQ(pattern[3].layer, FilterLayer::kConnection);
+  }
+}
+
+TEST(Decompose, LayerTags) {
+  const auto result = decompose(
+      "ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix'", reg());
+  ASSERT_EQ(result.patterns.size(), 1u);
+  const auto& pattern = result.patterns[0];
+  // eth, ipv4, tcp, tcp.port>=100, tls, tls.sni~
+  ASSERT_EQ(pattern.size(), 6u);
+  EXPECT_EQ(pattern[3].layer, FilterLayer::kPacket);
+  EXPECT_EQ(pattern[4].layer, FilterLayer::kConnection);
+  EXPECT_EQ(pattern[5].layer, FilterLayer::kSession);
+  EXPECT_TRUE(result.needs_conn_stage());
+  EXPECT_TRUE(result.needs_session_stage());
+}
+
+TEST(Decompose, PacketOnlyFilterNeedsNoStatefulStages) {
+  const auto result = decompose("ipv4.ttl > 64", reg());
+  EXPECT_FALSE(result.needs_conn_stage());
+  EXPECT_FALSE(result.needs_session_stage());
+  EXPECT_TRUE(result.app_protos.empty());
+}
+
+TEST(Decompose, TriePrefixSharing) {
+  // The Fig. 3 filter: two patterns share eth->ipv4->tcp under ipv4 and
+  // the http pattern also expands under ipv6.
+  const auto result = decompose(
+      "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http", reg());
+  // Patterns: [ipv4 tls], [ipv4 http], [ipv6 http].
+  ASSERT_EQ(result.patterns.size(), 3u);
+  // Count reachable nodes: eth, ipv4, tcp, port>=100, tls, sni, http(v4),
+  // ipv6, tcp(v6), http(v6) = 10 + root.
+  EXPECT_EQ(result.trie.size(), 11u);
+  // Terminal nodes: the two http leaves.
+  std::size_t terminals = 0;
+  for (const auto& node : result.trie.nodes()) {
+    if (node.terminal) ++terminals;
+  }
+  EXPECT_EQ(terminals, 3u);  // http x2 + sni leaf
+}
+
+TEST(Decompose, RedundantBranchElimination) {
+  // `tcp` alone already matches everything `tcp.port = 80` would.
+  const auto result = decompose("tcp or (tcp and tcp.port = 80)", reg());
+  // The tcp nodes must be terminal with no children below them.
+  for (const auto& node : result.trie.nodes()) {
+    if (node.pred.pred.proto == "tcp" && node.pred.pred.is_unary()) {
+      EXPECT_TRUE(node.terminal);
+      EXPECT_TRUE(node.children.empty());
+    }
+  }
+}
+
+TEST(Decompose, UnsatisfiableConjunctions) {
+  EXPECT_THROW(decompose("tcp and udp", reg()), FilterError);
+  EXPECT_THROW(decompose("ipv4 and ipv6", reg()), FilterError);
+  EXPECT_THROW(decompose("tls and http", reg()), FilterError);
+  EXPECT_THROW(decompose("tls and dns", reg()), FilterError);  // tcp vs udp
+  EXPECT_THROW(decompose("udp and tls", reg()), FilterError);
+}
+
+TEST(Decompose, SemanticValidation) {
+  EXPECT_THROW(decompose("ipv4.nope = 1", reg()), FilterError);
+  EXPECT_THROW(decompose("nosuch.field = 1", reg()), FilterError);
+  EXPECT_THROW(decompose("ipv4.ttl = 'x'", reg()), FilterError);
+  EXPECT_THROW(decompose("tls.sni > 5", reg()), FilterError);
+  EXPECT_THROW(decompose("ipv4.addr in 3::b/125", reg()), FilterError);
+  EXPECT_THROW(decompose("ipv6.addr = 10.0.0.1", reg()), FilterError);
+  EXPECT_THROW(decompose("tcp.port matches 'x'", reg()), FilterError);
+}
+
+TEST(Decompose, HardwareRulesFig3) {
+  // Fig. 3: NIC cannot express tcp.port >= 100, so the hardware filter
+  // widens to ETH-IPV4-TCP and ETH-IPV6-TCP.
+  const auto result = decompose(
+      "(ipv4 and tcp.port >= 100 and tls.sni ~ 'netflix') or http", reg());
+  ASSERT_EQ(result.hw_rules.size(), 2u);
+  for (const auto& rule : result.hw_rules.rules()) {
+    EXPECT_TRUE(rule.ether_type.has_value());
+    EXPECT_EQ(rule.ip_proto, packet::kIpProtoTcp);
+    EXPECT_FALSE(rule.port.has_value());  // >= not expressible
+  }
+}
+
+TEST(Decompose, HardwareRuleExactPort) {
+  const auto result = decompose("ipv4 and tcp.port = 443", reg());
+  ASSERT_EQ(result.hw_rules.size(), 1u);
+  const auto& rule = result.hw_rules.rules()[0];
+  EXPECT_EQ(rule.ether_type, packet::kEtherTypeIpv4);
+  EXPECT_EQ(rule.ip_proto, packet::kIpProtoTcp);
+  ASSERT_TRUE(rule.port.has_value());
+  EXPECT_EQ(rule.port->port, 443);
+}
+
+TEST(Decompose, HardwareRulePrefix) {
+  const auto result = decompose("ipv4.addr in 23.246.0.0/18 and tcp", reg());
+  ASSERT_EQ(result.hw_rules.size(), 1u);
+  const auto& rule = result.hw_rules.rules()[0];
+  ASSERT_TRUE(rule.v4_prefix.has_value());
+  EXPECT_EQ(rule.v4_prefix->prefix_len, 18);
+}
+
+TEST(Decompose, DumbNicWidensEverything) {
+  const auto result = decompose("ipv4 and tcp.port = 443", reg(),
+                                nic::NicCapabilities::dumb());
+  ASSERT_EQ(result.hw_rules.size(), 1u);
+  const auto& rule = result.hw_rules.rules()[0];
+  EXPECT_TRUE(rule.ether_type.has_value());  // dumb NIC still does this
+  EXPECT_FALSE(rule.ip_proto.has_value());
+  EXPECT_FALSE(rule.port.has_value());
+}
+
+
+TEST(Decompose, P4DeviceKeepsPortRanges) {
+  // The Fig. 3 filter's `tcp.port >= 100` is inexpressible on the NIC
+  // but expressible on a P4-capable filtering layer (paper sec 9).
+  const auto nic_result = decompose(
+      "ipv4 and tcp.port >= 100 and tls", reg());
+  ASSERT_EQ(nic_result.hw_rules.size(), 1u);
+  EXPECT_FALSE(nic_result.hw_rules.rules()[0].port_range.has_value());
+
+  const auto p4_result = decompose("ipv4 and tcp.port >= 100 and tls", reg(),
+                                   nic::NicCapabilities::p4_switch());
+  ASSERT_EQ(p4_result.hw_rules.size(), 1u);
+  const auto& rule = p4_result.hw_rules.rules()[0];
+  ASSERT_TRUE(rule.port_range.has_value());
+  EXPECT_EQ(rule.port_range->lo, 100);
+  EXPECT_EQ(rule.port_range->hi, 0xffff);
+}
+
+TEST(Decompose, P4RangeOperators) {
+  const auto caps = nic::NicCapabilities::p4_switch();
+  struct Case {
+    const char* filter;
+    std::uint16_t lo, hi;
+  };
+  const Case cases[] = {
+      {"ipv4 and tcp.port > 100 and tls", 101, 0xffff},
+      {"ipv4 and tcp.port <= 1023 and tls", 0, 1023},
+      {"ipv4 and tcp.port < 1024 and tls", 0, 1023},
+      {"ipv4 and tcp.port in 8000..8080 and tls", 8000, 8080},
+  };
+  for (const auto& test_case : cases) {
+    const auto result = decompose(test_case.filter, reg(), caps);
+    ASSERT_EQ(result.hw_rules.size(), 1u) << test_case.filter;
+    const auto& rule = result.hw_rules.rules()[0];
+    ASSERT_TRUE(rule.port_range.has_value()) << test_case.filter;
+    EXPECT_EQ(rule.port_range->lo, test_case.lo) << test_case.filter;
+    EXPECT_EQ(rule.port_range->hi, test_case.hi) << test_case.filter;
+  }
+}
+
+TEST(Decompose, HardwareRuleV6Prefix) {
+  const auto result =
+      decompose("ipv6.addr in 2620:10c:7000::/44 and tcp", reg());
+  ASSERT_EQ(result.hw_rules.size(), 1u);
+  const auto& rule = result.hw_rules.rules()[0];
+  ASSERT_TRUE(rule.v6_prefix.has_value());
+  EXPECT_EQ(rule.v6_prefix->prefix_len, 44);
+  EXPECT_EQ(rule.ether_type, packet::kEtherTypeIpv6);
+}
+
+TEST(Decompose, SessionPredicateImpliesConnNode) {
+  const auto result = decompose("tls.sni ~ 'x'", reg());
+  // Every session node's parent chain must include a tls conn node.
+  bool found_conn = false;
+  for (const auto& node : result.trie.nodes()) {
+    if (node.pred.layer == FilterLayer::kSession) {
+      const auto& parent = result.trie.node(node.parent);
+      EXPECT_EQ(parent.pred.layer, FilterLayer::kConnection);
+      EXPECT_EQ(parent.pred.pred.proto, "tls");
+      found_conn = true;
+    }
+  }
+  EXPECT_TRUE(found_conn);
+  EXPECT_EQ(result.app_protos.size(), 1u);
+}
+
+TEST(Decompose, NetflixPaperFilter) {
+  // The 32-predicate Appendix B filter parses and decomposes.
+  const std::string filter =
+      "ipv4.addr in 23.246.0.0/18 or ipv4.addr in 37.77.184.0/21 or "
+      "ipv4.addr in 45.57.0.0/17 or ipv4.addr in 64.120.128.0/17 or "
+      "ipv4.addr in 66.197.128.0/17 or ipv4.addr in 108.175.32.0/20 or "
+      "ipv4.addr in 185.2.220.0/22 or ipv4.addr in 185.9.188.0/22 or "
+      "ipv4.addr in 192.173.64.0/18 or ipv4.addr in 198.38.96.0/19 or "
+      "ipv4.addr in 198.45.48.0/20 or ipv4.addr in 208.75.79.0/24 or "
+      "ipv6.addr in 2620:10c:7000::/44 or ipv6.addr in 2a00:86c0::/32 or "
+      "tls.sni ~ 'netflix.com' or tls.sni ~ 'nflxvideo.net' or "
+      "tls.sni ~ 'nflximg.net' or tls.sni ~ 'nflxext.com' or "
+      "tls.sni ~ 'nflximg.com' or tls.sni ~ 'nflxso.net'";
+  const auto result = decompose(filter, reg());
+  EXPECT_GE(result.patterns.size(), 20u);
+  EXPECT_TRUE(result.needs_session_stage());
+}
+
+TEST(Trie, PathTo) {
+  const auto result = decompose("ipv4 and tcp.port = 80 and http", reg());
+  // Find the http node and verify its path walks root->eth->ipv4->tcp->
+  // port->http.
+  for (const auto& node : result.trie.nodes()) {
+    if (node.pred.pred.proto == "http") {
+      const auto path = result.trie.path_to(node.id);
+      ASSERT_EQ(path.size(), 6u);
+      EXPECT_EQ(path.front(), 0u);
+      EXPECT_EQ(path.back(), node.id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace retina::filter

@@ -1,0 +1,184 @@
+// Filter language front-end tests: lexer, parser, value atoms, DNF.
+#include <gtest/gtest.h>
+
+#include "filter/dnf.hpp"
+#include "filter/lexer.hpp"
+#include "filter/parser.hpp"
+
+namespace retina::filter {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  const auto tokens = tokenize("ipv4 and tcp.port >= 100");
+  ASSERT_EQ(tokens.size(), 8u);  // incl. End
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "ipv4");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kAnd);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[4].text, "port");
+  EXPECT_EQ(tokens[5].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kAtom);
+  EXPECT_EQ(tokens[6].text, "100");
+}
+
+TEST(Lexer, StringsAndTilde) {
+  const auto tokens = tokenize("tls.sni ~ '.*\\.com$'");
+  ASSERT_GE(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kTilde);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[4].text, ".*\\.com$");
+}
+
+TEST(Lexer, EscapedQuote) {
+  const auto tokens = tokenize("http.uri = 'a\\'b'");
+  EXPECT_EQ(tokens[4].text, "a'b");
+}
+
+TEST(Lexer, Ipv6Atom) {
+  const auto tokens = tokenize("ipv6.addr in 3::b/125");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kAtom);
+  EXPECT_EQ(tokens[4].text, "3::b/125");
+}
+
+TEST(Lexer, RejectsGarbage) {
+  EXPECT_THROW(tokenize("tcp.port = $$"), FilterError);
+  EXPECT_THROW(tokenize("tls.sni = 'unterminated"), FilterError);
+  EXPECT_THROW(tokenize("a ! b"), FilterError);
+}
+
+TEST(ValueAtoms, Integers) {
+  EXPECT_EQ(std::get<std::uint64_t>(*parse_value_atom("443")), 443u);
+  EXPECT_EQ(std::get<std::uint64_t>(*parse_value_atom("0x1b")), 0x1bu);
+  EXPECT_FALSE(parse_value_atom("12a"));
+}
+
+TEST(ValueAtoms, Ranges) {
+  const auto v = parse_value_atom("100..200");
+  ASSERT_TRUE(v);
+  const auto range = std::get<IntRange>(*v);
+  EXPECT_EQ(range.lo, 100u);
+  EXPECT_EQ(range.hi, 200u);
+  EXPECT_TRUE(range.contains(150));
+  EXPECT_FALSE(range.contains(201));
+  EXPECT_FALSE(parse_value_atom("200..100"));
+}
+
+TEST(ValueAtoms, Ipv4Prefixes) {
+  const auto v = parse_value_atom("10.1.2.0/24");
+  ASSERT_TRUE(v);
+  const auto prefix = std::get<IpPrefix>(*v);
+  EXPECT_EQ(prefix.prefix_len, 24);
+  EXPECT_TRUE(prefix.contains(packet::IpAddr::v4(0x0a010203)));
+  EXPECT_FALSE(prefix.contains(packet::IpAddr::v4(0x0a010303)));
+
+  const auto bare = parse_value_atom("10.1.2.3");
+  ASSERT_TRUE(bare);
+  EXPECT_EQ(std::get<IpPrefix>(*bare).prefix_len, 32);
+  EXPECT_FALSE(parse_value_atom("10.1.2.256"));
+  EXPECT_FALSE(parse_value_atom("10.1.2.0/33"));
+}
+
+TEST(ValueAtoms, Ipv6Prefixes) {
+  const auto v = parse_value_atom("3::b/125");
+  ASSERT_TRUE(v);
+  const auto prefix = std::get<IpPrefix>(*v);
+  EXPECT_EQ(prefix.addr.version, 6);
+  EXPECT_EQ(prefix.prefix_len, 125);
+  std::array<std::uint8_t, 16> in_net{};
+  in_net[1] = 0x03;
+  in_net[15] = 0x0c;  // 3::c, same /125 as 3::b (0b1000..1100 share /125)
+  EXPECT_TRUE(prefix.contains(packet::IpAddr::v6(in_net)));
+  std::array<std::uint8_t, 16> out_net{};
+  out_net[1] = 0x03;
+  out_net[15] = 0x02;
+  EXPECT_FALSE(prefix.contains(packet::IpAddr::v6(out_net)));
+
+  EXPECT_TRUE(parse_value_atom("2607:f8b0::1"));
+  EXPECT_FALSE(parse_value_atom("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(parse_value_atom("::1::2"));
+}
+
+TEST(Parser, Precedence) {
+  // or binds looser than and.
+  const auto expr = parse_filter("ipv4 and tls or ssh");
+  ASSERT_EQ(expr->kind, Expr::Kind::kOr);
+  ASSERT_EQ(expr->children.size(), 2u);
+  EXPECT_EQ(expr->children[0]->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(expr->children[1]->kind, Expr::Kind::kPredicate);
+}
+
+TEST(Parser, Parentheses) {
+  const auto expr = parse_filter("ipv4 and (tls or ssh)");
+  ASSERT_EQ(expr->kind, Expr::Kind::kAnd);
+  EXPECT_EQ(expr->children[1]->kind, Expr::Kind::kOr);
+}
+
+TEST(Parser, PredicateForms) {
+  auto unary = parse_filter("tls");
+  EXPECT_TRUE(unary->pred.is_unary());
+  auto cmp = parse_filter("ipv4.ttl > 64");
+  EXPECT_EQ(cmp->pred.op, CmpOp::kGt);
+  auto matches = parse_filter("http.user_agent matches 'Firefox'");
+  EXPECT_EQ(matches->pred.op, CmpOp::kMatches);
+  auto contains = parse_filter("tls.sni contains 'netflix'");
+  EXPECT_EQ(contains->pred.op, CmpOp::kContains);
+  auto in = parse_filter("ipv6.addr in 3::b/125 and tcp");
+  EXPECT_EQ(in->kind, Expr::Kind::kAnd);
+}
+
+TEST(Parser, EmptyFilterMatchesAll) {
+  const auto expr = parse_filter("   ");
+  ASSERT_EQ(expr->kind, Expr::Kind::kPredicate);
+  EXPECT_EQ(expr->pred.proto, "eth");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_filter("and tcp"), FilterError);
+  EXPECT_THROW(parse_filter("tcp.port ="), FilterError);
+  EXPECT_THROW(parse_filter("(tcp"), FilterError);
+  EXPECT_THROW(parse_filter("tcp.port 443"), FilterError);
+  EXPECT_THROW(parse_filter("tcp = 5"), FilterError);
+  EXPECT_THROW(parse_filter("tcp.port"), FilterError);
+}
+
+TEST(Dnf, SimpleExpansion) {
+  const auto patterns = to_dnf(parse_filter("ipv4 and (tls or ssh)"));
+  ASSERT_EQ(patterns.size(), 2u);
+  EXPECT_EQ(patterns[0].size(), 2u);
+  EXPECT_EQ(patterns[0][0].proto, "ipv4");
+  EXPECT_EQ(patterns[0][1].proto, "tls");
+  EXPECT_EQ(patterns[1][1].proto, "ssh");
+}
+
+TEST(Dnf, DistributesProducts) {
+  const auto patterns =
+      to_dnf(parse_filter("(ipv4 or ipv6) and (tls or http)"));
+  EXPECT_EQ(patterns.size(), 4u);
+}
+
+TEST(Dnf, DedupsWithinPattern) {
+  const auto patterns = to_dnf(parse_filter("tcp and tcp"));
+  ASSERT_EQ(patterns.size(), 1u);
+  EXPECT_EQ(patterns[0].size(), 1u);
+}
+
+TEST(Dnf, GuardsBlowup) {
+  std::string filter = "(tcp.port = 1 or tcp.port = 2)";
+  for (int i = 0; i < 14; ++i) {
+    filter += " and (tcp.port = 1 or tcp.port = 2)";
+  }
+  EXPECT_THROW(to_dnf(parse_filter(filter)), FilterError);
+}
+
+TEST(ExprToString, RoundTripish) {
+  const auto expr = parse_filter("ipv4.ttl > 64 and (tls or ssh)");
+  const auto text = expr->to_string();
+  EXPECT_NE(text.find("ipv4.ttl > 64"), std::string::npos);
+  EXPECT_NE(text.find("or"), std::string::npos);
+  // The rendered text must itself parse.
+  EXPECT_NO_THROW(parse_filter(text));
+}
+
+}  // namespace
+}  // namespace retina::filter

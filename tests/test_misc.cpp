@@ -1,0 +1,160 @@
+// Coverage for the smaller utilities: shared predicate-comparison
+// semantics (eval.hpp), logging levels, statistics merging, and the
+// runtime's incremental dispatch API.
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "core/stats.hpp"
+#include "filter/eval.hpp"
+#include "traffic/flowgen.hpp"
+#include "util/logging.hpp"
+
+namespace retina {
+namespace {
+
+using filter::CmpOp;
+using filter::compare_int;
+using filter::compare_ip;
+using filter::compare_string;
+using filter::IntRange;
+using filter::IpPrefix;
+using filter::Value;
+
+TEST(EvalSemantics, IntComparisons) {
+  const Value v443{std::uint64_t{443}};
+  EXPECT_TRUE(compare_int(CmpOp::kEq, 443, v443));
+  EXPECT_FALSE(compare_int(CmpOp::kEq, 80, v443));
+  EXPECT_TRUE(compare_int(CmpOp::kNe, 80, v443));
+  EXPECT_TRUE(compare_int(CmpOp::kLt, 100, v443));
+  EXPECT_TRUE(compare_int(CmpOp::kLe, 443, v443));
+  EXPECT_FALSE(compare_int(CmpOp::kGt, 443, v443));
+  EXPECT_TRUE(compare_int(CmpOp::kGe, 443, v443));
+  // Type mismatch: int op against a string value never matches.
+  EXPECT_FALSE(compare_int(CmpOp::kEq, 443, Value{std::string("443")}));
+}
+
+TEST(EvalSemantics, RangeMembership) {
+  const Value range{IntRange{100, 200}};
+  EXPECT_TRUE(compare_int(CmpOp::kIn, 100, range));
+  EXPECT_TRUE(compare_int(CmpOp::kIn, 200, range));
+  EXPECT_FALSE(compare_int(CmpOp::kIn, 99, range));
+  // Only kIn is meaningful against a range.
+  EXPECT_FALSE(compare_int(CmpOp::kEq, 150, range));
+}
+
+TEST(EvalSemantics, StringOps) {
+  const Value exact{std::string("h2")};
+  EXPECT_TRUE(compare_string(CmpOp::kEq, "h2", exact, nullptr));
+  EXPECT_TRUE(compare_string(CmpOp::kNe, "http/1.1", exact, nullptr));
+  const Value sub{std::string("flix")};
+  EXPECT_TRUE(compare_string(CmpOp::kContains, "netflix.com", sub, nullptr));
+  EXPECT_FALSE(compare_string(CmpOp::kContains, "youtube.com", sub, nullptr));
+  const std::regex re(".*\\.com$");
+  const Value pattern{std::string(".*\\.com$")};
+  EXPECT_TRUE(compare_string(CmpOp::kMatches, "a.com", pattern, &re));
+  EXPECT_FALSE(compare_string(CmpOp::kMatches, "a.org", pattern, &re));
+  // Matches without a compiled regex is false, never a crash.
+  EXPECT_FALSE(compare_string(CmpOp::kMatches, "a.com", pattern, nullptr));
+}
+
+TEST(EvalSemantics, IpContainment) {
+  IpPrefix prefix;
+  prefix.addr = packet::IpAddr::v4(0x0a000000);
+  prefix.prefix_len = 8;
+  const Value v{prefix};
+  EXPECT_TRUE(compare_ip(CmpOp::kIn, packet::IpAddr::v4(0x0a123456), v));
+  EXPECT_TRUE(compare_ip(CmpOp::kEq, packet::IpAddr::v4(0x0a123456), v));
+  EXPECT_TRUE(compare_ip(CmpOp::kNe, packet::IpAddr::v4(0x0b000000), v));
+  // Family mismatch never matches.
+  EXPECT_FALSE(compare_ip(CmpOp::kIn, packet::IpAddr::v6({}), v));
+}
+
+TEST(Logging, LevelsFilter) {
+  const auto old_level = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  util::log_debug("dropped ", 123);  // must not crash, silently dropped
+  util::log_error("kept ", 456);
+  util::set_log_level(util::LogLevel::kOff);
+  util::log_error("also dropped");
+  util::set_log_level(old_level);
+}
+
+TEST(Stats, MergeAccumulates) {
+  core::PipelineStats a, b;
+  a.packets = 10;
+  a.sessions_parsed = 2;
+  a.stages.add(core::Stage::kParsing, 5);
+  a.stages.add_cycles(core::Stage::kParsing, 500);
+  b.packets = 7;
+  b.stages.add(core::Stage::kParsing, 3);
+  b.stages.add_cycles(core::Stage::kParsing, 300);
+  b.memory_samples.push_back({1, 2, 3});
+
+  a.merge(b);
+  EXPECT_EQ(a.packets, 17u);
+  EXPECT_EQ(a.sessions_parsed, 2u);
+  EXPECT_EQ(a.stages.count(core::Stage::kParsing), 8u);
+  EXPECT_DOUBLE_EQ(a.stages.avg_cycles(core::Stage::kParsing), 100.0);
+  EXPECT_EQ(a.memory_samples.size(), 1u);
+}
+
+TEST(Stats, StageNamesComplete) {
+  for (int i = 0; i < static_cast<int>(core::Stage::kCount); ++i) {
+    EXPECT_STRNE(core::stage_name(static_cast<core::Stage>(i)), "?");
+  }
+}
+
+TEST(Runtime, IncrementalDispatchMatchesRun) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 150;
+  mix.seed = 91;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  auto run_batch = [&](bool incremental) {
+    std::size_t conns = 0;
+    auto sub = core::Subscription::connections(
+        "tcp", [&conns](const core::ConnRecord&) { ++conns; });
+    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+    if (incremental) {
+      for (const auto& mbuf : trace.packets()) {
+        runtime.dispatch(mbuf);
+        runtime.drain();
+      }
+      runtime.finish();
+    } else {
+      runtime.run(trace.packets());
+    }
+    return conns;
+  };
+  EXPECT_EQ(run_batch(true), run_batch(false));
+}
+
+TEST(Runtime, FinishIsIdempotent) {
+  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 50;
+  const auto trace = traffic::make_campus_trace(mix);
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);
+  }
+  runtime.drain();
+  const auto first = runtime.finish();
+  const auto second = runtime.finish();
+  EXPECT_EQ(first.total.conns_created, second.total.conns_created);
+  EXPECT_EQ(first.total.delivered_conns, second.total.delivered_conns);
+}
+
+TEST(Runtime, InvalidFilterThrows) {
+  auto make = [](const std::string& f) {
+    auto sub = core::Subscription::packets(f, [](const packet::Mbuf&) {});
+    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  };
+  EXPECT_THROW(make("nonsense.field = 1"), filter::FilterError);
+  EXPECT_THROW(make("tcp and udp"), filter::FilterError);
+  EXPECT_NO_THROW(make("tcp"));
+}
+
+}  // namespace
+}  // namespace retina

@@ -1,0 +1,259 @@
+// Simulated-NIC tests: flow-rule matching and widening, symmetric RSS,
+// redirection-table sampling, and multi-queue dispatch with loss
+// accounting.
+#include <gtest/gtest.h>
+
+#include "nic/port.hpp"
+#include "traffic/craft.hpp"
+
+namespace retina {
+namespace {
+
+using nic::Direction;
+using nic::FlowRule;
+using nic::FlowRuleSet;
+using nic::NicCapabilities;
+using packet::PacketView;
+using traffic::FlowEndpoints;
+
+packet::Mbuf tcp_pkt(std::uint16_t sport, std::uint16_t dport,
+                     std::uint32_t src = 0x0a000001,
+                     std::uint32_t dst = 0xc0a80101) {
+  FlowEndpoints ep;
+  ep.client_ip = packet::IpAddr::v4(src);
+  ep.server_ip = packet::IpAddr::v4(dst);
+  ep.client_port = sport;
+  ep.server_port = dport;
+  return traffic::make_tcp_packet(ep, true, 1, 0, packet::kTcpSyn, {}, 0);
+}
+
+TEST(FlowRule, EmptyRuleMatchesAll) {
+  FlowRule rule;
+  auto mbuf = tcp_pkt(1234, 443);
+  const auto view = PacketView::parse(mbuf);
+  EXPECT_TRUE(rule.matches(*view));
+}
+
+TEST(FlowRule, EtherTypeAndProto) {
+  FlowRule rule;
+  rule.ether_type = packet::kEtherTypeIpv4;
+  rule.ip_proto = packet::kIpProtoTcp;
+  auto tcp = tcp_pkt(1, 2);
+  EXPECT_TRUE(rule.matches(*PacketView::parse(tcp)));
+  FlowEndpoints ep;
+  auto udp = traffic::make_udp_packet(ep, true, {}, 0);
+  EXPECT_FALSE(rule.matches(*PacketView::parse(udp)));
+}
+
+TEST(FlowRule, PortDirections) {
+  auto mbuf = tcp_pkt(50000, 443);
+  const auto view = PacketView::parse(mbuf);
+  FlowRule either;
+  either.port = nic::PortMatch{443, Direction::kEither};
+  EXPECT_TRUE(either.matches(*view));
+  FlowRule src;
+  src.port = nic::PortMatch{443, Direction::kSrc};
+  EXPECT_FALSE(src.matches(*view));
+  FlowRule dst;
+  dst.port = nic::PortMatch{443, Direction::kDst};
+  EXPECT_TRUE(dst.matches(*view));
+}
+
+TEST(FlowRule, V4Prefix) {
+  auto mbuf = tcp_pkt(50000, 443, 0x0a000001, 0xc0a80101);
+  const auto view = PacketView::parse(mbuf);
+  FlowRule rule;
+  rule.v4_prefix = nic::PrefixMatchV4{0x0a000000, 8, Direction::kEither};
+  EXPECT_TRUE(rule.matches(*view));
+  rule.v4_prefix = nic::PrefixMatchV4{0x0b000000, 8, Direction::kEither};
+  EXPECT_FALSE(rule.matches(*view));
+  rule.v4_prefix = nic::PrefixMatchV4{0xc0a80101, 32, Direction::kDst};
+  EXPECT_TRUE(rule.matches(*view));
+}
+
+
+TEST(FlowRule, PortRangeMatching) {
+  auto mbuf = tcp_pkt(50000, 443);
+  const auto view = PacketView::parse(mbuf);
+  FlowRule rule;
+  rule.port_range = nic::PortRangeMatch{400, 500, Direction::kDst};
+  EXPECT_TRUE(rule.matches(*view));
+  rule.port_range = nic::PortRangeMatch{400, 500, Direction::kSrc};
+  EXPECT_FALSE(rule.matches(*view));
+  rule.port_range = nic::PortRangeMatch{40000, 60000, Direction::kEither};
+  EXPECT_TRUE(rule.matches(*view));
+}
+
+TEST(FlowRule, PortRangeNeedsP4Capability) {
+  FlowRule rule;
+  rule.port_range = nic::PortRangeMatch{100, 0xffff, Direction::kEither};
+  EXPECT_FALSE(nic::validate_rule(rule, NicCapabilities::connectx5()));
+  EXPECT_TRUE(nic::validate_rule(rule, NicCapabilities::p4_switch()));
+  const auto widened = nic::widen_rule(rule, NicCapabilities::connectx5());
+  EXPECT_FALSE(widened.port_range.has_value());
+}
+
+TEST(FlowRule, V6Prefix) {
+  FlowEndpoints ep;
+  std::array<std::uint8_t, 16> a{}, b{};
+  a[0] = 0x26; a[1] = 0x07; a[15] = 1;
+  b[0] = 0x2a; b[15] = 2;
+  ep.client_ip = packet::IpAddr::v6(a);
+  ep.server_ip = packet::IpAddr::v6(b);
+  auto mbuf = traffic::make_tcp_packet(ep, true, 1, 0, packet::kTcpSyn, {}, 0);
+  const auto view = PacketView::parse(mbuf);
+
+  FlowRule rule;
+  nic::PrefixMatchV6 prefix;
+  prefix.addr[0] = 0x26; prefix.addr[1] = 0x07;
+  prefix.prefix_len = 16;
+  prefix.dir = Direction::kSrc;
+  rule.v6_prefix = prefix;
+  EXPECT_TRUE(rule.matches(*view));
+  rule.v6_prefix->dir = Direction::kDst;
+  EXPECT_FALSE(rule.matches(*view));
+
+  auto v4 = tcp_pkt(1, 2);
+  EXPECT_FALSE(rule.matches(*PacketView::parse(v4)));
+}
+
+TEST(FlowRule, ValidationAgainstCapabilities) {
+  FlowRule rule;
+  rule.ether_type = packet::kEtherTypeIpv4;
+  rule.port = nic::PortMatch{443, Direction::kEither};
+  EXPECT_TRUE(nic::validate_rule(rule, NicCapabilities::connectx5()));
+  EXPECT_FALSE(nic::validate_rule(rule, NicCapabilities::dumb()));
+  const auto widened = nic::widen_rule(rule, NicCapabilities::dumb());
+  EXPECT_TRUE(widened.ether_type.has_value());  // still supported
+  EXPECT_FALSE(widened.port.has_value());       // dropped
+  EXPECT_TRUE(nic::validate_rule(widened, NicCapabilities::dumb()));
+}
+
+TEST(FlowRuleSet, PermitSemantics) {
+  FlowRuleSet rules;
+  EXPECT_TRUE(rules.empty());
+  auto mbuf = tcp_pkt(1, 80);
+  EXPECT_TRUE(rules.permits(*PacketView::parse(mbuf)));  // no rules: all
+
+  FlowRule only443;
+  only443.port = nic::PortMatch{443, Direction::kEither};
+  rules.add(only443);
+  EXPECT_FALSE(rules.permits(*PacketView::parse(mbuf)));
+  auto https = tcp_pkt(1, 443);
+  EXPECT_TRUE(rules.permits(*PacketView::parse(https)));
+}
+
+TEST(Rss, SymmetricAcrossDirections) {
+  const auto key = nic::symmetric_rss_key();
+  packet::FiveTuple fwd;
+  fwd.src = packet::IpAddr::v4(0x0a000001);
+  fwd.dst = packet::IpAddr::v4(0xc0a80101);
+  fwd.src_port = 12345;
+  fwd.dst_port = 443;
+  fwd.proto = 6;
+  packet::FiveTuple rev{fwd.dst, fwd.src, fwd.dst_port, fwd.src_port, 6};
+  EXPECT_EQ(nic::rss_hash(fwd, key), nic::rss_hash(rev, key));
+  EXPECT_NE(nic::rss_hash(fwd, key), 0u);
+}
+
+TEST(Rss, SpreadsFlows) {
+  const auto key = nic::symmetric_rss_key();
+  nic::RedirectionTable reta(8);
+  std::array<int, 8> counts{};
+  // Vary address and port independently: the symmetric key is periodic
+  // in 16 bits, so correlated increments would cancel.
+  for (std::uint32_t i = 0; i < 4000; ++i) {
+    packet::FiveTuple t;
+    t.src = packet::IpAddr::v4(0x0a000000 + i * 2654435761u);
+    t.dst = packet::IpAddr::v4(0xc0a80101);
+    t.src_port = static_cast<std::uint16_t>(20000 + i * 7919);
+    t.dst_port = 443;
+    t.proto = 6;
+    const auto q = reta.lookup(nic::rss_hash(t, key));
+    ASSERT_LT(q, 8u);
+    ++counts[q];
+  }
+  for (const auto c : counts) {
+    EXPECT_GT(c, 200);  // roughly balanced
+  }
+}
+
+TEST(Reta, SinkFraction) {
+  nic::RedirectionTable reta(4);
+  EXPECT_DOUBLE_EQ(reta.sink_fraction(), 0.0);
+  reta.set_sink_fraction(0.5);
+  EXPECT_NEAR(reta.sink_fraction(), 0.5, 0.05);
+  reta.set_sink_fraction(0.0);
+  EXPECT_DOUBLE_EQ(reta.sink_fraction(), 0.0);
+}
+
+TEST(SimNic, DispatchesConsistently) {
+  nic::PortConfig config;
+  config.num_queues = 4;
+  nic::SimNic port(config);
+
+  // Both directions of one flow land on the same queue.
+  FlowEndpoints ep;
+  auto c2s = traffic::make_tcp_packet(ep, true, 1, 0, packet::kTcpSyn, {}, 0);
+  auto s2c = traffic::make_tcp_packet(ep, false, 1, 1,
+                                      packet::kTcpSyn | packet::kTcpAck, {},
+                                      1);
+  port.dispatch(c2s);
+  port.dispatch(s2c);
+  EXPECT_EQ(port.stats().delivered, 2u);
+
+  packet::Mbuf out;
+  std::size_t found_queue = 99;
+  for (std::size_t q = 0; q < 4; ++q) {
+    if (port.poll(q, out)) {
+      found_queue = q;
+      break;
+    }
+  }
+  ASSERT_NE(found_queue, 99u);
+  ASSERT_TRUE(port.poll(found_queue, out));  // second packet, same queue
+}
+
+TEST(SimNic, HwFilterDropsAtZeroCost) {
+  nic::PortConfig config;
+  config.num_queues = 1;
+  nic::SimNic port(config);
+  FlowRuleSet rules;
+  FlowRule tcp_only;
+  tcp_only.ip_proto = packet::kIpProtoTcp;
+  rules.add(tcp_only);
+  port.install_rules(std::move(rules));
+
+  auto tcp = tcp_pkt(1, 443);
+  FlowEndpoints ep;
+  auto udp = traffic::make_udp_packet(ep, true, {}, 0);
+  port.dispatch(tcp);
+  port.dispatch(udp);
+  EXPECT_EQ(port.stats().delivered, 1u);
+  EXPECT_EQ(port.stats().hw_dropped, 1u);
+}
+
+TEST(SimNic, RingOverflowCountsAsLoss) {
+  nic::PortConfig config;
+  config.num_queues = 1;
+  config.ring_capacity = 16;
+  nic::SimNic port(config);
+  auto mbuf = tcp_pkt(1, 443);
+  for (int i = 0; i < 100; ++i) port.dispatch(mbuf);
+  EXPECT_GT(port.stats().ring_dropped, 0u);
+  EXPECT_EQ(port.stats().delivered + port.stats().ring_dropped, 100u);
+}
+
+TEST(SimNic, SinkDropsFlows) {
+  nic::PortConfig config;
+  config.num_queues = 2;
+  nic::SimNic port(config);
+  port.reta().set_sink_fraction(1.0);
+  auto mbuf = tcp_pkt(1, 443);
+  port.dispatch(mbuf);
+  EXPECT_EQ(port.stats().sunk, 1u);
+  EXPECT_EQ(port.stats().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace retina

@@ -1,0 +1,192 @@
+// Packet substrate tests: crafted frames parse back to the same values
+// (checksums valid), five-tuple canonicalization is symmetric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "packet/checksum.hpp"
+#include "util/bytes.hpp"
+#include "packet/packet_view.hpp"
+#include "traffic/craft.hpp"
+
+namespace retina {
+namespace {
+
+using packet::PacketView;
+using traffic::FlowEndpoints;
+
+FlowEndpoints v4_endpoints() {
+  FlowEndpoints ep;
+  ep.client_ip = packet::IpAddr::v4(0x0a000001);   // 10.0.0.1
+  ep.server_ip = packet::IpAddr::v4(0xc0a80164);   // 192.168.1.100
+  ep.client_port = 51000;
+  ep.server_port = 443;
+  return ep;
+}
+
+FlowEndpoints v6_endpoints() {
+  FlowEndpoints ep;
+  std::array<std::uint8_t, 16> a{}, b{};
+  a[0] = 0x26; a[15] = 1;
+  b[0] = 0x26; b[15] = 2;
+  ep.client_ip = packet::IpAddr::v6(a);
+  ep.server_ip = packet::IpAddr::v6(b);
+  ep.client_port = 40000;
+  ep.server_port = 22;
+  return ep;
+}
+
+TEST(PacketView, ParsesCraftedTcpV4) {
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  auto mbuf = traffic::make_tcp_packet(v4_endpoints(), true, 1000, 2000,
+                                       packet::kTcpAck | packet::kTcpPsh,
+                                       payload, 42);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->eth());
+  EXPECT_EQ(view->eth()->ether_type(), packet::kEtherTypeIpv4);
+  ASSERT_TRUE(view->ipv4());
+  EXPECT_EQ(view->ipv4()->src_addr(), 0x0a000001u);
+  EXPECT_EQ(view->ipv4()->dst_addr(), 0xc0a80164u);
+  EXPECT_EQ(view->ipv4()->ttl(), 64);
+  ASSERT_TRUE(view->tcp());
+  EXPECT_EQ(view->tcp()->src_port(), 51000);
+  EXPECT_EQ(view->tcp()->dst_port(), 443);
+  EXPECT_EQ(view->tcp()->seq(), 1000u);
+  EXPECT_TRUE(view->tcp()->ack_flag());
+  ASSERT_EQ(view->l4_payload().size(), 5u);
+  EXPECT_EQ(view->l4_payload()[0], 1);
+  ASSERT_TRUE(view->five_tuple());
+  EXPECT_EQ(view->five_tuple()->proto, packet::kIpProtoTcp);
+}
+
+TEST(PacketView, ParsesCraftedTcpV6) {
+  const std::uint8_t payload[] = {9, 9};
+  auto mbuf = traffic::make_tcp_packet(v6_endpoints(), false, 7, 8,
+                                       packet::kTcpAck, payload, 1);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->ipv6());
+  EXPECT_FALSE(view->ipv4());
+  ASSERT_TRUE(view->tcp());
+  EXPECT_EQ(view->tcp()->src_port(), 22);  // server -> client
+  EXPECT_EQ(view->l4_payload().size(), 2u);
+}
+
+TEST(PacketView, ParsesCraftedUdp) {
+  const std::uint8_t payload[] = {0xde, 0xad};
+  auto mbuf = traffic::make_udp_packet(v4_endpoints(), true, payload, 5);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  ASSERT_TRUE(view->udp());
+  EXPECT_EQ(view->udp()->dst_port(), 443);
+  EXPECT_EQ(view->l4_payload().size(), 2u);
+  EXPECT_EQ(view->five_tuple()->proto, packet::kIpProtoUdp);
+}
+
+TEST(PacketView, NonIpFrameParsesL2Only) {
+  auto mbuf = traffic::make_raw_eth(0x0806, 46, 0);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  EXPECT_TRUE(view->eth());
+  EXPECT_FALSE(view->has_ip());
+  EXPECT_FALSE(view->has_l4());
+  EXPECT_FALSE(view->five_tuple());
+}
+
+TEST(PacketView, TruncatedFrameRejected) {
+  packet::Mbuf tiny(std::vector<std::uint8_t>(8, 0), 0);
+  EXPECT_FALSE(PacketView::parse(tiny));
+}
+
+TEST(PacketView, TruncatedL3StillL2) {
+  // Valid Ethernet header claiming IPv4 but with a garbage body.
+  std::vector<std::uint8_t> bytes(20, 0);
+  bytes[12] = 0x08;
+  bytes[13] = 0x00;
+  packet::Mbuf mbuf(std::move(bytes), 0);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  EXPECT_FALSE(view->ipv4());
+}
+
+TEST(Checksum, CraftedIpv4HeaderValid) {
+  auto mbuf = traffic::make_tcp_packet(v4_endpoints(), true, 1, 0,
+                                       packet::kTcpSyn, {}, 0);
+  // The IPv4 header checksum over a valid header must verify to 0.
+  const auto bytes = mbuf.bytes();
+  const auto csum = packet::internet_checksum(bytes.subspan(14, 20));
+  EXPECT_EQ(csum, 0);
+}
+
+TEST(Checksum, CraftedTcpSegmentValid) {
+  const std::uint8_t payload[] = {1, 2, 3};
+  auto mbuf = traffic::make_tcp_packet(v4_endpoints(), true, 1, 0,
+                                       packet::kTcpAck, payload, 0);
+  const auto view = PacketView::parse(mbuf);
+  ASSERT_TRUE(view);
+  // Recompute the L4 checksum over the whole segment: must come out 0
+  // when the embedded checksum is included (one's complement property).
+  const auto frame = mbuf.bytes();
+  const auto segment = frame.subspan(14 + 20);
+  std::uint8_t pseudo[12];
+  util::store_be32(pseudo, view->ipv4()->src_addr());
+  util::store_be32(pseudo + 4, view->ipv4()->dst_addr());
+  pseudo[8] = 0;
+  pseudo[9] = packet::kIpProtoTcp;
+  util::store_be16(pseudo + 10, static_cast<std::uint16_t>(segment.size()));
+  auto sum = packet::checksum_partial({pseudo, sizeof(pseudo)});
+  sum = packet::checksum_partial(segment, sum);
+  EXPECT_EQ(packet::checksum_finish(sum), 0);
+}
+
+TEST(FiveTuple, CanonicalIsSymmetric) {
+  packet::FiveTuple forward;
+  forward.src = packet::IpAddr::v4(0x0a000001);
+  forward.dst = packet::IpAddr::v4(0xc0a80101);
+  forward.src_port = 50000;
+  forward.dst_port = 443;
+  forward.proto = packet::kIpProtoTcp;
+  packet::FiveTuple reverse{forward.dst, forward.src, forward.dst_port,
+                            forward.src_port, forward.proto};
+  const auto cf = forward.canonical();
+  const auto cr = reverse.canonical();
+  EXPECT_EQ(cf.key, cr.key);
+  EXPECT_NE(cf.originator_is_first, cr.originator_is_first);
+  EXPECT_EQ(cf.key.hash(), cr.key.hash());
+}
+
+TEST(FiveTuple, HashSpreads) {
+  std::set<std::uint64_t> hashes;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    packet::FiveTuple t;
+    t.src = packet::IpAddr::v4(0x0a000000 + i);
+    t.dst = packet::IpAddr::v4(0xc0a80101);
+    t.src_port = static_cast<std::uint16_t>(10000 + i);
+    t.dst_port = 443;
+    t.proto = 6;
+    hashes.insert(t.canonical().key.hash());
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Mbuf, SharesUnderlyingBuffer) {
+  packet::Mbuf a(std::vector<std::uint8_t>{1, 2, 3}, 10);
+  packet::Mbuf b = a;  // refcount copy, no byte copy
+  EXPECT_EQ(a.bytes().data(), b.bytes().data());
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(b.timestamp_ns(), 10u);
+}
+
+TEST(IpAddrTest, ToString) {
+  EXPECT_EQ(packet::IpAddr::v4(0x0a000001).to_string(), "10.0.0.1");
+  std::array<std::uint8_t, 16> v6{};
+  v6[0] = 0x20;
+  v6[1] = 0x01;
+  v6[15] = 0x01;
+  EXPECT_EQ(packet::IpAddr::v6(v6).to_string(),
+            "2001:0000:0000:0000:0000:0000:0000:0001");
+}
+
+}  // namespace
+}  // namespace retina

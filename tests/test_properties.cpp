@@ -1,0 +1,320 @@
+// Property tests: randomized, adversarial, and cross-checking tests of
+// system invariants.
+//
+//  * Packet-layer filters: the decomposed/compiled engine must agree
+//    with a direct reference evaluation of the filter AST on every
+//    packet of a mixed trace.
+//  * Pipeline conservation: across random traffic, per-stage counts obey
+//    the lazy hierarchy, and subscription results are independent of
+//    core count and engine choice.
+//  * Reassembly under adversarial segment overlaps still reconstructs
+//    the exact stream.
+//  * Timer wheel: randomized schedules fire exactly once, in tick-level
+//    order.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/runtime.hpp"
+#include "filter/eval.hpp"
+#include "filter/interpreter.hpp"
+#include "filter/program.hpp"
+#include "stream/reassembly.hpp"
+#include "traffic/flowgen.hpp"
+#include "util/rng.hpp"
+
+namespace retina {
+namespace {
+
+using filter::CmpOp;
+using filter::Expr;
+using filter::ExprPtr;
+using packet::PacketView;
+
+// ---------------------------------------------------------------------------
+// Reference evaluation of a packet-layer filter AST: no DNF, no trie,
+// no decomposition — just direct recursive evaluation against the
+// registry. Ground truth for the compiled engine.
+bool reference_eval(const Expr& expr, const PacketView& pkt,
+                    const filter::FieldRegistry& registry) {
+  switch (expr.kind) {
+    case Expr::Kind::kAnd: {
+      for (const auto& child : expr.children) {
+        if (!reference_eval(*child, pkt, registry)) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kOr: {
+      for (const auto& child : expr.children) {
+        if (reference_eval(*child, pkt, registry)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kPredicate: {
+      const auto& pred = expr.pred;
+      const auto* proto = registry.find(pred.proto);
+      if (!proto) return false;
+      if (pred.is_unary()) return proto->present && proto->present(pkt);
+      const auto* field = proto->find_field(pred.field);
+      if (!field || !field->packet_get) return false;
+      filter::FieldValues values;
+      field->packet_get(pkt, values);
+      for (const auto& value : values) {
+        if (filter::compare_value(pred.op, value, pred.value, nullptr)) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+class PacketFilterSemantics : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PacketFilterSemantics, CompiledMatchesReference) {
+  const auto& registry = filter::FieldRegistry::builtin();
+  const auto expr = filter::parse_filter(GetParam());
+  const auto compiled = filter::CompiledFilter::compile(GetParam(), registry);
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 250;
+  mix.seed = 1234;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  std::size_t matches = 0;
+  for (const auto& mbuf : trace.packets()) {
+    const auto view = PacketView::parse(mbuf);
+    if (!view) continue;
+    const bool expected = reference_eval(*expr, *view, registry);
+    const bool actual = compiled.packet_filter(*view).terminal();
+    ASSERT_EQ(actual, expected)
+        << GetParam() << " on packet of " << mbuf.length() << " bytes";
+    if (actual) ++matches;
+  }
+  (void)matches;
+}
+
+// All of these are pure packet-layer filters (terminal at the packet
+// filter), so compiled terminal-match must equal reference truth.
+INSTANTIATE_TEST_SUITE_P(
+    Filters, PacketFilterSemantics,
+    ::testing::Values(
+        "tcp", "udp", "eth", "ipv4", "ipv6", "ipv4 or ipv6",
+        "tcp.port = 443", "tcp.port != 443", "tcp.src_port >= 32768",
+        "tcp.port = 443 or tcp.port = 80 or tcp.port = 22",
+        "ipv4.ttl >= 64 and tcp", "ipv4.ttl in 1..63 or udp",
+        "ipv4.addr in 171.64.0.0/14", "ipv4.src_addr in 171.64.0.0/14",
+        "ipv4 and tcp.flags >= 16", "udp.port = 53 or udp.port = 443",
+        "eth.ether_type = 34525",  // 0x86DD
+        "(ipv4 and tcp.port = 443) or (ipv6 and tcp.port = 443)"));
+
+// ---------------------------------------------------------------------------
+// Pipeline invariants over random traffic.
+
+struct RunOutcome {
+  std::size_t sessions = 0;
+  std::size_t conns = 0;
+  std::size_t packets_delivered = 0;
+};
+
+RunOutcome run_pipeline(const std::string& filter, core::Level level,
+                        std::size_t cores, bool interpreted,
+                        std::uint64_t seed) {
+  RunOutcome outcome;
+  core::Subscription sub = [&] {
+    switch (level) {
+      case core::Level::kPacket:
+        return core::Subscription::packets(
+            filter,
+            [&outcome](const packet::Mbuf&) { ++outcome.packets_delivered; });
+      case core::Level::kConnection:
+        return core::Subscription::connections(
+            filter, [&outcome](const core::ConnRecord&) { ++outcome.conns; });
+      default:
+        return core::Subscription::sessions(
+            filter,
+            [&outcome](const core::SessionRecord&) { ++outcome.sessions; });
+    }
+  }();
+  core::RuntimeConfig config;
+  config.cores = cores;
+  config.interpreted_filters = interpreted;
+  core::Runtime runtime(config, std::move(sub));
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 350;
+  mix.seed = seed;
+  const auto trace = traffic::make_campus_trace(mix);
+  runtime.run(trace.packets());
+  return outcome;
+}
+
+class PipelineInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineInvariance, ResultsIndependentOfCoresAndEngine) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 31 + 7;
+  const char* filters[] = {"tls", "tls.sni ~ '\\.com$'", "http or dns",
+                           "tcp.port = 443"};
+  const auto& filter = filters[GetParam() % 4];
+  const auto level =
+      GetParam() % 2 == 0 ? core::Level::kSession : core::Level::kConnection;
+
+  const auto base = run_pipeline(filter, level, 1, false, seed);
+  const auto multi = run_pipeline(filter, level, 8, false, seed);
+  const auto interp = run_pipeline(filter, level, 1, true, seed);
+
+  EXPECT_EQ(base.sessions, multi.sessions);
+  EXPECT_EQ(base.conns, multi.conns);
+  EXPECT_EQ(base.sessions, interp.sessions);
+  EXPECT_EQ(base.conns, interp.conns);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariance, ::testing::Range(0, 8));
+
+TEST(PipelineInvariants, LazyHierarchyOnRandomTraffic) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto sub = core::Subscription::connections(
+        "tcp.port = 443 and tls.sni ~ 'google'", [](const core::ConnRecord&) {});
+    core::RuntimeConfig config;
+    config.instrument_stages = true;
+    core::Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 400;
+    mix.seed = seed * 101;
+    const auto trace = traffic::make_campus_trace(mix);
+    const auto stats = runtime.run(trace.packets());
+
+    const auto& stages = stats.total.stages;
+    EXPECT_LE(stages.count(core::Stage::kConnTracking),
+              stages.count(core::Stage::kPacketFilter));
+    EXPECT_LE(stages.count(core::Stage::kReassembly),
+              stages.count(core::Stage::kConnTracking));
+    EXPECT_LE(stages.count(core::Stage::kParsing),
+              stages.count(core::Stage::kReassembly));
+    EXPECT_LE(stages.count(core::Stage::kSessionFilter),
+              stages.count(core::Stage::kParsing));
+  }
+}
+
+TEST(PipelineInvariants, SampledRunIsSubsetShaped) {
+  // With sink sampling, fewer packets are processed but every processed
+  // flow behaves normally (no partial flows: sampling is per-flow).
+  auto run_with_sink = [](double fraction) {
+    std::size_t sessions = 0;
+    auto sub = core::Subscription::sessions(
+        "tls", [&sessions](const core::SessionRecord&) { ++sessions; });
+    core::RuntimeConfig config;
+    config.sink_fraction = fraction;
+    core::Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 400;
+    mix.seed = 404;
+    const auto trace = traffic::make_campus_trace(mix);
+    const auto stats = runtime.run(trace.packets());
+    return std::pair<std::size_t, std::uint64_t>(sessions,
+                                                 stats.total.packets);
+  };
+  const auto full = run_with_sink(0.0);
+  const auto half = run_with_sink(0.5);
+  EXPECT_LT(half.second, full.second);
+  EXPECT_LE(half.first, full.first);
+  EXPECT_GT(half.first, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial reassembly: random overlapping segmentations of the same
+// stream must reconstruct it exactly (first-wins semantics match the
+// common-case network behavior our generator produces).
+
+class AdversarialReassembly : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdversarialReassembly, OverlappingSegmentsReconstruct) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  std::vector<std::uint8_t> stream(1500);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    stream[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+
+  // Cover the stream with overlapping segments in random order, always
+  // sending the in-order prefix first so delivery can begin.
+  struct Segment {
+    std::uint32_t seq;
+    std::size_t len;
+  };
+  std::vector<Segment> segments;
+  std::size_t covered = 0;
+  while (covered < stream.size()) {
+    const std::size_t back = std::min<std::size_t>(covered, rng.below(64));
+    const std::size_t start = covered - back;
+    const std::size_t len = std::min<std::size_t>(
+        1 + rng.below(400), stream.size() - start);
+    segments.push_back({static_cast<std::uint32_t>(start), len});
+    covered = std::max(covered, start + len);
+  }
+
+  stream::StreamReassembler reasm;
+  std::vector<stream::L4Pdu> ready;
+  std::vector<std::uint8_t> output;
+  for (const auto& segment : segments) {
+    std::vector<std::uint8_t> bytes(
+        stream.begin() + segment.seq,
+        stream.begin() + segment.seq + static_cast<std::ptrdiff_t>(segment.len));
+    packet::Mbuf mbuf(std::move(bytes), 0);
+    stream::L4Pdu pdu;
+    pdu.payload = mbuf.bytes();
+    pdu.mbuf = std::move(mbuf);
+    pdu.seq = segment.seq;
+    reasm.push(std::move(pdu), ready);
+    for (const auto& delivered : ready) {
+      output.insert(output.end(), delivered.payload.begin(),
+                    delivered.payload.end());
+    }
+    ready.clear();
+  }
+  ASSERT_EQ(output.size(), stream.size());
+  EXPECT_EQ(output, stream);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialReassembly,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// Timer wheel randomized schedule: every timer fires exactly once, and
+// never more than one tick early.
+
+class TimerWheelProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimerWheelProperty, FiresOnceNeverEarly) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7 + 3);
+  conntrack::TimerWheel wheel;
+  constexpr std::uint64_t kTick = 100'000'000;
+
+  std::map<std::uint64_t, std::uint64_t> deadlines;
+  for (std::uint64_t id = 0; id < 2000; ++id) {
+    const std::uint64_t deadline =
+        rng.below(3'000) * kTick / 10 + kTick;  // up to ~300 virtual secs
+    deadlines[id] = deadline;
+    wheel.schedule(id, deadline);
+  }
+
+  std::map<std::uint64_t, std::uint64_t> fired_at;
+  std::uint64_t now = 0;
+  while (now < 400ull * 1'000'000'000) {
+    now += rng.below(20) * kTick + kTick;
+    wheel.advance(now, [&](std::uint64_t id) {
+      ASSERT_EQ(fired_at.count(id), 0u) << "double fire";
+      fired_at[id] = now;
+    });
+  }
+  ASSERT_EQ(fired_at.size(), deadlines.size());
+  for (const auto& [id, at] : fired_at) {
+    EXPECT_GE(at + kTick, deadlines[id]) << "fired early";
+  }
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimerWheelProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace retina

@@ -1,0 +1,453 @@
+// Protocol-module tests: probing and parsing of crafted TLS, HTTP, SSH,
+// and DNS payloads, including fragmentation across PDUs and malformed
+// input robustness.
+#include <gtest/gtest.h>
+
+#include "protocols/dns/dns_parser.hpp"
+#include "protocols/http/http_parser.hpp"
+#include "protocols/quic/quic_parser.hpp"
+#include "protocols/registry.hpp"
+#include "protocols/smtp/smtp_parser.hpp"
+#include "protocols/ssh/ssh_parser.hpp"
+#include "protocols/tls/tls_parser.hpp"
+#include "protocols/tls/x509.hpp"
+#include "traffic/craft.hpp"
+#include "util/rng.hpp"
+
+namespace retina::protocols {
+namespace {
+
+stream::L4Pdu pdu_of(traffic::Bytes bytes, bool from_orig) {
+  packet::Mbuf mbuf(std::move(bytes), 0);
+  stream::L4Pdu pdu;
+  pdu.payload = mbuf.bytes();
+  pdu.mbuf = std::move(mbuf);
+  pdu.from_originator = from_orig;
+  return pdu;
+}
+
+TEST(TlsParserTest, ParsesClientHello) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "video.example.com";
+  spec.cipher_suites = {0x1301, 0xc02f};
+  spec.alpn = {"h2"};
+  spec.supported_versions = {0x0304};
+  for (std::size_t i = 0; i < 32; ++i) {
+    spec.random[i] = static_cast<std::uint8_t>(i);
+  }
+
+  TlsParser parser;
+  const auto hello = pdu_of(traffic::build_tls_client_hello(spec), true);
+  EXPECT_EQ(parser.probe(hello), ProbeResult::kYes);
+  EXPECT_EQ(parser.parse(hello), ParseResult::kContinue);
+
+  traffic::TlsServerHelloSpec server;
+  server.cipher = 0x1301;
+  server.supported_versions = {0x0304};
+  auto sh_bytes = traffic::build_tls_server_hello(server);
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  sh_bytes.insert(sh_bytes.end(), ccs.begin(), ccs.end());
+  EXPECT_EQ(parser.parse(pdu_of(std::move(sh_bytes), false)),
+            ParseResult::kDone);
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<TlsHandshake>();
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->sni, "video.example.com");
+  EXPECT_EQ(hs->cipher_selected, 0x1301);
+  EXPECT_EQ(hs->cipher_name(), "TLS_AES_128_GCM_SHA256");
+  EXPECT_EQ(hs->version(), 0x0304);
+  EXPECT_TRUE(hs->has_server_hello);
+  EXPECT_EQ(hs->client_random[5], 5);
+  ASSERT_EQ(hs->alpn_offered.size(), 1u);
+  EXPECT_EQ(hs->alpn_offered[0], "h2");
+  ASSERT_EQ(hs->cipher_suites_offered.size(), 2u);
+}
+
+TEST(TlsParserTest, Tls12WithCertificates) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "legacy.example.org";
+  TlsParser parser;
+  parser.parse(pdu_of(traffic::build_tls_client_hello(spec), true));
+
+  traffic::TlsServerHelloSpec server;
+  server.cipher = 0xc02f;
+  auto bytes = traffic::build_tls_server_hello(server);
+  const auto certs = traffic::build_tls_certificate(3, 800);
+  bytes.insert(bytes.end(), certs.begin(), certs.end());
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  bytes.insert(bytes.end(), ccs.begin(), ccs.end());
+  parser.parse(pdu_of(std::move(bytes), false));
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<TlsHandshake>();
+  EXPECT_EQ(hs->version(), 0x0303);
+  EXPECT_EQ(hs->certificate_count, 3u);
+  EXPECT_EQ(hs->certificate_bytes, 2400u);
+}
+
+TEST(TlsParserTest, HandlesRecordSplitAcrossPdus) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "split.example.com";
+  const auto bytes = traffic::build_tls_client_hello(spec);
+  TlsParser parser;
+  // Feed one byte at a time.
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    parser.parse(pdu_of({bytes[i]}, true));
+  }
+  // Complete with a server CCS to trigger emission.
+  parser.parse(pdu_of(traffic::build_tls_change_cipher_spec(), false));
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].get<TlsHandshake>()->sni, "split.example.com");
+}
+
+TEST(TlsParserTest, ProbeRejectsNonTls) {
+  TlsParser parser;
+  EXPECT_EQ(parser.probe(pdu_of(traffic::build_http_request({}), true)),
+            ProbeResult::kNo);
+  EXPECT_EQ(parser.probe(pdu_of({0x16, 0x99, 0x99, 0x00, 0x10}, true)),
+            ProbeResult::kNo);  // absurd version
+  EXPECT_EQ(parser.probe(pdu_of({0x16}, true)), ProbeResult::kUnsure);
+}
+
+TEST(TlsParserTest, DrainEmitsPartialHandshake) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "never-answered.com";
+  TlsParser parser;
+  parser.parse(pdu_of(traffic::build_tls_client_hello(spec), true));
+  auto sessions = parser.drain_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<TlsHandshake>();
+  EXPECT_EQ(hs->sni, "never-answered.com");
+  EXPECT_FALSE(hs->has_server_hello);
+}
+
+TEST(TlsParserTest, GarbageDoesNotCrash) {
+  util::Xoshiro256 rng(3);
+  TlsParser parser;
+  for (int i = 0; i < 50; ++i) {
+    traffic::Bytes junk(1 + rng.below(600));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    junk[0] = 0x16;  // keep it in the handshake code path
+    parser.parse(pdu_of(std::move(junk), i % 2 == 0));
+  }
+  SUCCEED();
+}
+
+TEST(HttpParserTest, SingleTransaction) {
+  HttpParser parser;
+  traffic::HttpRequestSpec req;
+  req.method = "GET";
+  req.uri = "/index.html";
+  req.host = "www.test.com";
+  req.user_agent = "UnitTest/1.0";
+  const auto request = traffic::build_http_request(req);
+  EXPECT_EQ(parser.probe(pdu_of(request, true)), ProbeResult::kYes);
+  parser.parse(pdu_of(request, true));
+
+  traffic::HttpResponseSpec resp;
+  resp.status = 404;
+  resp.reason = "Not Found";
+  resp.content_length = 128;
+  parser.parse(pdu_of(traffic::build_http_response(resp), false));
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* tx = sessions[0].get<HttpTransaction>();
+  ASSERT_NE(tx, nullptr);
+  EXPECT_EQ(tx->method, "GET");
+  EXPECT_EQ(tx->uri, "/index.html");
+  EXPECT_EQ(tx->host, "www.test.com");
+  EXPECT_EQ(tx->user_agent, "UnitTest/1.0");
+  EXPECT_TRUE(tx->has_response);
+  EXPECT_EQ(tx->status_code, 404u);
+  EXPECT_EQ(tx->response_content_length, 128u);
+}
+
+TEST(HttpParserTest, KeepAliveMultipleTransactions) {
+  HttpParser parser;
+  for (int i = 0; i < 3; ++i) {
+    traffic::HttpRequestSpec req;
+    req.uri = "/obj" + std::to_string(i);
+    parser.parse(pdu_of(traffic::build_http_request(req), true));
+    traffic::HttpResponseSpec resp;
+    resp.content_length = 64;
+    parser.parse(pdu_of(traffic::build_http_response(resp), false));
+  }
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 3u);
+  EXPECT_EQ(sessions[2].get<HttpTransaction>()->uri, "/obj2");
+}
+
+TEST(HttpParserTest, ChunkedBodySkipped) {
+  HttpParser parser;
+  parser.parse(pdu_of(traffic::build_http_request({}), true));
+  const std::string response =
+      "HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n3\r\nabc\r\n0\r\n\r\n";
+  parser.parse(pdu_of(traffic::Bytes(response.begin(), response.end()), false));
+  // Second transaction straight after the chunked body.
+  traffic::HttpRequestSpec req2;
+  req2.uri = "/second";
+  parser.parse(pdu_of(traffic::build_http_request(req2), true));
+  traffic::HttpResponseSpec resp2;
+  parser.parse(pdu_of(traffic::build_http_response(resp2), false));
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[1].get<HttpTransaction>()->uri, "/second");
+}
+
+TEST(HttpParserTest, HeadersSplitAcrossPdus) {
+  HttpParser parser;
+  const auto request = traffic::build_http_request({});
+  const std::size_t half = request.size() / 2;
+  parser.parse(pdu_of(traffic::Bytes(request.begin(), request.begin() + static_cast<std::ptrdiff_t>(half)), true));
+  parser.parse(pdu_of(traffic::Bytes(request.begin() + static_cast<std::ptrdiff_t>(half), request.end()), true));
+  parser.parse(pdu_of(traffic::build_http_response({}), false));
+  EXPECT_EQ(parser.take_sessions().size(), 1u);
+}
+
+TEST(HttpParserTest, DrainEmitsUnansweredRequest) {
+  HttpParser parser;
+  traffic::HttpRequestSpec req;
+  req.method = "POST";
+  parser.parse(pdu_of(traffic::build_http_request(req), true));
+  auto sessions = parser.drain_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].get<HttpTransaction>()->method, "POST");
+  EXPECT_FALSE(sessions[0].get<HttpTransaction>()->has_response);
+}
+
+TEST(SshParserTest, ParsesBannersAndKexinit) {
+  SshParser parser;
+  const auto client_banner = traffic::build_ssh_banner("OpenSSH_9.3");
+  EXPECT_EQ(parser.probe(pdu_of(client_banner, true)), ProbeResult::kYes);
+  parser.parse(pdu_of(client_banner, true));
+  parser.parse(pdu_of(traffic::build_ssh_banner("Dropbear_2022"), false));
+  const auto result = parser.parse(pdu_of(
+      traffic::build_ssh_kexinit({"curve25519-sha256"}, {"ssh-ed25519"}),
+      true));
+  EXPECT_EQ(result, ParseResult::kDone);
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<SshHandshake>();
+  EXPECT_EQ(hs->client_banner, "SSH-2.0-OpenSSH_9.3");
+  EXPECT_EQ(hs->server_banner, "SSH-2.0-Dropbear_2022");
+  ASSERT_EQ(hs->kex_algorithms.size(), 1u);
+  EXPECT_EQ(hs->kex_algorithms[0], "curve25519-sha256");
+  ASSERT_EQ(hs->host_key_algorithms.size(), 1u);
+}
+
+TEST(SshParserTest, ProbeRejectsOther) {
+  SshParser parser;
+  EXPECT_EQ(parser.probe(pdu_of(traffic::build_http_request({}), true)),
+            ProbeResult::kNo);
+  EXPECT_EQ(parser.probe(pdu_of({'S', 'S'}, true)), ProbeResult::kUnsure);
+}
+
+TEST(DnsParserTest, QueryAndResponse) {
+  DnsParser parser;
+  const auto query = traffic::build_dns_query(0x1234, "www.example.com", 1);
+  EXPECT_EQ(parser.probe(pdu_of(query, true)), ProbeResult::kYes);
+  parser.parse(pdu_of(query, true));
+  parser.parse(
+      pdu_of(traffic::build_dns_response(0x1234, "www.example.com", 1, 2),
+             false));
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  const auto* q = sessions[0].get<DnsMessage>();
+  ASSERT_NE(q, nullptr);
+  EXPECT_FALSE(q->is_response);
+  ASSERT_EQ(q->questions.size(), 1u);
+  EXPECT_EQ(q->questions[0].qname, "www.example.com");
+  const auto* r = sessions[1].get<DnsMessage>();
+  EXPECT_TRUE(r->is_response);
+  EXPECT_EQ(r->answer_count, 2u);
+}
+
+TEST(DnsParserTest, MalformedRejected) {
+  EXPECT_FALSE(parse_dns_message({}));
+  const std::uint8_t junk[] = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(parse_dns_message({junk, sizeof(junk)}));
+  // Compression pointer loop must not hang.
+  std::vector<std::uint8_t> loop(16, 0);
+  loop[4] = 0;
+  loop[5] = 1;  // qdcount = 1
+  loop[12] = 0xc0;
+  loop[13] = 12;  // pointer to itself
+  EXPECT_FALSE(parse_dns_message(loop));
+}
+
+
+
+TEST(X509Test, BuildAndParseRoundTrip) {
+  const auto der = build_minimal_certificate("www.example.com",
+                                             "Example CA R2");
+  const auto summary = parse_certificate_summary(der);
+  ASSERT_TRUE(summary);
+  EXPECT_EQ(summary->subject_cn, "www.example.com");
+  EXPECT_EQ(summary->issuer_cn, "Example CA R2");
+  EXPECT_EQ(summary->der_bytes, der.size());
+  EXPECT_GT(der.size(), 600u);  // realistic bulk
+}
+
+TEST(X509Test, RejectsGarbage) {
+  EXPECT_FALSE(parse_certificate_summary({}));
+  const std::uint8_t junk[] = {0x30, 0x05, 1, 2, 3, 4, 5};
+  EXPECT_FALSE(parse_certificate_summary({junk, sizeof(junk)}));
+  // Truncated real certificate.
+  auto der = build_minimal_certificate("a", "b");
+  der.resize(der.size() / 2);
+  EXPECT_FALSE(parse_certificate_summary(der));
+}
+
+TEST(TlsParserTest, ExtractsLeafCertificateNames) {
+  traffic::TlsClientHelloSpec spec;
+  spec.sni = "shop.example.com";
+  TlsParser parser;
+  parser.parse(pdu_of(traffic::build_tls_client_hello(spec), true));
+
+  traffic::TlsServerHelloSpec server;
+  server.cipher = 0xc02f;
+  auto bytes = traffic::build_tls_server_hello(server);
+  const auto chain = traffic::build_tls_certificate_chain(
+      "shop.example.com", "Example CA R2", 1);
+  bytes.insert(bytes.end(), chain.begin(), chain.end());
+  const auto ccs = traffic::build_tls_change_cipher_spec();
+  bytes.insert(bytes.end(), ccs.begin(), ccs.end());
+  parser.parse(pdu_of(std::move(bytes), false));
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<TlsHandshake>();
+  EXPECT_EQ(hs->subject_cn, "shop.example.com");
+  EXPECT_EQ(hs->issuer_cn, "Example CA R2");
+  EXPECT_EQ(hs->certificate_count, 2u);  // leaf + intermediate
+}
+
+TEST(QuicParserTest, ParsesInitialPackets) {
+  QuicParser parser;
+  // Craft a v1 long-header Initial: flags, version, dcid, scid.
+  traffic::Bytes initial = {0xc3, 0x00, 0x00, 0x00, 0x01,
+                            4,    0xaa, 0xbb, 0xcc, 0xdd,
+                            2,    0x11, 0x22};
+  initial.resize(1200, 0);  // padded as real Initials are
+  EXPECT_EQ(parser.probe(pdu_of(initial, true)), ProbeResult::kYes);
+  parser.parse(pdu_of(initial, true));
+
+  // A short-header packet ends the observable handshake.
+  traffic::Bytes short_hdr = {0x43, 1, 2, 3, 4, 5};
+  EXPECT_EQ(parser.parse(pdu_of(short_hdr, false)), ParseResult::kDone);
+
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* hs = sessions[0].get<QuicHandshake>();
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->version, 1u);
+  ASSERT_EQ(hs->dcid.size(), 4u);
+  EXPECT_EQ(hs->dcid[0], 0xaa);
+  ASSERT_EQ(hs->scid.size(), 2u);
+}
+
+TEST(QuicParserTest, ProbeRejectsNonQuic) {
+  QuicParser parser;
+  EXPECT_EQ(parser.probe(pdu_of(traffic::build_dns_query(1, "a.b", 1), true)),
+            ProbeResult::kNo);
+  // Long-header bit set but absurd version.
+  traffic::Bytes bogus = {0xc3, 0x12, 0x34, 0x56, 0x78, 0, 0};
+  EXPECT_EQ(parser.probe(pdu_of(bogus, true)), ProbeResult::kNo);
+  // Oversized connection id.
+  traffic::Bytes bad_cid = {0xc3, 0, 0, 0, 1, 33};
+  bad_cid.resize(64, 0);
+  EXPECT_EQ(parser.probe(pdu_of(bad_cid, true)), ProbeResult::kNo);
+}
+
+TEST(QuicParserTest, DrainEmitsPartial) {
+  QuicParser parser;
+  traffic::Bytes initial = {0xc3, 0x00, 0x00, 0x00, 0x01, 1, 0x55, 0};
+  initial.resize(100, 0);
+  parser.parse(pdu_of(initial, true));
+  auto sessions = parser.drain_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].get<QuicHandshake>()->initial_packets, 1u);
+}
+
+
+stream::L4Pdu smtp_pdu(const std::string& text, bool from_orig) {
+  return pdu_of(traffic::Bytes(text.begin(), text.end()), from_orig);
+}
+
+TEST(SmtpParserTest, ParsesEnvelope) {
+  SmtpParser parser;
+  EXPECT_EQ(parser.probe(smtp_pdu("220 mail.example.com ESMTP\r\n", false)),
+            ProbeResult::kYes);
+  EXPECT_EQ(parser.probe(smtp_pdu("EHLO client.org\r\n", true)),
+            ProbeResult::kYes);
+  EXPECT_EQ(parser.probe(smtp_pdu("GET / HTTP/1.1\r\n", true)),
+            ProbeResult::kNo);
+
+  parser.parse(smtp_pdu("220 mail.example.com ESMTP ready\r\n", false));
+  parser.parse(smtp_pdu(
+      "EHLO relay.example.org\r\nMAIL FROM:<alice@example.org>\r\n"
+      "RCPT TO:<bob@example.com>\r\nRCPT TO:<carol@example.com>\r\n"
+      "DATA\r\nSubject: hi\r\n\r\nbody body\r\n.\r\nQUIT\r\n",
+      true));
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  const auto* env = sessions[0].get<SmtpEnvelope>();
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->greeting, "mail.example.com ESMTP ready");
+  EXPECT_EQ(env->helo, "relay.example.org");
+  EXPECT_EQ(env->mail_from, "alice@example.org");
+  ASSERT_EQ(env->rcpt_to.size(), 2u);
+  EXPECT_EQ(env->rcpt_to[1], "carol@example.com");
+  EXPECT_FALSE(env->starttls);
+}
+
+TEST(SmtpParserTest, StarttlsEndsParsing) {
+  SmtpParser parser;
+  parser.parse(smtp_pdu("220 mx.example.com ESMTP\r\n", false));
+  const auto result =
+      parser.parse(smtp_pdu("EHLO c.example.org\r\nSTARTTLS\r\n", true));
+  EXPECT_EQ(result, ParseResult::kDone);
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_TRUE(sessions[0].get<SmtpEnvelope>()->starttls);
+}
+
+TEST(SmtpParserTest, BodyDotLinesHandled) {
+  SmtpParser parser;
+  parser.parse(smtp_pdu(
+      "EHLO h\r\nMAIL FROM:<a@b>\r\nRCPT TO:<c@d>\r\nDATA\r\n"
+      "..leading dot line\r\nnormal\r\n.\r\n"
+      "MAIL FROM:<e@f>\r\nRCPT TO:<g@h>\r\nDATA\r\nx\r\n.\r\nQUIT\r\n",
+      true));
+  auto sessions = parser.take_sessions();
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0].get<SmtpEnvelope>()->mail_from, "a@b");
+  EXPECT_EQ(sessions[1].get<SmtpEnvelope>()->mail_from, "e@f");
+}
+
+TEST(ParserRegistryTest, BuiltinsAndCustom) {
+  const auto& registry = ParserRegistry::builtin();
+  EXPECT_TRUE(registry.has("tls"));
+  EXPECT_TRUE(registry.has("http"));
+  EXPECT_TRUE(registry.has("ssh"));
+  EXPECT_TRUE(registry.has("dns"));
+  EXPECT_TRUE(registry.has("quic"));
+  EXPECT_TRUE(registry.has("smtp"));
+  EXPECT_FALSE(registry.has("mqtt"));
+  auto parser = registry.create("tls");
+  ASSERT_NE(parser, nullptr);
+  EXPECT_EQ(parser->name(), "tls");
+  EXPECT_EQ(registry.create("nope"), nullptr);
+  EXPECT_EQ(registry.names().size(), 6u);  // tls http ssh dns quic smtp
+}
+
+}  // namespace
+}  // namespace retina::protocols

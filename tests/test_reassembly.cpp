@@ -1,0 +1,162 @@
+// Stream-reassembly tests: pass-through fast path, out-of-order
+// buffering and hole filling, duplicate/overlap handling, capacity
+// limits, and a randomized permutation property test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "stream/reassembly.hpp"
+#include "util/rng.hpp"
+
+namespace retina::stream {
+namespace {
+
+L4Pdu make_pdu(std::uint32_t seq, std::vector<std::uint8_t> payload,
+               std::uint8_t flags = 0) {
+  // Build an mbuf whose whole buffer is the payload, so the span stays
+  // valid while the PDU is buffered.
+  packet::Mbuf mbuf(std::move(payload), 0);
+  L4Pdu pdu;
+  pdu.payload = mbuf.bytes();
+  pdu.mbuf = std::move(mbuf);
+  pdu.seq = seq;
+  pdu.tcp_flags = flags;
+  return pdu;
+}
+
+std::vector<std::uint8_t> collect(const std::vector<L4Pdu>& pdus) {
+  std::vector<std::uint8_t> out;
+  for (const auto& pdu : pdus) {
+    out.insert(out.end(), pdu.payload.begin(), pdu.payload.end());
+  }
+  return out;
+}
+
+TEST(Reassembly, InOrderPassThrough) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(100, {1, 2, 3}), ready);
+  reasm.push(make_pdu(103, {4, 5}), ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(reasm.stats().passed_through, 2u);
+  EXPECT_EQ(reasm.stats().buffered, 0u);
+  EXPECT_EQ(reasm.next_seq(), 105u);
+}
+
+TEST(Reassembly, SynOccupiesSequenceSpace) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(1000, {}, 0x02), ready);  // SYN
+  EXPECT_EQ(reasm.next_seq(), 1001u);
+  reasm.push(make_pdu(1001, {42}), ready);
+  ASSERT_EQ(ready.size(), 2u);  // SYN pdu + data pdu
+}
+
+TEST(Reassembly, HoleFilledByLaterArrival) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0, {0, 1}), ready);
+  reasm.push(make_pdu(4, {4, 5}), ready);  // hole at 2..3
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_EQ(reasm.pending(), 1u);
+  reasm.push(make_pdu(2, {2, 3}), ready);  // fills the hole
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(reasm.pending(), 0u);
+  EXPECT_EQ(reasm.stats().buffered, 1u);
+}
+
+TEST(Reassembly, FullDuplicateDropped) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0, {1, 2, 3}), ready);
+  reasm.push(make_pdu(0, {1, 2, 3}), ready);  // retransmission
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_EQ(reasm.stats().duplicates, 1u);
+}
+
+TEST(Reassembly, OverlapTrimmed) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0, {1, 2, 3, 4}), ready);
+  reasm.push(make_pdu(2, {3, 4, 5, 6}), ready);  // first 2 bytes old
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(reasm.stats().overlaps_trimmed, 1u);
+}
+
+TEST(Reassembly, CapacityOverflowDrops) {
+  StreamReassembler reasm(4);
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0, {0}), ready);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    reasm.push(make_pdu(100 + 2 * i, {1}), ready);  // all out of order
+  }
+  EXPECT_EQ(reasm.pending(), 4u);
+  EXPECT_EQ(reasm.stats().overflow_dropped, 6u);
+}
+
+TEST(Reassembly, ClearDropsBuffered) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0, {0}), ready);
+  reasm.push(make_pdu(10, {1}), ready);
+  EXPECT_EQ(reasm.pending(), 1u);
+  reasm.clear();
+  EXPECT_EQ(reasm.pending(), 0u);
+}
+
+TEST(Reassembly, SequenceWraparound) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0xfffffffe, {1, 2, 3, 4}), ready);  // wraps to 2
+  reasm.push(make_pdu(2, {5, 6}), ready);
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(reasm.next_seq(), 4u);
+}
+
+// Property: any permutation of segments reconstructs the exact stream,
+// as long as the first segment arrives first (it anchors the sequence).
+class PermutationReassembly : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationReassembly, ReconstructsExactly) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()));
+  // Build a reference stream cut into random segments.
+  std::vector<std::uint8_t> stream(2000);
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.next());
+
+  struct Segment {
+    std::uint32_t seq;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Segment> segments;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t len =
+        std::min<std::size_t>(1 + rng.below(300), stream.size() - offset);
+    segments.push_back(
+        {static_cast<std::uint32_t>(offset),
+         {stream.begin() + static_cast<std::ptrdiff_t>(offset),
+          stream.begin() + static_cast<std::ptrdiff_t>(offset + len)}});
+    offset += len;
+  }
+
+  // Shuffle all but the first segment.
+  std::shuffle(segments.begin() + 1, segments.end(), rng);
+
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  for (auto& segment : segments) {
+    reasm.push(make_pdu(segment.seq, segment.bytes), ready);
+  }
+  EXPECT_EQ(collect(ready), stream);
+  EXPECT_EQ(reasm.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationReassembly,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace retina::stream

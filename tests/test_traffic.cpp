@@ -1,0 +1,264 @@
+// Traffic-generation tests: the campus mix hits its composition targets
+// (Table 2 shape), flows parse end-to-end, and the interleaved
+// generator conserves packets.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "packet/packet_view.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/workloads.hpp"
+
+namespace retina::traffic {
+namespace {
+
+using packet::PacketView;
+
+TEST(FlowCrafter, HandshakeSequence) {
+  TcpFlowCrafter crafter(FlowEndpoints{}, 1000);
+  crafter.handshake();
+  auto& pkts = crafter.packets();
+  ASSERT_EQ(pkts.size(), 3u);
+  const auto syn = PacketView::parse(pkts[0]);
+  EXPECT_TRUE(syn->tcp()->syn());
+  EXPECT_FALSE(syn->tcp()->ack_flag());
+  const auto synack = PacketView::parse(pkts[1]);
+  EXPECT_TRUE(synack->tcp()->syn());
+  EXPECT_TRUE(synack->tcp()->ack_flag());
+  const auto ack = PacketView::parse(pkts[2]);
+  EXPECT_FALSE(ack->tcp()->syn());
+  // Timestamps strictly increase.
+  EXPECT_LT(pkts[0].timestamp_ns(), pkts[1].timestamp_ns());
+  EXPECT_LT(pkts[1].timestamp_ns(), pkts[2].timestamp_ns());
+}
+
+TEST(FlowCrafter, SegmentsByMss) {
+  TcpFlowCrafter crafter(FlowEndpoints{}, 0);
+  crafter.set_mss(100);
+  crafter.set_auto_ack(0);  // data segments only
+  crafter.handshake();
+  std::vector<std::uint8_t> payload(350, 0x11);
+  crafter.client_send(payload);
+  // 3 handshake + 4 data segments (100+100+100+50).
+  ASSERT_EQ(crafter.packets().size(), 7u);
+  std::size_t total = 0;
+  std::uint32_t expected_seq = 0;
+  bool first = true;
+  for (std::size_t i = 3; i < 7; ++i) {
+    const auto view = PacketView::parse(crafter.packets()[i]);
+    total += view->l4_payload().size();
+    if (!first) {
+      EXPECT_EQ(view->tcp()->seq(), expected_seq);
+    }
+    first = false;
+    expected_seq = view->tcp()->seq() +
+                   static_cast<std::uint32_t>(view->l4_payload().size());
+  }
+  EXPECT_EQ(total, 350u);
+}
+
+TEST(FlowCrafter, AutoAcksInterleaved) {
+  TcpFlowCrafter crafter(FlowEndpoints{}, 0);
+  crafter.set_mss(100);
+  crafter.set_auto_ack(2);
+  crafter.handshake();
+  std::vector<std::uint8_t> payload(400, 0x22);
+  crafter.client_send(payload);
+  // 3 handshake + 4 data + 2 pure ACKs from the server.
+  ASSERT_EQ(crafter.packets().size(), 9u);
+  std::size_t pure_acks = 0;
+  for (const auto& mbuf : crafter.packets()) {
+    const auto view = PacketView::parse(mbuf);
+    if (view->l4_payload().empty() && view->tcp()->ack_flag() &&
+        !view->tcp()->syn()) {
+      ++pure_acks;
+    }
+  }
+  EXPECT_EQ(pure_acks, 3u);  // handshake final ACK + 2 delayed ACKs
+}
+
+TEST(FlowCrafter, SeqContinuityAcrossDirections) {
+  TcpFlowCrafter crafter(FlowEndpoints{}, 0, /*client_isn=*/100,
+                         /*server_isn=*/500);
+  crafter.handshake();
+  const std::uint8_t data[] = {1, 2, 3};
+  crafter.client_send(data).server_send(data).close();
+  const auto& pkts = crafter.packets();
+  // Client data starts at ISN+1 (SYN consumed one).
+  const auto client_data = PacketView::parse(pkts[3]);
+  EXPECT_EQ(client_data->tcp()->seq(), 101u);
+  const auto server_data = PacketView::parse(pkts[4]);
+  EXPECT_EQ(server_data->tcp()->seq(), 501u);
+}
+
+TEST(InterleavedGen, ConservesPackets) {
+  std::size_t crafted = 0;
+  FlowFactory factory = [&crafted](std::uint64_t ts, util::Xoshiro256& rng) {
+    TcpFlowCrafter crafter(FlowEndpoints{}, ts,
+                           static_cast<std::uint32_t>(rng.next()));
+    crafter.handshake().close();
+    crafted += crafter.packets().size();
+    return crafter.take();
+  };
+  InterleavedFlowGen gen(std::move(factory), 50, 1000.0, 8, 1);
+  packet::Mbuf mbuf;
+  std::size_t emitted = 0;
+  while (gen.next(mbuf)) ++emitted;
+  EXPECT_EQ(gen.flows_started(), 50u);
+  EXPECT_EQ(emitted, crafted);
+  EXPECT_EQ(emitted, gen.packets_emitted());
+}
+
+TEST(InterleavedGen, RoughlyTimeOrdered) {
+  CampusMixConfig config;
+  config.total_flows = 200;
+  config.seed = 5;
+  auto gen = make_campus_gen(config);
+  packet::Mbuf mbuf;
+  std::uint64_t last = 0;
+  std::size_t inversions = 0, count = 0;
+  while (gen.next(mbuf)) {
+    if (mbuf.timestamp_ns() < last) ++inversions;
+    last = std::max(last, mbuf.timestamp_ns());
+    ++count;
+  }
+  // Flows longer than the active window can invert slightly; the stream
+  // must still be predominantly ordered.
+  EXPECT_LT(static_cast<double>(inversions), 0.35 * static_cast<double>(count));
+}
+
+TEST(CampusMix, CompositionTargets) {
+  CampusMixConfig config;
+  config.total_flows = 4000;
+  config.seed = 17;
+  const auto trace = make_campus_trace(config);
+  ASSERT_GT(trace.size(), 10'000u);
+
+  std::size_t tcp_pkts = 0, udp_pkts = 0, other = 0, parsed = 0;
+  std::map<std::uint64_t, bool> tcp_flows_synonly;  // hash -> only-syn
+  std::map<std::uint64_t, std::size_t> tcp_flow_pkts;
+  for (const auto& mbuf : trace.packets()) {
+    const auto view = PacketView::parse(mbuf);
+    ASSERT_TRUE(view);
+    ++parsed;
+    if (view->tcp()) {
+      ++tcp_pkts;
+      const auto h = view->five_tuple()->canonical().key.hash();
+      ++tcp_flow_pkts[h];
+      auto [it, fresh] = tcp_flows_synonly.emplace(h, true);
+      if (!(view->tcp()->syn() && !view->tcp()->ack_flag())) {
+        it->second = false;
+      }
+    } else if (view->udp()) {
+      ++udp_pkts;
+    } else {
+      ++other;
+    }
+  }
+  EXPECT_EQ(parsed, trace.size());
+  EXPECT_GT(tcp_pkts, udp_pkts);  // TCP dominates bytes/packets
+
+  // ~65% of TCP connections are single unanswered SYNs.
+  std::size_t single_syn = 0;
+  for (const auto& [h, only_syn] : tcp_flows_synonly) {
+    if (only_syn && tcp_flow_pkts[h] == 1) ++single_syn;
+  }
+  const double frac = static_cast<double>(single_syn) /
+                      static_cast<double>(tcp_flows_synonly.size());
+  EXPECT_NEAR(frac, 0.65, 0.08);
+}
+
+TEST(CampusMix, PacketSizesPlausible) {
+  CampusMixConfig config;
+  config.total_flows = 1500;
+  config.seed = 23;
+  const auto trace = make_campus_trace(config);
+  const double avg = trace.avg_packet_bytes();
+  // The paper's network averages 895 B; the generator should land in a
+  // broadly similar regime (bimodal smalls + MTU-size data packets).
+  EXPECT_GT(avg, 400.0);
+  EXPECT_LT(avg, 1400.0);
+}
+
+TEST(CampusMix, Deterministic) {
+  CampusMixConfig config;
+  config.total_flows = 100;
+  config.seed = 3;
+  const auto a = make_campus_trace(config);
+  const auto b = make_campus_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    ASSERT_EQ(a.packets()[i].length(), b.packets()[i].length());
+    ASSERT_EQ(a.packets()[i].timestamp_ns(), b.packets()[i].timestamp_ns());
+  }
+}
+
+TEST(CampusMix, NonceAnomaliesSeeded) {
+  CampusMixConfig config;
+  config.total_flows = 3000;
+  config.nonce_anomalies = true;
+  config.frac_repeated_nonce = 0.05;  // exaggerate for the test
+  config.seed = 29;
+  const auto trace = make_campus_trace(config);
+  // Scan TLS ClientHellos for the anomalous random.
+  const auto& bad = anomalous_client_random();
+  std::size_t found = 0;
+  for (const auto& mbuf : trace.packets()) {
+    const auto view = PacketView::parse(mbuf);
+    if (!view || view->l4_payload().size() < 50) continue;
+    const auto payload = view->l4_payload();
+    if (payload[0] != 0x16 || payload[5] != 0x01) continue;
+    // ClientHello random sits at offset 5(record)+4(hs)+2(version).
+    if (std::equal(bad.begin(), bad.end(), payload.begin() + 11)) ++found;
+  }
+  EXPECT_GT(found, 5u);
+}
+
+TEST(HttpsWorkload, FixedResponseSize) {
+  HttpsWorkloadConfig config;
+  config.total_requests = 20;
+  config.response_bytes = 64 * 1024;
+  auto gen = make_https_workload(config);
+  packet::Mbuf mbuf;
+  std::uint64_t bytes = 0;
+  std::size_t packets = 0;
+  while (gen.next(mbuf)) {
+    bytes += mbuf.length();
+    ++packets;
+  }
+  EXPECT_EQ(gen.flows_started(), 20u);
+  // Each request transfers at least the response payload.
+  EXPECT_GT(bytes, 20ull * 64 * 1024);
+}
+
+TEST(VideoWorkload, ContainsBothServices) {
+  VideoWorkloadConfig config;
+  config.sessions = 10;
+  config.background_flows = 50;
+  config.min_session_bytes = 1e5;
+  config.max_session_bytes = 1e6;
+  config.byte_scale = 0.1;
+  auto gen = make_video_workload(config);
+  packet::Mbuf mbuf;
+  bool netflix = false, youtube = false;
+  while (gen.next(mbuf)) {
+    const auto view = PacketView::parse(mbuf);
+    if (!view || view->l4_payload().size() < 60) continue;
+    const auto payload = view->l4_payload();
+    const std::string text(payload.begin(), payload.end());
+    if (text.find("nflxvideo") != std::string::npos) netflix = true;
+    if (text.find("googlevideo") != std::string::npos) youtube = true;
+  }
+  EXPECT_TRUE(netflix);
+  EXPECT_TRUE(youtube);
+}
+
+TEST(NormalUserTraces, FourDistinctVariants) {
+  for (std::size_t variant = 0; variant < 4; ++variant) {
+    const auto trace = make_normal_user_trace(variant, 200);
+    EXPECT_GT(trace.size(), 500u) << variant;
+  }
+}
+
+}  // namespace
+}  // namespace retina::traffic

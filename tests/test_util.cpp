@@ -1,0 +1,208 @@
+// Unit tests for the utility substrate: byte readers, RNG, ipcrypt,
+// histograms, and the SPSC ring.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "util/bytes.hpp"
+#include "util/cycles.hpp"
+#include "util/histogram.hpp"
+#include "util/ipcrypt.hpp"
+#include "util/rng.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace retina {
+namespace {
+
+using util::ByteReader;
+
+TEST(Bytes, BigEndianRoundTrip) {
+  std::uint8_t buf[8];
+  util::store_be16(buf, 0xbeef);
+  EXPECT_EQ(util::load_be16(buf), 0xbeef);
+  util::store_be32(buf, 0xdeadbeef);
+  EXPECT_EQ(util::load_be32(buf), 0xdeadbeefu);
+  util::store_be64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(util::load_be64(buf), 0x0123456789abcdefULL);
+  util::store_be24(buf, 0x123456);
+  EXPECT_EQ(util::load_be24(buf), 0x123456u);
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07};
+  ByteReader r({data, sizeof(data)});
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.be16(), 0x0203);
+  EXPECT_EQ(r.be32(), 0x04050607u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, PoisonsOnUnderflow) {
+  const std::uint8_t data[] = {0x01, 0x02};
+  ByteReader r({data, sizeof(data)});
+  EXPECT_EQ(r.be32(), 0u);  // underflow
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays poisoned
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, BytesBorrowsWithoutCopy) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r({data, sizeof(data)});
+  auto span = r.bytes(3);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span.data(), data);
+  EXPECT_TRUE(r.skip(2));
+  EXPECT_FALSE(r.skip(1));
+}
+
+TEST(Rng, Deterministic) {
+  util::Xoshiro256 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, UniformInRange) {
+  util::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    const auto v = rng.range(10, 20);
+    ASSERT_GE(v, 10u);
+    ASSERT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, ParetoBounded) {
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.pareto(1000, 1.3, 1e6);
+    ASSERT_GE(x, 999.0);
+    ASSERT_LE(x, 1.0001e6);
+  }
+}
+
+TEST(IpCrypt, RoundTrips) {
+  util::IpCrypt::Key key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  util::IpCrypt crypt(key);
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const auto ip = static_cast<std::uint32_t>(rng.next());
+    EXPECT_EQ(crypt.decrypt(crypt.encrypt(ip)), ip);
+  }
+}
+
+TEST(IpCrypt, IsPermutation) {
+  util::IpCrypt crypt(util::IpCrypt::Key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12, 13, 14, 15, 16});
+  std::set<std::uint32_t> outputs;
+  for (std::uint32_t ip = 0; ip < 5000; ++ip) {
+    outputs.insert(crypt.encrypt(ip));
+  }
+  EXPECT_EQ(outputs.size(), 5000u);  // injective on the sample
+}
+
+TEST(IpCrypt, PrefixPreserving) {
+  util::IpCrypt crypt(util::IpCrypt::Key{9, 9, 9, 9, 1, 1, 1, 1, 2, 2, 2, 2,
+                                         3, 3, 3, 3});
+  const std::uint32_t a = 0xab400101;  // 171.64.1.1
+  const std::uint32_t b = 0xab400102;  // 171.64.1.2  (same /24)
+  const std::uint32_t c = 0xab410101;  // 171.65.1.1  (same /8 only)
+  const auto ea = crypt.encrypt_prefix_preserving(a);
+  const auto eb = crypt.encrypt_prefix_preserving(b);
+  const auto ec = crypt.encrypt_prefix_preserving(c);
+  EXPECT_EQ(ea >> 8, eb >> 8);            // shared /24 preserved
+  EXPECT_NE(ea & 0xff, eb & 0xff);        // last octet differs
+  EXPECT_EQ(ea >> 24, ec >> 24);          // shared /8 preserved
+  EXPECT_NE((ea >> 16) & 0xff, (ec >> 16) & 0xff);
+}
+
+TEST(Percentiles, Basics) {
+  util::Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+  EXPECT_NEAR(p.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(p.percentile(99), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.min(), 1.0);
+  EXPECT_DOUBLE_EQ(p.max(), 100.0);
+}
+
+TEST(LinearHistogram, BinsAndClamps) {
+  util::LinearHistogram h(0, 100, 10);
+  h.add(5);
+  h.add(95);
+  h.add(-10);   // clamps to first bin
+  h.add(1000);  // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+}
+
+TEST(Cdf, QuantilesMonotone) {
+  util::Cdf cdf;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.uniform() * 100);
+  const auto points = cdf.quantile_points(10);
+  ASSERT_EQ(points.size(), 10u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].second, points[i - 1].second);
+  }
+  EXPECT_NEAR(cdf.at(50.0), 0.5, 0.1);
+}
+
+TEST(SpscRing, PushPopOrder) {
+  util::SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.push(int{i}));
+  int out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  util::SpscRing<int> ring(4);
+  int pushed = 0;
+  while (ring.push(int{pushed})) ++pushed;
+  EXPECT_GE(pushed, 4);
+  int out;
+  EXPECT_TRUE(ring.pop(out));
+  EXPECT_TRUE(ring.push(99));  // space freed
+}
+
+TEST(SpscRing, ThreadedTransfer) {
+  util::SpscRing<std::uint64_t> ring(1024);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (ring.push(std::uint64_t{i})) ++i;
+    }
+  });
+  std::uint64_t sum = 0, received = 0, value;
+  while (received < kCount) {
+    if (ring.pop(value)) {
+      sum += value;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+TEST(Cycles, SpinAdvances) {
+  const auto start = util::rdtsc();
+  util::spin_cycles(10000);
+  EXPECT_GE(util::rdtsc() - start, 10000u);
+  EXPECT_GT(util::tsc_hz(), 1e6);
+}
+
+}  // namespace
+}  // namespace retina

@@ -1,0 +1,210 @@
+// retina_cli — command-line traffic analysis without writing code.
+//
+// The library equivalent of running the original Retina binary with a
+// config: choose a filter, a data representation, and an input (a pcap
+// file for offline analysis, or the built-in campus workload for
+// experimentation), and records are printed as text.
+//
+//   retina_cli --type sessions --filter "tls.sni ~ '\.com$'" --synthetic 5000
+//   retina_cli --type connections --filter "tcp.port = 443" --pcap in.pcap
+//   retina_cli --type packets --filter "udp" --pcap in.pcap --quiet
+//
+// Options:
+//   --filter EXPR      subscription filter (default: match everything)
+//   --type KIND        packets | connections | sessions | streams
+//   --pcap PATH        read packets from a pcap file
+//   --synthetic N      generate N campus-profile flows instead
+//   --cores N          worker cores (default 4)
+//   --interpreted      use the runtime-interpreted filter engine
+//   --no-hw            disable hardware (NIC) pre-filtering
+//   --limit N          print at most N records (default 20)
+//   --quiet            print only the summary
+//   --stats            print per-stage statistics (Fig. 7 style)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/runtime.hpp"
+#include "core/stats.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/pcap.hpp"
+
+using namespace retina;
+
+namespace {
+
+struct Options {
+  std::string filter;
+  std::string type = "connections";
+  std::string pcap_path;
+  std::size_t synthetic_flows = 0;
+  std::size_t cores = 4;
+  std::size_t limit = 20;
+  bool interpreted = false;
+  bool hardware = true;
+  bool quiet = false;
+  bool stats = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--filter EXPR] [--type packets|connections|"
+               "sessions|streams]\n"
+               "          (--pcap PATH | --synthetic N) [--cores N]"
+               " [--interpreted]\n"
+               "          [--no-hw] [--limit N] [--quiet] [--stats]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--filter") opts.filter = next();
+    else if (arg == "--type") opts.type = next();
+    else if (arg == "--pcap") opts.pcap_path = next();
+    else if (arg == "--synthetic")
+      opts.synthetic_flows = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--cores")
+      opts.cores = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--limit")
+      opts.limit = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--interpreted") opts.interpreted = true;
+    else if (arg == "--no-hw") opts.hardware = false;
+    else if (arg == "--quiet") opts.quiet = true;
+    else if (arg == "--stats") opts.stats = true;
+    else usage(argv[0]);
+  }
+  if (opts.pcap_path.empty() && opts.synthetic_flows == 0) {
+    opts.synthetic_flows = 2000;  // demo default
+  }
+  return opts;
+}
+
+std::string session_summary(const core::SessionRecord& rec) {
+  if (const auto* tls = rec.session.get<protocols::TlsHandshake>()) {
+    return "tls sni=" + tls->sni + " cipher=" + tls->cipher_name();
+  }
+  if (const auto* http = rec.session.get<protocols::HttpTransaction>()) {
+    return "http " + http->method + " " + http->host + http->uri + " -> " +
+           std::to_string(http->status_code);
+  }
+  if (const auto* ssh = rec.session.get<protocols::SshHandshake>()) {
+    return "ssh " + ssh->client_banner + " <-> " + ssh->server_banner;
+  }
+  if (const auto* dns = rec.session.get<protocols::DnsMessage>()) {
+    return std::string("dns ") + (dns->is_response ? "response " : "query ") +
+           (dns->questions.empty() ? "?" : dns->questions[0].qname);
+  }
+  if (const auto* quic = rec.session.get<protocols::QuicHandshake>()) {
+    return "quic version=" + std::to_string(quic->version);
+  }
+  return "(unknown session)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+
+  std::size_t printed = 0, records = 0;
+  auto emit = [&](const std::string& line) {
+    ++records;
+    if (!opts.quiet && printed < opts.limit) {
+      std::printf("%s\n", line.c_str());
+      ++printed;
+    }
+  };
+
+  core::Subscription subscription = [&] {
+    if (opts.type == "packets") {
+      return core::Subscription::packets(
+          opts.filter, [&](const packet::Mbuf& mbuf) {
+            emit("packet len=" + std::to_string(mbuf.length()) + " t=" +
+                 std::to_string(mbuf.timestamp_ns() / 1000000) + "ms");
+          });
+    }
+    if (opts.type == "sessions") {
+      return core::Subscription::sessions(
+          opts.filter, [&](const core::SessionRecord& rec) {
+            emit(rec.tuple.to_string() + "  " + session_summary(rec));
+          });
+    }
+    if (opts.type == "streams") {
+      return core::Subscription::byte_streams(
+          opts.filter, [&](const core::StreamChunk& chunk) {
+            if (chunk.end_of_stream) return;
+            emit(chunk.tuple.to_string() + (chunk.from_originator ? "  up "
+                                                                  : "  down ") +
+                 std::to_string(chunk.data.size()) + " bytes");
+          });
+    }
+    if (opts.type != "connections") usage(argv[0]);
+    return core::Subscription::connections(
+        opts.filter, [&](const core::ConnRecord& rec) {
+          emit(rec.tuple.to_string() + "  proto=" +
+               (rec.app_proto.empty() ? "-" : rec.app_proto) + " pkts=" +
+               std::to_string(rec.pkts_up) + "/" +
+               std::to_string(rec.pkts_down) + " bytes=" +
+               std::to_string(rec.bytes_up) + "/" +
+               std::to_string(rec.bytes_down) +
+               (rec.single_syn() ? " single-syn" : ""));
+        });
+  }();
+
+  core::RuntimeConfig config;
+  config.cores = opts.cores;
+  config.interpreted_filters = opts.interpreted;
+  config.hardware_filter = opts.hardware;
+  config.instrument_stages = opts.stats;
+
+  try {
+    core::Runtime runtime(config, std::move(subscription));
+
+    if (!opts.pcap_path.empty()) {
+      const auto trace = traffic::read_pcap(opts.pcap_path);
+      for (const auto& mbuf : trace.packets()) {
+        runtime.dispatch(mbuf);
+        runtime.drain();
+      }
+    } else {
+      traffic::CampusMixConfig mix;
+      mix.total_flows = opts.synthetic_flows;
+      auto gen = traffic::make_campus_gen(mix);
+      packet::Mbuf mbuf;
+      while (gen.next(mbuf)) {
+        runtime.dispatch(mbuf);
+        runtime.drain();
+      }
+    }
+    const auto stats = runtime.finish();
+
+    std::fprintf(stderr,
+                 "\n%llu packets (%.1f MB), %llu connections tracked, "
+                 "%llu records matched\n",
+                 static_cast<unsigned long long>(stats.nic_rx_packets),
+                 static_cast<double>(stats.nic_rx_bytes) / 1e6,
+                 static_cast<unsigned long long>(stats.total.conns_created),
+                 static_cast<unsigned long long>(records));
+    if (opts.stats) {
+      for (int i = 0; i < static_cast<int>(core::Stage::kCount); ++i) {
+        const auto stage = static_cast<core::Stage>(i);
+        std::fprintf(
+            stderr, "  %-22s %12llu invocations  %10.1f avg cycles\n",
+            core::stage_name(stage),
+            static_cast<unsigned long long>(stats.total.stages.count(stage)),
+            stats.total.stages.avg_cycles(stage));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
