@@ -12,6 +12,8 @@
 #include "nic/rss.hpp"
 #include "protocols/tls/tls_parser.hpp"
 #include "stream/reassembly.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "traffic/craft.hpp"
 #include "traffic/flowgen.hpp"
 
@@ -186,6 +188,45 @@ void BM_StdUnorderedMapLookupHit(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_StdUnorderedMapLookupHit);
+
+// Telemetry hot-path cost: one counter bump / one histogram record is
+// what the pipeline adds per packet (or per stage) when telemetry is
+// on. Compare against BM_PacketParse etc. to confirm the <2% overhead
+// budget — a relaxed single-writer cell should be a handful of cycles.
+void BM_TelemetryCounterInc(benchmark::State& state) {
+  telemetry::MetricRegistry registry(1);
+  auto& cell = registry.counter("bench_total", "bench").at(0);
+  for (auto _ : state) {
+    cell.inc();
+    benchmark::DoNotOptimize(cell);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetryCounterInc);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  telemetry::MetricRegistry registry(1);
+  auto& hist = registry.histogram("bench_cycles", "bench").at(0);
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    hist.record(v);
+    v = v * 2862933555777941757ull + 3037000493ull;  // cheap lcg spread
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+void BM_TelemetrySpanRecord(benchmark::State& state) {
+  telemetry::SpanRing ring(1 << 12, 0);
+  std::uint64_t ts = 0;
+  for (auto _ : state) {
+    ring.record(telemetry::SpanEvent::kConnCreated, 0xabcdef, ts += 100);
+    benchmark::DoNotOptimize(ring);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetrySpanRecord);
 
 void BM_TimerWheelScheduleAdvance(benchmark::State& state) {
   conntrack::TimerWheel wheel;

@@ -54,6 +54,20 @@ struct RuntimeConfig {
   /// Emit (virtual-time, connection-count, bytes) memory samples every
   /// this many nanoseconds (Fig. 8). 0 = off.
   std::uint64_t memory_sample_interval_ns = 0;
+
+  /// Live telemetry: per-core metric registry (counters, gauges, and
+  /// per-stage latency histograms) readable while the run is in flight.
+  /// Implies `instrument_stages` (histograms need the cycle probes).
+  bool telemetry = false;
+
+  /// Wall-clock period of the time-series sampler run_threaded()
+  /// starts when telemetry is on. The sampler always records a first
+  /// and a final point, so any run yields >= 2 samples. 0 = no sampler.
+  std::uint64_t telemetry_sample_interval_ms = 100;
+
+  /// Per-core capacity of the connection-lifecycle span ring (Chrome
+  /// trace_event export). 0 = tracing off.
+  std::size_t trace_ring_capacity = 0;
 };
 
 }  // namespace retina::core

@@ -14,13 +14,21 @@ using filter::FilterResult;
 using filter::MatchKind;
 
 /// Scoped cycle accounting for one stage; no-op when instrumentation is
-/// off (the branch is well-predicted).
+/// off (the branch is well-predicted). With telemetry attached, the
+/// same rdtsc delta also lands in the stage's latency histogram and
+/// invocation counter — two relaxed stores on top of the measurement.
 class StageScope {
  public:
-  StageScope(PipelineStats& stats, Stage stage, bool enabled)
-      : stats_(stats), stage_(stage), enabled_(enabled) {
+  StageScope(PipelineStats& stats, Stage stage, bool enabled,
+             const PipelineInstruments* inst = nullptr)
+      : stats_(stats), stage_(stage), enabled_(enabled), inst_(inst) {
     if (enabled_) {
       stats_.stages.add(stage_);
+      if (inst_ != nullptr) {
+        if (auto* cell = inst_->stage_invocations[static_cast<int>(stage_)]) {
+          cell->inc();
+        }
+      }
       start_ = util::rdtsc();
     }
   }
@@ -28,7 +36,13 @@ class StageScope {
   StageScope& operator=(const StageScope&) = delete;
   ~StageScope() {
     if (enabled_) {
-      stats_.stages.add_cycles(stage_, util::rdtsc() - start_);
+      const auto cycles = util::rdtsc() - start_;
+      stats_.stages.add_cycles(stage_, cycles);
+      if (inst_ != nullptr) {
+        if (auto* hist = inst_->stage_cycles[static_cast<int>(stage_)]) {
+          hist->record(cycles);
+        }
+      }
     }
   }
 
@@ -36,6 +50,7 @@ class StageScope {
   PipelineStats& stats_;
   Stage stage_;
   bool enabled_;
+  const PipelineInstruments* inst_;
   std::uint64_t start_ = 0;
 };
 
@@ -94,6 +109,50 @@ Pipeline::Pipeline(const RuntimeConfig& config,
   }
 }
 
+void Pipeline::attach_telemetry(telemetry::MetricRegistry& registry,
+                                std::size_t core,
+                                telemetry::SpanRing* spans) {
+  inst_.packets =
+      &registry.counter("retina_packets_total",
+                        "Packets polled from the receive queue").at(core);
+  inst_.bytes =
+      &registry.counter("retina_bytes_total",
+                        "Wire bytes polled from the receive queue").at(core);
+  inst_.conns_created =
+      &registry.counter("retina_conns_created_total",
+                        "Connections inserted into the table").at(core);
+  inst_.conns_expired =
+      &registry.counter("retina_conns_expired_total",
+                        "Connections removed by inactivity timeout").at(core);
+  inst_.conns_terminated =
+      &registry.counter("retina_conns_terminated_total",
+                        "Connections closed by FIN/RST").at(core);
+  inst_.sessions =
+      &registry.counter("retina_sessions_parsed_total",
+                        "Application-layer sessions parsed").at(core);
+  inst_.callbacks =
+      &registry.counter("retina_callbacks_total",
+                        "Subscription callback invocations").at(core);
+  inst_.live_conns =
+      &registry.gauge("retina_live_connections",
+                      "Connections currently tracked").at(core);
+  inst_.state_bytes =
+      &registry.gauge("retina_state_bytes",
+                      "Approximate bytes of connection state held").at(core);
+  for (int i = 0; i < static_cast<int>(Stage::kCount); ++i) {
+    const auto stage = static_cast<Stage>(i);
+    inst_.stage_invocations[i] =
+        &registry.counter("retina_stage_invocations_total",
+                          "Times each pipeline stage ran", "stage",
+                          stage_name(stage)).at(core);
+    inst_.stage_cycles[i] =
+        &registry.histogram("retina_stage_cycles",
+                            "Per-invocation CPU cycles of each stage",
+                            "stage", stage_name(stage)).at(core);
+  }
+  spans_ = spans;
+}
+
 std::uint64_t Pipeline::approx_state_bytes() const {
   const auto heap = heap_bytes_ > 0 ? heap_bytes_ : 0;
   return table_.approx_bytes() + static_cast<std::uint64_t>(heap);
@@ -111,12 +170,21 @@ void Pipeline::process(packet::Mbuf mbuf) {
   const std::uint64_t t0 = util::rdtsc();
   ++stats_.packets;
   stats_.bytes += mbuf.length();
+  if (inst_.packets != nullptr) {
+    inst_.packets->inc();
+    inst_.bytes->add(mbuf.length());
+  }
   last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
 
   // Expire connections whose deadline passed (hierarchical timer wheel,
   // lazy rescheduling).
   table_.advance(last_ts_, [this](ConnId id, ConnEntry& entry) {
     ++stats_.conns_expired;
+    if (inst_.conns_expired != nullptr) inst_.conns_expired->inc();
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kExpired,
+                     entry.record.tuple.hash(), last_ts_);
+    }
     terminate_conn(id, entry, TerminateReason::kExpired,
                    /*remove_from_table=*/false);
   });
@@ -126,7 +194,7 @@ void Pipeline::process(packet::Mbuf mbuf) {
 
   FilterResult pf_result = FilterResult::no_match();
   {
-    StageScope scope(stats_, Stage::kPacketFilter, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kPacketFilter, config_.instrument_stages, &inst_);
     if (view) pf_result = filter_.packet_filter(*view);
   }
   if (!pf_result.matched()) {
@@ -137,9 +205,10 @@ void Pipeline::process(packet::Mbuf mbuf) {
   // Packet-level subscription satisfied outright: invoke the callback
   // immediately and bypass all stateful processing (paper §5.1).
   if (pf_result.terminal() && subscription_.level() == Level::kPacket) {
-    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
     subscription_.deliver_packet(mbuf);
     ++stats_.delivered_packets;
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
     stats_.busy_cycles += util::rdtsc() - t0;
     return;
   }
@@ -148,6 +217,10 @@ void Pipeline::process(packet::Mbuf mbuf) {
     handle_stateful(mbuf, *view, pf_result);
   }
   stats_.busy_cycles += util::rdtsc() - t0;
+  if (inst_.live_conns != nullptr) {
+    inst_.live_conns->set(table_.size());
+    inst_.state_bytes->set(approx_state_bytes());
+  }
 }
 
 void Pipeline::handle_stateful(packet::Mbuf& mbuf,
@@ -158,7 +231,7 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
 
   ConnId id;
   {
-    StageScope scope(stats_, Stage::kConnTracking, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kConnTracking, config_.instrument_stages, &inst_);
     id = table_.find(canon.key);
     if (id == Table::kInvalid) {
       id = create_conn(canon.key, canon.originator_is_first, pf_result,
@@ -183,9 +256,10 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
       case ConnState::kTrack:
         if (subscription_.level() == Level::kPacket) {
           StageScope scope(stats_, Stage::kCallback,
-                           config_.instrument_stages);
+                           config_.instrument_stages, &inst_);
           subscription_.deliver_packet(mbuf);
           ++stats_.delivered_packets;
+          if (inst_.callbacks != nullptr) inst_.callbacks->inc();
         } else if (subscription_.level() == Level::kStream) {
           // Streams keep reassembling in Track: in-order delivery is
           // the subscription's data product.
@@ -219,6 +293,7 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
                         !view.tcp()->rst() && view.l4_payload().empty();
   if (entry.record.saw_rst || (entry.fin_up && entry.fin_down && pure_ack)) {
     ++stats_.conns_terminated;
+    if (inst_.conns_terminated != nullptr) inst_.conns_terminated->inc();
     terminate_conn(id, entry, TerminateReason::kNatural,
                    /*remove_from_table=*/true);
   }
@@ -253,6 +328,11 @@ Pipeline::ConnId Pipeline::create_conn(const packet::FiveTuple& canonical_key,
   }
 
   ++stats_.conns_created;
+  if (inst_.conns_created != nullptr) inst_.conns_created->inc();
+  if (spans_ != nullptr) {
+    spans_->record(telemetry::SpanEvent::kConnCreated, canonical_key.hash(),
+                   ts_ns);
+  }
   return table_.insert(canonical_key, std::move(entry), ts_ns);
 }
 
@@ -346,7 +426,7 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
 
   std::vector<stream::L4Pdu> ready;
   {
-    StageScope scope(stats_, Stage::kReassembly, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kReassembly, config_.instrument_stages, &inst_);
     const auto pending_before = reasm->pending();
     reasm->push(std::move(pdu), ready);
     const auto pending_after = reasm->pending();
@@ -371,7 +451,7 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
 
 void Pipeline::deliver_stream_chunk(const ConnEntry& entry,
                                     const stream::L4Pdu& pdu) {
-  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
   StreamChunk chunk;
   chunk.tuple = entry.record.tuple;
   chunk.ts_ns = pdu.ts_ns;
@@ -379,6 +459,7 @@ void Pipeline::deliver_stream_chunk(const ConnEntry& entry,
   chunk.data = pdu.payload;
   subscription_.deliver_stream(chunk);
   ++stats_.delivered_packets;
+  if (inst_.callbacks != nullptr) inst_.callbacks->inc();
 }
 
 void Pipeline::stream_pdu(ConnEntry& entry, const stream::L4Pdu& pdu) {
@@ -450,7 +531,7 @@ void Pipeline::probe_pdu(ConnId id, ConnEntry& entry,
 
   std::size_t identified = candidates_.size();
   {
-    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages, &inst_);
     for (std::size_t i = 0; i < candidates_.size(); ++i) {
       const auto bit = 1u << i;
       if (!(entry.probe_alive & bit)) continue;
@@ -472,6 +553,11 @@ void Pipeline::probe_pdu(ConnId id, ConnEntry& entry,
     const auto& candidate = candidates_[identified];
     entry.app_proto = candidate.app_proto_id;
     entry.record.app_proto = candidate.name;
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kConnProbed,
+                     entry.record.tuple.hash(), pdu.ts_ns, 0,
+                     candidate.name.c_str());
+    }
     entry.parser = parser_registry_.create(candidate.name);
     heap_bytes_ += kParserEstimateBytes;
     entry.state = ConnState::kParse;
@@ -578,7 +664,7 @@ void Pipeline::parse_pdu(ConnId id, ConnEntry& entry,
                          const stream::L4Pdu& pdu) {
   protocols::ParseResult result;
   {
-    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages, &inst_);
     result = entry.parser->parse(pdu);
   }
 
@@ -606,11 +692,17 @@ void Pipeline::handle_sessions(ConnId id, ConnEntry& entry,
                                std::vector<protocols::Session> sessions) {
   for (auto& session : sessions) {
     ++stats_.sessions_parsed;
+    if (inst_.sessions != nullptr) inst_.sessions->inc();
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kSessionParsed,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns, 0,
+                     entry.record.app_proto.c_str());
+    }
 
     bool matched;
     {
       StageScope scope(stats_, Stage::kSessionFilter,
-                       config_.instrument_stages);
+                       config_.instrument_stages, &inst_);
       // A packet/connection-layer terminal match covers every session;
       // a previous session-layer match does not — each session is
       // evaluated on its own.
@@ -624,13 +716,19 @@ void Pipeline::handle_sessions(ConnId id, ConnEntry& entry,
     if (matched) {
       entry.filter_matched = true;
       if (subscription_.level() == Level::kSession) {
-        StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+        StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
         SessionRecord record;
         record.tuple = entry.record.tuple;
         record.ts_ns = entry.record.last_ts_ns;
         record.session = std::move(session);
         subscription_.deliver_session(record);
         ++stats_.delivered_sessions;
+        if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+        if (spans_ != nullptr) {
+          spans_->record(telemetry::SpanEvent::kDelivered,
+                         entry.record.tuple.hash(),
+                         entry.record.last_ts_ns);
+        }
       } else {
         flush_on_match(entry);  // buffered packets / stream chunks
       }
@@ -699,7 +797,13 @@ void Pipeline::to_track(ConnEntry& entry) {
 void Pipeline::to_dropped(ConnEntry& entry, bool count_filter_drop) {
   if (entry.dropped) return;
   entry.dropped = true;
-  if (count_filter_drop) ++stats_.conns_dropped_filter;
+  if (count_filter_drop) {
+    ++stats_.conns_dropped_filter;
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kFilterDropped,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns);
+    }
+  }
   clear_probe_state(entry);
   if (entry.parser) {
     entry.parser.reset();
@@ -724,10 +828,11 @@ void Pipeline::to_dropped(ConnEntry& entry, bool count_filter_drop) {
 
 void Pipeline::flush_buffered(ConnEntry& entry) {
   if (entry.buffered.empty()) return;
-  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
   for (const auto& mbuf : entry.buffered) {
     subscription_.deliver_packet(mbuf);
     ++stats_.delivered_packets;
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
   }
   heap_bytes_ -= entry.buffered_bytes;
   entry.buffered_bytes = 0;
@@ -738,7 +843,6 @@ void Pipeline::flush_buffered(ConnEntry& entry) {
 void Pipeline::terminate_conn(ConnId id, ConnEntry& entry,
                               TerminateReason reason,
                               bool remove_from_table) {
-  (void)reason;
   // Flush any partially parsed session (e.g. a ClientHello whose
   // handshake never completed) through the session filter.
   if (!entry.dropped && entry.parser &&
@@ -752,18 +856,38 @@ void Pipeline::terminate_conn(ConnId id, ConnEntry& entry,
 
   if (subscription_.level() == Level::kConnection && !entry.dropped &&
       entry.filter_matched) {
-    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
     subscription_.deliver_connection(entry.record);
     ++stats_.delivered_conns;
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kDelivered,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns);
+    }
   }
   if (subscription_.level() == Level::kStream && !entry.dropped &&
       entry.filter_matched) {
-    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages);
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
     StreamChunk chunk;
     chunk.tuple = entry.record.tuple;
     chunk.ts_ns = entry.record.last_ts_ns;
     chunk.end_of_stream = true;
     subscription_.deliver_stream(chunk);
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+  }
+
+  if (spans_ != nullptr) {
+    // One complete event spanning the connection's whole life, plus the
+    // terminating instant (expiry records its own event beforehand).
+    const auto conn_id = entry.record.tuple.hash();
+    const auto first = entry.record.first_ts_ns;
+    const auto last = entry.record.last_ts_ns;
+    spans_->record(telemetry::SpanEvent::kConnSpan, conn_id, first,
+                   last > first ? last - first : 0,
+                   entry.record.app_proto.c_str());
+    if (reason != TerminateReason::kExpired) {
+      spans_->record(telemetry::SpanEvent::kTerminated, conn_id, last);
+    }
   }
 
   // Release all per-connection heap state.

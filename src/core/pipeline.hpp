@@ -25,8 +25,28 @@
 #include "core/subscription.hpp"
 #include "protocols/registry.hpp"
 #include "stream/reassembly.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace retina::core {
+
+/// Raw hot-path handles into a shared telemetry::MetricRegistry. All
+/// null by default: with telemetry off the pipeline pays one
+/// well-predicted null check per hook. Each pointer targets this
+/// core's single-writer slot.
+struct PipelineInstruments {
+  util::RelaxedCell* packets = nullptr;
+  util::RelaxedCell* bytes = nullptr;
+  util::RelaxedCell* conns_created = nullptr;
+  util::RelaxedCell* conns_expired = nullptr;
+  util::RelaxedCell* conns_terminated = nullptr;
+  util::RelaxedCell* sessions = nullptr;
+  util::RelaxedCell* callbacks = nullptr;
+  util::RelaxedCell* live_conns = nullptr;   // gauge
+  util::RelaxedCell* state_bytes = nullptr;  // gauge
+  util::RelaxedCell* stage_invocations[static_cast<int>(Stage::kCount)] = {};
+  telemetry::Histogram* stage_cycles[static_cast<int>(Stage::kCount)] = {};
+};
 
 /// Why a connection is being terminated (delivery still depends on the
 /// filter state).
@@ -47,6 +67,13 @@ class Pipeline {
 
   /// Terminate and deliver everything still tracked (end of run).
   void finish();
+
+  /// Wire this pipeline's hot-path instruments into a shared registry
+  /// (and optionally a span ring for lifecycle tracing). Call during
+  /// single-threaded setup, before any packet is processed.
+  void attach_telemetry(telemetry::MetricRegistry& registry,
+                        std::size_t core,
+                        telemetry::SpanRing* spans = nullptr);
 
   const PipelineStats& stats() const noexcept { return stats_; }
   std::size_t live_connections() const noexcept { return table_.size(); }
@@ -150,6 +177,8 @@ class Pipeline {
 
   Table table_;
   PipelineStats stats_;
+  PipelineInstruments inst_;
+  telemetry::SpanRing* spans_ = nullptr;
   std::int64_t heap_bytes_ = 0;  // buffered packets + parser estimates
   std::uint64_t next_sample_ts_ = 0;
   std::uint64_t last_ts_ = 0;

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "filter/decompose.hpp"
+#include "telemetry/exporters.hpp"
 #include "util/cycles.hpp"
 #include "util/logging.hpp"
 
@@ -40,11 +41,27 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
     nic_->reta().set_sink_fraction(config_.sink_fraction);
   }
 
+  // Telemetry: histograms need the per-stage cycle probes, so enabling
+  // telemetry implies stage instrumentation. Lifecycle tracing rides on
+  // the same attachment, so it brings the registry along.
+  if (config_.telemetry) config_.instrument_stages = true;
+  if (config_.trace_ring_capacity > 0) {
+    spans_ = std::make_unique<telemetry::SpanRecorder>(
+        port.num_queues, config_.trace_ring_capacity);
+  }
+  if (config_.telemetry || spans_) {
+    metrics_ = std::make_unique<telemetry::MetricRegistry>(port.num_queues);
+  }
+
   pipelines_.reserve(port.num_queues);
   for (std::size_t core = 0; core < port.num_queues; ++core) {
     pipelines_.push_back(
         std::make_unique<Pipeline>(config_, subscription_, *filter_,
                                    field_registry, parser_registry));
+    if (metrics_) {
+      pipelines_.back()->attach_telemetry(
+          *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
+    }
   }
 }
 
@@ -121,6 +138,18 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
     });
   }
 
+  // Live time-series sampler: reads only atomics (NIC counters, metric
+  // registry slots), so it can run beside the workers.
+  std::unique_ptr<telemetry::Sampler> sampler;
+  if (metrics_ && config_.telemetry_sample_interval_ms > 0) {
+    sampler = std::make_unique<telemetry::Sampler>(
+        std::chrono::milliseconds(config_.telemetry_sample_interval_ms),
+        [this] { return capture_sample(); });
+    sampler->set_console_sink(live_console_);
+    sampler->set_jsonl_sink(live_jsonl_);
+    sampler->start();
+  }
+
   const auto dispatch_start = std::chrono::steady_clock::now();
   const std::uint64_t base_ts =
       packets.empty() ? 0 : packets.front().timestamp_ns();
@@ -143,6 +172,11 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
   done.store(true, std::memory_order_release);
   for (auto& worker : workers) worker.join();
 
+  if (sampler) {
+    sampler->stop();  // records the final point
+    samples_ = sampler->samples();
+  }
+
   for (auto& pipeline : pipelines_) pipeline->finish();
   finished_ = true;
 
@@ -155,6 +189,46 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
     stats.max_core_seconds = std::max(stats.max_core_seconds, secs);
   }
   return stats;
+}
+
+telemetry::TelemetrySample Runtime::capture_sample() const {
+  telemetry::TelemetrySample sample;
+  const auto port_stats = nic_->stats();
+  sample.rx_packets = port_stats.rx_packets;
+  sample.rx_bytes = port_stats.rx_bytes;
+  sample.ring_dropped = port_stats.ring_dropped;
+  sample.queue_depth.reserve(pipelines_.size());
+  for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+    sample.queue_depth.push_back(nic_->queue_depth(queue));
+  }
+  const auto snap = metrics_->snapshot();
+  sample.live_conns = snap.value("retina_live_connections");
+  sample.state_bytes = snap.value("retina_state_bytes");
+  sample.conns_created = snap.value("retina_conns_created_total");
+  sample.sessions = snap.value("retina_sessions_parsed_total");
+  return sample;
+}
+
+std::string Runtime::prometheus() const {
+  std::string out;
+  if (metrics_) out = telemetry::to_prometheus(metrics_->snapshot());
+  const auto port_stats = nic_->stats();
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_rx_packets_total", "Packets offered to the port",
+      port_stats.rx_packets);
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_rx_bytes_total", "Bytes offered to the port",
+      port_stats.rx_bytes);
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_hw_dropped_total",
+      "Packets dropped by hardware flow rules", port_stats.hw_dropped);
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_ring_dropped_total",
+      "Packets lost to receive-ring overflow", port_stats.ring_dropped);
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_sunk_total", "Packets steered to sink RETA buckets",
+      port_stats.sunk);
+  return out;
 }
 
 RunStats Runtime::collect_stats() const {

@@ -20,6 +20,9 @@
 #include "core/pipeline.hpp"
 #include "core/stats.hpp"
 #include "nic/port.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
 
 namespace retina::core {
 
@@ -58,14 +61,38 @@ class Runtime {
   std::size_t cores() const noexcept { return pipelines_.size(); }
   Pipeline& pipeline(std::size_t core) { return *pipelines_[core]; }
 
+  /// Live telemetry (config.telemetry). Null when disabled.
+  telemetry::MetricRegistry* metrics() noexcept { return metrics_.get(); }
+  /// Connection-lifecycle spans (config.trace_ring_capacity > 0).
+  telemetry::SpanRecorder* spans() noexcept { return spans_.get(); }
+  /// Time series captured by the sampler during run_threaded().
+  const std::vector<telemetry::TelemetrySample>& telemetry_samples() const
+      noexcept {
+    return samples_;
+  }
+  /// Stream live sampler rows (console table) / samples (JSON lines) to
+  /// these sinks during run_threaded(). Set before running.
+  void set_telemetry_console(std::ostream* os) { live_console_ = os; }
+  void set_telemetry_jsonl(std::ostream* os) { live_jsonl_ = os; }
+
+  /// Prometheus text exposition of the registry plus NIC port counters.
+  /// Valid whenever telemetry is enabled (during or after a run).
+  std::string prometheus() const;
+
  private:
   RunStats collect_stats() const;
+  telemetry::TelemetrySample capture_sample() const;
 
   RuntimeConfig config_;
   Subscription subscription_;
   std::unique_ptr<FilterEngine> filter_;
   std::unique_ptr<nic::SimNic> nic_;
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  std::unique_ptr<telemetry::MetricRegistry> metrics_;
+  std::unique_ptr<telemetry::SpanRecorder> spans_;
+  std::vector<telemetry::TelemetrySample> samples_;
+  std::ostream* live_console_ = nullptr;
+  std::ostream* live_jsonl_ = nullptr;
   std::uint64_t first_ts_ = 0;
   std::uint64_t last_ts_ = 0;
   bool finished_ = false;

@@ -1,5 +1,7 @@
 #include "core/stats.hpp"
 
+#include <algorithm>
+#include <iomanip>
 #include <sstream>
 
 namespace retina::core {
@@ -39,8 +41,18 @@ void PipelineStats::merge(const PipelineStats& other) {
   probe_failures += other.probe_failures;
   busy_cycles += other.busy_cycles;
   stages.merge(other.stages);
+  // Each core's samples are time-ordered; a cross-core merge must
+  // re-establish global time order or the merged Fig. 8 memory curve
+  // interleaves out of sequence.
+  const auto middle =
+      static_cast<std::ptrdiff_t>(memory_samples.size());
   memory_samples.insert(memory_samples.end(), other.memory_samples.begin(),
                         other.memory_samples.end());
+  std::inplace_merge(memory_samples.begin(), memory_samples.begin() + middle,
+                     memory_samples.end(),
+                     [](const MemorySample& a, const MemorySample& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
 }
 
 std::string RunStats::to_string() const {
@@ -53,6 +65,14 @@ std::string RunStats::to_string() const {
      << " cb_sess=" << total.delivered_sessions
      << " hw_drop=" << nic_hw_dropped << " sunk=" << nic_sunk
      << " loss=" << nic_ring_dropped;
+  const double loss_fraction =
+      nic_rx_packets == 0 ? 0.0
+                          : static_cast<double>(nic_ring_dropped) /
+                                static_cast<double>(nic_rx_packets);
+  os << std::fixed << std::setprecision(3) << " loss_frac="
+     << std::setprecision(5) << loss_fraction << std::setprecision(3)
+     << " gbps=" << processed_gbps() << " wall_s=" << wall_seconds
+     << " core_s=" << max_core_seconds;
   return os.str();
 }
 

@@ -15,19 +15,19 @@ SimNic::SimNic(const PortConfig& config)
 }
 
 void SimNic::dispatch(packet::Mbuf mbuf) {
-  ++stats_.rx_packets;
-  stats_.rx_bytes += mbuf.length();
+  stats_.rx_packets.inc();
+  stats_.rx_bytes.add(mbuf.length());
 
   const auto view = packet::PacketView::parse(mbuf);
   if (!view) {
-    ++stats_.malformed;
+    stats_.malformed.inc();
     return;
   }
 
   // Hardware flow rules: zero CPU cost in the real system; in the
   // simulator they run before any per-core instrumentation.
   if (!rules_.permits(*view)) {
-    ++stats_.hw_dropped;
+    stats_.hw_dropped.inc();
     return;
   }
 
@@ -41,15 +41,15 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
 
   const std::uint32_t queue = reta_.lookup(hash);
   if (queue == RedirectionTable::kSinkQueue) {
-    ++stats_.sunk;
+    stats_.sunk.inc();
     return;
   }
 
   mbuf.set_rx_queue(queue);
   if (rings_[queue]->push(std::move(mbuf))) {
-    ++stats_.delivered;
+    stats_.delivered.inc();
   } else {
-    ++stats_.ring_dropped;
+    stats_.ring_dropped.inc();
   }
 }
 

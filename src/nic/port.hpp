@@ -15,10 +15,14 @@
 #include "nic/flow_rule.hpp"
 #include "nic/rss.hpp"
 #include "packet/mbuf.hpp"
+#include "util/atomics.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace retina::nic {
 
+/// Snapshot of the port counters (a copy — the live counters are
+/// single-writer atomics so a telemetry thread can read them while the
+/// dispatcher runs).
 struct PortStats {
   std::uint64_t rx_packets = 0;      // packets offered to the port
   std::uint64_t rx_bytes = 0;
@@ -63,16 +67,42 @@ class SimNic {
   /// Packets waiting in a queue.
   std::size_t queue_depth(std::size_t queue) const;
 
-  const PortStats& stats() const noexcept { return stats_; }
-  void reset_stats() { stats_ = PortStats{}; }
+  /// Tear-free snapshot; callable from any thread while dispatch runs.
+  PortStats stats() const noexcept {
+    PortStats snap;
+    snap.rx_packets = stats_.rx_packets.load();
+    snap.rx_bytes = stats_.rx_bytes.load();
+    snap.hw_dropped = stats_.hw_dropped.load();
+    snap.sunk = stats_.sunk.load();
+    snap.delivered = stats_.delivered.load();
+    snap.ring_dropped = stats_.ring_dropped.load();
+    snap.malformed = stats_.malformed.load();
+    return snap;
+  }
+  void reset_stats() {
+    stats_.rx_packets.set(0);
+    stats_.rx_bytes.set(0);
+    stats_.hw_dropped.set(0);
+    stats_.sunk.set(0);
+    stats_.delivered.set(0);
+    stats_.ring_dropped.set(0);
+    stats_.malformed.set(0);
+  }
 
  private:
+  /// Live counters: written only by the dispatching thread, read by
+  /// anyone (telemetry sampler, monitors).
+  struct AtomicPortStats {
+    util::RelaxedCell rx_packets, rx_bytes, hw_dropped, sunk, delivered,
+        ring_dropped, malformed;
+  };
+
   PortConfig config_;
   FlowRuleSet rules_;
   RedirectionTable reta_;
   std::array<std::uint8_t, 40> rss_key_;
   std::vector<std::unique_ptr<util::SpscRing<packet::Mbuf>>> rings_;
-  PortStats stats_;
+  AtomicPortStats stats_;
 };
 
 }  // namespace retina::nic

@@ -1,0 +1,118 @@
+#include "telemetry/exporters.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace retina::telemetry {
+
+namespace {
+
+void append_header(std::string& out, const MetricId& id, const char* type) {
+  out += "# HELP " + id.name + " " + id.help + "\n";
+  out += "# TYPE " + id.name + " ";
+  out += type;
+  out += "\n";
+}
+
+std::string label_block(const MetricId& id, const std::string& extra = "") {
+  std::string labels;
+  if (!id.label_key.empty()) {
+    labels += id.label_key + "=\"" + id.label_value + "\"";
+  }
+  if (!extra.empty()) {
+    if (!labels.empty()) labels += ",";
+    labels += extra;
+  }
+  return labels.empty() ? "" : "{" + labels + "}";
+}
+
+}  // namespace
+
+std::string to_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  std::string last_header;
+  for (const auto& counter : snapshot.counters) {
+    // Families sharing a name (one per label value) get one HELP/TYPE.
+    if (counter.id.name != last_header) {
+      append_header(out, counter.id, counter.is_gauge ? "gauge" : "counter");
+      last_header = counter.id.name;
+    }
+    for (std::size_t core = 0; core < counter.per_core.size(); ++core) {
+      out += counter.id.name +
+             label_block(counter.id,
+                         "core=\"" + std::to_string(core) + "\"") +
+             " " + std::to_string(counter.per_core[core]) + "\n";
+    }
+  }
+  last_header.clear();
+  for (const auto& hist : snapshot.histograms) {
+    if (hist.id.name != last_header) {
+      append_header(out, hist.id, "histogram");
+      last_header = hist.id.name;
+    }
+    // Cumulative le buckets; trailing empty buckets collapse into +Inf.
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      if (hist.agg.buckets[i] != 0) top = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= top; ++i) {
+      cumulative += hist.agg.buckets[i];
+      out += hist.id.name + "_bucket" +
+             label_block(hist.id, "le=\"" +
+                                      std::to_string(
+                                          histogram_bucket_upper(i)) +
+                                      "\"") +
+             " " + std::to_string(cumulative) + "\n";
+    }
+    out += hist.id.name + "_bucket" + label_block(hist.id, "le=\"+Inf\"") +
+           " " + std::to_string(hist.agg.count) + "\n";
+    out += hist.id.name + "_sum" + label_block(hist.id) + " " +
+           std::to_string(hist.agg.sum) + "\n";
+    out += hist.id.name + "_count" + label_block(hist.id) + " " +
+           std::to_string(hist.agg.count) + "\n";
+  }
+  return out;
+}
+
+void append_prometheus_counter(std::string& out, const std::string& name,
+                               const std::string& help, std::uint64_t value) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " counter\n";
+  out += name + " " + std::to_string(value) + "\n";
+}
+
+std::string samples_to_jsonl(const std::vector<TelemetrySample>& samples) {
+  std::string out;
+  for (const auto& sample : samples) {
+    out += sample.to_json();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string console_table_header() {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%10s %12s %8s %10s %10s %10s %8s",
+                "t_ms", "pps", "gbps", "conns", "state_kb", "drops",
+                "maxq");
+  return buf;
+}
+
+std::string console_table_row(const TelemetrySample& sample) {
+  std::size_t max_depth = 0;
+  for (const auto depth : sample.queue_depth) {
+    max_depth = std::max(max_depth, depth);
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%10.1f %12.0f %8.3f %10llu %10.1f %10llu %8zu",
+                sample.t_ms, sample.pps, sample.gbps,
+                static_cast<unsigned long long>(sample.live_conns),
+                static_cast<double>(sample.state_bytes) / 1e3,
+                static_cast<unsigned long long>(sample.ring_dropped),
+                max_depth);
+  return buf;
+}
+
+}  // namespace retina::telemetry

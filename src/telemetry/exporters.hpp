@@ -1,0 +1,32 @@
+// Exporters: turn registry snapshots and sampler series into
+// machine-readable (Prometheus text exposition, JSON-lines) and
+// human-readable (console table) forms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace retina::telemetry {
+
+/// Prometheus text exposition (version 0.0.4): HELP/TYPE comments, one
+/// `family{core="N",...} value` line per per-core slot for counters and
+/// gauges, and cumulative `_bucket{le="..."}`/`_sum`/`_count` lines for
+/// histograms aggregated across cores.
+std::string to_prometheus(const RegistrySnapshot& snapshot);
+
+/// Append one hand-rolled counter metric (used for NIC port counters
+/// that live outside the registry).
+void append_prometheus_counter(std::string& out, const std::string& name,
+                               const std::string& help, std::uint64_t value);
+
+/// The full sampler series as JSON lines.
+std::string samples_to_jsonl(const std::vector<TelemetrySample>& samples);
+
+/// Live console table rendering.
+std::string console_table_header();
+std::string console_table_row(const TelemetrySample& sample);
+
+}  // namespace retina::telemetry

@@ -1,0 +1,185 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace retina::telemetry {
+
+std::size_t histogram_bucket(std::uint64_t value) noexcept {
+  return value == 0 ? 0 : static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+namespace {
+std::uint64_t bucket_lower(std::size_t i) noexcept {
+  return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+}
+}  // namespace
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank with interpolation inside the bucket: the value of
+  // rank ceil(p/100 * count) lies in the first bucket whose cumulative
+  // count reaches that rank.
+  const double want = p / 100.0 * static_cast<double>(count);
+  const auto rank = static_cast<std::uint64_t>(
+      std::max(1.0, std::min(static_cast<double>(count), std::ceil(want))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      const auto lo = static_cast<double>(bucket_lower(i));
+      const auto hi = static_cast<double>(histogram_bucket_upper(i));
+      const double within = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(buckets[i]);
+      return lo + (hi - lo) * within;
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(histogram_bucket_upper(kHistogramBuckets - 1));
+}
+
+HistogramSnapshot HistogramSnapshot::minus(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets[i] - earlier.buckets[i];
+    out.count += out.buckets[i];
+  }
+  out.sum = sum - earlier.sum;
+  return out;
+}
+
+HistogramSnapshot HistogramFamily::aggregate() const {
+  HistogramSnapshot snap;
+  for (std::size_t c = 0; c < cores_; ++c) {
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      const auto n = slots_[c].bucket(i);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum += slots_[c].sum();
+  }
+  return snap;
+}
+
+RegistrySnapshot RegistrySnapshot::delta(
+    const RegistrySnapshot& earlier) const {
+  RegistrySnapshot out = *this;
+  for (auto& counter : out.counters) {
+    if (counter.is_gauge) continue;  // gauges report current level
+    for (const auto& prev : earlier.counters) {
+      if (prev.id.name != counter.id.name ||
+          prev.id.label_value != counter.id.label_value) {
+        continue;
+      }
+      counter.total -= prev.total;
+      for (std::size_t c = 0;
+           c < std::min(counter.per_core.size(), prev.per_core.size()); ++c) {
+        counter.per_core[c] -= prev.per_core[c];
+      }
+      break;
+    }
+  }
+  for (auto& hist : out.histograms) {
+    for (const auto& prev : earlier.histograms) {
+      if (prev.id.name == hist.id.name &&
+          prev.id.label_value == hist.id.label_value) {
+        hist.agg = hist.agg.minus(prev.agg);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t RegistrySnapshot::value(const std::string& name,
+                                      const std::string& label_value) const {
+  for (const auto& counter : counters) {
+    if (counter.id.name == name && counter.id.label_value == label_value) {
+      return counter.total;
+    }
+  }
+  return 0;
+}
+
+CounterFamily& MetricRegistry::counter(const std::string& name,
+                                       const std::string& help,
+                                       const std::string& label_key,
+                                       const std::string& label_value) {
+  return counter_impl(name, help, label_key, label_value, /*is_gauge=*/false);
+}
+
+CounterFamily& MetricRegistry::gauge(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& label_key,
+                                     const std::string& label_value) {
+  return counter_impl(name, help, label_key, label_value, /*is_gauge=*/true);
+}
+
+CounterFamily& MetricRegistry::counter_impl(const std::string& name,
+                                            const std::string& help,
+                                            const std::string& label_key,
+                                            const std::string& label_value,
+                                            bool is_gauge) {
+  const std::string key = name + '\x1f' + label_value;
+  std::lock_guard lock(mu_);
+  if (const auto it = counter_index_.find(key);
+      it != counter_index_.end()) {
+    return *it->second;
+  }
+  counters_.emplace_back(MetricId{name, help, label_key, label_value},
+                         cores_);
+  counter_is_gauge_.push_back(is_gauge);
+  counter_index_.emplace(key, &counters_.back());
+  return counters_.back();
+}
+
+HistogramFamily& MetricRegistry::histogram(const std::string& name,
+                                           const std::string& help,
+                                           const std::string& label_key,
+                                           const std::string& label_value) {
+  const std::string key = name + '\x1f' + label_value;
+  std::lock_guard lock(mu_);
+  if (const auto it = histogram_index_.find(key);
+      it != histogram_index_.end()) {
+    return *it->second;
+  }
+  histograms_.emplace_back(MetricId{name, help, label_key, label_value},
+                           cores_);
+  histogram_index_.emplace(key, &histograms_.back());
+  return histograms_.back();
+}
+
+RegistrySnapshot MetricRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  std::size_t i = 0;
+  for (const auto& family : counters_) {
+    CounterSnapshot cs;
+    cs.id = family.id();
+    cs.is_gauge = counter_is_gauge_[i++];
+    cs.per_core.reserve(family.cores());
+    for (std::size_t c = 0; c < family.cores(); ++c) {
+      cs.per_core.push_back(family.core_value(c));
+      cs.total += cs.per_core.back();
+    }
+    snap.counters.push_back(std::move(cs));
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& family : histograms_) {
+    snap.histograms.push_back({family.id(), family.aggregate()});
+  }
+  return snap;
+}
+
+}  // namespace retina::telemetry

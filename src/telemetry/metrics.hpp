@@ -1,0 +1,196 @@
+// Live metric registry (observability layer, ntop-style continuous
+// introspection). Worker cores write counters, gauges, and log2-bucketed
+// latency histograms lock-free through per-core cache-line-padded slots;
+// a reader thread (the sampler, or an exporter at shutdown) aggregates
+// them with relaxed loads. Snapshots support delta semantics so a
+// periodic reader can turn cumulative counters into rates.
+//
+// Writer contract: each (family, core) slot has exactly ONE writer
+// thread — the worker owning that core. Registration is mutex-guarded
+// and meant for setup time; families are stable in memory for the
+// registry's lifetime, so hot paths hold raw slot pointers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/atomics.hpp"
+
+namespace retina::telemetry {
+
+/// Log2 buckets: index 0 holds the value 0, index i >= 1 holds values
+/// with bit-width i, i.e. [2^(i-1), 2^i - 1]. 64-bit values need
+/// indices 0..64.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Bucket index for a value.
+std::size_t histogram_bucket(std::uint64_t value) noexcept;
+/// Inclusive upper bound of bucket `i` (Prometheus `le`).
+std::uint64_t histogram_bucket_upper(std::size_t i) noexcept;
+
+/// Single-writer log2 latency histogram. ~520 bytes; cache-line aligned
+/// so adjacent cores' histograms never share a line.
+class alignas(64) Histogram {
+ public:
+  void record(std::uint64_t value) noexcept {
+    buckets_[histogram_bucket(value)].inc();
+    sum_.add(value);
+  }
+  std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load();
+  }
+  std::uint64_t sum() const noexcept { return sum_.load(); }
+
+ private:
+  std::array<util::RelaxedCell, kHistogramBuckets> buckets_;
+  util::RelaxedCell sum_;
+};
+
+/// Read-only view of a histogram (or a delta of two), with percentile
+/// queries answered by linear interpolation inside the winning bucket.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// p in [0, 100]. Returns an interpolated value estimate; always
+  /// within the bounds of the bucket containing the rank.
+  double percentile(double p) const noexcept;
+  /// this - earlier, bucket-wise (counters are monotonic).
+  HistogramSnapshot minus(const HistogramSnapshot& earlier) const;
+};
+
+/// What a family is, for exporters.
+struct MetricId {
+  std::string name;         // Prometheus-style, e.g. retina_packets_total
+  std::string help;
+  std::string label_key;    // optional extra label ("" = none)...
+  std::string label_value;  // ...e.g. {stage="app_layer_parsing"}
+};
+
+namespace detail {
+struct alignas(64) PaddedCell {
+  util::RelaxedCell cell;
+};
+}  // namespace detail
+
+/// One named counter (or gauge) with a padded slot per core.
+class CounterFamily {
+ public:
+  CounterFamily(MetricId id, std::size_t cores) : id_(std::move(id)) {
+    slots_ = std::make_unique<detail::PaddedCell[]>(cores);
+    cores_ = cores;
+  }
+  util::RelaxedCell& at(std::size_t core) noexcept {
+    return slots_[core].cell;
+  }
+  std::uint64_t core_value(std::size_t core) const noexcept {
+    return slots_[core].cell.load();
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (std::size_t c = 0; c < cores_; ++c) sum += slots_[c].cell.load();
+    return sum;
+  }
+  std::size_t cores() const noexcept { return cores_; }
+  const MetricId& id() const noexcept { return id_; }
+
+ private:
+  MetricId id_;
+  std::unique_ptr<detail::PaddedCell[]> slots_;
+  std::size_t cores_ = 0;
+};
+
+/// One named histogram with a slot per core.
+class HistogramFamily {
+ public:
+  HistogramFamily(MetricId id, std::size_t cores) : id_(std::move(id)) {
+    slots_ = std::make_unique<Histogram[]>(cores);
+    cores_ = cores;
+  }
+  Histogram& at(std::size_t core) noexcept { return slots_[core]; }
+  /// Bucket-wise sum across cores.
+  HistogramSnapshot aggregate() const;
+  std::size_t cores() const noexcept { return cores_; }
+  const MetricId& id() const noexcept { return id_; }
+
+ private:
+  MetricId id_;
+  std::unique_ptr<Histogram[]> slots_;
+  std::size_t cores_ = 0;
+};
+
+/// Point-in-time value of a counter/gauge family.
+struct CounterSnapshot {
+  MetricId id;
+  bool is_gauge = false;
+  std::vector<std::uint64_t> per_core;
+  std::uint64_t total = 0;
+};
+
+struct HistogramFamilySnapshot {
+  MetricId id;
+  HistogramSnapshot agg;
+};
+
+/// A full registry capture. `delta()` subtracts counters and histograms
+/// (monotonic) and keeps gauges at their current value.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;   // includes gauges
+  std::vector<HistogramFamilySnapshot> histograms;
+
+  RegistrySnapshot delta(const RegistrySnapshot& earlier) const;
+  /// Total of the named family (label_value-qualified name), 0 if absent.
+  std::uint64_t value(const std::string& name,
+                      const std::string& label_value = "") const;
+};
+
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(std::size_t cores) : cores_(cores ? cores : 1) {}
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Register-or-get. Same (name, label_value) returns the same family.
+  CounterFamily& counter(const std::string& name, const std::string& help,
+                         const std::string& label_key = "",
+                         const std::string& label_value = "");
+  /// A gauge is a counter family whose slots are overwritten (set) and
+  /// exported with TYPE gauge.
+  CounterFamily& gauge(const std::string& name, const std::string& help,
+                       const std::string& label_key = "",
+                       const std::string& label_value = "");
+  HistogramFamily& histogram(const std::string& name, const std::string& help,
+                             const std::string& label_key = "",
+                             const std::string& label_value = "");
+
+  std::size_t cores() const noexcept { return cores_; }
+  RegistrySnapshot snapshot() const;
+
+ private:
+  CounterFamily& counter_impl(const std::string& name,
+                              const std::string& help,
+                              const std::string& label_key,
+                              const std::string& label_value, bool is_gauge);
+
+  std::size_t cores_;
+  mutable std::mutex mu_;  // registration + snapshot iteration
+  std::deque<CounterFamily> counters_;
+  std::deque<bool> counter_is_gauge_;
+  std::deque<HistogramFamily> histograms_;
+  std::map<std::string, CounterFamily*> counter_index_;
+  std::map<std::string, HistogramFamily*> histogram_index_;
+};
+
+}  // namespace retina::telemetry

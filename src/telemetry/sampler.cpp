@@ -1,0 +1,106 @@
+#include "telemetry/sampler.hpp"
+
+#include <cstdio>
+
+#include "telemetry/exporters.hpp"
+
+namespace retina::telemetry {
+
+namespace {
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+}  // namespace
+
+std::string TelemetrySample::to_json() const {
+  std::string out = "{";
+  out += "\"t_ms\":" + format_double(t_ms);
+  out += ",\"rx_packets\":" + std::to_string(rx_packets);
+  out += ",\"rx_bytes\":" + std::to_string(rx_bytes);
+  out += ",\"pps\":" + format_double(pps);
+  out += ",\"gbps\":" + format_double(gbps);
+  out += ",\"ring_dropped\":" + std::to_string(ring_dropped);
+  out += ",\"drop_rate\":" + format_double(drop_rate);
+  out += ",\"queue_depth\":[";
+  for (std::size_t i = 0; i < queue_depth.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(queue_depth[i]);
+  }
+  out += "]";
+  out += ",\"live_conns\":" + std::to_string(live_conns);
+  out += ",\"state_bytes\":" + std::to_string(state_bytes);
+  out += ",\"conns_created\":" + std::to_string(conns_created);
+  out += ",\"sessions\":" + std::to_string(sessions);
+  out += "}";
+  return out;
+}
+
+void Sampler::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  take_sample();  // t=0 baseline
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  take_sample();  // final point: the series always has >= 2 samples
+  started_ = false;
+}
+
+void Sampler::loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    take_sample();
+    lock.lock();
+  }
+}
+
+void Sampler::take_sample() {
+  TelemetrySample sample = capture_();
+  sample.t_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start_time_)
+                    .count();
+  {
+    std::lock_guard lock(mu_);
+    if (!samples_.empty()) {
+      const auto& prev = samples_.back();
+      const double dt_s = (sample.t_ms - prev.t_ms) / 1e3;
+      if (dt_s > 0) {
+        const auto dp = sample.rx_packets - prev.rx_packets;
+        const auto db = sample.rx_bytes - prev.rx_bytes;
+        const auto dd = sample.ring_dropped - prev.ring_dropped;
+        sample.pps = static_cast<double>(dp) / dt_s;
+        sample.gbps = static_cast<double>(db) * 8.0 / 1e9 / dt_s;
+        sample.drop_rate =
+            dp + dd == 0
+                ? 0.0
+                : static_cast<double>(dd) / static_cast<double>(dp + dd);
+      }
+    }
+    samples_.push_back(sample);
+    if (console_ != nullptr && samples_.size() == 1) {
+      *console_ << console_table_header() << "\n";
+    }
+  }
+  if (jsonl_ != nullptr) *jsonl_ << sample.to_json() << "\n" << std::flush;
+  if (console_ != nullptr) {
+    *console_ << console_table_row(sample) << "\n" << std::flush;
+  }
+}
+
+}  // namespace retina::telemetry

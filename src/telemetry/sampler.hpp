@@ -1,0 +1,83 @@
+// Time-series sampler: a background thread that periodically captures a
+// TelemetrySample from a user-supplied capture function (which reads
+// only atomics — NIC port counters, registry gauges — so it is safe to
+// call while workers run). The sampler turns cumulative counters into
+// interval rates, always records one sample at start and one at stop
+// (so even sub-interval runs produce a ≥2-point series), and can stream
+// each sample to a JSON-lines sink and/or a live console table.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace retina::telemetry {
+
+/// One point of the live time series. The capture function fills the
+/// cumulative fields; the sampler computes `t_ms` and the rates.
+struct TelemetrySample {
+  double t_ms = 0.0;                 // wall time since sampler start
+  std::uint64_t rx_packets = 0;      // cumulative NIC ingress
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t ring_dropped = 0;    // cumulative rx-ring loss
+  std::vector<std::size_t> queue_depth;  // current per-queue backlog
+  std::uint64_t live_conns = 0;      // currently tracked connections
+  std::uint64_t state_bytes = 0;     // approximate connection state
+  std::uint64_t conns_created = 0;   // cumulative
+  std::uint64_t sessions = 0;        // cumulative sessions parsed
+  double pps = 0.0;                  // packets/s since previous sample
+  double gbps = 0.0;                 // ingress Gbit/s since previous
+  double drop_rate = 0.0;            // loss fraction in the interval
+
+  /// One JSON object on a single line (JSON-lines exposition).
+  std::string to_json() const;
+};
+
+class Sampler {
+ public:
+  using CaptureFn = std::function<TelemetrySample()>;
+
+  Sampler(std::chrono::milliseconds interval, CaptureFn capture)
+      : interval_(interval), capture_(std::move(capture)) {}
+  ~Sampler() { stop(); }
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stream each sample as a JSON line / console row as it is taken.
+  /// Configure before start(); the sinks must outlive the sampler.
+  void set_jsonl_sink(std::ostream* os) { jsonl_ = os; }
+  void set_console_sink(std::ostream* os) { console_ = os; }
+
+  void start();
+  /// Idempotent: takes the final sample, then joins the thread.
+  void stop();
+
+  /// The captured series. Safe to read after stop().
+  const std::vector<TelemetrySample>& samples() const { return samples_; }
+
+ private:
+  void loop();
+  void take_sample();
+
+  std::chrono::milliseconds interval_;
+  CaptureFn capture_;
+  std::ostream* jsonl_ = nullptr;
+  std::ostream* console_ = nullptr;
+
+  std::vector<TelemetrySample> samples_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace retina::telemetry

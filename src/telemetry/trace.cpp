@@ -1,0 +1,82 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace retina::telemetry {
+
+const char* span_event_name(SpanEvent event) {
+  switch (event) {
+    case SpanEvent::kConnCreated: return "conn.created";
+    case SpanEvent::kConnProbed: return "conn.probed";
+    case SpanEvent::kSessionParsed: return "conn.session";
+    case SpanEvent::kDelivered: return "conn.delivered";
+    case SpanEvent::kFilterDropped: return "conn.filter_dropped";
+    case SpanEvent::kExpired: return "conn.expired";
+    case SpanEvent::kTerminated: return "conn.terminated";
+    case SpanEvent::kConnSpan: return "conn";
+  }
+  return "?";
+}
+
+std::vector<SpanRecord> SpanRing::drain() const {
+  std::vector<SpanRecord> out;
+  const std::size_t held = size();
+  out.reserve(held);
+  const std::size_t start = next_ - held;  // oldest surviving span
+  for (std::size_t i = 0; i < held; ++i) {
+    out.push_back(slots_[(start + i) % slots_.size()]);
+  }
+  return out;
+}
+
+SpanRecorder::SpanRecorder(std::size_t cores, std::size_t capacity_per_core) {
+  rings_.reserve(cores ? cores : 1);
+  for (std::size_t core = 0; core < (cores ? cores : 1); ++core) {
+    rings_.push_back(std::make_unique<SpanRing>(
+        capacity_per_core, static_cast<std::uint32_t>(core)));
+  }
+}
+
+std::vector<SpanRecord> SpanRecorder::merged() const {
+  std::vector<SpanRecord> all;
+  for (const auto& ring : rings_) {
+    auto spans = ring->drain();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+std::string SpanRecorder::to_chrome_json() const {
+  const auto spans = merged();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    const double ts_us = static_cast<double>(span.ts_ns) / 1e3;
+    os << "{\"name\":\"" << span_event_name(span.event)
+       << "\",\"cat\":\"conn\",\"pid\":1,\"tid\":" << span.tid;
+    if (span.event == SpanEvent::kConnSpan) {
+      os << ",\"ph\":\"X\",\"ts\":" << ts_us
+         << ",\"dur\":" << static_cast<double>(span.dur_ns) / 1e3;
+    } else {
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us;
+    }
+    os << ",\"args\":{\"conn\":\"" << std::hex << span.id << std::dec
+       << "\"";
+    if (span.detail[0] != '\0') {
+      os << ",\"detail\":\"" << span.detail.data() << "\"";
+    }
+    os << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace retina::telemetry

@@ -1,0 +1,101 @@
+// Connection-lifecycle span recording. Each worker core owns a bounded
+// ring of fixed-size span records (single writer, overwrite-oldest) so
+// tracing never allocates on the hot path and memory stays bounded no
+// matter how long the run is. After the run, the recorder merges all
+// rings into Chrome trace_event JSON loadable in chrome://tracing or
+// Perfetto: instant events for lifecycle transitions (created → probed
+// → parsed → delivered/expired) and one complete ("X") event spanning
+// each connection's lifetime.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace retina::telemetry {
+
+enum class SpanEvent : std::uint8_t {
+  kConnCreated = 0,
+  kConnProbed,      // protocol identified (detail = protocol)
+  kSessionParsed,   // one application session emitted
+  kDelivered,       // a callback fired for this connection
+  kFilterDropped,   // discarded by a filter decision
+  kExpired,         // removed by timeout
+  kTerminated,      // natural FIN/RST close or shutdown
+  kConnSpan,        // complete event: first packet -> termination
+};
+
+const char* span_event_name(SpanEvent event);
+
+struct SpanRecord {
+  SpanEvent event = SpanEvent::kConnCreated;
+  std::uint32_t tid = 0;          // core index
+  std::uint64_t id = 0;           // connection identity (five-tuple hash)
+  std::uint64_t ts_ns = 0;        // virtual (trace) time
+  std::uint64_t dur_ns = 0;       // kConnSpan only
+  std::array<char, 16> detail{};  // e.g. application protocol
+};
+
+/// Single-writer bounded ring of spans. The owning worker records;
+/// readers may only iterate after the worker is done (join barrier).
+class SpanRing {
+ public:
+  SpanRing() = default;
+  SpanRing(std::size_t capacity, std::uint32_t tid)
+      : slots_(capacity), tid_(tid) {}
+
+  void record(SpanEvent event, std::uint64_t id, std::uint64_t ts_ns,
+              std::uint64_t dur_ns = 0, const char* detail = nullptr) {
+    if (slots_.empty()) return;
+    SpanRecord& slot = slots_[next_ % slots_.size()];
+    slot.event = event;
+    slot.tid = tid_;
+    slot.id = id;
+    slot.ts_ns = ts_ns;
+    slot.dur_ns = dur_ns;
+    slot.detail.fill('\0');
+    if (detail != nullptr) {
+      std::strncpy(slot.detail.data(), detail, slot.detail.size() - 1);
+    }
+    ++next_;
+  }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Spans currently held (<= capacity).
+  std::size_t size() const noexcept { return std::min(next_, slots_.size()); }
+  /// Total spans ever recorded (including overwritten ones).
+  std::uint64_t recorded() const noexcept { return next_; }
+
+  /// Oldest-first copy of the held spans.
+  std::vector<SpanRecord> drain() const;
+
+ private:
+  std::vector<SpanRecord> slots_;
+  std::size_t next_ = 0;  // monotonic write index
+  std::uint32_t tid_ = 0;
+};
+
+/// One ring per core plus the merge/export step.
+class SpanRecorder {
+ public:
+  SpanRecorder(std::size_t cores, std::size_t capacity_per_core);
+
+  SpanRing& ring(std::size_t core) { return *rings_[core]; }
+  std::size_t cores() const noexcept { return rings_.size(); }
+
+  /// All spans from all rings, sorted by timestamp.
+  std::vector<SpanRecord> merged() const;
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}), timestamps in
+  /// microseconds of virtual trace time.
+  std::string to_chrome_json() const;
+
+ private:
+  std::vector<std::unique_ptr<SpanRing>> rings_;
+};
+
+}  // namespace retina::telemetry

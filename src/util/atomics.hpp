@@ -1,0 +1,36 @@
+// Single-writer atomic cells for hot-path telemetry. The pipeline and
+// NIC hot paths have exactly one writer per counter (one core per
+// receive queue, one dispatching thread per port), so increments can be
+// a relaxed load+store pair — which compiles to a plain add on x86 —
+// while concurrent reader threads (the telemetry sampler) still get
+// tear-free values without locks or fenced RMW instructions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace retina::util {
+
+/// A 64-bit cell with one writer and any number of readers. Writes use
+/// non-atomic-RMW relaxed stores (single-writer contract); reads are
+/// relaxed loads. Both are data-race-free under TSan.
+class RelaxedCell {
+ public:
+  void add(std::uint64_t delta) noexcept {
+    value_.store(value_.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+  /// Gauge-style overwrite.
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t load() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace retina::util

@@ -376,6 +376,25 @@ TEST(EndToEnd, MemorySamplesRecorded) {
   EXPECT_TRUE(some_state);
 }
 
+// Regression: a cross-core merge of two independently time-ordered
+// memory series must produce one globally time-ordered series, not a
+// concatenation (the Fig. 8 curve plots merged samples in order).
+TEST(Stats, MergeKeepsMemorySamplesTimeOrdered) {
+  PipelineStats a;
+  a.memory_samples = {{100, 1, 10}, {300, 2, 20}, {500, 3, 30}};
+  PipelineStats b;
+  b.memory_samples = {{50, 1, 5}, {250, 2, 15}, {700, 1, 8}};
+
+  a.merge(b);
+
+  ASSERT_EQ(a.memory_samples.size(), 6u);
+  for (std::size_t i = 1; i < a.memory_samples.size(); ++i) {
+    EXPECT_LE(a.memory_samples[i - 1].ts_ns, a.memory_samples[i].ts_ns);
+  }
+  EXPECT_EQ(a.memory_samples.front().ts_ns, 50u);
+  EXPECT_EQ(a.memory_samples.back().ts_ns, 700u);
+}
+
 TEST(EndToEnd, SshSubscription) {
   std::vector<std::string> banners;
   auto sub = Subscription::sessions(

@@ -1,0 +1,416 @@
+// Telemetry subsystem tests: lock-free registry correctness under
+// concurrent writers, histogram percentile queries, snapshot/delta
+// semantics, exporter formats (Prometheus text, JSON lines, Chrome
+// trace), the bounded span ring, and the end-to-end threaded runtime
+// integration (also the TSan target guarding the lock-free paths).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <regex>
+#include <sstream>
+#include <thread>
+
+#include "core/runtime.hpp"
+#include "telemetry/exporters.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+#include "traffic/flowgen.hpp"
+
+namespace retina {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON structural validator (no third-party parser available):
+// consumes one JSON value, returns the index past it, or npos on error.
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+std::size_t parse_json_value(const std::string& s, std::size_t i);
+
+std::size_t parse_json_string(const std::string& s, std::size_t i) {
+  if (i >= s.size() || s[i] != '"') return std::string::npos;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+    } else if (s[i] == '"') {
+      return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::size_t parse_json_value(const std::string& s, std::size_t i) {
+  i = skip_ws(s, i);
+  if (i >= s.size()) return std::string::npos;
+  const char c = s[i];
+  if (c == '"') return parse_json_string(s, i);
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    i = skip_ws(s, i);
+    if (i < s.size() && s[i] == close) return i + 1;
+    while (true) {
+      if (c == '{') {
+        i = parse_json_string(s, skip_ws(s, i));
+        if (i == std::string::npos) return i;
+        i = skip_ws(s, i);
+        if (i >= s.size() || s[i] != ':') return std::string::npos;
+        ++i;
+      }
+      i = parse_json_value(s, i);
+      if (i == std::string::npos) return i;
+      i = skip_ws(s, i);
+      if (i >= s.size()) return std::string::npos;
+      if (s[i] == close) return i + 1;
+      if (s[i] != ',') return std::string::npos;
+      ++i;
+    }
+  }
+  // number / true / false / null
+  const std::size_t start = i;
+  while (i < s.size() &&
+         (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '-' ||
+          s[i] == '+' || s[i] == '.' )) {
+    ++i;
+  }
+  return i > start ? i : std::string::npos;
+}
+
+bool valid_json(const std::string& s) {
+  const auto end = parse_json_value(s, 0);
+  return end != std::string::npos && skip_ws(s, end) == s.size();
+}
+
+// ---------------------------------------------------------------------
+
+TEST(Metrics, ConcurrentCounterIncrementsSumExactly) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kIncrements = 200'000;
+  telemetry::MetricRegistry registry(kThreads);
+  auto& family = registry.counter("test_total", "concurrent increments");
+
+  std::vector<std::thread> threads;
+  for (std::size_t core = 0; core < kThreads; ++core) {
+    threads.emplace_back([&family, core] {
+      auto& cell = family.at(core);  // one writer per slot
+      for (std::uint64_t i = 0; i < kIncrements; ++i) cell.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(family.total(), kThreads * kIncrements);
+  for (std::size_t core = 0; core < kThreads; ++core) {
+    EXPECT_EQ(family.core_value(core), kIncrements);
+  }
+}
+
+TEST(Metrics, ConcurrentHistogramRecordsSumExactly) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kRecords = 100'000;
+  telemetry::MetricRegistry registry(kThreads);
+  auto& family = registry.histogram("test_cycles", "concurrent records");
+
+  std::vector<std::thread> threads;
+  for (std::size_t core = 0; core < kThreads; ++core) {
+    threads.emplace_back([&family, core] {
+      auto& hist = family.at(core);
+      for (std::uint64_t i = 1; i <= kRecords; ++i) hist.record(i);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const auto agg = family.aggregate();
+  EXPECT_EQ(agg.count, kThreads * kRecords);
+  EXPECT_EQ(agg.sum, kThreads * (kRecords * (kRecords + 1) / 2));
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  EXPECT_EQ(telemetry::histogram_bucket(0), 0u);
+  EXPECT_EQ(telemetry::histogram_bucket(1), 1u);
+  EXPECT_EQ(telemetry::histogram_bucket(2), 2u);
+  EXPECT_EQ(telemetry::histogram_bucket(3), 2u);
+  EXPECT_EQ(telemetry::histogram_bucket(4), 3u);
+  EXPECT_EQ(telemetry::histogram_bucket(1023), 10u);
+  EXPECT_EQ(telemetry::histogram_bucket(1024), 11u);
+  EXPECT_EQ(telemetry::histogram_bucket_upper(0), 0u);
+  EXPECT_EQ(telemetry::histogram_bucket_upper(1), 1u);
+  EXPECT_EQ(telemetry::histogram_bucket_upper(10), 1023u);
+}
+
+TEST(Metrics, HistogramPercentilesOnKnownDistribution) {
+  telemetry::MetricRegistry registry(1);
+  auto& hist = registry.histogram("h", "uniform 1..1000").at(0);
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  const auto snap = registry.snapshot().histograms.at(0).agg;
+
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 500.5);
+  // The log2 estimate must land inside the bucket holding the true
+  // percentile: p50 -> 500 in [256, 511], p90 -> 900 in [512, 1023],
+  // p99 -> 990 in [512, 1023].
+  EXPECT_GE(snap.percentile(50), 256.0);
+  EXPECT_LE(snap.percentile(50), 511.0);
+  EXPECT_GE(snap.percentile(90), 512.0);
+  EXPECT_LE(snap.percentile(90), 1023.0);
+  EXPECT_GE(snap.percentile(99), snap.percentile(90));
+  EXPECT_LE(snap.percentile(99), 1023.0);
+  // Degenerate distribution: everything in one bucket.
+  auto& point = registry.histogram("h2", "constant").at(0);
+  for (int i = 0; i < 100; ++i) point.record(64);
+  const auto psnap = registry.snapshot().histograms.at(1).agg;
+  EXPECT_GE(psnap.percentile(50), 64.0);
+  EXPECT_LE(psnap.percentile(50), 127.0);
+}
+
+TEST(Metrics, SnapshotDeltaSemantics) {
+  telemetry::MetricRegistry registry(2);
+  auto& pkts = registry.counter("pkts_total", "p");
+  auto& live = registry.gauge("live", "l");
+  auto& hist = registry.histogram("cycles", "c");
+
+  pkts.at(0).add(100);
+  pkts.at(1).add(50);
+  live.at(0).set(7);
+  hist.at(0).record(10);
+  const auto first = registry.snapshot();
+  EXPECT_EQ(first.value("pkts_total"), 150u);
+
+  pkts.at(0).add(25);
+  live.at(0).set(3);
+  hist.at(0).record(10);
+  hist.at(0).record(1000);
+  const auto second = registry.snapshot();
+
+  const auto delta = second.delta(first);
+  EXPECT_EQ(delta.value("pkts_total"), 25u);   // counters subtract
+  EXPECT_EQ(delta.value("live"), 3u);          // gauges stay current
+  EXPECT_EQ(delta.histograms.at(0).agg.count, 2u);
+  EXPECT_EQ(delta.histograms.at(0).agg.sum, 1010u);
+}
+
+TEST(Metrics, RegistryReturnsSameFamilyForSameName) {
+  telemetry::MetricRegistry registry(1);
+  auto& a = registry.counter("x_total", "x");
+  auto& b = registry.counter("x_total", "x");
+  EXPECT_EQ(&a, &b);
+  // Different label values are distinct families.
+  auto& s1 = registry.histogram("stage", "s", "stage", "parse");
+  auto& s2 = registry.histogram("stage", "s", "stage", "filter");
+  EXPECT_NE(&s1, &s2);
+}
+
+TEST(Exporters, PrometheusTextIsParseable) {
+  telemetry::MetricRegistry registry(2);
+  registry.counter("retina_packets_total", "Packets").at(0).add(42);
+  registry.counter("retina_packets_total", "Packets").at(1).add(8);
+  registry.gauge("retina_live_connections", "Live").at(0).set(3);
+  auto& hist =
+      registry.histogram("retina_stage_cycles", "Cycles", "stage", "parse");
+  hist.at(0).record(5);
+  hist.at(0).record(300);
+  hist.at(1).record(70);
+
+  const auto text = telemetry::to_prometheus(registry.snapshot());
+
+  // Every line is a comment or `name{labels} value`.
+  const std::regex metric_line(
+      R"(^[A-Za-z_:][A-Za-z0-9_:]*(\{[A-Za-z0-9_]+="[^"]*"(,[A-Za-z0-9_]+="[^"]*")*\})? [-+0-9.eE]+|\+Inf$)");
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t metric_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_TRUE(std::regex_search(line, metric_line)) << line;
+    ++metric_lines;
+  }
+  EXPECT_GT(metric_lines, 0u);
+
+  EXPECT_NE(text.find("# TYPE retina_packets_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("retina_packets_total{core=\"0\"} 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE retina_live_connections gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE retina_stage_cycles histogram"),
+            std::string::npos);
+  // Cumulative buckets across cores: 5 -> le=7, 70 -> le=127, 300 ->
+  // le=511; the +Inf bucket equals the total count.
+  EXPECT_NE(text.find("retina_stage_cycles_bucket{stage=\"parse\","
+                      "le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("retina_stage_cycles_sum{stage=\"parse\"} 375"),
+            std::string::npos);
+  EXPECT_NE(text.find("retina_stage_cycles_count{stage=\"parse\"} 3"),
+            std::string::npos);
+}
+
+TEST(Exporters, SampleJsonAndJsonl) {
+  telemetry::TelemetrySample sample;
+  sample.t_ms = 12.5;
+  sample.rx_packets = 1000;
+  sample.queue_depth = {3, 0, 7};
+  sample.live_conns = 42;
+  const auto json = sample.to_json();
+  EXPECT_TRUE(valid_json(json)) << json;
+  EXPECT_NE(json.find("\"queue_depth\":[3,0,7]"), std::string::npos);
+  EXPECT_NE(json.find("\"live_conns\":42"), std::string::npos);
+
+  const auto jsonl = telemetry::samples_to_jsonl({sample, sample});
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(valid_json(line)) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Trace, SpanRingIsBoundedAndOldestFirst) {
+  constexpr std::size_t kCapacity = 16;
+  telemetry::SpanRing ring(kCapacity, /*tid=*/0);
+  for (std::uint64_t i = 0; i < kCapacity + 50; ++i) {
+    ring.record(telemetry::SpanEvent::kConnCreated, i, i * 100);
+  }
+  EXPECT_EQ(ring.recorded(), kCapacity + 50);
+  EXPECT_EQ(ring.size(), kCapacity);
+  const auto spans = ring.drain();
+  ASSERT_EQ(spans.size(), kCapacity);
+  // Overwrite-oldest: the survivors are the most recent, in order.
+  EXPECT_EQ(spans.front().id, 50u);
+  EXPECT_EQ(spans.back().id, kCapacity + 50 - 1);
+}
+
+TEST(Trace, ChromeJsonIsValidAndBounded) {
+  constexpr std::size_t kCapacity = 32;
+  telemetry::SpanRecorder recorder(/*cores=*/2, kCapacity);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    recorder.ring(0).record(telemetry::SpanEvent::kConnCreated, i, i * 10);
+    recorder.ring(1).record(telemetry::SpanEvent::kConnSpan, i, i * 10, 500,
+                            "tls");
+  }
+  EXPECT_LE(recorder.merged().size(), 2 * kCapacity);
+  const auto json = recorder.to_chrome_json();
+  EXPECT_TRUE(valid_json(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"tls\""), std::string::npos);
+  // Merged output is time-sorted.
+  const auto merged = recorder.merged();
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].ts_ns, merged[i].ts_ns);
+  }
+}
+
+TEST(Sampler, AlwaysRecordsFirstAndFinalSample) {
+  std::atomic<std::uint64_t> counter{0};
+  telemetry::Sampler sampler(std::chrono::milliseconds(3600 * 1000),
+                             [&counter] {
+                               telemetry::TelemetrySample s;
+                               s.rx_packets = counter.fetch_add(1000) + 1000;
+                               return s;
+                             });
+  sampler.start();
+  sampler.stop();
+  ASSERT_GE(sampler.samples().size(), 2u);
+  EXPECT_LT(sampler.samples().front().rx_packets,
+            sampler.samples().back().rx_packets);
+  // Rates derive from the cumulative deltas.
+  EXPECT_GT(sampler.samples().back().pps, 0.0);
+}
+
+TEST(Sampler, StreamsJsonlWhileSampling) {
+  std::ostringstream sink;
+  telemetry::Sampler sampler(std::chrono::milliseconds(5), [] {
+    telemetry::TelemetrySample s;
+    s.rx_packets = 1;
+    return s;
+  });
+  sampler.set_jsonl_sink(&sink);
+  sampler.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.stop();
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(valid_json(line)) << line;
+    ++n;
+  }
+  EXPECT_GE(n, 2u);
+  EXPECT_EQ(n, sampler.samples().size());
+}
+
+// End-to-end: the threaded runtime with telemetry on. Registry totals
+// must agree with the (serially merged) RunStats, the sampler must
+// produce a >= 2 point series, and the stage histograms must have seen
+// every instrumented invocation. Run under TSan, this guards all the
+// lock-free paths (NIC counters, registry slots, sampler reads).
+TEST(TelemetryEndToEnd, ThreadedRunPopulatesRegistrySamplerAndSpans) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 300;
+  mix.seed = 7;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  std::atomic<std::size_t> records{0};
+  auto sub = core::Subscription::connections(
+      "tcp or udp", [&records](const core::ConnRecord&) { ++records; });
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  config.rx_ring_size = 1 << 16;
+  config.telemetry = true;
+  config.telemetry_sample_interval_ms = 5;
+  config.trace_ring_capacity = 4096;
+  core::Runtime runtime(config, std::move(sub));
+
+  const auto stats = runtime.run_threaded(trace.packets());
+
+  ASSERT_NE(runtime.metrics(), nullptr);
+  const auto snap = runtime.metrics()->snapshot();
+  EXPECT_EQ(snap.value("retina_packets_total"), stats.total.packets);
+  EXPECT_EQ(snap.value("retina_bytes_total"), stats.total.bytes);
+  EXPECT_EQ(snap.value("retina_conns_created_total"),
+            stats.total.conns_created);
+  EXPECT_EQ(snap.value("retina_sessions_parsed_total"),
+            stats.total.sessions_parsed);
+
+  // Stage latency histograms: every instrumented invocation recorded.
+  bool found_stage_hist = false;
+  for (const auto& hist : snap.histograms) {
+    if (hist.id.name != "retina_stage_cycles" ||
+        hist.id.label_value != core::stage_name(core::Stage::kConnTracking)) {
+      continue;
+    }
+    found_stage_hist = true;
+    EXPECT_EQ(hist.agg.count,
+              stats.total.stages.count(core::Stage::kConnTracking));
+    EXPECT_GT(hist.agg.percentile(99), 0.0);
+  }
+  EXPECT_TRUE(found_stage_hist);
+
+  // Sampler series: >= 2 points, cumulative fields monotonic.
+  const auto& samples = runtime.telemetry_samples();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_LE(samples.front().rx_packets, samples.back().rx_packets);
+  EXPECT_EQ(samples.back().rx_packets, stats.nic_rx_packets);
+  EXPECT_EQ(samples.back().queue_depth.size(), config.cores);
+
+  // Spans: lifecycle events present and the export is valid JSON.
+  ASSERT_NE(runtime.spans(), nullptr);
+  EXPECT_GT(runtime.spans()->merged().size(), 0u);
+  EXPECT_TRUE(valid_json(runtime.spans()->to_chrome_json()));
+
+  // Prometheus export is non-empty and contains NIC counters.
+  const auto prom = runtime.prometheus();
+  EXPECT_NE(prom.find("retina_nic_rx_packets_total"), std::string::npos);
+  EXPECT_NE(prom.find("retina_stage_cycles_bucket"), std::string::npos);
+  EXPECT_GT(records.load(), 0u);
+}
+
+}  // namespace
+}  // namespace retina

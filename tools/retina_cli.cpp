@@ -20,13 +20,26 @@
 //   --limit N          print at most N records (default 20)
 //   --quiet            print only the summary
 //   --stats            print per-stage statistics (Fig. 7 style)
+//
+// Observability (any of these switches to the threaded runtime and
+// enables the live telemetry registry):
+//   --prom FILE        write Prometheus text exposition after the run
+//   --metrics FILE     write the sampler time series as JSON lines
+//   --trace FILE       write connection lifecycle spans as Chrome
+//                      trace_event JSON (load in chrome://tracing)
+//   --live             print a live console table while running
+//   --sample-ms N      sampler period in milliseconds (default 50)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
 #include <string>
 
 #include "core/runtime.hpp"
 #include "core/stats.hpp"
+#include "telemetry/exporters.hpp"
 #include "traffic/flowgen.hpp"
 #include "traffic/pcap.hpp"
 
@@ -38,13 +51,23 @@ struct Options {
   std::string filter;
   std::string type = "connections";
   std::string pcap_path;
+  std::string prom_path;
+  std::string metrics_path;
+  std::string trace_path;
   std::size_t synthetic_flows = 0;
   std::size_t cores = 4;
   std::size_t limit = 20;
+  std::size_t sample_ms = 50;
   bool interpreted = false;
   bool hardware = true;
   bool quiet = false;
   bool stats = false;
+  bool live = false;
+
+  bool telemetry() const {
+    return !prom_path.empty() || !metrics_path.empty() ||
+           !trace_path.empty() || live;
+  }
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -53,7 +76,10 @@ struct Options {
                "sessions|streams]\n"
                "          (--pcap PATH | --synthetic N) [--cores N]"
                " [--interpreted]\n"
-               "          [--no-hw] [--limit N] [--quiet] [--stats]\n",
+               "          [--no-hw] [--limit N] [--quiet] [--stats]\n"
+               "          [--prom FILE] [--metrics FILE] [--trace FILE]"
+               " [--live]\n"
+               "          [--sample-ms N]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +105,12 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--no-hw") opts.hardware = false;
     else if (arg == "--quiet") opts.quiet = true;
     else if (arg == "--stats") opts.stats = true;
+    else if (arg == "--prom") opts.prom_path = next();
+    else if (arg == "--metrics") opts.metrics_path = next();
+    else if (arg == "--trace") opts.trace_path = next();
+    else if (arg == "--live") opts.live = true;
+    else if (arg == "--sample-ms")
+      opts.sample_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
     else usage(argv[0]);
   }
   if (opts.pcap_path.empty() && opts.synthetic_flows == 0) {
@@ -113,8 +145,12 @@ std::string session_summary(const core::SessionRecord& rec) {
 int main(int argc, char** argv) {
   const auto opts = parse_args(argc, argv);
 
+  // Telemetry mode runs the threaded runtime, so callbacks may fire
+  // concurrently from worker cores.
+  std::mutex emit_mu;
   std::size_t printed = 0, records = 0;
   auto emit = [&](const std::string& line) {
+    std::lock_guard lock(emit_mu);
     ++records;
     if (!opts.quiet && printed < opts.limit) {
       std::printf("%s\n", line.c_str());
@@ -162,17 +198,35 @@ int main(int argc, char** argv) {
   config.cores = opts.cores;
   config.interpreted_filters = opts.interpreted;
   config.hardware_filter = opts.hardware;
-  config.instrument_stages = opts.stats;
+  config.instrument_stages = opts.stats || opts.telemetry();
+  config.telemetry = opts.telemetry();
+  config.telemetry_sample_interval_ms = opts.sample_ms;
+  if (!opts.trace_path.empty()) config.trace_ring_capacity = 1 << 16;
 
   try {
     core::Runtime runtime(config, std::move(subscription));
+    if (opts.live) runtime.set_telemetry_console(&std::cerr);
 
-    if (!opts.pcap_path.empty()) {
+    core::RunStats stats;
+    if (opts.telemetry()) {
+      // Live mode: materialize the trace and replay it through the
+      // threaded runtime so the sampler sees real queue dynamics.
+      traffic::Trace trace;
+      if (!opts.pcap_path.empty()) {
+        trace = traffic::read_pcap(opts.pcap_path);
+      } else {
+        traffic::CampusMixConfig mix;
+        mix.total_flows = opts.synthetic_flows;
+        trace = traffic::make_campus_trace(mix);
+      }
+      stats = runtime.run_threaded(trace.packets());
+    } else if (!opts.pcap_path.empty()) {
       const auto trace = traffic::read_pcap(opts.pcap_path);
       for (const auto& mbuf : trace.packets()) {
         runtime.dispatch(mbuf);
         runtime.drain();
       }
+      stats = runtime.finish();
     } else {
       traffic::CampusMixConfig mix;
       mix.total_flows = opts.synthetic_flows;
@@ -182,16 +236,30 @@ int main(int argc, char** argv) {
         runtime.dispatch(mbuf);
         runtime.drain();
       }
+      stats = runtime.finish();
     }
-    const auto stats = runtime.finish();
+
+    if (!opts.prom_path.empty()) {
+      std::ofstream out(opts.prom_path);
+      out << runtime.prometheus();
+    }
+    if (!opts.metrics_path.empty()) {
+      std::ofstream out(opts.metrics_path);
+      out << telemetry::samples_to_jsonl(runtime.telemetry_samples());
+    }
+    if (!opts.trace_path.empty() && runtime.spans() != nullptr) {
+      std::ofstream out(opts.trace_path);
+      out << runtime.spans()->to_chrome_json();
+    }
 
     std::fprintf(stderr,
                  "\n%llu packets (%.1f MB), %llu connections tracked, "
-                 "%llu records matched\n",
+                 "%llu records matched\n%s\n",
                  static_cast<unsigned long long>(stats.nic_rx_packets),
                  static_cast<double>(stats.nic_rx_bytes) / 1e6,
                  static_cast<unsigned long long>(stats.total.conns_created),
-                 static_cast<unsigned long long>(records));
+                 static_cast<unsigned long long>(records),
+                 stats.to_string().c_str());
     if (opts.stats) {
       for (int i = 0; i < static_cast<int>(core::Stage::kCount); ++i) {
         const auto stage = static_cast<core::Stage>(i);
