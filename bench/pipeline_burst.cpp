@@ -1,0 +1,180 @@
+// Pipeline data-path bench — per-packet vs burst-mode processing.
+//
+// The paper's runtime (like any DPDK application) receives packets in
+// bursts of up to 32 and amortizes per-packet overheads across the
+// batch; our pipeline adds a two-pass sweep that prefetches the
+// connection-table probe line and connection slot for every packet in
+// the burst before processing any of them. This bench quantifies what
+// that buys over the one-packet-at-a-time path on the campus workload.
+//
+// Output: a human-readable table plus BENCH_pipeline.json (consumed by
+// the CI bench-smoke job) with packets/sec per burst size and the
+// burst-vs-per-packet speedup. Expected: burst-32 >= 1.2x per-packet in
+// a Release build; the equivalence test in tests/test_core.cpp proves
+// the two paths produce identical results.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <vector>
+
+#include "common.hpp"
+
+using namespace retina;
+
+namespace {
+
+struct Result {
+  std::size_t burst;
+  double mpps = 0;
+  double gbps = 0;
+  std::vector<double> ratios;  // per-rep, paired against that rep's burst=1
+};
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Process the trace once with the given burst size, dispatching in
+/// multi-burst chunks so process_burst() sees real multi-packet bursts
+/// (per-packet dispatch+drain would cap every burst at one packet) and
+/// each drain services several bursts back-to-back — the regime where
+/// the drain loop's double-buffered receive can warm burst N+1 while
+/// burst N is processed, as a real rx queue would under load.
+///
+/// The rate is consumer-side wall time: the clock runs only around the
+/// drain() calls, i.e. poll + pipeline work, excluding trace iteration
+/// and dispatch (producer) and the end-of-run connection teardown
+/// (identical for every burst size). Unlike the pipeline's internal
+/// busy-cycle counter this charges the per-packet path for everything
+/// it really does per packet — including both edges of its per-packet
+/// rdtsc timestamping and the one-at-a-time ring polls — which is
+/// precisely the overhead a burst API amortizes.
+///
+/// Returns this pass's rate in Mpps (and the wire rate via `gbps`).
+double run_pass(const traffic::Trace& trace, std::size_t burst_size,
+                double& gbps) {
+  auto sub = core::Subscription::connections(
+      "tcp", [](const core::ConnRecord&) {});
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.hardware_filter = false;  // measure the software path
+  config.rx_burst_size = burst_size;
+  core::Runtime runtime(config, std::move(sub));
+
+  using clock = std::chrono::steady_clock;
+  clock::duration drain_time{0};
+  std::size_t queued = 0;
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);
+    if (++queued == 8 * core::Pipeline::kMaxBurst) {
+      const auto t0 = clock::now();
+      runtime.drain();
+      drain_time += clock::now() - t0;
+      queued = 0;
+    }
+  }
+  {
+    const auto t0 = clock::now();
+    runtime.drain();  // leftover partial chunk
+    drain_time += clock::now() - t0;
+  }
+  const auto stats = runtime.finish();
+  const double seconds = std::chrono::duration<double>(drain_time).count();
+  if (seconds <= 0) return 0;
+  gbps = static_cast<double>(stats.nic_rx_bytes) * 8.0 / seconds / 1e9;
+  return static_cast<double>(stats.nic_rx_packets) / seconds / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Pipeline burst mode: per-packet vs batched+prefetch",
+                      "DPDK rx_burst data path (paper SS5.1)");
+
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  // Tuned toward the *packet-weighted* behavior of the paper's campus
+  // link rather than the default mix's flow-weighted one. Two knobs
+  // matter:
+  //  - Concurrency (flows_per_second x flow duration, capped by
+  //    max_active): how many distinct connections are touched between
+  //    two packets of the same flow, i.e. whether connection state is
+  //    cache-resident. The defaults (5k/s, 512 active) fit in L1.
+  //  - Connection-creation rate per packet: the paper's link runs
+  //    ~160k conns/s at ~25 Mpps, so well under 1% of packets create a
+  //    connection; the default mix's short flows put that near 18%,
+  //    drowning the steady-state data path (which bursting targets) in
+  //    setup/teardown (which it cannot amortize). Raising the
+  //    heavy-tail response floor moves packets into established flows
+  //    — still ~5x more creation-heavy than the real link.
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 40'000;
+  mix.flows_per_second = 20'000;
+  mix.max_active = 16384;
+  mix.resp_min_bytes = 20'000;
+  mix.seed = 7;
+  const auto trace = traffic::make_campus_trace(mix);
+  std::printf("workload: campus mix, %zu packets\n\n",
+              trace.packets().size());
+
+  const std::size_t burst_sizes[] = {1, 4, 8, 16, 32};
+  const int reps = 9;
+  std::vector<Result> results;
+  for (const auto burst : burst_sizes) {
+    results.push_back(Result{burst, 0, 0, {}});
+  }
+  // One warm-up sweep (cold caches, lazy page faults), then paired
+  // reps: each rep runs every configuration back-to-back and the
+  // speedup is the per-rep ratio against *that rep's* per-packet pass.
+  // On shared hardware the absolute rate wanders with frequency and
+  // steal time; adjacent passes share those conditions, so the median
+  // of paired ratios is what's stable — never compare numbers taken
+  // minutes apart.
+  {
+    double g;
+    for (auto& r : results) run_pass(trace, r.burst, g);
+  }
+  std::vector<double> mpps_acc[std::size(burst_sizes)];
+  for (int rep = 0; rep < reps; ++rep) {
+    double base = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      double gbps = 0;
+      const double mpps = run_pass(trace, results[i].burst, gbps);
+      mpps_acc[i].push_back(mpps);
+      if (gbps > results[i].gbps) results[i].gbps = gbps;
+      if (i == 0) base = mpps;
+      if (base > 0) results[i].ratios.push_back(mpps / base);
+    }
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    results[i].mpps = median(mpps_acc[i]);
+  }
+  std::printf("%8s %10s %10s %10s\n", "burst", "mpps", "gbps", "speedup");
+  for (const auto& r : results) {
+    std::printf("%8zu %10.3f %10.2f %9.2fx\n", r.burst, r.mpps, r.gbps,
+                median(r.ratios));
+  }
+
+  const double speedup = median(results.back().ratios);
+  std::printf(
+      "\nburst-32 vs per-packet: %.2fx packets/sec (target >= 1.2x in a\n"
+      "Release build; Debug builds drown the effect in abstraction cost)\n",
+      speedup);
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"pipeline_burst\",\n  \"workload\": "
+       << "\"campus_mix\",\n  \"packets\": " << trace.packets().size()
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << "    {\"burst\": " << results[i].burst
+         << ", \"mpps\": " << results[i].mpps
+         << ", \"gbps\": " << results[i].gbps << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"speedup_burst32_vs_per_packet\": " << speedup
+       << "\n}\n";
+  std::printf("wrote %s\n", json_path);
+  return 0;
+}

@@ -44,11 +44,55 @@ class ConnTable {
 
   std::size_t size() const noexcept { return index_.size(); }
   const TimeoutConfig& timeouts() const noexcept { return timeouts_; }
+  /// Timer-wheel entries currently scheduled (diagnostics; stays 0 when
+  /// all timeouts are disabled).
+  std::size_t pending_timers() const noexcept { return wheel_.pending(); }
 
   /// Find an existing connection slot for a canonical tuple.
   ConnId find(const packet::FiveTuple& canonical_key) {
     const auto value = index_.find(canonical_key);
     return value == FlatIndex::kNotFound ? kInvalid : value;
+  }
+
+  /// find() with the raw tuple hash supplied by the caller. The burst
+  /// path hashes each tuple exactly once in pass 1 and reuses the value
+  /// for prefetching and here — FiveTuple::hash() is a ~37-byte serial
+  /// FNV chain, the single most expensive scalar op on the hot path.
+  ConnId find_hashed(const packet::FiveTuple& canonical_key,
+                     std::uint64_t key_hash) {
+    const auto value = index_.find_hashed(canonical_key, key_hash);
+    return value == FlatIndex::kNotFound ? kInvalid : value;
+  }
+
+  /// True when advance(now_ns) would cross a tick boundary and do real
+  /// expiry work. The burst path uses this to prove a whole burst is
+  /// timer-quiescent and hoist the per-packet advance calls.
+  bool timers_due(std::uint64_t now_ns) const noexcept {
+    return wheel_.due(now_ns);
+  }
+
+  /// Burst pass-1 hook: warm the index probe line for the tuple hashing
+  /// to `key_hash` (no lookup yet — just a software prefetch).
+  void prefetch_hashed(std::uint64_t key_hash) const noexcept {
+    index_.prefetch_hashed(key_hash);
+  }
+
+  /// Burst pass-1 hook, second sweep: with the index line warm, peek the
+  /// key's home slot and prefetch the connection Slot it points at so
+  /// pass 2 finds the connection state resident. Deliberately a hint,
+  /// not a lookup — no probe walk, no key compare — so its cost stays a
+  /// few cycles even when the guess is wrong.
+  void prefetch_slot_hashed(std::uint64_t key_hash) const noexcept {
+    const auto value = index_.peek_home_hashed(key_hash);
+    if (value == FlatIndex::kNotFound || value >= slots_.size()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    // One line, read-hinted: the hot fields (deadline, record counters)
+    // share the slot's first line, and wider or write-hinted prefetches
+    // measured slower here — extra fill traffic outweighed the saved
+    // upgrade.
+    __builtin_prefetch(static_cast<const void*>(&slots_[value]),
+                       /*rw=*/0, /*locality=*/3);
+#endif
   }
 
   /// Insert a new connection (caller checked find() first). Schedules
@@ -71,7 +115,13 @@ class ConnTable {
     slot.established = false;
     slot.deadline_ns = now_ns + first_timeout();
     index_.insert(canonical_key, id);
-    wheel_.schedule(wheel_token(id), slot.deadline_ns);
+    // With every timeout disabled (Fig. 8 "no timeouts" ablation) the
+    // connection can never expire: scheduling it would park a
+    // ~infinite deadline in the wheel's overflow list forever and
+    // re-scan it on every top-level wrap. Skip the wheel entirely.
+    if (timers_enabled()) {
+      wheel_.schedule(wheel_token(id), slot.deadline_ns);
+    }
     return id;
   }
 
@@ -116,6 +166,10 @@ class ConnTable {
   /// the table removes it afterwards).
   template <typename F>
   void advance(std::uint64_t now_ns, F&& on_expire) {
+    // Fast path: nothing can fire until the next tick boundary, and the
+    // gate also skips the std::function the wheel's callback interface
+    // would otherwise materialize on every packet.
+    if (!wheel_.due(now_ns)) return;
     wheel_.advance(now_ns, [&](std::uint64_t token) {
       const ConnId id = static_cast<ConnId>(token & 0xffffffffu);
       const std::uint32_t generation =
@@ -162,6 +216,10 @@ class ConnTable {
 
   std::uint64_t wheel_token(ConnId id) const {
     return (static_cast<std::uint64_t>(slots_[id].generation) << 32) | id;
+  }
+
+  bool timers_enabled() const noexcept {
+    return timeouts_.establish_enabled() || timeouts_.inactivity_enabled();
   }
 
   std::uint64_t first_timeout() const {

@@ -32,9 +32,49 @@ class FlatIndex {
   std::size_t size() const noexcept { return size_; }
   std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Hint the cache that the key hashing to `key_hash` (the raw
+  /// FiveTuple::hash(), pre-mix) is about to be probed: issues a
+  /// software prefetch for the first cache line of the probe sequence.
+  /// Used by the burst pipeline's pass 1 so that by the time pass 2
+  /// calls find(), the line is (ideally) already resident. Taking the
+  /// hash instead of the key lets the caller compute the ~40-byte FNV
+  /// chain once per packet and reuse it across prefetch and find.
+  void prefetch_hashed(std::uint64_t key_hash) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::uint64_t hash = mix(key_hash);
+    const auto* p = reinterpret_cast<const char*>(
+        &slots_[hash & (slots_.size() - 1)]);
+    // Slots are ~56 bytes, so the home slot plus even a one-step probe
+    // walk regularly crosses a line boundary: warm two lines.
+    __builtin_prefetch(static_cast<const void*>(p), /*rw=*/0,
+                       /*locality=*/3);
+    __builtin_prefetch(static_cast<const void*>(p + 64), /*rw=*/0,
+                       /*locality=*/3);
+#else
+    (void)key_hash;
+#endif
+  }
+
   /// Value for `key`, or kNotFound.
   std::uint32_t find(const packet::FiveTuple& key) const noexcept {
-    const std::uint64_t hash = mix(key.hash());
+    return find_hashed(key, key.hash());
+  }
+
+  /// Cheap slot hint for prefetching: the value at the key's *home*
+  /// slot if the cached hash there matches, else kNotFound. No probe
+  /// walk and no key comparison — a stale or colliding answer merely
+  /// prefetches the wrong line, so correctness never depends on it.
+  std::uint32_t peek_home_hashed(std::uint64_t key_hash) const noexcept {
+    const std::uint64_t hash = mix(key_hash);
+    const Slot& slot = slots_[hash & (slots_.size() - 1)];
+    return (slot.occupied && slot.hash == hash) ? slot.value : kNotFound;
+  }
+
+  /// find() with the raw key hash supplied by the caller — the hot path
+  /// computes it once per packet and reuses it here.
+  std::uint32_t find_hashed(const packet::FiveTuple& key,
+                            std::uint64_t key_hash) const noexcept {
+    const std::uint64_t hash = mix(key_hash);
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = hash & mask;
     while (true) {

@@ -9,6 +9,7 @@ TimerWheel::TimerWheel(const Config& config) : config_(config) {
   for (auto& level : wheels_) {
     level.resize(config_.slots_per_level);
   }
+  next_tick_ns_ = config_.tick_ns;  // boundary of tick 1
 }
 
 std::size_t TimerWheel::level_span_ticks(std::size_t level) const {
@@ -19,15 +20,14 @@ std::size_t TimerWheel::level_span_ticks(std::size_t level) const {
 }
 
 void TimerWheel::schedule(std::uint64_t id, std::uint64_t deadline_ns) {
-  insert(Entry{id, deadline_ns});
+  // Past deadlines fire on the next tick; never slot behind the cursor.
+  insert(Entry{id, deadline_ns}, current_tick_ + 1);
   ++pending_;
 }
 
-void TimerWheel::insert(Entry entry) {
+void TimerWheel::insert(Entry entry, std::uint64_t min_tick) {
   const std::uint64_t deadline_tick = entry.deadline_ns / config_.tick_ns;
-  // Past deadlines fire on the next tick; never slot behind the cursor.
-  const std::uint64_t effective_tick =
-      std::max(deadline_tick, current_tick_ + 1);
+  const std::uint64_t effective_tick = std::max(deadline_tick, min_tick);
   const std::uint64_t delta = effective_tick - current_tick_;
 
   const std::size_t S = config_.slots_per_level;
@@ -48,6 +48,7 @@ void TimerWheel::advance(std::uint64_t now_ns,
                          const std::function<void(std::uint64_t)>& expire) {
   if (now_ns < now_ns_) return;  // time is monotonic
   now_ns_ = now_ns;
+  if (now_ns < next_tick_ns_) return;  // inside the current tick
   const std::uint64_t target_tick = now_ns / config_.tick_ns;
   const std::size_t S = config_.slots_per_level;
 
@@ -57,13 +58,16 @@ void TimerWheel::advance(std::uint64_t now_ns,
 
     // Cascade higher levels downward on wrap boundaries, innermost
     // first so entries settle into the correct lower-level slots before
-    // this tick's level-0 slot fires.
+    // this tick's level-0 slot fires. Re-inserts are allowed to land in
+    // the level-0 slot that fires *this* tick (min_tick =
+    // current_tick_): an entry whose deadline falls exactly on the
+    // cascade boundary must fire now, not one tick late.
     std::uint64_t div = S;
     for (std::size_t level = 1; level < config_.levels; ++level) {
       if (current_tick_ % div != 0) break;
       const std::size_t slot = (current_tick_ / div) % S;
       scratch.swap(wheels_[level][slot]);
-      for (const auto& entry : scratch) insert(entry);
+      for (const auto& entry : scratch) insert(entry, current_tick_);
       scratch.clear();
       div *= S;
     }
@@ -71,7 +75,7 @@ void TimerWheel::advance(std::uint64_t now_ns,
     if (current_tick_ % level_span_ticks(config_.levels - 1) == 0 &&
         !overflow_.empty()) {
       scratch.swap(overflow_);
-      for (const auto& entry : scratch) insert(entry);
+      for (const auto& entry : scratch) insert(entry, current_tick_);
       scratch.clear();
     }
 
@@ -84,6 +88,7 @@ void TimerWheel::advance(std::uint64_t now_ns,
     }
     scratch.clear();
   }
+  next_tick_ns_ = (current_tick_ + 1) * config_.tick_ns;
 }
 
 }  // namespace retina::conntrack

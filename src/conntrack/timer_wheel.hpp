@@ -42,6 +42,14 @@ class TimerWheel {
   void advance(std::uint64_t now_ns,
                const std::function<void(std::uint64_t)>& expire);
 
+  /// True when advance(now_ns) would cross a tick boundary and do real
+  /// work. Per-packet hot paths gate on this: it is a single compare
+  /// against the cached boundary, avoiding the 64-bit division (and the
+  /// caller's std::function materialization) on every packet of a tick.
+  bool due(std::uint64_t now_ns) const noexcept {
+    return now_ns >= next_tick_ns_;
+  }
+
   std::uint64_t now_ns() const noexcept { return now_ns_; }
   std::size_t pending() const noexcept { return pending_; }
 
@@ -51,12 +59,17 @@ class TimerWheel {
     std::uint64_t deadline_ns;
   };
 
-  void insert(Entry entry);
+  /// Slot `entry`, clamping its tick to at least `min_tick`. schedule()
+  /// passes current_tick_ + 1 (a slot already being drained must not
+  /// receive new entries); cascade re-inserts during advance() pass
+  /// current_tick_ so boundary deadlines fire on time.
+  void insert(Entry entry, std::uint64_t min_tick);
   std::size_t level_span_ticks(std::size_t level) const;
 
   Config config_;
   std::uint64_t now_ns_ = 0;
   std::uint64_t current_tick_ = 0;
+  std::uint64_t next_tick_ns_ = 0;  // (current_tick_ + 1) * tick_ns
   std::size_t pending_ = 0;
   // wheel_[level][slot] = entries
   std::vector<std::vector<std::vector<Entry>>> wheels_;

@@ -17,6 +17,12 @@ struct RuntimeConfig {
   /// the signal the zero-loss throughput methodology watches (§6.1).
   std::size_t rx_ring_size = 4096;
 
+  /// Packets fetched per receive-queue poll (DPDK rx_burst semantics,
+  /// capped at 32). Values > 1 take the batched two-pass pipeline,
+  /// which prefetches connection state across the burst; 1 selects the
+  /// legacy per-packet path (the burst-equivalence baseline).
+  std::size_t rx_burst_size = 32;
+
   /// Hardware filtering on/off and the device capability model. The
   /// paper's Fig. 5 runs with hardware filtering disabled (flow
   /// sampling is incompatible with flow rules); Fig. 7 runs with it on.

@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -11,6 +12,9 @@
 #include "util/logging.hpp"
 
 namespace retina::core {
+
+static_assert(Pipeline::kMaxBurst == nic::SimNic::kMaxBurst,
+              "pipeline burst scratch must cover a full NIC rx burst");
 
 Runtime::Runtime(RuntimeConfig config, Subscription subscription,
                  const filter::FieldRegistry& field_registry,
@@ -73,11 +77,40 @@ void Runtime::dispatch(const packet::Mbuf& mbuf) {
   nic_->dispatch(mbuf);
 }
 
+std::size_t Runtime::burst_size() const noexcept {
+  const std::size_t want = config_.rx_burst_size;
+  if (want <= 1) return 1;
+  return want < Pipeline::kMaxBurst ? want : Pipeline::kMaxBurst;
+}
+
 void Runtime::drain() {
-  packet::Mbuf mbuf;
+  const std::size_t want = burst_size();
+  if (want <= 1) {
+    // Legacy per-packet path (rx_burst_size = 1).
+    packet::Mbuf mbuf;
+    for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+      while (nic_->poll(queue, mbuf)) {
+        pipelines_[queue]->process(std::move(mbuf));
+      }
+    }
+    return;
+  }
+  // Double-buffered receive: poll burst N+1 and warm its leading
+  // frames before processing burst N, so the next burst's headers
+  // stream in from memory underneath the current burst's work.
+  std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
   for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
-    while (nic_->poll(queue, mbuf)) {
-      pipelines_[queue]->process(std::move(mbuf));
+    std::size_t cur = 0;
+    std::size_t got = nic_->poll_burst(queue, bufs[cur].data(), want);
+    while (got > 0) {
+      const std::size_t next =
+          nic_->poll_burst(queue, bufs[cur ^ 1].data(), want);
+      if (next > 0) {
+        Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
+      }
+      pipelines_[queue]->process_burst({bufs[cur].data(), got});
+      cur ^= 1;
+      got = next;
     }
   }
 }
@@ -115,16 +148,36 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
   std::vector<double> core_seconds(pipelines_.size(), 0.0);
 
   workers.reserve(pipelines_.size());
+  const std::size_t want = burst_size();
   for (std::size_t core = 0; core < pipelines_.size(); ++core) {
-    workers.emplace_back([this, core, &done, &core_seconds] {
+    workers.emplace_back([this, core, want, &done, &core_seconds] {
       auto& pipeline = *pipelines_[core];
       packet::Mbuf mbuf;
+      std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
       const auto start = std::chrono::steady_clock::now();
       while (true) {
         bool any = false;
-        while (nic_->poll(core, mbuf)) {
-          pipeline.process(std::move(mbuf));
-          any = true;
+        if (want > 1) {
+          // Same double-buffered receive as drain(): warm burst N+1's
+          // head frames while burst N is being processed.
+          std::size_t cur = 0;
+          std::size_t got = nic_->poll_burst(core, bufs[cur].data(), want);
+          while (got > 0) {
+            const std::size_t next =
+                nic_->poll_burst(core, bufs[cur ^ 1].data(), want);
+            if (next > 0) {
+              Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
+            }
+            pipeline.process_burst({bufs[cur].data(), got});
+            any = true;
+            cur ^= 1;
+            got = next;
+          }
+        } else {
+          while (nic_->poll(core, mbuf)) {
+            pipeline.process(std::move(mbuf));
+            any = true;
+          }
         }
         if (!any) {
           if (done.load(std::memory_order_acquire)) break;

@@ -82,6 +82,9 @@ class Runtime {
  private:
   RunStats collect_stats() const;
   telemetry::TelemetrySample capture_sample() const;
+  /// Effective packets-per-poll: config.rx_burst_size clamped to
+  /// [1, Pipeline::kMaxBurst]. 1 selects the per-packet path.
+  std::size_t burst_size() const noexcept;
 
   RuntimeConfig config_;
   Subscription subscription_;

@@ -57,6 +57,11 @@ bool SimNic::poll(std::size_t queue, packet::Mbuf& out) {
   return rings_[queue]->pop(out);
 }
 
+std::size_t SimNic::poll_burst(std::size_t queue, packet::Mbuf* out,
+                               std::size_t n) {
+  return rings_[queue]->pop_burst(out, n < kMaxBurst ? n : kMaxBurst);
+}
+
 std::size_t SimNic::queue_depth(std::size_t queue) const {
   return rings_[queue]->size();
 }

@@ -64,6 +64,17 @@ class SimNic {
   /// one consumer.
   bool poll(std::size_t queue, packet::Mbuf& out);
 
+  /// Maximum packets a single poll_burst() call can return (DPDK's
+  /// conventional rx_burst size on this class of NIC).
+  static constexpr std::size_t kMaxBurst = 32;
+
+  /// Receive side, batched (`rte_eth_rx_burst` semantics): fill `out`
+  /// with up to `n` packets (capped at kMaxBurst) from `queue` and
+  /// return how many were received. Same single-consumer contract as
+  /// poll().
+  std::size_t poll_burst(std::size_t queue, packet::Mbuf* out,
+                         std::size_t n);
+
   /// Packets waiting in a queue.
   std::size_t queue_depth(std::size_t queue) const;
 

@@ -26,16 +26,8 @@ void StreamReassembler::push(L4Pdu pdu, std::vector<L4Pdu>& ready) {
 
   // Overlap with already-delivered data: trim the front.
   if (seq_lt(pdu.seq, next_seq_)) {
-    const std::uint32_t trim = next_seq_ - pdu.seq;
-    const std::uint32_t payload_trim =
-        std::min<std::uint32_t>(trim, static_cast<std::uint32_t>(pdu.len()));
-    pdu.payload = pdu.payload.subspan(payload_trim);
-    pdu.seq = next_seq_;
-    pdu.tcp_flags &= static_cast<std::uint8_t>(~0x02);  // SYN already seen
-    ++stats_.overlaps_trimmed;
-    if (pdu.seq_span() == 0) {
-      ++stats_.duplicates;
-      return;
+    if (!trim_front(pdu)) {
+      return;  // nothing new left
     }
   }
 
@@ -66,6 +58,30 @@ void StreamReassembler::push(L4Pdu pdu, std::vector<L4Pdu>& ready) {
   ++stats_.buffered;
 }
 
+bool StreamReassembler::trim_front(L4Pdu& pdu) {
+  // `trim` is measured in sequence space, which includes the SYN's
+  // sequence slot; payload bytes start one slot later. Trimming the
+  // payload by the raw sequence delta would eat one real data byte of a
+  // front-trimmed SYN+data segment (retransmitted SYN carrying data /
+  // TFO-style), so compute the payload trim net of the SYN first.
+  const std::uint32_t trim = next_seq_ - pdu.seq;
+  std::uint32_t payload_trim = trim;
+  if (pdu.tcp_flags & 0x02) {
+    --payload_trim;                                    // SYN slot, not data
+    pdu.tcp_flags &= static_cast<std::uint8_t>(~0x02);  // SYN already seen
+  }
+  payload_trim = std::min<std::uint32_t>(
+      payload_trim, static_cast<std::uint32_t>(pdu.len()));
+  pdu.payload = pdu.payload.subspan(payload_trim);
+  pdu.seq = next_seq_;
+  ++stats_.overlaps_trimmed;
+  if (pdu.seq_span() == 0) {
+    ++stats_.duplicates;
+    return false;
+  }
+  return true;
+}
+
 void StreamReassembler::deliver(L4Pdu pdu, std::vector<L4Pdu>& ready) {
   next_seq_ = pdu.seq + pdu.seq_span();
   ++stats_.delivered;
@@ -89,18 +105,8 @@ void StreamReassembler::flush_ready(std::vector<L4Pdu>& ready) {
     }
     L4Pdu pdu = std::move(front);
     ooo_.erase(ooo_.begin());
-    if (seq_lt(pdu.seq, next_seq_)) {
-      const std::uint32_t trim = next_seq_ - pdu.seq;
-      const std::uint32_t payload_trim = std::min<std::uint32_t>(
-          trim, static_cast<std::uint32_t>(pdu.len()));
-      pdu.payload = pdu.payload.subspan(payload_trim);
-      pdu.seq = next_seq_;
-      pdu.tcp_flags &= static_cast<std::uint8_t>(~0x02);
-      ++stats_.overlaps_trimmed;
-      if (pdu.seq_span() == 0) {
-        ++stats_.duplicates;
-        continue;
-      }
+    if (seq_lt(pdu.seq, next_seq_) && !trim_front(pdu)) {
+      continue;  // fully consumed by the trim
     }
     deliver(std::move(pdu), ready);
   }

@@ -57,6 +57,10 @@ class StreamReassembler {
     return static_cast<std::int32_t>(a - b) < 0;
   }
 
+  /// Trim the already-delivered front of `pdu` (pdu.seq < next_seq_),
+  /// accounting for the SYN's sequence slot which carries no payload
+  /// byte. Returns false if nothing new remains.
+  bool trim_front(L4Pdu& pdu);
   void deliver(L4Pdu pdu, std::vector<L4Pdu>& ready);
   void flush_ready(std::vector<L4Pdu>& ready);
 

@@ -42,6 +42,23 @@ class SpscRing {
     return true;
   }
 
+  /// Consumer side, batched (DPDK rx_burst semantics): move up to `n`
+  /// entries into `out` and return how many were taken. One acquire
+  /// and one release for the whole batch instead of one pair per entry.
+  std::size_t pop_burst(T* out, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t available = (head - tail) & mask_;
+    const std::size_t take = available < n ? available : n;
+    for (std::size_t i = 0; i < take; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    if (take > 0) {
+      tail_.store((tail + take) & mask_, std::memory_order_release);
+    }
+    return take;
+  }
+
   bool empty() const {
     return tail_.load(std::memory_order_acquire) ==
            head_.load(std::memory_order_acquire);

@@ -65,6 +65,39 @@ TEST(TimerWheel, ManyTimersAllFire) {
   EXPECT_EQ(fired, 5000u);
 }
 
+// Regression: a deadline landing exactly on a cascade boundary (an
+// integer multiple of a level's span) must fire on that tick. The
+// cascade used to clamp re-inserts past the slot draining this tick,
+// firing such entries one tick late.
+TEST(TimerWheel, CascadeBoundaryFiresOnTime) {
+  constexpr std::uint64_t kTick = 100'000'000;  // 100 ms
+  TimerWheel wheel;
+  std::vector<std::uint64_t> fired;
+  // Tick 256 = the first level-0/level-1 boundary (256 slots/level).
+  wheel.schedule(9, 256 * kTick);
+  wheel.advance(255 * kTick, [&](std::uint64_t id) { fired.push_back(id); });
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(256 * kTick, [&](std::uint64_t id) { fired.push_back(id); });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
+TEST(TimerWheel, Level2CascadeBoundaryFiresOnTime) {
+  constexpr std::uint64_t kTick = 100'000'000;
+  constexpr std::uint64_t kBoundary = 256ull * 256ull;  // level-1/2 boundary
+  TimerWheel wheel;
+  std::vector<std::uint64_t> fired;
+  wheel.schedule(11, kBoundary * kTick);
+  wheel.advance((kBoundary - 1) * kTick,
+                [&](std::uint64_t id) { fired.push_back(id); });
+  EXPECT_TRUE(fired.empty());
+  wheel.advance(kBoundary * kTick,
+                [&](std::uint64_t id) { fired.push_back(id); });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 11u);
+}
+
 TEST(TimerWheel, RescheduleFromCallback) {
   TimerWheel wheel;
   int fires = 0;
@@ -232,6 +265,27 @@ TEST(ConnTable, NoTimeoutsGrowsUnbounded) {
   std::size_t expired = 0;
   table.advance(3600 * kSecond, [&](auto, TestConn&) { ++expired; });
   EXPECT_EQ(expired, 0u);
+  EXPECT_EQ(table.size(), 1000u);
+}
+
+// Regression: with both timeouts disabled, insert() used to schedule a
+// garbage ~2^63 deadline that parked every connection in the wheel's
+// overflow list. The no-timeouts ablation (Fig. 8) should keep the
+// wheel empty entirely.
+TEST(ConnTable, NoTimeoutsSchedulesNoTimers) {
+  TimeoutConfig timeouts;
+  timeouts.establish_ns = 0;
+  timeouts.inactivity_ns = 0;
+  ConnTable<TestConn> table(timeouts);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    table.insert(tuple(i), TestConn{}, i * kSecond);
+  }
+  EXPECT_EQ(table.pending_timers(), 0u);
+  // Activity must not sneak timers in either.
+  table.mark_established(table.find(tuple(0)), 1000 * kSecond);
+  table.touch(table.find(tuple(1)), 1000 * kSecond);
+  table.advance(5000 * kSecond, [](auto, TestConn&) {});
+  EXPECT_EQ(table.pending_timers(), 0u);
   EXPECT_EQ(table.size(), 1000u);
 }
 

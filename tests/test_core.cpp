@@ -841,6 +841,105 @@ TEST(EndToEnd, Ipv6TlsSubscription) {
   EXPECT_EQ(snis[0], "v6.six.example");
 }
 
+TEST(EndToEnd, BurstPathMatchesPerPacketExactly) {
+  // The batched two-pass data path must be an observational no-op: on
+  // the same trace, burst mode and the legacy per-packet path produce
+  // identical deterministic stats and the same callback sequence.
+  // Dispatch in full-burst chunks so process_burst() really sees
+  // multi-packet bursts (run() drains after every packet).
+  struct Observed {
+    RunStats stats;
+    std::vector<std::string> sessions;  // proto + tuple, in order
+    std::vector<std::string> conns;
+  };
+  auto run_mode = [](std::size_t burst_size) {
+    Observed out;
+    auto sub = Subscription::sessions(
+        "tls or http or dns", [&out](const SessionRecord& rec) {
+          out.sessions.push_back(rec.session.proto_name() + " " +
+                                 rec.tuple.to_string());
+        });
+    RuntimeConfig config;
+    config.rx_burst_size = burst_size;
+    config.instrument_stages = true;
+    Runtime runtime(config, std::move(sub));
+
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 600;
+    mix.seed = 271;
+    const auto trace = traffic::make_campus_trace(mix);
+    std::size_t queued = 0;
+    for (const auto& mbuf : trace.packets()) {
+      runtime.dispatch(mbuf);
+      if (++queued == Pipeline::kMaxBurst) {
+        runtime.drain();
+        queued = 0;
+      }
+    }
+    out.stats = runtime.finish();
+    return out;
+  };
+
+  const auto per_packet = run_mode(1);
+  const auto burst = run_mode(32);
+
+  EXPECT_EQ(burst.sessions, per_packet.sessions);
+  EXPECT_GT(burst.sessions.size(), 0u);
+
+  const auto& a = per_packet.stats.total;
+  const auto& b = burst.stats.total;
+  EXPECT_EQ(b.packets, a.packets);
+  EXPECT_EQ(b.bytes, a.bytes);
+  EXPECT_EQ(b.delivered_packets, a.delivered_packets);
+  EXPECT_EQ(b.delivered_conns, a.delivered_conns);
+  EXPECT_EQ(b.delivered_sessions, a.delivered_sessions);
+  EXPECT_EQ(b.conns_created, a.conns_created);
+  EXPECT_EQ(b.conns_dropped_filter, a.conns_dropped_filter);
+  EXPECT_EQ(b.conns_expired, a.conns_expired);
+  EXPECT_EQ(b.conns_terminated, a.conns_terminated);
+  EXPECT_EQ(b.sessions_parsed, a.sessions_parsed);
+  EXPECT_EQ(b.probe_failures, a.probe_failures);
+  for (int i = 0; i < static_cast<int>(Stage::kCount); ++i) {
+    const auto stage = static_cast<Stage>(i);
+    EXPECT_EQ(b.stages.count(stage), a.stages.count(stage))
+        << stage_name(stage);
+  }
+  EXPECT_EQ(burst.stats.nic_rx_packets, per_packet.stats.nic_rx_packets);
+  EXPECT_EQ(burst.stats.nic_hw_dropped, per_packet.stats.nic_hw_dropped);
+  EXPECT_EQ(burst.stats.nic_ring_dropped, 0u);
+}
+
+TEST(EndToEnd, OddBurstSizesMatchToo) {
+  // Burst sizes that don't divide the trace length exercise the partial
+  // final burst and the chunking of oversized spans.
+  auto count_sessions = [](std::size_t burst_size) {
+    std::size_t sessions = 0;
+    auto sub = Subscription::sessions(
+        "tls", [&](const SessionRecord&) { ++sessions; });
+    RuntimeConfig config;
+    config.rx_burst_size = burst_size;
+    Runtime runtime(config, std::move(sub));
+    traffic::CampusMixConfig mix;
+    mix.total_flows = 250;
+    mix.seed = 277;
+    const auto trace = traffic::make_campus_trace(mix);
+    std::size_t queued = 0;
+    for (const auto& mbuf : trace.packets()) {
+      runtime.dispatch(mbuf);
+      if (++queued == 7) {  // prime-sized chunks vs. burst of 5
+        runtime.drain();
+        queued = 0;
+      }
+    }
+    runtime.finish();
+    return sessions;
+  };
+  const auto baseline = count_sessions(1);
+  EXPECT_EQ(count_sessions(5), baseline);
+  EXPECT_EQ(count_sessions(32), baseline);
+  EXPECT_GT(baseline, 0u);
+}
+
 TEST(EndToEnd, OutOfOrderFlowStillParses) {
   std::vector<std::string> snis;
   auto sub = Subscription::tls_handshakes(

@@ -233,6 +233,29 @@ TEST(SimNic, HwFilterDropsAtZeroCost) {
   EXPECT_EQ(port.stats().hw_dropped, 1u);
 }
 
+TEST(SimNic, PollBurstDrainsInOrder) {
+  nic::PortConfig config;
+  config.num_queues = 1;
+  nic::SimNic port(config);
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    auto mbuf = tcp_pkt(static_cast<std::uint16_t>(1000 + i), 443);
+    port.dispatch(mbuf);
+  }
+  std::array<packet::Mbuf, nic::SimNic::kMaxBurst> burst;
+  // Requests above kMaxBurst are clamped to one full burst.
+  auto got = port.poll_burst(0, burst.data(), 64);
+  EXPECT_EQ(got, nic::SimNic::kMaxBurst);
+  for (std::size_t i = 0; i < got; ++i) {
+    const auto view = PacketView::parse(burst[i]);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->five_tuple()->src_port, 1000 + i);
+  }
+  // The remainder comes out as a partial burst, then empty.
+  got = port.poll_burst(0, burst.data(), nic::SimNic::kMaxBurst);
+  EXPECT_EQ(got, 50u - nic::SimNic::kMaxBurst);
+  EXPECT_EQ(port.poll_burst(0, burst.data(), nic::SimNic::kMaxBurst), 0u);
+}
+
 TEST(SimNic, RingOverflowCountsAsLoss) {
   nic::PortConfig config;
   config.num_queues = 1;

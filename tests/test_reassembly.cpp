@@ -117,6 +117,84 @@ TEST(Reassembly, SequenceWraparound) {
   EXPECT_EQ(reasm.next_seq(), 4u);
 }
 
+// Regression (SYN off-by-one): a front-trimmed segment carrying the SYN
+// flag must trim payload net of the SYN's sequence slot. A retransmitted
+// SYN+data (TFO-style) used to lose its first payload byte.
+TEST(Reassembly, SynDataRetransmitKeepsFirstByte) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(1000, {}, 0x02), ready);  // bare SYN, next = 1001
+  ASSERT_EQ(reasm.next_seq(), 1001u);
+  // SYN retransmitted, this time with data: the SYN slot (seq 1000) is
+  // old, all three payload bytes (1001..1003) are new.
+  reasm.push(make_pdu(1000, {1, 2, 3}, 0x02), ready);
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(reasm.next_seq(), 1004u);
+  EXPECT_EQ(reasm.stats().overlaps_trimmed, 1u);
+}
+
+// Same defect on the flush_ready path: a buffered out-of-order SYN+data
+// segment that needs a front trim once the hole fills.
+TEST(Reassembly, BufferedSynSegmentTrimsNetOfSyn) {
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(1000, {0x61}), ready);              // next = 1001
+  reasm.push(make_pdu(1002, {0x62, 0x63}), ready);        // OOO, 1002..1003
+  reasm.push(make_pdu(1003, {0x64, 0x65}, 0x02), ready);  // OOO SYN + data
+  EXPECT_EQ(reasm.pending(), 2u);
+  reasm.push(make_pdu(1001, {0x7a}), ready);  // fills the hole
+  // The SYN slot (1003) overlaps delivered data; payload bytes
+  // (1004..1005) are intact.
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{0x61, 0x7a, 0x62,
+                                                       0x63, 0x64, 0x65}));
+  EXPECT_EQ(reasm.next_seq(), 1006u);
+  EXPECT_EQ(reasm.pending(), 0u);
+}
+
+TEST(Reassembly, WraparoundOutOfOrderBuffering) {
+  // Stream spans the 2^32 boundary; the middle segment arrives last, so
+  // the post-wrap segment is buffered and must sort/flush correctly.
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0xfffffff0, {1, 2, 3, 4, 5, 6, 7, 8}), ready);
+  reasm.push(make_pdu(0, {9, 10, 11, 12}), ready);  // OOO, past the wrap
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_EQ(reasm.pending(), 1u);
+  reasm.push(make_pdu(0xfffffff8, {21, 22, 23, 24, 25, 26, 27, 28}),
+             ready);  // fills up to the wrap, unblocks the buffered one
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(collect(ready),
+            (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8, 21, 22, 23,
+                                       24, 25, 26, 27, 28, 9, 10, 11, 12}));
+  EXPECT_EQ(reasm.next_seq(), 4u);
+  EXPECT_EQ(reasm.pending(), 0u);
+}
+
+TEST(Reassembly, WraparoundFrontTrim) {
+  // An overlap that straddles the wrap: delivered data ends past zero,
+  // the overlapping segment starts before it.
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0xfffffffe, {1, 2, 3, 4}), ready);  // next = 2
+  reasm.push(make_pdu(0, {3, 4, 5, 6}), ready);  // first 2 bytes old
+  ASSERT_EQ(ready.size(), 2u);
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(reasm.next_seq(), 4u);
+  EXPECT_EQ(reasm.stats().overlaps_trimmed, 1u);
+}
+
+TEST(Reassembly, WraparoundSynTrim) {
+  // SYN-flagged retransmission right at the wrap point: payload must
+  // survive the trim on both sides of 2^32.
+  StreamReassembler reasm;
+  std::vector<L4Pdu> ready;
+  reasm.push(make_pdu(0xffffffff, {}, 0x02), ready);  // SYN at 2^32-1
+  EXPECT_EQ(reasm.next_seq(), 0u);
+  reasm.push(make_pdu(0xffffffff, {7, 8, 9}, 0x02), ready);  // retransmit
+  EXPECT_EQ(collect(ready), (std::vector<std::uint8_t>{7, 8, 9}));
+  EXPECT_EQ(reasm.next_seq(), 3u);
+}
+
 // Property: any permutation of segments reconstructs the exact stream,
 // as long as the first segment arrives first (it anchors the sequence).
 class PermutationReassembly : public ::testing::TestWithParam<int> {};

@@ -178,6 +178,54 @@ TEST(SpscRing, RejectsWhenFull) {
   EXPECT_TRUE(ring.push(99));  // space freed
 }
 
+TEST(SpscRing, PopBurstTakesUpToN) {
+  util::SpscRing<int> ring(16);
+  for (int i = 0; i < 10; ++i) ring.push(int{i});
+  int out[16];
+  EXPECT_EQ(ring.pop_burst(out, 4), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], i);
+  // Fewer available than requested: partial burst.
+  EXPECT_EQ(ring.pop_burst(out, 16), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], 4 + i);
+  EXPECT_EQ(ring.pop_burst(out, 16), 0u);
+}
+
+TEST(SpscRing, PopBurstFreesProducerSpace) {
+  util::SpscRing<int> ring(4);
+  int filled = 0;
+  while (ring.push(int{filled})) ++filled;  // fill to capacity
+  int out[8];
+  EXPECT_EQ(ring.pop_burst(out, 3), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ring.push(int{filled + i}));
+  }
+  EXPECT_FALSE(ring.push(999));  // full again
+  // Drain everything; order survives the wrap.
+  const auto got = ring.pop_burst(out, 8);
+  EXPECT_EQ(got, static_cast<std::size_t>(filled));
+  for (std::size_t i = 0; i < got; ++i) {
+    EXPECT_EQ(out[i], 3 + static_cast<int>(i));
+  }
+}
+
+TEST(SpscRing, ThreadedBurstTransfer) {
+  util::SpscRing<std::uint64_t> ring(1024);
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (ring.push(std::uint64_t{i})) ++i;
+    }
+  });
+  std::uint64_t sum = 0, received = 0, burst[32];
+  while (received < kCount) {
+    const auto got = ring.pop_burst(burst, 32);
+    for (std::size_t i = 0; i < got; ++i) sum += burst[i];
+    received += got;
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
 TEST(SpscRing, ThreadedTransfer) {
   util::SpscRing<std::uint64_t> ring(1024);
   constexpr std::uint64_t kCount = 200000;

@@ -15,6 +15,8 @@
 //   --pcap PATH        read packets from a pcap file
 //   --synthetic N      generate N campus-profile flows instead
 //   --cores N          worker cores (default 4)
+//   --burst N          packets per receive-queue poll (default 32;
+//                      1 = legacy per-packet path)
 //   --interpreted      use the runtime-interpreted filter engine
 //   --no-hw            disable hardware (NIC) pre-filtering
 //   --limit N          print at most N records (default 20)
@@ -56,6 +58,7 @@ struct Options {
   std::string trace_path;
   std::size_t synthetic_flows = 0;
   std::size_t cores = 4;
+  std::size_t burst = 32;
   std::size_t limit = 20;
   std::size_t sample_ms = 50;
   bool interpreted = false;
@@ -75,7 +78,7 @@ struct Options {
                "usage: %s [--filter EXPR] [--type packets|connections|"
                "sessions|streams]\n"
                "          (--pcap PATH | --synthetic N) [--cores N]"
-               " [--interpreted]\n"
+               " [--burst N] [--interpreted]\n"
                "          [--no-hw] [--limit N] [--quiet] [--stats]\n"
                "          [--prom FILE] [--metrics FILE] [--trace FILE]"
                " [--live]\n"
@@ -99,6 +102,8 @@ Options parse_args(int argc, char** argv) {
       opts.synthetic_flows = static_cast<std::size_t>(std::atoll(next().c_str()));
     else if (arg == "--cores")
       opts.cores = static_cast<std::size_t>(std::atoll(next().c_str()));
+    else if (arg == "--burst")
+      opts.burst = static_cast<std::size_t>(std::atoll(next().c_str()));
     else if (arg == "--limit")
       opts.limit = static_cast<std::size_t>(std::atoll(next().c_str()));
     else if (arg == "--interpreted") opts.interpreted = true;
@@ -196,6 +201,7 @@ int main(int argc, char** argv) {
 
   core::RuntimeConfig config;
   config.cores = opts.cores;
+  config.rx_burst_size = opts.burst == 0 ? 1 : opts.burst;
   config.interpreted_filters = opts.interpreted;
   config.hardware_filter = opts.hardware;
   config.instrument_stages = opts.stats || opts.telemetry();
