@@ -26,7 +26,7 @@ using namespace retina;
 
 namespace {
 
-struct Result {
+struct VariantResult {
   std::uint64_t busy_cycles = ~0ull;
   std::uint64_t matches = 0;
   std::uint64_t tracked_pkts = 0;  // packets entering the conn tracker
@@ -35,9 +35,9 @@ struct Result {
   std::uint64_t hw_dropped = 0;
 };
 
-Result run_variant(const std::string& filter, bool hw, bool regex_in_cb) {
+VariantResult run_variant(const std::string& filter, bool hw, bool regex_in_cb) {
   static const std::regex sni_re("(.+?\\.)?nflxvideo\\.net");
-  Result result;
+  VariantResult result;
   for (int rep = 0; rep < 5; ++rep) {
     std::uint64_t matches = 0;
     auto sub = core::Subscription::tls_handshakes(
@@ -84,7 +84,7 @@ int main() {
 
   struct Variant {
     const char* name;
-    Result result;
+    VariantResult result;
   };
   Variant variants[] = {
       {"full", run_variant(traffic::kNetflixFilter, true, false)},

@@ -23,7 +23,7 @@ using namespace retina;
 
 namespace {
 
-struct Result {
+struct BurstResult {
   std::size_t burst;
   double mpps = 0;
   double gbps = 0;
@@ -121,9 +121,9 @@ int main(int argc, char** argv) {
 
   const std::size_t burst_sizes[] = {1, 4, 8, 16, 32};
   const int reps = 9;
-  std::vector<Result> results;
+  std::vector<BurstResult> results;
   for (const auto burst : burst_sizes) {
-    results.push_back(Result{burst, 0, 0, {}});
+    results.push_back(BurstResult{burst, 0, 0, {}});
   }
   // One warm-up sweep (cold caches, lazy page faults), then paired
   // reps: each rep runs every configuration back-to-back and the

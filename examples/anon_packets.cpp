@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
   std::set<std::uint32_t> real_subnets, anon_subnets;
   std::size_t printed = 0;
 
-  auto subscription = core::Subscription::packets(
-      "http", [&](const packet::Mbuf& mbuf) {
+  auto subscription_or = core::Subscription::builder().filter("http")
+      .on_packet([&](const packet::Mbuf& mbuf) {
         const auto view = packet::PacketView::parse(mbuf);
         if (!view || !view->ipv4()) return;
         const auto src = view->ipv4()->src_addr();
@@ -47,11 +47,17 @@ int main(int argc, char** argv) {
                       packet::IpAddr::v4(anon_dst).to_string().c_str());
           ++printed;
         }
-      });
+      })
+      .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 4;
-  core::Runtime runtime(config, std::move(subscription));
+  core::Runtime runtime(config, std::move(subscription_or).value());
 
   traffic::CampusMixConfig mix;
   mix.total_flows = flows;

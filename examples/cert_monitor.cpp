@@ -38,9 +38,9 @@ int main(int argc, char** argv) {
   std::uint64_t with_certs = 0, mismatches = 0;
   std::map<std::string, std::uint64_t> issuers;
 
-  auto subscription = core::Subscription::tls_handshakes(
-      "tls", [&](const core::SessionRecord& rec,
-                 const protocols::TlsHandshake& hs) {
+  auto subscription_or = core::Subscription::builder().filter("tls")
+      .on_tls_handshake([&](const core::SessionRecord& rec,
+                            const protocols::TlsHandshake& hs) {
         if (hs.certificate_count == 0) return;  // TLS 1.3: encrypted chain
         ++with_certs;
         ++issuers[hs.issuer_cn.empty() ? "(unknown)" : hs.issuer_cn];
@@ -52,11 +52,17 @@ int main(int argc, char** argv) {
                         hs.subject_cn.c_str(), hs.issuer_cn.c_str());
           }
         }
-      });
+      })
+      .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 4;
-  core::Runtime runtime(config, std::move(subscription));
+  core::Runtime runtime(config, std::move(subscription_or).value());
 
   traffic::CampusMixConfig mix;
   mix.total_flows = flows;

@@ -18,10 +18,10 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 1000;
 
   std::uint64_t logged = 0, single_syns = 0;
-  auto subscription = core::Subscription::connections(
-      // Filter: TLS and HTTP connections only — the connection filter
-      // discards everything else before any parsing completes.
-      "tls or http", [&](const core::ConnRecord& rec) {
+  // Filter: TLS and HTTP connections only — the connection filter
+  // discards everything else before any parsing completes.
+  auto subscription_or = core::Subscription::builder().filter("tls or http")
+      .on_connection([&](const core::ConnRecord& rec) {
         if (logged < 15) {
           std::printf(
               "%-45s %-5s dur=%6.3fs pkts=%llu/%llu bytes=%llu/%llu%s%s\n",
@@ -36,11 +36,17 @@ int main(int argc, char** argv) {
         }
         ++logged;
         if (rec.single_syn()) ++single_syns;
-      });
+      })
+      .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 2;
-  core::Runtime runtime(config, std::move(subscription));
+  core::Runtime runtime(config, std::move(subscription_or).value());
 
   traffic::CampusMixConfig mix;
   mix.total_flows = flows;

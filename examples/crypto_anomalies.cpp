@@ -37,16 +37,22 @@ int main(int argc, char** argv) {
   std::map<std::array<std::uint8_t, 32>, std::uint64_t> nonce_counts;
   std::uint64_t handshakes = 0;
 
-  auto subscription = core::Subscription::tls_handshakes(
-      "tls", [&](const core::SessionRecord&,
-                 const protocols::TlsHandshake& hs) {
+  auto subscription_or = core::Subscription::builder().filter("tls")
+      .on_tls_handshake([&](const core::SessionRecord&,
+                            const protocols::TlsHandshake& hs) {
         ++handshakes;
         ++nonce_counts[hs.client_random];
-      });
+      })
+      .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 4;
-  core::Runtime runtime(config, std::move(subscription));
+  core::Runtime runtime(config, std::move(subscription_or).value());
 
   traffic::CampusMixConfig mix;
   mix.total_flows = flows;

@@ -31,12 +31,27 @@ int main(int argc, char** argv) {
 
   // Replay: analyze the file offline.
   std::uint64_t handshakes = 0;
-  auto subscription = core::Subscription::tls_handshakes(
-      "tls", [&handshakes](const core::SessionRecord&,
-                           const protocols::TlsHandshake&) { ++handshakes; });
+  auto subscription_or =
+      core::Subscription::builder().filter("tls")
+          .on_tls_handshake([&handshakes](const core::SessionRecord&,
+                                          const protocols::TlsHandshake&) {
+            ++handshakes;
+          })
+          .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
   core::RuntimeConfig config;
   config.cores = 2;
-  core::Runtime runtime(config, std::move(subscription));
+  auto runtime_or =
+      core::Runtime::create(config, std::move(subscription_or).value());
+  if (!runtime_or) {
+    std::fprintf(stderr, "bad config: %s\n", runtime_or.error().c_str());
+    return 1;
+  }
+  auto& runtime = **runtime_or;
   core::RuntimeMonitor monitor(runtime);
 
   const auto loaded = traffic::read_pcap(path);

@@ -19,23 +19,37 @@ int main(int argc, char** argv) {
   const std::size_t flows =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 3000;
 
-  // The subscription: a filter and a callback (paper Fig. 1).
+  // The subscription: a filter and a callback (paper Fig. 1). build()
+  // compiles the filter, so a typo comes back as an error value here.
   std::size_t logged = 0;
-  auto subscription = core::Subscription::tls_handshakes(
-      "tls.sni matches '.*\\.com$'",
-      [&logged](const core::SessionRecord& rec,
-                const protocols::TlsHandshake& hs) {
-        if (logged < 25) {  // keep the demo output short
-          std::printf("TLS handshake with %s using %s\n", hs.sni.c_str(),
-                      hs.cipher_name().c_str());
-        }
-        ++logged;
-        (void)rec;
-      });
+  auto subscription =
+      core::Subscription::builder()
+          .filter("tls.sni matches '.*\\.com$'")
+          .on_tls_handshake([&logged](const core::SessionRecord& rec,
+                                      const protocols::TlsHandshake& hs) {
+            if (logged < 25) {  // keep the demo output short
+              std::printf("TLS handshake with %s using %s\n", hs.sni.c_str(),
+                          hs.cipher_name().c_str());
+            }
+            ++logged;
+            (void)rec;
+          })
+          .build();
+  if (!subscription) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 4;
-  core::Runtime runtime(config, std::move(subscription));
+  auto runtime_or =
+      core::Runtime::create(config, std::move(subscription).value());
+  if (!runtime_or) {
+    std::fprintf(stderr, "bad config: %s\n", runtime_or.error().c_str());
+    return 1;
+  }
+  auto& runtime = **runtime_or;
 
   // Feed live-like traffic through the simulated NIC.
   traffic::CampusMixConfig mix;

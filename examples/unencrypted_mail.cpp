@@ -22,8 +22,8 @@ int main(int argc, char** argv) {
   std::uint64_t starttls = 0, cleartext = 0;
   std::map<std::string, std::uint64_t> cleartext_helos;
 
-  auto subscription = core::Subscription::sessions(
-      "smtp", [&](const core::SessionRecord& rec) {
+  auto subscription_or = core::Subscription::builder().filter("smtp")
+      .on_session([&](const core::SessionRecord& rec) {
         const auto* env = rec.session.get<protocols::SmtpEnvelope>();
         if (!env) return;
         if (env->starttls) {
@@ -39,11 +39,17 @@ int main(int argc, char** argv) {
                                              : env->rcpt_to[0].c_str());
           }
         }
-      });
+      })
+      .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "bad subscription: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = 4;
-  core::Runtime runtime(config, std::move(subscription));
+  core::Runtime runtime(config, std::move(subscription_or).value());
 
   traffic::CampusMixConfig mix;
   mix.total_flows = flows;

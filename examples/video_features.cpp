@@ -65,13 +65,22 @@ int main(int argc, char** argv) {
   // mirroring the paper's per-service collection runs.
   for (auto* service : {&netflix, &youtube}) {
     const bool is_netflix = service == &netflix;
-    auto subscription = core::Subscription::connections(
-        is_netflix ? traffic::kNetflixFilter : traffic::kYoutubeFilter,
-        [service](const core::ConnRecord& rec) { service->add(rec); });
+    auto subscription_or =
+        core::Subscription::builder()
+            .filter(is_netflix ? traffic::kNetflixFilter
+                               : traffic::kYoutubeFilter)
+            .on_connection(
+                [service](const core::ConnRecord& rec) { service->add(rec); })
+            .build();
+    if (!subscription_or) {
+      std::fprintf(stderr, "bad subscription: %s\n",
+                   subscription_or.error().c_str());
+      return 1;
+    }
 
     core::RuntimeConfig config;
     config.cores = 2;
-    core::Runtime runtime(config, std::move(subscription));
+    core::Runtime runtime(config, std::move(subscription_or).value());
 
     traffic::VideoWorkloadConfig workload;
     workload.sessions = sessions;

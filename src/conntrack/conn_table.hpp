@@ -204,6 +204,22 @@ class ConnTable {
                (sizeof(packet::FiveTuple) + sizeof(ConnId) + 16);
   }
 
+  /// approx_bytes() as it would read after one more insert(), growth
+  /// included: the slot vector doubles when full and the index doubles
+  /// at its 87.5% load limit. Admission control checks this *projected*
+  /// figure — checking the current one would let a doubling insert
+  /// blow through a byte budget by 2x in a single step.
+  std::size_t approx_bytes_after_insert() const {
+    std::size_t slot_cap = slots_.capacity();
+    if (free_list_.empty() && slots_.size() == slot_cap) {
+      slot_cap = slot_cap ? slot_cap * 2 : 1;
+    }
+    std::size_t index_cap = index_.capacity();
+    if ((index_.size() + 1) * 8 > index_cap * 7) index_cap *= 2;
+    return slot_cap * sizeof(Slot) +
+           index_cap * (sizeof(packet::FiveTuple) + sizeof(ConnId) + 16);
+  }
+
  private:
   struct Slot {
     Conn conn{};

@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "conntrack/conn_table.hpp"
 #include "nic/flow_rule.hpp"
+#include "overload/fault.hpp"
+#include "overload/policy.hpp"
 
 namespace retina::core {
 
@@ -74,6 +77,22 @@ struct RuntimeConfig {
   /// Per-core capacity of the connection-lifecycle span ring (Chrome
   /// trace_event export). 0 = tracing off.
   std::size_t trace_ring_capacity = 0;
+
+  /// Overload control: per-core admission budgets and the degradation
+  /// ladder (see overload/policy.hpp). Disabled by default — budgets
+  /// only act when `overload.enabled`. Enabling overload control also
+  /// creates the metric registry (the controller reads load signals
+  /// through it), like `telemetry` does.
+  overload::OverloadPolicy overload;
+
+  /// Deterministic ingress fault plan (see overload/fault.hpp). When
+  /// enabled the runtime installs a FaultInjector on the SimNic.
+  overload::FaultPlan fault_plan;
+
+  /// RSS hash key for the port; empty = the paper's symmetric 0x6d5a
+  /// key. Must be 40 bytes when set (validated by Runtime::create /
+  /// SimNic::validate; the checked constructors throw/err on misuse).
+  std::vector<std::uint8_t> rss_key;
 };
 
 }  // namespace retina::core

@@ -1,21 +1,34 @@
 #include "core/monitor.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace retina::core {
+
+using overload::DegradeLevel;
 
 const MonitorSnapshot& RuntimeMonitor::poll(std::uint64_t now_ns) {
   MonitorSnapshot snap;
   snap.ts_ns = now_ns;
 
-  const auto& port_stats = runtime_->nic().stats();
+  const auto port_stats = runtime_->nic().stats();
   snap.dropped = port_stats.ring_dropped;
-  for (std::size_t core = 0; core < runtime_->cores(); ++core) {
-    const auto& pipeline = runtime_->pipeline(core);
-    snap.packets += pipeline.stats().packets;
-    snap.bytes += pipeline.stats().bytes;
-    snap.connections += pipeline.live_connections();
-    snap.state_bytes += pipeline.approx_state_bytes();
+  if (auto* metrics = runtime_->metrics()) {
+    // Threaded-safe path: the registry slots are single-writer atomics,
+    // so the controller can poll while worker threads process packets.
+    const auto values = metrics->snapshot();
+    snap.packets = values.value("retina_packets_total");
+    snap.bytes = values.value("retina_bytes_total");
+    snap.connections = values.value("retina_live_connections");
+    snap.state_bytes = values.value("retina_state_bytes");
+  } else {
+    for (std::size_t core = 0; core < runtime_->cores(); ++core) {
+      const auto& pipeline = runtime_->pipeline(core);
+      snap.packets += pipeline.stats().packets;
+      snap.bytes += pipeline.stats().bytes;
+      snap.connections += pipeline.live_connections();
+      snap.state_bytes += pipeline.approx_state_bytes();
+    }
   }
 
   if (!history_.empty()) {
@@ -44,17 +57,117 @@ bool RuntimeMonitor::sustained_loss(std::size_t window) const {
   return true;
 }
 
+bool RuntimeMonitor::memory_pressure() const {
+  const auto& policy = runtime_->config().overload;
+  if (!policy.enabled || policy.max_state_bytes == 0 || history_.empty()) {
+    return false;
+  }
+  const double budget = static_cast<double>(policy.max_state_bytes) *
+                        static_cast<double>(runtime_->cores());
+  return static_cast<double>(history_.back().state_bytes) >=
+         control_.memory_pressure * budget;
+}
+
+double RuntimeMonitor::baseline_sink() const {
+  return runtime_->config().sink_fraction;
+}
+
+std::size_t RuntimeMonitor::clean_streak() const {
+  std::size_t streak = 0;
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->drop_rate > 0.0) break;
+    ++streak;
+  }
+  return streak;
+}
+
+Advice RuntimeMonitor::advise() const {
+  Advice advice;
+  advice.level = level_;
+  advice.sink_fraction = current_sink();
+  if (history_.empty()) return advice;
+
+  // Hysteresis: no decision until a full observation window has passed
+  // since the previous action (every action resets the clock).
+  const std::size_t since_action = history_.size() - last_action_poll_;
+  const bool loss = sustained_loss(control_.loss_window);
+  const bool memory = memory_pressure();
+
+  if (loss || memory) {
+    if (since_action < control_.loss_window) return advice;
+    if (level_ != DegradeLevel::kSink) {
+      advice.action = Advice::Action::kDegrade;
+      advice.level = static_cast<DegradeLevel>(static_cast<int>(level_) + 1);
+    } else if (current_sink() + control_.sink_step <=
+               control_.max_sink_fraction + 1e-9) {
+      // Out of rungs: widen the sink (§6.1 flow sampling) step by step.
+      advice.action = Advice::Action::kDegrade;
+      advice.level = DegradeLevel::kSink;
+      advice.sink_fraction = current_sink() + control_.sink_step;
+    } else {
+      return advice;  // fully degraded already; nothing left to shed
+    }
+    advice.reason = loss ? "sustained rx-ring loss"
+                         : "state bytes near the overload budget";
+    return advice;
+  }
+
+  const bool degraded =
+      level_ != DegradeLevel::kNormal || sink_boost_ > 0.0;
+  if (degraded && clean_streak() >= control_.clean_window &&
+      since_action >= control_.clean_window) {
+    advice.action = Advice::Action::kRecover;
+    if (sink_boost_ > 0.0) {
+      advice.level = level_;
+      advice.sink_fraction =
+          baseline_sink() + std::max(0.0, sink_boost_ - control_.sink_step);
+    } else {
+      advice.level = static_cast<DegradeLevel>(static_cast<int>(level_) - 1);
+    }
+    advice.reason = "load subsided";
+  }
+  return advice;
+}
+
+const Advice& RuntimeMonitor::apply(std::uint64_t now_ns) {
+  poll(now_ns);
+  last_advice_ = advise();
+  const auto& policy = runtime_->config().overload;
+  if (!policy.enabled || !policy.ladder) {
+    return last_advice_;  // advisory only: measured, never actuated
+  }
+  if (last_advice_.action == Advice::Action::kNone) return last_advice_;
+
+  level_ = last_advice_.level;
+  const double old_sink = current_sink();
+  sink_boost_ = std::max(0.0, last_advice_.sink_fraction - baseline_sink());
+  runtime_->overload_state().set_level(level_);
+  if (current_sink() != old_sink ||
+      last_advice_.sink_fraction != old_sink) {
+    runtime_->nic().reta().set_sink_fraction(current_sink());
+  }
+  last_action_poll_ = history_.size();
+  return last_advice_;
+}
+
 std::string RuntimeMonitor::status_line() const {
   if (history_.empty()) return "(no samples)";
   const auto& snap = history_.back();
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
-                "t=%.1fs rate=%.2fGbps loss=%.4f%% conns=%llu mem=%.1fMB",
+                "t=%.1fs rate=%.2fGbps loss=%.4f%% conns=%llu mem=%.1fMB"
+                " level=%s",
                 static_cast<double>(snap.ts_ns) / 1e9, snap.gbps,
                 snap.drop_rate * 100,
                 static_cast<unsigned long long>(snap.connections),
-                static_cast<double>(snap.state_bytes) / 1e6);
-  return buf;
+                static_cast<double>(snap.state_bytes) / 1e6,
+                overload::degrade_level_name(level_));
+  std::string line = buf;
+  if (sink_boost_ > 0.0) {
+    std::snprintf(buf, sizeof(buf), " sink=%.2f", current_sink());
+    line += buf;
+  }
+  return line;
 }
 
 }  // namespace retina::core

@@ -1,15 +1,23 @@
-// Real-time operational monitoring (paper §5.3): Retina reports packet
-// loss, throughput, and memory usage so users can tell when a callback
-// is too slow or a filter too broad, and react (buffer writes, add
-// cores, narrow the filter). RuntimeMonitor polls a Runtime and keeps a
-// rolling history of snapshots; `advise()` turns the latest window into
-// the kind of feedback the paper describes.
+// Real-time operational monitoring (paper §5.3), extended into a
+// closed-loop overload controller. Retina reports packet loss,
+// throughput, and memory usage so users can tell when a callback is too
+// slow or a filter too broad; RuntimeMonitor polls a Runtime, keeps a
+// rolling history of snapshots, and turns the recent window into
+// structured Advice. `apply()` goes one step further and *acts*:
+// under sustained loss or memory pressure it walks the degradation
+// ladder (overload::DegradeLevel) one rung per decision and, at the
+// last rung, steers RETA buckets to the sink (§6.1 flow sampling);
+// when the load subsides it walks back down. Hysteresis on both edges
+// — escalation needs `loss_window` consecutive lossy polls, recovery
+// needs `clean_window` consecutive clean ones, and every action starts
+// a fresh observation window — keeps the controller from oscillating.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "overload/policy.hpp"
 
 namespace retina::core {
 
@@ -27,12 +35,48 @@ struct MonitorSnapshot {
   double drop_rate = 0;  // fraction of packets lost in the interval
 };
 
+/// What the controller would do (or just did) about the recent window.
+struct Advice {
+  enum class Action {
+    kNone,     // situation nominal (or still inside a hysteresis window)
+    kDegrade,  // escalate one ladder rung / widen the sink
+    kRecover,  // walk one rung back down / narrow the sink
+  };
+  Action action = Action::kNone;
+  /// Target ladder level (current level when action == kNone).
+  overload::DegradeLevel level = overload::DegradeLevel::kNormal;
+  /// Target RETA sink fraction (baseline + controller boost).
+  double sink_fraction = 0.0;
+  /// Operator-facing justification ("sustained rx-ring loss", ...).
+  std::string reason;
+};
+
+/// Control-loop tuning. Defaults favor stability over reaction speed.
+struct ControlConfig {
+  /// Consecutive lossy polls before escalating (and the minimum number
+  /// of polls between two escalations).
+  std::size_t loss_window = 3;
+  /// Consecutive clean polls before recovering one rung.
+  std::size_t clean_window = 5;
+  /// Fraction of the aggregate state-byte budget that counts as memory
+  /// pressure (only meaningful when the overload policy sets a budget).
+  double memory_pressure = 0.9;
+  /// RETA sink fraction added per escalation once at the kSink rung.
+  double sink_step = 0.25;
+  /// Ceiling on the controller-driven sink fraction.
+  double max_sink_fraction = 0.9;
+};
+
 class RuntimeMonitor {
  public:
-  explicit RuntimeMonitor(Runtime& runtime) : runtime_(&runtime) {}
+  explicit RuntimeMonitor(Runtime& runtime, ControlConfig control = {})
+      : runtime_(&runtime), control_(control) {}
 
   /// Take a snapshot at virtual time `now_ns`. Returns the snapshot and
-  /// appends it to the history.
+  /// appends it to the history. Reads only atomics when the runtime has
+  /// a metric registry (telemetry or overload control enabled), so it
+  /// is safe beside run_threaded() workers; without a registry it reads
+  /// the pipelines directly and must not race a live run.
   const MonitorSnapshot& poll(std::uint64_t now_ns);
 
   const std::vector<MonitorSnapshot>& history() const noexcept {
@@ -44,12 +88,43 @@ class RuntimeMonitor {
   /// narrower filter".)
   bool sustained_loss(std::size_t window = 3) const;
 
+  /// Aggregate state bytes within `memory_pressure` of the policy's
+  /// total budget (max_state_bytes x cores)? Always false with no
+  /// budget configured.
+  bool memory_pressure() const;
+
+  /// Turn the recent window into structured advice. Pure: inspects the
+  /// history and controller state, actuates nothing — callers without a
+  /// ladder (or running advisory-only) can log it.
+  Advice advise() const;
+
+  /// poll() + advise() + actuate: writes the ladder level into the
+  /// runtime's OverloadState and the sink fraction into the NIC RETA.
+  /// Call from the dispatching thread (the RETA is not thread-safe
+  /// against concurrent dispatch). With the policy's ladder disabled
+  /// this degenerates to poll() + advise() — advisory only.
+  const Advice& apply(std::uint64_t now_ns);
+
+  /// Ladder position this controller has driven the runtime to.
+  overload::DegradeLevel level() const noexcept { return level_; }
+  /// Most recent apply() outcome.
+  const Advice& last_advice() const noexcept { return last_advice_; }
+
   /// One-line operator-facing status from the latest snapshot.
   std::string status_line() const;
 
  private:
+  double baseline_sink() const;
+  double current_sink() const { return baseline_sink() + sink_boost_; }
+  std::size_t clean_streak() const;
+
   Runtime* runtime_;
+  ControlConfig control_;
   std::vector<MonitorSnapshot> history_;
+  overload::DegradeLevel level_ = overload::DegradeLevel::kNormal;
+  double sink_boost_ = 0.0;          // controller-added sink fraction
+  std::size_t last_action_poll_ = 0; // history_.size() at the last action
+  Advice last_advice_;
 };
 
 }  // namespace retina::core

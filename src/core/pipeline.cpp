@@ -158,7 +158,106 @@ void Pipeline::attach_telemetry(telemetry::MetricRegistry& registry,
   inst_.burst_cycles =
       &registry.histogram("retina_burst_cycles",
                           "CPU cycles per processed burst").at(core);
+  for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
+    const auto stage = static_cast<overload::ShedStage>(i);
+    inst_.shed_cells[i] =
+        &registry.counter("retina_shed_total",
+                          "Work refused by overload shedding", "stage",
+                          overload::shed_stage_name(stage)).at(core);
+  }
   spans_ = spans;
+}
+
+void Pipeline::shed(overload::ShedStage stage) {
+  ++stats_.shed[static_cast<int>(stage)];
+  if (auto* cell = inst_.shed_cells[static_cast<int>(stage)]) cell->inc();
+}
+
+bool Pipeline::admit_connection() const {
+  if (degraded_to(overload::DegradeLevel::kCountOnly)) return false;
+  const auto& policy = config_.overload;
+  if (!policy.enabled) return true;
+  if (policy.max_tracked_connections != 0 &&
+      table_.size() >= policy.max_tracked_connections) {
+    return false;
+  }
+  if (policy.max_state_bytes != 0) {
+    const auto heap =
+        static_cast<std::uint64_t>(heap_bytes_ > 0 ? heap_bytes_ : 0);
+    if (table_.approx_bytes_after_insert() + heap >= policy.max_state_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Pipeline::buffering_allowed() const {
+  if (degraded_to(overload::DegradeLevel::kShedReassembly)) return false;
+  const auto& policy = config_.overload;
+  if (policy.enabled && policy.max_state_bytes != 0 &&
+      approx_state_bytes() >= policy.max_state_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool Pipeline::reassembly_shed() const {
+  if (degraded_to(overload::DegradeLevel::kShedReassembly)) return true;
+  const auto& policy = config_.overload;
+  return policy.enabled && policy.max_reassembly_bytes != 0 &&
+         reasm_hold_bytes_ >=
+             static_cast<std::int64_t>(policy.max_reassembly_bytes);
+}
+
+bool Pipeline::parse_budget_ok(std::uint64_t ts_ns) {
+  const auto rate = config_.overload.parse_cycles_per_sec;
+  if (!config_.overload.enabled || rate == 0) return true;
+  if (!parse_bucket_primed_) {
+    // Start with one virtual second of budget (also the bucket cap, so
+    // an idle trace cannot bank unbounded credit).
+    parse_tokens_ = static_cast<std::int64_t>(rate);
+    parse_refill_ts_ = ts_ns;
+    parse_bucket_primed_ = true;
+  }
+  if (ts_ns > parse_refill_ts_) {
+    const double earned = static_cast<double>(ts_ns - parse_refill_ts_) /
+                          1e9 * static_cast<double>(rate);
+    parse_tokens_ = std::min<std::int64_t>(
+        parse_tokens_ + static_cast<std::int64_t>(earned),
+        static_cast<std::int64_t>(rate));
+    parse_refill_ts_ = ts_ns;
+  }
+  return parse_tokens_ > 0;
+}
+
+void Pipeline::settle_without_parsing(ConnId id, ConnEntry& entry) {
+  if (subscription_.level() == Level::kSession) {
+    // Sessions are exactly what is being shed: tombstone the
+    // connection so later packets cost a lookup and nothing more.
+    // Not a filter decision, so it is not counted as one.
+    to_dropped(entry, /*count_filter_drop=*/false);
+    return;
+  }
+  if (entry.filter_matched) {
+    flush_on_match(entry);
+    to_track(entry);
+    return;
+  }
+  // Filter unresolved. Resolve it the way a failed probe would: with
+  // the protocol unknown. Terminal -> Track, impossible -> dropped.
+  if (!entry.conn_filter_ran) {
+    entry.app_proto = 0;
+    run_conn_filter(id, entry);
+  }
+  if (!entry.dropped && !entry.filter_matched &&
+      entry.state != ConnState::kTrack) {
+    // Still waiting on session predicates we will never evaluate: the
+    // connection can never match now.
+    to_dropped(entry, /*count_filter_drop=*/false);
+  } else if (!entry.dropped && entry.state != ConnState::kTrack) {
+    flush_on_match(entry);
+    to_track(entry);
+  }
 }
 
 std::uint64_t Pipeline::approx_state_bytes() const {
@@ -411,9 +510,13 @@ void Pipeline::process_one(packet::Mbuf& mbuf,
       handle_stateful(mbuf, *view, pf_result, lazy, lazy.key.hash());
     }
   }
+  const auto state_now = approx_state_bytes();
+  if (state_now > stats_.peak_state_bytes) {
+    stats_.peak_state_bytes = state_now;
+  }
   if (inst_.live_conns != nullptr) {
     inst_.live_conns->set(table_.size());
-    inst_.state_bytes->set(approx_state_bytes());
+    inst_.state_bytes->set(state_now);
   }
 }
 
@@ -429,6 +532,13 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
     StageScope scope(stats_, Stage::kConnTracking, config_.instrument_stages, &inst_);
     id = table_.find_hashed(canon.key, key_hash);
     if (id == Table::kInvalid) {
+      // Admission control: at >= kCountOnly, or with a budget (conn
+      // count / projected state bytes) exhausted, the flow is counted
+      // at the packet layer and never tracked.
+      if (!admit_connection()) {
+        shed(overload::ShedStage::kConnCreate);
+        return;
+      }
       id = create_conn(canon.key, canon.originator_is_first, pf_result,
                        view.tcp().has_value(), ts);
     } else {
@@ -464,14 +574,20 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
       case ConnState::kProbe:
       case ConnState::kParse:
         if (subscription_.level() == Level::kPacket) {
-          // Hold packets until the filter resolves (Fig. 4a).
-          if (entry.buffered.size() >= config_.conn_packet_buffer) {
-            heap_bytes_ -= entry.buffered.front().length();
-            entry.buffered.erase(entry.buffered.begin());
+          // Hold packets until the filter resolves (Fig. 4a) — unless
+          // shedding says this buffer may not grow.
+          if (!buffering_allowed()) {
+            shed(overload::ShedStage::kBuffering);
+          } else {
+            if (entry.buffered.size() >= config_.conn_packet_buffer) {
+              heap_bytes_ -= entry.buffered.front().length();
+              entry.buffered_bytes -= entry.buffered.front().length();
+              entry.buffered.erase(entry.buffered.begin());
+            }
+            heap_bytes_ += mbuf.length();
+            entry.buffered_bytes += mbuf.length();
+            entry.buffered.push_back(mbuf);
           }
-          heap_bytes_ += mbuf.length();
-          entry.buffered_bytes += mbuf.length();
-          entry.buffered.push_back(mbuf);
         }
         feed_pdus(id, entry, mbuf, view, from_orig);
         break;
@@ -520,6 +636,15 @@ Pipeline::ConnId Pipeline::create_conn(const packet::FiveTuple& canonical_key,
                       : ConnState::kProbe;
   } else {
     entry.state = ConnState::kProbe;
+  }
+
+  // Degradation ladder, session rung: a connection that would start
+  // probing settles immediately instead — no parser is ever built for
+  // it. (id is not assigned yet; settle_without_parsing ignores it.)
+  if (entry.state == ConnState::kProbe &&
+      degraded_to(overload::DegradeLevel::kShedSessions)) {
+    shed(overload::ShedStage::kSession);
+    settle_without_parsing(Table::kInvalid, entry);
   }
 
   ++stats_.conns_created;
@@ -598,9 +723,24 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
     pdu.from_originator = from_orig;
     pdu.ts_ns = mbuf.timestamp_ns();
     if (subscription_.level() == Level::kStream) {
-      stream_pdu(entry, pdu);
+      // The ladder rung stops all stream delivery; the reassembly byte
+      // budget does not apply here (datagrams hold nothing).
+      if (degraded_to(overload::DegradeLevel::kShedReassembly)) {
+        shed(overload::ShedStage::kReassembly);
+      } else {
+        stream_pdu(entry, pdu);
+      }
     }
     handle_pdu(id, entry, std::move(pdu));
+    return;
+  }
+
+  // TCP reassembly shed: on the kShedReassembly rung (or past the
+  // reassembly-byte budget) segments bypass the reassembler entirely.
+  // The connection record still accumulates (update_record already
+  // ran); only stream reconstruction and parsing lose this data.
+  if (reassembly_shed()) {
+    shed(overload::ShedStage::kReassembly);
     return;
   }
 
@@ -625,9 +765,11 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
     const auto pending_before = reasm->pending();
     reasm->push(std::move(pdu), ready);
     const auto pending_after = reasm->pending();
-    heap_bytes_ += (static_cast<std::int64_t>(pending_after) -
-                    static_cast<std::int64_t>(pending_before)) *
-                   static_cast<std::int64_t>(kOooPduEstimateBytes);
+    const auto delta = (static_cast<std::int64_t>(pending_after) -
+                        static_cast<std::int64_t>(pending_before)) *
+                       static_cast<std::int64_t>(kOooPduEstimateBytes);
+    heap_bytes_ += delta;
+    reasm_hold_bytes_ += delta;
   }
 
   for (auto& ready_pdu : ready) {
@@ -663,7 +805,12 @@ void Pipeline::stream_pdu(ConnEntry& entry, const stream::L4Pdu& pdu) {
     return;
   }
   // Filter unresolved: hold the in-order PDU by reference (Fig. 4a's
-  // buffering, applied to stream chunks).
+  // buffering, applied to stream chunks) — unless shedding says the
+  // buffer may not grow.
+  if (!buffering_allowed()) {
+    shed(overload::ShedStage::kBuffering);
+    return;
+  }
   if (entry.pdu_buffer.size() >= config_.conn_packet_buffer) {
     heap_bytes_ -= static_cast<std::int64_t>(
         entry.pdu_buffer.front().payload.size());
@@ -695,10 +842,33 @@ void Pipeline::flush_on_match(ConnEntry& entry) {
 
 void Pipeline::handle_pdu(ConnId id, ConnEntry& entry, stream::L4Pdu pdu) {
   if (entry.dropped) return;
+  if (entry.state != ConnState::kProbe && entry.state != ConnState::kParse) {
+    return;
+  }
+  // Session shedding: either the ladder reached kShedSessions after
+  // this connection started probing, or the parse-cycle token bucket
+  // (refilled by virtual time) ran dry. Both settle the connection
+  // without further probe/parse work.
+  if (degraded_to(overload::DegradeLevel::kShedSessions)) {
+    shed(overload::ShedStage::kSession);
+    settle_without_parsing(id, entry);
+    return;
+  }
+  if (!parse_budget_ok(pdu.ts_ns)) {
+    shed(overload::ShedStage::kParseBudget);
+    settle_without_parsing(id, entry);
+    return;
+  }
+  const bool metered = config_.overload.enabled &&
+                       config_.overload.parse_cycles_per_sec != 0;
+  const std::uint64_t t0 = metered ? util::rdtsc() : 0;
   if (entry.state == ConnState::kProbe) {
     probe_pdu(id, entry, pdu);
-  } else if (entry.state == ConnState::kParse) {
+  } else {
     parse_pdu(id, entry, pdu);
+  }
+  if (metered) {
+    parse_tokens_ -= static_cast<std::int64_t>(util::rdtsc() - t0);
   }
 }
 
@@ -983,6 +1153,8 @@ void Pipeline::to_track(ConnEntry& entry) {
       if (*reasm) {
         heap_bytes_ -= (*reasm)->pending() * kOooPduEstimateBytes;
         heap_bytes_ -= kReassemblerBytes;
+        reasm_hold_bytes_ -= static_cast<std::int64_t>(
+            (*reasm)->pending() * kOooPduEstimateBytes);
         reasm->reset();
       }
     }

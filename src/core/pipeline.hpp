@@ -49,6 +49,9 @@ struct PipelineInstruments {
   util::RelaxedCell* state_bytes = nullptr;  // gauge
   util::RelaxedCell* stage_invocations[static_cast<int>(Stage::kCount)] = {};
   telemetry::Histogram* stage_cycles[static_cast<int>(Stage::kCount)] = {};
+  // Overload shedding, one counter per refusing stage.
+  util::RelaxedCell*
+      shed_cells[static_cast<int>(overload::ShedStage::kCount)] = {};
   // Burst-path instruments: packets per received burst, and CPU cycles
   // a whole burst took end to end.
   telemetry::Histogram* burst_occupancy = nullptr;
@@ -101,6 +104,15 @@ class Pipeline {
   void attach_telemetry(telemetry::MetricRegistry& registry,
                         std::size_t core,
                         telemetry::SpanRing* spans = nullptr);
+
+  /// Wire the shared degradation-ladder state in (nullptr = always
+  /// kNormal). Budgets come from the RuntimeConfig; the ladder level is
+  /// read per packet through this pointer so the controller's writes
+  /// take effect without any per-pipeline plumbing. Call during
+  /// single-threaded setup.
+  void attach_overload(overload::OverloadState* state) noexcept {
+    overload_ = state;
+  }
 
   const PipelineStats& stats() const noexcept { return stats_; }
   std::size_t live_connections() const noexcept { return table_.size(); }
@@ -196,6 +208,29 @@ class Pipeline {
   void flush_on_match(ConnEntry& entry);
   void to_track(ConnEntry& entry);
   void to_dropped(ConnEntry& entry, bool count_filter_drop = true);
+
+  // --- Overload shedding (budgets + degradation ladder) ---
+  overload::DegradeLevel degrade_level() const noexcept {
+    return overload_ != nullptr ? overload_->level()
+                                : overload::DegradeLevel::kNormal;
+  }
+  bool degraded_to(overload::DegradeLevel at_least) const noexcept {
+    return static_cast<int>(degrade_level()) >= static_cast<int>(at_least);
+  }
+  void shed(overload::ShedStage stage);
+  /// May a new connection enter the table? (ladder >= kCountOnly, the
+  /// connection-count cap, and the projected state-byte cap all say no.)
+  bool admit_connection() const;
+  /// May packet/stream data be buffered while the filter is pending?
+  bool buffering_allowed() const;
+  /// Is TCP reassembly currently shed (ladder or reassembly-byte cap)?
+  bool reassembly_shed() const;
+  /// Session probe/parse token bucket, refilled by virtual time.
+  bool parse_budget_ok(std::uint64_t ts_ns);
+  /// Resolve a connection's fate *without* probing or parsing: the
+  /// kShedSessions path. Session subs get a tombstone; others settle
+  /// through the connection filter with app_proto = unknown.
+  void settle_without_parsing(ConnId id, ConnEntry& entry);
   void flush_buffered(ConnEntry& entry);
   void terminate_conn(ConnId id, ConnEntry& entry, TerminateReason reason,
                       bool remove_from_table);
@@ -217,6 +252,12 @@ class Pipeline {
   std::int64_t heap_bytes_ = 0;  // buffered packets + parser estimates
   std::uint64_t next_sample_ts_ = 0;
   std::uint64_t last_ts_ = 0;
+
+  overload::OverloadState* overload_ = nullptr;  // borrowed; may be null
+  std::int64_t reasm_hold_bytes_ = 0;  // out-of-order bytes held right now
+  std::int64_t parse_tokens_ = 0;      // parse-cycle token bucket
+  std::uint64_t parse_refill_ts_ = 0;
+  bool parse_bucket_primed_ = false;
 };
 
 }  // namespace retina::core

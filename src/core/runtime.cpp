@@ -16,6 +16,49 @@ namespace retina::core {
 static_assert(Pipeline::kMaxBurst == nic::SimNic::kMaxBurst,
               "pipeline burst scratch must cover a full NIC rx burst");
 
+namespace {
+
+/// One place builds the port configuration so the constructor and the
+/// validating factory cannot drift apart.
+nic::PortConfig make_port_config(const RuntimeConfig& config) {
+  nic::PortConfig port;
+  port.num_queues = config.cores ? config.cores : 1;
+  port.ring_capacity = config.rx_ring_size;
+  port.capabilities = config.nic_capabilities;
+  port.rss_key = config.rss_key;
+  return port;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Runtime>> Runtime::create(
+    RuntimeConfig config, Subscription subscription,
+    const filter::FieldRegistry& field_registry,
+    const protocols::ParserRegistry& parser_registry) {
+  // Filter: parse + decompose, errors as strings.
+  auto decomposed = filter::try_decompose(
+      subscription.filter(), field_registry, config.nic_capabilities);
+  if (!decomposed) return Err(decomposed.error());
+  // Port: queue/ring/RSS-key validation.
+  if (auto port = nic::SimNic::validate(make_port_config(config)); !port) {
+    return Err(port.error());
+  }
+  if (config.sink_fraction < 0.0 || config.sink_fraction > 1.0) {
+    return Err("bad config: sink_fraction must be in [0,1]");
+  }
+  // Overload budgets that cannot admit anything are configuration
+  // errors, not degraded modes: an empty connection table (slots +
+  // index) already costs ~64 KiB.
+  const auto& policy = config.overload;
+  if (policy.enabled && policy.max_state_bytes != 0 &&
+      policy.max_state_bytes < (128u << 10)) {
+    return Err("over-budget config: max-state-mb budget is below the empty "
+               "connection table's footprint (needs >= 128 KiB per core)");
+  }
+  return std::make_unique<Runtime>(std::move(config), std::move(subscription),
+                                   field_registry, parser_registry);
+}
+
 Runtime::Runtime(RuntimeConfig config, Subscription subscription,
                  const filter::FieldRegistry& field_registry,
                  const protocols::ParserRegistry& parser_registry)
@@ -33,10 +76,7 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
 
   // Program the NIC: one receive queue per core, hardware rules from
   // the decomposed filter (if enabled), sink buckets for sampling.
-  nic::PortConfig port;
-  port.num_queues = config_.cores ? config_.cores : 1;
-  port.ring_capacity = config_.rx_ring_size;
-  port.capabilities = config_.nic_capabilities;
+  const nic::PortConfig port = make_port_config(config_);
   nic_ = std::make_unique<nic::SimNic>(port);
   if (config_.hardware_filter) {
     nic_->install_rules(filter_->hw_rules());
@@ -44,16 +84,23 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
   if (config_.sink_fraction > 0) {
     nic_->reta().set_sink_fraction(config_.sink_fraction);
   }
+  if (config_.fault_plan.enabled) {
+    faults_ = std::make_unique<overload::FaultInjector>(config_.fault_plan);
+    nic_->set_ingress_fault(faults_.get());
+  }
 
   // Telemetry: histograms need the per-stage cycle probes, so enabling
   // telemetry implies stage instrumentation. Lifecycle tracing rides on
-  // the same attachment, so it brings the registry along.
+  // the same attachment, so it brings the registry along. Overload
+  // control brings the registry too: the controller reads its load
+  // signals through the registry's atomics so it can poll while worker
+  // threads run.
   if (config_.telemetry) config_.instrument_stages = true;
   if (config_.trace_ring_capacity > 0) {
     spans_ = std::make_unique<telemetry::SpanRecorder>(
         port.num_queues, config_.trace_ring_capacity);
   }
-  if (config_.telemetry || spans_) {
+  if (config_.telemetry || spans_ || config_.overload.enabled) {
     metrics_ = std::make_unique<telemetry::MetricRegistry>(port.num_queues);
   }
 
@@ -62,6 +109,7 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
     pipelines_.push_back(
         std::make_unique<Pipeline>(config_, subscription_, *filter_,
                                    field_registry, parser_registry));
+    pipelines_.back()->attach_overload(&overload_state_);
     if (metrics_) {
       pipelines_.back()->attach_telemetry(
           *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
@@ -74,6 +122,18 @@ Runtime::~Runtime() = default;
 void Runtime::dispatch(const packet::Mbuf& mbuf) {
   if (first_ts_ == 0) first_ts_ = mbuf.timestamp_ns();
   last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
+  // Controller cadence rides the trace clock: deterministic offline,
+  // and in threaded mode it runs here — on the thread that owns the
+  // RETA — never concurrently with a NIC dispatch.
+  if (controller_ && controller_interval_ns_ > 0) {
+    const auto ts = mbuf.timestamp_ns();
+    if (next_controller_ts_ == 0) {
+      next_controller_ts_ = ts + controller_interval_ns_;
+    } else if (ts >= next_controller_ts_) {
+      controller_(ts);
+      next_controller_ts_ = ts + controller_interval_ns_;
+    }
+  }
   nic_->dispatch(mbuf);
 }
 
@@ -281,6 +341,10 @@ std::string Runtime::prometheus() const {
   telemetry::append_prometheus_counter(
       out, "retina_nic_sunk_total", "Packets steered to sink RETA buckets",
       port_stats.sunk);
+  telemetry::append_prometheus_counter(
+      out, "retina_nic_pool_exhausted_total",
+      "Packets lost to injected mbuf-pool exhaustion",
+      port_stats.pool_exhausted);
   return out;
 }
 
@@ -299,6 +363,7 @@ RunStats Runtime::collect_stats() const {
   stats.nic_hw_dropped = port_stats.hw_dropped;
   stats.nic_sunk = port_stats.sunk;
   stats.nic_ring_dropped = port_stats.ring_dropped;
+  stats.nic_pool_exhausted = port_stats.pool_exhausted;
   stats.trace_duration_ns = last_ts_ > first_ts_ ? last_ts_ - first_ts_ : 0;
   // Hardware-filter stage accounting (Fig. 7): every ingress packet
   // triggers it, at zero CPU cost.

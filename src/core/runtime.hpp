@@ -13,6 +13,7 @@
 //    loss, reproducing the paper's zero-loss methodology.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 
@@ -20,9 +21,12 @@
 #include "core/pipeline.hpp"
 #include "core/stats.hpp"
 #include "nic/port.hpp"
+#include "overload/fault.hpp"
+#include "overload/policy.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
+#include "util/result.hpp"
 
 namespace retina::core {
 
@@ -37,6 +41,18 @@ class Runtime {
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
+
+  /// Validating factory: configuration mistakes — a filter that does
+  /// not parse or decompose, a malformed RSS key, a port config or
+  /// overload budget that cannot work — come back as an actionable
+  /// error string instead of a FilterError throw from the constructor.
+  /// Prefer this for user-supplied input (CLI, config files).
+  static Result<std::unique_ptr<Runtime>> create(
+      RuntimeConfig config, Subscription subscription,
+      const filter::FieldRegistry& field_registry =
+          filter::FieldRegistry::builtin(),
+      const protocols::ParserRegistry& parser_registry =
+          protocols::ParserRegistry::builtin());
 
   /// Process a trace serially (offline mode). Calls finish() at the end,
   /// delivering everything still tracked.
@@ -60,6 +76,29 @@ class Runtime {
   nic::SimNic& nic() noexcept { return *nic_; }
   std::size_t cores() const noexcept { return pipelines_.size(); }
   Pipeline& pipeline(std::size_t core) { return *pipelines_[core]; }
+  const RuntimeConfig& config() const noexcept { return config_; }
+
+  /// Shared degradation-ladder state: pipelines read it per packet, the
+  /// overload controller (RuntimeMonitor::apply) writes it. Always
+  /// present — tests may set the level directly.
+  overload::OverloadState& overload_state() noexcept {
+    return overload_state_;
+  }
+
+  /// Ingress fault injector (config.fault_plan.enabled); null otherwise.
+  overload::FaultInjector* faults() noexcept { return faults_.get(); }
+
+  /// Install a controller invoked from the *dispatching* thread every
+  /// `interval_ns` of virtual (trace) time — the cadence is the trace
+  /// clock, so runs are deterministic. The dispatch thread owns the
+  /// RETA and ladder writes, which is what makes a
+  /// RuntimeMonitor::apply() controller safe even under run_threaded().
+  void set_controller(std::function<void(std::uint64_t)> controller,
+                      std::uint64_t interval_ns) {
+    controller_ = std::move(controller);
+    controller_interval_ns_ = interval_ns;
+    next_controller_ts_ = 0;
+  }
 
   /// Live telemetry (config.telemetry). Null when disabled.
   telemetry::MetricRegistry* metrics() noexcept { return metrics_.get(); }
@@ -99,6 +138,12 @@ class Runtime {
   std::uint64_t first_ts_ = 0;
   std::uint64_t last_ts_ = 0;
   bool finished_ = false;
+
+  overload::OverloadState overload_state_;
+  std::unique_ptr<overload::FaultInjector> faults_;
+  std::function<void(std::uint64_t)> controller_;
+  std::uint64_t controller_interval_ns_ = 0;
+  std::uint64_t next_controller_ts_ = 0;
 };
 
 }  // namespace retina::core

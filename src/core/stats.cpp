@@ -40,6 +40,13 @@ void PipelineStats::merge(const PipelineStats& other) {
   sessions_parsed += other.sessions_parsed;
   probe_failures += other.probe_failures;
   busy_cycles += other.busy_cycles;
+  for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
+    shed[i] += other.shed[i];
+  }
+  // Peaks are per core and concurrent, so the merged peak is the sum:
+  // the budget is per core, and the worst case is every core at its
+  // high-water mark at once.
+  peak_state_bytes += other.peak_state_bytes;
   stages.merge(other.stages);
   // Each core's samples are time-ordered; a cross-core merge must
   // re-establish global time order or the merged Fig. 8 memory curve
@@ -65,6 +72,15 @@ std::string RunStats::to_string() const {
      << " cb_sess=" << total.delivered_sessions
      << " hw_drop=" << nic_hw_dropped << " sunk=" << nic_sunk
      << " loss=" << nic_ring_dropped;
+  if (total.shed_total() > 0) {
+    os << " shed=" << total.shed_total();
+    for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
+      if (total.shed[i] == 0) continue;
+      os << " shed_"
+         << overload::shed_stage_name(static_cast<overload::ShedStage>(i))
+         << "=" << total.shed[i];
+    }
+  }
   const double loss_fraction =
       nic_rx_packets == 0 ? 0.0
                           : static_cast<double>(nic_ring_dropped) /

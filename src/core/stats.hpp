@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "overload/policy.hpp"
+
 namespace retina::core {
 
 /// The processing stages of Fig. 7, in pipeline order.
@@ -72,6 +74,23 @@ struct PipelineStats {
   std::uint64_t probe_failures = 0;  // connections with unknown protocol
   std::uint64_t busy_cycles = 0;     // total cycles spent processing
 
+  /// Overload shedding, by the pipeline stage that refused the work
+  /// (overload::ShedStage). Zero everywhere unless budgets or the
+  /// degradation ladder acted.
+  std::uint64_t shed[static_cast<int>(overload::ShedStage::kCount)] = {};
+  /// High-water mark of approx_state_bytes() over the run — the number
+  /// the state-byte budget bounds.
+  std::uint64_t peak_state_bytes = 0;
+
+  std::uint64_t shed_total() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto n : shed) total += n;
+    return total;
+  }
+  std::uint64_t shed_at(overload::ShedStage stage) const noexcept {
+    return shed[static_cast<int>(stage)];
+  }
+
   StageCounters stages;
   std::vector<MemorySample> memory_samples;
 
@@ -87,6 +106,7 @@ struct RunStats {
   std::uint64_t nic_hw_dropped = 0;
   std::uint64_t nic_sunk = 0;
   std::uint64_t nic_ring_dropped = 0;     // packet loss
+  std::uint64_t nic_pool_exhausted = 0;   // injected mbuf-pool failures
   std::uint64_t trace_duration_ns = 0;    // virtual time span
   double wall_seconds = 0.0;              // host processing time
   double max_core_seconds = 0.0;          // slowest core's busy time

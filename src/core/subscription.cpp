@@ -1,39 +1,68 @@
 #include "core/subscription.hpp"
 
+#include "filter/decompose.hpp"
+#include "filter/field_registry.hpp"
+
 namespace retina::core {
+
+Subscription Subscription::make(Level level, std::string filter) {
+  Subscription s;
+  s.level_ = level;
+  s.filter_ = std::move(filter);
+  return s;
+}
+
+Subscription Subscription::make_sessions(std::string filter,
+                                         SessionCallback callback) {
+  auto s = make(Level::kSession, std::move(filter));
+  s.on_session_ = std::move(callback);
+  return s;
+}
+
+SessionCallback Subscription::wrap_tls(
+    std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
+        callback) {
+  return [cb = std::move(callback)](const SessionRecord& rec) {
+    if (const auto* hs = rec.session.get<protocols::TlsHandshake>()) {
+      cb(rec, *hs);
+    }
+  };
+}
+
+SessionCallback Subscription::wrap_http(
+    std::function<void(const SessionRecord&,
+                       const protocols::HttpTransaction&)> callback) {
+  return [cb = std::move(callback)](const SessionRecord& rec) {
+    if (const auto* tx = rec.session.get<protocols::HttpTransaction>()) {
+      cb(rec, *tx);
+    }
+  };
+}
+
+Subscription::Builder Subscription::builder() { return Builder{}; }
 
 Subscription Subscription::packets(std::string filter,
                                    PacketCallback callback) {
-  Subscription s;
-  s.level_ = Level::kPacket;
-  s.filter_ = std::move(filter);
+  auto s = make(Level::kPacket, std::move(filter));
   s.on_packet_ = std::move(callback);
   return s;
 }
 
 Subscription Subscription::connections(std::string filter,
                                        ConnCallback callback) {
-  Subscription s;
-  s.level_ = Level::kConnection;
-  s.filter_ = std::move(filter);
+  auto s = make(Level::kConnection, std::move(filter));
   s.on_connection_ = std::move(callback);
   return s;
 }
 
 Subscription Subscription::sessions(std::string filter,
                                     SessionCallback callback) {
-  Subscription s;
-  s.level_ = Level::kSession;
-  s.filter_ = std::move(filter);
-  s.on_session_ = std::move(callback);
-  return s;
+  return make_sessions(std::move(filter), std::move(callback));
 }
 
 Subscription Subscription::byte_streams(std::string filter,
                                         StreamCallback callback) {
-  Subscription s;
-  s.level_ = Level::kStream;
-  s.filter_ = std::move(filter);
+  auto s = make(Level::kStream, std::move(filter));
   s.on_stream_ = std::move(callback);
   return s;
 }
@@ -42,13 +71,7 @@ Subscription Subscription::tls_handshakes(
     std::string filter,
     std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
         callback) {
-  auto s = sessions(std::move(filter),
-                    [cb = std::move(callback)](const SessionRecord& rec) {
-                      if (const auto* hs =
-                              rec.session.get<protocols::TlsHandshake>()) {
-                        cb(rec, *hs);
-                      }
-                    });
+  auto s = make_sessions(std::move(filter), wrap_tls(std::move(callback)));
   s.extra_parsers_.push_back("tls");
   return s;
 }
@@ -57,13 +80,7 @@ Subscription Subscription::http_transactions(
     std::string filter,
     std::function<void(const SessionRecord&,
                        const protocols::HttpTransaction&)> callback) {
-  auto s = sessions(std::move(filter),
-                    [cb = std::move(callback)](const SessionRecord& rec) {
-                      if (const auto* tx =
-                              rec.session.get<protocols::HttpTransaction>()) {
-                        cb(rec, *tx);
-                      }
-                    });
+  auto s = make_sessions(std::move(filter), wrap_http(std::move(callback)));
   s.extra_parsers_.push_back("http");
   return s;
 }
@@ -88,6 +105,152 @@ void Subscription::deliver_session(const SessionRecord& record) const {
 
 void Subscription::deliver_stream(const StreamChunk& chunk) const {
   if (on_stream_) on_stream_(chunk);
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+
+Subscription::Builder& Subscription::Builder::filter(
+    std::string expression) & {
+  filter_ = std::move(expression);
+  return *this;
+}
+
+Subscription::Builder& Subscription::Builder::level(Level level) & {
+  has_level_ = true;
+  level_ = level;
+  return *this;
+}
+
+Subscription::Builder& Subscription::Builder::set_callback(
+    Level level, PacketCallback packet_cb, ConnCallback conn_cb,
+    SessionCallback session_cb, StreamCallback stream_cb) {
+  ++callbacks_set_;
+  callback_level_ = level;
+  on_packet_ = std::move(packet_cb);
+  on_connection_ = std::move(conn_cb);
+  on_session_ = std::move(session_cb);
+  on_stream_ = std::move(stream_cb);
+  return *this;
+}
+
+Subscription::Builder& Subscription::Builder::on_packet(
+    PacketCallback callback) & {
+  return set_callback(Level::kPacket, std::move(callback), {}, {}, {});
+}
+
+Subscription::Builder& Subscription::Builder::on_connection(
+    ConnCallback callback) & {
+  return set_callback(Level::kConnection, {}, std::move(callback), {}, {});
+}
+
+Subscription::Builder& Subscription::Builder::on_session(
+    SessionCallback callback) & {
+  return set_callback(Level::kSession, {}, {}, std::move(callback), {});
+}
+
+Subscription::Builder& Subscription::Builder::on_stream(
+    StreamCallback callback) & {
+  return set_callback(Level::kStream, {}, {}, {}, std::move(callback));
+}
+
+Subscription::Builder& Subscription::Builder::on_tls_handshake(
+    std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
+        callback) & {
+  set_callback(Level::kSession, {}, {},
+               Subscription::wrap_tls(std::move(callback)), {});
+  required_parsers_.push_back("tls");
+  return *this;
+}
+
+Subscription::Builder& Subscription::Builder::on_http_transaction(
+    std::function<void(const SessionRecord&,
+                       const protocols::HttpTransaction&)> callback) & {
+  set_callback(Level::kSession, {}, {},
+               Subscription::wrap_http(std::move(callback)), {});
+  required_parsers_.push_back("http");
+  return *this;
+}
+
+Subscription::Builder& Subscription::Builder::parsers(
+    std::vector<std::string> parsers) & {
+  for (auto& p : parsers) required_parsers_.push_back(std::move(p));
+  return *this;
+}
+
+Subscription::Builder&& Subscription::Builder::filter(
+    std::string expression) && {
+  return std::move(filter(std::move(expression)));
+}
+Subscription::Builder&& Subscription::Builder::level(Level level) && {
+  return std::move(this->level(level));
+}
+Subscription::Builder&& Subscription::Builder::on_packet(
+    PacketCallback callback) && {
+  return std::move(on_packet(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::on_connection(
+    ConnCallback callback) && {
+  return std::move(on_connection(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::on_session(
+    SessionCallback callback) && {
+  return std::move(on_session(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::on_stream(
+    StreamCallback callback) && {
+  return std::move(on_stream(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::on_tls_handshake(
+    std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
+        callback) && {
+  return std::move(on_tls_handshake(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::on_http_transaction(
+    std::function<void(const SessionRecord&,
+                       const protocols::HttpTransaction&)> callback) && {
+  return std::move(on_http_transaction(std::move(callback)));
+}
+Subscription::Builder&& Subscription::Builder::parsers(
+    std::vector<std::string> parsers) && {
+  return std::move(this->parsers(std::move(parsers)));
+}
+
+Result<Subscription> Subscription::Builder::build() const {
+  return build(filter::FieldRegistry::builtin());
+}
+
+Result<Subscription> Subscription::Builder::build(
+    const filter::FieldRegistry& fields) const {
+  if (callbacks_set_ == 0) {
+    return Err(
+        "subscription has no callback: set exactly one of on_packet, "
+        "on_connection, on_session, on_stream (or a typed on_* variant)");
+  }
+  if (callbacks_set_ > 1) {
+    return Err(
+        "subscription has multiple callbacks: a subscription delivers one "
+        "data type; build one Subscription per callback");
+  }
+  if (has_level_ && level_ != callback_level_) {
+    const char* const names[] = {"packet", "connection", "session", "stream"};
+    return Err(std::string("subscription level mismatch: .level(") +
+               names[static_cast<int>(level_)] + ") contradicts the on_" +
+               names[static_cast<int>(callback_level_)] + " callback");
+  }
+
+  // Compile the filter now so the error surfaces at build() rather than
+  // as a FilterError throw when the Runtime is constructed.
+  auto compiled = filter::try_decompose(filter_, fields);
+  if (!compiled) return Err(compiled.error());
+
+  auto s = Subscription::make(callback_level_, filter_);
+  s.extra_parsers_ = required_parsers_;
+  s.on_packet_ = on_packet_;
+  s.on_connection_ = on_connection_;
+  s.on_session_ = on_session_;
+  s.on_stream_ = on_stream_;
+  return s;
 }
 
 }  // namespace retina::core

@@ -17,6 +17,11 @@
 #include "packet/five_tuple.hpp"
 #include "packet/mbuf.hpp"
 #include "protocols/session.hpp"
+#include "util/result.hpp"
+
+namespace retina::filter {
+class FieldRegistry;
+}  // namespace retina::filter
 
 namespace retina::core {
 
@@ -86,29 +91,55 @@ using StreamCallback = std::function<void(const StreamChunk&)>;
 
 class Subscription {
  public:
+  class Builder;
+
+  /// Entry point of the fluent API:
+  ///
+  ///   auto sub = Subscription::builder()
+  ///                  .filter("tls.sni ~ 'netflix'")
+  ///                  .on_session([](const SessionRecord& rec) { ... })
+  ///                  .build();
+  ///   if (!sub) { /* sub.error() explains the bad filter */ }
+  ///
+  /// The data-abstraction level is inferred from the callback
+  /// (`on_packet` -> kPacket, ... ); an explicit `.level(...)` is
+  /// checked against it. `build()` validates the filter by compiling it
+  /// (parse + decomposition), so a typo'd filter is an error value at
+  /// subscription-construction time, not a throw at Runtime startup.
+  static Builder builder();
+
   /// Raw packets matching `filter` (tagged packets of matching
   /// connections when the filter has connection/session predicates).
+  [[deprecated("use Subscription::builder().filter(...).on_packet(...)")]]
   static Subscription packets(std::string filter, PacketCallback callback);
 
   /// Connection records for connections matching `filter`.
+  [[deprecated(
+      "use Subscription::builder().filter(...).on_connection(...)")]]
   static Subscription connections(std::string filter, ConnCallback callback);
 
   /// All parsed application-layer sessions matching `filter`. Which
   /// parsers run is inferred from the filter; add more with
   /// `with_parsers` when the filter names none.
+  [[deprecated("use Subscription::builder().filter(...).on_session(...)")]]
   static Subscription sessions(std::string filter, SessionCallback callback);
 
   /// Reassembled, in-order byte-streams of connections matching
   /// `filter`. Chunks before the filter resolves are buffered and
   /// flushed on match (like packet buffering, Fig. 4a).
+  [[deprecated("use Subscription::builder().filter(...).on_stream(...)")]]
   static Subscription byte_streams(std::string filter,
                                    StreamCallback callback);
 
   /// Typed conveniences (Retina's subscribable types).
+  [[deprecated(
+      "use Subscription::builder().filter(...).on_tls_handshake(...)")]]
   static Subscription tls_handshakes(
       std::string filter,
       std::function<void(const SessionRecord&,
                          const protocols::TlsHandshake&)> callback);
+  [[deprecated(
+      "use Subscription::builder().filter(...).on_http_transaction(...)")]]
   static Subscription http_transactions(
       std::string filter,
       std::function<void(const SessionRecord&,
@@ -129,11 +160,92 @@ class Subscription {
   void deliver_stream(const StreamChunk& chunk) const;
 
  private:
+  friend class Builder;
+
   Subscription() = default;
+
+  // Non-deprecated internals shared by the Builder and the deprecated
+  // static factories (which would otherwise warn calling each other).
+  static Subscription make(Level level, std::string filter);
+  static Subscription make_sessions(std::string filter,
+                                    SessionCallback callback);
+  static SessionCallback wrap_tls(
+      std::function<void(const SessionRecord&,
+                         const protocols::TlsHandshake&)> callback);
+  static SessionCallback wrap_http(
+      std::function<void(const SessionRecord&,
+                         const protocols::HttpTransaction&)> callback);
 
   Level level_ = Level::kPacket;
   std::string filter_;
   std::vector<std::string> extra_parsers_;
+  PacketCallback on_packet_;
+  ConnCallback on_connection_;
+  SessionCallback on_session_;
+  StreamCallback on_stream_;
+};
+
+/// Fluent, validating constructor for Subscription. Each `on_*` call
+/// selects the abstraction level and installs the callback; setting a
+/// second callback is a build()-time error, as is an explicit level()
+/// that contradicts the callback, or a filter that fails to compile.
+class Subscription::Builder {
+ public:
+  /// Filter expression (default: "", subscribe to all traffic).
+  Builder& filter(std::string expression) &;
+  Builder&& filter(std::string expression) &&;
+
+  /// Explicit data-abstraction level. Optional — the `on_*` callback
+  /// already implies it; when both are given they must agree.
+  Builder& level(Level level) &;
+  Builder&& level(Level level) &&;
+
+  Builder& on_packet(PacketCallback callback) &;
+  Builder&& on_packet(PacketCallback callback) &&;
+  Builder& on_connection(ConnCallback callback) &;
+  Builder&& on_connection(ConnCallback callback) &&;
+  Builder& on_session(SessionCallback callback) &;
+  Builder&& on_session(SessionCallback callback) &&;
+  Builder& on_stream(StreamCallback callback) &;
+  Builder&& on_stream(StreamCallback callback) &&;
+
+  /// Typed conveniences (Retina's subscribable types): session-level
+  /// callbacks invoked only for the matching session type, with the
+  /// needed parser required automatically.
+  Builder& on_tls_handshake(
+      std::function<void(const SessionRecord&,
+                         const protocols::TlsHandshake&)> callback) &;
+  Builder&& on_tls_handshake(
+      std::function<void(const SessionRecord&,
+                         const protocols::TlsHandshake&)> callback) &&;
+  Builder& on_http_transaction(
+      std::function<void(const SessionRecord&,
+                         const protocols::HttpTransaction&)> callback) &;
+  Builder&& on_http_transaction(
+      std::function<void(const SessionRecord&,
+                         const protocols::HttpTransaction&)> callback) &&;
+
+  /// Require protocol parsers beyond those the filter names.
+  Builder& parsers(std::vector<std::string> parsers) &;
+  Builder&& parsers(std::vector<std::string> parsers) &&;
+
+  /// Validate and construct. Checks that exactly one callback is set,
+  /// that any explicit level matches it, and that the filter parses and
+  /// decomposes against `fields` (the builtin registry by default).
+  Result<Subscription> build() const;
+  Result<Subscription> build(const filter::FieldRegistry& fields) const;
+
+ private:
+  Builder& set_callback(Level level, PacketCallback packet_cb,
+                        ConnCallback conn_cb, SessionCallback session_cb,
+                        StreamCallback stream_cb);
+
+  std::string filter_;
+  bool has_level_ = false;
+  Level level_ = Level::kPacket;
+  int callbacks_set_ = 0;
+  Level callback_level_ = Level::kPacket;
+  std::vector<std::string> required_parsers_;
   PacketCallback on_packet_;
   ConnCallback on_connection_;
   SessionCallback on_session_;

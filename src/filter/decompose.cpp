@@ -401,4 +401,14 @@ DecomposedFilter decompose(const std::string& filter,
   return result;
 }
 
+Result<DecomposedFilter> try_decompose(const std::string& filter,
+                                       const FieldRegistry& registry,
+                                       const nic::NicCapabilities& caps) {
+  try {
+    return decompose(filter, registry, caps);
+  } catch (const FilterError& e) {
+    return Err("bad filter '" + filter + "': " + e.what());
+  }
+}
+
 }  // namespace retina::filter

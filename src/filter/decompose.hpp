@@ -18,6 +18,7 @@
 #include "filter/parser.hpp"
 #include "filter/trie.hpp"
 #include "nic/flow_rule.hpp"
+#include "util/result.hpp"
 
 namespace retina::filter {
 
@@ -45,6 +46,13 @@ DecomposedFilter decompose(
 
 /// Convenience: parse + decompose.
 DecomposedFilter decompose(
+    const std::string& filter, const FieldRegistry& registry,
+    const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
+
+/// Non-throwing parse + decompose: syntax and semantic errors come back
+/// as a Result error string instead of a FilterError exception. The
+/// preferred entry point for user-supplied filter text (Builder, CLI).
+Result<DecomposedFilter> try_decompose(
     const std::string& filter, const FieldRegistry& registry,
     const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
 

@@ -1,11 +1,36 @@
 #include "nic/port.hpp"
 
+#include <algorithm>
+
 namespace retina::nic {
+
+Result<void> SimNic::validate(const PortConfig& config) {
+  if (config.num_queues == 0) {
+    return Err("bad port config: num_queues must be >= 1");
+  }
+  if (config.ring_capacity == 0) {
+    return Err("bad port config: ring_capacity must be >= 1");
+  }
+  if (!config.rss_key.empty() && config.rss_key.size() != 40) {
+    return Err("bad RSS key: expected 40 bytes (Toeplitz key width), got " +
+               std::to_string(config.rss_key.size()));
+  }
+  return {};
+}
+
+Result<std::unique_ptr<SimNic>> SimNic::create(const PortConfig& config) {
+  if (auto valid = validate(config); !valid) return Err(valid.error());
+  return std::make_unique<SimNic>(config);
+}
 
 SimNic::SimNic(const PortConfig& config)
     : config_(config),
       reta_(config.num_queues),
       rss_key_(symmetric_rss_key()) {
+  if (config.rss_key.size() == rss_key_.size()) {
+    std::copy(config.rss_key.begin(), config.rss_key.end(),
+              rss_key_.begin());
+  }
   const std::size_t queues = config.num_queues ? config.num_queues : 1;
   rings_.reserve(queues);
   for (std::size_t i = 0; i < queues; ++i) {
@@ -17,6 +42,18 @@ SimNic::SimNic(const PortConfig& config)
 void SimNic::dispatch(packet::Mbuf mbuf) {
   stats_.rx_packets.inc();
   stats_.rx_bytes.add(mbuf.length());
+
+  // Fault hook first: faults model the driver/wire boundary (allocation
+  // failure, damaged frames, clock steps), so they act before the port
+  // parses or steers anything.
+  IngressAction fault_action;
+  if (fault_ != nullptr) {
+    fault_action = fault_->on_ingress(mbuf);
+    if (fault_action.drop_pool_exhausted) {
+      stats_.pool_exhausted.inc();
+      return;
+    }
+  }
 
   const auto view = packet::PacketView::parse(mbuf);
   if (!view) {
@@ -46,7 +83,8 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   }
 
   mbuf.set_rx_queue(queue);
-  if (rings_[queue]->push(std::move(mbuf))) {
+  if (!fault_action.force_ring_overflow &&
+      rings_[queue]->push(std::move(mbuf))) {
     stats_.delivered.inc();
   } else {
     stats_.ring_dropped.inc();

@@ -16,9 +16,32 @@
 #include "nic/rss.hpp"
 #include "packet/mbuf.hpp"
 #include "util/atomics.hpp"
+#include "util/result.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace retina::nic {
+
+/// What an ingress fault hook wants done with an offered packet,
+/// decided before parsing/steering (see IngressFault).
+struct IngressAction {
+  /// The driver failed to allocate an mbuf for the frame: count it as
+  /// pool_exhausted and drop it before it exists.
+  bool drop_pool_exhausted = false;
+  /// Treat the chosen receive ring as full regardless of its real
+  /// occupancy: the packet is counted as ring_dropped loss.
+  bool force_ring_overflow = false;
+};
+
+/// Ingress fault hook (overload::FaultInjector implements this; the NIC
+/// deliberately knows only the interface). Called once per offered
+/// packet from the dispatching thread, before the frame is parsed: the
+/// hook may mutate the mbuf in place (truncate/corrupt bytes, jump the
+/// timestamp) and/or request drop semantics via the returned action.
+class IngressFault {
+ public:
+  virtual ~IngressFault() = default;
+  virtual IngressAction on_ingress(packet::Mbuf& mbuf) = 0;
+};
 
 /// Snapshot of the port counters (a copy — the live counters are
 /// single-writer atomics so a telemetry thread can read them while the
@@ -31,17 +54,31 @@ struct PortStats {
   std::uint64_t delivered = 0;       // enqueued to a receive queue
   std::uint64_t ring_dropped = 0;    // receive ring full => packet loss
   std::uint64_t malformed = 0;       // unparseable L2 frames
+  std::uint64_t pool_exhausted = 0;  // mbuf allocation failed (faults)
 };
 
 struct PortConfig {
   std::size_t num_queues = 1;
   std::size_t ring_capacity = 4096;  // descriptors per queue
   NicCapabilities capabilities = NicCapabilities::connectx5();
+  /// RSS hash key; empty selects the symmetric key the paper uses
+  /// (§6.1, the repeating 0x6d5a pattern). A non-empty key must be
+  /// exactly 40 bytes (ConnectX-5 Toeplitz key width) — and note that
+  /// an asymmetric key breaks the both-directions-same-core invariant
+  /// connection tracking relies on.
+  std::vector<std::uint8_t> rss_key;
 };
 
 class SimNic {
  public:
   explicit SimNic(const PortConfig& config);
+
+  /// Check a port configuration without building the port: queue count,
+  /// ring capacity, RSS key width. Returns the first problem found.
+  static Result<void> validate(const PortConfig& config);
+
+  /// Validating factory: `validate(config)` then construct.
+  static Result<std::unique_ptr<SimNic>> create(const PortConfig& config);
 
   std::size_t num_queues() const noexcept { return rings_.size(); }
   const NicCapabilities& capabilities() const noexcept {
@@ -55,6 +92,11 @@ class SimNic {
 
   RedirectionTable& reta() noexcept { return reta_; }
   const RedirectionTable& reta() const noexcept { return reta_; }
+
+  /// Install (or clear, with nullptr) the ingress fault hook. The hook
+  /// is borrowed, not owned; it must outlive the port or be cleared
+  /// first. Call only while no dispatch is in flight.
+  void set_ingress_fault(IngressFault* fault) noexcept { fault_ = fault; }
 
   /// Offer one packet to the port (the "wire" side). Thread-safety: one
   /// dispatching thread at a time.
@@ -88,6 +130,7 @@ class SimNic {
     snap.delivered = stats_.delivered.load();
     snap.ring_dropped = stats_.ring_dropped.load();
     snap.malformed = stats_.malformed.load();
+    snap.pool_exhausted = stats_.pool_exhausted.load();
     return snap;
   }
   void reset_stats() {
@@ -98,6 +141,7 @@ class SimNic {
     stats_.delivered.set(0);
     stats_.ring_dropped.set(0);
     stats_.malformed.set(0);
+    stats_.pool_exhausted.set(0);
   }
 
  private:
@@ -105,7 +149,7 @@ class SimNic {
   /// anyone (telemetry sampler, monitors).
   struct AtomicPortStats {
     util::RelaxedCell rx_packets, rx_bytes, hw_dropped, sunk, delivered,
-        ring_dropped, malformed;
+        ring_dropped, malformed, pool_exhausted;
   };
 
   PortConfig config_;
@@ -114,6 +158,7 @@ class SimNic {
   std::array<std::uint8_t, 40> rss_key_;
   std::vector<std::unique_ptr<util::SpscRing<packet::Mbuf>>> rings_;
   AtomicPortStats stats_;
+  IngressFault* fault_ = nullptr;  // borrowed; nullptr = no faults
 };
 
 }  // namespace retina::nic

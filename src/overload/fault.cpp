@@ -1,0 +1,167 @@
+#include "overload/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "packet/packet_view.hpp"
+
+namespace retina::overload {
+
+namespace {
+
+bool parse_prob(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  if (v < 0.0 || v > 1.0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  plan.enabled = true;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Err("bad fault plan: expected key=value, got '" + item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      if (!parse_u64(value, plan.seed)) {
+        return Err("bad fault plan: seed wants an integer, got '" + value +
+                   "'");
+      }
+    } else if (key == "jump-ms") {
+      std::uint64_t ms = 0;
+      if (!parse_u64(value, ms)) {
+        return Err("bad fault plan: jump-ms wants an integer, got '" + value +
+                   "'");
+      }
+      plan.clock_jump_ns = ms * 1'000'000;
+    } else {
+      double* slot = nullptr;
+      if (key == "pool") slot = &plan.pool_exhaust_prob;
+      else if (key == "ring") slot = &plan.ring_overflow_prob;
+      else if (key == "trunc") slot = &plan.truncate_prob;
+      else if (key == "corrupt") slot = &plan.corrupt_prob;
+      else if (key == "clock") slot = &plan.clock_jump_prob;
+      if (!slot) {
+        return Err("bad fault plan: unknown key '" + key +
+                   "' (known: seed, pool, ring, trunc, corrupt, clock, "
+                   "jump-ms)");
+      }
+      if (!parse_prob(value, *slot)) {
+        return Err("bad fault plan: " + key +
+                   " wants a probability in [0,1], got '" + value + "'");
+      }
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  if (!enabled) return "off";
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu,pool=%g,ring=%g,trunc=%g,corrupt=%g,clock=%g,"
+                "jump-ms=%llu",
+                static_cast<unsigned long long>(seed), pool_exhaust_prob,
+                ring_overflow_prob, truncate_prob, corrupt_prob,
+                clock_jump_prob,
+                static_cast<unsigned long long>(clock_jump_ns / 1'000'000));
+  return buf;
+}
+
+nic::IngressAction FaultInjector::on_ingress(packet::Mbuf& mbuf) {
+  nic::IngressAction action;
+
+  // Evaluation order is part of the determinism contract: a given seed
+  // always draws the same variates per packet regardless of which
+  // faults fire, because every probability is sampled unconditionally.
+  const bool pool = rng_.chance(plan_.pool_exhaust_prob);
+  const bool ring = rng_.chance(plan_.ring_overflow_prob);
+  const bool trunc = rng_.chance(plan_.truncate_prob);
+  const bool corrupt = rng_.chance(plan_.corrupt_prob);
+  const bool clock = rng_.chance(plan_.clock_jump_prob);
+  const std::uint64_t cut_draw = rng_.next();
+  const std::uint64_t flip_pos_draw = rng_.next();
+  const std::uint64_t flip_val_draw = rng_.next();
+
+  if (clock) {
+    // Forward-only discontinuity (PTP resync, firmware hiccup). The
+    // offset persists so trace time stays monotonic — the timer wheel
+    // sees an idle gap and expires everything the gap covers.
+    clock_offset_ns_ += plan_.clock_jump_ns;
+    counts_.clock_jumps.inc();
+  }
+  if (clock_offset_ns_ != 0) {
+    mbuf.set_timestamp_ns(mbuf.timestamp_ns() + clock_offset_ns_);
+  }
+
+  if (pool) {
+    // The driver could not allocate an mbuf; the frame never exists.
+    // Short-circuit: no point mutating a packet that is already gone.
+    counts_.pool_exhausted.inc();
+    action.drop_pool_exhausted = true;
+    return action;
+  }
+
+  if ((trunc || corrupt) && !mbuf.empty()) {
+    // Both mutations target the L4 payload: headers stay parseable so
+    // the damage lands in the protocol parsers, which must survive
+    // arbitrary garbage without crashing or leaking state.
+    const auto view = packet::PacketView::parse(mbuf);
+    const auto payload = view ? view->l4_payload()
+                              : std::span<const std::uint8_t>{};
+    if (!payload.empty()) {
+      const auto all = mbuf.bytes();
+      const std::size_t payload_off =
+          static_cast<std::size_t>(payload.data() - all.data());
+      std::vector<std::uint8_t> bytes(all.begin(), all.end());
+      if (trunc) {
+        // Cut somewhere inside the payload (possibly to zero bytes).
+        const std::size_t keep = cut_draw % payload.size();
+        bytes.resize(payload_off + keep);
+        counts_.truncated.inc();
+      }
+      if (corrupt && bytes.size() > payload_off) {
+        const std::size_t span = bytes.size() - payload_off;
+        const std::size_t at = payload_off + flip_pos_draw % span;
+        bytes[at] ^= static_cast<std::uint8_t>(flip_val_draw | 1);
+        counts_.corrupted.inc();
+      }
+      packet::Mbuf mutated(std::move(bytes), mbuf.timestamp_ns());
+      mbuf = std::move(mutated);
+    }
+  }
+
+  if (ring) {
+    counts_.ring_overflows.inc();
+    action.force_ring_overflow = true;
+  }
+
+  return action;
+}
+
+}  // namespace retina::overload

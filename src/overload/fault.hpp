@@ -1,0 +1,92 @@
+// Deterministic fault injection. A production capture pipeline meets
+// mbuf-pool exhaustion, rx-ring overflow, truncated/garbled payloads and
+// NIC clock discontinuities in the field; this module meets them in unit
+// tests. A FaultPlan is a seeded recipe of per-packet fault
+// probabilities; a FaultInjector executes it at the SimNic ingress hook
+// (nic::IngressFault), so the same seed replays the exact same fault
+// sequence — every shedding and robustness path is exercised
+// reproducibly, never "sometimes in CI".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nic/port.hpp"
+#include "packet/mbuf.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace retina::overload {
+
+/// Seeded recipe of ingress faults. All probabilities are per offered
+/// packet, evaluated independently in a fixed order so a (plan, trace)
+/// pair is fully deterministic.
+struct FaultPlan {
+  bool enabled = false;
+  std::uint64_t seed = 1;
+
+  double pool_exhaust_prob = 0;   // mbuf allocation fails: packet lost
+  double ring_overflow_prob = 0;  // rx descriptor ring full: packet lost
+  double truncate_prob = 0;       // frame cut mid-L4-payload
+  double corrupt_prob = 0;        // random L4 payload bytes flipped
+  double clock_jump_prob = 0;     // NIC clock jumps forward
+  std::uint64_t clock_jump_ns = 50'000'000;  // magnitude of each jump
+
+  /// Parse a "key=value,..." spec:
+  ///   seed=N        RNG seed (default 1)
+  ///   pool=P        mbuf-pool exhaustion probability
+  ///   ring=P        forced ring-overflow probability
+  ///   trunc=P       payload truncation probability
+  ///   corrupt=P     payload corruption probability
+  ///   clock=P       clock-jump probability
+  ///   jump-ms=N     clock-jump magnitude in milliseconds
+  /// Probabilities are floats in [0,1]. Any successfully parsed spec
+  /// sets enabled = true.
+  static Result<FaultPlan> parse(const std::string& spec);
+
+  std::string to_string() const;
+};
+
+/// Executes a FaultPlan at the NIC ingress. Single-threaded by contract
+/// (called from the dispatching thread only), counters are relaxed
+/// atomics so tests/telemetry may read them concurrently.
+class FaultInjector final : public nic::IngressFault {
+ public:
+  explicit FaultInjector(const FaultPlan& plan)
+      : plan_(plan), rng_(plan.seed) {}
+
+  nic::IngressAction on_ingress(packet::Mbuf& mbuf) override;
+
+  struct Counters {
+    std::uint64_t pool_exhausted = 0;
+    std::uint64_t ring_overflows = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t clock_jumps = 0;
+  };
+  Counters counters() const noexcept {
+    Counters snap;
+    snap.pool_exhausted = counts_.pool_exhausted.load();
+    snap.ring_overflows = counts_.ring_overflows.load();
+    snap.truncated = counts_.truncated.load();
+    snap.corrupted = counts_.corrupted.load();
+    snap.clock_jumps = counts_.clock_jumps.load();
+    return snap;
+  }
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct AtomicCounters {
+    util::RelaxedCell pool_exhausted, ring_overflows, truncated, corrupted,
+        clock_jumps;
+  };
+
+  FaultPlan plan_;
+  util::Xoshiro256 rng_;
+  std::uint64_t clock_offset_ns_ = 0;  // jumps accumulate: clock stays
+                                       // monotonic, never steps back
+  AtomicCounters counts_;
+};
+
+}  // namespace retina::overload

@@ -1,0 +1,136 @@
+#include "overload/policy.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace retina::overload {
+
+const char* degrade_level_name(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNormal:
+      return "normal";
+    case DegradeLevel::kShedSessions:
+      return "shed-sessions";
+    case DegradeLevel::kShedReassembly:
+      return "shed-reassembly";
+    case DegradeLevel::kCountOnly:
+      return "count-only";
+    case DegradeLevel::kSink:
+      return "sink";
+    case DegradeLevel::kCount:
+      break;
+  }
+  return "?";
+}
+
+const char* shed_stage_name(ShedStage stage) {
+  switch (stage) {
+    case ShedStage::kConnCreate:
+      return "conn_create";
+    case ShedStage::kSession:
+      return "session";
+    case ShedStage::kReassembly:
+      return "reassembly";
+    case ShedStage::kBuffering:
+      return "buffering";
+    case ShedStage::kParseBudget:
+      return "parse_budget";
+    case ShedStage::kCount:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parse a strictly non-negative integer; returns false on any junk.
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Result<OverloadPolicy> OverloadPolicy::parse(const std::string& spec) {
+  OverloadPolicy policy;
+  policy.enabled = true;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Err("bad overload policy: expected key=value, got '" + item +
+                 "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    std::uint64_t n = 0;
+    if (key == "max-conns") {
+      if (!parse_u64(value, n)) {
+        return Err("bad overload policy: max-conns wants an integer, got '" +
+                   value + "'");
+      }
+      policy.max_tracked_connections = static_cast<std::size_t>(n);
+    } else if (key == "max-state-mb") {
+      if (!parse_u64(value, n)) {
+        return Err(
+            "bad overload policy: max-state-mb wants an integer, got '" +
+            value + "'");
+      }
+      policy.max_state_bytes = n * 1024 * 1024;
+    } else if (key == "max-reasm-mb") {
+      if (!parse_u64(value, n)) {
+        return Err(
+            "bad overload policy: max-reasm-mb wants an integer, got '" +
+            value + "'");
+      }
+      policy.max_reassembly_bytes = n * 1024 * 1024;
+    } else if (key == "parse-mcps") {
+      if (!parse_u64(value, n)) {
+        return Err(
+            "bad overload policy: parse-mcps wants an integer, got '" +
+            value + "'");
+      }
+      policy.parse_cycles_per_sec = n * 1'000'000;
+    } else if (key == "ladder") {
+      if (value == "on") {
+        policy.ladder = true;
+      } else if (value == "off") {
+        policy.ladder = false;
+      } else {
+        return Err("bad overload policy: ladder wants on|off, got '" + value +
+                   "'");
+      }
+    } else {
+      return Err("bad overload policy: unknown key '" + key +
+                 "' (known: max-conns, max-state-mb, max-reasm-mb, "
+                 "parse-mcps, ladder)");
+    }
+  }
+  return policy;
+}
+
+std::string OverloadPolicy::to_string() const {
+  if (!enabled) return "off";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "max-conns=%zu,max-state-mb=%llu,max-reasm-mb=%llu,"
+                "parse-mcps=%llu,ladder=%s",
+                max_tracked_connections,
+                static_cast<unsigned long long>(max_state_bytes >> 20),
+                static_cast<unsigned long long>(max_reassembly_bytes >> 20),
+                static_cast<unsigned long long>(parse_cycles_per_sec /
+                                                1'000'000),
+                ladder ? "on" : "off");
+  return buf;
+}
+
+}  // namespace retina::overload

@@ -1,0 +1,113 @@
+// Overload control (paper §5.3 + §6.1, taken from measurement to
+// actuation): Retina reports loss/throughput/memory in real time and
+// sheds load deterministically (sink-core RSS sampling) instead of
+// stalling the data path. This header defines the *policy* side:
+//
+//  * per-core admission budgets — hard caps on tracked connections,
+//    reassembly bytes, total connection-state bytes, and session-parse
+//    cycles — enforced inside the pipeline so memory stays bounded no
+//    matter how hostile the traffic is;
+//  * the degradation ladder — a total order of service levels the
+//    controller walks under sustained pressure, trading subscription
+//    fidelity for survival one rung at a time: parse sessions → keep
+//    connection records → count packets → sink flows at the NIC;
+//  * shed accounting — every refused unit of work is counted per
+//    pipeline stage, so "what did we give up, where?" is answerable
+//    from telemetry rather than inferred from silence.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace retina::overload {
+
+/// The degradation ladder, least to most degraded. Each rung keeps the
+/// sheds of every rung above it: at kCountOnly, sessions and reassembly
+/// are shed too.
+enum class DegradeLevel : int {
+  kNormal = 0,       // full service
+  kShedSessions,     // no probing/parsing: session subs fall silent,
+                     // connection records keep accumulating
+  kShedReassembly,   // no TCP reassembly or stream delivery either
+  kCountOnly,        // no new connections tracked: packets counted only
+  kSink,             // NIC-level flow sampling: RETA buckets -> sink
+  kCount,
+};
+
+const char* degrade_level_name(DegradeLevel level);
+
+/// Pipeline stages at which work can be shed (telemetry label values).
+enum class ShedStage : int {
+  kConnCreate = 0,  // admission refused: new connection not tracked
+  kSession,         // probe/parse skipped for a connection
+  kReassembly,      // TCP reassembly / out-of-order buffering skipped
+  kBuffering,       // match-pending packet/chunk buffering skipped
+  kParseBudget,     // session-parse cycle budget exhausted
+  kCount,
+};
+
+const char* shed_stage_name(ShedStage stage);
+
+/// Per-core admission budgets plus ladder enablement. All budgets are
+/// per worker core; 0 disables the individual cap. `enabled` gates
+/// budget enforcement — the ladder level itself is always honored
+/// (tests and the controller can set it directly).
+struct OverloadPolicy {
+  bool enabled = false;
+
+  /// Maximum connections tracked per core (0 = unlimited).
+  std::size_t max_tracked_connections = 0;
+
+  /// Maximum approximate connection-state bytes per core, covering the
+  /// table, buffered packets, reassembly holds, and parser state
+  /// (0 = unlimited). Admission and buffering stop at the cap.
+  std::uint64_t max_state_bytes = 0;
+
+  /// Maximum bytes held in out-of-order reassembly + stream buffers
+  /// per core (0 = unlimited).
+  std::uint64_t max_reassembly_bytes = 0;
+
+  /// Session probe/parse CPU budget per core as a token bucket refilled
+  /// by virtual (trace) time: this many cycles per virtual second
+  /// (0 = unlimited). When exhausted, in-flight connections degrade to
+  /// connection accounting exactly like DegradeLevel::kShedSessions.
+  std::uint64_t parse_cycles_per_sec = 0;
+
+  /// May the controller walk the ladder? When false, only the hard
+  /// budgets act (no level-by-level degradation).
+  bool ladder = true;
+
+  /// Parse a "key=value,key=value" spec:
+  ///   max-conns=N         max tracked connections per core
+  ///   max-state-mb=N      state-byte budget per core, in MiB
+  ///   max-reasm-mb=N      reassembly-byte budget per core, in MiB
+  ///   parse-mcps=N        parse budget, million cycles per virtual sec
+  ///   ladder=on|off       allow controller degradation (default on)
+  /// Any successfully parsed spec sets enabled = true.
+  static Result<OverloadPolicy> parse(const std::string& spec);
+
+  std::string to_string() const;
+};
+
+/// The ladder position, shared by the controller (writer) and every
+/// pipeline (per-packet readers). A single relaxed atomic: readers
+/// tolerate a stale level for a few packets, which is exactly the
+/// hysteresis the controller wants anyway.
+class OverloadState {
+ public:
+  DegradeLevel level() const noexcept {
+    return static_cast<DegradeLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(DegradeLevel level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> level_{0};
+};
+
+}  // namespace retina::overload

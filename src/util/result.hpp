@@ -1,0 +1,72 @@
+// retina::Result<T> — a std::expected-style success-or-error value used
+// by the fallible entry points of the public API (filter compilation,
+// Subscription::Builder::build(), Runtime::create(), SimNic::create()).
+// The repo targets C++20, so std::expected is hand-rolled: a Result is
+// either a T or an Error carrying an actionable message ("bad filter:
+// unknown protocol 'htttp'", "bad RSS key: expected 40 bytes"), letting
+// callers report configuration mistakes instead of aborting on a thrown
+// exception deep inside the runtime.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace retina {
+
+/// The error arm: an actionable, operator-facing message.
+struct Error {
+  std::string message;
+};
+
+/// Convenience constructor so call sites read `return Err("...")`.
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from either arm keeps call sites terse:
+  // `return value;` / `return Err("why");`
+  Result(T value) : value_(std::move(value)) {}
+  Result(Error error) : error_(std::move(error)) {}
+
+  bool ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// The error message; empty when ok().
+  const std::string& error() const noexcept { return error_.message; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+/// Result<void>: success/failure with no payload (validation routines).
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : ok_(false), error_(std::move(error)) {}
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const std::string& error() const noexcept { return error_.message; }
+
+ private:
+  bool ok_ = true;
+  Error error_;
+};
+
+}  // namespace retina

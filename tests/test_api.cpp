@@ -1,0 +1,228 @@
+// The redesigned subscription/runtime API: the fluent
+// Subscription::Builder, the retina::Result<T> error channel, and the
+// deprecated factory shims (kept compiling and working).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/runtime.hpp"
+#include "filter/decompose.hpp"
+#include "traffic/flowgen.hpp"
+#include "util/result.hpp"
+
+namespace retina {
+namespace {
+
+traffic::Trace small_trace() {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 150;
+  mix.seed = 81;
+  return traffic::make_campus_trace(mix);
+}
+
+TEST(ResultType, ValueAndErrorChannels) {
+  Result<int> ok = 7;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(ok.value_or(9), 7);
+
+  Result<int> err = Err("nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error(), "nope");
+  EXPECT_EQ(err.value_or(9), 9);
+
+  Result<void> vok;
+  EXPECT_TRUE(vok.ok());
+  Result<void> verr = Err("void failure");
+  ASSERT_FALSE(verr.ok());
+  EXPECT_EQ(verr.error(), "void failure");
+}
+
+TEST(SubscriptionBuilder, InfersLevelFromCallback) {
+  auto packet_sub = core::Subscription::builder()
+                        .filter("udp")
+                        .on_packet([](const packet::Mbuf&) {})
+                        .build();
+  ASSERT_TRUE(packet_sub.ok()) << packet_sub.error();
+  EXPECT_EQ(packet_sub->level(), core::Level::kPacket);
+  EXPECT_EQ(packet_sub->filter(), "udp");
+
+  auto conn_sub = core::Subscription::builder()
+                      .filter("tcp")
+                      .on_connection([](const core::ConnRecord&) {})
+                      .build();
+  ASSERT_TRUE(conn_sub.ok());
+  EXPECT_EQ(conn_sub->level(), core::Level::kConnection);
+
+  auto session_sub = core::Subscription::builder()
+                         .filter("tls")
+                         .on_session([](const core::SessionRecord&) {})
+                         .build();
+  ASSERT_TRUE(session_sub.ok());
+  EXPECT_EQ(session_sub->level(), core::Level::kSession);
+
+  auto stream_sub = core::Subscription::builder()
+                        .filter("http")
+                        .on_stream([](const core::StreamChunk&) {})
+                        .build();
+  ASSERT_TRUE(stream_sub.ok());
+  EXPECT_EQ(stream_sub->level(), core::Level::kStream);
+}
+
+TEST(SubscriptionBuilder, ExplicitLevelMustAgree) {
+  auto good = core::Subscription::builder()
+                  .filter("tcp")
+                  .level(core::Level::kConnection)
+                  .on_connection([](const core::ConnRecord&) {})
+                  .build();
+  EXPECT_TRUE(good.ok()) << good.error();
+
+  auto bad = core::Subscription::builder()
+                 .filter("tcp")
+                 .level(core::Level::kSession)
+                 .on_connection([](const core::ConnRecord&) {})
+                 .build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("mismatch"), std::string::npos);
+}
+
+TEST(SubscriptionBuilder, RequiresExactlyOneCallback) {
+  auto none = core::Subscription::builder().filter("tcp").build();
+  ASSERT_FALSE(none.ok());
+  EXPECT_NE(none.error().find("no callback"), std::string::npos);
+
+  auto both = core::Subscription::builder()
+                  .filter("tcp")
+                  .on_packet([](const packet::Mbuf&) {})
+                  .on_connection([](const core::ConnRecord&) {})
+                  .build();
+  ASSERT_FALSE(both.ok());
+  EXPECT_NE(both.error().find("multiple"), std::string::npos);
+}
+
+TEST(SubscriptionBuilder, ValidatesFilterAtBuildTime) {
+  auto bad = core::Subscription::builder()
+                 .filter("tls.sni ~~~ oops")
+                 .on_session([](const core::SessionRecord&) {})
+                 .build();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("bad filter"), std::string::npos);
+
+  auto unknown_field = core::Subscription::builder()
+                           .filter("carrier.pigeon = 1")
+                           .on_packet([](const packet::Mbuf&) {})
+                           .build();
+  EXPECT_FALSE(unknown_field.ok());
+
+  // The empty filter subscribes to everything — valid.
+  auto all = core::Subscription::builder()
+                 .on_packet([](const packet::Mbuf&) {})
+                 .build();
+  EXPECT_TRUE(all.ok()) << all.error();
+}
+
+TEST(SubscriptionBuilder, TypedCallbacksRequireParsers) {
+  auto tls = core::Subscription::builder()
+                 .filter("tls")
+                 .on_tls_handshake([](const core::SessionRecord&,
+                                      const protocols::TlsHandshake&) {})
+                 .build();
+  ASSERT_TRUE(tls.ok());
+  ASSERT_EQ(tls->extra_parsers().size(), 1u);
+  EXPECT_EQ(tls->extra_parsers()[0], "tls");
+
+  auto http = core::Subscription::builder()
+                  .filter("http")
+                  .on_http_transaction([](const core::SessionRecord&,
+                                          const protocols::HttpTransaction&) {})
+                  .build();
+  ASSERT_TRUE(http.ok());
+  ASSERT_EQ(http->extra_parsers().size(), 1u);
+  EXPECT_EQ(http->extra_parsers()[0], "http");
+
+  auto extra = core::Subscription::builder()
+                   .filter("tcp")
+                   .on_session([](const core::SessionRecord&) {})
+                   .parsers({"tls", "http"})
+                   .build();
+  ASSERT_TRUE(extra.ok());
+  EXPECT_EQ(extra->extra_parsers().size(), 2u);
+}
+
+TEST(SubscriptionBuilder, BuiltSubscriptionsDeliver) {
+  const auto trace = small_trace();
+  std::size_t sessions = 0;
+  auto sub = core::Subscription::builder()
+                 .filter("tls")
+                 .on_tls_handshake([&](const core::SessionRecord&,
+                                       const protocols::TlsHandshake&) {
+                   ++sessions;
+                 })
+                 .build();
+  ASSERT_TRUE(sub.ok());
+  core::RuntimeConfig config;
+  auto runtime = core::Runtime::create(config, std::move(sub).value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+  (*runtime)->run(trace.packets());
+  EXPECT_GT(sessions, 0u);
+}
+
+TEST(TryDecompose, ErrorsInsteadOfThrowing) {
+  auto ok = filter::try_decompose("tcp.port = 443",
+                                  filter::FieldRegistry::builtin());
+  EXPECT_TRUE(ok.ok()) << ok.error();
+
+  auto bad = filter::try_decompose("tcp.port === 443",
+                                   filter::FieldRegistry::builtin());
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().find("bad filter"), std::string::npos);
+}
+
+// The deprecated factory shims must keep compiling and behaving until
+// removal. This block is the compile-coverage for every shim; the
+// warning is silenced deliberately.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedShims, StillCompileAndDeliver) {
+  const auto trace = small_trace();
+
+  auto packets = core::Subscription::packets("udp", [](const packet::Mbuf&) {});
+  EXPECT_EQ(packets.level(), core::Level::kPacket);
+
+  auto streams =
+      core::Subscription::byte_streams("http", [](const core::StreamChunk&) {});
+  EXPECT_EQ(streams.level(), core::Level::kStream);
+
+  auto http = core::Subscription::http_transactions(
+      "http",
+      [](const core::SessionRecord&, const protocols::HttpTransaction&) {});
+  EXPECT_EQ(http.level(), core::Level::kSession);
+
+  auto sessions =
+      core::Subscription::sessions("tls", [](const core::SessionRecord&) {})
+          .with_parsers({"tls"});
+  EXPECT_EQ(sessions.extra_parsers().size(), 1u);
+
+  std::size_t conns = 0, handshakes = 0;
+  {
+    auto sub = core::Subscription::connections(
+        "tcp", [&](const core::ConnRecord&) { ++conns; });
+    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+    runtime.run(trace.packets());
+  }
+  {
+    auto sub = core::Subscription::tls_handshakes(
+        "tls", [&](const core::SessionRecord&,
+                   const protocols::TlsHandshake&) { ++handshakes; });
+    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+    runtime.run(trace.packets());
+  }
+  EXPECT_GT(conns, 0u);
+  EXPECT_GT(handshakes, 0u);
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace retina

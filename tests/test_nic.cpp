@@ -278,5 +278,129 @@ TEST(SimNic, SinkDropsFlows) {
   EXPECT_EQ(port.stats().delivered, 0u);
 }
 
+TEST(Reta, SinkFractionEdges) {
+  for (const std::size_t size : {8u, 64u, 128u, 509u}) {
+    nic::RedirectionTable reta(4, size);
+
+    reta.set_sink_fraction(0.0);
+    EXPECT_DOUBLE_EQ(reta.sink_fraction(), 0.0) << "size=" << size;
+    for (std::uint32_t h = 0; h < 1000; ++h) {
+      EXPECT_LT(reta.lookup(h), 4u);
+    }
+
+    reta.set_sink_fraction(1.0);
+    EXPECT_DOUBLE_EQ(reta.sink_fraction(), 1.0) << "size=" << size;
+    for (std::uint32_t h = 0; h < 1000; ++h) {
+      EXPECT_EQ(reta.lookup(h), nic::RedirectionTable::kSinkQueue);
+    }
+
+    // Out-of-range requests clamp instead of corrupting the table.
+    reta.set_sink_fraction(-0.5);
+    EXPECT_DOUBLE_EQ(reta.sink_fraction(), 0.0);
+    reta.set_sink_fraction(7.0);
+    EXPECT_DOUBLE_EQ(reta.sink_fraction(), 1.0);
+  }
+}
+
+TEST(Reta, SinkFractionRoundingAcrossTableSizes) {
+  // The achieved fraction is the requested one rounded to the nearest
+  // realizable bucket count: |achieved - requested| <= 0.5/size.
+  for (const std::size_t size : {8u, 64u, 128u, 509u}) {
+    nic::RedirectionTable reta(4, size);
+    for (const double f : {0.1, 0.25, 1.0 / 3.0, 0.5, 0.75, 0.9}) {
+      reta.set_sink_fraction(f);
+      EXPECT_NEAR(reta.sink_fraction(), f,
+                  0.5 / static_cast<double>(size) + 1e-12)
+          << "size=" << size << " fraction=" << f;
+    }
+  }
+}
+
+TEST(Reta, SinkPreservesSymmetricFlowConsistency) {
+  // Sampling must stay flow-consistent: with the symmetric key both
+  // directions share a hash, so both land on the same queue — or both
+  // sink — at any sink fraction.
+  const auto key = nic::symmetric_rss_key();
+  nic::RedirectionTable reta(8);
+  for (const double f : {0.0, 0.3, 0.6, 0.9}) {
+    reta.set_sink_fraction(f);
+    std::size_t sunk_flows = 0;
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      packet::FiveTuple fwd;
+      fwd.src = packet::IpAddr::v4(0x0a000000 + i * 2654435761u);
+      fwd.dst = packet::IpAddr::v4(0xc0a80101);
+      fwd.src_port = static_cast<std::uint16_t>(20000 + i * 7919);
+      fwd.dst_port = 443;
+      fwd.proto = 6;
+      packet::FiveTuple rev;
+      rev.src = fwd.dst;
+      rev.dst = fwd.src;
+      rev.src_port = fwd.dst_port;
+      rev.dst_port = fwd.src_port;
+      rev.proto = 6;
+
+      const auto fwd_q = reta.lookup(nic::rss_hash(fwd, key));
+      const auto rev_q = reta.lookup(nic::rss_hash(rev, key));
+      EXPECT_EQ(fwd_q, rev_q);
+      if (fwd_q == nic::RedirectionTable::kSinkQueue) ++sunk_flows;
+    }
+    if (f == 0.0) {
+      EXPECT_EQ(sunk_flows, 0u);
+    } else {
+      EXPECT_GT(sunk_flows, 0u);  // sampling actually engages
+      EXPECT_LT(sunk_flows, 500u);
+    }
+  }
+}
+
+TEST(SimNic, SunkAccountingMatchesRetaFraction) {
+  nic::PortConfig config;
+  config.num_queues = 4;
+  nic::SimNic port(config);
+  port.reta().set_sink_fraction(0.5);
+
+  const std::size_t flows = 400;
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    auto mbuf = tcp_pkt(static_cast<std::uint16_t>(10000 + i * 13), 443,
+                        0x0a000000 + i * 2654435761u);
+    port.dispatch(mbuf);
+  }
+  const auto stats = port.stats();
+  EXPECT_EQ(stats.rx_packets, flows);
+  EXPECT_EQ(stats.sunk + stats.delivered, flows);
+  // Roughly half the hash space sinks.
+  EXPECT_GT(stats.sunk, flows / 4);
+  EXPECT_LT(stats.sunk, flows * 3 / 4);
+
+  // Widening then clearing the sink is fully reversible.
+  port.reta().set_sink_fraction(0.0);
+  const auto before = port.stats().delivered;
+  auto mbuf = tcp_pkt(1, 443);
+  port.dispatch(mbuf);
+  EXPECT_EQ(port.stats().delivered, before + 1);
+}
+
+TEST(SimNic, ValidateRejectsBadConfigs) {
+  nic::PortConfig config;
+  config.num_queues = 0;
+  EXPECT_FALSE(nic::SimNic::validate(config).ok());
+
+  config.num_queues = 2;
+  config.ring_capacity = 0;
+  EXPECT_FALSE(nic::SimNic::validate(config).ok());
+
+  config.ring_capacity = 64;
+  config.rss_key.assign(16, 0x5a);  // wrong width
+  const auto bad_key = nic::SimNic::validate(config);
+  ASSERT_FALSE(bad_key.ok());
+  EXPECT_NE(bad_key.error().find("40"), std::string::npos);
+
+  config.rss_key.assign(40, 0x5a);
+  EXPECT_TRUE(nic::SimNic::validate(config).ok());
+  auto port = nic::SimNic::create(config);
+  ASSERT_TRUE(port.ok());
+  EXPECT_EQ((*port)->num_queues(), 2u);
+}
+
 }  // namespace
 }  // namespace retina

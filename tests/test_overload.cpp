@@ -1,0 +1,460 @@
+// Overload control & fault injection: admission budgets, the
+// degradation ladder, the RuntimeMonitor controller (advise/apply with
+// hysteresis), and deterministic ingress faults.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/monitor.hpp"
+#include "core/runtime.hpp"
+#include "overload/fault.hpp"
+#include "overload/policy.hpp"
+#include "traffic/flowgen.hpp"
+
+namespace retina {
+namespace {
+
+using overload::DegradeLevel;
+using overload::FaultPlan;
+using overload::OverloadPolicy;
+using overload::ShedStage;
+
+traffic::Trace campus_trace(std::size_t flows, std::uint64_t seed = 91) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  mix.seed = seed;
+  return traffic::make_campus_trace(mix);
+}
+
+core::Subscription conn_sub() {
+  return core::Subscription::builder()
+      .filter("tcp")
+      .on_connection([](const core::ConnRecord&) {})
+      .build()
+      .value();
+}
+
+TEST(OverloadPolicy, ParsesSpec) {
+  auto policy = OverloadPolicy::parse(
+      "max-conns=5000,max-state-mb=64,max-reasm-mb=8,parse-mcps=500,"
+      "ladder=off");
+  ASSERT_TRUE(policy.ok()) << policy.error();
+  EXPECT_TRUE(policy->enabled);
+  EXPECT_EQ(policy->max_tracked_connections, 5000u);
+  EXPECT_EQ(policy->max_state_bytes, 64ull << 20);
+  EXPECT_EQ(policy->max_reassembly_bytes, 8ull << 20);
+  EXPECT_EQ(policy->parse_cycles_per_sec, 500'000'000ull);
+  EXPECT_FALSE(policy->ladder);
+  EXPECT_NE(policy->to_string().find("max-conns=5000"), std::string::npos);
+}
+
+TEST(OverloadPolicy, RejectsBadSpecs) {
+  EXPECT_FALSE(OverloadPolicy::parse("max-conns").ok());
+  EXPECT_FALSE(OverloadPolicy::parse("bogus-key=1").ok());
+  EXPECT_FALSE(OverloadPolicy::parse("max-conns=abc").ok());
+  EXPECT_FALSE(OverloadPolicy::parse("ladder=maybe").ok());
+  const auto err = OverloadPolicy::parse("frobnicate=1");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.error().find("frobnicate"), std::string::npos);
+}
+
+TEST(FaultPlanSpec, ParsesAndRejects) {
+  auto plan = FaultPlan::parse(
+      "seed=7,pool=0.01,ring=0.02,trunc=0.1,corrupt=0.05,clock=0.001,"
+      "jump-ms=25");
+  ASSERT_TRUE(plan.ok()) << plan.error();
+  EXPECT_TRUE(plan->enabled);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_DOUBLE_EQ(plan->pool_exhaust_prob, 0.01);
+  EXPECT_DOUBLE_EQ(plan->ring_overflow_prob, 0.02);
+  EXPECT_DOUBLE_EQ(plan->truncate_prob, 0.1);
+  EXPECT_DOUBLE_EQ(plan->corrupt_prob, 0.05);
+  EXPECT_EQ(plan->clock_jump_ns, 25'000'000ull);
+
+  EXPECT_FALSE(FaultPlan::parse("pool=1.5").ok());   // out of [0,1]
+  EXPECT_FALSE(FaultPlan::parse("pool=-0.1").ok());
+  EXPECT_FALSE(FaultPlan::parse("warp=0.1").ok());   // unknown key
+  EXPECT_FALSE(FaultPlan::parse("seed=").ok());
+}
+
+TEST(AdmissionBudget, CapsTrackedConnections) {
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.overload.enabled = true;
+  config.overload.max_tracked_connections = 32;
+
+  auto runtime_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(runtime_or.ok()) << runtime_or.error();
+  auto& runtime = **runtime_or;
+
+  const auto trace = campus_trace(600);
+  std::size_t peak_live = 0;
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+    peak_live = std::max(peak_live, runtime.pipeline(0).live_connections());
+  }
+  const auto stats = runtime.finish();
+
+  EXPECT_LE(peak_live, 32u);
+  EXPECT_GT(stats.total.shed_at(ShedStage::kConnCreate), 0u);
+  EXPECT_GT(stats.total.packets, 0u);  // packets still counted
+}
+
+TEST(AdmissionBudget, BoundsStateBytes) {
+  const auto trace = campus_trace(2000);
+
+  // Baseline (negative control): no policy, observe the natural peak.
+  core::RuntimeConfig config;
+  config.cores = 1;
+  auto baseline_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(baseline_or.ok());
+  const auto baseline = (*baseline_or)->run(trace.packets());
+  ASSERT_GT(baseline.total.peak_state_bytes, 0u);
+
+  // Budget half the natural peak (respecting the 128 KiB config floor):
+  // the run must stay under it and account for what it refused.
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(baseline.total.peak_state_bytes / 2,
+                              (128ull << 10) + 1);
+  if (budget >= baseline.total.peak_state_bytes) {
+    GTEST_SKIP() << "trace too small to exceed the minimum budget";
+  }
+  config.overload.enabled = true;
+  config.overload.max_state_bytes = budget;
+  auto capped_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(capped_or.ok()) << capped_or.error();
+  const auto capped = (*capped_or)->run(trace.packets());
+
+  EXPECT_LE(capped.total.peak_state_bytes, budget);
+  EXPECT_GT(capped.total.shed_total(), 0u);
+  // The baseline demonstrably violates the budget the capped run held.
+  EXPECT_GT(baseline.total.peak_state_bytes, budget);
+}
+
+TEST(AdmissionBudget, ParseCycleBudgetShedsSessions) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 800;
+  mix.seed = 92;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  auto session_sub = [] {
+    return core::Subscription::builder()
+        .filter("tls")
+        .on_session([](const core::SessionRecord&) {})
+        .build()
+        .value();
+  };
+
+  core::RuntimeConfig config;
+  config.cores = 1;
+  auto baseline_or = core::Runtime::create(config, session_sub());
+  ASSERT_TRUE(baseline_or.ok());
+  const auto baseline = (*baseline_or)->run(trace.packets());
+  ASSERT_GT(baseline.total.delivered_sessions, 0u);
+
+  config.overload.enabled = true;
+  config.overload.parse_cycles_per_sec = 50'000;  // starvation budget
+  auto capped_or = core::Runtime::create(config, session_sub());
+  ASSERT_TRUE(capped_or.ok());
+  const auto capped = (*capped_or)->run(trace.packets());
+
+  EXPECT_GT(capped.total.shed_at(ShedStage::kParseBudget), 0u);
+  EXPECT_LT(capped.total.delivered_sessions,
+            baseline.total.delivered_sessions);
+}
+
+TEST(DegradationLadder, ShedSessionsSilencesSessionSubscriptions) {
+  const auto trace = campus_trace(300);
+  auto make = [] {
+    return core::Subscription::builder()
+        .filter("tls")
+        .on_session([](const core::SessionRecord&) {})
+        .build()
+        .value();
+  };
+
+  core::RuntimeConfig config;
+  core::Runtime baseline(config, make());
+  const auto normal = baseline.run(trace.packets());
+  ASSERT_GT(normal.total.delivered_sessions, 0u);
+
+  core::Runtime degraded(config, make());
+  degraded.overload_state().set_level(DegradeLevel::kShedSessions);
+  const auto shed = degraded.run(trace.packets());
+  EXPECT_EQ(shed.total.delivered_sessions, 0u);
+  EXPECT_GT(shed.total.shed_at(ShedStage::kSession), 0u);
+  // Connections still tracked at this rung.
+  EXPECT_GT(shed.total.conns_created, 0u);
+}
+
+TEST(DegradationLadder, ShedReassemblyStopsStreamDelivery) {
+  const auto trace = campus_trace(300);
+  std::size_t data_chunks = 0;
+  // Match-all filter: connections resolve to "track" without parsing,
+  // so the shed decision lands at the reassembly stage, not the session
+  // rung above it.
+  auto sub = core::Subscription::builder()
+                 .on_stream([&](const core::StreamChunk& chunk) {
+                   if (!chunk.data.empty()) ++data_chunks;
+                 })
+                 .build()
+                 .value();
+
+  core::RuntimeConfig config;
+  core::Runtime runtime(config, std::move(sub));
+  runtime.overload_state().set_level(DegradeLevel::kShedReassembly);
+  const auto stats = runtime.run(trace.packets());
+
+  EXPECT_EQ(data_chunks, 0u);
+  EXPECT_GT(stats.total.shed_at(ShedStage::kReassembly), 0u);
+}
+
+TEST(DegradationLadder, CountOnlyStopsTracking) {
+  const auto trace = campus_trace(300);
+  core::RuntimeConfig config;
+  core::Runtime runtime(config, conn_sub());
+  runtime.overload_state().set_level(DegradeLevel::kCountOnly);
+  const auto stats = runtime.run(trace.packets());
+
+  EXPECT_EQ(stats.total.conns_created, 0u);
+  EXPECT_EQ(stats.total.delivered_conns, 0u);
+  EXPECT_GT(stats.total.shed_at(ShedStage::kConnCreate), 0u);
+  EXPECT_GT(stats.total.packets, 0u);  // rung four still counts packets
+}
+
+TEST(Controller, AdviseIsPureAndGated) {
+  core::RuntimeConfig config;
+  config.overload.enabled = true;
+  auto runtime_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(runtime_or.ok());
+  core::RuntimeMonitor monitor(**runtime_or);
+
+  // No history: nothing to say.
+  const auto advice = monitor.advise();
+  EXPECT_EQ(advice.action, core::Advice::Action::kNone);
+  EXPECT_EQ(advice.level, DegradeLevel::kNormal);
+  EXPECT_EQ(monitor.status_line(), "(no samples)");
+
+  // Clean polls never degrade.
+  std::uint64_t ts = 0;
+  for (int i = 0; i < 10; ++i) {
+    monitor.poll(ts += 100'000'000);
+    EXPECT_EQ(monitor.advise().action, core::Advice::Action::kNone);
+  }
+  EXPECT_EQ(monitor.level(), DegradeLevel::kNormal);
+  EXPECT_NE(monitor.status_line().find("level=normal"), std::string::npos);
+}
+
+TEST(Controller, EscalatesUnderSustainedLossThenRecovers) {
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.rx_ring_size = 16;  // tiny: dispatch-without-drain overflows
+  config.overload.enabled = true;
+  config.overload.max_tracked_connections = 100'000;
+  auto runtime_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(runtime_or.ok()) << runtime_or.error();
+  auto& runtime = **runtime_or;
+  core::RuntimeMonitor monitor(runtime);
+
+  const auto trace = campus_trace(600, 93);
+  ASSERT_GT(trace.size(), 1500u);
+
+  // Phase 1: overload. Dispatch without draining so every poll interval
+  // sees ring drops; apply() walks the ladder one rung per window.
+  std::uint64_t ts = 0;
+  std::size_t i = 0;
+  DegradeLevel peak = DegradeLevel::kNormal;
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);
+    if (++i % 40 == 0) {
+      const auto& advice = monitor.apply(ts += 100'000'000);
+      peak = std::max(peak, monitor.level());
+      if (advice.action == core::Advice::Action::kDegrade) {
+        EXPECT_FALSE(advice.reason.empty());
+      }
+    }
+  }
+  EXPECT_GE(static_cast<int>(peak),
+            static_cast<int>(DegradeLevel::kShedSessions));
+  EXPECT_EQ(runtime.overload_state().level(), monitor.level());
+
+  // Deep overload reaches the sink rung and widens RETA sampling.
+  if (peak == DegradeLevel::kSink) {
+    EXPECT_GT(runtime.nic().reta().sink_fraction(), 0.0);
+    const auto line = monitor.status_line();
+    EXPECT_NE(line.find("sink="), std::string::npos);
+  }
+
+  // Phase 2: the load disappears. Clean polls walk the ladder back.
+  runtime.drain();
+  const auto degraded_level = monitor.level();
+  for (int poll = 0; poll < 60; ++poll) {
+    monitor.apply(ts += 100'000'000);
+  }
+  EXPECT_LT(static_cast<int>(monitor.level()),
+            static_cast<int>(degraded_level));
+  EXPECT_EQ(monitor.level(), DegradeLevel::kNormal);
+  EXPECT_DOUBLE_EQ(runtime.nic().reta().sink_fraction(), 0.0);
+  runtime.finish();
+}
+
+TEST(Controller, LadderOffMeansAdvisoryOnly) {
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.rx_ring_size = 16;
+  config.overload.enabled = true;
+  config.overload.ladder = false;  // measure, never actuate
+  auto runtime_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(runtime_or.ok());
+  auto& runtime = **runtime_or;
+  core::RuntimeMonitor monitor(runtime);
+
+  const auto trace = campus_trace(400, 94);
+  std::uint64_t ts = 0;
+  std::size_t i = 0;
+  bool advice_seen = false;
+  for (const auto& mbuf : trace.packets()) {
+    runtime.dispatch(mbuf);  // never drained: sustained loss
+    if (++i % 40 == 0) {
+      const auto& advice = monitor.apply(ts += 100'000'000);
+      advice_seen |= advice.action == core::Advice::Action::kDegrade;
+    }
+  }
+  EXPECT_TRUE(advice_seen);  // the monitor still reports what it would do
+  EXPECT_EQ(runtime.overload_state().level(), DegradeLevel::kNormal);
+  EXPECT_DOUBLE_EQ(runtime.nic().reta().sink_fraction(), 0.0);
+  runtime.finish();
+}
+
+TEST(FaultInjection, SameSeedSameFaults) {
+  const auto trace = campus_trace(400, 95);
+  auto run_with = [&](std::uint64_t seed) {
+    core::RuntimeConfig config;
+    config.fault_plan = FaultPlan::parse(
+                            "seed=" + std::to_string(seed) +
+                            ",pool=0.05,ring=0.03,trunc=0.08,corrupt=0.08,"
+                            "clock=0.01,jump-ms=10")
+                            .value();
+    auto runtime_or = core::Runtime::create(config, conn_sub());
+    EXPECT_TRUE(runtime_or.ok());
+    auto& runtime = **runtime_or;
+    const auto stats = runtime.run(trace.packets());
+    auto counters = runtime.faults()->counters();
+    return std::make_pair(counters, stats.total.packets);
+  };
+
+  const auto [c1, packets1] = run_with(7);
+  const auto [c2, packets2] = run_with(7);
+  EXPECT_EQ(c1.pool_exhausted, c2.pool_exhausted);
+  EXPECT_EQ(c1.ring_overflows, c2.ring_overflows);
+  EXPECT_EQ(c1.truncated, c2.truncated);
+  EXPECT_EQ(c1.corrupted, c2.corrupted);
+  EXPECT_EQ(c1.clock_jumps, c2.clock_jumps);
+  EXPECT_EQ(packets1, packets2);
+  EXPECT_GT(c1.pool_exhausted, 0u);
+  EXPECT_GT(c1.ring_overflows, 0u);
+  EXPECT_GT(c1.truncated, 0u);
+  EXPECT_GT(c1.corrupted, 0u);
+  EXPECT_GT(c1.clock_jumps, 0u);
+
+  const auto [c3, packets3] = run_with(8);
+  (void)packets3;
+  EXPECT_TRUE(c1.pool_exhausted != c3.pool_exhausted ||
+              c1.ring_overflows != c3.ring_overflows ||
+              c1.truncated != c3.truncated ||
+              c1.corrupted != c3.corrupted ||
+              c1.clock_jumps != c3.clock_jumps);
+}
+
+TEST(FaultInjection, InjectedLossIsAccounted) {
+  const auto trace = campus_trace(300, 96);
+  core::RuntimeConfig config;
+  config.fault_plan = FaultPlan::parse("seed=3,pool=0.1,ring=0.1").value();
+  auto runtime_or = core::Runtime::create(config, conn_sub());
+  ASSERT_TRUE(runtime_or.ok());
+  auto& runtime = **runtime_or;
+  const auto stats = runtime.run(trace.packets());
+
+  const auto counters = runtime.faults()->counters();
+  EXPECT_EQ(stats.nic_pool_exhausted, counters.pool_exhausted);
+  // Injected overflows are an upper bound on realized ring loss: a
+  // forced overflow on a packet the hardware filter would drop anyway
+  // never reaches a ring. Serial mode has no natural overflow, so every
+  // realized drop here is an injected one.
+  EXPECT_LE(stats.nic_ring_dropped, counters.ring_overflows);
+  EXPECT_GT(stats.nic_ring_dropped, 0u);
+  // Nothing is double-counted: everything offered is accounted for.
+  const auto port = runtime.nic().stats();
+  EXPECT_EQ(port.rx_packets, port.delivered + port.hw_dropped + port.sunk +
+                                 port.ring_dropped + port.pool_exhausted +
+                                 port.malformed);
+}
+
+TEST(FaultInjection, MangledPayloadsNeverCrashParsers) {
+  // Aggressive truncation/corruption against the session parsers, with
+  // clock jumps stirring the timeout logic. Determinism makes any crash
+  // found here reproducible with the same seed.
+  const auto trace = campus_trace(500, 97);
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    core::RuntimeConfig config;
+    config.fault_plan =
+        FaultPlan::parse("seed=" + std::to_string(seed) +
+                         ",trunc=0.3,corrupt=0.3,clock=0.05,jump-ms=200")
+            .value();
+    auto sub = core::Subscription::builder()
+                   .filter("tls or http")
+                   .on_session([](const core::SessionRecord&) {})
+                   .build()
+                   .value();
+    auto runtime_or = core::Runtime::create(config, std::move(sub));
+    ASSERT_TRUE(runtime_or.ok());
+    const auto stats = (*runtime_or)->run(trace.packets());
+    EXPECT_GT(stats.total.packets, 0u);
+  }
+}
+
+TEST(RuntimeCreate, RejectsBadConfigurations) {
+  auto sub = [] { return conn_sub(); };
+
+  {  // Unparseable filter (reported, not thrown).
+    auto bad = core::Subscription::builder()
+                   .filter("tls.sni =!= 3")
+                   .on_connection([](const core::ConnRecord&) {})
+                   .build();
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().find("bad filter"), std::string::npos);
+  }
+  {  // Sink fraction out of range.
+    core::RuntimeConfig config;
+    config.sink_fraction = 1.5;
+    auto r = core::Runtime::create(config, sub());
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("sink_fraction"), std::string::npos);
+  }
+  {  // RSS key of the wrong width.
+    core::RuntimeConfig config;
+    config.rss_key = {0x6d, 0x5a};
+    auto r = core::Runtime::create(config, sub());
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().find("40"), std::string::npos);
+  }
+  {  // State budget below what one pipeline needs to start up.
+    core::RuntimeConfig config;
+    config.overload.enabled = true;
+    config.overload.max_state_bytes = 4096;
+    auto r = core::Runtime::create(config, sub());
+    ASSERT_FALSE(r.ok());
+  }
+  {  // A valid config still produces a working runtime.
+    core::RuntimeConfig config;
+    auto r = core::Runtime::create(config, sub());
+    ASSERT_TRUE(r.ok()) << r.error();
+    const auto stats = (*r)->run(campus_trace(50).packets());
+    EXPECT_GT(stats.total.packets, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace retina

@@ -31,6 +31,15 @@
 //                      trace_event JSON (load in chrome://tracing)
 //   --live             print a live console table while running
 //   --sample-ms N      sampler period in milliseconds (default 50)
+//
+// Overload control & fault injection:
+//   --overload-policy SPEC   per-core admission budgets + degradation
+//                      ladder, e.g. "max-conns=10000,max-state-mb=64,
+//                      parse-mcps=500,ladder=on". Installs the
+//                      RuntimeMonitor controller (polls on trace time).
+//   --fault-plan SPEC  seeded ingress fault injection, e.g.
+//                      "seed=7,pool=0.01,ring=0.005,trunc=0.02,
+//                      corrupt=0.02,clock=0.001,jump-ms=50"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +48,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/monitor.hpp"
 #include "core/runtime.hpp"
 #include "core/stats.hpp"
 #include "telemetry/exporters.hpp"
@@ -56,6 +66,8 @@ struct Options {
   std::string prom_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string overload_spec;
+  std::string fault_spec;
   std::size_t synthetic_flows = 0;
   std::size_t cores = 4;
   std::size_t burst = 32;
@@ -82,7 +94,8 @@ struct Options {
                "          [--no-hw] [--limit N] [--quiet] [--stats]\n"
                "          [--prom FILE] [--metrics FILE] [--trace FILE]"
                " [--live]\n"
-               "          [--sample-ms N]\n",
+               "          [--sample-ms N] [--overload-policy SPEC]"
+               " [--fault-plan SPEC]\n",
                argv0);
   std::exit(2);
 }
@@ -114,6 +127,8 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--metrics") opts.metrics_path = next();
     else if (arg == "--trace") opts.trace_path = next();
     else if (arg == "--live") opts.live = true;
+    else if (arg == "--overload-policy") opts.overload_spec = next();
+    else if (arg == "--fault-plan") opts.fault_spec = next();
     else if (arg == "--sample-ms")
       opts.sample_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
     else usage(argv[0]);
@@ -163,32 +178,36 @@ int main(int argc, char** argv) {
     }
   };
 
-  core::Subscription subscription = [&] {
+  Result<core::Subscription> subscription_or = [&] {
+    auto builder = core::Subscription::builder().filter(opts.filter);
     if (opts.type == "packets") {
-      return core::Subscription::packets(
-          opts.filter, [&](const packet::Mbuf& mbuf) {
+      return std::move(builder)
+          .on_packet([&](const packet::Mbuf& mbuf) {
             emit("packet len=" + std::to_string(mbuf.length()) + " t=" +
                  std::to_string(mbuf.timestamp_ns() / 1000000) + "ms");
-          });
+          })
+          .build();
     }
     if (opts.type == "sessions") {
-      return core::Subscription::sessions(
-          opts.filter, [&](const core::SessionRecord& rec) {
+      return std::move(builder)
+          .on_session([&](const core::SessionRecord& rec) {
             emit(rec.tuple.to_string() + "  " + session_summary(rec));
-          });
+          })
+          .build();
     }
     if (opts.type == "streams") {
-      return core::Subscription::byte_streams(
-          opts.filter, [&](const core::StreamChunk& chunk) {
+      return std::move(builder)
+          .on_stream([&](const core::StreamChunk& chunk) {
             if (chunk.end_of_stream) return;
             emit(chunk.tuple.to_string() + (chunk.from_originator ? "  up "
                                                                   : "  down ") +
                  std::to_string(chunk.data.size()) + " bytes");
-          });
+          })
+          .build();
     }
     if (opts.type != "connections") usage(argv[0]);
-    return core::Subscription::connections(
-        opts.filter, [&](const core::ConnRecord& rec) {
+    return std::move(builder)
+        .on_connection([&](const core::ConnRecord& rec) {
           emit(rec.tuple.to_string() + "  proto=" +
                (rec.app_proto.empty() ? "-" : rec.app_proto) + " pkts=" +
                std::to_string(rec.pkts_up) + "/" +
@@ -196,8 +215,13 @@ int main(int argc, char** argv) {
                std::to_string(rec.bytes_up) + "/" +
                std::to_string(rec.bytes_down) +
                (rec.single_syn() ? " single-syn" : ""));
-        });
+        })
+        .build();
   }();
+  if (!subscription_or) {
+    std::fprintf(stderr, "error: %s\n", subscription_or.error().c_str());
+    return 1;
+  }
 
   core::RuntimeConfig config;
   config.cores = opts.cores;
@@ -208,10 +232,41 @@ int main(int argc, char** argv) {
   config.telemetry = opts.telemetry();
   config.telemetry_sample_interval_ms = opts.sample_ms;
   if (!opts.trace_path.empty()) config.trace_ring_capacity = 1 << 16;
+  if (!opts.overload_spec.empty()) {
+    auto policy = overload::OverloadPolicy::parse(opts.overload_spec);
+    if (!policy) {
+      std::fprintf(stderr, "error: %s\n", policy.error().c_str());
+      return 1;
+    }
+    config.overload = std::move(policy).value();
+  }
+  if (!opts.fault_spec.empty()) {
+    auto plan = overload::FaultPlan::parse(opts.fault_spec);
+    if (!plan) {
+      std::fprintf(stderr, "error: %s\n", plan.error().c_str());
+      return 1;
+    }
+    config.fault_plan = std::move(plan).value();
+  }
 
-  try {
-    core::Runtime runtime(config, std::move(subscription));
+  {
+    auto runtime_or =
+        core::Runtime::create(config, std::move(subscription_or).value());
+    if (!runtime_or) {
+      std::fprintf(stderr, "error: %s\n", runtime_or.error().c_str());
+      return 1;
+    }
+    auto& runtime = **runtime_or;
     if (opts.live) runtime.set_telemetry_console(&std::cerr);
+
+    // With an overload policy, close the loop: the monitor polls on the
+    // trace clock and walks the degradation ladder under sustained loss.
+    core::RuntimeMonitor monitor(runtime);
+    if (config.overload.enabled) {
+      runtime.set_controller(
+          [&monitor](std::uint64_t now_ns) { monitor.apply(now_ns); },
+          100'000'000 /* 100ms of trace time */);
+    }
 
     core::RunStats stats;
     if (opts.telemetry()) {
@@ -276,9 +331,20 @@ int main(int argc, char** argv) {
             stats.total.stages.avg_cycles(stage));
       }
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    if (config.overload.enabled && !monitor.history().empty()) {
+      std::fprintf(stderr, "overload: %s\n", monitor.status_line().c_str());
+    }
+    if (config.fault_plan.enabled && runtime.faults() != nullptr) {
+      const auto& f = runtime.faults()->counters();
+      std::fprintf(stderr,
+                   "faults: pool=%llu ring=%llu trunc=%llu corrupt=%llu "
+                   "clock=%llu\n",
+                   static_cast<unsigned long long>(f.pool_exhausted),
+                   static_cast<unsigned long long>(f.ring_overflows),
+                   static_cast<unsigned long long>(f.truncated),
+                   static_cast<unsigned long long>(f.corrupted),
+                   static_cast<unsigned long long>(f.clock_jumps));
+    }
   }
   return 0;
 }
