@@ -1,0 +1,184 @@
+// Multi-subscription dispatch cost: run 4 representative subscriptions
+// (TLS session analysis, HTTPS connection records, DNS sessions, raw
+// UDP packets) first one-at-a-time, then together in one
+// SubscriptionSet, over the identical deterministic campus trace.
+//
+// The claim under test: shared single-pass dispatch makes N analyses
+// cost close to one — the combined engine's CPU cycles must stay under
+// 2.0x the cycles of the single most expensive subscription alone
+// (versus ~sum-of-all for N independent engines). Writes
+// BENCH_multisub.json; exit status is the acceptance check.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace retina;
+
+constexpr double kMaxCombinedMultiple = 2.0;
+constexpr int kRepetitions = 3;
+
+struct Member {
+  const char* name;
+  std::function<Result<core::Subscription>()> make;
+};
+
+std::vector<Member> members() {
+  // Counting callbacks only: the bench measures dispatch cost, not
+  // callback bodies.
+  return {
+      {"tls-sessions",
+       [] {
+         return core::Subscription::builder()
+             .filter("tls")
+             .on_session([](const core::SessionRecord&) {})
+             .build();
+       }},
+      {"https-conns",
+       [] {
+         return core::Subscription::builder()
+             .filter("tcp.port = 443")
+             .on_connection([](const core::ConnRecord&) {})
+             .build();
+       }},
+      {"dns-sessions",
+       [] {
+         return core::Subscription::builder()
+             .filter("dns")
+             .on_session([](const core::SessionRecord&) {})
+             .build();
+       }},
+      {"udp-packets",
+       [] {
+         return core::Subscription::builder()
+             .filter("udp")
+             .on_packet([](const packet::Mbuf&) {})
+             .build();
+       }},
+  };
+}
+
+core::RuntimeConfig bench_config() {
+  // Single core, serial mode: busy_cycles compare apples to apples.
+  core::RuntimeConfig config;
+  config.cores = 1;
+  return config;
+}
+
+/// Best-of-k busy cycles for one runtime-construction recipe.
+template <typename MakeRuntime>
+std::uint64_t measure_cycles(const traffic::Trace& trace,
+                             MakeRuntime&& make_runtime) {
+  std::uint64_t best = ~std::uint64_t{0};
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto runtime = make_runtime();
+    const auto stats = runtime->run(trace.packets());
+    best = std::min(best, stats.total.busy_cycles);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_multisub.json";
+
+  bench::print_header(
+      "Multi-subscription engine: shared forest, single-pass dispatch",
+      "Retina §3.2/§4 — N subscriptions over one packet stream");
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 6'000;
+  mix.seed = 23;
+  const auto trace = traffic::make_campus_trace(mix);
+  std::printf("trace: %zu packets\n", trace.packets().size());
+
+  const auto specs = members();
+
+  // --- Each subscription alone. ---
+  std::vector<std::uint64_t> alone_cycles;
+  for (const auto& member : specs) {
+    const auto cycles = measure_cycles(trace, [&] {
+      auto runtime_or =
+          core::Runtime::create(bench_config(), member.make().value());
+      if (!runtime_or.ok()) {
+        std::fprintf(stderr, "runtime(%s): %s\n", member.name,
+                     runtime_or.error().c_str());
+        std::exit(2);
+      }
+      return std::move(*runtime_or);
+    });
+    alone_cycles.push_back(cycles);
+    std::printf("alone  %-14s %12llu cycles\n", member.name,
+                static_cast<unsigned long long>(cycles));
+  }
+  const auto max_alone =
+      *std::max_element(alone_cycles.begin(), alone_cycles.end());
+  std::uint64_t sum_alone = 0;
+  for (const auto cycles : alone_cycles) sum_alone += cycles;
+
+  // --- All four in one SubscriptionSet. ---
+  const auto combined = measure_cycles(trace, [&] {
+    auto builder = multisub::SubscriptionSet::builder();
+    for (const auto& member : specs) builder.add(member.make(), member.name);
+    auto runtime_or =
+        core::Runtime::create(bench_config(), builder.build().value());
+    if (!runtime_or.ok()) {
+      std::fprintf(stderr, "runtime(combined): %s\n",
+                   runtime_or.error().c_str());
+      std::exit(2);
+    }
+    return std::move(*runtime_or);
+  });
+
+  const double vs_max = static_cast<double>(combined) /
+                        static_cast<double>(max_alone);
+  const double vs_sum = static_cast<double>(combined) /
+                        static_cast<double>(sum_alone);
+  std::printf("combined (4 subs)     %12llu cycles\n",
+              static_cast<unsigned long long>(combined));
+  std::printf("combined / max(alone) = %.2fx (gate < %.1fx)\n", vs_max,
+              kMaxCombinedMultiple);
+  std::printf("combined / sum(alone) = %.2fx\n", vs_sum);
+
+  std::ofstream json(json_path);
+  json << "{\n";
+  json << "  \"bench\": \"multisub\",\n";
+  json << "  \"trace_packets\": " << trace.packets().size() << ",\n";
+  json << "  \"repetitions\": " << kRepetitions << ",\n";
+  json << "  \"alone_cycles\": {";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "\"" << specs[i].name << "\": " << alone_cycles[i];
+  }
+  json << "},\n";
+  json << "  \"max_alone_cycles\": " << max_alone << ",\n";
+  json << "  \"sum_alone_cycles\": " << sum_alone << ",\n";
+  json << "  \"combined_cycles\": " << combined << ",\n";
+  json << "  \"combined_vs_max_alone\": " << vs_max << ",\n";
+  json << "  \"combined_vs_sum_alone\": " << vs_sum << ",\n";
+  json << "  \"gate_max_multiple\": " << kMaxCombinedMultiple << ",\n";
+  json << "  \"pass\": " << (vs_max < kMaxCombinedMultiple ? "true" : "false")
+       << "\n";
+  json << "}\n";
+  json.close();
+  std::printf("wrote %s\n", json_path);
+
+  if (vs_max >= kMaxCombinedMultiple) {
+    std::fprintf(stderr,
+                 "FAIL: combined dispatch cost %.2fx the most expensive "
+                 "single subscription (gate < %.1fx)\n",
+                 vs_max, kMaxCombinedMultiple);
+    return 1;
+  }
+  std::printf("PASS: 4 subscriptions share one pass for %.2fx the cost of "
+              "the most expensive one alone\n",
+              vs_max);
+  return 0;
+}

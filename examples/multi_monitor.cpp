@@ -1,0 +1,119 @@
+// Multi-subscription monitor — several analyses over one packet stream.
+//
+// A SubscriptionSet merges any number of subscriptions into one engine:
+// their filters are compiled into a shared predicate forest (each
+// distinct predicate evaluated once per packet/session, no matter how
+// many subscriptions use it), their hardware rules are unioned into a
+// single NIC program, and every connection keeps one table entry with
+// per-subscription bitsets deciding which callbacks fire. Running four
+// analyses this way costs far less than four independent engines.
+//
+//   $ ./multi_monitor [num_flows]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/runtime.hpp"
+#include "traffic/flowgen.hpp"
+
+using namespace retina;
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 3000;
+
+  std::size_t tls_coms = 0, https_conns = 0, dns_queries = 0, mail_pkts = 0;
+
+  // Four independent analyses. Note the overlap: both the TLS and the
+  // HTTPS-flows subscriptions constrain tcp.port = 443, so that
+  // predicate is evaluated once per packet and shared.
+  auto set =
+      multisub::SubscriptionSet::builder()
+          .add(core::Subscription::builder()
+                   .filter("tls.sni matches '.*\\.com$'")
+                   .on_tls_handshake(
+                       [&](const core::SessionRecord&,
+                           const protocols::TlsHandshake& hs) {
+                         if (tls_coms < 10) {
+                           std::printf("[tls-com]   %s (%s)\n",
+                                       hs.sni.c_str(),
+                                       hs.cipher_name().c_str());
+                         }
+                         ++tls_coms;
+                       })
+                   .build(),
+               "tls-com")
+          .add(core::Subscription::builder()
+                   .filter("tcp.port = 443")
+                   .on_connection([&](const core::ConnRecord& rec) {
+                     if (https_conns < 5) {
+                       std::printf("[https]     %s %llu bytes\n",
+                                   rec.tuple.to_string().c_str(),
+                                   static_cast<unsigned long long>(
+                                       rec.total_bytes()));
+                     }
+                     ++https_conns;
+                   })
+                   .build(),
+               "https-flows")
+          .add(core::Subscription::builder()
+                   .filter("dns")
+                   .on_session([&](const core::SessionRecord& rec) {
+                     const auto* dns =
+                         rec.session.get<protocols::DnsMessage>();
+                     if (dns != nullptr && !dns->is_response &&
+                         !dns->questions.empty() && dns_queries < 5) {
+                       std::printf("[dns]       query %s\n",
+                                   dns->questions[0].qname.c_str());
+                     }
+                     ++dns_queries;
+                   })
+                   .build(),
+               "dns")
+          .add(core::Subscription::builder()
+                   .filter("tcp.port = 25")
+                   .on_packet([&](const packet::Mbuf&) { ++mail_pkts; })
+                   .build(),
+               "smtp-packets")
+          .build();
+  if (!set) {
+    std::fprintf(stderr, "bad subscription set: %s\n", set.error().c_str());
+    return 1;
+  }
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  auto runtime_or = core::Runtime::create(config, std::move(set).value());
+  if (!runtime_or) {
+    std::fprintf(stderr, "bad config: %s\n", runtime_or.error().c_str());
+    return 1;
+  }
+  auto& runtime = **runtime_or;
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  const auto stats = runtime.finish();
+
+  std::printf(
+      "\nprocessed %llu packets (%.1f MB), %llu connections — one pass, "
+      "four subscriptions:\n",
+      static_cast<unsigned long long>(stats.nic_rx_packets),
+      static_cast<double>(stats.nic_rx_bytes) / 1e6,
+      static_cast<unsigned long long>(stats.total.conns_created));
+  const auto* subs = runtime.subscription_set();
+  for (std::size_t s = 0; s < subs->size(); ++s) {
+    const auto sub = runtime.sub_stats(s);
+    std::printf("  %-12s matched=%-6llu delivered=%llu\n",
+                subs->name(s).c_str(),
+                static_cast<unsigned long long>(sub.conns_matched),
+                static_cast<unsigned long long>(sub.delivered));
+  }
+  std::printf("  (%llu raw SMTP packets seen by 'smtp-packets')\n",
+              static_cast<unsigned long long>(mail_pkts));
+  return 0;
+}

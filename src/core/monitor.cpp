@@ -23,11 +23,19 @@ const MonitorSnapshot& RuntimeMonitor::poll(std::uint64_t now_ns) {
     snap.state_bytes = values.value("retina_state_bytes");
   } else {
     for (std::size_t core = 0; core < runtime_->cores(); ++core) {
-      const auto& pipeline = runtime_->pipeline(core);
-      snap.packets += pipeline.stats().packets;
-      snap.bytes += pipeline.stats().bytes;
-      snap.connections += pipeline.live_connections();
-      snap.state_bytes += pipeline.approx_state_bytes();
+      if (runtime_->multi()) {
+        const auto& pipeline = runtime_->multi_pipeline(core);
+        snap.packets += pipeline.stats().packets;
+        snap.bytes += pipeline.stats().bytes;
+        snap.connections += pipeline.live_connections();
+        snap.state_bytes += pipeline.approx_state_bytes();
+      } else {
+        const auto& pipeline = runtime_->pipeline(core);
+        snap.packets += pipeline.stats().packets;
+        snap.bytes += pipeline.stats().bytes;
+        snap.connections += pipeline.live_connections();
+        snap.state_bytes += pipeline.approx_state_bytes();
+      }
     }
   }
 

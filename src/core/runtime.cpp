@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "filter/decompose.hpp"
@@ -29,17 +30,9 @@ nic::PortConfig make_port_config(const RuntimeConfig& config) {
   return port;
 }
 
-}  // namespace
-
-Result<std::unique_ptr<Runtime>> Runtime::create(
-    RuntimeConfig config, Subscription subscription,
-    const filter::FieldRegistry& field_registry,
-    const protocols::ParserRegistry& parser_registry) {
-  // Filter: parse + decompose, errors as strings.
-  auto decomposed = filter::try_decompose(
-      subscription.filter(), field_registry, config.nic_capabilities);
-  if (!decomposed) return Err(decomposed.error());
-  // Port: queue/ring/RSS-key validation.
+/// Config checks shared by both validating factories (everything except
+/// the filter compilation, which differs per mode).
+Result<bool> validate_config(const RuntimeConfig& config) {
   if (auto port = nic::SimNic::validate(make_port_config(config)); !port) {
     return Err(port.error());
   }
@@ -55,31 +48,47 @@ Result<std::unique_ptr<Runtime>> Runtime::create(
     return Err("over-budget config: max-state-mb budget is below the empty "
                "connection table's footprint (needs >= 128 KiB per core)");
   }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Runtime>> Runtime::create(
+    RuntimeConfig config, Subscription subscription,
+    const filter::FieldRegistry& field_registry,
+    const protocols::ParserRegistry& parser_registry) {
+  // Filter: parse + decompose, errors as strings.
+  auto decomposed = filter::try_decompose(
+      subscription.filter(), field_registry, config.nic_capabilities);
+  if (!decomposed) return Err(decomposed.error());
+  if (auto ok = validate_config(config); !ok) return Err(ok.error());
   return std::make_unique<Runtime>(std::move(config), std::move(subscription),
                                    field_registry, parser_registry);
 }
 
-Runtime::Runtime(RuntimeConfig config, Subscription subscription,
-                 const filter::FieldRegistry& field_registry,
-                 const protocols::ParserRegistry& parser_registry)
-    : config_(std::move(config)), subscription_(std::move(subscription)) {
-  // Decompose + build the requested filter engine.
-  auto decomposed = filter::decompose(subscription_.filter(), field_registry,
-                                      config_.nic_capabilities);
-  if (config_.interpreted_filters) {
-    filter_ = std::make_unique<InterpretedFilterEngine>(
-        filter::InterpretedFilter(std::move(decomposed), field_registry));
-  } else {
-    filter_ = std::make_unique<CompiledFilterEngine>(
-        filter::CompiledFilter::compile(decomposed, field_registry));
-  }
+Result<std::unique_ptr<Runtime>> Runtime::create(
+    RuntimeConfig config, multisub::SubscriptionSet set,
+    const filter::FieldRegistry& field_registry,
+    const protocols::ParserRegistry& parser_registry) {
+  // Building the forest decomposes every member filter; errors carry
+  // the offending subscription's name.
+  auto forest = multisub::FilterForest::build(set, field_registry,
+                                              config.nic_capabilities);
+  if (!forest) return Err(forest.error());
+  if (auto ok = validate_config(config); !ok) return Err(ok.error());
+  return std::make_unique<Runtime>(std::move(config), std::move(set),
+                                   field_registry, parser_registry);
+}
 
+void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
+                          const filter::FieldRegistry& field_registry,
+                          const protocols::ParserRegistry& parser_registry) {
   // Program the NIC: one receive queue per core, hardware rules from
-  // the decomposed filter (if enabled), sink buckets for sampling.
+  // the decomposed filter(s) (if enabled), sink buckets for sampling.
   const nic::PortConfig port = make_port_config(config_);
   nic_ = std::make_unique<nic::SimNic>(port);
   if (config_.hardware_filter) {
-    nic_->install_rules(filter_->hw_rules());
+    nic_->install_rules(hw_rules);
   }
   if (config_.sink_fraction > 0) {
     nic_->reta().set_sink_fraction(config_.sink_fraction);
@@ -104,10 +113,24 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
     metrics_ = std::make_unique<telemetry::MetricRegistry>(port.num_queues);
   }
 
+  if (set_) {
+    multi_pipelines_.reserve(port.num_queues);
+    for (std::size_t core = 0; core < port.num_queues; ++core) {
+      multi_pipelines_.push_back(std::make_unique<multisub::MultiPipeline>(
+          config_, *set_, *forest_, field_registry, parser_registry));
+      multi_pipelines_.back()->attach_overload(&overload_state_);
+      if (metrics_) {
+        multi_pipelines_.back()->attach_telemetry(
+            *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
+      }
+    }
+    return;
+  }
+
   pipelines_.reserve(port.num_queues);
   for (std::size_t core = 0; core < port.num_queues; ++core) {
     pipelines_.push_back(
-        std::make_unique<Pipeline>(config_, subscription_, *filter_,
+        std::make_unique<Pipeline>(config_, *subscription_, *filter_,
                                    field_registry, parser_registry));
     pipelines_.back()->attach_overload(&overload_state_);
     if (metrics_) {
@@ -117,7 +140,52 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
   }
 }
 
+Runtime::Runtime(RuntimeConfig config, Subscription subscription,
+                 const filter::FieldRegistry& field_registry,
+                 const protocols::ParserRegistry& parser_registry)
+    : config_(std::move(config)), subscription_(std::move(subscription)) {
+  // Decompose + build the requested filter engine.
+  auto decomposed = filter::decompose(subscription_->filter(), field_registry,
+                                      config_.nic_capabilities);
+  if (config_.interpreted_filters) {
+    filter_ = std::make_unique<InterpretedFilterEngine>(
+        filter::InterpretedFilter(std::move(decomposed), field_registry));
+  } else {
+    filter_ = std::make_unique<CompiledFilterEngine>(
+        filter::CompiledFilter::compile(decomposed, field_registry));
+  }
+  init_common(filter_->hw_rules(), field_registry, parser_registry);
+}
+
+Runtime::Runtime(RuntimeConfig config, multisub::SubscriptionSet set,
+                 const filter::FieldRegistry& field_registry,
+                 const protocols::ParserRegistry& parser_registry)
+    : config_(std::move(config)), set_(std::move(set)) {
+  auto forest = multisub::FilterForest::build(*set_, field_registry,
+                                              config_.nic_capabilities);
+  if (!forest) {
+    // The throwing constructor mirrors the single-subscription one: use
+    // Runtime::create for error values instead of exceptions.
+    throw std::runtime_error(forest.error());
+  }
+  forest_.emplace(std::move(*forest));
+  init_common(forest_->hw_rules(), field_registry, parser_registry);
+}
+
 Runtime::~Runtime() = default;
+
+multisub::SubStats Runtime::sub_stats(std::size_t sub) const {
+  multisub::SubStats total;
+  for (const auto& pipeline : multi_pipelines_) {
+    const auto& s = pipeline->sub_stats(sub);
+    total.conns_matched += s.conns_matched;
+    total.delivered += s.delivered;
+    total.dropped_filter += s.dropped_filter;
+    total.shed += s.shed;
+    total.cycles += s.cycles;
+  }
+  return total;
+}
 
 void Runtime::dispatch(const packet::Mbuf& mbuf) {
   if (first_ts_ == 0) first_ts_ = mbuf.timestamp_ns();
@@ -145,12 +213,28 @@ std::size_t Runtime::burst_size() const noexcept {
 
 void Runtime::drain() {
   const std::size_t want = burst_size();
+  const std::size_t queues = cores();
+  const auto process_one = [this](std::size_t queue, packet::Mbuf mbuf) {
+    if (multi()) {
+      multi_pipelines_[queue]->process(std::move(mbuf));
+    } else {
+      pipelines_[queue]->process(std::move(mbuf));
+    }
+  };
+  const auto process_burst = [this](std::size_t queue,
+                                    std::span<packet::Mbuf> burst) {
+    if (multi()) {
+      multi_pipelines_[queue]->process_burst(burst);
+    } else {
+      pipelines_[queue]->process_burst(burst);
+    }
+  };
   if (want <= 1) {
     // Legacy per-packet path (rx_burst_size = 1).
     packet::Mbuf mbuf;
-    for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+    for (std::size_t queue = 0; queue < queues; ++queue) {
       while (nic_->poll(queue, mbuf)) {
-        pipelines_[queue]->process(std::move(mbuf));
+        process_one(queue, std::move(mbuf));
       }
     }
     return;
@@ -159,7 +243,7 @@ void Runtime::drain() {
   // frames before processing burst N, so the next burst's headers
   // stream in from memory underneath the current burst's work.
   std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
-  for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+  for (std::size_t queue = 0; queue < queues; ++queue) {
     std::size_t cur = 0;
     std::size_t got = nic_->poll_burst(queue, bufs[cur].data(), want);
     while (got > 0) {
@@ -168,7 +252,7 @@ void Runtime::drain() {
       if (next > 0) {
         Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
       }
-      pipelines_[queue]->process_burst({bufs[cur].data(), got});
+      process_burst(queue, {bufs[cur].data(), got});
       cur ^= 1;
       got = next;
     }
@@ -179,6 +263,7 @@ RunStats Runtime::finish() {
   if (!finished_) {
     drain();
     for (auto& pipeline : pipelines_) pipeline->finish();
+    for (auto& pipeline : multi_pipelines_) pipeline->finish();
     finished_ = true;
   }
   return collect_stats();
@@ -205,13 +290,15 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
   const auto wall_start = std::chrono::steady_clock::now();
   std::atomic<bool> done{false};
   std::vector<std::thread> workers;
-  std::vector<double> core_seconds(pipelines_.size(), 0.0);
+  std::vector<double> core_seconds(cores(), 0.0);
 
-  workers.reserve(pipelines_.size());
+  workers.reserve(cores());
   const std::size_t want = burst_size();
-  for (std::size_t core = 0; core < pipelines_.size(); ++core) {
+  for (std::size_t core = 0; core < cores(); ++core) {
     workers.emplace_back([this, core, want, &done, &core_seconds] {
-      auto& pipeline = *pipelines_[core];
+      Pipeline* pipeline = multi() ? nullptr : pipelines_[core].get();
+      multisub::MultiPipeline* multi_pipeline =
+          multi() ? multi_pipelines_[core].get() : nullptr;
       packet::Mbuf mbuf;
       std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
       const auto start = std::chrono::steady_clock::now();
@@ -228,14 +315,22 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
             if (next > 0) {
               Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
             }
-            pipeline.process_burst({bufs[cur].data(), got});
+            if (multi_pipeline != nullptr) {
+              multi_pipeline->process_burst({bufs[cur].data(), got});
+            } else {
+              pipeline->process_burst({bufs[cur].data(), got});
+            }
             any = true;
             cur ^= 1;
             got = next;
           }
         } else {
           while (nic_->poll(core, mbuf)) {
-            pipeline.process(std::move(mbuf));
+            if (multi_pipeline != nullptr) {
+              multi_pipeline->process(std::move(mbuf));
+            } else {
+              pipeline->process(std::move(mbuf));
+            }
             any = true;
           }
         }
@@ -291,6 +386,7 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
   }
 
   for (auto& pipeline : pipelines_) pipeline->finish();
+  for (auto& pipeline : multi_pipelines_) pipeline->finish();
   finished_ = true;
 
   auto stats = collect_stats();
@@ -310,8 +406,8 @@ telemetry::TelemetrySample Runtime::capture_sample() const {
   sample.rx_packets = port_stats.rx_packets;
   sample.rx_bytes = port_stats.rx_bytes;
   sample.ring_dropped = port_stats.ring_dropped;
-  sample.queue_depth.reserve(pipelines_.size());
-  for (std::size_t queue = 0; queue < pipelines_.size(); ++queue) {
+  sample.queue_depth.reserve(cores());
+  for (std::size_t queue = 0; queue < cores(); ++queue) {
     sample.queue_depth.push_back(nic_->queue_depth(queue));
   }
   const auto snap = metrics_->snapshot();
@@ -352,6 +448,12 @@ RunStats Runtime::collect_stats() const {
   RunStats stats;
   double max_core_cycles = 0.0;
   for (const auto& pipeline : pipelines_) {
+    stats.per_core.push_back(pipeline->stats());
+    stats.total.merge(pipeline->stats());
+    max_core_cycles = std::max(
+        max_core_cycles, static_cast<double>(pipeline->stats().busy_cycles));
+  }
+  for (const auto& pipeline : multi_pipelines_) {
     stats.per_core.push_back(pipeline->stats());
     stats.total.merge(pipeline->stats());
     max_core_cycles = std::max(

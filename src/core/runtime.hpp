@@ -15,11 +15,13 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
 #include "core/stats.hpp"
+#include "multisub/multi_pipeline.hpp"
 #include "nic/port.hpp"
 #include "overload/fault.hpp"
 #include "overload/policy.hpp"
@@ -37,6 +39,18 @@ class Runtime {
               filter::FieldRegistry::builtin(),
           const protocols::ParserRegistry& parser_registry =
               protocols::ParserRegistry::builtin());
+
+  /// Multi-subscription mode: N subscriptions share one pass through
+  /// the pipeline. Their filters are merged into a shared predicate
+  /// forest, their hardware rules unioned into one NIC program, and
+  /// every packet/connection/session predicate is evaluated once for
+  /// the whole set. Multi mode always uses the compiled forest engine;
+  /// config.interpreted_filters is ignored.
+  Runtime(RuntimeConfig config, multisub::SubscriptionSet set,
+          const filter::FieldRegistry& field_registry =
+              filter::FieldRegistry::builtin(),
+          const protocols::ParserRegistry& parser_registry =
+              protocols::ParserRegistry::builtin());
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -49,6 +63,15 @@ class Runtime {
   /// Prefer this for user-supplied input (CLI, config files).
   static Result<std::unique_ptr<Runtime>> create(
       RuntimeConfig config, Subscription subscription,
+      const filter::FieldRegistry& field_registry =
+          filter::FieldRegistry::builtin(),
+      const protocols::ParserRegistry& parser_registry =
+          protocols::ParserRegistry::builtin());
+
+  /// Validating factory, multi-subscription mode. Member filter errors
+  /// come back prefixed with the offending subscription's name.
+  static Result<std::unique_ptr<Runtime>> create(
+      RuntimeConfig config, multisub::SubscriptionSet set,
       const filter::FieldRegistry& field_registry =
           filter::FieldRegistry::builtin(),
       const protocols::ParserRegistry& parser_registry =
@@ -72,11 +95,35 @@ class Runtime {
   void drain();    // serially drain all queues into their pipelines
   RunStats finish();
 
+  /// Single-subscription mode only (null engine in multi mode).
   const FilterEngine& filter() const noexcept { return *filter_; }
   nic::SimNic& nic() noexcept { return *nic_; }
-  std::size_t cores() const noexcept { return pipelines_.size(); }
+  std::size_t cores() const noexcept {
+    return multi() ? multi_pipelines_.size() : pipelines_.size();
+  }
+  /// Single-subscription mode only.
   Pipeline& pipeline(std::size_t core) { return *pipelines_[core]; }
   const RuntimeConfig& config() const noexcept { return config_; }
+
+  /// Running a SubscriptionSet (multi-subscription mode)?
+  bool multi() const noexcept { return !multi_pipelines_.empty(); }
+  /// Multi mode only.
+  multisub::MultiPipeline& multi_pipeline(std::size_t core) {
+    return *multi_pipelines_[core];
+  }
+  const multisub::MultiPipeline& multi_pipeline(std::size_t core) const {
+    return *multi_pipelines_[core];
+  }
+  /// The shared filter forest (multi mode; null otherwise).
+  const multisub::FilterForest* forest() const noexcept {
+    return forest_ ? &*forest_ : nullptr;
+  }
+  /// The running set (multi mode; null otherwise).
+  const multisub::SubscriptionSet* subscription_set() const noexcept {
+    return set_ ? &*set_ : nullptr;
+  }
+  /// Per-subscription roll-up summed across cores (multi mode).
+  multisub::SubStats sub_stats(std::size_t sub) const;
 
   /// Shared degradation-ladder state: pipelines read it per packet, the
   /// overload controller (RuntimeMonitor::apply) writes it. Always
@@ -125,11 +172,19 @@ class Runtime {
   /// [1, Pipeline::kMaxBurst]. 1 selects the per-packet path.
   std::size_t burst_size() const noexcept;
 
+  /// NIC / telemetry / pipeline wiring shared by both constructors.
+  void init_common(const nic::FlowRuleSet& hw_rules,
+                   const filter::FieldRegistry& field_registry,
+                   const protocols::ParserRegistry& parser_registry);
+
   RuntimeConfig config_;
-  Subscription subscription_;
+  std::optional<Subscription> subscription_;       // single mode
+  std::optional<multisub::SubscriptionSet> set_;   // multi mode
+  std::optional<multisub::FilterForest> forest_;   // multi mode
   std::unique_ptr<FilterEngine> filter_;
   std::unique_ptr<nic::SimNic> nic_;
   std::vector<std::unique_ptr<Pipeline>> pipelines_;
+  std::vector<std::unique_ptr<multisub::MultiPipeline>> multi_pipelines_;
   std::unique_ptr<telemetry::MetricRegistry> metrics_;
   std::unique_ptr<telemetry::SpanRecorder> spans_;
   std::vector<telemetry::TelemetrySample> samples_;

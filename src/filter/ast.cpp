@@ -14,8 +14,33 @@ const char* cmp_op_name(CmpOp op) {
     case CmpOp::kIn: return "in";
     case CmpOp::kMatches: return "matches";
     case CmpOp::kContains: return "contains";
+    case CmpOp::kNotIn: return "not in";
+    case CmpOp::kNotMatches: return "not matches";
+    case CmpOp::kNotContains: return "not contains";
   }
   return "?";
+}
+
+CmpOp negate_cmp_op(CmpOp op) {
+  switch (op) {
+    case CmpOp::kUnary:
+      throw FilterError(
+          "cannot negate a protocol-presence predicate: the layered "
+          "decomposition has no node for 'protocol absent'");
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+    case CmpOp::kIn: return CmpOp::kNotIn;
+    case CmpOp::kMatches: return CmpOp::kNotMatches;
+    case CmpOp::kContains: return CmpOp::kNotContains;
+    case CmpOp::kNotIn: return CmpOp::kIn;
+    case CmpOp::kNotMatches: return CmpOp::kMatches;
+    case CmpOp::kNotContains: return CmpOp::kContains;
+  }
+  throw FilterError("negate_cmp_op: unknown operator");
 }
 
 std::string Predicate::to_string() const {

@@ -30,7 +30,19 @@ enum class CmpOp {
   kIn,       // range or prefix containment
   kMatches,  // regular expression ('matches' or '~')
   kContains, // substring
+  // Negated forms. The parser never emits a `not` AST node: negation is
+  // pushed down through and/or (De Morgan) until it lands on predicates,
+  // where ordered comparisons flip (< becomes >=) and the three
+  // non-invertible operators get explicit negated variants.
+  kNotIn,
+  kNotMatches,
+  kNotContains,
 };
+
+/// The operator that accepts exactly the values `op` rejects. Throws
+/// FilterError for kUnary (protocol presence has no complement that the
+/// layered decomposition can express).
+CmpOp negate_cmp_op(CmpOp op);
 
 const char* cmp_op_name(CmpOp op);
 

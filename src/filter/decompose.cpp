@@ -39,6 +39,7 @@ void validate_predicate(const Predicate& pred, const FieldRegistry& registry) {
           }
           break;
         case CmpOp::kIn:
+        case CmpOp::kNotIn:
           if (!std::holds_alternative<IntRange>(pred.value)) {
             fail("'in' on an integer field requires a lo..hi range");
           }
@@ -53,6 +54,8 @@ void validate_predicate(const Predicate& pred, const FieldRegistry& registry) {
         case CmpOp::kNe:
         case CmpOp::kMatches:
         case CmpOp::kContains:
+        case CmpOp::kNotMatches:
+        case CmpOp::kNotContains:
           if (!std::holds_alternative<std::string>(pred.value)) {
             fail("string field requires a quoted string value");
           }
@@ -65,7 +68,8 @@ void validate_predicate(const Predicate& pred, const FieldRegistry& registry) {
       switch (pred.op) {
         case CmpOp::kEq:
         case CmpOp::kNe:
-        case CmpOp::kIn: {
+        case CmpOp::kIn:
+        case CmpOp::kNotIn: {
           const auto* prefix = std::get_if<IpPrefix>(&pred.value);
           if (!prefix) fail("address field requires an IP or prefix value");
           const bool want_v6 = pred.proto == "ipv6";
@@ -364,28 +368,8 @@ DecomposedFilter decompose(const ExprPtr& expr, const FieldRegistry& registry,
       rule = widen_rule(rule, caps);
     }
     const bool duplicate =
-        std::any_of(rules.begin(), rules.end(), [&](const nic::FlowRule& r) {
-          return r.ether_type == rule.ether_type &&
-                 r.ip_proto == rule.ip_proto &&
-                 r.port.has_value() == rule.port.has_value() &&
-                 (!r.port || (r.port->port == rule.port->port &&
-                              r.port->dir == rule.port->dir)) &&
-                 r.port_range.has_value() == rule.port_range.has_value() &&
-                 (!r.port_range ||
-                  (r.port_range->lo == rule.port_range->lo &&
-                   r.port_range->hi == rule.port_range->hi &&
-                   r.port_range->dir == rule.port_range->dir)) &&
-                 r.v4_prefix.has_value() == rule.v4_prefix.has_value() &&
-                 (!r.v4_prefix ||
-                  (r.v4_prefix->addr == rule.v4_prefix->addr &&
-                   r.v4_prefix->prefix_len == rule.v4_prefix->prefix_len &&
-                   r.v4_prefix->dir == rule.v4_prefix->dir)) &&
-                 r.v6_prefix.has_value() == rule.v6_prefix.has_value() &&
-                 (!r.v6_prefix ||
-                  (r.v6_prefix->addr == rule.v6_prefix->addr &&
-                   r.v6_prefix->prefix_len == rule.v6_prefix->prefix_len &&
-                   r.v6_prefix->dir == rule.v6_prefix->dir));
-        });
+        std::any_of(rules.begin(), rules.end(),
+                    [&](const nic::FlowRule& r) { return r == rule; });
     if (!duplicate) rules.push_back(rule);
   }
   for (auto& rule : rules) out.hw_rules.add(std::move(rule));

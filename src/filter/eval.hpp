@@ -17,7 +17,9 @@ namespace retina::filter {
 
 inline bool compare_int(CmpOp op, std::uint64_t actual, const Value& value) {
   if (const auto* range = std::get_if<IntRange>(&value)) {
-    return op == CmpOp::kIn && range->contains(actual);
+    if (op == CmpOp::kIn) return range->contains(actual);
+    if (op == CmpOp::kNotIn) return !range->contains(actual);
+    return false;
   }
   const auto* rhs = std::get_if<std::uint64_t>(&value);
   if (!rhs) return false;
@@ -32,9 +34,9 @@ inline bool compare_int(CmpOp op, std::uint64_t actual, const Value& value) {
   }
 }
 
-/// `re` must be the precompiled regex when op == kMatches (both engines
-/// compile each regex exactly once, paper §4.1 "lazily evaluated static
-/// variables").
+/// `re` must be the precompiled regex when op is kMatches or kNotMatches
+/// (both engines compile each regex exactly once, paper §4.1 "lazily
+/// evaluated static variables").
 inline bool compare_string(CmpOp op, const std::string& actual,
                            const Value& value, const std::regex* re) {
   const auto* rhs = std::get_if<std::string>(&value);
@@ -43,8 +45,11 @@ inline bool compare_string(CmpOp op, const std::string& actual,
     case CmpOp::kEq: return actual == *rhs;
     case CmpOp::kNe: return actual != *rhs;
     case CmpOp::kContains: return actual.find(*rhs) != std::string::npos;
+    case CmpOp::kNotContains: return actual.find(*rhs) == std::string::npos;
     case CmpOp::kMatches:
       return re != nullptr && std::regex_search(actual, *re);
+    case CmpOp::kNotMatches:
+      return re != nullptr && !std::regex_search(actual, *re);
     default: return false;
   }
 }
@@ -56,7 +61,8 @@ inline bool compare_ip(CmpOp op, const packet::IpAddr& actual,
   switch (op) {
     case CmpOp::kEq:
     case CmpOp::kIn: return prefix->contains(actual);
-    case CmpOp::kNe: return !prefix->contains(actual);
+    case CmpOp::kNe:
+    case CmpOp::kNotIn: return !prefix->contains(actual);
     default: return false;
   }
 }

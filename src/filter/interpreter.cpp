@@ -9,7 +9,7 @@ InterpretedFilter::InterpretedFilter(DecomposedFilter decomposed,
     : decomposed_(std::move(decomposed)), registry_(&registry) {
   for (const auto& node : decomposed_.trie.nodes()) {
     const auto& pred = node.pred.pred;
-    if (pred.op == CmpOp::kMatches) {
+    if (pred.op == CmpOp::kMatches || pred.op == CmpOp::kNotMatches) {
       if (const auto* pattern = std::get_if<std::string>(&pred.value)) {
         regex_cache_.emplace(*pattern, std::regex(*pattern));
       }
@@ -30,7 +30,7 @@ bool InterpretedFilter::eval_packet_pred(
   if (!field || !field->packet_get) return false;
 
   const std::regex* re = nullptr;
-  if (pred.op == CmpOp::kMatches) {
+  if (pred.op == CmpOp::kMatches || pred.op == CmpOp::kNotMatches) {
     const auto it =
         regex_cache_.find(std::get<std::string>(pred.value));
     if (it != regex_cache_.end()) re = &it->second;
@@ -52,7 +52,7 @@ bool InterpretedFilter::eval_session_pred(
   if (!field || !field->session_get) return false;
 
   const std::regex* re = nullptr;
-  if (pred.op == CmpOp::kMatches) {
+  if (pred.op == CmpOp::kMatches || pred.op == CmpOp::kNotMatches) {
     const auto it =
         regex_cache_.find(std::get<std::string>(pred.value));
     if (it != regex_cache_.end()) re = &it->second;

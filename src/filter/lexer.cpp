@@ -110,6 +110,7 @@ std::vector<Token> tokenize(const std::string& input) {
       i = j;
       if (word == "and") push(TokenKind::kAnd, word, start);
       else if (word == "or") push(TokenKind::kOr, word, start);
+      else if (word == "not") push(TokenKind::kNot, word, start);
       else if (word == "in") push(TokenKind::kIn, word, start);
       else if (word == "matches") push(TokenKind::kMatches, word, start);
       else if (word == "contains") push(TokenKind::kContains, word, start);
@@ -155,6 +156,7 @@ const char* token_kind_name(TokenKind kind) {
     case TokenKind::kTilde: return "~";
     case TokenKind::kAnd: return "and";
     case TokenKind::kOr: return "or";
+    case TokenKind::kNot: return "not";
     case TokenKind::kIn: return "in";
     case TokenKind::kMatches: return "matches";
     case TokenKind::kContains: return "contains";

@@ -28,6 +28,7 @@ enum class TokenKind {
   kTilde,    // ~ (alias of matches)
   kAnd,
   kOr,
+  kNot,
   kIn,
   kMatches,
   kContains,

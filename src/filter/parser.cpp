@@ -60,12 +60,43 @@ class Parser {
   }
 
   ExprPtr parse_factor() {
+    if (accept(TokenKind::kNot)) {
+      // `not` binds tighter than `and`: `tcp and not tls.sni ~ 'x'`
+      // negates only the sni predicate. Negation is eliminated here by
+      // pushing it down to the predicates (De Morgan), so the rest of
+      // the decomposition never sees a negation node.
+      return negate_expr(parse_factor());
+    }
     if (accept(TokenKind::kLParen)) {
       auto e = parse_or();
       expect(TokenKind::kRParen);
       return e;
     }
     return parse_predicate();
+  }
+
+  static ExprPtr negate_expr(const ExprPtr& e) {
+    switch (e->kind) {
+      case Expr::Kind::kPredicate: {
+        Predicate p = e->pred;
+        if (p.is_unary()) {
+          throw FilterError("cannot negate protocol presence '" + p.proto +
+                            "': only field comparisons may appear under "
+                            "'not'");
+        }
+        p.op = negate_cmp_op(p.op);
+        return Expr::make_pred(std::move(p));
+      }
+      case Expr::Kind::kAnd:
+      case Expr::Kind::kOr: {
+        std::vector<ExprPtr> flipped;
+        flipped.reserve(e->children.size());
+        for (const auto& c : e->children) flipped.push_back(negate_expr(c));
+        return e->kind == Expr::Kind::kAnd ? Expr::make_or(std::move(flipped))
+                                           : Expr::make_and(std::move(flipped));
+      }
+    }
+    throw FilterError("negate_expr: unknown expression kind");
   }
 
   ExprPtr parse_predicate() {

@@ -1,0 +1,28 @@
+// Single-predicate closure compilation, shared between CompiledFilter
+// (one thunk per distinct eval slot of one subscription's trie) and the
+// multi-subscription PredicateBank (one thunk per distinct predicate
+// across a whole SubscriptionSet). Accessors, operators, and constants
+// are bound at build time; regexes are precompiled (paper §4.1).
+#pragma once
+
+#include <functional>
+
+#include "filter/ast.hpp"
+#include "filter/field_registry.hpp"
+#include "packet/packet_view.hpp"
+#include "protocols/session.hpp"
+
+namespace retina::filter {
+
+/// Thunk for a packet-layer predicate (unary protocol presence or a
+/// field comparison). Throws FilterError if the field cannot be read at
+/// the packet layer.
+std::function<bool(const packet::PacketView&)> compile_packet_pred(
+    const Predicate& pred, const FieldRegistry& registry);
+
+/// Thunk for a session-layer predicate. Throws FilterError if the field
+/// has no session accessor.
+std::function<bool(const protocols::Session&)> compile_session_pred(
+    const Predicate& pred, const FieldRegistry& registry);
+
+}  // namespace retina::filter

@@ -1,10 +1,9 @@
 #include "filter/program.hpp"
 
 #include "filter/eval.hpp"
+#include "filter/pred_compile.hpp"
 
 namespace retina::filter {
-
-namespace {
 
 /// Build the packet-layer thunk for one predicate: accessor, operator,
 /// and constant are bound now; evaluation is a direct call.
@@ -48,15 +47,15 @@ std::function<bool(const packet::PacketView&)> compile_packet_pred(
         return false;
       };
     case FieldType::kString: {
+      const bool regex_op = op == CmpOp::kMatches || op == CmpOp::kNotMatches;
       auto re = std::make_shared<const std::regex>(
-          op == CmpOp::kMatches ? std::get<std::string>(value) : "");
-      return [get, op, value, re](const packet::PacketView& pkt) {
+          regex_op ? std::get<std::string>(value) : "");
+      return [get, op, value, re, regex_op](const packet::PacketView& pkt) {
         FieldValues vals;
         get(pkt, vals);
         for (const auto& v : vals) {
           if (const auto* s = std::get_if<std::string>(&v)) {
-            if (compare_string(op, *s, value,
-                               op == CmpOp::kMatches ? re.get() : nullptr))
+            if (compare_string(op, *s, value, regex_op ? re.get() : nullptr))
               return true;
           }
         }
@@ -81,7 +80,7 @@ std::function<bool(const protocols::Session&)> compile_session_pred(
   // Regexes compile exactly once, at filter build time (the analogue of
   // Retina's lazy_static declarations, §4.1).
   std::shared_ptr<const std::regex> re;
-  if (op == CmpOp::kMatches) {
+  if (op == CmpOp::kMatches || op == CmpOp::kNotMatches) {
     re = std::make_shared<const std::regex>(std::get<std::string>(value));
   }
 
@@ -95,8 +94,6 @@ std::function<bool(const protocols::Session&)> compile_session_pred(
   };
 }
 
-}  // namespace
-
 CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
                                        const FieldRegistry& registry) {
   CompiledFilter cf;
@@ -108,6 +105,14 @@ CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
 
   const auto& trie_nodes = decomposed.trie.nodes();
   cf.nodes_.resize(trie_nodes.size());
+  // Structurally identical predicates (same eval slot) share one
+  // compiled thunk: nodes holding `tcp.port = 80` under both the ipv4
+  // and ipv6 chains evaluate through the same closure (and the same
+  // precompiled regex) instead of compiling one each.
+  std::vector<std::function<bool(const packet::PacketView&)>> pkt_slots(
+      decomposed.trie.distinct_predicate_count());
+  std::vector<std::function<bool(const protocols::Session&)>> session_slots(
+      decomposed.trie.distinct_predicate_count());
   for (std::size_t i = 0; i < trie_nodes.size(); ++i) {
     const auto& src = trie_nodes[i];
     auto& dst = cf.nodes_[i];
@@ -119,15 +124,21 @@ CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
     if (i == 0) continue;  // root has no predicate
 
     switch (src.pred.layer) {
-      case FilterLayer::kPacket:
-        dst.packet_eval = compile_packet_pred(src.pred.pred, registry);
+      case FilterLayer::kPacket: {
+        auto& slot = pkt_slots[src.eval_slot];
+        if (!slot) slot = compile_packet_pred(src.pred.pred, registry);
+        dst.packet_eval = slot;
         break;
+      }
       case FilterLayer::kConnection:
         dst.app_proto = registry.require(src.pred.pred.proto).app_proto_id;
         break;
-      case FilterLayer::kSession:
-        dst.session_eval = compile_session_pred(src.pred.pred, registry);
+      case FilterLayer::kSession: {
+        auto& slot = session_slots[src.eval_slot];
+        if (!slot) slot = compile_session_pred(src.pred.pred, registry);
+        dst.session_eval = slot;
         break;
+      }
     }
   }
 

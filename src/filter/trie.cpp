@@ -29,6 +29,7 @@ void PredicateTrie::insert(const ExpandedPattern& pattern) {
     node.id = static_cast<std::uint32_t>(nodes_.size());
     node.parent = current;
     node.pred = lp;
+    node.eval_slot = slot_for(lp);
     nodes_[current].children.push_back(node.id);
     nodes_.push_back(std::move(node));
     current = nodes_.back().id;
@@ -43,6 +44,80 @@ void PredicateTrie::prune_subtree(std::uint32_t id) {
   // are unreachable from the root. `has_layer` and the sub-filter
   // generators only walk reachable nodes.
   nodes_[id].children.clear();
+}
+
+std::uint32_t PredicateTrie::slot_for(const LayeredPredicate& lp) {
+  const auto it = std::find(distinct_preds_.begin(), distinct_preds_.end(), lp);
+  if (it != distinct_preds_.end()) {
+    return static_cast<std::uint32_t>(it - distinct_preds_.begin());
+  }
+  distinct_preds_.push_back(lp);
+  return static_cast<std::uint32_t>(distinct_preds_.size() - 1);
+}
+
+std::size_t PredicateTrie::reachable_size() const {
+  std::size_t count = 0;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const auto id = stack.back();
+    stack.pop_back();
+    ++count;
+    for (auto child : nodes_[id].children) stack.push_back(child);
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> PredicateTrie::graft(const PredicateTrie& other,
+                                                std::uint32_t sub_index) {
+  if (sub_index >= 64) {
+    throw FilterError(
+        "subscription index exceeds the 64-subscription forest bitset");
+  }
+  const std::uint64_t bit = std::uint64_t{1} << sub_index;
+
+  std::vector<std::uint32_t> map(other.size(), kNoNode);
+  map[0] = 0;
+  nodes_[0].subs |= bit;
+  if (other.nodes_[0].terminal) {
+    nodes_[0].terminal = true;
+    nodes_[0].terminal_subs |= bit;
+  }
+
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const auto oid = stack.back();
+    stack.pop_back();
+    const auto mine = map[oid];
+    for (auto other_child : other.nodes_[oid].children) {
+      const auto& oc = other.nodes_[other_child];
+      const auto& kids = nodes_[mine].children;
+      const auto it = std::find_if(
+          kids.begin(), kids.end(),
+          [&](std::uint32_t id) { return nodes_[id].pred == oc.pred; });
+      std::uint32_t nid;
+      if (it != kids.end()) {
+        nid = *it;
+      } else {
+        TrieNode node;
+        node.id = static_cast<std::uint32_t>(nodes_.size());
+        node.parent = mine;
+        node.pred = oc.pred;
+        node.eval_slot = slot_for(oc.pred);
+        nodes_[mine].children.push_back(node.id);
+        nodes_.push_back(std::move(node));
+        nid = nodes_.back().id;
+      }
+      auto& merged = nodes_[nid];
+      merged.subs |= bit;
+      if (oc.terminal) {
+        merged.terminal = true;
+        merged.terminal_subs |= bit;
+      }
+      map[other_child] = nid;
+      stack.push_back(other_child);
+    }
+  }
+  return map;
 }
 
 bool PredicateTrie::has_layer(FilterLayer layer) const {
@@ -92,6 +167,18 @@ std::string PredicateTrie::to_string() const {
         case FilterLayer::kSession: os << "  {session"; break;
       }
       if (node.terminal) os << ", terminal";
+      if (node.subs != 0) {
+        os << ", subs=";
+        bool first = true;
+        for (std::uint32_t s = 0; s < 64; ++s) {
+          if (node.subs & (std::uint64_t{1} << s)) {
+            if (!first) os << ",";
+            first = false;
+            os << s;
+            if ((node.terminal_subs >> s) & 1) os << "*";
+          }
+        }
+      }
       os << "}";
     }
     os << "\n";

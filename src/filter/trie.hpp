@@ -37,6 +37,18 @@ struct TrieNode {
   std::uint32_t parent = 0;
   LayeredPredicate pred;  // unset for the root
   bool terminal = false;
+  /// Index into PredicateTrie::distinct_predicates(). Structurally
+  /// identical predicates from different DNF clauses (e.g. `tcp.port =
+  /// 80` under both the ipv4 and ipv6 chains) share one slot, so the
+  /// execution engines compile and evaluate each distinct predicate
+  /// once. Zero (the root's slot) for the root only.
+  std::uint32_t eval_slot = 0;
+  /// Multi-subscription forest annotations, populated by graft(): bit s
+  /// is set when subscription s's filter reaches this node; a bit in
+  /// `terminal_subs` means the node completes one of s's patterns. Both
+  /// stay zero in ordinary single-subscription tries.
+  std::uint64_t subs = 0;
+  std::uint64_t terminal_subs = 0;
   std::vector<std::uint32_t> children;
 };
 
@@ -64,6 +76,9 @@ struct FilterResult {
 
 class PredicateTrie {
  public:
+  /// Sentinel in graft() id maps for nodes unreachable in the source.
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
   PredicateTrie();
 
   /// Insert one expanded pattern. Shares prefixes with existing paths;
@@ -74,6 +89,29 @@ class PredicateTrie {
   const TrieNode& node(std::uint32_t id) const { return nodes_.at(id); }
   const TrieNode& root() const { return nodes_.front(); }
   std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// Nodes reachable from the root (excludes subtrees detached by the
+  /// terminal-pruning optimization, which stay in the vector to keep ids
+  /// stable).
+  std::size_t reachable_size() const;
+
+  /// The deduplicated predicate table indexed by TrieNode::eval_slot.
+  const std::vector<LayeredPredicate>& distinct_predicates() const noexcept {
+    return distinct_preds_;
+  }
+  std::size_t distinct_predicate_count() const noexcept {
+    return distinct_preds_.size();
+  }
+
+  /// Merge another (already optimized, single-subscription) trie into
+  /// this one as subscription `sub_index` (< 64), OR-ing `sub_index`'s
+  /// bit into the subs / terminal_subs bitsets along every grafted path.
+  /// No terminal pruning is applied across subscriptions: one
+  /// subscription's short terminal pattern must not truncate another's
+  /// deeper paths. Returns a map from `other`'s node ids to this trie's
+  /// ids (kNoNode for nodes unreachable in `other`).
+  std::vector<std::uint32_t> graft(const PredicateTrie& other,
+                                   std::uint32_t sub_index);
 
   /// True if any live node executes in `layer`.
   bool has_layer(FilterLayer layer) const;
@@ -86,8 +124,10 @@ class PredicateTrie {
 
  private:
   void prune_subtree(std::uint32_t id);
+  std::uint32_t slot_for(const LayeredPredicate& lp);
 
   std::vector<TrieNode> nodes_;
+  std::vector<LayeredPredicate> distinct_preds_;
 };
 
 }  // namespace retina::filter

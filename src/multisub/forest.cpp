@@ -1,0 +1,190 @@
+#include "multisub/forest.hpp"
+
+namespace retina::multisub {
+
+using filter::FilterLayer;
+using filter::FilterResult;
+using filter::MatchKind;
+
+Result<FilterForest> FilterForest::build(const SubscriptionSet& set,
+                                         const filter::FieldRegistry& registry,
+                                         const nic::NicCapabilities& caps) {
+  FilterForest forest;
+  forest.views_.reserve(set.size());
+
+  for (std::size_t s = 0; s < set.size(); ++s) {
+    // Per-subscription decomposition first: hardware-rule validation and
+    // capability widening happen per member, so one subscription needing
+    // a software fallback never widens another's rules.
+    auto decomposed =
+        filter::try_decompose(set.at(s).filter(), registry, caps);
+    if (!decomposed) {
+      return Err("subscription '" + set.name(s) + "': " +
+                 decomposed.error());
+    }
+
+    const auto id_map =
+        forest.merged_.graft(decomposed->trie, static_cast<std::uint32_t>(s));
+    for (const auto& rule : decomposed->hw_rules.rules()) {
+      forest.hw_rules_.add_unique(rule);
+    }
+
+    SubView view;
+    view.source = decomposed->source;
+    view.needs_conn = decomposed->needs_conn_stage();
+    view.needs_session = decomposed->needs_session_stage();
+    view.app_protos = decomposed->app_protos;
+    view.reachable = decomposed->trie.reachable_size();
+    const auto& nodes = decomposed->trie.nodes();
+    view.nodes.resize(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& src = nodes[i];
+      auto& dst = view.nodes[i];
+      dst.layer = src.pred.layer;
+      dst.terminal = src.terminal;
+      dst.children = src.children;
+      dst.path = decomposed->trie.path_to(src.id);
+      if (i == 0 || id_map[i] == filter::PredicateTrie::kNoNode) continue;
+      // The grafted twin's eval slot indexes the *shared* bank: two
+      // subscriptions holding the same predicate land on the same slot.
+      dst.slot = forest.merged_.node(id_map[i]).eval_slot;
+      if (src.pred.layer == FilterLayer::kConnection) {
+        dst.app_proto = registry.require(src.pred.pred.proto).app_proto_id;
+      }
+    }
+    for (auto& node : view.nodes) {
+      for (const auto child : node.children) {
+        if (view.nodes[child].layer != FilterLayer::kPacket) {
+          node.has_conn_descendant = true;
+          break;
+        }
+      }
+    }
+    forest.views_.push_back(std::move(view));
+  }
+
+  // One thunk per distinct predicate across the whole set.
+  const auto& preds = forest.merged_.distinct_predicates();
+  forest.packet_bank_.resize(preds.size());
+  forest.session_bank_.resize(preds.size());
+  try {
+    for (std::size_t slot = 0; slot < preds.size(); ++slot) {
+      switch (preds[slot].layer) {
+        case FilterLayer::kPacket:
+          forest.packet_bank_[slot] =
+              filter::compile_packet_pred(preds[slot].pred, registry);
+          break;
+        case FilterLayer::kSession:
+          forest.session_bank_[slot] =
+              filter::compile_session_pred(preds[slot].pred, registry);
+          break;
+        case FilterLayer::kConnection:
+          break;  // protocol-id comparison; no thunk
+      }
+    }
+  } catch (const std::exception& e) {
+    // decompose() validated each predicate, so this is belt-and-braces
+    // (e.g. a pathological regex the parser accepted).
+    return Err(std::string("cannot compile shared predicate bank: ") +
+               e.what());
+  }
+
+  return forest;
+}
+
+bool FilterForest::packet_dfs(const SubView& view, std::uint32_t id,
+                              const packet::PacketView& pkt,
+                              EvalScratch& scratch,
+                              FilterResult& best) const {
+  const auto& node = view.nodes[id];
+  for (const auto child_id : node.children) {
+    const auto& child = view.nodes[child_id];
+    if (child.layer != FilterLayer::kPacket) continue;
+    if (!eval_packet(child.slot, pkt, scratch)) continue;
+
+    if (child.terminal) {
+      best = FilterResult::terminal_match(child_id);
+      return true;  // a satisfied pattern: this subscription matches
+    }
+    if (child.has_conn_descendant) {
+      // Deeper matches are more specific; keep the deepest.
+      if (best.kind == MatchKind::kNoMatch ||
+          view.nodes[best.node_id].path.size() < child.path.size()) {
+        best = FilterResult::non_terminal(child_id);
+      }
+    }
+    if (packet_dfs(view, child_id, pkt, scratch, best)) return true;
+  }
+  return false;
+}
+
+SubMask FilterForest::packet_filter(const packet::PacketView& pkt,
+                                    EvalScratch& scratch,
+                                    FilterResult* results) const {
+  scratch.begin();
+  SubMask matched = 0;
+  for (std::size_t s = 0; s < views_.size(); ++s) {
+    FilterResult best = FilterResult::no_match();
+    packet_dfs(views_[s], 0, pkt, scratch, best);
+    results[s] = best;
+    if (best.matched()) matched |= sub_bit(s);
+  }
+  return matched;
+}
+
+FilterResult FilterForest::conn_filter(std::size_t sub,
+                                       std::uint32_t pkt_term_node,
+                                       std::size_t app_proto_id) const {
+  const auto& view = views_[sub];
+  if (pkt_term_node >= view.nodes.size()) return FilterResult::no_match();
+
+  // Connection predicates can hang off any node along the matched packet
+  // path (same walk as CompiledFilter::conn_filter).
+  FilterResult best = FilterResult::no_match();
+  for (const auto path_id : view.nodes[pkt_term_node].path) {
+    for (const auto child_id : view.nodes[path_id].children) {
+      const auto& child = view.nodes[child_id];
+      if (child.layer != FilterLayer::kConnection) continue;
+      if (child.app_proto != app_proto_id) continue;
+      if (child.terminal) {
+        return FilterResult::terminal_match(child_id);
+      }
+      best = FilterResult::non_terminal(child_id);
+    }
+  }
+  return best;
+}
+
+bool FilterForest::session_dfs(const SubView& view, std::uint32_t id,
+                               const protocols::Session& session,
+                               EvalScratch& scratch) const {
+  const auto& node = view.nodes[id];
+  if (!scratch.memo(node.slot,
+                    [&] { return session_bank_[node.slot](session); })) {
+    return false;
+  }
+  if (node.terminal) return true;
+  for (const auto child_id : node.children) {
+    if (view.nodes[child_id].layer != FilterLayer::kSession) continue;
+    if (session_dfs(view, child_id, session, scratch)) return true;
+  }
+  return false;
+}
+
+bool FilterForest::session_filter(std::size_t sub,
+                                  std::uint32_t conn_term_node,
+                                  const protocols::Session& session,
+                                  EvalScratch& scratch) const {
+  const auto& view = views_[sub];
+  if (conn_term_node >= view.nodes.size()) return false;
+  const auto& conn_node = view.nodes[conn_term_node];
+  if (conn_node.terminal) return true;  // already fully matched
+
+  for (const auto child_id : conn_node.children) {
+    if (view.nodes[child_id].layer != FilterLayer::kSession) continue;
+    if (session_dfs(view, child_id, session, scratch)) return true;
+  }
+  return false;
+}
+
+}  // namespace retina::multisub

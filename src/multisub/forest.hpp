@@ -1,0 +1,174 @@
+// The shared filter forest: N subscriptions' decomposed filters merged
+// so a single pass decides every subscription at once.
+//
+// Structure (tentpole of the multi-subscription engine):
+//  * each member filter is decomposed on its own (hardware-rule
+//    validation and capability fallback included), then *grafted* into
+//    one merged predicate trie whose nodes carry per-subscription
+//    bitsets (TrieNode::subs / terminal_subs) — the "bitset forest"
+//    of docs/ARCHITECTURE.md;
+//  * every structurally distinct predicate across the whole set gets
+//    exactly one compiled thunk in the shared PredicateBank, indexed by
+//    the merged trie's eval slots;
+//  * evaluation keeps per-subscription trie *views* (each subscription's
+//    own node ids, so resume-node semantics match the single-
+//    subscription engine exactly) but memoizes predicate outcomes
+//    through an EvalScratch: the first subscription that needs
+//    `tls.sni ~ 'x'` pays for the regex, every other subscription reads
+//    the cached verdict. One packet/session therefore evaluates each
+//    distinct predicate at most once no matter how many subscriptions
+//    reference it;
+//  * the hardware rule sets are unioned (FlowRuleSet::add_unique):
+//    permit-any semantics make the union a superset of every member's
+//    coverage, so the NIC program stays correct for all of them.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "filter/decompose.hpp"
+#include "filter/pred_compile.hpp"
+#include "multisub/subscription_set.hpp"
+#include "nic/flow_rule.hpp"
+
+namespace retina::multisub {
+
+/// Per-evaluation memo over the shared predicate bank. Stamp-based: one
+/// epoch per packet (or per session), O(1) begin(), no clearing. Owned
+/// by the pipeline (per core), never shared across threads — the forest
+/// itself stays immutable and shareable.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+  explicit EvalScratch(std::size_t slots)
+      : stamp_(slots, 0), value_(slots, 0) {}
+
+  /// Start a new evaluation epoch (one packet / one session).
+  void begin() noexcept { ++epoch_; }
+
+  template <typename Compute>
+  bool memo(std::uint32_t slot, Compute&& compute) {
+    if (stamp_[slot] == epoch_) return value_[slot] != 0;
+    const bool v = compute();
+    stamp_[slot] = epoch_;
+    value_[slot] = v ? 1 : 0;
+    return v;
+  }
+
+  std::size_t slots() const noexcept { return stamp_.size(); }
+
+ private:
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint8_t> value_;
+  std::uint64_t epoch_ = 0;  // 64-bit: never wraps in practice
+};
+
+class FilterForest {
+ public:
+  /// Decompose every member filter, merge the tries, compile the shared
+  /// bank. Per-member errors (parse/semantic) come back as an error
+  /// string naming the offending subscription.
+  static Result<FilterForest> build(
+      const SubscriptionSet& set, const filter::FieldRegistry& registry,
+      const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
+
+  std::size_t sub_count() const noexcept { return views_.size(); }
+
+  /// Single-pass software packet filter: evaluates the packet against
+  /// every subscription's view through one shared memo. `results` must
+  /// have sub_count() entries; results[s] is exactly what subscription
+  /// s's own CompiledFilter::packet_filter would have returned. Returns
+  /// the mask of subscriptions whose result matched. Calls
+  /// scratch.begin() itself (one epoch per packet).
+  SubMask packet_filter(const packet::PacketView& pkt, EvalScratch& scratch,
+                        filter::FilterResult* results) const;
+
+  /// Subscription s's connection filter (identical semantics to
+  /// CompiledFilter::conn_filter, over s's view).
+  filter::FilterResult conn_filter(std::size_t sub,
+                                   std::uint32_t pkt_term_node,
+                                   std::size_t app_proto_id) const;
+
+  /// Subscription s's session filter, memoized through `scratch`. The
+  /// caller begins one scratch epoch per session, then loops the
+  /// surviving subscriptions — shared session predicates (the expensive
+  /// regexes) evaluate once per session.
+  bool session_filter(std::size_t sub, std::uint32_t conn_term_node,
+                      const protocols::Session& session,
+                      EvalScratch& scratch) const;
+
+  bool needs_conn_stage(std::size_t sub) const {
+    return views_[sub].needs_conn;
+  }
+  bool needs_session_stage(std::size_t sub) const {
+    return views_[sub].needs_session;
+  }
+  const std::set<std::size_t>& app_protos(std::size_t sub) const {
+    return views_[sub].app_protos;
+  }
+  const std::string& source(std::size_t sub) const {
+    return views_[sub].source;
+  }
+  /// Node count of subscription s's reachable view (tests).
+  std::size_t view_node_count(std::size_t sub) const {
+    return views_[sub].reachable;
+  }
+
+  /// Unioned, device-validated hardware rules covering every member.
+  const nic::FlowRuleSet& hw_rules() const noexcept { return hw_rules_; }
+
+  /// The merged bitset trie (diagnostics, tests, docs examples).
+  const filter::PredicateTrie& merged_trie() const noexcept {
+    return merged_;
+  }
+  /// Distinct predicates across the whole set == shared thunk count.
+  std::size_t bank_size() const noexcept { return packet_bank_.size(); }
+
+  /// A scratch sized for this forest's bank. Make one per pipeline per
+  /// purpose (packet epoch vs session epoch).
+  EvalScratch make_scratch() const { return EvalScratch(bank_size()); }
+
+ private:
+  struct SubNode {
+    filter::FilterLayer layer = filter::FilterLayer::kPacket;
+    bool terminal = false;
+    bool has_conn_descendant = false;
+    std::uint32_t slot = 0;      // shared bank slot (packet/session nodes)
+    std::size_t app_proto = 0;   // connection nodes
+    std::vector<std::uint32_t> children;
+    std::vector<std::uint32_t> path;  // root..self inclusive
+  };
+  struct SubView {
+    std::string source;
+    bool needs_conn = false;
+    bool needs_session = false;
+    std::set<std::size_t> app_protos;
+    std::size_t reachable = 0;
+    std::vector<SubNode> nodes;  // indexed by the sub's own trie ids
+  };
+
+  FilterForest() = default;
+
+  bool eval_packet(std::uint32_t slot, const packet::PacketView& pkt,
+                   EvalScratch& scratch) const {
+    return scratch.memo(slot, [&] { return packet_bank_[slot](pkt); });
+  }
+  bool packet_dfs(const SubView& view, std::uint32_t id,
+                  const packet::PacketView& pkt, EvalScratch& scratch,
+                  filter::FilterResult& best) const;
+  bool session_dfs(const SubView& view, std::uint32_t id,
+                   const protocols::Session& session,
+                   EvalScratch& scratch) const;
+
+  std::vector<SubView> views_;
+  filter::PredicateTrie merged_;
+  nic::FlowRuleSet hw_rules_;
+  // Shared thunks, indexed by the merged trie's eval slots. Only the
+  // entry matching the slot's layer is set.
+  std::vector<std::function<bool(const packet::PacketView&)>> packet_bank_;
+  std::vector<std::function<bool(const protocols::Session&)>> session_bank_;
+};
+
+}  // namespace retina::multisub

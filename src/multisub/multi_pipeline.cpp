@@ -1,0 +1,1605 @@
+#include "multisub/multi_pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <new>
+
+#include "packet/packet_view.hpp"
+#include "util/cycles.hpp"
+
+namespace retina::multisub {
+
+namespace {
+
+using conntrack::ConnState;
+using core::Level;
+using core::Stage;
+using filter::FilterResult;
+using filter::MatchKind;
+
+/// Scoped cycle accounting for one stage — same contract as the
+/// single-subscription pipeline's StageScope (stage counters are
+/// per *pipeline* stage; per-member attribution rides separately on
+/// add_sub_cycles).
+class StageScope {
+ public:
+  StageScope(core::PipelineStats& stats, Stage stage, bool enabled,
+             const core::PipelineInstruments* inst = nullptr)
+      : stats_(stats), stage_(stage), enabled_(enabled), inst_(inst) {
+    if (enabled_) {
+      stats_.stages.add(stage_);
+      if (inst_ != nullptr) {
+        if (auto* cell = inst_->stage_invocations[static_cast<int>(stage_)]) {
+          cell->inc();
+        }
+      }
+      start_ = util::rdtsc();
+    }
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+  ~StageScope() {
+    if (enabled_) {
+      const auto cycles = util::rdtsc() - start_;
+      stats_.stages.add_cycles(stage_, cycles);
+      if (inst_ != nullptr) {
+        if (auto* hist = inst_->stage_cycles[static_cast<int>(stage_)]) {
+          hist->record(cycles);
+        }
+      }
+    }
+  }
+
+ private:
+  core::PipelineStats& stats_;
+  Stage stage_;
+  bool enabled_;
+  const core::PipelineInstruments* inst_;
+  std::uint64_t start_ = 0;
+};
+
+packet::FiveTuple oriented(const packet::FiveTuple& key, bool orig_first) {
+  if (orig_first) return key;
+  return packet::FiveTuple{key.dst, key.src, key.dst_port, key.src_port,
+                           key.proto};
+}
+
+// Rough per-object heap estimates (same constants as core::Pipeline so
+// the Fig. 8 accounting is comparable between the two engines).
+constexpr std::uint64_t kParserEstimateBytes = 1024;
+constexpr std::uint64_t kOooPduEstimateBytes = 1024;  // held mbuf + handle
+constexpr std::uint64_t kReassemblerBytes = sizeof(stream::StreamReassembler);
+
+// Cost ranks are recomputed from attributed cycles every this many
+// packets — cheap (<= 64 members) and fast enough that the staged
+// ladder tracks shifting workloads.
+constexpr std::uint64_t kRerankInterval = 8192;
+
+inline std::size_t bit_index(SubMask m) noexcept {
+  return static_cast<std::size_t>(std::countr_zero(m));
+}
+
+}  // namespace
+
+MultiPipeline::MultiPipeline(const core::RuntimeConfig& config,
+                             const SubscriptionSet& set,
+                             const FilterForest& forest,
+                             const filter::FieldRegistry& field_registry,
+                             const protocols::ParserRegistry& parser_registry)
+    : config_(config),
+      set_(set),
+      forest_(forest),
+      parser_registry_(parser_registry),
+      table_(config.timeouts) {
+  const std::size_t n = set_.size();
+  levels_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const auto lvl = set_.at(s).level();
+    levels_.push_back(lvl);
+    const auto bit = sub_bit(s);
+    switch (lvl) {
+      case Level::kPacket: packet_level_mask_ |= bit; break;
+      case Level::kConnection: conn_level_mask_ |= bit; break;
+      case Level::kSession: session_level_mask_ |= bit; break;
+      case Level::kStream: stream_level_mask_ |= bit; break;
+    }
+  }
+
+  // The probed parser set is the union of the members' sets, each
+  // computed exactly as the single-subscription pipeline computes its
+  // own (filter protocols + extra parsers; a session-level member with
+  // no protocol constraint probes everything).
+  std::set<std::size_t> wanted;
+  for (std::size_t s = 0; s < n; ++s) {
+    std::set<std::size_t> member = forest_.app_protos(s);
+    for (const auto& name : set_.at(s).extra_parsers()) {
+      member.insert(field_registry.require(name).app_proto_id);
+    }
+    if (levels_[s] == Level::kSession && member.empty()) {
+      for (const auto& name : parser_registry_.names()) {
+        if (const auto* proto = field_registry.find(name)) {
+          member.insert(proto->app_proto_id);
+        }
+      }
+    }
+    wanted.insert(member.begin(), member.end());
+  }
+  for (const auto app_id : wanted) {
+    const auto& name = field_registry.app_proto_name(app_id);
+    if (name.empty() || !parser_registry_.has(name)) continue;
+    const auto* proto = field_registry.find(name);
+    ProtoCandidate candidate;
+    candidate.app_proto_id = app_id;
+    candidate.name = name;
+    candidate.over_tcp = proto->transport == "tcp";
+    candidate.prototype = parser_registry_.create(name);
+    const auto bit = 1u << candidates_.size();
+    (candidate.over_tcp ? tcp_candidate_mask_ : udp_candidate_mask_) |= bit;
+    candidates_.push_back(std::move(candidate));
+  }
+
+  sub_stats_.resize(n);
+  sub_inst_.resize(n);
+  cost_rank_.assign(n, 0);
+  pkt_scratch_ = forest_.make_scratch();
+  session_scratch_ = forest_.make_scratch();
+  pf_results_.assign(n, FilterResult::no_match());
+  burst_pf_.assign(kBurstLookahead * n, FilterResult::no_match());
+  attribute_cycles_ = config_.overload.enabled;
+  packets_until_rerank_ = kRerankInterval;
+  if (config_.memory_sample_interval_ns > 0) {
+    next_sample_ts_ = 0;  // first packet triggers the first sample
+  }
+}
+
+void MultiPipeline::attach_telemetry(telemetry::MetricRegistry& registry,
+                                     std::size_t core,
+                                     telemetry::SpanRing* spans) {
+  inst_.packets =
+      &registry.counter("retina_packets_total",
+                        "Packets polled from the receive queue").at(core);
+  inst_.bytes =
+      &registry.counter("retina_bytes_total",
+                        "Wire bytes polled from the receive queue").at(core);
+  inst_.conns_created =
+      &registry.counter("retina_conns_created_total",
+                        "Connections inserted into the table").at(core);
+  inst_.conns_expired =
+      &registry.counter("retina_conns_expired_total",
+                        "Connections removed by inactivity timeout").at(core);
+  inst_.conns_terminated =
+      &registry.counter("retina_conns_terminated_total",
+                        "Connections closed by FIN/RST").at(core);
+  inst_.sessions =
+      &registry.counter("retina_sessions_parsed_total",
+                        "Application-layer sessions parsed").at(core);
+  inst_.callbacks =
+      &registry.counter("retina_callbacks_total",
+                        "Subscription callback invocations").at(core);
+  inst_.live_conns =
+      &registry.gauge("retina_live_connections",
+                      "Connections currently tracked").at(core);
+  inst_.state_bytes =
+      &registry.gauge("retina_state_bytes",
+                      "Approximate bytes of connection state held").at(core);
+  for (int i = 0; i < static_cast<int>(Stage::kCount); ++i) {
+    const auto stage = static_cast<Stage>(i);
+    inst_.stage_invocations[i] =
+        &registry.counter("retina_stage_invocations_total",
+                          "Times each pipeline stage ran", "stage",
+                          core::stage_name(stage)).at(core);
+    inst_.stage_cycles[i] =
+        &registry.histogram("retina_stage_cycles",
+                            "Per-invocation CPU cycles of each stage",
+                            "stage", core::stage_name(stage)).at(core);
+  }
+  inst_.burst_occupancy =
+      &registry.histogram("retina_burst_occupancy",
+                          "Packets per received burst").at(core);
+  inst_.burst_cycles =
+      &registry.histogram("retina_burst_cycles",
+                          "CPU cycles per processed burst").at(core);
+  for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
+    const auto stage = static_cast<overload::ShedStage>(i);
+    inst_.shed_cells[i] =
+        &registry.counter("retina_shed_total",
+                          "Work refused by overload shedding", "stage",
+                          overload::shed_stage_name(stage)).at(core);
+  }
+  for (std::size_t s = 0; s < set_.size(); ++s) {
+    const auto& label = set_.name(s);
+    sub_inst_[s].matched =
+        &registry.counter("retina_sub_conns_matched_total",
+                          "Connections terminally matched, per subscription",
+                          "subscription", label).at(core);
+    sub_inst_[s].delivered =
+        &registry.counter("retina_sub_delivered_total",
+                          "Callback invocations, per subscription",
+                          "subscription", label).at(core);
+    sub_inst_[s].shed =
+        &registry.counter("retina_sub_shed_total",
+                          "Work shed by overload control, per subscription",
+                          "subscription", label).at(core);
+    sub_inst_[s].cycles =
+        &registry.counter("retina_sub_cycles_total",
+                          "Attributed CPU cycles, per subscription",
+                          "subscription", label).at(core);
+  }
+  spans_ = spans;
+  attribute_cycles_ = true;  // cycle attribution feeds the new counters
+}
+
+// --- Overload plumbing -----------------------------------------------
+
+void MultiPipeline::shed_global(overload::ShedStage stage) {
+  ++stats_.shed[static_cast<int>(stage)];
+  if (auto* cell = inst_.shed_cells[static_cast<int>(stage)]) cell->inc();
+}
+
+void MultiPipeline::shed_sub(overload::ShedStage stage, std::size_t sub) {
+  shed_global(stage);  // the global counters roll up every member's sheds
+  ++sub_stats_[sub].shed;
+  if (auto* cell = sub_inst_[sub].shed) cell->inc();
+}
+
+void MultiPipeline::add_sub_cycles(std::size_t sub, std::uint64_t cycles) {
+  sub_stats_[sub].cycles += cycles;
+  if (auto* cell = sub_inst_[sub].cycles) cell->add(cycles);
+}
+
+SubMask MultiPipeline::staged_mask(overload::DegradeLevel at_least) noexcept {
+  const auto global = degrade_level();
+  if (!staged_masks_valid_ || global != staged_cached_) {
+    refresh_staged_masks(global);
+  }
+  return staged_masks_[static_cast<int>(at_least)];
+}
+
+void MultiPipeline::refresh_staged_masks(
+    overload::DegradeLevel global) noexcept {
+  for (auto& mask : staged_masks_) mask = 0;
+  for (std::size_t s = 0; s < cost_rank_.size(); ++s) {
+    const auto staged =
+        static_cast<int>(overload::staged_level(global, cost_rank_[s]));
+    for (int lvl = 0; lvl <= staged; ++lvl) {
+      staged_masks_[lvl] |= sub_bit(s);
+    }
+  }
+  staged_cached_ = global;
+  staged_masks_valid_ = true;
+}
+
+void MultiPipeline::recompute_cost_ranks() {
+  const std::size_t n = sub_stats_.size();
+  std::array<std::size_t, SubscriptionSet::kMaxSubscriptions> order;
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n),
+                   [&](std::size_t a, std::size_t b) {
+                     return sub_stats_[a].cycles > sub_stats_[b].cycles;
+                   });
+  // Dense-ish ranking: members with *equal* attributed cost share a rank
+  // and degrade together. In particular, before any cycles separate the
+  // members everyone stays at rank 0 — the whole set degrades in
+  // lockstep, exactly like the single-subscription ladder.
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 &&
+        sub_stats_[order[i]].cycles < sub_stats_[order[i - 1]].cycles) {
+      rank = static_cast<std::uint32_t>(i);
+    }
+    cost_rank_[order[i]] = rank;
+  }
+  staged_masks_valid_ = false;
+}
+
+overload::DegradeLevel MultiPipeline::staged_level_of(std::size_t sub) const {
+  return overload::staged_level(degrade_level(), cost_rank_.at(sub));
+}
+
+void MultiPipeline::set_cost_order_for_test(
+    std::span<const std::size_t> costliest_first) {
+  for (std::size_t i = 0; i < costliest_first.size(); ++i) {
+    cost_rank_.at(costliest_first[i]) = static_cast<std::uint32_t>(i);
+  }
+  staged_masks_valid_ = false;
+  // Keep the pinned order: push the periodic re-rank out of reach.
+  packets_until_rerank_ = ~std::uint64_t{0};
+}
+
+bool MultiPipeline::admit_connection() const {
+  // Global budgets only — the kCountOnly ladder rung is applied per
+  // member (staged_mask) by the caller, so a cheap member may still be
+  // admitted while the costliest is count-only.
+  const auto& policy = config_.overload;
+  if (!policy.enabled) return true;
+  if (policy.max_tracked_connections != 0 &&
+      table_.size() >= policy.max_tracked_connections) {
+    return false;
+  }
+  if (policy.max_state_bytes != 0) {
+    const auto heap =
+        static_cast<std::uint64_t>(heap_bytes_ > 0 ? heap_bytes_ : 0);
+    if (table_.approx_bytes_after_insert() + heap >= policy.max_state_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MultiPipeline::buffering_allowed() const {
+  // Global byte budget only; the kShedReassembly rung gates buffering
+  // per member at the call sites.
+  const auto& policy = config_.overload;
+  if (policy.enabled && policy.max_state_bytes != 0 &&
+      approx_state_bytes() >= policy.max_state_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool MultiPipeline::reassembly_shed() const {
+  // Global reassembly byte budget; the ladder rung is per member.
+  const auto& policy = config_.overload;
+  return policy.enabled && policy.max_reassembly_bytes != 0 &&
+         reasm_hold_bytes_ >=
+             static_cast<std::int64_t>(policy.max_reassembly_bytes);
+}
+
+bool MultiPipeline::parse_budget_ok(std::uint64_t ts_ns) {
+  const auto rate = config_.overload.parse_cycles_per_sec;
+  if (!config_.overload.enabled || rate == 0) return true;
+  if (!parse_bucket_primed_) {
+    parse_tokens_ = static_cast<std::int64_t>(rate);
+    parse_refill_ts_ = ts_ns;
+    parse_bucket_primed_ = true;
+  }
+  if (ts_ns > parse_refill_ts_) {
+    const double earned = static_cast<double>(ts_ns - parse_refill_ts_) /
+                          1e9 * static_cast<double>(rate);
+    parse_tokens_ = std::min<std::int64_t>(
+        parse_tokens_ + static_cast<std::int64_t>(earned),
+        static_cast<std::int64_t>(rate));
+    parse_refill_ts_ = ts_ns;
+  }
+  return parse_tokens_ > 0;
+}
+
+std::uint64_t MultiPipeline::approx_state_bytes() const {
+  const auto heap = heap_bytes_ > 0 ? heap_bytes_ : 0;
+  return table_.approx_bytes() + static_cast<std::uint64_t>(heap);
+}
+
+void MultiPipeline::maybe_sample_memory(std::uint64_t ts_ns) {
+  if (config_.memory_sample_interval_ns == 0) return;
+  if (ts_ns < next_sample_ts_) return;
+  stats_.memory_samples.push_back(
+      core::MemorySample{ts_ns, table_.size(), approx_state_bytes()});
+  next_sample_ts_ = ts_ns + config_.memory_sample_interval_ns;
+}
+
+// --- Packet entry points ---------------------------------------------
+
+void MultiPipeline::process(packet::Mbuf mbuf) {
+  const std::uint64_t t0 = util::rdtsc();
+  ++stats_.packets;
+  stats_.bytes += mbuf.length();
+  if (inst_.packets != nullptr) {
+    inst_.packets->inc();
+    inst_.bytes->add(mbuf.length());
+  }
+  const auto view = packet::PacketView::parse(mbuf);
+  process_one(mbuf, view, /*canon=*/nullptr, /*canon_hash=*/0,
+              /*mask_hint=*/nullptr, /*results=*/nullptr);
+  stats_.busy_cycles += util::rdtsc() - t0;
+}
+
+void MultiPipeline::process_burst(std::span<packet::Mbuf> burst) {
+  while (burst.size() > kMaxBurst) {
+    process_burst(burst.first(kMaxBurst));
+    burst = burst.subspan(kMaxBurst);
+  }
+  if (burst.empty()) return;
+  const std::uint64_t t0 = util::rdtsc();
+
+  // Same software-pipelined sweep as core::Pipeline::process_burst —
+  // the staged slot carries a per-member result array (a slice of
+  // burst_pf_) instead of one FilterResult, and the single-pass forest
+  // filter replaces the per-subscription one.
+  struct Staged {
+    std::optional<packet::PacketView> view;
+    FilterResult* pf = nullptr;  // sub_count() entries
+    SubMask mask = 0;
+    packet::FiveTuple::Canonical canon;
+    std::uint64_t hash = 0;
+    bool tupled = false;
+  };
+  constexpr std::size_t kLookahead = kBurstLookahead;
+  constexpr std::size_t kSlotDistance = 2;
+  std::array<Staged, kLookahead> staged;
+  const std::size_t nsubs = sub_stats_.size();
+  for (std::size_t i = 0; i < kLookahead; ++i) {
+    staged[i].pf = burst_pf_.data() + i * nsubs;
+  }
+  const std::size_t n = burst.size();
+  std::uint64_t bytes_acc = 0;
+
+  const auto stage = [&](std::size_t idx) {
+    Staged& s = staged[idx % kLookahead];
+    s.view.~optional();
+    new (&s.view) std::optional<packet::PacketView>(
+        packet::PacketView::parse(burst[idx]));
+    {
+      StageScope scope(stats_, Stage::kPacketFilter,
+                       config_.instrument_stages, &inst_);
+      s.mask = s.view ? forest_.packet_filter(*s.view, pkt_scratch_, s.pf)
+                      : SubMask{0};
+    }
+    s.tupled = false;
+    if (s.mask != 0 && s.view && s.view->five_tuple()) {
+      // Stateful unless every matching member is a packet-terminal
+      // packet-level subscription (those take the table-free fast path).
+      SubMask stateful = 0;
+      for (SubMask m = s.mask; m != 0; m &= m - 1) {
+        const std::size_t sub = bit_index(m);
+        if (!(s.pf[sub].terminal() && levels_[sub] == Level::kPacket)) {
+          stateful |= sub_bit(sub);
+        }
+      }
+      if (stateful != 0) {
+        s.canon = s.view->five_tuple()->canonical();
+        s.hash = s.canon.key.hash();
+        s.tupled = true;
+        table_.prefetch_hashed(s.hash);
+      }
+    }
+  };
+
+  const auto prefetch_frame = [&](std::size_t idx) {
+#if defined(__GNUC__) || defined(__clang__)
+    const auto bytes = burst[idx].bytes();
+    if (!bytes.empty()) {
+      __builtin_prefetch(bytes.data(), /*rw=*/0, /*locality=*/3);
+      if (bytes.size() > 64) {
+        __builtin_prefetch(bytes.data() + 64, /*rw=*/0, /*locality=*/3);
+      }
+    }
+#else
+    (void)idx;
+#endif
+  };
+
+  std::uint64_t burst_max_ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    burst_max_ts = std::max(burst_max_ts, burst[i].timestamp_ns());
+  }
+  const bool housekeeping =
+      config_.memory_sample_interval_ns != 0 ||
+      table_.timers_due(std::max(last_ts_, burst_max_ts));
+
+  for (std::size_t i = 0; i < std::min(2 * kLookahead, n); ++i) {
+    prefetch_frame(i);
+  }
+  for (std::size_t i = 0; i < std::min(kLookahead, n); ++i) stage(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 2 * kLookahead < n) prefetch_frame(i + 2 * kLookahead);
+    if (i + kSlotDistance < n) {
+      const Staged& ahead = staged[(i + kSlotDistance) % kLookahead];
+      if (ahead.tupled) table_.prefetch_slot_hashed(ahead.hash);
+    }
+    Staged& s = staged[i % kLookahead];
+    bytes_acc += burst[i].length();
+    process_one(burst[i], s.view, s.tupled ? &s.canon : nullptr, s.hash,
+                &s.mask, s.pf, housekeeping);
+    if (i + kLookahead < n) stage(i + kLookahead);
+  }
+
+  if (!housekeeping) last_ts_ = std::max(last_ts_, burst_max_ts);
+  stats_.packets += n;
+  stats_.bytes += bytes_acc;
+  if (inst_.packets != nullptr) {
+    inst_.packets->add(n);
+    inst_.bytes->add(bytes_acc);
+  }
+
+  const std::uint64_t cycles = util::rdtsc() - t0;
+  stats_.busy_cycles += cycles;
+  if (inst_.burst_occupancy != nullptr) {
+    inst_.burst_occupancy->record(burst.size());
+    inst_.burst_cycles->record(cycles);
+  }
+}
+
+void MultiPipeline::process_one(packet::Mbuf& mbuf,
+                                const std::optional<packet::PacketView>& view,
+                                const packet::FiveTuple::Canonical* canon,
+                                std::uint64_t canon_hash,
+                                const SubMask* mask_hint,
+                                const filter::FilterResult* results,
+                                bool housekeeping) {
+  if (housekeeping) {
+    last_ts_ = std::max(last_ts_, mbuf.timestamp_ns());
+    table_.advance(last_ts_, [this](ConnId id, ConnEntry& entry) {
+      ++stats_.conns_expired;
+      if (inst_.conns_expired != nullptr) inst_.conns_expired->inc();
+      if (spans_ != nullptr) {
+        spans_->record(telemetry::SpanEvent::kExpired,
+                       entry.record.tuple.hash(), last_ts_);
+      }
+      terminate_conn(id, entry, core::TerminateReason::kExpired,
+                     /*remove_from_table=*/false);
+    });
+    maybe_sample_memory(last_ts_);
+  }
+  if (attribute_cycles_ && overload_ != nullptr &&
+      --packets_until_rerank_ == 0) {
+    recompute_cost_ranks();
+    packets_until_rerank_ = kRerankInterval;
+  }
+
+  SubMask mask = 0;
+  const FilterResult* res = results;
+  if (mask_hint != nullptr) {
+    // Burst path: the forest filter already ran (and was accounted) in
+    // pass 1; `results` is that packet's staged per-member array.
+    mask = *mask_hint;
+  } else {
+    StageScope scope(stats_, Stage::kPacketFilter, config_.instrument_stages,
+                     &inst_);
+    if (view) {
+      mask = forest_.packet_filter(*view, pkt_scratch_, pf_results_.data());
+    }
+    res = pf_results_.data();
+  }
+  if (mask != 0 && overload_ != nullptr) {
+    // kSink rung, staged per member: the SimNic's sink sampling is
+    // flow-global, so the per-member rung silences the staged member in
+    // software while cheaper members keep analyzing the same packets.
+    mask &= ~staged_mask(overload::DegradeLevel::kSink);
+  }
+  if (mask == 0) return;
+
+  // Packet-terminal packet-level members: deliver immediately, no
+  // stateful processing for them (paper §5.1's fast path, per member).
+  SubMask stateful = 0;
+  for (SubMask m = mask; m != 0; m &= m - 1) {
+    const std::size_t sub = bit_index(m);
+    if (res[sub].terminal() && levels_[sub] == Level::kPacket) {
+      StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                       &inst_);
+      deliver_packet_sub(sub, mbuf);
+    } else {
+      stateful |= sub_bit(sub);
+    }
+  }
+
+  if (stateful != 0 && view && view->five_tuple()) {
+    if (canon != nullptr) {
+      handle_stateful(mbuf, *view, stateful, res, *canon, canon_hash);
+    } else {
+      const auto lazy = view->five_tuple()->canonical();
+      handle_stateful(mbuf, *view, stateful, res, lazy, lazy.key.hash());
+    }
+  }
+  const auto state_now = approx_state_bytes();
+  if (state_now > stats_.peak_state_bytes) {
+    stats_.peak_state_bytes = state_now;
+  }
+  if (inst_.live_conns != nullptr) {
+    inst_.live_conns->set(table_.size());
+    inst_.state_bytes->set(state_now);
+  }
+}
+
+void MultiPipeline::handle_stateful(packet::Mbuf& mbuf,
+                                    const packet::PacketView& view,
+                                    SubMask want,
+                                    const filter::FilterResult* results,
+                                    const packet::FiveTuple::Canonical& canon,
+                                    std::uint64_t key_hash) {
+  const auto ts = mbuf.timestamp_ns();
+
+  ConnId id;
+  {
+    StageScope scope(stats_, Stage::kConnTracking, config_.instrument_stages,
+                     &inst_);
+    id = table_.find_hashed(canon.key, key_hash);
+    if (id == Table::kInvalid) {
+      // kCountOnly is staged per member: the staged members' flows are
+      // counted at the packet layer and never tracked *for them*, while
+      // cheaper members may still create the connection.
+      SubMask create_mask = want;
+      if (overload_ != nullptr) {
+        const SubMask counted =
+            staged_mask(overload::DegradeLevel::kCountOnly) & want;
+        for (SubMask m = counted; m != 0; m &= m - 1) {
+          shed_sub(overload::ShedStage::kConnCreate, bit_index(m));
+        }
+        create_mask &= ~counted;
+      }
+      if (create_mask == 0) return;
+      if (!admit_connection()) {
+        shed_global(overload::ShedStage::kConnCreate);
+        return;
+      }
+      id = create_conn(canon.key, canon.originator_is_first, create_mask,
+                       results, view.tcp().has_value(), ts);
+    } else {
+      table_.touch(id, ts);
+    }
+  }
+
+  ConnEntry& entry = table_.get(id);
+
+  // Members whose packet filter first matched this connection on a
+  // later packet (per-packet-varying predicates) join now.
+  SubMask newcomers = want & ~entry.touched;
+  if (newcomers != 0) {
+    if (overload_ != nullptr) {
+      const SubMask counted =
+          staged_mask(overload::DegradeLevel::kCountOnly) & newcomers;
+      for (SubMask m = counted; m != 0; m &= m - 1) {
+        shed_sub(overload::ShedStage::kConnCreate, bit_index(m));
+      }
+      newcomers &= ~counted;
+    }
+    for (SubMask m = newcomers; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      join_sub(id, entry, sub, results[sub]);
+    }
+    settle_union(entry);
+  }
+
+  const bool from_orig =
+      canon.originator_is_first == entry.from_first_is_orig;
+  update_record(entry, view, from_orig, ts);
+  if (entry.record.pkts_up > 0 && entry.record.pkts_down > 0 &&
+      !entry.record.established) {
+    entry.record.established = true;
+    table_.mark_established(id, ts);
+  }
+
+  if (!defunct(entry)) {
+    // Packet-level members: deliver once matched (their Track state),
+    // buffer while their filter is pending (Fig. 4a, per member).
+    const SubMask pkt_members = want & entry.alive() & packet_level_mask_;
+    for (SubMask m = pkt_members; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      const auto bit = sub_bit(sub);
+      if ((entry.matched & bit) != 0) {
+        StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                         &inst_);
+        deliver_packet_sub(sub, mbuf);
+      } else if ((entry.settled & bit) == 0) {
+        if (overload_ != nullptr &&
+            (staged_mask(overload::DegradeLevel::kShedReassembly) & bit) !=
+                0) {
+          shed_sub(overload::ShedStage::kBuffering, sub);
+        } else if (!buffering_allowed()) {
+          shed_sub(overload::ShedStage::kBuffering, sub);
+        } else {
+          auto& buf = entry.buffers[sub];
+          if (buf.packets.size() >= config_.conn_packet_buffer) {
+            heap_bytes_ -= buf.packets.front().length();
+            buf.packet_bytes -= buf.packets.front().length();
+            buf.packets.erase(buf.packets.begin());
+          }
+          heap_bytes_ += mbuf.length();
+          buf.packet_bytes += mbuf.length();
+          buf.packets.push_back(mbuf);
+        }
+      }
+    }
+
+    // Reassemble/probe/parse only while some member still consumes the
+    // product (lazy reconstruction gated on the union of needs).
+    const bool parsing = (entry.state == ConnState::kProbe ||
+                          entry.state == ConnState::kParse) &&
+                         parse_pending(entry) != 0;
+    const bool streaming = (entry.alive() & stream_level_mask_) != 0;
+    if (parsing || streaming) {
+      feed_pdus(id, entry, mbuf, view, from_orig);
+    }
+  }
+
+  const bool pure_ack = view.tcp() && view.tcp()->ack_flag() &&
+                        !view.tcp()->syn() && !view.tcp()->fin() &&
+                        !view.tcp()->rst() && view.l4_payload().empty();
+  if (entry.record.saw_rst || (entry.fin_up && entry.fin_down && pure_ack)) {
+    ++stats_.conns_terminated;
+    if (inst_.conns_terminated != nullptr) inst_.conns_terminated->inc();
+    terminate_conn(id, entry, core::TerminateReason::kNatural,
+                   /*remove_from_table=*/true);
+  }
+}
+
+MultiPipeline::ConnId MultiPipeline::create_conn(
+    const packet::FiveTuple& canonical_key, bool originator_is_first,
+    SubMask want, const filter::FilterResult* results, bool is_tcp,
+    std::uint64_t ts_ns) {
+  ConnEntry entry;
+  entry.from_first_is_orig = originator_is_first;
+  entry.is_tcp = is_tcp;
+  entry.probe_alive = is_tcp ? tcp_candidate_mask_ : udp_candidate_mask_;
+  entry.resume.assign(sub_stats_.size(), 0);
+  entry.buffers.resize(sub_stats_.size());
+  entry.record.tuple = oriented(canonical_key, originator_is_first);
+  entry.record.first_ts_ns = ts_ns;
+  entry.record.last_ts_ns = ts_ns;
+
+  ++stats_.conns_created;
+  if (inst_.conns_created != nullptr) inst_.conns_created->inc();
+  if (spans_ != nullptr) {
+    spans_->record(telemetry::SpanEvent::kConnCreated, canonical_key.hash(),
+                   ts_ns);
+  }
+
+  for (SubMask m = want; m != 0; m &= m - 1) {
+    join_sub(Table::kInvalid, entry, bit_index(m), results[bit_index(m)]);
+  }
+  settle_union(entry);
+  return table_.insert(canonical_key, std::move(entry), ts_ns);
+}
+
+void MultiPipeline::join_sub(ConnId id, ConnEntry& entry, std::size_t sub,
+                             const filter::FilterResult& pf_result) {
+  const auto bit = sub_bit(sub);
+  entry.touched |= bit;
+  entry.resume[sub] = pf_result.node_id;
+
+  if (pf_result.terminal()) {
+    mark_matched(entry, sub);
+    entry.early |= bit;
+    entry.conn_ran |= bit;
+    if (level(sub) == Level::kConnection || level(sub) == Level::kStream) {
+      // Fully matched: no parsing needed, ever (lazy principle, §5.2).
+      // Session-level members stay unsettled to collect every session;
+      // packet-level packet-terminal members took the fast path and
+      // never reach here.
+      entry.settled |= bit;
+    }
+  }
+
+  switch (entry.state) {
+    case ConnState::kProbe:
+      // Session-rung staging: a member that would start probe/parse
+      // work settles immediately instead (mirrors the single pipeline's
+      // create-time shed).
+      if ((parse_pending(entry) & bit) != 0 &&
+          (staged_mask(overload::DegradeLevel::kShedSessions) & bit) != 0) {
+        shed_sub(overload::ShedStage::kSession, sub);
+        settle_sub_without_parsing(id, entry, sub);
+      }
+      break;
+    case ConnState::kParse:
+      // Late join with the protocol already identified: run this
+      // member's connection filter right away.
+      if ((parse_pending(entry) & bit) != 0) {
+        run_conn_filter_sub(id, entry, sub);
+        if ((parse_pending(entry) & bit) != 0 &&
+            (staged_mask(overload::DegradeLevel::kShedSessions) & bit) != 0) {
+          shed_sub(overload::ShedStage::kSession, sub);
+          settle_sub_without_parsing(id, entry, sub);
+        }
+      }
+      break;
+    case ConnState::kTrack:
+      // The shared probe/parse machinery is gone: resolve with what is
+      // known (the probed app_proto, or 0 if probing failed/never ran).
+      if ((parse_pending(entry) & bit) != 0) {
+        settle_sub_without_parsing(id, entry, sub);
+      }
+      break;
+    case ConnState::kDelete:
+      break;  // unreachable: kDelete is applied, never stored
+  }
+}
+
+void MultiPipeline::update_record(ConnEntry& entry,
+                                  const packet::PacketView& view,
+                                  bool from_orig, std::uint64_t ts_ns) {
+  auto& rec = entry.record;
+  rec.last_ts_ns = std::max(rec.last_ts_ns, ts_ns);
+  const auto wire_bytes = view.mbuf().length();
+  const auto payload_bytes = view.l4_payload().size();
+  if (from_orig) {
+    ++rec.pkts_up;
+    rec.bytes_up += wire_bytes;
+    rec.payload_up += payload_bytes;
+  } else {
+    ++rec.pkts_down;
+    rec.bytes_down += wire_bytes;
+    rec.payload_down += payload_bytes;
+  }
+  if (view.tcp()) {
+    const auto& tcp = *view.tcp();
+    if (tcp.syn() && !tcp.ack_flag()) rec.saw_syn = true;
+    if (tcp.syn() && tcp.ack_flag()) rec.saw_synack = true;
+    if (tcp.rst()) rec.saw_rst = true;
+    if (tcp.fin()) {
+      rec.saw_fin = true;
+      (from_orig ? entry.fin_up : entry.fin_down) = true;
+    }
+    if (payload_bytes > 0 || tcp.syn() || tcp.fin()) {
+      const int dir = from_orig ? 0 : 1;
+      const std::uint32_t seq = tcp.seq();
+      std::uint32_t span = static_cast<std::uint32_t>(payload_bytes);
+      if (tcp.syn()) ++span;
+      if (tcp.fin()) ++span;
+      const std::uint32_t end = seq + span;
+      if (entry.seq_seen[dir] &&
+          static_cast<std::int32_t>(seq - entry.max_seq_end[dir]) < 0) {
+        if (seq == entry.last_seq[dir]) {
+          ++(from_orig ? rec.dup_up : rec.dup_down);
+        } else {
+          ++(from_orig ? rec.ooo_up : rec.ooo_down);
+        }
+      }
+      if (!entry.seq_seen[dir] ||
+          static_cast<std::int32_t>(end - entry.max_seq_end[dir]) > 0) {
+        entry.max_seq_end[dir] = end;
+      }
+      entry.last_seq[dir] = seq;
+      entry.seq_seen[dir] = true;
+    }
+  }
+}
+
+void MultiPipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
+                              const packet::PacketView& view,
+                              bool from_orig) {
+  if (!entry.is_tcp) {
+    // UDP: each datagram is already an in-order PDU.
+    if (view.l4_payload().empty()) return;
+    stream::L4Pdu pdu;
+    pdu.mbuf = mbuf;
+    pdu.payload = view.l4_payload();
+    pdu.from_originator = from_orig;
+    pdu.ts_ns = mbuf.timestamp_ns();
+    const SubMask streaming = entry.alive() & stream_level_mask_;
+    if (streaming != 0) {
+      const SubMask shed_rm =
+          overload_ != nullptr
+              ? staged_mask(overload::DegradeLevel::kShedReassembly)
+              : SubMask{0};
+      for (SubMask m = streaming; m != 0; m &= m - 1) {
+        const std::size_t sub = bit_index(m);
+        if ((shed_rm & sub_bit(sub)) != 0) {
+          shed_sub(overload::ShedStage::kReassembly, sub);
+        } else {
+          stream_pdu_sub(entry, sub, pdu);
+        }
+      }
+    }
+    if ((entry.state == ConnState::kProbe ||
+         entry.state == ConnState::kParse) &&
+        parse_pending(entry) != 0) {
+      handle_pdu(id, entry, std::move(pdu));
+    }
+    return;
+  }
+
+  // TCP: one shared reassembler pair serves every consuming member —
+  // skip the work only when no member consumes the product.
+  SubMask consumers = entry.alive() & stream_level_mask_;
+  if (entry.state == ConnState::kProbe || entry.state == ConnState::kParse) {
+    consumers |= parse_pending(entry);
+  }
+  if (consumers == 0) return;
+  if (reassembly_shed()) {  // global reassembly byte budget
+    shed_global(overload::ShedStage::kReassembly);
+    return;
+  }
+  if (overload_ != nullptr) {
+    const SubMask rm = staged_mask(overload::DegradeLevel::kShedReassembly);
+    if ((consumers & ~rm) == 0) {
+      // Every consumer is staged past the reassembly rung.
+      for (SubMask m = consumers; m != 0; m &= m - 1) {
+        shed_sub(overload::ShedStage::kReassembly, bit_index(m));
+      }
+      return;
+    }
+  }
+
+  const auto& tcp = *view.tcp();
+  stream::L4Pdu pdu;
+  pdu.mbuf = mbuf;
+  pdu.payload = view.l4_payload();
+  pdu.seq = tcp.seq();
+  pdu.tcp_flags = tcp.flags();
+  pdu.from_originator = from_orig;
+  pdu.ts_ns = mbuf.timestamp_ns();
+
+  auto& reasm = from_orig ? entry.reasm_up : entry.reasm_down;
+  if (!reasm) {
+    reasm = std::make_unique<stream::StreamReassembler>(config_.ooo_capacity);
+    heap_bytes_ += kReassemblerBytes;
+  }
+
+  std::vector<stream::L4Pdu> ready;
+  {
+    StageScope scope(stats_, Stage::kReassembly, config_.instrument_stages,
+                     &inst_);
+    const auto pending_before = reasm->pending();
+    reasm->push(std::move(pdu), ready);
+    const auto pending_after = reasm->pending();
+    const auto delta = (static_cast<std::int64_t>(pending_after) -
+                        static_cast<std::int64_t>(pending_before)) *
+                       static_cast<std::int64_t>(kOooPduEstimateBytes);
+    heap_bytes_ += delta;
+    reasm_hold_bytes_ += delta;
+  }
+
+  for (auto& ready_pdu : ready) {
+    if (defunct(entry)) break;
+    if (ready_pdu.len() == 0) continue;  // bare SYN/FIN/ACK
+    const SubMask streaming = entry.alive() & stream_level_mask_;
+    if (streaming != 0) {
+      const SubMask rm =
+          overload_ != nullptr
+              ? staged_mask(overload::DegradeLevel::kShedReassembly)
+              : SubMask{0};
+      for (SubMask m = streaming; m != 0; m &= m - 1) {
+        const std::size_t sub = bit_index(m);
+        if ((rm & sub_bit(sub)) != 0) {
+          shed_sub(overload::ShedStage::kReassembly, sub);
+        } else {
+          stream_pdu_sub(entry, sub, ready_pdu);
+        }
+      }
+      if (defunct(entry)) break;
+    }
+    if ((entry.state == ConnState::kProbe ||
+         entry.state == ConnState::kParse) &&
+        parse_pending(entry) != 0) {
+      handle_pdu(id, entry, std::move(ready_pdu));
+    }
+  }
+}
+
+void MultiPipeline::deliver_packet_sub(std::size_t sub,
+                                       const packet::Mbuf& mbuf) {
+  const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+  set_.at(sub).deliver_packet(mbuf);
+  ++stats_.delivered_packets;
+  if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+  ++sub_stats_[sub].delivered;
+  if (auto* cell = sub_inst_[sub].delivered) cell->inc();
+  if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+}
+
+void MultiPipeline::deliver_stream_chunk(const ConnEntry& entry,
+                                         std::size_t sub,
+                                         const stream::L4Pdu& pdu) {
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                   &inst_);
+  const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+  core::StreamChunk chunk;
+  chunk.tuple = entry.record.tuple;
+  chunk.ts_ns = pdu.ts_ns;
+  chunk.from_originator = pdu.from_originator;
+  chunk.data = pdu.payload;
+  set_.at(sub).deliver_stream(chunk);
+  ++stats_.delivered_packets;
+  if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+  ++sub_stats_[sub].delivered;
+  if (auto* cell = sub_inst_[sub].delivered) cell->inc();
+  if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+}
+
+void MultiPipeline::stream_pdu_sub(ConnEntry& entry, std::size_t sub,
+                                   const stream::L4Pdu& pdu) {
+  const auto bit = sub_bit(sub);
+  if ((entry.matched & bit) != 0) {
+    deliver_stream_chunk(entry, sub, pdu);
+    return;
+  }
+  if (!buffering_allowed()) {
+    shed_sub(overload::ShedStage::kBuffering, sub);
+    return;
+  }
+  auto& buf = entry.buffers[sub];
+  if (buf.pdus.size() >= config_.conn_packet_buffer) {
+    heap_bytes_ -=
+        static_cast<std::int64_t>(buf.pdus.front().payload.size());
+    buf.pdu_bytes -= buf.pdus.front().payload.size();
+    buf.pdus.erase(buf.pdus.begin());
+  }
+  heap_bytes_ += static_cast<std::int64_t>(pdu.payload.size());
+  buf.pdu_bytes += pdu.payload.size();
+  buf.pdus.push_back(pdu);
+}
+
+void MultiPipeline::flush_buffered_sub(ConnEntry& entry, std::size_t sub) {
+  auto& buf = entry.buffers[sub];
+  if (buf.packets.empty()) return;
+  StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                   &inst_);
+  for (const auto& mbuf : buf.packets) {
+    deliver_packet_sub(sub, mbuf);
+  }
+  heap_bytes_ -= static_cast<std::int64_t>(buf.packet_bytes);
+  buf.packet_bytes = 0;
+  buf.packets.clear();
+  buf.packets.shrink_to_fit();
+}
+
+void MultiPipeline::flush_on_match_sub(ConnEntry& entry, std::size_t sub) {
+  if (level(sub) == Level::kPacket) {
+    flush_buffered_sub(entry, sub);
+  } else if (level(sub) == Level::kStream) {
+    auto& buf = entry.buffers[sub];
+    for (const auto& pdu : buf.pdus) {
+      deliver_stream_chunk(entry, sub, pdu);
+    }
+    heap_bytes_ -= static_cast<std::int64_t>(buf.pdu_bytes);
+    buf.pdu_bytes = 0;
+    buf.pdus.clear();
+    buf.pdus.shrink_to_fit();
+  }
+}
+
+void MultiPipeline::mark_matched(ConnEntry& entry, std::size_t sub) {
+  const auto bit = sub_bit(sub);
+  if ((entry.matched & bit) != 0) return;
+  entry.matched |= bit;
+  ++sub_stats_[sub].conns_matched;
+  if (auto* cell = sub_inst_[sub].matched) cell->inc();
+}
+
+void MultiPipeline::drop_sub(ConnEntry& entry, std::size_t sub,
+                             bool count_filter_drop) {
+  const auto bit = sub_bit(sub);
+  if ((entry.dropped & bit) != 0) return;
+  entry.dropped |= bit;
+  if (count_filter_drop) {
+    entry.any_filter_drop = true;
+    ++sub_stats_[sub].dropped_filter;
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kFilterDropped,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns, 0,
+                     nullptr, static_cast<std::int32_t>(sub));
+    }
+  }
+  release_sub_buffers(entry, sub);
+  if (entry.touched != 0 && entry.alive() == 0) {
+    // The last member gave up: free the shared state immediately (later
+    // packets cost a table lookup and nothing more).
+    to_tombstone(entry);
+  }
+}
+
+void MultiPipeline::release_sub_buffers(ConnEntry& entry, std::size_t sub) {
+  if (entry.buffers.empty()) return;
+  auto& buf = entry.buffers[sub];
+  heap_bytes_ -= static_cast<std::int64_t>(buf.packet_bytes);
+  buf.packet_bytes = 0;
+  buf.packets.clear();
+  buf.packets.shrink_to_fit();
+  heap_bytes_ -= static_cast<std::int64_t>(buf.pdu_bytes);
+  buf.pdu_bytes = 0;
+  buf.pdus.clear();
+  buf.pdus.shrink_to_fit();
+}
+
+void MultiPipeline::handle_pdu(ConnId id, ConnEntry& entry,
+                               stream::L4Pdu pdu) {
+  if (defunct(entry)) return;
+  if (entry.state != ConnState::kProbe && entry.state != ConnState::kParse) {
+    return;
+  }
+  if (parse_pending(entry) == 0) return;
+
+  // Session-rung staging: members whose staged level reached
+  // kShedSessions settle now; the rest keep the parser alive.
+  if (overload_ != nullptr) {
+    const SubMask sessions_shed =
+        staged_mask(overload::DegradeLevel::kShedSessions) &
+        parse_pending(entry);
+    if (sessions_shed != 0) {
+      for (SubMask m = sessions_shed; m != 0; m &= m - 1) {
+        const std::size_t sub = bit_index(m);
+        shed_sub(overload::ShedStage::kSession, sub);
+        settle_sub_without_parsing(id, entry, sub);
+      }
+      settle_union(entry);
+      if (entry.state != ConnState::kProbe &&
+          entry.state != ConnState::kParse) {
+        return;
+      }
+      if (parse_pending(entry) == 0) return;
+    }
+  }
+  if (!parse_budget_ok(pdu.ts_ns)) {
+    const SubMask pend = parse_pending(entry);
+    for (SubMask m = pend; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      shed_sub(overload::ShedStage::kParseBudget, sub);
+      settle_sub_without_parsing(id, entry, sub);
+    }
+    settle_union(entry);
+    return;
+  }
+
+  const bool metered = config_.overload.enabled &&
+                       config_.overload.parse_cycles_per_sec != 0;
+  // Probe/parse cycles are shared work: attribute them in equal shares
+  // to the members the work was done for.
+  const SubMask attributed =
+      attribute_cycles_ ? parse_pending(entry) : SubMask{0};
+  const bool timed = metered || attributed != 0;
+  const std::uint64_t t0 = timed ? util::rdtsc() : 0;
+  if (entry.state == ConnState::kProbe) {
+    probe_pdu(id, entry, pdu);
+  } else {
+    parse_pdu(id, entry, pdu);
+  }
+  if (timed) {
+    const std::uint64_t spent = util::rdtsc() - t0;
+    if (metered) parse_tokens_ -= static_cast<std::int64_t>(spent);
+    if (attributed != 0) {
+      const auto share =
+          spent / static_cast<std::uint64_t>(std::popcount(attributed));
+      for (SubMask m = attributed; m != 0; m &= m - 1) {
+        add_sub_cycles(bit_index(m), share);
+      }
+    }
+  }
+}
+
+void MultiPipeline::probe_pdu(ConnId id, ConnEntry& entry,
+                              const stream::L4Pdu& pdu) {
+  ++entry.probe_attempts;
+
+  stream::L4Pdu probe_view = pdu;
+  constexpr std::size_t kPrefixCap = 256;
+  if (entry.is_tcp) {
+    auto& prefix = entry.probe_prefix[pdu.from_originator ? 0 : 1];
+    const std::size_t take =
+        std::min(pdu.payload.size(),
+                 kPrefixCap > prefix.size() ? kPrefixCap - prefix.size() : 0);
+    prefix.insert(prefix.end(), pdu.payload.begin(),
+                  pdu.payload.begin() + static_cast<std::ptrdiff_t>(take));
+    heap_bytes_ += static_cast<std::int64_t>(pdu.payload.size());
+    entry.probe_pdus.push_back(pdu);
+    probe_view.payload = {prefix.data(), prefix.size()};
+  }
+
+  std::size_t identified = candidates_.size();
+  {
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages,
+                     &inst_);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const auto bit = 1u << i;
+      if (!(entry.probe_alive & bit)) continue;
+      switch (candidates_[i].prototype->probe(probe_view)) {
+        case protocols::ProbeResult::kYes:
+          identified = i;
+          break;
+        case protocols::ProbeResult::kNo:
+          entry.probe_alive &= ~bit;
+          break;
+        case protocols::ProbeResult::kUnsure:
+          break;
+      }
+      if (identified != candidates_.size()) break;
+    }
+  }
+
+  if (identified != candidates_.size()) {
+    const auto& candidate = candidates_[identified];
+    entry.app_proto = candidate.app_proto_id;
+    entry.record.app_proto = candidate.name;
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kConnProbed,
+                     entry.record.tuple.hash(), pdu.ts_ns, 0,
+                     candidate.name.c_str());
+    }
+    entry.parser = parser_registry_.create(candidate.name);
+    heap_bytes_ += kParserEstimateBytes;
+    entry.state = ConnState::kParse;
+    const SubMask pend = parse_pending(entry);
+    for (SubMask m = pend; m != 0; m &= m - 1) {
+      run_conn_filter_sub(id, entry, bit_index(m));
+    }
+    settle_union(entry);
+    if (!defunct(entry) && entry.state == ConnState::kParse && entry.parser) {
+      if (entry.is_tcp) {
+        // Replay everything consumed while probing, in arrival order.
+        for (const auto& held_pdu : entry.probe_pdus) {
+          heap_bytes_ -= static_cast<std::int64_t>(held_pdu.payload.size());
+        }
+        auto held = std::move(entry.probe_pdus);
+        clear_probe_state(entry);
+        for (auto& replay : held) {
+          if (defunct(entry) || entry.state != ConnState::kParse) break;
+          parse_pdu(id, entry, replay);
+        }
+      } else {
+        parse_pdu(id, entry, pdu);
+      }
+    } else {
+      clear_probe_state(entry);
+    }
+    return;
+  }
+
+  if (entry.probe_alive == 0 ||
+      entry.probe_attempts >= config_.max_probe_pdus) {
+    // Protocol unknown: every pending member resolves with app_proto = 0.
+    ++stats_.probe_failures;
+    entry.app_proto = 0;
+    clear_probe_state(entry);
+    const SubMask pend = parse_pending(entry);
+    for (SubMask m = pend; m != 0; m &= m - 1) {
+      settle_sub_without_parsing(id, entry, bit_index(m));
+    }
+    settle_union(entry);
+  }
+}
+
+void MultiPipeline::clear_probe_state(ConnEntry& entry) {
+  for (const auto& held : entry.probe_pdus) {
+    heap_bytes_ -= static_cast<std::int64_t>(held.payload.size());
+  }
+  entry.probe_pdus.clear();
+  entry.probe_pdus.shrink_to_fit();
+  for (auto& prefix : entry.probe_prefix) {
+    prefix.clear();
+    prefix.shrink_to_fit();
+  }
+}
+
+void MultiPipeline::run_conn_filter_sub(ConnId id, ConnEntry& entry,
+                                        std::size_t sub) {
+  (void)id;
+  const auto bit = sub_bit(sub);
+  if ((entry.matched & bit) != 0) {
+    // Already fully matched at the packet layer. Session-level members
+    // keep parsing (the session filter auto-matches for them); every
+    // other level settled when it matched.
+    if (level(sub) == Level::kSession && !entry.parser) {
+      drop_sub(entry, sub);
+    }
+    return;
+  }
+
+  const auto result =
+      forest_.conn_filter(sub, entry.resume[sub], entry.app_proto);
+  entry.conn_ran |= bit;
+  switch (result.kind) {
+    case MatchKind::kNoMatch:
+      drop_sub(entry, sub);
+      return;
+    case MatchKind::kTerminal:
+      mark_matched(entry, sub);
+      entry.early |= bit;
+      entry.resume[sub] = result.node_id;
+      switch (level(sub)) {
+        case Level::kPacket:
+        case Level::kStream:
+          flush_on_match_sub(entry, sub);
+          entry.settled |= bit;
+          break;
+        case Level::kConnection:
+          entry.settled |= bit;  // record accumulates; parsing stops
+          break;
+        case Level::kSession:
+          if (!entry.parser) drop_sub(entry, sub);
+          break;  // stay pending to collect sessions
+      }
+      return;
+    case MatchKind::kNonTerminal:
+      // Session predicates pending: this member must parse to decide.
+      entry.resume[sub] = result.node_id;
+      if (!entry.parser) drop_sub(entry, sub);
+      return;
+  }
+}
+
+void MultiPipeline::parse_pdu(ConnId id, ConnEntry& entry,
+                              const stream::L4Pdu& pdu) {
+  protocols::ParseResult result;
+  {
+    StageScope scope(stats_, Stage::kParsing, config_.instrument_stages,
+                     &inst_);
+    result = entry.parser->parse(pdu);
+  }
+
+  auto sessions = entry.parser->take_sessions();
+  if (!sessions.empty()) {
+    handle_sessions(id, entry, std::move(sessions));
+  }
+  if (defunct(entry) || entry.state != ConnState::kParse) return;
+
+  if (result == protocols::ParseResult::kDone ||
+      result == protocols::ParseResult::kError) {
+    // The parser will produce no further sessions: every still-pending
+    // member resolves now.
+    const SubMask pend = parse_pending(entry);
+    for (SubMask m = pend; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      const auto bit = sub_bit(sub);
+      if (level(sub) == Level::kSession) {
+        drop_sub(entry, sub,
+                 /*count_filter_drop=*/(entry.matched & bit) == 0);
+      } else if ((entry.matched & bit) != 0) {
+        flush_on_match_sub(entry, sub);
+        entry.settled |= bit;
+      } else {
+        drop_sub(entry, sub);
+      }
+    }
+    settle_union(entry);
+  }
+}
+
+void MultiPipeline::handle_sessions(ConnId id, ConnEntry& entry,
+                                    std::vector<protocols::Session> sessions) {
+  (void)id;
+  for (auto& session : sessions) {
+    ++stats_.sessions_parsed;
+    if (inst_.sessions != nullptr) inst_.sessions->inc();
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kSessionParsed,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns, 0,
+                     entry.record.app_proto.c_str());
+    }
+
+    // One shared record per session: every matching session-level member
+    // receives the same object (callbacks take a const reference).
+    core::SessionRecord record;
+    record.tuple = entry.record.tuple;
+    record.ts_ns = entry.record.last_ts_ns;
+    record.session = std::move(session);
+
+    // One memo epoch per session: a predicate shared by several members
+    // (the expensive regexes) evaluates exactly once.
+    session_scratch_.begin();
+    const SubMask pend = parse_pending(entry);
+    for (SubMask m = pend; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      const auto bit = sub_bit(sub);
+      bool matched;
+      {
+        StageScope scope(stats_, Stage::kSessionFilter,
+                         config_.instrument_stages, &inst_);
+        const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+        // A packet/connection-layer terminal match covers every session;
+        // a previous session-layer match does not — each session is
+        // evaluated on its own.
+        matched = (entry.early & bit) != 0 ||
+                  forest_.session_filter(sub, entry.resume[sub],
+                                         record.session, session_scratch_);
+        if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+      }
+
+      const auto hint = matched ? entry.parser->session_match_state()
+                                : entry.parser->session_nomatch_state();
+
+      if (matched) {
+        mark_matched(entry, sub);
+        if (level(sub) == Level::kSession) {
+          StageScope scope(stats_, Stage::kCallback,
+                           config_.instrument_stages, &inst_);
+          const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+          set_.at(sub).deliver_session(record);
+          ++stats_.delivered_sessions;
+          if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+          ++sub_stats_[sub].delivered;
+          if (auto* cell = sub_inst_[sub].delivered) cell->inc();
+          if (spans_ != nullptr) {
+            spans_->record(telemetry::SpanEvent::kDelivered,
+                           entry.record.tuple.hash(),
+                           entry.record.last_ts_ns, 0, nullptr,
+                           static_cast<std::int32_t>(sub));
+          }
+          if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+        } else {
+          flush_on_match_sub(entry, sub);
+        }
+      }
+
+      // Per-member post-session transition (the hint logic of the
+      // single pipeline's apply_post_session_state).
+      if (level(sub) == Level::kSession) {
+        switch (hint) {
+          case ConnState::kDelete:
+            drop_sub(entry, sub, /*count_filter_drop=*/!matched);
+            break;
+          case ConnState::kTrack:
+            entry.settled |= bit;
+            break;
+          case ConnState::kParse:
+          case ConnState::kProbe:
+            break;  // keep parsing
+        }
+      } else {
+        if (matched) {
+          entry.settled |= bit;
+        } else if (hint == ConnState::kDelete) {
+          drop_sub(entry, sub);
+        }
+      }
+    }
+    settle_union(entry);
+    if (defunct(entry) || entry.state != ConnState::kParse) break;
+  }
+}
+
+void MultiPipeline::settle_sub_without_parsing(ConnId id, ConnEntry& entry,
+                                               std::size_t sub) {
+  (void)id;
+  const auto bit = sub_bit(sub);
+  if ((entry.dropped & bit) != 0 || (entry.settled & bit) != 0) return;
+  if (level(sub) == Level::kSession) {
+    // Sessions are exactly what this member is giving up on. Not a
+    // filter decision, so it is not counted as one.
+    drop_sub(entry, sub, /*count_filter_drop=*/false);
+    return;
+  }
+  if ((entry.matched & bit) != 0) {
+    flush_on_match_sub(entry, sub);
+    entry.settled |= bit;
+    return;
+  }
+  if ((entry.conn_ran & bit) == 0) {
+    // Resolve the way a failed probe would: with whatever protocol is
+    // known (0 while probing; the identified one on a late join).
+    const auto result =
+        forest_.conn_filter(sub, entry.resume[sub], entry.app_proto);
+    entry.conn_ran |= bit;
+    switch (result.kind) {
+      case MatchKind::kNoMatch:
+        drop_sub(entry, sub);
+        return;
+      case MatchKind::kTerminal:
+        mark_matched(entry, sub);
+        entry.early |= bit;
+        entry.resume[sub] = result.node_id;
+        flush_on_match_sub(entry, sub);
+        entry.settled |= bit;
+        return;
+      case MatchKind::kNonTerminal:
+        entry.resume[sub] = result.node_id;
+        break;
+    }
+  }
+  // Still waiting on session predicates that will never be evaluated.
+  drop_sub(entry, sub, /*count_filter_drop=*/false);
+}
+
+void MultiPipeline::settle_union(ConnEntry& entry) {
+  if ((entry.state == ConnState::kProbe ||
+       entry.state == ConnState::kParse) &&
+      parse_pending(entry) != 0) {
+    return;  // some member still wants probe/parse work
+  }
+  if (entry.alive() != 0) {
+    entry.state = ConnState::kTrack;
+    clear_probe_state(entry);
+    if (entry.parser) {
+      entry.parser.reset();
+      heap_bytes_ -= kParserEstimateBytes;
+    }
+    if ((entry.alive() & stream_level_mask_) == 0) {
+      // No stream member left alive: reassembly has no consumer.
+      for (auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+        if (*reasm) {
+          heap_bytes_ -= (*reasm)->pending() * kOooPduEstimateBytes;
+          heap_bytes_ -= kReassemblerBytes;
+          reasm_hold_bytes_ -= static_cast<std::int64_t>(
+              (*reasm)->pending() * kOooPduEstimateBytes);
+          reasm->reset();
+        }
+      }
+    }
+  } else if (entry.touched != 0) {
+    to_tombstone(entry);
+  }
+}
+
+void MultiPipeline::to_tombstone(ConnEntry& entry) {
+  clear_probe_state(entry);
+  if (entry.parser) {
+    entry.parser.reset();
+    heap_bytes_ -= kParserEstimateBytes;
+  }
+  for (auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+    if (*reasm) {
+      heap_bytes_ -= (*reasm)->pending() * kOooPduEstimateBytes;
+      heap_bytes_ -= kReassemblerBytes;
+      reasm_hold_bytes_ -= static_cast<std::int64_t>(
+          (*reasm)->pending() * kOooPduEstimateBytes);
+      reasm->reset();
+    }
+  }
+  for (std::size_t sub = 0; sub < entry.buffers.size(); ++sub) {
+    release_sub_buffers(entry, sub);
+  }
+  if (entry.any_filter_drop && !entry.drop_counted) {
+    ++stats_.conns_dropped_filter;
+    entry.drop_counted = true;
+  }
+}
+
+void MultiPipeline::terminate_conn(ConnId id, ConnEntry& entry,
+                                   core::TerminateReason reason,
+                                   bool remove_from_table) {
+  // Flush any partially parsed session (e.g. a ClientHello whose
+  // handshake never completed) through the session filter.
+  if (!defunct(entry) && entry.parser &&
+      (entry.state == ConnState::kProbe ||
+       entry.state == ConnState::kParse)) {
+    auto sessions = entry.parser->drain_sessions();
+    if (!sessions.empty()) {
+      handle_sessions(id, entry, std::move(sessions));
+    }
+  }
+
+  // Connection records and end-of-stream markers, per matched member in
+  // member order.
+  const SubMask conn_deliver = entry.alive() & entry.matched & conn_level_mask_;
+  for (SubMask m = conn_deliver; m != 0; m &= m - 1) {
+    const std::size_t sub = bit_index(m);
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                     &inst_);
+    const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+    set_.at(sub).deliver_connection(entry.record);
+    ++stats_.delivered_conns;
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+    ++sub_stats_[sub].delivered;
+    if (auto* cell = sub_inst_[sub].delivered) cell->inc();
+    if (spans_ != nullptr) {
+      spans_->record(telemetry::SpanEvent::kDelivered,
+                     entry.record.tuple.hash(), entry.record.last_ts_ns, 0,
+                     nullptr, static_cast<std::int32_t>(sub));
+    }
+    if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+  }
+
+  const SubMask eos = entry.alive() & entry.matched & stream_level_mask_;
+  for (SubMask m = eos; m != 0; m &= m - 1) {
+    const std::size_t sub = bit_index(m);
+    StageScope scope(stats_, Stage::kCallback, config_.instrument_stages,
+                     &inst_);
+    const std::uint64_t t0 = attribute_cycles_ ? util::rdtsc() : 0;
+    core::StreamChunk chunk;
+    chunk.tuple = entry.record.tuple;
+    chunk.ts_ns = entry.record.last_ts_ns;
+    chunk.end_of_stream = true;
+    set_.at(sub).deliver_stream(chunk);
+    if (inst_.callbacks != nullptr) inst_.callbacks->inc();
+    ++sub_stats_[sub].delivered;
+    if (auto* cell = sub_inst_[sub].delivered) cell->inc();
+    if (attribute_cycles_) add_sub_cycles(sub, util::rdtsc() - t0);
+  }
+
+  if (spans_ != nullptr) {
+    const auto conn_id = entry.record.tuple.hash();
+    const auto first = entry.record.first_ts_ns;
+    const auto last = entry.record.last_ts_ns;
+    spans_->record(telemetry::SpanEvent::kConnSpan, conn_id, first,
+                   last > first ? last - first : 0,
+                   entry.record.app_proto.c_str());
+    if (reason != core::TerminateReason::kExpired) {
+      spans_->record(telemetry::SpanEvent::kTerminated, conn_id, last);
+    }
+  }
+
+  to_tombstone(entry);
+  if (remove_from_table) {
+    table_.remove(id);
+  }
+}
+
+void MultiPipeline::finish() {
+  std::vector<ConnId> live;
+  table_.for_each([&](ConnId id, ConnEntry&) { live.push_back(id); });
+  for (const auto id : live) {
+    terminate_conn(id, table_.get(id), core::TerminateReason::kShutdown,
+                   /*remove_from_table=*/true);
+  }
+}
+
+}  // namespace retina::multisub

@@ -1,0 +1,319 @@
+// Single-pass dispatch for a SubscriptionSet (the multi-subscription
+// engine's data path). One MultiPipeline instance runs per worker core,
+// mirroring core::Pipeline stage for stage — packet filter → conn
+// tracking → reassembly → probe → conn filter → parse → session filter
+// → callbacks — but evaluated ONCE per packet/connection/session for
+// the whole set:
+//
+//  * the shared filter forest evaluates every distinct predicate at
+//    most once per packet (memoized through an EvalScratch) and yields
+//    a per-subscription FilterResult array plus the mask of matching
+//    subscriptions;
+//  * connections keep ONE table entry: shared probe/parse/reassembly/
+//    record state plus per-subscription bitmasks (touched / dropped /
+//    matched / early / settled) and per-subscription resume nodes, so
+//    each member walks the identical Probe→Parse→Track→Delete ladder
+//    it would walk alone;
+//  * lazy reconstruction is gated on "any surviving subscription still
+//    needs it": the parser is released when the last session-hungry
+//    member settles, reassembly when the last stream member drops;
+//  * overload shedding stages the degradation ladder per subscription —
+//    the costliest member (by attributed cycles) degrades first
+//    (overload::staged_level), so one expensive subscription sheds
+//    before cheap ones lose data;
+//  * per-subscription telemetry: matched/delivered/shed counters and
+//    cycle attribution, labeled with the subscription's name, plus
+//    subscription-tagged lifecycle spans.
+//
+// Equivalence contract: each member observes the callback stream it
+// would observe running alone (order within a flow preserved) whenever
+// packet-layer predicates are flow-constant — true for five-tuple
+// predicates, i.e. the common case and all bundled examples. Filters
+// over per-packet-varying fields (e.g. tcp.flags) share connection
+// state with the other members and may see richer connection records
+// than they would alone.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "conntrack/conn_state.hpp"
+#include "conntrack/conn_table.hpp"
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "core/stats.hpp"
+#include "multisub/forest.hpp"
+#include "multisub/subscription_set.hpp"
+#include "protocols/registry.hpp"
+#include "stream/reassembly.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace retina::multisub {
+
+/// Per-subscription roll-up, always maintained (telemetry optional).
+struct SubStats {
+  std::uint64_t conns_matched = 0;   // connections terminally matched
+  std::uint64_t delivered = 0;       // callback invocations
+  std::uint64_t dropped_filter = 0;  // connections given up on
+  std::uint64_t shed = 0;            // work units shed for this member
+  std::uint64_t cycles = 0;          // attributed CPU cycles
+};
+
+class MultiPipeline {
+ public:
+  MultiPipeline(const core::RuntimeConfig& config, const SubscriptionSet& set,
+                const FilterForest& forest,
+                const filter::FieldRegistry& field_registry,
+                const protocols::ParserRegistry& parser_registry);
+
+  MultiPipeline(const MultiPipeline&) = delete;
+  MultiPipeline& operator=(const MultiPipeline&) = delete;
+
+  static constexpr std::size_t kMaxBurst = core::Pipeline::kMaxBurst;
+
+  void process(packet::Mbuf mbuf);
+  /// Burst path: same two-pass staged sweep as core::Pipeline — pass 1
+  /// parses, runs the single-pass forest filter, and prefetches the
+  /// connection table; pass 2 runs the stateful stages warm.
+  void process_burst(std::span<packet::Mbuf> burst);
+  static void prefetch_frames(std::span<const packet::Mbuf> burst) noexcept {
+    core::Pipeline::prefetch_frames(burst);
+  }
+
+  /// Terminate and deliver everything still tracked (end of run).
+  void finish();
+
+  void attach_telemetry(telemetry::MetricRegistry& registry, std::size_t core,
+                        telemetry::SpanRing* spans = nullptr);
+  void attach_overload(overload::OverloadState* state) noexcept {
+    overload_ = state;
+  }
+
+  const core::PipelineStats& stats() const noexcept { return stats_; }
+  const SubStats& sub_stats(std::size_t sub) const {
+    return sub_stats_.at(sub);
+  }
+  std::size_t sub_count() const noexcept { return sub_stats_.size(); }
+  std::size_t live_connections() const noexcept { return table_.size(); }
+  std::uint64_t approx_state_bytes() const;
+  /// Current ladder rung member `sub` runs at (tests/diagnostics).
+  overload::DegradeLevel staged_level_of(std::size_t sub) const;
+  /// Pin the cost order (costliest first) instead of waiting for cycle
+  /// attribution to separate the members — deterministic staged-ladder
+  /// tests only.
+  void set_cost_order_for_test(std::span<const std::size_t> costliest_first);
+
+ private:
+  /// Per-subscription pending deliveries (Fig. 4a buffering, kept per
+  /// member because members resolve their filters at different times).
+  struct SubBuffer {
+    std::vector<packet::Mbuf> packets;  // packet-level members
+    std::uint64_t packet_bytes = 0;
+    std::vector<stream::L4Pdu> pdus;    // stream-level members
+    std::uint64_t pdu_bytes = 0;
+  };
+
+  struct ConnEntry {
+    conntrack::ConnState state = conntrack::ConnState::kProbe;  // union
+    bool from_first_is_orig = true;
+    bool is_tcp = false;
+
+    // Per-subscription lifecycle bitsets. alive = touched & ~dropped;
+    // a member still needs probe/parse work while alive and not
+    // settled.
+    SubMask touched = 0;   // member's packet filter admitted this conn
+    SubMask dropped = 0;   // member tombstone (filter said no / done)
+    SubMask matched = 0;   // a terminal predicate matched
+    SubMask early = 0;     // matched at the packet/connection layer
+    SubMask conn_ran = 0;  // connection filter has run
+    SubMask settled = 0;   // no further probe/parse work wanted
+    std::vector<std::uint32_t> resume;  // per-member resume node
+    std::vector<SubBuffer> buffers;     // per-member pending deliveries
+
+    // Shared probe/parse state — identical to core::Pipeline.
+    std::size_t probe_attempts = 0;
+    std::uint32_t probe_alive = ~0u;
+    std::size_t app_proto = 0;
+    std::array<std::vector<std::uint8_t>, 2> probe_prefix;
+    std::vector<stream::L4Pdu> probe_pdus;
+    std::unique_ptr<protocols::ConnParser> parser;
+
+    std::unique_ptr<stream::StreamReassembler> reasm_up;
+    std::unique_ptr<stream::StreamReassembler> reasm_down;
+
+    core::ConnRecord record;
+    std::uint32_t max_seq_end[2] = {0, 0};
+    std::uint32_t last_seq[2] = {0, 0};
+    bool seq_seen[2] = {false, false};
+    bool fin_up = false;
+    bool fin_down = false;
+
+    // Roll-up bookkeeping: did any member drop on a filter decision, and
+    // has the connection-level drop already been counted?
+    bool any_filter_drop = false;
+    bool drop_counted = false;
+
+    SubMask alive() const noexcept { return touched & ~dropped; }
+  };
+
+  using Table = conntrack::ConnTable<ConnEntry>;
+  using ConnId = Table::ConnId;
+
+  struct ProtoCandidate {
+    std::size_t app_proto_id;
+    std::string name;
+    bool over_tcp;
+    std::unique_ptr<protocols::ConnParser> prototype;
+  };
+
+  /// Per-subscription telemetry handles (null when detached).
+  struct SubInstruments {
+    util::RelaxedCell* matched = nullptr;
+    util::RelaxedCell* delivered = nullptr;
+    util::RelaxedCell* shed = nullptr;
+    util::RelaxedCell* cycles = nullptr;
+  };
+
+  core::Level level(std::size_t sub) const { return levels_[sub]; }
+  /// Members that still need probe/parse work on this connection.
+  SubMask parse_pending(const ConnEntry& entry) const noexcept {
+    return entry.alive() & ~entry.settled;
+  }
+  /// All members gave up: the entry is a tombstone.
+  bool defunct(const ConnEntry& entry) const noexcept {
+    return entry.touched != 0 && entry.alive() == 0;
+  }
+
+  void process_one(packet::Mbuf& mbuf,
+                   const std::optional<packet::PacketView>& view,
+                   const packet::FiveTuple::Canonical* canon,
+                   std::uint64_t canon_hash, const SubMask* mask_hint,
+                   const filter::FilterResult* results,
+                   bool housekeeping = true);
+  void handle_stateful(packet::Mbuf& mbuf, const packet::PacketView& view,
+                       SubMask want, const filter::FilterResult* results,
+                       const packet::FiveTuple::Canonical& canon,
+                       std::uint64_t key_hash);
+  ConnId create_conn(const packet::FiveTuple& canonical_key,
+                     bool originator_is_first, SubMask want,
+                     const filter::FilterResult* results, bool is_tcp,
+                     std::uint64_t ts_ns);
+  /// Admit member `sub` to the connection (first packet of the conn that
+  /// its packet filter matched).
+  void join_sub(ConnId id, ConnEntry& entry, std::size_t sub,
+                const filter::FilterResult& pf_result);
+  void update_record(ConnEntry& entry, const packet::PacketView& view,
+                     bool from_orig, std::uint64_t ts_ns);
+  void feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
+                 const packet::PacketView& view, bool from_orig);
+  void handle_pdu(ConnId id, ConnEntry& entry, stream::L4Pdu pdu);
+  void probe_pdu(ConnId id, ConnEntry& entry, const stream::L4Pdu& pdu);
+  void run_conn_filter_sub(ConnId id, ConnEntry& entry, std::size_t sub);
+  void parse_pdu(ConnId id, ConnEntry& entry, const stream::L4Pdu& pdu);
+  void handle_sessions(ConnId id, ConnEntry& entry,
+                       std::vector<protocols::Session> sessions);
+
+  void clear_probe_state(ConnEntry& entry);
+  void stream_pdu_sub(ConnEntry& entry, std::size_t sub,
+                      const stream::L4Pdu& pdu);
+  void deliver_stream_chunk(const ConnEntry& entry, std::size_t sub,
+                            const stream::L4Pdu& pdu);
+  void deliver_packet_sub(std::size_t sub, const packet::Mbuf& mbuf);
+  void flush_on_match_sub(ConnEntry& entry, std::size_t sub);
+  void mark_matched(ConnEntry& entry, std::size_t sub);
+  void drop_sub(ConnEntry& entry, std::size_t sub,
+                bool count_filter_drop = true);
+  void release_sub_buffers(ConnEntry& entry, std::size_t sub);
+  /// Resolve member `sub`'s fate without probing or parsing (shed path
+  /// and probe-failure path share this logic via app_proto = 0).
+  void settle_sub_without_parsing(ConnId id, ConnEntry& entry,
+                                  std::size_t sub);
+  /// Recompute the union state once no member needs probe/parse work:
+  /// Track while anyone is alive, tombstone otherwise. No-op while a
+  /// member still wants parsing.
+  void settle_union(ConnEntry& entry);
+  void to_tombstone(ConnEntry& entry);
+  void terminate_conn(ConnId id, ConnEntry& entry,
+                      core::TerminateReason reason, bool remove_from_table);
+
+  // --- Overload: global budgets + per-subscription staged ladder ---
+  overload::DegradeLevel degrade_level() const noexcept {
+    return overload_ != nullptr ? overload_->level()
+                                : overload::DegradeLevel::kNormal;
+  }
+  bool degraded_to(overload::DegradeLevel at_least) const noexcept {
+    return static_cast<int>(degrade_level()) >= static_cast<int>(at_least);
+  }
+  /// Members whose *staged* level is at or past `at_least` (cached per
+  /// global level; ranks change rarely).
+  SubMask staged_mask(overload::DegradeLevel at_least) noexcept;
+  void refresh_staged_masks(overload::DegradeLevel global) noexcept;
+  /// Re-rank members by attributed cycles (costliest = rank 0).
+  void recompute_cost_ranks();
+  void shed_global(overload::ShedStage stage);
+  void shed_sub(overload::ShedStage stage, std::size_t sub);
+  void add_sub_cycles(std::size_t sub, std::uint64_t cycles);
+  bool admit_connection() const;
+  bool buffering_allowed() const;
+  bool reassembly_shed() const;
+  bool parse_budget_ok(std::uint64_t ts_ns);
+  void flush_buffered_sub(ConnEntry& entry, std::size_t sub);
+  void maybe_sample_memory(std::uint64_t ts_ns);
+
+  const core::RuntimeConfig& config_;
+  const SubscriptionSet& set_;
+  const FilterForest& forest_;
+  const protocols::ParserRegistry& parser_registry_;
+
+  std::vector<core::Level> levels_;  // cached per member
+  SubMask packet_level_mask_ = 0;
+  SubMask stream_level_mask_ = 0;
+  SubMask session_level_mask_ = 0;
+  SubMask conn_level_mask_ = 0;
+
+  std::vector<ProtoCandidate> candidates_;  // union probe order
+  std::uint32_t tcp_candidate_mask_ = 0;
+  std::uint32_t udp_candidate_mask_ = 0;
+
+  Table table_;
+  core::PipelineStats stats_;
+  std::vector<SubStats> sub_stats_;
+  core::PipelineInstruments inst_;
+  std::vector<SubInstruments> sub_inst_;
+  telemetry::SpanRing* spans_ = nullptr;
+  std::int64_t heap_bytes_ = 0;
+  std::uint64_t next_sample_ts_ = 0;
+  std::uint64_t last_ts_ = 0;
+
+  // Per-packet scratch, owned per core (the forest itself is shared and
+  // immutable): predicate memo for the packet epoch, a second memo for
+  // session epochs, the per-member result array, and the burst staging
+  // ring's result storage (kBurstLookahead slots of sub_count results,
+  // allocated once so the burst path never allocates).
+  static constexpr std::size_t kBurstLookahead = 4;
+  EvalScratch pkt_scratch_;
+  EvalScratch session_scratch_;
+  std::vector<filter::FilterResult> pf_results_;
+  std::vector<filter::FilterResult> burst_pf_;
+
+  overload::OverloadState* overload_ = nullptr;
+  std::int64_t reasm_hold_bytes_ = 0;
+  std::int64_t parse_tokens_ = 0;
+  std::uint64_t parse_refill_ts_ = 0;
+  bool parse_bucket_primed_ = false;
+  bool attribute_cycles_ = false;  // per-member rdtsc attribution on?
+
+  // Cost ranks for the staged ladder: rank 0 = costliest member. All
+  // ranks start at 0 (every member degrades together, matching the
+  // single-subscription ladder) until cycle attribution separates them.
+  std::vector<std::uint32_t> cost_rank_;
+  std::uint64_t packets_until_rerank_ = 0;
+  overload::DegradeLevel staged_cached_ = overload::DegradeLevel::kNormal;
+  bool staged_masks_valid_ = false;
+  SubMask staged_masks_[static_cast<int>(overload::DegradeLevel::kCount)] = {};
+};
+
+}  // namespace retina::multisub

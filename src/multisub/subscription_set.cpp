@@ -1,0 +1,69 @@
+#include "multisub/subscription_set.hpp"
+
+#include <algorithm>
+
+namespace retina::multisub {
+
+SubscriptionSet::Builder SubscriptionSet::builder() { return Builder{}; }
+
+SubscriptionSet::Builder& SubscriptionSet::Builder::add(
+    core::Subscription subscription, std::string name) & {
+  if (name.empty()) name = "sub" + std::to_string(subs_.size());
+  subs_.push_back(std::move(subscription));
+  names_.push_back(std::move(name));
+  return *this;
+}
+
+SubscriptionSet::Builder&& SubscriptionSet::Builder::add(
+    core::Subscription subscription, std::string name) && {
+  return std::move(add(std::move(subscription), std::move(name)));
+}
+
+SubscriptionSet::Builder& SubscriptionSet::Builder::add(
+    Result<core::Subscription> subscription, std::string name) & {
+  if (!subscription) {
+    if (name.empty()) {
+      name = "sub" + std::to_string(subs_.size() + errors_.size());
+    }
+    errors_.push_back(name + ": " + subscription.error());
+    return *this;
+  }
+  return add(std::move(*subscription), std::move(name));
+}
+
+SubscriptionSet::Builder&& SubscriptionSet::Builder::add(
+    Result<core::Subscription> subscription, std::string name) && {
+  return std::move(add(std::move(subscription), std::move(name)));
+}
+
+Result<SubscriptionSet> SubscriptionSet::Builder::build() const {
+  if (!errors_.empty()) {
+    std::string joined = "subscription set has invalid members: ";
+    for (std::size_t i = 0; i < errors_.size(); ++i) {
+      if (i > 0) joined += "; ";
+      joined += errors_[i];
+    }
+    return Err(std::move(joined));
+  }
+  if (subs_.empty()) {
+    return Err("subscription set is empty: add at least one subscription");
+  }
+  if (subs_.size() > kMaxSubscriptions) {
+    return Err("subscription set exceeds " +
+               std::to_string(kMaxSubscriptions) + " members (" +
+               std::to_string(subs_.size()) + " added)");
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const auto dup = std::find(names_.begin() + i + 1, names_.end(),
+                               names_[i]);
+    if (dup != names_.end()) {
+      return Err("duplicate subscription name '" + names_[i] + "'");
+    }
+  }
+  SubscriptionSet set;
+  set.subs_ = subs_;
+  set.names_ = names_;
+  return set;
+}
+
+}  // namespace retina::multisub

@@ -1,0 +1,93 @@
+// SubscriptionSet: N independent subscriptions sharing one runtime
+// (paper §3.2 allows "multiple subscriptions compiled into the same
+// application"; this module makes them share the data path instead of
+// running N pipelines). The set is the unit the filter forest and the
+// multi-subscription pipeline are built from: each member keeps its own
+// filter, callback, and data-abstraction level, and the engine
+// guarantees the callback stream each member observes is the one it
+// would have observed running alone (for the usual flow-constant
+// packet predicates), while every shared predicate is evaluated once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/subscription.hpp"
+#include "util/result.hpp"
+
+namespace retina::multisub {
+
+/// Bit s set = subscription index s selected. The whole engine rides on
+/// 64-bit masks, which caps a set at 64 members (plenty: the paper's
+/// applications use a handful).
+using SubMask = std::uint64_t;
+
+inline constexpr SubMask sub_bit(std::size_t index) {
+  return SubMask{1} << index;
+}
+
+class SubscriptionSet {
+ public:
+  class Builder;
+
+  static constexpr std::size_t kMaxSubscriptions = 64;
+
+  /// Entry point of the fluent API, mirroring Subscription::builder():
+  ///
+  ///   auto set = SubscriptionSet::builder()
+  ///                  .add(std::move(tls_sub), "tls-sni")
+  ///                  .add(Subscription::builder()
+  ///                           .filter("http")
+  ///                           .on_session(...)
+  ///                           .build())
+  ///                  .build();
+  static Builder builder();
+
+  std::size_t size() const noexcept { return subs_.size(); }
+  bool empty() const noexcept { return subs_.empty(); }
+  const core::Subscription& at(std::size_t index) const {
+    return subs_.at(index);
+  }
+  /// Diagnostic / telemetry label of subscription `index` ("sub<i>"
+  /// unless the builder named it).
+  const std::string& name(std::size_t index) const {
+    return names_.at(index);
+  }
+  const std::vector<core::Subscription>& subscriptions() const noexcept {
+    return subs_;
+  }
+
+ private:
+  friend class Builder;
+  SubscriptionSet() = default;
+
+  std::vector<core::Subscription> subs_;
+  std::vector<std::string> names_;
+};
+
+/// Fluent, validating constructor. `add` accepts either a finished
+/// Subscription or the Result a Subscription::Builder::build() returned,
+/// so bad filters surface once, at set build time:
+/// a failed member is remembered and reported by build() with its name.
+class SubscriptionSet::Builder {
+ public:
+  Builder& add(core::Subscription subscription, std::string name = "") &;
+  Builder&& add(core::Subscription subscription, std::string name = "") &&;
+  Builder& add(Result<core::Subscription> subscription,
+               std::string name = "") &;
+  Builder&& add(Result<core::Subscription> subscription,
+                std::string name = "") &&;
+
+  /// Validate and construct: at least one member, at most
+  /// kMaxSubscriptions, no duplicate names, and no member whose earlier
+  /// build() failed.
+  Result<SubscriptionSet> build() const;
+
+ private:
+  std::vector<core::Subscription> subs_;
+  std::vector<std::string> names_;
+  std::vector<std::string> errors_;  // deferred per-member failures
+};
+
+}  // namespace retina::multisub

@@ -27,6 +27,8 @@ enum class Direction { kSrc, kDst, kEither };
 struct PortMatch {
   std::uint16_t port = 0;
   Direction dir = Direction::kEither;
+
+  bool operator==(const PortMatch&) const = default;
 };
 
 struct PrefixMatchV4 {
@@ -40,6 +42,8 @@ struct PrefixMatchV4 {
         prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
     return (ip & mask) == (addr & mask);
   }
+
+  bool operator==(const PrefixMatchV4&) const = default;
 };
 
 struct PrefixMatchV6 {
@@ -55,6 +59,8 @@ struct PrefixMatchV6 {
     }
     return true;
   }
+
+  bool operator==(const PrefixMatchV6&) const = default;
 };
 
 /// Inclusive port range — only expressible on range-capable devices
@@ -67,6 +73,8 @@ struct PortRangeMatch {
   bool contains(std::uint16_t port) const noexcept {
     return port >= lo && port <= hi;
   }
+
+  bool operator==(const PortRangeMatch&) const = default;
 };
 
 /// One hardware rule: a conjunction of exact-match constraints. An empty
@@ -81,6 +89,7 @@ struct FlowRule {
 
   bool matches(const packet::PacketView& pkt) const noexcept;
   std::string to_string() const;
+  bool operator==(const FlowRule&) const = default;
 };
 
 /// Device capability model used during rule validation.
@@ -146,6 +155,18 @@ FlowRule widen_rule(const FlowRule& rule, const NicCapabilities& caps);
 class FlowRuleSet {
  public:
   void add(FlowRule rule) { rules_.push_back(std::move(rule)); }
+
+  /// add(), but skips rules already present. Used when unioning the
+  /// per-subscription rule sets of a SubscriptionSet: the union keeps
+  /// permit-any semantics (a superset of every subscription's coverage)
+  /// without programming the same rule N times.
+  void add_unique(FlowRule rule) {
+    for (const auto& r : rules_) {
+      if (r == rule) return;
+    }
+    rules_.push_back(std::move(rule));
+  }
+
   void clear() { rules_.clear(); }
   bool empty() const noexcept { return rules_.empty(); }
   std::size_t size() const noexcept { return rules_.size(); }

@@ -40,6 +40,19 @@ enum class DegradeLevel : int {
 
 const char* degrade_level_name(DegradeLevel level);
 
+/// Per-subscription staging of the ladder: under a multi-subscription
+/// runtime the controller's global level is applied to the *costliest*
+/// subscription first (paper §5.3's "shed the most expensive work"),
+/// one rung per cost rank. Rank 0 (the costliest by attributed cycles)
+/// degrades to the full global level; rank 1 one rung less; and so on,
+/// floored at kNormal. When the global level saturates at kSink every
+/// rank is at kSink.
+inline DegradeLevel staged_level(DegradeLevel global,
+                                 std::size_t cost_rank) noexcept {
+  const int staged = static_cast<int>(global) - static_cast<int>(cost_rank);
+  return staged <= 0 ? DegradeLevel::kNormal : static_cast<DegradeLevel>(staged);
+}
+
 /// Pipeline stages at which work can be shed (telemetry label values).
 enum class ShedStage : int {
   kConnCreate = 0,  // admission refused: new connection not tracked

@@ -70,6 +70,9 @@ std::string SpanRecorder::to_chrome_json() const {
     }
     os << ",\"args\":{\"conn\":\"" << std::hex << span.id << std::dec
        << "\"";
+    if (span.sub >= 0) {
+      os << ",\"sub\":" << span.sub;
+    }
     if (span.detail[0] != '\0') {
       os << ",\"detail\":\"" << span.detail.data() << "\"";
     }

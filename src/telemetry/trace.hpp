@@ -37,6 +37,11 @@ struct SpanRecord {
   std::uint64_t id = 0;           // connection identity (five-tuple hash)
   std::uint64_t ts_ns = 0;        // virtual (trace) time
   std::uint64_t dur_ns = 0;       // kConnSpan only
+  /// Subscription index the event is attributable to; -1 when the event
+  /// concerns the whole connection (or the run has one subscription).
+  /// Makes per-subscription activity separable in multi-subscription
+  /// Chrome traces.
+  std::int32_t sub = -1;
   std::array<char, 16> detail{};  // e.g. application protocol
 };
 
@@ -49,7 +54,8 @@ class SpanRing {
       : slots_(capacity), tid_(tid) {}
 
   void record(SpanEvent event, std::uint64_t id, std::uint64_t ts_ns,
-              std::uint64_t dur_ns = 0, const char* detail = nullptr) {
+              std::uint64_t dur_ns = 0, const char* detail = nullptr,
+              std::int32_t sub = -1) {
     if (slots_.empty()) return;
     SpanRecord& slot = slots_[next_ % slots_.size()];
     slot.event = event;
@@ -57,6 +63,7 @@ class SpanRing {
     slot.id = id;
     slot.ts_ns = ts_ns;
     slot.dur_ns = dur_ns;
+    slot.sub = sub;
     slot.detail.fill('\0');
     if (detail != nullptr) {
       std::strncpy(slot.detail.data(), detail, slot.detail.size() - 1);

@@ -253,6 +253,145 @@ TEST(Decompose, NetflixPaperFilter) {
   EXPECT_TRUE(result.needs_session_stage());
 }
 
+TEST(Decompose, NegatedComparisonFlips) {
+  // `not` never reaches the trie: it is pushed down to the predicate,
+  // where ordered comparisons flip.
+  const auto result = decompose("not (tcp.port = 80)", reg());
+  bool found = false;
+  for (const auto& pattern : result.patterns) {
+    for (const auto& lp : pattern) {
+      if (lp.pred.proto == "tcp" && lp.pred.field == "port") {
+        EXPECT_EQ(lp.pred.op, CmpOp::kNe);
+        EXPECT_EQ(lp.layer, FilterLayer::kPacket);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(result.needs_session_stage());
+}
+
+TEST(Decompose, NegationStraddlingLayersSplitsPerLayer) {
+  // De Morgan over a conjunction that spans the packet and session
+  // layers: `not (A_pkt and B_session)` must decompose into one branch
+  // that terminates at the packet layer (port != 25) and one that still
+  // needs the session stage (sni not-matches).
+  const auto result =
+      decompose("not (tcp.port = 25 and tls.sni matches 'mail')", reg());
+  bool packet_branch = false, session_branch = false;
+  for (const auto& pattern : result.patterns) {
+    const auto& last = pattern.back();
+    if (last.pred.field == "port" && last.pred.op == CmpOp::kNe) {
+      EXPECT_EQ(last.layer, FilterLayer::kPacket);
+      packet_branch = true;
+    }
+    if (last.pred.field == "sni") {
+      EXPECT_EQ(last.pred.op, CmpOp::kNotMatches);
+      EXPECT_EQ(last.layer, FilterLayer::kSession);
+      session_branch = true;
+    }
+  }
+  EXPECT_TRUE(packet_branch);
+  EXPECT_TRUE(session_branch);
+  // The session branch keeps the parse chain alive even though the
+  // packet branch is terminal early.
+  EXPECT_TRUE(result.needs_session_stage());
+  EXPECT_EQ(result.app_protos.size(), 1u);
+}
+
+TEST(Decompose, DeMorganOverDisjunction) {
+  // `not (x or y)` conjoins the negations: both flipped predicates land
+  // in every pattern.
+  const auto result =
+      decompose("not (tcp.port = 80 or tcp.port = 443)", reg());
+  for (const auto& pattern : result.patterns) {
+    std::size_t ne_ports = 0;
+    for (const auto& lp : pattern) {
+      if (lp.pred.field == "port" && lp.pred.op == CmpOp::kNe) ++ne_ports;
+    }
+    EXPECT_EQ(ne_ports, 2u);
+  }
+}
+
+TEST(Decompose, DoubleNegationCancels) {
+  const auto result = decompose("not (not (tcp.port = 80))", reg());
+  bool found = false;
+  for (const auto& pattern : result.patterns) {
+    for (const auto& lp : pattern) {
+      if (lp.pred.field == "port") {
+        EXPECT_EQ(lp.pred.op, CmpOp::kEq);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Decompose, NegatedProtocolPresenceRejected) {
+  // Protocol presence has no complement the layered decomposition can
+  // express (`not tls` would have to match conns *proved* non-TLS).
+  EXPECT_THROW(decompose("not tls", reg()), FilterError);
+  EXPECT_THROW(decompose("not (tls and tcp.port = 443)", reg()), FilterError);
+}
+
+TEST(Decompose, NegatedInAndMatchesVariants) {
+  const auto in_result =
+      decompose("not (ipv4.addr in 10.0.0.0/8)", reg());
+  bool saw_not_in = false;
+  for (const auto& pattern : in_result.patterns) {
+    for (const auto& lp : pattern) {
+      if (lp.pred.field == "addr") {
+        EXPECT_EQ(lp.pred.op, CmpOp::kNotIn);
+        saw_not_in = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_not_in);
+  // A negated prefix is not expressible as a NIC flow rule: the
+  // hardware filter must widen rather than install the positive prefix.
+  for (const auto& rule : in_result.hw_rules.rules()) {
+    EXPECT_FALSE(rule.v4_prefix.has_value());
+  }
+
+  const auto matches_result =
+      decompose("tls and not (tls.sni matches 'ads')", reg());
+  bool saw_not_matches = false;
+  for (const auto& pattern : matches_result.patterns) {
+    for (const auto& lp : pattern) {
+      if (lp.pred.field == "sni") {
+        EXPECT_EQ(lp.pred.op, CmpOp::kNotMatches);
+        EXPECT_EQ(lp.layer, FilterLayer::kSession);
+        saw_not_matches = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_not_matches);
+}
+
+TEST(Trie, DedupsRepeatedPredicates) {
+  // The same predicate reached along different branches gets ONE entry
+  // in the deduplicated predicate table (eval slots), even though the
+  // trie keeps distinct nodes per path.
+  const auto result = decompose(
+      "(tls and tcp.port = 443) or (http and tcp.port = 443)", reg());
+  std::size_t port_nodes = 0;
+  for (const auto& node : result.trie.nodes()) {
+    if (node.pred.pred.field == "port") ++port_nodes;
+  }
+  // port=443 appears under ipv4 and ipv6 (http side) plus ipv4/ipv6 on
+  // the tls side where branches do not share a prefix past tcp.
+  EXPECT_GT(port_nodes, 1u);
+  std::size_t port_preds = 0;
+  for (const auto& lp : result.trie.distinct_predicates()) {
+    if (lp.pred.field == "port") ++port_preds;
+  }
+  EXPECT_EQ(port_preds, 1u);
+  // Dedup is strictly contractive: fewer distinct predicates than
+  // reachable nodes (the root aside).
+  EXPECT_LT(result.trie.distinct_predicate_count(),
+            result.trie.reachable_size());
+}
+
 TEST(Trie, PathTo) {
   const auto result = decompose("ipv4 and tcp.port = 80 and http", reg());
   // Find the http node and verify its path walks root->eth->ipv4->tcp->

@@ -1,0 +1,460 @@
+// Multi-subscription engine tests: the shared filter forest (predicate
+// dedup across members, bitset trie merging), the equivalence contract
+// (every example subscription shape sees the same callback stream alone
+// and inside a combined SubscriptionSet), subscription-tagged lifecycle
+// spans, per-subscription staged overload shedding, and the
+// SubscriptionSet::Builder validation rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "multisub/forest.hpp"
+#include "traffic/flowgen.hpp"
+#include "traffic/workloads.hpp"
+
+namespace retina::multisub {
+namespace {
+
+const filter::FieldRegistry& reg() { return filter::FieldRegistry::builtin(); }
+
+core::Subscription noop_session(const char* filter) {
+  return core::Subscription::builder()
+      .filter(filter)
+      .on_session([](const core::SessionRecord&) {})
+      .build()
+      .value();
+}
+
+Result<FilterForest> build_forest(SubscriptionSet::Builder builder) {
+  auto set = std::move(builder).build();
+  if (!set.ok()) return Err(set.error());
+  return FilterForest::build(set.value(), reg());
+}
+
+// --- Forest construction: cross-subscription predicate dedup ---------
+
+TEST(Forest, DuplicateFilterAddsNoNodes) {
+  auto one = build_forest(SubscriptionSet::builder().add(
+      noop_session("tls.sni matches 'x'"), "a"));
+  auto two = build_forest(SubscriptionSet::builder()
+                              .add(noop_session("tls.sni matches 'x'"), "a")
+                              .add(noop_session("tls.sni matches 'x'"), "b"));
+  ASSERT_TRUE(one.ok()) << one.error();
+  ASSERT_TRUE(two.ok()) << two.error();
+  // The second member grafts onto existing paths only: identical merged
+  // trie, identical shared-thunk bank.
+  EXPECT_EQ(two->merged_trie().reachable_size(),
+            one->merged_trie().reachable_size());
+  EXPECT_EQ(two->bank_size(), one->bank_size());
+  // Both members keep full private views of their own shape.
+  EXPECT_EQ(two->view_node_count(0), two->view_node_count(1));
+}
+
+TEST(Forest, PrefixSubsetSharesNodes) {
+  // "tls" is a strict prefix of "tls.sni matches ...": merging the two
+  // must cost zero extra nodes over the longer filter alone.
+  auto longer = build_forest(SubscriptionSet::builder().add(
+      noop_session("tls.sni matches 'netflix'"), "sni"));
+  auto both = build_forest(SubscriptionSet::builder()
+                               .add(noop_session("tls"), "tls")
+                               .add(noop_session("tls.sni matches 'netflix'"),
+                                    "sni"));
+  ASSERT_TRUE(longer.ok()) << longer.error();
+  ASSERT_TRUE(both.ok()) << both.error();
+  EXPECT_EQ(both->merged_trie().reachable_size(),
+            longer->merged_trie().reachable_size());
+  // Exact shape: root, eth, {ipv4, ipv6} x (ip, tcp, tls, sni) = 10.
+  EXPECT_EQ(both->merged_trie().reachable_size(), 10u);
+  EXPECT_LT(both->merged_trie().reachable_size(),
+            both->view_node_count(0) + both->view_node_count(1));
+}
+
+TEST(Forest, SharedPredicateCompiledOnce) {
+  // Two members constrain tcp.port = 443; the merged bank must hold a
+  // single compiled thunk for it (evaluated once per packet at runtime).
+  auto forest = build_forest(
+      SubscriptionSet::builder()
+          .add(noop_session("tcp.port = 443 and tls"), "tls443")
+          .add(core::Subscription::builder()
+                   .filter("tcp.port = 443")
+                   .on_connection([](const core::ConnRecord&) {})
+                   .build(),
+               "conns443"));
+  ASSERT_TRUE(forest.ok()) << forest.error();
+  std::size_t port_preds = 0;
+  for (const auto& lp : forest->merged_trie().distinct_predicates()) {
+    if (lp.pred.proto == "tcp" && lp.pred.field == "port") ++port_preds;
+  }
+  EXPECT_EQ(port_preds, 1u);
+  // The bank is indexed by distinct predicates, never by node count.
+  EXPECT_EQ(forest->bank_size(),
+            forest->merged_trie().distinct_predicate_count());
+}
+
+TEST(Forest, UnionsHardwareRules) {
+  auto forest = build_forest(
+      SubscriptionSet::builder()
+          .add(core::Subscription::builder()
+                   .filter("ipv4 and tcp.port = 443")
+                   .on_connection([](const core::ConnRecord&) {})
+                   .build(),
+               "https")
+          .add(core::Subscription::builder()
+                   .filter("ipv4 and tcp.port = 443")
+                   .on_packet([](const packet::Mbuf&) {})
+                   .build(),
+               "https-pkts")
+          .add(noop_session("dns"), "dns"));
+  ASSERT_TRUE(forest.ok()) << forest.error();
+  // The two identical 443 rules dedup; dns (identified by probing, not
+  // port) contributes widened UDP rules.
+  bool saw_443 = false, saw_udp = false;
+  std::size_t port_443_rules = 0;
+  for (const auto& rule : forest->hw_rules().rules()) {
+    if (rule.port.has_value() && rule.port->port == 443) {
+      saw_443 = true;
+      ++port_443_rules;
+    }
+    if (rule.ip_proto == packet::kIpProtoUdp) saw_udp = true;
+  }
+  EXPECT_TRUE(saw_443);
+  EXPECT_TRUE(saw_udp);
+  EXPECT_EQ(port_443_rules, 1u);
+}
+
+TEST(Forest, NamesBadMemberInError) {
+  auto forest = build_forest(SubscriptionSet::builder()
+                                 .add(noop_session("tls"), "good")
+                                 .add(core::Subscription::builder()
+                                          .filter("nosuch.field = 1")
+                                          .on_session(
+                                              [](const core::SessionRecord&) {})
+                                          .build(),
+                                      "broken"));
+  ASSERT_FALSE(forest.ok());
+  EXPECT_NE(forest.error().find("broken"), std::string::npos);
+}
+
+// --- Builder validation ----------------------------------------------
+
+TEST(SetBuilder, RejectsEmptySet) {
+  EXPECT_FALSE(SubscriptionSet::builder().build().ok());
+}
+
+TEST(SetBuilder, RejectsDuplicateNames) {
+  auto set = SubscriptionSet::builder()
+                 .add(noop_session("tls"), "dup")
+                 .add(noop_session("dns"), "dup")
+                 .build();
+  ASSERT_FALSE(set.ok());
+  EXPECT_NE(set.error().find("dup"), std::string::npos);
+}
+
+TEST(SetBuilder, DefaultNamesAreIndexed) {
+  auto set = SubscriptionSet::builder()
+                 .add(noop_session("tls"))
+                 .add(noop_session("dns"))
+                 .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+  EXPECT_EQ(set->name(0), "sub0");
+  EXPECT_EQ(set->name(1), "sub1");
+}
+
+TEST(SetBuilder, SurfacesMemberBuildFailure) {
+  auto set = SubscriptionSet::builder()
+                 .add(core::Subscription::builder()
+                          .filter("((broken")
+                          .on_packet([](const packet::Mbuf&) {})
+                          .build(),
+                      "bad-filter")
+                 .build();
+  ASSERT_FALSE(set.ok());
+  EXPECT_NE(set.error().find("bad-filter"), std::string::npos);
+}
+
+// --- Equivalence: every example shape, alone vs combined -------------
+//
+// The eight bundled examples' filter/level shapes. Each callback
+// serializes the record it received into a per-shape stream; the stream
+// a member observes inside the combined SubscriptionSet must be
+// byte-identical to the stream it observes running alone over the same
+// deterministic campus trace.
+
+struct Shape {
+  const char* name;
+  const char* filter;
+  enum Kind { kPacket, kConn, kSession, kTlsHandshake } kind;
+};
+
+const std::vector<Shape>& example_shapes() {
+  static const std::vector<Shape> shapes = {
+      {"quickstart", "tls.sni matches '.*\\.com$'", Shape::kTlsHandshake},
+      {"video_features", traffic::kNetflixFilter, Shape::kConn},
+      {"crypto_anomalies", "tls", Shape::kTlsHandshake},
+      {"anon_packets", "http", Shape::kPacket},
+      {"conn_logger", "tls or http", Shape::kConn},
+      {"pcap_replay", "tls", Shape::kTlsHandshake},
+      {"cert_monitor", "tls", Shape::kTlsHandshake},
+      {"unencrypted_mail", "smtp", Shape::kSession},
+  };
+  return shapes;
+}
+
+std::string describe(const core::ConnRecord& rec) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), " up=%llu/%llu down=%llu/%llu app=%s",
+                static_cast<unsigned long long>(rec.pkts_up),
+                static_cast<unsigned long long>(rec.bytes_up),
+                static_cast<unsigned long long>(rec.pkts_down),
+                static_cast<unsigned long long>(rec.bytes_down),
+                rec.app_proto.c_str());
+  return rec.tuple.to_string() + buf;
+}
+
+Result<core::Subscription> make_shape(const Shape& shape,
+                                      std::vector<std::string>* out) {
+  auto builder = core::Subscription::builder().filter(shape.filter);
+  switch (shape.kind) {
+    case Shape::kPacket:
+      return std::move(builder)
+          .on_packet([out](const packet::Mbuf& mbuf) {
+            out->push_back("pkt ts=" + std::to_string(mbuf.timestamp_ns()) +
+                           " len=" + std::to_string(mbuf.length()));
+          })
+          .build();
+    case Shape::kConn:
+      return std::move(builder)
+          .on_connection([out](const core::ConnRecord& rec) {
+            out->push_back("conn " + describe(rec));
+          })
+          .build();
+    case Shape::kSession:
+      return std::move(builder)
+          .on_session([out](const core::SessionRecord& rec) {
+            out->push_back("session " + rec.tuple.to_string() + " " +
+                           rec.session.proto_name());
+          })
+          .build();
+    case Shape::kTlsHandshake:
+      return std::move(builder)
+          .on_tls_handshake([out](const core::SessionRecord& rec,
+                                  const protocols::TlsHandshake& hs) {
+            out->push_back("tls " + rec.tuple.to_string() + " sni=" + hs.sni);
+          })
+          .build();
+  }
+  return Err("unreachable");
+}
+
+core::RuntimeConfig equivalence_config(std::size_t cores) {
+  core::RuntimeConfig config;
+  config.cores = cores;
+  return config;
+}
+
+void check_equivalence(std::size_t cores) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 1'500;
+  mix.seed = 11;
+  const auto trace = traffic::make_campus_trace(mix);
+  const auto& shapes = example_shapes();
+
+  // Each shape alone in a classic single-subscription runtime.
+  std::vector<std::vector<std::string>> alone(shapes.size());
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    auto runtime = core::Runtime::create(
+        equivalence_config(cores),
+        make_shape(shapes[s], &alone[s]).value());
+    ASSERT_TRUE(runtime.ok()) << shapes[s].name << ": " << runtime.error();
+    (*runtime)->run(trace.packets());
+    EXPECT_FALSE(alone[s].empty())
+        << shapes[s].name << " observed nothing — workload too small?";
+  }
+
+  // All eight in one SubscriptionSet over the identical trace.
+  std::vector<std::vector<std::string>> combined(shapes.size());
+  auto builder = SubscriptionSet::builder();
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    builder.add(make_shape(shapes[s], &combined[s]), shapes[s].name);
+  }
+  auto runtime =
+      core::Runtime::create(equivalence_config(cores), builder.build().value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+  (*runtime)->run(trace.packets());
+
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    EXPECT_EQ(combined[s], alone[s]) << "stream diverged for "
+                                     << shapes[s].name;
+  }
+}
+
+TEST(Equivalence, ExampleShapesSingleCore) { check_equivalence(1); }
+
+TEST(Equivalence, ExampleShapesFourCores) { check_equivalence(4); }
+
+TEST(Equivalence, PerSubStatsMatchStreams) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 800;
+  mix.seed = 5;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  std::vector<std::string> tls_stream, dns_stream;
+  auto builder = SubscriptionSet::builder();
+  builder.add(core::Subscription::builder()
+                  .filter("tls")
+                  .on_session([&](const core::SessionRecord&) {
+                    tls_stream.push_back("s");
+                  })
+                  .build(),
+              "tls");
+  builder.add(core::Subscription::builder()
+                  .filter("dns")
+                  .on_session([&](const core::SessionRecord&) {
+                    dns_stream.push_back("s");
+                  })
+                  .build(),
+              "dns");
+  auto runtime =
+      core::Runtime::create(equivalence_config(1), builder.build().value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+  (*runtime)->run(trace.packets());
+
+  const auto tls_stats = (*runtime)->sub_stats(0);
+  const auto dns_stats = (*runtime)->sub_stats(1);
+  EXPECT_EQ(tls_stats.delivered, tls_stream.size());
+  EXPECT_EQ(dns_stats.delivered, dns_stream.size());
+  EXPECT_GT(tls_stats.conns_matched, 0u);
+  EXPECT_GT(dns_stats.conns_matched, 0u);
+  EXPECT_EQ(tls_stats.shed, 0u);
+  EXPECT_EQ(dns_stats.shed, 0u);
+}
+
+// --- Telemetry: spans carry the subscription index -------------------
+
+TEST(Spans, TaggedWithSubscriptionId) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 400;
+  mix.seed = 3;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  auto set = SubscriptionSet::builder()
+                 .add(noop_session("tls"), "tls")
+                 .add(noop_session("dns"), "dns")
+                 .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.trace_ring_capacity = 4096;
+  auto runtime = core::Runtime::create(config, std::move(set).value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+  (*runtime)->run(trace.packets());
+
+  ASSERT_NE((*runtime)->spans(), nullptr);
+  const auto spans = (*runtime)->spans()->merged();
+  ASSERT_FALSE(spans.empty());
+  bool delivered_sub0 = false, delivered_sub1 = false;
+  bool created_untagged = false;
+  for (const auto& span : spans) {
+    if (span.event == telemetry::SpanEvent::kDelivered) {
+      if (span.sub == 0) delivered_sub0 = true;
+      if (span.sub == 1) delivered_sub1 = true;
+      EXPECT_GE(span.sub, 0) << "multi-run delivery span missing sub tag";
+    }
+    if (span.event == telemetry::SpanEvent::kConnCreated && span.sub < 0) {
+      created_untagged = true;
+    }
+  }
+  EXPECT_TRUE(delivered_sub0);
+  EXPECT_TRUE(delivered_sub1);
+  // Whole-connection events stay untagged (sub = -1).
+  EXPECT_TRUE(created_untagged);
+}
+
+// --- Overload: per-subscription staged degradation -------------------
+
+TEST(StagedLadder, CostRankOffsetsGlobalLevel) {
+  using overload::DegradeLevel;
+  using overload::staged_level;
+  // Rank 0 (costliest) takes the full global level; each further rank
+  // sits one rung higher, floored at normal service.
+  EXPECT_EQ(staged_level(DegradeLevel::kNormal, 0), DegradeLevel::kNormal);
+  EXPECT_EQ(staged_level(DegradeLevel::kNormal, 3), DegradeLevel::kNormal);
+  EXPECT_EQ(staged_level(DegradeLevel::kShedSessions, 0),
+            DegradeLevel::kShedSessions);
+  EXPECT_EQ(staged_level(DegradeLevel::kShedSessions, 1),
+            DegradeLevel::kNormal);
+  EXPECT_EQ(staged_level(DegradeLevel::kShedReassembly, 1),
+            DegradeLevel::kShedSessions);
+  EXPECT_EQ(staged_level(DegradeLevel::kCountOnly, 2),
+            DegradeLevel::kShedSessions);
+  EXPECT_EQ(staged_level(DegradeLevel::kSink, 0), DegradeLevel::kSink);
+}
+
+TEST(StagedLadder, CostliestSubscriptionShedsFirst) {
+  traffic::CampusMixConfig mix;
+  mix.total_flows = 600;
+  mix.seed = 9;
+  const auto trace = traffic::make_campus_trace(mix);
+
+  auto set = SubscriptionSet::builder()
+                 .add(noop_session("tls"), "expensive")
+                 .add(noop_session("dns"), "cheap")
+                 .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.overload.enabled = true;
+  auto runtime = core::Runtime::create(config, std::move(set).value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+
+  auto& pipeline = (*runtime)->multi_pipeline(0);
+  const std::size_t order[] = {0, 1};  // tls costliest
+  pipeline.set_cost_order_for_test(order);
+  (*runtime)->overload_state().set_level(
+      overload::DegradeLevel::kShedSessions);
+
+  EXPECT_EQ(pipeline.staged_level_of(0),
+            overload::DegradeLevel::kShedSessions);
+  EXPECT_EQ(pipeline.staged_level_of(1), overload::DegradeLevel::kNormal);
+
+  (*runtime)->run(trace.packets());
+
+  const auto expensive = (*runtime)->sub_stats(0);
+  const auto cheap = (*runtime)->sub_stats(1);
+  // The staged member loses its sessions and records the shed work; the
+  // cheap member keeps full service.
+  EXPECT_EQ(expensive.delivered, 0u);
+  EXPECT_GT(expensive.shed, 0u);
+  EXPECT_GT(cheap.delivered, 0u);
+  EXPECT_EQ(cheap.shed, 0u);
+}
+
+TEST(StagedLadder, EqualCostsDegradeInLockstep) {
+  auto set = SubscriptionSet::builder()
+                 .add(noop_session("tls"), "a")
+                 .add(noop_session("dns"), "b")
+                 .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.overload.enabled = true;
+  auto runtime = core::Runtime::create(config, std::move(set).value());
+  ASSERT_TRUE(runtime.ok()) << runtime.error();
+
+  // No cycle attribution has separated the members: every rank is 0 and
+  // the staged ladder collapses to the single-subscription ladder.
+  auto& pipeline = (*runtime)->multi_pipeline(0);
+  (*runtime)->overload_state().set_level(
+      overload::DegradeLevel::kShedReassembly);
+  EXPECT_EQ(pipeline.staged_level_of(0),
+            overload::DegradeLevel::kShedReassembly);
+  EXPECT_EQ(pipeline.staged_level_of(1),
+            overload::DegradeLevel::kShedReassembly);
+}
+
+}  // namespace
+}  // namespace retina::multisub

@@ -40,13 +40,27 @@
 //   --fault-plan SPEC  seeded ingress fault injection, e.g.
 //                      "seed=7,pool=0.01,ring=0.005,trunc=0.02,
 //                      corrupt=0.02,clock=0.001,jump-ms=50"
+//
+// Multi-subscription mode (repeatable; switches to the shared filter
+// forest with single-pass dispatch, ignoring --filter/--type/
+// --interpreted):
+//   --subscribe F:L    add a subscription with filter F at level L
+//                      (packets | connections | sessions | streams);
+//                      the *last* ':' separates filter from level, e.g.
+//                      --subscribe "tls.sni ~ 'netflix':sessions"
+//   --subscriptions FILE  load subscriptions from an INI file:
+//                        [video]
+//                        filter = tls.sni ~ 'netflix'
+//                        type = sessions
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/monitor.hpp"
 #include "core/runtime.hpp"
@@ -59,9 +73,18 @@ using namespace retina;
 
 namespace {
 
+/// One multi-subscription member (from --subscribe or an INI file).
+struct SubSpec {
+  std::string name;
+  std::string filter;
+  std::string type = "connections";
+};
+
 struct Options {
   std::string filter;
   std::string type = "connections";
+  std::vector<SubSpec> subscribes;
+  std::string subs_file;
   std::string pcap_path;
   std::string prom_path;
   std::string metrics_path;
@@ -95,7 +118,9 @@ struct Options {
                "          [--prom FILE] [--metrics FILE] [--trace FILE]"
                " [--live]\n"
                "          [--sample-ms N] [--overload-policy SPEC]"
-               " [--fault-plan SPEC]\n",
+               " [--fault-plan SPEC]\n"
+               "          [--subscribe FILTER:LEVEL]... "
+               "[--subscriptions FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -129,6 +154,23 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--live") opts.live = true;
     else if (arg == "--overload-policy") opts.overload_spec = next();
     else if (arg == "--fault-plan") opts.fault_spec = next();
+    else if (arg == "--subscribe") {
+      // FILTER:LEVEL — filters may contain ':' so the LAST one splits.
+      const std::string spec = next();
+      const auto colon = spec.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= spec.size()) {
+        std::fprintf(stderr,
+                     "error: --subscribe wants FILTER:LEVEL, got '%s'\n",
+                     spec.c_str());
+        std::exit(2);
+      }
+      SubSpec sub;
+      sub.name = "sub" + std::to_string(opts.subscribes.size());
+      sub.filter = spec.substr(0, colon);
+      sub.type = spec.substr(colon + 1);
+      opts.subscribes.push_back(std::move(sub));
+    }
+    else if (arg == "--subscriptions") opts.subs_file = next();
     else if (arg == "--sample-ms")
       opts.sample_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
     else usage(argv[0]);
@@ -160,6 +202,118 @@ std::string session_summary(const core::SessionRecord& rec) {
   return "(unknown session)";
 }
 
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Minimal INI/TOML-style subscription file:
+///   [name]            # one section per subscription
+///   filter = EXPR     # bare or quoted ("..." / '...')
+///   type = sessions   # packets | connections | sessions | streams
+Result<std::vector<SubSpec>> load_subscriptions_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Err("cannot open subscriptions file '" + path + "'");
+  std::vector<SubSpec> specs;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto where = [&] {
+      return path + ":" + std::to_string(lineno) + ": ";
+    };
+    std::string text = trim(line);
+    if (text.empty() || text[0] == '#' || text[0] == ';') continue;
+    if (text.front() == '[') {
+      if (text.back() != ']' || text.size() < 3) {
+        return Err(where() + "malformed section header '" + text + "'");
+      }
+      SubSpec spec;
+      spec.name = trim(text.substr(1, text.size() - 2));
+      if (spec.name.empty()) return Err(where() + "empty section name");
+      specs.push_back(std::move(spec));
+      continue;
+    }
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      return Err(where() + "expected 'key = value', got '" + text + "'");
+    }
+    if (specs.empty()) {
+      return Err(where() + "key outside a [section]");
+    }
+    const std::string key = trim(text.substr(0, eq));
+    std::string value = trim(text.substr(eq + 1));
+    if (value.size() >= 2 &&
+        ((value.front() == '"' && value.back() == '"') ||
+         (value.front() == '\'' && value.back() == '\''))) {
+      value = value.substr(1, value.size() - 2);
+    }
+    if (key == "filter") {
+      specs.back().filter = value;
+    } else if (key == "type" || key == "level") {
+      specs.back().type = value;
+    } else {
+      return Err(where() + "unknown key '" + key +
+                 "' (expected filter/type)");
+    }
+  }
+  if (specs.empty()) return Err(path + ": no [sections] found");
+  return specs;
+}
+
+/// Build one subscription printing records through `emit`, with lines
+/// prefixed by `label` (empty in single-subscription mode).
+template <typename Emit>
+Result<core::Subscription> build_subscription(const std::string& type,
+                                              const std::string& filter,
+                                              std::string label,
+                                              Emit& emit) {
+  std::string prefix = label.empty() ? "" : "[" + label + "] ";
+  auto builder = core::Subscription::builder().filter(filter);
+  if (type == "packets") {
+    return std::move(builder)
+        .on_packet([&emit, prefix](const packet::Mbuf& mbuf) {
+          emit(prefix + "packet len=" + std::to_string(mbuf.length()) +
+               " t=" + std::to_string(mbuf.timestamp_ns() / 1000000) + "ms");
+        })
+        .build();
+  }
+  if (type == "sessions") {
+    return std::move(builder)
+        .on_session([&emit, prefix](const core::SessionRecord& rec) {
+          emit(prefix + rec.tuple.to_string() + "  " + session_summary(rec));
+        })
+        .build();
+  }
+  if (type == "streams") {
+    return std::move(builder)
+        .on_stream([&emit, prefix](const core::StreamChunk& chunk) {
+          if (chunk.end_of_stream) return;
+          emit(prefix + chunk.tuple.to_string() +
+               (chunk.from_originator ? "  up " : "  down ") +
+               std::to_string(chunk.data.size()) + " bytes");
+        })
+        .build();
+  }
+  if (type != "connections") {
+    return Err("unknown subscription type '" + type +
+               "' (packets|connections|sessions|streams)");
+  }
+  return std::move(builder)
+      .on_connection([&emit, prefix](const core::ConnRecord& rec) {
+        emit(prefix + rec.tuple.to_string() + "  proto=" +
+             (rec.app_proto.empty() ? "-" : rec.app_proto) + " pkts=" +
+             std::to_string(rec.pkts_up) + "/" +
+             std::to_string(rec.pkts_down) + " bytes=" +
+             std::to_string(rec.bytes_up) + "/" +
+             std::to_string(rec.bytes_down) +
+             (rec.single_syn() ? " single-syn" : ""));
+      })
+      .build();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,49 +332,43 @@ int main(int argc, char** argv) {
     }
   };
 
-  Result<core::Subscription> subscription_or = [&] {
-    auto builder = core::Subscription::builder().filter(opts.filter);
-    if (opts.type == "packets") {
-      return std::move(builder)
-          .on_packet([&](const packet::Mbuf& mbuf) {
-            emit("packet len=" + std::to_string(mbuf.length()) + " t=" +
-                 std::to_string(mbuf.timestamp_ns() / 1000000) + "ms");
-          })
-          .build();
+  // Multi-subscription mode when any --subscribe / --subscriptions was
+  // given; classic single-subscription mode otherwise.
+  std::vector<SubSpec> sub_specs = opts.subscribes;
+  if (!opts.subs_file.empty()) {
+    auto loaded = load_subscriptions_file(opts.subs_file);
+    if (!loaded) {
+      std::fprintf(stderr, "error: %s\n", loaded.error().c_str());
+      return 1;
     }
-    if (opts.type == "sessions") {
-      return std::move(builder)
-          .on_session([&](const core::SessionRecord& rec) {
-            emit(rec.tuple.to_string() + "  " + session_summary(rec));
-          })
-          .build();
+    sub_specs.insert(sub_specs.end(), loaded->begin(), loaded->end());
+  }
+
+  Result<core::Subscription> subscription_or = Err("unset");
+  std::optional<multisub::SubscriptionSet> set;
+  if (!sub_specs.empty()) {
+    auto builder = multisub::SubscriptionSet::builder();
+    for (const auto& spec : sub_specs) {
+      builder.add(build_subscription(spec.type, spec.filter, spec.name, emit),
+                  spec.name);
     }
-    if (opts.type == "streams") {
-      return std::move(builder)
-          .on_stream([&](const core::StreamChunk& chunk) {
-            if (chunk.end_of_stream) return;
-            emit(chunk.tuple.to_string() + (chunk.from_originator ? "  up "
-                                                                  : "  down ") +
-                 std::to_string(chunk.data.size()) + " bytes");
-          })
-          .build();
+    auto set_or = builder.build();
+    if (!set_or) {
+      std::fprintf(stderr, "error: %s\n", set_or.error().c_str());
+      return 1;
     }
-    if (opts.type != "connections") usage(argv[0]);
-    return std::move(builder)
-        .on_connection([&](const core::ConnRecord& rec) {
-          emit(rec.tuple.to_string() + "  proto=" +
-               (rec.app_proto.empty() ? "-" : rec.app_proto) + " pkts=" +
-               std::to_string(rec.pkts_up) + "/" +
-               std::to_string(rec.pkts_down) + " bytes=" +
-               std::to_string(rec.bytes_up) + "/" +
-               std::to_string(rec.bytes_down) +
-               (rec.single_syn() ? " single-syn" : ""));
-        })
-        .build();
-  }();
-  if (!subscription_or) {
-    std::fprintf(stderr, "error: %s\n", subscription_or.error().c_str());
-    return 1;
+    set.emplace(std::move(*set_or));
+  } else {
+    if (opts.type != "packets" && opts.type != "connections" &&
+        opts.type != "sessions" && opts.type != "streams") {
+      usage(argv[0]);
+    }
+    subscription_or =
+        build_subscription(opts.type, opts.filter, /*label=*/"", emit);
+    if (!subscription_or) {
+      std::fprintf(stderr, "error: %s\n", subscription_or.error().c_str());
+      return 1;
+    }
   }
 
   core::RuntimeConfig config;
@@ -251,7 +399,8 @@ int main(int argc, char** argv) {
 
   {
     auto runtime_or =
-        core::Runtime::create(config, std::move(subscription_or).value());
+        set ? core::Runtime::create(config, std::move(*set))
+            : core::Runtime::create(config, std::move(subscription_or).value());
     if (!runtime_or) {
       std::fprintf(stderr, "error: %s\n", runtime_or.error().c_str());
       return 1;
@@ -321,6 +470,19 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.total.conns_created),
                  static_cast<unsigned long long>(records),
                  stats.to_string().c_str());
+    if (runtime.multi()) {
+      const auto* subs = runtime.subscription_set();
+      for (std::size_t s = 0; s < subs->size(); ++s) {
+        const auto sub = runtime.sub_stats(s);
+        std::fprintf(stderr,
+                     "  [%s] filter=\"%s\" matched=%llu delivered=%llu "
+                     "shed=%llu\n",
+                     subs->name(s).c_str(), subs->at(s).filter().c_str(),
+                     static_cast<unsigned long long>(sub.conns_matched),
+                     static_cast<unsigned long long>(sub.delivered),
+                     static_cast<unsigned long long>(sub.shed));
+      }
+    }
     if (opts.stats) {
       for (int i = 0; i < static_cast<int>(core::Stage::kCount); ++i) {
         const auto stage = static_cast<core::Stage>(i);
