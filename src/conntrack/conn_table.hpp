@@ -149,6 +149,58 @@ class ConnTable {
     }
   }
 
+  /// A connection lifted out of the table for migration to another
+  /// core: the moved state plus the timer metadata the destination
+  /// needs to resume expiry exactly where this table left off.
+  struct Extracted {
+    Conn conn{};
+    bool established = false;
+    std::uint64_t deadline_ns = 0;
+  };
+
+  /// Remove the connection from this table and hand its state to the
+  /// caller (flow migration). The stale wheel entry is ignored via the
+  /// generation check when it fires, exactly as with remove().
+  Extracted extract(ConnId id) {
+    auto& slot = slots_[id];
+    Extracted out{std::move(slot.conn), slot.established, slot.deadline_ns};
+    slot.live = false;
+    index_.erase(slot.key);
+    slot.conn = Conn{};
+    free_list_.push_back(id);
+    return out;
+  }
+
+  /// Counterpart of extract() on the destination core: insert a
+  /// migrated connection preserving its established flag and expiry
+  /// deadline. (A plain insert() would restart the establishment
+  /// timeout, making the migrated run expire connections differently
+  /// from the static run.) A deadline already in the past fires on this
+  /// table's next advance(), which the timer wheel supports.
+  ConnId adopt(const packet::FiveTuple& canonical_key, Conn conn,
+               bool established, std::uint64_t deadline_ns) {
+    ConnId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      slots_[id].conn = std::move(conn);
+      slots_[id].live = true;
+      ++slots_[id].generation;
+    } else {
+      id = static_cast<ConnId>(slots_.size());
+      slots_.push_back(Slot{std::move(conn), canonical_key, 0, 0, false, true});
+    }
+    auto& slot = slots_[id];
+    slot.key = canonical_key;
+    slot.established = established;
+    slot.deadline_ns = deadline_ns;
+    index_.insert(canonical_key, id);
+    if (timers_enabled()) {
+      wheel_.schedule(wheel_token(id), slot.deadline_ns);
+    }
+    return id;
+  }
+
   /// Remove a connection immediately (filter mismatch, natural
   /// termination, or subscription satisfied). The stale wheel entry is
   /// ignored via the generation check when it fires.

@@ -9,6 +9,7 @@
 #include "nic/flow_rule.hpp"
 #include "overload/fault.hpp"
 #include "overload/policy.hpp"
+#include "rebalance/config.hpp"
 
 namespace retina::core {
 
@@ -93,6 +94,11 @@ struct RuntimeConfig {
   /// key. Must be 40 bytes when set (validated by Runtime::create /
   /// SimNic::validate; the checked constructors throw/err on misuse).
   std::vector<std::uint8_t> rss_key;
+
+  /// Adaptive RSS rebalancing with stateful flow migration (see
+  /// rebalance/rebalancer.hpp). Single-subscription mode only; the
+  /// validating factories reject it combined with a SubscriptionSet.
+  rebalance::RebalanceConfig rebalance;
 };
 
 }  // namespace retina::core

@@ -1,0 +1,294 @@
+#include "core/golden.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "packet/packet_view.hpp"
+
+namespace retina::core::golden {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Direction-independent connection key: the canonicalized tuple, so
+/// both directions of a flow land in one per-connection sequence space.
+std::string canonical_key(const packet::FiveTuple& tuple) {
+  return tuple.canonical().key.to_string();
+}
+
+std::string packet_key(const packet::Mbuf& mbuf) {
+  if (const auto view = packet::PacketView::parse(mbuf)) {
+    if (view->five_tuple()) return canonical_key(*view->five_tuple());
+  }
+  // Non-IP frames have no connection; key them by content so identical
+  // frames still share one deterministic sequence space.
+  return "raw:" + hex64(fnv1a64(mbuf.bytes()));
+}
+
+void append_headers(std::ostringstream& os, const char* field,
+                    const std::vector<protocols::HttpHeader>& headers) {
+  os << ",\"" << field << "\":[";
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i != 0) os << ',';
+    os << "[\"" << json_escape(headers[i].name) << "\",\""
+       << json_escape(headers[i].value) << "\"]";
+  }
+  os << ']';
+}
+
+/// The variant-specific tail of a session line. Field order is fixed;
+/// adding a field here invalidates committed golden files (regenerate
+/// with tools/golden_gen).
+void append_session_fields(std::ostringstream& os,
+                           const protocols::Session& session) {
+  if (const auto* tls = session.get<protocols::TlsHandshake>()) {
+    os << ",\"sni\":\"" << json_escape(tls->sni) << "\",\"version\":"
+       << tls->version() << ",\"cipher\":\"" << json_escape(tls->cipher_name())
+       << "\",\"alpn\":[";
+    for (std::size_t i = 0; i < tls->alpn_offered.size(); ++i) {
+      if (i != 0) os << ',';
+      os << '"' << json_escape(tls->alpn_offered[i]) << '"';
+    }
+    os << "],\"server_hello\":" << (tls->has_server_hello ? 1 : 0)
+       << ",\"certs\":" << tls->certificate_count << ",\"subject\":\""
+       << json_escape(tls->subject_cn) << '"';
+  } else if (const auto* http = session.get<protocols::HttpTransaction>()) {
+    os << ",\"method\":\"" << json_escape(http->method) << "\",\"uri\":\""
+       << json_escape(http->uri) << "\",\"host\":\"" << json_escape(http->host)
+       << "\",\"status\":" << http->status_code << ",\"content_length\":"
+       << http->response_content_length;
+    append_headers(os, "req_headers", http->request_headers);
+    append_headers(os, "resp_headers", http->response_headers);
+  } else if (const auto* dns = session.get<protocols::DnsMessage>()) {
+    os << ",\"txn_id\":" << dns->id << ",\"response\":"
+       << (dns->is_response ? 1 : 0) << ",\"rcode\":"
+       << static_cast<int>(dns->rcode) << ",\"questions\":[";
+    for (std::size_t i = 0; i < dns->questions.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "[\"" << json_escape(dns->questions[i].qname) << "\","
+         << dns->questions[i].qtype << ',' << dns->questions[i].qclass << ']';
+    }
+    os << "],\"answers\":" << dns->answer_count;
+  } else if (const auto* ssh = session.get<protocols::SshHandshake>()) {
+    os << ",\"client_banner\":\"" << json_escape(ssh->client_banner)
+       << "\",\"server_banner\":\"" << json_escape(ssh->server_banner) << '"';
+  } else if (const auto* quic = session.get<protocols::QuicHandshake>()) {
+    os << ",\"version\":" << quic->version << ",\"dcid\":\""
+       << hex64(fnv1a64({quic->dcid.data(), quic->dcid.size()}))
+       << "\",\"initials\":" << quic->initial_packets;
+  } else if (const auto* smtp = session.get<protocols::SmtpEnvelope>()) {
+    os << ",\"helo\":\"" << json_escape(smtp->helo) << "\",\"mail_from\":\""
+       << json_escape(smtp->mail_from) << "\",\"rcpts\":"
+       << smtp->rcpt_to.size() << ",\"starttls\":"
+       << (smtp->starttls ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const char* dispatch_path_name(DispatchPath path) noexcept {
+  switch (path) {
+    case DispatchPath::kSerialPacket: return "serial-packet";
+    case DispatchPath::kSerialBurst: return "serial-burst";
+    case DispatchPath::kThreaded: return "threaded";
+    case DispatchPath::kSerialRebalance: return "serial-rebalance";
+    case DispatchPath::kThreadedRebalance: return "threaded-rebalance";
+  }
+  return "?";
+}
+
+std::span<const DispatchPath> all_dispatch_paths() noexcept {
+  static constexpr std::array<DispatchPath, 5> kPaths = {
+      DispatchPath::kSerialPacket, DispatchPath::kSerialBurst,
+      DispatchPath::kThreaded, DispatchPath::kSerialRebalance,
+      DispatchPath::kThreadedRebalance};
+  return kPaths;
+}
+
+void GoldenRecorder::record(const std::string& key, std::string fields) {
+  const std::scoped_lock lock(mu_);
+  const auto seq = seq_[key]++;
+  char seq_buf[16];
+  std::snprintf(seq_buf, sizeof(seq_buf), "%06llu",
+                static_cast<unsigned long long>(seq));
+  std::string line = "{\"key\":\"" + json_escape(key) + "\",\"seq\":\"";
+  line += seq_buf;
+  line += '"';
+  line += fields;
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+std::vector<std::string> GoldenRecorder::lines() const {
+  const std::scoped_lock lock(mu_);
+  auto sorted = lines_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+Result<Subscription> GoldenRecorder::subscribe(Level level,
+                                               const std::string& filter) {
+  auto builder = Subscription::builder();
+  builder.filter(filter);
+  switch (level) {
+    case Level::kPacket:
+      builder.on_packet([this](const packet::Mbuf& mbuf) {
+        std::ostringstream os;
+        os << ",\"event\":\"packet\",\"ts\":" << mbuf.timestamp_ns()
+           << ",\"len\":" << mbuf.length() << ",\"data\":\""
+           << hex64(fnv1a64(mbuf.bytes())) << '"';
+        record(packet_key(mbuf), os.str());
+      });
+      break;
+    case Level::kConnection:
+      builder.on_connection([this](const ConnRecord& rec) {
+        std::ostringstream os;
+        os << ",\"event\":\"conn\",\"tuple\":\""
+           << json_escape(rec.tuple.to_string()) << "\",\"first_ts\":"
+           << rec.first_ts_ns << ",\"last_ts\":" << rec.last_ts_ns
+           << ",\"pkts\":[" << rec.pkts_up << ',' << rec.pkts_down
+           << "],\"bytes\":[" << rec.bytes_up << ',' << rec.bytes_down
+           << "],\"payload\":[" << rec.payload_up << ',' << rec.payload_down
+           << "],\"ooo\":[" << rec.ooo_up << ',' << rec.ooo_down
+           << "],\"dup\":[" << rec.dup_up << ',' << rec.dup_down
+           << "],\"flags\":[" << rec.saw_syn << ',' << rec.saw_synack << ','
+           << rec.saw_fin << ',' << rec.saw_rst << "],\"established\":"
+           << rec.established << ",\"app\":\"" << json_escape(rec.app_proto)
+           << '"';
+        record(canonical_key(rec.tuple), os.str());
+      });
+      break;
+    case Level::kSession:
+      builder.on_session([this](const SessionRecord& rec) {
+        std::ostringstream os;
+        os << ",\"event\":\"session\",\"ts\":" << rec.ts_ns << ",\"proto\":\""
+           << json_escape(rec.session.proto_name()) << "\",\"id\":"
+           << rec.session.session_id;
+        append_session_fields(os, rec.session);
+        record(canonical_key(rec.tuple), os.str());
+      });
+      break;
+    case Level::kStream:
+      builder.on_stream([this](const StreamChunk& chunk) {
+        std::ostringstream os;
+        os << ",\"event\":\"stream\",\"ts\":" << chunk.ts_ns << ",\"dir\":\""
+           << (chunk.from_originator ? "up" : "down") << "\",\"eos\":"
+           << chunk.end_of_stream << ",\"len\":" << chunk.data.size()
+           << ",\"data\":\"" << hex64(fnv1a64(chunk.data)) << '"';
+        record(canonical_key(chunk.tuple), os.str());
+      });
+      break;
+  }
+  return builder.build();
+}
+
+GoldenResult run_golden(std::span<const packet::Mbuf> packets,
+                        const GoldenSpec& spec) {
+  GoldenRecorder recorder;
+  auto sub = recorder.subscribe(spec.level, spec.filter);
+  if (!sub) throw std::runtime_error("golden: bad filter: " + sub.error());
+
+  RuntimeConfig config;
+  config.cores = spec.cores;
+  config.rx_burst_size =
+      spec.path == DispatchPath::kSerialPacket ? 1 : 32;
+  const bool rebalance = spec.path == DispatchPath::kSerialRebalance ||
+                         spec.path == DispatchPath::kThreadedRebalance;
+  if (rebalance) {
+    // Forced-churn settings: move buckets on every tick even when the
+    // load looks flat, so a short trace still exercises migrations.
+    config.rebalance.enabled = true;
+    config.rebalance.imbalance_threshold = 0.0;
+    config.rebalance.hysteresis_ticks = 1;
+    config.rebalance.interval_ns = 500'000;  // 0.5 ms of trace time
+    config.rebalance.max_moves_per_tick = 4;
+  }
+
+  Runtime runtime(config, std::move(*sub));
+  const bool threaded = spec.path == DispatchPath::kThreaded ||
+                        spec.path == DispatchPath::kThreadedRebalance;
+  const auto stats =
+      threaded ? runtime.run_threaded(packets) : runtime.run(packets);
+
+  GoldenResult result;
+  result.lines = recorder.lines();
+  result.dropped = stats.nic_ring_dropped;
+  if (auto* reb = runtime.rebalancer()) {
+    result.migrations = reb->migrations();
+    result.reta_rewrites = reb->reta_rewrites();
+  }
+  return result;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> read_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+bool write_jsonl(const std::string& path,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << join_lines(lines);
+  return static_cast<bool>(out);
+}
+
+}  // namespace retina::core::golden

@@ -1,0 +1,99 @@
+// Golden-trace differential harness. A golden run replays a pcap-sized
+// trace through one dispatch path — serial per-packet, serial burst,
+// threaded, or either of those with RSS rebalancing forced on — and
+// records every subscription callback as one canonical JSON line. Two
+// runs are equivalent iff their canonical streams are identical.
+//
+// Canonical form: every line carries the connection's canonicalized
+// five-tuple plus a zero-padded per-connection sequence number, and the
+// stream is sorted lexicographically. Cross-connection interleaving
+// legitimately differs between dispatch paths (cores drain their rings
+// independently), but per-connection callback order never may — the
+// sort folds away the former while the embedded sequence numbers pin
+// the latter, so a plain line-by-line diff catches any reordering,
+// loss, duplication, or field-level divergence inside a connection.
+// Payload-bearing events (packets, stream chunks) embed an FNV-1a hash
+// of their bytes, making "byte-identical" literal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/subscription.hpp"
+#include "packet/mbuf.hpp"
+
+namespace retina::core::golden {
+
+/// Which dispatch machinery carries the packets.
+enum class DispatchPath {
+  kSerialPacket,      // run(), rx_burst_size = 1
+  kSerialBurst,       // run(), batched two-pass pipeline
+  kThreaded,          // run_threaded(), one worker per core
+  kSerialRebalance,   // serial burst + forced bucket migration
+  kThreadedRebalance  // threaded + forced bucket migration
+};
+
+const char* dispatch_path_name(DispatchPath path) noexcept;
+
+/// All five paths, in the order tests iterate them.
+std::span<const DispatchPath> all_dispatch_paths() noexcept;
+
+struct GoldenSpec {
+  std::string filter;            // subscription filter ("" = everything)
+  Level level = Level::kConnection;
+  std::size_t cores = 4;
+  DispatchPath path = DispatchPath::kSerialPacket;
+};
+
+struct GoldenResult {
+  std::vector<std::string> lines;  // sorted canonical JSONL
+  std::uint64_t migrations = 0;    // connections adopted mid-run
+  std::uint64_t reta_rewrites = 0;
+  std::uint64_t dropped = 0;       // ring overflow (must be 0 for golden)
+};
+
+/// Thread-safe callback recorder. Workers append concurrently during
+/// run_threaded(); per-connection sequence numbers are handed out under
+/// the same lock, so they follow each connection's callback order.
+class GoldenRecorder {
+ public:
+  /// Build a subscription whose callback records into this recorder.
+  /// The recorder must outlive the Runtime using the subscription.
+  Result<Subscription> subscribe(Level level, const std::string& filter);
+
+  /// Sorted canonical stream (call after the run completes).
+  std::vector<std::string> lines() const;
+
+ private:
+  void record(const std::string& key, std::string fields);
+
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+  std::map<std::string, std::uint64_t> seq_;
+};
+
+/// Replay `packets` through the path `spec` names and return the
+/// canonical stream. Throws std::runtime_error on a bad filter.
+GoldenResult run_golden(std::span<const packet::Mbuf> packets,
+                        const GoldenSpec& spec);
+
+/// FNV-1a 64-bit — stable across platforms, unlike std::hash.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+/// "\n"-joined lines with a trailing newline (empty string when empty).
+std::string join_lines(const std::vector<std::string>& lines);
+
+/// Read a JSONL file into (unsorted) lines; empty vector if unreadable.
+/// Blank lines are skipped so hand-edited files stay comparable.
+std::vector<std::string> read_jsonl(const std::string& path);
+
+/// Write lines as JSONL. Returns false on I/O failure.
+bool write_jsonl(const std::string& path,
+                 const std::vector<std::string>& lines);
+
+}  // namespace retina::core::golden

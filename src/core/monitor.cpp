@@ -146,6 +146,23 @@ const Advice& RuntimeMonitor::apply(std::uint64_t now_ns) {
   }
   if (last_advice_.action == Advice::Action::kNone) return last_advice_;
 
+  // Rebalance before shedding: if queue load is skewed, spare capacity
+  // on sibling cores is a better first response than dropping work.
+  // Only when buckets actually move does this replace the ladder step
+  // (and reset the hysteresis clock, like any other action).
+  if (last_advice_.action == Advice::Action::kDegrade) {
+    auto* rebalancer = runtime_->rebalancer();
+    if (rebalancer != nullptr && rebalancer->imbalanced() &&
+        rebalancer->rebalance_now() > 0) {
+      last_advice_.action = Advice::Action::kNone;
+      last_advice_.level = level_;
+      last_advice_.sink_fraction = current_sink();
+      last_advice_.reason = "rebalanced RETA buckets instead of shedding";
+      last_action_poll_ = history_.size();
+      return last_advice_;
+    }
+  }
+
   level_ = last_advice_.level;
   const double old_sink = current_sink();
   sink_boost_ = std::max(0.0, last_advice_.sink_fraction - baseline_sink());

@@ -165,6 +165,10 @@ void Pipeline::attach_telemetry(telemetry::MetricRegistry& registry,
                           "Work refused by overload shedding", "stage",
                           overload::shed_stage_name(stage)).at(core);
   }
+  inst_.migrations =
+      &registry.counter("retina_migrations_total",
+                        "Connections adopted after an RSS rebalance moved "
+                        "their RETA bucket to this core").at(core);
   spans_ = spans;
 }
 
@@ -540,7 +544,7 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
         return;
       }
       id = create_conn(canon.key, canon.originator_is_first, pf_result,
-                       view.tcp().has_value(), ts);
+                       view.tcp().has_value(), ts, mbuf.rss_hash());
     } else {
       table_.touch(id, ts);
     }
@@ -613,11 +617,13 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
 Pipeline::ConnId Pipeline::create_conn(const packet::FiveTuple& canonical_key,
                                        bool originator_is_first,
                                        const FilterResult& pf_result,
-                                       bool is_tcp, std::uint64_t ts_ns) {
+                                       bool is_tcp, std::uint64_t ts_ns,
+                                       std::uint32_t rss_hash) {
   ConnEntry entry;
   entry.from_first_is_orig = originator_is_first;
   entry.is_tcp = is_tcp;
   entry.resume_node = pf_result.node_id;
+  entry.rss_hash = rss_hash;
   entry.probe_alive = is_tcp ? tcp_candidate_mask_ : udp_candidate_mask_;
   entry.record.tuple = oriented(canonical_key, originator_is_first);
   entry.record.first_ts_ns = ts_ns;
@@ -1270,6 +1276,93 @@ void Pipeline::finish() {
   for (const auto id : live) {
     terminate_conn(id, table_.get(id), TerminateReason::kShutdown,
                    /*remove_from_table=*/true);
+  }
+}
+
+// Migrated's special members live here, where ConnEntry is complete
+// (the unique_ptr<ConnEntry> member cannot be destroyed from contexts
+// that only see the forward declaration).
+Pipeline::Migrated::Migrated() = default;
+Pipeline::Migrated::Migrated(Migrated&&) noexcept = default;
+Pipeline::Migrated& Pipeline::Migrated::operator=(Migrated&&) noexcept =
+    default;
+Pipeline::Migrated::~Migrated() = default;
+
+std::int64_t Pipeline::entry_reasm_bytes(const ConnEntry& entry) const {
+  std::int64_t bytes = 0;
+  for (const auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+    if (*reasm) {
+      bytes += static_cast<std::int64_t>((*reasm)->pending() *
+                                         kOooPduEstimateBytes);
+    }
+  }
+  return bytes;
+}
+
+std::int64_t Pipeline::entry_heap_bytes(const ConnEntry& entry) const {
+  std::int64_t bytes = static_cast<std::int64_t>(entry.buffered_bytes) +
+                       static_cast<std::int64_t>(entry.pdu_buffer_bytes);
+  for (const auto& held : entry.probe_pdus) {
+    bytes += static_cast<std::int64_t>(held.payload.size());
+  }
+  if (entry.parser) bytes += static_cast<std::int64_t>(kParserEstimateBytes);
+  for (const auto* reasm : {&entry.reasm_up, &entry.reasm_down}) {
+    if (*reasm) bytes += static_cast<std::int64_t>(kReassemblerBytes);
+  }
+  bytes += entry_reasm_bytes(entry);
+  return bytes;
+}
+
+std::vector<Pipeline::Migrated> Pipeline::extract_bucket(
+    std::uint32_t bucket, std::size_t reta_size) {
+  std::vector<ConnId> ids;
+  table_.for_each([&](ConnId id, ConnEntry& entry) {
+    if (reta_size != 0 && entry.rss_hash % reta_size == bucket) {
+      ids.push_back(id);
+    }
+  });
+  std::vector<Migrated> out;
+  out.reserve(ids.size());
+  for (const auto id : ids) {
+    Migrated migrated;
+    migrated.key = table_.key_of(id);
+    const ConnEntry& entry = table_.get(id);
+    migrated.rss_hash = entry.rss_hash;
+    migrated.heap_bytes = entry_heap_bytes(entry);
+    migrated.reasm_bytes = entry_reasm_bytes(entry);
+    auto extracted = table_.extract(id);
+    migrated.established = extracted.established;
+    migrated.deadline_ns = extracted.deadline_ns;
+    migrated.entry = std::make_unique<ConnEntry>(std::move(extracted.conn));
+    heap_bytes_ -= migrated.heap_bytes;
+    reasm_hold_bytes_ -= migrated.reasm_bytes;
+    ++stats_.migrations_out;
+    out.push_back(std::move(migrated));
+  }
+  if (!out.empty() && inst_.live_conns != nullptr) {
+    inst_.live_conns->set(table_.size());
+    inst_.state_bytes->set(approx_state_bytes());
+  }
+  return out;
+}
+
+void Pipeline::adopt(Migrated&& migrated) {
+  if (migrated.entry == nullptr) return;
+  if (table_.find(migrated.key) != Table::kInvalid) {
+    // Unreachable under the migration protocol (a bucket has exactly
+    // one owner at any time); drop the duplicate rather than corrupt
+    // the table.
+    return;
+  }
+  heap_bytes_ += migrated.heap_bytes;
+  reasm_hold_bytes_ += migrated.reasm_bytes;
+  table_.adopt(migrated.key, std::move(*migrated.entry),
+               migrated.established, migrated.deadline_ns);
+  ++stats_.migrations_in;
+  if (inst_.migrations != nullptr) inst_.migrations->inc();
+  if (inst_.live_conns != nullptr) {
+    inst_.live_conns->set(table_.size());
+    inst_.state_bytes->set(approx_state_bytes());
   }
 }
 

@@ -56,6 +56,8 @@ struct PipelineInstruments {
   // a whole burst took end to end.
   telemetry::Histogram* burst_occupancy = nullptr;
   telemetry::Histogram* burst_cycles = nullptr;
+  // Connections adopted after an RSS rebalance moved their bucket here.
+  util::RelaxedCell* migrations = nullptr;
 };
 
 /// Why a connection is being terminated (delivery still depends on the
@@ -63,6 +65,8 @@ struct PipelineInstruments {
 enum class TerminateReason { kNatural, kExpired, kShutdown };
 
 class Pipeline {
+  struct ConnEntry;  // defined in the private section below
+
  public:
   Pipeline(const RuntimeConfig& config, const Subscription& subscription,
            const FilterEngine& filter,
@@ -119,6 +123,37 @@ class Pipeline {
   /// Approximate bytes of connection state held right now (Fig. 8).
   std::uint64_t approx_state_bytes() const;
 
+  /// One connection lifted out of this pipeline for migration to a
+  /// sibling core after an RSS rebalance. Carries the full per-
+  /// connection state (record, reassembly buffers, parser, probe
+  /// prefixes) opaquely, plus the timer metadata and the heap-byte
+  /// contributions so the destination's Fig. 8 accounting stays exact.
+  struct Migrated {
+    Migrated();
+    Migrated(Migrated&&) noexcept;
+    Migrated& operator=(Migrated&&) noexcept;
+    ~Migrated();
+
+    packet::FiveTuple key{};
+    std::uint64_t deadline_ns = 0;
+    bool established = false;
+    std::uint32_t rss_hash = 0;
+    std::int64_t heap_bytes = 0;   // entry's contribution to heap_bytes_
+    std::int64_t reasm_bytes = 0;  // ... and to reasm_hold_bytes_
+    std::unique_ptr<ConnEntry> entry;  // opaque outside the pipeline
+  };
+
+  /// Extract every tracked connection whose RSS hash falls in RETA
+  /// bucket `bucket` (of `reta_size` buckets). The entries leave this
+  /// pipeline's table, stats gauges, and byte accounting; callbacks
+  /// fire neither here nor on the destination — migration is invisible
+  /// to the subscription.
+  std::vector<Migrated> extract_bucket(std::uint32_t bucket,
+                                       std::size_t reta_size);
+
+  /// Adopt a connection extracted from another core's pipeline.
+  void adopt(Migrated&& migrated);
+
  private:
   struct ConnEntry {
     conntrack::ConnState state = conntrack::ConnState::kProbe;
@@ -133,6 +168,9 @@ class Pipeline {
     bool early_matched = false;
     std::uint32_t resume_node = 0; // packet-filter, then conn-filter node
     bool conn_filter_ran = false;
+    // RSS hash of the connection's canonical tuple, recorded so the
+    // rebalancer can find every connection owned by a RETA bucket.
+    std::uint32_t rss_hash = 0;
 
     std::size_t probe_attempts = 0;
     std::uint32_t probe_alive = ~0u;  // candidate bitmask
@@ -186,7 +224,7 @@ class Pipeline {
   ConnId create_conn(const packet::FiveTuple& canonical_key,
                      bool originator_is_first,
                      const filter::FilterResult& pf_result, bool is_tcp,
-                     std::uint64_t ts_ns);
+                     std::uint64_t ts_ns, std::uint32_t rss_hash);
   void update_record(ConnEntry& entry, const packet::PacketView& view,
                      bool from_orig, std::uint64_t ts_ns);
   void feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
@@ -235,6 +273,11 @@ class Pipeline {
   void terminate_conn(ConnId id, ConnEntry& entry, TerminateReason reason,
                       bool remove_from_table);
   void maybe_sample_memory(std::uint64_t ts_ns);
+  // An entry's exact contribution to heap_bytes_ / reasm_hold_bytes_,
+  // mirrored by extract_bucket()/adopt() so migration moves the
+  // accounting along with the state.
+  std::int64_t entry_heap_bytes(const ConnEntry& entry) const;
+  std::int64_t entry_reasm_bytes(const ConnEntry& entry) const;
 
   const RuntimeConfig& config_;
   const Subscription& subscription_;

@@ -76,6 +76,10 @@ Result<std::unique_ptr<Runtime>> Runtime::create(
                                               config.nic_capabilities);
   if (!forest) return Err(forest.error());
   if (auto ok = validate_config(config); !ok) return Err(ok.error());
+  if (config.rebalance.enabled) {
+    return Err("bad config: RSS rebalancing is single-subscription only "
+               "(multi-subscription migration is not supported)");
+  }
   return std::make_unique<Runtime>(std::move(config), std::move(set),
                                    field_registry, parser_registry);
 }
@@ -114,6 +118,12 @@ void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
   }
 
   if (set_) {
+    if (config_.rebalance.enabled) {
+      // Mirrors the validating factory; the throwing constructor keeps
+      // the same contract.
+      throw std::runtime_error(
+          "bad config: RSS rebalancing is single-subscription only");
+    }
     multi_pipelines_.reserve(port.num_queues);
     for (std::size_t core = 0; core < port.num_queues; ++core) {
       multi_pipelines_.push_back(std::make_unique<multisub::MultiPipeline>(
@@ -137,6 +147,10 @@ void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
       pipelines_.back()->attach_telemetry(
           *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
     }
+  }
+  if (config_.rebalance.enabled) {
+    rebalancer_ = std::make_unique<rebalance::Rebalancer>(
+        config_.rebalance, *nic_, pipelines_, metrics_.get());
   }
 }
 
@@ -202,6 +216,17 @@ void Runtime::dispatch(const packet::Mbuf& mbuf) {
       next_controller_ts_ = ts + controller_interval_ns_;
     }
   }
+  // Rebalancer ticks ride the same virtual clock, on the same thread —
+  // the RETA writer — so rebalanced runs stay deterministic too.
+  if (rebalancer_ && config_.rebalance.interval_ns > 0) {
+    const auto ts = mbuf.timestamp_ns();
+    if (next_rebalance_ts_ == 0) {
+      next_rebalance_ts_ = ts + config_.rebalance.interval_ns;
+    } else if (ts >= next_rebalance_ts_) {
+      rebalancer_->tick(ts);
+      next_rebalance_ts_ = ts + config_.rebalance.interval_ns;
+    }
+  }
   nic_->dispatch(mbuf);
 }
 
@@ -229,21 +254,48 @@ void Runtime::drain() {
       pipelines_[queue]->process_burst(burst);
     }
   };
+  auto* reb = rebalancer_.get();
   if (want <= 1) {
     // Legacy per-packet path (rx_burst_size = 1).
     packet::Mbuf mbuf;
     for (std::size_t queue = 0; queue < queues; ++queue) {
+      if (reb != nullptr) reb->poll_core(queue);
       while (nic_->poll(queue, mbuf)) {
-        process_one(queue, std::move(mbuf));
+        if (reb != nullptr) {
+          reb->poll_core(queue);
+          if (reb->filter_burst(queue, &mbuf, 1) != 0) {
+            process_one(queue, std::move(mbuf));
+          }
+          reb->note_consumed(queue, 1);
+        } else {
+          process_one(queue, std::move(mbuf));
+        }
       }
+      if (reb != nullptr) reb->poll_core(queue);
     }
     return;
   }
-  // Double-buffered receive: poll burst N+1 and warm its leading
-  // frames before processing burst N, so the next burst's headers
-  // stream in from memory underneath the current burst's work.
-  std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
   for (std::size_t queue = 0; queue < queues; ++queue) {
+    if (reb != nullptr) {
+      // Rebalancing path: plain burst loop with the migration hooks at
+      // every burst boundary (poll commands/mail, defer in-flight
+      // buckets, account consumption).
+      std::array<packet::Mbuf, Pipeline::kMaxBurst> buf;
+      reb->poll_core(queue);
+      std::size_t got;
+      while ((got = nic_->poll_burst(queue, buf.data(), want)) > 0) {
+        reb->poll_core(queue);
+        const std::size_t kept = reb->filter_burst(queue, buf.data(), got);
+        if (kept > 0) process_burst(queue, {buf.data(), kept});
+        reb->note_consumed(queue, got);
+      }
+      reb->poll_core(queue);
+      continue;
+    }
+    // Double-buffered receive: poll burst N+1 and warm its leading
+    // frames before processing burst N, so the next burst's headers
+    // stream in from memory underneath the current burst's work.
+    std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
     std::size_t cur = 0;
     std::size_t got = nic_->poll_burst(queue, bufs[cur].data(), want);
     while (got > 0) {
@@ -262,6 +314,10 @@ void Runtime::drain() {
 RunStats Runtime::finish() {
   if (!finished_) {
     drain();
+    // Complete any in-flight migrations before finish() walks the
+    // tables, or connections stranded in mailboxes would lose their
+    // final callbacks.
+    if (rebalancer_) rebalancer_->quiesce();
     for (auto& pipeline : pipelines_) pipeline->finish();
     for (auto& pipeline : multi_pipelines_) pipeline->finish();
     finished_ = true;
@@ -294,17 +350,44 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
 
   workers.reserve(cores());
   const std::size_t want = burst_size();
+  if (rebalancer_) rebalancer_->set_serial(false);
   for (std::size_t core = 0; core < cores(); ++core) {
     workers.emplace_back([this, core, want, &done, &core_seconds] {
       Pipeline* pipeline = multi() ? nullptr : pipelines_[core].get();
       multisub::MultiPipeline* multi_pipeline =
           multi() ? multi_pipelines_[core].get() : nullptr;
+      rebalance::Rebalancer* reb = rebalancer_.get();
       packet::Mbuf mbuf;
       std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
       const auto start = std::chrono::steady_clock::now();
       while (true) {
         bool any = false;
-        if (want > 1) {
+        if (reb != nullptr) {
+          // Rebalancing worker: burst loop with the migration hooks at
+          // every burst boundary. (Rebalancing implies single mode.)
+          reb->poll_core(core);
+          if (want > 1) {
+            std::size_t got;
+            while ((got = nic_->poll_burst(core, bufs[0].data(), want)) > 0) {
+              any = true;
+              reb->poll_core(core);
+              const std::size_t kept =
+                  reb->filter_burst(core, bufs[0].data(), got);
+              if (kept > 0) pipeline->process_burst({bufs[0].data(), kept});
+              reb->note_consumed(core, got);
+            }
+          } else {
+            while (nic_->poll(core, mbuf)) {
+              any = true;
+              reb->poll_core(core);
+              if (reb->filter_burst(core, &mbuf, 1) != 0) {
+                pipeline->process(std::move(mbuf));
+              }
+              reb->note_consumed(core, 1);
+            }
+          }
+          reb->poll_core(core);
+        } else if (want > 1) {
           // Same double-buffered receive as drain(): warm burst N+1's
           // head frames while burst N is being processed.
           std::size_t cur = 0;
@@ -385,6 +468,12 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
     samples_ = sampler->samples();
   }
 
+  if (rebalancer_) {
+    // Workers are gone: back to single-thread semantics, and any
+    // migration still in flight must complete before finish().
+    rebalancer_->set_serial(true);
+    rebalancer_->quiesce();
+  }
   for (auto& pipeline : pipelines_) pipeline->finish();
   for (auto& pipeline : multi_pipelines_) pipeline->finish();
   finished_ = true;
@@ -441,6 +530,22 @@ std::string Runtime::prometheus() const {
       out, "retina_nic_pool_exhausted_total",
       "Packets lost to injected mbuf-pool exhaustion",
       port_stats.pool_exhausted);
+  // Per-queue breakdown of the ring counters (the rebalancer's load /
+  // loss signals, exported so skew is visible from outside too).
+  out += "# HELP retina_nic_queue_enqueued_total Packets enqueued to each "
+         "receive ring\n# TYPE retina_nic_queue_enqueued_total counter\n";
+  for (std::size_t queue = 0; queue < cores(); ++queue) {
+    out += "retina_nic_queue_enqueued_total{queue=\"" +
+           std::to_string(queue) + "\"} " +
+           std::to_string(nic_->queue_enqueued(queue)) + "\n";
+  }
+  out += "# HELP retina_nic_queue_dropped_total Ring-full drops charged to "
+         "each receive queue\n# TYPE retina_nic_queue_dropped_total counter\n";
+  for (std::size_t queue = 0; queue < cores(); ++queue) {
+    out += "retina_nic_queue_dropped_total{queue=\"" +
+           std::to_string(queue) + "\"} " +
+           std::to_string(nic_->queue_dropped(queue)) + "\n";
+  }
   return out;
 }
 

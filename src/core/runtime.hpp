@@ -25,6 +25,7 @@
 #include "nic/port.hpp"
 #include "overload/fault.hpp"
 #include "overload/policy.hpp"
+#include "rebalance/rebalancer.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -135,6 +136,12 @@ class Runtime {
   /// Ingress fault injector (config.fault_plan.enabled); null otherwise.
   overload::FaultInjector* faults() noexcept { return faults_.get(); }
 
+  /// RETA rebalancer (config.rebalance.enabled, single-subscription
+  /// mode); null otherwise. Ticks ride the dispatch thread like the
+  /// controller; the monitor's rebalance-before-shed path calls
+  /// rebalance_now() through this.
+  rebalance::Rebalancer* rebalancer() noexcept { return rebalancer_.get(); }
+
   /// Install a controller invoked from the *dispatching* thread every
   /// `interval_ns` of virtual (trace) time — the cadence is the trace
   /// clock, so runs are deterministic. The dispatch thread owns the
@@ -196,6 +203,8 @@ class Runtime {
 
   overload::OverloadState overload_state_;
   std::unique_ptr<overload::FaultInjector> faults_;
+  std::unique_ptr<rebalance::Rebalancer> rebalancer_;
+  std::uint64_t next_rebalance_ts_ = 0;
   std::function<void(std::uint64_t)> controller_;
   std::uint64_t controller_interval_ns_ = 0;
   std::uint64_t next_controller_ts_ = 0;

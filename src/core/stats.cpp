@@ -40,6 +40,8 @@ void PipelineStats::merge(const PipelineStats& other) {
   sessions_parsed += other.sessions_parsed;
   probe_failures += other.probe_failures;
   busy_cycles += other.busy_cycles;
+  migrations_in += other.migrations_in;
+  migrations_out += other.migrations_out;
   for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
     shed[i] += other.shed[i];
   }

@@ -73,6 +73,8 @@ struct PipelineStats {
   std::uint64_t sessions_parsed = 0;
   std::uint64_t probe_failures = 0;  // connections with unknown protocol
   std::uint64_t busy_cycles = 0;     // total cycles spent processing
+  std::uint64_t migrations_in = 0;   // connections adopted from a sibling
+  std::uint64_t migrations_out = 0;  // connections extracted for migration
 
   /// Overload shedding, by the pipeline stage that refused the work
   /// (overload::ShedStage). Zero everywhere unless budgets or the

@@ -26,7 +26,10 @@ Result<std::unique_ptr<SimNic>> SimNic::create(const PortConfig& config) {
 SimNic::SimNic(const PortConfig& config)
     : config_(config),
       reta_(config.num_queues),
-      rss_key_(symmetric_rss_key()) {
+      rss_key_(symmetric_rss_key()),
+      queue_enqueued_(config.num_queues ? config.num_queues : 1),
+      queue_dropped_(config.num_queues ? config.num_queues : 1),
+      bucket_hits_(reta_.size()) {
   if (config.rss_key.size() == rss_key_.size()) {
     std::copy(config.rss_key.begin(), config.rss_key.end(),
               rss_key_.begin());
@@ -76,7 +79,9 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   }
   mbuf.set_rss_hash(hash);
 
-  const std::uint32_t queue = reta_.lookup(hash);
+  const std::size_t bucket = reta_.bucket_of(hash);
+  bucket_hits_[bucket].inc();
+  const std::uint32_t queue = reta_.assignment(bucket);
   if (queue == RedirectionTable::kSinkQueue) {
     stats_.sunk.inc();
     return;
@@ -86,8 +91,10 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   if (!fault_action.force_ring_overflow &&
       rings_[queue]->push(std::move(mbuf))) {
     stats_.delivered.inc();
+    queue_enqueued_[queue].inc();
   } else {
     stats_.ring_dropped.inc();
+    queue_dropped_[queue].inc();
   }
 }
 

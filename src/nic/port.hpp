@@ -93,6 +93,20 @@ class SimNic {
   RedirectionTable& reta() noexcept { return reta_; }
   const RedirectionTable& reta() const noexcept { return reta_; }
 
+  /// The Toeplitz key actually in use (config override or the symmetric
+  /// default) — lets traffic generators pre-compute which queue a flow
+  /// will land on.
+  const std::array<std::uint8_t, 40>& rss_key() const noexcept {
+    return rss_key_;
+  }
+
+  /// Atomically repoint one RETA bucket at `queue`. Applied between
+  /// bursts on the dispatching thread (the rebalancer); lookups racing
+  /// with the write see either owner, never a torn entry.
+  void update_reta(std::size_t bucket, std::uint32_t queue) noexcept {
+    reta_.set(bucket, queue);
+  }
+
   /// Install (or clear, with nullptr) the ingress fault hook. The hook
   /// is borrowed, not owned; it must outlive the port or be cleared
   /// first. Call only while no dispatch is in flight.
@@ -119,6 +133,27 @@ class SimNic {
 
   /// Packets waiting in a queue.
   std::size_t queue_depth(std::size_t queue) const;
+
+  /// Cumulative packets enqueued to a queue's ring. The rebalancer's
+  /// migration protocol uses this as the extract threshold: once the
+  /// old owner has consumed this many packets, every pre-rewrite packet
+  /// of a moved bucket has been processed.
+  std::uint64_t queue_enqueued(std::size_t queue) const noexcept {
+    return queue_enqueued_[queue].load();
+  }
+
+  /// Cumulative ring-full drops charged to a queue — the per-queue
+  /// component of PortStats::ring_dropped.
+  std::uint64_t queue_dropped(std::size_t queue) const noexcept {
+    return queue_dropped_[queue].load();
+  }
+
+  /// Cumulative packets that hashed into a RETA bucket (counted before
+  /// the sink check) — the per-bucket load signal rebalancing is driven
+  /// by.
+  std::uint64_t bucket_hits(std::size_t bucket) const noexcept {
+    return bucket_hits_[bucket].load();
+  }
 
   /// Tear-free snapshot; callable from any thread while dispatch runs.
   PortStats stats() const noexcept {
@@ -158,6 +193,10 @@ class SimNic {
   std::array<std::uint8_t, 40> rss_key_;
   std::vector<std::unique_ptr<util::SpscRing<packet::Mbuf>>> rings_;
   AtomicPortStats stats_;
+  // Sized at construction and never resized (RelaxedCell is immovable).
+  std::vector<util::RelaxedCell> queue_enqueued_;
+  std::vector<util::RelaxedCell> queue_dropped_;
+  std::vector<util::RelaxedCell> bucket_hits_;
   IngressFault* fault_ = nullptr;  // borrowed; nullptr = no faults
 };
 

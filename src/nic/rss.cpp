@@ -62,9 +62,19 @@ std::uint32_t rss_hash(const packet::FiveTuple& tuple,
 RedirectionTable::RedirectionTable(std::size_t num_queues,
                                    std::size_t table_size)
     : num_queues_(std::max<std::size_t>(num_queues, 1)),
-      table_(std::max<std::size_t>(table_size, 1)) {
+      table_(std::max<std::size_t>(table_size, 1)),
+      base_(table_.size()) {
   for (std::size_t i = 0; i < table_.size(); ++i) {
     table_[i] = static_cast<std::uint32_t>(i % num_queues_);
+    base_[i] = table_[i];
+  }
+}
+
+void RedirectionTable::set(std::size_t bucket, std::uint32_t queue) noexcept {
+  base_[bucket] = queue;
+  std::atomic_ref<std::uint32_t> entry(table_[bucket]);
+  if (entry.load(std::memory_order_relaxed) != kSinkQueue) {
+    entry.store(queue, std::memory_order_relaxed);
   }
 }
 
@@ -76,8 +86,8 @@ void RedirectionTable::set_sink_fraction(double fraction) {
     // Spread sunk buckets evenly: every k-th bucket sinks.
     const bool sink =
         sunk > 0 && (i * sunk / table_.size()) != ((i + 1) * sunk / table_.size());
-    table_[i] = sink ? kSinkQueue
-                     : static_cast<std::uint32_t>(i % num_queues_);
+    std::atomic_ref<std::uint32_t>(table_[i]).store(
+        sink ? kSinkQueue : base_[i], std::memory_order_relaxed);
   }
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -34,6 +35,12 @@ std::uint32_t rss_hash(const packet::FiveTuple& tuple,
 
 /// Redirection table: maps hash → queue. `kSinkQueue` marks buckets
 /// whose packets the NIC drops (flow sampling).
+///
+/// Entries are accessed through relaxed atomics so the rebalancer can
+/// repoint individual buckets (`set()`) while lookups run: a racing
+/// lookup observes either the old or the new owner, never a torn
+/// value. Structural operations (set_sink_fraction) are still
+/// dispatch-thread-only, like real NIC reconfiguration.
 class RedirectionTable {
  public:
   static constexpr std::uint32_t kSinkQueue = 0xffffffffu;
@@ -46,17 +53,38 @@ class RedirectionTable {
 
   /// Queue for a hash value, or kSinkQueue if the bucket is sunk.
   std::uint32_t lookup(std::uint32_t hash) const noexcept {
-    return table_[hash % table_.size()];
+    return assignment(bucket_of(hash));
   }
+
+  /// RETA bucket a hash value falls into.
+  std::size_t bucket_of(std::uint32_t hash) const noexcept {
+    return hash % table_.size();
+  }
+
+  /// Current owner queue of a bucket (kSinkQueue if sunk).
+  std::uint32_t assignment(std::size_t bucket) const noexcept {
+    return std::atomic_ref<const std::uint32_t>(table_[bucket])
+        .load(std::memory_order_relaxed);
+  }
+
+  /// Atomically repoint one bucket at `queue` (runtime rebalancing).
+  /// If the bucket is currently sunk the sink wins — the new owner is
+  /// remembered and takes effect when the bucket is unsunk.
+  void set(std::size_t bucket, std::uint32_t queue) noexcept;
 
   /// Point approximately `fraction` of buckets at the sink (round-robin
   /// over buckets so sampling is deterministic). fraction in [0, 1].
+  /// Buckets not sunk keep any assignment installed with set().
   void set_sink_fraction(double fraction);
   double sink_fraction() const noexcept;
 
  private:
   std::size_t num_queues_;
   std::vector<std::uint32_t> table_;
+  /// Non-sink assignment of each bucket: the default i % num_queues
+  /// layout plus any set() rewrites. set_sink_fraction restores unsunk
+  /// buckets from here instead of clobbering rebalanced assignments.
+  std::vector<std::uint32_t> base_;
 };
 
 }  // namespace retina::nic

@@ -1,0 +1,29 @@
+// Configuration for adaptive RSS rebalancing (see
+// rebalance/rebalancer.hpp). Lives in its own header so
+// core/config.hpp can embed it without pulling the rebalancer (and
+// through it the pipeline) into every translation unit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace retina::rebalance {
+
+struct RebalanceConfig {
+  bool enabled = false;
+  /// Controller cadence in virtual (trace-clock) nanoseconds, evaluated
+  /// on the dispatching thread so runs stay deterministic.
+  std::uint64_t interval_ns = 10'000'000;  // 10 ms
+  /// Rebalance when max/mean per-queue load over the last window
+  /// exceeds this for `hysteresis_ticks` consecutive ticks. Values < 1
+  /// mean "always rebalance" — useful to force migrations in tests.
+  double imbalance_threshold = 1.5;
+  std::size_t hysteresis_ticks = 2;
+  /// At most this many RETA buckets move per rebalance decision.
+  std::size_t max_moves_per_tick = 8;
+  /// Capacity of each (source, destination) migration mailbox, in
+  /// connections.
+  std::size_t mailbox_capacity = 4096;
+};
+
+}  // namespace retina::rebalance

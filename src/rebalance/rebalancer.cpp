@@ -1,0 +1,308 @@
+#include "rebalance/rebalancer.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace retina::rebalance {
+
+Rebalancer::Rebalancer(const RebalanceConfig& config, nic::SimNic& nic,
+                       std::vector<std::unique_ptr<core::Pipeline>>& pipelines,
+                       telemetry::MetricRegistry* metrics)
+    : config_(config), nic_(nic), pipelines_(pipelines) {
+  const std::size_t n = pipelines_.size();
+  cores_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cores_.push_back(std::make_unique<CoreState>());
+  }
+  mail_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    mail_.push_back(std::make_unique<util::SpscRing<Parcel>>(
+        config_.mailbox_capacity ? config_.mailbox_capacity : 1));
+  }
+  bucket_busy_ = std::make_unique<std::atomic<bool>[]>(nic_.reta().size());
+  prev_hits_.assign(nic_.reta().size(), 0);
+  if (metrics != nullptr) {
+    imbalance_gauge_ =
+        &metrics
+             ->gauge("retina_rss_imbalance_milli",
+                     "Max/mean per-queue load over the last rebalancer "
+                     "window, x1000")
+             .at(0);
+    rewrites_cell_ =
+        &metrics
+             ->counter("retina_reta_rewrites_total",
+                       "RETA buckets repointed by the rebalancer")
+             .at(0);
+  }
+}
+
+std::vector<std::uint64_t> Rebalancer::bucket_deltas() {
+  std::vector<std::uint64_t> deltas(prev_hits_.size(), 0);
+  for (std::size_t b = 0; b < prev_hits_.size(); ++b) {
+    const auto hits = nic_.bucket_hits(b);
+    deltas[b] = hits - prev_hits_[b];
+    prev_hits_[b] = hits;
+  }
+  return deltas;
+}
+
+void Rebalancer::tick(std::uint64_t) {
+  const auto deltas = bucket_deltas();
+  const auto& reta = nic_.reta();
+  const std::size_t queues = nic_.num_queues();
+  std::vector<std::uint64_t> load(queues, 0);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < deltas.size(); ++b) {
+    const auto queue = reta.assignment(b);
+    if (queue == nic::RedirectionTable::kSinkQueue) continue;
+    load[queue] += deltas[b];
+    total += deltas[b];
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(queues);
+  const auto max_load = *std::max_element(load.begin(), load.end());
+  imbalance_ =
+      (total == 0 || mean <= 0.0) ? 1.0 : static_cast<double>(max_load) / mean;
+  if (imbalance_gauge_ != nullptr) {
+    imbalance_gauge_->set(static_cast<std::uint64_t>(imbalance_ * 1000.0));
+  }
+  if (imbalance_ < config_.imbalance_threshold) {
+    streak_ = 0;
+    return;
+  }
+  if (++streak_ < std::max<std::size_t>(config_.hysteresis_ticks, 1)) return;
+  streak_ = 0;
+  rebalance_with(deltas);
+}
+
+std::size_t Rebalancer::rebalance_now() {
+  return rebalance_with(bucket_deltas());
+}
+
+std::size_t Rebalancer::rebalance_with(
+    const std::vector<std::uint64_t>& deltas) {
+  const auto& reta = nic_.reta();
+  const std::size_t queues = nic_.num_queues();
+  if (queues < 2) return 0;
+  std::vector<std::uint64_t> load(queues, 0);
+  for (std::size_t b = 0; b < deltas.size(); ++b) {
+    const auto queue = reta.assignment(b);
+    if (queue == nic::RedirectionTable::kSinkQueue) continue;
+    load[queue] += deltas[b];
+  }
+  // A sub-unity threshold is the test hook: move even when the move
+  // does not strictly shrink the max (it lets single-bucket workloads
+  // exercise migration).
+  const bool forced = config_.imbalance_threshold < 1.0;
+  std::size_t moves = 0;
+  while (moves < config_.max_moves_per_tick) {
+    const auto hot_it = std::max_element(load.begin(), load.end());
+    const auto cold_it = std::min_element(load.begin(), load.end());
+    const auto hot = static_cast<std::uint32_t>(hot_it - load.begin());
+    const auto cold = static_cast<std::uint32_t>(cold_it - load.begin());
+    if (hot == cold || *hot_it == 0) break;
+    const std::uint64_t gap = *hot_it - *cold_it;
+    // The hottest bucket on the hot queue that still improves the
+    // balance: its load must fit the gap (strictly, unless forced —
+    // d < gap guarantees max(hot - d, cold + d) < hot, so the greedy
+    // loop cannot oscillate).
+    std::size_t best = deltas.size();
+    std::uint64_t best_load = 0;
+    for (std::size_t b = 0; b < deltas.size(); ++b) {
+      if (reta.assignment(b) != hot || deltas[b] == 0) continue;
+      if (bucket_busy_[b].load(std::memory_order_acquire)) continue;
+      if (deltas[b] > gap || (!forced && deltas[b] == gap)) continue;
+      if (best == deltas.size() || deltas[b] > best_load) {
+        best = b;
+        best_load = deltas[b];
+      }
+    }
+    if (best == deltas.size()) break;
+    if (!migrate_bucket(static_cast<std::uint32_t>(best), hot, cold)) break;
+    load[hot] -= best_load;
+    load[cold] += best_load;
+    ++moves;
+  }
+  return moves;
+}
+
+bool Rebalancer::migrate_bucket(std::uint32_t bucket, std::uint32_t src,
+                                std::uint32_t dst) {
+  auto& src_cmds = cores_[src]->commands;
+  auto& dst_cmds = cores_[dst]->commands;
+  // All-or-nothing: both command pushes and the RETA write must land
+  // together, so check for space up front (sizes can only shrink under
+  // us — the workers are the consumers).
+  if (src_cmds.size() + 1 > src_cmds.capacity() ||
+      dst_cmds.size() + 1 > dst_cmds.capacity()) {
+    return false;
+  }
+  bucket_busy_[bucket].store(true, std::memory_order_release);
+  // The destination must know to defer before the first rerouted packet
+  // can reach it; its command is pushed first, and both precede the
+  // RETA flip in this thread's program order (the data rings'
+  // release/acquire pairs make that order visible to the workers).
+  Command expect;
+  expect.kind = Command::Kind::kExpect;
+  expect.bucket = bucket;
+  expect.peer = src;
+  dst_cmds.push(std::move(expect));
+  Command extract;
+  extract.kind = Command::Kind::kExtract;
+  extract.bucket = bucket;
+  extract.peer = dst;
+  extract.after_consumed = nic_.queue_enqueued(src);
+  src_cmds.push(std::move(extract));
+  nic_.update_reta(bucket, dst);
+  ++reta_rewrites_;
+  if (rewrites_cell_ != nullptr) rewrites_cell_->inc();
+  return true;
+}
+
+void Rebalancer::poll_core(std::size_t core) {
+  auto& st = *cores_[core];
+  // Fast path: nothing pending for this core. Mail can only arrive
+  // after a kExpect command, so the command ring check covers it.
+  if (st.expecting.empty() && st.pending_extracts.empty() &&
+      st.commands.empty()) {
+    return;
+  }
+  drain_commands(core);
+  apply_extracts(core, /*force=*/false);
+  drain_mail(core);
+}
+
+void Rebalancer::drain_commands(std::size_t core) {
+  auto& st = *cores_[core];
+  Command cmd;
+  while (st.commands.pop(cmd)) {
+    if (cmd.kind == Command::Kind::kExpect) {
+      st.expecting.emplace(cmd.bucket, PendingBucket{cmd.peer, {}});
+    } else {
+      st.pending_extracts.push_back(cmd);
+    }
+  }
+}
+
+void Rebalancer::apply_extracts(std::size_t core, bool force) {
+  auto& st = *cores_[core];
+  for (std::size_t i = 0; i < st.pending_extracts.size();) {
+    const auto cmd = st.pending_extracts[i];
+    if (!force && st.consumed < cmd.after_consumed) {
+      ++i;
+      continue;
+    }
+    // Every packet the moved bucket enqueued before the RETA flip has
+    // now been consumed (FIFO), so the state is complete: lift the
+    // bucket's connections out and mail them to the new owner.
+    st.pending_extracts.erase(st.pending_extracts.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+    auto moved =
+        pipelines_[core]->extract_bucket(cmd.bucket, nic_.reta().size());
+    for (auto& conn : moved) {
+      Parcel parcel;
+      parcel.bucket = cmd.bucket;
+      parcel.conn = std::move(conn);
+      send_parcel(core, cmd.peer, std::move(parcel));
+    }
+    Parcel end;
+    end.end_marker = true;
+    end.bucket = cmd.bucket;
+    send_parcel(core, cmd.peer, std::move(end));
+  }
+}
+
+void Rebalancer::send_parcel(std::size_t src, std::size_t dst,
+                             Parcel&& parcel) {
+  auto& ring = mailbox(src, dst);
+  while (!ring.push(std::move(parcel))) {
+    if (serial_) {
+      // One thread owns every core: drain the destination ourselves or
+      // spin forever.
+      drain_commands(dst);
+      drain_mail(dst);
+    } else {
+      // The destination worker drains its mail at every burst
+      // boundary; give it a moment.
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Rebalancer::drain_mail(std::size_t core) {
+  auto& st = *cores_[core];
+  if (st.expecting.empty()) return;
+  for (std::size_t src = 0; src < cores_.size(); ++src) {
+    if (src == core) continue;
+    auto& ring = mailbox(src, core);
+    Parcel parcel;
+    while (ring.pop(parcel)) {
+      if (!parcel.end_marker) {
+        pipelines_[core]->adopt(std::move(parcel.conn));
+        continue;
+      }
+      const auto it = st.expecting.find(parcel.bucket);
+      if (it == st.expecting.end()) continue;
+      // Handoff complete: replay the packets that arrived while the
+      // state was in flight, in arrival order, then let the dispatcher
+      // move this bucket again.
+      auto deferred = std::move(it->second.deferred);
+      st.expecting.erase(it);
+      bucket_busy_[parcel.bucket].store(false, std::memory_order_release);
+      for (auto& mbuf : deferred) {
+        pipelines_[core]->process(std::move(mbuf));
+      }
+    }
+  }
+}
+
+std::size_t Rebalancer::filter_burst(std::size_t core, packet::Mbuf* burst,
+                                     std::size_t n) {
+  auto& st = *cores_[core];
+  if (st.expecting.empty()) return n;
+  const std::size_t reta_size = nic_.reta().size();
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto bucket =
+        static_cast<std::uint32_t>(burst[i].rss_hash() % reta_size);
+    const auto it = st.expecting.find(bucket);
+    if (it != st.expecting.end()) {
+      it->second.deferred.push_back(std::move(burst[i]));
+      continue;
+    }
+    if (kept != i) burst[kept] = std::move(burst[i]);
+    ++kept;
+  }
+  return kept;
+}
+
+void Rebalancer::quiesce() {
+  // Teardown: the rx rings are empty, so every pre-flip packet has been
+  // consumed and thresholds are moot — force the extracts through and
+  // keep cycling until no core holds work (an extract on core A can
+  // put mail, and thereby deferred-packet replay, on core B).
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::size_t core = 0; core < cores_.size(); ++core) {
+      drain_commands(core);
+      apply_extracts(core, /*force=*/true);
+      drain_mail(core);
+      auto& st = *cores_[core];
+      if (!st.pending_extracts.empty() || !st.expecting.empty() ||
+          !st.commands.empty()) {
+        again = true;
+      }
+    }
+  }
+}
+
+std::uint64_t Rebalancer::migrations() const {
+  std::uint64_t total = 0;
+  for (const auto& pipeline : pipelines_) {
+    total += pipeline->stats().migrations_in;
+  }
+  return total;
+}
+
+}  // namespace retina::rebalance

@@ -1,0 +1,186 @@
+// Adaptive RSS rebalancing with stateful flow migration. The paper's
+// zero-loss results assume RSS spreads flows evenly across queues; an
+// elephant-heavy mix breaks that assumption — one queue saturates while
+// sibling cores idle, and the overload ladder starts shedding work the
+// machine as a whole had capacity for. The Rebalancer closes that gap
+// at runtime: it watches per-RETA-bucket load on the dispatching
+// thread, and when max/mean queue load stays above a threshold it
+// repoints the hottest buckets at the coldest queues.
+//
+// Moving a bucket must not reset the connections that live in it, and
+// must not change any subscription's output. The migration protocol:
+//
+//   dispatch thread                 source worker        dest worker
+//   ───────────────                 ─────────────        ───────────
+//   read E = enqueued(src)
+//   push kExpect(bucket) ──────────────────────────────► defer bucket's
+//   push kExtract(bucket, E) ─────► (pending)            packets
+//   flip RETA bucket → dst
+//                                   consumed >= E:
+//                                   extract conns,
+//                                   mail them + end ───► adopt conns,
+//                                   marker               then flush the
+//                                                        deferred
+//                                                        packets
+//
+// Why this is safe: (1) packets of the moved bucket enqueued before the
+// RETA flip all sit in src's ring; once src has consumed E packets,
+// FIFO order guarantees every one of them has been processed, so the
+// extracted state is complete. (2) The command rings and the data rings
+// are both release/acquire SPSC rings written by the dispatching
+// thread: a worker that polls a post-flip packet observes every command
+// pushed before the flip, so dest learns it must defer *before* the
+// first rerouted packet can be processed, and per-connection packet
+// order is preserved end to end. (3) Deferred packets are replayed in
+// arrival order after the end marker, so the destination's callback
+// stream for each connection is byte-identical to a run that never
+// migrated. The golden differential suite asserts exactly this.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "nic/port.hpp"
+#include "rebalance/config.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace retina::rebalance {
+
+class Rebalancer {
+ public:
+  /// `pipelines` must outlive the rebalancer and hold one pipeline per
+  /// NIC queue; `metrics` may be null (no gauges exported).
+  Rebalancer(const RebalanceConfig& config, nic::SimNic& nic,
+             std::vector<std::unique_ptr<core::Pipeline>>& pipelines,
+             telemetry::MetricRegistry* metrics);
+
+  // ── dispatching-thread side ────────────────────────────────────────
+
+  /// Periodic controller step: measure per-bucket load since the last
+  /// tick, update the imbalance gauge, and — after `hysteresis_ticks`
+  /// consecutive ticks above threshold — move buckets.
+  void tick(std::uint64_t now_ns);
+
+  /// Immediate rebalance using the load observed since the last tick
+  /// (the monitor's rebalance-before-shed path). Returns buckets moved.
+  std::size_t rebalance_now();
+
+  /// max/mean per-queue load from the last measurement window.
+  double imbalance() const noexcept { return imbalance_; }
+  bool imbalanced() const noexcept {
+    return imbalance_ >= config_.imbalance_threshold;
+  }
+  /// RETA buckets repointed so far.
+  std::uint64_t reta_rewrites() const noexcept { return reta_rewrites_; }
+
+  // ── worker side (each core calls with its own index only) ──────────
+
+  /// Drain pending commands, extractions, and incoming migrations for
+  /// `core`. Call at burst boundaries: after polling (so commands
+  /// ordered before the polled packets are visible) and between bursts.
+  void poll_core(std::size_t core);
+
+  /// Partition a polled burst in place: packets of buckets currently
+  /// mid-migration move into the core's defer list (replayed by
+  /// poll_core once the state arrives); the rest are compacted to the
+  /// front. Returns how many packets remain to process.
+  std::size_t filter_burst(std::size_t core, packet::Mbuf* burst,
+                           std::size_t n);
+
+  /// Account `n` packets consumed from the core's rx ring (the extract
+  /// threshold counts ring pops, processed or deferred).
+  void note_consumed(std::size_t core, std::size_t n) {
+    cores_[core]->consumed += n;
+  }
+
+  /// Serial mode: all cores run on one thread, so a producer facing a
+  /// full mailbox must drain the destination inline instead of waiting
+  /// for a worker that does not exist. run_threaded() switches this
+  /// off for the duration of the run.
+  void set_serial(bool serial) noexcept { serial_ = serial; }
+
+  /// Drive every outstanding command, extraction, and mailbox to
+  /// completion. Call at teardown (rings empty: after the serial drain,
+  /// or after worker threads joined) so no connection is stranded
+  /// mid-flight and finish() sees every table entry.
+  void quiesce();
+
+  /// Total connections adopted across all pipelines.
+  std::uint64_t migrations() const;
+
+ private:
+  struct Command {
+    enum class Kind : std::uint8_t { kExtract, kExpect };
+    Kind kind = Kind::kExtract;
+    std::uint32_t bucket = 0;
+    /// kExtract: destination core; kExpect: source core.
+    std::uint32_t peer = 0;
+    /// kExtract: extract once the core's consumed count reaches this.
+    std::uint64_t after_consumed = 0;
+  };
+
+  /// One mailbox message: a migrated connection, or the end marker
+  /// closing a bucket's handoff.
+  struct Parcel {
+    bool end_marker = false;
+    std::uint32_t bucket = 0;
+    core::Pipeline::Migrated conn;
+  };
+
+  struct PendingBucket {
+    std::uint32_t src = 0;
+    std::vector<packet::Mbuf> deferred;  // arrival order
+  };
+
+  struct CoreState {
+    /// dispatch → worker; commands for this core.
+    util::SpscRing<Command> commands{256};
+    // Everything below is owned by the worker (or the single thread in
+    // serial mode).
+    std::uint64_t consumed = 0;
+    std::vector<Command> pending_extracts;
+    std::map<std::uint32_t, PendingBucket> expecting;  // bucket → state
+  };
+
+  util::SpscRing<Parcel>& mailbox(std::size_t src, std::size_t dst) {
+    return *mail_[src * cores_.size() + dst];
+  }
+  void drain_commands(std::size_t core);
+  void apply_extracts(std::size_t core, bool force);
+  void drain_mail(std::size_t core);
+  void send_parcel(std::size_t src, std::size_t dst, Parcel&& parcel);
+  bool migrate_bucket(std::uint32_t bucket, std::uint32_t src,
+                      std::uint32_t dst);
+  /// Per-bucket hits since the previous call (updates prev_hits_).
+  std::vector<std::uint64_t> bucket_deltas();
+  std::size_t rebalance_with(const std::vector<std::uint64_t>& deltas);
+
+  RebalanceConfig config_;
+  nic::SimNic& nic_;
+  std::vector<std::unique_ptr<core::Pipeline>>& pipelines_;
+  bool serial_ = true;
+
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  /// (src, dst) migration mailboxes, row-major; src == dst unused.
+  std::vector<std::unique_ptr<util::SpscRing<Parcel>>> mail_;
+  /// One flag per RETA bucket: set by the dispatching thread when a
+  /// migration starts, cleared by the destination worker at the end
+  /// marker. Guards against re-moving a bucket whose state is in
+  /// flight.
+  std::unique_ptr<std::atomic<bool>[]> bucket_busy_;
+
+  // Dispatching-thread controller state.
+  std::vector<std::uint64_t> prev_hits_;
+  double imbalance_ = 1.0;
+  std::size_t streak_ = 0;
+  std::uint64_t reta_rewrites_ = 0;
+  util::RelaxedCell* imbalance_gauge_ = nullptr;  // milli-ratio
+  util::RelaxedCell* rewrites_cell_ = nullptr;
+};
+
+}  // namespace retina::rebalance

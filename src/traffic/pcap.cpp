@@ -23,12 +23,17 @@ std::uint32_t swap32(std::uint32_t v) {
   return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) |
          (v >> 24);
 }
-void put32(std::FILE* f, std::uint32_t v) {
+std::uint16_t swap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+void put32(std::FILE* f, std::uint32_t v, bool swapped = false) {
+  if (swapped) v = swap32(v);
   if (std::fwrite(&v, 4, 1, f) != 1) {
     throw std::runtime_error("pcap: short write");
   }
 }
-void put16(std::FILE* f, std::uint16_t v) {
+void put16(std::FILE* f, std::uint16_t v, bool swapped = false) {
+  if (swapped) v = swap16(v);
   if (std::fwrite(&v, 2, 1, f) != 1) {
     throw std::runtime_error("pcap: short write");
   }
@@ -36,25 +41,30 @@ void put16(std::FILE* f, std::uint16_t v) {
 
 }  // namespace
 
-void write_pcap(const std::string& path, const Trace& trace) {
+void write_pcap(const std::string& path, const Trace& trace,
+                const PcapWriteOptions& options) {
   File file(std::fopen(path.c_str(), "wb"));
   if (!file) throw std::runtime_error("pcap: cannot open " + path);
   std::FILE* f = file.get();
+  const bool sw = options.byteswapped;
 
-  put32(f, kMagicMicros);
-  put16(f, 2);   // version major
-  put16(f, 4);   // version minor
-  put32(f, 0);   // thiszone
-  put32(f, 0);   // sigfigs
-  put32(f, 1 << 16);  // snaplen
-  put32(f, kLinkTypeEthernet);
+  // The magic itself is what declares the byte order: a foreign-endian
+  // file is one whose (swapped) magic still decodes to a known value.
+  put32(f, options.nanos ? kMagicNanos : kMagicMicros, sw);
+  put16(f, 2, sw);   // version major
+  put16(f, 4, sw);   // version minor
+  put32(f, 0, sw);   // thiszone
+  put32(f, 0, sw);   // sigfigs
+  put32(f, 1 << 16, sw);  // snaplen
+  put32(f, kLinkTypeEthernet, sw);
 
   for (const auto& mbuf : trace.packets()) {
     const auto ts = mbuf.timestamp_ns();
-    put32(f, static_cast<std::uint32_t>(ts / 1'000'000'000));
-    put32(f, static_cast<std::uint32_t>((ts % 1'000'000'000) / 1'000));
-    put32(f, static_cast<std::uint32_t>(mbuf.length()));  // captured
-    put32(f, static_cast<std::uint32_t>(mbuf.length()));  // original
+    put32(f, static_cast<std::uint32_t>(ts / 1'000'000'000), sw);
+    const auto frac_ns = static_cast<std::uint32_t>(ts % 1'000'000'000);
+    put32(f, options.nanos ? frac_ns : frac_ns / 1'000, sw);
+    put32(f, static_cast<std::uint32_t>(mbuf.length()), sw);  // captured
+    put32(f, static_cast<std::uint32_t>(mbuf.length()), sw);  // original
     const auto bytes = mbuf.bytes();
     if (!bytes.empty() &&
         std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {

@@ -11,10 +11,24 @@
 
 namespace retina::traffic {
 
+/// On-disk format knobs for write_pcap. Defaults produce the classic
+/// host-endian microsecond format every reader understands; the other
+/// three combinations exist so the reader's byte-order and timestamp
+/// handling can be property-tested against files we generate ourselves.
+struct PcapWriteOptions {
+  /// Nanosecond-resolution magic 0xa1b23c4d (exact virtual timestamps);
+  /// false = microsecond magic 0xa1b2c3d4 (timestamps truncated to us).
+  bool nanos = false;
+  /// Write every header field in the opposite byte order, producing the
+  /// file a foreign-endian machine would have captured.
+  bool byteswapped = false;
+};
+
 /// Write a trace to a pcap file. Throws std::runtime_error on I/O
 /// failure. Packets are written in trace order with their virtual
 /// timestamps.
-void write_pcap(const std::string& path, const Trace& trace);
+void write_pcap(const std::string& path, const Trace& trace,
+                const PcapWriteOptions& options = {});
 
 /// Read a pcap file into a trace. Handles both byte orders and both
 /// microsecond (0xa1b2c3d4) and nanosecond (0xa1b23c4d) magics. Throws

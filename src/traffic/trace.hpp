@@ -27,8 +27,14 @@ class Trace {
   std::size_t size() const noexcept { return packets_.size(); }
   bool empty() const noexcept { return packets_.empty(); }
 
+  /// Sum of wire lengths. Order-independent: valid on a freshly merged
+  /// trace before sort_by_time().
   std::uint64_t total_bytes() const;
-  /// Last timestamp minus first (0 for traces with < 2 packets).
+  /// Max timestamp minus min (0 for traces with < 2 packets). Scans the
+  /// whole trace rather than reading front()/back(), so it does NOT
+  /// assume the packets are time-sorted — appending flows crafted
+  /// independently and asking for the duration before sort_by_time()
+  /// gives the same answer as after.
   std::uint64_t duration_ns() const;
   double avg_packet_bytes() const;
 

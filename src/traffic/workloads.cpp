@@ -1,8 +1,12 @@
 #include "traffic/workloads.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
+#include <set>
+
+#include "nic/rss.hpp"
 
 namespace retina::traffic {
 
@@ -204,6 +208,82 @@ Trace make_normal_user_trace(std::size_t variant, std::size_t flows,
       break;
   }
   return make_campus_trace(config);
+}
+
+namespace {
+
+/// Smallest client port >= `start` whose five-tuple lands in a RETA
+/// bucket owned by `hot_queue` under the default layout, preferring
+/// buckets not in `used` so elephants spread over the hot queue's
+/// buckets (movable independently by the rebalancer).
+std::uint16_t find_hot_port(const FlowEndpoints& ep, std::uint16_t start,
+                            const ElephantWorkloadConfig& config,
+                            const std::array<std::uint8_t, 40>& key,
+                            std::set<std::size_t>& used) {
+  std::uint16_t fallback = 0;
+  for (std::uint32_t port = start; port < 65535; ++port) {
+    packet::FiveTuple tuple;
+    tuple.src = ep.client_ip;
+    tuple.dst = ep.server_ip;
+    tuple.src_port = static_cast<std::uint16_t>(port);
+    tuple.dst_port = ep.server_port;
+    tuple.proto = 6;
+    const auto bucket = nic::rss_hash(tuple, key) % config.reta_size;
+    if (bucket % config.queues != config.hot_queue) continue;
+    if (used.insert(bucket).second) {
+      return static_cast<std::uint16_t>(port);
+    }
+    if (fallback == 0) fallback = static_cast<std::uint16_t>(port);
+  }
+  return fallback ? fallback : start;  // reuse a bucket if all are taken
+}
+
+}  // namespace
+
+Trace make_elephant_trace(const ElephantWorkloadConfig& config) {
+  const auto key = nic::symmetric_rss_key();
+  util::Xoshiro256 rng(config.seed);
+  Trace trace;
+  std::set<std::size_t> used_buckets;
+
+  const std::vector<std::uint8_t> elephant_payload(config.elephant_bytes,
+                                                   0xab);
+  std::uint16_t next_port = 20'000;
+  for (std::size_t i = 0; i < config.elephants; ++i) {
+    FlowEndpoints ep;
+    ep.client_ip = packet::IpAddr::v4(0x0a000010 + static_cast<std::uint32_t>(i));
+    ep.server_ip = packet::IpAddr::v4(0xc0a80050);
+    ep.server_port = 443;
+    ep.client_port = find_hot_port(ep, next_port, config, key, used_buckets);
+    next_port = static_cast<std::uint16_t>(ep.client_port + 1);
+
+    TcpFlowCrafter crafter(ep, 1'000'000 + i * config.stagger_ns);
+    crafter.set_pkt_gap(20'000)
+        .handshake()
+        .server_send(elephant_payload)
+        .close();
+    trace.append(crafter.take());
+  }
+
+  const std::vector<std::uint8_t> mouse_payload(config.mice_bytes, 0x5c);
+  for (std::size_t i = 0; i < config.mice; ++i) {
+    FlowEndpoints ep;
+    ep.client_ip = packet::IpAddr::v4(
+        0x0a010000 + static_cast<std::uint32_t>(rng.below(1 << 16)));
+    ep.server_ip = packet::IpAddr::v4(0xc0a80051);
+    ep.server_port = 80;
+    ep.client_port = static_cast<std::uint16_t>(rng.range(30'000, 60'000));
+
+    const auto span = config.elephants
+                          ? config.elephants * config.stagger_ns
+                          : config.stagger_ns;
+    TcpFlowCrafter crafter(ep, 1'000'000 + rng.below(span));
+    crafter.handshake().server_send(mouse_payload).close();
+    trace.append(crafter.take());
+  }
+
+  trace.sort_by_time();
+  return trace;
 }
 
 }  // namespace retina::traffic

@@ -60,4 +60,28 @@ InterleavedFlowGen make_video_workload(const VideoWorkloadConfig& config);
 Trace make_normal_user_trace(std::size_t variant, std::size_t flows = 1500,
                              std::uint64_t seed = 100);
 
+/// Skewed elephant mix for the RSS rebalancer: every elephant flow's
+/// five-tuple is chosen (by searching client ports under the symmetric
+/// Toeplitz key) so its RETA bucket is owned by `hot_queue` under the
+/// default `bucket % queues` layout, spread across that queue's
+/// distinct buckets. Light mice flows land wherever RSS puts them.
+/// Under static RSS one core processes all elephant bytes while its
+/// siblings idle — the workload the rebalancer exists to fix.
+struct ElephantWorkloadConfig {
+  std::uint64_t seed = 17;
+  /// Queue/core count the skew targets, and the RETA size. Must match
+  /// the runtime the trace will be replayed into (RETA default 128).
+  std::size_t queues = 8;
+  std::size_t reta_size = 128;
+  std::uint32_t hot_queue = 0;
+  std::size_t elephants = 12;
+  std::size_t elephant_bytes = 256 * 1024;  // server payload per elephant
+  std::size_t mice = 200;
+  std::size_t mice_bytes = 2'000;
+  /// Start-time stagger between consecutive elephants.
+  std::uint64_t stagger_ns = 2'000'000;
+};
+
+Trace make_elephant_trace(const ElephantWorkloadConfig& config);
+
 }  // namespace retina::traffic

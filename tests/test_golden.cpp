@@ -1,0 +1,97 @@
+// Golden-trace differential suite (`ctest -L golden`): every corpus
+// pcap is replayed through all five dispatch paths — serial per-packet,
+// serial burst, threaded, and both rebalancing variants — and each
+// canonical callback stream must equal the committed JSONL exactly.
+// The rebalancing paths run with forced bucket churn, so "equal" proves
+// stateful flow migration never reorders, drops, duplicates, or alters
+// a callback.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/golden.hpp"
+#include "golden_corpus.hpp"
+#include "traffic/pcap.hpp"
+#include "traffic/workloads.hpp"
+
+#ifndef RETINA_GOLDEN_DIR
+#define RETINA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace retina;
+namespace golden = core::golden;
+
+std::string golden_path(const std::string& file) {
+  return std::string(RETINA_GOLDEN_DIR) + "/" + file;
+}
+
+class Golden : public ::testing::TestWithParam<goldencorpus::CorpusEntry> {};
+
+TEST_P(Golden, AllDispatchPathsMatchCommittedStream) {
+  const auto& entry = GetParam();
+  const auto trace = traffic::read_pcap(golden_path(entry.name + std::string(".pcap")));
+  const auto expected =
+      golden::read_jsonl(golden_path(entry.name + std::string(".jsonl")));
+  ASSERT_FALSE(trace.empty()) << "missing corpus pcap";
+  ASSERT_FALSE(expected.empty()) << "missing committed stream";
+
+  for (const auto path : golden::all_dispatch_paths()) {
+    golden::GoldenSpec spec;
+    spec.filter = entry.filter;
+    spec.level = entry.level;
+    spec.cores = entry.cores;
+    spec.path = path;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_EQ(result.dropped, 0u) << golden::dispatch_path_name(path);
+    EXPECT_EQ(result.lines, expected)
+        << entry.name << " diverged on path "
+        << golden::dispatch_path_name(path);
+    if (path == golden::DispatchPath::kSerialRebalance ||
+        path == golden::DispatchPath::kThreadedRebalance) {
+      // Forced churn must actually exercise the migration machinery,
+      // otherwise the equality above proves nothing about it.
+      EXPECT_GT(result.reta_rewrites, 0u)
+          << golden::dispatch_path_name(path);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, Golden, ::testing::ValuesIn(goldencorpus::corpus()),
+    [](const ::testing::TestParamInfo<goldencorpus::CorpusEntry>& info) {
+      return std::string(info.param.name);
+    });
+
+// Mid-run migrations on a workload with long-lived flows: connections
+// must demonstrably move between cores while holding reassembly state,
+// and the stream-level output must still be byte-identical to the
+// serial reference.
+TEST(GoldenMigration, MidRunMigrationsPreserveStreams) {
+  traffic::ElephantWorkloadConfig config;
+  config.queues = 4;
+  config.elephants = 6;
+  config.elephant_bytes = 64 * 1024;
+  config.mice = 50;
+  const auto trace = traffic::make_elephant_trace(config);
+
+  golden::GoldenSpec reference;
+  reference.level = core::Level::kStream;
+  reference.cores = 4;
+  reference.path = golden::DispatchPath::kSerialPacket;
+  const auto expected = golden::run_golden(trace.packets(), reference);
+  ASSERT_FALSE(expected.lines.empty());
+
+  for (const auto path : {golden::DispatchPath::kSerialRebalance,
+                          golden::DispatchPath::kThreadedRebalance}) {
+    auto spec = reference;
+    spec.path = path;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_GT(result.migrations, 0u) << golden::dispatch_path_name(path);
+    EXPECT_EQ(result.lines, expected.lines)
+        << golden::dispatch_path_name(path);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Adaptive RSS rebalancing: RETA atomics and sink interaction, SimNic
+// per-queue gauges, ConnTable extract/adopt, end-to-end migration
+// equivalence on the skewed elephant workload, the monitor's
+// rebalance-before-shed interposition, and mode validation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/golden.hpp"
+#include "core/monitor.hpp"
+#include "core/runtime.hpp"
+#include "multisub/subscription_set.hpp"
+#include "nic/port.hpp"
+#include "nic/rss.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/workloads.hpp"
+
+namespace {
+
+using namespace retina;
+
+// ── RedirectionTable ─────────────────────────────────────────────────
+
+TEST(Reta, SetRepointsOneBucket) {
+  nic::RedirectionTable reta(4);
+  EXPECT_EQ(reta.assignment(5), 5 % 4);
+  reta.set(5, 3);
+  EXPECT_EQ(reta.assignment(5), 3u);
+  EXPECT_EQ(reta.assignment(6), 6 % 4) << "neighbors untouched";
+}
+
+TEST(Reta, SinkWinsOverSetUntilUnsunk) {
+  nic::RedirectionTable reta(4);
+  reta.set_sink_fraction(1.0);
+  EXPECT_EQ(reta.assignment(5), nic::RedirectionTable::kSinkQueue);
+  // Rebalancing a sunk bucket must not resurrect it mid-sampling...
+  reta.set(5, 2);
+  EXPECT_EQ(reta.assignment(5), nic::RedirectionTable::kSinkQueue);
+  // ...but the new owner must survive the unsink.
+  reta.set_sink_fraction(0.0);
+  EXPECT_EQ(reta.assignment(5), 2u);
+  EXPECT_EQ(reta.assignment(6), 6 % 4);
+}
+
+TEST(Reta, SinkFractionRestoresRebalancedAssignments) {
+  nic::RedirectionTable reta(4);
+  reta.set(9, 0);
+  reta.set_sink_fraction(0.5);
+  reta.set_sink_fraction(0.0);
+  EXPECT_EQ(reta.assignment(9), 0u)
+      << "sink cycle clobbered a rebalanced bucket";
+}
+
+// ── SimNic per-queue gauges ──────────────────────────────────────────
+
+TEST(SimNicGauges, EnqueueDropAndBucketHitCounters) {
+  nic::PortConfig config;
+  config.num_queues = 2;
+  config.ring_capacity = 4;  // tiny: force drops
+  nic::SimNic nic(config);
+
+  traffic::FlowEndpoints ep;
+  const auto payload = std::vector<std::uint8_t>(64, 0xaa);
+  const auto mbuf = traffic::make_udp_packet(ep, true, payload, 1'000);
+  packet::FiveTuple tuple;
+  tuple.src = ep.client_ip;
+  tuple.dst = ep.server_ip;
+  tuple.src_port = ep.client_port;
+  tuple.dst_port = ep.server_port;
+  tuple.proto = 17;
+  const auto hash = nic::rss_hash(tuple.canonical().key, nic.rss_key());
+  const auto bucket = nic.reta().bucket_of(hash);
+  const auto queue = nic.reta().assignment(bucket);
+  ASSERT_NE(queue, nic::RedirectionTable::kSinkQueue);
+
+  // The ring rounds its capacity up internally, so assert the invariant
+  // (offered = enqueued + dropped) rather than an exact split.
+  const std::uint64_t offered = 20;
+  for (std::uint64_t i = 0; i < offered; ++i) nic.dispatch(mbuf);
+  EXPECT_GT(nic.queue_enqueued(queue), 0u);
+  EXPECT_GT(nic.queue_dropped(queue), 0u) << "tiny ring never overflowed";
+  EXPECT_EQ(nic.queue_enqueued(queue) + nic.queue_dropped(queue), offered);
+  EXPECT_EQ(nic.bucket_hits(bucket), offered)
+      << "hits count offered packets, not ring admissions";
+
+  // Repoint the bucket: subsequent packets land on the other queue.
+  const std::uint32_t other = queue == 0 ? 1 : 0;
+  nic.update_reta(bucket, other);
+  nic.dispatch(mbuf);
+  EXPECT_EQ(nic.queue_enqueued(other), 1u);
+  EXPECT_EQ(nic.bucket_hits(bucket), offered + 1);
+}
+
+// ── ConnTable extract / adopt ────────────────────────────────────────
+
+TEST(ConnTableMigration, ExtractAdoptPreservesTimerState) {
+  struct Conn {
+    int payload = 0;
+  };
+  conntrack::ConnTable<Conn> source;
+  conntrack::ConnTable<Conn> dest;
+
+  packet::FiveTuple key;
+  key.src = packet::IpAddr::v4(0x0a000001);
+  key.dst = packet::IpAddr::v4(0x0a000002);
+  key.src_port = 1000;
+  key.dst_port = 2000;
+  key.proto = 6;
+
+  const auto id = source.insert(key, Conn{41}, 1'000'000);
+  source.mark_established(id, 2'000'000);
+  const auto deadline_before = 2'000'000 + source.timeouts().inactivity_ns;
+
+  auto extracted = source.extract(id);
+  EXPECT_EQ(source.find(key), conntrack::ConnTable<Conn>::kInvalid);
+  EXPECT_EQ(source.size(), 0u);
+  EXPECT_TRUE(extracted.established);
+  EXPECT_EQ(extracted.deadline_ns, deadline_before);
+
+  const auto new_id = dest.adopt(key, std::move(extracted.conn),
+                                 extracted.established,
+                                 extracted.deadline_ns);
+  EXPECT_EQ(dest.find(key), new_id);
+  EXPECT_TRUE(dest.is_established(new_id))
+      << "plain insert() would restart the establishment timeout";
+  EXPECT_EQ(dest.get(new_id).payload, 41);
+
+  // The adopted deadline must fire when *it* says, not a fresh one.
+  std::size_t expired = 0;
+  dest.advance(extracted.deadline_ns + 1, [&](auto, auto&) { ++expired; });
+  EXPECT_EQ(expired, 1u);
+}
+
+// ── End-to-end migration equivalence ─────────────────────────────────
+
+TEST(RebalanceRuntime, MigrationCountersBalanceAndStreamsMatch) {
+  traffic::ElephantWorkloadConfig workload;
+  workload.queues = 4;
+  workload.elephants = 5;
+  workload.elephant_bytes = 48 * 1024;
+  workload.mice = 40;
+  const auto trace = traffic::make_elephant_trace(workload);
+
+  core::golden::GoldenSpec spec;
+  spec.level = core::Level::kConnection;
+  spec.cores = 4;
+  spec.path = core::golden::DispatchPath::kSerialPacket;
+  const auto reference = core::golden::run_golden(trace.packets(), spec);
+
+  spec.path = core::golden::DispatchPath::kSerialRebalance;
+  const auto rebalanced = core::golden::run_golden(trace.packets(), spec);
+
+  EXPECT_GT(rebalanced.migrations, 0u);
+  EXPECT_GT(rebalanced.reta_rewrites, 0u);
+  EXPECT_EQ(rebalanced.lines, reference.lines)
+      << "migrations altered connection records";
+}
+
+TEST(RebalanceRuntime, ThreadedQuiesceStrandsNoConnection) {
+  traffic::ElephantWorkloadConfig workload;
+  workload.queues = 4;
+  workload.elephants = 4;
+  workload.elephant_bytes = 32 * 1024;
+  workload.mice = 30;
+  const auto trace = traffic::make_elephant_trace(workload);
+
+  core::golden::GoldenSpec spec;
+  spec.level = core::Level::kConnection;
+  spec.cores = 4;
+  spec.path = core::golden::DispatchPath::kSerialPacket;
+  const auto reference = core::golden::run_golden(trace.packets(), spec);
+
+  spec.path = core::golden::DispatchPath::kThreadedRebalance;
+  const auto threaded = core::golden::run_golden(trace.packets(), spec);
+  ASSERT_EQ(threaded.dropped, 0u);
+  // Every connection record delivered exactly once — a connection
+  // stranded in a mailbox at teardown would be missing here.
+  EXPECT_EQ(threaded.lines, reference.lines);
+}
+
+// ── Monitor interposition: rebalance before shedding ─────────────────
+
+TEST(RebalanceMonitor, RebalancesInsteadOfSheddingWhenSkewed) {
+  core::RuntimeConfig config;
+  config.cores = 2;
+  config.rx_ring_size = 256;  // small ring: easy to overflow
+  config.overload.enabled = true;
+  config.overload.ladder = true;
+  config.rebalance.enabled = true;
+  config.rebalance.imbalance_threshold = 1.2;
+
+  auto sub = core::Subscription::builder()
+                 .on_packet([](const packet::Mbuf&) {})
+                 .build();
+  ASSERT_TRUE(sub.ok());
+  auto runtime_or = core::Runtime::create(config, std::move(*sub));
+  ASSERT_TRUE(runtime_or.ok()) << runtime_or.error();
+  auto& runtime = **runtime_or;
+  auto* rebalancer = runtime.rebalancer();
+  ASSERT_NE(rebalancer, nullptr);
+
+  // Several hot flows, all hashing to *distinct* RETA buckets of queue
+  // 0. One flow would occupy a single bucket, and moving the only
+  // loaded bucket cannot improve balance — the mover would (correctly)
+  // refuse. Spread across buckets, half of them can migrate.
+  std::vector<packet::Mbuf> flows;
+  std::set<std::size_t> used_buckets;
+  const std::vector<std::uint8_t> payload(200, 0x55);
+  for (std::uint16_t port = 40000; flows.size() < 4; ++port) {
+    traffic::FlowEndpoints ep;
+    ep.client_port = port;
+    packet::FiveTuple tuple;
+    tuple.src = ep.client_ip;
+    tuple.dst = ep.server_ip;
+    tuple.src_port = ep.client_port;
+    tuple.dst_port = ep.server_port;
+    tuple.proto = 17;
+    const auto hash =
+        nic::rss_hash(tuple.canonical().key, runtime.nic().rss_key());
+    const auto bucket = runtime.nic().reta().bucket_of(hash);
+    if (runtime.nic().reta().assignment(bucket) != 0) continue;
+    if (!used_buckets.insert(bucket).second) continue;
+    flows.push_back(traffic::make_udp_packet(ep, true, payload, 1'000));
+  }
+
+  core::ControlConfig control;
+  control.loss_window = 1;
+  core::RuntimeMonitor monitor(runtime, control);
+
+  // Baseline snapshot, then measure the skew.
+  for (int i = 0; i < 16; ++i) {
+    for (const auto& mbuf : flows) runtime.dispatch(mbuf);
+  }
+  runtime.drain();
+  monitor.apply(1'000'000);
+  rebalancer->tick(1'000'000);
+  EXPECT_TRUE(rebalancer->imbalanced());
+
+  // Overflow the hot ring (drops => the monitor wants to shed) while
+  // rebuilding per-bucket deltas for the rebalance decision.
+  for (int i = 0; i < 150; ++i) {
+    for (const auto& mbuf : flows) runtime.dispatch(mbuf);
+  }
+  const auto& advice = monitor.apply(2'000'000);
+
+  EXPECT_EQ(advice.action, core::Advice::Action::kNone);
+  EXPECT_EQ(advice.reason, "rebalanced RETA buckets instead of shedding");
+  EXPECT_EQ(monitor.level(), overload::DegradeLevel::kNormal)
+      << "ladder must not move when rebalancing absorbed the skew";
+  EXPECT_GT(rebalancer->reta_rewrites(), 0u);
+  runtime.drain();
+  runtime.finish();
+}
+
+// ── Mode validation ──────────────────────────────────────────────────
+
+TEST(RebalanceConfig, RejectedInMultiSubscriptionMode) {
+  auto set = multisub::SubscriptionSet::builder()
+                 .add(core::Subscription::builder()
+                          .filter("tcp")
+                          .on_packet([](const packet::Mbuf&) {})
+                          .build(),
+                      "a")
+                 .add(core::Subscription::builder()
+                          .filter("udp")
+                          .on_packet([](const packet::Mbuf&) {})
+                          .build(),
+                      "b")
+                 .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+
+  core::RuntimeConfig config;
+  config.rebalance.enabled = true;
+  auto runtime_or = core::Runtime::create(config, std::move(*set));
+  ASSERT_FALSE(runtime_or.ok());
+  EXPECT_NE(runtime_or.error().find("single-subscription"),
+            std::string::npos)
+      << runtime_or.error();
+}
+
+}  // namespace

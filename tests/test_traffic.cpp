@@ -260,5 +260,46 @@ TEST(NormalUserTraces, FourDistinctVariants) {
   }
 }
 
+// Merging independently crafted flows appends them out of timestamp
+// order. duration_ns() and total_bytes() must not depend on the sort:
+// the natural call site computes them on the merged trace before
+// sort_by_time(), and a front()/back() implementation would silently
+// return garbage there.
+TEST(TraceMetrics, OrderIndependentOnUnsortedMergedTrace) {
+  Trace merged;
+  // Second flow starts (and ends) before the first one in trace time.
+  merged.append(packet::Mbuf(std::vector<std::uint8_t>(100, 0x01), 5'000));
+  merged.append(packet::Mbuf(std::vector<std::uint8_t>(200, 0x02), 9'000));
+  merged.append(packet::Mbuf(std::vector<std::uint8_t>(300, 0x03), 1'000));
+  merged.append(packet::Mbuf(std::vector<std::uint8_t>(400, 0x04), 3'000));
+
+  const auto unsorted_duration = merged.duration_ns();
+  const auto unsorted_bytes = merged.total_bytes();
+  EXPECT_EQ(unsorted_duration, 8'000u) << "max - min, not back - front";
+  EXPECT_EQ(unsorted_bytes, 1'000u);
+
+  merged.sort_by_time();
+  EXPECT_EQ(merged.duration_ns(), unsorted_duration);
+  EXPECT_EQ(merged.total_bytes(), unsorted_bytes);
+  EXPECT_EQ(merged.packets().front().timestamp_ns(), 1'000u);
+}
+
+TEST(ElephantWorkload, SkewsLoadOntoOneQueueUnderDefaultReta) {
+  ElephantWorkloadConfig config;
+  config.elephants = 4;
+  config.elephant_bytes = 16 * 1024;
+  config.mice = 20;
+  const auto trace = make_elephant_trace(config);
+  EXPECT_GT(trace.size(), 100u);
+  // Sorted and sized: the workload is consumed directly by run()/bench.
+  std::uint64_t prev = 0;
+  for (const auto& mbuf : trace.packets()) {
+    EXPECT_GE(mbuf.timestamp_ns(), prev);
+    prev = mbuf.timestamp_ns();
+  }
+  EXPECT_GE(trace.total_bytes(),
+            config.elephants * config.elephant_bytes);
+}
+
 }  // namespace
 }  // namespace retina::traffic

@@ -1,0 +1,263 @@
+// The golden-trace corpus: six tiny hand-crafted traces, one per
+// protocol/edge-case family, shared by the generator (tools/golden_gen
+// writes <name>.pcap + <name>.jsonl into tests/golden/) and the
+// differential test (tests/test_golden replays each pcap through every
+// dispatch path and diffs against the committed JSONL).
+//
+// Traces are fully deterministic — fixed endpoints, fixed payload
+// specs, fixed timestamps — and short (a few virtual milliseconds), so
+// no connection timeout ever fires mid-trace. Editing a builder here
+// invalidates the committed expectations; regenerate with golden_gen.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/golden.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/trace.hpp"
+
+namespace retina::goldencorpus {
+
+struct CorpusEntry {
+  const char* name;   // basename of <name>.pcap / <name>.jsonl
+  core::Level level;  // abstraction level the golden subscription uses
+  const char* filter;
+  std::size_t cores;  // queue count for every dispatch path
+};
+
+inline std::vector<CorpusEntry> corpus() {
+  return {
+      {"tls", core::Level::kSession, "tls", 4},
+      {"http", core::Level::kSession, "http", 4},
+      {"dns", core::Level::kSession, "dns", 4},
+      {"udp", core::Level::kPacket, "udp", 4},
+      {"ooo_tcp", core::Level::kStream, "tcp", 4},
+      {"ipv6", core::Level::kConnection, "ipv6", 4},
+  };
+}
+
+namespace detail {
+
+inline traffic::FlowEndpoints v4_flow(std::uint32_t client,
+                                      std::uint16_t client_port,
+                                      std::uint16_t server_port) {
+  traffic::FlowEndpoints ep;
+  ep.client_ip = packet::IpAddr::v4(client);
+  ep.server_ip = packet::IpAddr::v4(0xc0a80a01);
+  ep.client_port = client_port;
+  ep.server_port = server_port;
+  return ep;
+}
+
+inline traffic::Trace make_tls_trace() {
+  traffic::Trace trace;
+  const struct {
+    const char* sni;
+    std::uint16_t cipher;
+    bool certs;
+  } flows[] = {
+      {"video.example.net", 0x1301, false},
+      {"mail.example.org", 0xc02f, true},
+      {"api.example.com", 0x1302, false},
+  };
+  for (std::size_t i = 0; i < 3; ++i) {
+    traffic::TcpFlowCrafter crafter(
+        v4_flow(0x0a000001 + static_cast<std::uint32_t>(i),
+                static_cast<std::uint16_t>(41'000 + i), 443),
+        1'000'000 + i * 400'000);
+    crafter.handshake();
+    traffic::TlsClientHelloSpec hello;
+    hello.sni = flows[i].sni;
+    hello.alpn = {"h2", "http/1.1"};
+    for (std::size_t b = 0; b < hello.random.size(); ++b) {
+      hello.random[b] = static_cast<std::uint8_t>(i * 37 + b);
+    }
+    crafter.client_send(traffic::build_tls_client_hello(hello));
+    traffic::TlsServerHelloSpec server;
+    server.cipher = flows[i].cipher;
+    auto server_bytes = traffic::build_tls_server_hello(server);
+    if (flows[i].certs) {
+      auto cert = traffic::build_tls_certificate_chain(flows[i].sni,
+                                                       "Example Root CA");
+      server_bytes.insert(server_bytes.end(), cert.begin(), cert.end());
+    }
+    crafter.server_send(server_bytes);
+    crafter.client_send(traffic::build_tls_application_data(600));
+    crafter.server_send(traffic::build_tls_application_data(2'400));
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+inline traffic::Trace make_http_trace() {
+  traffic::Trace trace;
+  {
+    traffic::TcpFlowCrafter crafter(v4_flow(0x0a000011, 42'001, 80),
+                                    1'000'000);
+    crafter.handshake();
+    traffic::HttpRequestSpec req;
+    req.method = "GET";
+    req.uri = "/index.html";
+    req.host = "www.example.com";
+    crafter.client_send(traffic::build_http_request(req));
+    traffic::HttpResponseSpec resp;
+    resp.content_length = 512;
+    crafter.server_send(traffic::build_http_response(resp));
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  {
+    traffic::TcpFlowCrafter crafter(v4_flow(0x0a000012, 42'002, 8080),
+                                    1'400'000);
+    crafter.handshake();
+    traffic::HttpRequestSpec req;
+    req.method = "POST";
+    req.uri = "/api/v1/submit";
+    req.host = "api.example.com";
+    req.extra_headers = {{"content-type", "application/json"}};
+    crafter.client_send(traffic::build_http_request(req));
+    traffic::HttpResponseSpec resp;
+    resp.status = 404;
+    resp.reason = "Not Found";
+    resp.content_length = 48;
+    crafter.server_send(traffic::build_http_response(resp));
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+inline traffic::Trace make_dns_trace() {
+  traffic::Trace trace;
+  const struct {
+    std::uint16_t id;
+    const char* qname;
+    std::uint16_t qtype;
+    std::uint16_t answers;
+    std::uint8_t rcode;
+  } queries[] = {
+      {0x1111, "www.example.com", 1, 2, 0},
+      {0x2222, "example.org", 28, 1, 0},
+      {0x3333, "missing.example.net", 1, 0, 3},  // NXDOMAIN
+  };
+  std::uint64_t ts = 1'000'000;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto ep = v4_flow(0x0a000021 + static_cast<std::uint32_t>(i),
+                            static_cast<std::uint16_t>(43'001 + i), 53);
+    const auto& q = queries[i];
+    trace.append(traffic::make_udp_packet(
+        ep, true, traffic::build_dns_query(q.id, q.qname, q.qtype), ts));
+    trace.append(traffic::make_udp_packet(
+        ep, false,
+        traffic::build_dns_response(q.id, q.qname, q.qtype, q.answers,
+                                    q.rcode),
+        ts + 150'000));
+    ts += 500'000;
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+inline traffic::Trace make_udp_trace() {
+  traffic::Trace trace;
+  std::uint64_t ts = 1'000'000;
+  for (std::size_t flow = 0; flow < 2; ++flow) {
+    const auto ep = v4_flow(0x0a000031 + static_cast<std::uint32_t>(flow),
+                            static_cast<std::uint16_t>(44'001 + flow),
+                            static_cast<std::uint16_t>(9'000 + flow));
+    for (std::size_t i = 0; i < 5; ++i) {
+      std::vector<std::uint8_t> payload(40 + flow * 100 + i * 13);
+      for (std::size_t b = 0; b < payload.size(); ++b) {
+        payload[b] = static_cast<std::uint8_t>(flow * 31 + i * 7 + b);
+      }
+      trace.append(
+          traffic::make_udp_packet(ep, i % 2 == 0, payload, ts));
+      ts += 120'000;
+    }
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+inline traffic::Trace make_ooo_tcp_trace() {
+  traffic::Trace trace;
+  // Flow 1: server response reordered mid-transfer, then a
+  // retransmission of an already-delivered segment.
+  {
+    traffic::TcpFlowCrafter crafter(v4_flow(0x0a000041, 45'001, 7000),
+                                    1'000'000);
+    std::vector<std::uint8_t> payload(6'000);
+    for (std::size_t b = 0; b < payload.size(); ++b) {
+      payload[b] = static_cast<std::uint8_t>(b * 11);
+    }
+    crafter.handshake();
+    crafter.server_send(payload);
+    crafter.swap_last_two_data();
+    crafter.retransmit(4);
+    crafter.client_send({payload.data(), 900});
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  // Flow 2: client upload with the first two data segments swapped.
+  {
+    traffic::TcpFlowCrafter crafter(v4_flow(0x0a000042, 45'002, 7001),
+                                    1'600'000);
+    std::vector<std::uint8_t> payload(3'000, 0x42);
+    crafter.handshake();
+    crafter.client_send(payload);
+    crafter.swap_last_two_data();
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+inline traffic::Trace make_ipv6_trace() {
+  traffic::Trace trace;
+  for (std::size_t i = 0; i < 2; ++i) {
+    traffic::FlowEndpoints ep;
+    std::array<std::uint8_t, 16> client{};
+    client[0] = 0x20;
+    client[1] = 0x01;
+    client[15] = static_cast<std::uint8_t>(0x10 + i);
+    std::array<std::uint8_t, 16> server{};
+    server[0] = 0x20;
+    server[1] = 0x01;
+    server[7] = 0x99;
+    server[15] = 0x01;
+    ep.client_ip = packet::IpAddr::v6(client);
+    ep.server_ip = packet::IpAddr::v6(server);
+    ep.client_port = static_cast<std::uint16_t>(46'001 + i);
+    ep.server_port = 443;
+
+    traffic::TcpFlowCrafter crafter(ep, 1'000'000 + i * 700'000);
+    std::vector<std::uint8_t> payload(2'000 + i * 500, 0x66);
+    crafter.handshake();
+    crafter.client_send({payload.data(), 300});
+    crafter.server_send(payload);
+    crafter.close();
+    trace.append(crafter.take());
+  }
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace detail
+
+/// Build the trace for one corpus entry by name.
+inline traffic::Trace build_trace(const std::string& name) {
+  if (name == "tls") return detail::make_tls_trace();
+  if (name == "http") return detail::make_http_trace();
+  if (name == "dns") return detail::make_dns_trace();
+  if (name == "udp") return detail::make_udp_trace();
+  if (name == "ooo_tcp") return detail::make_ooo_tcp_trace();
+  if (name == "ipv6") return detail::make_ipv6_trace();
+  return {};
+}
+
+}  // namespace retina::goldencorpus

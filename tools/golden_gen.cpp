@@ -1,0 +1,53 @@
+// Golden corpus generator: crafts each corpus trace, writes it as a
+// nanosecond-precision pcap, replays the *re-read* pcap through the
+// serial per-packet reference path, and writes the canonical callback
+// stream next to it. Run after changing anything that legitimately
+// alters callback output, then commit the refreshed files:
+//
+//   ./build/tools/golden_gen [output-dir]   # default: tests/golden/
+#include <cstdio>
+#include <string>
+
+#include "core/golden.hpp"
+#include "golden_corpus.hpp"
+#include "traffic/pcap.hpp"
+
+#ifndef RETINA_GOLDEN_DIR
+#define RETINA_GOLDEN_DIR "tests/golden"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace retina;
+  const std::string dir = argc > 1 ? argv[1] : RETINA_GOLDEN_DIR;
+
+  for (const auto& entry : goldencorpus::corpus()) {
+    const auto trace = goldencorpus::build_trace(entry.name);
+    if (trace.empty()) {
+      std::fprintf(stderr, "%s: no builder\n", entry.name);
+      return 1;
+    }
+    const std::string pcap_path = dir + "/" + entry.name + ".pcap";
+    // Nanosecond magic: the pcap round-trips the crafted timestamps
+    // exactly, so the committed stream matches replays of the file.
+    traffic::write_pcap(pcap_path, trace, {.nanos = true});
+    const auto reread = traffic::read_pcap(pcap_path);
+
+    core::golden::GoldenSpec spec;
+    spec.filter = entry.filter;
+    spec.level = entry.level;
+    spec.cores = entry.cores;
+    spec.path = core::golden::DispatchPath::kSerialPacket;
+    const auto result =
+        core::golden::run_golden(reread.packets(), spec);
+
+    const std::string jsonl_path = dir + "/" + entry.name + ".jsonl";
+    if (!core::golden::write_jsonl(jsonl_path, result.lines)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", entry.name,
+                   jsonl_path.c_str());
+      return 1;
+    }
+    std::printf("%-8s %4zu packets -> %3zu lines (%s)\n", entry.name,
+                reread.size(), result.lines.size(), jsonl_path.c_str());
+  }
+  return 0;
+}
