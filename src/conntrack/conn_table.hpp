@@ -139,6 +139,21 @@ class ConnTable {
                                      : first_timeout());
   }
 
+  /// Deadline sentinel for parked connections: effectively "never",
+  /// but small enough that `deadline + timeout` arithmetic can't wrap.
+  static constexpr std::uint64_t kParkedDeadlineNs = ~0ull / 2;
+
+  /// Suspend expiry for a connection whose packets are being handled
+  /// elsewhere (hardware flow offload): the deadline moves to the
+  /// parked sentinel and the wheel's lazy stale-entry check reschedules
+  /// around it. Any later touch()/mark_established() resumes normal
+  /// expiry; extract()/adopt() carry the parked deadline across a
+  /// migration unchanged.
+  void park(ConnId id) { slots_[id].deadline_ns = kParkedDeadlineNs; }
+  bool parked(ConnId id) const {
+    return slots_[id].deadline_ns == kParkedDeadlineNs;
+  }
+
   /// Mark the connection established (traffic seen in both directions);
   /// switches it to the inactivity timeout.
   void mark_established(ConnId id, std::uint64_t now_ns) {

@@ -99,6 +99,21 @@ struct RuntimeConfig {
   /// rebalance/rebalancer.hpp). Single-subscription mode only; the
   /// validating factories reject it combined with a SubscriptionSet.
   rebalance::RebalanceConfig rebalance;
+
+  /// Dynamic hardware flow offload of settled connections (see
+  /// core/offload.hpp). Requires a device with a non-zero
+  /// NicCapabilities::flow_table_slots budget; final connection records
+  /// are byte-identical to a no-offload run.
+  struct OffloadConfig {
+    bool enabled = false;
+    /// Idle eviction horizon for offload rules (virtual time). 0 picks
+    /// the default (5 s, the connection-establishment timeout scale).
+    std::uint64_t ttl_ns = 0;
+    /// Packets a freshly installed rule may hold while waiting for the
+    /// owning worker's seq-state seed before the install aborts.
+    std::size_t capture_limit = 1024;
+  };
+  OffloadConfig offload;
 };
 
 }  // namespace retina::core

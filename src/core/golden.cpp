@@ -235,6 +235,7 @@ GoldenResult run_golden(std::span<const packet::Mbuf> packets,
   config.cores = spec.cores;
   config.rx_burst_size =
       spec.path == DispatchPath::kSerialPacket ? 1 : 32;
+  config.offload.enabled = spec.offload;
   const bool rebalance = spec.path == DispatchPath::kSerialRebalance ||
                          spec.path == DispatchPath::kThreadedRebalance;
   if (rebalance) {

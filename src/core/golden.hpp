@@ -48,6 +48,10 @@ struct GoldenSpec {
   Level level = Level::kConnection;
   std::size_t cores = 4;
   DispatchPath path = DispatchPath::kSerialPacket;
+  // Dynamic hardware flow offload. The canonical stream must be
+  // byte-identical with offload on or off — hardware counters merge
+  // back into the very records the callbacks see.
+  bool offload = false;
 };
 
 struct GoldenResult {

@@ -1,0 +1,269 @@
+#include "core/offload.hpp"
+
+namespace retina::core {
+
+namespace {
+// Idle horizon for offload rules when the config leaves ttl_ns at 0:
+// the connection-establishment timeout scale (5 s), well below the
+// 5 min inactivity timeout so a TTL-evicted flow resumes software
+// accounting long before conntrack would expire it.
+constexpr std::uint64_t kDefaultTtlNs = 5'000'000'000ull;
+}  // namespace
+
+OffloadEngine::OffloadEngine(const RuntimeConfig::OffloadConfig& config,
+                             nic::SimNic& nic,
+                             std::vector<OffloadClient*> clients)
+    : nic_(nic), clients_(std::move(clients)) {
+  nic_.enable_offload(config.ttl_ns != 0 ? config.ttl_ns : kDefaultTtlNs,
+                      config.capture_limit);
+  cores_.reserve(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    cores_.push_back(std::make_unique<CoreState>());
+  }
+}
+
+bool OffloadEngine::request_install(std::size_t core,
+                                    const OffloadRequest& req) {
+  auto& cs = *cores_[core];
+  UpMsg msg;
+  msg.kind = UpMsg::Kind::kInstall;
+  msg.req = req;
+  if (!cs.up.push(std::move(msg))) {
+    // Ring full: drop the request. The caller retries on the flow's
+    // next software packet, so nothing is lost.
+    return false;
+  }
+  cs.requested.inc();
+  return true;
+}
+
+void OffloadEngine::poll_core(std::size_t core) {
+  auto& cs = *cores_[core];
+  DownMsg msg;
+  while (cs.down.pop(msg)) {
+    handle_down(core, msg);
+  }
+  // Seed requests whose barrier may have been reached since.
+  for (std::size_t i = 0; i < cs.waiting.size();) {
+    if (cs.consumed >= cs.waiting[i].barrier) {
+      const DownMsg pending = cs.waiting[i];
+      cs.waiting.erase(cs.waiting.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+      answer_seed_request(core, pending);
+    } else {
+      ++i;
+    }
+  }
+  // Retry worker->dispatch messages that hit a full ring.
+  while (!cs.up_overflow.empty()) {
+    UpMsg retry = std::move(cs.up_overflow.front());
+    if (!cs.up.push(std::move(retry))) break;
+    cs.up_overflow.erase(cs.up_overflow.begin());
+  }
+}
+
+void OffloadEngine::handle_down(std::size_t core, DownMsg& msg) {
+  auto& cs = *cores_[core];
+  switch (msg.kind) {
+    case DownMsg::Kind::kSeedRequest:
+      if (cs.consumed >= msg.barrier) {
+        answer_seed_request(core, msg);
+      } else {
+        cs.waiting.push_back(msg);
+      }
+      break;
+    case DownMsg::Kind::kEvict:
+      if (clients_[core]->offload_merge(msg.rec)) {
+        cs.merges.inc();
+      } else {
+        UpMsg up;
+        up.kind = UpMsg::Kind::kBounce;
+        up.rec = msg.rec;
+        cs.bounces.inc();
+        push_up(core, std::move(up));
+      }
+      break;
+    case DownMsg::Kind::kClearPending:
+      clients_[core]->offload_clear_pending(msg.key);
+      break;
+  }
+}
+
+void OffloadEngine::answer_seed_request(std::size_t core,
+                                        const DownMsg& msg) {
+  UpMsg up;
+  up.key = msg.key;
+  nic::OffloadSeed seed;
+  if (clients_[core]->offload_park(msg.key, seed)) {
+    up.kind = UpMsg::Kind::kSeed;
+    up.seed = seed;
+  } else {
+    up.kind = UpMsg::Kind::kSeedFail;
+  }
+  push_up(core, std::move(up));
+}
+
+void OffloadEngine::push_up(std::size_t core, UpMsg&& msg) {
+  auto& cs = *cores_[core];
+  if (!cs.up.push(std::move(msg))) {
+    cs.up_overflow.push_back(msg);
+  }
+}
+
+void OffloadEngine::poll_dispatch(std::uint64_t now_ns) {
+  nic_.offload_age(now_ns);
+  for (std::size_t c = 0; c < cores_.size(); ++c) {
+    UpMsg msg;
+    while (cores_[c]->up.pop(msg)) {
+      handle_up(c, msg, now_ns);
+    }
+  }
+  route_events();
+}
+
+void OffloadEngine::handle_up(std::size_t core, UpMsg& msg,
+                              std::uint64_t now_ns) {
+  auto& cs = *cores_[core];
+  switch (msg.kind) {
+    case UpMsg::Kind::kInstall: {
+      const auto& req = msg.req;
+      const std::uint32_t queue = route_queue(req.rss_hash);
+      const bool routable = queue != nic::RedirectionTable::kSinkQueue;
+      if (shutdown_ || !routable ||
+          !nic_.offload_install(req.key, req.rss_hash,
+                                req.from_first_is_orig, req.is_tcp,
+                                req.action, now_ns)) {
+        refused_.inc();
+        DownMsg down;
+        down.kind = DownMsg::Kind::kClearPending;
+        down.key = req.key;
+        // The requesting core owns the entry; if even this push fails
+        // the pending mark sticks until the flow's next packet path
+        // can't retry — harmless, the flow just stays in software.
+        (void)cs.down.push(std::move(down));
+        break;
+      }
+      DownMsg down;
+      down.kind = DownMsg::Kind::kSeedRequest;
+      down.key = req.key;
+      down.barrier = nic_.queue_enqueued(queue);
+      if (!cores_[queue]->down.push(std::move(down))) {
+        // Can't reach the worker: tear the capture down. The abort
+        // event routes a clear-pending on the next poll.
+        nic_.offload_abort(req.key);
+      }
+      break;
+    }
+    case UpMsg::Kind::kSeed:
+      if (!nic_.offload_seed(msg.key, msg.seed)) {
+        // Rule vanished while the worker parked the entry (TTL abort
+        // raced the handshake): unpark it.
+        DownMsg down;
+        down.kind = DownMsg::Kind::kClearPending;
+        down.key = msg.key;
+        (void)cs.down.push(std::move(down));
+      }
+      break;
+    case UpMsg::Kind::kSeedFail:
+      seed_failures_.inc();
+      nic_.offload_abort(msg.key);
+      break;
+    case UpMsg::Kind::kBounce:
+      route_evict(std::move(msg.rec));
+      break;
+  }
+}
+
+void OffloadEngine::route_events() {
+  for (auto& rec : nic_.offload_take_events()) {
+    if (rec.counted) {
+      route_evict(std::move(rec));
+    } else {
+      // Aborted capture: just clear the pending mark wherever the flow
+      // lives now; nothing to merge.
+      const std::uint32_t queue = route_queue(rec.rss_hash);
+      if (queue == nic::RedirectionTable::kSinkQueue) continue;
+      DownMsg down;
+      down.kind = DownMsg::Kind::kClearPending;
+      down.key = rec.key;
+      (void)cores_[queue]->down.push(std::move(down));
+    }
+  }
+}
+
+void OffloadEngine::route_evict(nic::OffloadEvictRecord&& rec) {
+  if (rec.bounces >= kMaxBounces) {
+    orphaned_.inc();
+    orphans_.push_back(std::move(rec));
+    return;
+  }
+  ++rec.bounces;
+  const std::uint32_t queue = route_queue(rec.rss_hash);
+  if (queue == nic::RedirectionTable::kSinkQueue) {
+    orphaned_.inc();
+    orphans_.push_back(std::move(rec));
+    return;
+  }
+  DownMsg down;
+  down.kind = DownMsg::Kind::kEvict;
+  down.rec = rec;
+  if (!cores_[queue]->down.push(std::move(down))) {
+    // Never lose hardware counters: undeliverable records are applied
+    // at settle() by probing every client.
+    orphaned_.inc();
+    orphans_.push_back(std::move(rec));
+  }
+}
+
+std::uint32_t OffloadEngine::route_queue(std::uint32_t rss_hash) const {
+  const auto& reta = nic_.reta();
+  return reta.assignment(reta.bucket_of(rss_hash));
+}
+
+void OffloadEngine::shutdown_flush(std::uint64_t now_ns) {
+  (void)now_ns;
+  nic_.offload_flush_all();
+  route_events();
+}
+
+void OffloadEngine::settle(std::uint64_t now_ns) {
+  // Single-threaded by contract: workers have stopped, so this thread
+  // may act as every core. Bounded ping-pong; each round either makes
+  // progress or the system is quiet.
+  for (int round = 0; round < 64; ++round) {
+    poll_dispatch(now_ns);
+    for (std::size_t c = 0; c < cores_.size(); ++c) {
+      poll_core(c);
+    }
+    bool quiet = true;
+    for (const auto& cs : cores_) {
+      if (!cs->up.empty() || !cs->down.empty() || !cs->waiting.empty() ||
+          !cs->up_overflow.empty()) {
+        quiet = false;
+        break;
+      }
+    }
+    if (quiet) break;
+  }
+  for (const auto& rec : orphans_) {
+    for (auto* client : clients_) {
+      if (client->offload_merge(rec)) break;
+    }
+  }
+  orphans_.clear();
+}
+
+OffloadEngineStats OffloadEngine::stats() const {
+  OffloadEngineStats s;
+  for (const auto& cs : cores_) {
+    s.installs_requested += cs->requested.load();
+    s.merges += cs->merges.load();
+    s.bounces += cs->bounces.load();
+  }
+  s.installs_refused = refused_.load();
+  s.seed_failures = seed_failures_.load();
+  s.orphaned = orphaned_.load();
+  return s;
+}
+
+}  // namespace retina::core

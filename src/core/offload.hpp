@@ -1,0 +1,136 @@
+// OffloadEngine: the control path between worker pipelines and the
+// SimNic's dynamic flow offload table. Mirrors the PR 5 rebalancer
+// mailbox discipline: per-core SPSC rings carry messages between each
+// worker and the dispatch thread, and every cross-thread effect is
+// ordered by the rings (an event enqueued before a packet is pushed is
+// always drained before that packet is processed, because workers poll
+// their event ring before every burst).
+//
+// Install handshake (exact-by-construction seq seeding):
+//
+//   worker                 dispatch thread                NIC table
+//   ------                 ---------------                ---------
+//   settled flow:
+//   kInstall ───────────►  install rule (capturing) ───►  holds pkts
+//                          kSeedRequest{barrier} ──┐
+//   barrier met:       ◄───────────────────────────┘
+//   park conn, snapshot
+//   seq state
+//   kSeed ─────────────►   seed + replay held pkts ───►  rule active
+//
+// The barrier is the queue's cumulative enqueue count at install time:
+// once the worker has consumed that many packets, every packet that
+// was steered to software before the rule existed has been accounted,
+// so the snapshot is exactly the state hardware must continue from.
+//
+// Evictions (TTL, pressure, punt-on-flags, shutdown) flow back as
+// records routed by the *current* RETA assignment of the flow's RSS
+// hash; a record that misses (flow migrated mid-eviction) bounces back
+// for re-routing, and finally lands in an orphan list that settle()
+// applies by probing every client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/offload_client.hpp"
+#include "nic/port.hpp"
+#include "util/atomics.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace retina::core {
+
+struct OffloadEngineStats {
+  std::uint64_t installs_requested = 0;
+  std::uint64_t installs_refused = 0;  // shutdown, table full, sink route
+  std::uint64_t seed_failures = 0;     // entry vanished before parking
+  std::uint64_t merges = 0;
+  std::uint64_t bounces = 0;
+  std::uint64_t orphaned = 0;
+};
+
+class OffloadEngine : public OffloadRequester {
+ public:
+  /// `clients[i]` must be the pipeline consuming NIC queue i. The
+  /// engine enables the offload table on `nic` (TTL defaulted to 5 s
+  /// when the config leaves it 0).
+  OffloadEngine(const RuntimeConfig::OffloadConfig& config, nic::SimNic& nic,
+                std::vector<OffloadClient*> clients);
+
+  // ---- worker side (core = the worker's queue index) ----
+  bool request_install(std::size_t core, const OffloadRequest& req) override;
+  /// Account `n` packets consumed by the worker (the seed barrier
+  /// signal). Call after every poll/poll_burst batch.
+  void note_consumed(std::size_t core, std::uint64_t n) {
+    cores_[core]->consumed += n;
+  }
+  /// Drain control messages for this worker. Must run before the
+  /// worker processes any packets from its ring (event-before-packet
+  /// ordering).
+  void poll_core(std::size_t core);
+
+  // ---- dispatch side ----
+  /// Age the table, process worker requests, route eviction events.
+  /// Call before dispatching each packet (virtual time `now_ns`).
+  void poll_dispatch(std::uint64_t now_ns);
+  /// Stop accepting installs (start of teardown).
+  void begin_shutdown() { shutdown_ = true; }
+  bool shutting_down() const noexcept { return shutdown_; }
+  /// Evict every rule; aborted captures re-enter the rx rings.
+  void shutdown_flush(std::uint64_t now_ns);
+  /// Single-threaded teardown: ping-pong the remaining control traffic
+  /// until quiet, then apply orphaned eviction records by probing every
+  /// client. Workers must have stopped.
+  void settle(std::uint64_t now_ns);
+
+  OffloadEngineStats stats() const;
+
+ private:
+  struct UpMsg {  // worker -> dispatch
+    enum class Kind : std::uint8_t { kInstall, kSeed, kSeedFail, kBounce };
+    Kind kind = Kind::kInstall;
+    OffloadRequest req{};           // kInstall
+    packet::FiveTuple key{};        // kSeed / kSeedFail
+    nic::OffloadSeed seed{};        // kSeed
+    nic::OffloadEvictRecord rec{};  // kBounce
+  };
+  struct DownMsg {  // dispatch -> worker
+    enum class Kind : std::uint8_t { kSeedRequest, kEvict, kClearPending };
+    Kind kind = Kind::kSeedRequest;
+    packet::FiveTuple key{};        // kSeedRequest / kClearPending
+    std::uint64_t barrier = 0;      // kSeedRequest
+    nic::OffloadEvictRecord rec{};  // kEvict
+  };
+
+  struct CoreState {
+    util::SpscRing<UpMsg> up{256};
+    util::SpscRing<DownMsg> down{1024};
+    // Worker-owned.
+    std::uint64_t consumed = 0;
+    std::vector<DownMsg> waiting;      // seed requests, barrier unmet
+    std::vector<UpMsg> up_overflow;    // retried next poll_core
+    util::RelaxedCell requested, merges, bounces;
+  };
+
+  void handle_up(std::size_t core, UpMsg& msg, std::uint64_t now_ns);
+  void handle_down(std::size_t core, DownMsg& msg);
+  void answer_seed_request(std::size_t core, const DownMsg& msg);
+  void push_up(std::size_t core, UpMsg&& msg);
+  void route_events();
+  void route_evict(nic::OffloadEvictRecord&& rec);
+  std::uint32_t route_queue(std::uint32_t rss_hash) const;
+
+  static constexpr std::uint8_t kMaxBounces = 8;
+
+  nic::SimNic& nic_;
+  std::vector<OffloadClient*> clients_;
+  std::vector<std::unique_ptr<CoreState>> cores_;
+  // Dispatch-owned.
+  std::vector<nic::OffloadEvictRecord> orphans_;
+  bool shutdown_ = false;
+  util::RelaxedCell refused_, seed_failures_, orphaned_;
+};
+
+}  // namespace retina::core

@@ -1,0 +1,62 @@
+// The pipeline side of the dynamic flow offload protocol (see
+// core/offload.hpp for the engine and nic/offload.hpp for the table).
+// Split into its own small header so Pipeline/MultiPipeline can
+// implement the interface without pulling in the engine or the port.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "nic/offload.hpp"
+#include "packet/five_tuple.hpp"
+
+namespace retina::core {
+
+/// A worker's ask: offload this settled connection. Everything the NIC
+/// rule needs is captured at request time.
+struct OffloadRequest {
+  packet::FiveTuple key{};  // canonical connection key
+  std::uint32_t rss_hash = 0;
+  bool from_first_is_orig = true;
+  bool is_tcp = false;
+  nic::OffloadAction action = nic::OffloadAction::kCount;
+};
+
+/// Implemented by Pipeline and MultiPipeline; every method runs on the
+/// owning worker core (called from OffloadEngine::poll_core).
+class OffloadClient {
+ public:
+  virtual ~OffloadClient() = default;
+
+  /// Park the connection (suspend its inactivity timer) and snapshot
+  /// its exact wire-order seq state for the rule seed. Returns false if
+  /// the connection is not in this worker's table or is not awaiting
+  /// offload — the engine then aborts the install.
+  virtual bool offload_park(const packet::FiveTuple& key,
+                            nic::OffloadSeed& seed_out) = 0;
+
+  /// Merge an eviction record back into the connection and resume
+  /// software accounting. Returns false if the connection is not here
+  /// (mid-migration) — the engine bounces the record for re-routing.
+  virtual bool offload_merge(const nic::OffloadEvictRecord& rec) = 0;
+
+  /// An install was refused or torn down before activation: clear the
+  /// offload-pending mark (and unpark, if the entry already parked) so
+  /// the flow keeps flowing through software and may retry later.
+  virtual void offload_clear_pending(const packet::FiveTuple& key) = 0;
+};
+
+/// Implemented by OffloadEngine; what a pipeline needs to ask for an
+/// offload without depending on the engine type.
+class OffloadRequester {
+ public:
+  virtual ~OffloadRequester() = default;
+
+  /// Enqueue an install request from worker `core`. Returns false when
+  /// the request ring is full — the caller simply retries on a later
+  /// packet of the flow.
+  virtual bool request_install(std::size_t core,
+                               const OffloadRequest& req) = 0;
+};
+
+}  // namespace retina::core

@@ -611,6 +611,106 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
     if (inst_.conns_terminated != nullptr) inst_.conns_terminated->inc();
     terminate_conn(id, entry, TerminateReason::kNatural,
                    /*remove_from_table=*/true);
+    return;  // entry removed; nothing left to offload
+  }
+
+  if (offload_requester_ != nullptr) {
+    maybe_request_offload(id, entry);
+  }
+}
+
+void Pipeline::maybe_request_offload(ConnId id, ConnEntry& entry) {
+  if (entry.offload_pending || entry.offload_active) return;
+  nic::OffloadAction action;
+  if (entry.dropped) {
+    // The filter said no: hardware can drop the rest of the flow.
+    action = nic::OffloadAction::kDrop;
+  } else if (entry.state == conntrack::ConnState::kTrack &&
+             entry.filter_matched &&
+             subscription_.level() == Level::kConnection) {
+    // Connection-level match in Track: software only counts packets
+    // from here on, which hardware counters reproduce exactly.
+    action = nic::OffloadAction::kCount;
+  } else {
+    // Packet/stream/session levels still need per-packet callbacks,
+    // PDUs, or parsing — not offloadable.
+    return;
+  }
+  OffloadRequest req;
+  req.key = table_.key_of(id);
+  req.rss_hash = entry.rss_hash;
+  req.from_first_is_orig = entry.from_first_is_orig;
+  req.is_tcp = entry.is_tcp;
+  req.action = action;
+  if (offload_requester_->request_install(offload_core_, req)) {
+    entry.offload_pending = true;
+  }
+}
+
+bool Pipeline::offload_park(const packet::FiveTuple& key,
+                            nic::OffloadSeed& seed_out) {
+  const ConnId id = table_.find(key);
+  if (id == Table::kInvalid) return false;
+  ConnEntry& entry = table_.get(id);
+  if (!entry.offload_pending || entry.offload_active) return false;
+  seed_out.max_seq_end = {entry.max_seq_end[0], entry.max_seq_end[1]};
+  seed_out.last_seq = {entry.last_seq[0], entry.last_seq[1]};
+  seed_out.seq_seen = {entry.seq_seen[0], entry.seq_seen[1]};
+  entry.offload_active = true;
+  entry.offload_park_pkts = entry.record.pkts_up + entry.record.pkts_down;
+  table_.park(id);
+  return true;
+}
+
+bool Pipeline::offload_merge(const nic::OffloadEvictRecord& rec) {
+  const ConnId id = table_.find(rec.key);
+  if (id == Table::kInvalid) return false;
+  ConnEntry& entry = table_.get(id);
+  auto& r = entry.record;
+  // If software saw packets since park (punted flag segment processed
+  // out from under a racing eviction, or a migration replay), its seq
+  // state is newer than the rule's final snapshot — keep it.
+  const bool seq_current =
+      r.pkts_up + r.pkts_down == entry.offload_park_pkts;
+  const auto& d = rec.deltas;
+  r.pkts_up += d.pkts_up;
+  r.pkts_down += d.pkts_down;
+  r.bytes_up += d.bytes_up;
+  r.bytes_down += d.bytes_down;
+  r.payload_up += d.payload_up;
+  r.payload_down += d.payload_down;
+  r.ooo_up += d.ooo_up;
+  r.ooo_down += d.ooo_down;
+  r.dup_up += d.dup_up;
+  r.dup_down += d.dup_down;
+  r.last_ts_ns = std::max(r.last_ts_ns, d.last_ts_ns);
+  if (seq_current && d.pkts() > 0) {
+    entry.max_seq_end[0] = rec.seq.max_seq_end[0];
+    entry.max_seq_end[1] = rec.seq.max_seq_end[1];
+    entry.last_seq[0] = rec.seq.last_seq[0];
+    entry.last_seq[1] = rec.seq.last_seq[1];
+    entry.seq_seen[0] = rec.seq.seq_seen[0];
+    entry.seq_seen[1] = rec.seq.seq_seen[1];
+  }
+  if (r.pkts_up > 0 && r.pkts_down > 0 && !r.established) {
+    r.established = true;
+    table_.mark_established(id, r.last_ts_ns);
+  }
+  entry.offload_pending = false;
+  entry.offload_active = false;
+  // Unpark: resume expiry from the flow's true last activity.
+  table_.touch(id, r.last_ts_ns);
+  return true;
+}
+
+void Pipeline::offload_clear_pending(const packet::FiveTuple& key) {
+  const ConnId id = table_.find(key);
+  if (id == Table::kInvalid) return;
+  ConnEntry& entry = table_.get(id);
+  entry.offload_pending = false;
+  if (entry.offload_active) {
+    entry.offload_active = false;
+    table_.touch(id, entry.record.last_ts_ns);
   }
 }
 

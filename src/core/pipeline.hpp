@@ -23,6 +23,7 @@
 #include "conntrack/conn_table.hpp"
 #include "core/config.hpp"
 #include "core/filter_engine.hpp"
+#include "core/offload_client.hpp"
 #include "core/stats.hpp"
 #include "core/subscription.hpp"
 #include "packet/packet_view.hpp"
@@ -64,7 +65,7 @@ struct PipelineInstruments {
 /// filter state).
 enum class TerminateReason { kNatural, kExpired, kShutdown };
 
-class Pipeline {
+class Pipeline : public OffloadClient {
   struct ConnEntry;  // defined in the private section below
 
  public:
@@ -117,6 +118,20 @@ class Pipeline {
   void attach_overload(overload::OverloadState* state) noexcept {
     overload_ = state;
   }
+
+  /// Wire the dynamic flow offload engine in (nullptr = offload off).
+  /// `core` is this pipeline's queue index — the mailbox the engine
+  /// expects install requests on. Call during single-threaded setup.
+  void attach_offload(OffloadRequester* requester, std::size_t core) noexcept {
+    offload_requester_ = requester;
+    offload_core_ = core;
+  }
+
+  // OffloadClient: called by the engine on this pipeline's worker core.
+  bool offload_park(const packet::FiveTuple& key,
+                    nic::OffloadSeed& seed_out) override;
+  bool offload_merge(const nic::OffloadEvictRecord& rec) override;
+  void offload_clear_pending(const packet::FiveTuple& key) override;
 
   const PipelineStats& stats() const noexcept { return stats_; }
   std::size_t live_connections() const noexcept { return table_.size(); }
@@ -199,6 +214,16 @@ class Pipeline {
     std::uint64_t pdu_buffer_bytes = 0;
     bool fin_up = false;
     bool fin_down = false;
+    // Dynamic flow offload lifecycle: pending = install requested but
+    // the rule isn't active yet; active = packets are being counted in
+    // hardware and the entry is parked. park_pkts snapshots the
+    // record's packet total at park time — if it changed by merge time,
+    // software processed packets meanwhile (eviction raced a punt or a
+    // migration) and the rule's final seq state must not overwrite the
+    // newer software state.
+    bool offload_pending = false;
+    bool offload_active = false;
+    std::uint64_t offload_park_pkts = 0;
   };
 
   using Table = conntrack::ConnTable<ConnEntry>;
@@ -272,6 +297,10 @@ class Pipeline {
   void flush_buffered(ConnEntry& entry);
   void terminate_conn(ConnId id, ConnEntry& entry, TerminateReason reason,
                       bool remove_from_table);
+  /// End-of-packet hook: if the connection has settled (delivered or
+  /// dropped, nothing left for software to do per-packet), ask the
+  /// engine to offload it.
+  void maybe_request_offload(ConnId id, ConnEntry& entry);
   void maybe_sample_memory(std::uint64_t ts_ns);
   // An entry's exact contribution to heap_bytes_ / reasm_hold_bytes_,
   // mirrored by extract_bucket()/adopt() so migration moves the
@@ -297,6 +326,8 @@ class Pipeline {
   std::uint64_t last_ts_ = 0;
 
   overload::OverloadState* overload_ = nullptr;  // borrowed; may be null
+  OffloadRequester* offload_requester_ = nullptr;  // borrowed; may be null
+  std::size_t offload_core_ = 0;
   std::int64_t reasm_hold_bytes_ = 0;  // out-of-order bytes held right now
   std::int64_t parse_tokens_ = 0;      // parse-cycle token bucket
   std::uint64_t parse_refill_ts_ = 0;

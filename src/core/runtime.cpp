@@ -134,23 +134,40 @@ void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
             *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
       }
     }
-    return;
-  }
-
-  pipelines_.reserve(port.num_queues);
-  for (std::size_t core = 0; core < port.num_queues; ++core) {
-    pipelines_.push_back(
-        std::make_unique<Pipeline>(config_, *subscription_, *filter_,
-                                   field_registry, parser_registry));
-    pipelines_.back()->attach_overload(&overload_state_);
-    if (metrics_) {
-      pipelines_.back()->attach_telemetry(
-          *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
+  } else {
+    pipelines_.reserve(port.num_queues);
+    for (std::size_t core = 0; core < port.num_queues; ++core) {
+      pipelines_.push_back(
+          std::make_unique<Pipeline>(config_, *subscription_, *filter_,
+                                     field_registry, parser_registry));
+      pipelines_.back()->attach_overload(&overload_state_);
+      if (metrics_) {
+        pipelines_.back()->attach_telemetry(
+            *metrics_, core, spans_ ? &spans_->ring(core) : nullptr);
+      }
+    }
+    if (config_.rebalance.enabled) {
+      rebalancer_ = std::make_unique<rebalance::Rebalancer>(
+          config_.rebalance, *nic_, pipelines_, metrics_.get());
     }
   }
-  if (config_.rebalance.enabled) {
-    rebalancer_ = std::make_unique<rebalance::Rebalancer>(
-        config_.rebalance, *nic_, pipelines_, metrics_.get());
+
+  // Dynamic flow offload: settled flows move to exact-match NIC rules
+  // counted in hardware. Needs flow table slots on the simulated NIC.
+  if (config_.offload.enabled &&
+      config_.nic_capabilities.flow_table_slots > 0) {
+    std::vector<OffloadClient*> clients;
+    clients.reserve(port.num_queues);
+    for (auto& pipeline : pipelines_) clients.push_back(pipeline.get());
+    for (auto& pipeline : multi_pipelines_) clients.push_back(pipeline.get());
+    offload_engine_ = std::make_unique<OffloadEngine>(config_.offload, *nic_,
+                                                      std::move(clients));
+    for (std::size_t core = 0; core < pipelines_.size(); ++core) {
+      pipelines_[core]->attach_offload(offload_engine_.get(), core);
+    }
+    for (std::size_t core = 0; core < multi_pipelines_.size(); ++core) {
+      multi_pipelines_[core]->attach_offload(offload_engine_.get(), core);
+    }
   }
 }
 
@@ -227,6 +244,9 @@ void Runtime::dispatch(const packet::Mbuf& mbuf) {
       next_rebalance_ts_ = ts + config_.rebalance.interval_ns;
     }
   }
+  // Offload control also rides the dispatch thread: age the rule
+  // table, serve install/seed traffic, route eviction records.
+  if (offload_engine_) offload_engine_->poll_dispatch(mbuf.timestamp_ns());
   nic_->dispatch(mbuf);
 }
 
@@ -255,12 +275,15 @@ void Runtime::drain() {
     }
   };
   auto* reb = rebalancer_.get();
+  auto* off = offload_engine_.get();
   if (want <= 1) {
     // Legacy per-packet path (rx_burst_size = 1).
     packet::Mbuf mbuf;
     for (std::size_t queue = 0; queue < queues; ++queue) {
       if (reb != nullptr) reb->poll_core(queue);
+      if (off != nullptr) off->poll_core(queue);
       while (nic_->poll(queue, mbuf)) {
+        if (off != nullptr) off->poll_core(queue);
         if (reb != nullptr) {
           reb->poll_core(queue);
           if (reb->filter_burst(queue, &mbuf, 1) != 0) {
@@ -270,8 +293,10 @@ void Runtime::drain() {
         } else {
           process_one(queue, std::move(mbuf));
         }
+        if (off != nullptr) off->note_consumed(queue, 1);
       }
       if (reb != nullptr) reb->poll_core(queue);
+      if (off != nullptr) off->poll_core(queue);
     }
     return;
   }
@@ -282,14 +307,18 @@ void Runtime::drain() {
       // buckets, account consumption).
       std::array<packet::Mbuf, Pipeline::kMaxBurst> buf;
       reb->poll_core(queue);
+      if (off != nullptr) off->poll_core(queue);
       std::size_t got;
       while ((got = nic_->poll_burst(queue, buf.data(), want)) > 0) {
         reb->poll_core(queue);
+        if (off != nullptr) off->poll_core(queue);
         const std::size_t kept = reb->filter_burst(queue, buf.data(), got);
         if (kept > 0) process_burst(queue, {buf.data(), kept});
         reb->note_consumed(queue, got);
+        if (off != nullptr) off->note_consumed(queue, got);
       }
       reb->poll_core(queue);
+      if (off != nullptr) off->poll_core(queue);
       continue;
     }
     // Double-buffered receive: poll burst N+1 and warm its leading
@@ -297,6 +326,7 @@ void Runtime::drain() {
     // stream in from memory underneath the current burst's work.
     std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
     std::size_t cur = 0;
+    if (off != nullptr) off->poll_core(queue);
     std::size_t got = nic_->poll_burst(queue, bufs[cur].data(), want);
     while (got > 0) {
       const std::size_t next =
@@ -304,10 +334,13 @@ void Runtime::drain() {
       if (next > 0) {
         Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
       }
+      if (off != nullptr) off->poll_core(queue);
       process_burst(queue, {bufs[cur].data(), got});
+      if (off != nullptr) off->note_consumed(queue, got);
       cur ^= 1;
       got = next;
     }
+    if (off != nullptr) off->poll_core(queue);
   }
 }
 
@@ -318,6 +351,16 @@ RunStats Runtime::finish() {
     // tables, or connections stranded in mailboxes would lose their
     // final callbacks.
     if (rebalancer_) rebalancer_->quiesce();
+    if (offload_engine_) {
+      // Evict every hardware rule so its counters merge back into the
+      // connection records finish() is about to deliver; captured
+      // packets from still-capturing rules re-enter the rings, so
+      // drain once more before settling the control traffic.
+      offload_engine_->begin_shutdown();
+      offload_engine_->shutdown_flush(last_ts_);
+      drain();
+      offload_engine_->settle(last_ts_);
+    }
     for (auto& pipeline : pipelines_) pipeline->finish();
     for (auto& pipeline : multi_pipelines_) pipeline->finish();
     finished_ = true;
@@ -357,11 +400,13 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
       multisub::MultiPipeline* multi_pipeline =
           multi() ? multi_pipelines_[core].get() : nullptr;
       rebalance::Rebalancer* reb = rebalancer_.get();
+      OffloadEngine* off = offload_engine_.get();
       packet::Mbuf mbuf;
       std::array<packet::Mbuf, Pipeline::kMaxBurst> bufs[2];
       const auto start = std::chrono::steady_clock::now();
       while (true) {
         bool any = false;
+        if (off != nullptr) off->poll_core(core);
         if (reb != nullptr) {
           // Rebalancing worker: burst loop with the migration hooks at
           // every burst boundary. (Rebalancing implies single mode.)
@@ -371,19 +416,23 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
             while ((got = nic_->poll_burst(core, bufs[0].data(), want)) > 0) {
               any = true;
               reb->poll_core(core);
+              if (off != nullptr) off->poll_core(core);
               const std::size_t kept =
                   reb->filter_burst(core, bufs[0].data(), got);
               if (kept > 0) pipeline->process_burst({bufs[0].data(), kept});
               reb->note_consumed(core, got);
+              if (off != nullptr) off->note_consumed(core, got);
             }
           } else {
             while (nic_->poll(core, mbuf)) {
               any = true;
               reb->poll_core(core);
+              if (off != nullptr) off->poll_core(core);
               if (reb->filter_burst(core, &mbuf, 1) != 0) {
                 pipeline->process(std::move(mbuf));
               }
               reb->note_consumed(core, 1);
+              if (off != nullptr) off->note_consumed(core, 1);
             }
           }
           reb->poll_core(core);
@@ -398,22 +447,28 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
             if (next > 0) {
               Pipeline::prefetch_frames({bufs[cur ^ 1].data(), next});
             }
+            // Event-before-packet: drain offload control (evict merges,
+            // clear-pendings) enqueued before these packets were pushed.
+            if (off != nullptr) off->poll_core(core);
             if (multi_pipeline != nullptr) {
               multi_pipeline->process_burst({bufs[cur].data(), got});
             } else {
               pipeline->process_burst({bufs[cur].data(), got});
             }
+            if (off != nullptr) off->note_consumed(core, got);
             any = true;
             cur ^= 1;
             got = next;
           }
         } else {
           while (nic_->poll(core, mbuf)) {
+            if (off != nullptr) off->poll_core(core);
             if (multi_pipeline != nullptr) {
               multi_pipeline->process(std::move(mbuf));
             } else {
               pipeline->process(std::move(mbuf));
             }
+            if (off != nullptr) off->note_consumed(core, 1);
             any = true;
           }
         }
@@ -460,6 +515,25 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
     }
     dispatch(mbuf);
   }
+  if (offload_engine_) {
+    // The trace is fully dispatched but workers are still draining
+    // their rings — keep the offload control path alive (seed answers,
+    // eviction routing) until the backlog is gone, like a real NIC's
+    // control plane outliving the last received packet.
+    for (;;) {
+      offload_engine_->poll_dispatch(last_ts_);
+      bool busy = false;
+      for (std::size_t queue = 0; queue < cores(); ++queue) {
+        if (nic_->queue_depth(queue) > 0) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) break;
+      std::this_thread::yield();
+    }
+    offload_engine_->poll_dispatch(last_ts_);
+  }
   done.store(true, std::memory_order_release);
   for (auto& worker : workers) worker.join();
 
@@ -473,6 +547,14 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
     // migration still in flight must complete before finish().
     rebalancer_->set_serial(true);
     rebalancer_->quiesce();
+  }
+  if (offload_engine_) {
+    // Same teardown as finish(): flush hardware rules, process any
+    // re-injected captures serially, settle the control traffic.
+    offload_engine_->begin_shutdown();
+    offload_engine_->shutdown_flush(last_ts_);
+    drain();
+    offload_engine_->settle(last_ts_);
   }
   for (auto& pipeline : pipelines_) pipeline->finish();
   for (auto& pipeline : multi_pipelines_) pipeline->finish();
@@ -530,6 +612,31 @@ std::string Runtime::prometheus() const {
       out, "retina_nic_pool_exhausted_total",
       "Packets lost to injected mbuf-pool exhaustion",
       port_stats.pool_exhausted);
+  if (nic_->offload_enabled()) {
+    // Totals come from the port's mirrored atomics (tear-free from any
+    // thread); rule/eviction detail reads the dispatch-owned table and
+    // is meaningful after a run or from the dispatch thread.
+    telemetry::append_prometheus_counter(
+        out, "retina_offload_pkts_total",
+        "Packets counted by hardware offload rules", port_stats.offload_pkts);
+    telemetry::append_prometheus_counter(
+        out, "retina_offload_bytes_total",
+        "Bytes counted by hardware offload rules", port_stats.offload_bytes);
+    const auto os = nic_->offload()->stats();
+    out += "# HELP retina_offload_rules Hardware offload rules currently "
+           "installed\n# TYPE retina_offload_rules gauge\n";
+    out += "retina_offload_rules " + std::to_string(os.active_rules) + "\n";
+    out += "# HELP retina_offload_evictions_total Offload rules evicted, by "
+           "reason\n# TYPE retina_offload_evictions_total counter\n";
+    out += "retina_offload_evictions_total{reason=\"ttl\"} " +
+           std::to_string(os.evicted_ttl) + "\n";
+    out += "retina_offload_evictions_total{reason=\"pressure\"} " +
+           std::to_string(os.evicted_pressure) + "\n";
+    out += "retina_offload_evictions_total{reason=\"punt\"} " +
+           std::to_string(os.evicted_punt) + "\n";
+    out += "retina_offload_evictions_total{reason=\"flush\"} " +
+           std::to_string(os.evicted_flush) + "\n";
+  }
   // Per-queue breakdown of the ring counters (the rebalancer's load /
   // loss signals, exported so skew is visible from outside too).
   out += "# HELP retina_nic_queue_enqueued_total Packets enqueued to each "
@@ -571,6 +678,8 @@ RunStats Runtime::collect_stats() const {
   stats.nic_sunk = port_stats.sunk;
   stats.nic_ring_dropped = port_stats.ring_dropped;
   stats.nic_pool_exhausted = port_stats.pool_exhausted;
+  stats.nic_offload_pkts = port_stats.offload_pkts;
+  stats.nic_offload_bytes = port_stats.offload_bytes;
   stats.trace_duration_ns = last_ts_ > first_ts_ ? last_ts_ - first_ts_ : 0;
   // Hardware-filter stage accounting (Fig. 7): every ingress packet
   // triggers it, at zero CPU cost.

@@ -19,6 +19,7 @@
 #include <span>
 
 #include "core/config.hpp"
+#include "core/offload.hpp"
 #include "core/pipeline.hpp"
 #include "core/stats.hpp"
 #include "multisub/multi_pipeline.hpp"
@@ -142,6 +143,11 @@ class Runtime {
   /// rebalance_now() through this.
   rebalance::Rebalancer* rebalancer() noexcept { return rebalancer_.get(); }
 
+  /// Flow offload engine (config.offload.enabled and a NIC with flow
+  /// table slots); null otherwise. Control messages ride the dispatch
+  /// thread and per-core rings like the rebalancer's.
+  OffloadEngine* offload_engine() noexcept { return offload_engine_.get(); }
+
   /// Install a controller invoked from the *dispatching* thread every
   /// `interval_ns` of virtual (trace) time — the cadence is the trace
   /// clock, so runs are deterministic. The dispatch thread owns the
@@ -204,6 +210,7 @@ class Runtime {
   overload::OverloadState overload_state_;
   std::unique_ptr<overload::FaultInjector> faults_;
   std::unique_ptr<rebalance::Rebalancer> rebalancer_;
+  std::unique_ptr<OffloadEngine> offload_engine_;
   std::uint64_t next_rebalance_ts_ = 0;
   std::function<void(std::uint64_t)> controller_;
   std::uint64_t controller_interval_ns_ = 0;

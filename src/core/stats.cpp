@@ -74,6 +74,10 @@ std::string RunStats::to_string() const {
      << " cb_sess=" << total.delivered_sessions
      << " hw_drop=" << nic_hw_dropped << " sunk=" << nic_sunk
      << " loss=" << nic_ring_dropped;
+  if (nic_offload_pkts > 0) {
+    os << " offload_pkts=" << nic_offload_pkts
+       << " offload_bytes=" << nic_offload_bytes;
+  }
   if (total.shed_total() > 0) {
     os << " shed=" << total.shed_total();
     for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {

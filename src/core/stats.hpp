@@ -109,6 +109,8 @@ struct RunStats {
   std::uint64_t nic_sunk = 0;
   std::uint64_t nic_ring_dropped = 0;     // packet loss
   std::uint64_t nic_pool_exhausted = 0;   // injected mbuf-pool failures
+  std::uint64_t nic_offload_pkts = 0;     // counted by hardware flow rules
+  std::uint64_t nic_offload_bytes = 0;
   std::uint64_t trace_duration_ns = 0;    // virtual time span
   double wall_seconds = 0.0;              // host processing time
   double max_core_seconds = 0.0;          // slowest core's busy time

@@ -623,7 +623,8 @@ void MultiPipeline::handle_stateful(packet::Mbuf& mbuf,
         return;
       }
       id = create_conn(canon.key, canon.originator_is_first, create_mask,
-                       results, view.tcp().has_value(), ts);
+                       results, view.tcp().has_value(), ts,
+                       mbuf.rss_hash());
     } else {
       table_.touch(id, ts);
     }
@@ -710,16 +711,113 @@ void MultiPipeline::handle_stateful(packet::Mbuf& mbuf,
     if (inst_.conns_terminated != nullptr) inst_.conns_terminated->inc();
     terminate_conn(id, entry, core::TerminateReason::kNatural,
                    /*remove_from_table=*/true);
+    return;  // entry removed; nothing left to offload
+  }
+
+  if (offload_requester_ != nullptr) {
+    maybe_request_offload(id, entry);
+  }
+}
+
+void MultiPipeline::maybe_request_offload(ConnId id, ConnEntry& entry) {
+  if (entry.offload_pending || entry.offload_active) return;
+  nic::OffloadAction action;
+  if (defunct(entry)) {
+    // Every member gave up: hardware can drop the rest of the flow.
+    action = nic::OffloadAction::kDrop;
+  } else if (entry.state == ConnState::kTrack &&
+             parse_pending(entry) == 0 && entry.alive() != 0 &&
+             (entry.alive() & ~conn_level_mask_) == 0) {
+    // The settled mask is full and every surviving member subscribes at
+    // the connection level: software only counts packets from here on.
+    action = nic::OffloadAction::kCount;
+  } else {
+    // Packet/stream members need per-packet work; session members may
+    // still match later sessions. Not offloadable.
+    return;
+  }
+  core::OffloadRequest req;
+  req.key = table_.key_of(id);
+  req.rss_hash = entry.rss_hash;
+  req.from_first_is_orig = entry.from_first_is_orig;
+  req.is_tcp = entry.is_tcp;
+  req.action = action;
+  if (offload_requester_->request_install(offload_core_, req)) {
+    entry.offload_pending = true;
+  }
+}
+
+bool MultiPipeline::offload_park(const packet::FiveTuple& key,
+                                 nic::OffloadSeed& seed_out) {
+  const ConnId id = table_.find(key);
+  if (id == Table::kInvalid) return false;
+  ConnEntry& entry = table_.get(id);
+  if (!entry.offload_pending || entry.offload_active) return false;
+  seed_out.max_seq_end = {entry.max_seq_end[0], entry.max_seq_end[1]};
+  seed_out.last_seq = {entry.last_seq[0], entry.last_seq[1]};
+  seed_out.seq_seen = {entry.seq_seen[0], entry.seq_seen[1]};
+  entry.offload_active = true;
+  entry.offload_park_pkts = entry.record.pkts_up + entry.record.pkts_down;
+  table_.park(id);
+  return true;
+}
+
+bool MultiPipeline::offload_merge(const nic::OffloadEvictRecord& rec) {
+  const ConnId id = table_.find(rec.key);
+  if (id == Table::kInvalid) return false;
+  ConnEntry& entry = table_.get(id);
+  auto& r = entry.record;
+  const bool seq_current =
+      r.pkts_up + r.pkts_down == entry.offload_park_pkts;
+  const auto& d = rec.deltas;
+  r.pkts_up += d.pkts_up;
+  r.pkts_down += d.pkts_down;
+  r.bytes_up += d.bytes_up;
+  r.bytes_down += d.bytes_down;
+  r.payload_up += d.payload_up;
+  r.payload_down += d.payload_down;
+  r.ooo_up += d.ooo_up;
+  r.ooo_down += d.ooo_down;
+  r.dup_up += d.dup_up;
+  r.dup_down += d.dup_down;
+  r.last_ts_ns = std::max(r.last_ts_ns, d.last_ts_ns);
+  if (seq_current && d.pkts() > 0) {
+    entry.max_seq_end[0] = rec.seq.max_seq_end[0];
+    entry.max_seq_end[1] = rec.seq.max_seq_end[1];
+    entry.last_seq[0] = rec.seq.last_seq[0];
+    entry.last_seq[1] = rec.seq.last_seq[1];
+    entry.seq_seen[0] = rec.seq.seq_seen[0];
+    entry.seq_seen[1] = rec.seq.seq_seen[1];
+  }
+  if (r.pkts_up > 0 && r.pkts_down > 0 && !r.established) {
+    r.established = true;
+    table_.mark_established(id, r.last_ts_ns);
+  }
+  entry.offload_pending = false;
+  entry.offload_active = false;
+  table_.touch(id, r.last_ts_ns);
+  return true;
+}
+
+void MultiPipeline::offload_clear_pending(const packet::FiveTuple& key) {
+  const ConnId id = table_.find(key);
+  if (id == Table::kInvalid) return;
+  ConnEntry& entry = table_.get(id);
+  entry.offload_pending = false;
+  if (entry.offload_active) {
+    entry.offload_active = false;
+    table_.touch(id, entry.record.last_ts_ns);
   }
 }
 
 MultiPipeline::ConnId MultiPipeline::create_conn(
     const packet::FiveTuple& canonical_key, bool originator_is_first,
     SubMask want, const filter::FilterResult* results, bool is_tcp,
-    std::uint64_t ts_ns) {
+    std::uint64_t ts_ns, std::uint32_t rss_hash) {
   ConnEntry entry;
   entry.from_first_is_orig = originator_is_first;
   entry.is_tcp = is_tcp;
+  entry.rss_hash = rss_hash;
   entry.probe_alive = is_tcp ? tcp_candidate_mask_ : udp_candidate_mask_;
   entry.resume.assign(sub_stats_.size(), 0);
   entry.buffers.resize(sub_stats_.size());

@@ -62,7 +62,7 @@ struct SubStats {
   std::uint64_t cycles = 0;          // attributed CPU cycles
 };
 
-class MultiPipeline {
+class MultiPipeline : public core::OffloadClient {
  public:
   MultiPipeline(const core::RuntimeConfig& config, const SubscriptionSet& set,
                 const FilterForest& forest,
@@ -91,6 +91,19 @@ class MultiPipeline {
   void attach_overload(overload::OverloadState* state) noexcept {
     overload_ = state;
   }
+
+  /// Wire the dynamic flow offload engine in (see core::Pipeline).
+  void attach_offload(core::OffloadRequester* requester,
+                      std::size_t core) noexcept {
+    offload_requester_ = requester;
+    offload_core_ = core;
+  }
+
+  // core::OffloadClient: called by the engine on this worker core.
+  bool offload_park(const packet::FiveTuple& key,
+                    nic::OffloadSeed& seed_out) override;
+  bool offload_merge(const nic::OffloadEvictRecord& rec) override;
+  void offload_clear_pending(const packet::FiveTuple& key) override;
 
   const core::PipelineStats& stats() const noexcept { return stats_; }
   const SubStats& sub_stats(std::size_t sub) const {
@@ -156,6 +169,14 @@ class MultiPipeline {
     bool any_filter_drop = false;
     bool drop_counted = false;
 
+    // RSS hash of the canonical tuple (recorded at creation) so the
+    // offload engine can route eviction records back to this core.
+    std::uint32_t rss_hash = 0;
+    // Dynamic flow offload lifecycle — see core::Pipeline::ConnEntry.
+    bool offload_pending = false;
+    bool offload_active = false;
+    std::uint64_t offload_park_pkts = 0;
+
     SubMask alive() const noexcept { return touched & ~dropped; }
   };
 
@@ -200,7 +221,7 @@ class MultiPipeline {
   ConnId create_conn(const packet::FiveTuple& canonical_key,
                      bool originator_is_first, SubMask want,
                      const filter::FilterResult* results, bool is_tcp,
-                     std::uint64_t ts_ns);
+                     std::uint64_t ts_ns, std::uint32_t rss_hash);
   /// Admit member `sub` to the connection (first packet of the conn that
   /// its packet filter matched).
   void join_sub(ConnId id, ConnEntry& entry, std::size_t sub,
@@ -238,6 +259,9 @@ class MultiPipeline {
   void to_tombstone(ConnEntry& entry);
   void terminate_conn(ConnId id, ConnEntry& entry,
                       core::TerminateReason reason, bool remove_from_table);
+  /// End-of-packet hook: offload the flow once every member has
+  /// settled into a per-packet-work-free state.
+  void maybe_request_offload(ConnId id, ConnEntry& entry);
 
   // --- Overload: global budgets + per-subscription staged ladder ---
   overload::DegradeLevel degrade_level() const noexcept {
@@ -300,6 +324,8 @@ class MultiPipeline {
   std::vector<filter::FilterResult> burst_pf_;
 
   overload::OverloadState* overload_ = nullptr;
+  core::OffloadRequester* offload_requester_ = nullptr;  // borrowed
+  std::size_t offload_core_ = 0;
   std::int64_t reasm_hold_bytes_ = 0;
   std::int64_t parse_tokens_ = 0;
   std::uint64_t parse_refill_ts_ = 0;

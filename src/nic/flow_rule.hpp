@@ -11,8 +11,10 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "packet/packet_view.hpp"
@@ -53,11 +55,14 @@ struct PrefixMatchV6 {
 
   bool contains(const std::array<std::uint8_t, 16>& ip) const noexcept {
     const std::size_t bits = prefix_len > 128 ? 128 : prefix_len;
-    for (std::size_t i = 0; i < bits; ++i) {
-      const std::uint8_t mask = static_cast<std::uint8_t>(0x80 >> (i % 8));
-      if ((addr[i / 8] & mask) != (ip[i / 8] & mask)) return false;
+    const std::size_t whole = bits / 8;
+    if (whole > 0 && std::memcmp(addr.data(), ip.data(), whole) != 0) {
+      return false;
     }
-    return true;
+    const std::size_t rem = bits % 8;
+    if (rem == 0) return true;
+    const std::uint8_t mask = static_cast<std::uint8_t>(0xff00u >> rem);
+    return (addr[whole] & mask) == (ip[whole] & mask);
   }
 
   bool operator==(const PrefixMatchV6&) const = default;
@@ -106,6 +111,12 @@ struct NicCapabilities {
   // No device supports application-layer fields; the decomposer never
   // attempts those in hardware.
 
+  /// Slot budget for the dynamic per-flow offload table (exact-5-tuple
+  /// count/drop rules installed at runtime). Models the bounded flow
+  /// table of a ConnectX-class device; 0 means the device cannot match
+  /// exact five-tuples and flow offload is unavailable.
+  std::size_t flow_table_slots = 4096;
+
   /// A ConnectX-5-like device (the paper's testbed NIC).
   static NicCapabilities connectx5() { return NicCapabilities{}; }
 
@@ -124,6 +135,7 @@ struct NicCapabilities {
     c.match_exact_port = false;
     c.match_v4_prefix = false;
     c.match_v6_prefix = false;
+    c.flow_table_slots = 0;
     return c;
   }
   /// No hardware filtering at all (hardware filter disabled, as in the
@@ -135,6 +147,7 @@ struct NicCapabilities {
     c.match_exact_port = false;
     c.match_v4_prefix = false;
     c.match_v6_prefix = false;
+    c.flow_table_slots = 0;
     return c;
   }
 };
@@ -154,20 +167,35 @@ FlowRule widen_rule(const FlowRule& rule, const NicCapabilities& caps);
 /// matches; if the set is empty, everything is delivered (filtering off).
 class FlowRuleSet {
  public:
-  void add(FlowRule rule) { rules_.push_back(std::move(rule)); }
+  void add(FlowRule rule) {
+    index_[rule_hash(rule)].push_back(rules_.size());
+    rules_.push_back(std::move(rule));
+  }
 
   /// add(), but skips rules already present. Used when unioning the
   /// per-subscription rule sets of a SubscriptionSet: the union keeps
   /// permit-any semantics (a superset of every subscription's coverage)
-  /// without programming the same rule N times.
-  void add_unique(FlowRule rule) {
-    for (const auto& r : rules_) {
-      if (r == rule) return;
+  /// without programming the same rule N times. Backed by a hashed
+  /// index (maintained by add() too, so mixed add/add_unique sequences
+  /// dedup correctly), keeping rule-set unions linear instead of O(N²).
+  /// Returns true iff the rule was new and got inserted.
+  bool add_unique(FlowRule rule) {
+    const std::uint64_t h = rule_hash(rule);
+    auto it = index_.find(h);
+    if (it != index_.end()) {
+      for (const std::size_t idx : it->second) {
+        if (rules_[idx] == rule) return false;
+      }
     }
+    index_[h].push_back(rules_.size());
     rules_.push_back(std::move(rule));
+    return true;
   }
 
-  void clear() { rules_.clear(); }
+  void clear() {
+    rules_.clear();
+    index_.clear();
+  }
   bool empty() const noexcept { return rules_.empty(); }
   std::size_t size() const noexcept { return rules_.size(); }
   const std::vector<FlowRule>& rules() const noexcept { return rules_; }
@@ -175,7 +203,51 @@ class FlowRuleSet {
   bool permits(const packet::PacketView& pkt) const noexcept;
 
  private:
+  static std::uint64_t rule_hash(const FlowRule& r) noexcept {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(r.ether_type ? 0x10000u | *r.ether_type : 0u);
+    mix(r.ip_proto ? 0x10000u | *r.ip_proto : 0u);
+    if (r.port) {
+      mix(1);
+      mix(r.port->port);
+      mix(static_cast<std::uint64_t>(r.port->dir));
+    } else {
+      mix(0);
+    }
+    if (r.port_range) {
+      mix(1);
+      mix(r.port_range->lo);
+      mix(r.port_range->hi);
+      mix(static_cast<std::uint64_t>(r.port_range->dir));
+    } else {
+      mix(0);
+    }
+    if (r.v4_prefix) {
+      mix(1);
+      mix(r.v4_prefix->addr);
+      mix(r.v4_prefix->prefix_len);
+      mix(static_cast<std::uint64_t>(r.v4_prefix->dir));
+    } else {
+      mix(0);
+    }
+    if (r.v6_prefix) {
+      mix(1);
+      for (const std::uint8_t b : r.v6_prefix->addr) mix(b);
+      mix(r.v6_prefix->prefix_len);
+      mix(static_cast<std::uint64_t>(r.v6_prefix->dir));
+    } else {
+      mix(0);
+    }
+    return h;
+  }
+
   std::vector<FlowRule> rules_;
+  // rule hash -> indices into rules_ with that hash (collision chain).
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index_;
 };
 
 }  // namespace retina::nic

@@ -1,0 +1,249 @@
+#include "nic/offload.hpp"
+
+#include <algorithm>
+
+#include "packet/headers.hpp"
+
+namespace retina::nic {
+
+FlowOffloadTable::FlowOffloadTable(std::size_t slots, std::uint64_t ttl_ns,
+                                   std::size_t capture_limit)
+    : slots_(slots), ttl_ns_(ttl_ns), capture_limit_(capture_limit) {
+  if (capture_limit_ == 0) capture_limit_ = 1;
+}
+
+FlowOffloadTable::Verdict FlowOffloadTable::offer(
+    const packet::FiveTuple::Canonical& canon, const packet::PacketView& view,
+    const packet::Mbuf& mbuf) {
+  if (rules_.empty()) return Verdict::kMiss;
+  auto it = rules_.find(canon.key);
+  if (it == rules_.end()) return Verdict::kMiss;
+  Rule& rule = it->second;
+
+  const auto& tcp = view.tcp();
+  if (tcp && (tcp->syn() || tcp->fin() || tcp->rst())) {
+    // Flag segments always reach software: the rule self-evicts (or the
+    // pending capture aborts) *before* the packet is steered, so the
+    // worker merges the eviction record ahead of processing the packet.
+    if (rule.capturing) {
+      abort_rule(it);
+    } else {
+      evict(it, OffloadEvictReason::kPunt);
+    }
+    return Verdict::kPassThrough;
+  }
+
+  CapturedSample s;
+  s.from_orig = canon.originator_is_first == rule.from_first_is_orig;
+  s.ts_ns = mbuf.timestamp_ns();
+  s.wire_len = static_cast<std::uint32_t>(mbuf.length());
+  s.payload_len = static_cast<std::uint32_t>(view.l4_payload().size());
+  s.has_tcp = tcp.has_value();
+  s.seq = tcp ? tcp->seq() : 0;
+  rule.last_hit_ns = s.ts_ns;
+
+  if (rule.capturing) {
+    if (rule.captured.size() >= capture_limit_) {
+      ++stats_.capture_overflow;
+      abort_rule(it);
+      return Verdict::kPassThrough;
+    }
+    rule.captured.push_back(mbuf);
+    rule.samples.push_back(s);
+    ++stats_.captured_pkts;
+    // Counted as hardware-handled now; reversed if the capture aborts
+    // and the packets fall back to software.
+    ++stats_.hw_pkts;
+    stats_.hw_bytes += s.wire_len;
+    touch_lru(rule);
+    return Verdict::kConsumed;
+  }
+
+  account(rule, s);
+  ++stats_.hw_pkts;
+  stats_.hw_bytes += s.wire_len;
+  touch_lru(rule);
+  return Verdict::kConsumed;
+}
+
+bool FlowOffloadTable::install(const packet::FiveTuple& key,
+                               std::uint32_t rss_hash,
+                               bool from_first_is_orig, bool is_tcp,
+                               OffloadAction action, std::uint64_t now_ns) {
+  if (slots_ == 0) return false;
+  if (rules_.find(key) != rules_.end()) return false;
+  if (rules_.size() >= slots_) {
+    // Make room by evicting the least-recently-hit *active* rule;
+    // capturing rules are mid-handshake with a worker and are cheaper
+    // to let finish than to tear down, so a table full of captures
+    // rejects the install instead.
+    auto lit = lru_.begin();
+    for (; lit != lru_.end(); ++lit) {
+      if (!rules_.find(*lit)->second.capturing) break;
+    }
+    if (lit == lru_.end()) {
+      ++stats_.rejected;
+      return false;
+    }
+    evict(rules_.find(*lit), OffloadEvictReason::kPressure);
+  }
+  Rule rule;
+  rule.rss_hash = rss_hash;
+  rule.from_first_is_orig = from_first_is_orig;
+  rule.is_tcp = is_tcp;
+  rule.capturing = true;
+  rule.action = action;
+  rule.last_hit_ns = now_ns;
+  lru_.push_back(key);
+  rule.lru_it = std::prev(lru_.end());
+  rules_.emplace(key, std::move(rule));
+  ++capturing_count_;
+  ++stats_.installed;
+  return true;
+}
+
+bool FlowOffloadTable::seed(const packet::FiveTuple& key,
+                            const OffloadSeed& seed) {
+  auto it = rules_.find(key);
+  if (it == rules_.end() || !it->second.capturing) return false;
+  Rule& rule = it->second;
+  rule.seq = seed;
+  rule.capturing = false;
+  --capturing_count_;
+  for (const auto& s : rule.samples) account(rule, s);
+  rule.samples.clear();
+  rule.samples.shrink_to_fit();
+  rule.captured.clear();
+  rule.captured.shrink_to_fit();
+  ++stats_.seeded;
+  return true;
+}
+
+void FlowOffloadTable::abort(const packet::FiveTuple& key) {
+  auto it = rules_.find(key);
+  if (it == rules_.end() || !it->second.capturing) return;
+  abort_rule(it);
+}
+
+void FlowOffloadTable::age(std::uint64_t now_ns) {
+  if (ttl_ns_ == 0) return;
+  while (!lru_.empty()) {
+    auto it = rules_.find(lru_.front());
+    if (it->second.last_hit_ns + ttl_ns_ > now_ns) break;
+    if (it->second.capturing) {
+      abort_rule(it);
+    } else {
+      evict(it, OffloadEvictReason::kTtl);
+    }
+  }
+}
+
+void FlowOffloadTable::flush_all() {
+  while (!lru_.empty()) {
+    auto it = rules_.find(lru_.front());
+    if (it->second.capturing) {
+      abort_rule(it);
+    } else {
+      evict(it, OffloadEvictReason::kFlush);
+    }
+  }
+}
+
+std::vector<OffloadEvictRecord> FlowOffloadTable::take_events() {
+  std::vector<OffloadEvictRecord> out;
+  out.swap(events_);
+  return out;
+}
+
+std::vector<packet::Mbuf> FlowOffloadTable::take_flushed() {
+  std::vector<packet::Mbuf> out;
+  out.swap(flushed_);
+  return out;
+}
+
+const OffloadTableStats& FlowOffloadTable::stats() const noexcept {
+  stats_.capturing_rules = capturing_count_;
+  stats_.active_rules = rules_.size() - capturing_count_;
+  return stats_;
+}
+
+void FlowOffloadTable::account(Rule& rule, const CapturedSample& s) {
+  auto& d = rule.deltas;
+  d.last_ts_ns = std::max(d.last_ts_ns, s.ts_ns);
+  if (s.from_orig) {
+    ++d.pkts_up;
+    d.bytes_up += s.wire_len;
+    d.payload_up += s.payload_len;
+  } else {
+    ++d.pkts_down;
+    d.bytes_down += s.wire_len;
+    d.payload_down += s.payload_len;
+  }
+  // Mirrors Pipeline::update_record's wire-order heuristic exactly.
+  // SYN/FIN/RST segments never reach the table (punt-on-flags), so the
+  // seq-span is always just the payload length and flag bookkeeping
+  // stays in software.
+  if (s.has_tcp && s.payload_len > 0) {
+    const int dir = s.from_orig ? 0 : 1;
+    const std::uint32_t end = s.seq + s.payload_len;
+    if (rule.seq.seq_seen[dir] &&
+        static_cast<std::int32_t>(s.seq - rule.seq.max_seq_end[dir]) < 0) {
+      if (s.seq == rule.seq.last_seq[dir]) {
+        ++(s.from_orig ? d.dup_up : d.dup_down);
+      } else {
+        ++(s.from_orig ? d.ooo_up : d.ooo_down);
+      }
+    }
+    if (!rule.seq.seq_seen[dir] ||
+        static_cast<std::int32_t>(end - rule.seq.max_seq_end[dir]) > 0) {
+      rule.seq.max_seq_end[dir] = end;
+    }
+    rule.seq.last_seq[dir] = s.seq;
+    rule.seq.seq_seen[dir] = true;
+  }
+}
+
+void FlowOffloadTable::evict(Map::iterator it, OffloadEvictReason reason) {
+  OffloadEvictRecord rec;
+  rec.key = it->first;
+  rec.rss_hash = it->second.rss_hash;
+  rec.action = it->second.action;
+  rec.reason = reason;
+  rec.counted = true;
+  rec.deltas = it->second.deltas;
+  rec.seq = it->second.seq;
+  events_.push_back(rec);
+  switch (reason) {
+    case OffloadEvictReason::kTtl: ++stats_.evicted_ttl; break;
+    case OffloadEvictReason::kPressure: ++stats_.evicted_pressure; break;
+    case OffloadEvictReason::kPunt: ++stats_.evicted_punt; break;
+    case OffloadEvictReason::kFlush: ++stats_.evicted_flush; break;
+    case OffloadEvictReason::kAborted: break;  // unreachable for active
+  }
+  lru_.erase(it->second.lru_it);
+  rules_.erase(it);
+}
+
+void FlowOffloadTable::abort_rule(Map::iterator it) {
+  Rule& rule = it->second;
+  // Captured packets return to the normal rx path in arrival order, and
+  // stop counting as hardware-handled.
+  std::uint64_t returned_bytes = 0;
+  for (const auto& s : rule.samples) returned_bytes += s.wire_len;
+  stats_.hw_pkts -= rule.samples.size();
+  stats_.hw_bytes -= returned_bytes;
+  for (auto& m : rule.captured) flushed_.push_back(std::move(m));
+  OffloadEvictRecord rec;
+  rec.key = it->first;
+  rec.rss_hash = rule.rss_hash;
+  rec.action = rule.action;
+  rec.reason = OffloadEvictReason::kAborted;
+  rec.counted = false;
+  events_.push_back(rec);
+  ++stats_.aborted;
+  --capturing_count_;
+  lru_.erase(rule.lru_it);
+  rules_.erase(it);
+}
+
+}  // namespace retina::nic

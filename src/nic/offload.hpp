@@ -1,0 +1,216 @@
+// Dynamic per-flow hardware offload table for the simulated NIC.
+//
+// Models the bounded flow table of a ConnectX-class device (and the
+// per-flow offload architecture of Deri et al., "Advancements in Traffic
+// Processing Using Programmable Hardware Flow Offload"): exact-5-tuple
+// count/drop rules installed at runtime once a connection has *settled*
+// (every subscription has delivered or dropped). A matching packet is
+// handled entirely "in hardware" — counted into per-rule byte/packet
+// counters — and never touches the RSS redirection table, the rings, or
+// the software pipeline.
+//
+// Exactness contract: the software pipeline's final connection records
+// must be byte-identical to a no-offload run. Two mechanisms guarantee
+// that:
+//
+//  1. Capture/seed handshake. A freshly installed rule starts in a
+//     *capturing* state: matching packets are held (not counted, not
+//     steered) until the owning worker core has drained everything that
+//     was already in its ring and snapshots its exact wire-order seq
+//     state (`OffloadSeed`). The seed is then replayed through the same
+//     accounting logic as `Pipeline::update_record`, so hardware
+//     counters continue precisely where software stopped.
+//
+//  2. Punt-on-flags. TCP segments carrying SYN/FIN/RST always pass
+//     through to software (the rule self-evicts first), so connection
+//     termination, flag accounting, and ghost-connection semantics are
+//     untouched by offload.
+//
+// Single-threaded: the table lives on the dispatch thread, exactly like
+// a real NIC's rule table programmed from the control path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "packet/five_tuple.hpp"
+#include "packet/mbuf.hpp"
+#include "packet/packet_view.hpp"
+
+namespace retina::nic {
+
+/// What the rule does with a matching packet. Both actions keep the
+/// packet out of software; the distinction is telemetry only (a kCount
+/// rule's counters will be merged into a delivered connection record, a
+/// kDrop rule covers a flow every subscription dropped).
+enum class OffloadAction : std::uint8_t { kCount, kDrop };
+
+enum class OffloadEvictReason : std::uint8_t {
+  kTtl,       // idle longer than the table TTL
+  kPressure,  // LRU-evicted to make room for a new rule
+  kPunt,      // self-evicted on a SYN/FIN/RST segment
+  kFlush,     // table shutdown at end of run
+  kAborted,   // capture phase torn down before the rule went active
+};
+
+/// Exact wire-order sequence-tracking state, handed from the software
+/// pipeline to the rule at seed time and back on eviction. Index 0 is
+/// the originator direction.
+struct OffloadSeed {
+  std::array<std::uint32_t, 2> max_seq_end{};
+  std::array<std::uint32_t, 2> last_seq{};
+  std::array<bool, 2> seq_seen{};
+};
+
+/// Per-rule hardware counters, accumulated while the rule is active and
+/// merged back into the connection record on eviction.
+struct OffloadDeltas {
+  std::uint64_t pkts_up = 0, pkts_down = 0;
+  std::uint64_t bytes_up = 0, bytes_down = 0;
+  std::uint64_t payload_up = 0, payload_down = 0;
+  std::uint64_t ooo_up = 0, ooo_down = 0;
+  std::uint64_t dup_up = 0, dup_down = 0;
+  std::uint64_t last_ts_ns = 0;  // 0 = rule never counted a packet
+
+  std::uint64_t pkts() const noexcept { return pkts_up + pkts_down; }
+  std::uint64_t bytes() const noexcept { return bytes_up + bytes_down; }
+};
+
+/// Everything the software side needs to resume accounting for an
+/// evicted flow.
+struct OffloadEvictRecord {
+  packet::FiveTuple key{};  // canonical connection key
+  std::uint32_t rss_hash = 0;
+  OffloadAction action = OffloadAction::kCount;
+  OffloadEvictReason reason = OffloadEvictReason::kFlush;
+  /// True iff the rule reached the active state: deltas and seq are
+  /// meaningful and must be merged. False for aborted captures (their
+  /// packets were returned to the normal rx path instead).
+  bool counted = false;
+  OffloadDeltas deltas{};
+  OffloadSeed seq{};
+  /// Incremented each time routing the record to a worker fails and it
+  /// is bounced back for re-routing (flow migrated mid-eviction).
+  std::uint8_t bounces = 0;
+};
+
+struct OffloadTableStats {
+  std::uint64_t installed = 0;   // rules that entered the table
+  std::uint64_t seeded = 0;      // rules that reached the active state
+  std::uint64_t aborted = 0;     // captures torn down before activation
+  std::uint64_t rejected = 0;    // installs refused (full of captures)
+  std::uint64_t evicted_ttl = 0;
+  std::uint64_t evicted_pressure = 0;
+  std::uint64_t evicted_punt = 0;
+  std::uint64_t evicted_flush = 0;
+  std::uint64_t hw_pkts = 0;   // packets handled in hardware
+  std::uint64_t hw_bytes = 0;  // wire bytes handled in hardware
+  std::uint64_t captured_pkts = 0;     // held during capture phases
+  std::uint64_t capture_overflow = 0;  // captures aborted by overflow
+  std::size_t active_rules = 0;
+  std::size_t capturing_rules = 0;
+};
+
+class FlowOffloadTable {
+ public:
+  enum class Verdict : std::uint8_t {
+    kMiss,         // no rule — continue the normal rx path
+    kConsumed,     // handled in hardware; packet must not be steered
+    kPassThrough,  // rule punted/aborted; packet continues the rx path
+  };
+
+  /// `slots` bounds the rule count (NicCapabilities::flow_table_slots),
+  /// `ttl_ns` is the idle eviction horizon (0 disables aging), and
+  /// `capture_limit` bounds per-rule captured packets before the
+  /// capture phase gives up and aborts.
+  FlowOffloadTable(std::size_t slots, std::uint64_t ttl_ns,
+                   std::size_t capture_limit);
+
+  /// Dispatch-path lookup. `canon` must be the canonical five-tuple of
+  /// the (already parsed) packet. On kPassThrough or a preceding abort,
+  /// take_flushed()/take_events() carry the fallout; the caller steers
+  /// flushed packets before the current one to preserve arrival order.
+  Verdict offer(const packet::FiveTuple::Canonical& canon,
+                const packet::PacketView& view, const packet::Mbuf& mbuf);
+
+  /// Install a rule in the capturing state. Returns false (and the
+  /// caller must not expect a seed request) if the flow already has a
+  /// rule, the device has no flow table, or the table is full and no
+  /// active rule can be LRU-evicted to make room.
+  bool install(const packet::FiveTuple& key, std::uint32_t rss_hash,
+               bool from_first_is_orig, bool is_tcp, OffloadAction action,
+               std::uint64_t now_ns);
+
+  /// Activate a capturing rule with the exact software seq state, then
+  /// replay every captured packet through the shared accounting logic.
+  /// Returns false if the rule is gone or already active.
+  bool seed(const packet::FiveTuple& key, const OffloadSeed& seed);
+
+  /// Tear down a capturing install (the worker could not produce a
+  /// seed). Captured packets move to the flush list in arrival order.
+  /// No-op if the rule is missing or already active.
+  void abort(const packet::FiveTuple& key);
+
+  /// Lazily evict idle rules. LRU order equals last-hit order, so this
+  /// stops at the first non-expired rule.
+  void age(std::uint64_t now_ns);
+
+  /// Evict every rule (end of run): active rules emit counted eviction
+  /// records, capturing rules abort.
+  void flush_all();
+
+  std::vector<OffloadEvictRecord> take_events();
+  std::vector<packet::Mbuf> take_flushed();
+
+  const OffloadTableStats& stats() const noexcept;
+  std::size_t size() const noexcept { return rules_.size(); }
+  std::size_t slots() const noexcept { return slots_; }
+
+ private:
+  /// Pre-parsed fields of a captured packet, so replay never re-walks
+  /// headers. SYN/FIN/RST segments never reach accounting (punted), so
+  /// the seq span is exactly the payload length.
+  struct CapturedSample {
+    bool from_orig = true;
+    std::uint64_t ts_ns = 0;
+    std::uint32_t wire_len = 0;
+    std::uint32_t payload_len = 0;
+    bool has_tcp = false;
+    std::uint32_t seq = 0;
+  };
+
+  struct Rule {
+    std::uint32_t rss_hash = 0;
+    bool from_first_is_orig = true;
+    bool is_tcp = false;
+    bool capturing = true;
+    OffloadAction action = OffloadAction::kCount;
+    OffloadDeltas deltas{};
+    OffloadSeed seq{};
+    std::uint64_t last_hit_ns = 0;
+    std::vector<CapturedSample> samples;   // capture phase only
+    std::vector<packet::Mbuf> captured;    // capture phase only
+    std::list<packet::FiveTuple>::iterator lru_it;
+  };
+  using Map = std::unordered_map<packet::FiveTuple, Rule>;
+
+  void account(Rule& rule, const CapturedSample& s);
+  void touch_lru(Rule& rule) { lru_.splice(lru_.end(), lru_, rule.lru_it); }
+  void evict(Map::iterator it, OffloadEvictReason reason);
+  void abort_rule(Map::iterator it);
+
+  std::size_t slots_;
+  std::uint64_t ttl_ns_;
+  std::size_t capture_limit_;
+  Map rules_;
+  std::list<packet::FiveTuple> lru_;  // front = least recently hit
+  std::size_t capturing_count_ = 0;
+  std::vector<OffloadEvictRecord> events_;
+  std::vector<packet::Mbuf> flushed_;
+  mutable OffloadTableStats stats_;
+};
+
+}  // namespace retina::nic

@@ -1,6 +1,7 @@
 #include "nic/port.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace retina::nic {
 
@@ -30,7 +31,15 @@ SimNic::SimNic(const PortConfig& config)
       queue_enqueued_(config.num_queues ? config.num_queues : 1),
       queue_dropped_(config.num_queues ? config.num_queues : 1),
       bucket_hits_(reta_.size()) {
-  if (config.rss_key.size() == rss_key_.size()) {
+  // Direct construction must agree with create()/validate(): a non-empty
+  // key of the wrong width is a configuration error, never silently
+  // replaced by the default key.
+  if (!config.rss_key.empty()) {
+    if (config.rss_key.size() != rss_key_.size()) {
+      throw std::invalid_argument(
+          "bad RSS key: expected 40 bytes (Toeplitz key width), got " +
+          std::to_string(config.rss_key.size()));
+    }
     std::copy(config.rss_key.begin(), config.rss_key.end(),
               rss_key_.begin());
   }
@@ -75,11 +84,33 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   // matching NIC default-queue behavior.
   std::uint32_t hash = 0;
   if (view->five_tuple()) {
-    hash = rss_hash(view->five_tuple()->canonical().key, rss_key_);
-  }
-  mbuf.set_rss_hash(hash);
+    const auto canon = view->five_tuple()->canonical();
+    hash = rss_hash(canon.key, rss_key_);
+    mbuf.set_rss_hash(hash);
 
-  const std::size_t bucket = reta_.bucket_of(hash);
+    // Dynamic flow offload: consulted after the permit rules and before
+    // any RETA/bucket accounting, so an offloaded flow never pollutes
+    // the rebalancer's bucket-hit deltas or touches a ring.
+    if (offload_ != nullptr) {
+      const auto verdict = offload_->offer(canon, *view, mbuf);
+      if (verdict != FlowOffloadTable::Verdict::kMiss) {
+        // An abort triggered by this packet returns the capture backlog
+        // to the rx path; those packets arrived first, so steer them
+        // before this one.
+        steer_flushed();
+        sync_offload_stats();
+        if (verdict == FlowOffloadTable::Verdict::kConsumed) return;
+      }
+    }
+  } else {
+    mbuf.set_rss_hash(hash);
+  }
+
+  steer(std::move(mbuf), fault_action.force_ring_overflow);
+}
+
+void SimNic::steer(packet::Mbuf&& mbuf, bool force_ring_overflow) {
+  const std::size_t bucket = reta_.bucket_of(mbuf.rss_hash());
   bucket_hits_[bucket].inc();
   const std::uint32_t queue = reta_.assignment(bucket);
   if (queue == RedirectionTable::kSinkQueue) {
@@ -88,14 +119,77 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   }
 
   mbuf.set_rx_queue(queue);
-  if (!fault_action.force_ring_overflow &&
-      rings_[queue]->push(std::move(mbuf))) {
+  if (!force_ring_overflow && rings_[queue]->push(std::move(mbuf))) {
     stats_.delivered.inc();
     queue_enqueued_[queue].inc();
   } else {
     stats_.ring_dropped.inc();
     queue_dropped_[queue].inc();
   }
+}
+
+void SimNic::steer_flushed() {
+  if (offload_ == nullptr) return;
+  for (auto& m : offload_->take_flushed()) {
+    steer(std::move(m), false);
+  }
+}
+
+void SimNic::sync_offload_stats() {
+  const auto& s = offload_->stats();
+  stats_.offload_pkts.set(s.hw_pkts);
+  stats_.offload_bytes.set(s.hw_bytes);
+}
+
+void SimNic::enable_offload(std::uint64_t ttl_ns,
+                            std::size_t capture_limit) {
+  offload_ = std::make_unique<FlowOffloadTable>(
+      config_.capabilities.flow_table_slots, ttl_ns, capture_limit);
+}
+
+bool SimNic::offload_install(const packet::FiveTuple& key,
+                             std::uint32_t rss_hash, bool from_first_is_orig,
+                             bool is_tcp, OffloadAction action,
+                             std::uint64_t now_ns) {
+  if (offload_ == nullptr) return false;
+  const bool ok =
+      offload_->install(key, rss_hash, from_first_is_orig, is_tcp, action,
+                        now_ns);
+  return ok;
+}
+
+bool SimNic::offload_seed(const packet::FiveTuple& key,
+                          const OffloadSeed& seed) {
+  if (offload_ == nullptr) return false;
+  const bool ok = offload_->seed(key, seed);
+  if (ok) sync_offload_stats();
+  return ok;
+}
+
+void SimNic::offload_abort(const packet::FiveTuple& key) {
+  if (offload_ == nullptr) return;
+  offload_->abort(key);
+  steer_flushed();
+  sync_offload_stats();
+}
+
+void SimNic::offload_age(std::uint64_t now_ns) {
+  if (offload_ == nullptr) return;
+  offload_->age(now_ns);
+  steer_flushed();
+  sync_offload_stats();
+}
+
+void SimNic::offload_flush_all() {
+  if (offload_ == nullptr) return;
+  offload_->flush_all();
+  steer_flushed();
+  sync_offload_stats();
+}
+
+std::vector<OffloadEvictRecord> SimNic::offload_take_events() {
+  if (offload_ == nullptr) return {};
+  return offload_->take_events();
 }
 
 bool SimNic::poll(std::size_t queue, packet::Mbuf& out) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "nic/flow_rule.hpp"
+#include "nic/offload.hpp"
 #include "nic/rss.hpp"
 #include "packet/mbuf.hpp"
 #include "util/atomics.hpp"
@@ -55,6 +56,8 @@ struct PortStats {
   std::uint64_t ring_dropped = 0;    // receive ring full => packet loss
   std::uint64_t malformed = 0;       // unparseable L2 frames
   std::uint64_t pool_exhausted = 0;  // mbuf allocation failed (faults)
+  std::uint64_t offload_pkts = 0;    // handled by the flow offload table
+  std::uint64_t offload_bytes = 0;
 };
 
 struct PortConfig {
@@ -112,6 +115,28 @@ class SimNic {
   /// first. Call only while no dispatch is in flight.
   void set_ingress_fault(IngressFault* fault) noexcept { fault_ = fault; }
 
+  /// Create the dynamic per-flow offload table (slot budget comes from
+  /// NicCapabilities::flow_table_slots). Call before the first
+  /// dispatch; a device with a zero slot budget still gets a table that
+  /// simply rejects installs.
+  void enable_offload(std::uint64_t ttl_ns, std::size_t capture_limit);
+  bool offload_enabled() const noexcept { return offload_ != nullptr; }
+  FlowOffloadTable* offload() noexcept { return offload_.get(); }
+  const FlowOffloadTable* offload() const noexcept { return offload_.get(); }
+
+  // Control-path operations on the offload table. All run on the
+  // dispatching thread (they model rule programming from the DPDK
+  // control path) and immediately re-steer any packets a teardown
+  // returned to the software rx path.
+  bool offload_install(const packet::FiveTuple& key, std::uint32_t rss_hash,
+                       bool from_first_is_orig, bool is_tcp,
+                       OffloadAction action, std::uint64_t now_ns);
+  bool offload_seed(const packet::FiveTuple& key, const OffloadSeed& seed);
+  void offload_abort(const packet::FiveTuple& key);
+  void offload_age(std::uint64_t now_ns);
+  void offload_flush_all();
+  std::vector<OffloadEvictRecord> offload_take_events();
+
   /// Offer one packet to the port (the "wire" side). Thread-safety: one
   /// dispatching thread at a time.
   void dispatch(packet::Mbuf mbuf);
@@ -166,6 +191,8 @@ class SimNic {
     snap.ring_dropped = stats_.ring_dropped.load();
     snap.malformed = stats_.malformed.load();
     snap.pool_exhausted = stats_.pool_exhausted.load();
+    snap.offload_pkts = stats_.offload_pkts.load();
+    snap.offload_bytes = stats_.offload_bytes.load();
     return snap;
   }
   void reset_stats() {
@@ -177,6 +204,8 @@ class SimNic {
     stats_.ring_dropped.set(0);
     stats_.malformed.set(0);
     stats_.pool_exhausted.set(0);
+    stats_.offload_pkts.set(0);
+    stats_.offload_bytes.set(0);
   }
 
  private:
@@ -184,8 +213,18 @@ class SimNic {
   /// anyone (telemetry sampler, monitors).
   struct AtomicPortStats {
     util::RelaxedCell rx_packets, rx_bytes, hw_dropped, sunk, delivered,
-        ring_dropped, malformed, pool_exhausted;
+        ring_dropped, malformed, pool_exhausted, offload_pkts, offload_bytes;
   };
+
+  /// Post-RSS steering tail shared by dispatch() and offload teardown
+  /// paths: bucket accounting, sink check, ring push. The mbuf's RSS
+  /// hash must already be set.
+  void steer(packet::Mbuf&& mbuf, bool force_ring_overflow);
+  /// Re-steer packets an aborted capture returned to the rx path.
+  void steer_flushed();
+  /// Mirror the offload table's (single-threaded) counters into the
+  /// tear-free port stats cells.
+  void sync_offload_stats();
 
   PortConfig config_;
   FlowRuleSet rules_;
@@ -198,6 +237,7 @@ class SimNic {
   std::vector<util::RelaxedCell> queue_dropped_;
   std::vector<util::RelaxedCell> bucket_hits_;
   IngressFault* fault_ = nullptr;  // borrowed; nullptr = no faults
+  std::unique_ptr<FlowOffloadTable> offload_;  // nullptr = offload off
 };
 
 }  // namespace retina::nic

@@ -58,6 +58,35 @@ TEST_P(Golden, AllDispatchPathsMatchCommittedStream) {
   }
 }
 
+// Same corpus, same committed streams, with dynamic hardware flow
+// offload enabled on every dispatch path (including forced rebalancing
+// churn). Equality proves the install/park/evict/merge protocol loses
+// nothing: hardware-counted packets come back as the exact byte and
+// flag totals software would have produced.
+TEST_P(Golden, OffloadOnMatchesCommittedStream) {
+  const auto& entry = GetParam();
+  const auto trace =
+      traffic::read_pcap(golden_path(entry.name + std::string(".pcap")));
+  const auto expected =
+      golden::read_jsonl(golden_path(entry.name + std::string(".jsonl")));
+  ASSERT_FALSE(trace.empty()) << "missing corpus pcap";
+  ASSERT_FALSE(expected.empty()) << "missing committed stream";
+
+  for (const auto path : golden::all_dispatch_paths()) {
+    golden::GoldenSpec spec;
+    spec.filter = entry.filter;
+    spec.level = entry.level;
+    spec.cores = entry.cores;
+    spec.path = path;
+    spec.offload = true;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_EQ(result.dropped, 0u) << golden::dispatch_path_name(path);
+    EXPECT_EQ(result.lines, expected)
+        << entry.name << " diverged with offload on path "
+        << golden::dispatch_path_name(path);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Corpus, Golden, ::testing::ValuesIn(goldencorpus::corpus()),
     [](const ::testing::TestParamInfo<goldencorpus::CorpusEntry>& info) {
@@ -87,6 +116,38 @@ TEST(GoldenMigration, MidRunMigrationsPreserveStreams) {
                           golden::DispatchPath::kThreadedRebalance}) {
     auto spec = reference;
     spec.path = path;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_GT(result.migrations, 0u) << golden::dispatch_path_name(path);
+    EXPECT_EQ(result.lines, expected.lines)
+        << golden::dispatch_path_name(path);
+  }
+}
+
+// Offload + forced migration interplay: connection-level elephants get
+// hardware rules while the rebalancer shuffles their buckets between
+// cores. Eviction records chase the flow to whichever core owns it now
+// (or bounce until they find it); the final records must still be
+// byte-identical to a plain serial run with offload off.
+TEST(GoldenMigration, OffloadSurvivesForcedMigration) {
+  traffic::ElephantWorkloadConfig config;
+  config.queues = 4;
+  config.elephants = 6;
+  config.elephant_bytes = 64 * 1024;
+  config.mice = 50;
+  const auto trace = traffic::make_elephant_trace(config);
+
+  golden::GoldenSpec reference;
+  reference.level = core::Level::kConnection;
+  reference.cores = 4;
+  reference.path = golden::DispatchPath::kSerialPacket;
+  const auto expected = golden::run_golden(trace.packets(), reference);
+  ASSERT_FALSE(expected.lines.empty());
+
+  for (const auto path : {golden::DispatchPath::kSerialRebalance,
+                          golden::DispatchPath::kThreadedRebalance}) {
+    auto spec = reference;
+    spec.path = path;
+    spec.offload = true;
     const auto result = golden::run_golden(trace.packets(), spec);
     EXPECT_GT(result.migrations, 0u) << golden::dispatch_path_name(path);
     EXPECT_EQ(result.lines, expected.lines)

@@ -402,5 +402,106 @@ TEST(SimNic, ValidateRejectsBadConfigs) {
   EXPECT_EQ((*port)->num_queues(), 2u);
 }
 
+TEST(SimNic, ConstructorRejectsWrongSizeRssKey) {
+  // Regression: the constructor used to silently ignore a wrong-size
+  // key and fall back to the default — so validate() and construction
+  // disagreed, and a truncated key changed hashing without any error.
+  nic::PortConfig config;
+  config.num_queues = 2;
+  config.ring_capacity = 64;
+  config.rss_key.assign(16, 0x5a);
+  EXPECT_THROW(nic::SimNic{config}, std::invalid_argument);
+  EXPECT_FALSE(nic::SimNic::create(config).ok());
+
+  config.rss_key.assign(40, 0x5a);
+  EXPECT_NO_THROW(nic::SimNic{config});
+
+  config.rss_key.clear();  // empty = use the default symmetric key
+  EXPECT_NO_THROW(nic::SimNic{config});
+}
+
+// ── PrefixMatchV6::contains (byte-wise rewrite) ──────────────────────
+
+/// The original bit-at-a-time implementation, kept as the property
+/// reference for the memcmp + masked-trailing-byte rewrite.
+bool contains_bitwise(const nic::PrefixMatchV6& match,
+                      const std::array<std::uint8_t, 16>& ip) {
+  for (std::uint8_t bit = 0; bit < match.prefix_len; ++bit) {
+    const std::size_t byte = bit / 8;
+    const std::uint8_t mask = 0x80u >> (bit % 8);
+    if ((match.addr[byte] & mask) != (ip[byte] & mask)) return false;
+  }
+  return true;
+}
+
+TEST(PrefixMatchV6, ByteWiseMatchesBitwiseReference) {
+  std::uint64_t rng = 0x2545f4914f6cdd1dULL;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    nic::PrefixMatchV6 match;
+    match.prefix_len = static_cast<std::uint8_t>(next() % 129);
+    std::array<std::uint8_t, 16> ip;
+    for (std::size_t i = 0; i < 16; ++i) {
+      match.addr[i] = static_cast<std::uint8_t>(next());
+      // Bias toward near-matches so trailing-bit masking is exercised:
+      // most trials copy the address and flip at most one bit.
+      ip[i] = match.addr[i];
+    }
+    if (next() % 4 != 0) {
+      const std::size_t bit = next() % 128;
+      ip[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    }
+    EXPECT_EQ(match.contains(ip), contains_bitwise(match, ip))
+        << "prefix_len=" << int(match.prefix_len);
+  }
+}
+
+// ── FlowRuleSet::add_unique (hashed dedup index) ─────────────────────
+
+TEST(FlowRuleSet, AddUniqueDeduplicatesAcrossPlainAdds) {
+  FlowRuleSet set;
+  // Mixed population: plain add() must also feed the index, so later
+  // add_unique() calls see rules however they were inserted.
+  FlowRule tls;
+  tls.ip_proto = packet::kIpProtoTcp;
+  tls.port = nic::PortMatch{443, Direction::kEither};
+  set.add(tls);
+  EXPECT_FALSE(set.add_unique(tls));
+  EXPECT_EQ(set.size(), 1u);
+
+  FlowRule dns;
+  dns.ip_proto = packet::kIpProtoUdp;
+  dns.port = nic::PortMatch{53, Direction::kEither};
+  EXPECT_TRUE(set.add_unique(dns));
+  EXPECT_FALSE(set.add_unique(dns));
+  EXPECT_EQ(set.size(), 2u);
+
+  // Same port, different direction: must NOT dedup.
+  FlowRule dns_src = dns;
+  dns_src.port = nic::PortMatch{53, Direction::kSrc};
+  EXPECT_TRUE(set.add_unique(dns_src));
+
+  // A large unique population stays O(1) per insert via the hash index
+  // (the old implementation compared against every prior rule).
+  for (std::uint32_t port = 1000; port < 3000; ++port) {
+    FlowRule rule;
+    rule.ip_proto = packet::kIpProtoTcp;
+    rule.port = nic::PortMatch{static_cast<std::uint16_t>(port),
+                               Direction::kDst};
+    EXPECT_TRUE(set.add_unique(rule));
+    EXPECT_FALSE(set.add_unique(rule));
+  }
+  EXPECT_EQ(set.size(), 3u + 2000u);
+
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.add_unique(tls)) << "clear() must also clear the index";
+}
+
 }  // namespace
 }  // namespace retina

@@ -1,0 +1,393 @@
+// Dynamic hardware flow offload: FlowOffloadTable unit behavior
+// (capture/seed handshake, LRU + TTL eviction, table-full pressure,
+// punt-on-flags, abort flush-back), and runtime-level equivalence —
+// offload on vs off must produce identical connection records while
+// the bulk of a settled flow's bytes are counted in hardware.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "multisub/subscription_set.hpp"
+#include "nic/offload.hpp"
+#include "nic/port.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/workloads.hpp"
+
+namespace {
+
+using namespace retina;
+using nic::FlowOffloadTable;
+using nic::OffloadAction;
+using nic::OffloadEvictReason;
+using nic::OffloadSeed;
+using traffic::FlowEndpoints;
+
+using Verdict = FlowOffloadTable::Verdict;
+
+FlowEndpoints endpoints(std::uint16_t client_port) {
+  FlowEndpoints ep;
+  ep.client_port = client_port;
+  return ep;
+}
+
+packet::Mbuf data_pkt(const FlowEndpoints& ep, bool from_client,
+                      std::uint32_t seq, std::size_t payload_len,
+                      std::uint64_t ts_ns) {
+  const std::vector<std::uint8_t> payload(payload_len, 0xab);
+  return traffic::make_tcp_packet(ep, from_client, seq, 1,
+                                  packet::kTcpAck | packet::kTcpPsh, payload,
+                                  ts_ns);
+}
+
+/// Offer a crafted packet to the table; returns the verdict.
+Verdict offer(FlowOffloadTable& table, const packet::Mbuf& mbuf) {
+  const auto view = packet::PacketView::parse(mbuf);
+  return table.offer(view->five_tuple()->canonical(), *view, mbuf);
+}
+
+packet::FiveTuple canon_key(const FlowEndpoints& ep) {
+  auto mbuf = data_pkt(ep, true, 1, 1, 0);
+  const auto view = packet::PacketView::parse(mbuf);
+  return view->five_tuple()->canonical().key;
+}
+
+bool install(FlowOffloadTable& table, const FlowEndpoints& ep,
+             std::uint64_t now_ns) {
+  auto mbuf = data_pkt(ep, true, 1, 1, 0);
+  const auto view = packet::PacketView::parse(mbuf);
+  const auto canon = view->five_tuple()->canonical();
+  return table.install(canon.key, 0, canon.originator_is_first,
+                       /*is_tcp=*/true, OffloadAction::kCount, now_ns);
+}
+
+// ── FlowOffloadTable: capture/seed handshake ─────────────────────────
+
+TEST(OffloadTable, CaptureThenSeedReplaysHeldPackets) {
+  FlowOffloadTable table(/*slots=*/8, /*ttl_ns=*/0, /*capture_limit=*/16);
+  const auto ep = endpoints(40001);
+  ASSERT_TRUE(install(table, ep, 0));
+  EXPECT_EQ(table.stats().capturing_rules, 1u);
+
+  // Packets arriving during capture are held in hardware, not steered.
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 1, 100, 10)), Verdict::kConsumed);
+  EXPECT_EQ(offer(table, data_pkt(ep, false, 1, 200, 20)), Verdict::kConsumed);
+  EXPECT_EQ(table.stats().captured_pkts, 2u);
+  EXPECT_TRUE(table.take_flushed().empty());
+  EXPECT_TRUE(table.take_events().empty()) << "no eviction during capture";
+
+  ASSERT_TRUE(table.seed(canon_key(ep), OffloadSeed{}));
+  EXPECT_EQ(table.stats().seeded, 1u);
+  EXPECT_EQ(table.stats().active_rules, 1u);
+  EXPECT_EQ(table.stats().capturing_rules, 0u);
+
+  // Active rule keeps counting; flush returns everything as one record.
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 101, 50, 30)), Verdict::kConsumed);
+  table.flush_all();
+  auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].counted);
+  EXPECT_EQ(events[0].reason, OffloadEvictReason::kFlush);
+  EXPECT_EQ(events[0].deltas.pkts_up, 2u);
+  EXPECT_EQ(events[0].deltas.pkts_down, 1u);
+  EXPECT_EQ(events[0].deltas.payload_up, 150u);
+  EXPECT_EQ(events[0].deltas.payload_down, 200u);
+  EXPECT_EQ(events[0].deltas.last_ts_ns, 30u);
+  EXPECT_EQ(events[0].deltas.pkts(), table.stats().hw_pkts);
+}
+
+TEST(OffloadTable, SeedContinuesSequenceTrackingExactly) {
+  FlowOffloadTable table(8, 0, 16);
+  const auto ep = endpoints(40002);
+  ASSERT_TRUE(install(table, ep, 0));
+  OffloadSeed seed;
+  seed.max_seq_end = {1000, 0};
+  seed.last_seq = {900, 0};
+  seed.seq_seen = {true, false};
+  ASSERT_TRUE(table.seed(canon_key(ep), seed));
+
+  // A retransmit of the seeded last_seq counts as dup; an older segment
+  // counts as out-of-order — exactly what software would have recorded.
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 900, 100, 10)),
+            Verdict::kConsumed);
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 500, 100, 20)),
+            Verdict::kConsumed);
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 1000, 100, 30)),
+            Verdict::kConsumed);
+  table.flush_all();
+  const auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].deltas.dup_up, 1u);
+  EXPECT_EQ(events[0].deltas.ooo_up, 1u);
+  EXPECT_EQ(events[0].seq.max_seq_end[0], 1100u);
+  EXPECT_EQ(events[0].seq.last_seq[0], 1000u);
+  EXPECT_TRUE(events[0].seq.seq_seen[0]);
+  EXPECT_FALSE(events[0].seq.seq_seen[1]);
+}
+
+TEST(OffloadTable, AbortFlushesCapturedPacketsInArrivalOrder) {
+  FlowOffloadTable table(8, 0, 16);
+  const auto ep = endpoints(40003);
+  ASSERT_TRUE(install(table, ep, 0));
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 1, 10, 111)), Verdict::kConsumed);
+  EXPECT_EQ(offer(table, data_pkt(ep, false, 1, 20, 222)), Verdict::kConsumed);
+
+  table.abort(canon_key(ep));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().hw_pkts, 0u)
+      << "optimistic hardware counters must be reversed on abort";
+  const auto flushed = table.take_flushed();
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].timestamp_ns(), 111u);
+  EXPECT_EQ(flushed[1].timestamp_ns(), 222u);
+  const auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].counted);
+  EXPECT_EQ(events[0].reason, OffloadEvictReason::kAborted);
+}
+
+TEST(OffloadTable, CaptureOverflowAbortsAndPassesThrough) {
+  FlowOffloadTable table(8, 0, /*capture_limit=*/2);
+  const auto ep = endpoints(40004);
+  ASSERT_TRUE(install(table, ep, 0));
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 1, 10, 1)), Verdict::kConsumed);
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 11, 10, 2)), Verdict::kConsumed);
+  // Third packet overflows the capture budget: the rule aborts and the
+  // packet (plus the two held ones) re-enters the normal rx path.
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 21, 10, 3)),
+            Verdict::kPassThrough);
+  EXPECT_EQ(table.stats().capture_overflow, 1u);
+  EXPECT_EQ(table.take_flushed().size(), 2u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+// ── Eviction: LRU pressure, TTL aging, punt-on-flags ─────────────────
+
+TEST(OffloadTable, PressureEvictsLeastRecentlyHitActiveRule) {
+  FlowOffloadTable table(/*slots=*/2, 0, 16);
+  const auto a = endpoints(40010);
+  const auto b = endpoints(40011);
+  const auto c = endpoints(40012);
+  ASSERT_TRUE(install(table, a, 0));
+  ASSERT_TRUE(install(table, b, 0));
+  ASSERT_TRUE(table.seed(canon_key(a), OffloadSeed{}));
+  ASSERT_TRUE(table.seed(canon_key(b), OffloadSeed{}));
+  // Touch A so B becomes the LRU rule.
+  EXPECT_EQ(offer(table, data_pkt(a, true, 1, 10, 5)), Verdict::kConsumed);
+
+  ASSERT_TRUE(install(table, c, 10)) << "pressure eviction must make room";
+  EXPECT_EQ(table.size(), 2u);
+  const auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].reason, OffloadEvictReason::kPressure);
+  EXPECT_EQ(events[0].key, canon_key(b)) << "evicted the wrong rule";
+  EXPECT_EQ(table.stats().evicted_pressure, 1u);
+}
+
+TEST(OffloadTable, FullOfCapturesRejectsInstall) {
+  FlowOffloadTable table(/*slots=*/1, 0, 16);
+  ASSERT_TRUE(install(table, endpoints(40020), 0));
+  // The only resident rule is still capturing — it cannot be evicted
+  // (its held packets are not yet accounted anywhere), so the install
+  // must be refused rather than lose them.
+  EXPECT_FALSE(install(table, endpoints(40021), 0));
+  EXPECT_EQ(table.stats().rejected, 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(OffloadTable, TtlAgesIdleRulesInLruOrder) {
+  FlowOffloadTable table(8, /*ttl_ns=*/100, 16);
+  const auto a = endpoints(40030);
+  const auto b = endpoints(40031);
+  ASSERT_TRUE(install(table, a, 0));
+  ASSERT_TRUE(install(table, b, 0));
+  ASSERT_TRUE(table.seed(canon_key(a), OffloadSeed{}));
+  ASSERT_TRUE(table.seed(canon_key(b), OffloadSeed{}));
+  EXPECT_EQ(offer(table, data_pkt(b, true, 1, 10, 150)), Verdict::kConsumed);
+
+  table.age(220);  // A idle since 0: expired. B hit at 150: alive.
+  auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, canon_key(a));
+  EXPECT_EQ(events[0].reason, OffloadEvictReason::kTtl);
+  EXPECT_EQ(table.size(), 1u);
+
+  table.age(1000);  // now B expires too
+  events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, canon_key(b));
+  EXPECT_EQ(table.stats().evicted_ttl, 2u);
+}
+
+TEST(OffloadTable, FlagsPuntToSoftwareAndEvict) {
+  FlowOffloadTable table(8, 0, 16);
+  const auto ep = endpoints(40040);
+  ASSERT_TRUE(install(table, ep, 0));
+  ASSERT_TRUE(table.seed(canon_key(ep), OffloadSeed{}));
+  EXPECT_EQ(offer(table, data_pkt(ep, true, 1, 10, 5)), Verdict::kConsumed);
+
+  auto fin = traffic::make_tcp_packet(ep, true, 11, 1,
+                                      packet::kTcpFin | packet::kTcpAck, {},
+                                      9);
+  EXPECT_EQ(offer(table, fin), Verdict::kPassThrough)
+      << "FIN must reach software for natural termination";
+  EXPECT_EQ(table.size(), 0u);
+  const auto events = table.take_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].reason, OffloadEvictReason::kPunt);
+  EXPECT_TRUE(events[0].counted);
+  EXPECT_EQ(events[0].deltas.pkts_up, 1u)
+      << "the FIN itself must not be hardware-counted";
+}
+
+// ── Runtime-level equivalence: offload on == offload off ─────────────
+
+/// Canonical string of every delivered connection record, sorted.
+struct ConnCollector {
+  std::vector<std::string> lines;
+
+  Result<core::Subscription> subscribe(const std::string& filter = "") {
+    return core::Subscription::builder()
+        .filter(filter)
+        .on_connection([this](const core::ConnRecord& rec) {
+          std::ostringstream os;
+          os << rec.tuple.to_string() << " pkts=" << rec.pkts_up << ','
+             << rec.pkts_down << " bytes=" << rec.bytes_up << ','
+             << rec.bytes_down << " payload=" << rec.payload_up << ','
+             << rec.payload_down << " ooo=" << rec.ooo_up << ','
+             << rec.ooo_down << " dup=" << rec.dup_up << ',' << rec.dup_down
+             << " flags=" << rec.saw_syn << rec.saw_synack << rec.saw_fin
+             << rec.saw_rst << " est=" << rec.established
+             << " first=" << rec.first_ts_ns << " last=" << rec.last_ts_ns;
+          lines.push_back(os.str());
+        })
+        .build();
+  }
+
+  std::vector<std::string> sorted() const {
+    auto out = lines;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+traffic::Trace elephant_trace() {
+  traffic::ElephantWorkloadConfig config;
+  config.queues = 4;
+  config.elephants = 8;
+  config.elephant_bytes = 128 * 1024;
+  config.mice = 100;
+  return traffic::make_elephant_trace(config);
+}
+
+TEST(OffloadRuntime, ElephantRecordsIdenticalAndMostlyHardware) {
+  const auto trace = elephant_trace();
+
+  ConnCollector without;
+  core::RuntimeConfig config;
+  config.cores = 4;
+  config.rx_burst_size = 32;
+  auto sub_off = without.subscribe();
+  ASSERT_TRUE(sub_off.ok());
+  core::Runtime off(config, std::move(*sub_off));
+  const auto stats_off = off.run(trace.packets());
+  EXPECT_EQ(stats_off.nic_offload_pkts, 0u);
+
+  ConnCollector with;
+  config.offload.enabled = true;
+  auto sub_on = with.subscribe();
+  ASSERT_TRUE(sub_on.ok());
+  core::Runtime on(config, std::move(*sub_on));
+  const auto stats_on = on.run(trace.packets());
+
+  EXPECT_EQ(with.sorted(), without.sorted())
+      << "offload changed the delivered connection records";
+  EXPECT_GT(stats_on.nic_offload_pkts, 0u) << "offload never engaged";
+  // Settled elephants dominate the trace: the overwhelming share of
+  // bytes must be counted in hardware, not software.
+  EXPECT_GT(static_cast<double>(stats_on.nic_offload_bytes),
+            0.5 * static_cast<double>(stats_on.nic_rx_bytes));
+  const auto engine_stats = on.offload_engine()->stats();
+  EXPECT_GT(engine_stats.merges, 0u);
+  EXPECT_EQ(engine_stats.orphaned, 0u);
+}
+
+TEST(OffloadRuntime, ThreadedRunMatchesSerialWithOffload) {
+  const auto trace = elephant_trace();
+
+  ConnCollector serial;
+  core::RuntimeConfig config;
+  config.cores = 4;
+  config.rx_burst_size = 32;
+  auto sub_serial = serial.subscribe();
+  ASSERT_TRUE(sub_serial.ok());
+  core::Runtime ref(config, std::move(*sub_serial));
+  ref.run(trace.packets());
+
+  ConnCollector threaded;
+  config.offload.enabled = true;
+  auto sub_threaded = threaded.subscribe();
+  ASSERT_TRUE(sub_threaded.ok());
+  core::Runtime run(config, std::move(*sub_threaded));
+  // Paced replay: dispatch at the trace's own rate so workers keep up
+  // and flows settle (and offload) while traffic is still arriving —
+  // an unpaced blast parks the whole trace in the rings before any
+  // install handshake can finish, leaving hardware nothing to count.
+  const auto stats = run.run_threaded(trace.packets(), /*time_scale=*/1.0);
+  ASSERT_EQ(stats.nic_ring_dropped, 0u);
+
+  EXPECT_EQ(threaded.sorted(), serial.sorted());
+  EXPECT_GT(stats.nic_offload_pkts, 0u);
+}
+
+TEST(OffloadRuntime, MultiSubscriptionSettledFlowsOffload) {
+  const auto trace = elephant_trace();
+
+  const auto run_set = [&](bool offload, ConnCollector& a, ConnCollector& b) {
+    core::RuntimeConfig config;
+    config.cores = 4;
+    config.rx_burst_size = 32;
+    config.offload.enabled = offload;
+    auto set = multisub::SubscriptionSet::builder()
+                   .add(a.subscribe(), "all")
+                   .add(b.subscribe("tcp"), "tcp")
+                   .build();
+    EXPECT_TRUE(set.ok());
+    core::Runtime runtime(config, std::move(*set));
+    return runtime.run(trace.packets());
+  };
+
+  ConnCollector a_off, b_off, a_on, b_on;
+  run_set(false, a_off, b_off);
+  const auto stats = run_set(true, a_on, b_on);
+
+  EXPECT_EQ(a_on.sorted(), a_off.sorted());
+  EXPECT_EQ(b_on.sorted(), b_off.sorted());
+  EXPECT_GT(stats.nic_offload_pkts, 0u)
+      << "multi-sub settled flows never reached the table";
+}
+
+TEST(OffloadRuntime, PrometheusExportsOffloadSeries) {
+  const auto trace = elephant_trace();
+  ConnCollector collector;
+  core::RuntimeConfig config;
+  config.cores = 4;
+  config.telemetry = true;
+  config.offload.enabled = true;
+  auto sub = collector.subscribe();
+  ASSERT_TRUE(sub.ok());
+  core::Runtime runtime(config, std::move(*sub));
+  runtime.run(trace.packets());
+  const auto text = runtime.prometheus();
+  EXPECT_NE(text.find("retina_offload_pkts_total"), std::string::npos);
+  EXPECT_NE(text.find("retina_offload_bytes_total"), std::string::npos);
+  EXPECT_NE(text.find("retina_offload_rules"), std::string::npos);
+  EXPECT_NE(text.find("retina_offload_evictions_total{reason=\"flush\"}"),
+            std::string::npos);
+}
+
+}  // namespace
