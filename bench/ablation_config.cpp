@@ -107,14 +107,18 @@ SweepResult run_sweep(traffic::FlowFactory factory, std::size_t flows,
                       std::size_t ooo_capacity, std::size_t probe_pdus,
                       bool require_full_chain = false) {
   std::uint64_t sessions = 0;
-  auto sub = core::Subscription::tls_handshakes(
-      "tls", [&sessions, require_full_chain](
-                 const core::SessionRecord&,
-                 const protocols::TlsHandshake& hs) {
-        // Partial transcripts are still delivered on termination; for
-        // the completeness sweep only fully reassembled chains count.
-        if (!require_full_chain || hs.certificate_count >= 2) ++sessions;
-      });
+  auto sub =
+      core::Subscription::builder()
+          .filter("tls")
+          .on_tls_handshake([&sessions, require_full_chain](
+                                const core::SessionRecord&,
+                                const protocols::TlsHandshake& hs) {
+            // Partial transcripts are still delivered on termination; for
+            // the completeness sweep only fully reassembled chains count.
+            if (!require_full_chain || hs.certificate_count >= 2) ++sessions;
+          })
+          .build()
+          .value();
   core::RuntimeConfig config;
   config.cores = 1;
   config.ooo_capacity = ooo_capacity;

@@ -40,13 +40,18 @@ VariantResult run_variant(const std::string& filter, bool hw, bool regex_in_cb) 
   VariantResult result;
   for (int rep = 0; rep < 5; ++rep) {
     std::uint64_t matches = 0;
-    auto sub = core::Subscription::tls_handshakes(
-        filter, [&matches, regex_in_cb](const core::SessionRecord&,
-                                        const protocols::TlsHandshake& hs) {
-          if (!regex_in_cb || std::regex_search(hs.sni, sni_re)) {
-            ++matches;
-          }
-        });
+    auto sub =
+        core::Subscription::builder()
+            .filter(filter)
+            .on_tls_handshake([&matches, regex_in_cb](
+                                  const core::SessionRecord&,
+                                  const protocols::TlsHandshake& hs) {
+              if (!regex_in_cb || std::regex_search(hs.sni, sni_re)) {
+                ++matches;
+              }
+            })
+            .build()
+            .value();
     core::RuntimeConfig config;
     config.cores = 1;
     config.hardware_filter = hw;

@@ -35,9 +35,14 @@ const char* kNetflixBronzino =
 std::uint64_t run_once(const traffic::Trace& trace, const std::string& filter,
                        bool interpreted) {
   std::size_t handshakes = 0;
-  auto sub = core::Subscription::tls_handshakes(
-      filter, [&handshakes](const core::SessionRecord&,
-                            const protocols::TlsHandshake&) { ++handshakes; });
+  auto sub = core::Subscription::builder()
+                 .filter(filter)
+                 .on_tls_handshake([&handshakes](const core::SessionRecord&,
+                                                 const protocols::TlsHandshake&) {
+                   ++handshakes;
+                 })
+                 .build()
+                 .value();
   core::RuntimeConfig config;
   config.cores = 1;
   config.hardware_filter = false;  // offline mode: pure software

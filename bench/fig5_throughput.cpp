@@ -37,23 +37,34 @@ const char* sub_name(Sub sub) {
 core::Subscription make_sub(Sub sub, std::uint64_t callback_cycles) {
   switch (sub) {
     case Sub::kPackets:
-      return core::Subscription::packets(
-          "", [callback_cycles](const packet::Mbuf&) {
+      return core::Subscription::builder()
+          .on_packet([callback_cycles](const packet::Mbuf&) {
             util::spin_cycles(callback_cycles);
-          });
+          })
+          .build()
+          .value();
     case Sub::kConnections:
-      return core::Subscription::connections(
-          "tcp", [callback_cycles](const core::ConnRecord&) {
+      return core::Subscription::builder()
+          .filter("tcp")
+          .on_connection([callback_cycles](const core::ConnRecord&) {
             util::spin_cycles(callback_cycles);
-          });
+          })
+          .build()
+          .value();
     case Sub::kTlsHandshakes:
-      return core::Subscription::tls_handshakes(
-          "tls", [callback_cycles](const core::SessionRecord&,
-                                   const protocols::TlsHandshake&) {
+      return core::Subscription::builder()
+          .filter("tls")
+          .on_tls_handshake([callback_cycles](const core::SessionRecord&,
+                                              const protocols::TlsHandshake&) {
             util::spin_cycles(callback_cycles);
-          });
+          })
+          .build()
+          .value();
   }
-  return core::Subscription::packets("", [](const packet::Mbuf&) {});
+  return core::Subscription::builder()
+      .on_packet([](const packet::Mbuf&) {})
+      .build()
+      .value();
 }
 
 /// Packet budget per cell, sized so heavy-callback cells stay fast while

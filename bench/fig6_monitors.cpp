@@ -38,10 +38,13 @@ double retina_capacity_gbps(const traffic::Trace& trace) {
   double best = 0;
   for (int rep = 0; rep < kRepetitions; ++rep) {
     std::size_t matches = 0;
-    auto sub = core::Subscription::tls_handshakes(
-        "tls.sni ~ 'bench'",
-        [&matches](const core::SessionRecord&,
-                   const protocols::TlsHandshake&) { ++matches; });
+    auto sub = core::Subscription::builder()
+                   .filter("tls.sni ~ 'bench'")
+                   .on_tls_handshake(
+                       [&matches](const core::SessionRecord&,
+                                  const protocols::TlsHandshake&) { ++matches; })
+                   .build()
+                   .value();
     core::RuntimeConfig config;
     config.cores = 1;
     config.hardware_filter = false;  // all systems fully in software

@@ -24,9 +24,13 @@ int main() {
   bench::print_header("Figure 7: per-stage packet fractions and cycle costs",
                       "SIGCOMM'22 Retina, Fig. 7");
 
-  auto sub = core::Subscription::connections(
-      traffic::kNetflixFilter,
-      [](const core::ConnRecord&) { util::spin_cycles(20'000); });
+  auto sub =
+      core::Subscription::builder()
+          .filter(traffic::kNetflixFilter)
+          .on_connection(
+              [](const core::ConnRecord&) { util::spin_cycles(20'000); })
+          .build()
+          .value();
 
   core::RuntimeConfig config;
   config.cores = 1;

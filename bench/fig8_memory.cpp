@@ -29,7 +29,11 @@ struct Scheme {
 
 std::vector<core::MemorySample> run_scheme(
     const conntrack::TimeoutConfig& timeouts) {
-  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  auto sub = core::Subscription::builder()
+                 .filter("tcp")
+                 .on_connection([](const core::ConnRecord&) {})
+                 .build()
+                 .value();
   core::RuntimeConfig config;
   config.cores = 1;
   config.timeouts = timeouts;

@@ -31,12 +31,15 @@ struct SessionAgg {
 void collect(const char* filter, double rescale,
              util::Cdf& up_cdf, util::Cdf& down_cdf) {
   std::map<std::uint32_t, SessionAgg> sessions;  // client /32 -> volume
-  auto sub = core::Subscription::connections(
-      filter, [&sessions](const core::ConnRecord& rec) {
-        auto& agg = sessions[rec.tuple.src.as_v4()];
-        agg.up += rec.payload_up;
-        agg.down += rec.payload_down;
-      });
+  auto sub = core::Subscription::builder()
+                 .filter(filter)
+                 .on_connection([&sessions](const core::ConnRecord& rec) {
+                   auto& agg = sessions[rec.tuple.src.as_v4()];
+                   agg.up += rec.payload_up;
+                   agg.down += rec.payload_down;
+                 })
+                 .build()
+                 .value();
   core::RuntimeConfig config;
   config.cores = 2;
   core::Runtime runtime(config, std::move(sub));

@@ -2,18 +2,27 @@
 //
 // The paper's runtime (like any DPDK application) receives packets in
 // bursts of up to 32 and amortizes per-packet overheads across the
-// batch; our pipeline adds a two-pass sweep that prefetches the
-// connection-table probe line and connection slot for every packet in
-// the burst before processing any of them. This bench quantifies what
-// that buys over the one-packet-at-a-time path on the campus workload.
+// batch. Our burst path goes further than prefetching: the whole burst
+// is parsed into a struct-of-arrays view and every distinct packet
+// predicate is evaluated across all 32 lanes at once by the batch
+// filter engine (filter/batch.hpp) before any per-packet work runs.
+//
+// Two scenarios over the same campus-mix trace:
+//  * packet_filter — a selective packet-level subscription. The data
+//    path is parse + filter + reject for most packets, i.e. exactly
+//    what the SoA batch engine accelerates. This one is the CI gate:
+//    burst-32 must beat per-packet by >= 1.6x in a Release build
+//    (override with RETINA_BENCH_MIN_SPEEDUP for noisy hosts).
+//  * conn_tracking — match-everything "tcp" with connection delivery.
+//    Dominated by the stateful stages bursting can only prefetch for,
+//    so the expected speedup is modest (>= 1.2x); reported, not gated.
 //
 // Output: a human-readable table plus BENCH_pipeline.json (consumed by
-// the CI bench-smoke job) with packets/sec per burst size and the
-// burst-vs-per-packet speedup. Expected: burst-32 >= 1.2x per-packet in
-// a Release build; the equivalence test in tests/test_core.cpp proves
-// the two paths produce identical results.
+// the CI bench job). The equivalence tests in tests/test_core.cpp and
+// tests/test_batch.cpp prove the two paths produce identical results.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <vector>
 
@@ -28,6 +37,15 @@ struct BurstResult {
   double mpps = 0;
   double gbps = 0;
   std::vector<double> ratios;  // per-rep, paired against that rep's burst=1
+};
+
+struct Scenario {
+  const char* name;
+  const char* filter;
+  bool packet_level;     // on_packet vs on_connection subscription
+  double min_speedup;    // 0 = informational only
+  std::vector<BurstResult> results;
+  double speedup = 0;    // median paired burst-32 vs per-packet ratio
 };
 
 double median(std::vector<double> v) {
@@ -54,10 +72,15 @@ double median(std::vector<double> v) {
 /// precisely the overhead a burst API amortizes.
 ///
 /// Returns this pass's rate in Mpps (and the wire rate via `gbps`).
-double run_pass(const traffic::Trace& trace, std::size_t burst_size,
-                double& gbps) {
-  auto sub = core::Subscription::connections(
-      "tcp", [](const core::ConnRecord&) {});
+double run_pass(const traffic::Trace& trace, const Scenario& scenario,
+                std::size_t burst_size, double& gbps) {
+  auto builder = core::Subscription::builder().filter(scenario.filter);
+  auto sub = (scenario.packet_level
+                  ? std::move(builder).on_packet([](const packet::Mbuf&) {})
+                  : std::move(builder).on_connection(
+                        [](const core::ConnRecord&) {}))
+                 .build()
+                 .value();
   core::RuntimeConfig config;
   config.cores = 1;
   config.hardware_filter = false;  // measure the software path
@@ -88,11 +111,57 @@ double run_pass(const traffic::Trace& trace, std::size_t burst_size,
   return static_cast<double>(stats.nic_rx_packets) / seconds / 1e6;
 }
 
+void run_scenario(const traffic::Trace& trace, Scenario& scenario) {
+  const std::size_t burst_sizes[] = {1, 4, 8, 16, 32};
+  const int reps = 9;
+  for (const auto burst : burst_sizes) {
+    scenario.results.push_back(BurstResult{burst, 0, 0, {}});
+  }
+  // One warm-up sweep (cold caches, lazy page faults), then paired
+  // reps: each rep runs every configuration back-to-back and the
+  // speedup is the per-rep ratio against *that rep's* per-packet pass.
+  // On shared hardware the absolute rate wanders with frequency and
+  // steal time; adjacent passes share those conditions, so the median
+  // of paired ratios is what's stable — never compare numbers taken
+  // minutes apart.
+  {
+    double g;
+    for (auto& r : scenario.results) run_pass(trace, scenario, r.burst, g);
+  }
+  std::vector<std::vector<double>> mpps_acc(scenario.results.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    double base = 0;
+    for (std::size_t i = 0; i < scenario.results.size(); ++i) {
+      double gbps = 0;
+      const double mpps =
+          run_pass(trace, scenario, scenario.results[i].burst, gbps);
+      mpps_acc[i].push_back(mpps);
+      if (gbps > scenario.results[i].gbps) scenario.results[i].gbps = gbps;
+      if (i == 0) base = mpps;
+      if (base > 0) scenario.results[i].ratios.push_back(mpps / base);
+    }
+  }
+  for (std::size_t i = 0; i < scenario.results.size(); ++i) {
+    scenario.results[i].mpps = median(mpps_acc[i]);
+  }
+  scenario.speedup = median(scenario.results.back().ratios);
+
+  std::printf("scenario %s (filter \"%s\")\n", scenario.name,
+              scenario.filter);
+  std::printf("%8s %10s %10s %10s\n", "burst", "mpps", "gbps", "speedup");
+  for (const auto& r : scenario.results) {
+    std::printf("%8zu %10.3f %10.2f %9.2fx\n", r.burst, r.mpps, r.gbps,
+                median(r.ratios));
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::print_header("Pipeline burst mode: per-packet vs batched+prefetch",
-                      "DPDK rx_burst data path (paper SS5.1)");
+  bench::print_header(
+      "Pipeline burst mode: per-packet vs batched SoA filter + prefetch",
+      "DPDK rx_burst data path (paper SS5.1)");
 
   const char* json_path = argc > 1 ? argv[1] : "BENCH_pipeline.json";
   // Tuned toward the *packet-weighted* behavior of the paper's campus
@@ -119,62 +188,58 @@ int main(int argc, char** argv) {
   std::printf("workload: campus mix, %zu packets\n\n",
               trace.packets().size());
 
-  const std::size_t burst_sizes[] = {1, 4, 8, 16, 32};
-  const int reps = 9;
-  std::vector<BurstResult> results;
-  for (const auto burst : burst_sizes) {
-    results.push_back(BurstResult{burst, 0, 0, {}});
-  }
-  // One warm-up sweep (cold caches, lazy page faults), then paired
-  // reps: each rep runs every configuration back-to-back and the
-  // speedup is the per-rep ratio against *that rep's* per-packet pass.
-  // On shared hardware the absolute rate wanders with frequency and
-  // steal time; adjacent passes share those conditions, so the median
-  // of paired ratios is what's stable — never compare numbers taken
-  // minutes apart.
-  {
-    double g;
-    for (auto& r : results) run_pass(trace, r.burst, g);
-  }
-  std::vector<double> mpps_acc[std::size(burst_sizes)];
-  for (int rep = 0; rep < reps; ++rep) {
-    double base = 0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      double gbps = 0;
-      const double mpps = run_pass(trace, results[i].burst, gbps);
-      mpps_acc[i].push_back(mpps);
-      if (gbps > results[i].gbps) results[i].gbps = gbps;
-      if (i == 0) base = mpps;
-      if (base > 0) results[i].ratios.push_back(mpps / base);
-    }
-  }
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    results[i].mpps = median(mpps_acc[i]);
-  }
-  std::printf("%8s %10s %10s %10s\n", "burst", "mpps", "gbps", "speedup");
-  for (const auto& r : results) {
-    std::printf("%8zu %10.3f %10.2f %9.2fx\n", r.burst, r.mpps, r.gbps,
-                median(r.ratios));
+  double min_speedup = 1.6;
+  if (const char* env = std::getenv("RETINA_BENCH_MIN_SPEEDUP")) {
+    min_speedup = std::atof(env);
   }
 
-  const double speedup = median(results.back().ratios);
-  std::printf(
-      "\nburst-32 vs per-packet: %.2fx packets/sec (target >= 1.2x in a\n"
-      "Release build; Debug builds drown the effect in abstraction cost)\n",
-      speedup);
+  Scenario scenarios[] = {
+      // The gate: an address-watchlist subscription that rejects nearly
+      // the whole link — the paper's dominant regime (a selective
+      // filter over 100GbE). The burst path spends its time in SoA
+      // parse + batch predicate sweep and skips rejected lanes; the
+      // per-packet path pays a full parse and scalar trie walk per
+      // packet.
+      {"packet_filter", "ipv4.addr in 192.168.0.0/16 and tcp.port = 22",
+       /*packet_level=*/true, min_speedup, {}, 0},
+      {"conn_tracking", "tcp", /*packet_level=*/false, 0, {}, 0},
+  };
+  for (auto& scenario : scenarios) run_scenario(trace, scenario);
 
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"pipeline_burst\",\n  \"workload\": "
        << "\"campus_mix\",\n  \"packets\": " << trace.packets().size()
-       << ",\n  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    json << "    {\"burst\": " << results[i].burst
-         << ", \"mpps\": " << results[i].mpps
-         << ", \"gbps\": " << results[i].gbps << "}"
-         << (i + 1 < results.size() ? ",\n" : "\n");
+       << ",\n  \"scenarios\": [\n";
+  for (std::size_t s = 0; s < std::size(scenarios); ++s) {
+    const auto& scenario = scenarios[s];
+    json << "    {\"name\": \"" << scenario.name << "\", \"filter\": \""
+         << scenario.filter << "\",\n     \"results\": [\n";
+    for (std::size_t i = 0; i < scenario.results.size(); ++i) {
+      json << "       {\"burst\": " << scenario.results[i].burst
+           << ", \"mpps\": " << scenario.results[i].mpps
+           << ", \"gbps\": " << scenario.results[i].gbps << "}"
+           << (i + 1 < scenario.results.size() ? ",\n" : "\n");
+    }
+    json << "     ],\n     \"speedup_burst32_vs_per_packet\": "
+         << scenario.speedup << "}"
+         << (s + 1 < std::size(scenarios) ? ",\n" : "\n");
   }
-  json << "  ],\n  \"speedup_burst32_vs_per_packet\": " << speedup
-       << "\n}\n";
+  // Back-compat top-level key: the gated scenario's speedup.
+  json << "  ],\n  \"speedup_burst32_vs_per_packet\": "
+       << scenarios[0].speedup << "\n}\n";
   std::printf("wrote %s\n", json_path);
-  return 0;
+
+  bool pass = true;
+  for (const auto& scenario : scenarios) {
+    if (scenario.min_speedup <= 0) continue;
+    const bool ok = scenario.speedup >= scenario.min_speedup;
+    std::printf("%s: burst-32 vs per-packet %.2fx (gate >= %.2fx) %s\n",
+                scenario.name, scenario.speedup, scenario.min_speedup,
+                ok ? "PASS" : "FAIL");
+    pass = pass && ok;
+  }
+  std::printf("conn_tracking: burst-32 vs per-packet %.2fx "
+              "(informational; expect >= 1.2x in Release)\n",
+              scenarios[1].speedup);
+  return pass ? 0 : 1;
 }

@@ -35,28 +35,31 @@ int main() {
     util::Percentiles pkts_per_conn;
   } agg;
 
-  auto sub = core::Subscription::connections(
-      "", [&agg](const core::ConnRecord& rec) {
-        const bool tcp = rec.saw_syn || rec.saw_fin || rec.saw_rst ||
-                         rec.tuple.proto == packet::kIpProtoTcp;
-        const auto pkts = rec.pkts_up + rec.pkts_down;
-        const auto bytes = rec.total_bytes();
-        agg.total_bytes += bytes;
-        if (rec.tuple.proto == packet::kIpProtoTcp) {
-          ++agg.tcp_conns;
-          agg.tcp_bytes += bytes;
-          if (rec.single_syn()) ++agg.single_syn;
-          if (rec.established && !rec.saw_fin && !rec.saw_rst) {
-            ++agg.incomplete;
-          }
-          if (!rec.single_syn()) {
-            agg.pkts_per_conn.add(static_cast<double>(pkts));
-          }
-        } else if (rec.tuple.proto == packet::kIpProtoUdp) {
-          ++agg.udp_conns;
-        }
-        (void)tcp;
-      });
+  auto sub =
+      core::Subscription::builder()
+          .on_connection([&agg](const core::ConnRecord& rec) {
+            const bool tcp = rec.saw_syn || rec.saw_fin || rec.saw_rst ||
+                             rec.tuple.proto == packet::kIpProtoTcp;
+            const auto pkts = rec.pkts_up + rec.pkts_down;
+            const auto bytes = rec.total_bytes();
+            agg.total_bytes += bytes;
+            if (rec.tuple.proto == packet::kIpProtoTcp) {
+              ++agg.tcp_conns;
+              agg.tcp_bytes += bytes;
+              if (rec.single_syn()) ++agg.single_syn;
+              if (rec.established && !rec.saw_fin && !rec.saw_rst) {
+                ++agg.incomplete;
+              }
+              if (!rec.single_syn()) {
+                agg.pkts_per_conn.add(static_cast<double>(pkts));
+              }
+            } else if (rec.tuple.proto == packet::kIpProtoUdp) {
+              ++agg.udp_conns;
+            }
+            (void)tcp;
+          })
+          .build()
+          .value();
 
   core::RuntimeConfig config;
   config.cores = 2;

@@ -1,97 +1,18 @@
-// FilterEngine: a uniform interface over the two filter execution
-// engines — the compiled program (production path) and the runtime
-// interpreter (Appendix B's baseline). Both are stateless after
-// construction and safe to share across worker cores.
+// core::FilterEngine is filter::Evaluator — the single interface over
+// the two filter execution engines (compiled production path,
+// interpreted Appendix B baseline). The engines themselves derive from
+// Evaluator directly, so the runtime constructs them without wrapper
+// classes; this alias survives for core-layer naming continuity. Both
+// engines are stateless after construction and safe to share across
+// worker cores.
 #pragma once
 
-#include <memory>
-
+#include "filter/evaluator.hpp"
 #include "filter/interpreter.hpp"
 #include "filter/program.hpp"
 
 namespace retina::core {
 
-class FilterEngine {
- public:
-  virtual ~FilterEngine() = default;
-
-  virtual filter::FilterResult packet_filter(
-      const packet::PacketView& pkt) const = 0;
-  virtual filter::FilterResult conn_filter(std::uint32_t pkt_term_node,
-                                           std::size_t app_proto_id) const = 0;
-  virtual bool session_filter(std::uint32_t conn_term_node,
-                              const protocols::Session& session) const = 0;
-
-  virtual bool needs_conn_stage() const = 0;
-  virtual bool needs_session_stage() const = 0;
-  virtual const std::set<std::size_t>& app_protos() const = 0;
-  virtual const nic::FlowRuleSet& hw_rules() const = 0;
-};
-
-class CompiledFilterEngine final : public FilterEngine {
- public:
-  explicit CompiledFilterEngine(filter::CompiledFilter compiled)
-      : compiled_(std::move(compiled)) {}
-
-  filter::FilterResult packet_filter(
-      const packet::PacketView& pkt) const override {
-    return compiled_.packet_filter(pkt);
-  }
-  filter::FilterResult conn_filter(std::uint32_t node,
-                                   std::size_t app) const override {
-    return compiled_.conn_filter(node, app);
-  }
-  bool session_filter(std::uint32_t node,
-                      const protocols::Session& session) const override {
-    return compiled_.session_filter(node, session);
-  }
-  bool needs_conn_stage() const override {
-    return compiled_.needs_conn_stage();
-  }
-  bool needs_session_stage() const override {
-    return compiled_.needs_session_stage();
-  }
-  const std::set<std::size_t>& app_protos() const override {
-    return compiled_.app_protos();
-  }
-  const nic::FlowRuleSet& hw_rules() const override {
-    return compiled_.hw_rules();
-  }
-
- private:
-  filter::CompiledFilter compiled_;
-};
-
-class InterpretedFilterEngine final : public FilterEngine {
- public:
-  explicit InterpretedFilterEngine(filter::InterpretedFilter interp)
-      : interp_(std::move(interp)) {}
-
-  filter::FilterResult packet_filter(
-      const packet::PacketView& pkt) const override {
-    return interp_.packet_filter(pkt);
-  }
-  filter::FilterResult conn_filter(std::uint32_t node,
-                                   std::size_t app) const override {
-    return interp_.conn_filter(node, app);
-  }
-  bool session_filter(std::uint32_t node,
-                      const protocols::Session& session) const override {
-    return interp_.session_filter(node, session);
-  }
-  bool needs_conn_stage() const override { return interp_.needs_conn_stage(); }
-  bool needs_session_stage() const override {
-    return interp_.needs_session_stage();
-  }
-  const std::set<std::size_t>& app_protos() const override {
-    return interp_.app_protos();
-  }
-  const nic::FlowRuleSet& hw_rules() const override {
-    return interp_.hw_rules();
-  }
-
- private:
-  filter::InterpretedFilter interp_;
-};
+using FilterEngine = filter::Evaluator;
 
 }  // namespace retina::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <new>
 
 #include "packet/packet_view.hpp"
@@ -293,90 +294,15 @@ void Pipeline::process(packet::Mbuf mbuf) {
 
 void Pipeline::process_burst(std::span<packet::Mbuf> burst) {
   // Oversized spans are processed kMaxBurst at a time; each chunk gets
-  // its own two-pass sweep and cycle accounting.
+  // its own batch sweep and cycle accounting.
   while (burst.size() > kMaxBurst) {
     process_burst(burst.first(kMaxBurst));
     burst = burst.subspan(kMaxBurst);
   }
   if (burst.empty()) return;
   const std::uint64_t t0 = util::rdtsc();
-
-  // Software-pipelined sweep (the DPDK PREFETCH_OFFSET idiom): while
-  // packet i is processed, packet i+kLookahead is *staged* — header
-  // parse, packet filter, canonical tuple, tuple hash, and a software
-  // prefetch of its connection-index probe line — and packet i+2 gets
-  // its connection slot prefetched. By the time the stateful stages
-  // reach a packet, its index line and connection state have had a few
-  // packets' worth of work to arrive in cache. The staging ring is
-  // deliberately tiny (~1 KB) so it lives in L1; a whole-burst staging
-  // array churns the cache, and a prefetch issued 32 packets ahead is
-  // evicted again before use.
-  //
-  // All staged work is stateless (parse, stateless filter, hashing), so
-  // running it ahead of older packets' stateful stages cannot change
-  // results — packets still hit conntrack/reassembly in arrival order.
-  // The tuple hash — a serial FNV chain over 37 bytes, the most
-  // expensive scalar op on this path — is computed exactly once per
-  // packet here and reused by the prefetches and the table lookup. The
-  // filter runs during staging because hashing a packet it is about to
-  // discard would make the burst path strictly more eager than the
-  // per-packet path, polluting the cache with prefetches for flows
-  // nobody tracks.
-  struct Staged {
-    std::optional<packet::PacketView> view;
-    FilterResult pf = FilterResult::no_match();
-    packet::FiveTuple::Canonical canon;
-    std::uint64_t hash = 0;
-    bool tupled = false;
-  };
-  constexpr std::size_t kLookahead = 4;
-  constexpr std::size_t kSlotDistance = 2;
-  std::array<Staged, kLookahead> staged;
   const std::size_t n = burst.size();
-  std::uint64_t bytes_acc = 0;
-
-  const auto stage = [&](std::size_t idx) {
-    Staged& s = staged[idx % kLookahead];
-    // Destroy + placement-new instead of assignment: guaranteed copy
-    // elision constructs parse()'s 200-byte result directly in the ring
-    // slot, matching the per-packet path's elided local.
-    s.view.~optional();
-    new (&s.view)
-        std::optional<packet::PacketView>(packet::PacketView::parse(burst[idx]));
-    {
-      StageScope scope(stats_, Stage::kPacketFilter,
-                       config_.instrument_stages, &inst_);
-      s.pf = s.view ? filter_.packet_filter(*s.view)
-                    : FilterResult::no_match();
-    }
-    s.tupled = false;
-    if (s.pf.matched() && s.view && s.view->five_tuple() &&
-        !(s.pf.terminal() && subscription_.level() == Level::kPacket)) {
-      s.canon = s.view->five_tuple()->canonical();
-      s.hash = s.canon.key.hash();
-      s.tupled = true;
-      table_.prefetch_hashed(s.hash);
-    }
-  };
-
-  // Longest-distance prefetch: the raw frame bytes. Every mbuf arrives
-  // cache-cold (the NIC DMA'd it; nothing has read it yet), and the
-  // header parse is the first touch — so without this, parse eats a
-  // memory stall per packet. Only a burst API can see far enough ahead
-  // to hide that.
-  const auto prefetch_frame = [&](std::size_t idx) {
-#if defined(__GNUC__) || defined(__clang__)
-    const auto bytes = burst[idx].bytes();
-    if (!bytes.empty()) {
-      __builtin_prefetch(bytes.data(), /*rw=*/0, /*locality=*/3);
-      if (bytes.size() > 64) {
-        __builtin_prefetch(bytes.data() + 64, /*rw=*/0, /*locality=*/3);
-      }
-    }
-#else
-    (void)idx;
-#endif
-  };
+  using Mask = packet::SoaBurstView::Mask;
 
   // Timer/sampling housekeeping is hoisted when provably inert: if no
   // wheel tick boundary falls at or before the newest timestamp in the
@@ -392,25 +318,89 @@ void Pipeline::process_burst(std::span<packet::Mbuf> burst) {
   const bool housekeeping = config_.memory_sample_interval_ns != 0 ||
                             table_.timers_due(std::max(last_ts_, burst_max_ts));
 
-  for (std::size_t i = 0; i < std::min(2 * kLookahead, n); ++i) {
-    prefetch_frame(i);
-  }
-  for (std::size_t i = 0; i < std::min(kLookahead, n); ++i) stage(i);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i + 2 * kLookahead < n) prefetch_frame(i + 2 * kLookahead);
-    // Mid-distance: resolve the (warm) index entry of a packet a couple
-    // ahead and prefetch its connection slot. The resolved id is only a
-    // cache hint — pass 2 re-resolves, so slot reuse between now and
-    // then cannot alias.
-    if (i + kSlotDistance < n) {
-      const Staged& ahead = staged[(i + kSlotDistance) % kLookahead];
-      if (ahead.tupled) table_.prefetch_slot_hashed(ahead.hash);
+  // Batch sweep (columnar, not software-pipelined): the whole burst is
+  // parsed into the SoA view in one pass (frame prefetch runs inside,
+  // a few lanes ahead of the parse), then every distinct packet-layer
+  // predicate is evaluated across all 32 lanes at once through
+  // filter::Evaluator::packet_filter_batch — SIMD compares over the
+  // header columns where the backend supports them. All batched work
+  // is stateless (parse, stateless filter, hashing), so running it
+  // ahead of the stateful pass cannot change results: packets still
+  // hit conntrack/reassembly in arrival order, and the SoA view
+  // materializes the same PacketViews the per-packet path would parse.
+  soa_.parse(burst);
+
+  // One logical packet-filter invocation per packet — the stage counter
+  // totals stay identical to the per-packet path's; only the cycle cost
+  // is measured once for the whole burst (and recorded as one histogram
+  // sample covering n invocations).
+  std::array<FilterResult, kMaxBurst> pf;
+  {
+    const bool instr = config_.instrument_stages;
+    std::uint64_t f0 = 0;
+    if (instr) {
+      stats_.stages.add(Stage::kPacketFilter, n);
+      if (auto* cell =
+              inst_.stage_invocations[static_cast<int>(Stage::kPacketFilter)]) {
+        cell->add(n);
+      }
+      f0 = util::rdtsc();
     }
-    Staged& s = staged[i % kLookahead];
+    filter_.packet_filter_batch(soa_, pf.data());
+    if (instr) {
+      const auto cycles = util::rdtsc() - f0;
+      stats_.stages.add_cycles(Stage::kPacketFilter, cycles);
+      if (auto* hist =
+              inst_.stage_cycles[static_cast<int>(Stage::kPacketFilter)]) {
+        hist->record(cycles);
+      }
+    }
+  }
+
+  // Canonicalize + hash the five-tuples of exactly the lanes the
+  // stateful pass will look up — matched, tuple-bearing, and not
+  // consumed outright by a terminal packet-level match. Hashing runs as
+  // one tight loop (independent FNV chains overlap in the pipeline),
+  // then the connection-index probe lines are prefetched for every
+  // lane before the first lookup needs one.
+  const bool packet_level = subscription_.level() == Level::kPacket;
+  Mask want = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!pf[i].matched()) continue;
+    if (pf[i].terminal() && packet_level) continue;
+    want |= Mask{1} << i;
+  }
+  soa_.hash_tuples(want);
+  const Mask tupled = want & soa_.tuple_mask();
+  std::array<std::uint8_t, kMaxBurst> tupled_lanes;
+  std::size_t n_tupled = 0;
+  for (Mask m = tupled; m != 0; m &= m - 1) {
+    const auto i = static_cast<unsigned>(std::countr_zero(m));
+    tupled_lanes[n_tupled++] = static_cast<std::uint8_t>(i);
+    table_.prefetch_hashed(soa_.hash(i));
+  }
+
+  // Stateful pass, in arrival order. Lanes the filter rejected are
+  // skipped entirely when housekeeping was hoisted (process_one would
+  // return immediately anyway); connection *slots* are prefetched a
+  // couple of tupled lanes ahead — the resolved id is only a cache
+  // hint, the lookup below re-resolves, so slot reuse cannot alias.
+  constexpr std::size_t kSlotDistance = 2;
+  std::uint64_t bytes_acc = 0;
+  std::size_t next_tupled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
     bytes_acc += burst[i].length();
-    process_one(burst[i], s.view, s.tupled ? &s.canon : nullptr, s.hash,
-                &s.pf, housekeeping);
-    if (i + kLookahead < n) stage(i + kLookahead);
+    const bool is_tupled = (tupled >> i) & 1u;
+    if (is_tupled) {
+      if (next_tupled + kSlotDistance < n_tupled) {
+        table_.prefetch_slot_hashed(
+            soa_.hash(tupled_lanes[next_tupled + kSlotDistance]));
+      }
+      ++next_tupled;
+    }
+    if (!housekeeping && !pf[i].matched()) continue;
+    process_one(burst[i], soa_.view(i), is_tupled ? &soa_.canon(i) : nullptr,
+                is_tupled ? soa_.hash(i) : 0, &pf[i], housekeeping);
   }
 
   // Batched accounting: one counter update per burst instead of one per

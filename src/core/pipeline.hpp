@@ -27,6 +27,7 @@
 #include "core/stats.hpp"
 #include "core/subscription.hpp"
 #include "packet/packet_view.hpp"
+#include "packet/soa.hpp"
 #include "protocols/registry.hpp"
 #include "stream/reassembly.hpp"
 #include "telemetry/metrics.hpp"
@@ -320,6 +321,9 @@ class Pipeline : public OffloadClient {
   Table table_;
   PipelineStats stats_;
   PipelineInstruments inst_;
+  // Reused per burst: the SoA parse + batch-filter scratch. ~8 KB, only
+  // touched by this core's drain loop.
+  packet::SoaBurstView soa_;
   telemetry::SpanRing* spans_ = nullptr;
   std::int64_t heap_bytes_ = 0;  // buffered packets + parser estimates
   std::uint64_t next_sample_ts_ = 0;

@@ -115,6 +115,19 @@ void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
   }
   if (config_.telemetry || spans_ || config_.overload.enabled) {
     metrics_ = std::make_unique<telemetry::MetricRegistry>(port.num_queues);
+    // Info gauge: which batch filter backend this runtime dispatches
+    // through. The value is the filter::BatchBackend enum; the label
+    // carries the human-readable name.
+    auto& backend_gauge = metrics_->gauge(
+        "retina_filter_backend",
+        "Selected batch filter-evaluation backend "
+        "(0=scalar, 1=sse-class, 2=avx2-class)",
+        "backend", filter_backend_name());
+    const auto backend_value = static_cast<std::uint64_t>(
+        filter_ ? filter_->backend() : filter::active_batch_backend());
+    for (std::size_t core = 0; core < port.num_queues; ++core) {
+      backend_gauge.at(core).set(backend_value);
+    }
   }
 
   if (set_) {
@@ -179,10 +192,10 @@ Runtime::Runtime(RuntimeConfig config, Subscription subscription,
   auto decomposed = filter::decompose(subscription_->filter(), field_registry,
                                       config_.nic_capabilities);
   if (config_.interpreted_filters) {
-    filter_ = std::make_unique<InterpretedFilterEngine>(
-        filter::InterpretedFilter(std::move(decomposed), field_registry));
+    filter_ = std::make_unique<filter::InterpretedFilter>(
+        std::move(decomposed), field_registry);
   } else {
-    filter_ = std::make_unique<CompiledFilterEngine>(
+    filter_ = std::make_unique<filter::CompiledFilter>(
         filter::CompiledFilter::compile(decomposed, field_registry));
   }
   init_common(filter_->hw_rules(), field_registry, parser_registry);
@@ -689,7 +702,16 @@ RunStats Runtime::collect_stats() const {
     stats.max_core_seconds = util::cycles_to_seconds(
         static_cast<std::uint64_t>(max_core_cycles));
   }
+  stats.filter_backend = filter_backend_name();
   return stats;
+}
+
+const char* Runtime::filter_backend_name() const noexcept {
+  // The single-subscription engine reports through the Evaluator (the
+  // interpreter pins kScalar — it IS the scalar baseline); the multisub
+  // forest's batch program dispatches through the process-wide backend.
+  return filter::batch_backend_name(filter_ ? filter_->backend()
+                                            : filter::active_batch_backend());
 }
 
 }  // namespace retina::core

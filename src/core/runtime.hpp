@@ -178,6 +178,10 @@ class Runtime {
   /// Valid whenever telemetry is enabled (during or after a run).
   std::string prometheus() const;
 
+  /// Name of the batch filter-evaluation backend this runtime's filter
+  /// engine dispatches through ("scalar", "sse-class", "avx2-class").
+  const char* filter_backend_name() const noexcept;
+
  private:
   RunStats collect_stats() const;
   telemetry::TelemetrySample capture_sample() const;

@@ -95,6 +95,7 @@ std::string RunStats::to_string() const {
      << std::setprecision(5) << loss_fraction << std::setprecision(3)
      << " gbps=" << processed_gbps() << " wall_s=" << wall_seconds
      << " core_s=" << max_core_seconds;
+  if (!filter_backend.empty()) os << " filter_backend=" << filter_backend;
   return os.str();
 }
 

@@ -114,6 +114,9 @@ struct RunStats {
   std::uint64_t trace_duration_ns = 0;    // virtual time span
   double wall_seconds = 0.0;              // host processing time
   double max_core_seconds = 0.0;          // slowest core's busy time
+  /// Batch filter-evaluation backend the run dispatched through
+  /// ("scalar", "sse-class", "avx2-class"); empty if unknown.
+  std::string filter_backend;
 
   bool zero_loss() const noexcept { return nic_ring_dropped == 0; }
   /// Offered throughput the run *kept up with*, in Gbit/s of ingress

@@ -12,13 +12,6 @@ Subscription Subscription::make(Level level, std::string filter) {
   return s;
 }
 
-Subscription Subscription::make_sessions(std::string filter,
-                                         SessionCallback callback) {
-  auto s = make(Level::kSession, std::move(filter));
-  s.on_session_ = std::move(callback);
-  return s;
-}
-
 SessionCallback Subscription::wrap_tls(
     std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
         callback) {
@@ -40,50 +33,6 @@ SessionCallback Subscription::wrap_http(
 }
 
 Subscription::Builder Subscription::builder() { return Builder{}; }
-
-Subscription Subscription::packets(std::string filter,
-                                   PacketCallback callback) {
-  auto s = make(Level::kPacket, std::move(filter));
-  s.on_packet_ = std::move(callback);
-  return s;
-}
-
-Subscription Subscription::connections(std::string filter,
-                                       ConnCallback callback) {
-  auto s = make(Level::kConnection, std::move(filter));
-  s.on_connection_ = std::move(callback);
-  return s;
-}
-
-Subscription Subscription::sessions(std::string filter,
-                                    SessionCallback callback) {
-  return make_sessions(std::move(filter), std::move(callback));
-}
-
-Subscription Subscription::byte_streams(std::string filter,
-                                        StreamCallback callback) {
-  auto s = make(Level::kStream, std::move(filter));
-  s.on_stream_ = std::move(callback);
-  return s;
-}
-
-Subscription Subscription::tls_handshakes(
-    std::string filter,
-    std::function<void(const SessionRecord&, const protocols::TlsHandshake&)>
-        callback) {
-  auto s = make_sessions(std::move(filter), wrap_tls(std::move(callback)));
-  s.extra_parsers_.push_back("tls");
-  return s;
-}
-
-Subscription Subscription::http_transactions(
-    std::string filter,
-    std::function<void(const SessionRecord&,
-                       const protocols::HttpTransaction&)> callback) {
-  auto s = make_sessions(std::move(filter), wrap_http(std::move(callback)));
-  s.extra_parsers_.push_back("http");
-  return s;
-}
 
 Subscription&& Subscription::with_parsers(
     std::vector<std::string> parsers) && {

@@ -6,8 +6,9 @@
 //   - parsed application-layer sessions (L5–7).
 // Filter and data type are independent: one can receive the raw packets
 // of connections whose TLS SNI matches a regex, or connection records of
-// HTTP flows, etc. Typed convenience constructors mirror Retina's
-// subscribable types (TlsHandshake, HttpTransaction, ...).
+// HTTP flows, etc. Subscriptions are constructed exclusively through the
+// fluent `Subscription::builder()`; its typed `on_*` setters mirror
+// Retina's subscribable types (TlsHandshake, HttpTransaction, ...).
 #pragma once
 
 #include <functional>
@@ -108,44 +109,8 @@ class Subscription {
   /// subscription-construction time, not a throw at Runtime startup.
   static Builder builder();
 
-  /// Raw packets matching `filter` (tagged packets of matching
-  /// connections when the filter has connection/session predicates).
-  [[deprecated("use Subscription::builder().filter(...).on_packet(...)")]]
-  static Subscription packets(std::string filter, PacketCallback callback);
-
-  /// Connection records for connections matching `filter`.
-  [[deprecated(
-      "use Subscription::builder().filter(...).on_connection(...)")]]
-  static Subscription connections(std::string filter, ConnCallback callback);
-
-  /// All parsed application-layer sessions matching `filter`. Which
-  /// parsers run is inferred from the filter; add more with
-  /// `with_parsers` when the filter names none.
-  [[deprecated("use Subscription::builder().filter(...).on_session(...)")]]
-  static Subscription sessions(std::string filter, SessionCallback callback);
-
-  /// Reassembled, in-order byte-streams of connections matching
-  /// `filter`. Chunks before the filter resolves are buffered and
-  /// flushed on match (like packet buffering, Fig. 4a).
-  [[deprecated("use Subscription::builder().filter(...).on_stream(...)")]]
-  static Subscription byte_streams(std::string filter,
-                                   StreamCallback callback);
-
-  /// Typed conveniences (Retina's subscribable types).
-  [[deprecated(
-      "use Subscription::builder().filter(...).on_tls_handshake(...)")]]
-  static Subscription tls_handshakes(
-      std::string filter,
-      std::function<void(const SessionRecord&,
-                         const protocols::TlsHandshake&)> callback);
-  [[deprecated(
-      "use Subscription::builder().filter(...).on_http_transaction(...)")]]
-  static Subscription http_transactions(
-      std::string filter,
-      std::function<void(const SessionRecord&,
-                         const protocols::HttpTransaction&)> callback);
-
-  /// Require additional protocol parsers beyond those the filter names.
+  /// Require additional protocol parsers beyond those the filter names
+  /// (post-construction variant of Builder::parsers).
   Subscription&& with_parsers(std::vector<std::string> parsers) &&;
 
   Level level() const noexcept { return level_; }
@@ -164,11 +129,8 @@ class Subscription {
 
   Subscription() = default;
 
-  // Non-deprecated internals shared by the Builder and the deprecated
-  // static factories (which would otherwise warn calling each other).
+  // Builder internals.
   static Subscription make(Level level, std::string filter);
-  static Subscription make_sessions(std::string filter,
-                                    SessionCallback callback);
   static SessionCallback wrap_tls(
       std::function<void(const SessionRecord&,
                          const protocols::TlsHandshake&)> callback);

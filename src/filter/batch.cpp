@@ -1,0 +1,836 @@
+#include "filter/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "filter/eval.hpp"
+#include "filter/pred_compile.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RETINA_BATCH_X86 1
+#include <immintrin.h>
+#else
+#define RETINA_BATCH_X86 0
+#endif
+
+namespace retina::filter {
+
+// --- Backend selection ------------------------------------------------
+
+namespace {
+
+using Mask = BatchProgram::Mask;
+
+BatchBackend widest_supported() noexcept {
+#if RETINA_BATCH_X86
+  if (__builtin_cpu_supports("avx2")) return BatchBackend::kAvx2;
+  return BatchBackend::kSse;  // SSE2 is the x86-64 baseline
+#else
+  return BatchBackend::kScalar;
+#endif
+}
+
+BatchBackend clamp_backend(BatchBackend want) noexcept {
+  const auto widest = widest_supported();
+  return static_cast<int>(want) > static_cast<int>(widest) ? widest : want;
+}
+
+BatchBackend initial_backend() noexcept {
+  BatchBackend backend = widest_supported();
+  if (const char* env = std::getenv("RETINA_FILTER_BACKEND")) {
+    std::string v;
+    for (const char* p = env; *p != '\0'; ++p) {
+      v.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*p))));
+    }
+    if (v == "scalar") {
+      backend = BatchBackend::kScalar;
+    } else if (v == "sse") {
+      backend = clamp_backend(BatchBackend::kSse);
+    } else if (v == "avx" || v == "avx2") {
+      backend = clamp_backend(BatchBackend::kAvx2);
+    }
+    // Unknown values keep the detected backend: a typo must not
+    // silently change which engine a bench run measures.
+  }
+  return backend;
+}
+
+std::atomic<BatchBackend>& backend_cell() noexcept {
+  static std::atomic<BatchBackend> cell{initial_backend()};
+  return cell;
+}
+
+}  // namespace
+
+const char* batch_backend_name(BatchBackend backend) noexcept {
+  switch (backend) {
+    case BatchBackend::kScalar: return "scalar";
+    case BatchBackend::kSse: return "sse-class";
+    case BatchBackend::kAvx2: return "avx2-class";
+  }
+  return "unknown";
+}
+
+BatchBackend active_batch_backend() noexcept {
+  return backend_cell().load(std::memory_order_relaxed);
+}
+
+void set_batch_backend(BatchBackend backend) noexcept {
+  backend_cell().store(clamp_backend(backend), std::memory_order_relaxed);
+}
+
+void reset_batch_backend() noexcept {
+  backend_cell().store(initial_backend(), std::memory_order_relaxed);
+}
+
+// --- Comparison primitives --------------------------------------------
+//
+// Each primitive produces a 32-lane relation mask over one column; the
+// dispatcher composes kEq/kNe/kLt/... from the three base relations
+// (eq, lt, gt) with 32-bit mask arithmetic. Inverted compositions (~)
+// may set bits in lanes past the burst or without the protocol — the
+// caller ANDs with the validity mask, so they are never observable.
+
+namespace {
+
+constexpr std::size_t kLanes = packet::SoaBurstView::kMaxBurst;
+
+template <typename T>
+Mask eq_scalar(const T* v, std::uint32_t a) noexcept {
+  Mask m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    m |= static_cast<Mask>(v[i] == a) << i;
+  }
+  return m;
+}
+
+template <typename T>
+Mask lt_scalar(const T* v, std::uint32_t a) noexcept {
+  Mask m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    m |= static_cast<Mask>(v[i] < a) << i;
+  }
+  return m;
+}
+
+template <typename T>
+Mask gt_scalar(const T* v, std::uint32_t a) noexcept {
+  Mask m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    m |= static_cast<Mask>(v[i] > a) << i;
+  }
+  return m;
+}
+
+Mask masked_eq_u32_scalar(const std::uint32_t* v, std::uint32_t net,
+                          std::uint32_t mask) noexcept {
+  Mask m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    m |= static_cast<Mask>((v[i] & mask) == net) << i;
+  }
+  return m;
+}
+
+#if RETINA_BATCH_X86
+
+// SSE2 baseline. Unsigned ordered compares go through the sign-bias
+// trick (x ^ 0x8000 maps unsigned order onto signed order); 16-bit lane
+// masks come from packs_epi16 + movemask_epi8.
+
+inline Mask movemask16(__m128i lo, __m128i hi) noexcept {
+  return static_cast<Mask>(
+      static_cast<std::uint16_t>(_mm_movemask_epi8(_mm_packs_epi16(lo, hi))));
+}
+
+Mask eq_u16_sse(const std::uint16_t* v, std::uint32_t a) noexcept {
+  const __m128i av = _mm_set1_epi16(static_cast<short>(a));
+  const __m128i r0 = _mm_cmpeq_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v)), av);
+  const __m128i r1 = _mm_cmpeq_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 8)), av);
+  const __m128i r2 = _mm_cmpeq_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 16)), av);
+  const __m128i r3 = _mm_cmpeq_epi16(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 24)), av);
+  return movemask16(r0, r1) | (movemask16(r2, r3) << 16);
+}
+
+template <bool kGreater>
+Mask ord_u16_sse(const std::uint16_t* v, std::uint32_t a) noexcept {
+  const __m128i bias = _mm_set1_epi16(static_cast<short>(0x8000));
+  const __m128i av =
+      _mm_xor_si128(_mm_set1_epi16(static_cast<short>(a)), bias);
+  __m128i r[4];
+  for (int i = 0; i < 4; ++i) {
+    const __m128i xv = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 8 * i)), bias);
+    r[i] = kGreater ? _mm_cmpgt_epi16(xv, av) : _mm_cmpgt_epi16(av, xv);
+  }
+  return movemask16(r[0], r[1]) | (movemask16(r[2], r[3]) << 16);
+}
+
+Mask eq_u8_sse(const std::uint8_t* v, std::uint32_t a) noexcept {
+  const __m128i av = _mm_set1_epi8(static_cast<char>(a));
+  const __m128i r0 = _mm_cmpeq_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v)), av);
+  const __m128i r1 = _mm_cmpeq_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 16)), av);
+  return static_cast<Mask>(static_cast<std::uint16_t>(_mm_movemask_epi8(r0))) |
+         (static_cast<Mask>(static_cast<std::uint16_t>(_mm_movemask_epi8(r1)))
+          << 16);
+}
+
+template <bool kGreater>
+Mask ord_u8_sse(const std::uint8_t* v, std::uint32_t a) noexcept {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i av = _mm_xor_si128(_mm_set1_epi8(static_cast<char>(a)), bias);
+  Mask m = 0;
+  for (int i = 0; i < 2; ++i) {
+    const __m128i xv = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 16 * i)), bias);
+    const __m128i r =
+        kGreater ? _mm_cmpgt_epi8(xv, av) : _mm_cmpgt_epi8(av, xv);
+    m |= static_cast<Mask>(static_cast<std::uint16_t>(_mm_movemask_epi8(r)))
+         << (16 * i);
+  }
+  return m;
+}
+
+Mask masked_eq_u32_sse(const std::uint32_t* v, std::uint32_t net,
+                       std::uint32_t mask) noexcept {
+  const __m128i nv = _mm_set1_epi32(static_cast<int>(net));
+  const __m128i mv = _mm_set1_epi32(static_cast<int>(mask));
+  __m128i r[8];
+  for (int i = 0; i < 8; ++i) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + 4 * i));
+    r[i] = _mm_cmpeq_epi32(_mm_and_si128(x, mv), nv);
+  }
+  // 32→16→8-bit narrowing keeps lane order (packs within one register
+  // pair is order-preserving for 0/-1 compare results).
+  const __m128i p0 = _mm_packs_epi32(r[0], r[1]);
+  const __m128i p1 = _mm_packs_epi32(r[2], r[3]);
+  const __m128i p2 = _mm_packs_epi32(r[4], r[5]);
+  const __m128i p3 = _mm_packs_epi32(r[6], r[7]);
+  return movemask16(p0, p1) | (movemask16(p2, p3) << 16);
+}
+
+// AVX2 kernels: compiled with a function-level target attribute so the
+// translation unit itself stays baseline; only selected at runtime when
+// the CPU reports avx2.
+
+__attribute__((target("avx2"))) inline Mask avx2_mask16(__m256i r0,
+                                                        __m256i r1) noexcept {
+  // packs_epi16 interleaves 128-bit lanes; permute4x64(0xD8) restores
+  // element order before movemask.
+  const __m256i packed = _mm256_permute4x64_epi64(
+      _mm256_packs_epi16(r0, r1), 0xD8);
+  return static_cast<Mask>(_mm256_movemask_epi8(packed));
+}
+
+__attribute__((target("avx2"))) Mask eq_u16_avx2(const std::uint16_t* v,
+                                                 std::uint32_t a) noexcept {
+  const __m256i av = _mm256_set1_epi16(static_cast<short>(a));
+  const __m256i r0 = _mm256_cmpeq_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)), av);
+  const __m256i r1 = _mm256_cmpeq_epi16(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + 16)), av);
+  return avx2_mask16(r0, r1);
+}
+
+template <bool kGreater>
+__attribute__((target("avx2"))) Mask ord_u16_avx2(const std::uint16_t* v,
+                                                  std::uint32_t a) noexcept {
+  const __m256i bias = _mm256_set1_epi16(static_cast<short>(0x8000));
+  const __m256i av =
+      _mm256_xor_si256(_mm256_set1_epi16(static_cast<short>(a)), bias);
+  const __m256i x0 = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)), bias);
+  const __m256i x1 = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + 16)), bias);
+  const __m256i r0 =
+      kGreater ? _mm256_cmpgt_epi16(x0, av) : _mm256_cmpgt_epi16(av, x0);
+  const __m256i r1 =
+      kGreater ? _mm256_cmpgt_epi16(x1, av) : _mm256_cmpgt_epi16(av, x1);
+  return avx2_mask16(r0, r1);
+}
+
+__attribute__((target("avx2"))) Mask eq_u8_avx2(const std::uint8_t* v,
+                                                std::uint32_t a) noexcept {
+  const __m256i av = _mm256_set1_epi8(static_cast<char>(a));
+  const __m256i r = _mm256_cmpeq_epi8(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)), av);
+  return static_cast<Mask>(_mm256_movemask_epi8(r));
+}
+
+template <bool kGreater>
+__attribute__((target("avx2"))) Mask ord_u8_avx2(const std::uint8_t* v,
+                                                 std::uint32_t a) noexcept {
+  const __m256i bias = _mm256_set1_epi8(static_cast<char>(0x80));
+  const __m256i av =
+      _mm256_xor_si256(_mm256_set1_epi8(static_cast<char>(a)), bias);
+  const __m256i x = _mm256_xor_si256(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v)), bias);
+  const __m256i r =
+      kGreater ? _mm256_cmpgt_epi8(x, av) : _mm256_cmpgt_epi8(av, x);
+  return static_cast<Mask>(_mm256_movemask_epi8(r));
+}
+
+__attribute__((target("avx2"))) Mask masked_eq_u32_avx2(
+    const std::uint32_t* v, std::uint32_t net, std::uint32_t mask) noexcept {
+  const __m256i nv = _mm256_set1_epi32(static_cast<int>(net));
+  const __m256i mv = _mm256_set1_epi32(static_cast<int>(mask));
+  __m256i r[4];
+  for (int i = 0; i < 4; ++i) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + 8 * i));
+    r[i] = _mm256_cmpeq_epi32(_mm256_and_si256(x, mv), nv);
+  }
+  const __m256i p0 = _mm256_permute4x64_epi64(
+      _mm256_packs_epi32(r[0], r[1]), 0xD8);
+  const __m256i p1 = _mm256_permute4x64_epi64(
+      _mm256_packs_epi32(r[2], r[3]), 0xD8);
+  return avx2_mask16(p0, p1);
+}
+
+#endif  // RETINA_BATCH_X86
+
+Mask eq_u16(const std::uint16_t* v, std::uint32_t a,
+            BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return eq_u16_avx2(v, a);
+  if (be == BatchBackend::kSse) return eq_u16_sse(v, a);
+#else
+  (void)be;
+#endif
+  return eq_scalar(v, a);
+}
+
+Mask lt_u16(const std::uint16_t* v, std::uint32_t a,
+            BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return ord_u16_avx2<false>(v, a);
+  if (be == BatchBackend::kSse) return ord_u16_sse<false>(v, a);
+#else
+  (void)be;
+#endif
+  return lt_scalar(v, a);
+}
+
+Mask gt_u16(const std::uint16_t* v, std::uint32_t a,
+            BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return ord_u16_avx2<true>(v, a);
+  if (be == BatchBackend::kSse) return ord_u16_sse<true>(v, a);
+#else
+  (void)be;
+#endif
+  return gt_scalar(v, a);
+}
+
+Mask eq_u8(const std::uint8_t* v, std::uint32_t a, BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return eq_u8_avx2(v, a);
+  if (be == BatchBackend::kSse) return eq_u8_sse(v, a);
+#else
+  (void)be;
+#endif
+  return eq_scalar(v, a);
+}
+
+Mask lt_u8(const std::uint8_t* v, std::uint32_t a, BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return ord_u8_avx2<false>(v, a);
+  if (be == BatchBackend::kSse) return ord_u8_sse<false>(v, a);
+#else
+  (void)be;
+#endif
+  return lt_scalar(v, a);
+}
+
+Mask gt_u8(const std::uint8_t* v, std::uint32_t a, BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return ord_u8_avx2<true>(v, a);
+  if (be == BatchBackend::kSse) return ord_u8_sse<true>(v, a);
+#else
+  (void)be;
+#endif
+  return gt_scalar(v, a);
+}
+
+Mask masked_eq_u32(const std::uint32_t* v, std::uint32_t net,
+                   std::uint32_t mask, BatchBackend be) noexcept {
+#if RETINA_BATCH_X86
+  if (be == BatchBackend::kAvx2) return masked_eq_u32_avx2(v, net, mask);
+  if (be == BatchBackend::kSse) return masked_eq_u32_sse(v, net, mask);
+#else
+  (void)be;
+#endif
+  return masked_eq_u32_scalar(v, net, mask);
+}
+
+/// Leading-`len` bit match of one IPv6 address against a prefix —
+/// exactly IpPrefix::contains for version-6 operands.
+bool v6_prefix_match(const std::uint8_t* addr,
+                     const std::array<std::uint8_t, 16>& net,
+                     std::uint8_t len) noexcept {
+  const std::size_t full = len / 8;
+  if (full > 0 && std::memcmp(addr, net.data(), full) != 0) return false;
+  const std::size_t rem = len % 8;
+  if (rem != 0) {
+    const std::uint8_t m = static_cast<std::uint8_t>(0xFF00 >> rem);
+    if ((addr[full] & m) != (net[full] & m)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- BatchProgram -----------------------------------------------------
+
+BatchProgram::Kernel BatchProgram::int_kernel(Col c0, Col c1, Valid valid,
+                                              std::uint32_t max, CmpOp op,
+                                              const Value& value) {
+  // Constant normalization: fold everything compare_int decides from
+  // the constant alone (width-exceeded values, degenerate ranges) so
+  // the vector loop only ever runs exact in-width primitives. kFalse /
+  // kTrueValid are the "no lane can match" / "every yielded value
+  // matches" outcomes — identical to the scalar thunk's verdicts.
+  Kernel k;
+  k.col0 = c0;
+  k.col1 = c1;
+  k.valid = valid;
+  const Op cmp = max <= 0xFF ? Op::kCmpU8 : Op::kCmpU16;
+
+  if (const auto* range = std::get_if<IntRange>(&value)) {
+    if (op == CmpOp::kIn || op == CmpOp::kNotIn) {
+      if (range->lo > max) {
+        // contains() can never hold for an in-width value.
+        k.op = op == CmpOp::kIn ? Op::kFalse : Op::kTrueValid;
+        return k;
+      }
+      k.op = cmp;
+      k.prim = op == CmpOp::kIn ? Prim::kIn : Prim::kNotIn;
+      k.a = static_cast<std::uint32_t>(range->lo);
+      k.b = static_cast<std::uint32_t>(std::min<std::uint64_t>(range->hi, max));
+      return k;
+    }
+    k.op = Op::kFalse;  // ranges only pair with in/not-in (eval.hpp)
+    return k;
+  }
+
+  const auto* rhs = std::get_if<std::uint64_t>(&value);
+  if (rhs == nullptr) {
+    k.op = Op::kFalse;  // wrong constant type never matches
+    return k;
+  }
+  k.op = cmp;
+  k.a = static_cast<std::uint32_t>(std::min<std::uint64_t>(*rhs, max));
+  switch (op) {
+    case CmpOp::kEq:
+      if (*rhs > max) k.op = Op::kFalse;
+      k.prim = Prim::kEq;
+      break;
+    case CmpOp::kNe:
+      if (*rhs > max) k.op = Op::kTrueValid;
+      k.prim = Prim::kNe;
+      break;
+    case CmpOp::kLt:
+      if (*rhs > max) {
+        k.op = Op::kTrueValid;
+      } else if (*rhs == 0) {
+        k.op = Op::kFalse;
+      }
+      k.prim = Prim::kLt;
+      break;
+    case CmpOp::kLe:
+      if (*rhs >= max) k.op = Op::kTrueValid;
+      k.prim = Prim::kLe;
+      break;
+    case CmpOp::kGt:
+      if (*rhs >= max) k.op = Op::kFalse;
+      k.prim = Prim::kGt;
+      break;
+    case CmpOp::kGe:
+      if (*rhs > max) {
+        k.op = Op::kFalse;
+      } else if (*rhs == 0) {
+        k.op = Op::kTrueValid;
+      }
+      k.prim = Prim::kGe;
+      break;
+    default:
+      k.op = Op::kFalse;  // string/regex ops on an int field
+      break;
+  }
+  return k;
+}
+
+BatchProgram::Kernel BatchProgram::prefix_kernel(Col c0, Col c1, bool v6,
+                                                 Valid valid, CmpOp op,
+                                                 const Value& value) {
+  Kernel k;
+  k.col0 = c0;
+  k.col1 = c1;
+  k.valid = valid;
+  const auto* prefix = std::get_if<IpPrefix>(&value);
+  if (prefix == nullptr) {
+    k.op = Op::kFalse;
+    return k;
+  }
+  const bool in_op = op == CmpOp::kEq || op == CmpOp::kIn;
+  const bool out_op = op == CmpOp::kNe || op == CmpOp::kNotIn;
+  if (!in_op && !out_op) {
+    k.op = Op::kFalse;  // compare_ip: only =/!=/in/not-in on addresses
+    return k;
+  }
+  k.invert = out_op;
+  if (!v6) {
+    if (prefix->addr.version != 4) {
+      // contains() is false on a version mismatch for every lane, so
+      // != / not-in hold wherever a value exists at all.
+      k.op = in_op ? Op::kFalse : Op::kTrueValid;
+      return k;
+    }
+    const std::uint32_t plen = std::min<std::uint32_t>(prefix->prefix_len, 32);
+    const std::uint32_t mask =
+        plen == 0 ? 0u : (0xFFFFFFFFu << (32 - plen));
+    k.op = Op::kPrefixV4;
+    k.a = prefix->addr.as_v4() & mask;
+    k.b = mask;
+    return k;
+  }
+  if (prefix->addr.version != 6) {
+    k.op = in_op ? Op::kFalse : Op::kTrueValid;
+    return k;
+  }
+  k.op = Op::kPrefixV6;
+  k.net6 = prefix->addr.bytes;
+  k.len6 = static_cast<std::uint8_t>(
+      std::min<std::uint32_t>(prefix->prefix_len, 128));
+  return k;
+}
+
+BatchProgram::Kernel BatchProgram::make_kernel(const Predicate& pred,
+                                               const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+
+  if (pred.is_unary()) {
+    Kernel k;
+    switch (proto.presence_col) {
+      case PresenceColumn::kEth: k.op = Op::kPresence; k.valid = Valid::kEth; return k;
+      case PresenceColumn::kIpv4: k.op = Op::kPresence; k.valid = Valid::kIpv4; return k;
+      case PresenceColumn::kIpv6: k.op = Op::kPresence; k.valid = Valid::kIpv6; return k;
+      case PresenceColumn::kTcp: k.op = Op::kPresence; k.valid = Valid::kTcp; return k;
+      case PresenceColumn::kUdp: k.op = Op::kPresence; k.valid = Valid::kUdp; return k;
+      case PresenceColumn::kNone: break;
+    }
+    k.op = Op::kThunk;
+    k.thunk = compile_packet_pred(pred, registry);
+    return k;
+  }
+
+  const auto* field = proto.find_field(pred.field);
+  if (field == nullptr || !field->packet_get) {
+    throw FilterError("cannot compile batch predicate " + pred.to_string());
+  }
+
+  const auto thunk_kernel = [&] {
+    Kernel k;
+    k.op = Op::kThunk;
+    k.thunk = compile_packet_pred(pred, registry);
+    return k;
+  };
+
+  // Hints are trusted only when the field type still matches what the
+  // builtin module registered — a custom registry that reuses a name
+  // with a different type drops to the (always correct) scalar thunk.
+  switch (field->batch) {
+    case BatchColumn::kEtherType:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kEtherType, Col::kNone, Valid::kEth, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kIpv4Addr:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Src, Col::kV4Dst, /*v6=*/false,
+                           Valid::kIpv4, pred.op, pred.value);
+    case BatchColumn::kIpv4Src:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Src, Col::kNone, false, Valid::kIpv4,
+                           pred.op, pred.value);
+    case BatchColumn::kIpv4Dst:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Dst, Col::kNone, false, Valid::kIpv4,
+                           pred.op, pred.value);
+    case BatchColumn::kIpv4Ttl:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kTtl, Col::kNone, Valid::kIpv4, 0xFF, pred.op,
+                        pred.value);
+    case BatchColumn::kIpv4TotalLen:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kV4TotalLen, Col::kNone, Valid::kIpv4, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kIpv6Addr:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Src, Col::kV4Dst, /*v6=*/true,
+                           Valid::kIpv6, pred.op, pred.value);
+    case BatchColumn::kIpv6Src:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Src, Col::kNone, true, Valid::kIpv6,
+                           pred.op, pred.value);
+    case BatchColumn::kIpv6Dst:
+      if (field->type != FieldType::kIpAddr) return thunk_kernel();
+      return prefix_kernel(Col::kV4Dst, Col::kNone, true, Valid::kIpv6,
+                           pred.op, pred.value);
+    case BatchColumn::kIpv6HopLimit:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kHopLimit, Col::kNone, Valid::kIpv6, 0xFF,
+                        pred.op, pred.value);
+    case BatchColumn::kTcpPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kSrcPort, Col::kDstPort, Valid::kTcp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kTcpSrcPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kSrcPort, Col::kNone, Valid::kTcp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kTcpDstPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kDstPort, Col::kNone, Valid::kTcp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kTcpFlags:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kTcpFlags, Col::kNone, Valid::kTcp, 0xFF,
+                        pred.op, pred.value);
+    case BatchColumn::kTcpWindow:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kTcpWindow, Col::kNone, Valid::kTcp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kUdpPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kSrcPort, Col::kDstPort, Valid::kUdp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kUdpSrcPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kSrcPort, Col::kNone, Valid::kUdp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kUdpDstPort:
+      if (field->type != FieldType::kInt) return thunk_kernel();
+      return int_kernel(Col::kDstPort, Col::kNone, Valid::kUdp, 0xFFFF,
+                        pred.op, pred.value);
+    case BatchColumn::kNone:
+      break;
+  }
+  return thunk_kernel();
+}
+
+Result<BatchProgram> BatchProgram::compile(const PredicateTrie& trie,
+                                           const FieldRegistry& registry) {
+  BatchProgram prog;
+  const auto& preds = trie.distinct_predicates();
+  prog.kernels_.resize(preds.size());
+  try {
+    for (std::size_t slot = 0; slot < preds.size(); ++slot) {
+      if (preds[slot].layer != FilterLayer::kPacket) continue;
+      prog.kernels_[slot] = make_kernel(preds[slot].pred, registry);
+    }
+  } catch (const std::exception& e) {
+    return Err(std::string("cannot compile batch filter program: ") +
+               e.what());
+  }
+  return prog;
+}
+
+std::size_t BatchProgram::column_kernel_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& k : kernels_) {
+    if (k.op != Op::kEmpty && k.op != Op::kThunk) ++n;
+  }
+  return n;
+}
+
+std::size_t BatchProgram::thunk_kernel_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& k : kernels_) {
+    if (k.op == Op::kThunk) ++n;
+  }
+  return n;
+}
+
+void BatchProgram::eval(const packet::SoaBurstView& soa,
+                        Mask* slot_masks) const {
+  const BatchBackend be = active_batch_backend();
+  const auto& c = soa.cols();
+  const Mask valid_of[5] = {soa.eth_mask(), soa.ipv4_mask(), soa.ipv6_mask(),
+                            soa.tcp_mask(), soa.udp_mask()};
+  const auto col_u16 = [&c](Col col) noexcept -> const std::uint16_t* {
+    switch (col) {
+      case Col::kEtherType: return c.ether_type;
+      case Col::kSrcPort: return c.src_port;
+      case Col::kDstPort: return c.dst_port;
+      case Col::kV4TotalLen: return c.v4_total_len;
+      case Col::kTcpWindow: return c.tcp_window;
+      default: return nullptr;
+    }
+  };
+  const auto col_u8 = [&c](Col col) noexcept -> const std::uint8_t* {
+    switch (col) {
+      case Col::kTtl: return c.ttl;
+      case Col::kHopLimit: return c.hop_limit;
+      case Col::kTcpFlags: return c.tcp_flags;
+      default: return nullptr;
+    }
+  };
+  const auto cmp_u16 = [be](const std::uint16_t* v, Prim p, std::uint32_t a,
+                            std::uint32_t b) noexcept -> Mask {
+    switch (p) {
+      case Prim::kEq: return eq_u16(v, a, be);
+      case Prim::kNe: return ~eq_u16(v, a, be);
+      case Prim::kLt: return lt_u16(v, a, be);
+      case Prim::kLe: return ~gt_u16(v, a, be);
+      case Prim::kGt: return gt_u16(v, a, be);
+      case Prim::kGe: return ~lt_u16(v, a, be);
+      case Prim::kIn: return ~(lt_u16(v, a, be) | gt_u16(v, b, be));
+      case Prim::kNotIn: return lt_u16(v, a, be) | gt_u16(v, b, be);
+    }
+    return 0;
+  };
+  const auto cmp_u8 = [be](const std::uint8_t* v, Prim p, std::uint32_t a,
+                           std::uint32_t b) noexcept -> Mask {
+    switch (p) {
+      case Prim::kEq: return eq_u8(v, a, be);
+      case Prim::kNe: return ~eq_u8(v, a, be);
+      case Prim::kLt: return lt_u8(v, a, be);
+      case Prim::kLe: return ~gt_u8(v, a, be);
+      case Prim::kGt: return gt_u8(v, a, be);
+      case Prim::kGe: return ~lt_u8(v, a, be);
+      case Prim::kIn: return ~(lt_u8(v, a, be) | gt_u8(v, b, be));
+      case Prim::kNotIn: return lt_u8(v, a, be) | gt_u8(v, b, be);
+    }
+    return 0;
+  };
+
+  for (std::size_t slot = 0; slot < kernels_.size(); ++slot) {
+    const Kernel& k = kernels_[slot];
+    const Mask valid = valid_of[static_cast<int>(k.valid)];
+    Mask m = 0;
+    switch (k.op) {
+      case Op::kEmpty:
+      case Op::kFalse:
+        break;
+      case Op::kTrueValid:
+      case Op::kPresence:
+        m = valid;
+        break;
+      case Op::kCmpU16:
+        m = cmp_u16(col_u16(k.col0), k.prim, k.a, k.b);
+        if (k.col1 != Col::kNone) {
+          // Any-direction fields: a lane matches when EITHER column
+          // does; kNe/kNotIn already inverted per column inside the
+          // primitive, which is exactly the per-value semantics.
+          m |= cmp_u16(col_u16(k.col1), k.prim, k.a, k.b);
+        }
+        m &= valid;
+        break;
+      case Op::kCmpU8:
+        m = cmp_u8(col_u8(k.col0), k.prim, k.a, k.b);
+        if (k.col1 != Col::kNone) {
+          m |= cmp_u8(col_u8(k.col1), k.prim, k.a, k.b);
+        }
+        m &= valid;
+        break;
+      case Op::kPrefixV4: {
+        const auto v4col = [&c](Col col) noexcept {
+          return col == Col::kV4Src ? c.v4_src : c.v4_dst;
+        };
+        Mask m0 = masked_eq_u32(v4col(k.col0), k.a, k.b, be);
+        if (k.invert) m0 = ~m0;
+        m = m0;
+        if (k.col1 != Col::kNone) {
+          Mask m1 = masked_eq_u32(v4col(k.col1), k.a, k.b, be);
+          if (k.invert) m1 = ~m1;
+          m |= m1;
+        }
+        m &= valid;
+        break;
+      }
+      case Op::kPrefixV6: {
+        const auto v6col = [&c](Col col) noexcept {
+          return col == Col::kV4Src ? c.v6_src : c.v6_dst;
+        };
+        for (Mask lanes = valid; lanes != 0; lanes &= lanes - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+          const unsigned i = static_cast<unsigned>(__builtin_ctz(lanes));
+#else
+          unsigned i = 0;
+          while (((lanes >> i) & 1u) == 0) ++i;
+#endif
+          bool hit = v6_prefix_match(v6col(k.col0)[i], k.net6, k.len6);
+          if (k.invert) hit = !hit;
+          if (!hit && k.col1 != Col::kNone) {
+            hit = v6_prefix_match(v6col(k.col1)[i], k.net6, k.len6);
+            if (k.invert) hit = !hit;
+          }
+          if (hit) m |= Mask{1} << i;
+        }
+        break;
+      }
+      case Op::kThunk: {
+        // Scalar fallback: evaluate the thunk on every parsed lane —
+        // definitionally the per-packet path, one lane at a time.
+        for (Mask lanes = soa.eth_mask(); lanes != 0; lanes &= lanes - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+          const unsigned i = static_cast<unsigned>(__builtin_ctz(lanes));
+#else
+          unsigned i = 0;
+          while (((lanes >> i) & 1u) == 0) ++i;
+#endif
+          if (k.thunk(*soa.view(i))) m |= Mask{1} << i;
+        }
+        break;
+      }
+    }
+    slot_masks[slot] = m;
+  }
+}
+
+// --- PredicateBank ----------------------------------------------------
+
+Result<PredicateBank> PredicateBank::compile(const PredicateTrie& trie,
+                                             const FieldRegistry& registry) {
+  PredicateBank bank;
+  const auto& preds = trie.distinct_predicates();
+  bank.packet_.resize(preds.size());
+  bank.session_.resize(preds.size());
+  try {
+    for (std::size_t slot = 0; slot < preds.size(); ++slot) {
+      switch (preds[slot].layer) {
+        case FilterLayer::kPacket:
+          bank.packet_[slot] = compile_packet_pred(preds[slot].pred, registry);
+          bank.packet_slots_.push_back(static_cast<std::uint32_t>(slot));
+          break;
+        case FilterLayer::kSession:
+          bank.session_[slot] =
+              compile_session_pred(preds[slot].pred, registry);
+          break;
+        case FilterLayer::kConnection:
+          break;  // protocol-id comparison; no thunk
+      }
+    }
+  } catch (const std::exception& e) {
+    // decompose() validated each predicate, so this is belt-and-braces
+    // (e.g. a pathological regex the parser accepted).
+    return Err(std::string("cannot compile shared predicate bank: ") +
+               e.what());
+  }
+  auto program = BatchProgram::compile(trie, registry);
+  if (!program) return Err(program.error());
+  bank.program_ = std::move(*program);
+  return bank;
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,185 @@
+// Batch filter evaluation (ROADMAP item 2): the predicate trie's
+// distinct-predicate table lowered to a *batch program* that sweeps each
+// predicate across a whole SoaBurstView at once.
+//
+// Three layers:
+//  * BatchBackend — runtime selection between the always-compiled scalar
+//    kernels and the SSE-class / AVX-class intrinsic kernels (x86-64;
+//    detected once, overridable via RETINA_FILTER_BACKEND or
+//    set_batch_backend for tests). Every kernel flavor is compiled into
+//    every build, so the scalar fallback is exercised everywhere.
+//  * BatchProgram — one kernel per distinct eval slot. Builtin fields
+//    carry a BatchColumn hint, so their predicates compile to columnar
+//    compares (with compile-time constant normalization that mirrors
+//    filter/eval.hpp semantics exactly — width-exceeded constants,
+//    cross-version prefixes, and range clamps fold to constant masks).
+//    Fields without a hint (custom registries) fall back to the scalar
+//    thunk per lane, which is definitionally equivalent.
+//  * PredicateBank — the single shared evaluation surface the Evaluator
+//    backends and the multisub FilterForest all use: per-slot scalar
+//    packet/session thunks plus the batch program, compiled once per
+//    trie. This is where the formerly divergent eval entry points
+//    (CompiledFilter slots, forest banks, pred_compile call sites)
+//    collapsed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "filter/trie.hpp"
+#include "packet/soa.hpp"
+#include "protocols/session.hpp"
+#include "util/result.hpp"
+
+namespace retina::filter {
+
+/// Kernel flavor for the batch inner loops. kSse means the SSE2-class
+/// baseline every x86-64 CPU has; kAvx2 the 256-bit path.
+enum class BatchBackend : std::uint8_t { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+/// Human-readable name ("scalar" / "sse-class" / "avx2-class") for
+/// stats lines and the retina_filter_backend gauge.
+const char* batch_backend_name(BatchBackend backend) noexcept;
+
+/// The backend batch kernels dispatch through right now. Defaults to
+/// the widest flavor the CPU supports, narrowed by the
+/// RETINA_FILTER_BACKEND env var ("scalar" | "sse" | "avx2"/"avx") if
+/// set. Never wider than the CPU supports.
+BatchBackend active_batch_backend() noexcept;
+
+/// Force a backend (clamped to what the CPU supports). Tests and the
+/// CLI use this; takes effect for subsequent evaluations.
+void set_batch_backend(BatchBackend backend) noexcept;
+
+/// Drop any override and re-run detection + env handling.
+void reset_batch_backend() noexcept;
+
+/// One distinct packet-layer predicate evaluated across a whole burst:
+/// program.eval() fills masks[slot] with bit i set iff the predicate
+/// holds for packet i — exactly the lanes where the scalar thunk would
+/// return true.
+class BatchProgram {
+ public:
+  using Mask = packet::SoaBurstView::Mask;
+
+  BatchProgram() = default;
+
+  /// Compile every packet-layer slot of `trie` into a kernel.
+  /// [[nodiscard]] Result mirrors filter::try_decompose: malformed
+  /// predicates (possible only with hand-built tries over custom
+  /// registries) come back as an error value, not a throw.
+  [[nodiscard]] static Result<BatchProgram> compile(
+      const PredicateTrie& trie, const FieldRegistry& registry);
+
+  /// Evaluate all slots over one parsed burst. `slot_masks` must have
+  /// slot_count() entries. Non-packet slots yield 0.
+  void eval(const packet::SoaBurstView& soa, Mask* slot_masks) const;
+
+  std::size_t slot_count() const noexcept { return kernels_.size(); }
+  /// Slots lowered to columnar (vectorizable) kernels.
+  std::size_t column_kernel_count() const noexcept;
+  /// Slots that fell back to a per-lane scalar thunk.
+  std::size_t thunk_kernel_count() const noexcept;
+
+ private:
+  enum class Op : std::uint8_t {
+    kEmpty,      // non-packet slot: mask 0
+    kFalse,      // constant-folded to no lanes
+    kTrueValid,  // constant-folded to "all valid lanes"
+    kPresence,   // unary: the validity mask itself
+    kCmpU8,
+    kCmpU16,
+    kPrefixV4,
+    kPrefixV6,
+    kThunk,  // scalar fallback per lane
+  };
+  /// Comparison primitive after normalization; kNe/kNotIn invert per
+  /// column *before* the any-direction OR (tcp.port != X means "either
+  /// endpoint differs" — the Wireshark convention from eval.hpp).
+  enum class Prim : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe, kIn, kNotIn };
+  enum class Col : std::uint8_t {
+    kNone,
+    kEtherType,
+    kV4Src,
+    kV4Dst,
+    kSrcPort,
+    kDstPort,
+    kV4TotalLen,
+    kTcpWindow,
+    kTtl,
+    kHopLimit,
+    kTcpFlags,
+  };
+  enum class Valid : std::uint8_t { kEth, kIpv4, kIpv6, kTcp, kUdp };
+
+  struct Kernel {
+    Op op = Op::kEmpty;
+    Prim prim = Prim::kEq;
+    Col col0 = Col::kNone;
+    Col col1 = Col::kNone;  // any-direction fields sweep two columns
+    Valid valid = Valid::kEth;
+    std::uint32_t a = 0;  // value / range lo / v4 prefix net
+    std::uint32_t b = 0;  // range hi / v4 prefix mask
+    std::array<std::uint8_t, 16> net6{};
+    std::uint8_t len6 = 0;
+    bool invert = false;  // prefix compares: kNe/kNotIn lanes
+    std::function<bool(const packet::PacketView&)> thunk;
+  };
+
+  static Kernel make_kernel(const Predicate& pred,
+                            const FieldRegistry& registry);
+  static Kernel int_kernel(Col c0, Col c1, Valid valid, std::uint32_t max,
+                           CmpOp op, const Value& value);
+  static Kernel prefix_kernel(Col c0, Col c1, bool v6, Valid valid, CmpOp op,
+                              const Value& value);
+
+  std::vector<Kernel> kernels_;
+};
+
+/// The unified predicate-evaluation surface: scalar thunks and the
+/// batch program for one trie's distinct-predicate table, compiled
+/// once. CompiledFilter, InterpretedFilter's batch path, and the
+/// multisub FilterForest all evaluate through a bank — filter semantics
+/// live in exactly one place.
+class PredicateBank {
+ public:
+  PredicateBank() = default;
+
+  [[nodiscard]] static Result<PredicateBank> compile(
+      const PredicateTrie& trie, const FieldRegistry& registry);
+
+  std::size_t size() const noexcept { return packet_.size(); }
+
+  bool eval_packet(std::uint32_t slot, const packet::PacketView& pkt) const {
+    return packet_[slot](pkt);
+  }
+  bool eval_session(std::uint32_t slot,
+                    const protocols::Session& session) const {
+    return session_[slot](session);
+  }
+
+  /// Batch path: masks[slot] ← per-lane verdicts for every packet-layer
+  /// slot at once (see BatchProgram::eval).
+  void eval_batch(const packet::SoaBurstView& soa,
+                  BatchProgram::Mask* slot_masks) const {
+    program_.eval(soa, slot_masks);
+  }
+
+  /// Slots whose predicate executes at the packet layer (the ones
+  /// eval_batch fills) — callers preset exactly these in an EvalScratch.
+  const std::vector<std::uint32_t>& packet_slots() const noexcept {
+    return packet_slots_;
+  }
+
+  const BatchProgram& program() const noexcept { return program_; }
+
+ private:
+  std::vector<std::function<bool(const packet::PacketView&)>> packet_;
+  std::vector<std::function<bool(const protocols::Session&)>> session_;
+  std::vector<std::uint32_t> packet_slots_;
+  BatchProgram program_;
+};
+
+}  // namespace retina::filter

@@ -1,0 +1,14 @@
+#include "filter/evaluator.hpp"
+
+namespace retina::filter {
+
+void Evaluator::packet_filter_batch(const packet::SoaBurstView& soa,
+                                    FilterResult* results) const {
+  const auto eth = soa.eth_mask();
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    results[i] = (eth >> i) & 1u ? packet_filter(*soa.view(i))
+                                 : FilterResult::no_match();
+  }
+}
+
+}  // namespace retina::filter

@@ -1,0 +1,61 @@
+// filter::Evaluator — THE filter-evaluation interface. Every consumer
+// of filter semantics (Pipeline::process_burst, MultiPipeline, the
+// runtime's engine selection, tests) programs against this one abstract
+// surface; CompiledFilter (closure compilation + batch SoA engine) and
+// InterpretedFilter (Appendix B baseline) are its two backends. The
+// batch entry point has a default implementation — evaluate the scalar
+// packet filter lane by lane — so any Evaluator is automatically
+// batch-capable and backends only override it when they can do better.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "filter/batch.hpp"
+#include "filter/trie.hpp"
+#include "nic/flow_rule.hpp"
+#include "packet/soa.hpp"
+#include "protocols/session.hpp"
+
+namespace retina::filter {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Software packet filter (sub-filter 2). kTerminal when a whole
+  /// pattern is satisfied by this packet alone, kNonTerminal (with the
+  /// deepest matched node id) when connection/session predicates remain.
+  virtual FilterResult packet_filter(const packet::PacketView& pkt) const = 0;
+
+  /// Connection filter (sub-filter 3), applied once the connection's
+  /// application protocol has been identified, resuming from the packet
+  /// filter's matched node.
+  virtual FilterResult conn_filter(std::uint32_t pkt_term_node,
+                                   std::size_t app_proto_id) const = 0;
+
+  /// Session filter (sub-filter 4), applied on a fully parsed session.
+  virtual bool session_filter(std::uint32_t conn_term_node,
+                              const protocols::Session& session) const = 0;
+
+  virtual bool needs_conn_stage() const = 0;
+  virtual bool needs_session_stage() const = 0;
+  virtual const std::set<std::size_t>& app_protos() const = 0;
+  virtual const nic::FlowRuleSet& hw_rules() const = 0;
+
+  /// Packet filter over a whole parsed burst: results[i] is filled for
+  /// every lane i < soa.size(); lanes that failed to parse at L2 (eth
+  /// bit clear) get no_match, all others get exactly what
+  /// packet_filter(*soa.view(i)) returns. The default implementation is
+  /// that scalar loop; CompiledFilter overrides it with the columnar
+  /// batch program.
+  virtual void packet_filter_batch(const packet::SoaBurstView& soa,
+                                   FilterResult* results) const;
+
+  /// Which kernel flavor packet_filter_batch dispatches through —
+  /// surfaced in RunStats and the retina_filter_backend gauge. The
+  /// default (scalar loop) reports kScalar regardless of CPU.
+  virtual BatchBackend backend() const noexcept { return BatchBackend::kScalar; }
+};
+
+}  // namespace retina::filter

@@ -16,19 +16,23 @@ using protocols::Session;
 using protocols::SshHandshake;
 using protocols::TlsHandshake;
 
-FieldDef int_field(std::string name, PacketFieldFn get) {
+FieldDef int_field(std::string name, PacketFieldFn get,
+                   BatchColumn batch = BatchColumn::kNone) {
   FieldDef f;
   f.name = std::move(name);
   f.type = FieldType::kInt;
   f.packet_get = std::move(get);
+  f.batch = batch;
   return f;
 }
 
-FieldDef ip_field(std::string name, PacketFieldFn get) {
+FieldDef ip_field(std::string name, PacketFieldFn get,
+                  BatchColumn batch = BatchColumn::kNone) {
   FieldDef f;
   f.name = std::move(name);
   f.type = FieldType::kIpAddr;
   f.packet_get = std::move(get);
+  f.batch = batch;
   return f;
 }
 
@@ -59,12 +63,14 @@ ProtoDef make_eth() {
   p.layer = FilterLayer::kPacket;
   p.encapsulates = {"ipv4", "ipv6"};
   p.present = [](const PacketView& pkt) { return pkt.eth().has_value(); };
+  p.presence_col = PresenceColumn::kEth;
   add_field(p, int_field("ether_type",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.eth())
                              out.emplace_back(std::uint64_t{
                                  pkt.eth()->ether_type()});
-                         }));
+                         },
+                         BatchColumn::kEtherType));
   return p;
 }
 
@@ -74,34 +80,40 @@ ProtoDef make_ipv4() {
   p.layer = FilterLayer::kPacket;
   p.encapsulates = {"tcp", "udp"};
   p.present = [](const PacketView& pkt) { return pkt.ipv4().has_value(); };
+  p.presence_col = PresenceColumn::kIpv4;
   add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.ipv4()) {
                 out.emplace_back(IpAddr::v4(pkt.ipv4()->src_addr()));
                 out.emplace_back(IpAddr::v4(pkt.ipv4()->dst_addr()));
               }
-            }));
+            },
+            BatchColumn::kIpv4Addr));
   add_field(p, ip_field("src_addr",
                         [](const PacketView& pkt, FieldValues& out) {
                           if (pkt.ipv4())
                             out.emplace_back(
                                 IpAddr::v4(pkt.ipv4()->src_addr()));
-                        }));
+                        },
+                        BatchColumn::kIpv4Src));
   add_field(p, ip_field("dst_addr",
                         [](const PacketView& pkt, FieldValues& out) {
                           if (pkt.ipv4())
                             out.emplace_back(
                                 IpAddr::v4(pkt.ipv4()->dst_addr()));
-                        }));
+                        },
+                        BatchColumn::kIpv4Dst));
   add_field(p, int_field("ttl", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.ipv4())
                 out.emplace_back(std::uint64_t{pkt.ipv4()->ttl()});
-            }));
+            },
+            BatchColumn::kIpv4Ttl));
   add_field(p, int_field("total_len",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.ipv4())
                              out.emplace_back(
                                  std::uint64_t{pkt.ipv4()->total_len()});
-                         }));
+                         },
+                         BatchColumn::kIpv4TotalLen));
   return p;
 }
 
@@ -111,30 +123,35 @@ ProtoDef make_ipv6() {
   p.layer = FilterLayer::kPacket;
   p.encapsulates = {"tcp", "udp"};
   p.present = [](const PacketView& pkt) { return pkt.ipv6().has_value(); };
+  p.presence_col = PresenceColumn::kIpv6;
   add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.ipv6()) {
                 out.emplace_back(IpAddr::v6(pkt.ipv6()->src_addr()));
                 out.emplace_back(IpAddr::v6(pkt.ipv6()->dst_addr()));
               }
-            }));
+            },
+            BatchColumn::kIpv6Addr));
   add_field(p, ip_field("src_addr",
                         [](const PacketView& pkt, FieldValues& out) {
                           if (pkt.ipv6())
                             out.emplace_back(
                                 IpAddr::v6(pkt.ipv6()->src_addr()));
-                        }));
+                        },
+                        BatchColumn::kIpv6Src));
   add_field(p, ip_field("dst_addr",
                         [](const PacketView& pkt, FieldValues& out) {
                           if (pkt.ipv6())
                             out.emplace_back(
                                 IpAddr::v6(pkt.ipv6()->dst_addr()));
-                        }));
+                        },
+                        BatchColumn::kIpv6Dst));
   add_field(p, int_field("hop_limit",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.ipv6())
                              out.emplace_back(
                                  std::uint64_t{pkt.ipv6()->hop_limit()});
-                         }));
+                         },
+                         BatchColumn::kIpv6HopLimit));
   return p;
 }
 
@@ -144,34 +161,40 @@ ProtoDef make_tcp() {
   p.layer = FilterLayer::kPacket;
   p.encapsulates = {"tls", "http", "ssh"};
   p.present = [](const PacketView& pkt) { return pkt.tcp().has_value(); };
+  p.presence_col = PresenceColumn::kTcp;
   add_field(p, int_field("port", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.tcp()) {
                 out.emplace_back(std::uint64_t{pkt.tcp()->src_port()});
                 out.emplace_back(std::uint64_t{pkt.tcp()->dst_port()});
               }
-            }));
+            },
+            BatchColumn::kTcpPort));
   add_field(p, int_field("src_port",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.tcp())
                              out.emplace_back(
                                  std::uint64_t{pkt.tcp()->src_port()});
-                         }));
+                         },
+                         BatchColumn::kTcpSrcPort));
   add_field(p, int_field("dst_port",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.tcp())
                              out.emplace_back(
                                  std::uint64_t{pkt.tcp()->dst_port()});
-                         }));
+                         },
+                         BatchColumn::kTcpDstPort));
   add_field(p, int_field("flags", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.tcp())
                 out.emplace_back(std::uint64_t{pkt.tcp()->flags()});
-            }));
+            },
+            BatchColumn::kTcpFlags));
   add_field(p, int_field("window",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.tcp())
                              out.emplace_back(
                                  std::uint64_t{pkt.tcp()->window()});
-                         }));
+                         },
+                         BatchColumn::kTcpWindow));
   return p;
 }
 
@@ -181,24 +204,28 @@ ProtoDef make_udp() {
   p.layer = FilterLayer::kPacket;
   p.encapsulates = {"dns"};
   p.present = [](const PacketView& pkt) { return pkt.udp().has_value(); };
+  p.presence_col = PresenceColumn::kUdp;
   add_field(p, int_field("port", [](const PacketView& pkt, FieldValues& out) {
               if (pkt.udp()) {
                 out.emplace_back(std::uint64_t{pkt.udp()->src_port()});
                 out.emplace_back(std::uint64_t{pkt.udp()->dst_port()});
               }
-            }));
+            },
+            BatchColumn::kUdpPort));
   add_field(p, int_field("src_port",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.udp())
                              out.emplace_back(
                                  std::uint64_t{pkt.udp()->src_port()});
-                         }));
+                         },
+                         BatchColumn::kUdpSrcPort));
   add_field(p, int_field("dst_port",
                          [](const PacketView& pkt, FieldValues& out) {
                            if (pkt.udp())
                              out.emplace_back(
                                  std::uint64_t{pkt.udp()->dst_port()});
-                         }));
+                         },
+                         BatchColumn::kUdpDstPort));
   return p;
 }
 

@@ -42,11 +42,55 @@ using SessionFieldFn =
     std::function<void(const protocols::Session&, FieldValues&)>;
 using PacketPresenceFn = std::function<bool(const packet::PacketView&)>;
 
+/// Which SoaBurstView column(s) a packet-layer field reads, for the
+/// batch filter engine (filter/batch.hpp). kNone (the default) means
+/// "no columnar form" — the batch program falls back to the field's
+/// scalar thunk per lane, so custom registrations that never set a hint
+/// are automatically correct, just not vectorized. Hints are only set
+/// by the builtin protocol modules, whose accessors are what the
+/// columns transcribe; a custom registry reusing a builtin field name
+/// with different semantics therefore cannot be mis-vectorized.
+enum class BatchColumn : std::uint8_t {
+  kNone,
+  kEtherType,
+  kIpv4Addr,  // src OR dst (any-direction)
+  kIpv4Src,
+  kIpv4Dst,
+  kIpv4Ttl,
+  kIpv4TotalLen,
+  kIpv6Addr,
+  kIpv6Src,
+  kIpv6Dst,
+  kIpv6HopLimit,
+  kTcpPort,  // src OR dst
+  kTcpSrcPort,
+  kTcpDstPort,
+  kTcpFlags,
+  kTcpWindow,
+  kUdpPort,
+  kUdpSrcPort,
+  kUdpDstPort,
+};
+
+/// Which validity bitmask decides a packet-layer protocol's unary
+/// presence predicate in the batch engine. kNone = use the scalar
+/// presence thunk per lane.
+enum class PresenceColumn : std::uint8_t {
+  kNone,
+  kEth,
+  kIpv4,
+  kIpv6,
+  kTcp,
+  kUdp,
+};
+
 struct FieldDef {
   std::string name;
   FieldType type = FieldType::kInt;
   PacketFieldFn packet_get;    // set for packet-layer protocols
   SessionFieldFn session_get;  // set for application-layer protocols
+  /// Batch-engine column hint; kNone = scalar fallback (see above).
+  BatchColumn batch = BatchColumn::kNone;
 };
 
 struct ProtoDef {
@@ -59,6 +103,8 @@ struct ProtoDef {
   std::string transport;
   /// Unary presence check for packet-layer protocols.
   PacketPresenceFn present;
+  /// Batch-engine presence hint; kNone = scalar fallback.
+  PresenceColumn presence_col = PresenceColumn::kNone;
   /// Application-protocol id used by the connection filter and parser
   /// registry; 0 for packet-layer protocols. Ids are dense and start
   /// at 1.

@@ -12,29 +12,36 @@
 #include <regex>
 
 #include "filter/decompose.hpp"
+#include "filter/evaluator.hpp"
 #include "protocols/session.hpp"
 
 namespace retina::filter {
 
-class InterpretedFilter {
+/// The interpreted filter::Evaluator backend. It inherits the default
+/// (scalar, lane-by-lane) packet_filter_batch — re-resolving names per
+/// lane IS the baseline being measured, so a batch program would defeat
+/// the comparison.
+class InterpretedFilter final : public Evaluator {
  public:
   InterpretedFilter(DecomposedFilter decomposed,
                     const FieldRegistry& registry);
 
-  FilterResult packet_filter(const packet::PacketView& pkt) const;
+  FilterResult packet_filter(const packet::PacketView& pkt) const override;
   FilterResult conn_filter(std::uint32_t pkt_term_node,
-                           std::size_t app_proto_id) const;
+                           std::size_t app_proto_id) const override;
   bool session_filter(std::uint32_t conn_term_node,
-                      const protocols::Session& session) const;
+                      const protocols::Session& session) const override;
 
-  bool needs_conn_stage() const { return decomposed_.needs_conn_stage(); }
-  bool needs_session_stage() const {
+  bool needs_conn_stage() const override {
+    return decomposed_.needs_conn_stage();
+  }
+  bool needs_session_stage() const override {
     return decomposed_.needs_session_stage();
   }
-  const std::set<std::size_t>& app_protos() const noexcept {
+  const std::set<std::size_t>& app_protos() const noexcept override {
     return decomposed_.app_protos;
   }
-  const nic::FlowRuleSet& hw_rules() const noexcept {
+  const nic::FlowRuleSet& hw_rules() const noexcept override {
     return decomposed_.hw_rules;
   }
 

@@ -1,0 +1,99 @@
+#include "filter/pred_compile.hpp"
+
+#include <memory>
+#include <regex>
+
+#include "filter/eval.hpp"
+
+namespace retina::filter {
+
+/// Build the packet-layer thunk for one predicate: accessor, operator,
+/// and constant are bound now; evaluation is a direct call.
+std::function<bool(const packet::PacketView&)> compile_packet_pred(
+    const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  if (pred.is_unary()) {
+    return proto.present;
+  }
+  const auto* field = proto.find_field(pred.field);
+  // decompose() validated this; belt-and-braces for direct compile calls.
+  if (!field || !field->packet_get) {
+    throw FilterError("cannot compile packet predicate " + pred.to_string());
+  }
+
+  const auto get = field->packet_get;
+  const auto op = pred.op;
+  const auto value = pred.value;
+
+  switch (field->type) {
+    case FieldType::kInt:
+      return [get, op, value](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* n = std::get_if<std::uint64_t>(&v)) {
+            if (compare_int(op, *n, value)) return true;
+          }
+        }
+        return false;
+      };
+    case FieldType::kIpAddr:
+      return [get, op, value](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* ip = std::get_if<packet::IpAddr>(&v)) {
+            if (compare_ip(op, *ip, value)) return true;
+          }
+        }
+        return false;
+      };
+    case FieldType::kString: {
+      const bool regex_op = op == CmpOp::kMatches || op == CmpOp::kNotMatches;
+      auto re = std::make_shared<const std::regex>(
+          regex_op ? std::get<std::string>(value) : "");
+      return [get, op, value, re, regex_op](const packet::PacketView& pkt) {
+        FieldValues vals;
+        get(pkt, vals);
+        for (const auto& v : vals) {
+          if (const auto* s = std::get_if<std::string>(&v)) {
+            if (compare_string(op, *s, value, regex_op ? re.get() : nullptr))
+              return true;
+          }
+        }
+        return false;
+      };
+    }
+  }
+  throw FilterError("unreachable field type");
+}
+
+std::function<bool(const protocols::Session&)> compile_session_pred(
+    const Predicate& pred, const FieldRegistry& registry) {
+  const auto& proto = registry.require(pred.proto);
+  const auto* field = proto.find_field(pred.field);
+  if (!field || !field->session_get) {
+    throw FilterError("cannot compile session predicate " + pred.to_string());
+  }
+
+  const auto get = field->session_get;
+  const auto op = pred.op;
+  const auto value = pred.value;
+  // Regexes compile exactly once, at filter build time (the analogue of
+  // Retina's lazy_static declarations, §4.1).
+  std::shared_ptr<const std::regex> re;
+  if (op == CmpOp::kMatches || op == CmpOp::kNotMatches) {
+    re = std::make_shared<const std::regex>(std::get<std::string>(value));
+  }
+
+  return [get, op, value, re](const protocols::Session& session) {
+    FieldValues vals;
+    get(session, vals);
+    for (const auto& v : vals) {
+      if (compare_value(op, v, value, re.get())) return true;
+    }
+    return false;
+  };
+}
+
+}  // namespace retina::filter

@@ -1,8 +1,9 @@
-// Single-predicate closure compilation, shared between CompiledFilter
-// (one thunk per distinct eval slot of one subscription's trie) and the
-// multi-subscription PredicateBank (one thunk per distinct predicate
-// across a whole SubscriptionSet). Accessors, operators, and constants
-// are bound at build time; regexes are precompiled (paper §4.1).
+// Single-predicate closure compilation. The sole consumer is
+// filter::PredicateBank (filter/batch.hpp) — one thunk per distinct
+// eval slot, shared by CompiledFilter and the multisub FilterForest —
+// plus the batch engine's per-lane scalar fallback kernels. Accessors,
+// operators, and constants are bound at build time; regexes are
+// precompiled (paper §4.1).
 #pragma once
 
 #include <functional>

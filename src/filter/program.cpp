@@ -1,98 +1,6 @@
 #include "filter/program.hpp"
 
-#include "filter/eval.hpp"
-#include "filter/pred_compile.hpp"
-
 namespace retina::filter {
-
-/// Build the packet-layer thunk for one predicate: accessor, operator,
-/// and constant are bound now; evaluation is a direct call.
-std::function<bool(const packet::PacketView&)> compile_packet_pred(
-    const Predicate& pred, const FieldRegistry& registry) {
-  const auto& proto = registry.require(pred.proto);
-  if (pred.is_unary()) {
-    return proto.present;
-  }
-  const auto* field = proto.find_field(pred.field);
-  // decompose() validated this; belt-and-braces for direct compile calls.
-  if (!field || !field->packet_get) {
-    throw FilterError("cannot compile packet predicate " + pred.to_string());
-  }
-
-  const auto get = field->packet_get;
-  const auto op = pred.op;
-  const auto value = pred.value;
-
-  switch (field->type) {
-    case FieldType::kInt:
-      return [get, op, value](const packet::PacketView& pkt) {
-        FieldValues vals;
-        get(pkt, vals);
-        for (const auto& v : vals) {
-          if (const auto* n = std::get_if<std::uint64_t>(&v)) {
-            if (compare_int(op, *n, value)) return true;
-          }
-        }
-        return false;
-      };
-    case FieldType::kIpAddr:
-      return [get, op, value](const packet::PacketView& pkt) {
-        FieldValues vals;
-        get(pkt, vals);
-        for (const auto& v : vals) {
-          if (const auto* ip = std::get_if<packet::IpAddr>(&v)) {
-            if (compare_ip(op, *ip, value)) return true;
-          }
-        }
-        return false;
-      };
-    case FieldType::kString: {
-      const bool regex_op = op == CmpOp::kMatches || op == CmpOp::kNotMatches;
-      auto re = std::make_shared<const std::regex>(
-          regex_op ? std::get<std::string>(value) : "");
-      return [get, op, value, re, regex_op](const packet::PacketView& pkt) {
-        FieldValues vals;
-        get(pkt, vals);
-        for (const auto& v : vals) {
-          if (const auto* s = std::get_if<std::string>(&v)) {
-            if (compare_string(op, *s, value, regex_op ? re.get() : nullptr))
-              return true;
-          }
-        }
-        return false;
-      };
-    }
-  }
-  throw FilterError("unreachable field type");
-}
-
-std::function<bool(const protocols::Session&)> compile_session_pred(
-    const Predicate& pred, const FieldRegistry& registry) {
-  const auto& proto = registry.require(pred.proto);
-  const auto* field = proto.find_field(pred.field);
-  if (!field || !field->session_get) {
-    throw FilterError("cannot compile session predicate " + pred.to_string());
-  }
-
-  const auto get = field->session_get;
-  const auto op = pred.op;
-  const auto value = pred.value;
-  // Regexes compile exactly once, at filter build time (the analogue of
-  // Retina's lazy_static declarations, §4.1).
-  std::shared_ptr<const std::regex> re;
-  if (op == CmpOp::kMatches || op == CmpOp::kNotMatches) {
-    re = std::make_shared<const std::regex>(std::get<std::string>(value));
-  }
-
-  return [get, op, value, re](const protocols::Session& session) {
-    FieldValues vals;
-    get(session, vals);
-    for (const auto& v : vals) {
-      if (compare_value(op, v, value, re.get())) return true;
-    }
-    return false;
-  };
-}
 
 CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
                                        const FieldRegistry& registry) {
@@ -103,42 +11,29 @@ CompiledFilter CompiledFilter::compile(const DecomposedFilter& decomposed,
   cf.needs_conn_ = decomposed.needs_conn_stage();
   cf.needs_session_ = decomposed.needs_session_stage();
 
+  // Structurally identical predicates (same eval slot) share one bank
+  // entry: nodes holding `tcp.port = 80` under both the ipv4 and ipv6
+  // chains evaluate through the same closure (and the same precompiled
+  // regex / batch kernel) instead of compiling one each.
+  auto bank = PredicateBank::compile(decomposed.trie, registry);
+  if (!bank) throw FilterError(bank.error());
+  cf.bank_ = std::move(*bank);
+
   const auto& trie_nodes = decomposed.trie.nodes();
   cf.nodes_.resize(trie_nodes.size());
-  // Structurally identical predicates (same eval slot) share one
-  // compiled thunk: nodes holding `tcp.port = 80` under both the ipv4
-  // and ipv6 chains evaluate through the same closure (and the same
-  // precompiled regex) instead of compiling one each.
-  std::vector<std::function<bool(const packet::PacketView&)>> pkt_slots(
-      decomposed.trie.distinct_predicate_count());
-  std::vector<std::function<bool(const protocols::Session&)>> session_slots(
-      decomposed.trie.distinct_predicate_count());
   for (std::size_t i = 0; i < trie_nodes.size(); ++i) {
     const auto& src = trie_nodes[i];
     auto& dst = cf.nodes_[i];
     dst.layer = src.pred.layer;
     dst.terminal = src.terminal;
     dst.parent = src.parent;
+    dst.slot = src.eval_slot;
     dst.children = src.children;
     dst.path = decomposed.trie.path_to(src.id);
     if (i == 0) continue;  // root has no predicate
 
-    switch (src.pred.layer) {
-      case FilterLayer::kPacket: {
-        auto& slot = pkt_slots[src.eval_slot];
-        if (!slot) slot = compile_packet_pred(src.pred.pred, registry);
-        dst.packet_eval = slot;
-        break;
-      }
-      case FilterLayer::kConnection:
-        dst.app_proto = registry.require(src.pred.pred.proto).app_proto_id;
-        break;
-      case FilterLayer::kSession: {
-        auto& slot = session_slots[src.eval_slot];
-        if (!slot) slot = compile_session_pred(src.pred.pred, registry);
-        dst.session_eval = slot;
-        break;
-      }
+    if (src.pred.layer == FilterLayer::kConnection) {
+      dst.app_proto = registry.require(src.pred.pred.proto).app_proto_id;
     }
   }
 
@@ -169,7 +64,7 @@ bool CompiledFilter::packet_dfs(std::uint32_t id,
   for (const auto child_id : node.children) {
     const auto& child = nodes_[child_id];
     if (child.layer != FilterLayer::kPacket) continue;
-    if (!child.packet_eval(pkt)) continue;
+    if (!bank_.eval_packet(child.slot, pkt)) continue;
 
     if (child.terminal) {
       best = FilterResult::terminal_match(child_id);
@@ -192,6 +87,52 @@ FilterResult CompiledFilter::packet_filter(
   FilterResult best = FilterResult::no_match();
   packet_dfs(0, pkt, best);
   return best;
+}
+
+bool CompiledFilter::masked_dfs(std::uint32_t id, std::uint32_t lane_bit,
+                                const BatchProgram::Mask* slot_masks,
+                                FilterResult& best) const {
+  // Identical walk to packet_dfs, with every thunk call replaced by one
+  // precomputed mask-bit test — the batch program already evaluated each
+  // distinct predicate across the whole burst.
+  const auto& node = nodes_[id];
+  for (const auto child_id : node.children) {
+    const auto& child = nodes_[child_id];
+    if (child.layer != FilterLayer::kPacket) continue;
+    if ((slot_masks[child.slot] & lane_bit) == 0) continue;
+
+    if (child.terminal) {
+      best = FilterResult::terminal_match(child_id);
+      return true;
+    }
+    if (child.has_conn_descendant) {
+      if (best.kind == MatchKind::kNoMatch ||
+          nodes_[best.node_id].path.size() < child.path.size()) {
+        best = FilterResult::non_terminal(child_id);
+      }
+    }
+    if (masked_dfs(child_id, lane_bit, slot_masks, best)) return true;
+  }
+  return false;
+}
+
+void CompiledFilter::packet_filter_batch(const packet::SoaBurstView& soa,
+                                         FilterResult* results) const {
+  if (bank_.size() > kMaxBatchSlots) {
+    Evaluator::packet_filter_batch(soa, results);  // scalar per lane
+    return;
+  }
+  BatchProgram::Mask slot_masks[kMaxBatchSlots];
+  bank_.eval_batch(soa, slot_masks);
+
+  const auto eth = soa.eth_mask();
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    FilterResult best = FilterResult::no_match();
+    if ((eth >> i) & 1u) {
+      masked_dfs(0, std::uint32_t{1} << i, slot_masks, best);
+    }
+    results[i] = best;
+  }
 }
 
 FilterResult CompiledFilter::conn_filter(std::uint32_t pkt_term_node,
@@ -220,7 +161,7 @@ FilterResult CompiledFilter::conn_filter(std::uint32_t pkt_term_node,
 bool CompiledFilter::session_dfs(std::uint32_t id,
                                  const protocols::Session& session) const {
   const auto& node = nodes_[id];
-  if (!node.session_eval(session)) return false;
+  if (!bank_.eval_session(node.slot, session)) return false;
   if (node.terminal) return true;
   for (const auto child_id : node.children) {
     if (nodes_[child_id].layer != FilterLayer::kSession) continue;

@@ -2,26 +2,35 @@
 // lowers the predicate trie to literal `if`/`match` source via procedural
 // macros; the closest C++ analogue that still supports runtime-supplied
 // filters is ahead-of-time *closure compilation*: at build time every
-// predicate is resolved to a direct thunk with its accessor, operator,
-// and constant baked in (regexes precompiled, no name lookups, no
-// allocation on the match path). Execution is then a tight walk over
-// flat arrays — the property that makes compiled filters 1–3× faster
-// than the interpreted engine (Appendix B), which re-resolves
-// identifiers through the registry on every evaluation.
+// distinct predicate is resolved into a PredicateBank slot with its
+// accessor, operator, and constant baked in (regexes precompiled, no
+// name lookups, no allocation on the match path). Execution is then a
+// tight walk over flat arrays — the property that makes compiled filters
+// 1–3× faster than the interpreted engine (Appendix B), which
+// re-resolves identifiers through the registry on every evaluation.
+//
+// CompiledFilter is the production filter::Evaluator backend. Its batch
+// entry point evaluates every distinct packet predicate across a whole
+// SoaBurstView first (filter/batch.hpp), then runs the per-lane trie
+// walk against the precomputed slot masks — each predicate is evaluated
+// at most once per burst instead of once per node visit per packet.
 #pragma once
 
 #include <memory>
 #include <regex>
 
+#include "filter/batch.hpp"
 #include "filter/decompose.hpp"
+#include "filter/evaluator.hpp"
 #include "protocols/session.hpp"
 
 namespace retina::filter {
 
-class CompiledFilter {
+class CompiledFilter final : public Evaluator {
  public:
   /// Compile a decomposed filter. Accessors are resolved through
   /// `registry` once, here; evaluation never touches the registry.
+  /// Throws FilterError if the predicate bank cannot be compiled.
   static CompiledFilter compile(const DecomposedFilter& decomposed,
                                 const FieldRegistry& registry);
 
@@ -30,57 +39,66 @@ class CompiledFilter {
       const std::string& filter, const FieldRegistry& registry,
       const nic::NicCapabilities& caps = nic::NicCapabilities::connectx5());
 
-  /// Software packet filter (sub-filter 2). Returns kTerminal when a
-  /// whole pattern is satisfied by this packet alone, kNonTerminal (with
-  /// the deepest matched node id) when connection/session predicates
-  /// remain downstream.
-  FilterResult packet_filter(const packet::PacketView& pkt) const;
-
-  /// Connection filter (sub-filter 3), applied once the connection's
-  /// application protocol has been identified (probing), *before* full
-  /// parsing. Resumes from the packet filter's matched node.
+  FilterResult packet_filter(const packet::PacketView& pkt) const override;
   FilterResult conn_filter(std::uint32_t pkt_term_node,
-                           std::size_t app_proto_id) const;
-
-  /// Session filter (sub-filter 4), applied when a session is fully
-  /// parsed. If the connection already matched a terminal predicate the
-  /// session filter accepts immediately (paper §4.1).
+                           std::size_t app_proto_id) const override;
   bool session_filter(std::uint32_t conn_term_node,
-                      const protocols::Session& session) const;
+                      const protocols::Session& session) const override;
 
-  bool needs_conn_stage() const noexcept { return needs_conn_; }
-  bool needs_session_stage() const noexcept { return needs_session_; }
-  const std::set<std::size_t>& app_protos() const noexcept {
+  /// Batch path: one BatchProgram sweep fills a per-slot lane-mask
+  /// bank, then the trie DFS per lane tests mask bits instead of
+  /// calling thunks. Falls back to the scalar loop for pathological
+  /// tries (> kMaxBatchSlots distinct predicates).
+  void packet_filter_batch(const packet::SoaBurstView& soa,
+                           FilterResult* results) const override;
+
+  BatchBackend backend() const noexcept override {
+    return active_batch_backend();
+  }
+
+  bool needs_conn_stage() const noexcept override { return needs_conn_; }
+  bool needs_session_stage() const noexcept override { return needs_session_; }
+  const std::set<std::size_t>& app_protos() const noexcept override {
     return app_protos_;
   }
-  const nic::FlowRuleSet& hw_rules() const noexcept { return hw_rules_; }
+  const nic::FlowRuleSet& hw_rules() const noexcept override {
+    return hw_rules_;
+  }
   const std::string& source() const noexcept { return source_; }
   std::size_t node_count() const noexcept { return nodes_.size(); }
 
+  /// The shared predicate bank (slot thunks + batch program).
+  const PredicateBank& bank() const noexcept { return bank_; }
+
  private:
+  /// Slot-mask stack buffer size for the batch walk; tries with more
+  /// distinct predicates than this (none realistic) use the scalar path.
+  static constexpr std::size_t kMaxBatchSlots = 160;
+
   struct Node {
     FilterLayer layer = FilterLayer::kPacket;
     bool terminal = false;
     std::uint32_t parent = 0;
+    std::uint32_t slot = 0;  // index into bank_ (packet/session nodes)
     std::vector<std::uint32_t> children;
     std::vector<std::uint32_t> path;  // root..self inclusive
     bool has_conn_descendant = false;
-
-    // Resolved evaluation thunks (only the one matching `layer` is set).
-    std::function<bool(const packet::PacketView&)> packet_eval;
     std::size_t app_proto = 0;  // connection nodes
-    std::function<bool(const protocols::Session&)> session_eval;
   };
 
   CompiledFilter() = default;
 
   bool packet_dfs(std::uint32_t id, const packet::PacketView& pkt,
                   FilterResult& best) const;
+  bool masked_dfs(std::uint32_t id, std::uint32_t lane_bit,
+                  const BatchProgram::Mask* slot_masks,
+                  FilterResult& best) const;
   bool session_dfs(std::uint32_t id,
                    const protocols::Session& session) const;
 
   std::string source_;
   std::vector<Node> nodes_;
+  PredicateBank bank_;
   nic::FlowRuleSet hw_rules_;
   std::set<std::size_t> app_protos_;
   bool needs_conn_ = false;

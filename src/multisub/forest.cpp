@@ -63,31 +63,12 @@ Result<FilterForest> FilterForest::build(const SubscriptionSet& set,
     forest.views_.push_back(std::move(view));
   }
 
-  // One thunk per distinct predicate across the whole set.
-  const auto& preds = forest.merged_.distinct_predicates();
-  forest.packet_bank_.resize(preds.size());
-  forest.session_bank_.resize(preds.size());
-  try {
-    for (std::size_t slot = 0; slot < preds.size(); ++slot) {
-      switch (preds[slot].layer) {
-        case FilterLayer::kPacket:
-          forest.packet_bank_[slot] =
-              filter::compile_packet_pred(preds[slot].pred, registry);
-          break;
-        case FilterLayer::kSession:
-          forest.session_bank_[slot] =
-              filter::compile_session_pred(preds[slot].pred, registry);
-          break;
-        case FilterLayer::kConnection:
-          break;  // protocol-id comparison; no thunk
-      }
-    }
-  } catch (const std::exception& e) {
-    // decompose() validated each predicate, so this is belt-and-braces
-    // (e.g. a pathological regex the parser accepted).
-    return Err(std::string("cannot compile shared predicate bank: ") +
-               e.what());
-  }
+  // One bank slot (thunk + batch kernel) per distinct predicate across
+  // the whole set — the same PredicateBank the single-subscription
+  // CompiledFilter evaluates through, compiled from the merged trie.
+  auto bank = filter::PredicateBank::compile(forest.merged_, registry);
+  if (!bank) return Err(bank.error());
+  forest.bank_ = std::move(*bank);
 
   return forest;
 }
@@ -132,6 +113,30 @@ SubMask FilterForest::packet_filter(const packet::PacketView& pkt,
   return matched;
 }
 
+SubMask FilterForest::packet_filter_batched(
+    const packet::SoaBurstView& soa, std::size_t lane,
+    const filter::BatchProgram::Mask* slot_masks, EvalScratch& scratch,
+    FilterResult* results) const {
+  scratch.begin();
+  // The batch program already decided every distinct packet predicate
+  // for this lane; preset the memo so the walk below reads verdicts
+  // instead of calling thunks. Session slots stay unset (their layer
+  // never evaluates here), so the walk is exactly packet_filter's.
+  const auto lane_bit = filter::BatchProgram::Mask{1} << lane;
+  for (const auto slot : bank_.packet_slots()) {
+    scratch.preset(slot, (slot_masks[slot] & lane_bit) != 0);
+  }
+  const auto& pkt = *soa.view(lane);
+  SubMask matched = 0;
+  for (std::size_t s = 0; s < views_.size(); ++s) {
+    FilterResult best = FilterResult::no_match();
+    packet_dfs(views_[s], 0, pkt, scratch, best);
+    results[s] = best;
+    if (best.matched()) matched |= sub_bit(s);
+  }
+  return matched;
+}
+
 FilterResult FilterForest::conn_filter(std::size_t sub,
                                        std::uint32_t pkt_term_node,
                                        std::size_t app_proto_id) const {
@@ -160,7 +165,7 @@ bool FilterForest::session_dfs(const SubView& view, std::uint32_t id,
                                EvalScratch& scratch) const {
   const auto& node = view.nodes[id];
   if (!scratch.memo(node.slot,
-                    [&] { return session_bank_[node.slot](session); })) {
+                    [&] { return bank_.eval_session(node.slot, session); })) {
     return false;
   }
   if (node.terminal) return true;

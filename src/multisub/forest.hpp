@@ -28,8 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "filter/batch.hpp"
 #include "filter/decompose.hpp"
-#include "filter/pred_compile.hpp"
 #include "multisub/subscription_set.hpp"
 #include "nic/flow_rule.hpp"
 
@@ -55,6 +55,14 @@ class EvalScratch {
     stamp_[slot] = epoch_;
     value_[slot] = v ? 1 : 0;
     return v;
+  }
+
+  /// Prefill a slot's verdict for the current epoch — the batch engine
+  /// pre-evaluates every packet-layer predicate across a whole burst,
+  /// then presets the memo so the trie walk never calls a thunk.
+  void preset(std::uint32_t slot, bool value) noexcept {
+    stamp_[slot] = epoch_;
+    value_[slot] = value ? 1 : 0;
   }
 
   std::size_t slots() const noexcept { return stamp_.size(); }
@@ -84,6 +92,25 @@ class FilterForest {
   /// scratch.begin() itself (one epoch per packet).
   SubMask packet_filter(const packet::PacketView& pkt, EvalScratch& scratch,
                         filter::FilterResult* results) const;
+
+  /// Evaluate every distinct packet-layer predicate across a parsed
+  /// burst in one sweep (filter/batch.hpp). `slot_masks` must have
+  /// bank_size() entries; bit i of slot_masks[slot] = predicate verdict
+  /// for lane i.
+  void eval_batch(const packet::SoaBurstView& soa,
+                  filter::BatchProgram::Mask* slot_masks) const {
+    bank_.eval_batch(soa, slot_masks);
+  }
+
+  /// packet_filter for one lane of a batch-evaluated burst: presets the
+  /// scratch memo from the precomputed slot masks, then runs the same
+  /// per-subscription walk — the thunks are never called. Byte-identical
+  /// results to packet_filter(*soa.view(lane), ...).
+  SubMask packet_filter_batched(const packet::SoaBurstView& soa,
+                                std::size_t lane,
+                                const filter::BatchProgram::Mask* slot_masks,
+                                EvalScratch& scratch,
+                                filter::FilterResult* results) const;
 
   /// Subscription s's connection filter (identical semantics to
   /// CompiledFilter::conn_filter, over s's view).
@@ -123,8 +150,11 @@ class FilterForest {
   const filter::PredicateTrie& merged_trie() const noexcept {
     return merged_;
   }
-  /// Distinct predicates across the whole set == shared thunk count.
-  std::size_t bank_size() const noexcept { return packet_bank_.size(); }
+  /// Distinct predicates across the whole set == shared slot count.
+  std::size_t bank_size() const noexcept { return bank_.size(); }
+
+  /// The shared predicate bank (slot thunks + batch program).
+  const filter::PredicateBank& bank() const noexcept { return bank_; }
 
   /// A scratch sized for this forest's bank. Make one per pipeline per
   /// purpose (packet epoch vs session epoch).
@@ -153,7 +183,7 @@ class FilterForest {
 
   bool eval_packet(std::uint32_t slot, const packet::PacketView& pkt,
                    EvalScratch& scratch) const {
-    return scratch.memo(slot, [&] { return packet_bank_[slot](pkt); });
+    return scratch.memo(slot, [&] { return bank_.eval_packet(slot, pkt); });
   }
   bool packet_dfs(const SubView& view, std::uint32_t id,
                   const packet::PacketView& pkt, EvalScratch& scratch,
@@ -165,10 +195,9 @@ class FilterForest {
   std::vector<SubView> views_;
   filter::PredicateTrie merged_;
   nic::FlowRuleSet hw_rules_;
-  // Shared thunks, indexed by the merged trie's eval slots. Only the
-  // entry matching the slot's layer is set.
-  std::vector<std::function<bool(const packet::PacketView&)>> packet_bank_;
-  std::vector<std::function<bool(const protocols::Session&)>> session_bank_;
+  // Shared thunks + batch program, indexed by the merged trie's eval
+  // slots. Only the entry matching the slot's layer is set.
+  filter::PredicateBank bank_;
 };
 
 }  // namespace retina::multisub

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <bit>
-#include <new>
 
 #include "packet/packet_view.hpp"
 #include "util/cycles.hpp"
@@ -145,7 +144,8 @@ MultiPipeline::MultiPipeline(const core::RuntimeConfig& config,
   pkt_scratch_ = forest_.make_scratch();
   session_scratch_ = forest_.make_scratch();
   pf_results_.assign(n, FilterResult::no_match());
-  burst_pf_.assign(kBurstLookahead * n, FilterResult::no_match());
+  burst_pf_.assign(kMaxBurst * n, FilterResult::no_match());
+  slot_masks_.assign(forest_.bank_size(), 0);
   attribute_cycles_ = config_.overload.enabled;
   packets_until_rerank_ = kRerankInterval;
   if (config_.memory_sample_interval_ns > 0) {
@@ -401,74 +401,11 @@ void MultiPipeline::process_burst(std::span<packet::Mbuf> burst) {
   }
   if (burst.empty()) return;
   const std::uint64_t t0 = util::rdtsc();
-
-  // Same software-pipelined sweep as core::Pipeline::process_burst —
-  // the staged slot carries a per-member result array (a slice of
-  // burst_pf_) instead of one FilterResult, and the single-pass forest
-  // filter replaces the per-subscription one.
-  struct Staged {
-    std::optional<packet::PacketView> view;
-    FilterResult* pf = nullptr;  // sub_count() entries
-    SubMask mask = 0;
-    packet::FiveTuple::Canonical canon;
-    std::uint64_t hash = 0;
-    bool tupled = false;
-  };
-  constexpr std::size_t kLookahead = kBurstLookahead;
-  constexpr std::size_t kSlotDistance = 2;
-  std::array<Staged, kLookahead> staged;
-  const std::size_t nsubs = sub_stats_.size();
-  for (std::size_t i = 0; i < kLookahead; ++i) {
-    staged[i].pf = burst_pf_.data() + i * nsubs;
-  }
   const std::size_t n = burst.size();
-  std::uint64_t bytes_acc = 0;
+  const std::size_t nsubs = sub_stats_.size();
+  using Mask = packet::SoaBurstView::Mask;
 
-  const auto stage = [&](std::size_t idx) {
-    Staged& s = staged[idx % kLookahead];
-    s.view.~optional();
-    new (&s.view) std::optional<packet::PacketView>(
-        packet::PacketView::parse(burst[idx]));
-    {
-      StageScope scope(stats_, Stage::kPacketFilter,
-                       config_.instrument_stages, &inst_);
-      s.mask = s.view ? forest_.packet_filter(*s.view, pkt_scratch_, s.pf)
-                      : SubMask{0};
-    }
-    s.tupled = false;
-    if (s.mask != 0 && s.view && s.view->five_tuple()) {
-      // Stateful unless every matching member is a packet-terminal
-      // packet-level subscription (those take the table-free fast path).
-      SubMask stateful = 0;
-      for (SubMask m = s.mask; m != 0; m &= m - 1) {
-        const std::size_t sub = bit_index(m);
-        if (!(s.pf[sub].terminal() && levels_[sub] == Level::kPacket)) {
-          stateful |= sub_bit(sub);
-        }
-      }
-      if (stateful != 0) {
-        s.canon = s.view->five_tuple()->canonical();
-        s.hash = s.canon.key.hash();
-        s.tupled = true;
-        table_.prefetch_hashed(s.hash);
-      }
-    }
-  };
-
-  const auto prefetch_frame = [&](std::size_t idx) {
-#if defined(__GNUC__) || defined(__clang__)
-    const auto bytes = burst[idx].bytes();
-    if (!bytes.empty()) {
-      __builtin_prefetch(bytes.data(), /*rw=*/0, /*locality=*/3);
-      if (bytes.size() > 64) {
-        __builtin_prefetch(bytes.data() + 64, /*rw=*/0, /*locality=*/3);
-      }
-    }
-#else
-    (void)idx;
-#endif
-  };
-
+  // Housekeeping hoist — identical reasoning to core::Pipeline.
   std::uint64_t burst_max_ts = 0;
   for (std::size_t i = 0; i < n; ++i) {
     burst_max_ts = std::max(burst_max_ts, burst[i].timestamp_ns());
@@ -477,21 +414,93 @@ void MultiPipeline::process_burst(std::span<packet::Mbuf> burst) {
       config_.memory_sample_interval_ns != 0 ||
       table_.timers_due(std::max(last_ts_, burst_max_ts));
 
-  for (std::size_t i = 0; i < std::min(2 * kLookahead, n); ++i) {
-    prefetch_frame(i);
-  }
-  for (std::size_t i = 0; i < std::min(kLookahead, n); ++i) stage(i);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (i + 2 * kLookahead < n) prefetch_frame(i + 2 * kLookahead);
-    if (i + kSlotDistance < n) {
-      const Staged& ahead = staged[(i + kSlotDistance) % kLookahead];
-      if (ahead.tupled) table_.prefetch_slot_hashed(ahead.hash);
+  // Columnar batch sweep: one SoA parse, then ONE batch-program run
+  // decides every distinct packet predicate of the shared bank for all
+  // lanes; the per-lane forest walk reads verdicts through the preset
+  // memo, so the dedup across subscriptions AND the dedup across lanes
+  // compose. Stage accounting matches the per-packet path: n logical
+  // invocations, cycles measured once for the whole burst.
+  soa_.parse(burst);
+  std::array<SubMask, kMaxBurst> masks;
+  {
+    const bool instr = config_.instrument_stages;
+    std::uint64_t f0 = 0;
+    if (instr) {
+      stats_.stages.add(Stage::kPacketFilter, n);
+      if (auto* cell =
+              inst_.stage_invocations[static_cast<int>(Stage::kPacketFilter)]) {
+        cell->add(n);
+      }
+      f0 = util::rdtsc();
     }
-    Staged& s = staged[i % kLookahead];
+    forest_.eval_batch(soa_, slot_masks_.data());
+    const auto eth = soa_.eth_mask();
+    for (std::size_t i = 0; i < n; ++i) {
+      masks[i] = (eth >> i) & 1u
+                     ? forest_.packet_filter_batched(soa_, i, slot_masks_.data(),
+                                                     pkt_scratch_,
+                                                     burst_pf_.data() + i * nsubs)
+                     : SubMask{0};
+    }
+    if (instr) {
+      const auto cycles = util::rdtsc() - f0;
+      stats_.stages.add_cycles(Stage::kPacketFilter, cycles);
+      if (auto* hist =
+              inst_.stage_cycles[static_cast<int>(Stage::kPacketFilter)]) {
+        hist->record(cycles);
+      }
+    }
+  }
+
+  // Canonicalize + hash exactly the lanes the stateful pass will look
+  // up: some matching member is NOT a packet-terminal packet-level
+  // subscription (those take the table-free fast path).
+  Mask want = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (masks[i] == 0) continue;
+    const FilterResult* pf = burst_pf_.data() + i * nsubs;
+    SubMask stateful = 0;
+    for (SubMask m = masks[i]; m != 0; m &= m - 1) {
+      const std::size_t sub = bit_index(m);
+      if (!(pf[sub].terminal() && levels_[sub] == Level::kPacket)) {
+        stateful |= sub_bit(sub);
+      }
+    }
+    if (stateful != 0) want |= Mask{1} << i;
+  }
+  soa_.hash_tuples(want);
+  const Mask tupled = want & soa_.tuple_mask();
+  std::array<std::uint8_t, kMaxBurst> tupled_lanes;
+  std::size_t n_tupled = 0;
+  for (Mask m = tupled; m != 0; m &= m - 1) {
+    const auto i = static_cast<unsigned>(std::countr_zero(m));
+    tupled_lanes[n_tupled++] = static_cast<std::uint8_t>(i);
+    table_.prefetch_hashed(soa_.hash(i));
+  }
+
+  // Stateful pass, in arrival order (see core::Pipeline::process_burst
+  // for the prefetch-distance rationale). Rejected lanes are only
+  // skipped when process_one would be a provable no-op for them: no
+  // housekeeping due, and no rerank countdown ticking per packet.
+  const bool skip_unmatched =
+      !housekeeping && !(attribute_cycles_ && overload_ != nullptr);
+  constexpr std::size_t kSlotDistance = 2;
+  std::uint64_t bytes_acc = 0;
+  std::size_t next_tupled = 0;
+  for (std::size_t i = 0; i < n; ++i) {
     bytes_acc += burst[i].length();
-    process_one(burst[i], s.view, s.tupled ? &s.canon : nullptr, s.hash,
-                &s.mask, s.pf, housekeeping);
-    if (i + kLookahead < n) stage(i + kLookahead);
+    const bool is_tupled = (tupled >> i) & 1u;
+    if (is_tupled) {
+      if (next_tupled + kSlotDistance < n_tupled) {
+        table_.prefetch_slot_hashed(
+            soa_.hash(tupled_lanes[next_tupled + kSlotDistance]));
+      }
+      ++next_tupled;
+    }
+    if (skip_unmatched && masks[i] == 0) continue;
+    process_one(burst[i], soa_.view(i), is_tupled ? &soa_.canon(i) : nullptr,
+                is_tupled ? soa_.hash(i) : 0, &masks[i],
+                burst_pf_.data() + i * nsubs, housekeeping);
   }
 
   if (!housekeeping) last_ts_ = std::max(last_ts_, burst_max_ts);

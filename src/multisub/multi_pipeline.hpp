@@ -46,6 +46,7 @@
 #include "core/stats.hpp"
 #include "multisub/forest.hpp"
 #include "multisub/subscription_set.hpp"
+#include "packet/soa.hpp"
 #include "protocols/registry.hpp"
 #include "stream/reassembly.hpp"
 #include "telemetry/metrics.hpp"
@@ -75,9 +76,12 @@ class MultiPipeline : public core::OffloadClient {
   static constexpr std::size_t kMaxBurst = core::Pipeline::kMaxBurst;
 
   void process(packet::Mbuf mbuf);
-  /// Burst path: same two-pass staged sweep as core::Pipeline — pass 1
-  /// parses, runs the single-pass forest filter, and prefetches the
-  /// connection table; pass 2 runs the stateful stages warm.
+  /// Burst path: same columnar batch sweep as core::Pipeline — the
+  /// burst is parsed into the SoA view, the shared bank's batch program
+  /// decides every distinct packet predicate for all lanes at once, and
+  /// the per-lane forest walk then reads verdicts from the preset memo;
+  /// the stateful pass runs afterwards, in arrival order, warm from the
+  /// table prefetches.
   void process_burst(std::span<packet::Mbuf> burst);
   static void prefetch_frames(std::span<const packet::Mbuf> burst) noexcept {
     core::Pipeline::prefetch_frames(burst);
@@ -314,14 +318,17 @@ class MultiPipeline : public core::OffloadClient {
 
   // Per-packet scratch, owned per core (the forest itself is shared and
   // immutable): predicate memo for the packet epoch, a second memo for
-  // session epochs, the per-member result array, and the burst staging
-  // ring's result storage (kBurstLookahead slots of sub_count results,
-  // allocated once so the burst path never allocates).
-  static constexpr std::size_t kBurstLookahead = 4;
+  // session epochs, the per-member result array, the SoA burst view the
+  // batch program sweeps, its per-slot match masks (one 32-bit lane
+  // mask per distinct bank predicate), and kMaxBurst slots of
+  // sub_count() results — all allocated once so the burst path never
+  // allocates.
   EvalScratch pkt_scratch_;
   EvalScratch session_scratch_;
   std::vector<filter::FilterResult> pf_results_;
   std::vector<filter::FilterResult> burst_pf_;
+  packet::SoaBurstView soa_;
+  std::vector<filter::BatchProgram::Mask> slot_masks_;
 
   overload::OverloadState* overload_ = nullptr;
   core::OffloadRequester* offload_requester_ = nullptr;  // borrowed

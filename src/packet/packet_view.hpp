@@ -39,6 +39,10 @@ class PacketView {
   }
 
  private:
+  // SoaBurstView transcribes this parse walk into column arrays while
+  // materializing the per-packet views in one pass.
+  friend class SoaBurstView;
+
   explicit PacketView(const Mbuf& m) noexcept : mbuf_(&m) {}
 
   const Mbuf* mbuf_;

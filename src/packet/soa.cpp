@@ -1,0 +1,156 @@
+#include "packet/soa.hpp"
+
+#include <cstring>
+
+namespace retina::packet {
+
+namespace {
+
+inline void prefetch_frame(const Mbuf& m) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  const auto bytes = m.bytes();
+  if (!bytes.empty()) {
+    __builtin_prefetch(bytes.data(), /*rw=*/0, /*locality=*/3);
+    if (bytes.size() > 64) {
+      __builtin_prefetch(bytes.data() + 64, /*rw=*/0, /*locality=*/3);
+    }
+  }
+#else
+  (void)m;
+#endif
+}
+
+}  // namespace
+
+void SoaBurstView::parse(std::span<const Mbuf> burst) noexcept {
+  n_ = burst.size() < kMaxBurst ? burst.size() : kMaxBurst;
+  eth_mask_ = ipv4_mask_ = ipv6_mask_ = 0;
+  tcp_mask_ = udp_mask_ = tuple_mask_ = 0;
+  std::memset(&cols_, 0, sizeof(cols_));
+
+  // Frames arrive cache-cold; stay a few lanes ahead of the parse.
+  constexpr std::size_t kParseAhead = 8;
+  for (std::size_t i = 0; i < n_ && i < kParseAhead; ++i) {
+    prefetch_frame(burst[i]);
+  }
+
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i + kParseAhead < n_) prefetch_frame(burst[i + kParseAhead]);
+    views_[i].reset();
+    const Mbuf& mbuf = burst[i];
+    const Mask bit = Mask{1} << i;
+
+    // The walk below must stay bit-for-bit PacketView::parse: the views
+    // it materializes feed every stateful stage, and the columns must
+    // agree with them exactly (the property suite checks both).
+    auto eth = Ethernet::parse(mbuf.bytes());
+    if (!eth) continue;
+    eth_mask_ |= bit;
+    PacketView& v = views_[i].emplace(PacketView(mbuf));
+    v.eth_ = eth;
+    cols_.ether_type[i] = eth->ether_type();
+
+    ByteView l3 = eth->payload();
+    std::uint8_t l4_proto = 0;
+    ByteView l4{};
+
+    switch (eth->ether_type()) {
+      case kEtherTypeIpv4:
+        if (auto ip = Ipv4::parse(l3)) {
+          v.ipv4_ = ip;
+          ipv4_mask_ |= bit;
+          cols_.v4_src[i] = ip->src_addr();
+          cols_.v4_dst[i] = ip->dst_addr();
+          cols_.ttl[i] = ip->ttl();
+          cols_.v4_total_len[i] = ip->total_len();
+          l4_proto = ip->protocol();
+          l4 = ip->payload();
+        }
+        break;
+      case kEtherTypeIpv6:
+        if (auto ip6 = Ipv6::parse(l3)) {
+          v.ipv6_ = ip6;
+          ipv6_mask_ |= bit;
+          cols_.v6_src[i] = l3.data() + 8;
+          cols_.v6_dst[i] = l3.data() + 24;
+          cols_.hop_limit[i] = ip6->hop_limit();
+          l4_proto = ip6->next_header();
+          l4 = ip6->payload();
+        }
+        break;
+      default:
+        break;  // Non-IP frames still produce a valid L2-only view.
+    }
+    cols_.l4_proto[i] = l4_proto;
+
+    if (!l4.empty() || l4_proto != 0) {
+      if (l4_proto == kIpProtoTcp) {
+        if (auto tcp = Tcp::parse(l4)) {
+          v.tcp_ = tcp;
+          tcp_mask_ |= bit;
+          cols_.src_port[i] = tcp->src_port();
+          cols_.dst_port[i] = tcp->dst_port();
+          cols_.tcp_flags[i] = tcp->flags();
+          cols_.tcp_window[i] = tcp->window();
+          v.payload_ = tcp->payload();
+        }
+      } else if (l4_proto == kIpProtoUdp) {
+        if (auto udp = Udp::parse(l4)) {
+          v.udp_ = udp;
+          udp_mask_ |= bit;
+          cols_.src_port[i] = udp->src_port();
+          cols_.dst_port[i] = udp->dst_port();
+          v.payload_ = udp->payload();
+        }
+      }
+    }
+
+    if (v.has_l4()) {
+      if (!v.payload_.empty()) {
+        cols_.payload_off[i] = static_cast<std::uint32_t>(
+            v.payload_.data() - mbuf.bytes().data());
+      }
+      cols_.payload_len[i] = static_cast<std::uint32_t>(v.payload_.size());
+
+      FiveTuple t;
+      if (v.ipv4_) {
+        t.src = IpAddr::v4(v.ipv4_->src_addr());
+        t.dst = IpAddr::v4(v.ipv4_->dst_addr());
+      } else {
+        t.src = IpAddr::v6(v.ipv6_->src_addr());
+        t.dst = IpAddr::v6(v.ipv6_->dst_addr());
+      }
+      if (v.tcp_) {
+        t.src_port = v.tcp_->src_port();
+        t.dst_port = v.tcp_->dst_port();
+        t.proto = kIpProtoTcp;
+      } else {
+        t.src_port = v.udp_->src_port();
+        t.dst_port = v.udp_->dst_port();
+        t.proto = kIpProtoUdp;
+      }
+      v.tuple_ = t;
+      tuple_mask_ |= bit;
+    }
+  }
+}
+
+void SoaBurstView::hash_tuples(Mask want) noexcept {
+  // Per-lane FNV-style chains are serial, but chains of *different*
+  // lanes are independent — running them back to back in one tight loop
+  // lets the multiplies of consecutive packets overlap in the pipeline,
+  // which the interleaved per-packet path (hash, then a table probe,
+  // then the next hash) never achieves.
+  for (Mask m = want & tuple_mask_; m != 0; m &= m - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+    const unsigned i = static_cast<unsigned>(__builtin_ctz(m));
+#else
+    unsigned i = 0;
+    while (((m >> i) & 1u) == 0) ++i;
+#endif
+    canon_[i] = views_[i]->five_tuple()->canonical();
+    hash_[i] = canon_[i].key.hash();
+  }
+}
+
+}  // namespace retina::packet

@@ -1,0 +1,118 @@
+// Struct-of-arrays burst view: the data-layout half of the batch filter
+// engine (ROADMAP item 2). One poll_burst's worth of frames (≤ 32) is
+// parsed in a single sweep that produces BOTH representations at once:
+//
+//  * the familiar per-packet PacketView array (materialized eagerly via
+//    friendship, bit-for-bit the same walk as PacketView::parse — every
+//    downstream stateful stage keeps consuming views unchanged), and
+//  * parallel header-field columns (ethertype, IPv4/IPv6 addresses,
+//    ports, protocol, TCP flags, payload offset/length) with per-layer
+//    validity bitmasks (bit i = packet i).
+//
+// The columns are what filter::BatchProgram sweeps: one distinct
+// predicate touches one contiguous array across the whole burst instead
+// of chasing 32 separate header walks, which is what makes the inner
+// loops SIMD-friendly. hash_tuples() likewise computes the canonical
+// five-tuple hash for a lane mask in one pass, giving the FNV-style
+// mixing chains of independent packets room to overlap (ILP) where the
+// per-packet path serializes them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "packet/five_tuple.hpp"
+#include "packet/mbuf.hpp"
+#include "packet/packet_view.hpp"
+
+namespace retina::packet {
+
+class SoaBurstView {
+ public:
+  /// Matches the NIC's rx_burst cap (core::Pipeline::kMaxBurst).
+  static constexpr std::size_t kMaxBurst = 32;
+
+  /// One bit per burst lane; bit i = packet i.
+  using Mask = std::uint32_t;
+
+  /// Header-field columns, aligned for vector loads. Lanes whose
+  /// validity bit is clear hold zeros (kernels mask them out, so the
+  /// zero is never observable, but deterministic contents keep runs
+  /// reproducible).
+  struct Cols {
+    alignas(32) std::uint16_t ether_type[kMaxBurst];
+    alignas(32) std::uint32_t v4_src[kMaxBurst];
+    alignas(32) std::uint32_t v4_dst[kMaxBurst];
+    alignas(32) std::uint16_t src_port[kMaxBurst];
+    alignas(32) std::uint16_t dst_port[kMaxBurst];
+    alignas(32) std::uint16_t v4_total_len[kMaxBurst];
+    alignas(32) std::uint16_t tcp_window[kMaxBurst];
+    alignas(32) std::uint8_t ttl[kMaxBurst];
+    alignas(32) std::uint8_t hop_limit[kMaxBurst];
+    alignas(32) std::uint8_t tcp_flags[kMaxBurst];
+    alignas(32) std::uint8_t l4_proto[kMaxBurst];
+    alignas(32) std::uint32_t payload_off[kMaxBurst];
+    alignas(32) std::uint32_t payload_len[kMaxBurst];
+    // IPv6 addresses stay in place in the frame (16-byte copies per
+    // lane would dominate the parse); kernels walk these per lane.
+    const std::uint8_t* v6_src[kMaxBurst];
+    const std::uint8_t* v6_dst[kMaxBurst];
+  };
+
+  SoaBurstView() = default;
+
+  /// Parse up to kMaxBurst frames. Per packet the walk is exactly
+  /// PacketView::parse (same truncation/validation behavior), filling
+  /// the view array and the columns together. Extra frames beyond
+  /// kMaxBurst are ignored (callers chunk bursts first).
+  void parse(std::span<const Mbuf> burst) noexcept;
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// The materialized scalar view for lane i (nullopt exactly when
+  /// PacketView::parse would have returned nullopt).
+  const std::optional<PacketView>& view(std::size_t i) const noexcept {
+    return views_[i];
+  }
+
+  const Cols& cols() const noexcept { return cols_; }
+
+  // Validity masks. eth_mask doubles as "view(i) is engaged".
+  Mask eth_mask() const noexcept { return eth_mask_; }
+  Mask ipv4_mask() const noexcept { return ipv4_mask_; }
+  Mask ipv6_mask() const noexcept { return ipv6_mask_; }
+  Mask tcp_mask() const noexcept { return tcp_mask_; }
+  Mask udp_mask() const noexcept { return udp_mask_; }
+  Mask tuple_mask() const noexcept { return tuple_mask_; }
+
+  bool has_tuple(std::size_t i) const noexcept {
+    return (tuple_mask_ >> i) & 1u;
+  }
+
+  /// Canonicalize + hash the five-tuples of the lanes in `want`
+  /// (intersected with tuple_mask()) in one tight loop. The per-lane
+  /// results are then read back via canon()/hash().
+  void hash_tuples(Mask want) noexcept;
+
+  const FiveTuple::Canonical& canon(std::size_t i) const noexcept {
+    return canon_[i];
+  }
+  std::uint64_t hash(std::size_t i) const noexcept { return hash_[i]; }
+
+ private:
+  std::size_t n_ = 0;
+  Mask eth_mask_ = 0;
+  Mask ipv4_mask_ = 0;
+  Mask ipv6_mask_ = 0;
+  Mask tcp_mask_ = 0;
+  Mask udp_mask_ = 0;
+  Mask tuple_mask_ = 0;
+  Cols cols_{};
+  std::array<std::optional<PacketView>, kMaxBurst> views_;
+  std::array<FiveTuple::Canonical, kMaxBurst> canon_{};
+  std::array<std::uint64_t, kMaxBurst> hash_{};
+};
+
+}  // namespace retina::packet

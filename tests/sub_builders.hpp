@@ -1,0 +1,74 @@
+// Test-support subscription constructors. The deprecated
+// Subscription::packets/connections/... factories are gone; fixtures
+// construct through the fluent Builder (the only public path) via these
+// thin wrappers, which keep the old terse call shape and unwrap the
+// Result — a fixture with a bad filter fails loudly at the call site.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "core/subscription.hpp"
+
+namespace retina::testsub {
+
+inline core::Subscription unwrap(Result<core::Subscription> sub) {
+  if (!sub) throw std::runtime_error("bad test subscription: " + sub.error());
+  return std::move(sub).value();
+}
+
+inline core::Subscription packets(std::string filter,
+                                  core::PacketCallback cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_packet(std::move(cb))
+                    .build());
+}
+
+inline core::Subscription connections(std::string filter,
+                                      core::ConnCallback cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_connection(std::move(cb))
+                    .build());
+}
+
+inline core::Subscription sessions(std::string filter,
+                                   core::SessionCallback cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_session(std::move(cb))
+                    .build());
+}
+
+inline core::Subscription byte_streams(std::string filter,
+                                       core::StreamCallback cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_stream(std::move(cb))
+                    .build());
+}
+
+inline core::Subscription tls_handshakes(
+    std::string filter,
+    std::function<void(const core::SessionRecord&,
+                       const protocols::TlsHandshake&)> cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_tls_handshake(std::move(cb))
+                    .build());
+}
+
+inline core::Subscription http_transactions(
+    std::string filter,
+    std::function<void(const core::SessionRecord&,
+                       const protocols::HttpTransaction&)> cb) {
+  return unwrap(core::Subscription::builder()
+                    .filter(std::move(filter))
+                    .on_http_transaction(std::move(cb))
+                    .build());
+}
+
+}  // namespace retina::testsub

@@ -180,49 +180,18 @@ TEST(TryDecompose, ErrorsInsteadOfThrowing) {
   EXPECT_NE(bad.error().find("bad filter"), std::string::npos);
 }
 
-// The deprecated factory shims must keep compiling and behaving until
-// removal. This block is the compile-coverage for every shim; the
-// warning is silenced deliberately.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedShims, StillCompileAndDeliver) {
-  const auto trace = small_trace();
-
-  auto packets = core::Subscription::packets("udp", [](const packet::Mbuf&) {});
-  EXPECT_EQ(packets.level(), core::Level::kPacket);
-
-  auto streams =
-      core::Subscription::byte_streams("http", [](const core::StreamChunk&) {});
-  EXPECT_EQ(streams.level(), core::Level::kStream);
-
-  auto http = core::Subscription::http_transactions(
-      "http",
-      [](const core::SessionRecord&, const protocols::HttpTransaction&) {});
-  EXPECT_EQ(http.level(), core::Level::kSession);
-
-  auto sessions =
-      core::Subscription::sessions("tls", [](const core::SessionRecord&) {})
-          .with_parsers({"tls"});
-  EXPECT_EQ(sessions.extra_parsers().size(), 1u);
-
-  std::size_t conns = 0, handshakes = 0;
-  {
-    auto sub = core::Subscription::connections(
-        "tcp", [&](const core::ConnRecord&) { ++conns; });
-    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
-    runtime.run(trace.packets());
-  }
-  {
-    auto sub = core::Subscription::tls_handshakes(
-        "tls", [&](const core::SessionRecord&,
-                   const protocols::TlsHandshake&) { ++handshakes; });
-    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
-    runtime.run(trace.packets());
-  }
-  EXPECT_GT(conns, 0u);
-  EXPECT_GT(handshakes, 0u);
+// The factory shims are gone: the Builder is the only construction
+// path, and with_parsers remains as the post-construction parser hook.
+TEST(SubscriptionBuilder, WithParsersExtendsBuiltSubscription) {
+  auto sub = core::Subscription::builder()
+                 .filter("tls")
+                 .on_session([](const core::SessionRecord&) {})
+                 .build();
+  ASSERT_TRUE(sub.ok());
+  auto extended = std::move(sub).value().with_parsers({"tls", "http"});
+  EXPECT_EQ(extended.extra_parsers().size(), 2u);
+  EXPECT_EQ(extended.level(), core::Level::kSession);
 }
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace retina

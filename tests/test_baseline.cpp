@@ -8,6 +8,8 @@
 #include "traffic/flowgen.hpp"
 #include "traffic/workloads.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina::baseline {
 namespace {
 
@@ -77,7 +79,7 @@ TEST(Baselines, RetinaDoesLessWorkThanBaselines) {
   const auto trace = bench_trace();
 
   std::size_t retina_matches = 0;
-  auto sub = core::Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls.sni ~ 'bench'",
       [&](const core::SessionRecord&, const protocols::TlsHandshake&) {
         ++retina_matches;

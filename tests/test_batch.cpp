@@ -1,0 +1,427 @@
+// Batch filter engine (ROADMAP item 2): property/fuzz equivalence of
+// the SoA burst parser against the scalar PacketView walk, batch-vs-
+// scalar predicate equivalence over a filter corpus on every kernel
+// backend, the Evaluator default batch path, and the Result-style
+// batch-compilation error surface. Randomized tests seed through
+// RETINA_TEST_SEED (tests/seed_env.hpp) for the CI seed matrix.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "filter/decompose.hpp"
+#include "filter/interpreter.hpp"
+#include "filter/program.hpp"
+#include "multisub/forest.hpp"
+#include "multisub/subscription_set.hpp"
+#include "packet/soa.hpp"
+#include "traffic/craft.hpp"
+#include "util/rng.hpp"
+
+#include "seed_env.hpp"
+
+namespace retina {
+namespace {
+
+using packet::Mbuf;
+using packet::PacketView;
+using packet::SoaBurstView;
+
+/// Force one kernel backend for a test body; restores detection on the
+/// way out even when an ASSERT unwinds early.
+struct BackendGuard {
+  explicit BackendGuard(filter::BatchBackend b) {
+    filter::set_batch_backend(b);
+  }
+  ~BackendGuard() { filter::reset_batch_backend(); }
+};
+
+const std::array<filter::BatchBackend, 3> kAllBackends = {
+    filter::BatchBackend::kScalar, filter::BatchBackend::kSse,
+    filter::BatchBackend::kAvx2};
+
+/// One random frame: v4/v6 TCP/UDP with random endpoints, flags, and
+/// payload; occasionally a non-IP ethertype or an IP ethertype over
+/// garbage; a third of all frames truncated to a random (often odd)
+/// caplen, including zero-length captures.
+Mbuf random_frame(util::Xoshiro256& rng, std::uint64_t ts) {
+  Mbuf frame;
+  if (rng.below(8) == 0) {
+    static constexpr std::uint16_t kEtherTypes[] = {0x0806, 0x88cc, 0x0800,
+                                                    0x86dd, 0x1234};
+    frame = traffic::make_raw_eth(kEtherTypes[rng.below(5)], rng.below(48),
+                                  ts);
+  } else {
+    traffic::FlowEndpoints ep;
+    if (rng.below(2) == 0) {
+      ep.client_ip =
+          packet::IpAddr::v4(static_cast<std::uint32_t>(rng.next()));
+      ep.server_ip =
+          packet::IpAddr::v4(static_cast<std::uint32_t>(rng.next()));
+    } else {
+      std::array<std::uint8_t, 16> a{}, b{};
+      for (auto& x : a) x = static_cast<std::uint8_t>(rng.next());
+      for (auto& x : b) x = static_cast<std::uint8_t>(rng.next());
+      ep.client_ip = packet::IpAddr::v6(a);
+      ep.server_ip = packet::IpAddr::v6(b);
+    }
+    ep.client_port = static_cast<std::uint16_t>(rng.next());
+    ep.server_port = static_cast<std::uint16_t>(rng.next());
+    std::vector<std::uint8_t> payload(rng.below(64));
+    for (auto& x : payload) x = static_cast<std::uint8_t>(rng.next());
+    const bool from_client = rng.below(2) == 0;
+    if (rng.below(3) == 0) {
+      frame = traffic::make_udp_packet(ep, from_client, payload, ts);
+    } else {
+      frame = traffic::make_tcp_packet(
+          ep, from_client, static_cast<std::uint32_t>(rng.next()),
+          static_cast<std::uint32_t>(rng.next()),
+          static_cast<std::uint8_t>(rng.next()), payload, ts);
+    }
+  }
+  if (rng.below(3) == 0) {
+    const auto bytes = frame.bytes();
+    const std::size_t caplen = rng.below(bytes.size() + 1);
+    frame = Mbuf(std::vector<std::uint8_t>(bytes.begin(),
+                                           bytes.begin() + caplen),
+                 ts);
+  }
+  return frame;
+}
+
+std::vector<Mbuf> random_burst(util::Xoshiro256& rng, std::size_t n) {
+  std::vector<Mbuf> burst;
+  burst.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    burst.push_back(random_frame(rng, 1000 * (i + 1)));
+  }
+  return burst;
+}
+
+TEST(SoaParse, MatchesScalarParseOnRandomFrames) {
+  util::Xoshiro256 rng(testing::test_seed(1));
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.below(SoaBurstView::kMaxBurst);
+    const auto burst = random_burst(rng, n);
+    SoaBurstView soa;
+    soa.parse(burst);
+    ASSERT_EQ(soa.size(), n);
+    const auto& cols = soa.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto scalar = PacketView::parse(burst[i]);
+      const bool eth = (soa.eth_mask() >> i) & 1u;
+      ASSERT_EQ(eth, scalar.has_value()) << "round " << round << " lane " << i;
+      ASSERT_EQ(soa.view(i).has_value(), scalar.has_value());
+      if (!scalar) continue;
+
+      const auto& view = *soa.view(i);
+      EXPECT_EQ(cols.ether_type[i], scalar->eth()->ether_type());
+      ASSERT_EQ(((soa.ipv4_mask() >> i) & 1u) != 0,
+                scalar->ipv4().has_value());
+      ASSERT_EQ(((soa.ipv6_mask() >> i) & 1u) != 0,
+                scalar->ipv6().has_value());
+      ASSERT_EQ(((soa.tcp_mask() >> i) & 1u) != 0, scalar->tcp().has_value());
+      ASSERT_EQ(((soa.udp_mask() >> i) & 1u) != 0, scalar->udp().has_value());
+      ASSERT_EQ(soa.has_tuple(i), scalar->five_tuple().has_value());
+
+      if (scalar->ipv4()) {
+        EXPECT_EQ(cols.v4_src[i], scalar->ipv4()->src_addr());
+        EXPECT_EQ(cols.v4_dst[i], scalar->ipv4()->dst_addr());
+        EXPECT_EQ(cols.ttl[i], scalar->ipv4()->ttl());
+        EXPECT_EQ(cols.v4_total_len[i], scalar->ipv4()->total_len());
+      }
+      if (scalar->ipv6()) {
+        EXPECT_EQ(cols.hop_limit[i], scalar->ipv6()->hop_limit());
+        ASSERT_NE(cols.v6_src[i], nullptr);
+        ASSERT_NE(cols.v6_dst[i], nullptr);
+        EXPECT_EQ(std::memcmp(cols.v6_src[i],
+                              scalar->ipv6()->src_addr().data(), 16),
+                  0);
+        EXPECT_EQ(std::memcmp(cols.v6_dst[i],
+                              scalar->ipv6()->dst_addr().data(), 16),
+                  0);
+      }
+      if (scalar->tcp()) {
+        EXPECT_EQ(cols.src_port[i], scalar->tcp()->src_port());
+        EXPECT_EQ(cols.dst_port[i], scalar->tcp()->dst_port());
+        EXPECT_EQ(cols.tcp_flags[i], scalar->tcp()->flags());
+        EXPECT_EQ(cols.tcp_window[i], scalar->tcp()->window());
+        EXPECT_EQ(cols.l4_proto[i], 6);
+      }
+      if (scalar->udp()) {
+        EXPECT_EQ(cols.src_port[i], scalar->udp()->src_port());
+        EXPECT_EQ(cols.dst_port[i], scalar->udp()->dst_port());
+        EXPECT_EQ(cols.l4_proto[i], 17);
+      }
+      EXPECT_EQ(cols.payload_len[i], scalar->l4_payload().size());
+      // The materialized view must be the scalar walk, not a lookalike.
+      EXPECT_EQ(view.has_l4(), scalar->has_l4());
+      EXPECT_EQ(view.l4_payload().size(), scalar->l4_payload().size());
+    }
+  }
+}
+
+TEST(SoaParse, HashTuplesMatchesCanonicalScalarHash) {
+  util::Xoshiro256 rng(testing::test_seed(2));
+  for (int round = 0; round < 100; ++round) {
+    const auto burst = random_burst(rng, SoaBurstView::kMaxBurst);
+    SoaBurstView soa;
+    soa.parse(burst);
+    soa.hash_tuples(~SoaBurstView::Mask{0});
+    for (std::size_t i = 0; i < soa.size(); ++i) {
+      if (!soa.has_tuple(i)) continue;
+      const auto scalar = PacketView::parse(burst[i]);
+      ASSERT_TRUE(scalar.has_value() && scalar->five_tuple().has_value());
+      const auto canonical = scalar->five_tuple()->canonical();
+      EXPECT_EQ(soa.hash(i), canonical.key.hash()) << "lane " << i;
+      EXPECT_EQ(soa.canon(i).key.hash(), canonical.key.hash());
+      EXPECT_EQ(soa.canon(i).originator_is_first,
+                canonical.originator_is_first);
+    }
+  }
+}
+
+// Golden corpus: every predicate shape the batch engine lowers (ints,
+// ranges, !=, IP prefixes v4+v6, presence, flags, multi-layer filters
+// whose packet stage is non-terminal) plus string predicates that only
+// exist at session layer.
+const char* const kFilterCorpus[] = {
+    "eth",
+    "tcp",
+    "udp",
+    "ipv6",
+    "ipv4 and tcp.port = 443",
+    "tcp.port >= 1024",
+    "tcp.src_port < 1024",
+    "udp.port != 53",
+    "ipv4.ttl > 64",
+    "ipv4.addr in 10.0.0.0/8",
+    "ipv6 and tcp",
+    "(tcp.port = 80 or tcp.port = 8080) and ipv4",
+    "tls",
+    "http or dns",
+    "tcp.port = 443 and tls.sni ~ 'nflxvideo'",
+    "udp.port = 53 and dns.qname ~ 'com'",
+};
+
+TEST(BatchEquivalence, CompiledFilterMatchesScalarOnEveryBackend) {
+  const auto& reg = filter::FieldRegistry::builtin();
+  util::Xoshiro256 rng(testing::test_seed(3));
+  std::vector<std::vector<Mbuf>> bursts;
+  for (int b = 0; b < 48; ++b) {
+    bursts.push_back(random_burst(rng, 1 + rng.below(SoaBurstView::kMaxBurst)));
+  }
+  for (const char* expr : kFilterCorpus) {
+    const auto cf = filter::CompiledFilter::compile(expr, reg);
+    for (const auto backend : kAllBackends) {
+      BackendGuard guard(backend);
+      for (const auto& burst : bursts) {
+        SoaBurstView soa;
+        soa.parse(burst);
+        std::array<filter::FilterResult, SoaBurstView::kMaxBurst> results;
+        cf.packet_filter_batch(soa, results.data());
+        for (std::size_t i = 0; i < soa.size(); ++i) {
+          const auto expected = soa.view(i)
+                                    ? cf.packet_filter(*soa.view(i))
+                                    : filter::FilterResult::no_match();
+          ASSERT_EQ(results[i].kind, expected.kind)
+              << expr << " backend "
+              << filter::batch_backend_name(filter::active_batch_backend())
+              << " lane " << i;
+          ASSERT_EQ(results[i].node_id, expected.node_id) << expr;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, ForestBatchedMatchesScalarOnEveryBackend) {
+  auto set =
+      multisub::SubscriptionSet::builder()
+          .add(core::Subscription::builder()
+                   .filter("tcp")
+                   .on_packet([](const Mbuf&) {})
+                   .build(),
+               "tcp-pkts")
+          .add(core::Subscription::builder()
+                   .filter("tls")
+                   .on_session([](const core::SessionRecord&) {})
+                   .build(),
+               "tls-sess")
+          .add(core::Subscription::builder()
+                   .filter("udp.port = 53")
+                   .on_packet([](const Mbuf&) {})
+                   .build(),
+               "dns-pkts")
+          .add(core::Subscription::builder()
+                   .filter("ipv4.addr in 10.0.0.0/8 and tcp.port >= 1024")
+                   .on_connection([](const core::ConnRecord&) {})
+                   .build(),
+               "tennet-conns")
+          .build();
+  ASSERT_TRUE(set.ok()) << set.error();
+  const auto& reg = filter::FieldRegistry::builtin();
+  auto forest = multisub::FilterForest::build(*set, reg);
+  ASSERT_TRUE(forest.ok()) << forest.error();
+  const std::size_t nsubs = forest->sub_count();
+
+  util::Xoshiro256 rng(testing::test_seed(4));
+  auto scratch = forest->make_scratch();
+  std::vector<filter::BatchProgram::Mask> slot_masks(forest->bank_size());
+  std::vector<filter::FilterResult> batched(nsubs);
+  std::vector<filter::FilterResult> scalar(nsubs);
+  for (const auto backend : kAllBackends) {
+    BackendGuard guard(backend);
+    for (int round = 0; round < 32; ++round) {
+      const auto burst =
+          random_burst(rng, 1 + rng.below(SoaBurstView::kMaxBurst));
+      SoaBurstView soa;
+      soa.parse(burst);
+      forest->eval_batch(soa, slot_masks.data());
+      for (std::size_t i = 0; i < soa.size(); ++i) {
+        if (!soa.view(i)) continue;
+        const auto batched_mask = forest->packet_filter_batched(
+            soa, i, slot_masks.data(), scratch, batched.data());
+        const auto scalar_mask =
+            forest->packet_filter(*soa.view(i), scratch, scalar.data());
+        ASSERT_EQ(batched_mask, scalar_mask)
+            << "backend "
+            << filter::batch_backend_name(filter::active_batch_backend())
+            << " lane " << i;
+        for (std::size_t s = 0; s < nsubs; ++s) {
+          ASSERT_EQ(batched[s].kind, scalar[s].kind) << "sub " << s;
+          ASSERT_EQ(batched[s].node_id, scalar[s].node_id) << "sub " << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, EvaluatorDefaultBatchPathIsTheScalarLoop) {
+  const auto& reg = filter::FieldRegistry::builtin();
+  const auto dec = filter::decompose("ipv4 and tcp.port = 443", reg);
+  const filter::InterpretedFilter interp(dec, reg);
+  const filter::Evaluator& evaluator = interp;
+  EXPECT_EQ(evaluator.backend(), filter::BatchBackend::kScalar);
+
+  util::Xoshiro256 rng(testing::test_seed(5));
+  const auto burst = random_burst(rng, SoaBurstView::kMaxBurst);
+  SoaBurstView soa;
+  soa.parse(burst);
+  std::array<filter::FilterResult, SoaBurstView::kMaxBurst> results;
+  evaluator.packet_filter_batch(soa, results.data());
+  for (std::size_t i = 0; i < soa.size(); ++i) {
+    const auto expected = soa.view(i)
+                              ? evaluator.packet_filter(*soa.view(i))
+                              : filter::FilterResult::no_match();
+    EXPECT_EQ(results[i].kind, expected.kind) << "lane " << i;
+    EXPECT_EQ(results[i].node_id, expected.node_id) << "lane " << i;
+  }
+}
+
+TEST(BatchEquivalence, OversizedTrieFallsBackToScalarPathCorrectly) {
+  // More distinct predicates than CompiledFilter's slot-mask stack
+  // buffer (kMaxBatchSlots = 160) forces the per-lane fallback inside
+  // packet_filter_batch; results must be unchanged.
+  std::ostringstream expr;
+  for (int port = 1; port <= 180; ++port) {
+    if (port > 1) expr << " or ";
+    expr << "tcp.port = " << port;
+  }
+  const auto& reg = filter::FieldRegistry::builtin();
+  const auto cf = filter::CompiledFilter::compile(expr.str(), reg);
+
+  util::Xoshiro256 rng(testing::test_seed(6));
+  for (int round = 0; round < 8; ++round) {
+    auto burst = random_burst(rng, SoaBurstView::kMaxBurst);
+    // Guarantee some matching lanes: low ports land inside the OR set.
+    traffic::FlowEndpoints ep;
+    ep.server_port = static_cast<std::uint16_t>(1 + rng.below(180));
+    burst[0] = traffic::make_tcp_packet(ep, true, 1, 0, 0x02, {}, 7);
+    SoaBurstView soa;
+    soa.parse(burst);
+    std::array<filter::FilterResult, SoaBurstView::kMaxBurst> results;
+    cf.packet_filter_batch(soa, results.data());
+    bool any = false;
+    for (std::size_t i = 0; i < soa.size(); ++i) {
+      const auto expected = soa.view(i)
+                                ? cf.packet_filter(*soa.view(i))
+                                : filter::FilterResult::no_match();
+      ASSERT_EQ(results[i].kind, expected.kind) << "lane " << i;
+      ASSERT_EQ(results[i].node_id, expected.node_id) << "lane " << i;
+      any = any || expected.matched();
+    }
+    EXPECT_TRUE(any);
+  }
+}
+
+TEST(BatchCompile, MissingAccessorsComeBackAsErrValues) {
+  // A trie compiled against a registry that cannot resolve its
+  // protocols must surface as a Result error (mirroring
+  // filter::try_decompose), not a throw — and CompiledFilter::compile,
+  // the throwing convenience wrapper, converts it to FilterError.
+  const auto dec =
+      filter::decompose("tcp.port = 443", filter::FieldRegistry::builtin());
+  filter::FieldRegistry empty;
+  const auto bank = filter::PredicateBank::compile(dec.trie, empty);
+  ASSERT_FALSE(bank.ok());
+  EXPECT_NE(bank.error().find("cannot compile shared predicate bank"),
+            std::string::npos)
+      << bank.error();
+  const auto program = filter::BatchProgram::compile(dec.trie, empty);
+  ASSERT_FALSE(program.ok());
+  EXPECT_NE(program.error().find("cannot compile batch filter program"),
+            std::string::npos)
+      << program.error();
+  EXPECT_THROW(filter::CompiledFilter::compile(dec, empty),
+               filter::FilterError);
+}
+
+TEST(BatchBackendApi, NamesOverrideAndClamp) {
+  for (const auto backend : kAllBackends) {
+    const char* name = filter::batch_backend_name(backend);
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u);
+  }
+  EXPECT_STREQ(filter::batch_backend_name(filter::BatchBackend::kScalar),
+               "scalar");
+  {
+    BackendGuard guard(filter::BatchBackend::kScalar);
+    EXPECT_EQ(filter::active_batch_backend(), filter::BatchBackend::kScalar);
+  }
+  // Requests wider than the CPU clamp to something supported; after
+  // reset the detected default is one of the three flavors.
+  filter::set_batch_backend(filter::BatchBackend::kAvx2);
+  EXPECT_LE(static_cast<int>(filter::active_batch_backend()),
+            static_cast<int>(filter::BatchBackend::kAvx2));
+  filter::reset_batch_backend();
+  EXPECT_LE(static_cast<int>(filter::active_batch_backend()),
+            static_cast<int>(filter::BatchBackend::kAvx2));
+}
+
+TEST(BatchBackendApi, SurfacedInRunStatsAndPrometheus) {
+  core::RuntimeConfig config;
+  config.telemetry = true;
+  auto sub = core::Subscription::builder()
+                 .filter("tcp")
+                 .on_packet([](const Mbuf&) {})
+                 .build();
+  ASSERT_TRUE(sub.ok());
+  core::Runtime runtime(config, std::move(sub).value());
+  traffic::FlowEndpoints ep;
+  std::vector<Mbuf> packets;
+  packets.push_back(traffic::make_tcp_packet(ep, true, 1, 0, 0x02, {}, 1000));
+  packets.push_back(traffic::make_tcp_packet(ep, false, 1, 2, 0x12, {}, 2000));
+  const auto stats = runtime.run(packets);
+  EXPECT_STREQ(stats.filter_backend.c_str(), runtime.filter_backend_name());
+  EXPECT_NE(stats.to_string().find("filter_backend="), std::string::npos);
+  EXPECT_NE(runtime.prometheus().find("retina_filter_backend"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace retina

@@ -11,6 +11,8 @@
 #include "traffic/flowgen.hpp"
 #include "traffic/workloads.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina::core {
 namespace {
 
@@ -62,7 +64,7 @@ std::vector<packet::Mbuf> http_flow(const std::string& uri,
 
 TEST(EndToEnd, TlsHandshakeSubscription) {
   std::vector<std::string> snis;
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls.sni ~ '.*\\.com$'",
       [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
         snis.push_back(hs.sni);
@@ -89,7 +91,7 @@ TEST(EndToEnd, TlsHandshakeSubscription) {
 
 TEST(EndToEnd, ConnectionRecords) {
   std::vector<ConnRecord> records;
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
   RuntimeConfig config;
   Runtime runtime(config, std::move(sub));
@@ -117,7 +119,7 @@ TEST(EndToEnd, ConnectionRecords) {
 
 TEST(EndToEnd, ConnectionRecordsWithSessionFilter) {
   std::vector<ConnRecord> records;
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tls.sni ~ 'video'",
       [&](const ConnRecord& rec) { records.push_back(rec); });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
@@ -137,7 +139,7 @@ TEST(EndToEnd, ConnectionRecordsWithSessionFilter) {
 
 TEST(EndToEnd, PacketSubscriptionDirect) {
   std::size_t packets = 0;
-  auto sub = Subscription::packets(
+  auto sub = testsub::packets(
       "tcp.port = 80", [&](const packet::Mbuf&) { ++packets; });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
   traffic::Trace trace;
@@ -156,7 +158,7 @@ TEST(EndToEnd, PacketSubscriptionDirect) {
 TEST(EndToEnd, PacketSubscriptionWithSessionPredicate) {
   // Fig. 4a-style: packets of connections whose session matches.
   std::size_t packets = 0;
-  auto sub = Subscription::packets(
+  auto sub = testsub::packets(
       "tls.sni ~ 'wanted'", [&](const packet::Mbuf&) { ++packets; });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
   traffic::Trace trace;
@@ -172,7 +174,7 @@ TEST(EndToEnd, PacketSubscriptionWithSessionPredicate) {
 
 TEST(EndToEnd, HttpTransactions) {
   std::vector<std::string> uris;
-  auto sub = Subscription::http_transactions(
+  auto sub = testsub::http_transactions(
       "http.user_agent matches 'Firefox'",
       [&](const SessionRecord&, const protocols::HttpTransaction& tx) {
         uris.push_back(tx.uri);
@@ -188,7 +190,7 @@ TEST(EndToEnd, HttpTransactions) {
 
 TEST(EndToEnd, SingleSynDeliveredOnTimeout) {
   std::vector<ConnRecord> records;
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
 
@@ -213,7 +215,7 @@ TEST(EndToEnd, SingleSynDeliveredOnTimeout) {
 TEST(EndToEnd, StatsHierarchyIsLazy) {
   // Fig. 7 invariant: each downstream stage runs on a (weakly) smaller
   // share of traffic.
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tcp.port = 443 and tls.sni ~ 'nflxvideo'", [](const ConnRecord&) {});
   RuntimeConfig config;
   config.instrument_stages = true;
@@ -246,7 +248,7 @@ TEST(EndToEnd, StatsHierarchyIsLazy) {
 TEST(EndToEnd, InterpretedEngineSameResults) {
   auto count_matches = [](bool interpreted) {
     std::size_t sessions = 0;
-    auto sub = Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls.sni ~ '\\.com$'",
         [&](const SessionRecord&) { ++sessions; });
     RuntimeConfig config;
@@ -270,7 +272,7 @@ TEST(EndToEnd, MultiCoreFlowConsistency) {
   // since RSS keeps each flow on one core.
   auto run_with_cores = [](std::size_t cores) {
     std::size_t sessions = 0;
-    auto sub = Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls", [&](const SessionRecord&) { ++sessions; });
     RuntimeConfig config;
     config.cores = cores;
@@ -290,7 +292,7 @@ TEST(EndToEnd, MultiCoreFlowConsistency) {
 
 TEST(EndToEnd, ThreadedRuntimeMatchesSerial) {
   auto make_sub = [](std::atomic<std::size_t>* counter) {
-    return Subscription::sessions(
+    return testsub::sessions(
         "tls", [counter](const SessionRecord&) { ++*counter; });
   };
   traffic::CampusMixConfig mix;
@@ -320,7 +322,7 @@ TEST(EndToEnd, ThreadedLossAccountingUnderPressure) {
   // loss shows up in the stats (the zero-loss methodology's signal),
   // while everything that WAS delivered processes normally.
   std::atomic<std::size_t> conns{0};
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tcp", [&conns](const ConnRecord&) { ++conns; });
   RuntimeConfig config;
   config.cores = 2;
@@ -344,7 +346,7 @@ TEST(EndToEnd, ThreadedLossAccountingUnderPressure) {
 TEST(EndToEnd, SinkSamplingDropsFlows) {
   std::size_t sessions = 0;
   auto sub =
-      Subscription::sessions("tls", [&](const SessionRecord&) { ++sessions; });
+      testsub::sessions("tls", [&](const SessionRecord&) { ++sessions; });
   RuntimeConfig config;
   config.sink_fraction = 0.5;
   Runtime runtime(config, std::move(sub));
@@ -358,7 +360,7 @@ TEST(EndToEnd, SinkSamplingDropsFlows) {
 }
 
 TEST(EndToEnd, MemorySamplesRecorded) {
-  auto sub = Subscription::connections("tcp", [](const ConnRecord&) {});
+  auto sub = testsub::connections("tcp", [](const ConnRecord&) {});
   RuntimeConfig config;
   config.memory_sample_interval_ns = 50'000'000;
   Runtime runtime(config, std::move(sub));
@@ -397,7 +399,7 @@ TEST(Stats, MergeKeepsMemorySamplesTimeOrdered) {
 
 TEST(EndToEnd, SshSubscription) {
   std::vector<std::string> banners;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "ssh", [&](const SessionRecord& rec) {
         if (const auto* hs = rec.session.get<protocols::SshHandshake>()) {
           banners.push_back(hs->client_banner);
@@ -422,7 +424,7 @@ TEST(EndToEnd, SshSubscription) {
 
 TEST(EndToEnd, DnsSubscription) {
   std::vector<std::string> qnames;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "dns.qname ~ 'example'", [&](const SessionRecord& rec) {
         if (const auto* msg = rec.session.get<protocols::DnsMessage>()) {
           if (!msg->questions.empty())
@@ -448,7 +450,7 @@ TEST(EndToEnd, QuicSubscription) {
   // The extension module works end-to-end: subscribe to QUIC handshakes
   // by version over UDP 443.
   std::size_t v1_handshakes = 0;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "quic.version = 1", [&](const SessionRecord& rec) {
         if (rec.session.get<protocols::QuicHandshake>()) ++v1_handshakes;
       });
@@ -470,7 +472,7 @@ TEST(EndToEnd, QuicSubscription) {
 
 TEST(EndToEnd, RstTerminatesImmediately) {
   std::vector<ConnRecord> records;
-  auto sub = Subscription::connections(
+  auto sub = testsub::connections(
       "tcp", [&](const ConnRecord& rec) { records.push_back(rec); });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
   FlowEndpoints ep;
@@ -488,7 +490,7 @@ TEST(EndToEnd, RstTerminatesImmediately) {
 
 TEST(EndToEnd, HardwareFilterReducesSoftwareLoad) {
   auto run_hw = [](bool hw) {
-    auto sub = Subscription::connections("tcp.port = 443 and tls",
+    auto sub = testsub::connections("tcp.port = 443 and tls",
                                          [](const ConnRecord&) {});
     RuntimeConfig config;
     config.hardware_filter = hw;
@@ -513,7 +515,7 @@ TEST(EndToEnd, TlsSubjectFilter) {
   // Filter on the certificate subject CN (requires TLS<=1.2 so the
   // chain is visible on the wire).
   std::vector<std::string> subjects;
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls.subject ~ 'bank'",
       [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
         subjects.push_back(hs.subject_cn);
@@ -556,7 +558,7 @@ TEST(EndToEnd, SplitSignatureProbing) {
   // probing accumulates per-direction prefixes and replays the held
   // PDUs into the parser.
   std::vector<std::string> banners;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "ssh", [&](const SessionRecord& rec) {
         if (const auto* hs = rec.session.get<protocols::SshHandshake>()) {
           banners.push_back(hs->client_banner);
@@ -583,7 +585,7 @@ TEST(EndToEnd, SplitSignatureProbing) {
 
 TEST(EndToEnd, SplitClientHelloProbing) {
   std::vector<std::string> snis;
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls", [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
         snis.push_back(hs.sni);
       });
@@ -614,7 +616,7 @@ TEST(EndToEnd, SplitClientHelloProbing) {
 
 TEST(EndToEnd, SmtpSubscription) {
   std::vector<std::string> senders;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "smtp.mail_from ~ 'example.org'", [&](const SessionRecord& rec) {
         if (const auto* env = rec.session.get<protocols::SmtpEnvelope>()) {
           senders.push_back(env->mail_from);
@@ -647,7 +649,7 @@ TEST(EndToEnd, PerSessionFilteringOnKeepAlive) {
   // HTTP connection with three transactions, a URI filter must deliver
   // exactly the matching one.
   std::vector<std::string> uris;
-  auto sub = Subscription::http_transactions(
+  auto sub = testsub::http_transactions(
       "http.uri ~ 'secret'",
       [&](const SessionRecord&, const protocols::HttpTransaction& tx) {
         uris.push_back(tx.uri);
@@ -677,7 +679,7 @@ TEST(EndToEnd, PerSessionFilteringOnKeepAlive) {
 TEST(EndToEnd, DroppedConnectionIsTombstoned) {
   // A filter-dropped connection's remaining packets must not re-create
   // table entries (tombstone semantics): one connection total.
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls.sni ~ 'wanted'",
       [](const SessionRecord&, const protocols::TlsHandshake&) {});
   Runtime runtime(RuntimeConfig{}, std::move(sub));
@@ -705,7 +707,7 @@ TEST(EndToEnd, UdpByteStreams) {
   // Byte-stream subscriptions work over UDP too: each datagram payload
   // is a chunk, in arrival order.
   std::vector<std::size_t> chunk_sizes;
-  auto sub = Subscription::byte_streams(
+  auto sub = testsub::byte_streams(
       "udp.port = 53", [&](const core::StreamChunk& chunk) {
         if (!chunk.end_of_stream) chunk_sizes.push_back(chunk.data.size());
       });
@@ -730,7 +732,7 @@ TEST(EndToEnd, PacedReplayKeepsZeroLoss) {
   // than the trace's virtual clock here), so even small rings keep up
   // with zero loss where a full-speed burst would overflow them.
   std::atomic<std::size_t> sessions{0};
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "tls", [&sessions](const SessionRecord&) { ++sessions; });
   RuntimeConfig config;
   config.cores = 2;
@@ -753,7 +755,7 @@ TEST(EndToEnd, EmptyFilterSessionsProbeAllProtocols) {
   // registered parser: one trace containing TLS, HTTP, SSH, DNS, and
   // SMTP yields sessions of all five kinds.
   std::map<std::string, std::size_t> kinds;
-  auto sub = Subscription::sessions(
+  auto sub = testsub::sessions(
       "", [&](const SessionRecord& rec) { ++kinds[rec.session.proto_name()]; });
   Runtime runtime(RuntimeConfig{}, std::move(sub));
 
@@ -805,7 +807,7 @@ TEST(EndToEnd, EmptyFilterSessionsProbeAllProtocols) {
 
 TEST(EndToEnd, Ipv6TlsSubscription) {
   std::vector<std::string> snis;
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "ipv6 and tls.sni ~ 'six'",
       [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
         snis.push_back(hs.sni);
@@ -854,7 +856,7 @@ TEST(EndToEnd, BurstPathMatchesPerPacketExactly) {
   };
   auto run_mode = [](std::size_t burst_size) {
     Observed out;
-    auto sub = Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls or http or dns", [&out](const SessionRecord& rec) {
           out.sessions.push_back(rec.session.proto_name() + " " +
                                  rec.tuple.to_string());
@@ -914,7 +916,7 @@ TEST(EndToEnd, OddBurstSizesMatchToo) {
   // final burst and the chunking of oversized spans.
   auto count_sessions = [](std::size_t burst_size) {
     std::size_t sessions = 0;
-    auto sub = Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls", [&](const SessionRecord&) { ++sessions; });
     RuntimeConfig config;
     config.rx_burst_size = burst_size;
@@ -942,7 +944,7 @@ TEST(EndToEnd, OddBurstSizesMatchToo) {
 
 TEST(EndToEnd, OutOfOrderFlowStillParses) {
   std::vector<std::string> snis;
-  auto sub = Subscription::tls_handshakes(
+  auto sub = testsub::tls_handshakes(
       "tls", [&](const SessionRecord&, const protocols::TlsHandshake& hs) {
         snis.push_back(hs.sni);
       });

@@ -13,6 +13,8 @@
 #include "traffic/pcap.hpp"
 #include "util/small_vector.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina {
 namespace {
 
@@ -72,7 +74,7 @@ TEST(Pcap, OfflineAnalysisMatchesLive) {
 
   auto count_tls = [](const traffic::Trace& t) {
     std::size_t n = 0;
-    auto sub = core::Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls", [&n](const core::SessionRecord&) { ++n; });
     core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
     runtime.run(t.packets());
@@ -83,7 +85,7 @@ TEST(Pcap, OfflineAnalysisMatchesLive) {
 }
 
 TEST(Monitor, TracksThroughputAndState) {
-  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  auto sub = testsub::connections("tcp", [](const core::ConnRecord&) {});
   core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
   core::RuntimeMonitor monitor(runtime);
 
@@ -119,7 +121,7 @@ TEST(Monitor, TracksThroughputAndState) {
 
 
 TEST(Monitor, DetectsSustainedLoss) {
-  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  auto sub = testsub::connections("tcp", [](const core::ConnRecord&) {});
   core::RuntimeConfig config;
   config.cores = 1;
   config.rx_ring_size = 16;  // tiny: dispatch-without-drain overflows
@@ -167,7 +169,7 @@ TEST(ByteStreams, DeliversInOrderStream) {
   std::string up_stream;
   std::uint64_t down_bytes = 0;
   bool eos = false;
-  auto sub = core::Subscription::byte_streams(
+  auto sub = testsub::byte_streams(
       "http", [&](const core::StreamChunk& chunk) {
         if (chunk.end_of_stream) {
           eos = true;
@@ -209,7 +211,7 @@ TEST(ByteStreams, ReordersBeforeDelivery) {
   crafter.close();
 
   traffic::Bytes down;
-  auto sub = core::Subscription::byte_streams(
+  auto sub = testsub::byte_streams(
       "tcp.port = 80", [&](const core::StreamChunk& chunk) {
         if (!chunk.end_of_stream && !chunk.from_originator) {
           down.insert(down.end(), chunk.data.begin(), chunk.data.end());
@@ -224,7 +226,7 @@ TEST(ByteStreams, ReordersBeforeDelivery) {
 
 TEST(ByteStreams, NonMatchingStreamsDiscarded) {
   std::uint64_t chunks = 0;
-  auto sub = core::Subscription::byte_streams(
+  auto sub = testsub::byte_streams(
       "tls.sni ~ 'wanted'",
       [&](const core::StreamChunk&) { ++chunks; });
   core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));

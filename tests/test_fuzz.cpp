@@ -18,6 +18,8 @@
 #include "traffic/flowgen.hpp"
 #include "util/rng.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina {
 namespace {
 
@@ -146,7 +148,7 @@ TEST(FilterFuzz, RandomStringsRejectedCleanly) {
 
 TEST(PipelineFuzz, GarbageFramesNeverCrashRuntime) {
   util::Xoshiro256 rng(retina::testing::test_seed(777));
-  auto sub = core::Subscription::sessions(
+  auto sub = testsub::sessions(
       "tls or http or dns", [](const core::SessionRecord&) {});
   core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
 
@@ -186,7 +188,7 @@ TEST(PipelineFuzz, TruncatedRealFramesNeverCrash) {
   mix.seed = retina::testing::test_seed(99);
   const auto trace = traffic::make_campus_trace(mix);
 
-  auto sub = core::Subscription::connections("", [](const core::ConnRecord&) {});
+  auto sub = testsub::connections("", [](const core::ConnRecord&) {});
   core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
   util::Xoshiro256 rng(retina::testing::test_seed(4));
   for (const auto& mbuf : trace.packets()) {

@@ -9,6 +9,8 @@
 #include "traffic/flowgen.hpp"
 #include "util/logging.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina {
 namespace {
 
@@ -113,7 +115,7 @@ TEST(Runtime, IncrementalDispatchMatchesRun) {
 
   auto run_batch = [&](bool incremental) {
     std::size_t conns = 0;
-    auto sub = core::Subscription::connections(
+    auto sub = testsub::connections(
         "tcp", [&conns](const core::ConnRecord&) { ++conns; });
     core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
     if (incremental) {
@@ -131,7 +133,7 @@ TEST(Runtime, IncrementalDispatchMatchesRun) {
 }
 
 TEST(Runtime, FinishIsIdempotent) {
-  auto sub = core::Subscription::connections("tcp", [](const core::ConnRecord&) {});
+  auto sub = testsub::connections("tcp", [](const core::ConnRecord&) {});
   core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
   traffic::CampusMixConfig mix;
   mix.total_flows = 50;
@@ -146,14 +148,24 @@ TEST(Runtime, FinishIsIdempotent) {
   EXPECT_EQ(first.total.delivered_conns, second.total.delivered_conns);
 }
 
-TEST(Runtime, InvalidFilterThrows) {
+TEST(Runtime, InvalidFilterIsBuildError) {
+  // The Builder validates the filter at build() (parse + decompose), so
+  // a bad expression is an error value before a Runtime ever exists.
   auto make = [](const std::string& f) {
-    auto sub = core::Subscription::packets(f, [](const packet::Mbuf&) {});
-    core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+    return core::Subscription::builder()
+        .filter(f)
+        .on_packet([](const packet::Mbuf&) {})
+        .build();
   };
-  EXPECT_THROW(make("nonsense.field = 1"), filter::FilterError);
-  EXPECT_THROW(make("tcp and udp"), filter::FilterError);
-  EXPECT_NO_THROW(make("tcp"));
+  auto unknown = make("nonsense.field = 1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.error().find("unknown protocol"), std::string::npos);
+  auto contradiction = make("tcp and udp");
+  ASSERT_FALSE(contradiction.ok());
+  auto good = make("tcp");
+  ASSERT_TRUE(good.ok());
+  EXPECT_NO_THROW(
+      core::Runtime(core::RuntimeConfig{}, std::move(good).value()));
 }
 
 }  // namespace

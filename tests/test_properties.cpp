@@ -24,6 +24,8 @@
 #include "traffic/flowgen.hpp"
 #include "util/rng.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina {
 namespace {
 
@@ -126,14 +128,14 @@ RunOutcome run_pipeline(const std::string& filter, core::Level level,
   core::Subscription sub = [&] {
     switch (level) {
       case core::Level::kPacket:
-        return core::Subscription::packets(
+        return testsub::packets(
             filter,
             [&outcome](const packet::Mbuf&) { ++outcome.packets_delivered; });
       case core::Level::kConnection:
-        return core::Subscription::connections(
+        return testsub::connections(
             filter, [&outcome](const core::ConnRecord&) { ++outcome.conns; });
       default:
-        return core::Subscription::sessions(
+        return testsub::sessions(
             filter,
             [&outcome](const core::SessionRecord&) { ++outcome.sessions; });
     }
@@ -176,7 +178,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PipelineInvariance, ::testing::Range(0, 8));
 
 TEST(PipelineInvariants, LazyHierarchyOnRandomTraffic) {
   for (std::uint64_t seed = 1; seed <= 4; ++seed) {
-    auto sub = core::Subscription::connections(
+    auto sub = testsub::connections(
         "tcp.port = 443 and tls.sni ~ 'google'", [](const core::ConnRecord&) {});
     core::RuntimeConfig config;
     config.instrument_stages = true;
@@ -204,7 +206,7 @@ TEST(PipelineInvariants, SampledRunIsSubsetShaped) {
   // flow behaves normally (no partial flows: sampling is per-flow).
   auto run_with_sink = [](double fraction) {
     std::size_t sessions = 0;
-    auto sub = core::Subscription::sessions(
+    auto sub = testsub::sessions(
         "tls", [&sessions](const core::SessionRecord&) { ++sessions; });
     core::RuntimeConfig config;
     config.sink_fraction = fraction;

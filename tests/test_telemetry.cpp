@@ -18,6 +18,8 @@
 #include "telemetry/trace.hpp"
 #include "traffic/flowgen.hpp"
 
+#include "sub_builders.hpp"
+
 namespace retina {
 namespace {
 
@@ -357,7 +359,7 @@ TEST(TelemetryEndToEnd, ThreadedRunPopulatesRegistrySamplerAndSpans) {
   const auto trace = traffic::make_campus_trace(mix);
 
   std::atomic<std::size_t> records{0};
-  auto sub = core::Subscription::connections(
+  auto sub = testsub::connections(
       "tcp or udp", [&records](const core::ConnRecord&) { ++records; });
 
   core::RuntimeConfig config;

@@ -406,7 +406,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     auto& runtime = **runtime_or;
-    if (opts.live) runtime.set_telemetry_console(&std::cerr);
+    if (opts.live) {
+      runtime.set_telemetry_console(&std::cerr);
+      std::fprintf(stderr, "filter backend: %s\n",
+                   runtime.filter_backend_name());
+    }
 
     // With an overload policy, close the loop: the monitor polls on the
     // trace clock and walks the degradation ladder under sustained loss.
