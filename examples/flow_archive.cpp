@@ -1,0 +1,100 @@
+// Columnar flow archiving (the analytics sink).
+//
+// Capture a workload with the sink enabled — every matched connection
+// lands in a columnar archive file, appended from the worker cores
+// without touching the packet path — then reopen the archive and
+// re-derive aggregate traffic statistics from two projected columns.
+// The write side is configuration, not code: subscribe as usual, set
+// RuntimeConfig::sink, and run.
+//
+//   $ ./flow_archive [num_flows] [archive_path]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "sink/reader.hpp"
+#include "sink/record.hpp"
+#include "traffic/flowgen.hpp"
+
+using namespace retina;
+
+int main(int argc, char** argv) {
+  const std::size_t flows =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 5000;
+  const std::string path = argc > 2 ? argv[2] : "flows.rta";
+
+  // Phase 1: capture. The sink wants connection-level records, but any
+  // subscription level works — archiving rides on connection teardown.
+  auto subscription_or = core::Subscription::builder()
+                             .filter("tcp or udp")
+                             .on_connection([](const core::ConnRecord&) {})
+                             .build();
+  if (!subscription_or) {
+    std::fprintf(stderr, "filter error: %s\n",
+                 subscription_or.error().c_str());
+    return 1;
+  }
+
+  core::RuntimeConfig config;
+  config.cores = 4;
+  config.sink.enabled = true;
+  config.sink.path = path;
+  config.sink.chunk_bytes = 1 << 20;  // seal 1 MiB chunks
+
+  auto runtime_or =
+      core::Runtime::create(config, std::move(subscription_or).value());
+  if (!runtime_or) {
+    std::fprintf(stderr, "runtime error: %s\n", runtime_or.error().c_str());
+    return 1;
+  }
+  auto& runtime = **runtime_or;
+
+  traffic::CampusMixConfig mix;
+  mix.total_flows = flows;
+  auto gen = traffic::make_campus_gen(mix);
+  packet::Mbuf mbuf;
+  while (gen.next(mbuf)) {
+    runtime.dispatch(mbuf);
+    runtime.drain();
+  }
+  const auto stats = runtime.finish();
+  std::printf("captured %llu connections -> %s (%llu chunks, %llu bytes)\n",
+              static_cast<unsigned long long>(stats.sink_records),
+              path.c_str(),
+              static_cast<unsigned long long>(stats.sink_chunks),
+              static_cast<unsigned long long>(stats.sink_bytes));
+
+  // Phase 2: offline analytics. Project just the two byte-counter
+  // columns — the reader skips decoding everything else.
+  auto reader_or = sink::ArchiveReader::open(path);
+  if (!reader_or) {
+    std::fprintf(stderr, "open error: %s\n", reader_or.error().c_str());
+    return 1;
+  }
+  auto& reader = **reader_or;
+
+  const sink::ColumnMask bytes_only =
+      sink::column_bit(sink::ColumnId::kBytesUp) |
+      sink::column_bit(sink::ColumnId::kBytesDown);
+  std::vector<sink::FlowRecord> batch;
+  std::uint64_t total_bytes = 0, records = 0;
+  for (;;) {
+    auto more = reader.next_chunk(batch, bytes_only);
+    if (!more) {
+      std::fprintf(stderr, "read error: %s\n", more.error().c_str());
+      return 1;
+    }
+    if (!*more) break;
+    for (const auto& rec : batch) {
+      total_bytes += rec.bytes_up + rec.bytes_down;
+    }
+    records += batch.size();
+  }
+  std::printf("archive scan: %llu records, %.1f MB of traffic "
+              "(2 of 20 columns decoded)\n",
+              static_cast<unsigned long long>(records),
+              static_cast<double>(total_bytes) / 1e6);
+  return records == stats.sink_records ? 0 : 1;
+}

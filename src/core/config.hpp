@@ -10,6 +10,7 @@
 #include "overload/fault.hpp"
 #include "overload/policy.hpp"
 #include "rebalance/config.hpp"
+#include "sink/config.hpp"
 
 namespace retina::core {
 
@@ -114,6 +115,13 @@ struct RuntimeConfig {
     std::size_t capture_limit = 1024;
   };
   OffloadConfig offload;
+
+  /// Columnar flow-record archive (see sink/sink.hpp). Unrelated to
+  /// `sink_fraction` above, which is the RETA *sampling* knob; this is
+  /// the analytics export sink of ROADMAP item 4. Matched connections
+  /// are appended as fixed-schema FlowRecords into per-core arenas and
+  /// written out by a dedicated writer thread.
+  sink::SinkConfig sink;
 };
 
 }  // namespace retina::core

@@ -148,9 +148,29 @@ std::span<const DispatchPath> all_dispatch_paths() noexcept {
   return kPaths;
 }
 
-void GoldenRecorder::record(const std::string& key, std::string fields) {
-  const std::scoped_lock lock(mu_);
-  const auto seq = seq_[key]++;
+std::string conn_key(const packet::FiveTuple& tuple) {
+  return canonical_key(tuple);
+}
+
+std::string conn_fields(const ConnRecord& rec) {
+  std::ostringstream os;
+  os << ",\"event\":\"conn\",\"tuple\":\""
+     << json_escape(rec.tuple.to_string()) << "\",\"first_ts\":"
+     << rec.first_ts_ns << ",\"last_ts\":" << rec.last_ts_ns
+     << ",\"pkts\":[" << rec.pkts_up << ',' << rec.pkts_down
+     << "],\"bytes\":[" << rec.bytes_up << ',' << rec.bytes_down
+     << "],\"payload\":[" << rec.payload_up << ',' << rec.payload_down
+     << "],\"ooo\":[" << rec.ooo_up << ',' << rec.ooo_down
+     << "],\"dup\":[" << rec.dup_up << ',' << rec.dup_down
+     << "],\"flags\":[" << rec.saw_syn << ',' << rec.saw_synack << ','
+     << rec.saw_fin << ',' << rec.saw_rst << "],\"established\":"
+     << rec.established << ",\"app\":\"" << json_escape(rec.app_proto)
+     << '"';
+  return os.str();
+}
+
+std::string make_line(const std::string& key, std::uint64_t seq,
+                      const std::string& fields) {
   char seq_buf[16];
   std::snprintf(seq_buf, sizeof(seq_buf), "%06llu",
                 static_cast<unsigned long long>(seq));
@@ -159,7 +179,13 @@ void GoldenRecorder::record(const std::string& key, std::string fields) {
   line += '"';
   line += fields;
   line += '}';
-  lines_.push_back(std::move(line));
+  return line;
+}
+
+void GoldenRecorder::record(const std::string& key, std::string fields) {
+  const std::scoped_lock lock(mu_);
+  const auto seq = seq_[key]++;
+  lines_.push_back(make_line(key, seq, fields));
 }
 
 std::vector<std::string> GoldenRecorder::lines() const {
@@ -185,20 +211,7 @@ Result<Subscription> GoldenRecorder::subscribe(Level level,
       break;
     case Level::kConnection:
       builder.on_connection([this](const ConnRecord& rec) {
-        std::ostringstream os;
-        os << ",\"event\":\"conn\",\"tuple\":\""
-           << json_escape(rec.tuple.to_string()) << "\",\"first_ts\":"
-           << rec.first_ts_ns << ",\"last_ts\":" << rec.last_ts_ns
-           << ",\"pkts\":[" << rec.pkts_up << ',' << rec.pkts_down
-           << "],\"bytes\":[" << rec.bytes_up << ',' << rec.bytes_down
-           << "],\"payload\":[" << rec.payload_up << ',' << rec.payload_down
-           << "],\"ooo\":[" << rec.ooo_up << ',' << rec.ooo_down
-           << "],\"dup\":[" << rec.dup_up << ',' << rec.dup_down
-           << "],\"flags\":[" << rec.saw_syn << ',' << rec.saw_synack << ','
-           << rec.saw_fin << ',' << rec.saw_rst << "],\"established\":"
-           << rec.established << ",\"app\":\"" << json_escape(rec.app_proto)
-           << '"';
-        record(canonical_key(rec.tuple), os.str());
+        record(canonical_key(rec.tuple), conn_fields(rec));
       });
       break;
     case Level::kSession:
@@ -236,6 +249,11 @@ GoldenResult run_golden(std::span<const packet::Mbuf> packets,
   config.rx_burst_size =
       spec.path == DispatchPath::kSerialPacket ? 1 : 32;
   config.offload.enabled = spec.offload;
+  if (!spec.sink_path.empty()) {
+    config.sink.enabled = true;
+    config.sink.path = spec.sink_path;
+    config.sink.chunk_bytes = 16 << 10;  // small chunks: multi-chunk files
+  }
   const bool rebalance = spec.path == DispatchPath::kSerialRebalance ||
                          spec.path == DispatchPath::kThreadedRebalance;
   if (rebalance) {

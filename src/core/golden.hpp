@@ -52,6 +52,10 @@ struct GoldenSpec {
   // byte-identical with offload on or off — hardware counters merge
   // back into the very records the callbacks see.
   bool offload = false;
+  // When non-empty, the run also archives every matched connection to
+  // a columnar sink file at this path (the golden sink lane diffs the
+  // reconstructed records against the committed conn stream).
+  std::string sink_path;
 };
 
 struct GoldenResult {
@@ -88,6 +92,21 @@ GoldenResult run_golden(std::span<const packet::Mbuf> packets,
 
 /// FNV-1a 64-bit — stable across platforms, unlike std::hash.
 std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept;
+
+// Canonical-line building blocks, exposed so the sink lane can
+// reconstruct conn lines from archived FlowRecords and diff them
+// against recorder output byte for byte. The formatting is shared with
+// GoldenRecorder — there is exactly one definition of a conn line.
+
+/// Direction-independent connection key (canonicalized tuple string).
+std::string conn_key(const packet::FiveTuple& tuple);
+
+/// The ",\"event\":\"conn\",..." tail of a connection line.
+std::string conn_fields(const ConnRecord& rec);
+
+/// Assemble one canonical line from key + per-key sequence + fields.
+std::string make_line(const std::string& key, std::uint64_t seq,
+                      const std::string& fields);
 
 /// "\n"-joined lines with a trailing newline (empty string when empty).
 std::string join_lines(const std::vector<std::string>& lines);

@@ -13,6 +13,11 @@ const MonitorSnapshot& RuntimeMonitor::poll(std::uint64_t now_ns) {
 
   const auto port_stats = runtime_->nic().stats();
   snap.dropped = port_stats.ring_dropped;
+  if (auto* sink = runtime_->sink()) {
+    // Lane counters are single-writer relaxed cells — safe to read
+    // beside the worker threads, like the registry slots below.
+    snap.sink_backpressure = sink->stats().backpressure_events;
+  }
   if (auto* metrics = runtime_->metrics()) {
     // Threaded-safe path: the registry slots are single-writer atomics,
     // so the controller can poll while worker threads process packets.
@@ -76,6 +81,20 @@ bool RuntimeMonitor::memory_pressure() const {
          control_.memory_pressure * budget;
 }
 
+bool RuntimeMonitor::sink_pressure(std::size_t window) const {
+  if (runtime_->sink() == nullptr || history_.size() < window + 1) {
+    return false;
+  }
+  // Backpressure is cumulative; pressure means the counter moved in
+  // every one of the last `window` intervals.
+  for (std::size_t i = history_.size() - window; i < history_.size(); ++i) {
+    if (history_[i].sink_backpressure <= history_[i - 1].sink_backpressure) {
+      return false;
+    }
+  }
+  return true;
+}
+
 double RuntimeMonitor::baseline_sink() const {
   return runtime_->config().sink_fraction;
 }
@@ -84,6 +103,12 @@ std::size_t RuntimeMonitor::clean_streak() const {
   std::size_t streak = 0;
   for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
     if (it->drop_rate > 0.0) break;
+    // A poll isn't clean if the sink refused records in its interval.
+    const auto prev = std::next(it);
+    if (prev != history_.rend() &&
+        it->sink_backpressure > prev->sink_backpressure) {
+      break;
+    }
     ++streak;
   }
   return streak;
@@ -100,8 +125,9 @@ Advice RuntimeMonitor::advise() const {
   const std::size_t since_action = history_.size() - last_action_poll_;
   const bool loss = sustained_loss(control_.loss_window);
   const bool memory = memory_pressure();
+  const bool sinkp = sink_pressure(control_.loss_window);
 
-  if (loss || memory) {
+  if (loss || memory || sinkp) {
     if (since_action < control_.loss_window) return advice;
     if (level_ != DegradeLevel::kSink) {
       advice.action = Advice::Action::kDegrade;
@@ -115,8 +141,9 @@ Advice RuntimeMonitor::advise() const {
     } else {
       return advice;  // fully degraded already; nothing left to shed
     }
-    advice.reason = loss ? "sustained rx-ring loss"
-                         : "state bytes near the overload budget";
+    advice.reason = loss     ? "sustained rx-ring loss"
+                    : memory ? "state bytes near the overload budget"
+                             : "sink backpressure: archive writer behind";
     return advice;
   }
 

@@ -28,6 +28,7 @@ struct MonitorSnapshot {
   std::uint64_t dropped = 0;         // cumulative rx-ring drops (loss)
   std::uint64_t connections = 0;     // currently tracked
   std::uint64_t state_bytes = 0;     // approximate connection state
+  std::uint64_t sink_backpressure = 0;  // cumulative sink-full events
 
   // Deltas relative to the previous snapshot.
   double interval_s = 0;
@@ -92,6 +93,13 @@ class RuntimeMonitor {
   /// total budget (max_state_bytes x cores)? Always false with no
   /// budget configured.
   bool memory_pressure() const;
+
+  /// Sustained sink backpressure: the analytics sink refused records
+  /// (writer behind, every arena in flight) in each of the last
+  /// `window` polls. Escalation-worthy for the same reason loss is —
+  /// the archive is silently losing records until load sheds. Always
+  /// false when the runtime has no sink.
+  bool sink_pressure(std::size_t window = 3) const;
 
   /// Turn the recent window into structured advice. Pure: inspects the
   /// history and controller state, actuates nothing — callers without a

@@ -6,6 +6,7 @@
 #include <new>
 
 #include "packet/packet_view.hpp"
+#include "sink/sink.hpp"
 #include "util/cycles.hpp"
 
 namespace retina::core {
@@ -1315,6 +1316,12 @@ void Pipeline::terminate_conn(ConnId id, ConnEntry& entry,
     if (!sessions.empty()) {
       handle_sessions(id, entry, std::move(sessions));
     }
+  }
+
+  // Analytics sink: one FlowRecord per matched connection, whatever the
+  // subscription level — the archive is a connection-granularity store.
+  if (sink_ != nullptr && !entry.dropped && entry.filter_matched) {
+    sink_->append(sink_core_, sink::FlowRecord::from(entry.record));
   }
 
   if (subscription_.level() == Level::kConnection && !entry.dropped &&

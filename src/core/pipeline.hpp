@@ -33,6 +33,10 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
+namespace retina::sink {
+class FlowSink;
+}  // namespace retina::sink
+
 namespace retina::core {
 
 /// Raw hot-path handles into a shared telemetry::MetricRegistry. All
@@ -126,6 +130,15 @@ class Pipeline : public OffloadClient {
   void attach_offload(OffloadRequester* requester, std::size_t core) noexcept {
     offload_requester_ = requester;
     offload_core_ = core;
+  }
+
+  /// Wire the analytics sink in (nullptr = no archiving). `core` is
+  /// this pipeline's queue index — the sink's per-core arena lane the
+  /// single-producer contract binds this pipeline to. Call during
+  /// single-threaded setup.
+  void attach_sink(sink::FlowSink* sink, std::size_t core) noexcept {
+    sink_ = sink;
+    sink_core_ = core;
   }
 
   // OffloadClient: called by the engine on this pipeline's worker core.
@@ -330,6 +343,8 @@ class Pipeline : public OffloadClient {
   std::uint64_t last_ts_ = 0;
 
   overload::OverloadState* overload_ = nullptr;  // borrowed; may be null
+  sink::FlowSink* sink_ = nullptr;               // borrowed; may be null
+  std::size_t sink_core_ = 0;
   OffloadRequester* offload_requester_ = nullptr;  // borrowed; may be null
   std::size_t offload_core_ = 0;
   std::int64_t reasm_hold_bytes_ = 0;  // out-of-order bytes held right now

@@ -48,6 +48,9 @@ Result<bool> validate_config(const RuntimeConfig& config) {
     return Err("over-budget config: max-state-mb budget is below the empty "
                "connection table's footprint (needs >= 128 KiB per core)");
   }
+  if (config.sink.enabled) {
+    if (auto ok = sink::validate(config.sink); !ok) return Err(ok.error());
+  }
   return true;
 }
 
@@ -162,6 +165,24 @@ void Runtime::init_common(const nic::FlowRuleSet& hw_rules,
     if (config_.rebalance.enabled) {
       rebalancer_ = std::make_unique<rebalance::Rebalancer>(
           config_.rebalance, *nic_, pipelines_, metrics_.get());
+    }
+  }
+
+  // Analytics sink: per-core arena lanes feeding a dedicated writer
+  // thread. Matched connections are archived whatever the mode.
+  if (config_.sink.enabled) {
+    auto sink = sink::FlowSink::create(config_.sink, port.num_queues);
+    if (!sink) {
+      // Mirrors the validating factory (Runtime::create reports the
+      // same failure as an error value).
+      throw std::runtime_error(sink.error());
+    }
+    sink_ = std::move(sink).value();
+    for (std::size_t core = 0; core < pipelines_.size(); ++core) {
+      pipelines_[core]->attach_sink(sink_.get(), core);
+    }
+    for (std::size_t core = 0; core < multi_pipelines_.size(); ++core) {
+      multi_pipelines_[core]->attach_sink(sink_.get(), core);
     }
   }
 
@@ -376,6 +397,9 @@ RunStats Runtime::finish() {
     }
     for (auto& pipeline : pipelines_) pipeline->finish();
     for (auto& pipeline : multi_pipelines_) pipeline->finish();
+    // The pipelines just appended their final records; seal, drain, and
+    // finish the archive (writer thread joins inside).
+    if (sink_) sink_->close();
     finished_ = true;
   }
   return collect_stats();
@@ -571,6 +595,7 @@ RunStats Runtime::run_threaded(std::span<const packet::Mbuf> packets,
   }
   for (auto& pipeline : pipelines_) pipeline->finish();
   for (auto& pipeline : multi_pipelines_) pipeline->finish();
+  if (sink_) sink_->close();
   finished_ = true;
 
   auto stats = collect_stats();
@@ -650,6 +675,31 @@ std::string Runtime::prometheus() const {
     out += "retina_offload_evictions_total{reason=\"flush\"} " +
            std::to_string(os.evicted_flush) + "\n";
   }
+  if (sink_) {
+    // Sink progress reads the writer's single-writer cells and the lane
+    // counters — tear-free from any thread, live while the run flies.
+    const auto ss = sink_->stats();
+    telemetry::append_prometheus_counter(
+        out, "retina_sink_records_total",
+        "Flow records accepted into sink arenas", ss.records_appended);
+    telemetry::append_prometheus_counter(
+        out, "retina_sink_dropped_total",
+        "Flow records refused by a full sink (writer behind)",
+        ss.records_dropped);
+    telemetry::append_prometheus_counter(
+        out, "retina_sink_backpressure_total",
+        "Sink-full backpressure events", ss.backpressure_events);
+    telemetry::append_prometheus_counter(
+        out, "retina_sink_chunks_total", "Columnar chunks sealed",
+        ss.chunks_sealed);
+    telemetry::append_prometheus_counter(
+        out, "retina_sink_bytes_total", "Encoded archive bytes written",
+        ss.bytes_written);
+    out += "# HELP retina_sink_arena_backlog Sealed arenas queued for the "
+           "writer thread\n# TYPE retina_sink_arena_backlog gauge\n";
+    out += "retina_sink_arena_backlog " + std::to_string(ss.sealed_backlog) +
+           "\n";
+  }
   // Per-queue breakdown of the ring counters (the rebalancer's load /
   // loss signals, exported so skew is visible from outside too).
   out += "# HELP retina_nic_queue_enqueued_total Packets enqueued to each "
@@ -694,6 +744,14 @@ RunStats Runtime::collect_stats() const {
   stats.nic_offload_pkts = port_stats.offload_pkts;
   stats.nic_offload_bytes = port_stats.offload_bytes;
   stats.trace_duration_ns = last_ts_ > first_ts_ ? last_ts_ - first_ts_ : 0;
+  if (sink_) {
+    const auto sink_stats = sink_->stats();
+    stats.sink_records = sink_stats.records_appended;
+    stats.sink_dropped = sink_stats.records_dropped;
+    stats.sink_backpressure = sink_stats.backpressure_events;
+    stats.sink_chunks = sink_stats.chunks_sealed;
+    stats.sink_bytes = sink_stats.bytes_written;
+  }
   // Hardware-filter stage accounting (Fig. 7): every ingress packet
   // triggers it, at zero CPU cost.
   stats.total.stages.invocations[static_cast<int>(Stage::kHardwareFilter)] =

@@ -27,6 +27,7 @@
 #include "overload/fault.hpp"
 #include "overload/policy.hpp"
 #include "rebalance/rebalancer.hpp"
+#include "sink/sink.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/sampler.hpp"
 #include "telemetry/trace.hpp"
@@ -148,6 +149,11 @@ class Runtime {
   /// thread and per-core rings like the rebalancer's.
   OffloadEngine* offload_engine() noexcept { return offload_engine_.get(); }
 
+  /// Columnar flow-record sink (config.sink.enabled); null otherwise.
+  /// Closed (final chunk + trailer) by finish()/run_threaded() after
+  /// the pipelines deliver their last records.
+  sink::FlowSink* sink() noexcept { return sink_.get(); }
+
   /// Install a controller invoked from the *dispatching* thread every
   /// `interval_ns` of virtual (trace) time — the cadence is the trace
   /// clock, so runs are deterministic. The dispatch thread owns the
@@ -212,6 +218,7 @@ class Runtime {
   bool finished_ = false;
 
   overload::OverloadState overload_state_;
+  std::unique_ptr<sink::FlowSink> sink_;
   std::unique_ptr<overload::FaultInjector> faults_;
   std::unique_ptr<rebalance::Rebalancer> rebalancer_;
   std::unique_ptr<OffloadEngine> offload_engine_;

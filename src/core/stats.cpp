@@ -78,6 +78,14 @@ std::string RunStats::to_string() const {
     os << " offload_pkts=" << nic_offload_pkts
        << " offload_bytes=" << nic_offload_bytes;
   }
+  if (sink_records > 0 || sink_dropped > 0) {
+    os << " sink_records=" << sink_records << " sink_chunks=" << sink_chunks
+       << " sink_bytes=" << sink_bytes;
+    if (sink_dropped > 0) {
+      os << " sink_dropped=" << sink_dropped
+         << " sink_backpressure=" << sink_backpressure;
+    }
+  }
   if (total.shed_total() > 0) {
     os << " shed=" << total.shed_total();
     for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {

@@ -112,6 +112,12 @@ struct RunStats {
   std::uint64_t nic_offload_pkts = 0;     // counted by hardware flow rules
   std::uint64_t nic_offload_bytes = 0;
   std::uint64_t trace_duration_ns = 0;    // virtual time span
+  /// Analytics-sink roll-up (config.sink.enabled; zero otherwise).
+  std::uint64_t sink_records = 0;         // records accepted into arenas
+  std::uint64_t sink_dropped = 0;         // records refused (writer behind)
+  std::uint64_t sink_backpressure = 0;    // sink-full events
+  std::uint64_t sink_chunks = 0;          // columnar chunks sealed
+  std::uint64_t sink_bytes = 0;           // encoded archive bytes written
   double wall_seconds = 0.0;              // host processing time
   double max_core_seconds = 0.0;          // slowest core's busy time
   /// Batch filter-evaluation backend the run dispatched through

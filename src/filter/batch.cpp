@@ -81,10 +81,15 @@ BatchBackend active_batch_backend() noexcept {
 
 void set_batch_backend(BatchBackend backend) noexcept {
   backend_cell().store(clamp_backend(backend), std::memory_order_relaxed);
+  // The packet layer's tuple-hash kernels use the same flavor ladder;
+  // keep them in step so one knob pins the whole batch path.
+  packet::set_hash_backend(
+      static_cast<packet::HashBackend>(static_cast<int>(backend)));
 }
 
 void reset_batch_backend() noexcept {
   backend_cell().store(initial_backend(), std::memory_order_relaxed);
+  packet::reset_hash_backend();
 }
 
 // --- Comparison primitives --------------------------------------------

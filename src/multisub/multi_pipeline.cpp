@@ -5,6 +5,7 @@
 #include <bit>
 
 #include "packet/packet_view.hpp"
+#include "sink/sink.hpp"
 #include "util/cycles.hpp"
 
 namespace retina::multisub {
@@ -1642,6 +1643,13 @@ void MultiPipeline::terminate_conn(ConnId id, ConnEntry& entry,
     if (!sessions.empty()) {
       handle_sessions(id, entry, std::move(sessions));
     }
+  }
+
+  // Analytics sink: one FlowRecord per connection matched by *any*
+  // member (never one per member — the archive is deduplicated by
+  // construction).
+  if (sink_ != nullptr && (entry.alive() & entry.matched) != 0) {
+    sink_->append(sink_core_, sink::FlowRecord::from(entry.record));
   }
 
   // Connection records and end-of-stream markers, per matched member in

@@ -103,6 +103,12 @@ class MultiPipeline : public core::OffloadClient {
     offload_core_ = core;
   }
 
+  /// Wire the analytics sink in (see core::Pipeline::attach_sink).
+  void attach_sink(sink::FlowSink* sink, std::size_t core) noexcept {
+    sink_ = sink;
+    sink_core_ = core;
+  }
+
   // core::OffloadClient: called by the engine on this worker core.
   bool offload_park(const packet::FiveTuple& key,
                     nic::OffloadSeed& seed_out) override;
@@ -331,6 +337,8 @@ class MultiPipeline : public core::OffloadClient {
   std::vector<filter::BatchProgram::Mask> slot_masks_;
 
   overload::OverloadState* overload_ = nullptr;
+  sink::FlowSink* sink_ = nullptr;  // borrowed; may be null
+  std::size_t sink_core_ = 0;
   core::OffloadRequester* offload_requester_ = nullptr;  // borrowed
   std::size_t offload_core_ = 0;
   std::int64_t reasm_hold_bytes_ = 0;

@@ -36,46 +36,20 @@ FiveTuple::Canonical FiveTuple::canonical() const noexcept {
   return c;
 }
 
-namespace {
-
-inline std::uint64_t load_u64(const std::uint8_t* p) noexcept {
-  std::uint64_t v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-inline std::uint64_t avalanche(std::uint64_t h) noexcept {
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 29;
-  return h;
-}
-
-}  // namespace
-
 std::uint64_t FiveTuple::hash() const noexcept {
   // Word-wide multiply-xor over the tuple's 37-byte layout (two 16-byte
   // addresses, then ports/proto/versions packed into one word). This is
   // the single hottest scalar operation on the per-packet path — it
   // keys every connection lookup — and the previous byte-serial FNV-1a
   // was a 37-step xor+multiply dependency chain (~70 cycles). The five
-  // per-word multiplies below are independent, so the chain is just the
+  // per-word multiplies are independent, so the chain is just the
   // combining step. Symmetric across directions because callers hash
-  // canonicalized tuples.
-  constexpr std::uint64_t k0 = 0x9e3779b97f4a7c15ULL;
-  constexpr std::uint64_t k1 = 0xc2b2ae3d27d4eb4fULL;
-  const std::uint64_t tail = (static_cast<std::uint64_t>(src_port) << 48) |
-                             (static_cast<std::uint64_t>(dst_port) << 32) |
-                             (static_cast<std::uint64_t>(proto) << 16) |
-                             (static_cast<std::uint64_t>(src.version) << 8) |
-                             static_cast<std::uint64_t>(dst.version);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  h = (h ^ avalanche(load_u64(src.bytes.data()) * k0)) * k1;
-  h = (h ^ avalanche(load_u64(src.bytes.data() + 8) * k0)) * k1;
-  h = (h ^ avalanche(load_u64(dst.bytes.data()) * k0)) * k1;
-  h = (h ^ avalanche(load_u64(dst.bytes.data() + 8) * k0)) * k1;
-  h = (h ^ avalanche(tail * k0)) * k1;
-  return avalanche(h);
+  // canonicalized tuples. The mixing itself lives in packet::hashing
+  // (five_tuple.hpp) so the vectorized batch kernels share it.
+  using namespace hashing;
+  return mix_words(load_u64(src.bytes.data()), load_u64(src.bytes.data() + 8),
+                   load_u64(dst.bytes.data()), load_u64(dst.bytes.data() + 8),
+                   tuple_tail(*this));
 }
 
 std::string FiveTuple::to_string() const {

@@ -8,6 +8,7 @@
 #include <array>
 #include <compare>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <string>
 
@@ -71,6 +72,55 @@ struct FiveTuple::Canonical {
   FiveTuple key;
   bool originator_is_first = true;
 };
+
+/// The pieces of FiveTuple::hash(), exposed inline so the vectorized
+/// batch kernels (SoaBurstView::hash_tuples in packet/soa.cpp) are
+/// bit-exact with the scalar path *by construction* — both compose the
+/// same constants and the same mixing steps.
+namespace hashing {
+
+inline constexpr std::uint64_t kMulK0 = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kMulK1 = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kSeed = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kAvalancheMul = 0xff51afd7ed558ccdULL;
+
+inline std::uint64_t load_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint64_t avalanche(std::uint64_t h) noexcept {
+  h ^= h >> 33;
+  h *= kAvalancheMul;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Ports/proto/versions packed into the fifth mixing word.
+inline std::uint64_t tuple_tail(const FiveTuple& t) noexcept {
+  return (static_cast<std::uint64_t>(t.src_port) << 48) |
+         (static_cast<std::uint64_t>(t.dst_port) << 32) |
+         (static_cast<std::uint64_t>(t.proto) << 16) |
+         (static_cast<std::uint64_t>(t.src.version) << 8) |
+         static_cast<std::uint64_t>(t.dst.version);
+}
+
+/// The full five-word mixing chain over (src lo, src hi, dst lo,
+/// dst hi, tail). Equals FiveTuple::hash() on the words of that tuple.
+inline std::uint64_t mix_words(std::uint64_t s0, std::uint64_t s1,
+                               std::uint64_t d0, std::uint64_t d1,
+                               std::uint64_t tail) noexcept {
+  std::uint64_t h = kSeed;
+  h = (h ^ avalanche(s0 * kMulK0)) * kMulK1;
+  h = (h ^ avalanche(s1 * kMulK0)) * kMulK1;
+  h = (h ^ avalanche(d0 * kMulK0)) * kMulK1;
+  h = (h ^ avalanche(d1 * kMulK0)) * kMulK1;
+  h = (h ^ avalanche(tail * kMulK0)) * kMulK1;
+  return avalanche(h);
+}
+
+}  // namespace hashing
 
 }  // namespace retina::packet
 

@@ -1,8 +1,87 @@
 #include "packet/soa.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RETINA_SOA_X86 1
+#include <immintrin.h>
+#else
+#define RETINA_SOA_X86 0
+#endif
 
 namespace retina::packet {
+
+// --- Hash backend selection (mirrors filter/batch.cpp) ----------------
+
+namespace {
+
+HashBackend widest_hash_supported() noexcept {
+#if RETINA_SOA_X86
+  if (__builtin_cpu_supports("avx2")) return HashBackend::kAvx2;
+  return HashBackend::kSse;  // SSE2 is the x86-64 baseline
+#else
+  return HashBackend::kScalar;
+#endif
+}
+
+HashBackend clamp_hash_backend(HashBackend want) noexcept {
+  const auto widest = widest_hash_supported();
+  return static_cast<int>(want) > static_cast<int>(widest) ? widest : want;
+}
+
+HashBackend initial_hash_backend() noexcept {
+  HashBackend backend = widest_hash_supported();
+  if (const char* env = std::getenv("RETINA_FILTER_BACKEND")) {
+    std::string v;
+    for (const char* p = env; *p != '\0'; ++p) {
+      v.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(*p))));
+    }
+    if (v == "scalar") {
+      backend = HashBackend::kScalar;
+    } else if (v == "sse") {
+      backend = clamp_hash_backend(HashBackend::kSse);
+    } else if (v == "avx" || v == "avx2") {
+      backend = clamp_hash_backend(HashBackend::kAvx2);
+    }
+    // Unknown values keep the detected backend, like the filter layer.
+  }
+  return backend;
+}
+
+std::atomic<HashBackend>& hash_backend_cell() noexcept {
+  static std::atomic<HashBackend> cell{initial_hash_backend()};
+  return cell;
+}
+
+}  // namespace
+
+const char* hash_backend_name(HashBackend backend) noexcept {
+  switch (backend) {
+    case HashBackend::kScalar: return "scalar";
+    case HashBackend::kSse: return "sse-class";
+    case HashBackend::kAvx2: return "avx2-class";
+  }
+  return "unknown";
+}
+
+HashBackend active_hash_backend() noexcept {
+  return hash_backend_cell().load(std::memory_order_relaxed);
+}
+
+void set_hash_backend(HashBackend backend) noexcept {
+  hash_backend_cell().store(clamp_hash_backend(backend),
+                            std::memory_order_relaxed);
+}
+
+void reset_hash_backend() noexcept {
+  hash_backend_cell().store(initial_hash_backend(),
+                            std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -19,6 +98,113 @@ inline void prefetch_frame(const Mbuf& m) noexcept {
   (void)m;
 #endif
 }
+
+// --- Batch hash kernels ------------------------------------------------
+//
+// Input: five mixing words per compacted lane (src lo/hi, dst lo/hi,
+// tail), SoA-transposed into `words[5][...]`. Each kernel runs the
+// packet::hashing chain over W lanes at once; all flavors are bit-exact
+// with FiveTuple::hash() because they compose the same constants in the
+// same order (the hashing:: helpers are the single source of truth the
+// scalar flavor calls directly).
+
+constexpr std::size_t kHashWords = 5;
+
+[[maybe_unused]] void hash_kernel_scalar(
+    const std::uint64_t (*words)[SoaBurstView::kMaxBurst], std::size_t n,
+    std::uint64_t* out) noexcept {
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = hashing::mix_words(words[0][k], words[1][k], words[2][k],
+                                words[3][k], words[4][k]);
+  }
+}
+
+#if RETINA_SOA_X86
+
+// 64-bit lane-wise multiply from SSE2 32-bit multiplies:
+//   lo = a_lo * b_lo;  cross = a_lo * b_hi + a_hi * b_lo
+//   product = lo + (cross << 32)   (the a_hi*b_hi term overflows out)
+inline __m128i mul64_sse(__m128i a, __m128i b) noexcept {
+  const __m128i lo = _mm_mul_epu32(a, b);
+  const __m128i cross =
+      _mm_add_epi64(_mm_mul_epu32(a, _mm_srli_epi64(b, 32)),
+                    _mm_mul_epu32(_mm_srli_epi64(a, 32), b));
+  return _mm_add_epi64(lo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i avalanche_sse(__m128i h) noexcept {
+  h = _mm_xor_si128(h, _mm_srli_epi64(h, 33));
+  h = mul64_sse(h, _mm_set1_epi64x(
+                       static_cast<long long>(hashing::kAvalancheMul)));
+  return _mm_xor_si128(h, _mm_srli_epi64(h, 29));
+}
+
+void hash_kernel_sse(const std::uint64_t (*words)[SoaBurstView::kMaxBurst],
+                     std::size_t n, std::uint64_t* out) noexcept {
+  const __m128i k0 =
+      _mm_set1_epi64x(static_cast<long long>(hashing::kMulK0));
+  const __m128i k1 =
+      _mm_set1_epi64x(static_cast<long long>(hashing::kMulK1));
+  std::size_t k = 0;
+  for (; k + 2 <= n; k += 2) {
+    __m128i h = _mm_set1_epi64x(static_cast<long long>(hashing::kSeed));
+    for (std::size_t j = 0; j < kHashWords; ++j) {
+      const __m128i w = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(words[j] + k));
+      h = mul64_sse(_mm_xor_si128(h, avalanche_sse(mul64_sse(w, k0))), k1);
+    }
+    h = avalanche_sse(h);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + k), h);
+  }
+  for (; k < n; ++k) {
+    out[k] = hashing::mix_words(words[0][k], words[1][k], words[2][k],
+                                words[3][k], words[4][k]);
+  }
+}
+
+__attribute__((target("avx2"))) inline __m256i mul64_avx2(
+    __m256i a, __m256i b) noexcept {
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+                       _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) inline __m256i avalanche_avx2(
+    __m256i h) noexcept {
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+  h = mul64_avx2(h, _mm256_set1_epi64x(
+                        static_cast<long long>(hashing::kAvalancheMul)));
+  return _mm256_xor_si256(h, _mm256_srli_epi64(h, 29));
+}
+
+__attribute__((target("avx2"))) void hash_kernel_avx2(
+    const std::uint64_t (*words)[SoaBurstView::kMaxBurst], std::size_t n,
+    std::uint64_t* out) noexcept {
+  const __m256i k0 =
+      _mm256_set1_epi64x(static_cast<long long>(hashing::kMulK0));
+  const __m256i k1 =
+      _mm256_set1_epi64x(static_cast<long long>(hashing::kMulK1));
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m256i h = _mm256_set1_epi64x(static_cast<long long>(hashing::kSeed));
+    for (std::size_t j = 0; j < kHashWords; ++j) {
+      const __m256i w = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(words[j] + k));
+      h = mul64_avx2(_mm256_xor_si256(h, avalanche_avx2(mul64_avx2(w, k0))),
+                     k1);
+    }
+    h = avalanche_avx2(h);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + k), h);
+  }
+  for (; k < n; ++k) {
+    out[k] = hashing::mix_words(words[0][k], words[1][k], words[2][k],
+                                words[3][k], words[4][k]);
+  }
+}
+
+#endif  // RETINA_SOA_X86
 
 }  // namespace
 
@@ -136,12 +322,35 @@ void SoaBurstView::parse(std::span<const Mbuf> burst) noexcept {
 }
 
 void SoaBurstView::hash_tuples(Mask want) noexcept {
-  // Per-lane FNV-style chains are serial, but chains of *different*
-  // lanes are independent — running them back to back in one tight loop
-  // lets the multiplies of consecutive packets overlap in the pipeline,
-  // which the interleaved per-packet path (hash, then a table probe,
-  // then the next hash) never achieves.
-  for (Mask m = want & tuple_mask_; m != 0; m &= m - 1) {
+  // Per-lane mixing chains are serial, but chains of *different* lanes
+  // are independent. The scalar flavor runs them back to back in one
+  // tight loop (ILP from overlapping multiplies of consecutive lanes);
+  // the SSE/AVX2 flavors go further and run 2/4 chains per instruction
+  // after transposing the five mixing words into SoA arrays.
+  const Mask active = want & tuple_mask_;
+  const HashBackend backend = active_hash_backend();
+
+  if (backend == HashBackend::kScalar) {
+    for (Mask m = active; m != 0; m &= m - 1) {
+#if defined(__GNUC__) || defined(__clang__)
+      const unsigned i = static_cast<unsigned>(__builtin_ctz(m));
+#else
+      unsigned i = 0;
+      while (((m >> i) & 1u) == 0) ++i;
+#endif
+      canon_[i] = views_[i]->five_tuple()->canonical();
+      hash_[i] = canon_[i].key.hash();
+    }
+    return;
+  }
+
+  // Gather: canonicalize per lane (branchy, stays scalar) and transpose
+  // the five mixing words of each active lane into compacted columns.
+  alignas(32) std::uint64_t words[kHashWords][kMaxBurst];
+  alignas(32) std::uint64_t out[kMaxBurst];
+  std::uint8_t lanes[kMaxBurst];
+  std::size_t n = 0;
+  for (Mask m = active; m != 0; m &= m - 1) {
 #if defined(__GNUC__) || defined(__clang__)
     const unsigned i = static_cast<unsigned>(__builtin_ctz(m));
 #else
@@ -149,7 +358,29 @@ void SoaBurstView::hash_tuples(Mask want) noexcept {
     while (((m >> i) & 1u) == 0) ++i;
 #endif
     canon_[i] = views_[i]->five_tuple()->canonical();
-    hash_[i] = canon_[i].key.hash();
+    const FiveTuple& t = canon_[i].key;
+    words[0][n] = hashing::load_u64(t.src.bytes.data());
+    words[1][n] = hashing::load_u64(t.src.bytes.data() + 8);
+    words[2][n] = hashing::load_u64(t.dst.bytes.data());
+    words[3][n] = hashing::load_u64(t.dst.bytes.data() + 8);
+    words[4][n] = hashing::tuple_tail(t);
+    lanes[n] = static_cast<std::uint8_t>(i);
+    ++n;
+  }
+  if (n == 0) return;
+
+#if RETINA_SOA_X86
+  if (backend == HashBackend::kAvx2) {
+    hash_kernel_avx2(words, n, out);
+  } else {
+    hash_kernel_sse(words, n, out);
+  }
+#else
+  hash_kernel_scalar(words, n, out);
+#endif
+
+  for (std::size_t k = 0; k < n; ++k) {
+    hash_[lanes[k]] = out[k];
   }
 }
 

@@ -29,6 +29,28 @@
 
 namespace retina::packet {
 
+/// Kernel flavor of the vectorized canonical-tuple hash (the batch
+/// analogue of filter::BatchBackend, kept in the packet layer because
+/// the filter library sits above it). Every flavor is compiled in;
+/// selection is per process.
+enum class HashBackend : std::uint8_t { kScalar = 0, kSse = 1, kAvx2 = 2 };
+
+const char* hash_backend_name(HashBackend backend) noexcept;
+
+/// The currently selected hash backend. Defaults to the widest kernel
+/// the host CPU supports; the RETINA_FILTER_BACKEND environment
+/// variable ("scalar" | "sse" | "avx2") overrides it at startup, the
+/// same knob that picks the batch filter kernels. filter::
+/// set_batch_backend() keeps both layers in step.
+HashBackend active_hash_backend() noexcept;
+
+/// Select a backend (clamped to what the CPU supports). Tests use this
+/// to compare kernel flavors on identical bursts.
+void set_hash_backend(HashBackend backend) noexcept;
+
+/// Back to the detected (or env-pinned) default.
+void reset_hash_backend() noexcept;
+
 class SoaBurstView {
  public:
   /// Matches the NIC's rx_burst cap (core::Pipeline::kMaxBurst).

@@ -1,0 +1,39 @@
+// Fixed-capacity record arena: the unit of hand-off between a worker
+// core and the writer thread. A core appends into its active arena
+// (plain struct copy, no allocation — the vector is sized once at
+// construction and never grows), seals it into the per-core SPSC ring
+// when full, and pops a recycled one from the free ring. Arenas
+// circulate for the lifetime of the sink, so steady-state capture does
+// zero allocation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sink/record.hpp"
+
+namespace retina::sink {
+
+class RecordArena {
+ public:
+  explicit RecordArena(std::size_t capacity) : slots_(capacity) {}
+
+  /// Append by copy. Caller checks full() first (append sites do).
+  void push(const FlowRecord& record) noexcept { slots_[size_++] = record; }
+
+  bool full() const noexcept { return size_ == slots_.size(); }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  const FlowRecord* data() const noexcept { return slots_.data(); }
+
+  /// Recycle for reuse (writer side, after draining).
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  std::vector<FlowRecord> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace retina::sink

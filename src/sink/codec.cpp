@@ -1,0 +1,171 @@
+#include "sink/codec.hpp"
+
+#include <cstring>
+
+namespace retina::sink {
+namespace {
+
+class NullCodec final : public Codec {
+ public:
+  std::uint8_t id() const noexcept override { return 0; }
+  const char* name() const noexcept override { return "none"; }
+
+  void encode(std::span<const std::uint8_t> in,
+              std::vector<std::uint8_t>& out) const override {
+    out.insert(out.end(), in.begin(), in.end());
+  }
+
+  Result<void> decode(std::span<const std::uint8_t> in, std::size_t raw_size,
+                      std::vector<std::uint8_t>& out) const override {
+    if (in.size() != raw_size) {
+      return Err("corrupt block: identity codec size mismatch (" +
+                 std::to_string(in.size()) + " encoded vs " +
+                 std::to_string(raw_size) + " raw)");
+    }
+    out.insert(out.end(), in.begin(), in.end());
+    return {};
+  }
+};
+
+// Byte-oriented greedy LZ77 (format documented in codec.hpp). The hash
+// table maps 4-byte sequences to their most recent position; columnar
+// flow data is repetitive enough that this alone compresses well.
+class LzbCodec final : public Codec {
+ public:
+  static constexpr std::size_t kMinMatch = 4;
+  static constexpr std::size_t kMaxMatch = 0x7f + kMinMatch;  // 131
+  static constexpr std::size_t kMaxOffset = 0xffff;
+  static constexpr std::size_t kHashBits = 13;
+
+  std::uint8_t id() const noexcept override { return 1; }
+  const char* name() const noexcept override { return "lzb"; }
+
+  void encode(std::span<const std::uint8_t> in,
+              std::vector<std::uint8_t>& out) const override {
+    const std::uint8_t* data = in.data();
+    const std::size_t n = in.size();
+    std::vector<std::size_t> table(std::size_t{1} << kHashBits, SIZE_MAX);
+
+    std::size_t i = 0;
+    std::size_t literal_start = 0;
+    while (i < n) {
+      std::size_t match_len = 0;
+      std::size_t match_off = 0;
+      if (i + kMinMatch <= n) {
+        const std::size_t h = hash4(data + i);
+        const std::size_t cand = table[h];
+        table[h] = i;
+        if (cand != SIZE_MAX && i - cand <= kMaxOffset &&
+            std::memcmp(data + cand, data + i, kMinMatch) == 0) {
+          std::size_t len = kMinMatch;
+          const std::size_t limit =
+              (n - i) < kMaxMatch ? (n - i) : kMaxMatch;
+          while (len < limit && data[cand + len] == data[i + len]) ++len;
+          match_len = len;
+          match_off = i - cand;
+        }
+      }
+      if (match_len >= kMinMatch) {
+        flush_literals(data, literal_start, i, out);
+        out.push_back(static_cast<std::uint8_t>(
+            0x80 | (match_len - kMinMatch)));
+        out.push_back(static_cast<std::uint8_t>(match_off));
+        out.push_back(static_cast<std::uint8_t>(match_off >> 8));
+        // Seed the table inside the match so back-to-back repeats of
+        // the same run keep finding candidates.
+        const std::size_t end = i + match_len;
+        for (std::size_t j = i + 1; j + kMinMatch <= n && j < end; ++j) {
+          table[hash4(data + j)] = j;
+        }
+        i = end;
+        literal_start = i;
+      } else {
+        ++i;
+      }
+    }
+    flush_literals(data, literal_start, n, out);
+  }
+
+  Result<void> decode(std::span<const std::uint8_t> in, std::size_t raw_size,
+                      std::vector<std::uint8_t>& out) const override {
+    const std::size_t base = out.size();
+    std::size_t i = 0;
+    while (i < in.size()) {
+      const std::uint8_t c = in[i++];
+      if (c < 0x80) {
+        const std::size_t run = std::size_t{c} + 1;
+        if (i + run > in.size()) {
+          return Err("corrupt block: literal run of " + std::to_string(run) +
+                     " bytes overruns the encoded block");
+        }
+        if (out.size() - base + run > raw_size) {
+          return Err("corrupt block: decoded size exceeds declared raw size");
+        }
+        out.insert(out.end(), in.begin() + i, in.begin() + i + run);
+        i += run;
+      } else {
+        if (i + 2 > in.size()) {
+          return Err("corrupt block: match token truncated");
+        }
+        const std::size_t len =
+            static_cast<std::size_t>(c & 0x7f) + kMinMatch;
+        const std::size_t off =
+            std::size_t{in[i]} | (std::size_t{in[i + 1]} << 8);
+        i += 2;
+        const std::size_t produced = out.size() - base;
+        if (off == 0 || off > produced) {
+          return Err("corrupt block: match offset " + std::to_string(off) +
+                     " outside the " + std::to_string(produced) +
+                     " bytes decoded so far");
+        }
+        if (produced + len > raw_size) {
+          return Err("corrupt block: decoded size exceeds declared raw size");
+        }
+        // Byte-by-byte: matches may overlap their own output.
+        std::size_t src = out.size() - off;
+        for (std::size_t j = 0; j < len; ++j) {
+          out.push_back(out[src + j]);
+        }
+      }
+    }
+    if (out.size() - base != raw_size) {
+      return Err("corrupt block: decoded " +
+                 std::to_string(out.size() - base) + " bytes, expected " +
+                 std::to_string(raw_size));
+    }
+    return {};
+  }
+
+ private:
+  static std::size_t hash4(const std::uint8_t* p) noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+
+  static void flush_literals(const std::uint8_t* data, std::size_t from,
+                             std::size_t to, std::vector<std::uint8_t>& out) {
+    while (from < to) {
+      const std::size_t run = (to - from) < 128 ? (to - from) : 128;
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+      out.insert(out.end(), data + from, data + from + run);
+      from += run;
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Codec>> make_codec(const std::string& name) {
+  if (name == "none") return std::unique_ptr<Codec>(new NullCodec());
+  if (name == "lzb") return std::unique_ptr<Codec>(new LzbCodec());
+  return Err("unknown sink codec '" + name + "' (expected \"none\" or \"lzb\")");
+}
+
+Result<std::unique_ptr<Codec>> make_codec_by_id(std::uint8_t id) {
+  if (id == 0) return std::unique_ptr<Codec>(new NullCodec());
+  if (id == 1) return std::unique_ptr<Codec>(new LzbCodec());
+  return Err("archive uses unknown codec id " + std::to_string(id));
+}
+
+}  // namespace retina::sink

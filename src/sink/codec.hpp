@@ -1,0 +1,55 @@
+// Pluggable block codecs for column segments. Two ship built in:
+//   * "none" — identity (codec id 0), for debugging and baselines;
+//   * "lzb"  — a dependency-free byte-oriented LZ77 (codec id 1).
+//     Columnar flow data is full of runs (zero high bytes, repeated
+//     addresses), which greedy match/literal coding compresses well at
+//     memcpy-class speed; the framing is simple enough that the
+//     decoder can validate every token and fail cleanly on corrupt or
+//     truncated blocks.
+//
+// lzb token stream: a control byte c, then
+//   c < 0x80 : literal run of c+1 bytes (copied verbatim);
+//   c >= 0x80: match of (c & 0x7f) + 4 bytes at a u16-LE distance
+//              (1..65535) back into the output produced so far.
+// Matches may overlap their own output (RLE-style), so the decoder
+// copies byte-by-byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace retina::sink {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  /// Stable on-disk identifier (file header `codec_id`).
+  virtual std::uint8_t id() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+
+  /// Append the encoded form of `in` to `out`.
+  virtual void encode(std::span<const std::uint8_t> in,
+                      std::vector<std::uint8_t>& out) const = 0;
+
+  /// Append exactly `raw_size` decoded bytes to `out`, or return a
+  /// clean error ("corrupt block: ...") without touching memory out of
+  /// bounds. `in` is the encoded block.
+  virtual Result<void> decode(std::span<const std::uint8_t> in,
+                              std::size_t raw_size,
+                              std::vector<std::uint8_t>& out) const = 0;
+};
+
+/// Codec by config name ("none" | "lzb"); unknown names are an error
+/// naming the accepted values.
+Result<std::unique_ptr<Codec>> make_codec(const std::string& name);
+
+/// Codec by on-disk id (reader side); unknown ids are an error.
+Result<std::unique_ptr<Codec>> make_codec_by_id(std::uint8_t id);
+
+}  // namespace retina::sink

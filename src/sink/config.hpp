@@ -1,0 +1,51 @@
+// Analytics-sink configuration (ROADMAP item 4). Sizing note: the
+// sink's memory footprint is FIXED at
+//   cores x arenas_per_core x arena_records x sizeof(FlowRecord)
+// (plus one in-flight chunk on the writer thread) regardless of how
+// many flows the trace carries — bounded memory is the whole point.
+// When every arena of a core is full and the writer has not returned a
+// free one, append() refuses the record and counts a backpressure
+// event; the overload controller watches that counter and sheds work
+// upstream instead of letting anything grow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/result.hpp"
+
+namespace retina::sink {
+
+struct SinkConfig {
+  bool enabled = false;
+
+  /// Archive file path. Required when enabled.
+  std::string path;
+
+  /// Block codec for column segments: "none" | "lzb" (the built-in
+  /// byte-oriented LZ77; see sink/codec.hpp).
+  std::string codec = "lzb";
+
+  /// Raw (pre-compression) bytes accumulated before a chunk is sealed.
+  std::size_t chunk_bytes = 4u << 20;
+
+  /// Records per arena buffer (one struct copy per append; a full
+  /// arena is handed to the writer over an SPSC ring).
+  std::size_t arena_records = 4096;
+
+  /// Arenas circulating per core (active + sealed + free). Minimum 2,
+  /// so one can fill while the writer drains another.
+  std::size_t arenas_per_core = 8;
+
+  /// Seal a chunk when the spread of record end-timestamps inside it
+  /// exceeds this much *virtual* time, even if below chunk_bytes.
+  /// 0 = size-based sealing only.
+  std::uint64_t seal_interval_ns = 0;
+};
+
+/// Config validation shared by Runtime::create and the sink factory:
+/// mistakes come back as actionable error strings.
+Result<void> validate(const SinkConfig& config);
+
+}  // namespace retina::sink

@@ -1,0 +1,63 @@
+// FlushManager: the chunk-sealing policy, separated from the writer
+// mechanics so the thresholds are testable in isolation. The writer
+// notes every batch it buffers; the manager answers "seal now?" from
+// two thresholds:
+//   * size  — accumulated raw column bytes >= chunk_bytes (the default
+//             4 MiB keeps chunks cache-friendly for projected scans);
+//   * time  — the spread of record end-timestamps inside the pending
+//             chunk exceeds seal_interval_ns (trace clock), bounding
+//             how stale a record can sit unflushed during lulls.
+// Clean shutdown bypasses the policy: FlowSink::close() seals whatever
+// is pending regardless of thresholds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace retina::sink {
+
+class FlushManager {
+ public:
+  FlushManager(std::size_t chunk_bytes, std::uint64_t seal_interval_ns)
+      : chunk_bytes_(chunk_bytes), seal_interval_ns_(seal_interval_ns) {}
+
+  /// Account a buffered batch: `records` records totalling `raw_bytes`
+  /// of column data, whose end-timestamps fall in [min_ts, max_ts].
+  void note(std::size_t records, std::size_t raw_bytes, std::uint64_t min_ts,
+            std::uint64_t max_ts) noexcept {
+    records_ += records;
+    raw_bytes_ += raw_bytes;
+    if (records == 0) return;
+    if (min_ts < min_ts_) min_ts_ = min_ts;
+    if (max_ts > max_ts_) max_ts_ = max_ts;
+  }
+
+  bool should_seal() const noexcept {
+    if (records_ == 0) return false;
+    if (raw_bytes_ >= chunk_bytes_) return true;
+    return seal_interval_ns_ > 0 && max_ts_ - min_ts_ >= seal_interval_ns_;
+  }
+
+  std::size_t pending_records() const noexcept { return records_; }
+  std::size_t pending_raw_bytes() const noexcept { return raw_bytes_; }
+  std::uint64_t min_ts() const noexcept { return records_ ? min_ts_ : 0; }
+  std::uint64_t max_ts() const noexcept { return records_ ? max_ts_ : 0; }
+
+  /// Start the next chunk (after the writer seals the current one).
+  void reset() noexcept {
+    records_ = 0;
+    raw_bytes_ = 0;
+    min_ts_ = UINT64_MAX;
+    max_ts_ = 0;
+  }
+
+ private:
+  std::size_t chunk_bytes_;
+  std::uint64_t seal_interval_ns_;
+  std::size_t records_ = 0;
+  std::size_t raw_bytes_ = 0;
+  std::uint64_t min_ts_ = UINT64_MAX;
+  std::uint64_t max_ts_ = 0;
+};
+
+}  // namespace retina::sink

@@ -1,0 +1,78 @@
+// On-disk archive format (little-endian throughout; the writer runs on
+// the capture host and the reader ships with it).
+//
+//   file   := header chunk* trailer
+//   header := magic[8]="RTNARCH1" u16 version u16 record_size
+//             u8 codec_id u8 column_count u16 reserved          (16 B)
+//   chunk  := u32 magic="RCHK" u32 record_count
+//             u64 min_ts u64 max_ts u64 checksum
+//             u32 dict_count u32 dict_raw u32 dict_enc u32 reserved
+//             dir[column_count]                                  (48 B + dir)
+//             dict_blob column_blob*
+//   dir    := u16 column_id u16 reserved u32 raw_bytes u32 enc_bytes (12 B)
+//   trailer:= u32 magic="REND" u32 reserved
+//             u64 total_records u64 total_chunks u64 checksum    (32 B)
+//
+// `checksum` is FNV-1a 64 over the *encoded* payload bytes (dict blob
+// then column blobs, in file order); the trailer checksum covers its
+// two totals. A file that ends without a trailer is detectably
+// truncated; a flipped payload byte fails the chunk checksum; both are
+// clean Result errors on the reader, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace retina::sink::format {
+
+inline constexpr char kFileMagic[8] = {'R', 'T', 'N', 'A', 'R', 'C', 'H', '1'};
+inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint32_t kChunkMagic = 0x4b484352;    // "RCHK"
+inline constexpr std::uint32_t kTrailerMagic = 0x444e4552;  // "REND"
+
+inline constexpr std::size_t kFileHeaderBytes = 16;
+inline constexpr std::size_t kChunkHeaderBytes = 48;
+inline constexpr std::size_t kDirEntryBytes = 12;
+inline constexpr std::size_t kTrailerBytes = 32;
+
+/// FNV-1a 64-bit over raw bytes (stable across platforms; same
+/// algorithm the golden suite hashes payloads with).
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes,
+                             std::uint64_t seed =
+                                 0xcbf29ce484222325ULL) noexcept {
+  std::uint64_t h = seed;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Little-endian scalar put/get. On little-endian hosts these compile
+// to plain moves; the explicit byte order keeps archives portable.
+inline void put_u16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace retina::sink::format

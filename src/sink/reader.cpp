@@ -1,0 +1,254 @@
+#include "sink/reader.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "sink/format.hpp"
+
+namespace retina::sink {
+namespace {
+
+namespace fmt = format;
+
+// Deserialize one decoded column segment into the record batch (the
+// inverse of the writer's fill_column). kAppProto scatters dict ids
+// into `ids` instead of touching the records.
+void scatter_column(ColumnId id, const std::uint8_t* p, std::size_t n,
+                    FlowRecord* records, std::uint32_t* ids) {
+  const std::size_t width = column_width(id);
+  for (std::size_t i = 0; i < n; ++i, p += width) {
+    FlowRecord& r = records[i];
+    switch (id) {
+      case ColumnId::kSrcAddr: std::memcpy(r.src_addr, p, 16); break;
+      case ColumnId::kDstAddr: std::memcpy(r.dst_addr, p, 16); break;
+      case ColumnId::kFirstTs: r.first_ts_ns = fmt::get_u64(p); break;
+      case ColumnId::kLastTs: r.last_ts_ns = fmt::get_u64(p); break;
+      case ColumnId::kPktsUp: r.pkts_up = fmt::get_u64(p); break;
+      case ColumnId::kPktsDown: r.pkts_down = fmt::get_u64(p); break;
+      case ColumnId::kBytesUp: r.bytes_up = fmt::get_u64(p); break;
+      case ColumnId::kBytesDown: r.bytes_down = fmt::get_u64(p); break;
+      case ColumnId::kPayloadUp: r.payload_up = fmt::get_u64(p); break;
+      case ColumnId::kPayloadDown: r.payload_down = fmt::get_u64(p); break;
+      case ColumnId::kOooUp: r.ooo_up = fmt::get_u32(p); break;
+      case ColumnId::kOooDown: r.ooo_down = fmt::get_u32(p); break;
+      case ColumnId::kDupUp: r.dup_up = fmt::get_u32(p); break;
+      case ColumnId::kDupDown: r.dup_down = fmt::get_u32(p); break;
+      case ColumnId::kSrcPort: r.src_port = fmt::get_u16(p); break;
+      case ColumnId::kDstPort: r.dst_port = fmt::get_u16(p); break;
+      case ColumnId::kProto: r.proto = *p; break;
+      case ColumnId::kIpVersion: r.ip_version = *p; break;
+      case ColumnId::kFlags: r.flags = *p; break;
+      case ColumnId::kAppProto: ids[i] = fmt::get_u32(p); break;
+      case ColumnId::kCount: break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveReader>> ArchiveReader::open(
+    const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Err("cannot open archive '" + path + "': " + std::strerror(errno));
+  }
+  std::uint8_t header[fmt::kFileHeaderBytes];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header)) {
+    std::fclose(file);
+    return Err("truncated archive: file shorter than its header");
+  }
+  if (std::memcmp(header, fmt::kFileMagic, 8) != 0) {
+    std::fclose(file);
+    return Err("not a retina archive (bad magic)");
+  }
+  const std::uint16_t version = fmt::get_u16(header + 8);
+  if (version != fmt::kVersion) {
+    std::fclose(file);
+    return Err("unsupported archive version " + std::to_string(version));
+  }
+  const std::uint16_t record_size = fmt::get_u16(header + 10);
+  if (record_size != sizeof(FlowRecord)) {
+    std::fclose(file);
+    return Err("archive record size " + std::to_string(record_size) +
+               " does not match this build (" +
+               std::to_string(sizeof(FlowRecord)) + ")");
+  }
+  if (header[13] != kColumnCount) {
+    std::fclose(file);
+    return Err("archive has " + std::to_string(header[13]) +
+               " columns, expected " + std::to_string(kColumnCount));
+  }
+  auto codec = make_codec_by_id(header[12]);
+  if (!codec.ok()) {
+    std::fclose(file);
+    return Err(codec.error());
+  }
+  return std::unique_ptr<ArchiveReader>(
+      new ArchiveReader(file, std::move(codec).value()));
+}
+
+ArchiveReader::ArchiveReader(std::FILE* file, std::unique_ptr<Codec> codec)
+    : file_(file), codec_(std::move(codec)) {}
+
+ArchiveReader::~ArchiveReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ArchiveReader::read_bytes(void* out, std::size_t n) {
+  return std::fread(out, 1, n, file_) == n;
+}
+
+Result<bool> ArchiveReader::next_chunk(std::vector<FlowRecord>& out,
+                                       ColumnMask projection) {
+  out.clear();
+  if (done_) return false;
+
+  std::uint8_t magic_bytes[4];
+  if (!read_bytes(magic_bytes, 4)) {
+    return Err("truncated archive: ended without a trailer (" +
+               std::to_string(chunks_seen_) + " chunks read)");
+  }
+  const std::uint32_t magic = fmt::get_u32(magic_bytes);
+
+  if (magic == fmt::kTrailerMagic) {
+    std::uint8_t rest[fmt::kTrailerBytes - 4];
+    if (!read_bytes(rest, sizeof(rest))) {
+      return Err("truncated archive: trailer cut short");
+    }
+    total_records_ = fmt::get_u64(rest + 4);
+    total_chunks_ = fmt::get_u64(rest + 12);
+    const std::uint64_t checksum = fmt::get_u64(rest + 20);
+    if (checksum != fmt::fnv1a64({rest + 4, 16})) {
+      return Err("corrupt archive: trailer checksum mismatch");
+    }
+    if (total_records_ != records_seen_ || total_chunks_ != chunks_seen_) {
+      return Err("corrupt archive: trailer claims " +
+                 std::to_string(total_records_) + " records / " +
+                 std::to_string(total_chunks_) + " chunks, read " +
+                 std::to_string(records_seen_) + " / " +
+                 std::to_string(chunks_seen_));
+    }
+    done_ = true;
+    return false;
+  }
+  if (magic != fmt::kChunkMagic) {
+    return Err("corrupt archive: bad chunk magic at chunk " +
+               std::to_string(chunks_seen_));
+  }
+
+  std::uint8_t header[fmt::kChunkHeaderBytes - 4];
+  if (!read_bytes(header, sizeof(header))) {
+    return Err("truncated archive: chunk header cut short");
+  }
+  const std::uint32_t record_count = fmt::get_u32(header);
+  const std::uint64_t checksum = fmt::get_u64(header + 20);
+  const std::uint32_t dict_count = fmt::get_u32(header + 28);
+  const std::uint32_t dict_raw = fmt::get_u32(header + 32);
+  const std::uint32_t dict_enc = fmt::get_u32(header + 36);
+
+  struct DirEntry {
+    std::uint32_t raw;
+    std::uint32_t enc;
+  };
+  DirEntry dir[kColumnCount];
+  std::size_t payload_bytes = dict_enc;
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    std::uint8_t entry[fmt::kDirEntryBytes];
+    if (!read_bytes(entry, sizeof(entry))) {
+      return Err("truncated archive: column directory cut short");
+    }
+    if (fmt::get_u16(entry) != c) {
+      return Err("corrupt archive: column directory out of order");
+    }
+    dir[c].raw = fmt::get_u32(entry + 4);
+    dir[c].enc = fmt::get_u32(entry + 8);
+    const std::size_t expect =
+        column_width(static_cast<ColumnId>(c)) * record_count;
+    if (dir[c].raw != expect) {
+      return Err("corrupt archive: column " + std::to_string(c) + " claims " +
+                 std::to_string(dir[c].raw) + " raw bytes, expected " +
+                 std::to_string(expect));
+    }
+    payload_bytes += dir[c].enc;
+  }
+
+  payload_.resize(payload_bytes);
+  if (!read_bytes(payload_.data(), payload_bytes)) {
+    return Err("truncated archive: chunk payload cut short");
+  }
+  if (fmt::fnv1a64(payload_) != checksum) {
+    return Err("corrupt archive: chunk " + std::to_string(chunks_seen_) +
+               " checksum mismatch");
+  }
+
+  // Dictionary (decoded whenever the app-proto column is projected).
+  std::vector<std::string> dict;
+  const bool want_app = (projection & column_bit(ColumnId::kAppProto)) != 0;
+  if (want_app) {
+    raw_buf_.clear();
+    if (auto ok = codec_->decode({payload_.data(), dict_enc}, dict_raw,
+                                 raw_buf_);
+        !ok) {
+      return Err("chunk " + std::to_string(chunks_seen_) +
+                 " dictionary: " + ok.error());
+    }
+    dict.reserve(dict_count);
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < dict_count; ++i) {
+      if (off + 2 > raw_buf_.size()) {
+        return Err("corrupt archive: dictionary blob cut short");
+      }
+      const std::uint16_t len = fmt::get_u16(raw_buf_.data() + off);
+      off += 2;
+      if (off + len > raw_buf_.size()) {
+        return Err("corrupt archive: dictionary string overruns the blob");
+      }
+      if (len > FlowRecord::kAppProtoCap) {
+        return Err("corrupt archive: dictionary string longer than the "
+                   "app-proto capacity");
+      }
+      dict.emplace_back(reinterpret_cast<const char*>(raw_buf_.data() + off),
+                        len);
+      off += len;
+    }
+  }
+
+  out.assign(record_count, FlowRecord{});
+  std::vector<std::uint32_t> ids(want_app ? record_count : 0);
+  std::size_t off = dict_enc;
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    const ColumnId id = static_cast<ColumnId>(c);
+    const std::size_t enc = dir[c].enc;
+    if ((projection & column_bit(id)) != 0) {
+      raw_buf_.clear();
+      if (auto ok = codec_->decode({payload_.data() + off, enc}, dir[c].raw,
+                                   raw_buf_);
+          !ok) {
+        return Err("chunk " + std::to_string(chunks_seen_) + " column " +
+                   std::to_string(c) + ": " + ok.error());
+      }
+      scatter_column(id, raw_buf_.data(), record_count, out.data(),
+                     ids.data());
+    }
+    off += enc;
+  }
+
+  if (want_app) {
+    for (std::size_t i = 0; i < record_count; ++i) {
+      if (ids[i] >= dict.size()) {
+        return Err("corrupt archive: record references dictionary id " +
+                   std::to_string(ids[i]) + " of " +
+                   std::to_string(dict.size()));
+      }
+      const std::string& name = dict[ids[i]];
+      out[i].app_proto_len = static_cast<std::uint8_t>(name.size());
+      std::memcpy(out[i].app_proto, name.data(), name.size());
+    }
+  }
+
+  records_seen_ += record_count;
+  ++chunks_seen_;
+  return true;
+}
+
+}  // namespace retina::sink

@@ -1,0 +1,62 @@
+// ArchiveReader: streaming, chunk-at-a-time reader for the columnar
+// archive (tools/retina_read, the golden sink lane, and the round-trip
+// tests all sit on top of it). Column projection decodes only the
+// requested segments — unprojected fields come back zero-filled — while
+// the chunk checksum is always verified over the full encoded payload,
+// so a projected scan still detects corruption anywhere in the chunk.
+// Every malformed input (truncation, bad magic, checksum mismatch,
+// codec failure, out-of-range dictionary ids) is a clean Result error.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sink/codec.hpp"
+#include "sink/record.hpp"
+#include "util/result.hpp"
+
+namespace retina::sink {
+
+class ArchiveReader {
+ public:
+  /// Opens the archive and validates the file header.
+  static Result<std::unique_ptr<ArchiveReader>> open(const std::string& path);
+
+  ~ArchiveReader();
+  ArchiveReader(const ArchiveReader&) = delete;
+  ArchiveReader& operator=(const ArchiveReader&) = delete;
+
+  /// Decode the next chunk into `out` (replacing its contents). Returns
+  /// true with records on success, false once the trailer is reached
+  /// (totals verified), or an error describing the corruption.
+  Result<bool> next_chunk(std::vector<FlowRecord>& out,
+                          ColumnMask projection = kAllColumns);
+
+  const char* codec_name() const noexcept { return codec_->name(); }
+
+  /// Trailer totals; valid once next_chunk() has returned false.
+  bool done() const noexcept { return done_; }
+  std::uint64_t total_records() const noexcept { return total_records_; }
+  std::uint64_t total_chunks() const noexcept { return total_chunks_; }
+
+ private:
+  ArchiveReader(std::FILE* file, std::unique_ptr<Codec> codec);
+
+  /// Read exactly `n` bytes; false on EOF/short read.
+  bool read_bytes(void* out, std::size_t n);
+
+  std::FILE* file_ = nullptr;
+  std::unique_ptr<Codec> codec_;
+  bool done_ = false;
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t chunks_seen_ = 0;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t total_chunks_ = 0;
+
+  std::vector<std::uint8_t> payload_;
+  std::vector<std::uint8_t> raw_buf_;
+};
+
+}  // namespace retina::sink

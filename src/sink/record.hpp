@@ -1,0 +1,211 @@
+// Fixed-schema flow record: the archive's unit of storage. One record
+// summarizes one tracked connection — the same information a
+// core::ConnRecord carries, flattened into a trivially copyable POD so
+// the hot-path append is a single struct copy into a preallocated arena
+// slot (no allocation, no string traffic). The layout is padding-free
+// by construction (static_asserted below), so records can be memcmp'd
+// and bulk-memcpy'd safely.
+//
+// Conversion is duck-typed (templates over the ConnRecord shape) so
+// this header has no dependency on core/ — retina_core links
+// retina_sink, never the other way around.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace retina::sink {
+
+/// Flag bits of FlowRecord::flags.
+enum : std::uint8_t {
+  kFlagSyn = 1u << 0,
+  kFlagSynAck = 1u << 1,
+  kFlagFin = 1u << 2,
+  kFlagRst = 1u << 3,
+  kFlagEstablished = 1u << 4,
+};
+
+struct FlowRecord {
+  /// Capacity of the inline app-protocol name (longest registered
+  /// parser name is 4 chars; 23 + NUL-free length byte leaves room).
+  static constexpr std::size_t kAppProtoCap = 24;
+
+  // Addresses are originator-first (the wire direction of the packet
+  // that created the connection), exactly like ConnRecord::tuple.
+  std::uint8_t src_addr[16];
+  std::uint8_t dst_addr[16];
+
+  std::uint64_t first_ts_ns;
+  std::uint64_t last_ts_ns;
+  std::uint64_t pkts_up;
+  std::uint64_t pkts_down;
+  std::uint64_t bytes_up;
+  std::uint64_t bytes_down;
+  std::uint64_t payload_up;
+  std::uint64_t payload_down;
+
+  std::uint32_t ooo_up;
+  std::uint32_t ooo_down;
+  std::uint32_t dup_up;
+  std::uint32_t dup_down;
+
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+  std::uint8_t ip_version;  // 4 or 6
+  std::uint8_t flags;       // kFlag* bits
+  std::uint8_t app_proto_len;
+  char app_proto[kAppProtoCap];
+
+  /// Flatten a core::ConnRecord (or anything shaped like one).
+  template <typename ConnRecordT>
+  static FlowRecord from(const ConnRecordT& rec) noexcept {
+    FlowRecord r;
+    std::memset(&r, 0, sizeof(r));
+    std::memcpy(r.src_addr, rec.tuple.src.bytes.data(), 16);
+    std::memcpy(r.dst_addr, rec.tuple.dst.bytes.data(), 16);
+    r.first_ts_ns = rec.first_ts_ns;
+    r.last_ts_ns = rec.last_ts_ns;
+    r.pkts_up = rec.pkts_up;
+    r.pkts_down = rec.pkts_down;
+    r.bytes_up = rec.bytes_up;
+    r.bytes_down = rec.bytes_down;
+    r.payload_up = rec.payload_up;
+    r.payload_down = rec.payload_down;
+    r.ooo_up = rec.ooo_up;
+    r.ooo_down = rec.ooo_down;
+    r.dup_up = rec.dup_up;
+    r.dup_down = rec.dup_down;
+    r.src_port = rec.tuple.src_port;
+    r.dst_port = rec.tuple.dst_port;
+    r.proto = rec.tuple.proto;
+    r.ip_version = rec.tuple.src.version;
+    r.flags = static_cast<std::uint8_t>(
+        (rec.saw_syn ? kFlagSyn : 0) | (rec.saw_synack ? kFlagSynAck : 0) |
+        (rec.saw_fin ? kFlagFin : 0) | (rec.saw_rst ? kFlagRst : 0) |
+        (rec.established ? kFlagEstablished : 0));
+    const std::size_t len = rec.app_proto.size() < kAppProtoCap
+                                ? rec.app_proto.size()
+                                : kAppProtoCap;
+    r.app_proto_len = static_cast<std::uint8_t>(len);
+    std::memcpy(r.app_proto, rec.app_proto.data(), len);
+    return r;
+  }
+
+  /// Inflate back into a ConnRecord-shaped value (the reader-side
+  /// inverse of from(); round-trips every archived field exactly).
+  template <typename ConnRecordT>
+  ConnRecordT to() const {
+    ConnRecordT rec;
+    std::memcpy(rec.tuple.src.bytes.data(), src_addr, 16);
+    std::memcpy(rec.tuple.dst.bytes.data(), dst_addr, 16);
+    rec.tuple.src.version = ip_version;
+    rec.tuple.dst.version = ip_version;
+    rec.tuple.src_port = src_port;
+    rec.tuple.dst_port = dst_port;
+    rec.tuple.proto = proto;
+    rec.first_ts_ns = first_ts_ns;
+    rec.last_ts_ns = last_ts_ns;
+    rec.pkts_up = pkts_up;
+    rec.pkts_down = pkts_down;
+    rec.bytes_up = bytes_up;
+    rec.bytes_down = bytes_down;
+    rec.payload_up = payload_up;
+    rec.payload_down = payload_down;
+    rec.ooo_up = ooo_up;
+    rec.ooo_down = ooo_down;
+    rec.dup_up = dup_up;
+    rec.dup_down = dup_down;
+    rec.saw_syn = (flags & kFlagSyn) != 0;
+    rec.saw_synack = (flags & kFlagSynAck) != 0;
+    rec.saw_fin = (flags & kFlagFin) != 0;
+    rec.saw_rst = (flags & kFlagRst) != 0;
+    rec.established = (flags & kFlagEstablished) != 0;
+    rec.app_proto.assign(app_proto, app_proto_len);
+    return rec;
+  }
+
+  std::string app_proto_str() const {
+    return std::string(app_proto, app_proto_len);
+  }
+  std::uint64_t total_pkts() const noexcept { return pkts_up + pkts_down; }
+  std::uint64_t total_bytes() const noexcept { return bytes_up + bytes_down; }
+  bool single_syn() const noexcept {
+    return (flags & kFlagSyn) != 0 && (flags & kFlagEstablished) == 0 &&
+           pkts_down == 0;
+  }
+};
+
+// Padding-free layout: 32 (addrs) + 64 (u64s) + 16 (u32s) + 4 (ports)
+// + 4 (u8s) + 24 (name) = 144. A padded layout would leak
+// indeterminate bytes into the archive and break memcmp round-trips.
+static_assert(sizeof(FlowRecord) == 144, "FlowRecord layout changed");
+static_assert(alignof(FlowRecord) == 8, "FlowRecord alignment changed");
+
+/// Column identifiers of the on-disk layout (one segment per column
+/// per chunk). Order here is the directory order inside every chunk.
+enum class ColumnId : std::uint16_t {
+  kSrcAddr = 0,
+  kDstAddr,
+  kFirstTs,
+  kLastTs,
+  kPktsUp,
+  kPktsDown,
+  kBytesUp,
+  kBytesDown,
+  kPayloadUp,
+  kPayloadDown,
+  kOooUp,
+  kOooDown,
+  kDupUp,
+  kDupDown,
+  kSrcPort,
+  kDstPort,
+  kProto,
+  kIpVersion,
+  kFlags,
+  kAppProto,  // dictionary-encoded: u32 ids into the chunk's dict
+  kCount,
+};
+
+constexpr std::size_t kColumnCount = static_cast<std::size_t>(ColumnId::kCount);
+
+/// Per-record bytes of each column segment (kAppProto stores u32 ids).
+constexpr std::size_t column_width(ColumnId id) noexcept {
+  switch (id) {
+    case ColumnId::kSrcAddr:
+    case ColumnId::kDstAddr: return 16;
+    case ColumnId::kFirstTs:
+    case ColumnId::kLastTs:
+    case ColumnId::kPktsUp:
+    case ColumnId::kPktsDown:
+    case ColumnId::kBytesUp:
+    case ColumnId::kBytesDown:
+    case ColumnId::kPayloadUp:
+    case ColumnId::kPayloadDown: return 8;
+    case ColumnId::kOooUp:
+    case ColumnId::kOooDown:
+    case ColumnId::kDupUp:
+    case ColumnId::kDupDown:
+    case ColumnId::kAppProto: return 4;
+    case ColumnId::kSrcPort:
+    case ColumnId::kDstPort: return 2;
+    case ColumnId::kProto:
+    case ColumnId::kIpVersion:
+    case ColumnId::kFlags: return 1;
+    case ColumnId::kCount: break;
+  }
+  return 0;
+}
+
+/// Column-projection mask: bit i selects ColumnId i.
+using ColumnMask = std::uint32_t;
+constexpr ColumnMask kAllColumns = (ColumnMask{1} << kColumnCount) - 1;
+constexpr ColumnMask column_bit(ColumnId id) noexcept {
+  return ColumnMask{1} << static_cast<std::uint16_t>(id);
+}
+
+}  // namespace retina::sink

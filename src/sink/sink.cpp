@@ -1,0 +1,139 @@
+#include "sink/sink.hpp"
+
+#include <chrono>
+
+namespace retina::sink {
+
+Result<void> validate(const SinkConfig& config) {
+  if (config.path.empty()) {
+    return Err("sink enabled but sink.path is empty");
+  }
+  if (config.arena_records == 0) {
+    return Err("sink.arena_records must be > 0");
+  }
+  if (config.arenas_per_core < 2) {
+    return Err("sink.arenas_per_core must be >= 2 (one filling, one in "
+               "flight to the writer)");
+  }
+  if (config.chunk_bytes == 0) {
+    return Err("sink.chunk_bytes must be > 0");
+  }
+  auto codec = make_codec(config.codec);
+  if (!codec.ok()) return Err(codec.error());
+  return {};
+}
+
+Result<std::unique_ptr<FlowSink>> FlowSink::create(const SinkConfig& config,
+                                                   std::size_t cores) {
+  if (auto ok = validate(config); !ok) return Err(ok.error());
+  if (cores == 0) return Err("sink needs at least one core lane");
+  auto writer = ArchiveWriter::create(config);
+  if (!writer.ok()) return Err(writer.error());
+  return std::unique_ptr<FlowSink>(
+      new FlowSink(config, cores, std::move(writer).value()));
+}
+
+FlowSink::FlowSink(const SinkConfig& config, std::size_t cores,
+                   std::unique_ptr<ArchiveWriter> writer)
+    : writer_(std::move(writer)) {
+  lanes_.reserve(cores);
+  for (std::size_t i = 0; i < cores; ++i) {
+    lanes_.push_back(
+        std::make_unique<Lane>(config.arena_records, config.arenas_per_core));
+  }
+  thread_ = std::thread([this] { writer_loop(); });
+}
+
+FlowSink::~FlowSink() { close(); }
+
+bool FlowSink::append(std::size_t core, const FlowRecord& record) {
+  Lane& lane = *lanes_[core];
+  if (lane.active == nullptr || lane.active->full()) {
+    if (lane.active != nullptr) {
+      // Capacity matches the arena count, so a sealed push never fails.
+      lane.sealed.push(std::move(lane.active));
+    }
+    if (!lane.free.pop(lane.active)) {
+      // Every arena of this core is in flight: the writer is behind.
+      lane.backpressure.inc();
+      lane.dropped.inc();
+      return false;
+    }
+  }
+  lane.active->push(record);
+  lane.appended.inc();
+  return true;
+}
+
+bool FlowSink::drain_once() {
+  bool any = false;
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    std::unique_ptr<RecordArena> arena;
+    while (lane.sealed.pop(arena)) {
+      writer_->add(arena->data(), arena->size());
+      arena->clear();
+      lane.free.push(std::move(arena));
+      any = true;
+    }
+  }
+  return any;
+}
+
+void FlowSink::writer_loop() {
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (!paused_.load(std::memory_order_acquire)) {
+      const bool drained = drain_once();
+      if (stopping) {
+        // One more pass after observing stop: arenas sealed between the
+        // drain above and the stop store are caught here.
+        drain_once();
+        return;
+      }
+      if (drained) continue;
+    } else if (stopping) {
+      // close() clears the pause before stopping, but guard anyway.
+      drain_once();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void FlowSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  // Teardown order matters: seal the partial arenas first (no worker is
+  // appending anymore — Runtime closes the sink after the pipelines
+  // finish), then stop the writer, which drains everything it can see
+  // before exiting, then finish the file on this thread.
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    if (lane.active != nullptr && !lane.active->empty()) {
+      lane.sealed.push(std::move(lane.active));
+    }
+  }
+  set_writer_paused(false);
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  writer_->close();
+}
+
+SinkStats FlowSink::stats() const {
+  SinkStats s;
+  for (const auto& lane_ptr : lanes_) {
+    const Lane& lane = *lane_ptr;
+    s.records_appended += lane.appended.load();
+    s.records_dropped += lane.dropped.load();
+    s.backpressure_events += lane.backpressure.load();
+    s.sealed_backlog += lane.sealed.size();
+  }
+  s.records_written = writer_->records_written();
+  s.chunks_sealed = writer_->chunks_sealed();
+  s.bytes_written = writer_->bytes_written();
+  s.raw_bytes = writer_->raw_bytes();
+  return s;
+}
+
+}  // namespace retina::sink

@@ -1,0 +1,115 @@
+// FlowSink: the runtime-facing analytics sink (ROADMAP item 4). Worker
+// cores append FlowRecords into per-core arenas; a dedicated writer
+// thread drains sealed arenas over SPSC rings — the same mailbox
+// discipline the NIC rx path uses — and streams them into a chunked
+// columnar archive through ArchiveWriter.
+//
+//   core 0 ── active arena ──full──▶ sealed ring ─┐
+//   core 1 ── active arena ──full──▶ sealed ring ─┼─▶ writer thread ─▶ file
+//   core N ── active arena ──full──▶ sealed ring ─┘        │
+//        ◀─────────────── free ring (recycled arenas) ◀────┘
+//
+// Memory is bounded by construction: arenas_per_core arenas circulate
+// per core and nothing else grows with flow count. When a core's free
+// ring is empty (writer behind), append() refuses the record, counts a
+// backpressure event, and the overload controller sheds work upstream —
+// shed before OOM, never silent unbounded growth.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sink/arena.hpp"
+#include "sink/config.hpp"
+#include "sink/record.hpp"
+#include "sink/writer.hpp"
+#include "util/atomics.hpp"
+#include "util/result.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace retina::sink {
+
+/// Aggregate counters for RunStats / prometheus (`retina_sink_*`).
+struct SinkStats {
+  std::uint64_t records_appended = 0;   // accepted into an arena
+  std::uint64_t records_dropped = 0;    // refused: no free arena
+  std::uint64_t backpressure_events = 0;
+  std::uint64_t records_written = 0;    // landed in a sealed chunk
+  std::uint64_t chunks_sealed = 0;
+  std::uint64_t bytes_written = 0;      // encoded file bytes
+  std::uint64_t raw_bytes = 0;          // pre-compression column bytes
+  std::uint64_t sealed_backlog = 0;     // arenas queued for the writer
+};
+
+class FlowSink {
+ public:
+  /// Validates config, opens the archive, starts the writer thread.
+  static Result<std::unique_ptr<FlowSink>> create(const SinkConfig& config,
+                                                  std::size_t cores);
+
+  ~FlowSink();
+  FlowSink(const FlowSink&) = delete;
+  FlowSink& operator=(const FlowSink&) = delete;
+
+  /// Hot path, called by core `core` only (single-producer contract).
+  /// Returns false when the record was refused (writer behind and every
+  /// arena of this core is in flight) — a backpressure event.
+  bool append(std::size_t core, const FlowRecord& record);
+
+  /// Seal partial arenas, drain everything, stop the writer thread, and
+  /// finish the archive (final chunk + trailer). Idempotent; called by
+  /// Runtime teardown after the pipelines finish.
+  void close();
+
+  SinkStats stats() const;
+
+  /// True once an IO error latched; error() carries the message.
+  bool failed() const { return !writer_->ok(); }
+  const std::string& error() const { return writer_->error(); }
+
+  std::size_t cores() const { return lanes_.size(); }
+
+  /// Test hook: a paused writer stops draining sealed arenas, so
+  /// appends exhaust the free rings and backpressure engages
+  /// deterministically (the sink-full overload test uses this).
+  void set_writer_paused(bool paused) {
+    paused_.store(paused, std::memory_order_release);
+  }
+
+ private:
+  FlowSink(const SinkConfig& config, std::size_t cores,
+           std::unique_ptr<ArchiveWriter> writer);
+
+  // Per-core lane. `active`/`free`-consumer side belongs to the worker
+  // core; `sealed`-consumer and `free`-producer side to the writer
+  // thread. Counters are single-writer (the owning core).
+  struct Lane {
+    Lane(std::size_t arena_records, std::size_t arenas)
+        : sealed(arenas), free(arenas) {
+      for (std::size_t i = 0; i < arenas; ++i) {
+        free.push(std::make_unique<RecordArena>(arena_records));
+      }
+    }
+    std::unique_ptr<RecordArena> active;
+    util::SpscRing<std::unique_ptr<RecordArena>> sealed;
+    util::SpscRing<std::unique_ptr<RecordArena>> free;
+    util::RelaxedCell appended;
+    util::RelaxedCell dropped;
+    util::RelaxedCell backpressure;
+  };
+
+  void writer_loop();
+  bool drain_once();
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::unique_ptr<ArchiveWriter> writer_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+  bool closed_ = false;
+};
+
+}  // namespace retina::sink

@@ -1,0 +1,89 @@
+// Table 2 traffic characteristics derived from FlowRecords. One
+// accumulator serves both sides of the round-trip proof: the capture
+// path feeds it from in-memory ConnRecords (via FlowRecord::from) while
+// tools/retina_read feeds it from archived records — identical inputs
+// must produce a byte-identical to_string(), which is exactly what the
+// bench/sink gate and the reader round-trip tests assert.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "sink/record.hpp"
+
+namespace retina::sink {
+
+struct TrafficStats {
+  std::uint64_t conns = 0;
+  std::uint64_t tcp_conns = 0;
+  std::uint64_t udp_conns = 0;
+  std::uint64_t single_syn = 0;
+  std::uint64_t established = 0;
+  std::uint64_t incomplete = 0;  // established but neither FIN nor RST
+  std::uint64_t ooo_flows = 0;
+  std::uint64_t total_pkts = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t tcp_bytes = 0;
+  // Packets-per-connection mean over TCP connections that got past a
+  // lone SYN (Table 2 excludes scan noise from this average).
+  std::uint64_t est_pkts = 0;
+  std::uint64_t est_conns = 0;
+
+  void add(const FlowRecord& r) noexcept {
+    ++conns;
+    total_pkts += r.total_pkts();
+    total_bytes += r.total_bytes();
+    if (r.proto == 6) {  // TCP
+      ++tcp_conns;
+      tcp_bytes += r.total_bytes();
+      if (r.single_syn()) {
+        ++single_syn;
+      } else {
+        est_pkts += r.total_pkts();
+        ++est_conns;
+      }
+      if ((r.flags & kFlagEstablished) != 0) {
+        ++established;
+        if ((r.flags & (kFlagFin | kFlagRst)) == 0) ++incomplete;
+      }
+    } else if (r.proto == 17) {  // UDP
+      ++udp_conns;
+    }
+    if (r.ooo_up + r.ooo_down > 0) ++ooo_flows;
+  }
+
+  /// Deterministic fixed-format report (Table 2 rows). Same counters in
+  /// -> same bytes out, regardless of which path produced the records.
+  std::string to_string() const {
+    char buf[1024];
+    const auto pct = [](std::uint64_t num, std::uint64_t den) {
+      return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) /
+                                  static_cast<double>(den);
+    };
+    const double avg_pkt =
+        total_pkts == 0 ? 0.0 : static_cast<double>(total_bytes) /
+                                    static_cast<double>(total_pkts);
+    const double pkts_per_conn =
+        est_conns == 0 ? 0.0 : static_cast<double>(est_pkts) /
+                                   static_cast<double>(est_conns);
+    const int n = std::snprintf(
+        buf, sizeof(buf),
+        "connections                          %llu\n"
+        "packet size (avg)                    %.1f B\n"
+        "fraction of TCP connections          %.1f %%\n"
+        "fraction of UDP connections          %.1f %%\n"
+        "fraction of TCP stream bytes         %.1f %%\n"
+        "fraction of single SYN connections   %.1f %%\n"
+        "fraction of out-of-order flows       %.1f %%\n"
+        "fraction of incomplete flows         %.1f %%\n"
+        "packets per connection (avg, TCP)    %.1f pkts\n",
+        static_cast<unsigned long long>(conns), avg_pkt,
+        pct(tcp_conns, conns), pct(udp_conns, conns),
+        pct(tcp_bytes, total_bytes), pct(single_syn, tcp_conns),
+        pct(ooo_flows, conns), pct(incomplete, tcp_conns), pkts_per_conn);
+    return std::string(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  }
+};
+
+}  // namespace retina::sink

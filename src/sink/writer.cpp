@@ -1,0 +1,220 @@
+#include "sink/writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "sink/format.hpp"
+
+namespace retina::sink {
+namespace {
+
+namespace fmt = format;
+
+// Raw column bytes per record (every fixed-width segment; the dict blob
+// rides on top). Drives the FlushManager's size threshold.
+constexpr std::size_t per_record_raw_bytes() {
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    total += column_width(static_cast<ColumnId>(c));
+  }
+  return total;
+}
+
+// Serialize one column of `records` into `out` (appended). The app
+// protocol column stores u32 dictionary ids supplied by the caller.
+void fill_column(ColumnId id, const FlowRecord* records, std::size_t n,
+                 const std::uint32_t* dict_ids,
+                 std::vector<std::uint8_t>& out) {
+  const std::size_t width = column_width(id);
+  const std::size_t start = out.size();
+  out.resize(start + width * n);
+  std::uint8_t* p = out.data() + start;
+  for (std::size_t i = 0; i < n; ++i, p += width) {
+    const FlowRecord& r = records[i];
+    switch (id) {
+      case ColumnId::kSrcAddr: std::memcpy(p, r.src_addr, 16); break;
+      case ColumnId::kDstAddr: std::memcpy(p, r.dst_addr, 16); break;
+      case ColumnId::kFirstTs: fmt::put_u64(p, r.first_ts_ns); break;
+      case ColumnId::kLastTs: fmt::put_u64(p, r.last_ts_ns); break;
+      case ColumnId::kPktsUp: fmt::put_u64(p, r.pkts_up); break;
+      case ColumnId::kPktsDown: fmt::put_u64(p, r.pkts_down); break;
+      case ColumnId::kBytesUp: fmt::put_u64(p, r.bytes_up); break;
+      case ColumnId::kBytesDown: fmt::put_u64(p, r.bytes_down); break;
+      case ColumnId::kPayloadUp: fmt::put_u64(p, r.payload_up); break;
+      case ColumnId::kPayloadDown: fmt::put_u64(p, r.payload_down); break;
+      case ColumnId::kOooUp: fmt::put_u32(p, r.ooo_up); break;
+      case ColumnId::kOooDown: fmt::put_u32(p, r.ooo_down); break;
+      case ColumnId::kDupUp: fmt::put_u32(p, r.dup_up); break;
+      case ColumnId::kDupDown: fmt::put_u32(p, r.dup_down); break;
+      case ColumnId::kSrcPort: fmt::put_u16(p, r.src_port); break;
+      case ColumnId::kDstPort: fmt::put_u16(p, r.dst_port); break;
+      case ColumnId::kProto: *p = r.proto; break;
+      case ColumnId::kIpVersion: *p = r.ip_version; break;
+      case ColumnId::kFlags: *p = r.flags; break;
+      case ColumnId::kAppProto: fmt::put_u32(p, dict_ids[i]); break;
+      case ColumnId::kCount: break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ArchiveWriter>> ArchiveWriter::create(
+    const SinkConfig& config) {
+  auto codec = make_codec(config.codec);
+  if (!codec.ok()) return Err(codec.error());
+  std::FILE* file = std::fopen(config.path.c_str(), "wb");
+  if (file == nullptr) {
+    return Err("cannot open sink archive '" + config.path +
+               "': " + std::strerror(errno));
+  }
+  auto writer = std::unique_ptr<ArchiveWriter>(
+      new ArchiveWriter(file, std::move(codec).value(), config));
+
+  std::uint8_t header[fmt::kFileHeaderBytes] = {};
+  std::memcpy(header, fmt::kFileMagic, 8);
+  fmt::put_u16(header + 8, fmt::kVersion);
+  fmt::put_u16(header + 10, static_cast<std::uint16_t>(sizeof(FlowRecord)));
+  header[12] = writer->codec_->id();
+  header[13] = static_cast<std::uint8_t>(kColumnCount);
+  writer->write_bytes(header, sizeof(header));
+  if (!writer->ok()) return Err(writer->error());
+  return writer;
+}
+
+ArchiveWriter::ArchiveWriter(std::FILE* file, std::unique_ptr<Codec> codec,
+                             const SinkConfig& config)
+    : file_(file),
+      codec_(std::move(codec)),
+      flush_(config.chunk_bytes, config.seal_interval_ns) {
+  // Reserve one full chunk of records up front so steady-state add()
+  // never reallocates: chunk_bytes of raw column data divided by the
+  // per-record footprint, rounded up by one arena's worth of slack.
+  const std::size_t per_chunk =
+      config.chunk_bytes / per_record_raw_bytes() + config.arena_records;
+  pending_.reserve(per_chunk);
+}
+
+ArchiveWriter::~ArchiveWriter() {
+  close();
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ArchiveWriter::write_bytes(const void* data, std::size_t n) {
+  if (!error_.empty() || n == 0) return;
+  if (std::fwrite(data, 1, n, file_) != n) {
+    error_ = std::string("sink archive write failed: ") + std::strerror(errno);
+    return;
+  }
+  bytes_.add(n);
+}
+
+void ArchiveWriter::add(const FlowRecord* records, std::size_t n) {
+  if (closed_ || !error_.empty() || n == 0) return;
+  std::uint64_t min_ts = UINT64_MAX;
+  std::uint64_t max_ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (records[i].last_ts_ns < min_ts) min_ts = records[i].last_ts_ns;
+    if (records[i].last_ts_ns > max_ts) max_ts = records[i].last_ts_ns;
+  }
+  pending_.insert(pending_.end(), records, records + n);
+  flush_.note(n, n * per_record_raw_bytes(), min_ts, max_ts);
+  if (flush_.should_seal()) seal_chunk();
+}
+
+void ArchiveWriter::seal_chunk() {
+  const std::size_t n = pending_.size();
+  if (n == 0 || !error_.empty()) return;
+
+  // Dictionary for the app-protocol column: ids in first-appearance
+  // order, blob = concat(u16 len, bytes) per entry.
+  std::unordered_map<std::string, std::uint32_t> dict;
+  std::vector<std::uint32_t> ids(n);
+  std::vector<std::uint8_t> dict_raw;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = pending_[i].app_proto_str();
+    auto [it, inserted] =
+        dict.emplace(std::move(name), static_cast<std::uint32_t>(dict.size()));
+    if (inserted) {
+      std::uint8_t len[2];
+      fmt::put_u16(len, static_cast<std::uint16_t>(it->first.size()));
+      dict_raw.insert(dict_raw.end(), len, len + 2);
+      dict_raw.insert(dict_raw.end(), it->first.begin(), it->first.end());
+    }
+    ids[i] = it->second;
+  }
+
+  // Encoded payload: dict blob first, then every column in id order.
+  enc_buf_.clear();
+  codec_->encode(dict_raw, enc_buf_);
+  const std::uint32_t dict_enc = static_cast<std::uint32_t>(enc_buf_.size());
+
+  struct DirEntry {
+    std::uint32_t raw;
+    std::uint32_t enc;
+  };
+  DirEntry dir[kColumnCount];
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    raw_buf_.clear();
+    fill_column(static_cast<ColumnId>(c), pending_.data(), n, ids.data(),
+                raw_buf_);
+    const std::size_t enc_start = enc_buf_.size();
+    codec_->encode(raw_buf_, enc_buf_);
+    dir[c].raw = static_cast<std::uint32_t>(raw_buf_.size());
+    dir[c].enc = static_cast<std::uint32_t>(enc_buf_.size() - enc_start);
+  }
+
+  const std::uint64_t checksum = fmt::fnv1a64(enc_buf_);
+
+  std::uint8_t header[fmt::kChunkHeaderBytes];
+  fmt::put_u32(header, fmt::kChunkMagic);
+  fmt::put_u32(header + 4, static_cast<std::uint32_t>(n));
+  fmt::put_u64(header + 8, flush_.min_ts());
+  fmt::put_u64(header + 16, flush_.max_ts());
+  fmt::put_u64(header + 24, checksum);
+  fmt::put_u32(header + 32, static_cast<std::uint32_t>(dict.size()));
+  fmt::put_u32(header + 36, static_cast<std::uint32_t>(dict_raw.size()));
+  fmt::put_u32(header + 40, dict_enc);
+  fmt::put_u32(header + 44, 0);
+  write_bytes(header, sizeof(header));
+
+  std::uint8_t entry[fmt::kDirEntryBytes];
+  for (std::size_t c = 0; c < kColumnCount; ++c) {
+    fmt::put_u16(entry, static_cast<std::uint16_t>(c));
+    fmt::put_u16(entry + 2, 0);
+    fmt::put_u32(entry + 4, dir[c].raw);
+    fmt::put_u32(entry + 8, dir[c].enc);
+    write_bytes(entry, sizeof(entry));
+  }
+  write_bytes(enc_buf_.data(), enc_buf_.size());
+
+  if (error_.empty()) {
+    records_.add(n);
+    chunks_.inc();
+    raw_.add(flush_.pending_raw_bytes() + dict_raw.size());
+  }
+  pending_.clear();
+  flush_.reset();
+}
+
+void ArchiveWriter::close() {
+  if (closed_) return;
+  seal_chunk();
+  std::uint8_t totals[16];
+  fmt::put_u64(totals, records_.load());
+  fmt::put_u64(totals + 8, chunks_.load());
+
+  std::uint8_t trailer[fmt::kTrailerBytes];
+  fmt::put_u32(trailer, fmt::kTrailerMagic);
+  fmt::put_u32(trailer + 4, 0);
+  std::memcpy(trailer + 8, totals, 16);
+  fmt::put_u64(trailer + 24, fmt::fnv1a64(totals));
+  write_bytes(trailer, sizeof(trailer));
+  if (error_.empty() && std::fflush(file_) != 0) {
+    error_ = std::string("sink archive flush failed: ") + std::strerror(errno);
+  }
+  closed_ = true;
+}
+
+}  // namespace retina::sink

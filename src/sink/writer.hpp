@@ -1,0 +1,72 @@
+// ArchiveWriter: turns batches of FlowRecords into the chunked columnar
+// file documented in sink/format.hpp. Single-threaded by contract — the
+// FlowSink's writer thread is the only caller of add()/close(); the
+// RelaxedCell counters exist so telemetry threads can read progress
+// concurrently without locks.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sink/codec.hpp"
+#include "sink/config.hpp"
+#include "sink/flush.hpp"
+#include "sink/record.hpp"
+#include "util/atomics.hpp"
+#include "util/result.hpp"
+
+namespace retina::sink {
+
+class ArchiveWriter {
+ public:
+  /// Opens the archive and writes the file header.
+  static Result<std::unique_ptr<ArchiveWriter>> create(
+      const SinkConfig& config);
+
+  ~ArchiveWriter();
+  ArchiveWriter(const ArchiveWriter&) = delete;
+  ArchiveWriter& operator=(const ArchiveWriter&) = delete;
+
+  /// Buffer `n` records, sealing chunks whenever the FlushManager says
+  /// so. IO errors latch into error() and turn later calls into no-ops.
+  void add(const FlowRecord* records, std::size_t n);
+
+  /// Seal the final partial chunk and write the trailer. Idempotent.
+  void close();
+
+  bool ok() const noexcept { return error_.empty(); }
+  const std::string& error() const noexcept { return error_; }
+
+  // Concurrent-read telemetry (single writer: the writer thread).
+  std::uint64_t records_written() const noexcept { return records_.load(); }
+  std::uint64_t chunks_sealed() const noexcept { return chunks_.load(); }
+  std::uint64_t bytes_written() const noexcept { return bytes_.load(); }
+  std::uint64_t raw_bytes() const noexcept { return raw_.load(); }
+
+ private:
+  ArchiveWriter(std::FILE* file, std::unique_ptr<Codec> codec,
+                const SinkConfig& config);
+
+  void seal_chunk();
+  void write_bytes(const void* data, std::size_t n);
+
+  std::FILE* file_ = nullptr;
+  std::unique_ptr<Codec> codec_;
+  FlushManager flush_;
+  std::vector<FlowRecord> pending_;
+  std::string error_;
+  bool closed_ = false;
+
+  util::RelaxedCell records_;
+  util::RelaxedCell chunks_;
+  util::RelaxedCell bytes_;
+  util::RelaxedCell raw_;
+
+  // Reused per-seal scratch to avoid steady-state allocation churn.
+  std::vector<std::uint8_t> raw_buf_;
+  std::vector<std::uint8_t> enc_buf_;
+};
+
+}  // namespace retina::sink

@@ -185,6 +185,41 @@ TEST(SoaParse, HashTuplesMatchesCanonicalScalarHash) {
   }
 }
 
+TEST(SoaParse, HashTuplesBackendsAgreeBitForBit) {
+  // The SSE/AVX2 hash kernels must reproduce the scalar mixing chain
+  // exactly — connection keys computed on different machines (or after
+  // an env override) have to land in the same table slots. Random want
+  // masks exercise the gather/scatter compaction remainders.
+  util::Xoshiro256 rng(testing::test_seed(11));
+  for (int round = 0; round < 50; ++round) {
+    const auto burst =
+        random_burst(rng, 1 + rng.below(SoaBurstView::kMaxBurst));
+    const auto want = static_cast<SoaBurstView::Mask>(rng.next());
+
+    SoaBurstView reference;
+    {
+      BackendGuard guard(filter::BatchBackend::kScalar);
+      EXPECT_EQ(packet::active_hash_backend(), packet::HashBackend::kScalar);
+      reference.parse(burst);
+      reference.hash_tuples(want);
+    }
+
+    for (const auto backend : kAllBackends) {
+      BackendGuard guard(backend);
+      SoaBurstView soa;
+      soa.parse(burst);
+      soa.hash_tuples(want);
+      for (std::size_t i = 0; i < soa.size(); ++i) {
+        if (((want >> i) & 1u) == 0 || !soa.has_tuple(i)) continue;
+        EXPECT_EQ(soa.hash(i), reference.hash(i))
+            << "lane " << i << " backend "
+            << packet::hash_backend_name(packet::active_hash_backend());
+        EXPECT_EQ(soa.canon(i).key, reference.canon(i).key);
+      }
+    }
+  }
+}
+
 // Golden corpus: every predicate shape the batch engine lowers (ints,
 // ranges, !=, IP prefixes v4+v6, presence, flags, multi-layer filters
 // whose packet stage is non-terminal) plus string predicates that only

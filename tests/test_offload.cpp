@@ -328,20 +328,28 @@ TEST(OffloadRuntime, ThreadedRunMatchesSerialWithOffload) {
   core::Runtime ref(config, std::move(*sub_serial));
   ref.run(trace.packets());
 
-  ConnCollector threaded;
   config.offload.enabled = true;
-  auto sub_threaded = threaded.subscribe();
-  ASSERT_TRUE(sub_threaded.ok());
-  core::Runtime run(config, std::move(*sub_threaded));
   // Paced replay: dispatch at the trace's own rate so workers keep up
   // and flows settle (and offload) while traffic is still arriving —
   // an unpaced blast parks the whole trace in the rings before any
   // install handshake can finish, leaving hardware nothing to count.
-  const auto stats = run.run_threaded(trace.packets(), /*time_scale=*/1.0);
-  ASSERT_EQ(stats.nic_ring_dropped, 0u);
-
-  EXPECT_EQ(threaded.sorted(), serial.sorted());
-  EXPECT_GT(stats.nic_offload_pkts, 0u);
+  // On an oversubscribed host even real-time pacing can starve the
+  // workers of the CPU they need to settle flows, so retry at slacker
+  // paces before calling "offload never engaged" a failure. The
+  // equivalence half is timing-independent and must hold every time.
+  std::uint64_t offload_pkts = 0;
+  for (const double time_scale : {1.0, 0.5, 0.25}) {
+    ConnCollector threaded;
+    auto sub_threaded = threaded.subscribe();
+    ASSERT_TRUE(sub_threaded.ok());
+    core::Runtime run(config, std::move(*sub_threaded));
+    const auto stats = run.run_threaded(trace.packets(), time_scale);
+    ASSERT_EQ(stats.nic_ring_dropped, 0u);
+    EXPECT_EQ(threaded.sorted(), serial.sorted());
+    offload_pkts = stats.nic_offload_pkts;
+    if (offload_pkts > 0) break;
+  }
+  EXPECT_GT(offload_pkts, 0u) << "offload never engaged at any pace";
 }
 
 TEST(OffloadRuntime, MultiSubscriptionSettledFlowsOffload) {

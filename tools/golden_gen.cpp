@@ -48,6 +48,22 @@ int main(int argc, char** argv) {
     }
     std::printf("%-8s %4zu packets -> %3zu lines (%s)\n", entry.name,
                 reread.size(), result.lines.size(), jsonl_path.c_str());
+
+    // Second pass: the connection-level stream for the same filter.
+    // The sink lane reconstructs these exact lines from a columnar
+    // archive written during replay.
+    core::golden::GoldenSpec conn_spec = spec;
+    conn_spec.level = core::Level::kConnection;
+    const auto conn_result =
+        core::golden::run_golden(reread.packets(), conn_spec);
+    const std::string conn_path = dir + "/" + entry.name + "_conn.jsonl";
+    if (!core::golden::write_jsonl(conn_path, conn_result.lines)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", entry.name,
+                   conn_path.c_str());
+      return 1;
+    }
+    std::printf("%-8s conn stream  -> %3zu lines (%s)\n", entry.name,
+                conn_result.lines.size(), conn_path.c_str());
   }
   return 0;
 }

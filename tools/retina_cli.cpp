@@ -32,6 +32,13 @@
 //   --live             print a live console table while running
 //   --sample-ms N      sampler period in milliseconds (default 50)
 //
+// Analytics sink (columnar flow-record archive, read back with
+// retina_read):
+//   --sink PATH        append one FlowRecord per matched connection to a
+//                      columnar archive at PATH
+//   --sink-chunk-mb N  chunk sealing threshold in MiB (default 4)
+//   --sink-codec NAME  block codec: lzb | none (default lzb)
+//
 // Overload control & fault injection:
 //   --overload-policy SPEC   per-core admission budgets + degradation
 //                      ladder, e.g. "max-conns=10000,max-state-mb=64,
@@ -91,6 +98,9 @@ struct Options {
   std::string trace_path;
   std::string overload_spec;
   std::string fault_spec;
+  std::string sink_path;
+  std::string sink_codec = "lzb";
+  std::size_t sink_chunk_mb = 4;
   std::size_t synthetic_flows = 0;
   std::size_t cores = 4;
   std::size_t burst = 32;
@@ -119,6 +129,8 @@ struct Options {
                " [--live]\n"
                "          [--sample-ms N] [--overload-policy SPEC]"
                " [--fault-plan SPEC]\n"
+               "          [--sink PATH] [--sink-chunk-mb N]"
+               " [--sink-codec lzb|none]\n"
                "          [--subscribe FILTER:LEVEL]... "
                "[--subscriptions FILE]\n",
                argv0);
@@ -154,6 +166,10 @@ Options parse_args(int argc, char** argv) {
     else if (arg == "--live") opts.live = true;
     else if (arg == "--overload-policy") opts.overload_spec = next();
     else if (arg == "--fault-plan") opts.fault_spec = next();
+    else if (arg == "--sink") opts.sink_path = next();
+    else if (arg == "--sink-codec") opts.sink_codec = next();
+    else if (arg == "--sink-chunk-mb")
+      opts.sink_chunk_mb = static_cast<std::size_t>(std::atoll(next().c_str()));
     else if (arg == "--subscribe") {
       // FILTER:LEVEL — filters may contain ':' so the LAST one splits.
       const std::string spec = next();
@@ -396,6 +412,12 @@ int main(int argc, char** argv) {
     }
     config.fault_plan = std::move(plan).value();
   }
+  if (!opts.sink_path.empty()) {
+    config.sink.enabled = true;
+    config.sink.path = opts.sink_path;
+    config.sink.codec = opts.sink_codec;
+    config.sink.chunk_bytes = opts.sink_chunk_mb << 20;
+  }
 
   {
     auto runtime_or =
@@ -496,6 +518,16 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(stats.total.stages.count(stage)),
             stats.total.stages.avg_cycles(stage));
       }
+    }
+    if (!opts.sink_path.empty()) {
+      std::fprintf(stderr,
+                   "sink: %llu records -> %s (%llu chunks, %.1f MB, "
+                   "%llu dropped)\n",
+                   static_cast<unsigned long long>(stats.sink_records),
+                   opts.sink_path.c_str(),
+                   static_cast<unsigned long long>(stats.sink_chunks),
+                   static_cast<double>(stats.sink_bytes) / 1e6,
+                   static_cast<unsigned long long>(stats.sink_dropped));
     }
     if (config.overload.enabled && !monitor.history().empty()) {
       std::fprintf(stderr, "overload: %s\n", monitor.status_line().c_str());
