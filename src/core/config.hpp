@@ -116,6 +116,21 @@ struct RuntimeConfig {
   };
   OffloadConfig offload;
 
+  /// Bounded IPv4 fragment reassembly in front of conntrack (per-core
+  /// stream::FragTable; see stream/frag.hpp). Always on — a fragment
+  /// that never completes costs at most the byte budget below. The
+  /// overload ladder's shed-reassembly level additionally stops
+  /// fragment admission entirely.
+  struct FragConfig {
+    /// Byte budget for held fragment data per core.
+    std::size_t max_bytes = 1u << 20;
+    /// Concurrent incomplete datagrams per core.
+    std::size_t max_datagrams = 256;
+    /// Reassembly timeout on the virtual trace clock.
+    std::uint64_t timeout_ns = 30ull * 1000 * 1000 * 1000;
+  };
+  FragConfig frag;
+
   /// Columnar flow-record archive (see sink/sink.hpp). Unrelated to
   /// `sink_fraction` above, which is the RETA *sampling* knob; this is
   /// the analytics export sink of ROADMAP item 4. Matched connections

@@ -80,7 +80,10 @@ Pipeline::Pipeline(const RuntimeConfig& config,
       subscription_(subscription),
       filter_(filter),
       parser_registry_(parser_registry),
-      table_(config.timeouts) {
+      table_(config.timeouts),
+      frag_(stream::FragTable::Config{config.frag.max_bytes,
+                                      config.frag.max_datagrams,
+                                      config.frag.timeout_ns}) {
   // Which protocol parsers does this subscription need? Those named by
   // the filter, plus any the data type implies. A session-level
   // subscription with no protocol constraints probes everything.
@@ -171,6 +174,24 @@ void Pipeline::attach_telemetry(telemetry::MetricRegistry& registry,
       &registry.counter("retina_migrations_total",
                         "Connections adopted after an RSS rebalance moved "
                         "their RETA bucket to this core").at(core);
+  inst_.frag_fragments =
+      &registry.counter("retina_frag_fragments_total",
+                        "IPv4 fragments offered to reassembly").at(core);
+  inst_.frag_reassembled =
+      &registry.counter("retina_frag_reassembled_total",
+                        "IPv4 datagrams rebuilt from fragments").at(core);
+  inst_.frag_dropped =
+      &registry.counter("retina_frag_dropped_total",
+                        "Fragments dropped by budget, timeout, or "
+                        "validation").at(core);
+  inst_.frag_held_bytes =
+      &registry.gauge("retina_frag_held_bytes",
+                      "Bytes of fragment data held awaiting "
+                      "reassembly").at(core);
+  inst_.unknown_ethertype =
+      &registry.counter("retina_parse_unknown_ethertype",
+                        "Frames whose innermost ethertype the parser does "
+                        "not understand").at(core);
   spans_ = spans;
 }
 
@@ -268,7 +289,8 @@ void Pipeline::settle_without_parsing(ConnId id, ConnEntry& entry) {
 
 std::uint64_t Pipeline::approx_state_bytes() const {
   const auto heap = heap_bytes_ > 0 ? heap_bytes_ : 0;
-  return table_.approx_bytes() + static_cast<std::uint64_t>(heap);
+  return table_.approx_bytes() + static_cast<std::uint64_t>(heap) +
+         frag_.held_bytes();
 }
 
 void Pipeline::maybe_sample_memory(std::uint64_t ts_ns) {
@@ -288,6 +310,10 @@ void Pipeline::process(packet::Mbuf mbuf) {
     inst_.bytes->add(mbuf.length());
   }
   const auto view = packet::PacketView::parse(mbuf);
+  if (view && view->unknown_ethertype()) {
+    ++stats_.unknown_ethertype;
+    if (inst_.unknown_ethertype != nullptr) inst_.unknown_ethertype->inc();
+  }
   process_one(mbuf, view, /*canon=*/nullptr, /*canon_hash=*/0,
               /*pf_hint=*/nullptr);
   stats_.busy_cycles += util::rdtsc() - t0;
@@ -330,6 +356,11 @@ void Pipeline::process_burst(std::span<packet::Mbuf> burst) {
   // hit conntrack/reassembly in arrival order, and the SoA view
   // materializes the same PacketViews the per-packet path would parse.
   soa_.parse(burst);
+  if (const Mask unknown = soa_.unknown_ethertype_mask()) {
+    const auto k = static_cast<std::uint64_t>(std::popcount(unknown));
+    stats_.unknown_ethertype += k;
+    if (inst_.unknown_ethertype != nullptr) inst_.unknown_ethertype->add(k);
+  }
 
   // One logical packet-filter invocation per packet — the stage counter
   // totals stay identical to the per-packet path's; only the cycle cost
@@ -387,6 +418,7 @@ void Pipeline::process_burst(std::span<packet::Mbuf> burst) {
   // couple of tupled lanes ahead — the resolved id is only a cache
   // hint, the lookup below re-resolves, so slot reuse cannot alias.
   constexpr std::size_t kSlotDistance = 2;
+  const Mask frag_lanes = soa_.frag_mask();
   std::uint64_t bytes_acc = 0;
   std::size_t next_tupled = 0;
   for (std::size_t i = 0; i < n; ++i) {
@@ -399,7 +431,11 @@ void Pipeline::process_burst(std::span<packet::Mbuf> burst) {
       }
       ++next_tupled;
     }
-    if (!housekeeping && !pf[i].matched()) continue;
+    // Fragment lanes never carry a tuple, so the filter cannot route
+    // them — but they must still reach reassembly.
+    if (!housekeeping && !pf[i].matched() && !((frag_lanes >> i) & 1u)) {
+      continue;
+    }
     process_one(burst[i], soa_.view(i), is_tupled ? &soa_.canon(i) : nullptr,
                 is_tupled ? soa_.hash(i) : 0, &pf[i], housekeeping);
   }
@@ -479,6 +515,24 @@ void Pipeline::process_one(packet::Mbuf& mbuf,
     StageScope scope(stats_, Stage::kPacketFilter, config_.instrument_stages, &inst_);
     if (view) pf_result = filter_.packet_filter(*view);
   }
+  // IPv4 fragments divert to reassembly before any delivery decision:
+  // they carry no L4 header, so neither the filter nor conntrack can
+  // act on them, and a presence-only match (e.g. "ipv4") must not leak
+  // raw fragments to a packet-level callback. The rebuilt datagram
+  // re-enters through the full pipeline below.
+  if (view && view->is_fragment()) {
+    handle_fragment(*view);
+    const auto held_now = approx_state_bytes();
+    if (held_now > stats_.peak_state_bytes) {
+      stats_.peak_state_bytes = held_now;
+    }
+    if (inst_.live_conns != nullptr) {
+      inst_.live_conns->set(table_.size());
+      inst_.state_bytes->set(held_now);
+    }
+    return;
+  }
+
   if (!pf_result.matched()) {
     return;
   }
@@ -487,7 +541,7 @@ void Pipeline::process_one(packet::Mbuf& mbuf,
   // immediately and bypass all stateful processing (paper §5.1).
   if (pf_result.terminal() && subscription_.level() == Level::kPacket) {
     StageScope scope(stats_, Stage::kCallback, config_.instrument_stages, &inst_);
-    subscription_.deliver_packet(mbuf);
+    subscription_.deliver_packet(view ? view->frame() : mbuf);
     ++stats_.delivered_packets;
     if (inst_.callbacks != nullptr) inst_.callbacks->inc();
     return;
@@ -512,6 +566,44 @@ void Pipeline::process_one(packet::Mbuf& mbuf,
   if (inst_.live_conns != nullptr) {
     inst_.live_conns->set(table_.size());
     inst_.state_bytes->set(state_now);
+  }
+}
+
+void Pipeline::handle_fragment(const packet::PacketView& view) {
+  // The overload ladder's shed-reassembly rung (or the reassembly byte
+  // budget) stops fragment admission entirely — a fragment flood then
+  // costs one parse and one branch per fragment, nothing held.
+  if (reassembly_shed()) {
+    shed(overload::ShedStage::kReassembly);
+    return;
+  }
+  const auto before = frag_.stats();
+  auto rebuilt = frag_.offer(view);
+  const auto& fs = frag_.stats();
+  stats_.frag_fragments = fs.fragments;
+  stats_.frag_reassembled = fs.reassembled;
+  stats_.frag_duplicates = fs.duplicates;
+  stats_.frag_dropped_budget = fs.dropped_budget;
+  stats_.frag_dropped_timeout = fs.dropped_timeout;
+  stats_.frag_dropped_malformed = fs.dropped_malformed;
+  if (inst_.frag_fragments != nullptr) {
+    inst_.frag_fragments->inc();
+    const auto dropped =
+        (fs.dropped_budget - before.dropped_budget) +
+        (fs.dropped_timeout - before.dropped_timeout) +
+        (fs.dropped_malformed - before.dropped_malformed);
+    if (dropped > 0) inst_.frag_dropped->add(dropped);
+    if (fs.reassembled != before.reassembled) inst_.frag_reassembled->inc();
+    inst_.frag_held_bytes->set(frag_.held_bytes());
+  }
+  if (rebuilt) {
+    // The rebuilt datagram is byte-identical to the pre-fragmentation
+    // original; run it through the full pipeline. Housekeeping already
+    // ran for the fragment that completed it, and rx packet/byte
+    // counters stay untouched — the datagram was never polled.
+    const auto rview = packet::PacketView::parse(*rebuilt);
+    process_one(*rebuilt, rview, /*canon=*/nullptr, /*canon_hash=*/0,
+                /*pf_hint=*/nullptr, /*housekeeping=*/false);
   }
 }
 
@@ -557,7 +649,7 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
         if (subscription_.level() == Level::kPacket) {
           StageScope scope(stats_, Stage::kCallback,
                            config_.instrument_stages, &inst_);
-          subscription_.deliver_packet(mbuf);
+          subscription_.deliver_packet(view.frame());
           ++stats_.delivered_packets;
           if (inst_.callbacks != nullptr) inst_.callbacks->inc();
         } else if (subscription_.level() == Level::kStream) {
@@ -574,14 +666,18 @@ void Pipeline::handle_stateful(packet::Mbuf& mbuf,
           if (!buffering_allowed()) {
             shed(overload::ShedStage::kBuffering);
           } else {
+            // Buffer the delivered representation — the (inner) frame —
+            // so a later flush replays exactly what immediate delivery
+            // would have produced.
+            const packet::Mbuf& frame = view.frame();
             if (entry.buffered.size() >= config_.conn_packet_buffer) {
               heap_bytes_ -= entry.buffered.front().length();
               entry.buffered_bytes -= entry.buffered.front().length();
               entry.buffered.erase(entry.buffered.begin());
             }
-            heap_bytes_ += mbuf.length();
-            entry.buffered_bytes += mbuf.length();
-            entry.buffered.push_back(mbuf);
+            heap_bytes_ += frame.length();
+            entry.buffered_bytes += frame.length();
+            entry.buffered.push_back(frame);
           }
         }
         feed_pdus(id, entry, mbuf, view, from_orig);
@@ -757,7 +853,10 @@ void Pipeline::update_record(ConnEntry& entry, const packet::PacketView& view,
                              bool from_orig, std::uint64_t ts_ns) {
   auto& rec = entry.record;
   rec.last_ts_ns = std::max(rec.last_ts_ns, ts_ns);
-  const auto wire_bytes = view.mbuf().length();
+  // Connection records describe the *inner* flow: for tunneled frames
+  // the byte counters use the decapsulated frame, so a tunneled trace
+  // produces records identical to its plain original.
+  const auto wire_bytes = view.frame().length();
   const auto payload_bytes = view.l4_payload().size();
   if (from_orig) {
     ++rec.pkts_up;
@@ -815,7 +914,7 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
     // UDP: each datagram is already an in-order PDU.
     if (view.l4_payload().empty()) return;
     stream::L4Pdu pdu;
-    pdu.mbuf = mbuf;
+    pdu.mbuf = view.frame();
     pdu.payload = view.l4_payload();
     pdu.from_originator = from_orig;
     pdu.ts_ns = mbuf.timestamp_ns();
@@ -843,7 +942,7 @@ void Pipeline::feed_pdus(ConnId id, ConnEntry& entry, packet::Mbuf& mbuf,
 
   const auto& tcp = *view.tcp();
   stream::L4Pdu pdu;
-  pdu.mbuf = mbuf;
+  pdu.mbuf = view.frame();
   pdu.payload = view.l4_payload();
   pdu.seq = tcp.seq();
   pdu.tcp_flags = tcp.flags();
@@ -1436,6 +1535,19 @@ std::vector<Pipeline::Migrated> Pipeline::extract_bucket(
     ++stats_.migrations_out;
     out.push_back(std::move(migrated));
   }
+  // Incomplete fragment datagrams follow the same bucket: the NIC
+  // steers fragments by their pseudo-tuple hash, so after the RETA
+  // rewrite the remaining fragments arrive on the new owner — which
+  // needs the chunks collected so far, or mid-datagram rebalances
+  // would lose packets a stable run keeps.
+  for (auto& orphan : frag_.extract_bucket(bucket, reta_size)) {
+    Migrated migrated;
+    migrated.rss_hash = orphan.datagram.rss_hash;
+    migrated.frag =
+        std::make_unique<stream::FragTable::Orphan>(std::move(orphan));
+    ++stats_.migrations_out;
+    out.push_back(std::move(migrated));
+  }
   if (!out.empty() && inst_.live_conns != nullptr) {
     inst_.live_conns->set(table_.size());
     inst_.state_bytes->set(approx_state_bytes());
@@ -1444,6 +1556,15 @@ std::vector<Pipeline::Migrated> Pipeline::extract_bucket(
 }
 
 void Pipeline::adopt(Migrated&& migrated) {
+  if (migrated.frag != nullptr) {
+    frag_.adopt(std::move(*migrated.frag));
+    ++stats_.migrations_in;
+    if (inst_.migrations != nullptr) inst_.migrations->inc();
+    if (inst_.frag_held_bytes != nullptr) {
+      inst_.frag_held_bytes->set(frag_.held_bytes());
+    }
+    return;
+  }
   if (migrated.entry == nullptr) return;
   if (table_.find(migrated.key) != Table::kInvalid) {
     // Unreachable under the migration protocol (a bucket has exactly

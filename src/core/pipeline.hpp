@@ -29,6 +29,7 @@
 #include "packet/packet_view.hpp"
 #include "packet/soa.hpp"
 #include "protocols/registry.hpp"
+#include "stream/frag.hpp"
 #include "stream/reassembly.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -64,6 +65,13 @@ struct PipelineInstruments {
   telemetry::Histogram* burst_cycles = nullptr;
   // Connections adopted after an RSS rebalance moved their bucket here.
   util::RelaxedCell* migrations = nullptr;
+  // IPv4 fragment reassembly (retina_frag_*).
+  util::RelaxedCell* frag_fragments = nullptr;
+  util::RelaxedCell* frag_reassembled = nullptr;
+  util::RelaxedCell* frag_dropped = nullptr;
+  util::RelaxedCell* frag_held_bytes = nullptr;  // gauge
+  // Frames whose innermost ethertype the parser does not understand.
+  util::RelaxedCell* unknown_ethertype = nullptr;
 };
 
 /// Why a connection is being terminated (delivery still depends on the
@@ -170,6 +178,10 @@ class Pipeline : public OffloadClient {
     std::int64_t heap_bytes = 0;   // entry's contribution to heap_bytes_
     std::int64_t reasm_bytes = 0;  // ... and to reasm_hold_bytes_
     std::unique_ptr<ConnEntry> entry;  // opaque outside the pipeline
+    /// Set instead of `entry` when this migration carries an incomplete
+    /// IPv4 fragment datagram (keyed by the same RETA bucket through
+    /// its pseudo-tuple RSS hash) rather than a tracked connection.
+    std::unique_ptr<stream::FragTable::Orphan> frag;
   };
 
   /// Extract every tracked connection whose RSS hash falls in RETA
@@ -256,6 +268,9 @@ class Pipeline : public OffloadClient {
                    std::uint64_t canon_hash,
                    const filter::FilterResult* pf_hint,
                    bool housekeeping = true);
+  /// Fragment admission: shed-reassembly gate, then the frag table; a
+  /// completed datagram re-enters through the normal parse.
+  void handle_fragment(const packet::PacketView& view);
   void handle_stateful(packet::Mbuf& mbuf, const packet::PacketView& view,
                        const filter::FilterResult& pf_result,
                        const packet::FiveTuple::Canonical& canon,
@@ -332,6 +347,7 @@ class Pipeline : public OffloadClient {
   std::uint32_t udp_candidate_mask_ = 0;
 
   Table table_;
+  stream::FragTable frag_;  // per-core IPv4 fragment reassembly
   PipelineStats stats_;
   PipelineInstruments inst_;
   // Reused per burst: the SoA parse + batch-filter scratch. ~8 KB, only

@@ -42,6 +42,13 @@ void PipelineStats::merge(const PipelineStats& other) {
   busy_cycles += other.busy_cycles;
   migrations_in += other.migrations_in;
   migrations_out += other.migrations_out;
+  frag_fragments += other.frag_fragments;
+  frag_reassembled += other.frag_reassembled;
+  frag_duplicates += other.frag_duplicates;
+  frag_dropped_budget += other.frag_dropped_budget;
+  frag_dropped_timeout += other.frag_dropped_timeout;
+  frag_dropped_malformed += other.frag_dropped_malformed;
+  unknown_ethertype += other.unknown_ethertype;
   for (int i = 0; i < static_cast<int>(overload::ShedStage::kCount); ++i) {
     shed[i] += other.shed[i];
   }
@@ -85,6 +92,17 @@ std::string RunStats::to_string() const {
       os << " sink_dropped=" << sink_dropped
          << " sink_backpressure=" << sink_backpressure;
     }
+  }
+  if (total.frag_fragments > 0) {
+    os << " frag=" << total.frag_fragments
+       << " frag_reasm=" << total.frag_reassembled;
+    const auto frag_dropped = total.frag_dropped_budget +
+                              total.frag_dropped_timeout +
+                              total.frag_dropped_malformed;
+    if (frag_dropped > 0) os << " frag_dropped=" << frag_dropped;
+  }
+  if (total.unknown_ethertype > 0) {
+    os << " unknown_ethertype=" << total.unknown_ethertype;
   }
   if (total.shed_total() > 0) {
     os << " shed=" << total.shed_total();

@@ -76,6 +76,17 @@ struct PipelineStats {
   std::uint64_t migrations_in = 0;   // connections adopted from a sibling
   std::uint64_t migrations_out = 0;  // connections extracted for migration
 
+  /// IPv4 fragment reassembly in front of conntrack (stream::FragTable).
+  std::uint64_t frag_fragments = 0;        // fragments offered to the table
+  std::uint64_t frag_reassembled = 0;      // datagrams completed
+  std::uint64_t frag_duplicates = 0;       // duplicate/overlapping chunks
+  std::uint64_t frag_dropped_budget = 0;   // shed by byte/datagram budget
+  std::uint64_t frag_dropped_timeout = 0;  // datagrams expired incomplete
+  std::uint64_t frag_dropped_malformed = 0;
+  /// Frames whose (innermost) ethertype the parser does not understand —
+  /// previously these were skipped silently.
+  std::uint64_t unknown_ethertype = 0;
+
   /// Overload shedding, by the pipeline stage that refused the work
   /// (overload::ShedStage). Zero everywhere unless budgets or the
   /// degradation ladder acted.

@@ -72,7 +72,8 @@ void validate_predicate(const Predicate& pred, const FieldRegistry& registry) {
         case CmpOp::kNotIn: {
           const auto* prefix = std::get_if<IpPrefix>(&pred.value);
           if (!prefix) fail("address field requires an IP or prefix value");
-          const bool want_v6 = pred.proto == "ipv6";
+          const bool want_v6 =
+              pred.proto == "ipv6" || pred.proto == "outer_ipv6";
           if (want_v6 != (prefix->addr.version == 6)) {
             fail("address family does not match the protocol");
           }
@@ -109,6 +110,11 @@ void sort_canonical(std::vector<Predicate>& preds) {
 
 struct PatternPieces {
   std::vector<Predicate> eth_fields;
+  // Encapsulation constraints (vlan/gre/vxlan/outer_ipv4/outer_ipv6):
+  // outer-layer predicates that sit between eth and the (inner) L3 in
+  // the parse chain. All other categories describe the inner flow.
+  std::vector<std::string> encap_protos;  // unary presence, deduped
+  std::vector<Predicate> encap_fields;
   std::string l3;  // "", "ipv4", "ipv6" ("" = both variants)
   std::vector<Predicate> l3_fields;
   std::string l4;  // "", "tcp", "udp"
@@ -116,6 +122,11 @@ struct PatternPieces {
   std::string app;  // "", or the single app-layer protocol
   std::vector<Predicate> session_fields;
 };
+
+bool is_encap_proto(const std::string& proto) {
+  return proto == "vlan" || proto == "gre" || proto == "vxlan" ||
+         proto == "outer_ipv4" || proto == "outer_ipv6";
+}
 
 PatternPieces split_pattern(const Pattern& pattern,
                             const FieldRegistry& registry) {
@@ -146,6 +157,30 @@ PatternPieces split_pattern(const Pattern& pattern,
     // Packet-layer protocols.
     if (pred.proto == "eth") {
       if (!pred.is_unary()) pieces.eth_fields.push_back(pred);
+    } else if (is_encap_proto(pred.proto)) {
+      // Outer-layer constraints. A frame carries at most one tunnel and
+      // one outer IP version, so conflicting conjunctions can never
+      // match.
+      auto conflict = [&](const char* a, const char* b) {
+        const auto& protos = pieces.encap_protos;
+        const bool has_a = std::find(protos.begin(), protos.end(), a) !=
+                           protos.end();
+        const bool has_b = std::find(protos.begin(), protos.end(), b) !=
+                           protos.end();
+        return (pred.proto == a && has_b) || (pred.proto == b && has_a);
+      };
+      if (conflict("gre", "vxlan")) {
+        throw FilterError("a packet cannot be both gre and vxlan");
+      }
+      if (conflict("outer_ipv4", "outer_ipv6")) {
+        throw FilterError(
+            "a packet cannot carry both outer_ipv4 and outer_ipv6");
+      }
+      if (std::find(pieces.encap_protos.begin(), pieces.encap_protos.end(),
+                    pred.proto) == pieces.encap_protos.end()) {
+        pieces.encap_protos.push_back(pred.proto);
+      }
+      if (!pred.is_unary()) pieces.encap_fields.push_back(pred);
     } else if (pred.proto == "ipv4" || pred.proto == "ipv6") {
       if (!pieces.l3.empty() && pieces.l3 != pred.proto) {
         throw FilterError("a packet cannot be both ipv4 and ipv6");
@@ -171,6 +206,8 @@ PatternPieces split_pattern(const Pattern& pattern,
   }
 
   sort_canonical(pieces.eth_fields);
+  std::sort(pieces.encap_protos.begin(), pieces.encap_protos.end());
+  sort_canonical(pieces.encap_fields);
   sort_canonical(pieces.l3_fields);
   sort_canonical(pieces.l4_fields);
   sort_canonical(pieces.session_fields);
@@ -201,6 +238,9 @@ std::vector<ExpandedPattern> expand_pattern(const Pattern& pattern,
 
     push(unary("eth"));
     for (const auto& f : pieces.eth_fields) push(f);
+    // Outer layers sit between eth and the inner L3 in the chain.
+    for (const auto& proto : pieces.encap_protos) push(unary(proto));
+    for (const auto& f : pieces.encap_fields) push(f);
     if (!l3.empty()) {
       push(unary(l3));
       for (const auto& f : pieces.l3_fields) push(f);

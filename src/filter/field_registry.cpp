@@ -229,6 +229,111 @@ ProtoDef make_udp() {
   return p;
 }
 
+// --- Encapsulation protocols (paper §3.3 extensibility) ---
+//
+// These address the *outer* layers the encap-aware packet walk records;
+// every default protocol above (ipv4/tcp/...) describes the inner flow.
+// None carry batch-column hints: their scalar thunks lower through
+// BatchProgram's per-lane kThunk fallback, which is definitionally
+// equivalent to the scalar path.
+
+ProtoDef make_vlan() {
+  ProtoDef p;
+  p.name = "vlan";
+  p.layer = FilterLayer::kPacket;
+  p.present = [](const PacketView& pkt) { return pkt.vlan_count() > 0; };
+  add_field(p, int_field("id", [](const PacketView& pkt, FieldValues& out) {
+              for (std::size_t i = 0; i < pkt.vlan_count(); ++i) {
+                out.emplace_back(std::uint64_t{pkt.vlan_id(i)});
+              }
+            }));
+  return p;
+}
+
+ProtoDef make_gre() {
+  ProtoDef p;
+  p.name = "gre";
+  p.layer = FilterLayer::kPacket;
+  p.present = [](const PacketView& pkt) {
+    return pkt.tunnel() == PacketView::Tunnel::kGre;
+  };
+  add_field(p, int_field("key", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.tunnel() == PacketView::Tunnel::kGre)
+                out.emplace_back(std::uint64_t{pkt.tunnel_id()});
+            }));
+  return p;
+}
+
+ProtoDef make_vxlan() {
+  ProtoDef p;
+  p.name = "vxlan";
+  p.layer = FilterLayer::kPacket;
+  p.present = [](const PacketView& pkt) {
+    return pkt.tunnel() == PacketView::Tunnel::kVxlan;
+  };
+  add_field(p, int_field("vni", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.tunnel() == PacketView::Tunnel::kVxlan)
+                out.emplace_back(std::uint64_t{pkt.tunnel_id()});
+            }));
+  return p;
+}
+
+ProtoDef make_outer_ipv4() {
+  ProtoDef p;
+  p.name = "outer_ipv4";
+  p.layer = FilterLayer::kPacket;
+  p.present = [](const PacketView& pkt) {
+    return pkt.outer_ipv4().has_value();
+  };
+  add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.outer_ipv4()) {
+                out.emplace_back(IpAddr::v4(pkt.outer_ipv4()->src_addr()));
+                out.emplace_back(IpAddr::v4(pkt.outer_ipv4()->dst_addr()));
+              }
+            }));
+  add_field(p, ip_field("src_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.outer_ipv4())
+                            out.emplace_back(
+                                IpAddr::v4(pkt.outer_ipv4()->src_addr()));
+                        }));
+  add_field(p, ip_field("dst_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.outer_ipv4())
+                            out.emplace_back(
+                                IpAddr::v4(pkt.outer_ipv4()->dst_addr()));
+                        }));
+  return p;
+}
+
+ProtoDef make_outer_ipv6() {
+  ProtoDef p;
+  p.name = "outer_ipv6";
+  p.layer = FilterLayer::kPacket;
+  p.present = [](const PacketView& pkt) {
+    return pkt.outer_ipv6().has_value();
+  };
+  add_field(p, ip_field("addr", [](const PacketView& pkt, FieldValues& out) {
+              if (pkt.outer_ipv6()) {
+                out.emplace_back(IpAddr::v6(pkt.outer_ipv6()->src_addr()));
+                out.emplace_back(IpAddr::v6(pkt.outer_ipv6()->dst_addr()));
+              }
+            }));
+  add_field(p, ip_field("src_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.outer_ipv6())
+                            out.emplace_back(
+                                IpAddr::v6(pkt.outer_ipv6()->src_addr()));
+                        }));
+  add_field(p, ip_field("dst_addr",
+                        [](const PacketView& pkt, FieldValues& out) {
+                          if (pkt.outer_ipv6())
+                            out.emplace_back(
+                                IpAddr::v6(pkt.outer_ipv6()->dst_addr()));
+                        }));
+  return p;
+}
+
 ProtoDef make_tls() {
   ProtoDef p;
   p.name = "tls";
@@ -453,6 +558,11 @@ const std::vector<std::string>& FieldRegistry::children_of(
 
 void register_builtin_protocols(FieldRegistry& registry) {
   registry.register_proto(make_eth());
+  registry.register_proto(make_vlan());
+  registry.register_proto(make_gre());
+  registry.register_proto(make_vxlan());
+  registry.register_proto(make_outer_ipv4());
+  registry.register_proto(make_outer_ipv6());
   registry.register_proto(make_ipv4());
   registry.register_proto(make_ipv6());
   registry.register_proto(make_tcp());

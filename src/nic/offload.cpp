@@ -36,7 +36,9 @@ FlowOffloadTable::Verdict FlowOffloadTable::offer(
   CapturedSample s;
   s.from_orig = canon.originator_is_first == rule.from_first_is_orig;
   s.ts_ns = mbuf.timestamp_ns();
-  s.wire_len = static_cast<std::uint32_t>(mbuf.length());
+  // Record bytes describe the inner flow: for tunneled frames the
+  // counter uses the decapsulated frame, matching update_record.
+  s.wire_len = static_cast<std::uint32_t>(view.frame().length());
   s.payload_len = static_cast<std::uint32_t>(view.l4_payload().size());
   s.has_tcp = tcp.has_value();
   s.seq = tcp ? tcp->seq() : 0;

@@ -74,8 +74,10 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
   }
 
   // Hardware flow rules: zero CPU cost in the real system; in the
-  // simulator they run before any per-core instrumentation.
-  if (!rules_.permits(*view)) {
+  // simulator they run before any per-core instrumentation. IPv4
+  // fragments punt past the rules — without L4 ports the device cannot
+  // classify them, so (like real NICs) it hands them to software.
+  if (!view->is_fragment() && !rules_.permits(*view)) {
     stats_.hw_dropped.inc();
     return;
   }
@@ -102,6 +104,17 @@ void SimNic::dispatch(packet::Mbuf mbuf) {
         if (verdict == FlowOffloadTable::Verdict::kConsumed) return;
       }
     }
+  } else if (view->is_fragment() && view->ipv4()) {
+    // Fragments carry no ports, so hardware falls back to a 2-tuple
+    // hash: every fragment of a datagram (and its reassembled flow's
+    // later fragments) steers to one queue — the core that owns the
+    // reassembly state.
+    packet::FiveTuple pseudo;
+    pseudo.src = packet::IpAddr::v4(view->ipv4()->src_addr());
+    pseudo.dst = packet::IpAddr::v4(view->ipv4()->dst_addr());
+    pseudo.proto = view->ipv4()->protocol();
+    hash = rss_hash(pseudo.canonical().key, rss_key_);
+    mbuf.set_rss_hash(hash);
   } else {
     mbuf.set_rss_hash(hash);
   }

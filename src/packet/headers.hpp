@@ -21,10 +21,23 @@ using ByteView = std::span<const std::uint8_t>;
 inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
 inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
 inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88A8;
+/// GRE protocol field for Transparent Ethernet Bridging (a full inner
+/// Ethernet frame follows the GRE header).
+inline constexpr std::uint16_t kEtherTypeTeb = 0x6558;
 inline constexpr std::uint8_t kIpProtoTcp = 6;
 inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint8_t kIpProtoGre = 47;
 inline constexpr std::uint8_t kIpProtoIcmp = 1;
 inline constexpr std::uint8_t kIpProtoIcmpv6 = 58;
+/// IANA-assigned VXLAN UDP destination port.
+inline constexpr std::uint16_t kVxlanUdpPort = 4789;
+
+// IPv4 flags word (bytes 6-7): 3 flag bits + 13-bit fragment offset in
+// 8-byte units.
+inline constexpr std::uint16_t kIpv4FlagDf = 0x4000;
+inline constexpr std::uint16_t kIpv4FlagMf = 0x2000;
+inline constexpr std::uint16_t kIpv4FragOffsetMask = 0x1FFF;
 
 // TCP flag bits.
 inline constexpr std::uint8_t kTcpFin = 0x01;
@@ -80,6 +93,26 @@ class Ipv4 {
   }
   std::uint16_t identification() const noexcept {
     return util::load_be16(data_.data() + 4);
+  }
+  /// Raw flags + fragment-offset word (bytes 6-7).
+  std::uint16_t flags_frag() const noexcept {
+    return util::load_be16(data_.data() + 6);
+  }
+  bool dont_fragment() const noexcept {
+    return (flags_frag() & kIpv4FlagDf) != 0;
+  }
+  bool more_fragments() const noexcept {
+    return (flags_frag() & kIpv4FlagMf) != 0;
+  }
+  /// Fragment offset in 8-byte units.
+  std::uint16_t frag_offset() const noexcept {
+    return flags_frag() & kIpv4FragOffsetMask;
+  }
+  /// True for any fragment of a fragmented datagram (MF set or a
+  /// non-zero offset); such packets carry no parseable L4 header unless
+  /// they are the first fragment, and even then the datagram is partial.
+  bool is_fragment() const noexcept {
+    return (flags_frag() & (kIpv4FlagMf | kIpv4FragOffsetMask)) != 0;
   }
   std::uint8_t ttl() const noexcept { return data_[8]; }
   std::uint8_t protocol() const noexcept { return data_[9]; }
@@ -209,6 +242,99 @@ class Udp {
 
  private:
   explicit Udp(ByteView d) noexcept : data_(d) {}
+  ByteView data_;
+};
+
+/// One 802.1Q tag: the 4 bytes following an Ethernet ether_type of
+/// 0x8100 (C-tag) or 0x88A8 (S-tag, QinQ outer). `bytes` starts at the
+/// TCI, i.e. immediately after the tag protocol identifier.
+class Vlan {
+ public:
+  static constexpr std::size_t kTagLen = 4;
+
+  static std::optional<Vlan> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kTagLen) return std::nullopt;
+    return Vlan(bytes);
+  }
+
+  std::uint16_t tci() const noexcept { return util::load_be16(data_.data()); }
+  std::uint16_t vlan_id() const noexcept { return tci() & 0x0FFF; }
+  std::uint8_t pcp() const noexcept {
+    return static_cast<std::uint8_t>(tci() >> 13);
+  }
+  /// Ether type of whatever follows this tag (possibly another tag).
+  std::uint16_t ether_type() const noexcept {
+    return util::load_be16(data_.data() + 2);
+  }
+  std::size_t header_len() const noexcept { return kTagLen; }
+  ByteView payload() const noexcept { return data_.subspan(kTagLen); }
+
+ private:
+  explicit Vlan(ByteView d) noexcept : data_(d) {}
+  ByteView data_;
+};
+
+/// GRE (RFC 2784/2890): 4-byte base header plus optional checksum, key
+/// and sequence words selected by the flag bits. The walk only decaps
+/// Transparent Ethernet Bridging (protocol 0x6558), but the view parses
+/// any GRE header so filters can address gre.protocol generally.
+class Gre {
+ public:
+  static constexpr std::size_t kMinHeaderLen = 4;
+
+  static std::optional<Gre> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kMinHeaderLen) return std::nullopt;
+    const std::uint16_t flags = util::load_be16(bytes.data());
+    if ((flags & 0x0007) != 0) return std::nullopt;  // version must be 0
+    std::size_t len = kMinHeaderLen;
+    if (flags & 0x8000) len += 4;  // checksum + reserved
+    if (flags & 0x2000) len += 4;  // key
+    if (flags & 0x1000) len += 4;  // sequence
+    if (bytes.size() < len) return std::nullopt;
+    return Gre(bytes, len);
+  }
+
+  std::uint16_t flags() const noexcept { return util::load_be16(data_.data()); }
+  bool has_key() const noexcept { return (flags() & 0x2000) != 0; }
+  /// Ether type of the encapsulated payload (0x6558 = bridged Ethernet).
+  std::uint16_t protocol() const noexcept {
+    return util::load_be16(data_.data() + 2);
+  }
+  std::uint32_t key() const noexcept {
+    if (!has_key()) return 0;
+    const std::size_t off = (flags() & 0x8000) ? 8 : 4;
+    return util::load_be32(data_.data() + off);
+  }
+  std::size_t header_len() const noexcept { return header_len_; }
+  ByteView payload() const noexcept { return data_.subspan(header_len_); }
+
+ private:
+  Gre(ByteView d, std::size_t len) noexcept : data_(d), header_len_(len) {}
+  ByteView data_;
+  std::size_t header_len_;
+};
+
+/// VXLAN (RFC 7348): fixed 8-byte header carried in UDP to port 4789;
+/// the payload is a full inner Ethernet frame.
+class Vxlan {
+ public:
+  static constexpr std::size_t kHeaderLen = 8;
+  static constexpr std::uint8_t kFlagValidVni = 0x08;
+
+  static std::optional<Vxlan> parse(ByteView bytes) noexcept {
+    if (bytes.size() < kHeaderLen) return std::nullopt;
+    if ((bytes[0] & kFlagValidVni) == 0) return std::nullopt;
+    return Vxlan(bytes);
+  }
+
+  std::uint32_t vni() const noexcept {
+    return util::load_be32(data_.data() + 4) >> 8;
+  }
+  std::size_t header_len() const noexcept { return kHeaderLen; }
+  ByteView payload() const noexcept { return data_.subspan(kHeaderLen); }
+
+ private:
+  explicit Vxlan(ByteView d) noexcept : data_(d) {}
   ByteView data_;
 };
 

@@ -1,49 +1,176 @@
 #include "packet/packet_view.hpp"
 
+#include <vector>
+
 namespace retina::packet {
+namespace {
+
+// VLAN/QinQ tag walk on one frame: consumes up to two stacked tags and
+// reports the ether type / L3 view that follow them.
+struct TagWalk {
+  std::size_t count = 0;
+  std::uint16_t ids[2] = {0, 0};
+  std::uint16_t ether_type = 0;
+  ByteView l3{};
+  bool truncated = false;  // frame ended mid-tag
+};
+
+TagWalk walk_tags(const Ethernet& eth) noexcept {
+  TagWalk w;
+  w.ether_type = eth.ether_type();
+  w.l3 = eth.payload();
+  while ((w.ether_type == kEtherTypeVlan || w.ether_type == kEtherTypeQinQ) &&
+         w.count < 2) {
+    const auto tag = Vlan::parse(w.l3);
+    if (!tag) {
+      w.truncated = true;
+      break;
+    }
+    w.ids[w.count++] = tag->vlan_id();
+    w.ether_type = tag->ether_type();
+    w.l3 = tag->payload();
+  }
+  return w;
+}
+
+// The frame with its first `count` tags removed: [12 MAC bytes] +
+// everything from the post-tag ether type on. Byte-identical to the
+// frame the sender would have emitted untagged.
+std::vector<std::uint8_t> without_tags(ByteView frame, std::size_t count) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.size() - Vlan::kTagLen * count);
+  out.insert(out.end(), frame.begin(), frame.begin() + 12);
+  out.insert(out.end(), frame.begin() + 12 + Vlan::kTagLen * count,
+             frame.end());
+  return out;
+}
+
+// Owned inner/stripped frame carrying the outer mbuf's rx metadata, so
+// steering decisions (rss hash, queue, filter mark) survive decap.
+Mbuf rematerialize(const Mbuf& outer, std::vector<std::uint8_t> bytes) {
+  Mbuf m(std::move(bytes), outer.timestamp_ns());
+  m.set_rss_hash(outer.rss_hash());
+  m.set_rx_queue(outer.rx_queue());
+  m.set_filter_mark(outer.filter_mark());
+  return m;
+}
+
+}  // namespace
 
 std::optional<PacketView> PacketView::parse(const Mbuf& mbuf) noexcept {
   auto eth = Ethernet::parse(mbuf.bytes());
   if (!eth) return std::nullopt;
 
   PacketView view(mbuf);
+
+  // Promote the outer L3 to the outer slot and restart the walk on a
+  // materialized copy of the inner frame. Returns false when the inner
+  // frame is truncated (mid-tunnel runt): the caller keeps the outer
+  // views, with the tunnel metadata already recorded.
+  const auto decap_inner = [&view, &mbuf](ByteView inner) -> bool {
+    const auto inner_eth = Ethernet::parse(inner);
+    if (!inner_eth) return false;
+    const TagWalk itags = walk_tags(*inner_eth);
+    if (itags.truncated) return false;
+    for (std::size_t i = 0; i < itags.count && view.vlan_count_ < 2; ++i)
+      view.vlan_ids_[view.vlan_count_++] = itags.ids[i];
+    view.outer_ipv4_ = view.ipv4_;
+    view.outer_ipv6_ = view.ipv6_;
+    view.ipv4_.reset();
+    view.ipv6_.reset();
+    view.inner_ = rematerialize(
+        mbuf, itags.count > 0
+                  ? without_tags(inner, itags.count)
+                  : std::vector<std::uint8_t>(inner.begin(), inner.end()));
+    view.eth_ = Ethernet::parse(view.inner_.bytes());
+    return true;
+  };
+
+  // Outermost frame: unwrap VLAN/QinQ tags. Tagged frames are
+  // re-materialized without their tags so frame() — and everything
+  // hashed, buffered, or streamed downstream — is byte-identical to
+  // the untagged original.
+  const std::uint16_t outer_type = eth->ether_type();
+  if (outer_type == kEtherTypeVlan || outer_type == kEtherTypeQinQ)
+      [[unlikely]] {
+    const TagWalk tags = walk_tags(*eth);
+    for (std::size_t i = 0; i < tags.count; ++i)
+      view.vlan_ids_[view.vlan_count_++] = tags.ids[i];
+    if (tags.truncated) {
+      view.eth_ = eth;  // runt mid-tag: L2-only view
+      return view;
+    }
+    view.stripped_ = rematerialize(mbuf, without_tags(mbuf.bytes(), tags.count));
+    eth = Ethernet::parse(view.stripped_.bytes());
+  }
   view.eth_ = eth;
 
-  ByteView l3 = eth->payload();
-  std::uint8_t l4_proto = 0;
-  ByteView l4{};
+  // At most two passes: the (tag-free) outer frame, then one
+  // decapsulated inner frame. The common untunneled case runs the loop
+  // body exactly once, straight through.
+  for (int depth = 0; depth < 2; ++depth) {
+    std::uint8_t l4_proto = 0;
+    ByteView l4{};
+    switch (view.eth_->ether_type()) {
+      case kEtherTypeIpv4:
+        if (auto ip = Ipv4::parse(view.eth_->payload())) {
+          view.ipv4_ = ip;
+          if (ip->is_fragment()) [[unlikely]] {
+            // Fragments carry no parseable L4 / tuple; the reassembly
+            // table in front of conntrack rebuilds and re-parses.
+            view.is_fragment_ = true;
+            return view;
+          }
+          l4_proto = ip->protocol();
+          l4 = ip->payload();
+        }
+        break;
+      case kEtherTypeIpv6:
+        if (auto ip6 = Ipv6::parse(view.eth_->payload())) {
+          view.ipv6_ = ip6;
+          l4_proto = ip6->next_header();
+          l4 = ip6->payload();
+        }
+        break;
+      default:
+        // Non-IP frames still produce a valid L2-only view, surfaced
+        // via unknown_ethertype() (retina_parse_unknown_ethertype).
+        view.unknown_ethertype_ = true;
+        return view;
+    }
 
-  switch (eth->ether_type()) {
-    case kEtherTypeIpv4:
-      if (auto ip = Ipv4::parse(l3)) {
-        view.ipv4_ = ip;
-        l4_proto = ip->protocol();
-        l4 = ip->payload();
-      }
-      break;
-    case kEtherTypeIpv6:
-      if (auto ip6 = Ipv6::parse(l3)) {
-        view.ipv6_ = ip6;
-        l4_proto = ip6->next_header();
-        l4 = ip6->payload();
-      }
-      break;
-    default:
-      break;  // Non-IP frames still produce a valid L2-only view.
-  }
-
-  if (!l4.empty() || l4_proto != 0) {
     if (l4_proto == kIpProtoTcp) {
       if (auto tcp = Tcp::parse(l4)) {
         view.tcp_ = tcp;
         view.payload_ = tcp->payload();
       }
-    } else if (l4_proto == kIpProtoUdp) {
-      if (auto udp = Udp::parse(l4)) {
-        view.udp_ = udp;
-        view.payload_ = udp->payload();
+      break;  // TCP is never a tunnel transport here
+    }
+    if (l4_proto == kIpProtoUdp) {
+      const auto udp = Udp::parse(l4);
+      if (!udp) break;
+      if (depth == 0 && udp->dst_port() == kVxlanUdpPort) [[unlikely]] {
+        if (auto vx = Vxlan::parse(udp->payload())) {
+          view.tunnel_ = Tunnel::kVxlan;
+          view.tunnel_id_ = vx->vni();
+          if (decap_inner(vx->payload())) continue;
+          // Truncated mid-tunnel: fall through to the outer UDP views.
+        }
+      }
+      view.udp_ = udp;
+      view.payload_ = udp->payload();
+      break;
+    }
+    if (l4_proto == kIpProtoGre && depth == 0) [[unlikely]] {
+      // Only Transparent Ethernet Bridging (a bridged inner Ethernet
+      // frame) is decapsulated; other GRE payloads keep the outer view.
+      if (auto gre = Gre::parse(l4); gre && gre->protocol() == kEtherTypeTeb) {
+        view.tunnel_ = Tunnel::kGre;
+        view.tunnel_id_ = gre->key();
+        if (decap_inner(gre->payload())) continue;
       }
     }
+    break;  // no L4 views for other protocols (ICMP, unparsed GRE, ...)
   }
 
   if (view.has_l4()) {

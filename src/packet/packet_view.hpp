@@ -2,8 +2,20 @@
 // L2 → L3 → L4 once, records header offsets, and exposes typed views and
 // the L4 payload. All downstream consumers (filters, connection tracker,
 // reassembly) share this one parse instead of re-walking headers.
+//
+// The walk is encapsulation-aware: VLAN/QinQ tags are unwrapped, and one
+// level of GRE (Transparent Ethernet Bridging) or VXLAN tunneling is
+// decapsulated to an inner Ethernet frame. The default accessors (eth /
+// ipv4 / ipv6 / tcp / udp / five_tuple / l4_payload) always describe the
+// INNER flow, so existing filters and the connection tracker keep their
+// meaning on tunneled traffic; the outer tunnel layers are exposed
+// separately (outer_ipv4 / outer_ipv6 / tunnel / vlan_id). Decapped or
+// tag-stripped frames are re-materialized so frame() is byte-identical
+// to what the sender originally framed — everything hashed, buffered,
+// or streamed downstream uses frame(), not the raw mbuf().
 #pragma once
 
+#include <cstdint>
 #include <optional>
 
 #include "packet/five_tuple.hpp"
@@ -14,13 +26,31 @@ namespace retina::packet {
 
 class PacketView {
  public:
+  /// Tunnel encapsulation the walk decapsulated (or detected, if the
+  /// inner frame was truncated away).
+  enum class Tunnel : std::uint8_t { kNone = 0, kGre = 1, kVxlan = 2 };
+
   /// Parse an Ethernet frame. Returns nullopt only if the frame is too
   /// short to carry an Ethernet header; deeper truncation leaves the
   /// corresponding layer views unset.
   static std::optional<PacketView> parse(const Mbuf& mbuf) noexcept;
 
+  /// The mbuf exactly as received (outer frame, tags and tunnel intact).
   const Mbuf& mbuf() const noexcept { return *mbuf_; }
 
+  /// The frame the inner-layer views describe: the decapsulated /
+  /// tag-stripped inner frame when the packet was encapsulated, else
+  /// the received mbuf itself. Downstream consumers that retain packet
+  /// bytes (buffering, PDUs, delivery, records) must hold frame(), not
+  /// mbuf(), so their spans stay valid and byte-identical to the
+  /// unencapsulated equivalent.
+  const Mbuf& frame() const noexcept {
+    if (!inner_.empty()) return inner_;
+    if (!stripped_.empty()) return stripped_;
+    return *mbuf_;
+  }
+
+  // Inner-flow views (the default addressing for filters/conntrack).
   const std::optional<Ethernet>& eth() const noexcept { return eth_; }
   const std::optional<Ipv4>& ipv4() const noexcept { return ipv4_; }
   const std::optional<Ipv6>& ipv6() const noexcept { return ipv6_; }
@@ -30,13 +60,50 @@ class PacketView {
   bool has_ip() const noexcept { return ipv4_ || ipv6_; }
   bool has_l4() const noexcept { return tcp_ || udp_; }
 
-  /// L4 payload bytes (empty if no L4 or no payload).
+  /// L4 payload bytes (empty if no L4 or no payload). Points into
+  /// frame()'s buffer.
   ByteView l4_payload() const noexcept { return payload_; }
 
-  /// Five-tuple; available when an IP + L4 header parsed.
+  /// Five-tuple of the inner flow; available when an IP + L4 header
+  /// parsed (never on fragments).
   const std::optional<FiveTuple>& five_tuple() const noexcept {
     return tuple_;
   }
+
+  // Encapsulation metadata.
+
+  /// True when the walk unwrapped any encapsulation (tags or tunnel);
+  /// frame() then differs from mbuf().
+  bool encapsulated() const noexcept {
+    return tunnel_ != Tunnel::kNone || vlan_count_ > 0;
+  }
+  Tunnel tunnel() const noexcept { return tunnel_; }
+  /// VXLAN VNI or GRE key (0 when keyless / untunneled).
+  std::uint32_t tunnel_id() const noexcept { return tunnel_id_; }
+  /// Number of VLAN/QinQ tags unwrapped (0-2 recorded).
+  std::uint8_t vlan_count() const noexcept { return vlan_count_; }
+  /// i-th unwrapped tag id, outermost first (0 if absent).
+  std::uint16_t vlan_id(std::size_t i) const noexcept {
+    return i < vlan_count_ ? vlan_ids_[i] : 0;
+  }
+  /// Outer (tunnel transport) L3 views; set only after tunnel decap.
+  const std::optional<Ipv4>& outer_ipv4() const noexcept {
+    return outer_ipv4_;
+  }
+  const std::optional<Ipv6>& outer_ipv6() const noexcept {
+    return outer_ipv6_;
+  }
+
+  /// True when the innermost parsed IPv4 header is a fragment (MF set
+  /// or non-zero offset). Fragments carry no L4 views and no
+  /// five-tuple; the reassembly table in front of conntrack rebuilds
+  /// the datagram and re-parses.
+  bool is_fragment() const noexcept { return is_fragment_; }
+
+  /// True when the innermost frame's (post-tag) ether type is neither
+  /// IPv4 nor IPv6 — the frame parsed L2-only. Counted as
+  /// retina_parse_unknown_ethertype so skipped frames are observable.
+  bool unknown_ethertype() const noexcept { return unknown_ethertype_; }
 
  private:
   // SoaBurstView transcribes this parse walk into column arrays while
@@ -46,13 +113,27 @@ class PacketView {
   explicit PacketView(const Mbuf& m) noexcept : mbuf_(&m) {}
 
   const Mbuf* mbuf_;
+  // Owned re-materializations: the tag-stripped outer frame and the
+  // decapsulated inner frame. Empty when not applicable. Copies of the
+  // view share the underlying buffers (Mbuf is refcounted), so header
+  // spans stay valid across copies.
+  Mbuf stripped_;
+  Mbuf inner_;
   std::optional<Ethernet> eth_;
   std::optional<Ipv4> ipv4_;
   std::optional<Ipv6> ipv6_;
+  std::optional<Ipv4> outer_ipv4_;
+  std::optional<Ipv6> outer_ipv6_;
   std::optional<Tcp> tcp_;
   std::optional<Udp> udp_;
   std::optional<FiveTuple> tuple_;
   ByteView payload_{};
+  Tunnel tunnel_ = Tunnel::kNone;
+  std::uint32_t tunnel_id_ = 0;
+  std::uint16_t vlan_ids_[2] = {0, 0};
+  std::uint8_t vlan_count_ = 0;
+  bool is_fragment_ = false;
+  bool unknown_ethertype_ = false;
 };
 
 }  // namespace retina::packet

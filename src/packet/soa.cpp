@@ -212,6 +212,7 @@ void SoaBurstView::parse(std::span<const Mbuf> burst) noexcept {
   n_ = burst.size() < kMaxBurst ? burst.size() : kMaxBurst;
   eth_mask_ = ipv4_mask_ = ipv6_mask_ = 0;
   tcp_mask_ = udp_mask_ = tuple_mask_ = 0;
+  frag_mask_ = unknown_ethertype_mask_ = 0;
   std::memset(&cols_, 0, sizeof(cols_));
 
   // Frames arrive cache-cold; stay a few lanes ahead of the parse.
@@ -220,75 +221,164 @@ void SoaBurstView::parse(std::span<const Mbuf> burst) noexcept {
     prefetch_frame(burst[i]);
   }
 
+  // Fill this lane's masks and columns from an already-materialized
+  // view — the slow-lane path for encapsulated/fragmented frames, and
+  // the single definition of the column transcription.
+  const auto transcribe = [this](std::size_t i, Mask bit, const PacketView& v) {
+    cols_.ether_type[i] = v.eth_->ether_type();
+    if (v.is_fragment_) frag_mask_ |= bit;
+    if (v.unknown_ethertype_) unknown_ethertype_mask_ |= bit;
+
+    if (v.ipv4_) {
+      ipv4_mask_ |= bit;
+      cols_.v4_src[i] = v.ipv4_->src_addr();
+      cols_.v4_dst[i] = v.ipv4_->dst_addr();
+      cols_.ttl[i] = v.ipv4_->ttl();
+      cols_.v4_total_len[i] = v.ipv4_->total_len();
+      cols_.l4_proto[i] = v.is_fragment_ ? 0 : v.ipv4_->protocol();
+    } else if (v.ipv6_) {
+      ipv6_mask_ |= bit;
+      // IPv6 addresses stay in place in the (inner) frame; the L3
+      // header starts right after the inner Ethernet header.
+      const ByteView l3 = v.eth_->payload();
+      cols_.v6_src[i] = l3.data() + 8;
+      cols_.v6_dst[i] = l3.data() + 24;
+      cols_.hop_limit[i] = v.ipv6_->hop_limit();
+      cols_.l4_proto[i] = v.ipv6_->next_header();
+    }
+
+    if (v.tcp_) {
+      tcp_mask_ |= bit;
+      cols_.src_port[i] = v.tcp_->src_port();
+      cols_.dst_port[i] = v.tcp_->dst_port();
+      cols_.tcp_flags[i] = v.tcp_->flags();
+      cols_.tcp_window[i] = v.tcp_->window();
+    } else if (v.udp_) {
+      udp_mask_ |= bit;
+      cols_.src_port[i] = v.udp_->src_port();
+      cols_.dst_port[i] = v.udp_->dst_port();
+    }
+
+    if (v.has_l4()) {
+      if (!v.payload_.empty()) {
+        // Offset into the *inner* frame (frame() == mbuf() when the
+        // packet arrived unencapsulated).
+        cols_.payload_off[i] = static_cast<std::uint32_t>(
+            v.payload_.data() - v.frame().bytes().data());
+      }
+      cols_.payload_len[i] = static_cast<std::uint32_t>(v.payload_.size());
+    }
+    if (v.tuple_) tuple_mask_ |= bit;
+  };
+
   for (std::size_t i = 0; i < n_; ++i) {
     if (i + kParseAhead < n_) prefetch_frame(burst[i + kParseAhead]);
     views_[i].reset();
     const Mbuf& mbuf = burst[i];
     const Mask bit = Mask{1} << i;
 
-    // The walk below must stay bit-for-bit PacketView::parse: the views
-    // it materializes feed every stateful stage, and the columns must
-    // agree with them exactly (the property suite checks both).
+    // The inline walk below handles the common case — no tags, no
+    // tunnel — and must stay bit-for-bit PacketView::parse for those
+    // frames (the fuzz suite checks both). Lanes that need unwrapping
+    // (VLAN/QinQ, GRE, possible VXLAN) take the scalar parse instead,
+    // which materializes the identical view by construction; the
+    // decision is made before any lane state is written, so slow
+    // lanes transcribe from a clean slate.
     auto eth = Ethernet::parse(mbuf.bytes());
     if (!eth) continue;
-    eth_mask_ |= bit;
-    PacketView& v = views_[i].emplace(PacketView(mbuf));
-    v.eth_ = eth;
-    cols_.ether_type[i] = eth->ether_type();
+    const std::uint16_t ether_type = eth->ether_type();
 
-    ByteView l3 = eth->payload();
+    std::optional<Ipv4> ip;
+    std::optional<Ipv6> ip6;
+    std::optional<Udp> udp;
     std::uint8_t l4_proto = 0;
     ByteView l4{};
-
-    switch (eth->ether_type()) {
-      case kEtherTypeIpv4:
-        if (auto ip = Ipv4::parse(l3)) {
-          v.ipv4_ = ip;
-          ipv4_mask_ |= bit;
-          cols_.v4_src[i] = ip->src_addr();
-          cols_.v4_dst[i] = ip->dst_addr();
-          cols_.ttl[i] = ip->ttl();
-          cols_.v4_total_len[i] = ip->total_len();
+    bool slow = false;
+    bool fragment = false;
+    if (ether_type == kEtherTypeIpv4) {
+      if ((ip = Ipv4::parse(eth->payload()))) {
+        if (ip->is_fragment()) [[unlikely]] {
+          fragment = true;
+        } else {
           l4_proto = ip->protocol();
           l4 = ip->payload();
         }
-        break;
-      case kEtherTypeIpv6:
-        if (auto ip6 = Ipv6::parse(l3)) {
-          v.ipv6_ = ip6;
-          ipv6_mask_ |= bit;
-          cols_.v6_src[i] = l3.data() + 8;
-          cols_.v6_dst[i] = l3.data() + 24;
-          cols_.hop_limit[i] = ip6->hop_limit();
-          l4_proto = ip6->next_header();
-          l4 = ip6->payload();
-        }
-        break;
-      default:
-        break;  // Non-IP frames still produce a valid L2-only view.
-    }
-    cols_.l4_proto[i] = l4_proto;
-
-    if (!l4.empty() || l4_proto != 0) {
-      if (l4_proto == kIpProtoTcp) {
-        if (auto tcp = Tcp::parse(l4)) {
-          v.tcp_ = tcp;
-          tcp_mask_ |= bit;
-          cols_.src_port[i] = tcp->src_port();
-          cols_.dst_port[i] = tcp->dst_port();
-          cols_.tcp_flags[i] = tcp->flags();
-          cols_.tcp_window[i] = tcp->window();
-          v.payload_ = tcp->payload();
-        }
-      } else if (l4_proto == kIpProtoUdp) {
-        if (auto udp = Udp::parse(l4)) {
-          v.udp_ = udp;
-          udp_mask_ |= bit;
-          cols_.src_port[i] = udp->src_port();
-          cols_.dst_port[i] = udp->dst_port();
-          v.payload_ = udp->payload();
-        }
       }
+    } else if (ether_type == kEtherTypeIpv6) {
+      if ((ip6 = Ipv6::parse(eth->payload()))) {
+        l4_proto = ip6->next_header();
+        l4 = ip6->payload();
+      }
+    } else if (ether_type == kEtherTypeVlan || ether_type == kEtherTypeQinQ) {
+      slow = true;
+    }
+    if (l4_proto == kIpProtoGre) {
+      slow = true;
+    } else if (l4_proto == kIpProtoUdp) {
+      udp = Udp::parse(l4);
+      // Possible VXLAN; let the scalar walk decide (it keeps the outer
+      // UDP views when the VXLAN header or inner frame doesn't parse).
+      if (udp && udp->dst_port() == kVxlanUdpPort) slow = true;
+    }
+
+    if (slow) [[unlikely]] {
+      auto parsed = PacketView::parse(mbuf);
+      if (!parsed) continue;
+      eth_mask_ |= bit;
+      transcribe(i, bit, views_[i].emplace(std::move(*parsed)));
+      continue;
+    }
+
+    eth_mask_ |= bit;
+    PacketView& v = views_[i].emplace(PacketView(mbuf));
+    v.eth_ = eth;
+    cols_.ether_type[i] = ether_type;
+
+    if (ip) {
+      v.ipv4_ = ip;
+      ipv4_mask_ |= bit;
+      cols_.v4_src[i] = ip->src_addr();
+      cols_.v4_dst[i] = ip->dst_addr();
+      cols_.ttl[i] = ip->ttl();
+      cols_.v4_total_len[i] = ip->total_len();
+      cols_.l4_proto[i] = l4_proto;
+      if (fragment) [[unlikely]] {
+        v.is_fragment_ = true;
+        frag_mask_ |= bit;
+        continue;
+      }
+    } else if (ip6) {
+      v.ipv6_ = ip6;
+      ipv6_mask_ |= bit;
+      const ByteView l3 = eth->payload();
+      cols_.v6_src[i] = l3.data() + 8;
+      cols_.v6_dst[i] = l3.data() + 24;
+      cols_.hop_limit[i] = ip6->hop_limit();
+      cols_.l4_proto[i] = l4_proto;
+    } else if (ether_type != kEtherTypeIpv4 && ether_type != kEtherTypeIpv6) {
+      // Non-IP frames parse L2-only, surfaced via the unknown-ethertype
+      // mask (retina_parse_unknown_ethertype).
+      v.unknown_ethertype_ = true;
+      unknown_ethertype_mask_ |= bit;
+      continue;
+    }
+
+    if (l4_proto == kIpProtoTcp) {
+      if (auto tcp = Tcp::parse(l4)) {
+        v.tcp_ = tcp;
+        tcp_mask_ |= bit;
+        cols_.src_port[i] = tcp->src_port();
+        cols_.dst_port[i] = tcp->dst_port();
+        cols_.tcp_flags[i] = tcp->flags();
+        cols_.tcp_window[i] = tcp->window();
+        v.payload_ = tcp->payload();
+      }
+    } else if (l4_proto == kIpProtoUdp && udp) {
+      v.udp_ = udp;
+      udp_mask_ |= bit;
+      cols_.src_port[i] = udp->src_port();
+      cols_.dst_port[i] = udp->dst_port();
+      v.payload_ = udp->payload();
     }
 
     if (v.has_l4()) {

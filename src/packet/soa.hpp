@@ -108,6 +108,13 @@ class SoaBurstView {
   Mask tcp_mask() const noexcept { return tcp_mask_; }
   Mask udp_mask() const noexcept { return udp_mask_; }
   Mask tuple_mask() const noexcept { return tuple_mask_; }
+  /// Lanes whose innermost IPv4 header is a fragment (no L4 / tuple;
+  /// they route to the reassembly table, not the packet filter).
+  Mask frag_mask() const noexcept { return frag_mask_; }
+  /// Lanes whose (post-tag) ether type is neither IPv4 nor IPv6.
+  Mask unknown_ethertype_mask() const noexcept {
+    return unknown_ethertype_mask_;
+  }
 
   bool has_tuple(std::size_t i) const noexcept {
     return (tuple_mask_ >> i) & 1u;
@@ -131,6 +138,8 @@ class SoaBurstView {
   Mask tcp_mask_ = 0;
   Mask udp_mask_ = 0;
   Mask tuple_mask_ = 0;
+  Mask frag_mask_ = 0;
+  Mask unknown_ethertype_mask_ = 0;
   Cols cols_{};
   std::array<std::optional<PacketView>, kMaxBurst> views_;
   std::array<FiveTuple::Canonical, kMaxBurst> canon_{};

@@ -1,0 +1,204 @@
+#include "stream/frag.hpp"
+
+#include <algorithm>
+
+#include "packet/checksum.hpp"
+#include "packet/headers.hpp"
+#include "util/bytes.hpp"
+
+namespace retina::stream {
+
+using packet::Mbuf;
+using packet::PacketView;
+
+void FragTable::drop(std::map<Key, Datagram>::iterator it) {
+  held_bytes_ -= it->second.held;
+  table_.erase(it);
+}
+
+void FragTable::advance(std::uint64_t now_ns) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.last_ts_ns + config_.timeout_ns < now_ns) {
+      ++stats_.dropped_timeout;
+      drop(it++);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FragTable::clear() {
+  table_.clear();
+  held_bytes_ = 0;
+}
+
+std::vector<FragTable::Orphan> FragTable::extract_bucket(
+    std::uint32_t bucket, std::size_t reta_size) {
+  std::vector<Orphan> out;
+  if (reta_size == 0) return out;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->second.rss_hash % reta_size == bucket) {
+      held_bytes_ -= it->second.held;
+      out.push_back(Orphan{it->first, std::move(it->second)});
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void FragTable::adopt(Orphan&& orphan) {
+  const auto [it, inserted] =
+      table_.emplace(orphan.key, std::move(orphan.datagram));
+  if (inserted) {
+    held_bytes_ += it->second.held;
+  } else {
+    ++stats_.duplicates;
+  }
+}
+
+std::optional<Mbuf> FragTable::offer(const PacketView& view) {
+  ++stats_.fragments;
+  if (!view.ipv4()) {
+    ++stats_.dropped_malformed;
+    return std::nullopt;
+  }
+  const auto& ip = *view.ipv4();
+  const Mbuf& frame = view.frame();
+  const std::uint64_t now = frame.timestamp_ns();
+  advance(now);
+
+  // Fragment payload: everything past the IP header, bounded by
+  // total_len (Ipv4::payload already honors it).
+  const auto chunk = ip.payload();
+  const std::uint16_t offset_units = ip.frag_offset();
+  const std::size_t offset_bytes = std::size_t{offset_units} * 8;
+  const bool last = !ip.more_fragments();
+  // Non-final fragments must carry a multiple of 8 payload bytes, and
+  // every fragment needs to fit a 16-bit total length once reassembled.
+  if ((!last && (chunk.empty() || chunk.size() % 8 != 0)) ||
+      offset_bytes + chunk.size() > 0xFFFF) {
+    ++stats_.dropped_malformed;
+    return std::nullopt;
+  }
+
+  Key key;
+  key.src = ip.src_addr();
+  key.dst = ip.dst_addr();
+  key.id = ip.identification();
+  key.proto = ip.protocol();
+
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    if (table_.size() >= config_.max_datagrams) {
+      ++stats_.dropped_budget;
+      return std::nullopt;
+    }
+    it = table_.emplace(key, Datagram{}).first;
+    it->second.first_ts_ns = now;
+    it->second.rss_hash = frame.rss_hash();
+    it->second.rx_queue = frame.rx_queue();
+  }
+  Datagram& d = it->second;
+  d.last_ts_ns = now;
+
+  std::size_t cost = 0;
+  if (offset_units == 0 && d.header.empty()) {
+    // Keep the Ethernet + IP header prefix of the first fragment; the
+    // reassembled frame is this prefix (MF/offset cleared, total_len
+    // and checksum recomputed) followed by the payload bytes, which
+    // makes it byte-identical to the pre-fragmentation original.
+    const auto bytes = frame.bytes();
+    d.ip_header_off = static_cast<std::size_t>(
+        reinterpret_cast<const std::uint8_t*>(ip.payload().data()) -
+        bytes.data() - ip.header_len());
+    d.header.assign(bytes.begin(),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(
+                                        d.ip_header_off + ip.header_len()));
+    cost += d.header.size();
+  }
+  const bool duplicate = d.chunks.count(offset_units) != 0;
+  if (duplicate) {
+    ++stats_.duplicates;
+  } else {
+    cost += chunk.size();
+  }
+
+  if (cost > 0 && held_bytes_ + cost > config_.max_bytes) {
+    // Budget exhausted: shed this fragment (and the half-built datagram
+    // it belongs to — keeping it would pin budget forever).
+    ++stats_.dropped_budget;
+    drop(it);
+    return std::nullopt;
+  }
+  if (!duplicate) {
+    d.chunks.emplace(offset_units,
+                     std::vector<std::uint8_t>(chunk.begin(), chunk.end()));
+  }
+  if (last) d.total_payload = offset_bytes + chunk.size();
+  d.held += cost;
+  held_bytes_ += cost;
+
+  return complete(key, d);
+}
+
+std::optional<Mbuf> FragTable::complete(const Key& key, Datagram& d) {
+  if (d.total_payload == 0 || d.header.empty()) return std::nullopt;
+
+  // Walk contiguous coverage from offset 0. Overlapping chunks
+  // contribute only their fresh tail (first writer wins).
+  std::size_t covered = 0;
+  for (const auto& [units, bytes] : d.chunks) {
+    const std::size_t start = std::size_t{units} * 8;
+    if (start > covered) return std::nullopt;  // hole
+    const std::size_t end = start + bytes.size();
+    if (end > covered) covered = end;
+    if (covered >= d.total_payload) break;
+  }
+  if (covered < d.total_payload) return std::nullopt;
+
+  std::vector<std::uint8_t> out = d.header;
+  const std::size_t ip_off = d.ip_header_off;
+  const std::size_t ihl = d.header.size() - ip_off;
+  out.resize(d.header.size() + d.total_payload);
+  for (const auto& [units, bytes] : d.chunks) {
+    const std::size_t start = std::size_t{units} * 8;
+    if (start >= d.total_payload) continue;
+    const std::size_t n =
+        std::min(bytes.size(), d.total_payload - start);
+    std::copy_n(bytes.begin(), n, out.begin() + static_cast<std::ptrdiff_t>(
+                                                    d.header.size() + start));
+  }
+
+  // Rewrite the IP header: clear MF + offset (DF and reserved bits kept
+  // so the frame matches the pre-fragmentation original), set the full
+  // total_len, recompute the header checksum.
+  std::uint8_t* iph = out.data() + ip_off;
+  const std::uint16_t total =
+      static_cast<std::uint16_t>(ihl + d.total_payload);
+  iph[2] = static_cast<std::uint8_t>(total >> 8);
+  iph[3] = static_cast<std::uint8_t>(total & 0xFF);
+  const std::uint16_t flags =
+      static_cast<std::uint16_t>(util::load_be16(iph + 6) &
+                                 ~(packet::kIpv4FlagMf |
+                                   packet::kIpv4FragOffsetMask));
+  iph[6] = static_cast<std::uint8_t>(flags >> 8);
+  iph[7] = static_cast<std::uint8_t>(flags & 0xFF);
+  iph[10] = 0;
+  iph[11] = 0;
+  const std::uint16_t csum = packet::internet_checksum(
+      std::span<const std::uint8_t>(iph, ihl));
+  iph[10] = static_cast<std::uint8_t>(csum >> 8);
+  iph[11] = static_cast<std::uint8_t>(csum & 0xFF);
+
+  Mbuf rebuilt(std::move(out), d.first_ts_ns);
+  rebuilt.set_rss_hash(d.rss_hash);
+  rebuilt.set_rx_queue(d.rx_queue);
+
+  ++stats_.reassembled;
+  drop(table_.find(key));
+  return rebuilt;
+}
+
+}  // namespace retina::stream

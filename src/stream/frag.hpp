@@ -1,0 +1,129 @@
+// Bounded IPv4 fragment reassembly in front of conntrack. Each core owns
+// one FragTable; fragments of a datagram always land on the same core
+// because the NIC hashes them by the (src, dst, proto) pseudo-tuple (no
+// ports exist on non-first fragments). A completed datagram is rebuilt
+// into a byte-exact Ethernet frame — the first fragment's IP header with
+// MF/offset cleared and total_len/checksum recomputed — and re-enters
+// the pipeline through the normal parse, so fragmented traffic produces
+// the same five-tuples and payload streams as unfragmented.
+//
+// The table is byte-budgeted and datagram-capped: overflow drops the
+// offending fragment (never an unrelated flow), and stale datagrams are
+// expired lazily against the virtual trace clock so behavior is
+// deterministic across dispatch paths. The overload ladder's
+// shed-reassembly level gates admission above this table (the pipeline
+// stops offering fragments entirely), which keeps fragment floods from
+// starving tracked flows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "packet/mbuf.hpp"
+#include "packet/packet_view.hpp"
+
+namespace retina::stream {
+
+struct FragStats {
+  std::uint64_t fragments = 0;    // fragments offered to the table
+  std::uint64_t reassembled = 0;  // datagrams completed
+  std::uint64_t duplicates = 0;   // exact duplicate / overlapping chunks
+  std::uint64_t dropped_budget = 0;
+  std::uint64_t dropped_timeout = 0;  // datagrams expired incomplete
+  std::uint64_t dropped_malformed = 0;
+};
+
+class FragTable {
+ public:
+  struct Config {
+    /// Byte budget for held fragment data (headers + payload chunks).
+    std::size_t max_bytes = 1u << 20;
+    /// Concurrent incomplete datagrams.
+    std::size_t max_datagrams = 256;
+    /// Reassembly timeout on the virtual trace clock.
+    std::uint64_t timeout_ns = 30ull * 1000 * 1000 * 1000;
+  };
+
+  /// Datagram identity: RFC 791 reassembly key.
+  struct Key {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t id = 0;
+    std::uint8_t proto = 0;
+    bool operator<(const Key& o) const noexcept {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      if (id != o.id) return id < o.id;
+      return proto < o.proto;
+    }
+  };
+
+  struct Datagram {
+    // offset (8-byte units) -> payload chunk; first writer wins.
+    std::map<std::uint16_t, std::vector<std::uint8_t>> chunks;
+    // Ethernet + IPv4 header prefix of the first (offset 0) fragment;
+    // the reassembled frame reuses it verbatim with MF/offset cleared.
+    std::vector<std::uint8_t> header;
+    std::size_t ip_header_off = 0;  // where the IP header starts
+    std::uint64_t first_ts_ns = 0;
+    std::uint64_t last_ts_ns = 0;
+    std::uint32_t rss_hash = 0;
+    std::uint32_t rx_queue = 0;
+    // End of the datagram's payload in bytes, known once the MF=0
+    // fragment arrives. 0 = not yet seen.
+    std::size_t total_payload = 0;
+    std::size_t held = 0;  // bytes charged against the table budget
+  };
+
+  /// One incomplete datagram lifted out for migration after an RSS
+  /// rebalance moved its RETA bucket to another core. Opaque to the
+  /// rebalancer; the destination core's table adopts it whole.
+  struct Orphan {
+    Key key;
+    Datagram datagram;
+  };
+
+  FragTable() : FragTable(Config{}) {}
+  explicit FragTable(const Config& config) : config_(config) {}
+
+  /// Offer one fragment (view.is_fragment() must hold and the view must
+  /// carry an IPv4 header). Returns the reassembled full frame when
+  /// this fragment completes its datagram. Expiry runs lazily against
+  /// the fragment's own timestamp.
+  std::optional<packet::Mbuf> offer(const packet::PacketView& view);
+
+  /// Expire datagrams older than the timeout relative to `now_ns`.
+  void advance(std::uint64_t now_ns);
+
+  std::size_t held_bytes() const noexcept { return held_bytes_; }
+  std::size_t datagrams() const noexcept { return table_.size(); }
+  const FragStats& stats() const noexcept { return stats_; }
+  const Config& config() const noexcept { return config_; }
+
+  void clear();
+
+  /// Extract every incomplete datagram whose steering hash (the pseudo-
+  /// tuple RSS hash of its fragments) falls in RETA bucket `bucket` of
+  /// `reta_size`, removing them from this table and its byte
+  /// accounting. Mirrors Pipeline::extract_bucket for connections.
+  std::vector<Orphan> extract_bucket(std::uint32_t bucket,
+                                     std::size_t reta_size);
+
+  /// Adopt a datagram extracted from another core's table. The byte
+  /// budget is allowed to overshoot transiently — dropping an adopted
+  /// datagram would lose fragments a no-rebalance run keeps.
+  void adopt(Orphan&& orphan);
+
+ private:
+  std::optional<packet::Mbuf> complete(const Key& key, Datagram& d);
+  void drop(std::map<Key, Datagram>::iterator it);
+
+  Config config_;
+  std::map<Key, Datagram> table_;
+  std::size_t held_bytes_ = 0;
+  FragStats stats_;
+};
+
+}  // namespace retina::stream

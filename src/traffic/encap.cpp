@@ -1,0 +1,217 @@
+#include "traffic/encap.hpp"
+
+#include <cstring>
+
+#include "packet/checksum.hpp"
+#include "packet/headers.hpp"
+#include "packet/packet_view.hpp"
+#include "util/bytes.hpp"
+
+namespace retina::traffic {
+
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+using util::store_be16;
+using util::store_be32;
+
+void append_be16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be32(Bytes& out, std::uint32_t v) {
+  append_be16(out, static_cast<std::uint16_t>(v >> 16));
+  append_be16(out, static_cast<std::uint16_t>(v));
+}
+
+/// Outer Ethernet header for tunnel transports: distinct synthetic MACs
+/// so outer and inner frames are visibly different on the wire.
+void append_tunnel_eth(Bytes& out, std::uint16_t ether_type) {
+  static const std::uint8_t dst[6] = {0x02, 0x00, 0x00, 0x00, 0x01, 0x02};
+  static const std::uint8_t src[6] = {0x02, 0x00, 0x00, 0x00, 0x01, 0x01};
+  out.insert(out.end(), dst, dst + 6);
+  out.insert(out.end(), src, src + 6);
+  append_be16(out, ether_type);
+}
+
+/// Outer IPv4 header (IHL 5, DF, TTL 64) over `payload_len` bytes of
+/// tunnel payload, checksummed.
+void append_tunnel_ipv4(Bytes& out, const TunnelEndpoints& ep,
+                        std::uint8_t proto, std::size_t payload_len) {
+  const std::size_t ip_off = out.size();
+  out.resize(out.size() + 20);
+  std::uint8_t* ip = out.data() + ip_off;
+  ip[0] = 0x45;
+  ip[1] = 0;
+  store_be16(ip + 2, static_cast<std::uint16_t>(20 + payload_len));
+  store_be16(ip + 4, 0x7a7a);  // identification (outer)
+  store_be16(ip + 6, packet::kIpv4FlagDf);
+  ip[8] = 64;
+  ip[9] = proto;
+  store_be16(ip + 10, 0);
+  store_be32(ip + 12, ep.src);
+  store_be32(ip + 16, ep.dst);
+  const auto csum = packet::internet_checksum({ip, 20});
+  store_be16(ip + 10, csum);
+}
+
+packet::Mbuf with_meta(const packet::Mbuf& src, Bytes bytes) {
+  packet::Mbuf m(std::move(bytes), src.timestamp_ns());
+  m.set_rss_hash(src.rss_hash());
+  m.set_rx_queue(src.rx_queue());
+  m.set_filter_mark(src.filter_mark());
+  return m;
+}
+
+}  // namespace
+
+const char* encap_variant_name(EncapVariant v) noexcept {
+  switch (v) {
+    case EncapVariant::kVlan: return "vlan";
+    case EncapVariant::kQinQ: return "qinq";
+    case EncapVariant::kGre: return "gre";
+    case EncapVariant::kVxlan: return "vxlan";
+    case EncapVariant::kFrag: return "frag";
+  }
+  return "unknown";
+}
+
+packet::Mbuf wrap_vlan(const packet::Mbuf& m, std::uint16_t vlan_id) {
+  const auto frame = m.bytes();
+  if (frame.size() < 14) return m;
+  Bytes out;
+  out.reserve(frame.size() + 4);
+  out.insert(out.end(), frame.begin(), frame.begin() + 12);
+  append_be16(out, packet::kEtherTypeVlan);
+  append_be16(out, vlan_id & 0x0FFF);
+  out.insert(out.end(), frame.begin() + 12, frame.end());
+  return with_meta(m, std::move(out));
+}
+
+packet::Mbuf wrap_qinq(const packet::Mbuf& m, std::uint16_t outer_id,
+                       std::uint16_t inner_id) {
+  const auto frame = m.bytes();
+  if (frame.size() < 14) return m;
+  Bytes out;
+  out.reserve(frame.size() + 8);
+  out.insert(out.end(), frame.begin(), frame.begin() + 12);
+  append_be16(out, packet::kEtherTypeQinQ);
+  append_be16(out, outer_id & 0x0FFF);
+  append_be16(out, packet::kEtherTypeVlan);
+  append_be16(out, inner_id & 0x0FFF);
+  out.insert(out.end(), frame.begin() + 12, frame.end());
+  return with_meta(m, std::move(out));
+}
+
+packet::Mbuf wrap_gre(const packet::Mbuf& m, const TunnelEndpoints& ep,
+                      std::uint32_t key) {
+  const auto frame = m.bytes();
+  const std::size_t gre_len = 8;  // base header + key word
+  Bytes out;
+  out.reserve(14 + 20 + gre_len + frame.size());
+  append_tunnel_eth(out, packet::kEtherTypeIpv4);
+  append_tunnel_ipv4(out, ep, packet::kIpProtoGre, gre_len + frame.size());
+  append_be16(out, 0x2000);  // flags: key present, version 0
+  append_be16(out, packet::kEtherTypeTeb);
+  append_be32(out, key);
+  out.insert(out.end(), frame.begin(), frame.end());
+  return with_meta(m, std::move(out));
+}
+
+packet::Mbuf wrap_vxlan(const packet::Mbuf& m, const TunnelEndpoints& ep,
+                        std::uint32_t vni) {
+  const auto frame = m.bytes();
+  const std::size_t udp_payload = packet::Vxlan::kHeaderLen + frame.size();
+  Bytes out;
+  out.reserve(14 + 20 + 8 + udp_payload);
+  append_tunnel_eth(out, packet::kEtherTypeIpv4);
+  append_tunnel_ipv4(out, ep, packet::kIpProtoUdp, 8 + udp_payload);
+  append_be16(out, 49152);  // outer source port
+  append_be16(out, packet::kVxlanUdpPort);
+  append_be16(out, static_cast<std::uint16_t>(8 + udp_payload));
+  append_be16(out, 0);  // UDP checksum optional over IPv4 (RFC 7348)
+  out.push_back(packet::Vxlan::kFlagValidVni);
+  out.push_back(0);
+  out.push_back(0);
+  out.push_back(0);
+  append_be32(out, (vni & 0x00FFFFFF) << 8);
+  out.insert(out.end(), frame.begin(), frame.end());
+  return with_meta(m, std::move(out));
+}
+
+std::vector<packet::Mbuf> fragment_ipv4(const packet::Mbuf& m,
+                                        std::size_t first_chunk,
+                                        std::size_t chunk) {
+  const auto view = packet::PacketView::parse(m);
+  if (!view || !view->ipv4() || view->is_fragment() || view->encapsulated() ||
+      first_chunk == 0 || first_chunk % 8 != 0 || chunk == 0 ||
+      chunk % 8 != 0) {
+    return {m};
+  }
+  const auto& ip = *view->ipv4();
+  const auto data = ip.payload();
+  // Need at least two fragments, and every non-final fragment carries a
+  // multiple of 8 bytes.
+  if (data.size() <= first_chunk) return {m};
+
+  const auto frame = m.bytes();
+  const std::size_t ip_off = static_cast<std::size_t>(
+      data.data() - frame.data()) - ip.header_len();
+  const std::size_t header_end = ip_off + ip.header_len();
+
+  std::vector<packet::Mbuf> out;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const std::size_t want = sent == 0 ? first_chunk : chunk;
+    const std::size_t n = std::min(want, data.size() - sent);
+    const bool last = sent + n == data.size();
+
+    Bytes fragment(frame.begin(), frame.begin() + static_cast<std::ptrdiff_t>(
+                                                      header_end));
+    fragment.insert(fragment.end(), data.begin() + sent,
+                    data.begin() + sent + n);
+    std::uint8_t* iph = fragment.data() + ip_off;
+    store_be16(iph + 2, static_cast<std::uint16_t>(ip.header_len() + n));
+    // Preserve every non-fragment flag bit (DF included) so reassembly
+    // reproduces the original flags word exactly.
+    const std::uint16_t flags = static_cast<std::uint16_t>(
+        (ip.flags_frag() & ~(packet::kIpv4FlagMf |
+                             packet::kIpv4FragOffsetMask)) |
+        (last ? 0 : packet::kIpv4FlagMf) |
+        static_cast<std::uint16_t>(sent / 8));
+    store_be16(iph + 6, flags);
+    store_be16(iph + 10, 0);
+    const auto csum = packet::internet_checksum({iph, ip.header_len()});
+    store_be16(iph + 10, csum);
+    out.push_back(with_meta(m, std::move(fragment)));
+    sent += n;
+  }
+  return out;
+}
+
+Trace encapsulate(const Trace& trace, EncapVariant variant) {
+  Trace out;
+  for (const auto& m : trace.packets()) {
+    switch (variant) {
+      case EncapVariant::kVlan:
+        out.append(wrap_vlan(m, 42));
+        break;
+      case EncapVariant::kQinQ:
+        out.append(wrap_qinq(m, 100, 42));
+        break;
+      case EncapVariant::kGre:
+        out.append(wrap_gre(m, TunnelEndpoints{}, 0x2A));
+        break;
+      case EncapVariant::kVxlan:
+        out.append(wrap_vxlan(m, TunnelEndpoints{}, 0x2A));
+        break;
+      case EncapVariant::kFrag:
+        for (auto& f : fragment_ipv4(m)) out.append(std::move(f));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace retina::traffic

@@ -1,0 +1,76 @@
+// Encapsulated / fragmented variants of existing traffic: every crafted
+// trace can be re-emitted VLAN-tagged, QinQ double-tagged, GRE- or
+// VXLAN-tunneled, or IPv4-fragmented without touching the inner bytes.
+// This is what multiplies the golden corpus — the same inner traffic in
+// new outer shapes must produce byte-identical callback streams,
+// because the encap-aware packet walk recovers exactly the frames these
+// transforms wrapped.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/mbuf.hpp"
+#include "traffic/trace.hpp"
+
+namespace retina::traffic {
+
+/// The outer shapes the golden corpus is multiplied by.
+enum class EncapVariant : std::uint8_t {
+  kVlan = 0,
+  kQinQ = 1,
+  kGre = 2,
+  kVxlan = 3,
+  kFrag = 4,
+};
+
+inline constexpr EncapVariant kAllEncapVariants[] = {
+    EncapVariant::kVlan, EncapVariant::kQinQ, EncapVariant::kGre,
+    EncapVariant::kVxlan, EncapVariant::kFrag};
+
+/// Stable suffix used in variant pcap file names ("vlan", "qinq",
+/// "gre", "vxlan", "frag").
+const char* encap_variant_name(EncapVariant v) noexcept;
+
+/// IPv4 tunnel transport endpoints (host byte order).
+struct TunnelEndpoints {
+  std::uint32_t src = 0x0AFF0001;  // 10.255.0.1
+  std::uint32_t dst = 0x0AFF0002;  // 10.255.0.2
+};
+
+/// One 802.1Q C-tag inserted after the MACs. Timestamp and rx metadata
+/// carry over.
+packet::Mbuf wrap_vlan(const packet::Mbuf& m, std::uint16_t vlan_id);
+
+/// QinQ: S-tag (0x88A8) + C-tag (0x8100).
+packet::Mbuf wrap_qinq(const packet::Mbuf& m, std::uint16_t outer_id,
+                       std::uint16_t inner_id);
+
+/// GRE Transparent Ethernet Bridging: outer Ethernet + IPv4 (proto 47)
+/// + GRE (key present) carrying the whole original frame.
+packet::Mbuf wrap_gre(const packet::Mbuf& m, const TunnelEndpoints& ep,
+                      std::uint32_t key);
+
+/// VXLAN: outer Ethernet + IPv4 + UDP (dst 4789) + VXLAN header
+/// carrying the whole original frame.
+packet::Mbuf wrap_vxlan(const packet::Mbuf& m, const TunnelEndpoints& ep,
+                        std::uint32_t vni);
+
+/// Split one IPv4 packet into fragments carrying `first_chunk` bytes of
+/// L4 data in the first fragment and up to `chunk` bytes in each later
+/// one (both multiples of 8). Fragments preserve the original IP id and
+/// every non-fragment header bit (including DF), so reassembly rebuilds
+/// the original frame byte-exactly. Non-IPv4 (or too-small) packets
+/// come back unchanged as a single element.
+std::vector<packet::Mbuf> fragment_ipv4(const packet::Mbuf& m,
+                                        std::size_t first_chunk = 8,
+                                        std::size_t chunk = 16);
+
+/// Apply one variant to a whole trace with the deterministic default
+/// parameters the golden corpus uses (VLAN id 42, QinQ 100/42, GRE key
+/// 0x2A, VXLAN VNI 0x2A, fragment chunks 8/16). Timestamps carry over,
+/// so replay order is unchanged (fragments of one packet stay adjacent
+/// under the stable time sort).
+Trace encapsulate(const Trace& trace, EncapVariant variant);
+
+}  // namespace retina::traffic

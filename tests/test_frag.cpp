@@ -1,0 +1,370 @@
+// IPv4 fragment reassembly: FragTable unit behavior (byte-exact
+// rebuilds, budget/timeout bounds, duplicate handling), adversarial
+// fragment floods against the runtime (the shed-reassembly ladder rung
+// and the byte budget must keep hostile fragments from starving real
+// flows), and the unknown-ethertype parse counter. This binary also
+// runs under TSan in CI: the flood test drives the threaded dispatch
+// path, so the per-core FragTable ownership model is race-checked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "overload/policy.hpp"
+#include "packet/packet_view.hpp"
+#include "stream/frag.hpp"
+#include "traffic/craft.hpp"
+#include "traffic/encap.hpp"
+#include "traffic/trace.hpp"
+#include "util/rng.hpp"
+
+#include "seed_env.hpp"
+#include "sub_builders.hpp"
+
+namespace retina {
+namespace {
+
+using overload::DegradeLevel;
+using overload::ShedStage;
+
+traffic::FlowEndpoints udp_flow(std::uint32_t client, std::uint16_t cport,
+                                std::uint16_t sport) {
+  traffic::FlowEndpoints ep;
+  ep.client_ip = packet::IpAddr::v4(client);
+  ep.server_ip = packet::IpAddr::v4(0xc0a80a01);
+  ep.client_port = cport;
+  ep.server_port = sport;
+  return ep;
+}
+
+std::vector<std::uint8_t> patterned_payload(std::size_t n,
+                                            std::uint8_t seed = 7) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 3);
+  }
+  return out;
+}
+
+std::optional<packet::PacketView> parse(const packet::Mbuf& m) {
+  return packet::PacketView::parse(m);
+}
+
+// --- FragTable unit behavior ------------------------------------------
+
+TEST(FragTable, ReassemblesByteExactInOrder) {
+  const auto original = traffic::make_udp_packet(
+      udp_flow(0x0a000001, 40'001, 9000), true, patterned_payload(600),
+      1'000'000);
+  const auto frags = traffic::fragment_ipv4(original);
+  ASSERT_GT(frags.size(), 2u);
+
+  stream::FragTable table;
+  std::optional<packet::Mbuf> rebuilt;
+  for (const auto& frag : frags) {
+    const auto view = parse(frag);
+    ASSERT_TRUE(view && view->is_fragment());
+    auto done = table.offer(*view);
+    if (done) {
+      EXPECT_FALSE(rebuilt) << "completed twice";
+      rebuilt = std::move(done);
+    }
+  }
+  ASSERT_TRUE(rebuilt);
+  const auto a = rebuilt->bytes();
+  const auto b = original.bytes();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_EQ(rebuilt->timestamp_ns(), original.timestamp_ns());
+  EXPECT_EQ(table.held_bytes(), 0u);
+  EXPECT_EQ(table.stats().reassembled, 1u);
+}
+
+TEST(FragTable, ReassemblesByteExactOutOfOrderWithDuplicates) {
+  const auto original = traffic::make_udp_packet(
+      udp_flow(0x0a000002, 40'002, 9000), true, patterned_payload(500, 13),
+      2'000'000);
+  auto frags = traffic::fragment_ipv4(original);
+  ASSERT_GT(frags.size(), 2u);
+  // Reverse arrival order and replay every fragment twice.
+  std::reverse(frags.begin(), frags.end());
+  std::vector<packet::Mbuf> storm;
+  for (const auto& f : frags) {
+    storm.push_back(f);
+    storm.push_back(f);
+  }
+
+  stream::FragTable table;
+  std::optional<packet::Mbuf> rebuilt;
+  for (const auto& frag : storm) {
+    const auto view = parse(frag);
+    ASSERT_TRUE(view && view->is_fragment());
+    auto done = table.offer(*view);
+    if (done) rebuilt = std::move(done);
+  }
+  ASSERT_TRUE(rebuilt);
+  const auto a = rebuilt->bytes();
+  const auto b = original.bytes();
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  EXPECT_GT(table.stats().duplicates, 0u);
+}
+
+TEST(FragTable, ByteBudgetIsNeverExceededAndDropsAreCounted) {
+  stream::FragTable::Config config;
+  config.max_bytes = 4096;
+  config.max_datagrams = 1024;
+  stream::FragTable table(config);
+
+  // Many incomplete datagrams (last fragment withheld): held bytes must
+  // stay under the budget at every step, and overflow must be counted.
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto original = traffic::make_udp_packet(
+        udp_flow(0x0a010000 + i, static_cast<std::uint16_t>(41'000 + i),
+                 9000),
+        true, patterned_payload(400, static_cast<std::uint8_t>(i)),
+        1'000'000 + i);
+    auto frags = traffic::fragment_ipv4(original);
+    ASSERT_GT(frags.size(), 1u);
+    frags.pop_back();  // never completes
+    for (const auto& frag : frags) {
+      const auto view = parse(frag);
+      ASSERT_TRUE(view && view->is_fragment());
+      EXPECT_FALSE(table.offer(*view));
+      EXPECT_LE(table.held_bytes(), config.max_bytes);
+    }
+  }
+  EXPECT_GT(table.stats().dropped_budget, 0u);
+  EXPECT_EQ(table.stats().reassembled, 0u);
+}
+
+TEST(FragTable, StaleDatagramsExpireOnTheTraceClock) {
+  stream::FragTable::Config config;
+  config.timeout_ns = 1'000'000;  // 1 ms
+  stream::FragTable table(config);
+
+  const auto old_dgram = traffic::make_udp_packet(
+      udp_flow(0x0a000003, 40'003, 9000), true, patterned_payload(300),
+      1'000'000);
+  auto old_frags = traffic::fragment_ipv4(old_dgram);
+  old_frags.pop_back();
+  for (const auto& frag : old_frags) {
+    const auto view = parse(frag);
+    ASSERT_TRUE(view);
+    table.offer(*view);
+  }
+  ASSERT_GT(table.datagrams(), 0u);
+
+  // A fragment far in the future lazily expires the stale datagram.
+  const auto late = traffic::make_udp_packet(
+      udp_flow(0x0a000004, 40'004, 9000), true, patterned_payload(300),
+      1'000'000 + 50'000'000);
+  const auto late_frags = traffic::fragment_ipv4(late);
+  const auto view = parse(late_frags.front());
+  ASSERT_TRUE(view);
+  table.offer(*view);
+  EXPECT_GT(table.stats().dropped_timeout, 0u);
+}
+
+// --- Adversarial fragment floods against the runtime ------------------
+
+// Interleave a hostile storm of incomplete, duplicated, and overlapping
+// fragments with ordinary (unfragmented) UDP flows. The budget must
+// hold, drops must be accounted, and — the point of the bound — the
+// real flows' packet callbacks must be exactly what a flood-free run
+// delivers.
+TEST(FragFlood, BudgetHoldsAndInnocentFlowsAreUndisturbed) {
+  util::Xoshiro256 rng(retina::testing::test_seed(21));
+
+  traffic::Trace legit;
+  for (std::uint32_t flow = 0; flow < 8; ++flow) {
+    const auto ep = udp_flow(0x0a020000 + flow,
+                             static_cast<std::uint16_t>(42'000 + flow),
+                             static_cast<std::uint16_t>(9'100 + flow));
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      legit.append(traffic::make_udp_packet(
+          ep, i % 2 == 0, patterned_payload(120 + i, 3),
+          1'000'000 + flow * 10'000 + i * 700));
+    }
+  }
+  legit.sort_by_time();
+
+  traffic::Trace flooded = legit;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    const auto dgram = traffic::make_udp_packet(
+        udp_flow(0x0aFE0000 + i, static_cast<std::uint16_t>(1'024 + i),
+                 9'999),
+        true, patterned_payload(800, static_cast<std::uint8_t>(i)),
+        1'000'000 + i * 100);
+    auto frags = traffic::fragment_ipv4(dgram);
+    frags.pop_back();  // incomplete forever
+    for (const auto& frag : frags) {
+      flooded.append(frag);
+      if (rng.chance(0.3)) flooded.append(frag);  // duplicate chunk
+    }
+  }
+  flooded.sort_by_time();
+
+  core::RuntimeConfig config;
+  config.cores = 2;
+  config.frag.max_bytes = 64 << 10;  // small per-core budget
+  config.frag.max_datagrams = 64;
+
+  std::uint64_t clean_deliveries = 0;
+  std::uint64_t clean_peak = 0;
+  {
+    auto sub = testsub::packets("udp", [&](const packet::Mbuf&) {
+      ++clean_deliveries;
+    });
+    core::Runtime runtime(config, std::move(sub));
+    clean_peak = runtime.run(legit.packets()).total.peak_state_bytes;
+  }
+  ASSERT_GT(clean_deliveries, 0u);
+
+  std::uint64_t flooded_deliveries = 0;
+  {
+    auto sub = testsub::packets("udp", [&](const packet::Mbuf&) {
+      ++flooded_deliveries;
+    });
+    core::Runtime runtime(config, std::move(sub));
+    // Structural state (empty conn-table slots/index) exists before any
+    // packet arrives; the flood may add at most the per-core fragment
+    // byte budget on top of it and the legit flows' own peak.
+    std::uint64_t baseline = clean_peak;
+    for (std::size_t c = 0; c < config.cores; ++c) {
+      baseline += runtime.pipeline(c).approx_state_bytes();
+    }
+    const auto stats = runtime.run(flooded.packets());
+    EXPECT_GT(stats.total.frag_fragments, 0u);
+    EXPECT_GT(stats.total.frag_dropped_budget, 0u);
+    EXPECT_EQ(stats.total.frag_reassembled, 0u);
+    EXPECT_LE(stats.total.peak_state_bytes,
+              baseline + static_cast<std::uint64_t>(config.cores) *
+                             static_cast<std::uint64_t>(
+                                 config.frag.max_bytes));
+  }
+  // Raw fragments never reach packet callbacks, and the flood must not
+  // have displaced a single legitimate delivery.
+  EXPECT_EQ(flooded_deliveries, clean_deliveries);
+}
+
+// The shed-reassembly ladder rung stops fragment admission entirely:
+// under kShedReassembly, even completable datagrams are refused (and
+// counted as shed), while unfragmented flows keep flowing.
+TEST(FragFlood, ShedReassemblyLadderStopsFragmentAdmission) {
+  traffic::Trace trace;
+  const auto ep = udp_flow(0x0a000005, 40'005, 9000);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto dgram = traffic::make_udp_packet(
+        ep, true, patterned_payload(600, static_cast<std::uint8_t>(i)),
+        1'000'000 + i * 1'000);
+    for (const auto& frag : traffic::fragment_ipv4(dgram)) {
+      trace.append(frag);
+    }
+  }
+  const auto plain_ep = udp_flow(0x0a000006, 40'006, 9001);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    trace.append(traffic::make_udp_packet(plain_ep, true,
+                                          patterned_payload(100),
+                                          1'000'000 + i * 1'000 + 500));
+  }
+  trace.sort_by_time();
+
+  std::uint64_t deliveries = 0;
+  auto sub = testsub::packets(
+      "udp", [&](const packet::Mbuf&) { ++deliveries; });
+  core::RuntimeConfig config;
+  config.cores = 1;
+  core::Runtime runtime(config, std::move(sub));
+  runtime.overload_state().set_level(DegradeLevel::kShedReassembly);
+  const auto stats = runtime.run(trace.packets());
+
+  EXPECT_GT(stats.total.shed_at(ShedStage::kReassembly), 0u);
+  EXPECT_EQ(stats.total.frag_fragments, 0u);   // never offered
+  EXPECT_EQ(stats.total.frag_reassembled, 0u);
+  EXPECT_EQ(deliveries, 5u);  // plain flow untouched
+}
+
+// Sanity for the non-degraded path: the same complete fragment series
+// reassembles and the rebuilt datagrams reach callbacks exactly once.
+TEST(FragFlood, CompleteDatagramsReassembleUnderNormalLoad) {
+  traffic::Trace trace;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto dgram = traffic::make_udp_packet(
+        udp_flow(0x0a000010 + i, static_cast<std::uint16_t>(40'010 + i),
+                 9000),
+        true, patterned_payload(500, static_cast<std::uint8_t>(i)),
+        1'000'000 + i * 1'000);
+    for (const auto& frag : traffic::fragment_ipv4(dgram)) {
+      trace.append(frag);
+    }
+  }
+  trace.sort_by_time();
+
+  std::uint64_t deliveries = 0;
+  auto sub = testsub::packets(
+      "udp", [&](const packet::Mbuf&) { ++deliveries; });
+  core::Runtime runtime(core::RuntimeConfig{}, std::move(sub));
+  const auto stats = runtime.run(trace.packets());
+
+  EXPECT_EQ(stats.total.frag_reassembled, 4u);
+  EXPECT_EQ(deliveries, 4u);
+}
+
+// --- Unknown-ethertype counter ----------------------------------------
+
+packet::Mbuf arp_frame(std::uint64_t ts) {
+  // 14-byte Ethernet header with ethertype 0x0806 (ARP) + minimal body.
+  std::vector<std::uint8_t> bytes(14 + 28, 0);
+  bytes[12] = 0x08;
+  bytes[13] = 0x06;
+  return packet::Mbuf(std::move(bytes), ts);
+}
+
+TEST(UnknownEthertype, CountedOncePerFrameAndExportedAsMetric) {
+  auto sub = testsub::packets("udp", [](const packet::Mbuf&) {});
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.telemetry = true;
+  config.hardware_filter = false;  // let non-IP frames reach the pipeline
+  core::Runtime runtime(config, std::move(sub));
+
+  const auto ep = udp_flow(0x0a000007, 40'007, 9000);
+  runtime.dispatch(traffic::make_udp_packet(ep, true, patterned_payload(64),
+                                            1'000'000));
+  runtime.dispatch(arp_frame(1'001'000));
+  runtime.dispatch(arp_frame(1'002'000));
+  runtime.drain();
+  const auto stats = runtime.finish();
+
+  EXPECT_EQ(stats.total.unknown_ethertype, 2u);
+  ASSERT_NE(runtime.metrics(), nullptr);
+  EXPECT_EQ(runtime.metrics()->snapshot().value(
+                "retina_parse_unknown_ethertype"),
+            2u);
+}
+
+// A VLAN tag around an unknown ethertype still counts (the verdict is
+// about the *post-tag* type), while a VLAN-tagged IPv4 frame does not.
+TEST(UnknownEthertype, TagUnwrappingPrecedesTheVerdict) {
+  auto sub = testsub::packets("udp", [](const packet::Mbuf&) {});
+  core::RuntimeConfig config;
+  config.cores = 1;
+  config.hardware_filter = false;
+  core::Runtime runtime(config, std::move(sub));
+
+  const auto ep = udp_flow(0x0a000008, 40'008, 9000);
+  runtime.dispatch(traffic::wrap_vlan(
+      traffic::make_udp_packet(ep, true, patterned_payload(64), 1'000'000),
+      42));
+  runtime.dispatch(traffic::wrap_vlan(arp_frame(1'001'000), 42));
+  runtime.drain();
+  const auto stats = runtime.finish();
+
+  EXPECT_EQ(stats.total.unknown_ethertype, 1u);
+}
+
+}  // namespace
+}  // namespace retina

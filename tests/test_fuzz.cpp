@@ -4,10 +4,16 @@
 // payloads, filter strings — and require "no crash, no hang, bounded
 // state", with sanity checks that valid inputs still work afterwards.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
 #include "seed_env.hpp"
 
 #include "core/runtime.hpp"
+#include "filter/batch.hpp"
 #include "filter/parser.hpp"
+#include "packet/soa.hpp"
 #include "protocols/dns/dns_parser.hpp"
 #include "protocols/http/http_parser.hpp"
 #include "protocols/quic/quic_parser.hpp"
@@ -15,6 +21,7 @@
 #include "protocols/tls/tls_parser.hpp"
 #include "protocols/tls/x509.hpp"
 #include "traffic/craft.hpp"
+#include "traffic/encap.hpp"
 #include "traffic/flowgen.hpp"
 #include "util/rng.hpp"
 
@@ -145,6 +152,193 @@ TEST(FilterFuzz, RandomStringsRejectedCleanly) {
   }
   EXPECT_EQ(parsed + rejected, 3000u);
 }
+
+// --- SoA / scalar parse parity over encapsulated frames ---------------
+//
+// The batch engine's contract is that SoaBurstView::parse is bit-for-bit
+// the same walk as PacketView::parse. The encap-aware walk raised the
+// stakes: tag unwrapping, tunnel decap, fragment detection, and
+// truncation-mid-tunnel all have to agree lane-by-lane. This fuzz sweep
+// throws randomly encapsulated, randomly truncated, and runt frames at
+// both paths under every batch backend and requires identical views,
+// masks, columns, and tuple hashes.
+
+void expect_views_identical(const std::optional<packet::PacketView>& soa,
+                            const std::optional<packet::PacketView>& ref,
+                            std::size_t lane) {
+  ASSERT_EQ(soa.has_value(), ref.has_value()) << "lane " << lane;
+  if (!soa) return;
+  // Inner frame bytes: the re-materialized frame must be identical.
+  const auto sf = soa->frame().bytes();
+  const auto rf = ref->frame().bytes();
+  ASSERT_EQ(sf.size(), rf.size()) << "lane " << lane;
+  EXPECT_TRUE(std::equal(sf.begin(), sf.end(), rf.begin()))
+      << "frame bytes diverged on lane " << lane;
+  // Layer engagement and inner views.
+  EXPECT_EQ(soa->ipv4().has_value(), ref->ipv4().has_value()) << lane;
+  EXPECT_EQ(soa->ipv6().has_value(), ref->ipv6().has_value()) << lane;
+  EXPECT_EQ(soa->tcp().has_value(), ref->tcp().has_value()) << lane;
+  EXPECT_EQ(soa->udp().has_value(), ref->udp().has_value()) << lane;
+  EXPECT_EQ(soa->five_tuple(), ref->five_tuple()) << lane;
+  // Payload bytes.
+  const auto sp = soa->l4_payload();
+  const auto rp = ref->l4_payload();
+  ASSERT_EQ(sp.size(), rp.size()) << "lane " << lane;
+  EXPECT_TRUE(std::equal(sp.begin(), sp.end(), rp.begin())) << lane;
+  // Encapsulation metadata.
+  EXPECT_EQ(soa->encapsulated(), ref->encapsulated()) << lane;
+  EXPECT_EQ(soa->tunnel(), ref->tunnel()) << lane;
+  EXPECT_EQ(soa->tunnel_id(), ref->tunnel_id()) << lane;
+  EXPECT_EQ(soa->vlan_count(), ref->vlan_count()) << lane;
+  EXPECT_EQ(soa->vlan_id(0), ref->vlan_id(0)) << lane;
+  EXPECT_EQ(soa->vlan_id(1), ref->vlan_id(1)) << lane;
+  EXPECT_EQ(soa->outer_ipv4().has_value(), ref->outer_ipv4().has_value())
+      << lane;
+  EXPECT_EQ(soa->outer_ipv6().has_value(), ref->outer_ipv6().has_value())
+      << lane;
+  EXPECT_EQ(soa->is_fragment(), ref->is_fragment()) << lane;
+  EXPECT_EQ(soa->unknown_ethertype(), ref->unknown_ethertype()) << lane;
+}
+
+packet::Mbuf random_encap_frame(util::Xoshiro256& rng) {
+  // Inner frame: a valid TCP or UDP packet, an IPv6 TCP packet, or raw
+  // garbage (exercises the unknown-ethertype and runt paths).
+  packet::Mbuf inner = [&] {
+    traffic::FlowEndpoints ep;
+    ep.client_ip = packet::IpAddr::v4(
+        0x0a000000 | static_cast<std::uint32_t>(rng.below(250) + 1));
+    ep.server_ip = packet::IpAddr::v4(0xc0a80a01);
+    ep.client_port = static_cast<std::uint16_t>(rng.range(1024, 65000));
+    ep.server_port = static_cast<std::uint16_t>(rng.range(53, 9000));
+    switch (rng.below(4)) {
+      case 0:
+        return traffic::make_udp_packet(ep, rng.chance(0.5),
+                                        random_bytes(rng, 400), 1000);
+      case 1:
+        return traffic::make_tcp_packet(
+            ep, rng.chance(0.5), static_cast<std::uint32_t>(rng.next()), 0,
+            packet::kTcpAck | packet::kTcpPsh, random_bytes(rng, 700), 1000);
+      case 2: {
+        std::array<std::uint8_t, 16> v6a{};
+        v6a[0] = 0x20;
+        v6a[15] = static_cast<std::uint8_t>(rng.below(255) + 1);
+        ep.client_ip = packet::IpAddr::v6(v6a);
+        v6a[15] = 0xfe;
+        ep.server_ip = packet::IpAddr::v6(v6a);
+        return traffic::make_tcp_packet(
+            ep, rng.chance(0.5), static_cast<std::uint32_t>(rng.next()), 0,
+            packet::kTcpAck, random_bytes(rng, 300), 1000);
+      }
+      default:
+        return packet::Mbuf(random_bytes(rng, 120), 1000);
+    }
+  }();
+
+  // Outer shape: none, one/two tags, GRE, VXLAN, or a fragment of the
+  // inner packet.
+  traffic::TunnelEndpoints tun;
+  switch (rng.below(6)) {
+    case 0: break;
+    case 1:
+      inner = traffic::wrap_vlan(
+          inner, static_cast<std::uint16_t>(rng.below(4095) + 1));
+      break;
+    case 2:
+      inner = traffic::wrap_qinq(
+          inner, static_cast<std::uint16_t>(rng.below(4095) + 1),
+          static_cast<std::uint16_t>(rng.below(4095) + 1));
+      break;
+    case 3:
+      inner = traffic::wrap_gre(inner, tun,
+                                static_cast<std::uint32_t>(rng.next()));
+      break;
+    case 4:
+      inner = traffic::wrap_vxlan(
+          inner, tun, static_cast<std::uint32_t>(rng.next()) & 0xffffff);
+      break;
+    default: {
+      auto frags = traffic::fragment_ipv4(inner);
+      inner = frags[rng.below(frags.size())];
+      break;
+    }
+  }
+
+  // Truncation: sometimes cut anywhere — including mid-tunnel-header —
+  // and sometimes down to a runt (< Ethernet header).
+  if (rng.chance(0.35)) {
+    const auto bytes = inner.bytes();
+    const std::size_t cut =
+        rng.chance(0.3) ? 1 + rng.below(14) : 1 + rng.below(bytes.size());
+    inner = packet::Mbuf(
+        std::vector<std::uint8_t>(
+            bytes.begin(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(cut, bytes.size()))),
+        inner.timestamp_ns());
+  }
+  return inner;
+}
+
+class SoaEncapParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoaEncapParity, BurstParseMatchesScalarParseUnderAllBackends) {
+  util::Xoshiro256 rng(retina::testing::test_seed(
+      static_cast<std::uint64_t>(GetParam()) * 131 + 11));
+  const filter::BatchBackend saved = filter::active_batch_backend();
+
+  for (int round = 0; round < 40; ++round) {
+    std::vector<packet::Mbuf> burst;
+    const std::size_t n = 1 + rng.below(packet::SoaBurstView::kMaxBurst);
+    burst.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      burst.push_back(random_encap_frame(rng));
+    }
+
+    for (const auto backend :
+         {filter::BatchBackend::kScalar, filter::BatchBackend::kSse,
+          filter::BatchBackend::kAvx2}) {
+      filter::set_batch_backend(backend);  // clamped to CPU support
+      packet::SoaBurstView soa;
+      soa.parse(burst);
+      ASSERT_EQ(soa.size(), burst.size());
+      soa.hash_tuples(soa.tuple_mask());
+
+      for (std::size_t i = 0; i < burst.size(); ++i) {
+        const auto ref = packet::PacketView::parse(burst[i]);
+        expect_views_identical(soa.view(i), ref, i);
+
+        // Masks must agree with the scalar view's verdicts.
+        const bool eth = (soa.eth_mask() >> i) & 1u;
+        EXPECT_EQ(eth, ref.has_value()) << i;
+        EXPECT_EQ(((soa.frag_mask() >> i) & 1u) != 0,
+                  ref && ref->is_fragment())
+            << i;
+        EXPECT_EQ(((soa.unknown_ethertype_mask() >> i) & 1u) != 0,
+                  ref && ref->unknown_ethertype())
+            << i;
+        EXPECT_EQ(soa.has_tuple(i), ref && ref->five_tuple()) << i;
+
+        // Columns and the vectorized hash, for tuple lanes.
+        if (soa.has_tuple(i)) {
+          const auto& tuple = *ref->five_tuple();
+          EXPECT_EQ(soa.cols().src_port[i], tuple.src_port) << i;
+          EXPECT_EQ(soa.cols().dst_port[i], tuple.dst_port) << i;
+          EXPECT_EQ(soa.cols().l4_proto[i], tuple.proto) << i;
+          const auto canon = tuple.canonical();
+          EXPECT_EQ(soa.canon(i).key, canon.key) << i;
+          EXPECT_EQ(soa.hash(i), canon.key.hash()) << i;
+        }
+        if (ref && ref->ipv4()) {
+          EXPECT_EQ(soa.cols().v4_src[i], ref->ipv4()->src_addr()) << i;
+          EXPECT_EQ(soa.cols().v4_dst[i], ref->ipv4()->dst_addr()) << i;
+        }
+      }
+    }
+  }
+  filter::set_batch_backend(saved);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoaEncapParity, ::testing::Range(0, 4));
 
 TEST(PipelineFuzz, GarbageFramesNeverCrashRuntime) {
   util::Xoshiro256 rng(retina::testing::test_seed(777));

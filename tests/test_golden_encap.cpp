@@ -1,0 +1,160 @@
+// Encapsulated golden differential suite (`ctest -L encap`): every
+// committed corpus trace also exists in five outer shapes — VLAN,
+// QinQ double-tag, GRE (TEB), VXLAN, and IPv4-fragmented — written by
+// tools/golden_gen from the same inner trace. There are deliberately
+// NO separate expectations: each variant pcap is replayed through all
+// five dispatch paths and must reproduce the ORIGINAL trace's
+// committed callback stream byte-identically, proving the encap walk
+// (and fragment reassembly) recovers exactly the frames the transform
+// wrapped. Each replay runs twice per path — once with the
+// auto-detected batch backend and once forced scalar — so SIMD lane
+// kernels are held to the same equivalence.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "core/golden.hpp"
+#include "filter/batch.hpp"
+#include "golden_corpus.hpp"
+#include "traffic/encap.hpp"
+#include "traffic/pcap.hpp"
+
+#ifndef RETINA_GOLDEN_DIR
+#define RETINA_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace retina;
+namespace golden = core::golden;
+
+std::string golden_path(const std::string& file) {
+  return std::string(RETINA_GOLDEN_DIR) + "/" + file;
+}
+
+// Restores the process-wide batch backend on scope exit, so a failing
+// assertion can't leak a forced-scalar setting into later tests.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(filter::active_batch_backend()) {}
+  ~BackendGuard() { filter::set_batch_backend(saved_); }
+
+ private:
+  filter::BatchBackend saved_;
+};
+
+struct EncapCase {
+  goldencorpus::CorpusEntry entry;
+  traffic::EncapVariant variant;
+};
+
+std::vector<EncapCase> encap_cases() {
+  std::vector<EncapCase> cases;
+  for (const auto& entry : goldencorpus::corpus()) {
+    for (const auto variant : traffic::kAllEncapVariants) {
+      cases.push_back({entry, variant});
+    }
+  }
+  return cases;
+}
+
+class GoldenEncap : public ::testing::TestWithParam<EncapCase> {};
+
+TEST_P(GoldenEncap, VariantReproducesOriginalStreamOnAllPaths) {
+  const auto& [entry, variant] = GetParam();
+  const std::string variant_name = traffic::encap_variant_name(variant);
+  const auto trace = traffic::read_pcap(
+      golden_path(entry.name + ("_" + variant_name) + ".pcap"));
+  const auto expected =
+      golden::read_jsonl(golden_path(entry.name + std::string(".jsonl")));
+  ASSERT_FALSE(trace.empty()) << "missing variant pcap";
+  ASSERT_FALSE(expected.empty()) << "missing committed stream";
+
+  BackendGuard guard;
+  for (const bool force_scalar : {false, true}) {
+    filter::set_batch_backend(force_scalar ? filter::BatchBackend::kScalar
+                                           : filter::active_batch_backend());
+    for (const auto path : golden::all_dispatch_paths()) {
+      golden::GoldenSpec spec;
+      spec.filter = entry.filter;
+      spec.level = entry.level;
+      spec.cores = entry.cores;
+      spec.path = path;
+      const auto result = golden::run_golden(trace.packets(), spec);
+      EXPECT_EQ(result.dropped, 0u)
+          << variant_name << " on " << golden::dispatch_path_name(path);
+      EXPECT_EQ(result.lines, expected)
+          << entry.name << "_" << variant_name << " diverged on path "
+          << golden::dispatch_path_name(path)
+          << (force_scalar ? " (forced scalar)" : " (auto backend)");
+    }
+  }
+}
+
+// Same equivalence with dynamic hardware flow offload enabled. For the
+// fragmented variant this additionally pins the NIC's fragment punt:
+// portless fragments bypass both the permit rules and the offload
+// table, reassemble in software, and the merged records still match.
+TEST_P(GoldenEncap, VariantWithOffloadReproducesOriginalStream) {
+  const auto& [entry, variant] = GetParam();
+  const std::string variant_name = traffic::encap_variant_name(variant);
+  const auto trace = traffic::read_pcap(
+      golden_path(entry.name + ("_" + variant_name) + ".pcap"));
+  const auto expected =
+      golden::read_jsonl(golden_path(entry.name + std::string(".jsonl")));
+  ASSERT_FALSE(trace.empty()) << "missing variant pcap";
+  ASSERT_FALSE(expected.empty()) << "missing committed stream";
+
+  for (const auto path : golden::all_dispatch_paths()) {
+    golden::GoldenSpec spec;
+    spec.filter = entry.filter;
+    spec.level = entry.level;
+    spec.cores = entry.cores;
+    spec.path = path;
+    spec.offload = true;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_EQ(result.dropped, 0u)
+        << variant_name << " on " << golden::dispatch_path_name(path);
+    EXPECT_EQ(result.lines, expected)
+        << entry.name << "_" << variant_name
+        << " diverged with offload on path "
+        << golden::dispatch_path_name(path);
+  }
+}
+
+// Connection-level lane: the variant traces must also rebuild the
+// committed conn streams, proving record byte/packet totals describe
+// the inner flow (not the tunnel overhead) on every dispatch path.
+TEST_P(GoldenEncap, VariantReproducesCommittedConnStream) {
+  const auto& [entry, variant] = GetParam();
+  const std::string variant_name = traffic::encap_variant_name(variant);
+  const auto trace = traffic::read_pcap(
+      golden_path(entry.name + ("_" + variant_name) + ".pcap"));
+  const auto expected = golden::read_jsonl(
+      golden_path(entry.name + std::string("_conn.jsonl")));
+  ASSERT_FALSE(trace.empty()) << "missing variant pcap";
+  ASSERT_FALSE(expected.empty()) << "missing committed conn stream";
+
+  for (const auto path : {golden::DispatchPath::kSerialPacket,
+                          golden::DispatchPath::kThreaded}) {
+    golden::GoldenSpec spec;
+    spec.filter = entry.filter;
+    spec.level = core::Level::kConnection;
+    spec.cores = entry.cores;
+    spec.path = path;
+    const auto result = golden::run_golden(trace.packets(), spec);
+    EXPECT_EQ(result.lines, expected)
+        << entry.name << "_" << variant_name << " conn stream diverged on "
+        << golden::dispatch_path_name(path);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GoldenEncap, ::testing::ValuesIn(encap_cases()),
+    [](const ::testing::TestParamInfo<EncapCase>& info) {
+      return std::string(info.param.entry.name) + "_" +
+             traffic::encap_variant_name(info.param.variant);
+    });
+
+}  // namespace

@@ -10,6 +10,7 @@
 
 #include "core/golden.hpp"
 #include "golden_corpus.hpp"
+#include "traffic/encap.hpp"
 #include "traffic/pcap.hpp"
 
 #ifndef RETINA_GOLDEN_DIR
@@ -64,6 +65,22 @@ int main(int argc, char** argv) {
     }
     std::printf("%-8s conn stream  -> %3zu lines (%s)\n", entry.name,
                 conn_result.lines.size(), conn_path.c_str());
+
+    // Third pass: multiply the corpus. Each committed trace is
+    // re-emitted in every outer shape (VLAN, QinQ, GRE, VXLAN,
+    // fragmented). No new expectations are written — the whole point is
+    // that the variants must reproduce the *original* committed streams
+    // byte-identically once the encap walk unwraps them.
+    for (const auto variant : traffic::kAllEncapVariants) {
+      const auto wrapped = traffic::encapsulate(trace, variant);
+      const std::string variant_path = dir + "/" + entry.name + "_" +
+                                       traffic::encap_variant_name(variant) +
+                                       ".pcap";
+      traffic::write_pcap(variant_path, wrapped, {.nanos = true});
+      std::printf("%-8s %-5s variant -> %4zu packets (%s)\n", entry.name,
+                  traffic::encap_variant_name(variant), wrapped.size(),
+                  variant_path.c_str());
+    }
   }
   return 0;
 }
